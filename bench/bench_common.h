@@ -1,0 +1,86 @@
+#ifndef CATS_BENCH_BENCH_COMMON_H_
+#define CATS_BENCH_BENCH_COMMON_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/distributions.h"
+#include "collect/crawler.h"
+#include "collect/store.h"
+#include "core/cats.h"
+#include "core/detector.h"
+#include "platform/api.h"
+#include "platform/presets.h"
+#include "util/stopwatch.h"
+
+namespace cats::bench {
+
+/// Default scales for the experiment benches: small enough for seconds-long
+/// runs, large enough that every paper statistic keeps its shape. Override
+/// per bench where noted.
+struct BenchScales {
+  double d0 = 0.10;       // Table IV training set (paper 34k items)
+  double five_k = 0.40;   // Table III / Figs 1-5 subset (paper 10k items)
+  double d1 = 0.01;       // Table V/VI evaluation set (paper 1.48M items)
+  double e_platform = 0.002;  // §IV-A crawl (paper 4.5M items)
+};
+
+/// One generated platform plus its crawled public data.
+struct PlatformData {
+  std::unique_ptr<platform::Marketplace> market;
+  collect::DataStore store;
+  collect::CrawlStats crawl_stats;
+
+  /// Ground-truth labels aligned with store.items().
+  std::vector<int> TrueLabels() const;
+  /// Item ids aligned with store.items().
+  std::vector<uint64_t> ItemIds() const;
+  /// Ground-truth fraud/normal split of the collected items.
+  analysis::LabeledSplit Split() const;
+};
+
+/// Shared setup for all experiment benches: the synthetic language and the
+/// Taobao-trained semantic model (word2vec lexicons + sentiment), built once.
+class BenchContext {
+ public:
+  BenchContext();
+
+  const platform::SyntheticLanguage& language() const { return *language_; }
+  const core::SemanticModel& semantic_model() const { return *model_; }
+  const core::SemanticAnalyzer& analyzer() const { return analyzer_; }
+
+  /// Generates and crawls one platform.
+  PlatformData MakePlatform(const platform::MarketplaceConfig& config) const;
+
+  /// Extracts the 11 features and attaches ground-truth labels.
+  ml::Dataset BuildDataset(const PlatformData& data) const;
+
+  /// A detector trained on a D0-scale labeled platform.
+  std::unique_ptr<core::Detector> TrainDetector(
+      const PlatformData& d0, const core::DetectorOptions& options) const;
+  std::unique_ptr<core::Detector> TrainDetector(const PlatformData& d0) const {
+    return TrainDetector(d0, core::DetectorOptions{});
+  }
+
+ private:
+  std::unique_ptr<platform::SyntheticLanguage> language_;
+  core::SemanticAnalyzer analyzer_;
+  std::unique_ptr<core::SemanticModel> model_;
+};
+
+/// Prints the standard bench banner: experiment id, what the paper showed.
+void PrintBanner(const std::string& experiment, const std::string& claim);
+
+/// Writes a two-series CSV (bin, series_a, series_b) next to the ASCII
+/// output, under bench_out/.
+void DumpComparisonCsv(const std::string& name,
+                       const analysis::DistributionComparison& cmp,
+                       const std::string& label_a, const std::string& label_b);
+
+/// Ensures bench_out/ exists and returns the path of `file` inside it.
+std::string BenchOutPath(const std::string& file);
+
+}  // namespace cats::bench
+
+#endif  // CATS_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,88 @@
+// §IV-B: the E-platform application — crawl the platform's public site,
+// run the Taobao-pretrained detector, sample 1,000 reported items for
+// "expert" validation. Paper: 10,720 items reported; 960/1000 sampled
+// confirmed (precision 0.96).
+
+#include <cstdio>
+#include <unordered_map>
+
+#include "analysis/validation.h"
+#include "bench_common.h"
+#include "util/string_util.h"
+
+using namespace cats;
+
+int main() {
+  bench::PrintBanner(
+      "§IV-B — CATS applied to E-platform",
+      "10,720 fraud items reported from ~4.5M; 1,000-item expert sample "
+      "confirms 96%");
+
+  bench::BenchContext context;
+  bench::BenchScales scales;
+  bench::PlatformData d0 =
+      context.MakePlatform(platform::TaobaoD0Config(scales.d0));
+  bench::PlatformData eplat =
+      context.MakePlatform(platform::EPlatformConfig(scales.e_platform));
+  std::printf("crawl: %llu requests, %llu retries, %llu duplicates dropped, "
+              "%.1f virtual-seconds throttled\n",
+              (unsigned long long)eplat.crawl_stats.requests,
+              (unsigned long long)eplat.crawl_stats.retries,
+              (unsigned long long)eplat.crawl_stats.duplicates_dropped,
+              eplat.crawl_stats.throttled_micros / 1e6);
+
+  auto detector = context.TrainDetector(d0);
+  // Deployed operating point: calibrated on a low-prevalence validation
+  // slice for the production precision target (see bench_table6).
+  bench::PlatformData validation = context.MakePlatform([] {
+    platform::MarketplaceConfig c = platform::TaobaoD1Config(0.004);
+    c.name = "d1-validation";
+    c.seed = 0xCA1B;
+    return c;
+  }());
+  auto threshold = detector->CalibrateThreshold(
+      validation.store.items(), validation.TrueLabels(),
+      /*target_precision=*/0.93);
+  std::fprintf(stderr, "[bench] threshold calibrated to %.3f\n",
+               threshold.value_or(-1));
+  auto report = detector->Detect(eplat.store.items());
+  if (!report.ok()) {
+    std::fprintf(stderr, "detect failed: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("\nE-platform sweep: %zu items scanned -> %zu reported as "
+              "fraud (paper: 4.5M -> 10,720)\n",
+              report->items_scanned, report->detections.size());
+  std::printf("stage-1 filter: %zu low-sales, %zu no-positive-signal, %zu "
+              "no-comments\n",
+              report->items_filtered_low_sales,
+              report->items_filtered_no_signal,
+              report->items_filtered_no_comments);
+
+  // Expert-panel validation on a 1,000-item sample (truth = the
+  // simulator's hidden labels).
+  std::unordered_map<uint64_t, int> truth;
+  {
+    std::vector<uint64_t> ids = eplat.ItemIds();
+    std::vector<int> labels = eplat.TrueLabels();
+    for (size_t i = 0; i < ids.size(); ++i) truth[ids[i]] = labels[i];
+  }
+  Rng rng(2017'12'24 % 1000003);
+  analysis::SampledValidation sampled =
+      analysis::ValidateBySampling(*report, truth, 1000, &rng);
+  std::printf("\nsampled validation: %zu / %zu confirmed -> precision %.3f "
+              "(paper: 960/1000 = 0.96)\n",
+              sampled.confirmed, sampled.sample_size, sampled.precision);
+
+  auto metrics = analysis::EvaluateReport(*report, eplat.ItemIds(),
+                                          eplat.TrueLabels());
+  std::printf("full-truth check:   %s\n", metrics.ToString().c_str());
+  std::printf("\nreported-to-total ratio: %.4f (paper: 10720/4.5M = "
+              "0.0024; fraud density floored at small scale, see "
+              "DESIGN.md)\n",
+              static_cast<double>(report->detections.size()) /
+                  report->items_scanned);
+  return 0;
+}

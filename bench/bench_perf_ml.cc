@@ -1,0 +1,107 @@
+// Perf microbenches: ML substrate — training and single-row prediction
+// latency of every Table-III classifier on an 11-feature dataset shaped
+// like the paper's.
+
+#include <benchmark/benchmark.h>
+
+#include "ml/adaboost.h"
+#include "ml/decision_tree.h"
+#include "ml/gbdt.h"
+#include "ml/mlp.h"
+#include "ml/naive_bayes.h"
+#include "ml/svm.h"
+#include "util/random.h"
+
+using namespace cats;
+
+namespace {
+
+/// An 11-feature two-class dataset, mildly overlapping like the real one.
+const ml::Dataset& TrainData() {
+  static const ml::Dataset* data = [] {
+    std::vector<std::string> names;
+    for (int f = 0; f < 11; ++f) names.push_back("f" + std::to_string(f));
+    auto* d = new ml::Dataset(names);
+    Rng rng(3);
+    std::vector<float> row(11);
+    for (int i = 0; i < 4000; ++i) {
+      int label = i % 2;
+      for (int f = 0; f < 11; ++f) {
+        row[f] = static_cast<float>(rng.Normal(label * 1.2, 1.0));
+      }
+      (void)d->AddRow(row, label);
+    }
+    return d;
+  }();
+  return *data;
+}
+
+template <typename Model>
+void TrainBench(benchmark::State& state, Model make) {
+  for (auto _ : state) {
+    auto model = make();
+    Status st = model.Fit(TrainData());
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+    benchmark::DoNotOptimize(model);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(TrainData().num_rows()));
+}
+
+template <typename Model>
+void PredictBench(benchmark::State& state, Model make) {
+  auto model = make();
+  Status st = model.Fit(TrainData());
+  if (!st.ok()) {
+    state.SkipWithError(st.ToString().c_str());
+    return;
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        model.PredictProba(TrainData().Row(i++ % TrainData().num_rows())));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_GbdtTrain(benchmark::State& state) {
+  TrainBench(state, [] { return ml::Gbdt(); });
+}
+BENCHMARK(BM_GbdtTrain)->Unit(benchmark::kMillisecond);
+
+void BM_GbdtPredict(benchmark::State& state) {
+  PredictBench(state, [] { return ml::Gbdt(); });
+}
+BENCHMARK(BM_GbdtPredict);
+
+void BM_DecisionTreeTrain(benchmark::State& state) {
+  TrainBench(state, [] { return ml::DecisionTree(); });
+}
+BENCHMARK(BM_DecisionTreeTrain)->Unit(benchmark::kMillisecond);
+
+void BM_AdaBoostTrain(benchmark::State& state) {
+  TrainBench(state, [] { return ml::AdaBoost(); });
+}
+BENCHMARK(BM_AdaBoostTrain)->Unit(benchmark::kMillisecond);
+
+void BM_SvmTrain(benchmark::State& state) {
+  TrainBench(state, [] { return ml::LinearSvm(); });
+}
+BENCHMARK(BM_SvmTrain)->Unit(benchmark::kMillisecond);
+
+void BM_MlpTrain(benchmark::State& state) {
+  TrainBench(state, [] { return ml::Mlp(); });
+}
+BENCHMARK(BM_MlpTrain)->Unit(benchmark::kMillisecond);
+
+void BM_NaiveBayesTrain(benchmark::State& state) {
+  TrainBench(state, [] { return ml::GaussianNaiveBayes(); });
+}
+BENCHMARK(BM_NaiveBayesTrain)->Unit(benchmark::kMillisecond);
+
+void BM_NaiveBayesPredict(benchmark::State& state) {
+  PredictBench(state, [] { return ml::GaussianNaiveBayes(); });
+}
+BENCHMARK(BM_NaiveBayesPredict);
+
+}  // namespace

@@ -1,0 +1,116 @@
+// Perf microbenches: end-to-end pipeline stages — feature-extraction
+// throughput (the paper parallelizes this stage), crawler+parse throughput
+// against the in-process API, and word2vec training rate.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "nlp/word2vec.h"
+#include "platform/comment_generator.h"
+
+using namespace cats;
+
+namespace {
+
+bench::BenchContext& Context() {
+  static auto* context = new bench::BenchContext();
+  return *context;
+}
+
+const bench::PlatformData& Platform() {
+  static const auto* data = [] {
+    platform::MarketplaceConfig config = platform::TaobaoFiveKConfig(0.1);
+    return new bench::PlatformData(Context().MakePlatform(config));
+  }();
+  return *data;
+}
+
+void BM_FeatureExtraction(benchmark::State& state) {
+  core::FeatureExtractorOptions options;
+  options.num_threads = static_cast<size_t>(state.range(0));
+  core::FeatureExtractor extractor(&Context().semantic_model(), options);
+  const auto& items = Platform().store.items();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(extractor.ExtractAll(items));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(items.size()));
+}
+BENCHMARK(BM_FeatureExtraction)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CrawlAndParse(benchmark::State& state) {
+  const auto& market = *Platform().market;
+  for (auto _ : state) {
+    platform::ApiOptions api_options;
+    api_options.page_size = 100;
+    platform::MarketplaceApi api(&market, api_options);
+    collect::FakeClock clock;
+    collect::CrawlerOptions crawl_options;
+    crawl_options.requests_per_second = 1e9;
+    collect::Crawler crawler(&api, crawl_options, &clock);
+    collect::DataStore store;
+    Status st = crawler.Crawl(&store);
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+    benchmark::DoNotOptimize(store.num_comments());
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<int64_t>(store.num_comments()));
+  }
+  state.SetLabel("items_processed = comments parsed");
+}
+BENCHMARK(BM_CrawlAndParse)->Unit(benchmark::kMillisecond);
+
+void BM_Word2VecTrain(benchmark::State& state) {
+  // A fixed 100k-token corpus; reports tokens/second via items_processed.
+  static const auto* sentences = [] {
+    auto* out = new std::vector<std::vector<std::string>>();
+    platform::CommentGenerator generator(&Context().language());
+    text::SegmentationDictionary dict =
+        Context().language().BuildSegmentationDictionary();
+    text::Segmenter segmenter(&dict);
+    Rng rng(5);
+    for (int i = 0; i < 10000; ++i) {
+      out->push_back(segmenter.Segment(generator.GenerateBenign(0.7, &rng)));
+    }
+    return out;
+  }();
+  size_t tokens = 0;
+  for (const auto& s : *sentences) tokens += s.size();
+
+  for (auto _ : state) {
+    nlp::Word2VecOptions options;
+    options.dim = 32;
+    options.epochs = 1;
+    options.num_threads = static_cast<size_t>(state.range(0));
+    nlp::Word2Vec w2v(options);
+    auto result = w2v.Train(*sentences);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(tokens));
+  state.SetLabel("items_processed = corpus tokens per epoch");
+}
+BENCHMARK(BM_Word2VecTrain)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_SentimentScore(benchmark::State& state) {
+  const auto& model = Context().semantic_model();
+  text::Segmenter segmenter(&model.dictionary);
+  std::vector<std::vector<std::string>> token_lists;
+  for (size_t i = 0; i < 200 && i < Platform().store.items().size(); ++i) {
+    for (const auto& c : Platform().store.items()[i].comments) {
+      token_lists.push_back(segmenter.Segment(c.content));
+    }
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        model.sentiment.Score(token_lists[i++ % token_lists.size()]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SentimentScore);
+
+}  // namespace

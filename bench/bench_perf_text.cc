@@ -1,0 +1,113 @@
+// Perf microbenches: text substrate — UTF-8 decode, FMM segmentation,
+// entropy, punctuation scan, JSON parse/serialize of comment records.
+
+#include <benchmark/benchmark.h>
+
+#include "collect/record.h"
+#include "platform/comment_generator.h"
+#include "platform/presets.h"
+#include "text/segmenter.h"
+#include "text/text_stats.h"
+#include "text/utf8.h"
+#include "util/json.h"
+#include "util/random.h"
+
+using namespace cats;
+
+namespace {
+
+const platform::SyntheticLanguage& Language() {
+  static const auto* language = new platform::SyntheticLanguage(
+      platform::DefaultLanguageOptions());
+  return *language;
+}
+
+const std::vector<std::string>& Comments() {
+  static const auto* comments = [] {
+    auto* out = new std::vector<std::string>();
+    platform::CommentGenerator generator(&Language());
+    Rng rng(1);
+    for (int i = 0; i < 2000; ++i) {
+      out->push_back(generator.GenerateBenign(0.7, &rng));
+    }
+    return out;
+  }();
+  return *comments;
+}
+
+const text::SegmentationDictionary& Dictionary() {
+  static const auto* dict = new text::SegmentationDictionary(
+      Language().BuildSegmentationDictionary());
+  return *dict;
+}
+
+void BM_Utf8Decode(benchmark::State& state) {
+  const auto& comments = Comments();
+  size_t i = 0, bytes = 0;
+  for (auto _ : state) {
+    const std::string& c = comments[i++ % comments.size()];
+    benchmark::DoNotOptimize(text::DecodeString(c));
+    bytes += c.size();
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(bytes));
+}
+BENCHMARK(BM_Utf8Decode);
+
+void BM_FmmSegment(benchmark::State& state) {
+  text::Segmenter segmenter(&Dictionary());
+  const auto& comments = Comments();
+  size_t i = 0, bytes = 0;
+  for (auto _ : state) {
+    const std::string& c = comments[i++ % comments.size()];
+    benchmark::DoNotOptimize(segmenter.Segment(c));
+    bytes += c.size();
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(bytes));
+}
+BENCHMARK(BM_FmmSegment);
+
+void BM_TokenEntropy(benchmark::State& state) {
+  text::Segmenter segmenter(&Dictionary());
+  std::vector<std::vector<std::string>> token_lists;
+  for (const std::string& c : Comments()) {
+    token_lists.push_back(segmenter.Segment(c));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        text::TokenEntropy(token_lists[i++ % token_lists.size()]));
+  }
+}
+BENCHMARK(BM_TokenEntropy);
+
+void BM_PunctuationScan(benchmark::State& state) {
+  const auto& comments = Comments();
+  size_t i = 0, bytes = 0;
+  for (auto _ : state) {
+    const std::string& c = comments[i++ % comments.size()];
+    benchmark::DoNotOptimize(text::AnalyzeStructure(c));
+    bytes += c.size();
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(bytes));
+}
+BENCHMARK(BM_PunctuationScan);
+
+void BM_CommentRecordJsonRoundTrip(benchmark::State& state) {
+  collect::CommentRecord record;
+  record.item_id = 545470505476ull;
+  record.comment_id = 40805023517ull;
+  record.content = Comments()[0];
+  record.nickname = "0***莉";
+  record.user_exp_value = 100;
+  record.client = "Android";
+  record.date = "2017-09-10 12:10:00";
+  for (auto _ : state) {
+    std::string body = collect::CommentRecordToJson(record).Serialize();
+    auto parsed = JsonValue::Parse(body);
+    auto back = collect::ParseCommentRecord(*parsed);
+    benchmark::DoNotOptimize(back);
+  }
+}
+BENCHMARK(BM_CommentRecordJsonRoundTrip);
+
+}  // namespace

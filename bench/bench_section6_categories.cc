@@ -1,0 +1,86 @@
+// §VI deployment: Alibaba partially incorporated CATS into Taobao to
+// detect fraud items in eight third-party-shop categories (men's/women's
+// clothing & shoes, computer & office, phone & accessories, food & grocery,
+// sports & outdoors). This bench reproduces the deployment view: a single
+// trained detector swept over each category's items, reported per category.
+
+#include <cstdio>
+#include <map>
+#include <unordered_set>
+
+#include "analysis/validation.h"
+#include "bench_common.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+using namespace cats;
+
+int main() {
+  bench::PrintBanner(
+      "§VI — per-category deployment on the Taobao-like platform",
+      "CATS detects frauds \"with a high accuracy\" across all eight "
+      "deployed categories");
+
+  bench::BenchContext context;
+  bench::BenchScales scales;
+  bench::PlatformData d0 =
+      context.MakePlatform(platform::TaobaoD0Config(scales.d0));
+  bench::PlatformData d1 =
+      context.MakePlatform(platform::TaobaoD1Config(scales.d1));
+
+  auto detector = context.TrainDetector(d0);
+  // Deployed operating point (same calibration recipe as bench_table6).
+  bench::PlatformData validation = context.MakePlatform([] {
+    platform::MarketplaceConfig c = platform::TaobaoD1Config(0.004);
+    c.name = "d1-validation";
+    c.seed = 0xCA1B;
+    return c;
+  }());
+  (void)detector->CalibrateThreshold(validation.store.items(),
+                                     validation.TrueLabels(),
+                                     /*target_precision=*/0.90);
+  auto report = detector->Detect(d1.store.items());
+  if (!report.ok()) {
+    std::fprintf(stderr, "detect failed: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+  std::unordered_set<uint64_t> flagged;
+  for (const core::Detection& d : report->detections) {
+    flagged.insert(d.item_id);
+  }
+
+  // Per-category confusion; category comes from the public item record.
+  struct Counts {
+    size_t items = 0, fraud = 0, tp = 0, fp = 0;
+  };
+  std::map<std::string, Counts> by_category;
+  std::vector<int> labels = d1.TrueLabels();
+  for (size_t i = 0; i < d1.store.items().size(); ++i) {
+    const collect::CollectedItem& ci = d1.store.items()[i];
+    Counts& c = by_category[ci.item.category];
+    ++c.items;
+    bool is_fraud = labels[i] == 1;
+    bool is_flagged = flagged.count(ci.item.item_id) > 0;
+    c.fraud += is_fraud;
+    if (is_flagged && is_fraud) ++c.tp;
+    if (is_flagged && !is_fraud) ++c.fp;
+  }
+
+  TablePrinter table({"Category", "items", "fraud", "flagged", "precision",
+                      "recall"});
+  for (const auto& [category, c] : by_category) {
+    double precision =
+        (c.tp + c.fp) > 0 ? static_cast<double>(c.tp) / (c.tp + c.fp) : 0.0;
+    double recall =
+        c.fraud > 0 ? static_cast<double>(c.tp) / c.fraud : 0.0;
+    table.AddRow({category, std::to_string(c.items), std::to_string(c.fraud),
+                  std::to_string(c.tp + c.fp), StrFormat("%.2f", precision),
+                  StrFormat("%.2f", recall)});
+  }
+  table.Print();
+  std::printf("\nOne model, all eight §VI categories — detection quality "
+              "must not collapse in\nany category (the paper reports "
+              "category-independent deployment).\n");
+  return 0;
+}

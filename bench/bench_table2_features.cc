@@ -1,0 +1,71 @@
+// Table II: the 11 platform-independent features. This bench prints each
+// feature's definition together with its fraud/normal class means on the
+// 5k/5k subset — a sanity dump that every feature carries signal in the
+// direction the paper describes.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "util/stats.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+using namespace cats;
+
+namespace {
+
+constexpr const char* kDescriptions[core::kNumFeatures] = {
+    "avg number of positive words per comment",
+    "avg |#positive - #negative| per comment",
+    "unique words / total words",
+    "avg sentiment of comments",
+    "avg entropy of comments",
+    "avg comment length (words)",
+    "sum of comment lengths",
+    "total punctuation marks",
+    "avg punctuation ratio",
+    "avg positive 2-grams per comment",
+    "avg positive 2-gram ratio",
+};
+
+}  // namespace
+
+int main() {
+  bench::PrintBanner("Table II — the 11 features",
+                     "word-level, semantic and structural features "
+                     "discriminate fraud from normal items");
+
+  bench::BenchContext context;
+  bench::BenchScales scales;
+  bench::PlatformData five_k =
+      context.MakePlatform(platform::TaobaoFiveKConfig(scales.five_k));
+  ml::Dataset dataset = context.BuildDataset(five_k);
+
+  TablePrinter table(
+      {"Feature", "Description", "fraud mean", "normal mean", "KS"});
+  for (size_t f = 0; f < core::kNumFeatures; ++f) {
+    RunningStats fraud, normal;
+    std::vector<double> fraud_col, normal_col;
+    for (size_t i = 0; i < dataset.num_rows(); ++i) {
+      double v = dataset.Value(i, f);
+      if (dataset.Label(i) == 1) {
+        fraud.Add(v);
+        fraud_col.push_back(v);
+      } else {
+        normal.Add(v);
+        normal_col.push_back(v);
+      }
+    }
+    table.AddRow({std::string(core::kFeatureNames[f]), kDescriptions[f],
+                  StrFormat("%.3f", fraud.mean()),
+                  StrFormat("%.3f", normal.mean()),
+                  StrFormat("%.2f",
+                            KolmogorovSmirnovStatistic(fraud_col,
+                                                       normal_col))});
+  }
+  table.Print();
+  std::printf("\nKS > 0 for every row means every Table-II feature is "
+              "informative on the\nsimulated platform, as the paper's Fig 7 "
+              "importances imply.\n");
+  return 0;
+}

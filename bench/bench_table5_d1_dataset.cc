@@ -1,0 +1,45 @@
+// Table V: the held-out Taobao evaluation set D1 — 18,682 fraud /
+// 1,461,452 normal items from 15,992 shops with 72,340,999 comments.
+// Generated here at the configured scale (comment volume per item reduced;
+// see DESIGN.md).
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+using namespace cats;
+
+int main() {
+  bench::PrintBanner(
+      "Table V — the evaluation dataset D1",
+      "18,682 fraud / 1,461,452 normal items, 72.3M comments, 15,992 shops");
+
+  bench::BenchContext context;
+  bench::BenchScales scales;
+  bench::PlatformData d1 =
+      context.MakePlatform(platform::TaobaoD1Config(scales.d1));
+
+  size_t fraud = 0, normal = 0;
+  for (const collect::CollectedItem& ci : d1.store.items()) {
+    (d1.market->IsFraudItem(ci.item.item_id) ? fraud : normal)++;
+  }
+  TablePrinter table({"Quantity", "measured", "paper", "paper x scale"});
+  table.AddRow({"scale", StrFormat("%.4f", scales.d1), "1.0", "-"});
+  table.AddRow({"#FI", FormatWithCommas((int64_t)fraud), "18,682",
+                FormatWithCommas((int64_t)(18682 * scales.d1))});
+  table.AddRow({"#NI", FormatWithCommas((int64_t)normal), "1,461,452",
+                FormatWithCommas((int64_t)(1461452 * scales.d1))});
+  table.AddRow({"#comments",
+                FormatWithCommas((int64_t)d1.store.num_comments()),
+                "72,340,999", "(volume/item reduced, see DESIGN.md)"});
+  table.AddRow({"#shops", FormatWithCommas((int64_t)d1.store.shops().size()),
+                "15,992",
+                FormatWithCommas((int64_t)(15992 * scales.d1))});
+  table.AddRow({"FI fraction",
+                StrFormat("%.4f", fraud / double(fraud + normal)),
+                StrFormat("%.4f", 18682.0 / 1480134.0), "-"});
+  table.Print();
+  return 0;
+}

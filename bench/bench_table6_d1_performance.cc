@@ -1,0 +1,103 @@
+// Table VI: CATS on D1 — precision/recall/F-score for (a) fraud items
+// labeled with sufficient evidence and (b) all fraud items. The detector is
+// pre-trained on D0 (as in the paper) and then applied to the disjoint D1.
+//
+// Paper:  evidence-labeled  P=0.83 R=0.92 F=0.87
+//         overall           P=0.91 R=0.90 F=0.90
+//
+// Evidence mapping in the simulator: blatant campaigns correspond to the
+// paper's financially-evidenced labels; stealth campaigns to the
+// expert-manual labels (they are the hard cases in both worlds).
+
+#include <cstdio>
+#include <unordered_set>
+
+#include "analysis/validation.h"
+#include "bench_common.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+using namespace cats;
+
+int main() {
+  bench::PrintBanner(
+      "Table VI — CATS performance on D1 (trained on D0)",
+      "evidence-labeled frauds: P=.83 R=.92; overall: P=.91 R=.90");
+
+  bench::BenchContext context;
+  bench::BenchScales scales;
+  bench::PlatformData d0 =
+      context.MakePlatform(platform::TaobaoD0Config(scales.d0));
+  bench::PlatformData d1 =
+      context.MakePlatform(platform::TaobaoD1Config(scales.d1));
+
+  Stopwatch train_watch;
+  auto detector = context.TrainDetector(d0);
+  // Pick the deployed operating point on a D1-like validation slice that
+  // matches D1's class imbalance: the lowest threshold reaching the
+  // production precision target (the paper's deployment tuned for ~0.9
+  // precision on Taobao). D0 itself is 40% fraud and cannot calibrate the
+  // 1.3%-prevalence regime.
+  bench::PlatformData validation = context.MakePlatform([] {
+    platform::MarketplaceConfig c = platform::TaobaoD1Config(0.004);
+    c.name = "d1-validation";
+    c.seed = 0xCA1B;
+    return c;
+  }());
+  auto threshold = detector->CalibrateThreshold(
+      validation.store.items(), validation.TrueLabels(),
+      /*target_precision=*/0.90);
+  std::fprintf(stderr,
+               "[bench] detector trained in %.1fs; threshold calibrated to "
+               "%.3f\n",
+               train_watch.ElapsedSeconds(), threshold.value_or(-1));
+
+  Stopwatch detect_watch;
+  auto report = detector->Detect(d1.store.items());
+  if (!report.ok()) {
+    std::fprintf(stderr, "detect failed: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("D1: scanned %zu items, classified %zu, flagged %zu "
+              "(%.1fs)\n\n",
+              report->items_scanned, report->items_classified,
+              report->detections.size(), detect_watch.ElapsedSeconds());
+
+  // Evidence split: items promoted by non-stealth campaigns.
+  std::unordered_set<uint64_t> evidence_items;
+  for (const platform::CampaignPlan& plan : d1.market->campaigns()) {
+    if (plan.stealth) continue;
+    evidence_items.insert(plan.item_ids.begin(), plan.item_ids.end());
+  }
+
+  std::vector<uint64_t> ids = d1.ItemIds();
+  std::vector<int> overall_labels = d1.TrueLabels();
+  std::vector<int> evidence_labels(ids.size());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    evidence_labels[i] = evidence_items.count(ids[i]) ? 1 : 0;
+  }
+
+  ml::ClassificationMetrics overall =
+      analysis::EvaluateReport(*report, ids, overall_labels);
+  ml::ClassificationMetrics evidence =
+      analysis::EvaluateReport(*report, ids, evidence_labels);
+
+  TablePrinter table({"Category", "Precision", "Recall", "F-score",
+                      "paper P", "paper R", "paper F"});
+  table.AddRow({"fraud items labeled with sufficient evidence",
+                StrFormat("%.2f", evidence.precision),
+                StrFormat("%.2f", evidence.recall),
+                StrFormat("%.2f", evidence.f1), "0.83", "0.92", "0.87"});
+  table.AddRow({"the overall fraud items",
+                StrFormat("%.2f", overall.precision),
+                StrFormat("%.2f", overall.recall),
+                StrFormat("%.2f", overall.f1), "0.91", "0.90", "0.90"});
+  table.Print();
+  std::printf("\nShape: recall on evidence-labeled (blatant) frauds exceeds "
+              "overall recall;\nthe evidence row's precision is depressed "
+              "because stealth frauds it also\ncatches count against it — "
+              "the same asymmetry the paper reports.\n");
+  std::printf("\nconfusion (overall): %s\n", overall.ToString().c_str());
+  return 0;
+}

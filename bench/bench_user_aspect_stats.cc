@@ -1,0 +1,75 @@
+// §V user aspect: the risky-user study on E-platform's reported frauds.
+// Paper: 70% of fraud items have avgUserExpValue below the platform
+// expectation; 20% of risky users repeat-purchase (extremes 400+); 83,745
+// co-purchase pairs trace back to a set of 1,056 users.
+
+#include <cstdio>
+
+#include "analysis/user_aspect.h"
+#include "bench_common.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+using namespace cats;
+
+int main() {
+  bench::PrintBanner(
+      "§V user aspect — risky users behind the reported frauds",
+      "70% of fraud items below expectation; 20% repeat buyers (400+ "
+      "extremes); 83,745 pairs from 1,056 users");
+
+  bench::BenchContext context;
+  bench::BenchScales scales;
+  // Larger fraud slice for stable pair statistics.
+  platform::MarketplaceConfig config =
+      platform::EPlatformConfig(scales.e_platform);
+  bench::PlatformData eplat = context.MakePlatform(config);
+  auto split = eplat.Split();
+
+  double expectation = analysis::PopulationExpectation(eplat.store.items());
+  analysis::UserAspectReport fraud =
+      analysis::AnalyzeUserAspect(split.fraud, expectation);
+  analysis::UserAspectReport normal =
+      analysis::AnalyzeUserAspect(split.normal, expectation);
+
+  TablePrinter table({"Statistic", "fraud items", "normal items", "paper"});
+  table.AddRow({"items analyzed", std::to_string(split.fraud.size()),
+                std::to_string(split.normal.size()), "10,720 / rest"});
+  table.AddRow({"unique buyers",
+                std::to_string(fraud.buyer_exp_values.size()),
+                std::to_string(normal.buyer_exp_values.size()), "-"});
+  table.AddRow({"avgUserExpValue below expectation",
+                StrFormat("%.2f", fraud.frac_items_below_expectation),
+                StrFormat("%.2f", normal.frac_items_below_expectation),
+                "0.70 (fraud)"});
+  table.AddRow({"buyers with repeat purchases",
+                StrFormat("%.2f", fraud.frac_buyers_with_repeat),
+                StrFormat("%.2f", normal.frac_buyers_with_repeat),
+                "0.20 (fraud)"});
+  table.AddRow({"max purchases by one user",
+                std::to_string(fraud.max_purchases_by_one_user),
+                std::to_string(normal.max_purchases_by_one_user),
+                "400+ (fraud)"});
+  table.AddRow({"co-purchase pairs (>=2 shared items)",
+                FormatWithCommas((int64_t)fraud.copurchase_pairs),
+                FormatWithCommas((int64_t)normal.copurchase_pairs),
+                "83,745 (fraud)"});
+  table.AddRow({"users forming those pairs",
+                FormatWithCommas((int64_t)fraud.copurchase_users),
+                FormatWithCommas((int64_t)normal.copurchase_users),
+                "1,056 (fraud)"});
+  table.Print();
+
+  double pair_concentration =
+      fraud.copurchase_users > 0
+          ? static_cast<double>(fraud.copurchase_pairs) /
+                fraud.copurchase_users
+          : 0.0;
+  std::printf("\npair concentration (pairs per involved user): fraud=%.1f "
+              "(paper: 83745/1056 = %.1f)\n",
+              pair_concentration, 83745.0 / 1056.0);
+  std::printf("The shape to check: a small hired workforce produces a pair "
+              "count orders of\nmagnitude above what its size suggests, "
+              "while normal items show near-zero pairs.\n");
+  return 0;
+}

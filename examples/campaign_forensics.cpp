@@ -1,0 +1,146 @@
+// Campaign forensics scenario (paper §V): after CATS reports fraud items,
+// dig into the public comment records to expose the promotion workforce —
+// low-reputation buyers, repeat purchases, and co-purchase rings — exactly
+// the measurement study the paper runs on E-platform's reported frauds.
+//
+// Run: ./build/examples/campaign_forensics
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_set>
+
+#include "analysis/order_aspect.h"
+#include "analysis/shop_aspect.h"
+#include "analysis/user_aspect.h"
+#include "collect/crawler.h"
+#include "core/cats.h"
+#include "platform/api.h"
+#include "platform/presets.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+using namespace cats;
+
+int main() {
+  SetLogLevel(LogLevel::kWarning);
+  platform::SyntheticLanguage language(platform::DefaultLanguageOptions());
+
+  // Train CATS on the labeled platform (condensed; see quickstart).
+  std::printf("[1/3] training CATS...\n");
+  platform::Marketplace taobao = platform::Marketplace::Generate(
+      platform::TaobaoD0Config(0.05), &language);
+  platform::MarketplaceApi taobao_api(&taobao);
+  collect::FakeClock clock;
+  collect::Crawler taobao_crawler(&taobao_api, collect::CrawlerOptions{},
+                                  &clock);
+  collect::DataStore taobao_store;
+  CATS_CHECK(taobao_crawler.Crawl(&taobao_store).ok());
+
+  std::vector<std::string> corpus;
+  for (const auto& item : taobao_store.items()) {
+    for (const auto& comment : item.comments) corpus.push_back(comment.content);
+  }
+  core::Cats cats_system;
+  CATS_CHECK(cats_system
+                 .BuildSemanticModel(corpus,
+                                     language.BuildSegmentationDictionary(),
+                                     language.PositiveSeeds(4),
+                                     language.NegativeSeeds(4),
+                                     taobao.BuildSentimentCorpus(6000, 7))
+                 .ok());
+  std::vector<int> labels;
+  for (const auto& ci : taobao_store.items()) {
+    labels.push_back(taobao.IsFraudItem(ci.item.item_id) ? 1 : 0);
+  }
+  CATS_CHECK(cats_system.TrainDetector(taobao_store.items(), labels).ok());
+
+  // Sweep the target platform.
+  std::printf("[2/3] sweeping the target platform...\n");
+  platform::Marketplace target = platform::Marketplace::Generate(
+      platform::EPlatformConfig(0.001), &language);
+  platform::MarketplaceApi api(&target);
+  collect::Crawler crawler(&api, collect::CrawlerOptions{}, &clock);
+  collect::DataStore store;
+  CATS_CHECK(crawler.Crawl(&store).ok());
+  auto report = cats_system.Detect(store.items());
+  CATS_CHECK(report.ok());
+  std::printf("  %zu items flagged as fraud\n", report->detections.size());
+
+  // Forensics on the REPORTED items only (no ground truth used).
+  std::printf("[3/3] forensics on reported items\n\n");
+  std::unordered_set<uint64_t> flagged;
+  for (const auto& d : report->detections) flagged.insert(d.item_id);
+  std::vector<collect::CollectedItem> reported, rest;
+  for (const auto& ci : store.items()) {
+    (flagged.count(ci.item.item_id) ? reported : rest).push_back(ci);
+  }
+
+  double expectation = analysis::PopulationExpectation(store.items());
+  analysis::UserAspectReport fraud_aspect =
+      analysis::AnalyzeUserAspect(reported, expectation);
+  analysis::UserAspectReport normal_aspect =
+      analysis::AnalyzeUserAspect(rest, expectation);
+
+  std::printf("user aspect (reported vs remaining items):\n");
+  std::printf("  buyers at min reputation: %5.1f%%  vs %5.1f%%\n",
+              100 * fraud_aspect.frac_at_min, 100 * normal_aspect.frac_at_min);
+  std::printf("  buyers below expValue 2000: %5.1f%% vs %5.1f%%\n",
+              100 * fraud_aspect.frac_below_2000,
+              100 * normal_aspect.frac_below_2000);
+  std::printf("  items w/ avg buyer below platform mean: %5.1f%% vs %5.1f%%\n",
+              100 * fraud_aspect.frac_items_below_expectation,
+              100 * normal_aspect.frac_items_below_expectation);
+  std::printf("  repeat buyers: %5.1f%% vs %5.1f%% (max %llu buys by one "
+              "account)\n",
+              100 * fraud_aspect.frac_buyers_with_repeat,
+              100 * normal_aspect.frac_buyers_with_repeat,
+              (unsigned long long)fraud_aspect.max_purchases_by_one_user);
+  std::printf("  co-purchase ring: %s pairs over %s accounts (remaining "
+              "items: %s pairs)\n",
+              FormatWithCommas((int64_t)fraud_aspect.copurchase_pairs).c_str(),
+              FormatWithCommas((int64_t)fraud_aspect.copurchase_users).c_str(),
+              FormatWithCommas((int64_t)normal_aspect.copurchase_pairs)
+                  .c_str());
+
+  analysis::ClientDistribution fraud_clients =
+      analysis::ComputeClientDistribution(reported);
+  analysis::ClientDistribution normal_clients =
+      analysis::ComputeClientDistribution(rest);
+  std::printf("\norder aspect (client of record):\n");
+  const auto& names = analysis::ClientDistribution::Labels();
+  for (size_t c = 0; c < names.size(); ++c) {
+    std::printf("  %-8s reported %5.1f%%   remaining %5.1f%%\n",
+                names[c].c_str(), 100 * fraud_clients.Fraction(c),
+                100 * normal_clients.Fraction(c));
+  }
+
+  // Roll item-level reports up to the merchants running the campaigns.
+  auto shops = analysis::AnalyzeShops(store, *report);
+  auto merchants =
+      analysis::SuspectedMerchants(shops, analysis::ShopAspectOptions{});
+  size_t truly_malicious = 0;
+  for (const auto& m : merchants) {
+    if (target.shops()[m.shop_id].malicious) ++truly_malicious;
+  }
+  std::printf("\nshop aspect: %zu suspected malicious merchants "
+              "(%zu truly malicious per ground truth); top offenders:\n",
+              merchants.size(), truly_malicious);
+  for (size_t i = 0; i < merchants.size() && i < 5; ++i) {
+    std::printf("  shop %llu: %zu/%zu items flagged (max score %.2f)\n",
+                (unsigned long long)merchants[i].shop_id,
+                merchants[i].flagged, merchants[i].items,
+                merchants[i].max_score);
+  }
+
+  // How much of the true hired workforce did the ring analysis expose?
+  std::unordered_set<uint64_t> true_crew;
+  for (const auto& plan : target.campaigns()) {
+    true_crew.insert(plan.crew.begin(), plan.crew.end());
+  }
+  std::printf("\nground truth (simulator-only): the platform's real hired "
+              "workforce is %zu accounts;\nthe co-purchase ring among "
+              "reported items involved %llu distinct buyer identities.\n",
+              true_crew.size(),
+              (unsigned long long)fraud_aspect.copurchase_users);
+  return 0;
+}

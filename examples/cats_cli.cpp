@@ -1,0 +1,307 @@
+// cats_cli — command-line front end for the CATS pipeline, operating on
+// JSONL data directories so each stage can run (and be re-run) separately:
+//
+//   cats_cli gen    <dir> [--preset d0|d1|eplatform|5k] [--scale S] [--seed N]
+//       Generate a simulated platform, crawl it, store the public data as
+//       JSONL (shops/items/comments) plus ground-truth labels.
+//   cats_cli train  <data-dir> <model-dir>
+//       Build the semantic model from the data's comments, train the
+//       detector on the ground-truth labels, save the deployable model.
+//   cats_cli detect <data-dir> <model-dir> [--threshold T]
+//       Load a model, sweep the data, print the detection report (and
+//       precision/recall when labels.csv is present).
+//   cats_cli analyze <data-dir>
+//       Run the §V measurement study (user/order aspects) on the data.
+//
+// Example session:
+//   ./build/examples/cats_cli gen /tmp/taobao --preset d0 --scale 0.05
+//   ./build/examples/cats_cli train /tmp/taobao /tmp/model
+//   ./build/examples/cats_cli gen /tmp/target --preset eplatform --scale 0.001
+//   ./build/examples/cats_cli detect /tmp/target /tmp/model
+//   ./build/examples/cats_cli analyze /tmp/target
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <unordered_map>
+
+#include "analysis/order_aspect.h"
+#include "analysis/user_aspect.h"
+#include "analysis/validation.h"
+#include "collect/crawler.h"
+#include "core/cats.h"
+#include "platform/api.h"
+#include "platform/presets.h"
+#include "util/csv.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+using namespace cats;
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  cats_cli gen <dir> [--preset d0|d1|eplatform|5k] "
+               "[--scale S] [--seed N]\n"
+               "  cats_cli train <data-dir> <model-dir>\n"
+               "  cats_cli detect <data-dir> <model-dir> [--threshold T]\n"
+               "  cats_cli analyze <data-dir>\n");
+  return 2;
+}
+
+/// Looks up "--flag value" in argv; returns fallback when absent.
+std::string FlagValue(int argc, char** argv, const char* flag,
+                      const std::string& fallback) {
+  for (int i = 0; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
+  }
+  return fallback;
+}
+
+Status SaveLabels(const std::string& dir, const platform::Marketplace& market,
+                  const collect::DataStore& store) {
+  CsvWriter writer(dir + "/labels.csv");
+  writer.SetHeader({"item_id", "label"});
+  for (const collect::CollectedItem& ci : store.items()) {
+    writer.AddRow({std::to_string(ci.item.item_id),
+                   market.IsFraudItem(ci.item.item_id) ? "1" : "0"});
+  }
+  return writer.Flush();
+}
+
+Result<std::unordered_map<uint64_t, int>> LoadLabels(const std::string& dir) {
+  CATS_ASSIGN_OR_RETURN(auto rows, ReadCsv(dir + "/labels.csv"));
+  std::unordered_map<uint64_t, int> labels;
+  for (size_t r = 1; r < rows.size(); ++r) {
+    if (rows[r].size() != 2) continue;
+    labels[std::strtoull(rows[r][0].c_str(), nullptr, 10)] =
+        std::atoi(rows[r][1].c_str());
+  }
+  return labels;
+}
+
+int CmdGen(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  std::string dir = argv[2];
+  std::string preset = FlagValue(argc, argv, "--preset", "d0");
+  double scale = std::atof(FlagValue(argc, argv, "--scale", "0.05").c_str());
+  uint64_t seed =
+      std::strtoull(FlagValue(argc, argv, "--seed", "0").c_str(), nullptr, 10);
+
+  platform::MarketplaceConfig config;
+  if (preset == "d0") {
+    config = platform::TaobaoD0Config(scale);
+  } else if (preset == "d1") {
+    config = platform::TaobaoD1Config(scale);
+  } else if (preset == "eplatform") {
+    config = platform::EPlatformConfig(scale);
+  } else if (preset == "5k") {
+    config = platform::TaobaoFiveKConfig(scale);
+  } else {
+    std::fprintf(stderr, "unknown preset '%s'\n", preset.c_str());
+    return 2;
+  }
+  if (seed != 0) config.seed = seed;
+
+  std::filesystem::create_directories(dir);
+  platform::SyntheticLanguage language(platform::DefaultLanguageOptions());
+  platform::Marketplace market =
+      platform::Marketplace::Generate(config, &language);
+
+  platform::MarketplaceApi api(&market);
+  collect::FakeClock clock;
+  collect::Crawler crawler(&api, collect::CrawlerOptions{}, &clock);
+  collect::DataStore store;
+  Status st = crawler.Crawl(&store);
+  if (!st.ok()) {
+    std::fprintf(stderr, "crawl failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  st = store.SaveJsonl(dir);
+  if (st.ok()) st = SaveLabels(dir, market, store);
+  if (!st.ok()) {
+    std::fprintf(stderr, "save failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("generated %s (%s, scale %.4g): %zu shops, %zu items, %zu "
+              "comments -> %s/{shops,items,comments}.jsonl + labels.csv\n",
+              config.name.c_str(), preset.c_str(), scale,
+              store.shops().size(), store.items().size(),
+              store.num_comments(), dir.c_str());
+  return 0;
+}
+
+int CmdTrain(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  std::string data_dir = argv[2];
+  std::string model_dir = argv[3];
+
+  auto store = collect::DataStore::LoadJsonl(data_dir);
+  if (!store.ok()) {
+    std::fprintf(stderr, "load failed: %s\n",
+                 store.status().ToString().c_str());
+    return 1;
+  }
+  auto labels_map = LoadLabels(data_dir);
+  if (!labels_map.ok()) {
+    std::fprintf(stderr, "labels.csv required for training: %s\n",
+                 labels_map.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<int> labels;
+  std::vector<std::string> corpus;
+  for (const collect::CollectedItem& ci : store->items()) {
+    auto it = labels_map->find(ci.item.item_id);
+    labels.push_back(it != labels_map->end() ? it->second : 0);
+    for (const collect::CommentRecord& c : ci.comments) {
+      corpus.push_back(c.content);
+    }
+  }
+
+  // Segmentation dictionary + seeds come from the language; a deployment
+  // against a real platform would ship its own dictionary and seed words.
+  platform::SyntheticLanguage language(platform::DefaultLanguageOptions());
+  platform::Marketplace sentiment_source = platform::Marketplace::Generate(
+      platform::TaobaoD0Config(0.002), &language);
+
+  core::Cats cats_system;
+  Status st = cats_system.BuildSemanticModel(
+      corpus, language.BuildSegmentationDictionary(),
+      language.PositiveSeeds(4), language.NegativeSeeds(4),
+      sentiment_source.BuildSentimentCorpus(6000, 7));
+  if (st.ok()) st = cats_system.TrainDetector(store->items(), labels);
+  if (st.ok()) {
+    std::filesystem::create_directories(model_dir);
+    st = cats_system.SaveModel(model_dir);
+  }
+  if (!st.ok()) {
+    std::fprintf(stderr, "train failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("trained on %zu items (%zu comments); model saved to %s "
+              "(|P|=%zu |N|=%zu)\n",
+              store->items().size(), corpus.size(), model_dir.c_str(),
+              cats_system.semantic_model().positive.size(),
+              cats_system.semantic_model().negative.size());
+  return 0;
+}
+
+int CmdDetect(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  std::string data_dir = argv[2];
+  std::string model_dir = argv[3];
+  double threshold =
+      std::atof(FlagValue(argc, argv, "--threshold", "0.6").c_str());
+
+  auto store = collect::DataStore::LoadJsonl(data_dir);
+  if (!store.ok()) {
+    std::fprintf(stderr, "load failed: %s\n",
+                 store.status().ToString().c_str());
+    return 1;
+  }
+  core::CatsOptions options;
+  options.detector.decision_threshold = threshold;
+  core::Cats cats_system(options);
+  Status st = cats_system.LoadModel(model_dir);
+  if (!st.ok()) {
+    std::fprintf(stderr, "model load failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  auto report = cats_system.Detect(store->items());
+  if (!report.ok()) {
+    std::fprintf(stderr, "detect failed: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("scanned %zu items; filtered %zu; classified %zu; flagged "
+              "%zu (threshold %.2f)\n",
+              report->items_scanned,
+              report->items_scanned - report->items_classified,
+              report->items_classified, report->detections.size(), threshold);
+  for (size_t i = 0; i < report->detections.size() && i < 20; ++i) {
+    std::printf("  fraud item %llu  score %.3f\n",
+                (unsigned long long)report->detections[i].item_id,
+                report->detections[i].score);
+  }
+  if (report->detections.size() > 20) {
+    std::printf("  ... and %zu more\n", report->detections.size() - 20);
+  }
+
+  auto labels = LoadLabels(data_dir);
+  if (labels.ok()) {
+    std::vector<uint64_t> ids;
+    std::vector<int> truth;
+    for (const collect::CollectedItem& ci : store->items()) {
+      ids.push_back(ci.item.item_id);
+      auto it = labels->find(ci.item.item_id);
+      truth.push_back(it != labels->end() ? it->second : 0);
+    }
+    auto metrics = analysis::EvaluateReport(*report, ids, truth);
+    std::printf("against labels.csv: %s\n", metrics.ToString().c_str());
+  }
+  return 0;
+}
+
+int CmdAnalyze(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  std::string data_dir = argv[2];
+  auto store = collect::DataStore::LoadJsonl(data_dir);
+  if (!store.ok()) {
+    std::fprintf(stderr, "load failed: %s\n",
+                 store.status().ToString().c_str());
+    return 1;
+  }
+  auto labels = LoadLabels(data_dir);
+  std::vector<collect::CollectedItem> fraud, normal;
+  if (labels.ok()) {
+    for (const collect::CollectedItem& ci : store->items()) {
+      auto it = labels->find(ci.item.item_id);
+      ((it != labels->end() && it->second == 1) ? fraud : normal)
+          .push_back(ci);
+    }
+  } else {
+    normal = store->items();
+  }
+
+  double expectation = analysis::PopulationExpectation(store->items());
+  std::printf("platform: %zu items, %zu comments; mean buyer userExpValue "
+              "%.0f\n",
+              store->items().size(), store->num_comments(), expectation);
+  auto print_group = [&](const char* name,
+                         const std::vector<collect::CollectedItem>& items) {
+    if (items.empty()) return;
+    auto user = analysis::AnalyzeUserAspect(items, expectation);
+    auto client = analysis::ComputeClientDistribution(items);
+    std::printf("%s (%zu items):\n", name, items.size());
+    std::printf("  buyers: %zu unique; at-min %.2f; <1000 %.2f; <2000 %.2f\n",
+                user.buyer_exp_values.size(), user.frac_at_min,
+                user.frac_below_1000, user.frac_below_2000);
+    std::printf("  repeat buyers %.2f; co-purchase pairs %llu over %llu "
+                "users\n",
+                user.frac_buyers_with_repeat,
+                (unsigned long long)user.copurchase_pairs,
+                (unsigned long long)user.copurchase_users);
+    std::printf("  dominant client: %s\n",
+                analysis::ClientDistribution::Labels()[client.ArgMax()]
+                    .c_str());
+  };
+  print_group("fraud-labeled items", fraud);
+  print_group(labels.ok() ? "normal-labeled items" : "all items", normal);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SetLogLevel(LogLevel::kWarning);
+  if (argc < 2) return Usage();
+  std::string command = argv[1];
+  if (command == "gen") return CmdGen(argc, argv);
+  if (command == "train") return CmdTrain(argc, argv);
+  if (command == "detect") return CmdDetect(argc, argv);
+  if (command == "analyze") return CmdAnalyze(argc, argv);
+  return Usage();
+}

@@ -1,0 +1,137 @@
+// Quickstart: the whole CATS pipeline end to end on a small simulated
+// platform — generate a marketplace, crawl its public API, build the
+// semantic model, train the detector on labeled data, detect frauds on a
+// held-out platform slice, and validate against ground truth.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cstdio>
+#include <unordered_map>
+
+#include "analysis/validation.h"
+#include "collect/crawler.h"
+#include "core/cats.h"
+#include "platform/api.h"
+#include "platform/presets.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+using namespace cats;
+
+namespace {
+
+/// Crawls a marketplace's public API into a DataStore.
+collect::DataStore Crawl(const platform::Marketplace& market) {
+  platform::ApiOptions api_options;
+  api_options.page_size = 100;
+  platform::MarketplaceApi api(&market, api_options);
+  collect::FakeClock clock;
+  collect::CrawlerOptions crawl_options;
+  collect::Crawler crawler(&api, crawl_options, &clock);
+  collect::DataStore store;
+  Status st = crawler.Crawl(&store);
+  CATS_CHECK(st.ok());
+  std::printf("  crawled %s: %zu shops, %zu items, %zu comments "
+              "(%llu requests, %llu retries, %llu dup records dropped)\n",
+              market.name().c_str(), store.shops().size(),
+              store.items().size(), store.num_comments(),
+              (unsigned long long)crawler.stats().requests,
+              (unsigned long long)crawler.stats().retries,
+              (unsigned long long)store.duplicates_dropped());
+  return store;
+}
+
+/// Ground-truth labels aligned with a store's items.
+std::vector<int> TrueLabels(const platform::Marketplace& market,
+                            const collect::DataStore& store) {
+  std::vector<int> labels;
+  labels.reserve(store.items().size());
+  for (const collect::CollectedItem& ci : store.items()) {
+    labels.push_back(market.IsFraudItem(ci.item.item_id) ? 1 : 0);
+  }
+  return labels;
+}
+
+}  // namespace
+
+int main() {
+  SetLogLevel(LogLevel::kWarning);
+  Stopwatch watch;
+
+  // 1. A shared language and two platforms: a labeled training platform
+  //    (Taobao D0 analogue) and a target platform to sweep.
+  std::printf("[1/5] generating platforms...\n");
+  platform::SyntheticLanguage language(platform::DefaultLanguageOptions());
+  platform::Marketplace train_market = platform::Marketplace::Generate(
+      platform::TaobaoD0Config(/*scale=*/0.06), &language);
+  platform::Marketplace target_market = platform::Marketplace::Generate(
+      platform::EPlatformConfig(/*scale=*/0.001), &language);
+
+  // 2. Crawl both through the public JSON API.
+  std::printf("[2/5] crawling public APIs...\n");
+  collect::DataStore train_store = Crawl(train_market);
+  collect::DataStore target_store = Crawl(target_market);
+
+  // 3. Semantic model: word2vec lexicon expansion + sentiment, trained on
+  //    the training platform's comment corpus.
+  std::printf("[3/5] building semantic model (word2vec + lexicons + "
+              "sentiment)...\n");
+  std::vector<std::string> corpus;
+  for (const auto& item : train_store.items()) {
+    for (const auto& comment : item.comments) {
+      corpus.push_back(comment.content);
+    }
+  }
+  core::Cats cats;
+  Status st = cats.BuildSemanticModel(
+      corpus, language.BuildSegmentationDictionary(),
+      language.PositiveSeeds(4), language.NegativeSeeds(4),
+      train_market.BuildSentimentCorpus(4000, /*seed=*/7));
+  CATS_CHECK(st.ok());
+  std::printf("  lexicons: |P|=%zu |N|=%zu\n",
+              cats.semantic_model().positive.size(),
+              cats.semantic_model().negative.size());
+
+  // 4. Train the detector (Gbdt) on the labeled platform.
+  std::printf("[4/5] training detector on labeled data...\n");
+  st = cats.TrainDetector(train_store.items(),
+                          TrueLabels(train_market, train_store));
+  CATS_CHECK(st.ok());
+
+  // 5. Detect on the target platform and validate against hidden truth.
+  std::printf("[5/5] detecting on target platform...\n");
+  auto report = cats.Detect(target_store.items());
+  CATS_CHECK(report.ok());
+  std::printf("  scanned %zu items; filtered %zu (low sales) + %zu (no "
+              "positive signal) + %zu (no comments); classified %zu; "
+              "flagged %zu\n",
+              report->items_scanned, report->items_filtered_low_sales,
+              report->items_filtered_no_signal,
+              report->items_filtered_no_comments, report->items_classified,
+              report->detections.size());
+
+  std::unordered_map<uint64_t, int> truth;
+  for (const auto& ci : target_store.items()) {
+    truth[ci.item.item_id] =
+        target_market.IsFraudItem(ci.item.item_id) ? 1 : 0;
+  }
+  Rng rng(1);
+  auto sampled = analysis::ValidateBySampling(*report, truth,
+                                              /*sample_size=*/1000, &rng);
+  std::printf("  sampled validation: %zu/%zu confirmed -> precision %.3f "
+              "(paper: 0.96 on E-platform)\n",
+              sampled.confirmed, sampled.sample_size, sampled.precision);
+
+  std::vector<uint64_t> ids;
+  std::vector<int> labels;
+  for (const auto& ci : target_store.items()) {
+    ids.push_back(ci.item.item_id);
+    labels.push_back(truth[ci.item.item_id]);
+  }
+  auto metrics = analysis::EvaluateReport(*report, ids, labels);
+  std::printf("  full-truth metrics: %s\n", metrics.ToString().c_str());
+  std::printf("done in %.1fs\n", watch.ElapsedSeconds());
+  return 0;
+}

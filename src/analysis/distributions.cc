@@ -1,0 +1,99 @@
+#include "analysis/distributions.h"
+
+#include <algorithm>
+
+#include "text/text_stats.h"
+#include "util/stats.h"
+
+namespace cats::analysis {
+
+std::vector<double> CommentSentiments(
+    const core::SemanticModel& model,
+    const std::vector<collect::CollectedItem>& items) {
+  std::vector<double> out;
+  text::Segmenter segmenter(&model.dictionary);
+  for (const collect::CollectedItem& item : items) {
+    for (const collect::CommentRecord& comment : item.comments) {
+      out.push_back(model.sentiment.Score(segmenter.Segment(comment.content)));
+    }
+  }
+  return out;
+}
+
+StructuralSeries ComputeStructuralSeries(
+    const core::SemanticModel& model,
+    const std::vector<collect::CollectedItem>& items) {
+  StructuralSeries out;
+  text::Segmenter segmenter(&model.dictionary);
+  for (const collect::CollectedItem& item : items) {
+    for (const collect::CommentRecord& comment : item.comments) {
+      std::vector<std::string> tokens = segmenter.Segment(comment.content);
+      text::CommentStructure structure =
+          text::AnalyzeStructure(comment.content);
+      out.punctuation_counts.push_back(
+          static_cast<double>(structure.punctuation_count));
+      out.entropies.push_back(text::TokenEntropy(tokens));
+      out.lengths.push_back(static_cast<double>(structure.codepoint_length));
+      out.unique_word_ratios.push_back(text::UniqueTokenRatio(tokens));
+    }
+  }
+  return out;
+}
+
+std::vector<double> FeatureSeries(
+    const core::SemanticModel& model,
+    const std::vector<collect::CollectedItem>& items,
+    core::FeatureId feature) {
+  core::FeatureExtractor extractor(&model);
+  std::vector<core::FeatureVector> features = extractor.ExtractAll(items);
+  std::vector<double> out;
+  out.reserve(features.size());
+  for (const core::FeatureVector& f : features) {
+    out.push_back(static_cast<double>(f[static_cast<size_t>(feature)]));
+  }
+  return out;
+}
+
+std::string DistributionComparison::ToAscii(const std::string& label_a,
+                                            const std::string& label_b,
+                                            int width) const {
+  return Histogram::ToAsciiComparison(a, b, label_a, label_b, width);
+}
+
+DistributionComparison CompareDistributions(const std::vector<double>& a,
+                                            const std::vector<double>& b,
+                                            size_t bins) {
+  double lo = 0.0, hi = 1.0;
+  if (!a.empty() || !b.empty()) {
+    lo = 1e300;
+    hi = -1e300;
+    for (double v : a) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    for (double v : b) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    if (hi <= lo) hi = lo + 1.0;
+    double pad = (hi - lo) * 0.02;
+    lo -= pad;
+    hi += pad;
+  }
+  DistributionComparison out{Histogram(lo, hi, bins), Histogram(lo, hi, bins),
+                             KolmogorovSmirnovStatistic(a, b)};
+  out.a.AddAll(a);
+  out.b.AddAll(b);
+  return out;
+}
+
+LabeledSplit SplitByLabel(const std::vector<collect::CollectedItem>& items,
+                          const std::vector<int>& labels) {
+  LabeledSplit out;
+  for (size_t i = 0; i < items.size() && i < labels.size(); ++i) {
+    (labels[i] == 1 ? out.fraud : out.normal).push_back(items[i]);
+  }
+  return out;
+}
+
+}  // namespace cats::analysis

@@ -1,0 +1,65 @@
+#ifndef CATS_ANALYSIS_DISTRIBUTIONS_H_
+#define CATS_ANALYSIS_DISTRIBUTIONS_H_
+
+#include <string>
+#include <vector>
+
+#include "collect/store.h"
+#include "core/feature_extractor.h"
+#include "core/semantic_analyzer.h"
+#include "util/histogram.h"
+
+namespace cats::analysis {
+
+/// Per-comment sentiment scores of a set of items (Fig 1 / Fig 10 series).
+std::vector<double> CommentSentiments(
+    const core::SemanticModel& model,
+    const std::vector<collect::CollectedItem>& items);
+
+/// Per-comment structural series (Figs 2-5).
+struct StructuralSeries {
+  std::vector<double> punctuation_counts;  // Fig 2
+  std::vector<double> entropies;           // Fig 3
+  std::vector<double> lengths;             // Fig 4 (codepoints)
+  std::vector<double> unique_word_ratios;  // Fig 5
+};
+
+StructuralSeries ComputeStructuralSeries(
+    const core::SemanticModel& model,
+    const std::vector<collect::CollectedItem>& items);
+
+/// One feature's values across a set of items (Fig 13 panels), extracted
+/// with the given semantic model.
+std::vector<double> FeatureSeries(
+    const core::SemanticModel& model,
+    const std::vector<collect::CollectedItem>& items,
+    core::FeatureId feature);
+
+/// A fraud-vs-normal (or platform-vs-platform) distribution comparison:
+/// shared-binning histograms plus the KS distance.
+struct DistributionComparison {
+  Histogram a;
+  Histogram b;
+  double ks_statistic = 0.0;
+
+  std::string ToAscii(const std::string& label_a, const std::string& label_b,
+                      int width = 30) const;
+};
+
+/// Builds a comparison with automatic shared range (padded min/max).
+DistributionComparison CompareDistributions(const std::vector<double>& a,
+                                            const std::vector<double>& b,
+                                            size_t bins);
+
+/// Splits a store's items by ground-truth labels (1 = fraud).
+struct LabeledSplit {
+  std::vector<collect::CollectedItem> fraud;
+  std::vector<collect::CollectedItem> normal;
+};
+
+LabeledSplit SplitByLabel(const std::vector<collect::CollectedItem>& items,
+                          const std::vector<int>& labels);
+
+}  // namespace cats::analysis
+
+#endif  // CATS_ANALYSIS_DISTRIBUTIONS_H_

@@ -1,0 +1,51 @@
+#include "analysis/order_aspect.h"
+
+#include <cmath>
+
+namespace cats::analysis {
+
+const std::array<std::string, 5>& ClientDistribution::Labels() {
+  static const std::array<std::string, 5>* labels =
+      new std::array<std::string, 5>{"Web", "Android", "iPhone", "WeChat",
+                                     "Other"};
+  return *labels;
+}
+
+size_t ClientDistribution::ArgMax() const {
+  size_t best = 0;
+  for (size_t i = 1; i < counts.size(); ++i) {
+    if (counts[i] > counts[best]) best = i;
+  }
+  return best;
+}
+
+ClientDistribution ComputeClientDistribution(
+    const std::vector<collect::CollectedItem>& items) {
+  ClientDistribution out;
+  for (const collect::CollectedItem& item : items) {
+    for (const collect::CommentRecord& c : item.comments) {
+      size_t idx = 4;
+      const auto& labels = ClientDistribution::Labels();
+      for (size_t i = 0; i < 4; ++i) {
+        if (c.client == labels[i]) {
+          idx = i;
+          break;
+        }
+      }
+      ++out.counts[idx];
+      ++out.total;
+    }
+  }
+  return out;
+}
+
+double ClientDistributionDistance(const ClientDistribution& a,
+                                  const ClientDistribution& b) {
+  double d = 0.0;
+  for (size_t i = 0; i < a.counts.size(); ++i) {
+    d += std::fabs(a.Fraction(i) - b.Fraction(i));
+  }
+  return d / 2.0;
+}
+
+}  // namespace cats::analysis

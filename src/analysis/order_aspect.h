@@ -1,0 +1,43 @@
+#ifndef CATS_ANALYSIS_ORDER_ASPECT_H_
+#define CATS_ANALYSIS_ORDER_ASPECT_H_
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "collect/store.h"
+
+namespace cats::analysis {
+
+/// Order-source (client) distribution over a set of items' comments —
+/// the paper's order aspect (§V, Fig 12): comment client_information is a
+/// proxy for the order source since only buyers may comment.
+struct ClientDistribution {
+  // Order: Web, Android, iPhone, WeChat, other/unknown.
+  std::array<uint64_t, 5> counts{};
+  uint64_t total = 0;
+
+  double Fraction(size_t idx) const {
+    return total > 0 ? static_cast<double>(counts[idx]) /
+                           static_cast<double>(total)
+                     : 0.0;
+  }
+
+  /// Index of the dominant client.
+  size_t ArgMax() const;
+
+  static const std::array<std::string, 5>& Labels();
+};
+
+ClientDistribution ComputeClientDistribution(
+    const std::vector<collect::CollectedItem>& items);
+
+/// Total variation distance between two client distributions — quantifies
+/// the fraud-vs-normal order-source difference the paper calls
+/// "relatively large".
+double ClientDistributionDistance(const ClientDistribution& a,
+                                  const ClientDistribution& b);
+
+}  // namespace cats::analysis
+
+#endif  // CATS_ANALYSIS_ORDER_ASPECT_H_

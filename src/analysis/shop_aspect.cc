@@ -1,0 +1,73 @@
+#include "analysis/shop_aspect.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace cats::analysis {
+
+std::vector<ShopReport> AnalyzeShops(const collect::DataStore& store,
+                                     const core::DetectionReport& report) {
+  std::unordered_map<uint64_t, double> flagged_scores;
+  for (const core::Detection& d : report.detections) {
+    flagged_scores.emplace(d.item_id, d.score);
+  }
+
+  std::unordered_map<uint64_t, ShopReport> by_shop;
+  for (const collect::ShopRecord& shop : store.shops()) {
+    ShopReport r;
+    r.shop_id = shop.shop_id;
+    r.shop_name = shop.shop_name;
+    by_shop.emplace(shop.shop_id, std::move(r));
+  }
+  for (const collect::CollectedItem& ci : store.items()) {
+    auto it = by_shop.find(ci.item.shop_id);
+    if (it == by_shop.end()) {
+      // Item whose shop page was never collected: synthesize a row.
+      ShopReport r;
+      r.shop_id = ci.item.shop_id;
+      it = by_shop.emplace(ci.item.shop_id, std::move(r)).first;
+    }
+    ShopReport& shop = it->second;
+    ++shop.items;
+    auto flagged = flagged_scores.find(ci.item.item_id);
+    if (flagged != flagged_scores.end()) {
+      ++shop.flagged;
+      shop.max_score = std::max(shop.max_score, flagged->second);
+    }
+  }
+
+  std::vector<ShopReport> out;
+  out.reserve(by_shop.size());
+  for (auto& [id, shop] : by_shop) {
+    if (shop.items > 0) {
+      shop.flagged_fraction =
+          static_cast<double>(shop.flagged) / static_cast<double>(shop.items);
+    }
+    out.push_back(std::move(shop));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ShopReport& a, const ShopReport& b) {
+              if (a.flagged != b.flagged) return a.flagged > b.flagged;
+              if (a.flagged_fraction != b.flagged_fraction) {
+                return a.flagged_fraction > b.flagged_fraction;
+              }
+              return a.shop_id < b.shop_id;
+            });
+  return out;
+}
+
+std::vector<ShopReport> SuspectedMerchants(
+    const std::vector<ShopReport>& shops, const ShopAspectOptions& options) {
+  std::vector<ShopReport> out;
+  for (const ShopReport& shop : shops) {
+    if (shop.flagged == 0) continue;
+    if (shop.flagged >= options.min_flagged_items ||
+        shop.flagged_fraction >= options.min_flagged_fraction) {
+      out.push_back(shop);
+    }
+  }
+  return out;
+}
+
+}  // namespace cats::analysis

@@ -1,0 +1,48 @@
+#ifndef CATS_ANALYSIS_SHOP_ASPECT_H_
+#define CATS_ANALYSIS_SHOP_ASPECT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "collect/store.h"
+#include "core/detector.h"
+
+namespace cats::analysis {
+
+/// One shop's standing after a detection sweep. Item-level reports roll up
+/// to the merchants running the campaigns — the entity a platform would
+/// actually sanction (the paper's malicious merchants, §I/§VII's
+/// "underground economy" actors).
+struct ShopReport {
+  uint64_t shop_id = 0;
+  std::string shop_name;
+  size_t items = 0;           // items of this shop in the crawl
+  size_t flagged = 0;         // items CATS reported as fraud
+  double flagged_fraction = 0.0;
+  double max_score = 0.0;     // strongest item-level fraud score
+};
+
+struct ShopAspectOptions {
+  /// A shop is reported as a suspected malicious merchant when at least
+  /// this many of its items are flagged...
+  size_t min_flagged_items = 2;
+  /// ...or when this fraction of its (>=1 flagged) inventory is flagged.
+  double min_flagged_fraction = 0.5;
+};
+
+/// Rolls an item-level DetectionReport up to shops. `items` must be the
+/// same collection the report was produced from; shop identity comes from
+/// matching item ids against the crawled shop->item structure in `store`.
+/// Returns per-shop reports sorted by flagged count (desc), suspected
+/// merchants first.
+std::vector<ShopReport> AnalyzeShops(const collect::DataStore& store,
+                                     const core::DetectionReport& report);
+
+/// Applies the thresholds to pick the suspected malicious merchants.
+std::vector<ShopReport> SuspectedMerchants(
+    const std::vector<ShopReport>& shops, const ShopAspectOptions& options);
+
+}  // namespace cats::analysis
+
+#endif  // CATS_ANALYSIS_SHOP_ASPECT_H_

@@ -1,0 +1,153 @@
+#include "analysis/user_aspect.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "platform/entities.h"
+
+namespace cats::analysis {
+namespace {
+
+/// Interns (nickname, userExpValue) pairs to dense user indices — the
+/// paper's approximate unique-user identification (§V, user aspect).
+class UserInterner {
+ public:
+  uint32_t Intern(const std::string& nickname, int64_t exp_value) {
+    std::string key = nickname + "\x1f" + std::to_string(exp_value);
+    auto [it, inserted] =
+        index_.emplace(std::move(key), static_cast<uint32_t>(exp_.size()));
+    if (inserted) exp_.push_back(exp_value);
+    return it->second;
+  }
+
+  size_t size() const { return exp_.size(); }
+  int64_t exp_value(uint32_t user) const { return exp_[user]; }
+
+ private:
+  std::unordered_map<std::string, uint32_t> index_;
+  std::vector<int64_t> exp_;
+};
+
+}  // namespace
+
+double PopulationExpectation(
+    const std::vector<collect::CollectedItem>& items) {
+  UserInterner interner;
+  std::unordered_set<uint32_t> seen;
+  double sum = 0.0;
+  for (const collect::CollectedItem& item : items) {
+    for (const collect::CommentRecord& c : item.comments) {
+      uint32_t user = interner.Intern(c.nickname, c.user_exp_value);
+      if (seen.insert(user).second) {
+        sum += static_cast<double>(c.user_exp_value);
+      }
+    }
+  }
+  return seen.empty() ? 0.0 : sum / static_cast<double>(seen.size());
+}
+
+UserAspectReport AnalyzeUserAspect(
+    const std::vector<collect::CollectedItem>& items,
+    double population_expectation) {
+  UserAspectReport report;
+  UserInterner interner;
+
+  // Per-item unique buyers; per-(user,item) purchase counts.
+  std::unordered_map<uint64_t, uint32_t> purchase_count;  // (user,item) key
+  std::unordered_map<uint32_t, uint64_t> purchases_by_user;
+  std::vector<std::vector<uint32_t>> item_buyers;
+  item_buyers.reserve(items.size());
+
+  for (size_t i = 0; i < items.size(); ++i) {
+    const collect::CollectedItem& item = items[i];
+    std::unordered_set<uint32_t> buyers;
+    double exp_sum = 0.0;
+    for (const collect::CommentRecord& c : item.comments) {
+      uint32_t user = interner.Intern(c.nickname, c.user_exp_value);
+      uint64_t key = (static_cast<uint64_t>(user) << 32) |
+                     static_cast<uint64_t>(i & 0xFFFFFFFF);
+      ++purchase_count[key];
+      ++purchases_by_user[user];
+      if (buyers.insert(user).second) {
+        exp_sum += static_cast<double>(c.user_exp_value);
+      }
+    }
+    if (!buyers.empty()) {
+      report.avg_exp_per_item.push_back(exp_sum /
+                                        static_cast<double>(buyers.size()));
+    }
+    item_buyers.emplace_back(buyers.begin(), buyers.end());
+    std::sort(item_buyers.back().begin(), item_buyers.back().end());
+  }
+
+  // Unique-buyer exp-value distribution (Fig 11).
+  std::unordered_set<uint32_t> all_buyers;
+  for (const auto& buyers : item_buyers) {
+    for (uint32_t u : buyers) all_buyers.insert(u);
+  }
+  report.buyer_exp_values.reserve(all_buyers.size());
+  size_t at_min = 0, below_1000 = 0, below_2000 = 0;
+  for (uint32_t u : all_buyers) {
+    int64_t exp = interner.exp_value(u);
+    report.buyer_exp_values.push_back(static_cast<double>(exp));
+    if (exp <= platform::kMinUserExpValue) ++at_min;
+    if (exp < 1000) ++below_1000;
+    if (exp < 2000) ++below_2000;
+  }
+  double num_buyers = static_cast<double>(all_buyers.size());
+  if (num_buyers > 0) {
+    report.frac_at_min = at_min / num_buyers;
+    report.frac_below_1000 = below_1000 / num_buyers;
+    report.frac_below_2000 = below_2000 / num_buyers;
+  }
+
+  // avgUserExpValue vs the population expectation.
+  if (!report.avg_exp_per_item.empty()) {
+    size_t below = 0;
+    for (double v : report.avg_exp_per_item) {
+      if (v < population_expectation) ++below;
+    }
+    report.frac_items_below_expectation =
+        static_cast<double>(below) /
+        static_cast<double>(report.avg_exp_per_item.size());
+  }
+
+  // Repeat purchases.
+  std::unordered_set<uint32_t> repeat_buyers;
+  for (const auto& [key, count] : purchase_count) {
+    if (count >= 2) repeat_buyers.insert(static_cast<uint32_t>(key >> 32));
+  }
+  if (num_buyers > 0) {
+    report.frac_buyers_with_repeat =
+        static_cast<double>(repeat_buyers.size()) / num_buyers;
+  }
+  for (const auto& [user, count] : purchases_by_user) {
+    report.max_purchases_by_one_user =
+        std::max(report.max_purchases_by_one_user, count);
+  }
+
+  // Co-purchase pairs sharing >= 2 items.
+  std::unordered_map<uint64_t, uint32_t> pair_shared;
+  for (const auto& buyers : item_buyers) {
+    for (size_t a = 0; a < buyers.size(); ++a) {
+      for (size_t b = a + 1; b < buyers.size(); ++b) {
+        uint64_t key =
+            (static_cast<uint64_t>(buyers[a]) << 32) | buyers[b];
+        ++pair_shared[key];
+      }
+    }
+  }
+  std::unordered_set<uint32_t> pair_users;
+  for (const auto& [key, shared] : pair_shared) {
+    if (shared >= 2) {
+      ++report.copurchase_pairs;
+      pair_users.insert(static_cast<uint32_t>(key >> 32));
+      pair_users.insert(static_cast<uint32_t>(key & 0xFFFFFFFF));
+    }
+  }
+  report.copurchase_users = pair_users.size();
+  return report;
+}
+
+}  // namespace cats::analysis

@@ -1,0 +1,54 @@
+#ifndef CATS_ANALYSIS_USER_ASPECT_H_
+#define CATS_ANALYSIS_USER_ASPECT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "collect/store.h"
+
+namespace cats::analysis {
+
+/// User-aspect measurement results (paper §V, Fig 11 and the risky-user
+/// study). All statistics are computed purely from public comment records;
+/// users are identified by (nickname, userExpValue), exactly the paper's
+/// approximate identification.
+struct UserAspectReport {
+  /// One entry per unique buyer of the analyzed items.
+  std::vector<double> buyer_exp_values;
+
+  /// Fig 11 summary fractions over unique buyers.
+  double frac_at_min = 0.0;       // userExpValue == 100
+  double frac_below_1000 = 0.0;
+  double frac_below_2000 = 0.0;
+
+  /// avgUserExpValue per item; fraction of items whose average lies below
+  /// `population_expectation` (the paper finds 70% for fraud items).
+  std::vector<double> avg_exp_per_item;
+  double frac_items_below_expectation = 0.0;
+
+  /// Repeat purchasing among the analyzed buyers.
+  double frac_buyers_with_repeat = 0.0;  // bought some analyzed item twice+
+  uint64_t max_purchases_by_one_user = 0;
+
+  /// Co-purchase structure: pairs of buyers sharing >= 2 analyzed items,
+  /// and the distinct users appearing in such pairs (the paper: 83,745
+  /// pairs from a set of 1,056 users).
+  uint64_t copurchase_pairs = 0;
+  uint64_t copurchase_users = 0;
+};
+
+/// Computes the user-aspect report for a set of items (typically the
+/// reported fraud items, or the normal items for contrast).
+/// `population_expectation` is the mean userExpValue of the whole platform.
+UserAspectReport AnalyzeUserAspect(
+    const std::vector<collect::CollectedItem>& items,
+    double population_expectation);
+
+/// Mean userExpValue over every unique commenter in the store (the
+/// "expectation value of userExpValue" baseline).
+double PopulationExpectation(const std::vector<collect::CollectedItem>& items);
+
+}  // namespace cats::analysis
+
+#endif  // CATS_ANALYSIS_USER_ASPECT_H_

@@ -1,0 +1,50 @@
+#include "analysis/validation.h"
+
+#include <unordered_set>
+
+namespace cats::analysis {
+
+SampledValidation ValidateBySampling(
+    const core::DetectionReport& report,
+    const std::unordered_map<uint64_t, int>& truth, size_t sample_size,
+    Rng* rng) {
+  SampledValidation out;
+  size_t n = report.detections.size();
+  if (n == 0) return out;
+  sample_size = std::min(sample_size, n);
+
+  // Partial Fisher-Yates over detection indices.
+  std::vector<size_t> indices(n);
+  for (size_t i = 0; i < n; ++i) indices[i] = i;
+  for (size_t i = 0; i < sample_size; ++i) {
+    size_t j = i + rng->UniformU32(static_cast<uint32_t>(n - i));
+    std::swap(indices[i], indices[j]);
+  }
+
+  out.sample_size = sample_size;
+  for (size_t i = 0; i < sample_size; ++i) {
+    uint64_t item_id = report.detections[indices[i]].item_id;
+    auto it = truth.find(item_id);
+    if (it != truth.end() && it->second == 1) ++out.confirmed;
+  }
+  out.precision =
+      static_cast<double>(out.confirmed) / static_cast<double>(sample_size);
+  return out;
+}
+
+ml::ClassificationMetrics EvaluateReport(
+    const core::DetectionReport& report,
+    const std::vector<uint64_t>& item_ids, const std::vector<int>& labels) {
+  std::unordered_set<uint64_t> flagged;
+  flagged.reserve(report.detections.size());
+  for (const core::Detection& d : report.detections) {
+    flagged.insert(d.item_id);
+  }
+  std::vector<int> predicted(item_ids.size(), 0);
+  for (size_t i = 0; i < item_ids.size(); ++i) {
+    predicted[i] = flagged.count(item_ids[i]) > 0 ? 1 : 0;
+  }
+  return ml::ComputeMetrics(labels, predicted);
+}
+
+}  // namespace cats::analysis

@@ -1,0 +1,60 @@
+#include "analysis/word_cloud.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace cats::analysis {
+
+std::vector<WordFrequency> WordCloud::TopWords(
+    const std::vector<collect::CollectedItem>& items, size_t k) const {
+  std::unordered_map<std::string, uint64_t> counts;
+  uint64_t total = 0;
+  text::Segmenter segmenter(&model_->dictionary);
+  for (const collect::CollectedItem& item : items) {
+    for (const collect::CommentRecord& comment : item.comments) {
+      for (std::string& token : segmenter.Segment(comment.content)) {
+        ++counts[std::move(token)];
+        ++total;
+      }
+    }
+  }
+  std::vector<WordFrequency> all;
+  all.reserve(counts.size());
+  for (auto& [word, count] : counts) {
+    WordFrequency wf;
+    wf.word = word;
+    wf.count = count;
+    wf.fraction = total > 0 ? static_cast<double>(count) /
+                                  static_cast<double>(total)
+                            : 0.0;
+    wf.positive = model_->positive.Contains(word);
+    wf.negative = model_->negative.Contains(word);
+    all.push_back(std::move(wf));
+  }
+  size_t top = std::min(k, all.size());
+  std::partial_sort(all.begin(), all.begin() + top, all.end(),
+                    [](const WordFrequency& a, const WordFrequency& b) {
+                      if (a.count != b.count) return a.count > b.count;
+                      return a.word < b.word;  // deterministic ties
+                    });
+  all.resize(top);
+  return all;
+}
+
+double WordCloud::PositiveFractionOfTop(
+    const std::vector<WordFrequency>& top) {
+  if (top.empty()) return 0.0;
+  size_t positives = 0;
+  for (const WordFrequency& wf : top) {
+    if (wf.positive) ++positives;
+  }
+  return static_cast<double>(positives) / static_cast<double>(top.size());
+}
+
+double WordCloud::TotalMassOfTop(const std::vector<WordFrequency>& top) {
+  double mass = 0.0;
+  for (const WordFrequency& wf : top) mass += wf.fraction;
+  return mass;
+}
+
+}  // namespace cats::analysis

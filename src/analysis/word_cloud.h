@@ -1,0 +1,47 @@
+#ifndef CATS_ANALYSIS_WORD_CLOUD_H_
+#define CATS_ANALYSIS_WORD_CLOUD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "collect/store.h"
+#include "core/semantic_analyzer.h"
+
+namespace cats::analysis {
+
+/// One entry of a word-frequency table.
+struct WordFrequency {
+  std::string word;
+  uint64_t count = 0;
+  double fraction = 0.0;   // of all counted tokens
+  bool positive = false;   // member of the expanded positive lexicon
+  bool negative = false;
+};
+
+/// Top-k word-frequency analysis over a set of items' comments — the word
+/// clouds of Figs 8/9 and the top-50 tables (VIII/IX). Punctuation is
+/// excluded; membership flags come from the semantic model's lexicons.
+class WordCloud {
+ public:
+  explicit WordCloud(const core::SemanticModel* model) : model_(model) {}
+
+  /// Frequency table of the top `k` words across `items`' comments.
+  std::vector<WordFrequency> TopWords(
+      const std::vector<collect::CollectedItem>& items, size_t k) const;
+
+  /// Fraction of the top-k entries that are positive-lexicon words (the
+  /// paper: "the top 50 words ... are positive words, which occupy ~28% of
+  /// a total" — i.e. of all tokens).
+  static double PositiveFractionOfTop(const std::vector<WordFrequency>& top);
+
+  /// Combined frequency mass of the top entries (fraction of all tokens).
+  static double TotalMassOfTop(const std::vector<WordFrequency>& top);
+
+ private:
+  const core::SemanticModel* model_;  // not owned
+};
+
+}  // namespace cats::analysis
+
+#endif  // CATS_ANALYSIS_WORD_CLOUD_H_

@@ -1,0 +1,94 @@
+#include "collect/crawler.h"
+
+#include <functional>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace cats::collect {
+
+Result<std::string> Crawler::Fetch(const std::string& path) {
+  for (size_t attempt = 0;; ++attempt) {
+    limiter_.Acquire();
+    ++stats_.requests;
+    Result<std::string> response = api_->Get(path);
+    if (response.ok()) return response;
+    if (response.status().code() != StatusCode::kUnavailable ||
+        attempt >= options_.max_retries) {
+      return response.status();
+    }
+    ++stats_.retries;
+    clock_->AdvanceMicros(options_.retry_backoff_micros *
+                          static_cast<int64_t>(attempt + 1));
+  }
+}
+
+Status Crawler::FetchAllPages(
+    const std::string& base_path,
+    const std::function<Status(const JsonValue&)>& consume) {
+  size_t page = 0;
+  size_t total_pages = 1;
+  while (page < total_pages) {
+    CATS_ASSIGN_OR_RETURN(
+        std::string body,
+        Fetch(StrFormat("%s?page=%zu", base_path.c_str(), page)));
+    CATS_ASSIGN_OR_RETURN(Page parsed, ParsePage(body));
+    total_pages = parsed.total_pages;
+    for (const JsonValue& record : parsed.data) {
+      CATS_RETURN_NOT_OK(consume(record));
+    }
+    ++page;
+  }
+  return Status::OK();
+}
+
+Status Crawler::Crawl(DataStore* store) {
+  stats_ = CrawlStats{};
+
+  // Step 1: all shop homepages.
+  CATS_RETURN_NOT_OK(FetchAllPages("/shops", [&](const JsonValue& v) {
+    CATS_ASSIGN_OR_RETURN(ShopRecord shop, ParseShopRecord(v));
+    if (store->AddShop(std::move(shop))) ++stats_.shops;
+    return Status::OK();
+  }));
+
+  // Step 2 + 3: each shop's items, then each item's comments.
+  bool stop = false;
+  for (const ShopRecord& shop : store->shops()) {
+    if (stop) break;
+    std::vector<uint64_t> new_items;
+    CATS_RETURN_NOT_OK(FetchAllPages(
+        StrFormat("/shops/%llu/items",
+                  static_cast<unsigned long long>(shop.shop_id)),
+        [&](const JsonValue& v) {
+          CATS_ASSIGN_OR_RETURN(ItemRecord item, ParseItemRecord(v));
+          uint64_t id = item.item_id;
+          if (store->AddItem(std::move(item))) {
+            ++stats_.items;
+            new_items.push_back(id);
+          }
+          return Status::OK();
+        }));
+
+    for (uint64_t item_id : new_items) {
+      CATS_RETURN_NOT_OK(FetchAllPages(
+          StrFormat("/items/%llu/comments",
+                    static_cast<unsigned long long>(item_id)),
+          [&](const JsonValue& v) {
+            CATS_ASSIGN_OR_RETURN(CommentRecord comment,
+                                  ParseCommentRecord(v));
+            if (store->AddComment(std::move(comment))) ++stats_.comments;
+            return Status::OK();
+          }));
+      if (options_.max_items > 0 && stats_.items >= options_.max_items) {
+        stop = true;
+        break;
+      }
+    }
+  }
+  stats_.duplicates_dropped = store->duplicates_dropped();
+  stats_.throttled_micros = limiter_.throttled_micros();
+  return Status::OK();
+}
+
+}  // namespace cats::collect

@@ -1,0 +1,75 @@
+#ifndef CATS_COLLECT_CRAWLER_H_
+#define CATS_COLLECT_CRAWLER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "collect/rate_limiter.h"
+#include "collect/store.h"
+#include "platform/api.h"
+#include "util/status.h"
+
+namespace cats::collect {
+
+struct CrawlerOptions {
+  /// Requests per (virtual) second — the "minimize server impact" knob.
+  double requests_per_second = 200.0;
+  double burst = 20.0;
+  /// Transient-failure retries per request, with linear backoff.
+  size_t max_retries = 5;
+  int64_t retry_backoff_micros = 50000;
+  /// Stop early after this many items (0 = no cap); lets benches subsample
+  /// the way the paper subsampled E-platform.
+  size_t max_items = 0;
+};
+
+/// Crawl statistics for reporting (the paper quotes requests, duration and
+/// volumes for its one-week E-platform crawl).
+struct CrawlStats {
+  uint64_t requests = 0;
+  uint64_t retries = 0;
+  uint64_t shops = 0;
+  uint64_t items = 0;
+  uint64_t comments = 0;
+  uint64_t duplicates_dropped = 0;
+  int64_t throttled_micros = 0;
+};
+
+/// The data collector (paper §IV-A): walks the platform's public endpoints
+/// — all shop homepages, each shop's items, each item's comments — through
+/// a rate limiter, retrying transient failures, deduplicating records into
+/// a DataStore. Substitutes for the Scrapy deployment on three servers.
+class Crawler {
+ public:
+  Crawler(platform::MarketplaceApi* api, const CrawlerOptions& options,
+          VirtualClock* clock)
+      : api_(api),
+        options_(options),
+        limiter_(options.requests_per_second, options.burst, clock),
+        clock_(clock) {}
+
+  /// Runs the full crawl into `store`.
+  Status Crawl(DataStore* store);
+
+  const CrawlStats& stats() const { return stats_; }
+
+ private:
+  /// One GET with rate limiting and retry-on-Unavailable.
+  Result<std::string> Fetch(const std::string& path);
+
+  /// Fetches every page of `base_path` and feeds records to `consume`.
+  Status FetchAllPages(
+      const std::string& base_path,
+      const std::function<Status(const JsonValue&)>& consume);
+
+  platform::MarketplaceApi* api_;  // not owned
+  CrawlerOptions options_;
+  RateLimiter limiter_;
+  VirtualClock* clock_;            // not owned
+  CrawlStats stats_;
+};
+
+}  // namespace cats::collect
+
+#endif  // CATS_COLLECT_CRAWLER_H_

@@ -1,0 +1,52 @@
+#include "collect/rate_limiter.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+namespace cats::collect {
+
+int64_t SystemClock::NowMicros() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void SystemClock::AdvanceMicros(int64_t micros) {
+  std::this_thread::sleep_for(std::chrono::microseconds(micros));
+}
+
+RateLimiter::RateLimiter(double permits_per_second, double burst,
+                         VirtualClock* clock)
+    : rate_(permits_per_second / 1e6),
+      burst_(burst),
+      tokens_(burst),
+      last_refill_(clock->NowMicros()),
+      clock_(clock) {
+  assert(permits_per_second > 0.0);
+  assert(burst >= 1.0);
+}
+
+void RateLimiter::Refill() {
+  int64_t now = clock_->NowMicros();
+  double elapsed = static_cast<double>(now - last_refill_);
+  tokens_ = std::min(burst_, tokens_ + elapsed * rate_);
+  last_refill_ = now;
+}
+
+void RateLimiter::Acquire() {
+  Refill();
+  if (tokens_ < 1.0) {
+    int64_t wait =
+        static_cast<int64_t>(std::ceil((1.0 - tokens_) / rate_));
+    clock_->AdvanceMicros(wait);
+    throttled_micros_ += wait;
+    Refill();
+  }
+  tokens_ -= 1.0;
+  ++acquired_;
+}
+
+}  // namespace cats::collect

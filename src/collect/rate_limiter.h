@@ -1,0 +1,65 @@
+#ifndef CATS_COLLECT_RATE_LIMITER_H_
+#define CATS_COLLECT_RATE_LIMITER_H_
+
+#include <cstdint>
+
+namespace cats::collect {
+
+/// Injectable time source so tests and benches run the crawler at full
+/// speed against a virtual clock while a real deployment would block.
+class VirtualClock {
+ public:
+  virtual ~VirtualClock() = default;
+  /// Current time in microseconds.
+  virtual int64_t NowMicros() const = 0;
+  /// Advances (fake) or sleeps (real) for `micros`.
+  virtual void AdvanceMicros(int64_t micros) = 0;
+};
+
+/// Deterministic fake clock; AdvanceMicros is instantaneous.
+class FakeClock : public VirtualClock {
+ public:
+  int64_t NowMicros() const override { return now_; }
+  void AdvanceMicros(int64_t micros) override { now_ += micros; }
+
+ private:
+  int64_t now_ = 0;
+};
+
+/// Wall clock; AdvanceMicros really sleeps.
+class SystemClock : public VirtualClock {
+ public:
+  int64_t NowMicros() const override;
+  void AdvanceMicros(int64_t micros) override;
+};
+
+/// Token-bucket rate limiter. The paper's collector "was designed to
+/// minimize server impact" (§VII); this is that mechanism. Acquire()
+/// blocks (via the clock) until a token is available.
+class RateLimiter {
+ public:
+  /// `permits_per_second` > 0; `burst` tokens may accumulate.
+  RateLimiter(double permits_per_second, double burst, VirtualClock* clock);
+
+  /// Takes one token, advancing the clock if the bucket is empty.
+  void Acquire();
+
+  /// Total time spent throttled, in microseconds.
+  int64_t throttled_micros() const { return throttled_micros_; }
+  uint64_t acquired() const { return acquired_; }
+
+ private:
+  void Refill();
+
+  double rate_;            // tokens per microsecond
+  double burst_;
+  double tokens_;
+  int64_t last_refill_;
+  VirtualClock* clock_;    // not owned
+  int64_t throttled_micros_ = 0;
+  uint64_t acquired_ = 0;
+};
+
+}  // namespace cats::collect
+
+#endif  // CATS_COLLECT_RATE_LIMITER_H_

@@ -1,0 +1,103 @@
+#include "collect/record.h"
+
+#include <cstdlib>
+
+namespace cats::collect {
+namespace {
+
+/// IDs arrive as JSON strings (Listing 2); parse to uint64.
+Result<uint64_t> GetStringId(const JsonValue& v, const char* key) {
+  CATS_ASSIGN_OR_RETURN(std::string s, v.GetString(key));
+  if (s.empty()) return Status::ParseError(std::string(key) + " is empty");
+  char* end = nullptr;
+  uint64_t id = std::strtoull(s.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') {
+    return Status::ParseError(std::string(key) + " is not numeric: " + s);
+  }
+  return id;
+}
+
+}  // namespace
+
+Result<ShopRecord> ParseShopRecord(const JsonValue& v) {
+  ShopRecord r;
+  CATS_ASSIGN_OR_RETURN(r.shop_id, GetStringId(v, "shop_id"));
+  CATS_ASSIGN_OR_RETURN(r.shop_url, v.GetString("shop_url"));
+  CATS_ASSIGN_OR_RETURN(r.shop_name, v.GetString("shop_name"));
+  return r;
+}
+
+Result<ItemRecord> ParseItemRecord(const JsonValue& v) {
+  ItemRecord r;
+  CATS_ASSIGN_OR_RETURN(r.item_id, GetStringId(v, "item_id"));
+  CATS_ASSIGN_OR_RETURN(r.shop_id, GetStringId(v, "shop_id"));
+  CATS_ASSIGN_OR_RETURN(r.item_name, v.GetString("item_name"));
+  CATS_ASSIGN_OR_RETURN(r.price, v.GetDouble("price"));
+  CATS_ASSIGN_OR_RETURN(r.sales_volume, v.GetInt("sales_volume"));
+  CATS_ASSIGN_OR_RETURN(r.category, v.GetString("category"));
+  return r;
+}
+
+Result<CommentRecord> ParseCommentRecord(const JsonValue& v) {
+  CommentRecord r;
+  CATS_ASSIGN_OR_RETURN(r.item_id, GetStringId(v, "item_id"));
+  CATS_ASSIGN_OR_RETURN(r.comment_id, GetStringId(v, "comment_id"));
+  CATS_ASSIGN_OR_RETURN(r.content, v.GetString("comment_content"));
+  CATS_ASSIGN_OR_RETURN(r.nickname, v.GetString("nickname"));
+  // userExpValue is serialized as a string (Listing 2).
+  CATS_ASSIGN_OR_RETURN(std::string exp, v.GetString("userExpValue"));
+  r.user_exp_value = std::strtoll(exp.c_str(), nullptr, 10);
+  CATS_ASSIGN_OR_RETURN(r.client, v.GetString("client_information"));
+  CATS_ASSIGN_OR_RETURN(r.date, v.GetString("date"));
+  return r;
+}
+
+JsonValue ShopRecordToJson(const ShopRecord& r) {
+  JsonValue v = JsonValue::Object();
+  v.Set("shop_id", JsonValue::String(std::to_string(r.shop_id)));
+  v.Set("shop_url", JsonValue::String(r.shop_url));
+  v.Set("shop_name", JsonValue::String(r.shop_name));
+  return v;
+}
+
+JsonValue ItemRecordToJson(const ItemRecord& r) {
+  JsonValue v = JsonValue::Object();
+  v.Set("item_id", JsonValue::String(std::to_string(r.item_id)));
+  v.Set("shop_id", JsonValue::String(std::to_string(r.shop_id)));
+  v.Set("item_name", JsonValue::String(r.item_name));
+  v.Set("price", JsonValue::Number(r.price));
+  v.Set("sales_volume", JsonValue::Int(r.sales_volume));
+  v.Set("category", JsonValue::String(r.category));
+  return v;
+}
+
+JsonValue CommentRecordToJson(const CommentRecord& r) {
+  JsonValue v = JsonValue::Object();
+  v.Set("item_id", JsonValue::String(std::to_string(r.item_id)));
+  v.Set("comment_id", JsonValue::String(std::to_string(r.comment_id)));
+  v.Set("comment_content", JsonValue::String(r.content));
+  v.Set("nickname", JsonValue::String(r.nickname));
+  v.Set("userExpValue", JsonValue::String(std::to_string(r.user_exp_value)));
+  v.Set("client_information", JsonValue::String(r.client));
+  v.Set("date", JsonValue::String(r.date));
+  return v;
+}
+
+Result<Page> ParsePage(const std::string& body) {
+  CATS_ASSIGN_OR_RETURN(JsonValue doc, JsonValue::Parse(body));
+  if (!doc.is_object()) return Status::ParseError("page body is not an object");
+  Page page;
+  CATS_ASSIGN_OR_RETURN(int64_t p, doc.GetInt("page"));
+  CATS_ASSIGN_OR_RETURN(int64_t tp, doc.GetInt("total_pages"));
+  page.page = static_cast<size_t>(p);
+  page.total_pages = static_cast<size_t>(tp);
+  const JsonValue* data = doc.Get("data");
+  if (data == nullptr || !data->is_array()) {
+    return Status::ParseError("page body has no data array");
+  }
+  page.data.reserve(data->size());
+  for (size_t i = 0; i < data->size(); ++i) page.data.push_back(data->at(i));
+  return page;
+}
+
+}  // namespace cats::collect

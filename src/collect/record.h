@@ -1,0 +1,63 @@
+#ifndef CATS_COLLECT_RECORD_H_
+#define CATS_COLLECT_RECORD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+#include "util/result.h"
+
+namespace cats::collect {
+
+/// Public shop record as scraped from the platform (paper §IV-A step 1).
+struct ShopRecord {
+  uint64_t shop_id = 0;
+  std::string shop_url;
+  std::string shop_name;
+};
+
+/// Public item record (§IV-A step 2). `shop_id` records which shop page
+/// the item was scraped from.
+struct ItemRecord {
+  uint64_t item_id = 0;
+  uint64_t shop_id = 0;
+  std::string item_name;
+  double price = 0.0;
+  int64_t sales_volume = 0;
+  std::string category;
+};
+
+/// Public comment record (§IV-A step 3, Listing 2).
+struct CommentRecord {
+  uint64_t item_id = 0;
+  uint64_t comment_id = 0;
+  std::string content;
+  std::string nickname;
+  int64_t user_exp_value = 0;
+  std::string client;     // "Web", "Android", "iPhone", "WeChat"
+  std::string date;
+};
+
+/// Parsers from one JSON object (an element of a page's "data" array).
+Result<ShopRecord> ParseShopRecord(const JsonValue& v);
+Result<ItemRecord> ParseItemRecord(const JsonValue& v);
+Result<CommentRecord> ParseCommentRecord(const JsonValue& v);
+
+/// Serializers (JSONL store format).
+JsonValue ShopRecordToJson(const ShopRecord& r);
+JsonValue ItemRecordToJson(const ItemRecord& r);
+JsonValue CommentRecordToJson(const CommentRecord& r);
+
+/// A paginated API response: {"page":K,"total_pages":N,"data":[...]}.
+struct Page {
+  size_t page = 0;
+  size_t total_pages = 0;
+  std::vector<JsonValue> data;
+};
+
+Result<Page> ParsePage(const std::string& body);
+
+}  // namespace cats::collect
+
+#endif  // CATS_COLLECT_RECORD_H_

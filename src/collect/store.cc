@@ -1,0 +1,117 @@
+#include "collect/store.h"
+
+#include <fstream>
+
+namespace cats::collect {
+
+bool DataStore::AddShop(ShopRecord record) {
+  if (!shop_ids_.insert(record.shop_id).second) {
+    ++duplicates_dropped_;
+    return false;
+  }
+  shops_.push_back(std::move(record));
+  return true;
+}
+
+bool DataStore::AddItem(ItemRecord record) {
+  auto [it, inserted] = item_index_.emplace(record.item_id, items_.size());
+  if (!inserted) {
+    ++duplicates_dropped_;
+    return false;
+  }
+  CollectedItem ci;
+  ci.item = std::move(record);
+  items_.push_back(std::move(ci));
+  return true;
+}
+
+bool DataStore::AddComment(CommentRecord record) {
+  if (!comment_ids_.insert(record.comment_id).second) {
+    ++duplicates_dropped_;
+    return false;
+  }
+  auto it = item_index_.find(record.item_id);
+  if (it == item_index_.end()) {
+    // Comment for an item we never collected; keep the store consistent by
+    // dropping it (counted as a duplicate-style drop).
+    ++duplicates_dropped_;
+    comment_ids_.erase(record.comment_id);
+    return false;
+  }
+  items_[it->second].comments.push_back(std::move(record));
+  ++num_comments_;
+  return true;
+}
+
+const CollectedItem* DataStore::FindItem(uint64_t item_id) const {
+  auto it = item_index_.find(item_id);
+  return it == item_index_.end() ? nullptr : &items_[it->second];
+}
+
+Status DataStore::SaveJsonl(const std::string& dir) const {
+  {
+    std::ofstream out(dir + "/shops.jsonl", std::ios::trunc);
+    if (!out.is_open()) return Status::IoError("cannot open shops.jsonl");
+    for (const ShopRecord& s : shops_) {
+      out << ShopRecordToJson(s).Serialize() << "\n";
+    }
+    if (!out.good()) return Status::IoError("write failed: shops.jsonl");
+  }
+  {
+    std::ofstream out(dir + "/items.jsonl", std::ios::trunc);
+    if (!out.is_open()) return Status::IoError("cannot open items.jsonl");
+    for (const CollectedItem& ci : items_) {
+      out << ItemRecordToJson(ci.item).Serialize() << "\n";
+    }
+    if (!out.good()) return Status::IoError("write failed: items.jsonl");
+  }
+  {
+    std::ofstream out(dir + "/comments.jsonl", std::ios::trunc);
+    if (!out.is_open()) return Status::IoError("cannot open comments.jsonl");
+    for (const CollectedItem& ci : items_) {
+      for (const CommentRecord& c : ci.comments) {
+        out << CommentRecordToJson(c).Serialize() << "\n";
+      }
+    }
+    if (!out.good()) return Status::IoError("write failed: comments.jsonl");
+  }
+  return Status::OK();
+}
+
+Result<DataStore> DataStore::LoadJsonl(const std::string& dir) {
+  DataStore store;
+  auto load_lines = [](const std::string& path,
+                       auto&& per_line) -> Status {
+    std::ifstream in(path);
+    if (!in.is_open()) return Status::IoError("cannot open: " + path);
+    std::string line;
+    size_t lineno = 0;
+    while (std::getline(in, line)) {
+      ++lineno;
+      if (line.empty()) continue;
+      CATS_ASSIGN_OR_RETURN(JsonValue v, JsonValue::Parse(line));
+      CATS_RETURN_NOT_OK(per_line(v));
+    }
+    return Status::OK();
+  };
+
+  CATS_RETURN_NOT_OK(load_lines(dir + "/shops.jsonl", [&](const JsonValue& v) {
+    CATS_ASSIGN_OR_RETURN(ShopRecord r, ParseShopRecord(v));
+    store.AddShop(std::move(r));
+    return Status::OK();
+  }));
+  CATS_RETURN_NOT_OK(load_lines(dir + "/items.jsonl", [&](const JsonValue& v) {
+    CATS_ASSIGN_OR_RETURN(ItemRecord r, ParseItemRecord(v));
+    store.AddItem(std::move(r));
+    return Status::OK();
+  }));
+  CATS_RETURN_NOT_OK(
+      load_lines(dir + "/comments.jsonl", [&](const JsonValue& v) {
+        CATS_ASSIGN_OR_RETURN(CommentRecord r, ParseCommentRecord(v));
+        store.AddComment(std::move(r));
+        return Status::OK();
+      }));
+  return store;
+}
+
+}  // namespace cats::collect

@@ -1,0 +1,63 @@
+#ifndef CATS_COLLECT_STORE_H_
+#define CATS_COLLECT_STORE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "collect/record.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace cats::collect {
+
+/// An item with all its collected comments — the unit the feature extractor
+/// consumes.
+struct CollectedItem {
+  ItemRecord item;
+  std::vector<CommentRecord> comments;
+};
+
+/// In-memory store for crawled public data, with duplicate filtering (the
+/// paper's collector "can filter the noisy data, e.g. duplicated data
+/// records") and JSONL persistence.
+class DataStore {
+ public:
+  DataStore() = default;
+
+  /// Each Add returns true if the record was new (false = duplicate drop).
+  bool AddShop(ShopRecord record);
+  bool AddItem(ItemRecord record);
+  bool AddComment(CommentRecord record);
+
+  const std::vector<ShopRecord>& shops() const { return shops_; }
+  const std::vector<CollectedItem>& items() const { return items_; }
+
+  /// Mutable access for pipeline post-processing.
+  std::vector<CollectedItem>& mutable_items() { return items_; }
+
+  const CollectedItem* FindItem(uint64_t item_id) const;
+
+  size_t num_comments() const { return num_comments_; }
+  uint64_t duplicates_dropped() const { return duplicates_dropped_; }
+
+  /// Persists to three JSONL files in `dir`: shops.jsonl, items.jsonl,
+  /// comments.jsonl. The directory must exist.
+  Status SaveJsonl(const std::string& dir) const;
+  static Result<DataStore> LoadJsonl(const std::string& dir);
+
+ private:
+  std::vector<ShopRecord> shops_;
+  std::vector<CollectedItem> items_;
+  std::unordered_map<uint64_t, size_t> item_index_;
+  std::unordered_set<uint64_t> shop_ids_;
+  std::unordered_set<uint64_t> comment_ids_;
+  size_t num_comments_ = 0;
+  uint64_t duplicates_dropped_ = 0;
+};
+
+}  // namespace cats::collect
+
+#endif  // CATS_COLLECT_STORE_H_

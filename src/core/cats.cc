@@ -1,0 +1,62 @@
+#include "core/cats.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "util/csv.h"
+#include "util/string_util.h"
+
+namespace cats::core {
+
+Status Cats::BuildSemanticModel(
+    const std::vector<std::string>& corpus,
+    text::SegmentationDictionary dictionary,
+    const std::vector<std::string>& positive_seeds,
+    const std::vector<std::string>& negative_seeds,
+    const std::vector<std::pair<std::string, bool>>& sentiment_corpus) {
+  analyzer_ = SemanticAnalyzer(options_.semantic);
+  CATS_ASSIGN_OR_RETURN(
+      SemanticModel model,
+      analyzer_.Build(corpus, std::move(dictionary), positive_seeds,
+                      negative_seeds, sentiment_corpus));
+  SetSemanticModel(std::move(model));
+  return Status::OK();
+}
+
+void Cats::SetSemanticModel(SemanticModel model) {
+  semantic_model_ = std::make_unique<SemanticModel>(std::move(model));
+  detector_ = std::make_unique<Detector>(semantic_model_.get(),
+                                         options_.detector);
+}
+
+Status Cats::TrainDetector(const std::vector<collect::CollectedItem>& items,
+                           const std::vector<int>& labels) {
+  if (!has_semantic_model()) {
+    return Status::FailedPrecondition("build the semantic model first");
+  }
+  return detector_->Train(items, labels);
+}
+
+Result<DetectionReport> Cats::Detect(
+    const std::vector<collect::CollectedItem>& items) const {
+  if (!has_semantic_model()) {
+    return Status::FailedPrecondition("build the semantic model first");
+  }
+  return detector_->Detect(items);
+}
+
+Status Cats::SaveModel(const std::string& dir) const {
+  if (!has_semantic_model()) {
+    return Status::FailedPrecondition("nothing to save");
+  }
+  CATS_RETURN_NOT_OK(detector_->SaveGbdt(dir + "/gbdt.model"));
+  return SaveSemanticModel(*semantic_model_, dir);
+}
+
+Status Cats::LoadModel(const std::string& dir) {
+  CATS_ASSIGN_OR_RETURN(SemanticModel model, LoadSemanticModel(dir));
+  SetSemanticModel(std::move(model));
+  return detector_->LoadPretrainedGbdt(dir + "/gbdt.model");
+}
+
+}  // namespace cats::core

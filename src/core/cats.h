@@ -1,0 +1,81 @@
+#ifndef CATS_CORE_CATS_H_
+#define CATS_CORE_CATS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "collect/crawler.h"
+#include "collect/store.h"
+#include "core/detector.h"
+#include "core/semantic_analyzer.h"
+#include "util/result.h"
+
+namespace cats::core {
+
+struct CatsOptions {
+  SemanticAnalyzerOptions semantic;
+  DetectorOptions detector;
+};
+
+/// The CATS system facade (paper Fig 6): data collector -> semantic
+/// analyzer -> feature extractor -> detector. Typical use:
+///
+///   cats::core::Cats cats(options);
+///   cats.BuildSemanticModel(corpus, dictionary, pos_seeds, neg_seeds,
+///                           sentiment_corpus);            // once, Taobao
+///   cats.TrainDetector(d0_items, d0_labels);              // once, D0
+///   auto report = cats.Detect(eplatform_store.items());   // any platform
+///
+/// The semantic model and the trained detector are platform-independent;
+/// only the crawled DataStore changes per platform.
+class Cats {
+ public:
+  explicit Cats(CatsOptions options) : options_(options) {}
+  Cats() : Cats(CatsOptions{}) {}
+
+  /// Non-copyable (owns the semantic model the detector points into).
+  Cats(const Cats&) = delete;
+  Cats& operator=(const Cats&) = delete;
+
+  /// Trains word2vec + lexicons + sentiment from a comment corpus.
+  Status BuildSemanticModel(
+      const std::vector<std::string>& corpus,
+      text::SegmentationDictionary dictionary,
+      const std::vector<std::string>& positive_seeds,
+      const std::vector<std::string>& negative_seeds,
+      const std::vector<std::pair<std::string, bool>>& sentiment_corpus);
+
+  /// Installs an externally built semantic model (e.g. loaded from disk).
+  void SetSemanticModel(SemanticModel model);
+
+  /// Trains the detector's classifier on labeled items.
+  Status TrainDetector(const std::vector<collect::CollectedItem>& items,
+                       const std::vector<int>& labels);
+
+  /// Runs detection on unlabeled collected items.
+  Result<DetectionReport> Detect(
+      const std::vector<collect::CollectedItem>& items) const;
+
+  /// Persists / restores the deployable state (semantic model + Gbdt) under
+  /// `dir`: gbdt.model, sentiment.model, positive_lexicon.txt,
+  /// negative_lexicon.txt, dictionary.txt. `dir` must exist.
+  Status SaveModel(const std::string& dir) const;
+  Status LoadModel(const std::string& dir);
+
+  bool has_semantic_model() const { return semantic_model_ != nullptr; }
+  const SemanticModel& semantic_model() const { return *semantic_model_; }
+  const Detector& detector() const { return *detector_; }
+  Detector* mutable_detector() { return detector_.get(); }
+  const SemanticAnalyzer& analyzer() const { return analyzer_; }
+
+ private:
+  CatsOptions options_;
+  SemanticAnalyzer analyzer_{};
+  std::unique_ptr<SemanticModel> semantic_model_;
+  std::unique_ptr<Detector> detector_;
+};
+
+}  // namespace cats::core
+
+#endif  // CATS_CORE_CATS_H_

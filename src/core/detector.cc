@@ -1,0 +1,163 @@
+#include "core/detector.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace cats::core {
+
+bool DetectionReport::Contains(uint64_t item_id) const {
+  for (const Detection& d : detections) {
+    if (d.item_id == item_id) return true;
+  }
+  return false;
+}
+
+Detector::Detector(const SemanticModel* model, DetectorOptions options)
+    : options_(options),
+      extractor_(model),
+      filter_(options.rules),
+      classifier_(std::make_unique<ml::Gbdt>(options.gbdt)) {}
+
+void Detector::SetClassifier(std::unique_ptr<ml::Classifier> classifier) {
+  classifier_ = std::move(classifier);
+  trained_ = false;
+}
+
+Status Detector::Train(const std::vector<collect::CollectedItem>& items,
+                       const std::vector<int>& labels) {
+  CATS_ASSIGN_OR_RETURN(ml::Dataset dataset,
+                        extractor_.BuildDataset(items, labels));
+  CATS_RETURN_NOT_OK(classifier_->Fit(dataset));
+  trained_ = true;
+  return Status::OK();
+}
+
+Result<double> Detector::CalibrateThreshold(
+    const std::vector<collect::CollectedItem>& validation_items,
+    const std::vector<int>& validation_labels, double target_precision) {
+  if (!trained_) {
+    return Status::FailedPrecondition("train the classifier first");
+  }
+  if (validation_items.size() != validation_labels.size() ||
+      validation_items.empty()) {
+    return Status::InvalidArgument("bad validation set");
+  }
+  std::vector<FeatureVector> features = extractor_.ExtractAll(validation_items);
+
+  // Collect (score, label) for items the rule filter would keep — the
+  // classifier only ever sees those.
+  std::vector<std::pair<double, int>> scored;
+  scored.reserve(validation_items.size());
+  for (size_t i = 0; i < validation_items.size(); ++i) {
+    if (filter_.Evaluate(validation_items[i], features[i]) !=
+        FilterReason::kKept) {
+      continue;
+    }
+    scored.emplace_back(classifier_->PredictProba(features[i].data()),
+                        validation_labels[i]);
+  }
+  if (scored.empty()) {
+    return Status::FailedPrecondition("rule filter removed every item");
+  }
+  std::sort(scored.begin(), scored.end());
+
+  // Sweep thresholds at every distinct score (predict fraud for >= t).
+  size_t total_pos = 0;
+  for (const auto& [score, label] : scored) total_pos += label;
+  double best_reaching = -1.0, best_f1_threshold = 0.5, best_f1 = -1.0;
+  size_t tp = total_pos, fp = scored.size() - total_pos;
+  size_t i = 0;
+  while (i < scored.size()) {
+    double t = scored[i].first;  // classify >= t as fraud
+    double precision = (tp + fp) > 0
+                           ? static_cast<double>(tp) / (tp + fp)
+                           : 0.0;
+    double recall =
+        total_pos > 0 ? static_cast<double>(tp) / total_pos : 0.0;
+    double f1 = (precision + recall) > 0
+                    ? 2 * precision * recall / (precision + recall)
+                    : 0.0;
+    if (precision >= target_precision && best_reaching < 0) {
+      best_reaching = t;
+    }
+    if (f1 > best_f1) {
+      best_f1 = f1;
+      best_f1_threshold = t;
+    }
+    // Advance past all items with this score; they flip to "normal".
+    while (i < scored.size() && scored[i].first == t) {
+      if (scored[i].second == 1) {
+        --tp;
+      } else {
+        --fp;
+      }
+      ++i;
+    }
+  }
+  double chosen = best_reaching >= 0 ? best_reaching : best_f1_threshold;
+  options_.decision_threshold = chosen;
+  return chosen;
+}
+
+Status Detector::LoadPretrainedGbdt(const std::string& path) {
+  CATS_ASSIGN_OR_RETURN(ml::Gbdt model, ml::Gbdt::Load(path));
+  classifier_ = std::make_unique<ml::Gbdt>(std::move(model));
+  trained_ = true;
+  return Status::OK();
+}
+
+Status Detector::SaveGbdt(const std::string& path) const {
+  const auto* gbdt = dynamic_cast<const ml::Gbdt*>(classifier_.get());
+  if (gbdt == nullptr) {
+    return Status::FailedPrecondition(
+        "current classifier is not a Gbdt; cannot save");
+  }
+  return gbdt->Save(path);
+}
+
+Result<DetectionReport> Detector::Detect(
+    const std::vector<collect::CollectedItem>& items) const {
+  if (!trained_) {
+    return Status::FailedPrecondition("detector classifier is not trained");
+  }
+  DetectionReport report;
+  report.items_scanned = items.size();
+
+  std::vector<FeatureVector> features = extractor_.ExtractAll(items);
+  for (size_t i = 0; i < items.size(); ++i) {
+    switch (filter_.Evaluate(items[i], features[i])) {
+      case FilterReason::kLowSales:
+        ++report.items_filtered_low_sales;
+        continue;
+      case FilterReason::kNoPositiveSignal:
+        ++report.items_filtered_no_signal;
+        continue;
+      case FilterReason::kNoComments:
+        ++report.items_filtered_no_comments;
+        continue;
+      case FilterReason::kKept:
+        break;
+    }
+    ++report.items_classified;
+    double score = classifier_->PredictProba(features[i].data());
+    if (score >= options_.decision_threshold) {
+      report.detections.push_back(Detection{items[i].item.item_id, score});
+    }
+  }
+  return report;
+}
+
+Result<std::vector<double>> Detector::ScoreFeatures(
+    const std::vector<FeatureVector>& features) const {
+  if (!trained_) {
+    return Status::FailedPrecondition("detector classifier is not trained");
+  }
+  std::vector<double> scores;
+  scores.reserve(features.size());
+  for (const FeatureVector& f : features) {
+    scores.push_back(classifier_->PredictProba(f.data()));
+  }
+  return scores;
+}
+
+}  // namespace cats::core

@@ -1,0 +1,100 @@
+#ifndef CATS_CORE_DETECTOR_H_
+#define CATS_CORE_DETECTOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "collect/store.h"
+#include "core/feature_extractor.h"
+#include "core/rule_filter.h"
+#include "ml/classifier.h"
+#include "ml/gbdt.h"
+#include "util/result.h"
+
+namespace cats::core {
+
+/// One flagged item in a detection report.
+struct Detection {
+  uint64_t item_id = 0;
+  double score = 0.0;  // classifier P(fraud)
+};
+
+/// Full output of a detector run.
+struct DetectionReport {
+  std::vector<Detection> detections;           // flagged as fraud
+  size_t items_scanned = 0;
+  size_t items_filtered_low_sales = 0;
+  size_t items_filtered_no_signal = 0;
+  size_t items_filtered_no_comments = 0;
+  size_t items_classified = 0;
+
+  bool Contains(uint64_t item_id) const;
+};
+
+struct DetectorOptions {
+  RuleFilterOptions rules;
+  double decision_threshold = 0.60;
+  ml::GbdtOptions gbdt;  // used when no custom classifier is injected
+};
+
+/// Stage 1 + stage 2 of CATS (paper §II-B): rule filter, then a binary
+/// classifier over the 11 features. Defaults to the Gbdt (the paper's
+/// Xgboost choice); any ml::Classifier can be injected — "in practice, it
+/// is not necessary to choose the Xgboost model".
+class Detector {
+ public:
+  Detector(const SemanticModel* model, DetectorOptions options);
+  explicit Detector(const SemanticModel* model)
+      : Detector(model, DetectorOptions{}) {}
+
+  /// Replaces the default Gbdt with a custom classifier (untrained).
+  void SetClassifier(std::unique_ptr<ml::Classifier> classifier);
+
+  /// Trains the classifier on labeled items (e.g. the D0 set).
+  Status Train(const std::vector<collect::CollectedItem>& items,
+               const std::vector<int>& labels);
+
+  /// Picks the detection threshold on a labeled validation set: the lowest
+  /// score threshold whose validation precision reaches `target_precision`
+  /// (maximizing recall at that precision — the deployed operating point a
+  /// production anti-fraud team chooses). Falls back to the threshold with
+  /// the best F1 when the target is unreachable. Returns the chosen
+  /// threshold and installs it for subsequent Detect calls.
+  Result<double> CalibrateThreshold(
+      const std::vector<collect::CollectedItem>& validation_items,
+      const std::vector<int>& validation_labels, double target_precision);
+
+  double decision_threshold() const { return options_.decision_threshold; }
+
+  /// Loads a pre-trained Gbdt from disk instead of training.
+  Status LoadPretrainedGbdt(const std::string& path);
+
+  /// Persists the current Gbdt (fails for injected non-Gbdt classifiers).
+  Status SaveGbdt(const std::string& path) const;
+
+  /// Runs both stages on unlabeled items.
+  Result<DetectionReport> Detect(
+      const std::vector<collect::CollectedItem>& items) const;
+
+  /// Classifier scores for pre-extracted features (no rule filter) —
+  /// used by evaluation code that wants raw per-item probabilities.
+  Result<std::vector<double>> ScoreFeatures(
+      const std::vector<FeatureVector>& features) const;
+
+  const ml::Classifier& classifier() const { return *classifier_; }
+  const FeatureExtractor& extractor() const { return extractor_; }
+  bool trained() const { return trained_; }
+
+ private:
+  DetectorOptions options_;
+  FeatureExtractor extractor_;
+  RuleFilter filter_;
+  std::unique_ptr<ml::Classifier> classifier_;
+  bool trained_ = false;
+};
+
+}  // namespace cats::core
+
+#endif  // CATS_CORE_DETECTOR_H_

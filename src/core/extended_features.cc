@@ -1,0 +1,153 @@
+#include "core/extended_features.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <unordered_map>
+
+#include "platform/entities.h"
+#include "util/thread_pool.h"
+
+namespace cats::core {
+namespace {
+
+/// Days in month for the simple proleptic calendar used here.
+int DaysInMonth(int year, int month) {
+  static constexpr int kDays[] = {31, 28, 31, 30, 31, 30,
+                                  31, 31, 30, 31, 30, 31};
+  if (month == 2) {
+    bool leap = (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+    return leap ? 29 : 28;
+  }
+  return kDays[month - 1];
+}
+
+}  // namespace
+
+int32_t ParseDateToDayOrdinal(const std::string& date) {
+  // "YYYY-MM-DD hh:mm:ss"
+  if (date.size() < 10 || date[4] != '-' || date[7] != '-') return -1;
+  int year = std::atoi(date.substr(0, 4).c_str());
+  int month = std::atoi(date.substr(5, 2).c_str());
+  int day = std::atoi(date.substr(8, 2).c_str());
+  if (year < 2000 || month < 1 || month > 12 || day < 1 ||
+      day > DaysInMonth(year, month)) {
+    return -1;
+  }
+  int32_t ordinal = 0;
+  for (int y = 2000; y < year; ++y) {
+    bool leap = (y % 4 == 0 && y % 100 != 0) || y % 400 == 0;
+    ordinal += leap ? 366 : 365;
+  }
+  for (int m = 1; m < month; ++m) ordinal += DaysInMonth(year, m);
+  return ordinal + day - 1;
+}
+
+std::array<float, kNumExtendedOnly>
+ExtendedFeatureExtractor::ExtractMetadataFeatures(
+    const collect::CollectedItem& item) {
+  std::array<float, kNumExtendedOnly> out{};
+  const auto& comments = item.comments;
+  if (comments.empty()) return out;
+
+  // Unique buyers by (nickname, userExpValue) — the paper's approximate
+  // identification.
+  std::unordered_map<std::string, size_t> buyer_orders;
+  double exp_sum = 0.0;
+  size_t min_exp_buyers = 0;
+  size_t web_orders = 0;
+  std::vector<int32_t> days;
+  days.reserve(comments.size());
+  for (const collect::CommentRecord& c : comments) {
+    std::string key = c.nickname + "\x1f" + std::to_string(c.user_exp_value);
+    if (++buyer_orders[key] == 1) {
+      exp_sum += static_cast<double>(c.user_exp_value);
+      if (c.user_exp_value <= platform::kMinUserExpValue) ++min_exp_buyers;
+    }
+    if (c.client == "Web") ++web_orders;
+    int32_t day = ParseDateToDayOrdinal(c.date);
+    if (day >= 0) days.push_back(day);
+  }
+  double unique = static_cast<double>(buyer_orders.size());
+  double total = static_cast<double>(comments.size());
+
+  out[static_cast<size_t>(ExtendedFeatureId::kLogAvgBuyerExpValue)] =
+      static_cast<float>(std::log10(std::max(1.0, exp_sum / unique)));
+  out[static_cast<size_t>(ExtendedFeatureId::kMinExpBuyerFraction)] =
+      static_cast<float>(min_exp_buyers / unique);
+  out[static_cast<size_t>(ExtendedFeatureId::kWebClientRatio)] =
+      static_cast<float>(web_orders / total);
+
+  // Densest 7-day window via two pointers over sorted day ordinals.
+  double burst = 0.0;
+  if (!days.empty()) {
+    std::sort(days.begin(), days.end());
+    size_t lo = 0, best = 1;
+    for (size_t hi = 0; hi < days.size(); ++hi) {
+      while (days[hi] - days[lo] >= 7) ++lo;
+      best = std::max(best, hi - lo + 1);
+    }
+    burst = static_cast<double>(best) / static_cast<double>(days.size());
+  }
+  out[static_cast<size_t>(ExtendedFeatureId::kBurstConcentration)] =
+      static_cast<float>(burst);
+
+  size_t repeat_orders = 0;
+  for (const auto& [key, orders] : buyer_orders) {
+    if (orders >= 2) repeat_orders += orders;
+  }
+  out[static_cast<size_t>(ExtendedFeatureId::kRepeatBuyerRatio)] =
+      static_cast<float>(repeat_orders / total);
+  return out;
+}
+
+ExtendedFeatureVector ExtendedFeatureExtractor::Extract(
+    const collect::CollectedItem& item) const {
+  ExtendedFeatureVector out{};
+  FeatureVector base = base_.Extract(item);
+  std::copy(base.begin(), base.end(), out.begin());
+  auto extra = ExtractMetadataFeatures(item);
+  std::copy(extra.begin(), extra.end(), out.begin() + kNumFeatures);
+  return out;
+}
+
+std::vector<ExtendedFeatureVector> ExtendedFeatureExtractor::ExtractAll(
+    const std::vector<collect::CollectedItem>& items,
+    size_t num_threads) const {
+  std::vector<ExtendedFeatureVector> out(items.size());
+  if (items.empty()) return out;
+  if (num_threads <= 1) {
+    for (size_t i = 0; i < items.size(); ++i) out[i] = Extract(items[i]);
+    return out;
+  }
+  ThreadPool pool(num_threads);
+  pool.ParallelFor(items.size(),
+                   [&](size_t i) { out[i] = Extract(items[i]); });
+  return out;
+}
+
+Result<ml::Dataset> ExtendedFeatureExtractor::BuildDataset(
+    const std::vector<collect::CollectedItem>& items,
+    const std::vector<int>& labels) const {
+  if (items.size() != labels.size()) {
+    return Status::InvalidArgument("items/labels size mismatch");
+  }
+  std::vector<ExtendedFeatureVector> features = ExtractAll(items);
+  ml::Dataset dataset(FeatureNames());
+  std::vector<float> row(kNumExtendedFeatures);
+  for (size_t i = 0; i < items.size(); ++i) {
+    row.assign(features[i].begin(), features[i].end());
+    CATS_RETURN_NOT_OK(dataset.AddRow(row, labels[i]));
+  }
+  return dataset;
+}
+
+std::vector<std::string> ExtendedFeatureExtractor::FeatureNames() {
+  std::vector<std::string> names = FeatureExtractor::FeatureNames();
+  for (std::string_view name : kExtendedFeatureNames) {
+    names.emplace_back(name);
+  }
+  return names;
+}
+
+}  // namespace cats::core

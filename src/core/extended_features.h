@@ -1,0 +1,87 @@
+#ifndef CATS_CORE_EXTENDED_FEATURES_H_
+#define CATS_CORE_EXTENDED_FEATURES_H_
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "collect/store.h"
+#include "core/feature_extractor.h"
+#include "ml/dataset.h"
+#include "util/result.h"
+
+namespace cats::core {
+
+/// The paper's future-work direction (§VII: "identify more features that
+/// can discriminate whether an item is fraudulent") realized from the same
+/// public comment records: the §V measurement study shows buyer
+/// reliability, order client and campaign burstiness all separate fraud
+/// from normal items, so this module turns them into five extra features
+/// on top of the 11 of Table II.
+enum class ExtendedFeatureId : int {
+  // log10 of the average userExpValue of the item's unique buyers (Fig 11).
+  kLogAvgBuyerExpValue = 0,
+  // Fraction of the item's unique buyers at the minimum userExpValue.
+  kMinExpBuyerFraction,
+  // Fraction of the item's orders placed through the Web client (Fig 12).
+  kWebClientRatio,
+  // Fraction of comments inside the densest 7-day window — promotion
+  // campaigns are bursts (§II/§V).
+  kBurstConcentration,
+  // Fraction of comments from identities that commented 2+ times on this
+  // item (repeat purchasing, §V).
+  kRepeatBuyerRatio,
+};
+
+inline constexpr size_t kNumExtendedOnly = 5;
+inline constexpr size_t kNumExtendedFeatures =
+    kNumFeatures + kNumExtendedOnly;
+
+inline constexpr std::array<std::string_view, kNumExtendedOnly>
+    kExtendedFeatureNames = {
+        "logAvgBuyerExpValue", "minExpBuyerFraction", "webClientRatio",
+        "burstConcentration",  "repeatBuyerRatio",
+};
+
+/// The 16-dimensional extended vector: Table II's 11 features followed by
+/// the five user/order/temporal features.
+using ExtendedFeatureVector = std::array<float, kNumExtendedFeatures>;
+
+/// Computes the extended vector. Wraps a FeatureExtractor for the first 11
+/// dimensions; the rest come from the comment metadata (nickname,
+/// userExpValue, client_information, date — all in the public record of
+/// Listing 2). Thread-compatible like FeatureExtractor.
+class ExtendedFeatureExtractor {
+ public:
+  explicit ExtendedFeatureExtractor(const SemanticModel* model)
+      : base_(model) {}
+
+  ExtendedFeatureVector Extract(const collect::CollectedItem& item) const;
+
+  /// The five metadata features alone (unit-testable without a semantic
+  /// model).
+  static std::array<float, kNumExtendedOnly> ExtractMetadataFeatures(
+      const collect::CollectedItem& item);
+
+  std::vector<ExtendedFeatureVector> ExtractAll(
+      const std::vector<collect::CollectedItem>& items,
+      size_t num_threads = 4) const;
+
+  /// Labeled 16-feature dataset.
+  Result<ml::Dataset> BuildDataset(
+      const std::vector<collect::CollectedItem>& items,
+      const std::vector<int>& labels) const;
+
+  static std::vector<std::string> FeatureNames();
+
+ private:
+  FeatureExtractor base_;
+};
+
+/// Parses "YYYY-MM-DD hh:mm:ss" to a day ordinal (days since 2000-01-01;
+/// -1 on malformed input). Exposed for tests.
+int32_t ParseDateToDayOrdinal(const std::string& date);
+
+}  // namespace cats::core
+
+#endif  // CATS_CORE_EXTENDED_FEATURES_H_

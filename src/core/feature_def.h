@@ -1,0 +1,48 @@
+#ifndef CATS_CORE_FEATURE_DEF_H_
+#define CATS_CORE_FEATURE_DEF_H_
+
+#include <array>
+#include <cstddef>
+#include <string_view>
+
+namespace cats::core {
+
+/// The 11 platform-independent features of Table II, in the paper's order.
+enum class FeatureId : int {
+  kAveragePositiveNumber = 0,
+  kAveragePositiveNegativeNumber,  // averagePositive/NegativeNumber
+  kUniqueWordRatio,
+  kAverageSentiment,
+  kAverageCommentEntropy,
+  kAverageCommentLength,
+  kSumCommentLength,
+  kSumPunctuationNumber,
+  kAveragePunctuationRatio,
+  kAverageNgramNumber,
+  kAverageNgramRatio,
+};
+
+inline constexpr size_t kNumFeatures = 11;
+
+/// Feature names exactly as printed in the paper.
+inline constexpr std::array<std::string_view, kNumFeatures> kFeatureNames = {
+    "averagePositiveNumber",
+    "averagePositive/NegativeNumber",
+    "uniqueWordRatio",
+    "averageSentiment",
+    "averageCommentEntropy",
+    "averageCommentLength",
+    "sumCommentLength",
+    "sumPunctuationNumber",
+    "averagePunctuationRatio",
+    "averageNgramNumber",
+    "averageNgramRatio",
+};
+
+inline constexpr std::string_view FeatureName(FeatureId id) {
+  return kFeatureNames[static_cast<size_t>(id)];
+}
+
+}  // namespace cats::core
+
+#endif  // CATS_CORE_FEATURE_DEF_H_

@@ -1,0 +1,139 @@
+#include "core/feature_extractor.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "text/text_stats.h"
+#include "util/thread_pool.h"
+
+namespace cats::core {
+
+FeatureVector FeatureExtractor::ExtractFromComments(
+    const std::vector<std::string>& raw_comments) const {
+  FeatureVector out{};
+  size_t num_comments = raw_comments.size();
+  if (num_comments == 0) return out;
+
+  text::Segmenter segmenter(&model_->dictionary);
+
+  double sum_positive = 0.0;         // sum_j |C_j ∩ P|
+  double sum_abs_pos_minus_neg = 0.0;
+  double sum_sentiment = 0.0;
+  double sum_entropy = 0.0;
+  double sum_length_words = 0.0;
+  double sum_punct = 0.0;
+  double sum_punct_ratio = 0.0;
+  double sum_ngram = 0.0;
+  double sum_ngram_ratio = 0.0;
+  size_t total_tokens = 0;
+  std::unordered_set<std::string> unique_tokens;
+
+  for (const std::string& raw : raw_comments) {
+    std::vector<std::string> tokens = segmenter.Segment(raw);
+
+    // Word-level: positive / negative occurrence counts.
+    double pos = static_cast<double>(model_->positive.CountIn(tokens));
+    double neg = static_cast<double>(model_->negative.CountIn(tokens));
+    sum_positive += pos;
+    sum_abs_pos_minus_neg += std::fabs(pos - neg);
+
+    // Word-level: positive 2-grams. G contains every bigram with at least
+    // one positive word (paper §II-A2).
+    size_t ngrams = 0;
+    for (size_t t = 0; t + 1 < tokens.size(); ++t) {
+      if (model_->positive.Contains(tokens[t]) ||
+          model_->positive.Contains(tokens[t + 1])) {
+        ++ngrams;
+      }
+    }
+    sum_ngram += static_cast<double>(ngrams);
+    if (tokens.size() >= 2) {
+      // Paper formula: delta-count / (|C_i| * (|C_j| - 1)).
+      sum_ngram_ratio += static_cast<double>(ngrams) /
+                         (static_cast<double>(num_comments) *
+                          static_cast<double>(tokens.size() - 1));
+    }
+
+    // Semantic.
+    sum_sentiment += model_->sentiment.Score(tokens);
+
+    // Structural.
+    sum_entropy += text::TokenEntropy(tokens);
+    sum_length_words += static_cast<double>(tokens.size());
+    text::CommentStructure structure = text::AnalyzeStructure(raw);
+    sum_punct += static_cast<double>(structure.punctuation_count);
+    sum_punct_ratio += structure.punctuation_ratio;
+
+    total_tokens += tokens.size();
+    for (std::string& t : tokens) unique_tokens.insert(std::move(t));
+  }
+
+  double n = static_cast<double>(num_comments);
+  auto set = [&out](FeatureId id, double v) {
+    out[static_cast<size_t>(id)] = static_cast<float>(v);
+  };
+  set(FeatureId::kAveragePositiveNumber, sum_positive / n);
+  set(FeatureId::kAveragePositiveNegativeNumber, sum_abs_pos_minus_neg / n);
+  set(FeatureId::kUniqueWordRatio,
+      total_tokens > 0 ? static_cast<double>(unique_tokens.size()) /
+                             static_cast<double>(total_tokens)
+                       : 0.0);
+  set(FeatureId::kAverageSentiment, sum_sentiment / n);
+  set(FeatureId::kAverageCommentEntropy, sum_entropy / n);
+  set(FeatureId::kAverageCommentLength, sum_length_words / n);
+  set(FeatureId::kSumCommentLength, sum_length_words);
+  set(FeatureId::kSumPunctuationNumber, sum_punct);
+  set(FeatureId::kAveragePunctuationRatio, sum_punct_ratio / n);
+  set(FeatureId::kAverageNgramNumber, sum_ngram / n);
+  set(FeatureId::kAverageNgramRatio, sum_ngram_ratio);
+  return out;
+}
+
+FeatureVector FeatureExtractor::Extract(
+    const collect::CollectedItem& item) const {
+  std::vector<std::string> raw;
+  raw.reserve(item.comments.size());
+  for (const collect::CommentRecord& c : item.comments) {
+    raw.push_back(c.content);
+  }
+  return ExtractFromComments(raw);
+}
+
+std::vector<FeatureVector> FeatureExtractor::ExtractAll(
+    const std::vector<collect::CollectedItem>& items) const {
+  std::vector<FeatureVector> out(items.size());
+  if (items.empty()) return out;
+  if (options_.num_threads <= 1) {
+    for (size_t i = 0; i < items.size(); ++i) out[i] = Extract(items[i]);
+    return out;
+  }
+  ThreadPool pool(options_.num_threads);
+  pool.ParallelFor(items.size(),
+                   [&](size_t i) { out[i] = Extract(items[i]); });
+  return out;
+}
+
+Result<ml::Dataset> FeatureExtractor::BuildDataset(
+    const std::vector<collect::CollectedItem>& items,
+    const std::vector<int>& labels) const {
+  if (items.size() != labels.size()) {
+    return Status::InvalidArgument("items/labels size mismatch");
+  }
+  std::vector<FeatureVector> features = ExtractAll(items);
+  ml::Dataset dataset(FeatureNames());
+  std::vector<float> row(kNumFeatures);
+  for (size_t i = 0; i < items.size(); ++i) {
+    row.assign(features[i].begin(), features[i].end());
+    CATS_RETURN_NOT_OK(dataset.AddRow(row, labels[i]));
+  }
+  return dataset;
+}
+
+std::vector<std::string> FeatureExtractor::FeatureNames() {
+  std::vector<std::string> names;
+  names.reserve(kNumFeatures);
+  for (std::string_view name : kFeatureNames) names.emplace_back(name);
+  return names;
+}
+
+}  // namespace cats::core

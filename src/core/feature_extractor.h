@@ -1,0 +1,69 @@
+#ifndef CATS_CORE_FEATURE_EXTRACTOR_H_
+#define CATS_CORE_FEATURE_EXTRACTOR_H_
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "collect/store.h"
+#include "core/feature_def.h"
+#include "core/semantic_analyzer.h"
+#include "ml/dataset.h"
+#include "util/result.h"
+
+namespace cats::core {
+
+/// The 11-dimensional feature vector of one item.
+using FeatureVector = std::array<float, kNumFeatures>;
+
+struct FeatureExtractorOptions {
+  size_t num_threads = 4;  // the paper's extractor is parallelized
+};
+
+/// Computes Table II's features from an item's raw comments (paper §II-A):
+/// word-level (positive counts, positive 2-grams), semantic (average
+/// sentiment) and structural (entropy, lengths, punctuation, unique-word
+/// ratio). Thread-safe once constructed; Extract* may be called
+/// concurrently.
+class FeatureExtractor {
+ public:
+  FeatureExtractor(const SemanticModel* model,
+                   FeatureExtractorOptions options)
+      : model_(model), options_(options) {}
+
+  explicit FeatureExtractor(const SemanticModel* model)
+      : FeatureExtractor(model, FeatureExtractorOptions{}) {}
+
+  /// Features of one item given its raw comment texts. Items with no
+  /// comments yield all-zero features (the rule filter removes them before
+  /// classification anyway).
+  FeatureVector ExtractFromComments(
+      const std::vector<std::string>& raw_comments) const;
+
+  /// Features of one collected item.
+  FeatureVector Extract(const collect::CollectedItem& item) const;
+
+  /// Parallel extraction over a whole store, producing feature rows aligned
+  /// with store.items().
+  std::vector<FeatureVector> ExtractAll(
+      const std::vector<collect::CollectedItem>& items) const;
+
+  /// Builds a labeled ml::Dataset from items + ground-truth labels
+  /// (labels[i] corresponds to items[i]).
+  Result<ml::Dataset> BuildDataset(
+      const std::vector<collect::CollectedItem>& items,
+      const std::vector<int>& labels) const;
+
+  /// Feature names as std::strings (for ml::Dataset construction).
+  static std::vector<std::string> FeatureNames();
+
+  const SemanticModel& model() const { return *model_; }
+
+ private:
+  const SemanticModel* model_;  // not owned
+  FeatureExtractorOptions options_;
+};
+
+}  // namespace cats::core
+
+#endif  // CATS_CORE_FEATURE_EXTRACTOR_H_

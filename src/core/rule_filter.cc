@@ -1,0 +1,36 @@
+#include "core/rule_filter.h"
+
+namespace cats::core {
+
+FilterReason RuleFilter::Evaluate(const collect::CollectedItem& item,
+                                  const FeatureVector& features) const {
+  if (item.comments.empty()) return FilterReason::kNoComments;
+  if (item.item.sales_volume < options_.min_sales_volume) {
+    return FilterReason::kLowSales;
+  }
+  if (options_.require_positive_signal) {
+    float positives =
+        features[static_cast<size_t>(FeatureId::kAveragePositiveNumber)];
+    float ngrams =
+        features[static_cast<size_t>(FeatureId::kAverageNgramNumber)];
+    if (positives <= 0.0f && ngrams <= 0.0f) {
+      return FilterReason::kNoPositiveSignal;
+    }
+  }
+  return FilterReason::kKept;
+}
+
+std::vector<size_t> RuleFilter::FilterIndices(
+    const std::vector<collect::CollectedItem>& items,
+    const std::vector<FeatureVector>& features) const {
+  std::vector<size_t> kept;
+  kept.reserve(items.size());
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (Evaluate(items[i], features[i]) == FilterReason::kKept) {
+      kept.push_back(i);
+    }
+  }
+  return kept;
+}
+
+}  // namespace cats::core

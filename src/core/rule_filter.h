@@ -1,0 +1,54 @@
+#ifndef CATS_CORE_RULE_FILTER_H_
+#define CATS_CORE_RULE_FILTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "collect/store.h"
+#include "core/feature_def.h"
+#include "core/feature_extractor.h"
+
+namespace cats::core {
+
+struct RuleFilterOptions {
+  /// Items with fewer sales than this are dropped (paper: "filtering the
+  /// e-commerce items of which the sales volumes are less than 5").
+  int64_t min_sales_volume = 5;
+  /// Drop items whose comments contain no positive words or positive
+  /// n-grams (paper's second stage-1 rule).
+  bool require_positive_signal = true;
+};
+
+/// Why an item was removed by stage 1.
+enum class FilterReason : uint8_t {
+  kKept = 0,
+  kLowSales,
+  kNoPositiveSignal,
+  kNoComments,
+};
+
+/// Stage 1 of the detector (paper §II-B): cheap rules that discard items a
+/// promotion could not plausibly be boosting, before the classifier runs.
+class RuleFilter {
+ public:
+  explicit RuleFilter(RuleFilterOptions options) : options_(options) {}
+  RuleFilter() : RuleFilter(RuleFilterOptions{}) {}
+
+  /// Decision for one item given its already-extracted features.
+  FilterReason Evaluate(const collect::CollectedItem& item,
+                        const FeatureVector& features) const;
+
+  /// Indices of items that survive the filter.
+  std::vector<size_t> FilterIndices(
+      const std::vector<collect::CollectedItem>& items,
+      const std::vector<FeatureVector>& features) const;
+
+  const RuleFilterOptions& options() const { return options_; }
+
+ private:
+  RuleFilterOptions options_;
+};
+
+}  // namespace cats::core
+
+#endif  // CATS_CORE_RULE_FILTER_H_

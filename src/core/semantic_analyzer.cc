@@ -1,0 +1,118 @@
+#include "core/semantic_analyzer.h"
+
+#include <algorithm>
+
+#include "util/csv.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace cats::core {
+namespace {
+
+Status SaveWordList(const std::string& path,
+                    const std::vector<std::string>& words) {
+  std::string content;
+  for (const std::string& w : words) {
+    content += w;
+    content.push_back('\n');
+  }
+  return WriteStringToFile(path, content);
+}
+
+Result<std::vector<std::string>> LoadWordList(const std::string& path) {
+  CATS_ASSIGN_OR_RETURN(std::string content, ReadFileToString(path));
+  std::vector<std::string> words;
+  for (const std::string& line : Split(content, '\n')) {
+    if (!line.empty()) words.push_back(line);
+  }
+  return words;
+}
+
+}  // namespace
+
+Status SaveSemanticModel(const SemanticModel& model, const std::string& dir) {
+  CATS_RETURN_NOT_OK(model.sentiment.Save(dir + "/sentiment.model"));
+  CATS_RETURN_NOT_OK(SaveWordList(dir + "/positive_lexicon.txt",
+                                  model.positive.SortedWords()));
+  CATS_RETURN_NOT_OK(SaveWordList(dir + "/negative_lexicon.txt",
+                                  model.negative.SortedWords()));
+  std::vector<std::string> dict_words(model.dictionary.words().begin(),
+                                      model.dictionary.words().end());
+  std::sort(dict_words.begin(), dict_words.end());
+  return SaveWordList(dir + "/dictionary.txt", dict_words);
+}
+
+Result<SemanticModel> LoadSemanticModel(const std::string& dir) {
+  SemanticModel model;
+  CATS_ASSIGN_OR_RETURN(std::vector<std::string> dict_words,
+                        LoadWordList(dir + "/dictionary.txt"));
+  for (const std::string& w : dict_words) model.dictionary.AddWord(w);
+  CATS_ASSIGN_OR_RETURN(std::vector<std::string> pos,
+                        LoadWordList(dir + "/positive_lexicon.txt"));
+  model.positive = nlp::Lexicon(std::move(pos));
+  CATS_ASSIGN_OR_RETURN(std::vector<std::string> neg,
+                        LoadWordList(dir + "/negative_lexicon.txt"));
+  model.negative = nlp::Lexicon(std::move(neg));
+  CATS_ASSIGN_OR_RETURN(model.sentiment,
+                        nlp::SentimentModel::Load(dir + "/sentiment.model"));
+  return model;
+}
+
+Result<SemanticModel> SemanticAnalyzer::Build(
+    const std::vector<std::string>& corpus,
+    text::SegmentationDictionary dictionary,
+    const std::vector<std::string>& positive_seeds,
+    const std::vector<std::string>& negative_seeds,
+    const std::vector<std::pair<std::string, bool>>& sentiment_corpus) {
+  if (corpus.empty()) {
+    return Status::InvalidArgument("semantic analyzer needs a corpus");
+  }
+  if (positive_seeds.empty() || negative_seeds.empty()) {
+    return Status::InvalidArgument("semantic analyzer needs seed words");
+  }
+
+  SemanticModel model;
+  model.dictionary = std::move(dictionary);
+
+  // Segment the corpus once; word2vec and — via labels — the sentiment
+  // model both consume token sequences.
+  text::Segmenter segmenter(&model.dictionary);
+  std::vector<std::vector<std::string>> sentences;
+  sentences.reserve(corpus.size());
+  for (const std::string& comment : corpus) {
+    std::vector<std::string> tokens = segmenter.Segment(comment);
+    if (!tokens.empty()) sentences.push_back(std::move(tokens));
+  }
+
+  CATS_LOG(Info) << "semantic analyzer: training word2vec on "
+                 << sentences.size() << " sentences";
+  nlp::Word2Vec w2v(options_.word2vec);
+  CATS_ASSIGN_OR_RETURN(nlp::EmbeddingStore embeddings,
+                        w2v.Train(sentences));
+
+  CATS_ASSIGN_OR_RETURN(
+      model.positive,
+      nlp::ExpandLexicon(embeddings, positive_seeds, options_.expansion));
+  CATS_ASSIGN_OR_RETURN(
+      model.negative,
+      nlp::ExpandLexicon(embeddings, negative_seeds, options_.expansion));
+  CATS_LOG(Info) << "semantic analyzer: |P|=" << model.positive.size()
+                 << " |N|=" << model.negative.size();
+
+  // Sentiment model on the labeled review corpus.
+  std::vector<nlp::SentimentExample> examples;
+  examples.reserve(sentiment_corpus.size());
+  for (const auto& [text, positive] : sentiment_corpus) {
+    nlp::SentimentExample ex;
+    ex.tokens = segmenter.Segment(text);
+    ex.positive = positive;
+    if (!ex.tokens.empty()) examples.push_back(std::move(ex));
+  }
+  model.sentiment = nlp::SentimentModel(options_.sentiment);
+  CATS_RETURN_NOT_OK(model.sentiment.Train(examples));
+
+  embeddings_ = std::make_unique<nlp::EmbeddingStore>(std::move(embeddings));
+  return model;
+}
+
+}  // namespace cats::core

@@ -1,0 +1,78 @@
+#ifndef CATS_CORE_SEMANTIC_ANALYZER_H_
+#define CATS_CORE_SEMANTIC_ANALYZER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nlp/lexicon.h"
+#include "nlp/sentiment.h"
+#include "nlp/word2vec.h"
+#include "text/segmenter.h"
+#include "util/result.h"
+
+namespace cats::core {
+
+/// Everything the feature extractor needs from language understanding:
+/// a segmenter dictionary, the expanded P/N lexicons, and the sentiment
+/// scorer. Produced once per language by the SemanticAnalyzer and then
+/// shared read-only across platforms (the paper trains these on Taobao
+/// and reuses them on E-platform).
+struct SemanticModel {
+  text::SegmentationDictionary dictionary;
+  nlp::Lexicon positive;   // P, Table I
+  nlp::Lexicon negative;   // N, Table I
+  nlp::SentimentModel sentiment;
+
+  std::vector<std::string> Segment(std::string_view comment) const {
+    text::Segmenter segmenter(&dictionary);
+    return segmenter.Segment(comment);
+  }
+};
+
+/// Persists / restores a SemanticModel under `dir` (sentiment.model,
+/// positive_lexicon.txt, negative_lexicon.txt, dictionary.txt). `dir` must
+/// exist for Save.
+Status SaveSemanticModel(const SemanticModel& model, const std::string& dir);
+Result<SemanticModel> LoadSemanticModel(const std::string& dir);
+
+struct SemanticAnalyzerOptions {
+  nlp::Word2VecOptions word2vec;
+  nlp::LexiconExpansionOptions expansion;
+  nlp::SentimentOptions sentiment;
+  size_t num_seed_words = 5;
+};
+
+/// The paper's semantic analyzer (§II-B): trains word2vec on a large
+/// comment corpus, expands positive/negative seed lexicons through
+/// embedding k-NN, and provides the sentiment model.
+class SemanticAnalyzer {
+ public:
+  explicit SemanticAnalyzer(SemanticAnalyzerOptions options)
+      : options_(options) {}
+  SemanticAnalyzer() : SemanticAnalyzer(SemanticAnalyzerOptions{}) {}
+
+  /// Builds a complete SemanticModel.
+  ///   corpus            raw (unsegmented) comments for word2vec
+  ///   dictionary        segmentation dictionary for the language
+  ///   positive_seeds /
+  ///   negative_seeds    the 好评/差评-style seed words
+  ///   sentiment_corpus  labeled (text, is_positive) review docs
+  Result<SemanticModel> Build(
+      const std::vector<std::string>& corpus,
+      text::SegmentationDictionary dictionary,
+      const std::vector<std::string>& positive_seeds,
+      const std::vector<std::string>& negative_seeds,
+      const std::vector<std::pair<std::string, bool>>& sentiment_corpus);
+
+  /// Embeddings from the last Build (for Table I diagnostics).
+  const nlp::EmbeddingStore* embeddings() const { return embeddings_.get(); }
+
+ private:
+  SemanticAnalyzerOptions options_;
+  std::unique_ptr<nlp::EmbeddingStore> embeddings_;
+};
+
+}  // namespace cats::core
+
+#endif  // CATS_CORE_SEMANTIC_ANALYZER_H_

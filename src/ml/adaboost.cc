@@ -1,0 +1,122 @@
+#include "ml/adaboost.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace cats::ml {
+
+Status AdaBoost::Fit(const Dataset& train) {
+  size_t n = train.num_rows();
+  size_t d = train.num_features();
+  if (n == 0 || d == 0) {
+    return Status::InvalidArgument("cannot fit adaboost on empty dataset");
+  }
+  stumps_.clear();
+
+  std::vector<double> w(n, 1.0 / static_cast<double>(n));
+  // y in {-1, +1}.
+  std::vector<double> y(n);
+  for (size_t i = 0; i < n; ++i) y[i] = train.Label(i) == 1 ? 1.0 : -1.0;
+
+  // Pre-sort rows per feature once.
+  std::vector<std::vector<uint32_t>> sorted_rows(d);
+  for (size_t f = 0; f < d; ++f) {
+    sorted_rows[f].resize(n);
+    std::iota(sorted_rows[f].begin(), sorted_rows[f].end(), 0);
+    std::sort(sorted_rows[f].begin(), sorted_rows[f].end(),
+              [&train, f](uint32_t a, uint32_t b) {
+                return train.Value(a, f) < train.Value(b, f);
+              });
+  }
+
+  for (size_t round = 0; round < options_.num_rounds; ++round) {
+    // Find the stump minimizing weighted error. For a threshold scan with
+    // polarity "+1 above", err = sum_{x<=t, y=+1} w + sum_{x>t, y=-1} w.
+    Stump best;
+    double best_err = 0.5;
+    bool found = false;
+
+    double total_pos_weight = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      if (y[i] > 0) total_pos_weight += w[i];
+    }
+
+    for (size_t f = 0; f < d; ++f) {
+      const auto& order = sorted_rows[f];
+      // Start with threshold below all values: everything predicted
+      // positive (polarity +1) -> err = weight of negatives.
+      double err_above = 1.0 - total_pos_weight;
+      // Consider boundary before the first row too (threshold = -inf is
+      // equivalent to a constant classifier; skip it).
+      for (size_t k = 0; k < n; ++k) {
+        uint32_t row = order[k];
+        // Move row to the "<= threshold" side.
+        if (y[row] > 0) {
+          err_above += w[row];   // positive now predicted negative
+        } else {
+          err_above -= w[row];   // negative now predicted negative (fixed)
+        }
+        if (k + 1 < n &&
+            train.Value(order[k + 1], f) == train.Value(row, f)) {
+          continue;  // not a value boundary
+        }
+        float threshold =
+            k + 1 < n ? 0.5f * (train.Value(row, f) +
+                                train.Value(order[k + 1], f))
+                      : train.Value(row, f);
+        // Polarity +1 error and its mirror.
+        double candidates[2] = {err_above, 1.0 - err_above};
+        for (int p = 0; p < 2; ++p) {
+          if (candidates[p] < best_err) {
+            best_err = candidates[p];
+            best.feature = static_cast<int32_t>(f);
+            best.threshold = threshold;
+            best.polarity = p == 0 ? 1 : -1;
+            found = true;
+          }
+        }
+      }
+    }
+    if (!found || best_err <= 1e-12) {
+      if (found) {
+        best.alpha = 10.0;  // perfect stump: large but finite vote
+        stumps_.push_back(best);
+      }
+      break;
+    }
+
+    best.alpha = 0.5 * std::log((1.0 - best_err) / best_err);
+    stumps_.push_back(best);
+
+    // Reweight and renormalize.
+    double z = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      double pred = train.Value(i, best.feature) > best.threshold
+                        ? best.polarity
+                        : -best.polarity;
+      w[i] *= std::exp(-best.alpha * y[i] * pred);
+      z += w[i];
+    }
+    if (z <= 0) break;
+    for (double& wi : w) wi /= z;
+  }
+  if (stumps_.empty()) {
+    return Status::Internal("adaboost found no usable stump");
+  }
+  return Status::OK();
+}
+
+double AdaBoost::PredictProba(const float* row) const {
+  double score = 0.0;
+  double total_alpha = 0.0;
+  for (const Stump& s : stumps_) {
+    score += s.Vote(row);
+    total_alpha += std::fabs(s.alpha);
+  }
+  if (total_alpha <= 0) return 0.5;
+  // Squash the normalized vote into (0, 1).
+  return 1.0 / (1.0 + std::exp(-2.0 * score));
+}
+
+}  // namespace cats::ml

@@ -1,0 +1,54 @@
+#ifndef CATS_ML_ADABOOST_H_
+#define CATS_ML_ADABOOST_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/classifier.h"
+
+namespace cats::ml {
+
+struct AdaBoostOptions {
+  size_t num_rounds = 80;
+};
+
+/// Discrete AdaBoost (Freund & Schapire) over depth-1 decision stumps — the
+/// "AdaBoost" baseline of Table III. Each round fits the best
+/// weighted-error stump, then reweights misclassified examples.
+class AdaBoost : public Classifier {
+ public:
+  explicit AdaBoost(AdaBoostOptions options) : options_(options) {}
+  AdaBoost() : AdaBoost(AdaBoostOptions{}) {}
+
+  Status Fit(const Dataset& train) override;
+  double PredictProba(const float* row) const override;
+  std::string name() const override { return "AdaBoost"; }
+  std::unique_ptr<Classifier> CloneUntrained() const override {
+    return std::make_unique<AdaBoost>(options_);
+  }
+
+  size_t num_stumps() const { return stumps_.size(); }
+
+ private:
+  struct Stump {
+    int32_t feature = 0;
+    float threshold = 0.0f;
+    // +1: predict positive when x > threshold; -1: positive when x <= t.
+    int polarity = 1;
+    double alpha = 0.0;  // log-odds vote weight
+
+    double Vote(const float* row) const {
+      double side = row[feature] > threshold ? 1.0 : -1.0;
+      return alpha * side * polarity;
+    }
+  };
+
+  AdaBoostOptions options_;
+  std::vector<Stump> stumps_;
+};
+
+}  // namespace cats::ml
+
+#endif  // CATS_ML_ADABOOST_H_

@@ -1,0 +1,56 @@
+#ifndef CATS_ML_CLASSIFIER_H_
+#define CATS_ML_CLASSIFIER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/dataset.h"
+#include "util/status.h"
+
+namespace cats::ml {
+
+/// Abstract binary classifier. All six Table-III models implement this; the
+/// detector and the cross-validation harness are written against it.
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  /// Trains on `train`; replaces any previous fit.
+  virtual Status Fit(const Dataset& train) = 0;
+
+  /// P(label = 1 | row). `row` has train.num_features() entries.
+  virtual double PredictProba(const float* row) const = 0;
+
+  /// Hard prediction at the 0.5 probability threshold.
+  virtual int Predict(const float* row) const {
+    return PredictProba(row) >= 0.5 ? 1 : 0;
+  }
+
+  /// Human-readable model name as it appears in the paper's Table III.
+  virtual std::string name() const = 0;
+
+  /// Fresh untrained copy with identical hyperparameters (for k-fold CV).
+  virtual std::unique_ptr<Classifier> CloneUntrained() const = 0;
+
+  /// Scores every row of `data`.
+  std::vector<double> PredictProbaAll(const Dataset& data) const {
+    std::vector<double> out(data.num_rows());
+    for (size_t i = 0; i < data.num_rows(); ++i) {
+      out[i] = PredictProba(data.Row(i));
+    }
+    return out;
+  }
+
+  std::vector<int> PredictAll(const Dataset& data) const {
+    std::vector<int> out(data.num_rows());
+    for (size_t i = 0; i < data.num_rows(); ++i) {
+      out[i] = Predict(data.Row(i));
+    }
+    return out;
+  }
+};
+
+}  // namespace cats::ml
+
+#endif  // CATS_ML_CLASSIFIER_H_

@@ -1,0 +1,42 @@
+#include "ml/cross_validation.h"
+
+#include "ml/split.h"
+#include "util/random.h"
+
+namespace cats::ml {
+
+Result<CrossValidationResult> CrossValidate(const Classifier& prototype,
+                                            const Dataset& data, size_t folds,
+                                            uint64_t seed) {
+  if (folds < 2) return Status::InvalidArgument("need at least 2 folds");
+  if (data.num_rows() < folds) {
+    return Status::InvalidArgument("fewer rows than folds");
+  }
+  Rng rng(seed);
+  std::vector<TrainTestIndices> splits = StratifiedKFold(data, folds, &rng);
+
+  CrossValidationResult out;
+  out.model_name = prototype.name();
+  out.folds = folds;
+  for (const TrainTestIndices& split : splits) {
+    Dataset train = data.Select(split.train);
+    Dataset test = data.Select(split.test);
+    std::unique_ptr<Classifier> model = prototype.CloneUntrained();
+    CATS_RETURN_NOT_OK(model->Fit(train));
+    std::vector<int> predicted = model->PredictAll(test);
+    ClassificationMetrics m = ComputeMetrics(test.labels(), predicted);
+    out.per_fold.push_back(m);
+    out.precision += m.precision;
+    out.recall += m.recall;
+    out.f1 += m.f1;
+    out.accuracy += m.accuracy;
+  }
+  double k = static_cast<double>(folds);
+  out.precision /= k;
+  out.recall /= k;
+  out.f1 /= k;
+  out.accuracy /= k;
+  return out;
+}
+
+}  // namespace cats::ml

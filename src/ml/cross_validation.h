@@ -1,0 +1,36 @@
+#ifndef CATS_ML_CROSS_VALIDATION_H_
+#define CATS_ML_CROSS_VALIDATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ml/classifier.h"
+#include "ml/metrics.h"
+#include "util/result.h"
+
+namespace cats::ml {
+
+/// Aggregated k-fold result for one model.
+struct CrossValidationResult {
+  std::string model_name;
+  size_t folds = 0;
+  // Mean across folds (the paper reports these in Table III).
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  double accuracy = 0.0;
+  // Per-fold metrics for variance analysis.
+  std::vector<ClassificationMetrics> per_fold;
+};
+
+/// Runs stratified k-fold cross-validation of `prototype` on `data`
+/// (the paper's five-fold protocol for Table III). The prototype is cloned
+/// untrained for each fold.
+Result<CrossValidationResult> CrossValidate(const Classifier& prototype,
+                                            const Dataset& data, size_t folds,
+                                            uint64_t seed);
+
+}  // namespace cats::ml
+
+#endif  // CATS_ML_CROSS_VALIDATION_H_

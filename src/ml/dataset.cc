@@ -1,0 +1,96 @@
+#include "ml/dataset.h"
+
+#include <cstdlib>
+
+#include "util/csv.h"
+#include "util/string_util.h"
+
+namespace cats::ml {
+
+Status Dataset::AddRow(const std::vector<float>& features, int label) {
+  if (features.size() != num_features()) {
+    return Status::InvalidArgument(
+        StrFormat("row width %zu != feature count %zu", features.size(),
+                  num_features()));
+  }
+  if (label != 0 && label != 1) {
+    return Status::InvalidArgument("label must be 0 or 1");
+  }
+  data_.insert(data_.end(), features.begin(), features.end());
+  labels_.push_back(label);
+  return Status::OK();
+}
+
+size_t Dataset::CountLabel(int label) const {
+  size_t n = 0;
+  for (int l : labels_) {
+    if (l == label) ++n;
+  }
+  return n;
+}
+
+Dataset Dataset::Select(const std::vector<size_t>& indices) const {
+  Dataset out(feature_names_);
+  out.data_.reserve(indices.size() * num_features());
+  out.labels_.reserve(indices.size());
+  for (size_t i : indices) {
+    const float* row = Row(i);
+    out.data_.insert(out.data_.end(), row, row + num_features());
+    out.labels_.push_back(labels_[i]);
+  }
+  return out;
+}
+
+std::vector<double> Dataset::Column(size_t feature) const {
+  std::vector<double> out;
+  out.reserve(num_rows());
+  for (size_t i = 0; i < num_rows(); ++i) {
+    out.push_back(static_cast<double>(Value(i, feature)));
+  }
+  return out;
+}
+
+Status Dataset::SaveCsv(const std::string& path) const {
+  CsvWriter writer(path);
+  std::vector<std::string> header = feature_names_;
+  header.push_back("label");
+  writer.SetHeader(std::move(header));
+  for (size_t i = 0; i < num_rows(); ++i) {
+    std::vector<std::string> row;
+    row.reserve(num_features() + 1);
+    for (size_t f = 0; f < num_features(); ++f) {
+      row.push_back(StrFormat("%.9g", Value(i, f)));
+    }
+    row.push_back(std::to_string(labels_[i]));
+    writer.AddRow(std::move(row));
+  }
+  return writer.Flush();
+}
+
+Result<Dataset> Dataset::LoadCsv(const std::string& path) {
+  CATS_ASSIGN_OR_RETURN(auto rows, ReadCsv(path));
+  if (rows.empty()) return Status::ParseError("empty dataset csv: " + path);
+  std::vector<std::string> header = rows[0];
+  if (header.size() < 2 || header.back() != "label") {
+    return Status::ParseError("dataset csv must end with a 'label' column");
+  }
+  header.pop_back();
+  Dataset out(header);
+  std::vector<float> features(header.size());
+  for (size_t r = 1; r < rows.size(); ++r) {
+    const auto& row = rows[r];
+    if (row.size() != header.size() + 1) {
+      return Status::ParseError(
+          StrFormat("row %zu has %zu fields, want %zu", r, row.size(),
+                    header.size() + 1));
+    }
+    for (size_t f = 0; f < header.size(); ++f) {
+      features[f] = std::strtof(row[f].c_str(), nullptr);
+    }
+    int label = std::atoi(row.back().c_str());
+    CATS_RETURN_NOT_OK(out.AddRow(features, label));
+  }
+  return out;
+}
+
+}  // namespace cats::ml

@@ -1,0 +1,62 @@
+#ifndef CATS_ML_DATASET_H_
+#define CATS_ML_DATASET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace cats::ml {
+
+/// Dense row-major labeled dataset for binary classification. Label 1 is
+/// the positive class (fraud). Feature names travel with the data so model
+/// reports (Fig 7 feature importance) stay readable.
+class Dataset {
+ public:
+  Dataset() = default;
+  explicit Dataset(std::vector<std::string> feature_names)
+      : feature_names_(std::move(feature_names)) {}
+
+  /// Appends a row; the row width must equal num_features().
+  Status AddRow(const std::vector<float>& features, int label);
+
+  size_t num_rows() const { return labels_.size(); }
+  size_t num_features() const { return feature_names_.size(); }
+
+  const float* Row(size_t i) const {
+    return data_.data() + i * num_features();
+  }
+  int Label(size_t i) const { return labels_[i]; }
+  float Value(size_t row, size_t feature) const {
+    return data_[row * num_features() + feature];
+  }
+
+  const std::vector<std::string>& feature_names() const {
+    return feature_names_;
+  }
+  const std::vector<int>& labels() const { return labels_; }
+
+  size_t CountLabel(int label) const;
+
+  /// Subset by row indices (copies).
+  Dataset Select(const std::vector<size_t>& indices) const;
+
+  /// One feature as a column vector.
+  std::vector<double> Column(size_t feature) const;
+
+  /// CSV round-trip (header = feature names + "label").
+  Status SaveCsv(const std::string& path) const;
+  static Result<Dataset> LoadCsv(const std::string& path);
+
+ private:
+  std::vector<std::string> feature_names_;
+  std::vector<float> data_;
+  std::vector<int> labels_;
+};
+
+}  // namespace cats::ml
+
+#endif  // CATS_ML_DATASET_H_

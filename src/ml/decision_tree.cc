@@ -1,0 +1,132 @@
+#include "ml/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace cats::ml {
+namespace {
+
+double Gini(double pos, double total) {
+  if (total <= 0.0) return 0.0;
+  double p = pos / total;
+  return 2.0 * p * (1.0 - p);
+}
+
+}  // namespace
+
+Status DecisionTree::Fit(const Dataset& train) {
+  if (train.num_rows() == 0) {
+    return Status::InvalidArgument("cannot fit tree on empty dataset");
+  }
+  nodes_.clear();
+  depth_ = 0;
+  std::vector<size_t> indices(train.num_rows());
+  std::iota(indices.begin(), indices.end(), 0);
+  BuildNode(train, indices, 0);
+  return Status::OK();
+}
+
+int32_t DecisionTree::BuildNode(const Dataset& data,
+                                std::vector<size_t>& indices, size_t depth) {
+  depth_ = std::max(depth_, depth);
+  double total = static_cast<double>(indices.size());
+  double pos = 0.0;
+  for (size_t i : indices) pos += data.Label(i);
+
+  int32_t node_id = static_cast<int32_t>(nodes_.size());
+  nodes_.emplace_back();
+  nodes_[node_id].leaf_value = total > 0 ? static_cast<float>(pos / total)
+                                         : 0.5f;
+
+  bool can_split = depth < options_.max_depth &&
+                   indices.size() >= options_.min_samples_split &&
+                   pos > 0.0 && pos < total;
+  if (!can_split) return node_id;
+
+  double parent_impurity = Gini(pos, total);
+  double best_gain = options_.min_impurity_decrease;
+  int32_t best_feature = -1;
+  float best_threshold = 0.0f;
+
+  // Exact greedy: per feature, sort this node's rows by value and scan
+  // boundaries between distinct values.
+  std::vector<std::pair<float, int>> sorted;
+  sorted.reserve(indices.size());
+  for (size_t f = 0; f < data.num_features(); ++f) {
+    sorted.clear();
+    for (size_t i : indices) {
+      sorted.emplace_back(data.Value(i, f), data.Label(i));
+    }
+    std::sort(sorted.begin(), sorted.end());
+    if (sorted.front().first == sorted.back().first) continue;
+
+    double left_pos = 0.0, left_n = 0.0;
+    for (size_t k = 0; k + 1 < sorted.size(); ++k) {
+      left_pos += sorted[k].second;
+      left_n += 1.0;
+      if (sorted[k].first == sorted[k + 1].first) continue;
+      double right_n = total - left_n;
+      if (left_n < options_.min_samples_leaf ||
+          right_n < options_.min_samples_leaf) {
+        continue;
+      }
+      double right_pos = pos - left_pos;
+      double weighted =
+          (left_n / total) * Gini(left_pos, left_n) +
+          (right_n / total) * Gini(right_pos, right_n);
+      double gain = parent_impurity - weighted;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = static_cast<int32_t>(f);
+        // Split at the midpoint of the boundary pair.
+        best_threshold = 0.5f * (sorted[k].first + sorted[k + 1].first);
+      }
+    }
+  }
+  if (best_feature < 0) return node_id;
+
+  std::vector<size_t> left_idx, right_idx;
+  left_idx.reserve(indices.size());
+  right_idx.reserve(indices.size());
+  for (size_t i : indices) {
+    if (data.Value(i, static_cast<size_t>(best_feature)) <= best_threshold) {
+      left_idx.push_back(i);
+    } else {
+      right_idx.push_back(i);
+    }
+  }
+  if (left_idx.empty() || right_idx.empty()) return node_id;  // degenerate
+
+  // Free this node's index memory before recursing.
+  indices.clear();
+  indices.shrink_to_fit();
+
+  int32_t left = BuildNode(data, left_idx, depth + 1);
+  int32_t right = BuildNode(data, right_idx, depth + 1);
+  nodes_[node_id].feature = best_feature;
+  nodes_[node_id].threshold = best_threshold;
+  nodes_[node_id].left = left;
+  nodes_[node_id].right = right;
+  return node_id;
+}
+
+double DecisionTree::PredictProba(const float* row) const {
+  if (nodes_.empty()) return 0.5;
+  int32_t id = 0;
+  for (;;) {
+    const Node& node = nodes_[id];
+    if (node.feature < 0) return node.leaf_value;
+    id = row[node.feature] <= node.threshold ? node.left : node.right;
+  }
+}
+
+size_t DecisionTree::num_split_nodes() const {
+  size_t n = 0;
+  for (const Node& node : nodes_) {
+    if (node.feature >= 0) ++n;
+  }
+  return n;
+}
+
+}  // namespace cats::ml

@@ -1,0 +1,60 @@
+#ifndef CATS_ML_DECISION_TREE_H_
+#define CATS_ML_DECISION_TREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/classifier.h"
+
+namespace cats::ml {
+
+struct DecisionTreeOptions {
+  size_t max_depth = 8;
+  size_t min_samples_split = 10;
+  size_t min_samples_leaf = 5;
+  double min_impurity_decrease = 1e-7;
+};
+
+/// CART binary classification tree with Gini impurity and axis-aligned
+/// threshold splits — the "Decision Tree" baseline of Table III.
+class DecisionTree : public Classifier {
+ public:
+  explicit DecisionTree(DecisionTreeOptions options) : options_(options) {}
+  DecisionTree() : DecisionTree(DecisionTreeOptions{}) {}
+
+  Status Fit(const Dataset& train) override;
+  double PredictProba(const float* row) const override;
+  std::string name() const override { return "Decision Tree"; }
+  std::unique_ptr<Classifier> CloneUntrained() const override {
+    return std::make_unique<DecisionTree>(options_);
+  }
+
+  /// Number of internal (split) nodes; 0 before Fit.
+  size_t num_split_nodes() const;
+  size_t depth() const { return depth_; }
+
+ private:
+  friend class DecisionTreeTestPeer;
+
+  struct Node {
+    // Internal node when feature >= 0; leaf otherwise.
+    int32_t feature = -1;
+    float threshold = 0.0f;      // go left when x[feature] <= threshold
+    int32_t left = -1;
+    int32_t right = -1;
+    float leaf_value = 0.0f;     // P(positive) at a leaf
+  };
+
+  int32_t BuildNode(const Dataset& data, std::vector<size_t>& indices,
+                    size_t depth);
+
+  DecisionTreeOptions options_;
+  std::vector<Node> nodes_;
+  size_t depth_ = 0;
+};
+
+}  // namespace cats::ml
+
+#endif  // CATS_ML_DECISION_TREE_H_

@@ -1,0 +1,329 @@
+#include "ml/gbdt.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <numeric>
+
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace cats::ml {
+namespace {
+
+double Sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+/// XGBoost structure score contribution of one side.
+inline double SideScore(double g, double h, double lambda) {
+  return g * g / (h + lambda);
+}
+
+}  // namespace
+
+Status Gbdt::Fit(const Dataset& train) {
+  size_t n = train.num_rows();
+  size_t d = train.num_features();
+  if (n == 0 || d == 0) {
+    return Status::InvalidArgument("cannot fit gbdt on empty dataset");
+  }
+  if (options_.base_score <= 0.0f || options_.base_score >= 1.0f) {
+    return Status::InvalidArgument("base_score must be in (0, 1)");
+  }
+  trees_.clear();
+  loss_curve_.clear();
+  feature_names_ = train.feature_names();
+  split_counts_.assign(d, 0);
+  base_margin_ = std::log(options_.base_score / (1.0 - options_.base_score));
+
+  // Pre-sort row indices per feature once; reused by every tree.
+  std::vector<std::vector<uint32_t>> sorted_rows(d);
+  for (size_t f = 0; f < d; ++f) {
+    sorted_rows[f].resize(n);
+    std::iota(sorted_rows[f].begin(), sorted_rows[f].end(), 0);
+    std::sort(sorted_rows[f].begin(), sorted_rows[f].end(),
+              [&train, f](uint32_t a, uint32_t b) {
+                return train.Value(a, f) < train.Value(b, f);
+              });
+  }
+
+  std::vector<double> margin(n, base_margin_);
+  std::vector<double> grad(n), hess(n);
+  std::vector<char> in_sample(n, 1);
+  Rng rng(options_.seed);
+
+  std::vector<size_t> all_features(d);
+  std::iota(all_features.begin(), all_features.end(), 0);
+
+  for (size_t round = 0; round < options_.num_rounds; ++round) {
+    // First-order grad and second-order hess of logistic loss.
+    for (size_t i = 0; i < n; ++i) {
+      double p = Sigmoid(margin[i]);
+      grad[i] = p - static_cast<double>(train.Label(i));
+      hess[i] = std::max(p * (1.0 - p), 1e-16);
+    }
+
+    // Row subsampling.
+    if (options_.subsample < 1.0f) {
+      for (size_t i = 0; i < n; ++i) {
+        in_sample[i] = rng.Bernoulli(options_.subsample) ? 1 : 0;
+      }
+    }
+
+    // Column subsampling.
+    std::vector<size_t> features = all_features;
+    if (options_.colsample < 1.0f && d > 1) {
+      rng.Shuffle(&features);
+      size_t keep = std::max<size_t>(
+          1, static_cast<size_t>(options_.colsample * static_cast<float>(d)));
+      features.resize(keep);
+      std::sort(features.begin(), features.end());
+    }
+
+    Tree tree = BuildTree(train, grad, hess, in_sample, features, sorted_rows);
+    // Update margins with the shrunken tree outputs.
+    for (size_t i = 0; i < n; ++i) {
+      margin[i] += options_.learning_rate * TreePredict(tree, train.Row(i));
+    }
+    trees_.push_back(std::move(tree));
+
+    double loss = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      double p = Sigmoid(margin[i]);
+      p = std::clamp(p, 1e-12, 1.0 - 1e-12);
+      loss -= train.Label(i) == 1 ? std::log(p) : std::log(1.0 - p);
+    }
+    loss_curve_.push_back(loss / static_cast<double>(n));
+  }
+  return Status::OK();
+}
+
+Gbdt::Tree Gbdt::BuildTree(
+    const Dataset& data, const std::vector<double>& grad,
+    const std::vector<double>& hess, const std::vector<char>& in_sample,
+    const std::vector<size_t>& features,
+    const std::vector<std::vector<uint32_t>>& sorted_rows) {
+  size_t n = data.num_rows();
+  Tree tree;
+  tree.emplace_back();  // root placeholder
+
+  // node_of[i]: current tree node of row i, or -1 if excluded.
+  std::vector<int32_t> node_of(n);
+  for (size_t i = 0; i < n; ++i) node_of[i] = in_sample[i] ? 0 : -1;
+
+  struct NodeStats {
+    double g = 0.0;
+    double h = 0.0;
+    // Best split found at the current level.
+    double best_gain = 0.0;
+    int32_t best_feature = -1;
+    float best_threshold = 0.0f;
+    // Scan state (reset per feature).
+    double gl = 0.0;
+    double hl = 0.0;
+    float last_value = 0.0f;
+    bool seen_any = false;
+  };
+
+  std::vector<int32_t> level_nodes = {0};
+  std::vector<NodeStats> stats(1);
+  for (size_t i = 0; i < n; ++i) {
+    if (node_of[i] < 0) continue;
+    stats[0].g += grad[i];
+    stats[0].h += hess[i];
+  }
+
+  double lambda = options_.lambda;
+  double gamma = options_.gamma;
+
+  for (size_t depth = 0; depth < options_.max_depth && !level_nodes.empty();
+       ++depth) {
+    // node_slot[node_id] -> index into `stats` for this level.
+    std::vector<int32_t> node_slot(tree.size(), -1);
+    for (size_t s = 0; s < level_nodes.size(); ++s) {
+      node_slot[level_nodes[s]] = static_cast<int32_t>(s);
+      stats[s].best_gain = gamma;
+      stats[s].best_feature = -1;
+    }
+
+    // Exact greedy scan: for each candidate feature, sweep all rows in
+    // ascending feature order, maintaining per-node left-side aggregates.
+    for (size_t f : features) {
+      for (NodeStats& st : stats) {
+        st.gl = 0.0;
+        st.hl = 0.0;
+        st.seen_any = false;
+      }
+      for (uint32_t row : sorted_rows[f]) {
+        int32_t node = node_of[row];
+        if (node < 0 || node_slot[node] < 0) continue;
+        NodeStats& st = stats[node_slot[node]];
+        float value = data.Value(row, f);
+        if (st.seen_any && value != st.last_value) {
+          // Candidate boundary between last_value and value.
+          double gr = st.g - st.gl;
+          double hr = st.h - st.hl;
+          if (st.hl >= options_.min_child_weight &&
+              hr >= options_.min_child_weight) {
+            double gain = 0.5 * (SideScore(st.gl, st.hl, lambda) +
+                                 SideScore(gr, hr, lambda) -
+                                 SideScore(st.g, st.h, lambda));
+            if (gain > st.best_gain) {
+              st.best_gain = gain;
+              st.best_feature = static_cast<int32_t>(f);
+              st.best_threshold = 0.5f * (st.last_value + value);
+            }
+          }
+        }
+        st.gl += grad[row];
+        st.hl += hess[row];
+        st.last_value = value;
+        st.seen_any = true;
+      }
+    }
+
+    // Materialize the chosen splits; compute child stats.
+    std::vector<int32_t> next_level;
+    std::vector<NodeStats> next_stats;
+    for (size_t s = 0; s < level_nodes.size(); ++s) {
+      int32_t node_id = level_nodes[s];
+      NodeStats& st = stats[s];
+      if (st.best_feature < 0) {
+        tree[node_id].value = static_cast<float>(-st.g / (st.h + lambda));
+        continue;
+      }
+      int32_t left_id = static_cast<int32_t>(tree.size());
+      tree.emplace_back();
+      int32_t right_id = static_cast<int32_t>(tree.size());
+      tree.emplace_back();
+      tree[node_id].feature = st.best_feature;
+      tree[node_id].threshold = st.best_threshold;
+      tree[node_id].left = left_id;
+      tree[node_id].right = right_id;
+      ++split_counts_[static_cast<size_t>(st.best_feature)];
+
+      next_level.push_back(left_id);
+      next_stats.emplace_back();
+      next_level.push_back(right_id);
+      next_stats.emplace_back();
+    }
+
+    if (next_level.empty()) break;
+
+    // Reassign rows to children and accumulate child G/H.
+    std::vector<int32_t> slot_of_node(tree.size(), -1);
+    for (size_t s = 0; s < next_level.size(); ++s) {
+      slot_of_node[next_level[s]] = static_cast<int32_t>(s);
+    }
+    for (size_t i = 0; i < n; ++i) {
+      int32_t node = node_of[i];
+      if (node < 0) continue;
+      const Node& parent = tree[node];
+      if (parent.feature < 0) {
+        node_of[i] = -1;  // settled in a leaf
+        continue;
+      }
+      int32_t child = data.Value(i, static_cast<size_t>(parent.feature)) <=
+                              parent.threshold
+                          ? parent.left
+                          : parent.right;
+      node_of[i] = child;
+      NodeStats& st = next_stats[slot_of_node[child]];
+      st.g += grad[i];
+      st.h += hess[i];
+    }
+
+    level_nodes = std::move(next_level);
+    stats = std::move(next_stats);
+  }
+
+  // Any nodes still pending at max depth become leaves.
+  for (size_t s = 0; s < level_nodes.size(); ++s) {
+    int32_t node_id = level_nodes[s];
+    if (tree[node_id].feature < 0) {
+      tree[node_id].value =
+          static_cast<float>(-stats[s].g / (stats[s].h + lambda));
+    }
+  }
+  return tree;
+}
+
+double Gbdt::TreePredict(const Tree& tree, const float* row) {
+  int32_t id = 0;
+  for (;;) {
+    const Node& node = tree[id];
+    if (node.feature < 0) return node.value;
+    id = row[node.feature] <= node.threshold ? node.left : node.right;
+  }
+}
+
+double Gbdt::PredictMargin(const float* row) const {
+  double margin = base_margin_;
+  for (const Tree& tree : trees_) {
+    margin += options_.learning_rate * TreePredict(tree, row);
+  }
+  return margin;
+}
+
+double Gbdt::PredictProba(const float* row) const {
+  return Sigmoid(PredictMargin(row));
+}
+
+Status Gbdt::Save(const std::string& path) const {
+  if (trees_.empty()) return Status::FailedPrecondition("model not trained");
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) return Status::IoError("cannot open: " + path);
+  out << "cats-gbdt-v1\n";
+  out << options_.learning_rate << " " << base_margin_ << " "
+      << feature_names_.size() << " " << trees_.size() << "\n";
+  for (const std::string& name : feature_names_) out << name << "\n";
+  for (uint64_t c : split_counts_) out << c << " ";
+  out << "\n";
+  for (const Tree& tree : trees_) {
+    out << tree.size() << "\n";
+    for (const Node& node : tree) {
+      out << node.feature << " " << node.threshold << " " << node.left << " "
+          << node.right << " " << node.value << "\n";
+    }
+  }
+  out.flush();
+  if (!out.good()) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<Gbdt> Gbdt::Load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) return Status::IoError("cannot open: " + path);
+  std::string magic;
+  if (!(in >> magic) || magic != "cats-gbdt-v1") {
+    return Status::ParseError("bad gbdt model header in " + path);
+  }
+  Gbdt model;
+  size_t num_features = 0, num_trees = 0;
+  if (!(in >> model.options_.learning_rate >> model.base_margin_ >>
+        num_features >> num_trees)) {
+    return Status::ParseError("truncated gbdt header");
+  }
+  model.feature_names_.resize(num_features);
+  for (std::string& name : model.feature_names_) {
+    if (!(in >> name)) return Status::ParseError("truncated feature names");
+  }
+  model.split_counts_.resize(num_features);
+  for (uint64_t& c : model.split_counts_) {
+    if (!(in >> c)) return Status::ParseError("truncated split counts");
+  }
+  model.trees_.resize(num_trees);
+  for (Tree& tree : model.trees_) {
+    size_t nodes = 0;
+    if (!(in >> nodes)) return Status::ParseError("truncated tree header");
+    tree.resize(nodes);
+    for (Node& node : tree) {
+      if (!(in >> node.feature >> node.threshold >> node.left >> node.right >>
+            node.value)) {
+        return Status::ParseError("truncated tree nodes");
+      }
+    }
+  }
+  return model;
+}
+
+}  // namespace cats::ml

@@ -1,0 +1,102 @@
+#include "ml/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+#include "util/string_util.h"
+
+namespace cats::ml {
+
+void ConfusionMatrix::Add(int truth, int predicted) {
+  if (truth == 1) {
+    if (predicted == 1) {
+      ++true_positive;
+    } else {
+      ++false_negative;
+    }
+  } else {
+    if (predicted == 1) {
+      ++false_positive;
+    } else {
+      ++true_negative;
+    }
+  }
+}
+
+std::string ClassificationMetrics::ToString() const {
+  return StrFormat(
+      "precision=%.4f recall=%.4f f1=%.4f accuracy=%.4f "
+      "(tp=%llu fp=%llu tn=%llu fn=%llu)",
+      precision, recall, f1, accuracy,
+      static_cast<unsigned long long>(confusion.true_positive),
+      static_cast<unsigned long long>(confusion.false_positive),
+      static_cast<unsigned long long>(confusion.true_negative),
+      static_cast<unsigned long long>(confusion.false_negative));
+}
+
+ClassificationMetrics ComputeMetrics(const std::vector<int>& truth,
+                                     const std::vector<int>& predicted) {
+  assert(truth.size() == predicted.size());
+  ClassificationMetrics m;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    m.confusion.Add(truth[i], predicted[i]);
+  }
+  const ConfusionMatrix& c = m.confusion;
+  double tp = static_cast<double>(c.true_positive);
+  double fp = static_cast<double>(c.false_positive);
+  double tn = static_cast<double>(c.true_negative);
+  double fn = static_cast<double>(c.false_negative);
+  m.precision = (tp + fp) > 0 ? tp / (tp + fp) : 0.0;
+  m.recall = (tp + fn) > 0 ? tp / (tp + fn) : 0.0;
+  m.f1 = (m.precision + m.recall) > 0
+             ? 2.0 * m.precision * m.recall / (m.precision + m.recall)
+             : 0.0;
+  m.accuracy = c.total() > 0 ? (tp + tn) / static_cast<double>(c.total()) : 0.0;
+  return m;
+}
+
+ClassificationMetrics ComputeMetricsFromScores(
+    const std::vector<int>& truth, const std::vector<double>& scores,
+    double threshold) {
+  assert(truth.size() == scores.size());
+  std::vector<int> predicted(scores.size());
+  for (size_t i = 0; i < scores.size(); ++i) {
+    predicted[i] = scores[i] >= threshold ? 1 : 0;
+  }
+  return ComputeMetrics(truth, predicted);
+}
+
+double RocAuc(const std::vector<int>& truth,
+              const std::vector<double>& scores) {
+  assert(truth.size() == scores.size());
+  size_t n = truth.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&scores](size_t a, size_t b) { return scores[a] < scores[b]; });
+
+  // Average ranks over tied scores, then use the Mann-Whitney identity.
+  std::vector<double> rank(n);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && scores[order[j + 1]] == scores[order[i]]) ++j;
+    double avg_rank = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 +
+                      1.0;  // ranks are 1-based
+    for (size_t k = i; k <= j; ++k) rank[order[k]] = avg_rank;
+    i = j + 1;
+  }
+  double pos = 0.0, rank_sum = 0.0;
+  for (size_t k = 0; k < n; ++k) {
+    if (truth[k] == 1) {
+      pos += 1.0;
+      rank_sum += rank[k];
+    }
+  }
+  double neg = static_cast<double>(n) - pos;
+  if (pos == 0.0 || neg == 0.0) return 0.5;
+  return (rank_sum - pos * (pos + 1.0) / 2.0) / (pos * neg);
+}
+
+}  // namespace cats::ml

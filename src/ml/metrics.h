@@ -1,0 +1,49 @@
+#ifndef CATS_ML_METRICS_H_
+#define CATS_ML_METRICS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cats::ml {
+
+/// Binary confusion counts with the fraud class as positive.
+struct ConfusionMatrix {
+  uint64_t true_positive = 0;
+  uint64_t false_positive = 0;
+  uint64_t true_negative = 0;
+  uint64_t false_negative = 0;
+
+  void Add(int truth, int predicted);
+  uint64_t total() const {
+    return true_positive + false_positive + true_negative + false_negative;
+  }
+};
+
+/// The paper's headline numbers: precision, recall, F-score, accuracy.
+struct ClassificationMetrics {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  double accuracy = 0.0;
+  ConfusionMatrix confusion;
+
+  std::string ToString() const;
+};
+
+/// Metrics from parallel truth/prediction label vectors.
+ClassificationMetrics ComputeMetrics(const std::vector<int>& truth,
+                                     const std::vector<int>& predicted);
+
+/// Metrics from scores thresholded at `threshold`.
+ClassificationMetrics ComputeMetricsFromScores(
+    const std::vector<int>& truth, const std::vector<double>& scores,
+    double threshold = 0.5);
+
+/// Area under the ROC curve via the rank statistic (ties averaged).
+double RocAuc(const std::vector<int>& truth, const std::vector<double>& scores);
+
+}  // namespace cats::ml
+
+#endif  // CATS_ML_METRICS_H_

@@ -1,0 +1,98 @@
+#include "ml/mlp.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "util/random.h"
+
+namespace cats::ml {
+
+Status Mlp::Fit(const Dataset& train) {
+  size_t n = train.num_rows();
+  input_dim_ = train.num_features();
+  if (n == 0 || input_dim_ == 0) {
+    return Status::InvalidArgument("cannot fit mlp on empty dataset");
+  }
+  CATS_RETURN_NOT_OK(scaler_.Fit(train));
+  Dataset scaled = scaler_.Transform(train);
+
+  size_t h = options_.hidden_units;
+  Rng rng(options_.seed);
+  auto glorot = [&rng](size_t fan_in, size_t fan_out) {
+    double limit = std::sqrt(6.0 / static_cast<double>(fan_in + fan_out));
+    return rng.UniformDouble(-limit, limit);
+  };
+  w1_.resize(h * input_dim_);
+  for (double& w : w1_) w = glorot(input_dim_, h);
+  b1_.assign(h, 0.0);
+  w2_.resize(h);
+  for (double& w : w2_) w = glorot(h, 1);
+  b2_ = 0.0;
+
+  std::vector<double> vw1(w1_.size(), 0.0), vb1(h, 0.0), vw2(h, 0.0);
+  double vb2 = 0.0;
+
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> hidden(h);
+
+  for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    double lr = options_.learning_rate /
+                (1.0 + 0.05 * static_cast<double>(epoch));
+    for (size_t idx : order) {
+      const float* x = scaled.Row(idx);
+      double y = scaled.Label(idx);
+      double p = Forward(x, &hidden);
+      double delta_out = p - y;  // dLoss/dz2 for logistic loss + sigmoid
+
+      // Output layer updates (momentum SGD with L2).
+      for (size_t j = 0; j < h; ++j) {
+        double g = delta_out * hidden[j] + options_.l2 * w2_[j];
+        vw2[j] = options_.momentum * vw2[j] - lr * g;
+        w2_[j] += vw2[j];
+      }
+      vb2 = options_.momentum * vb2 - lr * delta_out;
+      b2_ += vb2;
+
+      // Hidden layer.
+      for (size_t j = 0; j < h; ++j) {
+        if (hidden[j] <= 0.0) continue;  // ReLU gate
+        double delta_h = delta_out * w2_[j];
+        double* wrow = w1_.data() + j * input_dim_;
+        double* vrow = vw1.data() + j * input_dim_;
+        for (size_t k = 0; k < input_dim_; ++k) {
+          double g = delta_h * x[k] + options_.l2 * wrow[k];
+          vrow[k] = options_.momentum * vrow[k] - lr * g;
+          wrow[k] += vrow[k];
+        }
+        vb1[j] = options_.momentum * vb1[j] - lr * delta_h;
+        b1_[j] += vb1[j];
+      }
+    }
+  }
+  return Status::OK();
+}
+
+double Mlp::Forward(const float* scaled_row, std::vector<double>* hidden) const {
+  size_t h = w2_.size();
+  double z2 = b2_;
+  for (size_t j = 0; j < h; ++j) {
+    const double* wrow = w1_.data() + j * input_dim_;
+    double z = b1_[j];
+    for (size_t k = 0; k < input_dim_; ++k) z += wrow[k] * scaled_row[k];
+    double a = z > 0.0 ? z : 0.0;
+    (*hidden)[j] = a;
+    z2 += w2_[j] * a;
+  }
+  return 1.0 / (1.0 + std::exp(-z2));
+}
+
+double Mlp::PredictProba(const float* row) const {
+  std::vector<float> scaled(row, row + input_dim_);
+  scaler_.TransformRow(scaled.data());
+  std::vector<double> hidden(w2_.size());
+  return Forward(scaled.data(), &hidden);
+}
+
+}  // namespace cats::ml

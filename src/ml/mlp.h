@@ -1,0 +1,51 @@
+#ifndef CATS_ML_MLP_H_
+#define CATS_ML_MLP_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/classifier.h"
+#include "ml/scaler.h"
+
+namespace cats::ml {
+
+struct MlpOptions {
+  size_t hidden_units = 16;
+  size_t epochs = 40;
+  double learning_rate = 0.02;
+  double momentum = 0.9;
+  double l2 = 1e-5;
+  uint64_t seed = 13;
+};
+
+/// One-hidden-layer perceptron (ReLU hidden, sigmoid output) trained with
+/// SGD + momentum on logistic loss — the "Neural Network" baseline of
+/// Table III. Inputs are standardized internally.
+class Mlp : public Classifier {
+ public:
+  explicit Mlp(MlpOptions options) : options_(options) {}
+  Mlp() : Mlp(MlpOptions{}) {}
+
+  Status Fit(const Dataset& train) override;
+  double PredictProba(const float* row) const override;
+  std::string name() const override { return "Neural Network"; }
+  std::unique_ptr<Classifier> CloneUntrained() const override {
+    return std::make_unique<Mlp>(options_);
+  }
+
+ private:
+  double Forward(const float* scaled_row, std::vector<double>* hidden) const;
+
+  MlpOptions options_;
+  StandardScaler scaler_;
+  size_t input_dim_ = 0;
+  // w1: hidden x input, b1: hidden, w2: hidden, b2: scalar.
+  std::vector<double> w1_, b1_, w2_;
+  double b2_ = 0.0;
+};
+
+}  // namespace cats::ml
+
+#endif  // CATS_ML_MLP_H_

@@ -1,0 +1,67 @@
+#include "ml/naive_bayes.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/stats.h"
+
+namespace cats::ml {
+
+Status GaussianNaiveBayes::Fit(const Dataset& train) {
+  size_t n = train.num_rows();
+  dim_ = train.num_features();
+  if (n == 0 || dim_ == 0) {
+    return Status::InvalidArgument("cannot fit naive bayes on empty dataset");
+  }
+  size_t pos = train.CountLabel(1);
+  size_t neg = n - pos;
+  if (pos == 0 || neg == 0) {
+    return Status::FailedPrecondition(
+        "naive bayes needs both classes in training data");
+  }
+  log_prior_pos_ = std::log(static_cast<double>(pos) / n);
+  log_prior_neg_ = std::log(static_cast<double>(neg) / n);
+
+  mean_pos_.assign(dim_, 0.0);
+  var_pos_.assign(dim_, 0.0);
+  mean_neg_.assign(dim_, 0.0);
+  var_neg_.assign(dim_, 0.0);
+
+  double max_var = 0.0;
+  for (size_t f = 0; f < dim_; ++f) {
+    RunningStats sp, sn, all;
+    for (size_t i = 0; i < n; ++i) {
+      double v = train.Value(i, f);
+      all.Add(v);
+      (train.Label(i) == 1 ? sp : sn).Add(v);
+    }
+    mean_pos_[f] = sp.mean();
+    var_pos_[f] = sp.variance();
+    mean_neg_[f] = sn.mean();
+    var_neg_[f] = sn.variance();
+    max_var = std::max(max_var, all.variance());
+  }
+  double floor = std::max(options_.var_smoothing * max_var, 1e-12);
+  for (size_t f = 0; f < dim_; ++f) {
+    var_pos_[f] = std::max(var_pos_[f], floor);
+    var_neg_[f] = std::max(var_neg_[f], floor);
+  }
+  return Status::OK();
+}
+
+double GaussianNaiveBayes::PredictProba(const float* row) const {
+  if (dim_ == 0) return 0.5;
+  double lp = log_prior_pos_, ln = log_prior_neg_;
+  for (size_t f = 0; f < dim_; ++f) {
+    double x = row[f];
+    double dp = x - mean_pos_[f];
+    double dn = x - mean_neg_[f];
+    lp += -0.5 * (std::log(2.0 * M_PI * var_pos_[f]) + dp * dp / var_pos_[f]);
+    ln += -0.5 * (std::log(2.0 * M_PI * var_neg_[f]) + dn * dn / var_neg_[f]);
+  }
+  double m = std::max(lp, ln);
+  double ep = std::exp(lp - m), en = std::exp(ln - m);
+  return ep / (ep + en);
+}
+
+}  // namespace cats::ml

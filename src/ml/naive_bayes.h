@@ -1,0 +1,42 @@
+#ifndef CATS_ML_NAIVE_BAYES_H_
+#define CATS_ML_NAIVE_BAYES_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/classifier.h"
+
+namespace cats::ml {
+
+struct GaussianNbOptions {
+  /// Variance floor as a fraction of the largest feature variance
+  /// (sklearn's var_smoothing).
+  double var_smoothing = 1e-9;
+};
+
+/// Gaussian Naive Bayes over the 11 numeric features — the "Naive Bayes"
+/// baseline of Table III. Each feature is modeled as class-conditional
+/// normal; log-posteriors combine under the independence assumption.
+class GaussianNaiveBayes : public Classifier {
+ public:
+  explicit GaussianNaiveBayes(GaussianNbOptions options) : options_(options) {}
+  GaussianNaiveBayes() : GaussianNaiveBayes(GaussianNbOptions{}) {}
+
+  Status Fit(const Dataset& train) override;
+  double PredictProba(const float* row) const override;
+  std::string name() const override { return "Naive Bayes"; }
+  std::unique_ptr<Classifier> CloneUntrained() const override {
+    return std::make_unique<GaussianNaiveBayes>(options_);
+  }
+
+ private:
+  GaussianNbOptions options_;
+  size_t dim_ = 0;
+  double log_prior_pos_ = 0.0, log_prior_neg_ = 0.0;
+  std::vector<double> mean_pos_, var_pos_, mean_neg_, var_neg_;
+};
+
+}  // namespace cats::ml
+
+#endif  // CATS_ML_NAIVE_BAYES_H_

@@ -1,0 +1,47 @@
+#include "ml/scaler.h"
+
+#include <cmath>
+
+#include "util/stats.h"
+
+namespace cats::ml {
+
+Status StandardScaler::Fit(const Dataset& data) {
+  if (data.num_rows() == 0) {
+    return Status::InvalidArgument("cannot fit scaler on empty dataset");
+  }
+  size_t f = data.num_features();
+  mean_.assign(f, 0.0f);
+  stddev_.assign(f, 1.0f);
+  for (size_t j = 0; j < f; ++j) {
+    RunningStats rs;
+    for (size_t i = 0; i < data.num_rows(); ++i) {
+      rs.Add(static_cast<double>(data.Value(i, j)));
+    }
+    mean_[j] = static_cast<float>(rs.mean());
+    double sd = rs.stddev();
+    stddev_[j] = sd > 1e-12 ? static_cast<float>(sd) : 1.0f;
+  }
+  return Status::OK();
+}
+
+void StandardScaler::TransformRow(float* row) const {
+  for (size_t j = 0; j < mean_.size(); ++j) {
+    row[j] = (row[j] - mean_[j]) / stddev_[j];
+  }
+}
+
+Dataset StandardScaler::Transform(const Dataset& data) const {
+  Dataset out(data.feature_names());
+  std::vector<float> row(data.num_features());
+  for (size_t i = 0; i < data.num_rows(); ++i) {
+    const float* src = data.Row(i);
+    row.assign(src, src + data.num_features());
+    TransformRow(row.data());
+    // AddRow cannot fail here: width matches and labels are already valid.
+    (void)out.AddRow(row, data.Label(i));
+  }
+  return out;
+}
+
+}  // namespace cats::ml

@@ -1,0 +1,41 @@
+#ifndef CATS_ML_SCALER_H_
+#define CATS_ML_SCALER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "ml/dataset.h"
+#include "util/status.h"
+
+namespace cats::ml {
+
+/// Per-feature standardization (zero mean, unit variance), fit on training
+/// data only. SVM, the MLP and Gaussian NB are scale-sensitive; tree models
+/// are not and skip this.
+class StandardScaler {
+ public:
+  StandardScaler() = default;
+
+  /// Learns means and stddevs from `data`.
+  Status Fit(const Dataset& data);
+
+  bool fitted() const { return !mean_.empty(); }
+  size_t num_features() const { return mean_.size(); }
+
+  /// Standardizes one row in place.
+  void TransformRow(float* row) const;
+
+  /// Returns a standardized copy of the dataset.
+  Dataset Transform(const Dataset& data) const;
+
+  const std::vector<float>& mean() const { return mean_; }
+  const std::vector<float>& stddev() const { return stddev_; }
+
+ private:
+  std::vector<float> mean_;
+  std::vector<float> stddev_;
+};
+
+}  // namespace cats::ml
+
+#endif  // CATS_ML_SCALER_H_

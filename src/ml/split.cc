@@ -1,0 +1,71 @@
+#include "ml/split.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cats::ml {
+namespace {
+
+/// Row indices of each class, shuffled.
+std::pair<std::vector<size_t>, std::vector<size_t>> ShuffledByClass(
+    const Dataset& data, Rng* rng) {
+  std::vector<size_t> pos, neg;
+  for (size_t i = 0; i < data.num_rows(); ++i) {
+    (data.Label(i) == 1 ? pos : neg).push_back(i);
+  }
+  rng->Shuffle(&pos);
+  rng->Shuffle(&neg);
+  return {std::move(pos), std::move(neg)};
+}
+
+}  // namespace
+
+TrainTestIndices StratifiedSplit(const Dataset& data, double test_fraction,
+                                 Rng* rng) {
+  assert(test_fraction > 0.0 && test_fraction < 1.0);
+  auto [pos, neg] = ShuffledByClass(data, rng);
+  TrainTestIndices out;
+  auto distribute = [&](const std::vector<size_t>& idx) {
+    size_t n_test = static_cast<size_t>(
+        static_cast<double>(idx.size()) * test_fraction + 0.5);
+    for (size_t i = 0; i < idx.size(); ++i) {
+      (i < n_test ? out.test : out.train).push_back(idx[i]);
+    }
+  };
+  distribute(pos);
+  distribute(neg);
+  rng->Shuffle(&out.train);
+  rng->Shuffle(&out.test);
+  return out;
+}
+
+std::vector<TrainTestIndices> StratifiedKFold(const Dataset& data, size_t k,
+                                              Rng* rng) {
+  assert(k >= 2);
+  auto [pos, neg] = ShuffledByClass(data, rng);
+
+  // fold_of[i] for each class, round-robin so fold sizes differ by <= 1.
+  std::vector<std::vector<size_t>> fold_members(k);
+  auto deal = [&](const std::vector<size_t>& idx) {
+    for (size_t i = 0; i < idx.size(); ++i) {
+      fold_members[i % k].push_back(idx[i]);
+    }
+  };
+  deal(pos);
+  deal(neg);
+
+  std::vector<TrainTestIndices> out(k);
+  for (size_t f = 0; f < k; ++f) {
+    out[f].test = fold_members[f];
+    for (size_t g = 0; g < k; ++g) {
+      if (g == f) continue;
+      out[f].train.insert(out[f].train.end(), fold_members[g].begin(),
+                          fold_members[g].end());
+    }
+    rng->Shuffle(&out[f].train);
+    rng->Shuffle(&out[f].test);
+  }
+  return out;
+}
+
+}  // namespace cats::ml

@@ -1,0 +1,30 @@
+#ifndef CATS_ML_SPLIT_H_
+#define CATS_ML_SPLIT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "ml/dataset.h"
+#include "util/random.h"
+
+namespace cats::ml {
+
+/// Row-index split into train and test.
+struct TrainTestIndices {
+  std::vector<size_t> train;
+  std::vector<size_t> test;
+};
+
+/// Shuffled train/test split preserving the class ratio in both parts.
+TrainTestIndices StratifiedSplit(const Dataset& data, double test_fraction,
+                                 Rng* rng);
+
+/// Stratified k folds for cross-validation (the paper's five-fold protocol,
+/// §II-B): each fold is a test set, the complement trains.
+std::vector<TrainTestIndices> StratifiedKFold(const Dataset& data, size_t k,
+                                              Rng* rng);
+
+}  // namespace cats::ml
+
+#endif  // CATS_ML_SPLIT_H_

@@ -1,0 +1,67 @@
+#include "ml/svm.h"
+
+#include <cmath>
+
+#include "util/random.h"
+
+namespace cats::ml {
+
+Status LinearSvm::Fit(const Dataset& train) {
+  size_t n = train.num_rows();
+  size_t d = train.num_features();
+  if (n == 0 || d == 0) {
+    return Status::InvalidArgument("cannot fit svm on empty dataset");
+  }
+  CATS_RETURN_NOT_OK(scaler_.Fit(train));
+  Dataset scaled = scaler_.Transform(train);
+
+  weights_.assign(d, 0.0);
+  bias_ = 0.0;
+  Rng rng(options_.seed);
+  double lambda = options_.lambda;
+  uint64_t t = 0;
+
+  size_t total_steps = options_.epochs * n;
+  for (size_t step = 0; step < total_steps; ++step) {
+    ++t;
+    size_t i = rng.UniformU32(static_cast<uint32_t>(n));
+    const float* row = scaled.Row(i);
+    double y = scaled.Label(i) == 1 ? 1.0 : -1.0;
+    double eta = 1.0 / (lambda * static_cast<double>(t));
+
+    double margin = bias_;
+    for (size_t j = 0; j < d; ++j) margin += weights_[j] * row[j];
+
+    // w <- (1 - eta*lambda) w  [+ eta*y*x when the hinge is active]
+    double shrink = 1.0 - eta * lambda;
+    for (size_t j = 0; j < d; ++j) weights_[j] *= shrink;
+    if (y * margin < 1.0) {
+      for (size_t j = 0; j < d; ++j) weights_[j] += eta * y * row[j];
+      bias_ += eta * y;  // unregularized bias
+    }
+  }
+  return Status::OK();
+}
+
+double LinearSvm::Margin(const float* row) const {
+  std::vector<float> scaled(row, row + weights_.size());
+  scaler_.TransformRow(scaled.data());
+  double margin = bias_;
+  for (size_t j = 0; j < weights_.size(); ++j) {
+    margin += weights_[j] * scaled[j];
+  }
+  return margin;
+}
+
+int LinearSvm::Predict(const float* row) const {
+  return Margin(row) >= options_.decision_margin ? 1 : 0;
+}
+
+double LinearSvm::PredictProba(const float* row) const {
+  // Sigmoid squashing of the (shifted) margin; a lightweight stand-in for
+  // Platt scaling adequate for ranking and thresholding.
+  double m = Margin(row) - options_.decision_margin;
+  return 1.0 / (1.0 + std::exp(-options_.proba_scale * m));
+}
+
+}  // namespace cats::ml

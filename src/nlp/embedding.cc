@@ -1,0 +1,126 @@
+#include "nlp/embedding.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace cats::nlp {
+
+void EmbeddingStore::Add(std::string word, const std::vector<float>& vector) {
+  if (vector.size() != dim_) return;
+  auto it = index_.find(word);
+  float norm = 0.0f;
+  for (float v : vector) norm += v * v;
+  norm = std::sqrt(norm);
+  if (norm <= 0.0f) norm = 1.0f;
+
+  if (it != index_.end()) {
+    float* row = data_.data() + it->second * dim_;
+    for (size_t d = 0; d < dim_; ++d) row[d] = vector[d] / norm;
+    return;
+  }
+  size_t row = words_.size();
+  index_.emplace(word, row);
+  words_.push_back(std::move(word));
+  data_.resize((row + 1) * dim_);
+  float* dst = data_.data() + row * dim_;
+  for (size_t d = 0; d < dim_; ++d) dst[d] = vector[d] / norm;
+}
+
+bool EmbeddingStore::Contains(std::string_view word) const {
+  return index_.count(std::string(word)) > 0;
+}
+
+Result<std::vector<float>> EmbeddingStore::Vector(
+    std::string_view word) const {
+  auto it = index_.find(std::string(word));
+  if (it == index_.end()) {
+    return Status::NotFound("unknown word: " + std::string(word));
+  }
+  const float* row = RowPtr(it->second);
+  return std::vector<float>(row, row + dim_);
+}
+
+Result<float> EmbeddingStore::Cosine(std::string_view a,
+                                     std::string_view b) const {
+  auto ia = index_.find(std::string(a));
+  auto ib = index_.find(std::string(b));
+  if (ia == index_.end()) {
+    return Status::NotFound("unknown word: " + std::string(a));
+  }
+  if (ib == index_.end()) {
+    return Status::NotFound("unknown word: " + std::string(b));
+  }
+  const float* ra = RowPtr(ia->second);
+  const float* rb = RowPtr(ib->second);
+  float dot = 0.0f;
+  for (size_t d = 0; d < dim_; ++d) dot += ra[d] * rb[d];
+  return dot;
+}
+
+Result<std::vector<Neighbor>> EmbeddingStore::NearestNeighbors(
+    std::string_view word, size_t k) const {
+  auto it = index_.find(std::string(word));
+  if (it == index_.end()) {
+    return Status::NotFound("unknown word: " + std::string(word));
+  }
+  const float* query = RowPtr(it->second);
+  std::vector<Neighbor> all;
+  all.reserve(words_.size());
+  for (size_t row = 0; row < words_.size(); ++row) {
+    if (row == it->second) continue;
+    const float* r = RowPtr(row);
+    float dot = 0.0f;
+    for (size_t d = 0; d < dim_; ++d) dot += query[d] * r[d];
+    all.push_back(Neighbor{words_[row], dot});
+  }
+  size_t top = std::min(k, all.size());
+  std::partial_sort(all.begin(), all.begin() + top, all.end(),
+                    [](const Neighbor& a, const Neighbor& b) {
+                      return a.similarity > b.similarity;
+                    });
+  all.resize(top);
+  return all;
+}
+
+Status EmbeddingStore::Save(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) return Status::IoError("cannot open: " + path);
+  out << words_.size() << " " << dim_ << "\n";
+  for (size_t row = 0; row < words_.size(); ++row) {
+    out << words_[row];
+    const float* r = RowPtr(row);
+    for (size_t d = 0; d < dim_; ++d) out << " " << r[d];
+    out << "\n";
+  }
+  out.flush();
+  if (!out.good()) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<EmbeddingStore> EmbeddingStore::Load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) return Status::IoError("cannot open: " + path);
+  size_t n = 0, dim = 0;
+  if (!(in >> n >> dim) || dim == 0) {
+    return Status::ParseError("bad embedding header in " + path);
+  }
+  EmbeddingStore store(dim);
+  std::vector<float> vec(dim);
+  for (size_t i = 0; i < n; ++i) {
+    std::string word;
+    if (!(in >> word)) return Status::ParseError("truncated embedding file");
+    for (size_t d = 0; d < dim; ++d) {
+      if (!(in >> vec[d])) {
+        return Status::ParseError("truncated vector for word " + word);
+      }
+    }
+    store.Add(std::move(word), vec);
+  }
+  return store;
+}
+
+}  // namespace cats::nlp

@@ -1,0 +1,66 @@
+#ifndef CATS_NLP_EMBEDDING_H_
+#define CATS_NLP_EMBEDDING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace cats::nlp {
+
+/// A neighbor returned by k-NN search.
+struct Neighbor {
+  std::string word;
+  float similarity = 0.0f;  // cosine
+};
+
+/// Dense word-embedding store with cosine k-NN. Word2Vec training produces
+/// one of these; the lexicon expander then walks the neighbor graph from the
+/// seed words exactly as the paper describes.
+class EmbeddingStore {
+ public:
+  EmbeddingStore(size_t dim) : dim_(dim) {}
+
+  size_t dim() const { return dim_; }
+  size_t size() const { return words_.size(); }
+
+  /// Adds a word vector; the vector is L2-normalized internally so cosine
+  /// reduces to a dot product.
+  void Add(std::string word, const std::vector<float>& vector);
+
+  bool Contains(std::string_view word) const;
+
+  /// Normalized vector of `word`, or error if unknown.
+  Result<std::vector<float>> Vector(std::string_view word) const;
+
+  /// Cosine similarity of two stored words.
+  Result<float> Cosine(std::string_view a, std::string_view b) const;
+
+  /// The `k` nearest words to `word` by cosine (excluding `word` itself).
+  Result<std::vector<Neighbor>> NearestNeighbors(std::string_view word,
+                                                 size_t k) const;
+
+  const std::vector<std::string>& words() const { return words_; }
+
+  /// Plain-text save/load ("word v1 v2 ... vd" per line, like the original
+  /// word2vec tool's text format).
+  Status Save(const std::string& path) const;
+  static Result<EmbeddingStore> Load(const std::string& path);
+
+ private:
+  const float* RowPtr(size_t row) const { return data_.data() + row * dim_; }
+
+  size_t dim_;
+  std::vector<std::string> words_;
+  std::unordered_map<std::string, size_t> index_;
+  std::vector<float> data_;  // row-major, L2-normalized rows
+};
+
+}  // namespace cats::nlp
+
+#endif  // CATS_NLP_EMBEDDING_H_

@@ -1,0 +1,87 @@
+#include "nlp/lexicon.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+namespace cats::nlp {
+
+Lexicon::Lexicon(std::vector<std::string> words) {
+  for (std::string& w : words) words_.insert(std::move(w));
+}
+
+size_t Lexicon::CountIn(const std::vector<std::string>& tokens) const {
+  size_t n = 0;
+  for (const std::string& t : tokens) {
+    if (Contains(t)) ++n;
+  }
+  return n;
+}
+
+std::vector<std::string> Lexicon::SortedWords() const {
+  std::vector<std::string> out(words_.begin(), words_.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Result<Lexicon> ExpandLexicon(const EmbeddingStore& embeddings,
+                              const std::vector<std::string>& seeds,
+                              const LexiconExpansionOptions& options) {
+  if (seeds.empty()) {
+    return Status::InvalidArgument("lexicon expansion needs at least one seed");
+  }
+  Lexicon lexicon;
+  // frontier holds (word, depth); BFS over the neighbor graph.
+  std::deque<std::pair<std::string, size_t>> frontier;
+  // Running (unnormalized) centroid of accepted in-vocabulary words.
+  std::vector<float> centroid(embeddings.dim(), 0.0f);
+  size_t centroid_members = 0;
+  auto add_to_centroid = [&](const std::string& word) {
+    auto vec = embeddings.Vector(word);
+    if (!vec.ok()) return;
+    for (size_t d = 0; d < centroid.size(); ++d) centroid[d] += (*vec)[d];
+    ++centroid_members;
+  };
+  auto centroid_cosine = [&](const std::string& word) -> float {
+    if (centroid_members == 0) return 1.0f;
+    auto vec = embeddings.Vector(word);
+    if (!vec.ok()) return -1.0f;
+    float dot = 0.0f, norm = 0.0f;
+    for (size_t d = 0; d < centroid.size(); ++d) {
+      dot += centroid[d] * (*vec)[d];
+      norm += centroid[d] * centroid[d];
+    }
+    return norm > 0 ? dot / std::sqrt(norm) : 1.0f;
+  };
+
+  for (const std::string& seed : seeds) {
+    lexicon.Insert(seed);
+    frontier.emplace_back(seed, 0);
+    add_to_centroid(seed);
+  }
+
+  while (!frontier.empty() && lexicon.size() < options.max_words) {
+    auto [word, depth] = frontier.front();
+    frontier.pop_front();
+    if (depth >= options.max_iterations) continue;
+    if (!embeddings.Contains(word)) continue;  // seeds may be OOV
+
+    auto neighbors = embeddings.NearestNeighbors(word, options.k);
+    if (!neighbors.ok()) continue;
+    for (const Neighbor& n : *neighbors) {
+      if (n.similarity < options.min_similarity) break;  // sorted descending
+      if (lexicon.Contains(n.word)) continue;
+      if (options.use_centroid_filter &&
+          centroid_cosine(n.word) < options.min_centroid_similarity) {
+        continue;
+      }
+      lexicon.Insert(n.word);
+      add_to_centroid(n.word);
+      frontier.emplace_back(n.word, depth + 1);
+      if (lexicon.size() >= options.max_words) break;
+    }
+  }
+  return lexicon;
+}
+
+}  // namespace cats::nlp

@@ -1,0 +1,64 @@
+#ifndef CATS_NLP_LEXICON_H_
+#define CATS_NLP_LEXICON_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+#include "nlp/embedding.h"
+#include "util/result.h"
+
+namespace cats::nlp {
+
+/// A polarity word set (the paper's P or N, Table I).
+class Lexicon {
+ public:
+  Lexicon() = default;
+  explicit Lexicon(std::vector<std::string> words);
+
+  void Insert(std::string_view word) { words_.insert(std::string(word)); }
+  bool Contains(std::string_view word) const {
+    return words_.count(std::string(word)) > 0;
+  }
+  size_t size() const { return words_.size(); }
+
+  /// Counts tokens of `tokens` that are members (occurrence count, not
+  /// distinct-type count).
+  size_t CountIn(const std::vector<std::string>& tokens) const;
+
+  /// Members in deterministic (sorted) order, for printing Table I.
+  std::vector<std::string> SortedWords() const;
+
+  const std::unordered_set<std::string>& words() const { return words_; }
+
+ private:
+  std::unordered_set<std::string> words_;
+};
+
+/// Controls the iterative k-NN expansion.
+struct LexiconExpansionOptions {
+  size_t k = 10;                 // neighbors per query word
+  float min_similarity = 0.5f;   // cosine acceptance threshold
+  size_t max_words = 200;        // the paper caps P and N at ~200 words
+  size_t max_iterations = 4;     // BFS depth from the seeds
+  /// Additionally require candidates to be similar to the centroid of the
+  /// already-accepted set. Suppresses embedding-space hub words (frequent
+  /// neutral words are "near everything") without stopping genuine
+  /// polarity words; essential on small corpora.
+  bool use_centroid_filter = true;
+  float min_centroid_similarity = 0.35f;
+};
+
+/// Expands a seed word list into a full lexicon by iteratively searching the
+/// k-nearest embedding neighbors of accepted words — the construction of
+/// P and N in the paper (§II-A2). Returns the expanded lexicon (seeds
+/// included, even if missing from the embedding).
+Result<Lexicon> ExpandLexicon(const EmbeddingStore& embeddings,
+                              const std::vector<std::string>& seeds,
+                              const LexiconExpansionOptions& options);
+
+}  // namespace cats::nlp
+
+#endif  // CATS_NLP_LEXICON_H_

@@ -1,0 +1,152 @@
+#include "nlp/sentiment.h"
+
+#include <cmath>
+#include <fstream>
+
+#include "util/string_util.h"
+
+namespace cats::nlp {
+
+Status SentimentModel::Train(const std::vector<SentimentExample>& examples) {
+  word_stats_.clear();
+  total_positive_tokens_ = 0;
+  total_negative_tokens_ = 0;
+  size_t pos_docs = 0, neg_docs = 0;
+  for (const SentimentExample& ex : examples) {
+    if (ex.positive) {
+      ++pos_docs;
+    } else {
+      ++neg_docs;
+    }
+    for (const std::string& t : ex.tokens) {
+      WordStats& ws = word_stats_[t];
+      if (ex.positive) {
+        ++ws.positive_count;
+        ++total_positive_tokens_;
+      } else {
+        ++ws.negative_count;
+        ++total_negative_tokens_;
+      }
+    }
+  }
+  if (pos_docs == 0 || neg_docs == 0) {
+    return Status::FailedPrecondition(
+        "sentiment training needs both positive and negative examples");
+  }
+  trained_ = true;
+  return Status::OK();
+}
+
+double SentimentModel::Score(const std::vector<std::string>& tokens) const {
+  return ScoreImpl(tokens, options_.length_normalize);
+}
+
+double SentimentModel::ScoreRaw(
+    const std::vector<std::string>& tokens) const {
+  return ScoreImpl(tokens, /*length_normalize=*/false);
+}
+
+double SentimentModel::ScoreImpl(const std::vector<std::string>& tokens,
+                                 bool length_normalize) const {
+  double log_prior_pos = std::log(options_.prior_positive);
+  double log_prior_neg = std::log(1.0 - options_.prior_positive);
+  if (tokens.empty() || !trained_) {
+    double odds = log_prior_pos - log_prior_neg;
+    return 1.0 / (1.0 + std::exp(-odds));
+  }
+
+  double v = static_cast<double>(word_stats_.size()) + 1.0;
+  double denom_pos =
+      static_cast<double>(total_positive_tokens_) + options_.smoothing * v;
+  double denom_neg =
+      static_cast<double>(total_negative_tokens_) + options_.smoothing * v;
+
+  double ll_pos = 0.0, ll_neg = 0.0;
+  for (const std::string& t : tokens) {
+    auto it = word_stats_.find(t);
+    double cp = options_.smoothing;
+    double cn = options_.smoothing;
+    if (it != word_stats_.end()) {
+      cp += static_cast<double>(it->second.positive_count);
+      cn += static_cast<double>(it->second.negative_count);
+    }
+    ll_pos += std::log(cp / denom_pos);
+    ll_neg += std::log(cn / denom_neg);
+  }
+  if (length_normalize) {
+    double n = static_cast<double>(tokens.size());
+    ll_pos /= n;
+    ll_neg /= n;
+  }
+  double odds = (ll_pos + log_prior_pos) - (ll_neg + log_prior_neg);
+  return 1.0 / (1.0 + std::exp(-odds));
+}
+
+double SentimentModel::WordLogOdds(const std::string& word) const {
+  if (!trained_) return 0.0;
+  double v = static_cast<double>(word_stats_.size()) + 1.0;
+  double denom_pos =
+      static_cast<double>(total_positive_tokens_) + options_.smoothing * v;
+  double denom_neg =
+      static_cast<double>(total_negative_tokens_) + options_.smoothing * v;
+  double cp = options_.smoothing;
+  double cn = options_.smoothing;
+  auto it = word_stats_.find(word);
+  if (it != word_stats_.end()) {
+    cp += static_cast<double>(it->second.positive_count);
+    cn += static_cast<double>(it->second.negative_count);
+  }
+  return std::log(cp / denom_pos) - std::log(cn / denom_neg);
+}
+
+Status SentimentModel::Save(const std::string& path) const {
+  if (!trained_) return Status::FailedPrecondition("model not trained");
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) return Status::IoError("cannot open: " + path);
+  out << "cats-sentiment-v1\n";
+  out << options_.smoothing << " " << options_.prior_positive << " "
+      << (options_.length_normalize ? 1 : 0) << "\n";
+  out << total_positive_tokens_ << " " << total_negative_tokens_ << " "
+      << word_stats_.size() << "\n";
+  for (const auto& [word, ws] : word_stats_) {
+    out << word << " " << ws.positive_count << " " << ws.negative_count
+        << "\n";
+  }
+  out.flush();
+  if (!out.good()) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<SentimentModel> SentimentModel::Load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) return Status::IoError("cannot open: " + path);
+  std::string magic;
+  if (!(in >> magic) || magic != "cats-sentiment-v1") {
+    return Status::ParseError("bad sentiment model header in " + path);
+  }
+  SentimentOptions options;
+  int normalize = 1;
+  size_t vocab = 0;
+  SentimentModel model;
+  if (!(in >> options.smoothing >> options.prior_positive >> normalize)) {
+    return Status::ParseError("truncated sentiment model options");
+  }
+  options.length_normalize = normalize != 0;
+  model.options_ = options;
+  if (!(in >> model.total_positive_tokens_ >> model.total_negative_tokens_ >>
+        vocab)) {
+    return Status::ParseError("truncated sentiment model counts");
+  }
+  for (size_t i = 0; i < vocab; ++i) {
+    std::string word;
+    WordStats ws;
+    if (!(in >> word >> ws.positive_count >> ws.negative_count)) {
+      return Status::ParseError("truncated sentiment model vocabulary");
+    }
+    model.word_stats_.emplace(std::move(word), ws);
+  }
+  model.trained_ = true;
+  return model;
+}
+
+}  // namespace cats::nlp

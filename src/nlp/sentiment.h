@@ -1,0 +1,78 @@
+#ifndef CATS_NLP_SENTIMENT_H_
+#define CATS_NLP_SENTIMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace cats::nlp {
+
+/// A labeled training document for the sentiment model.
+struct SentimentExample {
+  std::vector<std::string> tokens;
+  bool positive = false;
+};
+
+struct SentimentOptions {
+  double smoothing = 1.0;     // Laplace add-k
+  double prior_positive = 0.5;
+  /// When true, Score() length-normalizes the log-likelihoods (geometric
+  /// mean per token). Raw multinomial NB saturates to 0/1 on long comments;
+  /// normalization yields the graded [0,1] sentiment values of the paper's
+  /// Fig 1. SnowNLP-style raw scoring is available with false.
+  bool length_normalize = true;
+};
+
+/// Word-level multinomial Naive Bayes sentiment scorer — the stand-in for
+/// SnowNLP's sentiment module, which is itself a Bayes classifier trained on
+/// e-commerce review corpora. Score() returns P(positive | comment) in
+/// [0, 1]; larger = more positive, matching the paper's convention.
+class SentimentModel {
+ public:
+  explicit SentimentModel(SentimentOptions options) : options_(options) {}
+  SentimentModel() : SentimentModel(SentimentOptions{}) {}
+
+  /// Trains from labeled examples. Fails when either class is empty.
+  Status Train(const std::vector<SentimentExample>& examples);
+
+  /// Sentiment of a segmented comment. Unknown words contribute only
+  /// smoothing mass. Returns the prior for an empty token list.
+  double Score(const std::vector<std::string>& tokens) const;
+
+  /// Raw (un-normalized) multinomial NB posterior — SnowNLP's behaviour.
+  /// Saturates toward 0/1 on long documents; use for hard positive/negative
+  /// classification (the paper's ">99.8% of fraud comments are positive").
+  double ScoreRaw(const std::vector<std::string>& tokens) const;
+
+  bool trained() const { return trained_; }
+  size_t vocabulary_size() const { return word_stats_.size(); }
+
+  /// Log-odds contribution of a single word (diagnostics / tests).
+  double WordLogOdds(const std::string& word) const;
+
+  Status Save(const std::string& path) const;
+  static Result<SentimentModel> Load(const std::string& path);
+
+ private:
+  double ScoreImpl(const std::vector<std::string>& tokens,
+                   bool length_normalize) const;
+
+  struct WordStats {
+    uint64_t positive_count = 0;
+    uint64_t negative_count = 0;
+  };
+
+  SentimentOptions options_;
+  bool trained_ = false;
+  std::unordered_map<std::string, WordStats> word_stats_;
+  uint64_t total_positive_tokens_ = 0;
+  uint64_t total_negative_tokens_ = 0;
+};
+
+}  // namespace cats::nlp
+
+#endif  // CATS_NLP_SENTIMENT_H_

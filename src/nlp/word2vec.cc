@@ -1,0 +1,193 @@
+#include "nlp/word2vec.h"
+
+#include <atomic>
+#include <cmath>
+#include <thread>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace cats::nlp {
+namespace {
+
+/// Precomputed sigmoid table, as in the reference word2vec implementation.
+class SigmoidTable {
+ public:
+  SigmoidTable() {
+    for (size_t i = 0; i < kSize; ++i) {
+      double x = (static_cast<double>(i) / kSize * 2.0 - 1.0) * kMaxExp;
+      table_[i] = static_cast<float>(1.0 / (1.0 + std::exp(-x)));
+    }
+  }
+
+  float operator()(float x) const {
+    if (x >= kMaxExp) return 1.0f;
+    if (x <= -kMaxExp) return 0.0f;
+    size_t i = static_cast<size_t>((x + kMaxExp) / (2.0f * kMaxExp) * kSize);
+    if (i >= kSize) i = kSize - 1;
+    return table_[i];
+  }
+
+ private:
+  static constexpr float kMaxExp = 6.0f;
+  static constexpr size_t kSize = 1000;
+  float table_[kSize];
+};
+
+}  // namespace
+
+Result<EmbeddingStore> Word2Vec::Train(
+    const std::vector<std::vector<std::string>>& sentences) {
+  // --- Build and prune the vocabulary. ---
+  vocab_ = text::Vocabulary();
+  for (const auto& sentence : sentences) vocab_.AddSentence(sentence);
+  vocab_.PruneAndSortByFrequency(options_.min_count);
+  size_t vocab_size = vocab_.size();
+  if (vocab_size == 0) {
+    return Status::FailedPrecondition(
+        "word2vec corpus has no word above min_count");
+  }
+
+  // Encode corpus to ids once.
+  std::vector<std::vector<int32_t>> encoded;
+  encoded.reserve(sentences.size());
+  uint64_t total_tokens = 0;
+  for (const auto& sentence : sentences) {
+    std::vector<int32_t> ids = vocab_.Encode(sentence);
+    total_tokens += ids.size();
+    if (ids.size() >= 2) encoded.push_back(std::move(ids));
+  }
+  if (encoded.empty()) {
+    return Status::FailedPrecondition("word2vec corpus has no usable sentence");
+  }
+
+  // --- Allocate weights. ---
+  size_t dim = options_.dim;
+  std::vector<float> input((size_t)vocab_size * dim);
+  std::vector<float> output((size_t)vocab_size * dim, 0.0f);
+  Rng init_rng(options_.seed);
+  for (float& w : input) {
+    w = (static_cast<float>(init_rng.UniformDouble()) - 0.5f) / dim;
+  }
+
+  // Negative-sampling table: unigram^0.75.
+  std::vector<double> neg_weights(vocab_size);
+  for (size_t i = 0; i < vocab_size; ++i) {
+    neg_weights[i] =
+        std::pow(static_cast<double>(vocab_.CountOf(static_cast<int32_t>(i))),
+                 0.75);
+  }
+  AliasSampler neg_sampler(neg_weights);
+
+  // Subsampling keep-probabilities (Mikolov eq. 5 variant).
+  std::vector<float> keep_prob(vocab_size, 1.0f);
+  if (options_.subsample_t > 0) {
+    for (size_t i = 0; i < vocab_size; ++i) {
+      double f = static_cast<double>(vocab_.CountOf(static_cast<int32_t>(i))) /
+                 static_cast<double>(vocab_.total_tokens());
+      double keep = (std::sqrt(f / options_.subsample_t) + 1.0) *
+                    (options_.subsample_t / f);
+      keep_prob[i] = static_cast<float>(std::min(1.0, keep));
+    }
+  }
+
+  static const SigmoidTable sigmoid;
+  std::atomic<uint64_t> pair_count{0};
+  uint64_t approx_total_pairs =
+      std::max<uint64_t>(1, total_tokens * options_.window * options_.epochs);
+
+  size_t num_threads = std::max<size_t>(1, options_.num_threads);
+  std::vector<std::thread> workers;
+  workers.reserve(num_threads);
+
+  // Each worker owns a contiguous slice of sentences for every epoch.
+  for (size_t t = 0; t < num_threads; ++t) {
+    workers.emplace_back([&, t] {
+      Rng rng(options_.seed + 7919 * (t + 1), 0x1234 + t);
+      std::vector<float> grad(dim);
+      size_t begin = encoded.size() * t / num_threads;
+      size_t end = encoded.size() * (t + 1) / num_threads;
+      uint64_t local_pairs = 0;
+
+      for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+        for (size_t s = begin; s < end; ++s) {
+          // Apply frequent-word subsampling per epoch.
+          std::vector<int32_t> sent;
+          sent.reserve(encoded[s].size());
+          for (int32_t id : encoded[s]) {
+            if (keep_prob[id] >= 1.0f ||
+                rng.UniformDouble() < keep_prob[id]) {
+              sent.push_back(id);
+            }
+          }
+          if (sent.size() < 2) continue;
+
+          for (size_t center = 0; center < sent.size(); ++center) {
+            // Linear LR decay on global progress (approximate, lock-free).
+            uint64_t done = pair_count.load(std::memory_order_relaxed);
+            float progress = static_cast<float>(done) /
+                             static_cast<float>(approx_total_pairs);
+            float lr = options_.initial_lr * (1.0f - progress);
+            if (lr < options_.min_lr) lr = options_.min_lr;
+
+            size_t window = 1 + rng.UniformU32(
+                                    static_cast<uint32_t>(options_.window));
+            size_t lo = center >= window ? center - window : 0;
+            size_t hi = std::min(sent.size() - 1, center + window);
+            int32_t center_id = sent[center];
+            float* v_in = input.data() + (size_t)center_id * dim;
+
+            for (size_t ctx = lo; ctx <= hi; ++ctx) {
+              if (ctx == center) continue;
+              int32_t context_id = sent[ctx];
+              ++local_pairs;
+              for (size_t d = 0; d < dim; ++d) grad[d] = 0.0f;
+
+              // One positive + `negatives` negative updates.
+              for (size_t n = 0; n <= options_.negatives; ++n) {
+                int32_t target;
+                float label;
+                if (n == 0) {
+                  target = context_id;
+                  label = 1.0f;
+                } else {
+                  target = static_cast<int32_t>(neg_sampler.Sample(&rng));
+                  if (target == context_id) continue;
+                  label = 0.0f;
+                }
+                float* v_out = output.data() + (size_t)target * dim;
+                float dot = 0.0f;
+                for (size_t d = 0; d < dim; ++d) dot += v_in[d] * v_out[d];
+                float g = (label - sigmoid(dot)) * lr;
+                for (size_t d = 0; d < dim; ++d) {
+                  grad[d] += g * v_out[d];
+                  v_out[d] += g * v_in[d];
+                }
+              }
+              for (size_t d = 0; d < dim; ++d) v_in[d] += grad[d];
+
+              if ((local_pairs & 0x3FF) == 0) {
+                pair_count.fetch_add(0x400, std::memory_order_relaxed);
+              }
+            }
+          }
+        }
+      }
+      pair_count.fetch_add(local_pairs & 0x3FF, std::memory_order_relaxed);
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  trained_pairs_ = pair_count.load();
+
+  // --- Export input vectors. ---
+  EmbeddingStore store(dim);
+  std::vector<float> row(dim);
+  for (size_t i = 0; i < vocab_size; ++i) {
+    const float* src = input.data() + i * dim;
+    row.assign(src, src + dim);
+    store.Add(vocab_.WordOf(static_cast<int32_t>(i)), row);
+  }
+  return store;
+}
+
+}  // namespace cats::nlp

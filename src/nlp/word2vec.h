@@ -1,0 +1,60 @@
+#ifndef CATS_NLP_WORD2VEC_H_
+#define CATS_NLP_WORD2VEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nlp/embedding.h"
+#include "text/vocabulary.h"
+#include "util/result.h"
+
+namespace cats::nlp {
+
+/// Hyperparameters for skip-gram negative-sampling training.
+struct Word2VecOptions {
+  size_t dim = 64;              // embedding dimensionality
+  size_t window = 5;            // max context window (sampled per center)
+  size_t negatives = 5;         // negative samples per positive pair
+  size_t epochs = 3;            // passes over the corpus
+  float initial_lr = 0.05f;     // linearly decayed to min_lr
+  float min_lr = 1e-4f;
+  uint64_t min_count = 3;       // prune rarer words
+  double subsample_t = 1e-4;    // frequent-word subsampling threshold; 0=off
+  size_t num_threads = 4;       // Hogwild workers
+  uint64_t seed = 20190402;     // ICDE'19 vintage
+};
+
+/// Skip-gram word2vec with negative sampling (Mikolov et al. 2013),
+/// implemented from scratch. Substitutes for the TensorFlow word2vec the
+/// paper's semantic analyzer trains on 70M Taobao comments; here it trains
+/// on the simulated comment corpus and feeds the lexicon expansion of
+/// Table I.
+///
+/// Training is lock-free across threads (Hogwild): concurrent updates race
+/// benignly on the shared weight matrices, as in the reference C
+/// implementation.
+class Word2Vec {
+ public:
+  explicit Word2Vec(Word2VecOptions options) : options_(options) {}
+
+  /// Trains on `sentences` (each a sequence of word tokens) and returns the
+  /// input-embedding store. Fails if the corpus has no trainable word.
+  Result<EmbeddingStore> Train(
+      const std::vector<std::vector<std::string>>& sentences);
+
+  /// Vocabulary built during the last Train call (post-pruning).
+  const text::Vocabulary& vocabulary() const { return vocab_; }
+
+  /// Total (center, context) pairs consumed during the last Train call.
+  uint64_t trained_pairs() const { return trained_pairs_; }
+
+ private:
+  Word2VecOptions options_;
+  text::Vocabulary vocab_;
+  uint64_t trained_pairs_ = 0;
+};
+
+}  // namespace cats::nlp
+
+#endif  // CATS_NLP_WORD2VEC_H_

@@ -1,0 +1,190 @@
+#include "platform/api.h"
+
+#include <cstdlib>
+
+#include "util/json.h"
+#include "util/string_util.h"
+
+namespace cats::platform {
+namespace {
+
+/// Paginates a range of size `total`: returns [begin, end) of `page` and the
+/// page count.
+struct PageRange {
+  size_t begin = 0;
+  size_t end = 0;
+  size_t total_pages = 0;
+};
+
+PageRange Paginate(size_t total, size_t page, size_t page_size) {
+  PageRange r;
+  r.total_pages = (total + page_size - 1) / page_size;
+  if (r.total_pages == 0) r.total_pages = 1;
+  r.begin = std::min(total, page * page_size);
+  r.end = std::min(total, r.begin + page_size);
+  return r;
+}
+
+std::string WrapPage(size_t page, size_t total_pages, JsonValue data) {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("page", JsonValue::Int(static_cast<int64_t>(page)));
+  doc.Set("total_pages", JsonValue::Int(static_cast<int64_t>(total_pages)));
+  doc.Set("data", std::move(data));
+  return doc.Serialize();
+}
+
+/// Parses "<prefix><number><suffix>" routes; dst receives the number.
+bool ConsumeUint(std::string_view* s, uint64_t* dst) {
+  size_t i = 0;
+  uint64_t v = 0;
+  while (i < s->size() && (*s)[i] >= '0' && (*s)[i] <= '9') {
+    v = v * 10 + static_cast<uint64_t>((*s)[i] - '0');
+    ++i;
+  }
+  if (i == 0) return false;
+  *dst = v;
+  s->remove_prefix(i);
+  return true;
+}
+
+}  // namespace
+
+Result<std::string> MarketplaceApi::Get(std::string_view path) {
+  ++request_count_;
+  if (rng_.Bernoulli(options_.transient_failure_prob)) {
+    ++injected_failures_;
+    return Status::Unavailable("503 service unavailable (transient)");
+  }
+
+  // Split query string.
+  size_t page = 0;
+  std::string_view route = path;
+  size_t qpos = path.find('?');
+  if (qpos != std::string_view::npos) {
+    route = path.substr(0, qpos);
+    std::string_view query = path.substr(qpos + 1);
+    if (StartsWith(query, "page=")) {
+      page = static_cast<size_t>(
+          std::strtoull(std::string(query.substr(5)).c_str(), nullptr, 10));
+    } else {
+      return Status::InvalidArgument("unsupported query: " +
+                                     std::string(query));
+    }
+  }
+
+  if (route == "/shops") return ServeShops(page);
+
+  if (StartsWith(route, "/shops/")) {
+    std::string_view rest = route.substr(7);
+    uint64_t shop_id = 0;
+    if (ConsumeUint(&rest, &shop_id) && rest == "/items") {
+      return ServeItems(shop_id, page);
+    }
+  }
+  if (StartsWith(route, "/items/")) {
+    std::string_view rest = route.substr(7);
+    uint64_t item_id = 0;
+    if (ConsumeUint(&rest, &item_id) && rest == "/comments") {
+      return ServeComments(item_id, page);
+    }
+  }
+  return Status::NotFound("no route for " + std::string(path));
+}
+
+Result<std::string> MarketplaceApi::ServeShops(size_t page) {
+  const auto& shops = marketplace_->shops();
+  PageRange r = Paginate(shops.size(), page, options_.page_size);
+  if (page >= r.total_pages) {
+    return Status::OutOfRange(StrFormat("page %zu past end", page));
+  }
+  JsonValue data = JsonValue::Array();
+  auto append = [&data](const Shop& s) {
+    JsonValue rec = JsonValue::Object();
+    rec.Set("shop_id", JsonValue::String(std::to_string(s.id)));
+    rec.Set("shop_url", JsonValue::String(s.url));
+    rec.Set("shop_name", JsonValue::String(s.name));
+    data.Append(std::move(rec));
+  };
+  for (size_t i = r.begin; i < r.end; ++i) {
+    append(shops[i]);
+    if (rng_.Bernoulli(options_.duplicate_record_prob)) {
+      ++injected_duplicates_;
+      append(shops[i]);
+    }
+  }
+  return WrapPage(page, r.total_pages, std::move(data));
+}
+
+Result<std::string> MarketplaceApi::ServeItems(uint64_t shop_id, size_t page) {
+  if (shop_id >= marketplace_->shops().size()) {
+    return Status::NotFound(StrFormat("no shop %llu",
+                                      static_cast<unsigned long long>(
+                                          shop_id)));
+  }
+  const auto& item_ids = marketplace_->ItemsOfShop(shop_id);
+  PageRange r = Paginate(item_ids.size(), page, options_.page_size);
+  if (page >= r.total_pages) {
+    return Status::OutOfRange(StrFormat("page %zu past end", page));
+  }
+  JsonValue data = JsonValue::Array();
+  auto append = [&](const Item& item) {
+    JsonValue rec = JsonValue::Object();
+    rec.Set("item_id", JsonValue::String(std::to_string(item.id)));
+    rec.Set("shop_id", JsonValue::String(std::to_string(item.shop_id)));
+    rec.Set("item_name", JsonValue::String(item.name));
+    rec.Set("price", JsonValue::Number(item.price));
+    rec.Set("sales_volume", JsonValue::Int(item.sales_volume));
+    rec.Set("category",
+            JsonValue::String(std::string(ItemCategoryName(item.category))));
+    data.Append(std::move(rec));
+  };
+  for (size_t i = r.begin; i < r.end; ++i) {
+    const Item& item = marketplace_->items()[item_ids[i]];
+    append(item);
+    if (rng_.Bernoulli(options_.duplicate_record_prob)) {
+      ++injected_duplicates_;
+      append(item);
+    }
+  }
+  return WrapPage(page, r.total_pages, std::move(data));
+}
+
+Result<std::string> MarketplaceApi::ServeComments(uint64_t item_id,
+                                                  size_t page) {
+  if (item_id >= marketplace_->items().size()) {
+    return Status::NotFound(StrFormat("no item %llu",
+                                      static_cast<unsigned long long>(
+                                          item_id)));
+  }
+  const auto& comment_indices = marketplace_->CommentIndicesOfItem(item_id);
+  PageRange r = Paginate(comment_indices.size(), page, options_.page_size);
+  if (page >= r.total_pages && !comment_indices.empty() && page > 0) {
+    return Status::OutOfRange(StrFormat("page %zu past end", page));
+  }
+  JsonValue data = JsonValue::Array();
+  auto append = [&](const Comment& c) {
+    const User& user = marketplace_->users()[c.user_id];
+    JsonValue rec = JsonValue::Object();
+    rec.Set("item_id", JsonValue::String(std::to_string(c.item_id)));
+    rec.Set("comment_id", JsonValue::String(std::to_string(c.id)));
+    rec.Set("comment_content", JsonValue::String(c.content));
+    rec.Set("nickname", JsonValue::String(user.nickname));
+    // Listing 2 serializes userExpValue as a string.
+    rec.Set("userExpValue", JsonValue::String(std::to_string(user.exp_value)));
+    rec.Set("client_information",
+            JsonValue::String(std::string(ClientTypeName(c.client))));
+    rec.Set("date", JsonValue::String(c.date));
+    data.Append(std::move(rec));
+  };
+  for (size_t i = r.begin; i < r.end; ++i) {
+    const Comment& c = marketplace_->comments()[comment_indices[i]];
+    append(c);
+    if (rng_.Bernoulli(options_.duplicate_record_prob)) {
+      ++injected_duplicates_;
+      append(c);
+    }
+  }
+  return WrapPage(page, r.total_pages, std::move(data));
+}
+
+}  // namespace cats::platform

@@ -1,0 +1,70 @@
+#ifndef CATS_PLATFORM_API_H_
+#define CATS_PLATFORM_API_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "platform/marketplace.h"
+#include "util/random.h"
+#include "util/result.h"
+
+namespace cats::platform {
+
+struct ApiOptions {
+  size_t page_size = 50;
+  /// Probability a page contains a duplicated record (real platforms
+  /// repaginate under writes; the collector's duplicate filter must cope).
+  double duplicate_record_prob = 0.01;
+  /// Probability a request transiently fails with 503 (the crawler retries).
+  double transient_failure_prob = 0.004;
+  uint64_t seed = 99;
+};
+
+/// The public web surface of a marketplace: paginated JSON endpoints over
+/// exactly the public-domain data the paper's crawler scrapes (§IV-A).
+/// Ground-truth fields (is_fraud, hired, from_campaign) are never serialized.
+///
+/// Routes:
+///   /shops?page=K                  -> shop_id, shop_url, shop_name
+///   /shops/<id>/items?page=K      -> item_id, item_name, price,
+///                                     sales_volume, category
+///   /items/<id>/comments?page=K   -> item_id, comment_id, comment_content,
+///                                     nickname, userExpValue,
+///                                     client_information, date
+/// Responses: {"page":K,"total_pages":N,"data":[...]}.
+class MarketplaceApi {
+ public:
+  MarketplaceApi(const Marketplace* marketplace, ApiOptions options)
+      : marketplace_(marketplace),
+        options_(options),
+        rng_(options.seed, 0xA71) {}
+
+  explicit MarketplaceApi(const Marketplace* marketplace)
+      : MarketplaceApi(marketplace, ApiOptions{}) {}
+
+  /// Handles one GET. Returns the JSON body, or Unavailable on an injected
+  /// transient failure, or NotFound / InvalidArgument for bad routes.
+  Result<std::string> Get(std::string_view path);
+
+  uint64_t request_count() const { return request_count_; }
+  uint64_t injected_failures() const { return injected_failures_; }
+  uint64_t injected_duplicates() const { return injected_duplicates_; }
+  size_t page_size() const { return options_.page_size; }
+
+ private:
+  Result<std::string> ServeShops(size_t page);
+  Result<std::string> ServeItems(uint64_t shop_id, size_t page);
+  Result<std::string> ServeComments(uint64_t item_id, size_t page);
+
+  const Marketplace* marketplace_;  // not owned
+  ApiOptions options_;
+  Rng rng_;
+  uint64_t request_count_ = 0;
+  uint64_t injected_failures_ = 0;
+  uint64_t injected_duplicates_ = 0;
+};
+
+}  // namespace cats::platform
+
+#endif  // CATS_PLATFORM_API_H_

@@ -1,0 +1,83 @@
+#include "platform/campaign.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace cats::platform {
+
+CampaignPlan CampaignEngine::Plan(uint64_t shop_id,
+                                  std::vector<uint64_t> item_ids,
+                                  uint32_t start_day, Rng* rng) const {
+  CampaignPlan plan;
+  plan.shop_id = shop_id;
+  plan.item_ids = std::move(item_ids);
+  plan.start_day = start_day;
+  plan.stealth = rng->Bernoulli(options_.stealth_campaign_prob);
+
+  // Recruit a crew from the shared workforce, weighted by activity so the
+  // most active accounts join many campaigns.
+  std::unordered_set<uint64_t> seen;
+  size_t want = std::min(options_.crew_size, population_->num_hired());
+  size_t attempts = 0;
+  while (seen.size() < want && attempts < want * 50) {
+    seen.insert(population_->SampleHiredWeighted(rng));
+    ++attempts;
+  }
+  plan.crew.assign(seen.begin(), seen.end());
+  std::sort(plan.crew.begin(), plan.crew.end());
+
+  size_t num_templates = std::max<size_t>(
+      1, generator_->spam_options().template_pool_size);
+  plan.templates.reserve(num_templates);
+  for (size_t t = 0; t < num_templates; ++t) {
+    plan.templates.push_back(
+        generator_->GenerateSpamTemplate(rng, plan.stealth));
+  }
+  return plan;
+}
+
+ClientType CampaignEngine::SampleClient(Rng* rng) const {
+  double u = rng->UniformDouble();
+  double acc = 0.0;
+  for (int c = 0; c < 4; ++c) {
+    acc += options_.client_probs[c];
+    if (u < acc) return static_cast<ClientType>(c);
+  }
+  return ClientType::kWechat;
+}
+
+std::vector<Comment> CampaignEngine::EmitSpamComments(const CampaignPlan& plan,
+                                                      uint64_t item_id,
+                                                      Rng* rng) const {
+  std::vector<Comment> out;
+  double mean = options_.mean_spam_comments_per_item *
+                (plan.stealth ? options_.stealth_volume_factor : 1.0);
+  int64_t count = std::max<int64_t>(1, rng->Poisson(mean));
+  out.reserve(static_cast<size_t>(count));
+  for (int64_t k = 0; k < count; ++k) {
+    uint64_t user =
+        plan.crew.empty()
+            ? population_->SampleHiredWeighted(rng)
+            : plan.crew[rng->UniformU32(
+                  static_cast<uint32_t>(plan.crew.size()))];
+    size_t repeats = 1;
+    while (rng->Bernoulli(options_.repeat_purchase_prob) && repeats < 6) {
+      ++repeats;  // the same account buys again within the burst
+    }
+    for (size_t r = 0; r < repeats && out.size() < static_cast<size_t>(count);
+         ++r) {
+      Comment c;
+      c.item_id = item_id;
+      c.user_id = user;
+      const auto& tmpl = plan.templates[rng->UniformU32(
+          static_cast<uint32_t>(plan.templates.size()))];
+      c.content = generator_->GenerateSpamFromTemplate(tmpl, rng, plan.stealth);
+      c.client = SampleClient(rng);
+      c.from_campaign = true;
+      out.push_back(std::move(c));
+    }
+  }
+  return out;
+}
+
+}  // namespace cats::platform

@@ -1,0 +1,79 @@
+#ifndef CATS_PLATFORM_CAMPAIGN_H_
+#define CATS_PLATFORM_CAMPAIGN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "platform/comment_generator.h"
+#include "platform/entities.h"
+#include "platform/population.h"
+#include "util/random.h"
+
+namespace cats::platform {
+
+struct CampaignOptions {
+  /// Hired accounts recruited per campaign; the workforce pool is shared
+  /// across campaigns, which is what creates the paper's risky-user pairs
+  /// (83,745 pairs drawn from 1,056 accounts).
+  size_t crew_size = 30;
+  /// Spam comments inserted per target item, Poisson mean.
+  double mean_spam_comments_per_item = 11.0;
+  /// Probability a crew member buys the same item again immediately
+  /// (the paper finds 20% of risky users repeat-purchase; extreme cases
+  /// exceed 400 buys, which emerges from heavy-tailed crew activity).
+  double repeat_purchase_prob = 0.22;
+  /// Client mix of campaign orders: web-heavy (paper Fig 12a).
+  /// Order: web, android, iphone, wechat.
+  double client_probs[4] = {0.55, 0.25, 0.12, 0.08};
+  /// Campaign burst length in days.
+  uint32_t burst_days = 7;
+  /// Fraction of campaigns run in stealth mode (organic-looking templates,
+  /// fewer insertions) — the detector's recall ceiling.
+  double stealth_campaign_prob = 0.30;
+  /// Spam-volume multiplier for stealth campaigns.
+  double stealth_volume_factor = 0.55;
+};
+
+/// One malicious merchant's promotion campaign: a crew of hired accounts, a
+/// pool of promotional comment templates, and a start date.
+struct CampaignPlan {
+  uint64_t shop_id = 0;
+  std::vector<uint64_t> item_ids;             // targeted (fraud) items
+  std::vector<uint64_t> crew;                 // hired user ids
+  std::vector<std::vector<uint32_t>> templates;
+  uint32_t start_day = 0;
+  bool stealth = false;
+};
+
+/// Plans campaigns and emits their fraudulent orders/comments.
+class CampaignEngine {
+ public:
+  CampaignEngine(const CampaignOptions& options,
+                 const CommentGenerator* generator,
+                 const Population* population)
+      : options_(options), generator_(generator), population_(population) {}
+
+  /// Assembles a campaign for `shop_id` targeting `item_ids`.
+  CampaignPlan Plan(uint64_t shop_id, std::vector<uint64_t> item_ids,
+                    uint32_t start_day, Rng* rng) const;
+
+  /// Emits the spam comments for one target item of the plan. Comment ids
+  /// and dates are assigned by the caller (the marketplace owns the id
+  /// space); here user, client, text and ground-truth flags are filled in.
+  std::vector<Comment> EmitSpamComments(const CampaignPlan& plan,
+                                        uint64_t item_id, Rng* rng) const;
+
+  /// Samples a campaign-order client (web-heavy).
+  ClientType SampleClient(Rng* rng) const;
+
+  const CampaignOptions& options() const { return options_; }
+
+ private:
+  CampaignOptions options_;
+  const CommentGenerator* generator_;  // not owned
+  const Population* population_;       // not owned
+};
+
+}  // namespace cats::platform
+
+#endif  // CATS_PLATFORM_CAMPAIGN_H_

@@ -1,0 +1,172 @@
+#include "platform/comment_generator.h"
+
+#include <algorithm>
+
+namespace cats::platform {
+
+uint32_t CommentGenerator::SampleBenignWord(double quality, Polarity* prev,
+                                            Rng* rng) const {
+  // Polarity chaining: an evaluative word tends to continue its phrase.
+  if (*prev != Polarity::kNeutral &&
+      rng->Bernoulli(benign_.polarity_chain_prob)) {
+    return *prev == Polarity::kPositive ? language_->SamplePositive(rng)
+                                        : language_->SampleNegative(rng);
+  }
+  double p_pos = benign_.positive_base + benign_.positive_gain * quality;
+  double p_neg = benign_.negative_gain * (1.0 - quality);
+  double u = rng->UniformDouble();
+  uint32_t id;
+  if (u < p_pos) {
+    id = language_->SamplePositive(rng);
+    *prev = Polarity::kPositive;
+  } else if (u < p_pos + p_neg) {
+    id = language_->SampleNegative(rng);
+    *prev = Polarity::kNegative;
+  } else {
+    id = language_->SampleNeutral(rng);
+    *prev = Polarity::kNeutral;
+  }
+  return id;
+}
+
+std::string CommentGenerator::Render(const std::vector<uint32_t>& word_ids,
+                                     double punctuation_prob,
+                                     Rng* rng) const {
+  std::string out;
+  out.reserve(word_ids.size() * 7);
+  for (size_t i = 0; i < word_ids.size(); ++i) {
+    out += language_->word(word_ids[i]).text;
+    bool last = i + 1 == word_ids.size();
+    if (last) {
+      out += "\xE3\x80\x82";  // 。 sentence-final
+    } else if (rng->Bernoulli(punctuation_prob)) {
+      out += language_->SamplePunctuation(rng);
+    }
+  }
+  return out;
+}
+
+std::string CommentGenerator::GenerateBenign(double quality, Rng* rng) const {
+  if (rng->Bernoulli(benign_.enthusiast_prob * quality)) {
+    // Genuine gushing review: long, positive, punctuated, some repetition.
+    double p = 1.0 / benign_.enthusiast_mean_length;
+    size_t length = std::clamp<size_t>(
+        static_cast<size_t>(rng->Geometric(p)), 8, benign_.max_length_words);
+    std::vector<uint32_t> ids;
+    ids.reserve(length + 4);
+    for (size_t i = 0; i < length; ++i) {
+      uint32_t id = rng->Bernoulli(benign_.enthusiast_positive_prob)
+                        ? language_->SamplePositive(rng)
+                        : language_->SampleNeutral(rng);
+      ids.push_back(id);
+      if (rng->Bernoulli(benign_.enthusiast_duplicate_prob)) {
+        ids.push_back(id);
+      }
+    }
+    return Render(ids, benign_.enthusiast_punctuation_prob, rng);
+  }
+  size_t length;
+  if (rng->Bernoulli(benign_.short_comment_prob)) {
+    length = 2 + rng->UniformU32(2);  // 2-3 words
+  } else {
+    double p = 1.0 / benign_.mean_length_words;
+    length = static_cast<size_t>(rng->Geometric(p));
+    length = std::clamp<size_t>(length, 1, benign_.max_length_words);
+  }
+  std::vector<uint32_t> ids;
+  ids.reserve(length);
+  Polarity prev = Polarity::kNeutral;
+  for (size_t i = 0; i < length; ++i) {
+    ids.push_back(SampleBenignWord(quality, &prev, rng));
+  }
+  return Render(ids, benign_.punctuation_prob, rng);
+}
+
+std::vector<uint32_t> CommentGenerator::GenerateSpamTemplate(
+    Rng* rng, bool stealth) const {
+  double mean = stealth ? spam_.stealth_mean_length_words
+                        : spam_.mean_length_words;
+  double positive =
+      stealth ? spam_.stealth_positive_prob : spam_.positive_prob;
+  double p = 1.0 / mean;
+  size_t length = static_cast<size_t>(rng->Geometric(p));
+  size_t min_len = stealth ? 4 : spam_.min_length_words;
+  length = std::clamp(length, min_len, spam_.max_length_words);
+  std::vector<uint32_t> ids;
+  ids.reserve(length);
+  bool prev_positive = false;
+  for (size_t i = 0; i < length; ++i) {
+    bool emit_positive =
+        rng->Bernoulli(positive) ||
+        (prev_positive && rng->Bernoulli(spam_.polarity_chain_prob));
+    if (emit_positive) {
+      if (rng->Bernoulli(spam_.homograph_within_positive)) {
+        ids.push_back(language_->SampleHomograph(rng));
+      } else {
+        ids.push_back(language_->SamplePositive(rng));
+      }
+    } else {
+      ids.push_back(language_->SampleNeutral(rng));
+    }
+    prev_positive = emit_positive;
+  }
+  return ids;
+}
+
+std::string CommentGenerator::GenerateSpamFromTemplate(
+    const std::vector<uint32_t>& tmpl, Rng* rng, bool stealth) const {
+  double positive =
+      stealth ? spam_.stealth_positive_prob : spam_.positive_prob;
+  double duplicate = stealth ? spam_.stealth_duplicate_burst_prob
+                             : spam_.duplicate_burst_prob;
+  double punctuation =
+      stealth ? spam_.stealth_punctuation_prob : spam_.punctuation_prob;
+  std::vector<uint32_t> ids;
+  ids.reserve(tmpl.size() + 8);
+  for (uint32_t id : tmpl) {
+    if (rng->Bernoulli(spam_.jitter_prob)) {
+      if (rng->Bernoulli(0.5)) continue;  // drop
+      // Replace with a fresh positive or neutral word.
+      id = rng->Bernoulli(positive) ? language_->SamplePositive(rng)
+                                    : language_->SampleNeutral(rng);
+    }
+    ids.push_back(id);
+    // Promotional copy repeats its selling-point words.
+    if (rng->Bernoulli(duplicate)) {
+      size_t repeats = 1 + rng->UniformU32(2);
+      for (size_t r = 0; r < repeats; ++r) ids.push_back(id);
+    }
+  }
+  if (ids.empty()) ids.push_back(language_->SamplePositive(rng));
+  return Render(ids, punctuation, rng);
+}
+
+std::string CommentGenerator::GenerateSentimentTrainingDoc(bool positive,
+                                                           Rng* rng) const {
+  size_t length = 4 + rng->UniformU32(16);
+  std::vector<uint32_t> ids;
+  ids.reserve(length);
+  for (size_t i = 0; i < length; ++i) {
+    double u = rng->UniformDouble();
+    if (positive) {
+      if (u < 0.45) {
+        ids.push_back(language_->SamplePositive(rng));
+      } else if (u < 0.48) {
+        ids.push_back(language_->SampleNegative(rng));
+      } else {
+        ids.push_back(language_->SampleNeutral(rng));
+      }
+    } else {
+      if (u < 0.45) {
+        ids.push_back(language_->SampleNegative(rng));
+      } else if (u < 0.48) {
+        ids.push_back(language_->SamplePositive(rng));
+      } else {
+        ids.push_back(language_->SampleNeutral(rng));
+      }
+    }
+  }
+  return Render(ids, 0.08, rng);
+}
+
+}  // namespace cats::platform

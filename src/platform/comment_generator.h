@@ -1,0 +1,118 @@
+#ifndef CATS_PLATFORM_COMMENT_GENERATOR_H_
+#define CATS_PLATFORM_COMMENT_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "platform/language_model.h"
+#include "util/random.h"
+
+namespace cats::platform {
+
+/// Tunables for organic (benign-user) comments.
+struct BenignCommentOptions {
+  double mean_length_words = 9.0;    // geometric length
+  size_t max_length_words = 60;
+  double short_comment_prob = 0.12;  // "书很好。"-style 2-3 word reviews
+  double punctuation_prob = 0.07;    // punctuation after each word
+  /// Polarity mixing as a function of item quality q in [0,1]:
+  /// P(positive word) = positive_base + positive_gain * q,
+  /// P(negative word) = negative_gain * (1 - q).
+  double positive_base = 0.10;
+  double positive_gain = 0.22;
+  double negative_gain = 0.28;
+  /// Evaluative words arrive in phrases ("质量很好很满意"): after a
+  /// polarity word, the next word repeats that polarity with this
+  /// probability. This intra-window co-occurrence is what lets word2vec
+  /// cluster sentiment words (Table I).
+  double polarity_chain_prob = 0.65;
+  /// Some genuine shoppers write long, gushing, punctuation-heavy reviews
+  /// of items they love; these organic comments look promotional and are
+  /// the main source of detector false positives. Probability scales with
+  /// item quality: enthusiast_prob * q.
+  double enthusiast_prob = 0.06;
+  double enthusiast_mean_length = 26.0;
+  double enthusiast_positive_prob = 0.31;
+  double enthusiast_punctuation_prob = 0.13;
+  double enthusiast_duplicate_prob = 0.06;
+};
+
+/// Tunables for campaign (hired-spammer) comments.
+struct SpamCommentOptions {
+  double mean_length_words = 34.0;
+  size_t min_length_words = 12;
+  size_t max_length_words = 90;
+  double punctuation_prob = 0.16;
+  double positive_prob = 0.40;       // positive word probability per slot
+  double homograph_within_positive = 0.12;
+  double duplicate_burst_prob = 0.18;  // repeat the previous word 1-3 times
+  /// Template jitter: probability a template token is replaced or dropped
+  /// when a comment is instantiated from it.
+  double jitter_prob = 0.15;
+  size_t template_pool_size = 4;     // templates per campaign
+  /// Phrase chaining, as in benign text (see BenignCommentOptions).
+  double polarity_chain_prob = 0.65;
+  /// Stealth campaigns imitate organic reviews: shorter, fewer positive
+  /// words, less duplication — the detector's main source of false
+  /// negatives. These parameters replace the ones above when a campaign is
+  /// planned in stealth mode.
+  double stealth_mean_length_words = 12.0;
+  double stealth_positive_prob = 0.20;
+  double stealth_punctuation_prob = 0.09;
+  double stealth_duplicate_burst_prob = 0.06;
+};
+
+/// Generates organic and promotional comment text over a shared synthetic
+/// language. Produces the raw unsegmented strings that the crawler later
+/// collects; all paper-visible structure (length, punctuation, duplication,
+/// polarity mix) originates here.
+class CommentGenerator {
+ public:
+  CommentGenerator(const SyntheticLanguage* language,
+                   BenignCommentOptions benign, SpamCommentOptions spam)
+      : language_(language), benign_(benign), spam_(spam) {}
+
+  explicit CommentGenerator(const SyntheticLanguage* language)
+      : CommentGenerator(language, BenignCommentOptions{},
+                         SpamCommentOptions{}) {}
+
+  /// An organic comment for an item of latent quality `quality`.
+  std::string GenerateBenign(double quality, Rng* rng) const;
+
+  /// A promotion template: the token-id skeleton shared by one campaign's
+  /// hired comments. Stealth templates imitate organic writing.
+  std::vector<uint32_t> GenerateSpamTemplate(Rng* rng, bool stealth) const;
+  std::vector<uint32_t> GenerateSpamTemplate(Rng* rng) const {
+    return GenerateSpamTemplate(rng, /*stealth=*/false);
+  }
+
+  /// Instantiates a template with jitter, duplication bursts and
+  /// punctuation into final comment text.
+  std::string GenerateSpamFromTemplate(const std::vector<uint32_t>& tmpl,
+                                       Rng* rng, bool stealth) const;
+  std::string GenerateSpamFromTemplate(const std::vector<uint32_t>& tmpl,
+                                       Rng* rng) const {
+    return GenerateSpamFromTemplate(tmpl, rng, /*stealth=*/false);
+  }
+
+  /// Labeled review for training the sentiment model (positive reviews are
+  /// positive-word-heavy and vice versa).
+  std::string GenerateSentimentTrainingDoc(bool positive, Rng* rng) const;
+
+  const BenignCommentOptions& benign_options() const { return benign_; }
+  const SpamCommentOptions& spam_options() const { return spam_; }
+
+ private:
+  uint32_t SampleBenignWord(double quality, Polarity* prev, Rng* rng) const;
+  std::string Render(const std::vector<uint32_t>& word_ids,
+                     double punctuation_prob, Rng* rng) const;
+
+  const SyntheticLanguage* language_;  // not owned
+  BenignCommentOptions benign_;
+  SpamCommentOptions spam_;
+};
+
+}  // namespace cats::platform
+
+#endif  // CATS_PLATFORM_COMMENT_GENERATOR_H_

@@ -1,0 +1,41 @@
+#include "platform/entities.h"
+
+namespace cats::platform {
+
+std::string_view ClientTypeName(ClientType c) {
+  switch (c) {
+    case ClientType::kWeb:
+      return "Web";
+    case ClientType::kAndroid:
+      return "Android";
+    case ClientType::kIphone:
+      return "iPhone";
+    case ClientType::kWechat:
+      return "WeChat";
+  }
+  return "Unknown";
+}
+
+std::string_view ItemCategoryName(ItemCategory c) {
+  switch (c) {
+    case ItemCategory::kMensClothing:
+      return "men's clothing";
+    case ItemCategory::kWomensClothing:
+      return "women's clothing";
+    case ItemCategory::kMensShoes:
+      return "men's shoes";
+    case ItemCategory::kWomensShoes:
+      return "women's shoes";
+    case ItemCategory::kComputerOffice:
+      return "computer & office";
+    case ItemCategory::kPhoneAccessories:
+      return "phone & accessories";
+    case ItemCategory::kFoodGrocery:
+      return "food & grocery";
+    case ItemCategory::kSportsOutdoors:
+      return "sports & outdoors";
+  }
+  return "unknown";
+}
+
+}  // namespace cats::platform

@@ -1,0 +1,84 @@
+#ifndef CATS_PLATFORM_ENTITIES_H_
+#define CATS_PLATFORM_ENTITIES_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cats::platform {
+
+/// Order-source clients observable in public comment records (paper §V,
+/// order aspect / Fig 12).
+enum class ClientType : uint8_t { kWeb = 0, kAndroid, kIphone, kWechat };
+
+std::string_view ClientTypeName(ClientType c);
+
+/// The eight Taobao categories CATS was deployed on (paper §VI).
+enum class ItemCategory : uint8_t {
+  kMensClothing = 0,
+  kWomensClothing,
+  kMensShoes,
+  kWomensShoes,
+  kComputerOffice,
+  kPhoneAccessories,
+  kFoodGrocery,
+  kSportsOutdoors,
+};
+
+inline constexpr size_t kNumItemCategories = 8;
+
+std::string_view ItemCategoryName(ItemCategory c);
+
+/// An e-commerce account. `exp_value` mirrors E-platform's userExpValue
+/// reliability score (min 100, max 27,158,720 per the paper). `hired` is
+/// simulator ground truth (whether the account belongs to the promotion
+/// workforce) and is never exposed through the public API.
+struct User {
+  uint64_t id = 0;
+  std::string nickname;       // anonymized, e.g. "0***莉"
+  int64_t exp_value = 100;
+  bool hired = false;         // ground truth, hidden from the pipeline
+};
+
+/// Paper's userExpValue bounds.
+inline constexpr int64_t kMinUserExpValue = 100;
+inline constexpr int64_t kMaxUserExpValue = 27'158'720;
+
+/// A third-party shop.
+struct Shop {
+  uint64_t id = 0;
+  std::string name;
+  std::string url;
+  bool malicious = false;     // ground truth: runs promotion campaigns
+};
+
+/// An item listing. `quality` drives organic comment sentiment; `is_fraud`
+/// is ground truth (targeted by a promotion campaign).
+struct Item {
+  uint64_t id = 0;
+  uint64_t shop_id = 0;
+  std::string name;
+  double price = 0.0;
+  ItemCategory category = ItemCategory::kMensClothing;
+  int64_t sales_volume = 0;
+  double quality = 0.5;       // latent, in [0, 1]
+  bool is_fraud = false;      // ground truth, hidden from the pipeline
+};
+
+/// One purchase + its comment — the public record of Listing 2. Every
+/// order on the simulated platforms carries a comment (only buyers can
+/// comment, so client == order source).
+struct Comment {
+  uint64_t id = 0;
+  uint64_t item_id = 0;
+  uint64_t user_id = 0;
+  std::string content;        // unsegmented CJK-style text
+  ClientType client = ClientType::kAndroid;
+  std::string date;           // "YYYY-MM-DD HH:MM:SS"
+  bool from_campaign = false; // ground truth, hidden from the pipeline
+};
+
+}  // namespace cats::platform
+
+#endif  // CATS_PLATFORM_ENTITIES_H_

@@ -1,0 +1,166 @@
+#include "platform/language_model.h"
+
+#include <cassert>
+#include <unordered_set>
+
+#include "text/punctuation.h"
+#include "text/utf8.h"
+
+namespace cats::platform {
+namespace {
+
+/// Draws a fresh unique word of 1-3 CJK codepoints. Two-codepoint words
+/// dominate, matching Chinese word-length statistics.
+std::string GenerateWordText(Rng* rng,
+                             std::unordered_set<std::string>* taken) {
+  for (;;) {
+    double u = rng->UniformDouble();
+    size_t len = u < 0.15 ? 1 : (u < 0.85 ? 2 : 3);
+    std::string word;
+    for (size_t i = 0; i < len; ++i) {
+      uint32_t cp = 0x4E00 + rng->UniformU32(0x2000);
+      text::AppendCodepoint(cp, &word);
+    }
+    if (taken->insert(word).second) return word;
+  }
+}
+
+/// Swaps one codepoint of `base` for a fresh one — the 好评→好坪 homograph.
+std::string MakeHomograph(const std::string& base, Rng* rng,
+                          std::unordered_set<std::string>* taken) {
+  std::vector<uint32_t> cps = text::DecodeString(base);
+  for (;;) {
+    std::vector<uint32_t> variant = cps;
+    size_t pos = rng->UniformU32(static_cast<uint32_t>(variant.size()));
+    variant[pos] = 0x4E00 + rng->UniformU32(0x2000);
+    std::string word = text::EncodeString(variant);
+    if (word != base && taken->insert(word).second) return word;
+  }
+}
+
+ZipfDistribution MakeZipf(size_t n, double s) {
+  return ZipfDistribution(static_cast<uint32_t>(n > 0 ? n : 1), s);
+}
+
+}  // namespace
+
+SyntheticLanguage::SyntheticLanguage(LanguageOptions options)
+    : options_(options),
+      any_dist_(1, 1.0),       // placeholders, rebuilt below
+      neutral_dist_(1, 1.0),
+      positive_dist_(1, 1.0),
+      negative_dist_(1, 1.0) {
+  assert(options_.vocabulary_size > 0);
+  Rng rng(options_.seed, 0xBEEF);
+  std::unordered_set<std::string> taken;
+  words_.reserve(options_.vocabulary_size + options_.homograph_bases);
+
+  for (size_t i = 0; i < options_.vocabulary_size; ++i) {
+    LanguageWord w;
+    w.text = GenerateWordText(&rng, &taken);
+    // Skip rank 0/1 for polarity so the most common fillers stay neutral.
+    if (i >= 2 && i % options_.positive_period == 2) {
+      w.polarity = Polarity::kPositive;
+    } else if (i >= 2 && i % options_.negative_period == 5) {
+      w.polarity = Polarity::kNegative;
+    }
+    uint32_t id = static_cast<uint32_t>(words_.size());
+    switch (w.polarity) {
+      case Polarity::kNeutral:
+        neutral_ids_.push_back(id);
+        break;
+      case Polarity::kPositive:
+        positive_ids_.push_back(id);
+        break;
+      case Polarity::kNegative:
+        negative_ids_.push_back(id);
+        break;
+    }
+    words_.push_back(std::move(w));
+  }
+
+  // Homograph aliases of the most frequent positive words.
+  size_t bases = std::min(options_.homograph_bases, positive_ids_.size());
+  for (size_t b = 0; b < bases; ++b) {
+    const LanguageWord& base = words_[positive_ids_[b]];
+    LanguageWord w;
+    w.text = MakeHomograph(base.text, &rng, &taken);
+    w.polarity = Polarity::kPositive;
+    w.spam_homograph = true;
+    homograph_ids_.push_back(static_cast<uint32_t>(words_.size()));
+    words_.push_back(std::move(w));
+  }
+
+  double s = options_.zipf_exponent;
+  any_dist_ = MakeZipf(options_.vocabulary_size, s);
+  neutral_dist_ = MakeZipf(neutral_ids_.size(), s);
+  positive_dist_ = MakeZipf(positive_ids_.size(), s);
+  negative_dist_ = MakeZipf(negative_ids_.size(), s);
+}
+
+uint32_t SyntheticLanguage::SampleFromClass(
+    const std::vector<uint32_t>& members, const ZipfDistribution& dist,
+    Rng* rng) const {
+  assert(!members.empty());
+  return members[dist.Sample(rng)];
+}
+
+uint32_t SyntheticLanguage::SampleNeutral(Rng* rng) const {
+  return SampleFromClass(neutral_ids_, neutral_dist_, rng);
+}
+
+uint32_t SyntheticLanguage::SamplePositive(Rng* rng) const {
+  return SampleFromClass(positive_ids_, positive_dist_, rng);
+}
+
+uint32_t SyntheticLanguage::SampleNegative(Rng* rng) const {
+  return SampleFromClass(negative_ids_, negative_dist_, rng);
+}
+
+uint32_t SyntheticLanguage::SampleHomograph(Rng* rng) const {
+  assert(!homograph_ids_.empty());
+  return homograph_ids_[rng->UniformU32(
+      static_cast<uint32_t>(homograph_ids_.size()))];
+}
+
+uint32_t SyntheticLanguage::SampleAny(Rng* rng) const {
+  return any_dist_.Sample(rng);
+}
+
+std::vector<std::string> SyntheticLanguage::PositiveSeeds(size_t count) const {
+  std::vector<std::string> out;
+  for (size_t i = 0; i < count && i < positive_ids_.size(); ++i) {
+    out.push_back(words_[positive_ids_[i]].text);
+  }
+  return out;
+}
+
+std::vector<std::string> SyntheticLanguage::NegativeSeeds(size_t count) const {
+  std::vector<std::string> out;
+  for (size_t i = 0; i < count && i < negative_ids_.size(); ++i) {
+    out.push_back(words_[negative_ids_[i]].text);
+  }
+  return out;
+}
+
+Polarity SyntheticLanguage::PolarityOf(const std::string& word) const {
+  for (const LanguageWord& w : words_) {
+    if (w.text == word) return w.polarity;
+  }
+  return Polarity::kNeutral;
+}
+
+text::SegmentationDictionary SyntheticLanguage::BuildSegmentationDictionary()
+    const {
+  text::SegmentationDictionary dict;
+  for (const LanguageWord& w : words_) dict.AddWord(w.text);
+  return dict;
+}
+
+std::string SyntheticLanguage::SamplePunctuation(Rng* rng) const {
+  const auto& marks = text::CjkPunctuationMarks();
+  uint32_t cp = marks[rng->UniformU32(static_cast<uint32_t>(marks.size()))];
+  return text::EncodeCodepoint(cp);
+}
+
+}  // namespace cats::platform

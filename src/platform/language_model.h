@@ -1,0 +1,97 @@
+#ifndef CATS_PLATFORM_LANGUAGE_MODEL_H_
+#define CATS_PLATFORM_LANGUAGE_MODEL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "text/segmenter.h"
+#include "util/random.h"
+
+namespace cats::platform {
+
+/// Word polarity in the synthetic language.
+enum class Polarity : uint8_t { kNeutral = 0, kPositive, kNegative };
+
+/// A word of the synthetic language.
+struct LanguageWord {
+  std::string text;        // 1-3 CJK codepoints, unsegmented in comments
+  Polarity polarity = Polarity::kNeutral;
+  bool spam_homograph = false;  // codepoint-swapped alias of a positive seed
+};
+
+struct LanguageOptions {
+  size_t vocabulary_size = 4000;
+  double zipf_exponent = 1.05;
+  /// One word in `positive_period` is positive, likewise negative; defaults
+  /// give ~8% positive and ~8% negative vocabulary.
+  size_t positive_period = 12;
+  size_t negative_period = 12;
+  /// Number of top positive words that get homograph spam aliases
+  /// (simulating 好评 -> 好坪/好平, paper Table I).
+  size_t homograph_bases = 6;
+  uint64_t seed = 42;
+};
+
+/// Deterministic synthetic CJK-like language shared by all simulated
+/// platforms (Taobao-sim and E-platform-sim both serve Chinese-speaking
+/// users, paper §VII). Words are short codepoint strings rendered without
+/// separators, so the real FMM segmenter is exercised end to end.
+///
+/// Substitutes for: the natural Chinese of the paper's 70M-comment corpus.
+/// Preserved behaviour: Zipfian frequencies, polarity-bearing words, spam
+/// homograph variants that only occur in promotional text.
+class SyntheticLanguage {
+ public:
+  explicit SyntheticLanguage(LanguageOptions options);
+
+  const std::vector<LanguageWord>& words() const { return words_; }
+  size_t vocabulary_size() const { return words_.size(); }
+
+  /// Sampling by polarity class; frequency within a class is Zipfian by the
+  /// class's own rank order. Returns an index into words().
+  uint32_t SampleNeutral(Rng* rng) const;
+  uint32_t SamplePositive(Rng* rng) const;
+  uint32_t SampleNegative(Rng* rng) const;
+  /// Samples a spam homograph alias (spam text only).
+  uint32_t SampleHomograph(Rng* rng) const;
+  /// Samples from the full vocabulary (background distribution).
+  uint32_t SampleAny(Rng* rng) const;
+
+  const LanguageWord& word(uint32_t index) const { return words_[index]; }
+
+  /// Positive / negative seed words for the lexicon expansion (the most
+  /// frequent polarity words — the 好评/差评 analogues).
+  std::vector<std::string> PositiveSeeds(size_t count) const;
+  std::vector<std::string> NegativeSeeds(size_t count) const;
+
+  /// Ground-truth polarity of a word string (for validating expanded
+  /// lexicons in tests/benches). Homographs count as positive.
+  Polarity PolarityOf(const std::string& word) const;
+
+  /// A segmentation dictionary covering the whole vocabulary (homographs
+  /// included) — the analogue of a segmenter's stock dictionary.
+  text::SegmentationDictionary BuildSegmentationDictionary() const;
+
+  /// A random fullwidth punctuation mark, UTF-8 encoded.
+  std::string SamplePunctuation(Rng* rng) const;
+
+ private:
+  uint32_t SampleFromClass(const std::vector<uint32_t>& members,
+                           const ZipfDistribution& dist, Rng* rng) const;
+
+  LanguageOptions options_;
+  std::vector<LanguageWord> words_;
+  std::vector<uint32_t> neutral_ids_;
+  std::vector<uint32_t> positive_ids_;   // excludes homographs
+  std::vector<uint32_t> negative_ids_;
+  std::vector<uint32_t> homograph_ids_;
+  ZipfDistribution any_dist_;
+  ZipfDistribution neutral_dist_;
+  ZipfDistribution positive_dist_;
+  ZipfDistribution negative_dist_;
+};
+
+}  // namespace cats::platform
+
+#endif  // CATS_PLATFORM_LANGUAGE_MODEL_H_

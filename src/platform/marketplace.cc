@@ -1,0 +1,226 @@
+#include "platform/marketplace.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace cats::platform {
+namespace {
+
+/// Days per month for the simulated window starting 2017-09-01.
+constexpr uint32_t kWindowDays = 120;
+
+}  // namespace
+
+Marketplace Marketplace::Generate(const MarketplaceConfig& config,
+                                  const SyntheticLanguage* language) {
+  Rng rng(config.seed, 0xCA75);
+  Marketplace m(config, language, rng);
+  return m;
+}
+
+Marketplace::Marketplace(const MarketplaceConfig& config,
+                         const SyntheticLanguage* language, Rng rng)
+    : config_(config),
+      language_(language),
+      generator_(language, config.benign_comments, config.spam_comments),
+      population_(config.population, &rng),
+      engine_(config.campaign, &generator_, &population_),
+      rng_(rng) {
+  GenerateShopsAndItems(&rng_);
+  GenerateOrganicComments(&rng_);
+  RunCampaigns(&rng_);
+  FinalizeSalesVolumes(&rng_);
+}
+
+ClientType Marketplace::SampleBenignClient(Rng* rng) const {
+  double u = rng->UniformDouble();
+  double acc = 0.0;
+  for (int c = 0; c < 4; ++c) {
+    acc += config_.benign_client_probs[c];
+    if (u < acc) return static_cast<ClientType>(c);
+  }
+  return ClientType::kWechat;
+}
+
+std::string Marketplace::FormatDate(uint32_t day,
+                                    uint32_t second_of_day) const {
+  // Window starts 2017-09-01; roll through month lengths.
+  static constexpr uint32_t kMonthDays[] = {30, 31, 30, 31, 31, 28};
+  static constexpr uint32_t kMonthNums[] = {9, 10, 11, 12, 1, 2};
+  uint32_t year = 2017;
+  uint32_t remaining = day;
+  for (size_t m = 0; m < 6; ++m) {
+    if (remaining < kMonthDays[m]) {
+      uint32_t month = kMonthNums[m];
+      if (month <= 2) year = 2018;
+      return StrFormat("%u-%02u-%02u %02u:%02u:%02u", year, month,
+                       remaining + 1, second_of_day / 3600,
+                       (second_of_day / 60) % 60, second_of_day % 60);
+    }
+    remaining -= kMonthDays[m];
+  }
+  return StrFormat("2018-02-28 00:00:%02u", second_of_day % 60);
+}
+
+void Marketplace::GenerateShopsAndItems(Rng* rng) {
+  size_t num_campaign_shops = std::max<size_t>(
+      1, static_cast<size_t>(
+             std::ceil(static_cast<double>(config_.num_fraud_items) /
+                       config_.fraud_items_per_campaign_mean)));
+  if (config_.num_fraud_items == 0) num_campaign_shops = 0;
+  size_t num_normal_shops = std::max<size_t>(
+      1, static_cast<size_t>(
+             std::ceil(static_cast<double>(config_.num_normal_items) /
+                       config_.items_per_shop_mean)));
+
+  auto make_item_name = [this, rng]() {
+    std::string name = language_->word(language_->SampleNeutral(rng)).text;
+    name += language_->word(language_->SampleAny(rng)).text;
+    return name;
+  };
+
+  size_t total_shops = num_normal_shops + num_campaign_shops;
+  shops_.reserve(total_shops);
+  shop_items_.resize(total_shops);
+  items_.reserve(config_.num_normal_items + config_.num_fraud_items);
+
+  auto add_item = [&](uint64_t shop_id, bool fraud) {
+    Item item;
+    item.id = items_.size();
+    item.shop_id = shop_id;
+    item.name = make_item_name();
+    item.price = rng->LogNormal(3.5, 1.0);
+    item.category = static_cast<ItemCategory>(
+        rng->UniformU32(static_cast<uint32_t>(kNumItemCategories)));
+    item.quality = fraud ? rng->Beta(config_.fraud_quality_alpha,
+                                     config_.fraud_quality_beta)
+                         : rng->Beta(config_.normal_quality_alpha,
+                                     config_.normal_quality_beta);
+    item.is_fraud = fraud;
+    shop_items_[shop_id].push_back(item.id);
+    items_.push_back(std::move(item));
+    if (fraud) ++num_fraud_items_;
+  };
+
+  // Normal shops with normal items, distributed round-robin with jitter.
+  for (size_t s = 0; s < num_normal_shops; ++s) {
+    Shop shop;
+    shop.id = shops_.size();
+    shop.name = language_->word(language_->SampleNeutral(rng)).text + "店";
+    shop.url = StrFormat("https://shop%llu.%s.example",
+                         static_cast<unsigned long long>(shop.id),
+                         config_.name.c_str());
+    shop.malicious = false;
+    shops_.push_back(std::move(shop));
+  }
+  for (size_t i = 0; i < config_.num_normal_items; ++i) {
+    add_item(rng->UniformU32(static_cast<uint32_t>(num_normal_shops)), false);
+  }
+
+  // Malicious shops: their fraud items plus a little legitimate inventory.
+  size_t fraud_left = config_.num_fraud_items;
+  for (size_t s = 0; s < num_campaign_shops; ++s) {
+    Shop shop;
+    shop.id = shops_.size();
+    shop.name = language_->word(language_->SampleNeutral(rng)).text + "店";
+    shop.url = StrFormat("https://shop%llu.%s.example",
+                         static_cast<unsigned long long>(shop.id),
+                         config_.name.c_str());
+    shop.malicious = true;
+    uint64_t shop_id = shop.id;
+    shops_.push_back(std::move(shop));
+
+    size_t quota = std::min<size_t>(
+        fraud_left,
+        std::max<int64_t>(
+            1, rng->Poisson(config_.fraud_items_per_campaign_mean)));
+    if (s + 1 == num_campaign_shops) quota = fraud_left;  // take the rest
+    for (size_t k = 0; k < quota; ++k) add_item(shop_id, true);
+    fraud_left -= quota;
+    size_t cover = 1 + rng->UniformU32(3);  // legitimate cover items
+    for (size_t k = 0; k < cover; ++k) add_item(shop_id, false);
+  }
+  item_comments_.resize(items_.size());
+}
+
+void Marketplace::GenerateOrganicComments(Rng* rng) {
+  for (Item& item : items_) {
+    double mean = item.is_fraud ? config_.mean_organic_comments_fraud
+                                : config_.mean_organic_comments_normal;
+    // Popularity modulation: heavy-tailed item popularity.
+    double popularity = rng->LogNormal(0.0, 0.7);
+    int64_t count = rng->Poisson(mean * popularity);
+    if (!item.is_fraud && rng->Bernoulli(config_.low_sales_prob)) {
+      count = rng->UniformU32(3);  // nearly dead listing
+    }
+    for (int64_t k = 0; k < count; ++k) {
+      Comment c;
+      c.id = comments_.size();
+      c.item_id = item.id;
+      c.user_id =
+          item.is_fraud && rng->Bernoulli(config_.fraud_organic_lowrep_prob)
+              ? population_.SampleBenignLowReputation(rng)
+              : population_.SampleBenign(rng);
+      c.content = generator_.GenerateBenign(item.quality, rng);
+      c.client = SampleBenignClient(rng);
+      c.date = FormatDate(rng->UniformU32(kWindowDays),
+                          rng->UniformU32(86400));
+      c.from_campaign = false;
+      item_comments_[item.id].push_back(static_cast<uint32_t>(c.id));
+      comments_.push_back(std::move(c));
+    }
+  }
+}
+
+void Marketplace::RunCampaigns(Rng* rng) {
+  for (const Shop& shop : shops_) {
+    if (!shop.malicious) continue;
+    std::vector<uint64_t> targets;
+    for (uint64_t item_id : shop_items_[shop.id]) {
+      if (items_[item_id].is_fraud) targets.push_back(item_id);
+    }
+    if (targets.empty()) continue;
+    uint32_t start_day =
+        rng->UniformU32(kWindowDays - engine_.options().burst_days);
+    CampaignPlan plan = engine_.Plan(shop.id, targets, start_day, rng);
+    for (uint64_t item_id : plan.item_ids) {
+      std::vector<Comment> spam = engine_.EmitSpamComments(plan, item_id, rng);
+      for (Comment& c : spam) {
+        c.id = comments_.size();
+        c.date = FormatDate(
+            plan.start_day + rng->UniformU32(engine_.options().burst_days),
+            rng->UniformU32(86400));
+        item_comments_[item_id].push_back(static_cast<uint32_t>(c.id));
+        comments_.push_back(std::move(c));
+      }
+    }
+    campaigns_.push_back(std::move(plan));
+  }
+}
+
+void Marketplace::FinalizeSalesVolumes(Rng* rng) {
+  // Only buyers can comment, so sales >= comments; some buyers stay silent.
+  for (Item& item : items_) {
+    size_t commented = item_comments_[item.id].size();
+    item.sales_volume =
+        static_cast<int64_t>(commented) +
+        rng->Poisson(0.35 * static_cast<double>(commented) + 0.5);
+  }
+}
+
+std::vector<std::pair<std::string, bool>> Marketplace::BuildSentimentCorpus(
+    size_t count, uint64_t seed) const {
+  Rng rng(seed, 0x5E47);
+  std::vector<std::pair<std::string, bool>> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    bool positive = (i % 2) == 0;
+    out.emplace_back(generator_.GenerateSentimentTrainingDoc(positive, &rng),
+                     positive);
+  }
+  return out;
+}
+
+}  // namespace cats::platform

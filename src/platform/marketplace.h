@@ -1,0 +1,126 @@
+#ifndef CATS_PLATFORM_MARKETPLACE_H_
+#define CATS_PLATFORM_MARKETPLACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "platform/campaign.h"
+#include "platform/comment_generator.h"
+#include "platform/entities.h"
+#include "platform/language_model.h"
+#include "platform/population.h"
+#include "util/random.h"
+#include "util/result.h"
+
+namespace cats::platform {
+
+/// Workload shape of one simulated platform. Presets (presets.h) derive
+/// these from the paper's dataset tables (IV, V and §IV-A) at a chosen
+/// scale factor.
+struct MarketplaceConfig {
+  std::string name = "marketplace";
+  size_t num_normal_items = 2000;
+  size_t num_fraud_items = 120;
+  double items_per_shop_mean = 15.0;
+  /// Fraud items targeted per malicious-merchant campaign.
+  double fraud_items_per_campaign_mean = 4.0;
+  /// Organic comment volume (Poisson mean, modulated by item popularity).
+  double mean_organic_comments_normal = 11.0;
+  double mean_organic_comments_fraud = 3.0;
+  /// Fraction of items with almost no sales (exercise the rule filter's
+  /// sales-volume < 5 branch).
+  double low_sales_prob = 0.06;
+  /// Probability an organic buyer of a FRAUD item comes from the benign
+  /// population's least-reliable slice: promoted bargain listings draw
+  /// newer shoppers (paper Fig 11's low-userExpValue buyer skew).
+  double fraud_organic_lowrep_prob = 0.25;
+  /// Item quality Beta parameters (normal vs fraud items; fraud targets
+  /// are typically mediocre goods needing promotion).
+  double normal_quality_alpha = 4.0, normal_quality_beta = 2.0;
+  double fraud_quality_alpha = 2.0, fraud_quality_beta = 3.0;
+  /// Client mix of organic orders: app-heavy (paper Fig 12b).
+  /// Order: web, android, iphone, wechat.
+  double benign_client_probs[4] = {0.14, 0.45, 0.31, 0.10};
+  PopulationOptions population;
+  CampaignOptions campaign;
+  BenignCommentOptions benign_comments;
+  SpamCommentOptions spam_comments;
+  uint64_t seed = 20170901;
+};
+
+/// A fully generated platform: users, shops, items and comment/order
+/// records, plus ground truth. The public "web" API (api.h) exposes only
+/// the public-domain slice of this to the crawler.
+class Marketplace {
+ public:
+  /// Generates a marketplace over a shared language.
+  static Marketplace Generate(const MarketplaceConfig& config,
+                              const SyntheticLanguage* language);
+
+  const std::string& name() const { return config_.name; }
+  const MarketplaceConfig& config() const { return config_; }
+  const SyntheticLanguage& language() const { return *language_; }
+
+  const std::vector<User>& users() const { return population_.users(); }
+  const Population& population() const { return population_; }
+  const std::vector<Shop>& shops() const { return shops_; }
+  const std::vector<Item>& items() const { return items_; }
+  const std::vector<Comment>& comments() const { return comments_; }
+
+  /// Comment indices (into comments()) of one item.
+  const std::vector<uint32_t>& CommentIndicesOfItem(uint64_t item_id) const {
+    return item_comments_[item_id];
+  }
+
+  /// Item ids of one shop.
+  const std::vector<uint64_t>& ItemsOfShop(uint64_t shop_id) const {
+    return shop_items_[shop_id];
+  }
+
+  /// Ground truth (never exposed through the public API).
+  bool IsFraudItem(uint64_t item_id) const {
+    return items_[item_id].is_fraud;
+  }
+  size_t NumFraudItems() const { return num_fraud_items_; }
+
+  /// The campaigns that were injected (ground truth, for forensics tests).
+  const std::vector<CampaignPlan>& campaigns() const { return campaigns_; }
+
+  /// Builds a labeled sentiment-training corpus in this marketplace's
+  /// language (`count` docs, half positive) — the stand-in for SnowNLP's
+  /// shipped training data.
+  std::vector<std::pair<std::string, bool>> BuildSentimentCorpus(
+      size_t count, uint64_t seed) const;
+
+ private:
+  Marketplace(const MarketplaceConfig& config,
+              const SyntheticLanguage* language, Rng rng);
+
+  void GenerateShopsAndItems(Rng* rng);
+  void GenerateOrganicComments(Rng* rng);
+  void RunCampaigns(Rng* rng);
+  void FinalizeSalesVolumes(Rng* rng);
+
+  ClientType SampleBenignClient(Rng* rng) const;
+  std::string FormatDate(uint32_t day, uint32_t second_of_day) const;
+
+  MarketplaceConfig config_;
+  const SyntheticLanguage* language_;  // not owned
+  CommentGenerator generator_;
+  Population population_;
+  CampaignEngine engine_;
+  Rng rng_;
+
+  std::vector<Shop> shops_;
+  std::vector<Item> items_;
+  std::vector<Comment> comments_;
+  std::vector<std::vector<uint32_t>> item_comments_;
+  std::vector<std::vector<uint64_t>> shop_items_;
+  std::vector<CampaignPlan> campaigns_;
+  size_t num_fraud_items_ = 0;
+};
+
+}  // namespace cats::platform
+
+#endif  // CATS_PLATFORM_MARKETPLACE_H_

@@ -1,0 +1,121 @@
+#include "platform/population.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "text/utf8.h"
+
+namespace cats::platform {
+
+std::string MakeNickname(Rng* rng) {
+  // First visible character: digit, latin letter, or CJK.
+  std::string out;
+  double u = rng->UniformDouble();
+  if (u < 0.3) {
+    out.push_back(static_cast<char>('0' + rng->UniformU32(10)));
+  } else if (u < 0.5) {
+    out.push_back(static_cast<char>('a' + rng->UniformU32(26)));
+  } else {
+    text::AppendCodepoint(0x4E00 + rng->UniformU32(0x2000), &out);
+  }
+  out += "***";
+  text::AppendCodepoint(0x4E00 + rng->UniformU32(0x2000), &out);
+  return out;
+}
+
+namespace {
+
+int64_t ClipExpValue(double v) {
+  if (v < static_cast<double>(kMinUserExpValue)) return kMinUserExpValue;
+  if (v > static_cast<double>(kMaxUserExpValue)) return kMaxUserExpValue;
+  return static_cast<int64_t>(v);
+}
+
+}  // namespace
+
+int64_t SampleBenignExpValue(const PopulationOptions& options, Rng* rng) {
+  return ClipExpValue(
+      rng->LogNormal(options.benign_log_mu, options.benign_log_sigma));
+}
+
+int64_t SampleHiredExpValue(const PopulationOptions& options, Rng* rng) {
+  if (rng->Bernoulli(options.hired_min_value_prob)) return kMinUserExpValue;
+  return ClipExpValue(
+      rng->LogNormal(options.hired_log_mu, options.hired_log_sigma));
+}
+
+Population::Population(const PopulationOptions& options, Rng* rng) {
+  num_benign_ = options.num_benign_users;
+  users_.reserve(options.num_benign_users + options.num_hired_users);
+  for (size_t i = 0; i < options.num_benign_users; ++i) {
+    User u;
+    u.id = users_.size();
+    u.nickname = MakeNickname(rng);
+    u.exp_value = SampleBenignExpValue(options, rng);
+    u.hired = false;
+    users_.push_back(std::move(u));
+  }
+  hired_activity_.reserve(options.num_hired_users);
+  for (size_t i = 0; i < options.num_hired_users; ++i) {
+    User u;
+    u.id = users_.size();
+    u.nickname = MakeNickname(rng);
+    u.exp_value = SampleHiredExpValue(options, rng);
+    u.hired = true;
+    users_.push_back(std::move(u));
+    // Pareto-style activity: w = (1 - U)^(-alpha).
+    double draw = rng->UniformDouble();
+    hired_activity_.push_back(
+        std::pow(1.0 - draw, -options.hired_activity_alpha));
+  }
+  // Cumulative weights for weighted sampling.
+  hired_cdf_.resize(hired_activity_.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < hired_activity_.size(); ++i) {
+    acc += hired_activity_[i];
+    hired_cdf_[i] = acc;
+  }
+
+  benign_by_exp_.resize(num_benign_);
+  for (size_t i = 0; i < num_benign_; ++i) benign_by_exp_[i] = i;
+  std::sort(benign_by_exp_.begin(), benign_by_exp_.end(),
+            [this](uint64_t a, uint64_t b) {
+              return users_[a].exp_value < users_[b].exp_value;
+            });
+}
+
+uint64_t Population::SampleBenignLowReputation(Rng* rng) const {
+  if (benign_by_exp_.empty()) return 0;
+  size_t slice = std::max<size_t>(1, benign_by_exp_.size() * 3 / 20);  // bottom 15%
+  return benign_by_exp_[rng->UniformU32(static_cast<uint32_t>(slice))];
+}
+
+uint64_t Population::SampleBenign(Rng* rng) const {
+  return rng->UniformU32(static_cast<uint32_t>(num_benign_));
+}
+
+uint64_t Population::SampleHiredWeighted(Rng* rng) const {
+  if (hired_cdf_.empty()) return SampleBenign(rng);
+  double u = rng->UniformDouble() * hired_cdf_.back();
+  size_t lo = 0, hi = hired_cdf_.size() - 1;
+  while (lo < hi) {
+    size_t mid = lo + (hi - lo) / 2;
+    if (hired_cdf_[mid] < u) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return num_benign_ + lo;
+}
+
+std::vector<uint64_t> Population::hired_ids() const {
+  std::vector<uint64_t> out;
+  out.reserve(num_hired());
+  for (size_t i = num_benign_; i < users_.size(); ++i) {
+    out.push_back(users_[i].id);
+  }
+  return out;
+}
+
+}  // namespace cats::platform

@@ -1,0 +1,35 @@
+#include "text/ngram.h"
+
+namespace cats::text {
+
+std::string BigramKey(const std::string& w1, const std::string& w2) {
+  std::string key;
+  key.reserve(w1.size() + w2.size() + 1);
+  key += w1;
+  key.push_back('\x1f');
+  key += w2;
+  return key;
+}
+
+size_t PositiveBigramSet::CountIn(
+    const std::vector<std::string>& tokens) const {
+  if (tokens.size() < 2) return 0;
+  size_t n = 0;
+  for (size_t i = 0; i + 1 < tokens.size(); ++i) {
+    if (Contains(tokens[i], tokens[i + 1])) ++n;
+  }
+  return n;
+}
+
+std::vector<std::pair<std::string, std::string>> Bigrams(
+    const std::vector<std::string>& tokens) {
+  std::vector<std::pair<std::string, std::string>> out;
+  if (tokens.size() < 2) return out;
+  out.reserve(tokens.size() - 1);
+  for (size_t i = 0; i + 1 < tokens.size(); ++i) {
+    out.emplace_back(tokens[i], tokens[i + 1]);
+  }
+  return out;
+}
+
+}  // namespace cats::text

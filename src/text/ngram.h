@@ -1,0 +1,43 @@
+#ifndef CATS_TEXT_NGRAM_H_
+#define CATS_TEXT_NGRAM_H_
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+namespace cats::text {
+
+/// A 2-gram of adjacent word tokens, keyed as "w1\x1fw2".
+std::string BigramKey(const std::string& w1, const std::string& w2);
+
+/// The paper's positive 2-gram set G: bigrams (Wi, Wj) where at least one of
+/// the two words belongs to the positive lexicon. Built once from a token
+/// universe; membership queried per comment.
+class PositiveBigramSet {
+ public:
+  PositiveBigramSet() = default;
+
+  void Insert(const std::string& w1, const std::string& w2) {
+    bigrams_.insert(BigramKey(w1, w2));
+  }
+
+  bool Contains(const std::string& w1, const std::string& w2) const {
+    return bigrams_.count(BigramKey(w1, w2)) > 0;
+  }
+
+  size_t size() const { return bigrams_.size(); }
+
+  /// Counts adjacent pairs of `tokens` that are members.
+  size_t CountIn(const std::vector<std::string>& tokens) const;
+
+ private:
+  std::unordered_set<std::string> bigrams_;
+};
+
+/// Enumerates adjacent bigrams of a token sequence.
+std::vector<std::pair<std::string, std::string>> Bigrams(
+    const std::vector<std::string>& tokens);
+
+}  // namespace cats::text
+
+#endif  // CATS_TEXT_NGRAM_H_

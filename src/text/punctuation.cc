@@ -1,0 +1,49 @@
+#include "text/punctuation.h"
+
+#include "text/utf8.h"
+
+namespace cats::text {
+
+bool IsPunctuation(uint32_t cp) {
+  // ASCII punctuation.
+  if ((cp >= 0x21 && cp <= 0x2F) || (cp >= 0x3A && cp <= 0x40) ||
+      (cp >= 0x5B && cp <= 0x60) || (cp >= 0x7B && cp <= 0x7E)) {
+    return true;
+  }
+  // General punctuation block (…, —, ‘’, “”).
+  if (cp >= 0x2000 && cp <= 0x206F) return true;
+  // CJK symbols and punctuation (、。〃〈〉《》「」).
+  if (cp >= 0x3000 && cp <= 0x303F) return true;
+  // Fullwidth forms that are punctuation (！＂＃ … ～).
+  if ((cp >= 0xFF01 && cp <= 0xFF0F) || (cp >= 0xFF1A && cp <= 0xFF20) ||
+      (cp >= 0xFF3B && cp <= 0xFF40) || (cp >= 0xFF5B && cp <= 0xFF65)) {
+    return true;
+  }
+  return false;
+}
+
+size_t CountPunctuation(std::string_view s) {
+  size_t n = 0;
+  size_t pos = 0;
+  while (pos < s.size()) {
+    if (IsPunctuation(DecodeOne(s, &pos))) ++n;
+  }
+  return n;
+}
+
+const std::vector<uint32_t>& CjkPunctuationMarks() {
+  static const std::vector<uint32_t>* marks = new std::vector<uint32_t>{
+      0xFF0C,  // ，
+      0x3002,  // 。
+      0xFF01,  // ！
+      0xFF1F,  // ？
+      0x3001,  // 、
+      0xFF1A,  // ：
+      0xFF1B,  // ；
+      0x2026,  // …
+      0xFF5E,  // ～
+  };
+  return *marks;
+}
+
+}  // namespace cats::text

@@ -1,0 +1,24 @@
+#ifndef CATS_TEXT_PUNCTUATION_H_
+#define CATS_TEXT_PUNCTUATION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace cats::text {
+
+/// True for ASCII and CJK punctuation codepoints. Drives the paper's
+/// structural features (sumPunctuationNumber, averagePunctuationRatio).
+bool IsPunctuation(uint32_t cp);
+
+/// Number of punctuation codepoints in a UTF-8 string.
+size_t CountPunctuation(std::string_view s);
+
+/// The fullwidth punctuation marks the synthetic comment generator inserts
+/// (，。！？、：；…～ and friends), as codepoints.
+const std::vector<uint32_t>& CjkPunctuationMarks();
+
+}  // namespace cats::text
+
+#endif  // CATS_TEXT_PUNCTUATION_H_

@@ -1,0 +1,81 @@
+#include "text/segmenter.h"
+
+#include <algorithm>
+
+#include "text/punctuation.h"
+#include "text/utf8.h"
+
+namespace cats::text {
+
+void SegmentationDictionary::AddWord(std::string_view word) {
+  if (word.empty()) return;
+  auto [it, inserted] = words_.insert(std::string(word));
+  if (inserted) {
+    max_word_codepoints_ =
+        std::max(max_word_codepoints_, CodepointCount(word));
+  }
+}
+
+std::vector<std::string> Segmenter::Segment(std::string_view sentence) const {
+  std::vector<std::string> tokens;
+  if (sentence.empty()) return tokens;
+
+  // Pre-decode codepoints with their byte offsets so candidate substrings
+  // can be sliced without re-decoding.
+  std::vector<size_t> offsets;  // offsets[i] = byte offset of codepoint i
+  offsets.reserve(sentence.size());
+  {
+    size_t pos = 0;
+    while (pos < sentence.size()) {
+      offsets.push_back(pos);
+      DecodeOne(sentence, &pos);
+    }
+    offsets.push_back(sentence.size());  // sentinel: end of text
+  }
+  size_t n = offsets.size() - 1;  // number of codepoints
+  size_t window = std::max<size_t>(1, dictionary_->max_word_codepoints());
+
+  size_t i = 0;
+  while (i < n) {
+    size_t byte_at = offsets[i];
+    size_t tmp = byte_at;
+    uint32_t cp = DecodeOne(sentence, &tmp);
+
+    if (cp == ' ' || cp == '\t' || cp == '\n' || cp == '\r' || cp == 0x3000) {
+      ++i;
+      continue;
+    }
+    if (IsPunctuation(cp)) {
+      if (options_.emit_punctuation) {
+        tokens.emplace_back(sentence.substr(byte_at, offsets[i + 1] - byte_at));
+      }
+      ++i;
+      continue;
+    }
+
+    // Forward maximum matching: longest dictionary word starting at i.
+    size_t best_len = 0;
+    size_t max_len = std::min(window, n - i);
+    for (size_t len = max_len; len >= 1; --len) {
+      std::string_view candidate =
+          sentence.substr(byte_at, offsets[i + len] - byte_at);
+      if (dictionary_->Contains(candidate)) {
+        best_len = len;
+        break;
+      }
+    }
+    if (best_len > 0) {
+      tokens.emplace_back(
+          sentence.substr(byte_at, offsets[i + best_len] - byte_at));
+      i += best_len;
+    } else {
+      if (options_.emit_oov_chars) {
+        tokens.emplace_back(sentence.substr(byte_at, offsets[i + 1] - byte_at));
+      }
+      ++i;
+    }
+  }
+  return tokens;
+}
+
+}  // namespace cats::text

@@ -1,0 +1,74 @@
+#ifndef CATS_TEXT_SEGMENTER_H_
+#define CATS_TEXT_SEGMENTER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+namespace cats::text {
+
+/// Word dictionary for the segmenter: a set of UTF-8 words plus the longest
+/// entry's codepoint length (the FMM window).
+class SegmentationDictionary {
+ public:
+  SegmentationDictionary() = default;
+
+  /// Adds a word (ignored if empty).
+  void AddWord(std::string_view word);
+
+  bool Contains(std::string_view word) const {
+    return words_.count(std::string(word)) > 0;
+  }
+
+  size_t size() const { return words_.size(); }
+  size_t max_word_codepoints() const { return max_word_codepoints_; }
+
+  /// Unordered view of all entries (serialization / diagnostics).
+  const std::unordered_set<std::string>& words() const { return words_; }
+
+ private:
+  std::unordered_set<std::string> words_;
+  size_t max_word_codepoints_ = 0;
+};
+
+/// Options controlling token emission.
+struct SegmenterOptions {
+  /// Emit punctuation codepoints as single-character tokens. The paper's
+  /// word-level features operate on words only, so the default is off;
+  /// punctuation statistics are computed from the raw text instead.
+  bool emit_punctuation = false;
+  /// Emit out-of-vocabulary codepoints as single-character tokens (jieba's
+  /// behaviour). When off, OOV characters are dropped.
+  bool emit_oov_chars = true;
+};
+
+/// Dictionary-driven forward-maximum-matching (FMM) word segmenter for
+/// unsegmented CJK-style text — the standard mechanism of dictionary Chinese
+/// segmenters, substituting for jieba in the paper's pipeline. At each
+/// position it takes the longest dictionary word starting there; whitespace
+/// is always skipped; unknown characters fall back to single-codepoint
+/// tokens.
+class Segmenter {
+ public:
+  Segmenter(const SegmentationDictionary* dictionary, SegmenterOptions options)
+      : dictionary_(dictionary), options_(options) {}
+
+  explicit Segmenter(const SegmentationDictionary* dictionary)
+      : Segmenter(dictionary, SegmenterOptions{}) {}
+
+  /// Segments `sentence` into word tokens.
+  std::vector<std::string> Segment(std::string_view sentence) const;
+
+  const SegmentationDictionary& dictionary() const { return *dictionary_; }
+
+ private:
+  const SegmentationDictionary* dictionary_;  // not owned
+  SegmenterOptions options_;
+};
+
+}  // namespace cats::text
+
+#endif  // CATS_TEXT_SEGMENTER_H_

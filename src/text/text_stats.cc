@@ -1,0 +1,47 @@
+#include "text/text_stats.h"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "text/punctuation.h"
+#include "text/utf8.h"
+
+namespace cats::text {
+
+double TokenEntropy(const std::vector<std::string>& tokens) {
+  if (tokens.empty()) return 0.0;
+  std::unordered_map<std::string, size_t> freq;
+  for (const std::string& t : tokens) ++freq[t];
+  double n = static_cast<double>(tokens.size());
+  double h = 0.0;
+  for (const auto& [token, count] : freq) {
+    double p = static_cast<double>(count) / n;
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+double UniqueTokenRatio(const std::vector<std::string>& tokens) {
+  if (tokens.empty()) return 0.0;
+  std::unordered_map<std::string, size_t> freq;
+  for (const std::string& t : tokens) ++freq[t];
+  return static_cast<double>(freq.size()) /
+         static_cast<double>(tokens.size());
+}
+
+CommentStructure AnalyzeStructure(std::string_view raw_comment) {
+  CommentStructure out;
+  size_t pos = 0;
+  while (pos < raw_comment.size()) {
+    uint32_t cp = DecodeOne(raw_comment, &pos);
+    ++out.codepoint_length;
+    if (IsPunctuation(cp)) ++out.punctuation_count;
+  }
+  if (out.codepoint_length > 0) {
+    out.punctuation_ratio = static_cast<double>(out.punctuation_count) /
+                            static_cast<double>(out.codepoint_length);
+  }
+  return out;
+}
+
+}  // namespace cats::text

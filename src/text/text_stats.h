@@ -1,0 +1,33 @@
+#ifndef CATS_TEXT_TEXT_STATS_H_
+#define CATS_TEXT_TEXT_STATS_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cats::text {
+
+/// Shannon entropy (bits) of the token frequency distribution of one
+/// comment: -sum_t p(t) log2 p(t) where p(t) is the token's frequency within
+/// the comment. This is the paper's measure of how "chaotically" a comment
+/// is organized (Fig 3, averageCommentEntropy).
+double TokenEntropy(const std::vector<std::string>& tokens);
+
+/// Number of distinct tokens / total tokens; 0 for an empty sequence.
+/// Feeds uniqueWordRatio (Fig 5).
+double UniqueTokenRatio(const std::vector<std::string>& tokens);
+
+/// Structural statistics of one raw (unsegmented) comment.
+struct CommentStructure {
+  size_t codepoint_length = 0;     // total codepoints (Fig 4 length)
+  size_t punctuation_count = 0;    // punctuation codepoints (Fig 2)
+  double punctuation_ratio = 0.0;  // punctuation / codepoints
+};
+
+/// Computes structural stats from raw comment text.
+CommentStructure AnalyzeStructure(std::string_view raw_comment);
+
+}  // namespace cats::text
+
+#endif  // CATS_TEXT_TEXT_STATS_H_

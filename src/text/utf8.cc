@@ -1,0 +1,99 @@
+#include "text/utf8.h"
+
+namespace cats::text {
+
+void AppendCodepoint(uint32_t cp, std::string* out) {
+  if (cp < 0x80) {
+    out->push_back(static_cast<char>(cp));
+  } else if (cp < 0x800) {
+    out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else if (cp < 0x10000) {
+    out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else {
+    out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  }
+}
+
+std::string EncodeCodepoint(uint32_t cp) {
+  std::string out;
+  AppendCodepoint(cp, &out);
+  return out;
+}
+
+uint32_t DecodeOne(std::string_view s, size_t* pos) {
+  size_t i = *pos;
+  unsigned char c0 = static_cast<unsigned char>(s[i]);
+  if (c0 < 0x80) {
+    *pos = i + 1;
+    return c0;
+  }
+  auto cont = [&s](size_t k) {
+    return k < s.size() &&
+           (static_cast<unsigned char>(s[k]) & 0xC0) == 0x80;
+  };
+  if ((c0 & 0xE0) == 0xC0 && cont(i + 1)) {
+    uint32_t cp = (c0 & 0x1F) << 6 |
+                  (static_cast<unsigned char>(s[i + 1]) & 0x3F);
+    *pos = i + 2;
+    return cp >= 0x80 ? cp : kReplacementChar;
+  }
+  if ((c0 & 0xF0) == 0xE0 && cont(i + 1) && cont(i + 2)) {
+    uint32_t cp = (c0 & 0x0F) << 12 |
+                  (static_cast<unsigned char>(s[i + 1]) & 0x3F) << 6 |
+                  (static_cast<unsigned char>(s[i + 2]) & 0x3F);
+    *pos = i + 3;
+    return cp >= 0x800 ? cp : kReplacementChar;
+  }
+  if ((c0 & 0xF8) == 0xF0 && cont(i + 1) && cont(i + 2) && cont(i + 3)) {
+    uint32_t cp = (c0 & 0x07) << 18 |
+                  (static_cast<unsigned char>(s[i + 1]) & 0x3F) << 12 |
+                  (static_cast<unsigned char>(s[i + 2]) & 0x3F) << 6 |
+                  (static_cast<unsigned char>(s[i + 3]) & 0x3F);
+    *pos = i + 4;
+    return (cp >= 0x10000 && cp <= 0x10FFFF) ? cp : kReplacementChar;
+  }
+  *pos = i + 1;
+  return kReplacementChar;
+}
+
+std::vector<uint32_t> DecodeString(std::string_view s) {
+  std::vector<uint32_t> out;
+  out.reserve(s.size() / 2);
+  size_t pos = 0;
+  while (pos < s.size()) out.push_back(DecodeOne(s, &pos));
+  return out;
+}
+
+std::string EncodeString(const std::vector<uint32_t>& cps) {
+  std::string out;
+  out.reserve(cps.size() * 3);
+  for (uint32_t cp : cps) AppendCodepoint(cp, &out);
+  return out;
+}
+
+size_t CodepointCount(std::string_view s) {
+  size_t n = 0;
+  size_t pos = 0;
+  while (pos < s.size()) {
+    DecodeOne(s, &pos);
+    ++n;
+  }
+  return n;
+}
+
+size_t EncodedLength(uint32_t cp) {
+  if (cp < 0x80) return 1;
+  if (cp < 0x800) return 2;
+  if (cp < 0x10000) return 3;
+  return 4;
+}
+
+bool IsCjk(uint32_t cp) { return cp >= 0x4E00 && cp <= 0x9FFF; }
+
+}  // namespace cats::text

@@ -1,0 +1,44 @@
+#ifndef CATS_TEXT_UTF8_H_
+#define CATS_TEXT_UTF8_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cats::text {
+
+/// U+FFFD, returned by DecodeOne for malformed sequences.
+inline constexpr uint32_t kReplacementChar = 0xFFFD;
+
+/// Appends the UTF-8 encoding of `cp` to `out`.
+void AppendCodepoint(uint32_t cp, std::string* out);
+
+/// Returns the UTF-8 encoding of a single codepoint.
+std::string EncodeCodepoint(uint32_t cp);
+
+/// Decodes one codepoint at byte offset `*pos`, advancing `*pos` past it.
+/// Malformed bytes consume one byte and decode to kReplacementChar, so
+/// iteration always terminates.
+uint32_t DecodeOne(std::string_view s, size_t* pos);
+
+/// Decodes a whole string into codepoints.
+std::vector<uint32_t> DecodeString(std::string_view s);
+
+/// Encodes a codepoint sequence back to UTF-8.
+std::string EncodeString(const std::vector<uint32_t>& cps);
+
+/// Number of codepoints in `s`.
+size_t CodepointCount(std::string_view s);
+
+/// Number of bytes the UTF-8 encoding of `cp` occupies (1-4).
+size_t EncodedLength(uint32_t cp);
+
+/// True if the codepoint is in the CJK Unified Ideographs block (the
+/// synthetic language draws its "characters" from this block).
+bool IsCjk(uint32_t cp);
+
+}  // namespace cats::text
+
+#endif  // CATS_TEXT_UTF8_H_

@@ -1,0 +1,79 @@
+#include "text/vocabulary.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace cats::text {
+
+int32_t Vocabulary::AddOccurrence(std::string_view word) {
+  ++total_tokens_;
+  auto it = index_.find(std::string(word));
+  if (it != index_.end()) {
+    ++counts_[it->second];
+    return it->second;
+  }
+  int32_t id = static_cast<int32_t>(words_.size());
+  index_.emplace(std::string(word), id);
+  words_.emplace_back(word);
+  counts_.push_back(1);
+  return id;
+}
+
+void Vocabulary::AddSentence(const std::vector<std::string>& tokens) {
+  for (const std::string& t : tokens) AddOccurrence(t);
+}
+
+int32_t Vocabulary::Lookup(std::string_view word) const {
+  auto it = index_.find(std::string(word));
+  return it == index_.end() ? kUnknownWordId : it->second;
+}
+
+uint64_t Vocabulary::CountOfWord(std::string_view word) const {
+  int32_t id = Lookup(word);
+  return id == kUnknownWordId ? 0 : counts_[id];
+}
+
+size_t Vocabulary::PruneAndSortByFrequency(uint64_t min_count) {
+  std::vector<int32_t> order(words_.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [this](int32_t a, int32_t b) {
+    return counts_[a] > counts_[b];
+  });
+
+  std::vector<std::string> new_words;
+  std::vector<uint64_t> new_counts;
+  new_words.reserve(words_.size());
+  new_counts.reserve(counts_.size());
+  size_t removed = 0;
+  uint64_t kept_tokens = 0;
+  for (int32_t old_id : order) {
+    if (counts_[old_id] < min_count) {
+      ++removed;
+      continue;
+    }
+    new_words.push_back(std::move(words_[old_id]));
+    new_counts.push_back(counts_[old_id]);
+    kept_tokens += counts_[old_id];
+  }
+  words_ = std::move(new_words);
+  counts_ = std::move(new_counts);
+  index_.clear();
+  for (size_t i = 0; i < words_.size(); ++i) {
+    index_.emplace(words_[i], static_cast<int32_t>(i));
+  }
+  total_tokens_ = kept_tokens;
+  return removed;
+}
+
+std::vector<int32_t> Vocabulary::Encode(
+    const std::vector<std::string>& tokens) const {
+  std::vector<int32_t> ids;
+  ids.reserve(tokens.size());
+  for (const std::string& t : tokens) {
+    int32_t id = Lookup(t);
+    if (id != kUnknownWordId) ids.push_back(id);
+  }
+  return ids;
+}
+
+}  // namespace cats::text

@@ -1,0 +1,57 @@
+#ifndef CATS_TEXT_VOCABULARY_H_
+#define CATS_TEXT_VOCABULARY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace cats::text {
+
+inline constexpr int32_t kUnknownWordId = -1;
+
+/// Bidirectional word <-> dense id map with occurrence counts. Built by
+/// scanning a token stream; word2vec and the sentiment model both index
+/// through this.
+class Vocabulary {
+ public:
+  Vocabulary() = default;
+
+  /// Adds one occurrence of `word`, creating an id on first sight.
+  int32_t AddOccurrence(std::string_view word);
+
+  /// Adds every token in the sentence.
+  void AddSentence(const std::vector<std::string>& tokens);
+
+  /// Returns the id of `word` or kUnknownWordId.
+  int32_t Lookup(std::string_view word) const;
+
+  const std::string& WordOf(int32_t id) const { return words_[id]; }
+  uint64_t CountOf(int32_t id) const { return counts_[id]; }
+  uint64_t CountOfWord(std::string_view word) const;
+
+  size_t size() const { return words_.size(); }
+  uint64_t total_tokens() const { return total_tokens_; }
+
+  /// Drops words with fewer than `min_count` occurrences and reassigns dense
+  /// ids in descending-frequency order (ties broken by first-seen order).
+  /// Returns the number of words removed.
+  size_t PruneAndSortByFrequency(uint64_t min_count);
+
+  /// Converts tokens to ids, skipping unknown words.
+  std::vector<int32_t> Encode(const std::vector<std::string>& tokens) const;
+
+  const std::vector<uint64_t>& counts() const { return counts_; }
+
+ private:
+  std::unordered_map<std::string, int32_t> index_;
+  std::vector<std::string> words_;
+  std::vector<uint64_t> counts_;
+  uint64_t total_tokens_ = 0;
+};
+
+}  // namespace cats::text
+
+#endif  // CATS_TEXT_VOCABULARY_H_

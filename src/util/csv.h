@@ -1,0 +1,45 @@
+#ifndef CATS_UTIL_CSV_H_
+#define CATS_UTIL_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace cats {
+
+/// Writes rows as RFC-4180-ish CSV (quotes fields containing separators).
+/// Benches use this to dump experiment series next to the ASCII charts so
+/// figures can be re-plotted externally.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::string path) : path_(std::move(path)) {}
+
+  void SetHeader(std::vector<std::string> header) {
+    header_ = std::move(header);
+  }
+  void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  /// Writes header + rows to `path`; truncates any existing file.
+  Status Flush() const;
+
+ private:
+  std::string path_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Reads an entire CSV file. Handles quoted fields and embedded separators;
+/// does not handle embedded newlines (none of our files contain them).
+Result<std::vector<std::vector<std::string>>> ReadCsv(const std::string& path);
+
+/// Reads a whole file into a string.
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// Writes a string to a file (truncating).
+Status WriteStringToFile(const std::string& path, const std::string& content);
+
+}  // namespace cats
+
+#endif  // CATS_UTIL_CSV_H_

@@ -1,0 +1,104 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace cats {
+
+Histogram::Histogram(double lo, double hi, size_t num_bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(num_bins)) {
+  assert(hi > lo);
+  assert(num_bins > 0);
+  counts_.assign(num_bins, 0);
+}
+
+size_t Histogram::BinIndex(double x) const {
+  if (x <= lo_) return 0;
+  if (x >= hi_) return counts_.size() - 1;
+  size_t i = static_cast<size_t>((x - lo_) / width_);
+  return std::min(i, counts_.size() - 1);
+}
+
+void Histogram::Add(double x) {
+  ++counts_[BinIndex(x)];
+  ++total_;
+}
+
+void Histogram::AddAll(const std::vector<double>& xs) {
+  for (double x : xs) Add(x);
+}
+
+double Histogram::BinCenter(size_t i) const {
+  return lo_ + (static_cast<double>(i) + 0.5) * width_;
+}
+
+double Histogram::Density(size_t i) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(counts_[i]) /
+         (static_cast<double>(total_) * width_);
+}
+
+double Histogram::Fraction(size_t i) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(counts_[i]) / static_cast<double>(total_);
+}
+
+double Histogram::CdfAt(size_t i) const {
+  if (total_ == 0) return 0.0;
+  uint64_t acc = 0;
+  for (size_t k = 0; k <= i && k < counts_.size(); ++k) acc += counts_[k];
+  return static_cast<double>(acc) / static_cast<double>(total_);
+}
+
+std::string Histogram::ToAsciiChart(int width) const {
+  double max_density = 0.0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    max_density = std::max(max_density, Density(i));
+  }
+  std::string out;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    double d = Density(i);
+    int bars = max_density > 0
+                   ? static_cast<int>(std::lround(d / max_density * width))
+                   : 0;
+    out += StrFormat("  [%8.3f, %8.3f)  %8.4f  ", lo_ + i * width_,
+                     lo_ + (i + 1) * width_, d);
+    out.append(static_cast<size_t>(bars), '#');
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::string Histogram::ToAsciiComparison(const Histogram& a,
+                                         const Histogram& b,
+                                         const std::string& label_a,
+                                         const std::string& label_b,
+                                         int width) {
+  assert(a.num_bins() == b.num_bins());
+  double max_density = 0.0;
+  for (size_t i = 0; i < a.num_bins(); ++i) {
+    max_density = std::max({max_density, a.Density(i), b.Density(i)});
+  }
+  std::string out = StrFormat("  %-22s %-*s | %-*s\n", "bin", width + 9,
+                              label_a.c_str(), width + 9, label_b.c_str());
+  for (size_t i = 0; i < a.num_bins(); ++i) {
+    double da = a.Density(i), db = b.Density(i);
+    int ba = max_density > 0
+                 ? static_cast<int>(std::lround(da / max_density * width))
+                 : 0;
+    int bb = max_density > 0
+                 ? static_cast<int>(std::lround(db / max_density * width))
+                 : 0;
+    std::string bar_a(static_cast<size_t>(ba), '#');
+    std::string bar_b(static_cast<size_t>(bb), '*');
+    out += StrFormat("  [%8.3f,%8.3f)  %7.4f %-*s | %7.4f %-*s\n",
+                     a.lo_ + i * a.width_, a.lo_ + (i + 1) * a.width_, da,
+                     width, bar_a.c_str(), db, width, bar_b.c_str());
+  }
+  return out;
+}
+
+}  // namespace cats

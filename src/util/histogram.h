@@ -1,0 +1,63 @@
+#ifndef CATS_UTIL_HISTOGRAM_H_
+#define CATS_UTIL_HISTOGRAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cats {
+
+/// Fixed-width-bin histogram over [lo, hi]. Values outside the range are
+/// clamped into the edge bins so no observation is dropped — the paper's
+/// distribution figures (Figs 1-5, 10-13) are regenerated from these.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, size_t num_bins);
+
+  void Add(double x);
+  void AddAll(const std::vector<double>& xs);
+
+  size_t num_bins() const { return counts_.size(); }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  uint64_t total() const { return total_; }
+  uint64_t bin_count(size_t i) const { return counts_[i]; }
+
+  /// Center x-coordinate of bin i.
+  double BinCenter(size_t i) const;
+
+  /// Probability density: count / (total * bin_width). Integrates to 1.
+  double Density(size_t i) const;
+
+  /// Fraction of mass in bin i.
+  double Fraction(size_t i) const;
+
+  /// Empirical CDF evaluated at the right edge of bin i.
+  double CdfAt(size_t i) const;
+
+  /// Renders a compact fixed-width ASCII chart of the density, one row per
+  /// bin: "  [0.40, 0.45)  0.0312  ###########". Used by the figure benches.
+  std::string ToAsciiChart(int width = 48) const;
+
+  /// Renders two histograms (same binning) side by side, labelled; the
+  /// paper's fraud-vs-normal overlay figures print through this.
+  static std::string ToAsciiComparison(const Histogram& a,
+                                       const Histogram& b,
+                                       const std::string& label_a,
+                                       const std::string& label_b,
+                                       int width = 30);
+
+ private:
+  size_t BinIndex(double x) const;
+
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<uint64_t> counts_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace cats
+
+#endif  // CATS_UTIL_HISTOGRAM_H_

@@ -1,0 +1,419 @@
+#include "util/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/string_util.h"
+
+namespace cats {
+
+JsonValue JsonValue::Bool(bool b) {
+  JsonValue v;
+  v.type_ = Type::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::Number(double d) {
+  JsonValue v;
+  v.type_ = Type::kNumber;
+  v.number_ = d;
+  return v;
+}
+
+JsonValue JsonValue::String(std::string s) {
+  JsonValue v;
+  v.type_ = Type::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::Array() {
+  JsonValue v;
+  v.type_ = Type::kArray;
+  return v;
+}
+
+JsonValue JsonValue::Object() {
+  JsonValue v;
+  v.type_ = Type::kObject;
+  return v;
+}
+
+const JsonValue* JsonValue::Get(std::string_view key) const {
+  for (const auto& [k, v] : object_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+void JsonValue::Set(std::string key, JsonValue v) {
+  for (auto& [k, existing] : object_) {
+    if (k == key) {
+      existing = std::move(v);
+      return;
+    }
+  }
+  object_.emplace_back(std::move(key), std::move(v));
+}
+
+Result<std::string> JsonValue::GetString(std::string_view key) const {
+  const JsonValue* v = Get(key);
+  if (v == nullptr)
+    return Status::NotFound(StrFormat("missing key '%.*s'",
+                                      static_cast<int>(key.size()),
+                                      key.data()));
+  if (!v->is_string())
+    return Status::ParseError(StrFormat("key '%.*s' is not a string",
+                                        static_cast<int>(key.size()),
+                                        key.data()));
+  return v->string_value();
+}
+
+Result<int64_t> JsonValue::GetInt(std::string_view key) const {
+  const JsonValue* v = Get(key);
+  if (v == nullptr)
+    return Status::NotFound(StrFormat("missing key '%.*s'",
+                                      static_cast<int>(key.size()),
+                                      key.data()));
+  if (!v->is_number())
+    return Status::ParseError(StrFormat("key '%.*s' is not a number",
+                                        static_cast<int>(key.size()),
+                                        key.data()));
+  return v->int_value();
+}
+
+Result<double> JsonValue::GetDouble(std::string_view key) const {
+  const JsonValue* v = Get(key);
+  if (v == nullptr)
+    return Status::NotFound(StrFormat("missing key '%.*s'",
+                                      static_cast<int>(key.size()),
+                                      key.data()));
+  if (!v->is_number())
+    return Status::ParseError(StrFormat("key '%.*s' is not a number",
+                                        static_cast<int>(key.size()),
+                                        key.data()));
+  return v->number_value();
+}
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      default:
+        if (c < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out.push_back(static_cast<char>(c));
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonValue::Serialize() const {
+  switch (type_) {
+    case Type::kNull:
+      return "null";
+    case Type::kBool:
+      return bool_ ? "true" : "false";
+    case Type::kNumber: {
+      if (std::isfinite(number_) &&
+          number_ == std::floor(number_) &&
+          std::fabs(number_) < 9.007199254740992e15) {
+        return std::to_string(static_cast<int64_t>(number_));
+      }
+      return StrFormat("%.17g", number_);
+    }
+    case Type::kString:
+      return "\"" + JsonEscape(string_) + "\"";
+    case Type::kArray: {
+      std::string out = "[";
+      for (size_t i = 0; i < array_.size(); ++i) {
+        if (i > 0) out.push_back(',');
+        out += array_[i].Serialize();
+      }
+      out.push_back(']');
+      return out;
+    }
+    case Type::kObject: {
+      std::string out = "{";
+      bool first = true;
+      for (const auto& [k, v] : object_) {
+        if (!first) out.push_back(',');
+        first = false;
+        out += "\"" + JsonEscape(k) + "\":" + v.Serialize();
+      }
+      out.push_back('}');
+      return out;
+    }
+  }
+  return "null";
+}
+
+namespace {
+
+/// Recursive-descent JSON parser over a string_view cursor.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text), pos_(0) {}
+
+  Result<JsonValue> ParseDocument() {
+    SkipWhitespace();
+    JsonValue v;
+    // A non-OK Status converts implicitly to Result<JsonValue>.
+    CATS_RETURN_NOT_OK(ParseValue(&v));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Status::ParseError(
+          StrFormat("trailing characters at offset %zu", pos_));
+    }
+    return v;
+  }
+
+ private:
+  void SkipWhitespace() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+
+  Status ParseValue(JsonValue* out) {
+    if (AtEnd()) return Status::ParseError("unexpected end of input");
+    char c = Peek();
+    switch (c) {
+      case '{':
+        return ParseObject(out);
+      case '[':
+        return ParseArray(out);
+      case '"': {
+        std::string s;
+        CATS_RETURN_NOT_OK(ParseString(&s));
+        *out = JsonValue::String(std::move(s));
+        return Status::OK();
+      }
+      case 't':
+        return ParseLiteral("true", JsonValue::Bool(true), out);
+      case 'f':
+        return ParseLiteral("false", JsonValue::Bool(false), out);
+      case 'n':
+        return ParseLiteral("null", JsonValue::Null(), out);
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  Status ParseLiteral(std::string_view lit, JsonValue value, JsonValue* out) {
+    if (text_.substr(pos_, lit.size()) != lit) {
+      return Status::ParseError(
+          StrFormat("invalid literal at offset %zu", pos_));
+    }
+    pos_ += lit.size();
+    *out = std::move(value);
+    return Status::OK();
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    size_t start = pos_;
+    if (!AtEnd() && (Peek() == '-' || Peek() == '+')) ++pos_;
+    bool any = false;
+    while (!AtEnd() && (std::isdigit(static_cast<unsigned char>(Peek())) ||
+                        Peek() == '.' || Peek() == 'e' || Peek() == 'E' ||
+                        Peek() == '+' || Peek() == '-')) {
+      ++pos_;
+      any = true;
+    }
+    if (!any) {
+      return Status::ParseError(
+          StrFormat("invalid number at offset %zu", start));
+    }
+    std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    double d = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      return Status::ParseError(
+          StrFormat("malformed number '%s' at offset %zu", token.c_str(),
+                    start));
+    }
+    *out = JsonValue::Number(d);
+    return Status::OK();
+  }
+
+  Status ParseString(std::string* out) {
+    // Caller guarantees Peek() == '"'.
+    ++pos_;
+    out->clear();
+    while (!AtEnd()) {
+      char c = text_[pos_++];
+      if (c == '"') return Status::OK();
+      if (c == '\\') {
+        if (AtEnd()) break;
+        char esc = text_[pos_++];
+        switch (esc) {
+          case '"':
+            out->push_back('"');
+            break;
+          case '\\':
+            out->push_back('\\');
+            break;
+          case '/':
+            out->push_back('/');
+            break;
+          case 'n':
+            out->push_back('\n');
+            break;
+          case 't':
+            out->push_back('\t');
+            break;
+          case 'r':
+            out->push_back('\r');
+            break;
+          case 'b':
+            out->push_back('\b');
+            break;
+          case 'f':
+            out->push_back('\f');
+            break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) {
+              return Status::ParseError("truncated \\u escape");
+            }
+            std::string hex(text_.substr(pos_, 4));
+            pos_ += 4;
+            char* end = nullptr;
+            long cp = std::strtol(hex.c_str(), &end, 16);
+            if (end == nullptr || *end != '\0') {
+              return Status::ParseError("invalid \\u escape");
+            }
+            AppendUtf8(static_cast<uint32_t>(cp), out);
+            break;
+          }
+          default:
+            return Status::ParseError(
+                StrFormat("invalid escape '\\%c'", esc));
+        }
+      } else {
+        out->push_back(c);
+      }
+    }
+    return Status::ParseError("unterminated string");
+  }
+
+  static void AppendUtf8(uint32_t cp, std::string* out) {
+    if (cp < 0x80) {
+      out->push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  Status ParseArray(JsonValue* out) {
+    ++pos_;  // consume '['
+    *out = JsonValue::Array();
+    SkipWhitespace();
+    if (!AtEnd() && Peek() == ']') {
+      ++pos_;
+      return Status::OK();
+    }
+    for (;;) {
+      SkipWhitespace();
+      JsonValue elem;
+      CATS_RETURN_NOT_OK(ParseValue(&elem));
+      out->Append(std::move(elem));
+      SkipWhitespace();
+      if (AtEnd()) return Status::ParseError("unterminated array");
+      char c = text_[pos_++];
+      if (c == ']') return Status::OK();
+      if (c != ',') {
+        return Status::ParseError(
+            StrFormat("expected ',' or ']' at offset %zu", pos_ - 1));
+      }
+    }
+  }
+
+  Status ParseObject(JsonValue* out) {
+    ++pos_;  // consume '{'
+    *out = JsonValue::Object();
+    SkipWhitespace();
+    if (!AtEnd() && Peek() == '}') {
+      ++pos_;
+      return Status::OK();
+    }
+    for (;;) {
+      SkipWhitespace();
+      if (AtEnd() || Peek() != '"') {
+        return Status::ParseError(
+            StrFormat("expected object key at offset %zu", pos_));
+      }
+      std::string key;
+      CATS_RETURN_NOT_OK(ParseString(&key));
+      SkipWhitespace();
+      if (AtEnd() || text_[pos_++] != ':') {
+        return Status::ParseError(
+            StrFormat("expected ':' at offset %zu", pos_ - 1));
+      }
+      SkipWhitespace();
+      JsonValue value;
+      CATS_RETURN_NOT_OK(ParseValue(&value));
+      out->Set(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (AtEnd()) return Status::ParseError("unterminated object");
+      char c = text_[pos_++];
+      if (c == '}') return Status::OK();
+      if (c != ',') {
+        return Status::ParseError(
+            StrFormat("expected ',' or '}' at offset %zu", pos_ - 1));
+      }
+    }
+  }
+
+
+  std::string_view text_;
+  size_t pos_;
+};
+
+}  // namespace
+
+Result<JsonValue> JsonValue::Parse(std::string_view text) {
+  Parser parser(text);
+  return parser.ParseDocument();
+}
+
+}  // namespace cats

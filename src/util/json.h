@@ -1,0 +1,85 @@
+#ifndef CATS_UTIL_JSON_H_
+#define CATS_UTIL_JSON_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace cats {
+
+/// Minimal JSON document model. The marketplace "web" API serves comment
+/// records as JSON (paper Listing 2) and the data collector parses them with
+/// this — no third-party JSON dependency.
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() : type_(Type::kNull) {}
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool b);
+  static JsonValue Number(double d);
+  static JsonValue Int(int64_t i) { return Number(static_cast<double>(i)); }
+  static JsonValue String(std::string s);
+  static JsonValue Array();
+  static JsonValue Object();
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool bool_value() const { return bool_; }
+  double number_value() const { return number_; }
+  int64_t int_value() const { return static_cast<int64_t>(number_); }
+  const std::string& string_value() const { return string_; }
+
+  /// Array access.
+  size_t size() const { return array_.size(); }
+  const JsonValue& at(size_t i) const { return array_[i]; }
+  void Append(JsonValue v) { array_.push_back(std::move(v)); }
+
+  /// Object access. Get() returns nullptr when the key is absent.
+  const JsonValue* Get(std::string_view key) const;
+  void Set(std::string key, JsonValue v);
+  bool Has(std::string_view key) const { return Get(key) != nullptr; }
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return object_;
+  }
+
+  /// Typed object getters with explicit error reporting.
+  Result<std::string> GetString(std::string_view key) const;
+  Result<int64_t> GetInt(std::string_view key) const;
+  Result<double> GetDouble(std::string_view key) const;
+
+  /// Compact serialization (UTF-8 passthrough, control chars escaped).
+  std::string Serialize() const;
+
+  /// Parses a complete JSON document; trailing garbage is an error.
+  static Result<JsonValue> Parse(std::string_view text);
+
+ private:
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  // Insertion-ordered for deterministic serialization.
+  std::vector<std::pair<std::string, JsonValue>> object_;
+};
+
+/// Escapes a string for embedding in JSON (quotes not included).
+std::string JsonEscape(std::string_view s);
+
+}  // namespace cats
+
+#endif  // CATS_UTIL_JSON_H_

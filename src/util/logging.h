@@ -1,0 +1,54 @@
+#ifndef CATS_UTIL_LOGGING_H_
+#define CATS_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace cats {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style single-message logger. Emits on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace cats
+
+#define CATS_LOG(level)                                              \
+  ::cats::internal_logging::LogMessage(::cats::LogLevel::k##level,   \
+                                       __FILE__, __LINE__)
+
+/// Fatal-on-false invariant check (active in all build types).
+#define CATS_CHECK(cond)                                                   \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      CATS_LOG(Error) << "CHECK failed: " #cond;                           \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (false)
+
+#endif  // CATS_UTIL_LOGGING_H_

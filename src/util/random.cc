@@ -1,0 +1,223 @@
+#include "util/random.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace cats {
+
+Rng::Rng(uint64_t seed, uint64_t stream) : state_(0), inc_((stream << 1u) | 1u) {
+  NextU32();
+  state_ += seed;
+  NextU32();
+}
+
+uint32_t Rng::NextU32() {
+  uint64_t old = state_;
+  state_ = old * 6364136223846793005ULL + inc_;
+  uint32_t xorshifted = static_cast<uint32_t>(((old >> 18u) ^ old) >> 27u);
+  uint32_t rot = static_cast<uint32_t>(old >> 59u);
+  return (xorshifted >> rot) | (xorshifted << ((~rot + 1u) & 31));
+}
+
+uint64_t Rng::NextU64() {
+  return (static_cast<uint64_t>(NextU32()) << 32) | NextU32();
+}
+
+uint32_t Rng::UniformU32(uint32_t bound) {
+  assert(bound > 0);
+  // Lemire-style rejection to remove modulo bias.
+  uint32_t threshold = (~bound + 1u) % bound;
+  for (;;) {
+    uint32_t r = NextU32();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<int64_t>(NextU64());  // full 64-bit range
+  // 64-bit rejection.
+  uint64_t threshold = (~span + 1u) % span;
+  for (;;) {
+    uint64_t r = NextU64();
+    if (r >= threshold) return lo + static_cast<int64_t>(r % span);
+  }
+}
+
+double Rng::UniformDouble() {
+  // 53 random bits -> [0, 1).
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::UniformDouble(double lo, double hi) {
+  return lo + (hi - lo) * UniformDouble();
+}
+
+bool Rng::Bernoulli(double p) { return UniformDouble() < p; }
+
+double Rng::Normal() {
+  if (has_spare_normal_) {
+    has_spare_normal_ = false;
+    return spare_normal_;
+  }
+  double u1, u2;
+  do {
+    u1 = UniformDouble();
+  } while (u1 <= 1e-300);
+  u2 = UniformDouble();
+  double mag = std::sqrt(-2.0 * std::log(u1));
+  spare_normal_ = mag * std::sin(2.0 * M_PI * u2);
+  has_spare_normal_ = true;
+  return mag * std::cos(2.0 * M_PI * u2);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  return mean + stddev * Normal();
+}
+
+double Rng::LogNormal(double mu, double sigma) {
+  return std::exp(Normal(mu, sigma));
+}
+
+int64_t Rng::Geometric(double p) {
+  assert(p > 0.0 && p <= 1.0);
+  if (p >= 1.0) return 1;
+  double u;
+  do {
+    u = UniformDouble();
+  } while (u <= 1e-300);
+  return 1 + static_cast<int64_t>(std::floor(std::log(u) / std::log1p(-p)));
+}
+
+int64_t Rng::Poisson(double lambda) {
+  assert(lambda >= 0.0);
+  if (lambda <= 0.0) return 0;
+  if (lambda < 30.0) {
+    // Knuth inversion.
+    double l = std::exp(-lambda);
+    int64_t k = 0;
+    double p = 1.0;
+    do {
+      ++k;
+      p *= UniformDouble();
+    } while (p > l);
+    return k - 1;
+  }
+  // Normal approximation with continuity correction; adequate for workload
+  // size sampling.
+  double v = Normal(lambda, std::sqrt(lambda));
+  return v < 0 ? 0 : static_cast<int64_t>(v + 0.5);
+}
+
+double Rng::Gamma(double shape, double scale) {
+  assert(shape > 0.0 && scale > 0.0);
+  if (shape < 1.0) {
+    // Boost to shape+1 then scale back (Marsaglia-Tsang note).
+    double u;
+    do {
+      u = UniformDouble();
+    } while (u <= 1e-300);
+    return Gamma(shape + 1.0, scale) * std::pow(u, 1.0 / shape);
+  }
+  double d = shape - 1.0 / 3.0;
+  double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x = Normal();
+    double v = 1.0 + c * x;
+    if (v <= 0) continue;
+    v = v * v * v;
+    double u = UniformDouble();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return d * v * scale;
+    if (u > 1e-300 &&
+        std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
+      return d * v * scale;
+    }
+  }
+}
+
+double Rng::Beta(double a, double b) {
+  double x = Gamma(a, 1.0);
+  double y = Gamma(b, 1.0);
+  return x / (x + y);
+}
+
+Rng Rng::Fork(uint64_t salt) {
+  // Derive a new seed and a distinct stream from the current state.
+  uint64_t seed = NextU64() ^ (salt * 0x9E3779B97F4A7C15ULL);
+  uint64_t stream = NextU64() + salt;
+  return Rng(seed, stream);
+}
+
+ZipfDistribution::ZipfDistribution(uint32_t n, double s) : norm_(0.0), s_(s) {
+  assert(n > 0);
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (uint32_t k = 0; k < n; ++k) {
+    acc += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    cdf_[k] = acc;
+  }
+  norm_ = acc;
+  for (uint32_t k = 0; k < n; ++k) cdf_[k] /= norm_;
+}
+
+uint32_t ZipfDistribution::Sample(Rng* rng) const {
+  double u = rng->UniformDouble();
+  // Binary search the CDF.
+  uint32_t lo = 0, hi = static_cast<uint32_t>(cdf_.size()) - 1;
+  while (lo < hi) {
+    uint32_t mid = lo + (hi - lo) / 2;
+    if (cdf_[mid] < u) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+double ZipfDistribution::Pmf(uint32_t k) const {
+  assert(k < cdf_.size());
+  return 1.0 / std::pow(static_cast<double>(k + 1), s_) / norm_;
+}
+
+AliasSampler::AliasSampler(const std::vector<double>& weights) {
+  size_t n = weights.size();
+  assert(n > 0);
+  double sum = 0.0;
+  for (double w : weights) {
+    assert(w >= 0.0);
+    sum += w;
+  }
+  assert(sum > 0.0);
+  prob_.resize(n);
+  alias_.resize(n, 0);
+  std::vector<double> scaled(n);
+  for (size_t i = 0; i < n; ++i) scaled[i] = weights[i] * n / sum;
+
+  std::vector<uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    uint32_t s = small.back();
+    small.pop_back();
+    uint32_t l = large.back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  for (uint32_t i : large) prob_[i] = 1.0;
+  for (uint32_t i : small) prob_[i] = 1.0;
+}
+
+uint32_t AliasSampler::Sample(Rng* rng) const {
+  uint32_t i = rng->UniformU32(static_cast<uint32_t>(prob_.size()));
+  return rng->UniformDouble() < prob_[i] ? i : alias_[i];
+}
+
+}  // namespace cats

@@ -1,0 +1,117 @@
+#ifndef CATS_UTIL_RANDOM_H_
+#define CATS_UTIL_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cats {
+
+/// PCG32 (O'Neill): small, fast, statistically strong, and — unlike
+/// std::mt19937 + std::distributions — bit-for-bit reproducible across
+/// standard libraries. All stochastic code in this repo draws from Rng so
+/// experiment tables are deterministic for a given seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x853c49e6748fea9bULL,
+               uint64_t stream = 0xda3e39cb94b95bdbULL);
+
+  /// Uniform 32-bit value.
+  uint32_t NextU32();
+
+  /// Uniform 64-bit value.
+  uint64_t NextU64();
+
+  /// Uniform integer in [0, bound), bound > 0. Uses unbiased rejection.
+  uint32_t UniformU32(uint32_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  /// True with probability p.
+  bool Bernoulli(double p);
+
+  /// Standard normal via Box-Muller (cached spare value).
+  double Normal();
+  double Normal(double mean, double stddev);
+
+  /// exp(Normal(mu, sigma)).
+  double LogNormal(double mu, double sigma);
+
+  /// Geometric number of trials >= 1 with success probability p.
+  int64_t Geometric(double p);
+
+  /// Poisson(lambda) via inversion for small lambda, normal approx for large.
+  int64_t Poisson(double lambda);
+
+  /// Gamma(shape, scale) via Marsaglia-Tsang.
+  double Gamma(double shape, double scale);
+
+  /// Beta(a, b) via two Gammas.
+  double Beta(double a, double b);
+
+  /// Derives an independent generator (distinct stream) for parallel use.
+  Rng Fork(uint64_t salt);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->empty()) return;
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      size_t j = UniformU32(static_cast<uint32_t>(i + 1));
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+ private:
+  uint64_t state_;
+  uint64_t inc_;
+  bool has_spare_normal_ = false;
+  double spare_normal_ = 0.0;
+};
+
+/// Samples ranks 1..n with P(rank=k) proportional to 1/k^s. Precomputes the
+/// CDF once; Sample() is O(log n).
+class ZipfDistribution {
+ public:
+  ZipfDistribution(uint32_t n, double s);
+
+  /// Returns a rank in [0, n).
+  uint32_t Sample(Rng* rng) const;
+
+  uint32_t n() const { return static_cast<uint32_t>(cdf_.size()); }
+
+  /// P(rank = k), k in [0, n).
+  double Pmf(uint32_t k) const;
+
+ private:
+  std::vector<double> cdf_;
+  double norm_;
+  double s_;
+};
+
+/// Walker alias method for O(1) sampling from an arbitrary discrete
+/// distribution; used by word2vec's unigram^0.75 negative-sampling table.
+class AliasSampler {
+ public:
+  /// `weights` need not be normalized; must be non-empty with a positive sum.
+  explicit AliasSampler(const std::vector<double>& weights);
+
+  uint32_t Sample(Rng* rng) const;
+
+  size_t size() const { return prob_.size(); }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<uint32_t> alias_;
+};
+
+}  // namespace cats
+
+#endif  // CATS_UTIL_RANDOM_H_

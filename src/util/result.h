@@ -1,0 +1,74 @@
+#ifndef CATS_UTIL_RESULT_H_
+#define CATS_UTIL_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace cats {
+
+/// A value-or-error holder: either an OK Status plus a T, or a non-OK Status.
+/// Mirrors arrow::Result. The value accessors must only be called when ok().
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value — lets `return value;` work in a
+  /// function returning Result<T>.
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+
+  /// Implicit construction from a non-OK status — lets `return st;` work.
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value if ok, otherwise `fallback`.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Assigns the value of a Result expression to `lhs`, or propagates its error.
+#define CATS_ASSIGN_OR_RETURN(lhs, expr)        \
+  auto CATS_CONCAT_(_res_, __LINE__) = (expr);  \
+  if (!CATS_CONCAT_(_res_, __LINE__).ok())      \
+    return CATS_CONCAT_(_res_, __LINE__).status(); \
+  lhs = std::move(CATS_CONCAT_(_res_, __LINE__)).value()
+
+#define CATS_CONCAT_(a, b) CATS_CONCAT_IMPL_(a, b)
+#define CATS_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace cats
+
+#endif  // CATS_UTIL_RESULT_H_

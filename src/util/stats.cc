@@ -1,0 +1,98 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace cats {
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double Quantile(std::vector<double> values, double q) {
+  std::sort(values.begin(), values.end());
+  return SortedQuantile(values, q);
+}
+
+double SortedQuantile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  assert(q >= 0.0 && q <= 1.0);
+  if (sorted.size() == 1) return sorted[0];
+  double pos = q * static_cast<double>(sorted.size() - 1);
+  size_t lo = static_cast<size_t>(pos);
+  size_t hi = std::min(lo + 1, sorted.size() - 1);
+  double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double FractionBelow(const std::vector<double>& values, double threshold) {
+  if (values.empty()) return 0.0;
+  size_t n = 0;
+  for (double v : values) {
+    if (v < threshold) ++n;
+  }
+  return static_cast<double>(n) / static_cast<double>(values.size());
+}
+
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y) {
+  assert(x.size() == y.size());
+  size_t n = x.size();
+  if (n < 2) return 0.0;
+  double mx = Mean(x), my = Mean(y);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    double dx = x[i] - mx, dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+double KolmogorovSmirnovStatistic(std::vector<double> a,
+                                  std::vector<double> b) {
+  if (a.empty() || b.empty()) return 0.0;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  size_t ia = 0, ib = 0;
+  double d = 0.0;
+  double na = static_cast<double>(a.size());
+  double nb = static_cast<double>(b.size());
+  while (ia < a.size() && ib < b.size()) {
+    double x = std::min(a[ia], b[ib]);
+    while (ia < a.size() && a[ia] <= x) ++ia;
+    while (ib < b.size() && b[ib] <= x) ++ib;
+    d = std::max(d, std::fabs(static_cast<double>(ia) / na -
+                              static_cast<double>(ib) / nb));
+  }
+  return d;
+}
+
+}  // namespace cats

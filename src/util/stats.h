@@ -1,0 +1,58 @@
+#ifndef CATS_UTIL_STATS_H_
+#define CATS_UTIL_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cats {
+
+/// Single-pass running mean/variance/min/max (Welford).
+class RunningStats {
+ public:
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 with fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Quantile of a sample by linear interpolation (type-7, the numpy default).
+/// `q` in [0, 1]. Sorts a copy; use SortedQuantile when data is pre-sorted.
+double Quantile(std::vector<double> values, double q);
+
+/// Quantile of an already ascending-sorted sample.
+double SortedQuantile(const std::vector<double>& sorted, double q);
+
+/// Mean of a sample (0 for empty input).
+double Mean(const std::vector<double>& values);
+
+/// Fraction of values strictly below `threshold`.
+double FractionBelow(const std::vector<double>& values, double threshold);
+
+/// Pearson correlation of two equal-length samples (0 if degenerate).
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y);
+
+/// Two-sample Kolmogorov-Smirnov statistic: sup_x |F_a(x) - F_b(x)|.
+/// Used to quantify how far apart (or how similar) two feature
+/// distributions are in the Fig-13 cross-platform comparison.
+double KolmogorovSmirnovStatistic(std::vector<double> a,
+                                  std::vector<double> b);
+
+}  // namespace cats
+
+#endif  // CATS_UTIL_STATS_H_

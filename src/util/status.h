@@ -1,0 +1,98 @@
+#ifndef CATS_UTIL_STATUS_H_
+#define CATS_UTIL_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace cats {
+
+/// Error category carried by a Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kIoError,
+  kParseError,
+  kInternal,
+  kUnavailable,
+};
+
+/// Returns a stable human-readable name for a StatusCode ("Ok", "IoError"...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Exception-free error propagation, in the style of arrow::Status /
+/// rocksdb::Status. Functions that can fail return Status (or Result<T>);
+/// success is the default-constructed OK value.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  /// Factory helpers, one per error category.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "Ok" or "<Code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Propagates a non-OK Status to the caller.
+#define CATS_RETURN_NOT_OK(expr)            \
+  do {                                      \
+    ::cats::Status _st = (expr);            \
+    if (!_st.ok()) return _st;              \
+  } while (false)
+
+}  // namespace cats
+
+#endif  // CATS_UTIL_STATUS_H_

@@ -1,0 +1,38 @@
+#ifndef CATS_UTIL_STRING_UTIL_H_
+#define CATS_UTIL_STRING_UTIL_H_
+
+#include <cstdarg>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cats {
+
+/// Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Splits and drops empty fields after trimming whitespace.
+std::vector<std::string> SplitAndTrim(std::string_view s, char sep);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view TrimWhitespace(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Formats a count with thousands separators, e.g. 1461452 -> "1,461,452".
+std::string FormatWithCommas(int64_t value);
+
+/// Lowercases ASCII characters only (multi-byte UTF-8 is left untouched).
+std::string AsciiToLower(std::string_view s);
+
+}  // namespace cats
+
+#endif  // CATS_UTIL_STRING_UTIL_H_

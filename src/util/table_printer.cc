@@ -1,0 +1,98 @@
+#include "util/table_printer.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace cats {
+namespace {
+
+/// Approximate terminal display width of a UTF-8 string: ASCII is width 1,
+/// CJK codepoints are width 2, other multibyte codepoints width 1.
+size_t DisplayWidth(const std::string& s) {
+  size_t width = 0;
+  size_t i = 0;
+  while (i < s.size()) {
+    unsigned char c = static_cast<unsigned char>(s[i]);
+    if (c < 0x80) {
+      width += 1;
+      i += 1;
+    } else if ((c & 0xE0) == 0xC0) {
+      width += 1;
+      i += 2;
+    } else if ((c & 0xF0) == 0xE0) {
+      // Decode the codepoint to decide CJK-ness.
+      uint32_t cp = (c & 0x0F) << 12;
+      if (i + 2 < s.size()) {
+        cp |= (static_cast<unsigned char>(s[i + 1]) & 0x3F) << 6;
+        cp |= static_cast<unsigned char>(s[i + 2]) & 0x3F;
+      }
+      bool wide = (cp >= 0x1100 && cp <= 0x115F) ||   // Hangul Jamo
+                  (cp >= 0x2E80 && cp <= 0x9FFF) ||   // CJK
+                  (cp >= 0xAC00 && cp <= 0xD7A3) ||   // Hangul syllables
+                  (cp >= 0xF900 && cp <= 0xFAFF) ||   // CJK compat
+                  (cp >= 0xFF00 && cp <= 0xFF60);     // fullwidth forms
+      width += wide ? 2 : 1;
+      i += 3;
+    } else {
+      width += 2;  // astral plane: assume wide
+      i += 4;
+    }
+  }
+  return width;
+}
+
+}  // namespace
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::AddRow(std::initializer_list<std::string> row) {
+  rows_.emplace_back(row);
+}
+
+std::string TablePrinter::ToString() const {
+  size_t cols = header_.size();
+  for (const auto& row : rows_) cols = std::max(cols, row.size());
+  std::vector<size_t> widths(cols, 0);
+  auto account = [&widths](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], DisplayWidth(row[i]));
+    }
+  };
+  account(header_);
+  for (const auto& row : rows_) account(row);
+
+  auto render_row = [&widths](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string();
+      size_t pad = widths[i] - DisplayWidth(cell);
+      line += " " + cell + std::string(pad, ' ') + " |";
+    }
+    line.push_back('\n');
+    return line;
+  };
+  auto separator = [&widths]() {
+    std::string line = "+";
+    for (size_t w : widths) line += std::string(w + 2, '-') + "+";
+    line.push_back('\n');
+    return line;
+  };
+
+  std::string out = separator();
+  if (!header_.empty()) {
+    out += render_row(header_);
+    out += separator();
+  }
+  for (const auto& row : rows_) out += render_row(row);
+  out += separator();
+  return out;
+}
+
+void TablePrinter::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+}  // namespace cats

@@ -1,0 +1,33 @@
+#ifndef CATS_UTIL_TABLE_PRINTER_H_
+#define CATS_UTIL_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace cats {
+
+/// Renders aligned console tables; the bench binaries print the paper's
+/// tables (Table I, III-VI, VIII, IX) through this so output is diffable.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  /// Adds a row from printf-ish mixed content already stringified.
+  void AddRow(std::initializer_list<std::string> row);
+
+  /// Returns the rendered table.
+  std::string ToString() const;
+
+  /// Prints to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cats
+
+#endif  // CATS_UTIL_TABLE_PRINTER_H_

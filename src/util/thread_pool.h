@@ -1,0 +1,57 @@
+#ifndef CATS_UTIL_THREAD_POOL_H_
+#define CATS_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace cats {
+
+/// Fixed-size worker pool. Used by the parallel feature extractor and the
+/// Hogwild word2vec trainer. Tasks are plain std::function<void()>; callers
+/// wanting results should capture output slots (one per task) to avoid
+/// synchronization on the data plane.
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers (>=1; 0 means hardware_concurrency).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains outstanding tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished executing.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Runs `fn(i)` for i in [0, n) across the pool and waits for completion.
+  /// Work is pre-partitioned into contiguous chunks (one per worker) so there
+  /// is no per-index dispatch overhead.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace cats
+
+#endif  // CATS_UTIL_THREAD_POOL_H_

@@ -1,0 +1,94 @@
+#include "ml/adaboost.h"
+
+#include <gtest/gtest.h>
+
+#include "ml_test_util.h"
+
+namespace cats::ml {
+namespace {
+
+TEST(AdaBoostTest, FitEmptyFails) {
+  AdaBoost model;
+  Dataset empty({"x"});
+  EXPECT_FALSE(model.Fit(empty).ok());
+}
+
+TEST(AdaBoostTest, SeparableDataHighAccuracy) {
+  Dataset data = MakeGaussianDataset(300, 3, 4.0, 137);
+  AdaBoost model;
+  ASSERT_TRUE(model.Fit(data).ok());
+  EXPECT_GT(TrainAccuracy(model, data), 0.97);
+  EXPECT_GT(model.num_stumps(), 0u);
+}
+
+TEST(AdaBoostTest, BoostingBeatsSingleStumpOnXor) {
+  Dataset data = MakeXorDataset(800, 139);
+  AdaBoostOptions one_round;
+  one_round.num_rounds = 1;
+  AdaBoost stump(one_round);
+  AdaBoost boosted;  // 80 rounds
+  ASSERT_TRUE(stump.Fit(data).ok());
+  ASSERT_TRUE(boosted.Fit(data).ok());
+  // Plain AdaBoost on axis-aligned stumps cannot fully solve XOR, but many
+  // rounds must do no worse than one.
+  EXPECT_GE(TrainAccuracy(boosted, data), TrainAccuracy(stump, data) - 0.02);
+}
+
+TEST(AdaBoostTest, PerfectStumpShortCircuits) {
+  // Perfectly separable by one threshold: training should stop early with
+  // a single high-confidence stump.
+  Dataset data({"x"});
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(data.AddRow({static_cast<float>(i)}, i < 25 ? 0 : 1).ok());
+  }
+  AdaBoost model;
+  ASSERT_TRUE(model.Fit(data).ok());
+  EXPECT_EQ(model.num_stumps(), 1u);
+  EXPECT_DOUBLE_EQ(TrainAccuracy(model, data), 1.0);
+}
+
+TEST(AdaBoostTest, HandlesInvertedPolarity) {
+  // Positives below the threshold: needs polarity -1.
+  Dataset data({"x"});
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(data.AddRow({static_cast<float>(i)}, i < 25 ? 1 : 0).ok());
+  }
+  AdaBoost model;
+  ASSERT_TRUE(model.Fit(data).ok());
+  EXPECT_DOUBLE_EQ(TrainAccuracy(model, data), 1.0);
+}
+
+TEST(AdaBoostTest, ProbaInUnitInterval) {
+  Dataset data = MakeGaussianDataset(150, 3, 2.0, 149);
+  AdaBoost model;
+  ASSERT_TRUE(model.Fit(data).ok());
+  for (size_t i = 0; i < data.num_rows(); ++i) {
+    double p = model.PredictProba(data.Row(i));
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(AdaBoostTest, MoreRoundsImproveOverlappingFit) {
+  Dataset data = MakeGaussianDataset(400, 4, 1.5, 151);
+  AdaBoostOptions few;
+  few.num_rounds = 2;
+  AdaBoostOptions many;
+  many.num_rounds = 120;
+  AdaBoost a(few), b(many);
+  ASSERT_TRUE(a.Fit(data).ok());
+  ASSERT_TRUE(b.Fit(data).ok());
+  EXPECT_GE(TrainAccuracy(b, data), TrainAccuracy(a, data));
+}
+
+TEST(AdaBoostTest, CloneUntrained) {
+  AdaBoost model;
+  auto clone = model.CloneUntrained();
+  EXPECT_EQ(clone->name(), "AdaBoost");
+  Dataset data = MakeGaussianDataset(80, 2, 4.0, 157);
+  ASSERT_TRUE(clone->Fit(data).ok());
+  EXPECT_GT(TrainAccuracy(*clone, data), 0.9);
+}
+
+}  // namespace
+}  // namespace cats::ml

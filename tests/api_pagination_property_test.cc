@@ -1,0 +1,109 @@
+// Property sweep over the public API's pagination: for ANY page size the
+// crawler-visible pages must partition the underlying records with correct
+// total_pages bookkeeping.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "collect/record.h"
+#include "platform_test_util.h"
+
+namespace cats::platform {
+namespace {
+
+class ApiPaginationTest : public ::testing::TestWithParam<size_t> {
+ protected:
+  MarketplaceApi MakeApi() {
+    ApiOptions options;
+    options.page_size = GetParam();
+    options.transient_failure_prob = 0.0;
+    options.duplicate_record_prob = 0.0;
+    return MarketplaceApi(&cats::TestMarketplace(), options);
+  }
+};
+
+TEST_P(ApiPaginationTest, ShopsPartitionExactly) {
+  MarketplaceApi api = MakeApi();
+  std::set<std::string> seen;
+  size_t page = 0, total_pages = 1, records = 0;
+  while (page < total_pages) {
+    auto body = api.Get("/shops?page=" + std::to_string(page));
+    ASSERT_TRUE(body.ok()) << page;
+    auto parsed = collect::ParsePage(*body);
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed->page, page);
+    total_pages = parsed->total_pages;
+    // Every page except the last is exactly full.
+    if (page + 1 < total_pages) {
+      EXPECT_EQ(parsed->data.size(), GetParam());
+    } else {
+      EXPECT_LE(parsed->data.size(), GetParam());
+      EXPECT_GE(parsed->data.size(), 1u);
+    }
+    for (const JsonValue& record : parsed->data) {
+      auto shop = collect::ParseShopRecord(record);
+      ASSERT_TRUE(shop.ok());
+      EXPECT_TRUE(seen.insert(std::to_string(shop->shop_id)).second)
+          << "duplicate across pages";
+    }
+    records += parsed->data.size();
+    ++page;
+  }
+  EXPECT_EQ(records, cats::TestMarketplace().shops().size());
+}
+
+TEST_P(ApiPaginationTest, CommentsPartitionForABusyItem) {
+  const auto& market = cats::TestMarketplace();
+  // The item with the most comments stresses pagination hardest.
+  uint64_t busiest = 0;
+  size_t most = 0;
+  for (const Item& item : market.items()) {
+    size_t n = market.CommentIndicesOfItem(item.id).size();
+    if (n > most) {
+      most = n;
+      busiest = item.id;
+    }
+  }
+  ASSERT_GT(most, 0u);
+
+  MarketplaceApi api = MakeApi();
+  std::set<std::string> seen;
+  size_t page = 0, total_pages = 1;
+  while (page < total_pages) {
+    auto body = api.Get("/items/" + std::to_string(busiest) +
+                        "/comments?page=" + std::to_string(page));
+    ASSERT_TRUE(body.ok());
+    auto parsed = collect::ParsePage(*body);
+    ASSERT_TRUE(parsed.ok());
+    total_pages = parsed->total_pages;
+    for (const JsonValue& record : parsed->data) {
+      auto comment = collect::ParseCommentRecord(record);
+      ASSERT_TRUE(comment.ok());
+      EXPECT_EQ(comment->item_id, busiest);
+      EXPECT_TRUE(seen.insert(std::to_string(comment->comment_id)).second);
+    }
+    ++page;
+  }
+  EXPECT_EQ(seen.size(), most);
+}
+
+TEST_P(ApiPaginationTest, TotalPagesStableAcrossPages) {
+  MarketplaceApi api = MakeApi();
+  auto first = collect::ParsePage(*api.Get("/shops?page=0"));
+  ASSERT_TRUE(first.ok());
+  if (first->total_pages < 2) GTEST_SKIP() << "single page at this size";
+  auto later = collect::ParsePage(
+      *api.Get("/shops?page=" + std::to_string(first->total_pages - 1)));
+  ASSERT_TRUE(later.ok());
+  EXPECT_EQ(later->total_pages, first->total_pages);
+}
+
+INSTANTIATE_TEST_SUITE_P(PageSizes, ApiPaginationTest,
+                         ::testing::Values(1, 3, 7, 50, 1000),
+                         [](const ::testing::TestParamInfo<size_t>& info) {
+                           return "size" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace cats::platform

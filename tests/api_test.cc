@@ -1,0 +1,153 @@
+#include "platform/api.h"
+
+#include <gtest/gtest.h>
+
+#include "collect/record.h"
+#include "platform_test_util.h"
+
+namespace cats::platform {
+namespace {
+
+ApiOptions QuietOptions() {
+  ApiOptions options;
+  options.transient_failure_prob = 0.0;
+  options.duplicate_record_prob = 0.0;
+  options.page_size = 10;
+  return options;
+}
+
+TEST(ApiTest, ShopsPageStructure) {
+  MarketplaceApi api(&TestMarketplace(), QuietOptions());
+  auto body = api.Get("/shops?page=0");
+  ASSERT_TRUE(body.ok()) << body.status().ToString();
+  auto page = collect::ParsePage(*body);
+  ASSERT_TRUE(page.ok());
+  EXPECT_EQ(page->page, 0u);
+  EXPECT_EQ(page->data.size(), 10u);
+  auto shop = collect::ParseShopRecord(page->data[0]);
+  ASSERT_TRUE(shop.ok()) << shop.status().ToString();
+  EXPECT_FALSE(shop->shop_name.empty());
+  EXPECT_NE(shop->shop_url.find("http"), std::string::npos);
+}
+
+TEST(ApiTest, PaginationCoversAllShops) {
+  MarketplaceApi api(&TestMarketplace(), QuietOptions());
+  size_t seen = 0;
+  size_t page = 0, total_pages = 1;
+  while (page < total_pages) {
+    auto body = api.Get("/shops?page=" + std::to_string(page));
+    ASSERT_TRUE(body.ok());
+    auto parsed = collect::ParsePage(*body);
+    ASSERT_TRUE(parsed.ok());
+    total_pages = parsed->total_pages;
+    seen += parsed->data.size();
+    ++page;
+  }
+  EXPECT_EQ(seen, TestMarketplace().shops().size());
+}
+
+TEST(ApiTest, PagePastEndIsOutOfRange) {
+  MarketplaceApi api(&TestMarketplace(), QuietOptions());
+  auto body = api.Get("/shops?page=100000");
+  EXPECT_EQ(body.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(ApiTest, ItemsOfShop) {
+  MarketplaceApi api(&TestMarketplace(), QuietOptions());
+  auto body = api.Get("/shops/0/items?page=0");
+  ASSERT_TRUE(body.ok());
+  auto page = collect::ParsePage(*body);
+  ASSERT_TRUE(page.ok());
+  ASSERT_FALSE(page->data.empty());
+  auto item = collect::ParseItemRecord(page->data[0]);
+  ASSERT_TRUE(item.ok()) << item.status().ToString();
+  EXPECT_GE(item->sales_volume, 0);
+  EXPECT_GT(item->price, 0.0);
+  EXPECT_FALSE(item->category.empty());
+}
+
+TEST(ApiTest, CommentsMatchListingTwoSchema) {
+  const Marketplace& m = TestMarketplace();
+  MarketplaceApi api(&m, QuietOptions());
+  // Find an item with comments.
+  uint64_t item_id = 0;
+  for (const Item& item : m.items()) {
+    if (!m.CommentIndicesOfItem(item.id).empty()) {
+      item_id = item.id;
+      break;
+    }
+  }
+  auto body =
+      api.Get("/items/" + std::to_string(item_id) + "/comments?page=0");
+  ASSERT_TRUE(body.ok());
+  auto page = collect::ParsePage(*body);
+  ASSERT_TRUE(page.ok());
+  ASSERT_FALSE(page->data.empty());
+  const JsonValue& rec = page->data[0];
+  for (const char* key :
+       {"item_id", "comment_id", "comment_content", "nickname",
+        "userExpValue", "client_information", "date"}) {
+    EXPECT_TRUE(rec.Has(key)) << key;
+  }
+  // userExpValue serialized as string, per Listing 2.
+  EXPECT_TRUE(rec.Get("userExpValue")->is_string());
+  auto comment = collect::ParseCommentRecord(rec);
+  ASSERT_TRUE(comment.ok());
+  EXPECT_EQ(comment->item_id, item_id);
+  EXPECT_GE(comment->user_exp_value, kMinUserExpValue);
+}
+
+TEST(ApiTest, GroundTruthNeverSerialized) {
+  MarketplaceApi api(&TestMarketplace(), QuietOptions());
+  for (const char* path : {"/shops?page=0", "/shops/0/items?page=0"}) {
+    auto body = api.Get(path);
+    ASSERT_TRUE(body.ok());
+    EXPECT_EQ(body->find("fraud"), std::string::npos);
+    EXPECT_EQ(body->find("hired"), std::string::npos);
+    EXPECT_EQ(body->find("malicious"), std::string::npos);
+    EXPECT_EQ(body->find("campaign"), std::string::npos);
+    EXPECT_EQ(body->find("quality"), std::string::npos);
+  }
+}
+
+TEST(ApiTest, UnknownRoutesRejected) {
+  MarketplaceApi api(&TestMarketplace(), QuietOptions());
+  EXPECT_EQ(api.Get("/unknown").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(api.Get("/shops/abc/items").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(api.Get("/shops/999999/items?page=0").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(api.Get("/items/999999999/comments?page=0").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(api.Get("/shops?offset=3").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ApiTest, TransientFailuresInjected) {
+  ApiOptions options = QuietOptions();
+  options.transient_failure_prob = 0.5;
+  MarketplaceApi api(&TestMarketplace(), options);
+  size_t failures = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (!api.Get("/shops?page=0").ok()) ++failures;
+  }
+  EXPECT_GT(failures, 50u);
+  EXPECT_LT(failures, 150u);
+  EXPECT_EQ(api.injected_failures(), failures);
+  EXPECT_EQ(api.request_count(), 200u);
+}
+
+TEST(ApiTest, DuplicateRecordsInjected) {
+  ApiOptions options = QuietOptions();
+  options.duplicate_record_prob = 1.0;  // duplicate everything
+  MarketplaceApi api(&TestMarketplace(), options);
+  auto body = api.Get("/shops?page=0");
+  ASSERT_TRUE(body.ok());
+  auto page = collect::ParsePage(*body);
+  ASSERT_TRUE(page.ok());
+  EXPECT_EQ(page->data.size(), 20u);  // 10 records, each doubled
+  EXPECT_GT(api.injected_duplicates(), 0u);
+}
+
+}  // namespace
+}  // namespace cats::platform

@@ -1,0 +1,100 @@
+#include "core/cats.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "platform_test_util.h"
+
+namespace cats::core {
+namespace {
+
+/// Builds a fully-trained Cats instance over the shared test fixtures.
+std::unique_ptr<Cats> BuildTrainedCats() {
+  const auto& market = cats::TestMarketplace();
+  const auto& store = cats::TestStore();
+  std::vector<std::string> corpus;
+  for (const platform::Comment& c : market.comments()) {
+    corpus.push_back(c.content);
+  }
+  CatsOptions options;
+  options.semantic.word2vec.epochs = 2;
+  options.semantic.word2vec.dim = 32;
+  auto cats_system = std::make_unique<Cats>(options);
+  Status st = cats_system->BuildSemanticModel(
+      corpus, cats::TestLanguage().BuildSegmentationDictionary(),
+      cats::TestLanguage().PositiveSeeds(3),
+      cats::TestLanguage().NegativeSeeds(3),
+      market.BuildSentimentCorpus(2000, 11));
+  CATS_CHECK(st.ok());
+  st = cats_system->TrainDetector(store.items(),
+                                  cats::StoreLabels(market, store));
+  CATS_CHECK(st.ok());
+  return cats_system;
+}
+
+TEST(CatsTest, OperationsBeforeSemanticModelFail) {
+  Cats cats_system;
+  EXPECT_FALSE(cats_system.has_semantic_model());
+  EXPECT_FALSE(cats_system.TrainDetector({}, {}).ok());
+  EXPECT_FALSE(cats_system.Detect({}).ok());
+  EXPECT_FALSE(cats_system.SaveModel("/tmp").ok());
+}
+
+TEST(CatsTest, EndToEndDetectionWorks) {
+  auto cats_system = BuildTrainedCats();
+  auto report = cats_system->Detect(cats::TestStore().items());
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report->detections.size(), 10u);
+
+  const auto& market = cats::TestMarketplace();
+  size_t tp = 0;
+  for (const Detection& d : report->detections) {
+    if (market.IsFraudItem(d.item_id)) ++tp;
+  }
+  double precision =
+      static_cast<double>(tp) / report->detections.size();
+  EXPECT_GT(precision, 0.6);
+}
+
+TEST(CatsTest, ModelPersistenceRoundTrip) {
+  auto dir = std::filesystem::temp_directory_path() /
+             ("cats_model_test_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+
+  auto original = BuildTrainedCats();
+  ASSERT_TRUE(original->SaveModel(dir.string()).ok());
+  for (const char* file :
+       {"gbdt.model", "sentiment.model", "positive_lexicon.txt",
+        "negative_lexicon.txt", "dictionary.txt"}) {
+    EXPECT_TRUE(std::filesystem::exists(dir / file)) << file;
+  }
+
+  Cats restored;
+  ASSERT_TRUE(restored.LoadModel(dir.string()).ok());
+  EXPECT_TRUE(restored.has_semantic_model());
+  EXPECT_EQ(restored.semantic_model().positive.size(),
+            original->semantic_model().positive.size());
+  EXPECT_EQ(restored.semantic_model().dictionary.size(),
+            original->semantic_model().dictionary.size());
+
+  // Same detections as the original (deployment story: pre-train on
+  // Taobao, ship the model).
+  auto ra = original->Detect(cats::TestStore().items());
+  auto rb = restored.Detect(cats::TestStore().items());
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  ASSERT_EQ(ra->detections.size(), rb->detections.size());
+  for (size_t i = 0; i < ra->detections.size(); ++i) {
+    EXPECT_EQ(ra->detections[i].item_id, rb->detections[i].item_id);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CatsTest, LoadFromMissingDirFails) {
+  Cats cats_system;
+  EXPECT_FALSE(cats_system.LoadModel("/nonexistent_dir_zzz").ok());
+}
+
+}  // namespace
+}  // namespace cats::core

@@ -1,0 +1,190 @@
+// Property sweeps over every classifier: invariants that must hold for any
+// model implementing ml::Classifier, across class separations and dataset
+// shapes (TEST_P / INSTANTIATE_TEST_SUITE_P).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <memory>
+
+#include "ml/adaboost.h"
+#include "ml/decision_tree.h"
+#include "ml/gbdt.h"
+#include "ml/mlp.h"
+#include "ml/naive_bayes.h"
+#include "ml/svm.h"
+#include "ml_test_util.h"
+
+namespace cats::ml {
+namespace {
+
+struct ClassifierCase {
+  const char* name;
+  std::function<std::unique_ptr<Classifier>()> make;
+};
+
+class ClassifierPropertyTest
+    : public ::testing::TestWithParam<ClassifierCase> {};
+
+TEST_P(ClassifierPropertyTest, ProbaAlwaysInUnitInterval) {
+  auto model = GetParam().make();
+  Dataset data = MakeGaussianDataset(150, 5, 1.0, 1234);
+  ASSERT_TRUE(model->Fit(data).ok());
+  // Probe far outside the training distribution too.
+  std::vector<float> extreme(5);
+  Rng rng(7);
+  for (int probe = 0; probe < 200; ++probe) {
+    for (float& v : extreme) {
+      v = static_cast<float>(rng.UniformDouble(-1e4, 1e4));
+    }
+    double p = model->PredictProba(extreme.data());
+    EXPECT_GE(p, 0.0) << GetParam().name;
+    EXPECT_LE(p, 1.0) << GetParam().name;
+    EXPECT_FALSE(std::isnan(p)) << GetParam().name;
+  }
+}
+
+TEST_P(ClassifierPropertyTest, AccuracyMonotoneInSeparation) {
+  auto weak = GetParam().make();
+  auto strong = GetParam().make();
+  Dataset hard = MakeGaussianDataset(400, 4, 0.3, 777);
+  Dataset easy = MakeGaussianDataset(400, 4, 5.0, 777);
+  ASSERT_TRUE(weak->Fit(hard).ok());
+  ASSERT_TRUE(strong->Fit(easy).ok());
+  EXPECT_GT(TrainAccuracy(*strong, easy), TrainAccuracy(*weak, hard))
+      << GetParam().name;
+  EXPECT_GT(TrainAccuracy(*strong, easy), 0.9) << GetParam().name;
+}
+
+TEST_P(ClassifierPropertyTest, RefitReplacesOldModel) {
+  auto model = GetParam().make();
+  Dataset first = MakeGaussianDataset(200, 3, 5.0, 111);
+  ASSERT_TRUE(model->Fit(first).ok());
+  // Refit with flipped labels: predictions must flip too.
+  Dataset flipped({"f0", "f1", "f2"});
+  for (size_t i = 0; i < first.num_rows(); ++i) {
+    std::vector<float> row(first.Row(i), first.Row(i) + 3);
+    ASSERT_TRUE(flipped.AddRow(row, 1 - first.Label(i)).ok());
+  }
+  ASSERT_TRUE(model->Fit(flipped).ok());
+  EXPECT_GT(TrainAccuracy(*model, flipped), 0.9) << GetParam().name;
+}
+
+TEST_P(ClassifierPropertyTest, PredictConsistentWithProba) {
+  auto model = GetParam().make();
+  Dataset data = MakeGaussianDataset(150, 3, 2.0, 222);
+  ASSERT_TRUE(model->Fit(data).ok());
+  // For every model except the margin-thresholded SVM, Predict is the 0.5
+  // cut of PredictProba. (LinearSvm documents its own decision rule.)
+  if (std::string(GetParam().name) == "svm") return;
+  for (size_t i = 0; i < data.num_rows(); ++i) {
+    EXPECT_EQ(model->Predict(data.Row(i)),
+              model->PredictProba(data.Row(i)) >= 0.5 ? 1 : 0)
+        << GetParam().name;
+  }
+}
+
+TEST_P(ClassifierPropertyTest, CloneUntrainedIsIndependent) {
+  auto model = GetParam().make();
+  Dataset data = MakeGaussianDataset(150, 3, 4.0, 333);
+  ASSERT_TRUE(model->Fit(data).ok());
+  auto clone = model->CloneUntrained();
+  ASSERT_NE(clone, nullptr);
+  EXPECT_EQ(clone->name(), model->name());
+  // Training the clone must not disturb the original's predictions.
+  std::vector<double> before;
+  for (size_t i = 0; i < 20; ++i) {
+    before.push_back(model->PredictProba(data.Row(i)));
+  }
+  Dataset other = MakeGaussianDataset(100, 3, 1.0, 444);
+  ASSERT_TRUE(clone->Fit(other).ok());
+  for (size_t i = 0; i < 20; ++i) {
+    EXPECT_EQ(model->PredictProba(data.Row(i)), before[i])
+        << GetParam().name;
+  }
+}
+
+TEST_P(ClassifierPropertyTest, HandlesConstantFeatures) {
+  auto model = GetParam().make();
+  Dataset data({"c0", "x", "c1"});
+  Rng rng(555);
+  for (int i = 0; i < 200; ++i) {
+    int label = i % 2;
+    ASSERT_TRUE(data.AddRow({1.0f,
+                             static_cast<float>(rng.Normal(label * 3.0, 1.0)),
+                             -7.5f},
+                            label)
+                    .ok());
+  }
+  ASSERT_TRUE(model->Fit(data).ok());
+  EXPECT_GT(TrainAccuracy(*model, data), 0.85) << GetParam().name;
+}
+
+TEST_P(ClassifierPropertyTest, SurvivesSevereClassImbalance) {
+  auto model = GetParam().make();
+  Dataset data({"x", "y"});
+  Rng rng(666);
+  for (int i = 0; i < 970; ++i) {
+    ASSERT_TRUE(data.AddRow({static_cast<float>(rng.Normal(0.0, 1.0)),
+                             static_cast<float>(rng.Normal(0.0, 1.0))},
+                            0)
+                    .ok());
+  }
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(data.AddRow({static_cast<float>(rng.Normal(6.0, 1.0)),
+                             static_cast<float>(rng.Normal(6.0, 1.0))},
+                            1)
+                    .ok());
+  }
+  ASSERT_TRUE(model->Fit(data).ok());
+  // Well-separated minority: overall accuracy must beat the majority-vote
+  // baseline (0.97).
+  EXPECT_GT(TrainAccuracy(*model, data), 0.97) << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllClassifiers, ClassifierPropertyTest,
+    ::testing::Values(
+        ClassifierCase{"gbdt",
+                       [] {
+                         GbdtOptions o;
+                         o.num_rounds = 30;
+                         return std::unique_ptr<Classifier>(
+                             std::make_unique<Gbdt>(o));
+                       }},
+        ClassifierCase{"decision_tree",
+                       [] {
+                         return std::unique_ptr<Classifier>(
+                             std::make_unique<DecisionTree>());
+                       }},
+        ClassifierCase{"adaboost",
+                       [] {
+                         AdaBoostOptions o;
+                         o.num_rounds = 40;
+                         return std::unique_ptr<Classifier>(
+                             std::make_unique<AdaBoost>(o));
+                       }},
+        ClassifierCase{"svm",
+                       [] {
+                         return std::unique_ptr<Classifier>(
+                             std::make_unique<LinearSvm>());
+                       }},
+        ClassifierCase{"mlp",
+                       [] {
+                         MlpOptions o;
+                         o.epochs = 25;
+                         return std::unique_ptr<Classifier>(
+                             std::make_unique<Mlp>(o));
+                       }},
+        ClassifierCase{"naive_bayes",
+                       [] {
+                         return std::unique_ptr<Classifier>(
+                             std::make_unique<GaussianNaiveBayes>());
+                       }}),
+    [](const ::testing::TestParamInfo<ClassifierCase>& info) {
+      return std::string(info.param.name);
+    });
+
+}  // namespace
+}  // namespace cats::ml

@@ -1,0 +1,185 @@
+#include "platform/comment_generator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "platform_test_util.h"
+#include "text/segmenter.h"
+#include "text/text_stats.h"
+#include "util/stats.h"
+
+namespace cats::platform {
+namespace {
+
+class CommentGeneratorTest : public ::testing::Test {
+ protected:
+  CommentGeneratorTest()
+      : generator_(&TestLanguage()),
+        dict_(TestLanguage().BuildSegmentationDictionary()),
+        segmenter_(&dict_),
+        rng_(99) {}
+
+  double PositiveFraction(const std::string& comment) {
+    auto tokens = segmenter_.Segment(comment);
+    if (tokens.empty()) return 0.0;
+    size_t pos = 0;
+    for (const auto& t : tokens) {
+      if (TestLanguage().PolarityOf(t) == Polarity::kPositive) ++pos;
+    }
+    return static_cast<double>(pos) / tokens.size();
+  }
+
+  CommentGenerator generator_;
+  text::SegmentationDictionary dict_;
+  text::Segmenter segmenter_;
+  Rng rng_;
+};
+
+TEST_F(CommentGeneratorTest, BenignCommentsNonEmpty) {
+  for (int i = 0; i < 100; ++i) {
+    std::string c = generator_.GenerateBenign(0.5, &rng_);
+    EXPECT_FALSE(c.empty());
+    EXPECT_FALSE(segmenter_.Segment(c).empty());
+  }
+}
+
+TEST_F(CommentGeneratorTest, QualityDrivesBenignPolarity) {
+  RunningStats low, high;
+  for (int i = 0; i < 400; ++i) {
+    low.Add(PositiveFraction(generator_.GenerateBenign(0.1, &rng_)));
+    high.Add(PositiveFraction(generator_.GenerateBenign(0.95, &rng_)));
+  }
+  EXPECT_GT(high.mean(), low.mean() + 0.05);
+}
+
+TEST_F(CommentGeneratorTest, SpamLongerThanBenign) {
+  RunningStats benign_len, spam_len;
+  for (int i = 0; i < 300; ++i) {
+    benign_len.Add(static_cast<double>(
+        segmenter_.Segment(generator_.GenerateBenign(0.6, &rng_)).size()));
+    auto tmpl = generator_.GenerateSpamTemplate(&rng_);
+    spam_len.Add(static_cast<double>(
+        segmenter_.Segment(generator_.GenerateSpamFromTemplate(tmpl, &rng_))
+            .size()));
+  }
+  EXPECT_GT(spam_len.mean(), benign_len.mean() * 2.0);
+}
+
+TEST_F(CommentGeneratorTest, SpamMorePositiveThanBenign) {
+  RunningStats benign_pos, spam_pos;
+  for (int i = 0; i < 300; ++i) {
+    benign_pos.Add(PositiveFraction(generator_.GenerateBenign(0.6, &rng_)));
+    auto tmpl = generator_.GenerateSpamTemplate(&rng_);
+    spam_pos.Add(
+        PositiveFraction(generator_.GenerateSpamFromTemplate(tmpl, &rng_)));
+  }
+  EXPECT_GT(spam_pos.mean(), benign_pos.mean() + 0.1);
+}
+
+TEST_F(CommentGeneratorTest, SpamHasLowerUniqueRatio) {
+  RunningStats benign_ratio, spam_ratio;
+  for (int i = 0; i < 300; ++i) {
+    auto bt = segmenter_.Segment(generator_.GenerateBenign(0.6, &rng_));
+    if (bt.size() >= 10) benign_ratio.Add(text::UniqueTokenRatio(bt));
+    auto tmpl = generator_.GenerateSpamTemplate(&rng_);
+    auto st = segmenter_.Segment(
+        generator_.GenerateSpamFromTemplate(tmpl, &rng_));
+    if (st.size() >= 10) spam_ratio.Add(text::UniqueTokenRatio(st));
+  }
+  EXPECT_LT(spam_ratio.mean(), benign_ratio.mean());
+}
+
+TEST_F(CommentGeneratorTest, SpamHasMorePunctuation) {
+  RunningStats benign_punct, spam_punct;
+  for (int i = 0; i < 300; ++i) {
+    benign_punct.Add(
+        text::AnalyzeStructure(generator_.GenerateBenign(0.6, &rng_))
+            .punctuation_count);
+    auto tmpl = generator_.GenerateSpamTemplate(&rng_);
+    spam_punct.Add(
+        text::AnalyzeStructure(generator_.GenerateSpamFromTemplate(tmpl, &rng_))
+            .punctuation_count);
+  }
+  EXPECT_GT(spam_punct.mean(), benign_punct.mean() * 1.5);
+}
+
+TEST_F(CommentGeneratorTest, StealthSpamShorterAndLessPositiveThanBlatant) {
+  RunningStats blatant_len, stealth_len, blatant_pos, stealth_pos;
+  for (int i = 0; i < 300; ++i) {
+    auto bt = generator_.GenerateSpamTemplate(&rng_, false);
+    auto st = generator_.GenerateSpamTemplate(&rng_, true);
+    std::string blatant = generator_.GenerateSpamFromTemplate(bt, &rng_, false);
+    std::string stealth = generator_.GenerateSpamFromTemplate(st, &rng_, true);
+    blatant_len.Add(
+        static_cast<double>(segmenter_.Segment(blatant).size()));
+    stealth_len.Add(static_cast<double>(segmenter_.Segment(stealth).size()));
+    blatant_pos.Add(PositiveFraction(blatant));
+    stealth_pos.Add(PositiveFraction(stealth));
+  }
+  EXPECT_LT(stealth_len.mean(), blatant_len.mean());
+  EXPECT_LT(stealth_pos.mean(), blatant_pos.mean());
+}
+
+TEST_F(CommentGeneratorTest, TemplateReuseSharesVocabulary) {
+  // Comments from the same template overlap much more than comments from
+  // different templates.
+  auto tmpl_a = generator_.GenerateSpamTemplate(&rng_);
+  auto tmpl_b = generator_.GenerateSpamTemplate(&rng_);
+  auto overlap = [&](const std::string& x, const std::string& y) {
+    auto tx = segmenter_.Segment(x);
+    auto ty = segmenter_.Segment(y);
+    std::set<std::string> sx(tx.begin(), tx.end());
+    size_t shared = 0;
+    std::set<std::string> sy(ty.begin(), ty.end());
+    for (const auto& t : sx) shared += sy.count(t);
+    return static_cast<double>(shared) /
+           std::max<size_t>(1, std::min(sx.size(), sy.size()));
+  };
+  RunningStats same, cross;
+  for (int i = 0; i < 50; ++i) {
+    std::string a1 = generator_.GenerateSpamFromTemplate(tmpl_a, &rng_);
+    std::string a2 = generator_.GenerateSpamFromTemplate(tmpl_a, &rng_);
+    std::string b1 = generator_.GenerateSpamFromTemplate(tmpl_b, &rng_);
+    same.Add(overlap(a1, a2));
+    cross.Add(overlap(a1, b1));
+  }
+  EXPECT_GT(same.mean(), cross.mean() + 0.2);
+}
+
+TEST_F(CommentGeneratorTest, SentimentDocsCarryLabelPolarity) {
+  RunningStats pos_frac, neg_frac;
+  for (int i = 0; i < 200; ++i) {
+    pos_frac.Add(PositiveFraction(
+        generator_.GenerateSentimentTrainingDoc(true, &rng_)));
+    neg_frac.Add(PositiveFraction(
+        generator_.GenerateSentimentTrainingDoc(false, &rng_)));
+  }
+  EXPECT_GT(pos_frac.mean(), 0.3);
+  EXPECT_LT(neg_frac.mean(), 0.1);
+}
+
+TEST_F(CommentGeneratorTest, HomographsAppearOnlyInSpam) {
+  size_t benign_homographs = 0, spam_homographs = 0;
+  for (int i = 0; i < 300; ++i) {
+    for (const auto& t :
+         segmenter_.Segment(generator_.GenerateBenign(0.7, &rng_))) {
+      for (const LanguageWord& w : TestLanguage().words()) {
+        if (w.spam_homograph && w.text == t) ++benign_homographs;
+      }
+    }
+    auto tmpl = generator_.GenerateSpamTemplate(&rng_);
+    for (const auto& t : segmenter_.Segment(
+             generator_.GenerateSpamFromTemplate(tmpl, &rng_))) {
+      for (const LanguageWord& w : TestLanguage().words()) {
+        if (w.spam_homograph && w.text == t) ++spam_homographs;
+      }
+    }
+  }
+  EXPECT_EQ(benign_homographs, 0u);
+  EXPECT_GT(spam_homographs, 0u);
+}
+
+}  // namespace
+}  // namespace cats::platform

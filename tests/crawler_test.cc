@@ -1,0 +1,130 @@
+#include "collect/crawler.h"
+
+#include <gtest/gtest.h>
+
+#include "platform_test_util.h"
+
+namespace cats::collect {
+namespace {
+
+TEST(CrawlerTest, CollectsWholePlatform) {
+  const platform::Marketplace& m = TestMarketplace();
+  DataStore store = CrawlAll(m);
+  EXPECT_EQ(store.shops().size(), m.shops().size());
+  EXPECT_EQ(store.items().size(), m.items().size());
+  EXPECT_EQ(store.num_comments(), m.comments().size());
+}
+
+TEST(CrawlerTest, CollectedContentMatchesSource) {
+  const platform::Marketplace& m = TestMarketplace();
+  const DataStore& store = TestStore();
+  // Spot-check item fields and comments against ground truth.
+  for (size_t i = 0; i < m.items().size(); i += 37) {
+    const platform::Item& truth = m.items()[i];
+    const CollectedItem* collected = store.FindItem(truth.id);
+    ASSERT_NE(collected, nullptr);
+    EXPECT_EQ(collected->item.item_name, truth.name);
+    EXPECT_EQ(collected->item.sales_volume, truth.sales_volume);
+    EXPECT_EQ(collected->comments.size(),
+              m.CommentIndicesOfItem(truth.id).size());
+  }
+}
+
+TEST(CrawlerTest, SurvivesTransientFailures) {
+  const platform::Marketplace& m = TestMarketplace();
+  platform::ApiOptions api_options;
+  api_options.transient_failure_prob = 0.10;
+  api_options.duplicate_record_prob = 0.0;
+  platform::MarketplaceApi api(&m, api_options);
+  FakeClock clock;
+  Crawler crawler(&api, CrawlerOptions{}, &clock);
+  DataStore store;
+  ASSERT_TRUE(crawler.Crawl(&store).ok());
+  EXPECT_EQ(store.items().size(), m.items().size());
+  EXPECT_GT(crawler.stats().retries, 0u);
+}
+
+TEST(CrawlerTest, DeduplicatesInjectedRecords) {
+  const platform::Marketplace& m = TestMarketplace();
+  platform::ApiOptions api_options;
+  api_options.transient_failure_prob = 0.0;
+  api_options.duplicate_record_prob = 0.05;
+  platform::MarketplaceApi api(&m, api_options);
+  FakeClock clock;
+  Crawler crawler(&api, CrawlerOptions{}, &clock);
+  DataStore store;
+  ASSERT_TRUE(crawler.Crawl(&store).ok());
+  // Duplicates must be injected and dropped; totals unchanged.
+  EXPECT_GT(store.duplicates_dropped(), 0u);
+  EXPECT_EQ(store.items().size(), m.items().size());
+  EXPECT_EQ(store.num_comments(), m.comments().size());
+}
+
+TEST(CrawlerTest, RateLimiterThrottlesVirtualTime) {
+  const platform::Marketplace& m = TestMarketplace();
+  platform::ApiOptions api_options;
+  api_options.transient_failure_prob = 0.0;
+  platform::MarketplaceApi api(&m, api_options);
+  FakeClock clock;
+  CrawlerOptions options;
+  options.requests_per_second = 100.0;
+  options.burst = 5.0;
+  Crawler crawler(&api, options, &clock);
+  DataStore store;
+  ASSERT_TRUE(crawler.Crawl(&store).ok());
+  EXPECT_GT(crawler.stats().throttled_micros, 0);
+  // Virtual elapsed time must be at least requests/rate.
+  double min_seconds =
+      static_cast<double>(crawler.stats().requests - 5) / 100.0;
+  EXPECT_GE(static_cast<double>(clock.NowMicros()) / 1e6, min_seconds * 0.9);
+}
+
+TEST(CrawlerTest, MaxItemsStopsEarly) {
+  const platform::Marketplace& m = TestMarketplace();
+  platform::ApiOptions api_options;
+  api_options.transient_failure_prob = 0.0;
+  platform::MarketplaceApi api(&m, api_options);
+  FakeClock clock;
+  CrawlerOptions options;
+  options.max_items = 20;
+  Crawler crawler(&api, options, &clock);
+  DataStore store;
+  ASSERT_TRUE(crawler.Crawl(&store).ok());
+  EXPECT_LT(store.items().size(), m.items().size());
+  EXPECT_GE(store.items().size(), 20u);
+}
+
+TEST(CrawlerTest, PersistentFailureGivesUpAfterRetries) {
+  const platform::Marketplace& m = TestMarketplace();
+  platform::ApiOptions api_options;
+  api_options.transient_failure_prob = 1.0;  // always down
+  platform::MarketplaceApi api(&m, api_options);
+  FakeClock clock;
+  CrawlerOptions options;
+  options.max_retries = 3;
+  Crawler crawler(&api, options, &clock);
+  DataStore store;
+  Status st = crawler.Crawl(&store);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(crawler.stats().retries, 3u);
+}
+
+TEST(CrawlerTest, StatsCountsMatchStore) {
+  const platform::Marketplace& m = TestMarketplace();
+  platform::ApiOptions api_options;
+  api_options.transient_failure_prob = 0.0;
+  api_options.duplicate_record_prob = 0.0;
+  platform::MarketplaceApi api(&m, api_options);
+  FakeClock clock;
+  Crawler crawler(&api, CrawlerOptions{}, &clock);
+  DataStore store;
+  ASSERT_TRUE(crawler.Crawl(&store).ok());
+  EXPECT_EQ(crawler.stats().shops, store.shops().size());
+  EXPECT_EQ(crawler.stats().items, store.items().size());
+  EXPECT_EQ(crawler.stats().comments, store.num_comments());
+  EXPECT_EQ(crawler.stats().requests, api.request_count());
+}
+
+}  // namespace
+}  // namespace cats::collect

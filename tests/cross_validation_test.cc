@@ -1,0 +1,70 @@
+#include "ml/cross_validation.h"
+
+#include <gtest/gtest.h>
+
+#include "ml/decision_tree.h"
+#include "ml/gbdt.h"
+#include "ml/naive_bayes.h"
+#include "ml_test_util.h"
+
+namespace cats::ml {
+namespace {
+
+TEST(CrossValidationTest, RejectsBadArguments) {
+  Dataset data = MakeGaussianDataset(20, 2, 3.0, 227);
+  DecisionTree tree;
+  EXPECT_FALSE(CrossValidate(tree, data, 1, 0).ok());
+  Dataset tiny = MakeGaussianDataset(1, 2, 3.0, 229);
+  EXPECT_FALSE(CrossValidate(tree, tiny, 5, 0).ok());
+}
+
+TEST(CrossValidationTest, FiveFoldOnSeparableData) {
+  Dataset data = MakeGaussianDataset(200, 3, 4.0, 233);
+  GbdtOptions options;
+  options.num_rounds = 30;
+  Gbdt model(options);
+  auto result = CrossValidate(model, data, 5, 17);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->model_name, "Xgboost");
+  EXPECT_EQ(result->folds, 5u);
+  EXPECT_EQ(result->per_fold.size(), 5u);
+  EXPECT_GT(result->precision, 0.95);
+  EXPECT_GT(result->recall, 0.95);
+  EXPECT_GT(result->f1, 0.95);
+  EXPECT_GT(result->accuracy, 0.95);
+}
+
+TEST(CrossValidationTest, AveragesMatchPerFold) {
+  Dataset data = MakeGaussianDataset(100, 2, 2.0, 239);
+  GaussianNaiveBayes nb;
+  auto result = CrossValidate(nb, data, 4, 19);
+  ASSERT_TRUE(result.ok());
+  double sum_precision = 0.0;
+  for (const auto& fold : result->per_fold) sum_precision += fold.precision;
+  EXPECT_NEAR(result->precision, sum_precision / 4.0, 1e-12);
+}
+
+TEST(CrossValidationTest, DeterministicForSeed) {
+  Dataset data = MakeGaussianDataset(100, 2, 2.0, 241);
+  DecisionTree tree;
+  auto a = CrossValidate(tree, data, 5, 99);
+  auto b = CrossValidate(tree, data, 5, 99);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(a->precision, b->precision);
+  EXPECT_DOUBLE_EQ(a->recall, b->recall);
+}
+
+TEST(CrossValidationTest, HarderDataLowerScores) {
+  Dataset easy = MakeGaussianDataset(150, 2, 5.0, 251);
+  Dataset hard = MakeGaussianDataset(150, 2, 0.5, 251);
+  DecisionTree tree;
+  auto easy_result = CrossValidate(tree, easy, 5, 7);
+  auto hard_result = CrossValidate(tree, hard, 5, 7);
+  ASSERT_TRUE(easy_result.ok());
+  ASSERT_TRUE(hard_result.ok());
+  EXPECT_GT(easy_result->f1, hard_result->f1);
+}
+
+}  // namespace
+}  // namespace cats::ml

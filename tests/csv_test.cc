@@ -1,0 +1,86 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+namespace cats {
+namespace {
+
+class CsvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("cats_csv_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(CsvTest, WriteReadRoundTrip) {
+  CsvWriter writer(Path("t.csv"));
+  writer.SetHeader({"a", "b"});
+  writer.AddRow({"1", "x"});
+  writer.AddRow({"2", "y"});
+  ASSERT_TRUE(writer.Flush().ok());
+
+  auto rows = ReadCsv(Path("t.csv"));
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 3u);
+  EXPECT_EQ((*rows)[0], (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ((*rows)[2], (std::vector<std::string>{"2", "y"}));
+}
+
+TEST_F(CsvTest, QuotingRoundTrip) {
+  CsvWriter writer(Path("q.csv"));
+  writer.AddRow({"has,comma", "has\"quote", "plain"});
+  ASSERT_TRUE(writer.Flush().ok());
+  auto rows = ReadCsv(Path("q.csv"));
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ((*rows)[0][0], "has,comma");
+  EXPECT_EQ((*rows)[0][1], "has\"quote");
+  EXPECT_EQ((*rows)[0][2], "plain");
+}
+
+TEST_F(CsvTest, EmptyFieldsPreserved) {
+  CsvWriter writer(Path("e.csv"));
+  writer.AddRow({"", "mid", ""});
+  ASSERT_TRUE(writer.Flush().ok());
+  auto rows = ReadCsv(Path("e.csv"));
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ((*rows)[0], (std::vector<std::string>{"", "mid", ""}));
+}
+
+TEST_F(CsvTest, CrLfTolerated) {
+  ASSERT_TRUE(WriteStringToFile(Path("crlf.csv"), "a,b\r\n1,2\r\n").ok());
+  auto rows = ReadCsv(Path("crlf.csv"));
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ((*rows)[1], (std::vector<std::string>{"1", "2"}));
+}
+
+TEST_F(CsvTest, MissingFileIsIoError) {
+  EXPECT_EQ(ReadCsv(Path("nope.csv")).status().code(), StatusCode::kIoError);
+  EXPECT_EQ(ReadFileToString(Path("nope.txt")).status().code(),
+            StatusCode::kIoError);
+}
+
+TEST_F(CsvTest, FileStringRoundTrip) {
+  std::string content = "binary\0ish\ncontent 好";
+  ASSERT_TRUE(WriteStringToFile(Path("f.bin"), content).ok());
+  auto read = ReadFileToString(Path("f.bin"));
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, content);
+}
+
+TEST_F(CsvTest, WriteToBadPathFails) {
+  CsvWriter writer("/nonexistent_dir_zzz/x.csv");
+  EXPECT_EQ(writer.Flush().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace cats

@@ -1,0 +1,93 @@
+#include "ml/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "util/csv.h"
+
+namespace cats::ml {
+namespace {
+
+TEST(DatasetTest, AddRowValidation) {
+  Dataset data({"a", "b"});
+  EXPECT_TRUE(data.AddRow({1.0f, 2.0f}, 1).ok());
+  EXPECT_FALSE(data.AddRow({1.0f}, 0).ok());            // wrong width
+  EXPECT_FALSE(data.AddRow({1.0f, 2.0f}, 2).ok());      // bad label
+  EXPECT_FALSE(data.AddRow({1.0f, 2.0f}, -1).ok());
+  EXPECT_EQ(data.num_rows(), 1u);
+  EXPECT_EQ(data.num_features(), 2u);
+}
+
+TEST(DatasetTest, AccessorsAndCounts) {
+  Dataset data({"a", "b"});
+  ASSERT_TRUE(data.AddRow({1.0f, 2.0f}, 1).ok());
+  ASSERT_TRUE(data.AddRow({3.0f, 4.0f}, 0).ok());
+  ASSERT_TRUE(data.AddRow({5.0f, 6.0f}, 1).ok());
+  EXPECT_EQ(data.Value(1, 0), 3.0f);
+  EXPECT_EQ(data.Value(2, 1), 6.0f);
+  EXPECT_EQ(data.Label(0), 1);
+  EXPECT_EQ(data.CountLabel(1), 2u);
+  EXPECT_EQ(data.CountLabel(0), 1u);
+  EXPECT_EQ(data.Row(1)[1], 4.0f);
+}
+
+TEST(DatasetTest, SelectCopiesRows) {
+  Dataset data({"x"});
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(data.AddRow({static_cast<float>(i)}, i % 2).ok());
+  }
+  Dataset sub = data.Select({4, 0, 2});
+  ASSERT_EQ(sub.num_rows(), 3u);
+  EXPECT_EQ(sub.Value(0, 0), 4.0f);
+  EXPECT_EQ(sub.Value(1, 0), 0.0f);
+  EXPECT_EQ(sub.Value(2, 0), 2.0f);
+  EXPECT_EQ(sub.Label(0), 0);
+  EXPECT_EQ(sub.feature_names(), data.feature_names());
+}
+
+TEST(DatasetTest, Column) {
+  Dataset data({"a", "b"});
+  ASSERT_TRUE(data.AddRow({1.0f, 10.0f}, 0).ok());
+  ASSERT_TRUE(data.AddRow({2.0f, 20.0f}, 1).ok());
+  EXPECT_EQ(data.Column(1), (std::vector<double>{10.0, 20.0}));
+}
+
+TEST(DatasetTest, CsvRoundTrip) {
+  std::string path =
+      (std::filesystem::temp_directory_path() / "cats_dataset_test.csv")
+          .string();
+  Dataset data({"averagePositiveNumber", "averagePositive/NegativeNumber"});
+  ASSERT_TRUE(data.AddRow({1.5f, -2.25f}, 1).ok());
+  ASSERT_TRUE(data.AddRow({0.0f, 3.0f}, 0).ok());
+  ASSERT_TRUE(data.SaveCsv(path).ok());
+
+  auto loaded = Dataset::LoadCsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_rows(), 2u);
+  EXPECT_EQ(loaded->feature_names(), data.feature_names());
+  EXPECT_FLOAT_EQ(loaded->Value(0, 1), -2.25f);
+  EXPECT_EQ(loaded->Label(0), 1);
+  EXPECT_EQ(loaded->Label(1), 0);
+  std::filesystem::remove(path);
+}
+
+TEST(DatasetTest, LoadCsvRequiresLabelColumn) {
+  std::string path =
+      (std::filesystem::temp_directory_path() / "cats_bad_dataset.csv")
+          .string();
+  ASSERT_TRUE(WriteStringToFile(path, "a,b\n1,2\n").ok());
+  EXPECT_FALSE(Dataset::LoadCsv(path).ok());
+  std::filesystem::remove(path);
+}
+
+TEST(DatasetTest, EmptyDataset) {
+  Dataset data({"x"});
+  EXPECT_EQ(data.num_rows(), 0u);
+  EXPECT_EQ(data.CountLabel(1), 0u);
+  Dataset sub = data.Select({});
+  EXPECT_EQ(sub.num_rows(), 0u);
+}
+
+}  // namespace
+}  // namespace cats::ml

@@ -1,0 +1,107 @@
+#include "ml/decision_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "ml_test_util.h"
+
+namespace cats::ml {
+namespace {
+
+TEST(DecisionTreeTest, FitEmptyFails) {
+  DecisionTree tree;
+  Dataset empty({"x"});
+  EXPECT_FALSE(tree.Fit(empty).ok());
+}
+
+TEST(DecisionTreeTest, SeparableDataHighAccuracy) {
+  Dataset data = MakeGaussianDataset(300, 4, 5.0, 21);
+  DecisionTree tree;
+  ASSERT_TRUE(tree.Fit(data).ok());
+  EXPECT_GT(TrainAccuracy(tree, data), 0.97);
+  EXPECT_GT(tree.num_split_nodes(), 0u);
+}
+
+TEST(DecisionTreeTest, SolvesXor) {
+  Dataset data = MakeXorDataset(600, 23);
+  DecisionTree tree;
+  ASSERT_TRUE(tree.Fit(data).ok());
+  EXPECT_GT(TrainAccuracy(tree, data), 0.95);
+  // XOR needs at least 2 levels.
+  EXPECT_GE(tree.depth(), 2u);
+}
+
+TEST(DecisionTreeTest, PureNodeBecomesLeafImmediately) {
+  Dataset data({"x"});
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(data.AddRow({static_cast<float>(i)}, 1).ok());
+  }
+  DecisionTree tree;
+  ASSERT_TRUE(tree.Fit(data).ok());
+  EXPECT_EQ(tree.num_split_nodes(), 0u);
+  float row = 3.0f;
+  EXPECT_DOUBLE_EQ(tree.PredictProba(&row), 1.0);
+}
+
+TEST(DecisionTreeTest, MaxDepthRespected) {
+  Dataset data = MakeXorDataset(500, 29);
+  DecisionTreeOptions options;
+  options.max_depth = 1;
+  DecisionTree stump(options);
+  ASSERT_TRUE(stump.Fit(data).ok());
+  EXPECT_LE(stump.depth(), 1u);
+  // A stump cannot solve XOR.
+  EXPECT_LT(TrainAccuracy(stump, data), 0.8);
+}
+
+TEST(DecisionTreeTest, MinSamplesLeafRespected) {
+  Dataset data = MakeGaussianDataset(50, 2, 1.0, 31);
+  DecisionTreeOptions options;
+  options.min_samples_leaf = 40;  // only very large leaves allowed
+  options.min_samples_split = 80;
+  DecisionTree tree(options);
+  ASSERT_TRUE(tree.Fit(data).ok());
+  // With 100 rows and min leaf 40, at most one split is possible.
+  EXPECT_LE(tree.num_split_nodes(), 1u);
+}
+
+TEST(DecisionTreeTest, PredictProbaInUnitInterval) {
+  Dataset data = MakeGaussianDataset(100, 3, 2.0, 37);
+  DecisionTree tree;
+  ASSERT_TRUE(tree.Fit(data).ok());
+  for (size_t i = 0; i < data.num_rows(); ++i) {
+    double p = tree.PredictProba(data.Row(i));
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(DecisionTreeTest, UntrainedPredictsHalf) {
+  DecisionTree tree;
+  float row[2] = {0.0f, 0.0f};
+  EXPECT_DOUBLE_EQ(tree.PredictProba(row), 0.5);
+}
+
+TEST(DecisionTreeTest, CloneUntrainedIsFresh) {
+  Dataset data = MakeGaussianDataset(100, 2, 4.0, 41);
+  DecisionTree tree;
+  ASSERT_TRUE(tree.Fit(data).ok());
+  auto clone = tree.CloneUntrained();
+  EXPECT_EQ(clone->name(), "Decision Tree");
+  float row[2] = {0.0f, 0.0f};
+  EXPECT_DOUBLE_EQ(clone->PredictProba(row), 0.5);  // untrained
+  ASSERT_TRUE(clone->Fit(data).ok());
+  EXPECT_GT(TrainAccuracy(*clone, data), 0.95);
+}
+
+TEST(DecisionTreeTest, DeterministicForSameData) {
+  Dataset data = MakeGaussianDataset(200, 3, 2.0, 43);
+  DecisionTree a, b;
+  ASSERT_TRUE(a.Fit(data).ok());
+  ASSERT_TRUE(b.Fit(data).ok());
+  for (size_t i = 0; i < data.num_rows(); ++i) {
+    EXPECT_EQ(a.PredictProba(data.Row(i)), b.PredictProba(data.Row(i)));
+  }
+}
+
+}  // namespace
+}  // namespace cats::ml

@@ -1,0 +1,209 @@
+#include "core/detector.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "ml/naive_bayes.h"
+#include "platform_test_util.h"
+
+namespace cats::core {
+namespace {
+
+class DetectorTest : public ::testing::Test {
+ protected:
+  static const Detector& TrainedDetector() {
+    static const Detector* detector = [] {
+      auto* d = new Detector(&cats::TestSemanticModel());
+      const auto& store = cats::TestStore();
+      std::vector<int> labels =
+          cats::StoreLabels(cats::TestMarketplace(), store);
+      CATS_CHECK(d->Train(store.items(), labels).ok());
+      return d;
+    }();
+    return *detector;
+  }
+};
+
+TEST_F(DetectorTest, DetectBeforeTrainFails) {
+  Detector detector(&cats::TestSemanticModel());
+  EXPECT_FALSE(detector.Detect(cats::TestStore().items()).ok());
+  EXPECT_FALSE(detector.trained());
+}
+
+TEST_F(DetectorTest, DetectsMostFraudFewFalsePositives) {
+  const auto& store = cats::TestStore();
+  const auto& market = cats::TestMarketplace();
+  auto report = TrainedDetector().Detect(store.items());
+  ASSERT_TRUE(report.ok());
+  size_t tp = 0, fp = 0;
+  for (const Detection& d : report->detections) {
+    if (market.IsFraudItem(d.item_id)) {
+      ++tp;
+    } else {
+      ++fp;
+    }
+  }
+  // Training-set detection: should recover most fraud items cleanly.
+  EXPECT_GT(tp, market.NumFraudItems() * 7 / 10);
+  EXPECT_LT(fp, store.items().size() / 20);
+}
+
+TEST_F(DetectorTest, ReportAccountsForEveryItem) {
+  const auto& store = cats::TestStore();
+  auto report = TrainedDetector().Detect(store.items());
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->items_scanned, store.items().size());
+  EXPECT_EQ(report->items_scanned,
+            report->items_classified + report->items_filtered_low_sales +
+                report->items_filtered_no_signal +
+                report->items_filtered_no_comments);
+  EXPECT_LE(report->detections.size(), report->items_classified);
+}
+
+TEST_F(DetectorTest, ScoresAboveThreshold) {
+  auto report = TrainedDetector().Detect(cats::TestStore().items());
+  ASSERT_TRUE(report.ok());
+  for (const Detection& d : report->detections) {
+    EXPECT_GE(d.score, 0.60);  // default threshold
+    EXPECT_LE(d.score, 1.0);
+  }
+}
+
+TEST_F(DetectorTest, ContainsLookup) {
+  auto report = TrainedDetector().Detect(cats::TestStore().items());
+  ASSERT_TRUE(report.ok());
+  ASSERT_FALSE(report->detections.empty());
+  EXPECT_TRUE(report->Contains(report->detections[0].item_id));
+  EXPECT_FALSE(report->Contains(0xFFFFFFFFull));
+}
+
+TEST_F(DetectorTest, CustomClassifierInjectable) {
+  Detector detector(&cats::TestSemanticModel());
+  detector.SetClassifier(std::make_unique<ml::GaussianNaiveBayes>());
+  const auto& store = cats::TestStore();
+  std::vector<int> labels = cats::StoreLabels(cats::TestMarketplace(), store);
+  ASSERT_TRUE(detector.Train(store.items(), labels).ok());
+  auto report = detector.Detect(store.items());
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(detector.classifier().name(), "Naive Bayes");
+  // NB is weaker but must still find a good chunk of the fraud.
+  EXPECT_GT(report->detections.size(), 10u);
+}
+
+TEST_F(DetectorTest, SaveGbdtFailsForNonGbdtClassifier) {
+  Detector detector(&cats::TestSemanticModel());
+  detector.SetClassifier(std::make_unique<ml::GaussianNaiveBayes>());
+  EXPECT_FALSE(detector.SaveGbdt("/tmp/x.model").ok());
+}
+
+TEST_F(DetectorTest, PretrainedRoundTrip) {
+  auto dir = std::filesystem::temp_directory_path() /
+             ("cats_detector_test_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  std::string path = (dir / "gbdt.model").string();
+  ASSERT_TRUE(TrainedDetector().SaveGbdt(path).ok());
+
+  Detector fresh(&cats::TestSemanticModel());
+  ASSERT_TRUE(fresh.LoadPretrainedGbdt(path).ok());
+  EXPECT_TRUE(fresh.trained());
+  auto a = TrainedDetector().Detect(cats::TestStore().items());
+  auto b = fresh.Detect(cats::TestStore().items());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->detections.size(), b->detections.size());
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(DetectorTest, ScoreFeaturesMatchesClassifier) {
+  const auto& store = cats::TestStore();
+  FeatureExtractor extractor(&cats::TestSemanticModel());
+  std::vector<collect::CollectedItem> items(store.items().begin(),
+                                            store.items().begin() + 10);
+  auto features = extractor.ExtractAll(items);
+  auto scores = TrainedDetector().ScoreFeatures(features);
+  ASSERT_TRUE(scores.ok());
+  ASSERT_EQ(scores->size(), 10u);
+  for (double s : *scores) {
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+TEST_F(DetectorTest, CalibrateThresholdRequiresTraining) {
+  Detector detector(&cats::TestSemanticModel());
+  auto r = detector.CalibrateThreshold(cats::TestStore().items(),
+                                       cats::StoreLabels(
+                                           cats::TestMarketplace(),
+                                           cats::TestStore()),
+                                       0.9);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(DetectorTest, CalibrateThresholdRejectsBadValidation) {
+  Detector detector(&cats::TestSemanticModel());
+  const auto& store = cats::TestStore();
+  std::vector<int> labels = cats::StoreLabels(cats::TestMarketplace(), store);
+  ASSERT_TRUE(detector.Train(store.items(), labels).ok());
+  EXPECT_FALSE(detector.CalibrateThreshold({}, {}, 0.9).ok());
+  std::vector<int> short_labels(3, 0);
+  EXPECT_FALSE(
+      detector.CalibrateThreshold(store.items(), short_labels, 0.9).ok());
+}
+
+TEST_F(DetectorTest, CalibrateThresholdReachesPrecisionTarget) {
+  Detector detector(&cats::TestSemanticModel());
+  const auto& store = cats::TestStore();
+  std::vector<int> labels = cats::StoreLabels(cats::TestMarketplace(), store);
+  ASSERT_TRUE(detector.Train(store.items(), labels).ok());
+  auto threshold = detector.CalibrateThreshold(store.items(), labels, 0.95);
+  ASSERT_TRUE(threshold.ok());
+  EXPECT_GT(*threshold, 0.0);
+  EXPECT_LE(*threshold, 1.0);
+  EXPECT_DOUBLE_EQ(detector.decision_threshold(), *threshold);
+
+  // The calibrated detector must reach the precision target on the
+  // calibration set itself.
+  auto report = detector.Detect(store.items());
+  ASSERT_TRUE(report.ok());
+  size_t tp = 0;
+  for (const Detection& d : report->detections) {
+    tp += cats::TestMarketplace().IsFraudItem(d.item_id) ? 1 : 0;
+  }
+  ASSERT_GT(report->detections.size(), 0u);
+  EXPECT_GE(static_cast<double>(tp) / report->detections.size(), 0.95);
+}
+
+TEST_F(DetectorTest, CalibrateHigherTargetGivesHigherThreshold) {
+  const auto& store = cats::TestStore();
+  std::vector<int> labels = cats::StoreLabels(cats::TestMarketplace(), store);
+  Detector a(&cats::TestSemanticModel()), b(&cats::TestSemanticModel());
+  ASSERT_TRUE(a.Train(store.items(), labels).ok());
+  ASSERT_TRUE(b.Train(store.items(), labels).ok());
+  auto low = a.CalibrateThreshold(store.items(), labels, 0.70);
+  auto high = b.CalibrateThreshold(store.items(), labels, 0.99);
+  ASSERT_TRUE(low.ok());
+  ASSERT_TRUE(high.ok());
+  EXPECT_LE(*low, *high);
+}
+
+TEST_F(DetectorTest, ThresholdControlsVolume) {
+  const auto& store = cats::TestStore();
+  std::vector<int> labels = cats::StoreLabels(cats::TestMarketplace(), store);
+  DetectorOptions strict;
+  strict.decision_threshold = 0.95;
+  DetectorOptions loose;
+  loose.decision_threshold = 0.10;
+  Detector a(&cats::TestSemanticModel(), strict);
+  Detector b(&cats::TestSemanticModel(), loose);
+  ASSERT_TRUE(a.Train(store.items(), labels).ok());
+  ASSERT_TRUE(b.Train(store.items(), labels).ok());
+  auto ra = a.Detect(store.items());
+  auto rb = b.Detect(store.items());
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  EXPECT_LT(ra->detections.size(), rb->detections.size());
+}
+
+}  // namespace
+}  // namespace cats::core

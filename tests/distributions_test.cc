@@ -1,0 +1,140 @@
+#include "analysis/distributions.h"
+
+#include <gtest/gtest.h>
+
+#include "platform_test_util.h"
+#include "util/stats.h"
+
+namespace cats::analysis {
+namespace {
+
+LabeledSplit Split() {
+  const auto& store = cats::TestStore();
+  return SplitByLabel(store.items(),
+                      cats::StoreLabels(cats::TestMarketplace(), store));
+}
+
+TEST(SplitByLabelTest, PartitionsByLabel) {
+  LabeledSplit split = Split();
+  EXPECT_GT(split.fraud.size(), 0u);
+  EXPECT_GT(split.normal.size(), split.fraud.size());
+  EXPECT_EQ(split.fraud.size() + split.normal.size(),
+            cats::TestStore().items().size());
+}
+
+TEST(CommentSentimentsTest, FraudMorePositive) {
+  // Fig 1 shape: fraud comments' sentiment concentrates higher.
+  LabeledSplit split = Split();
+  auto fraud = CommentSentiments(cats::TestSemanticModel(), split.fraud);
+  auto normal = CommentSentiments(cats::TestSemanticModel(), split.normal);
+  ASSERT_GT(fraud.size(), 50u);
+  ASSERT_GT(normal.size(), 50u);
+  EXPECT_GT(Mean(fraud), Mean(normal));
+  for (double s : fraud) {
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+TEST(StructuralSeriesTest, FigTwoToFiveShapes) {
+  LabeledSplit split = Split();
+  StructuralSeries fraud =
+      ComputeStructuralSeries(cats::TestSemanticModel(), split.fraud);
+  StructuralSeries normal =
+      ComputeStructuralSeries(cats::TestSemanticModel(), split.normal);
+  // Fig 2: more punctuation in fraud comments.
+  EXPECT_GT(Mean(fraud.punctuation_counts), Mean(normal.punctuation_counts));
+  // Fig 3: higher entropy (longer, more varied) in fraud comments.
+  EXPECT_GT(Mean(fraud.entropies), Mean(normal.entropies));
+  // Fig 4: longer fraud comments.
+  EXPECT_GT(Mean(fraud.lengths), Mean(normal.lengths));
+  // Fig 5: lower unique-word ratio in fraud comments (duplication).
+  EXPECT_LT(Mean(fraud.unique_word_ratios),
+            Mean(normal.unique_word_ratios));
+  // All four series have one entry per comment.
+  EXPECT_EQ(fraud.punctuation_counts.size(), fraud.entropies.size());
+  EXPECT_EQ(fraud.lengths.size(), fraud.unique_word_ratios.size());
+}
+
+TEST(FeatureSeriesTest, MatchesExtractorColumn) {
+  LabeledSplit split = Split();
+  std::vector<collect::CollectedItem> sample(split.fraud.begin(),
+                                             split.fraud.begin() + 5);
+  auto series = FeatureSeries(cats::TestSemanticModel(), sample,
+                              core::FeatureId::kAverageSentiment);
+  ASSERT_EQ(series.size(), 5u);
+  core::FeatureExtractor extractor(&cats::TestSemanticModel());
+  for (size_t i = 0; i < 5; ++i) {
+    auto f = extractor.Extract(sample[i]);
+    EXPECT_FLOAT_EQ(
+        static_cast<float>(series[i]),
+        f[static_cast<size_t>(core::FeatureId::kAverageSentiment)]);
+  }
+}
+
+TEST(CompareDistributionsTest, SharedBinningAndKs) {
+  std::vector<double> a{1, 2, 3, 4, 5};
+  std::vector<double> b{10, 11, 12};
+  DistributionComparison cmp = CompareDistributions(a, b, 10);
+  EXPECT_EQ(cmp.a.num_bins(), 10u);
+  EXPECT_EQ(cmp.a.lo(), cmp.b.lo());
+  EXPECT_EQ(cmp.a.hi(), cmp.b.hi());
+  EXPECT_DOUBLE_EQ(cmp.ks_statistic, 1.0);  // disjoint
+  EXPECT_EQ(cmp.a.total(), 5u);
+  EXPECT_EQ(cmp.b.total(), 3u);
+}
+
+TEST(CompareDistributionsTest, IdenticalSeriesZeroKs) {
+  std::vector<double> a{1, 2, 3};
+  DistributionComparison cmp = CompareDistributions(a, a, 4);
+  EXPECT_DOUBLE_EQ(cmp.ks_statistic, 0.0);
+}
+
+TEST(CompareDistributionsTest, AsciiRenderable) {
+  DistributionComparison cmp =
+      CompareDistributions({1, 2, 2, 3}, {2, 3, 3, 4}, 4);
+  std::string ascii = cmp.ToAscii("fraud", "normal");
+  EXPECT_NE(ascii.find("fraud"), std::string::npos);
+  EXPECT_NE(ascii.find("normal"), std::string::npos);
+}
+
+TEST(CompareDistributionsTest, EmptyInputsSafe) {
+  DistributionComparison cmp = CompareDistributions({}, {}, 4);
+  EXPECT_EQ(cmp.ks_statistic, 0.0);
+  EXPECT_EQ(cmp.a.total(), 0u);
+}
+
+TEST(CrossPlatformTest, FeatureDistributionsAgreeAcrossPlatforms) {
+  // Fig 13's claim: fraud-feature distributions on a *different* platform
+  // resemble the training platform's far more than they resemble that
+  // platform's own normal items.
+  platform::MarketplaceConfig other_config = cats::SmallMarketConfig();
+  other_config.name = "other-market";
+  other_config.seed = 990011;
+  platform::Marketplace other =
+      platform::Marketplace::Generate(other_config, &cats::TestLanguage());
+  collect::DataStore other_store = cats::CrawlAll(other);
+  LabeledSplit other_split = SplitByLabel(
+      other_store.items(), cats::StoreLabels(other, other_store));
+  LabeledSplit home_split = Split();
+
+  for (core::FeatureId feature : {core::FeatureId::kAverageSentiment,
+                                  core::FeatureId::kAverageCommentLength,
+                                  core::FeatureId::kAveragePositiveNumber}) {
+    auto home_fraud =
+        FeatureSeries(cats::TestSemanticModel(), home_split.fraud, feature);
+    auto other_fraud =
+        FeatureSeries(cats::TestSemanticModel(), other_split.fraud, feature);
+    auto other_normal =
+        FeatureSeries(cats::TestSemanticModel(), other_split.normal, feature);
+    double ks_fraud_vs_fraud =
+        KolmogorovSmirnovStatistic(home_fraud, other_fraud);
+    double ks_fraud_vs_normal =
+        KolmogorovSmirnovStatistic(home_fraud, other_normal);
+    EXPECT_LT(ks_fraud_vs_fraud, ks_fraud_vs_normal)
+        << core::FeatureName(feature);
+  }
+}
+
+}  // namespace
+}  // namespace cats::analysis

@@ -1,0 +1,104 @@
+#include "nlp/embedding.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+namespace cats::nlp {
+namespace {
+
+TEST(EmbeddingStoreTest, AddAndLookup) {
+  EmbeddingStore store(3);
+  store.Add("a", {1.0f, 0.0f, 0.0f});
+  store.Add("b", {0.0f, 2.0f, 0.0f});
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_TRUE(store.Contains("a"));
+  EXPECT_FALSE(store.Contains("z"));
+  auto v = store.Vector("b");
+  ASSERT_TRUE(v.ok());
+  // Vectors are L2-normalized on insert.
+  EXPECT_FLOAT_EQ((*v)[1], 1.0f);
+}
+
+TEST(EmbeddingStoreTest, WrongDimensionIgnored) {
+  EmbeddingStore store(3);
+  store.Add("bad", {1.0f});
+  EXPECT_EQ(store.size(), 0u);
+}
+
+TEST(EmbeddingStoreTest, ReAddOverwrites) {
+  EmbeddingStore store(2);
+  store.Add("w", {1.0f, 0.0f});
+  store.Add("w", {0.0f, 1.0f});
+  EXPECT_EQ(store.size(), 1u);
+  auto v = store.Vector("w");
+  EXPECT_FLOAT_EQ((*v)[1], 1.0f);
+}
+
+TEST(EmbeddingStoreTest, CosineOrthogonalAndParallel) {
+  EmbeddingStore store(2);
+  store.Add("x", {1.0f, 0.0f});
+  store.Add("y", {0.0f, 5.0f});
+  store.Add("x2", {3.0f, 0.0f});
+  EXPECT_NEAR(*store.Cosine("x", "y"), 0.0f, 1e-6);
+  EXPECT_NEAR(*store.Cosine("x", "x2"), 1.0f, 1e-6);
+  EXPECT_EQ(store.Cosine("x", "missing").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(EmbeddingStoreTest, NearestNeighborsSortedAndExcludesSelf) {
+  EmbeddingStore store(2);
+  store.Add("q", {1.0f, 0.0f});
+  store.Add("close", {0.9f, 0.1f});
+  store.Add("mid", {0.5f, 0.5f});
+  store.Add("far", {-1.0f, 0.0f});
+  auto nn = store.NearestNeighbors("q", 3);
+  ASSERT_TRUE(nn.ok());
+  ASSERT_EQ(nn->size(), 3u);
+  EXPECT_EQ((*nn)[0].word, "close");
+  EXPECT_EQ((*nn)[1].word, "mid");
+  EXPECT_EQ((*nn)[2].word, "far");
+  for (const Neighbor& n : *nn) EXPECT_NE(n.word, "q");
+  EXPECT_GE((*nn)[0].similarity, (*nn)[1].similarity);
+}
+
+TEST(EmbeddingStoreTest, KLargerThanStore) {
+  EmbeddingStore store(2);
+  store.Add("a", {1.0f, 0.0f});
+  store.Add("b", {0.0f, 1.0f});
+  auto nn = store.NearestNeighbors("a", 10);
+  ASSERT_TRUE(nn.ok());
+  EXPECT_EQ(nn->size(), 1u);
+}
+
+TEST(EmbeddingStoreTest, UnknownQueryIsNotFound) {
+  EmbeddingStore store(2);
+  store.Add("a", {1.0f, 0.0f});
+  EXPECT_EQ(store.NearestNeighbors("zzz", 1).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(EmbeddingStoreTest, SaveLoadRoundTrip) {
+  std::string path =
+      (std::filesystem::temp_directory_path() / "cats_emb_test.txt").string();
+  EmbeddingStore store(3);
+  store.Add("好评", {0.1f, 0.2f, 0.3f});
+  store.Add("差评", {-0.1f, 0.5f, 0.0f});
+  ASSERT_TRUE(store.Save(path).ok());
+
+  auto loaded = EmbeddingStore::Load(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 2u);
+  EXPECT_EQ(loaded->dim(), 3u);
+  EXPECT_NEAR(*loaded->Cosine("好评", "差评"), *store.Cosine("好评", "差评"),
+              1e-5);
+  std::filesystem::remove(path);
+}
+
+TEST(EmbeddingStoreTest, LoadMissingFileFails) {
+  EXPECT_EQ(EmbeddingStore::Load("/nonexistent/emb.txt").status().code(),
+            StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace cats::nlp

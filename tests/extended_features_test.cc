@@ -1,0 +1,180 @@
+#include "core/extended_features.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "platform_test_util.h"
+#include "util/stats.h"
+
+namespace cats::core {
+namespace {
+
+collect::CommentRecord Comment(const char* nickname, int64_t exp_value,
+                               const char* client, const char* date) {
+  collect::CommentRecord c;
+  c.nickname = nickname;
+  c.user_exp_value = exp_value;
+  c.client = client;
+  c.date = date;
+  c.content = "x";
+  return c;
+}
+
+float Get(const std::array<float, kNumExtendedOnly>& f,
+          ExtendedFeatureId id) {
+  return f[static_cast<size_t>(id)];
+}
+
+TEST(DateOrdinalTest, ParsesAndOrders) {
+  int32_t a = ParseDateToDayOrdinal("2017-09-01 00:00:00");
+  int32_t b = ParseDateToDayOrdinal("2017-09-08 23:59:59");
+  int32_t c = ParseDateToDayOrdinal("2018-01-01 05:00:00");
+  ASSERT_GE(a, 0);
+  EXPECT_EQ(b - a, 7);
+  EXPECT_EQ(c - a, 122);  // Sep(29)+Oct(31)+Nov(30)+Dec(31)+1
+}
+
+TEST(DateOrdinalTest, LeapYearHandled) {
+  int32_t feb28 = ParseDateToDayOrdinal("2016-02-28 00:00:00");
+  int32_t mar01 = ParseDateToDayOrdinal("2016-03-01 00:00:00");
+  EXPECT_EQ(mar01 - feb28, 2);  // 2016 is a leap year
+  int32_t feb28_17 = ParseDateToDayOrdinal("2017-02-28 00:00:00");
+  int32_t mar01_17 = ParseDateToDayOrdinal("2017-03-01 00:00:00");
+  EXPECT_EQ(mar01_17 - feb28_17, 1);
+}
+
+TEST(DateOrdinalTest, MalformedRejected) {
+  EXPECT_EQ(ParseDateToDayOrdinal(""), -1);
+  EXPECT_EQ(ParseDateToDayOrdinal("not a date"), -1);
+  EXPECT_EQ(ParseDateToDayOrdinal("2017-13-01 00:00:00"), -1);
+  EXPECT_EQ(ParseDateToDayOrdinal("2017-02-30 00:00:00"), -1);
+  EXPECT_EQ(ParseDateToDayOrdinal("1999-01-01 00:00:00"), -1);
+}
+
+TEST(ExtendedFeaturesTest, EmptyItemAllZero) {
+  collect::CollectedItem item;
+  auto f = ExtendedFeatureExtractor::ExtractMetadataFeatures(item);
+  for (float v : f) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(ExtendedFeaturesTest, BuyerExpFeaturesByHand) {
+  collect::CollectedItem item;
+  item.comments.push_back(Comment("a", 100, "Web", "2017-09-01 10:00:00"));
+  item.comments.push_back(Comment("b", 1000, "Android", "2017-09-02 10:00:00"));
+  item.comments.push_back(Comment("c", 10000, "iPhone", "2017-09-03 10:00:00"));
+  auto f = ExtendedFeatureExtractor::ExtractMetadataFeatures(item);
+  // avg = (100+1000+10000)/3 = 3700 -> log10 ~ 3.568.
+  EXPECT_NEAR(Get(f, ExtendedFeatureId::kLogAvgBuyerExpValue),
+              std::log10(3700.0), 1e-5);
+  EXPECT_NEAR(Get(f, ExtendedFeatureId::kMinExpBuyerFraction), 1.0f / 3.0f,
+              1e-6);
+  EXPECT_NEAR(Get(f, ExtendedFeatureId::kWebClientRatio), 1.0f / 3.0f, 1e-6);
+}
+
+TEST(ExtendedFeaturesTest, RepeatBuyersCountedByIdentity) {
+  collect::CollectedItem item;
+  // Same (nickname, exp) twice = one repeat buyer with 2 orders; a third
+  // singleton order.
+  item.comments.push_back(Comment("a", 100, "Web", "2017-09-01 10:00:00"));
+  item.comments.push_back(Comment("a", 100, "Web", "2017-09-02 10:00:00"));
+  item.comments.push_back(Comment("a", 500, "Web", "2017-09-03 10:00:00"));
+  auto f = ExtendedFeatureExtractor::ExtractMetadataFeatures(item);
+  EXPECT_NEAR(Get(f, ExtendedFeatureId::kRepeatBuyerRatio), 2.0f / 3.0f,
+              1e-6);
+}
+
+TEST(ExtendedFeaturesTest, BurstConcentrationByHand) {
+  collect::CollectedItem item;
+  // 3 comments within one week, 1 far away -> densest 7-day window = 3/4.
+  item.comments.push_back(Comment("a", 100, "Web", "2017-09-01 10:00:00"));
+  item.comments.push_back(Comment("b", 100, "Web", "2017-09-03 10:00:00"));
+  item.comments.push_back(Comment("c", 100, "Web", "2017-09-05 10:00:00"));
+  item.comments.push_back(Comment("d", 100, "Web", "2017-12-01 10:00:00"));
+  auto f = ExtendedFeatureExtractor::ExtractMetadataFeatures(item);
+  EXPECT_NEAR(Get(f, ExtendedFeatureId::kBurstConcentration), 0.75f, 1e-6);
+}
+
+TEST(ExtendedFeaturesTest, BurstWindowIsSevenDaysExclusive) {
+  collect::CollectedItem item;
+  item.comments.push_back(Comment("a", 100, "Web", "2017-09-01 10:00:00"));
+  item.comments.push_back(Comment("b", 100, "Web", "2017-09-08 10:00:00"));
+  auto f = ExtendedFeatureExtractor::ExtractMetadataFeatures(item);
+  // 7 days apart: outside one window -> densest window holds 1 of 2.
+  EXPECT_NEAR(Get(f, ExtendedFeatureId::kBurstConcentration), 0.5f, 1e-6);
+}
+
+TEST(ExtendedFeaturesTest, SingleDayAllInBurst) {
+  collect::CollectedItem item;
+  for (int i = 0; i < 5; ++i) {
+    item.comments.push_back(Comment("a", 100, "Web", "2017-09-01 10:00:00"));
+  }
+  auto f = ExtendedFeatureExtractor::ExtractMetadataFeatures(item);
+  EXPECT_FLOAT_EQ(Get(f, ExtendedFeatureId::kBurstConcentration), 1.0f);
+}
+
+TEST(ExtendedFeaturesTest, FullVectorPrefixMatchesBaseExtractor) {
+  const auto& store = cats::TestStore();
+  ExtendedFeatureExtractor extended(&cats::TestSemanticModel());
+  FeatureExtractor base(&cats::TestSemanticModel());
+  for (size_t i = 0; i < 10; ++i) {
+    auto full = extended.Extract(store.items()[i]);
+    auto head = base.Extract(store.items()[i]);
+    for (size_t f = 0; f < kNumFeatures; ++f) {
+      EXPECT_FLOAT_EQ(full[f], head[f]) << i << "," << f;
+    }
+  }
+}
+
+TEST(ExtendedFeaturesTest, MetadataFeaturesSeparateFraudFromNormal) {
+  // The §V findings as features: fraud items burst, skew web, have
+  // low-reputation and repeat buyers.
+  const auto& market = cats::TestMarketplace();
+  const auto& store = cats::TestStore();
+  RunningStats fraud_exp, normal_exp, fraud_web, normal_web, fraud_burst,
+      normal_burst;
+  for (const collect::CollectedItem& ci : store.items()) {
+    if (ci.comments.empty()) continue;
+    auto f = ExtendedFeatureExtractor::ExtractMetadataFeatures(ci);
+    bool fraud = market.IsFraudItem(ci.item.item_id);
+    (fraud ? fraud_exp : normal_exp)
+        .Add(Get(f, ExtendedFeatureId::kLogAvgBuyerExpValue));
+    (fraud ? fraud_web : normal_web)
+        .Add(Get(f, ExtendedFeatureId::kWebClientRatio));
+    (fraud ? fraud_burst : normal_burst)
+        .Add(Get(f, ExtendedFeatureId::kBurstConcentration));
+  }
+  EXPECT_LT(fraud_exp.mean(), normal_exp.mean());
+  EXPECT_GT(fraud_web.mean(), normal_web.mean());
+  EXPECT_GT(fraud_burst.mean(), normal_burst.mean());
+}
+
+TEST(ExtendedFeaturesTest, BuildDatasetHas16Columns) {
+  const auto& store = cats::TestStore();
+  ExtendedFeatureExtractor extractor(&cats::TestSemanticModel());
+  std::vector<collect::CollectedItem> items(store.items().begin(),
+                                            store.items().begin() + 20);
+  std::vector<int> labels(20, 0);
+  auto dataset = extractor.BuildDataset(items, labels);
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_EQ(dataset->num_features(), kNumExtendedFeatures);
+  EXPECT_EQ(dataset->feature_names()[kNumFeatures], "logAvgBuyerExpValue");
+  EXPECT_EQ(dataset->feature_names().back(), "repeatBuyerRatio");
+}
+
+TEST(ExtendedFeaturesTest, ParallelMatchesSerial) {
+  const auto& store = cats::TestStore();
+  ExtendedFeatureExtractor extractor(&cats::TestSemanticModel());
+  std::vector<collect::CollectedItem> items(store.items().begin(),
+                                            store.items().begin() + 40);
+  auto serial = extractor.ExtractAll(items, 1);
+  auto parallel = extractor.ExtractAll(items, 8);
+  for (size_t i = 0; i < items.size(); ++i) {
+    for (size_t f = 0; f < kNumExtendedFeatures; ++f) {
+      EXPECT_FLOAT_EQ(serial[i][f], parallel[i][f]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cats::core

@@ -1,0 +1,185 @@
+#include "core/feature_extractor.h"
+
+#include <gtest/gtest.h>
+
+#include "platform_test_util.h"
+#include "util/stats.h"
+
+namespace cats::core {
+namespace {
+
+float Get(const FeatureVector& f, FeatureId id) {
+  return f[static_cast<size_t>(id)];
+}
+
+/// A tiny hand-built semantic model with known lexicons: P = {好评, 很好},
+/// N = {差评}. Dictionary covers all words used in the tests.
+const SemanticModel& TinyModel() {
+  static const SemanticModel* model = [] {
+    auto* m = new SemanticModel();
+    for (const char* w :
+         {"好评", "很好", "差评", "商品", "质量", "推荐", "不行"}) {
+      m->dictionary.AddWord(w);
+    }
+    m->positive.Insert("好评");
+    m->positive.Insert("很好");
+    m->negative.Insert("差评");
+    // Sentiment: a trivial trained model (positive word -> positive doc).
+    std::vector<nlp::SentimentExample> examples;
+    for (int i = 0; i < 10; ++i) {
+      examples.push_back({{"好评", "很好"}, true});
+      examples.push_back({{"差评", "不行"}, false});
+    }
+    CATS_CHECK(m->sentiment.Train(examples).ok());
+    return m;
+  }();
+  return *model;
+}
+
+TEST(FeatureExtractorTest, EmptyCommentsAllZero) {
+  FeatureExtractor extractor(&TinyModel());
+  FeatureVector f = extractor.ExtractFromComments({});
+  for (float v : f) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(FeatureExtractorTest, PositiveCountsByHand) {
+  FeatureExtractor extractor(&TinyModel());
+  // Comment 1: 好评很好商品 -> P-count 2, N-count 0.
+  // Comment 2: 差评商品 -> P-count 0, N-count 1.
+  FeatureVector f =
+      extractor.ExtractFromComments({"好评很好商品", "差评商品"});
+  EXPECT_FLOAT_EQ(Get(f, FeatureId::kAveragePositiveNumber), 1.0f);  // (2+0)/2
+  // |2-0|/2 + |0-1|/2 = 1.5.
+  EXPECT_FLOAT_EQ(Get(f, FeatureId::kAveragePositiveNegativeNumber), 1.5f);
+}
+
+TEST(FeatureExtractorTest, LengthsCountWords) {
+  FeatureExtractor extractor(&TinyModel());
+  // 3 words and 2 words.
+  FeatureVector f =
+      extractor.ExtractFromComments({"好评很好商品", "差评商品"});
+  EXPECT_FLOAT_EQ(Get(f, FeatureId::kAverageCommentLength), 2.5f);
+  EXPECT_FLOAT_EQ(Get(f, FeatureId::kSumCommentLength), 5.0f);
+}
+
+TEST(FeatureExtractorTest, PunctuationCounted) {
+  FeatureExtractor extractor(&TinyModel());
+  FeatureVector f =
+      extractor.ExtractFromComments({"好评！很好，商品。", "商品"});
+  EXPECT_FLOAT_EQ(Get(f, FeatureId::kSumPunctuationNumber), 3.0f);
+  // Comment1 ratio 3/9, comment2 ratio 0; average = 1/6.
+  EXPECT_NEAR(Get(f, FeatureId::kAveragePunctuationRatio), 0.5 * (3.0 / 9.0),
+              1e-6);
+}
+
+TEST(FeatureExtractorTest, UniqueWordRatioAcrossComments) {
+  FeatureExtractor extractor(&TinyModel());
+  // Tokens: {好评, 好评} + {好评, 商品} -> 2 unique / 4 total.
+  FeatureVector f = extractor.ExtractFromComments({"好评好评", "好评商品"});
+  EXPECT_FLOAT_EQ(Get(f, FeatureId::kUniqueWordRatio), 0.5f);
+}
+
+TEST(FeatureExtractorTest, EntropyZeroForRepeatedWord) {
+  FeatureExtractor extractor(&TinyModel());
+  FeatureVector f = extractor.ExtractFromComments({"好评好评好评"});
+  EXPECT_FLOAT_EQ(Get(f, FeatureId::kAverageCommentEntropy), 0.0f);
+  FeatureVector g = extractor.ExtractFromComments({"好评商品"});
+  EXPECT_FLOAT_EQ(Get(g, FeatureId::kAverageCommentEntropy), 1.0f);
+}
+
+TEST(FeatureExtractorTest, NgramFeaturesByHand) {
+  FeatureExtractor extractor(&TinyModel());
+  // 好评很好商品: bigrams (好评,很好)+, (很好,商品)+ -> 2 positive bigrams.
+  // 商品质量: bigram (商品,质量) -> 0.
+  FeatureVector f =
+      extractor.ExtractFromComments({"好评很好商品", "商品质量"});
+  EXPECT_FLOAT_EQ(Get(f, FeatureId::kAverageNgramNumber), 1.0f);  // (2+0)/2
+  // Paper ratio: sum_j count_j / (|C_i| * (|C_j|-1)) = 2/(2*2) + 0 = 0.5.
+  EXPECT_FLOAT_EQ(Get(f, FeatureId::kAverageNgramRatio), 0.5f);
+}
+
+TEST(FeatureExtractorTest, SentimentAveraged) {
+  FeatureExtractor extractor(&TinyModel());
+  FeatureVector pos = extractor.ExtractFromComments({"好评很好"});
+  FeatureVector neg = extractor.ExtractFromComments({"差评不行"});
+  EXPECT_GT(Get(pos, FeatureId::kAverageSentiment), 0.7f);
+  EXPECT_LT(Get(neg, FeatureId::kAverageSentiment), 0.3f);
+}
+
+TEST(FeatureExtractorTest, ParallelMatchesSerial) {
+  const collect::DataStore& store = cats::TestStore();
+  std::vector<collect::CollectedItem> items(store.items().begin(),
+                                            store.items().begin() + 60);
+  FeatureExtractorOptions serial_options;
+  serial_options.num_threads = 1;
+  FeatureExtractorOptions parallel_options;
+  parallel_options.num_threads = 8;
+  FeatureExtractor serial(&cats::TestSemanticModel(), serial_options);
+  FeatureExtractor parallel(&cats::TestSemanticModel(), parallel_options);
+  auto a = serial.ExtractAll(items);
+  auto b = parallel.ExtractAll(items);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    for (size_t f = 0; f < kNumFeatures; ++f) {
+      EXPECT_FLOAT_EQ(a[i][f], b[i][f]) << i << "," << f;
+    }
+  }
+}
+
+TEST(FeatureExtractorTest, FraudItemsSeparateFromNormalInAggregate) {
+  // The headline property: feature means differ between fraud and normal
+  // items in the simulated platform.
+  const auto& market = cats::TestMarketplace();
+  const collect::DataStore& store = cats::TestStore();
+  FeatureExtractor extractor(&cats::TestSemanticModel());
+  RunningStats fraud_pos, normal_pos, fraud_sent, normal_sent, fraud_len,
+      normal_len;
+  auto features = extractor.ExtractAll(store.items());
+  for (size_t i = 0; i < store.items().size(); ++i) {
+    bool fraud = market.IsFraudItem(store.items()[i].item.item_id);
+    if (store.items()[i].comments.empty()) continue;
+    (fraud ? fraud_pos : normal_pos)
+        .Add(Get(features[i], FeatureId::kAveragePositiveNumber));
+    (fraud ? fraud_sent : normal_sent)
+        .Add(Get(features[i], FeatureId::kAverageSentiment));
+    (fraud ? fraud_len : normal_len)
+        .Add(Get(features[i], FeatureId::kAverageCommentLength));
+  }
+  EXPECT_GT(fraud_pos.mean(), normal_pos.mean());
+  EXPECT_GT(fraud_sent.mean(), normal_sent.mean());
+  EXPECT_GT(fraud_len.mean(), normal_len.mean());
+}
+
+TEST(FeatureExtractorTest, BuildDatasetAlignsLabels) {
+  const collect::DataStore& store = cats::TestStore();
+  std::vector<collect::CollectedItem> items(store.items().begin(),
+                                            store.items().begin() + 30);
+  std::vector<int> labels(30, 0);
+  labels[3] = 1;
+  FeatureExtractor extractor(&cats::TestSemanticModel());
+  auto dataset = extractor.BuildDataset(items, labels);
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_EQ(dataset->num_rows(), 30u);
+  EXPECT_EQ(dataset->num_features(), kNumFeatures);
+  EXPECT_EQ(dataset->Label(3), 1);
+  EXPECT_EQ(dataset->feature_names()[0], "averagePositiveNumber");
+}
+
+TEST(FeatureExtractorTest, BuildDatasetSizeMismatchFails) {
+  FeatureExtractor extractor(&TinyModel());
+  std::vector<collect::CollectedItem> items(2);
+  std::vector<int> labels(3, 0);
+  EXPECT_FALSE(extractor.BuildDataset(items, labels).ok());
+}
+
+TEST(FeatureDefTest, NamesMatchPaperTableTwo) {
+  EXPECT_EQ(kNumFeatures, 11u);
+  EXPECT_EQ(FeatureName(FeatureId::kAveragePositiveNumber),
+            "averagePositiveNumber");
+  EXPECT_EQ(FeatureName(FeatureId::kAveragePositiveNegativeNumber),
+            "averagePositive/NegativeNumber");
+  EXPECT_EQ(FeatureName(FeatureId::kAverageNgramRatio), "averageNgramRatio");
+}
+
+}  // namespace
+}  // namespace cats::core

@@ -1,0 +1,152 @@
+// Property sweeps over the feature extractor: algebraic invariants of the
+// 11 Table-II features that must hold for ANY comment set, checked across
+// a parameterized family of generated comment bundles.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/feature_extractor.h"
+#include "platform/comment_generator.h"
+#include "platform_test_util.h"
+
+namespace cats::core {
+namespace {
+
+float Get(const FeatureVector& f, FeatureId id) {
+  return f[static_cast<size_t>(id)];
+}
+
+/// One generated comment bundle: seed + composition knobs.
+struct BundleCase {
+  uint64_t seed;
+  size_t benign;
+  size_t spam;
+  double quality;
+};
+
+class FeaturePropertyTest : public ::testing::TestWithParam<BundleCase> {
+ protected:
+  static std::vector<std::string> MakeBundle(const BundleCase& params) {
+    platform::CommentGenerator generator(&cats::TestLanguage());
+    Rng rng(params.seed);
+    std::vector<std::string> comments;
+    for (size_t i = 0; i < params.benign; ++i) {
+      comments.push_back(generator.GenerateBenign(params.quality, &rng));
+    }
+    if (params.spam > 0) {
+      auto tmpl = generator.GenerateSpamTemplate(&rng);
+      for (size_t i = 0; i < params.spam; ++i) {
+        comments.push_back(generator.GenerateSpamFromTemplate(tmpl, &rng));
+      }
+    }
+    return comments;
+  }
+
+  static FeatureVector Extract(const std::vector<std::string>& comments) {
+    FeatureExtractor extractor(&cats::TestSemanticModel());
+    return extractor.ExtractFromComments(comments);
+  }
+};
+
+TEST_P(FeaturePropertyTest, AllFeaturesFiniteAndRatiosBounded) {
+  FeatureVector f = Extract(MakeBundle(GetParam()));
+  for (float v : f) {
+    EXPECT_TRUE(std::isfinite(v));
+    EXPECT_GE(v, 0.0f);  // every Table-II feature is non-negative
+  }
+  EXPECT_LE(Get(f, FeatureId::kUniqueWordRatio), 1.0f);
+  EXPECT_LE(Get(f, FeatureId::kAverageSentiment), 1.0f);
+  EXPECT_LE(Get(f, FeatureId::kAveragePunctuationRatio), 1.0f);
+  EXPECT_LE(Get(f, FeatureId::kAverageNgramRatio), 1.0f + 1e-6f);
+}
+
+TEST_P(FeaturePropertyTest, PermutationInvariant) {
+  std::vector<std::string> comments = MakeBundle(GetParam());
+  FeatureVector a = Extract(comments);
+  std::reverse(comments.begin(), comments.end());
+  FeatureVector b = Extract(comments);
+  for (size_t i = 0; i < kNumFeatures; ++i) {
+    EXPECT_FLOAT_EQ(a[i], b[i]) << core::kFeatureNames[i];
+  }
+}
+
+TEST_P(FeaturePropertyTest, DuplicationScalesSumsKeepsAverages) {
+  std::vector<std::string> comments = MakeBundle(GetParam());
+  FeatureVector once = Extract(comments);
+  std::vector<std::string> twice = comments;
+  twice.insert(twice.end(), comments.begin(), comments.end());
+  FeatureVector doubled = Extract(twice);
+
+  // Sum features double.
+  EXPECT_NEAR(Get(doubled, FeatureId::kSumCommentLength),
+              2.0f * Get(once, FeatureId::kSumCommentLength),
+              Get(once, FeatureId::kSumCommentLength) * 1e-4 + 1e-3);
+  EXPECT_NEAR(Get(doubled, FeatureId::kSumPunctuationNumber),
+              2.0f * Get(once, FeatureId::kSumPunctuationNumber),
+              Get(once, FeatureId::kSumPunctuationNumber) * 1e-4 + 1e-3);
+  // Per-comment averages are unchanged.
+  for (FeatureId id : {FeatureId::kAveragePositiveNumber,
+                       FeatureId::kAveragePositiveNegativeNumber,
+                       FeatureId::kAverageSentiment,
+                       FeatureId::kAverageCommentEntropy,
+                       FeatureId::kAverageCommentLength,
+                       FeatureId::kAveragePunctuationRatio,
+                       FeatureId::kAverageNgramNumber}) {
+    EXPECT_NEAR(Get(doubled, id), Get(once, id),
+                std::abs(Get(once, id)) * 1e-4 + 1e-4)
+        << core::FeatureName(id);
+  }
+  // uniqueWordRatio halves-or-less never rises under duplication.
+  EXPECT_LE(Get(doubled, FeatureId::kUniqueWordRatio),
+            Get(once, FeatureId::kUniqueWordRatio) + 1e-6);
+}
+
+TEST_P(FeaturePropertyTest, SumsConsistentWithAverages) {
+  std::vector<std::string> comments = MakeBundle(GetParam());
+  FeatureVector f = Extract(comments);
+  double n = static_cast<double>(comments.size());
+  EXPECT_NEAR(Get(f, FeatureId::kSumCommentLength),
+              Get(f, FeatureId::kAverageCommentLength) * n,
+              Get(f, FeatureId::kSumCommentLength) * 1e-4 + 1e-2);
+}
+
+TEST_P(FeaturePropertyTest, AddingPureSpamRaisesPromotionSignals) {
+  // The direction only holds for organic-dominant baselines; a pure-spam
+  // or single-comment bundle can already sit above the spam average.
+  if (GetParam().spam > 0 || GetParam().benign < 5) {
+    GTEST_SKIP() << "baseline is not organic-dominant";
+  }
+  std::vector<std::string> comments = MakeBundle(GetParam());
+  FeatureVector before = Extract(comments);
+
+  platform::CommentGenerator generator(&cats::TestLanguage());
+  Rng rng(GetParam().seed ^ 0xABCD);
+  auto tmpl = generator.GenerateSpamTemplate(&rng);
+  for (int i = 0; i < 10; ++i) {
+    comments.push_back(generator.GenerateSpamFromTemplate(tmpl, &rng));
+  }
+  FeatureVector after = Extract(comments);
+  EXPECT_GT(Get(after, FeatureId::kAveragePositiveNumber),
+            Get(before, FeatureId::kAveragePositiveNumber));
+  EXPECT_GT(Get(after, FeatureId::kAverageCommentLength),
+            Get(before, FeatureId::kAverageCommentLength));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Bundles, FeaturePropertyTest,
+    ::testing::Values(BundleCase{1, 5, 0, 0.2},
+                      BundleCase{2, 20, 0, 0.8},
+                      BundleCase{3, 10, 5, 0.5},
+                      BundleCase{4, 1, 0, 0.9},
+                      BundleCase{5, 0, 8, 0.5},
+                      BundleCase{6, 40, 15, 0.65}),
+    [](const ::testing::TestParamInfo<BundleCase>& info) {
+      return "seed" + std::to_string(info.param.seed) + "_b" +
+             std::to_string(info.param.benign) + "_s" +
+             std::to_string(info.param.spam);
+    });
+
+}  // namespace
+}  // namespace cats::core

@@ -1,0 +1,196 @@
+#include "ml/gbdt.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <numeric>
+
+#include "ml_test_util.h"
+
+namespace cats::ml {
+namespace {
+
+GbdtOptions FastOptions() {
+  GbdtOptions options;
+  options.num_rounds = 40;
+  options.max_depth = 3;
+  options.learning_rate = 0.3f;
+  return options;
+}
+
+TEST(GbdtTest, FitEmptyFails) {
+  Gbdt model;
+  Dataset empty({"x"});
+  EXPECT_FALSE(model.Fit(empty).ok());
+}
+
+TEST(GbdtTest, InvalidBaseScoreFails) {
+  GbdtOptions options;
+  options.base_score = 1.5f;
+  Gbdt model(options);
+  Dataset data = MakeGaussianDataset(10, 2, 3.0, 1);
+  EXPECT_FALSE(model.Fit(data).ok());
+}
+
+TEST(GbdtTest, SeparableDataHighAccuracy) {
+  Dataset data = MakeGaussianDataset(300, 4, 4.0, 47);
+  Gbdt model(FastOptions());
+  ASSERT_TRUE(model.Fit(data).ok());
+  EXPECT_GT(TrainAccuracy(model, data), 0.98);
+}
+
+TEST(GbdtTest, SolvesXor) {
+  Dataset data = MakeXorDataset(800, 53);
+  Gbdt model(FastOptions());
+  ASSERT_TRUE(model.Fit(data).ok());
+  EXPECT_GT(TrainAccuracy(model, data), 0.95);
+}
+
+TEST(GbdtTest, TrainingLossDecreasesMonotonically) {
+  Dataset data = MakeGaussianDataset(200, 3, 2.0, 59);
+  Gbdt model(FastOptions());
+  ASSERT_TRUE(model.Fit(data).ok());
+  const auto& curve = model.training_loss_curve();
+  ASSERT_EQ(curve.size(), 40u);
+  // Allow tiny numeric wiggle but require overall monotone descent.
+  EXPECT_LT(curve.back(), curve.front() * 0.5);
+  for (size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LE(curve[i], curve[i - 1] + 1e-6) << i;
+  }
+}
+
+TEST(GbdtTest, SplitCountsSumAndFavorInformativeFeature) {
+  // Feature 0 carries the signal; features 1-2 are noise.
+  Dataset data({"signal", "noise1", "noise2"});
+  Rng rng(61);
+  for (int i = 0; i < 600; ++i) {
+    int label = i % 2;
+    float x = static_cast<float>(rng.Normal(label * 4.0, 1.0));
+    float n1 = static_cast<float>(rng.Normal(0.0, 1.0));
+    float n2 = static_cast<float>(rng.Normal(0.0, 1.0));
+    ASSERT_TRUE(data.AddRow({x, n1, n2}, label).ok());
+  }
+  Gbdt model(FastOptions());
+  ASSERT_TRUE(model.Fit(data).ok());
+  const auto& counts = model.feature_split_counts();
+  ASSERT_EQ(counts.size(), 3u);
+  uint64_t total = std::accumulate(counts.begin(), counts.end(), 0ull);
+  EXPECT_GT(total, 0u);
+  EXPECT_GT(counts[0], counts[1]);
+  EXPECT_GT(counts[0], counts[2]);
+  EXPECT_EQ(model.feature_names()[0], "signal");
+}
+
+TEST(GbdtTest, GammaPrunesSplits) {
+  Dataset data = MakeGaussianDataset(200, 3, 1.0, 67);
+  GbdtOptions loose = FastOptions();
+  GbdtOptions strict = FastOptions();
+  strict.gamma = 100.0f;  // essentially forbids splits
+  Gbdt a(loose), b(strict);
+  ASSERT_TRUE(a.Fit(data).ok());
+  ASSERT_TRUE(b.Fit(data).ok());
+  uint64_t splits_a = std::accumulate(a.feature_split_counts().begin(),
+                                      a.feature_split_counts().end(), 0ull);
+  uint64_t splits_b = std::accumulate(b.feature_split_counts().begin(),
+                                      b.feature_split_counts().end(), 0ull);
+  EXPECT_GT(splits_a, splits_b);
+  EXPECT_EQ(splits_b, 0u);
+}
+
+TEST(GbdtTest, LambdaShrinksLeafMagnitude) {
+  Dataset data = MakeGaussianDataset(100, 2, 4.0, 71);
+  GbdtOptions small_l = FastOptions();
+  small_l.num_rounds = 1;
+  small_l.lambda = 0.01f;
+  GbdtOptions big_l = small_l;
+  big_l.lambda = 100.0f;
+  Gbdt a(small_l), b(big_l);
+  ASSERT_TRUE(a.Fit(data).ok());
+  ASSERT_TRUE(b.Fit(data).ok());
+  // Larger lambda -> margins closer to base (0).
+  double ma = 0.0, mb = 0.0;
+  for (size_t i = 0; i < data.num_rows(); ++i) {
+    ma += std::fabs(a.PredictMargin(data.Row(i)));
+    mb += std::fabs(b.PredictMargin(data.Row(i)));
+  }
+  EXPECT_GT(ma, mb);
+}
+
+TEST(GbdtTest, SubsampleAndColsampleStillLearn) {
+  GbdtOptions options = FastOptions();
+  options.subsample = 0.6f;
+  options.colsample = 0.5f;
+  Dataset data = MakeGaussianDataset(300, 4, 4.0, 73);
+  Gbdt model(options);
+  ASSERT_TRUE(model.Fit(data).ok());
+  EXPECT_GT(TrainAccuracy(model, data), 0.95);
+}
+
+TEST(GbdtTest, ProbaInUnitIntervalAndMonotoneWithMargin) {
+  Dataset data = MakeGaussianDataset(100, 2, 3.0, 79);
+  Gbdt model(FastOptions());
+  ASSERT_TRUE(model.Fit(data).ok());
+  for (size_t i = 0; i < data.num_rows(); ++i) {
+    double p = model.PredictProba(data.Row(i));
+    double m = model.PredictMargin(data.Row(i));
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    EXPECT_EQ(p >= 0.5, m >= 0.0);
+  }
+}
+
+TEST(GbdtTest, DeterministicForSeed) {
+  Dataset data = MakeGaussianDataset(150, 3, 2.0, 83);
+  Gbdt a(FastOptions()), b(FastOptions());
+  ASSERT_TRUE(a.Fit(data).ok());
+  ASSERT_TRUE(b.Fit(data).ok());
+  for (size_t i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(a.PredictProba(data.Row(i)), b.PredictProba(data.Row(i)));
+  }
+}
+
+TEST(GbdtTest, SaveLoadRoundTrip) {
+  std::string path =
+      (std::filesystem::temp_directory_path() / "cats_gbdt_test.model")
+          .string();
+  Dataset data = MakeGaussianDataset(150, 3, 3.0, 89);
+  Gbdt model(FastOptions());
+  ASSERT_TRUE(model.Fit(data).ok());
+  ASSERT_TRUE(model.Save(path).ok());
+
+  auto loaded = Gbdt::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_trees(), model.num_trees());
+  EXPECT_EQ(loaded->feature_names(), model.feature_names());
+  EXPECT_EQ(loaded->feature_split_counts(), model.feature_split_counts());
+  for (size_t i = 0; i < data.num_rows(); i += 7) {
+    EXPECT_NEAR(loaded->PredictProba(data.Row(i)),
+                model.PredictProba(data.Row(i)), 1e-6);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(GbdtTest, SaveUntrainedFails) {
+  Gbdt model;
+  EXPECT_FALSE(model.Save("/tmp/never.model").ok());
+}
+
+TEST(GbdtTest, LoadMissingFails) {
+  EXPECT_FALSE(Gbdt::Load("/nonexistent/gbdt.model").ok());
+}
+
+TEST(GbdtTest, MinChildWeightLimitsSplits) {
+  Dataset data = MakeGaussianDataset(50, 2, 2.0, 97);
+  GbdtOptions options = FastOptions();
+  options.min_child_weight = 1e6f;  // unreachable
+  Gbdt model(options);
+  ASSERT_TRUE(model.Fit(data).ok());
+  uint64_t splits =
+      std::accumulate(model.feature_split_counts().begin(),
+                      model.feature_split_counts().end(), 0ull);
+  EXPECT_EQ(splits, 0u);
+}
+
+}  // namespace
+}  // namespace cats::ml

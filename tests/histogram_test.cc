@@ -1,0 +1,112 @@
+#include "util/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cats {
+namespace {
+
+TEST(HistogramTest, BinningBasics) {
+  Histogram h(0.0, 10.0, 10);
+  h.Add(0.5);   // bin 0
+  h.Add(5.5);   // bin 5
+  h.Add(9.99);  // bin 9
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(5), 1u);
+  EXPECT_EQ(h.bin_count(9), 1u);
+}
+
+TEST(HistogramTest, OutOfRangeClampsToEdges) {
+  Histogram h(0.0, 1.0, 4);
+  h.Add(-100.0);
+  h.Add(100.0);
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(3), 1u);
+  EXPECT_EQ(h.total(), 2u);
+}
+
+TEST(HistogramTest, ExactUpperBoundGoesToLastBin) {
+  Histogram h(0.0, 1.0, 4);
+  h.Add(1.0);
+  EXPECT_EQ(h.bin_count(3), 1u);
+}
+
+TEST(HistogramTest, DensityIntegratesToOne) {
+  Histogram h(0.0, 2.0, 8);
+  for (int i = 0; i < 1000; ++i) h.Add(i % 7 * 0.25);
+  double integral = 0.0;
+  double width = 2.0 / 8;
+  for (size_t b = 0; b < h.num_bins(); ++b) integral += h.Density(b) * width;
+  EXPECT_NEAR(integral, 1.0, 1e-12);
+}
+
+TEST(HistogramTest, FractionsSumToOne) {
+  Histogram h(0.0, 1.0, 5);
+  for (int i = 0; i < 100; ++i) h.Add(i / 100.0);
+  double sum = 0.0;
+  for (size_t b = 0; b < h.num_bins(); ++b) sum += h.Fraction(b);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(HistogramTest, CdfMonotoneEndsAtOne) {
+  Histogram h(0.0, 1.0, 10);
+  for (int i = 0; i < 500; ++i) h.Add((i % 100) / 100.0);
+  double prev = 0.0;
+  for (size_t b = 0; b < h.num_bins(); ++b) {
+    double c = h.CdfAt(b);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+  EXPECT_NEAR(h.CdfAt(h.num_bins() - 1), 1.0, 1e-12);
+}
+
+TEST(HistogramTest, BinCenters) {
+  Histogram h(0.0, 10.0, 10);
+  EXPECT_DOUBLE_EQ(h.BinCenter(0), 0.5);
+  EXPECT_DOUBLE_EQ(h.BinCenter(9), 9.5);
+}
+
+TEST(HistogramTest, EmptyDensityZero) {
+  Histogram h(0.0, 1.0, 4);
+  for (size_t b = 0; b < 4; ++b) {
+    EXPECT_EQ(h.Density(b), 0.0);
+    EXPECT_EQ(h.Fraction(b), 0.0);
+    EXPECT_EQ(h.CdfAt(b), 0.0);
+  }
+}
+
+TEST(HistogramTest, AsciiChartHasOneRowPerBin) {
+  Histogram h(0.0, 1.0, 6);
+  for (int i = 0; i < 60; ++i) h.Add(i / 60.0);
+  std::string chart = h.ToAsciiChart();
+  size_t rows = 0;
+  for (char c : chart) {
+    if (c == '\n') ++rows;
+  }
+  EXPECT_EQ(rows, 6u);
+  EXPECT_NE(chart.find('#'), std::string::npos);
+}
+
+TEST(HistogramTest, ComparisonChartRendersBothSeries) {
+  Histogram a(0.0, 1.0, 4), b(0.0, 1.0, 4);
+  a.Add(0.1);
+  b.Add(0.9);
+  std::string chart = Histogram::ToAsciiComparison(a, b, "fraud", "normal");
+  EXPECT_NE(chart.find("fraud"), std::string::npos);
+  EXPECT_NE(chart.find("normal"), std::string::npos);
+  EXPECT_NE(chart.find('#'), std::string::npos);
+  EXPECT_NE(chart.find('*'), std::string::npos);
+}
+
+TEST(HistogramTest, AddAll) {
+  Histogram h(0.0, 1.0, 2);
+  h.AddAll({0.1, 0.2, 0.8});
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(1), 1u);
+}
+
+}  // namespace
+}  // namespace cats

@@ -1,0 +1,148 @@
+#include "util/json.h"
+
+#include <gtest/gtest.h>
+
+namespace cats {
+namespace {
+
+TEST(JsonParseTest, Scalars) {
+  EXPECT_TRUE(JsonValue::Parse("null")->is_null());
+  EXPECT_TRUE(JsonValue::Parse("true")->bool_value());
+  EXPECT_FALSE(JsonValue::Parse("false")->bool_value());
+  EXPECT_DOUBLE_EQ(JsonValue::Parse("3.25")->number_value(), 3.25);
+  EXPECT_EQ(JsonValue::Parse("-17")->int_value(), -17);
+  EXPECT_EQ(JsonValue::Parse("\"hi\"")->string_value(), "hi");
+  EXPECT_DOUBLE_EQ(JsonValue::Parse("1e3")->number_value(), 1000.0);
+}
+
+TEST(JsonParseTest, WhitespaceTolerant) {
+  auto r = JsonValue::Parse("  {  \"a\" :  [ 1 , 2 ]  }  ");
+  ASSERT_TRUE(r.ok());
+  const JsonValue* a = r->Get("a");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->size(), 2u);
+}
+
+TEST(JsonParseTest, NestedStructure) {
+  auto r = JsonValue::Parse(
+      R"({"item_id":"545470505476","tags":[1,2,3],"meta":{"ok":true}})");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->Get("item_id")->string_value(), "545470505476");
+  EXPECT_EQ(r->Get("tags")->at(2).int_value(), 3);
+  EXPECT_TRUE(r->Get("meta")->Get("ok")->bool_value());
+}
+
+TEST(JsonParseTest, EscapesAndUnicode) {
+  auto r = JsonValue::Parse(R"("a\"b\\c\nd中")");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->string_value(), "a\"b\\c\nd中");
+}
+
+TEST(JsonParseTest, Utf8Passthrough) {
+  auto r = JsonValue::Parse("\"这个商品很好\"");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->string_value(), "这个商品很好");
+}
+
+TEST(JsonParseTest, EmptyContainers) {
+  EXPECT_EQ(JsonValue::Parse("[]")->size(), 0u);
+  EXPECT_TRUE(JsonValue::Parse("{}")->is_object());
+}
+
+TEST(JsonParseTest, Errors) {
+  EXPECT_FALSE(JsonValue::Parse("").ok());
+  EXPECT_FALSE(JsonValue::Parse("{").ok());
+  EXPECT_FALSE(JsonValue::Parse("[1,2").ok());
+  EXPECT_FALSE(JsonValue::Parse("\"unterminated").ok());
+  EXPECT_FALSE(JsonValue::Parse("{\"a\":}").ok());
+  EXPECT_FALSE(JsonValue::Parse("{\"a\" 1}").ok());
+  EXPECT_FALSE(JsonValue::Parse("nul").ok());
+  EXPECT_FALSE(JsonValue::Parse("1 2").ok());  // trailing garbage
+  EXPECT_FALSE(JsonValue::Parse("{1:2}").ok());  // non-string key
+}
+
+TEST(JsonSerializeTest, RoundTrip) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("id", JsonValue::String("40805023517"));
+  obj.Set("n", JsonValue::Int(100));
+  obj.Set("pi", JsonValue::Number(3.5));
+  obj.Set("ok", JsonValue::Bool(true));
+  JsonValue arr = JsonValue::Array();
+  arr.Append(JsonValue::Int(1));
+  arr.Append(JsonValue::Null());
+  obj.Set("arr", std::move(arr));
+
+  std::string text = obj.Serialize();
+  auto parsed = JsonValue::Parse(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->Get("id")->string_value(), "40805023517");
+  EXPECT_EQ(parsed->Get("n")->int_value(), 100);
+  EXPECT_DOUBLE_EQ(parsed->Get("pi")->number_value(), 3.5);
+  EXPECT_TRUE(parsed->Get("ok")->bool_value());
+  EXPECT_EQ(parsed->Get("arr")->size(), 2u);
+  EXPECT_TRUE(parsed->Get("arr")->at(1).is_null());
+}
+
+TEST(JsonSerializeTest, IntegersStayIntegral) {
+  EXPECT_EQ(JsonValue::Int(100).Serialize(), "100");
+  EXPECT_EQ(JsonValue::Int(-5).Serialize(), "-5");
+  EXPECT_EQ(JsonValue::Number(2.5).Serialize(), "2.5");
+}
+
+TEST(JsonSerializeTest, StringEscaping) {
+  EXPECT_EQ(JsonValue::String("a\"b").Serialize(), "\"a\\\"b\"");
+  EXPECT_EQ(JsonValue::String("line\nbreak").Serialize(),
+            "\"line\\nbreak\"");
+  // Control character as \u escape.
+  EXPECT_EQ(JsonValue::String(std::string(1, '\x01')).Serialize(),
+            "\"\\u0001\"");
+  // UTF-8 passes through unescaped.
+  EXPECT_EQ(JsonValue::String("好").Serialize(), "\"好\"");
+}
+
+TEST(JsonSerializeTest, EscapeRoundTrip) {
+  std::string nasty = "q\"w\\e\nr\tt\rb\bf\f中文，。！";
+  auto parsed = JsonValue::Parse(JsonValue::String(nasty).Serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->string_value(), nasty);
+}
+
+TEST(JsonObjectTest, SetOverwritesAndPreservesOrder) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("a", JsonValue::Int(1));
+  obj.Set("b", JsonValue::Int(2));
+  obj.Set("a", JsonValue::Int(9));
+  EXPECT_EQ(obj.Get("a")->int_value(), 9);
+  EXPECT_EQ(obj.members().size(), 2u);
+  EXPECT_EQ(obj.members()[0].first, "a");
+  EXPECT_EQ(obj.Serialize(), R"({"a":9,"b":2})");
+}
+
+TEST(JsonTypedGettersTest, ReportMissingAndWrongType) {
+  auto obj = *JsonValue::Parse(R"({"s":"x","n":5})");
+  EXPECT_TRUE(obj.GetString("s").ok());
+  EXPECT_EQ(obj.GetString("missing").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(obj.GetString("n").status().code(), StatusCode::kParseError);
+  EXPECT_EQ(*obj.GetInt("n"), 5);
+  EXPECT_EQ(obj.GetInt("s").status().code(), StatusCode::kParseError);
+  EXPECT_DOUBLE_EQ(*obj.GetDouble("n"), 5.0);
+}
+
+TEST(JsonParseTest, ListingTwoRecord) {
+  // The comment record of the paper's Listing 2.
+  const char* body = R"({
+    "item_id": "545470505476",
+    "comment_id": "40805023517",
+    "comment_content": "这个商品很好",
+    "nickname": "0***莉",
+    "userExpValue": "100",
+    "client_information": "Android",
+    "date": "2017-09-10 12:10:00"})";
+  auto r = JsonValue::Parse(body);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->Get("userExpValue")->string_value(), "100");
+  EXPECT_EQ(r->Get("client_information")->string_value(), "Android");
+}
+
+}  // namespace
+}  // namespace cats

@@ -1,0 +1,152 @@
+#include "platform/language_model.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <unordered_set>
+
+#include "platform_test_util.h"
+#include "text/punctuation.h"
+#include "text/utf8.h"
+
+namespace cats::platform {
+namespace {
+
+TEST(LanguageTest, VocabularySizeIncludesHomographs) {
+  const SyntheticLanguage& lang = TestLanguage();
+  EXPECT_EQ(lang.vocabulary_size(), 1200u + 4u);
+}
+
+TEST(LanguageTest, WordsAreUniqueAndCjk) {
+  const SyntheticLanguage& lang = TestLanguage();
+  std::unordered_set<std::string> seen;
+  for (const LanguageWord& w : lang.words()) {
+    EXPECT_TRUE(seen.insert(w.text).second) << w.text;
+    for (uint32_t cp : text::DecodeString(w.text)) {
+      EXPECT_TRUE(text::IsCjk(cp)) << w.text;
+    }
+    size_t len = text::CodepointCount(w.text);
+    EXPECT_GE(len, 1u);
+    EXPECT_LE(len, 3u);
+  }
+}
+
+TEST(LanguageTest, PolarityClassesPopulated) {
+  const SyntheticLanguage& lang = TestLanguage();
+  size_t pos = 0, neg = 0, homographs = 0;
+  for (const LanguageWord& w : lang.words()) {
+    if (w.spam_homograph) {
+      ++homographs;
+      EXPECT_EQ(w.polarity, Polarity::kPositive);
+      continue;
+    }
+    if (w.polarity == Polarity::kPositive) ++pos;
+    if (w.polarity == Polarity::kNegative) ++neg;
+  }
+  EXPECT_EQ(homographs, 4u);
+  // ~1/12 each.
+  EXPECT_NEAR(static_cast<double>(pos) / 1200.0, 1.0 / 12.0, 0.02);
+  EXPECT_NEAR(static_cast<double>(neg) / 1200.0, 1.0 / 12.0, 0.02);
+}
+
+TEST(LanguageTest, HomographsDifferFromBaseByOneCodepoint) {
+  const SyntheticLanguage& lang = TestLanguage();
+  std::vector<std::string> seeds = lang.PositiveSeeds(4);
+  size_t matched = 0;
+  for (const LanguageWord& w : lang.words()) {
+    if (!w.spam_homograph) continue;
+    // Each homograph must be one codepoint away from some top positive.
+    for (const std::string& seed : seeds) {
+      auto a = text::DecodeString(w.text);
+      auto b = text::DecodeString(seed);
+      if (a.size() != b.size()) continue;
+      size_t diff = 0;
+      for (size_t i = 0; i < a.size(); ++i) {
+        if (a[i] != b[i]) ++diff;
+      }
+      if (diff == 1) {
+        ++matched;
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(matched, 4u);
+}
+
+TEST(LanguageTest, SamplersRespectPolarity) {
+  const SyntheticLanguage& lang = TestLanguage();
+  Rng rng(5);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_EQ(lang.word(lang.SamplePositive(&rng)).polarity,
+              Polarity::kPositive);
+    EXPECT_EQ(lang.word(lang.SampleNegative(&rng)).polarity,
+              Polarity::kNegative);
+    EXPECT_EQ(lang.word(lang.SampleNeutral(&rng)).polarity,
+              Polarity::kNeutral);
+    EXPECT_TRUE(lang.word(lang.SampleHomograph(&rng)).spam_homograph);
+  }
+}
+
+TEST(LanguageTest, SamplingIsZipfSkewed) {
+  const SyntheticLanguage& lang = TestLanguage();
+  Rng rng(7);
+  std::map<uint32_t, int> counts;
+  for (int i = 0; i < 20000; ++i) ++counts[lang.SampleNeutral(&rng)];
+  // The most frequent neutral word should dominate a mid-rank word.
+  int max_count = 0;
+  for (const auto& [id, c] : counts) max_count = std::max(max_count, c);
+  EXPECT_GT(max_count, 200);  // rank-1 of ~1100 neutral words, zipf 1.05
+}
+
+TEST(LanguageTest, SeedsAreHighFrequencyPolarityWords) {
+  const SyntheticLanguage& lang = TestLanguage();
+  auto pos_seeds = lang.PositiveSeeds(3);
+  auto neg_seeds = lang.NegativeSeeds(3);
+  ASSERT_EQ(pos_seeds.size(), 3u);
+  ASSERT_EQ(neg_seeds.size(), 3u);
+  for (const std::string& s : pos_seeds) {
+    EXPECT_EQ(lang.PolarityOf(s), Polarity::kPositive) << s;
+  }
+  for (const std::string& s : neg_seeds) {
+    EXPECT_EQ(lang.PolarityOf(s), Polarity::kNegative) << s;
+  }
+}
+
+TEST(LanguageTest, PolarityOfUnknownIsNeutral) {
+  EXPECT_EQ(TestLanguage().PolarityOf("not_a_word"), Polarity::kNeutral);
+}
+
+TEST(LanguageTest, SegmentationDictionaryCoversVocabulary) {
+  const SyntheticLanguage& lang = TestLanguage();
+  text::SegmentationDictionary dict = lang.BuildSegmentationDictionary();
+  EXPECT_EQ(dict.size(), lang.vocabulary_size());
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(dict.Contains(lang.word(i).text));
+  }
+}
+
+TEST(LanguageTest, PunctuationSamplerReturnsPunctuation) {
+  const SyntheticLanguage& lang = TestLanguage();
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    std::string p = lang.SamplePunctuation(&rng);
+    auto cps = text::DecodeString(p);
+    ASSERT_EQ(cps.size(), 1u);
+    EXPECT_TRUE(text::IsPunctuation(cps[0]));
+  }
+}
+
+TEST(LanguageTest, DeterministicForSeed) {
+  LanguageOptions options;
+  options.vocabulary_size = 100;
+  options.seed = 31337;
+  SyntheticLanguage a(options), b(options);
+  for (size_t i = 0; i < a.vocabulary_size(); ++i) {
+    EXPECT_EQ(a.word(i).text, b.word(i).text);
+    EXPECT_EQ(a.word(i).polarity, b.word(i).polarity);
+  }
+}
+
+}  // namespace
+}  // namespace cats::platform

@@ -1,0 +1,125 @@
+#include "nlp/lexicon.h"
+
+#include <gtest/gtest.h>
+
+namespace cats::nlp {
+namespace {
+
+TEST(LexiconTest, InsertContainsCount) {
+  Lexicon lex;
+  lex.Insert("好评");
+  lex.Insert("很好");
+  EXPECT_TRUE(lex.Contains("好评"));
+  EXPECT_FALSE(lex.Contains("差评"));
+  EXPECT_EQ(lex.size(), 2u);
+  EXPECT_EQ(lex.CountIn({"好评", "x", "好评", "很好"}), 3u);
+  EXPECT_EQ(lex.CountIn({}), 0u);
+}
+
+TEST(LexiconTest, ConstructFromVectorDeduplicates) {
+  Lexicon lex({"a", "b", "a"});
+  EXPECT_EQ(lex.size(), 2u);
+}
+
+TEST(LexiconTest, SortedWordsDeterministic) {
+  Lexicon lex({"c", "a", "b"});
+  EXPECT_EQ(lex.SortedWords(), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+/// Builds an embedding space with a tight positive cluster, a negative
+/// cluster, and unrelated noise.
+EmbeddingStore ClusteredEmbeddings() {
+  EmbeddingStore store(3);
+  // Positive cluster around (1, 0, 0).
+  store.Add("pos_seed", {1.0f, 0.00f, 0.0f});
+  store.Add("pos_a", {1.0f, 0.05f, 0.0f});
+  store.Add("pos_b", {1.0f, -0.05f, 0.02f});
+  store.Add("pos_c", {0.98f, 0.02f, -0.03f});
+  // Negative cluster around (0, 1, 0).
+  store.Add("neg_seed", {0.0f, 1.0f, 0.0f});
+  store.Add("neg_a", {0.04f, 1.0f, 0.0f});
+  // Unrelated direction.
+  store.Add("noise_a", {0.0f, 0.0f, 1.0f});
+  store.Add("noise_b", {0.1f, 0.1f, 1.0f});
+  return store;
+}
+
+TEST(ExpandLexiconTest, FindsClusterExcludesNoise) {
+  EmbeddingStore store = ClusteredEmbeddings();
+  LexiconExpansionOptions options;
+  options.k = 3;
+  options.min_similarity = 0.9f;
+  options.max_words = 10;
+  auto lex = ExpandLexicon(store, {"pos_seed"}, options);
+  ASSERT_TRUE(lex.ok());
+  EXPECT_TRUE(lex->Contains("pos_seed"));
+  EXPECT_TRUE(lex->Contains("pos_a"));
+  EXPECT_TRUE(lex->Contains("pos_b"));
+  EXPECT_TRUE(lex->Contains("pos_c"));
+  EXPECT_FALSE(lex->Contains("noise_a"));
+  EXPECT_FALSE(lex->Contains("neg_seed"));
+}
+
+TEST(ExpandLexiconTest, MaxWordsCapRespected) {
+  EmbeddingStore store = ClusteredEmbeddings();
+  LexiconExpansionOptions options;
+  options.k = 5;
+  options.min_similarity = -1.0f;  // accept anything
+  options.max_words = 3;
+  auto lex = ExpandLexicon(store, {"pos_seed"}, options);
+  ASSERT_TRUE(lex.ok());
+  EXPECT_LE(lex->size(), 3u);
+}
+
+TEST(ExpandLexiconTest, EmptySeedsFails) {
+  EmbeddingStore store = ClusteredEmbeddings();
+  EXPECT_FALSE(ExpandLexicon(store, {}, LexiconExpansionOptions{}).ok());
+}
+
+TEST(ExpandLexiconTest, OovSeedKeptButNotExpanded) {
+  EmbeddingStore store = ClusteredEmbeddings();
+  LexiconExpansionOptions options;
+  auto lex = ExpandLexicon(store, {"not_in_embedding"}, options);
+  ASSERT_TRUE(lex.ok());
+  EXPECT_TRUE(lex->Contains("not_in_embedding"));
+  EXPECT_EQ(lex->size(), 1u);
+}
+
+// Chain geometry: seed at 0°, a at 20°, b at 40°. cos(20°)=0.94 passes a
+// 0.9 threshold, cos(40°)=0.766 does not — so b is reachable only through
+// a, never directly from seed.
+void AddChain(EmbeddingStore* store) {
+  store->Add("seed", {1.0f, 0.0f});
+  store->Add("a", {0.9397f, 0.3420f});
+  store->Add("b", {0.7660f, 0.6428f});
+}
+
+TEST(ExpandLexiconTest, IterativeBfsReachesTransitiveNeighbors) {
+  EmbeddingStore store(2);
+  AddChain(&store);
+  LexiconExpansionOptions options;
+  options.k = 2;
+  options.min_similarity = 0.9f;
+  options.max_iterations = 4;
+  auto lex = ExpandLexicon(store, {"seed"}, options);
+  ASSERT_TRUE(lex.ok());
+  // seed reaches a directly; a reaches b (cos(a,b)=cos(20°) > 0.9).
+  EXPECT_TRUE(lex->Contains("a"));
+  EXPECT_TRUE(lex->Contains("b"));
+}
+
+TEST(ExpandLexiconTest, MaxIterationsLimitsDepth) {
+  EmbeddingStore store(2);
+  AddChain(&store);
+  LexiconExpansionOptions options;
+  options.k = 2;
+  options.min_similarity = 0.9f;
+  options.max_iterations = 1;  // only direct neighbors of seeds
+  auto lex = ExpandLexicon(store, {"seed"}, options);
+  ASSERT_TRUE(lex.ok());
+  EXPECT_TRUE(lex->Contains("a"));
+  EXPECT_FALSE(lex->Contains("b"));
+}
+
+}  // namespace
+}  // namespace cats::nlp

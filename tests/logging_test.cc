@@ -1,0 +1,69 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace cats {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void TearDown() override { SetLogLevel(LogLevel::kInfo); }
+};
+
+TEST_F(LoggingTest, LevelRoundTrips) {
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+}
+
+TEST_F(LoggingTest, SuppressedMessagesDoNotEvaluateExpensiveStreaming) {
+  // Streaming into a disabled LogMessage must be cheap and side-effect
+  // tolerant: operator<< still runs, but the message is dropped. This test
+  // mainly pins the no-crash contract at every level.
+  SetLogLevel(LogLevel::kError);
+  for (int i = 0; i < 1000; ++i) {
+    CATS_LOG(Debug) << "dropped " << i;
+    CATS_LOG(Info) << "dropped " << i;
+    CATS_LOG(Warning) << "dropped " << i;
+  }
+  SUCCEED();
+}
+
+TEST_F(LoggingTest, EmittingAtAllLevelsIsSafe) {
+  SetLogLevel(LogLevel::kDebug);
+  CATS_LOG(Debug) << "debug line";
+  CATS_LOG(Info) << "info line " << 42;
+  CATS_LOG(Warning) << "warning line " << 1.5;
+  CATS_LOG(Error) << "error line";
+  SUCCEED();
+}
+
+TEST_F(LoggingTest, CheckPassesOnTrue) {
+  CATS_CHECK(1 + 1 == 2);
+  SUCCEED();
+}
+
+TEST_F(LoggingTest, CheckAbortsOnFalse) {
+  EXPECT_DEATH({ CATS_CHECK(false); }, "CHECK failed");
+}
+
+TEST_F(LoggingTest, ConcurrentLoggingDoesNotInterleaveCrash) {
+  SetLogLevel(LogLevel::kError);  // keep test output quiet
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < 25; ++i) {
+        CATS_LOG(Error) << "t" << t << " i" << i;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace cats

@@ -1,0 +1,180 @@
+#include "platform/marketplace.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "platform_test_util.h"
+#include "util/stats.h"
+
+namespace cats::platform {
+namespace {
+
+TEST(MarketplaceTest, ItemCountsMatchConfig) {
+  const Marketplace& m = TestMarketplace();
+  size_t fraud = 0, normal = 0;
+  for (const Item& item : m.items()) {
+    (item.is_fraud ? fraud : normal)++;
+  }
+  EXPECT_EQ(fraud, 40u);
+  EXPECT_EQ(m.NumFraudItems(), 40u);
+  // Malicious shops carry a few extra legitimate cover items.
+  EXPECT_GE(normal, 300u);
+}
+
+TEST(MarketplaceTest, EveryItemBelongsToItsShop) {
+  const Marketplace& m = TestMarketplace();
+  for (const Item& item : m.items()) {
+    ASSERT_LT(item.shop_id, m.shops().size());
+    const auto& shop_items = m.ItemsOfShop(item.shop_id);
+    EXPECT_NE(std::find(shop_items.begin(), shop_items.end(), item.id),
+              shop_items.end());
+  }
+}
+
+TEST(MarketplaceTest, FraudItemsOnlyInMaliciousShops) {
+  const Marketplace& m = TestMarketplace();
+  for (const Item& item : m.items()) {
+    if (item.is_fraud) {
+      EXPECT_TRUE(m.shops()[item.shop_id].malicious);
+    }
+  }
+}
+
+TEST(MarketplaceTest, CommentIndicesConsistent) {
+  const Marketplace& m = TestMarketplace();
+  size_t total = 0;
+  for (const Item& item : m.items()) {
+    for (uint32_t ci : m.CommentIndicesOfItem(item.id)) {
+      ASSERT_LT(ci, m.comments().size());
+      EXPECT_EQ(m.comments()[ci].item_id, item.id);
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, m.comments().size());
+}
+
+TEST(MarketplaceTest, SalesVolumeAtLeastCommentCount) {
+  const Marketplace& m = TestMarketplace();
+  for (const Item& item : m.items()) {
+    EXPECT_GE(item.sales_volume,
+              static_cast<int64_t>(m.CommentIndicesOfItem(item.id).size()));
+  }
+}
+
+TEST(MarketplaceTest, CampaignCommentsOnFraudItemsByHiredUsers) {
+  const Marketplace& m = TestMarketplace();
+  size_t campaign_comments = 0;
+  for (const Comment& c : m.comments()) {
+    if (!c.from_campaign) continue;
+    ++campaign_comments;
+    EXPECT_TRUE(m.items()[c.item_id].is_fraud);
+    EXPECT_TRUE(m.users()[c.user_id].hired);
+  }
+  EXPECT_GT(campaign_comments, 0u);
+}
+
+TEST(MarketplaceTest, OrganicCommentsByBenignUsers) {
+  const Marketplace& m = TestMarketplace();
+  for (const Comment& c : m.comments()) {
+    if (!c.from_campaign) {
+      EXPECT_FALSE(m.users()[c.user_id].hired);
+    }
+  }
+}
+
+TEST(MarketplaceTest, EveryFraudItemHasCampaignComments) {
+  const Marketplace& m = TestMarketplace();
+  std::unordered_set<uint64_t> promoted;
+  for (const Comment& c : m.comments()) {
+    if (c.from_campaign) promoted.insert(c.item_id);
+  }
+  for (const Item& item : m.items()) {
+    if (item.is_fraud) {
+      EXPECT_TRUE(promoted.count(item.id)) << item.id;
+    }
+  }
+}
+
+TEST(MarketplaceTest, DatesWellFormedAndCampaignBursty) {
+  const Marketplace& m = TestMarketplace();
+  for (const Comment& c : m.comments()) {
+    ASSERT_EQ(c.date.size(), 19u) << c.date;
+    EXPECT_EQ(c.date[4], '-');
+    EXPECT_EQ(c.date[7], '-');
+    EXPECT_EQ(c.date[10], ' ');
+    EXPECT_EQ(c.date[13], ':');
+    int year = std::stoi(c.date.substr(0, 4));
+    EXPECT_TRUE(year == 2017 || year == 2018);
+  }
+  // Campaign comments of one item span at most burst_days distinct dates.
+  for (const CampaignPlan& plan : m.campaigns()) {
+    for (uint64_t item_id : plan.item_ids) {
+      std::set<std::string> days;
+      for (uint32_t ci : m.CommentIndicesOfItem(item_id)) {
+        const Comment& c = m.comments()[ci];
+        if (c.from_campaign) days.insert(c.date.substr(0, 10));
+      }
+      EXPECT_LE(days.size(), m.config().campaign.burst_days);
+    }
+  }
+}
+
+TEST(MarketplaceTest, CampaignCrewsDrawnFromSharedPool) {
+  const Marketplace& m = TestMarketplace();
+  ASSERT_GT(m.campaigns().size(), 1u);
+  std::unordered_set<uint64_t> all_crew;
+  for (const CampaignPlan& plan : m.campaigns()) {
+    EXPECT_FALSE(plan.crew.empty());
+    for (uint64_t u : plan.crew) {
+      EXPECT_TRUE(m.users()[u].hired);
+      all_crew.insert(u);
+    }
+  }
+  // The pool is small (60): crews necessarily overlap.
+  EXPECT_LE(all_crew.size(), 60u);
+}
+
+TEST(MarketplaceTest, FraudQualityLowerOnAverage) {
+  const Marketplace& m = TestMarketplace();
+  RunningStats fraud_q, normal_q;
+  for (const Item& item : m.items()) {
+    (item.is_fraud ? fraud_q : normal_q).Add(item.quality);
+  }
+  EXPECT_LT(fraud_q.mean(), normal_q.mean());
+}
+
+TEST(MarketplaceTest, SentimentCorpusBalanced) {
+  auto corpus = TestMarketplace().BuildSentimentCorpus(100, 3);
+  ASSERT_EQ(corpus.size(), 100u);
+  size_t pos = 0;
+  for (const auto& [text, positive] : corpus) {
+    EXPECT_FALSE(text.empty());
+    pos += positive ? 1 : 0;
+  }
+  EXPECT_EQ(pos, 50u);
+}
+
+TEST(MarketplaceTest, GenerationDeterministicForSeed) {
+  Marketplace a = Marketplace::Generate(SmallMarketConfig(), &TestLanguage());
+  Marketplace b = Marketplace::Generate(SmallMarketConfig(), &TestLanguage());
+  ASSERT_EQ(a.comments().size(), b.comments().size());
+  for (size_t i = 0; i < a.comments().size(); i += 97) {
+    EXPECT_EQ(a.comments()[i].content, b.comments()[i].content);
+    EXPECT_EQ(a.comments()[i].user_id, b.comments()[i].user_id);
+  }
+}
+
+TEST(MarketplaceTest, SomeItemsFailSalesRule) {
+  // The low_sales knob must produce rule-filter work.
+  const Marketplace& m = TestMarketplace();
+  size_t low_sales = 0;
+  for (const Item& item : m.items()) {
+    if (item.sales_volume < 5) ++low_sales;
+  }
+  EXPECT_GT(low_sales, 0u);
+}
+
+}  // namespace
+}  // namespace cats::platform

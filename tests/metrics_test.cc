@@ -1,0 +1,94 @@
+#include "ml/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace cats::ml {
+namespace {
+
+TEST(ConfusionMatrixTest, CellsRoute) {
+  ConfusionMatrix c;
+  c.Add(1, 1);  // tp
+  c.Add(1, 0);  // fn
+  c.Add(0, 1);  // fp
+  c.Add(0, 0);  // tn
+  EXPECT_EQ(c.true_positive, 1u);
+  EXPECT_EQ(c.false_negative, 1u);
+  EXPECT_EQ(c.false_positive, 1u);
+  EXPECT_EQ(c.true_negative, 1u);
+  EXPECT_EQ(c.total(), 4u);
+}
+
+TEST(ComputeMetricsTest, PerfectPrediction) {
+  std::vector<int> truth{1, 0, 1, 0};
+  ClassificationMetrics m = ComputeMetrics(truth, truth);
+  EXPECT_DOUBLE_EQ(m.precision, 1.0);
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);
+  EXPECT_DOUBLE_EQ(m.f1, 1.0);
+  EXPECT_DOUBLE_EQ(m.accuracy, 1.0);
+}
+
+TEST(ComputeMetricsTest, KnownMix) {
+  // tp=2 fp=1 fn=2 tn=3.
+  std::vector<int> truth{1, 1, 1, 1, 0, 0, 0, 0};
+  std::vector<int> pred {1, 1, 0, 0, 1, 0, 0, 0};
+  ClassificationMetrics m = ComputeMetrics(truth, pred);
+  EXPECT_DOUBLE_EQ(m.precision, 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(m.recall, 0.5);
+  EXPECT_NEAR(m.f1, 2 * (2.0 / 3.0) * 0.5 / (2.0 / 3.0 + 0.5), 1e-12);
+  EXPECT_DOUBLE_EQ(m.accuracy, 5.0 / 8.0);
+}
+
+TEST(ComputeMetricsTest, NoPositivePredictionsZeroPrecision) {
+  ClassificationMetrics m = ComputeMetrics({1, 1, 0}, {0, 0, 0});
+  EXPECT_EQ(m.precision, 0.0);
+  EXPECT_EQ(m.recall, 0.0);
+  EXPECT_EQ(m.f1, 0.0);
+}
+
+TEST(ComputeMetricsTest, EmptyInput) {
+  ClassificationMetrics m = ComputeMetrics({}, {});
+  EXPECT_EQ(m.accuracy, 0.0);
+}
+
+TEST(ComputeMetricsFromScoresTest, ThresholdApplies) {
+  std::vector<int> truth{1, 1, 0, 0};
+  std::vector<double> scores{0.9, 0.4, 0.6, 0.1};
+  ClassificationMetrics at_half = ComputeMetricsFromScores(truth, scores, 0.5);
+  EXPECT_EQ(at_half.confusion.true_positive, 1u);
+  EXPECT_EQ(at_half.confusion.false_positive, 1u);
+  ClassificationMetrics at_03 = ComputeMetricsFromScores(truth, scores, 0.3);
+  EXPECT_EQ(at_03.confusion.true_positive, 2u);
+}
+
+TEST(RocAucTest, PerfectRankingIsOne) {
+  EXPECT_DOUBLE_EQ(RocAuc({0, 0, 1, 1}, {0.1, 0.2, 0.8, 0.9}), 1.0);
+}
+
+TEST(RocAucTest, ReversedRankingIsZero) {
+  EXPECT_DOUBLE_EQ(RocAuc({0, 0, 1, 1}, {0.9, 0.8, 0.2, 0.1}), 0.0);
+}
+
+TEST(RocAucTest, RandomScoresNearHalf) {
+  EXPECT_DOUBLE_EQ(RocAuc({1, 0}, {0.5, 0.5}), 0.5);  // all tied
+}
+
+TEST(RocAucTest, TiesAveraged) {
+  // One positive tied with one negative, one clean positive above.
+  double auc = RocAuc({1, 1, 0, 0}, {0.9, 0.5, 0.5, 0.1});
+  EXPECT_DOUBLE_EQ(auc, 0.875);
+}
+
+TEST(RocAucTest, DegenerateSingleClass) {
+  EXPECT_DOUBLE_EQ(RocAuc({1, 1}, {0.5, 0.7}), 0.5);
+}
+
+TEST(MetricsToStringTest, ContainsAllFields) {
+  ClassificationMetrics m = ComputeMetrics({1, 0}, {1, 0});
+  std::string s = m.ToString();
+  EXPECT_NE(s.find("precision"), std::string::npos);
+  EXPECT_NE(s.find("recall"), std::string::npos);
+  EXPECT_NE(s.find("accuracy"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cats::ml

@@ -1,0 +1,60 @@
+#ifndef CATS_TESTS_ML_TEST_UTIL_H_
+#define CATS_TESTS_ML_TEST_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "ml/classifier.h"
+#include "ml/dataset.h"
+#include "util/random.h"
+
+namespace cats::ml {
+
+/// Two-Gaussian binary dataset: class 0 around (0,0,...), class 1 around
+/// (sep, sep, ...), isotropic unit noise. Linearly separable for sep >~ 4.
+inline Dataset MakeGaussianDataset(size_t per_class, size_t dim, double sep,
+                                   uint64_t seed) {
+  std::vector<std::string> names;
+  for (size_t f = 0; f < dim; ++f) names.push_back("f" + std::to_string(f));
+  Dataset data(std::move(names));
+  Rng rng(seed);
+  std::vector<float> row(dim);
+  for (size_t i = 0; i < per_class; ++i) {
+    for (size_t f = 0; f < dim; ++f) {
+      row[f] = static_cast<float>(rng.Normal(0.0, 1.0));
+    }
+    (void)data.AddRow(row, 0);
+    for (size_t f = 0; f < dim; ++f) {
+      row[f] = static_cast<float>(rng.Normal(sep, 1.0));
+    }
+    (void)data.AddRow(row, 1);
+  }
+  return data;
+}
+
+/// XOR-style dataset that no linear model can fit: label = (x>0) ^ (y>0).
+inline Dataset MakeXorDataset(size_t n, uint64_t seed) {
+  Dataset data({"x", "y"});
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    float x = static_cast<float>(rng.UniformDouble(-1.0, 1.0));
+    float y = static_cast<float>(rng.UniformDouble(-1.0, 1.0));
+    int label = ((x > 0) ^ (y > 0)) ? 1 : 0;
+    (void)data.AddRow({x, y}, label);
+  }
+  return data;
+}
+
+/// Training-set accuracy of a fitted classifier.
+inline double TrainAccuracy(const Classifier& model, const Dataset& data) {
+  size_t correct = 0;
+  for (size_t i = 0; i < data.num_rows(); ++i) {
+    if (model.Predict(data.Row(i)) == data.Label(i)) ++correct;
+  }
+  return static_cast<double>(correct) /
+         static_cast<double>(data.num_rows());
+}
+
+}  // namespace cats::ml
+
+#endif  // CATS_TESTS_ML_TEST_UTIL_H_

@@ -1,0 +1,83 @@
+#include "ml/mlp.h"
+
+#include <gtest/gtest.h>
+
+#include "ml_test_util.h"
+
+namespace cats::ml {
+namespace {
+
+TEST(MlpTest, FitEmptyFails) {
+  Mlp model;
+  Dataset empty({"x"});
+  EXPECT_FALSE(model.Fit(empty).ok());
+}
+
+TEST(MlpTest, SeparableDataHighAccuracy) {
+  Dataset data = MakeGaussianDataset(300, 3, 4.0, 163);
+  Mlp model;
+  ASSERT_TRUE(model.Fit(data).ok());
+  EXPECT_GT(TrainAccuracy(model, data), 0.95);
+}
+
+TEST(MlpTest, SolvesXorUnlikeLinearModels) {
+  Dataset data = MakeXorDataset(1000, 167);
+  MlpOptions options;
+  options.hidden_units = 32;
+  options.epochs = 200;
+  options.learning_rate = 0.08;
+  Mlp model(options);
+  ASSERT_TRUE(model.Fit(data).ok());
+  EXPECT_GT(TrainAccuracy(model, data), 0.9);
+}
+
+TEST(MlpTest, ProbaInUnitInterval) {
+  Dataset data = MakeGaussianDataset(100, 2, 2.0, 173);
+  Mlp model;
+  ASSERT_TRUE(model.Fit(data).ok());
+  for (size_t i = 0; i < data.num_rows(); ++i) {
+    double p = model.PredictProba(data.Row(i));
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(MlpTest, DeterministicForSeed) {
+  Dataset data = MakeGaussianDataset(100, 2, 3.0, 179);
+  Mlp a, b;
+  ASSERT_TRUE(a.Fit(data).ok());
+  ASSERT_TRUE(b.Fit(data).ok());
+  for (size_t i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(a.PredictProba(data.Row(i)), b.PredictProba(data.Row(i)));
+  }
+}
+
+TEST(MlpTest, DifferentSeedsDifferentNets) {
+  Dataset data = MakeGaussianDataset(100, 2, 1.0, 181);
+  MlpOptions oa, ob;
+  oa.seed = 1;
+  ob.seed = 2;
+  Mlp a(oa), b(ob);
+  ASSERT_TRUE(a.Fit(data).ok());
+  ASSERT_TRUE(b.Fit(data).ok());
+  bool any_diff = false;
+  for (size_t i = 0; i < 20; ++i) {
+    if (a.PredictProba(data.Row(i)) != b.PredictProba(data.Row(i))) {
+      any_diff = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(MlpTest, CloneUntrained) {
+  Mlp model;
+  auto clone = model.CloneUntrained();
+  EXPECT_EQ(clone->name(), "Neural Network");
+  Dataset data = MakeGaussianDataset(150, 2, 4.0, 191);
+  ASSERT_TRUE(clone->Fit(data).ok());
+  EXPECT_GT(TrainAccuracy(*clone, data), 0.9);
+}
+
+}  // namespace
+}  // namespace cats::ml

@@ -1,0 +1,100 @@
+#include "ml/naive_bayes.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml_test_util.h"
+
+namespace cats::ml {
+namespace {
+
+TEST(GaussianNbTest, FitEmptyFails) {
+  GaussianNaiveBayes model;
+  Dataset empty({"x"});
+  EXPECT_FALSE(model.Fit(empty).ok());
+}
+
+TEST(GaussianNbTest, SingleClassFails) {
+  Dataset data({"x"});
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(data.AddRow({static_cast<float>(i)}, 1).ok());
+  }
+  GaussianNaiveBayes model;
+  EXPECT_FALSE(model.Fit(data).ok());
+}
+
+TEST(GaussianNbTest, SeparableGaussiansNearPerfect) {
+  // Gaussian NB is the true model for this data.
+  Dataset data = MakeGaussianDataset(500, 3, 5.0, 193);
+  GaussianNaiveBayes model;
+  ASSERT_TRUE(model.Fit(data).ok());
+  EXPECT_GT(TrainAccuracy(model, data), 0.99);
+}
+
+TEST(GaussianNbTest, CannotSolveXor) {
+  Dataset data = MakeXorDataset(800, 197);
+  GaussianNaiveBayes model;
+  ASSERT_TRUE(model.Fit(data).ok());
+  EXPECT_LT(TrainAccuracy(model, data), 0.65);
+}
+
+TEST(GaussianNbTest, ProbaCalibratedAtMidpoint) {
+  Dataset data = MakeGaussianDataset(2000, 1, 4.0, 199);
+  GaussianNaiveBayes model;
+  ASSERT_TRUE(model.Fit(data).ok());
+  // Midpoint between the class means should score near 0.5.
+  float mid[1] = {2.0f};
+  EXPECT_NEAR(model.PredictProba(mid), 0.5, 0.1);
+  float clearly_pos[1] = {6.0f};
+  EXPECT_GT(model.PredictProba(clearly_pos), 0.95);
+  float clearly_neg[1] = {-2.0f};
+  EXPECT_LT(model.PredictProba(clearly_neg), 0.05);
+}
+
+TEST(GaussianNbTest, PriorReflectsClassImbalance) {
+  Dataset data({"x"});
+  Rng rng(211);
+  for (int i = 0; i < 900; ++i) {
+    ASSERT_TRUE(
+        data.AddRow({static_cast<float>(rng.Normal(0.0, 1.0))}, 0).ok());
+  }
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(
+        data.AddRow({static_cast<float>(rng.Normal(0.0, 1.0))}, 1).ok());
+  }
+  GaussianNaiveBayes model;
+  ASSERT_TRUE(model.Fit(data).ok());
+  // Identical likelihoods: posterior should be close to the 10% prior.
+  float x[1] = {0.0f};
+  EXPECT_NEAR(model.PredictProba(x), 0.1, 0.05);
+}
+
+TEST(GaussianNbTest, ConstantFeatureNoNan) {
+  Dataset data({"c", "v"});
+  Rng rng(223);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(data.AddRow({1.0f, static_cast<float>(rng.Normal(
+                                       i % 2 ? 3.0 : 0.0, 1.0))},
+                            i % 2)
+                    .ok());
+  }
+  GaussianNaiveBayes model;
+  ASSERT_TRUE(model.Fit(data).ok());
+  float row[2] = {1.0f, 1.5f};
+  double p = model.PredictProba(row);
+  EXPECT_FALSE(std::isnan(p));
+  EXPECT_GE(p, 0.0);
+  EXPECT_LE(p, 1.0);
+}
+
+TEST(GaussianNbTest, CloneUntrained) {
+  GaussianNaiveBayes model;
+  auto clone = model.CloneUntrained();
+  EXPECT_EQ(clone->name(), "Naive Bayes");
+  float row[1] = {0.0f};
+  EXPECT_DOUBLE_EQ(clone->PredictProba(row), 0.5);
+}
+
+}  // namespace
+}  // namespace cats::ml

@@ -1,0 +1,45 @@
+#include "text/ngram.h"
+
+#include <gtest/gtest.h>
+
+namespace cats::text {
+namespace {
+
+TEST(BigramKeyTest, DistinguishesBoundaries) {
+  // ("ab", "c") must differ from ("a", "bc").
+  EXPECT_NE(BigramKey("ab", "c"), BigramKey("a", "bc"));
+  EXPECT_EQ(BigramKey("x", "y"), BigramKey("x", "y"));
+}
+
+TEST(BigramsTest, EnumeratesAdjacentPairs) {
+  auto pairs = Bigrams({"a", "b", "c"});
+  ASSERT_EQ(pairs.size(), 2u);
+  EXPECT_EQ(pairs[0], (std::pair<std::string, std::string>{"a", "b"}));
+  EXPECT_EQ(pairs[1], (std::pair<std::string, std::string>{"b", "c"}));
+}
+
+TEST(BigramsTest, ShortSequences) {
+  EXPECT_TRUE(Bigrams({}).empty());
+  EXPECT_TRUE(Bigrams({"solo"}).empty());
+}
+
+TEST(PositiveBigramSetTest, InsertContains) {
+  PositiveBigramSet set;
+  set.Insert("很", "好");
+  EXPECT_TRUE(set.Contains("很", "好"));
+  EXPECT_FALSE(set.Contains("好", "很"));  // ordered
+  EXPECT_EQ(set.size(), 1u);
+}
+
+TEST(PositiveBigramSetTest, CountIn) {
+  PositiveBigramSet set;
+  set.Insert("a", "b");
+  set.Insert("b", "c");
+  EXPECT_EQ(set.CountIn({"a", "b", "c", "a", "b"}), 3u);
+  EXPECT_EQ(set.CountIn({"x", "y"}), 0u);
+  EXPECT_EQ(set.CountIn({"a"}), 0u);
+  EXPECT_EQ(set.CountIn({}), 0u);
+}
+
+}  // namespace
+}  // namespace cats::text

@@ -1,0 +1,71 @@
+#include "analysis/order_aspect.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/distributions.h"
+#include "platform_test_util.h"
+
+namespace cats::analysis {
+namespace {
+
+collect::CollectedItem ItemWithClients(
+    uint64_t id, std::initializer_list<const char*> clients) {
+  collect::CollectedItem item;
+  item.item.item_id = id;
+  for (const char* client : clients) {
+    collect::CommentRecord c;
+    c.item_id = id;
+    c.client = client;
+    item.comments.push_back(std::move(c));
+  }
+  return item;
+}
+
+TEST(OrderAspectTest, CountsByClient) {
+  std::vector<collect::CollectedItem> items{
+      ItemWithClients(1, {"Web", "Web", "Android", "iPhone", "WeChat",
+                          "Telegraph"}),
+  };
+  ClientDistribution dist = ComputeClientDistribution(items);
+  EXPECT_EQ(dist.total, 6u);
+  EXPECT_EQ(dist.counts[0], 2u);  // Web
+  EXPECT_EQ(dist.counts[1], 1u);  // Android
+  EXPECT_EQ(dist.counts[2], 1u);  // iPhone
+  EXPECT_EQ(dist.counts[3], 1u);  // WeChat
+  EXPECT_EQ(dist.counts[4], 1u);  // Other
+  EXPECT_DOUBLE_EQ(dist.Fraction(0), 2.0 / 6.0);
+  EXPECT_EQ(dist.ArgMax(), 0u);
+}
+
+TEST(OrderAspectTest, EmptySafe) {
+  ClientDistribution dist = ComputeClientDistribution({});
+  EXPECT_EQ(dist.total, 0u);
+  EXPECT_EQ(dist.Fraction(0), 0.0);
+}
+
+TEST(OrderAspectTest, DistanceProperties) {
+  std::vector<collect::CollectedItem> web_only{
+      ItemWithClients(1, {"Web", "Web"})};
+  std::vector<collect::CollectedItem> android_only{
+      ItemWithClients(2, {"Android", "Android"})};
+  ClientDistribution a = ComputeClientDistribution(web_only);
+  ClientDistribution b = ComputeClientDistribution(android_only);
+  EXPECT_DOUBLE_EQ(ClientDistributionDistance(a, a), 0.0);
+  EXPECT_DOUBLE_EQ(ClientDistributionDistance(a, b), 1.0);  // disjoint
+}
+
+TEST(OrderAspectTest, FraudOrdersWebHeavyOnSimulatedPlatform) {
+  // Fig 12's claim: fraud orders dominated by web, normal by Android.
+  const auto& store = cats::TestStore();
+  LabeledSplit split = SplitByLabel(
+      store.items(), cats::StoreLabels(cats::TestMarketplace(), store));
+  ClientDistribution fraud = ComputeClientDistribution(split.fraud);
+  ClientDistribution normal = ComputeClientDistribution(split.normal);
+  EXPECT_EQ(ClientDistribution::Labels()[fraud.ArgMax()], "Web");
+  EXPECT_EQ(ClientDistribution::Labels()[normal.ArgMax()], "Android");
+  // "This client distribution difference is relatively large."
+  EXPECT_GT(ClientDistributionDistance(fraud, normal), 0.2);
+}
+
+}  // namespace
+}  // namespace cats::analysis

@@ -1,0 +1,166 @@
+#ifndef CATS_TESTS_PLATFORM_TEST_UTIL_H_
+#define CATS_TESTS_PLATFORM_TEST_UTIL_H_
+
+#include <filesystem>
+
+#include "collect/crawler.h"
+#include "collect/store.h"
+#include "core/semantic_analyzer.h"
+#include "platform/api.h"
+#include "platform/marketplace.h"
+#include "platform/presets.h"
+#include "util/logging.h"
+
+namespace cats {
+
+/// Shared small language (expensive to regenerate per test).
+inline const platform::SyntheticLanguage& TestLanguage() {
+  static const platform::SyntheticLanguage* language = [] {
+    platform::LanguageOptions options;
+    options.vocabulary_size = 1200;
+    options.homograph_bases = 4;
+    options.seed = 777;
+    return new platform::SyntheticLanguage(options);
+  }();
+  return *language;
+}
+
+/// A small marketplace config for fast tests.
+inline platform::MarketplaceConfig SmallMarketConfig() {
+  platform::MarketplaceConfig config;
+  config.name = "test-market";
+  config.num_normal_items = 300;
+  config.num_fraud_items = 40;
+  // Sparse enough that organic co-purchase overlap stays rare (the paper's
+  // platforms have millions of users); the hired pool stays dense.
+  config.population.num_benign_users = 6000;
+  config.population.num_hired_users = 60;
+  config.seed = 4242;
+  return config;
+}
+
+/// Shared generated marketplace.
+inline const platform::Marketplace& TestMarketplace() {
+  static const platform::Marketplace* market = new platform::Marketplace(
+      platform::Marketplace::Generate(SmallMarketConfig(), &TestLanguage()));
+  return *market;
+}
+
+/// Crawls a marketplace into a fresh DataStore (no failure injection).
+inline collect::DataStore CrawlAll(const platform::Marketplace& market) {
+  platform::ApiOptions api_options;
+  api_options.transient_failure_prob = 0.0;
+  api_options.duplicate_record_prob = 0.0;
+  platform::MarketplaceApi api(&market, api_options);
+  collect::FakeClock clock;
+  collect::Crawler crawler(&api, collect::CrawlerOptions{}, &clock);
+  collect::DataStore store;
+  Status st = crawler.Crawl(&store);
+  CATS_CHECK(st.ok());
+  return store;
+}
+
+/// Shared crawled store of the shared marketplace.
+inline const collect::DataStore& TestStore() {
+  static const collect::DataStore* store =
+      new collect::DataStore(CrawlAll(TestMarketplace()));
+  return *store;
+}
+
+/// Shared semantic model built from the shared marketplace's comments.
+///
+/// Word2vec training is the expensive step and — multi-threaded — not
+/// bit-reproducible (Hogwild). gtest runs every case in its own process
+/// and would otherwise rebuild a slightly different model each time, so
+/// the model is built once (single-threaded, deterministic), cached on
+/// disk, and loaded identically by every later test process.
+inline const core::SemanticModel& TestSemanticModel() {
+  static const core::SemanticModel* model = [] {
+    // Cache key = hash of a sample of the marketplace's comments, so any
+    // change to generation parameters invalidates the cache automatically.
+    uint64_t fingerprint = 1469598103934665603ull;  // FNV-1a
+    {
+      const auto& comments = TestMarketplace().comments();
+      for (size_t i = 0; i < comments.size(); i += 97) {
+        for (char c : comments[i].content) {
+          fingerprint ^= static_cast<unsigned char>(c);
+          fingerprint *= 1099511628211ull;
+        }
+      }
+    }
+    const std::string cache_dir =
+        (std::filesystem::temp_directory_path() /
+         ("cats_test_semantic_" + std::to_string(fingerprint)))
+            .string();
+    if (std::filesystem::exists(cache_dir + "/sentiment.model")) {
+      auto loaded = core::LoadSemanticModel(cache_dir);
+      if (loaded.ok()) {
+        return new core::SemanticModel(std::move(loaded).value());
+      }
+    }
+    const auto& market = TestMarketplace();
+    std::vector<std::string> corpus;
+    for (const platform::Comment& c : market.comments()) {
+      corpus.push_back(c.content);
+    }
+    // The marketplace alone yields only ~50k tokens — far below what
+    // word2vec needs (the paper trains on 70M comments). Top the corpus up
+    // with directly generated comments in the same language.
+    {
+      platform::CommentGenerator generator(&TestLanguage());
+      Rng rng(314159);
+      for (int i = 0; i < 16000; ++i) {
+        corpus.push_back(generator.GenerateBenign(rng.Beta(4.0, 2.0), &rng));
+      }
+      for (int i = 0; i < 250; ++i) {
+        bool stealth = rng.Bernoulli(0.3);
+        auto tmpl = generator.GenerateSpamTemplate(&rng, stealth);
+        for (int j = 0; j < 12; ++j) {
+          corpus.push_back(
+              generator.GenerateSpamFromTemplate(tmpl, &rng, stealth));
+        }
+      }
+    }
+    core::SemanticAnalyzerOptions options;
+    options.word2vec.epochs = 8;
+    options.word2vec.dim = 32;
+    options.word2vec.num_threads = 1;  // deterministic cache contents
+    // The test language has only ~100 positive words; cap the expansion
+    // below that so lexicon purity is even achievable.
+    options.expansion.max_words = 80;
+    options.expansion.min_similarity = 0.60f;
+    core::SemanticAnalyzer analyzer(options);
+    auto result = analyzer.Build(
+        corpus, TestLanguage().BuildSegmentationDictionary(),
+        TestLanguage().PositiveSeeds(3), TestLanguage().NegativeSeeds(3),
+        market.BuildSentimentCorpus(2000, 11));
+    CATS_CHECK(result.ok());
+    auto* built = new core::SemanticModel(std::move(result).value());
+    // Cache for the other test processes (atomic-ish: build into a temp
+    // dir, then rename into place).
+    std::string tmp_dir = cache_dir + ".tmp";
+    std::error_code ec;
+    std::filesystem::create_directories(tmp_dir, ec);
+    if (core::SaveSemanticModel(*built, tmp_dir).ok()) {
+      std::filesystem::rename(tmp_dir, cache_dir, ec);
+      if (ec) std::filesystem::remove_all(tmp_dir, ec);
+    }
+    return built;
+  }();
+  return *model;
+}
+
+/// Ground-truth labels aligned with a store's items.
+inline std::vector<int> StoreLabels(const platform::Marketplace& market,
+                                    const collect::DataStore& store) {
+  std::vector<int> labels;
+  labels.reserve(store.items().size());
+  for (const collect::CollectedItem& ci : store.items()) {
+    labels.push_back(market.IsFraudItem(ci.item.item_id) ? 1 : 0);
+  }
+  return labels;
+}
+
+}  // namespace cats
+
+#endif  // CATS_TESTS_PLATFORM_TEST_UTIL_H_

@@ -1,0 +1,137 @@
+#include "platform/population.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "util/stats.h"
+
+namespace cats::platform {
+namespace {
+
+PopulationOptions SmallOptions() {
+  PopulationOptions options;
+  options.num_benign_users = 5000;
+  options.num_hired_users = 300;
+  return options;
+}
+
+TEST(PopulationTest, SizesAndPartition) {
+  Rng rng(1);
+  Population pop(SmallOptions(), &rng);
+  EXPECT_EQ(pop.users().size(), 5300u);
+  EXPECT_EQ(pop.num_benign(), 5000u);
+  EXPECT_EQ(pop.num_hired(), 300u);
+  for (size_t i = 0; i < pop.num_benign(); ++i) {
+    EXPECT_FALSE(pop.user(i).hired);
+  }
+  for (size_t i = pop.num_benign(); i < pop.users().size(); ++i) {
+    EXPECT_TRUE(pop.user(i).hired);
+  }
+}
+
+TEST(PopulationTest, IdsAreDense) {
+  Rng rng(2);
+  Population pop(SmallOptions(), &rng);
+  for (size_t i = 0; i < pop.users().size(); ++i) {
+    EXPECT_EQ(pop.user(i).id, i);
+  }
+}
+
+TEST(PopulationTest, ExpValuesWithinPaperBounds) {
+  Rng rng(3);
+  Population pop(SmallOptions(), &rng);
+  for (const User& u : pop.users()) {
+    EXPECT_GE(u.exp_value, kMinUserExpValue);
+    EXPECT_LE(u.exp_value, kMaxUserExpValue);
+  }
+}
+
+TEST(PopulationTest, HiredUsersLessReliable) {
+  Rng rng(4);
+  Population pop(SmallOptions(), &rng);
+  RunningStats benign, hired;
+  size_t hired_at_min = 0;
+  for (const User& u : pop.users()) {
+    if (u.hired) {
+      hired.Add(static_cast<double>(u.exp_value));
+      if (u.exp_value == kMinUserExpValue) ++hired_at_min;
+    } else {
+      benign.Add(static_cast<double>(u.exp_value));
+    }
+  }
+  EXPECT_LT(hired.mean(), benign.mean());
+  // A visible point mass at the minimum (paper: 15% of fraud buyers).
+  EXPECT_GT(static_cast<double>(hired_at_min) / 300.0, 0.08);
+}
+
+TEST(PopulationTest, OverallLowReliabilityFractionNearPaper) {
+  // Paper: ~20% of overall users below 2000.
+  Rng rng(5);
+  PopulationOptions options;
+  options.num_benign_users = 20000;
+  options.num_hired_users = 0;
+  Population pop(options, &rng);
+  std::vector<double> exp_values;
+  for (const User& u : pop.users()) {
+    exp_values.push_back(static_cast<double>(u.exp_value));
+  }
+  EXPECT_NEAR(FractionBelow(exp_values, 2000.0), 0.20, 0.06);
+}
+
+TEST(PopulationTest, NicknamesAnonymized) {
+  Rng rng(6);
+  Population pop(SmallOptions(), &rng);
+  for (size_t i = 0; i < 100; ++i) {
+    EXPECT_NE(pop.user(i).nickname.find("***"), std::string::npos);
+  }
+}
+
+TEST(PopulationTest, WeightedHiredSamplingIsSkewed) {
+  Rng rng(7);
+  Population pop(SmallOptions(), &rng);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 30000; ++i) ++counts[pop.SampleHiredWeighted(&rng)];
+  int max_count = 0;
+  for (const auto& [id, c] : counts) {
+    EXPECT_GE(id, pop.num_benign());  // only hired users
+    max_count = std::max(max_count, c);
+  }
+  // Heavy-tailed activity: the busiest account works far more than average.
+  EXPECT_GT(max_count, 30000 / 300 * 5);
+}
+
+TEST(PopulationTest, SampleBenignInRange) {
+  Rng rng(8);
+  Population pop(SmallOptions(), &rng);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(pop.SampleBenign(&rng), pop.num_benign());
+  }
+}
+
+TEST(PopulationTest, LowReputationSamplerDrawsFromBottomSlice) {
+  Rng rng(10);
+  Population pop(SmallOptions(), &rng);
+  // Compute the 15th percentile of benign exp values.
+  std::vector<double> exp_values;
+  for (size_t i = 0; i < pop.num_benign(); ++i) {
+    exp_values.push_back(static_cast<double>(pop.user(i).exp_value));
+  }
+  double p15 = Quantile(exp_values, 0.15);
+  for (int i = 0; i < 2000; ++i) {
+    uint64_t id = pop.SampleBenignLowReputation(&rng);
+    EXPECT_LT(id, pop.num_benign());
+    EXPECT_LE(static_cast<double>(pop.user(id).exp_value), p15 + 1.0);
+  }
+}
+
+TEST(PopulationTest, HiredIdsMatchFlag) {
+  Rng rng(9);
+  Population pop(SmallOptions(), &rng);
+  auto ids = pop.hired_ids();
+  EXPECT_EQ(ids.size(), 300u);
+  for (uint64_t id : ids) EXPECT_TRUE(pop.user(id).hired);
+}
+
+}  // namespace
+}  // namespace cats::platform

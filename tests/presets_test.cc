@@ -1,0 +1,72 @@
+#include "platform/presets.h"
+
+#include <gtest/gtest.h>
+
+namespace cats::platform {
+namespace {
+
+TEST(PresetsTest, D0RatiosMatchTableFour) {
+  MarketplaceConfig c = TaobaoD0Config(1.0);
+  EXPECT_EQ(c.num_fraud_items, 14000u);
+  EXPECT_EQ(c.num_normal_items, 20000u);
+}
+
+TEST(PresetsTest, D1RatiosMatchTableFive) {
+  MarketplaceConfig c = TaobaoD1Config(1.0);
+  EXPECT_EQ(c.num_fraud_items, 18682u);
+  EXPECT_EQ(c.num_normal_items, 1461452u);
+}
+
+TEST(PresetsTest, EPlatformMatchesSectionFourA) {
+  MarketplaceConfig c = EPlatformConfig(1.0);
+  EXPECT_EQ(c.num_fraud_items, 10720u);
+  EXPECT_EQ(c.num_normal_items, 4500000u - 10720u);
+  EXPECT_EQ(c.population.num_hired_users, 1056u);  // the risky-user core
+}
+
+TEST(PresetsTest, FiveKBalanced) {
+  MarketplaceConfig c = TaobaoFiveKConfig(1.0);
+  EXPECT_EQ(c.num_fraud_items, 5000u);
+  EXPECT_EQ(c.num_normal_items, 5000u);
+}
+
+TEST(PresetsTest, ScalingPreservesClassRatioApproximately) {
+  MarketplaceConfig full = TaobaoD1Config(1.0);
+  MarketplaceConfig scaled = TaobaoD1Config(0.05);
+  double full_ratio = static_cast<double>(full.num_fraud_items) /
+                      static_cast<double>(full.num_normal_items);
+  double scaled_ratio = static_cast<double>(scaled.num_fraud_items) /
+                        static_cast<double>(scaled.num_normal_items);
+  EXPECT_NEAR(scaled_ratio, full_ratio, full_ratio * 0.1);
+}
+
+TEST(PresetsTest, TinyScaleHasFloors) {
+  MarketplaceConfig c = TaobaoD0Config(0.0001);
+  EXPECT_GE(c.num_fraud_items, 60u);
+  EXPECT_GE(c.num_normal_items, 100u);
+  MarketplaceConfig e = EPlatformConfig(0.0001);
+  EXPECT_GE(e.num_fraud_items, 400u);
+}
+
+TEST(PresetsTest, DistinctSeedsAcrossPresets) {
+  EXPECT_NE(TaobaoD0Config(1.0).seed, TaobaoD1Config(1.0).seed);
+  EXPECT_NE(TaobaoD1Config(1.0).seed, EPlatformConfig(1.0).seed);
+}
+
+TEST(PresetsTest, ConfigsGenerateSuccessfully) {
+  // Smoke: all presets can actually generate at tiny scale.
+  SyntheticLanguage language(DefaultLanguageOptions());
+  for (MarketplaceConfig config :
+       {TaobaoD0Config(0.002), TaobaoD1Config(0.0005), EPlatformConfig(0.0001),
+        TaobaoFiveKConfig(0.01)}) {
+    config.population.num_benign_users =
+        std::min<size_t>(config.population.num_benign_users, 3000);
+    Marketplace m = Marketplace::Generate(config, &language);
+    EXPECT_GT(m.items().size(), 0u) << config.name;
+    EXPECT_GT(m.comments().size(), 0u) << config.name;
+    EXPECT_GT(m.NumFraudItems(), 0u) << config.name;
+  }
+}
+
+}  // namespace
+}  // namespace cats::platform

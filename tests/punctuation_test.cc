@@ -1,0 +1,47 @@
+#include "text/punctuation.h"
+
+#include <gtest/gtest.h>
+
+#include "text/utf8.h"
+
+namespace cats::text {
+namespace {
+
+TEST(PunctuationTest, AsciiMarks) {
+  for (char c : std::string("!\"#,.:;?()[]{}@~")) {
+    EXPECT_TRUE(IsPunctuation(static_cast<uint32_t>(c))) << c;
+  }
+  for (char c : std::string("abcXYZ019 ")) {
+    EXPECT_FALSE(IsPunctuation(static_cast<uint32_t>(c))) << c;
+  }
+}
+
+TEST(PunctuationTest, CjkMarks) {
+  // ，。！？、：；…～
+  for (uint32_t cp : {0xFF0Cu, 0x3002u, 0xFF01u, 0xFF1Fu, 0x3001u, 0xFF1Au,
+                      0xFF1Bu, 0x2026u, 0xFF5Eu}) {
+    EXPECT_TRUE(IsPunctuation(cp)) << std::hex << cp;
+  }
+}
+
+TEST(PunctuationTest, IdeographsAreNotPunctuation) {
+  EXPECT_FALSE(IsPunctuation(0x4E2D));
+  EXPECT_FALSE(IsPunctuation(0x597D));
+}
+
+TEST(PunctuationTest, CountPunctuationMixed) {
+  EXPECT_EQ(CountPunctuation(""), 0u);
+  EXPECT_EQ(CountPunctuation("plain words"), 0u);
+  EXPECT_EQ(CountPunctuation("好评！很好，推荐。"), 3u);
+  EXPECT_EQ(CountPunctuation("a,b.c!"), 3u);
+}
+
+TEST(PunctuationTest, MarkListIsAllPunctuation) {
+  for (uint32_t cp : CjkPunctuationMarks()) {
+    EXPECT_TRUE(IsPunctuation(cp)) << std::hex << cp;
+  }
+  EXPECT_GE(CjkPunctuationMarks().size(), 5u);
+}
+
+}  // namespace
+}  // namespace cats::text

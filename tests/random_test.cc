@@ -1,0 +1,223 @@
+#include "util/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/stats.h"
+
+namespace cats {
+namespace {
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU32(), b.NextU32());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU32() == b.NextU32()) ++equal;
+  }
+  EXPECT_LT(equal, 4);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.UniformDouble();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformU32RespectsBound) {
+  Rng rng(9);
+  for (uint32_t bound : {1u, 2u, 3u, 7u, 100u, 1000000u}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.UniformU32(bound), bound);
+  }
+}
+
+TEST(RngTest, UniformU32CoversAllResidues) {
+  Rng rng(11);
+  std::set<uint32_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.UniformU32(10));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RngTest, UniformIntInclusiveRange) {
+  Rng rng(13);
+  bool hit_lo = false, hit_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    hit_lo |= v == -3;
+    hit_hi |= v == 3;
+  }
+  EXPECT_TRUE(hit_lo);
+  EXPECT_TRUE(hit_hi);
+}
+
+TEST(RngTest, NormalMomentsApproximate) {
+  Rng rng(17);
+  RunningStats stats;
+  for (int i = 0; i < 50000; ++i) stats.Add(rng.Normal(5.0, 2.0));
+  EXPECT_NEAR(stats.mean(), 5.0, 0.05);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.05);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(19);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, GeometricMeanMatches) {
+  Rng rng(23);
+  RunningStats stats;
+  for (int i = 0; i < 50000; ++i) {
+    stats.Add(static_cast<double>(rng.Geometric(0.25)));
+  }
+  EXPECT_NEAR(stats.mean(), 4.0, 0.1);  // mean = 1/p
+  EXPECT_GE(stats.min(), 1.0);
+}
+
+TEST(RngTest, PoissonMeanMatchesSmallAndLargeLambda) {
+  Rng rng(29);
+  for (double lambda : {0.5, 3.0, 50.0}) {
+    RunningStats stats;
+    for (int i = 0; i < 30000; ++i) {
+      stats.Add(static_cast<double>(rng.Poisson(lambda)));
+    }
+    EXPECT_NEAR(stats.mean(), lambda, lambda * 0.05 + 0.05) << lambda;
+  }
+}
+
+TEST(RngTest, PoissonZeroLambda) {
+  Rng rng(31);
+  EXPECT_EQ(rng.Poisson(0.0), 0);
+}
+
+TEST(RngTest, GammaMeanMatches) {
+  Rng rng(37);
+  // mean = shape * scale, including shape < 1 branch.
+  for (auto [shape, scale] : {std::pair{0.5, 2.0}, {2.0, 3.0}, {9.0, 0.5}}) {
+    RunningStats stats;
+    for (int i = 0; i < 40000; ++i) stats.Add(rng.Gamma(shape, scale));
+    EXPECT_NEAR(stats.mean(), shape * scale, shape * scale * 0.05) << shape;
+    EXPECT_GT(stats.min(), 0.0);
+  }
+}
+
+TEST(RngTest, BetaInUnitIntervalWithRightMean) {
+  Rng rng(41);
+  RunningStats stats;
+  for (int i = 0; i < 40000; ++i) {
+    double b = rng.Beta(2.0, 6.0);
+    EXPECT_GT(b, 0.0);
+    EXPECT_LT(b, 1.0);
+    stats.Add(b);
+  }
+  EXPECT_NEAR(stats.mean(), 0.25, 0.01);  // a/(a+b)
+}
+
+TEST(RngTest, LogNormalMedian) {
+  Rng rng(43);
+  std::vector<double> vals;
+  for (int i = 0; i < 20000; ++i) vals.push_back(rng.LogNormal(2.0, 0.7));
+  EXPECT_NEAR(Quantile(vals, 0.5), std::exp(2.0), std::exp(2.0) * 0.05);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(5);
+  Rng fork = a.Fork(1);
+  // The fork must not replay the parent's stream.
+  Rng b(5);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (fork.NextU32() == b.NextU32()) ++equal;
+  }
+  EXPECT_LT(equal, 4);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(47);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8, 9};
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, ShuffleEmptyAndSingle) {
+  Rng rng(53);
+  std::vector<int> empty;
+  rng.Shuffle(&empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one{42};
+  rng.Shuffle(&one);
+  EXPECT_EQ(one[0], 42);
+}
+
+TEST(ZipfTest, PmfSumsToOne) {
+  ZipfDistribution zipf(100, 1.1);
+  double sum = 0.0;
+  for (uint32_t k = 0; k < 100; ++k) sum += zipf.Pmf(k);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, RankZeroMostLikely) {
+  ZipfDistribution zipf(1000, 1.05);
+  EXPECT_GT(zipf.Pmf(0), zipf.Pmf(1));
+  EXPECT_GT(zipf.Pmf(1), zipf.Pmf(10));
+  EXPECT_GT(zipf.Pmf(10), zipf.Pmf(999));
+}
+
+TEST(ZipfTest, EmpiricalMatchesPmf) {
+  ZipfDistribution zipf(50, 1.2);
+  Rng rng(59);
+  std::vector<int> counts(50, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.Sample(&rng)];
+  for (uint32_t k : {0u, 1u, 5u, 20u}) {
+    double expected = zipf.Pmf(k);
+    double actual = static_cast<double>(counts[k]) / n;
+    EXPECT_NEAR(actual, expected, expected * 0.1 + 0.002) << k;
+  }
+}
+
+TEST(AliasSamplerTest, MatchesWeights) {
+  std::vector<double> weights{1.0, 2.0, 3.0, 4.0};
+  AliasSampler sampler(weights);
+  Rng rng(61);
+  std::vector<int> counts(4, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[sampler.Sample(&rng)];
+  for (size_t k = 0; k < 4; ++k) {
+    double expected = weights[k] / 10.0;
+    EXPECT_NEAR(static_cast<double>(counts[k]) / n, expected, 0.01) << k;
+  }
+}
+
+TEST(AliasSamplerTest, ZeroWeightNeverSampled) {
+  AliasSampler sampler({0.0, 1.0, 0.0, 1.0});
+  Rng rng(67);
+  for (int i = 0; i < 10000; ++i) {
+    uint32_t s = sampler.Sample(&rng);
+    EXPECT_TRUE(s == 1 || s == 3) << s;
+  }
+}
+
+TEST(AliasSamplerTest, SingleElement) {
+  AliasSampler sampler({5.0});
+  Rng rng(71);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(sampler.Sample(&rng), 0u);
+}
+
+}  // namespace
+}  // namespace cats

@@ -1,0 +1,71 @@
+#include "collect/rate_limiter.h"
+
+#include <gtest/gtest.h>
+
+namespace cats::collect {
+namespace {
+
+TEST(FakeClockTest, AdvancesInstantly) {
+  FakeClock clock;
+  EXPECT_EQ(clock.NowMicros(), 0);
+  clock.AdvanceMicros(1000);
+  EXPECT_EQ(clock.NowMicros(), 1000);
+}
+
+TEST(RateLimiterTest, BurstPassesWithoutThrottle) {
+  FakeClock clock;
+  RateLimiter limiter(100.0, 10.0, &clock);
+  for (int i = 0; i < 10; ++i) limiter.Acquire();
+  EXPECT_EQ(limiter.throttled_micros(), 0);
+  EXPECT_EQ(limiter.acquired(), 10u);
+}
+
+TEST(RateLimiterTest, ThrottlesBeyondBurst) {
+  FakeClock clock;
+  RateLimiter limiter(100.0, 5.0, &clock);  // 100/s, burst 5
+  for (int i = 0; i < 25; ++i) limiter.Acquire();
+  // 20 extra tokens at 10ms each = ~200ms of throttling.
+  EXPECT_NEAR(static_cast<double>(limiter.throttled_micros()), 200000.0,
+              20000.0);
+}
+
+TEST(RateLimiterTest, SteadyStateRateEnforced) {
+  FakeClock clock;
+  RateLimiter limiter(50.0, 1.0, &clock);
+  int64_t start = clock.NowMicros();
+  for (int i = 0; i < 101; ++i) limiter.Acquire();
+  double elapsed_s = static_cast<double>(clock.NowMicros() - start) / 1e6;
+  // 100 post-burst tokens at 50/s = ~2 seconds of virtual time.
+  EXPECT_NEAR(elapsed_s, 2.0, 0.1);
+}
+
+TEST(RateLimiterTest, RefillAfterIdleRestoresBurst) {
+  FakeClock clock;
+  RateLimiter limiter(100.0, 5.0, &clock);
+  for (int i = 0; i < 5; ++i) limiter.Acquire();
+  clock.AdvanceMicros(1'000'000);  // long idle: bucket refills to burst
+  int64_t throttled_before = limiter.throttled_micros();
+  for (int i = 0; i < 5; ++i) limiter.Acquire();
+  EXPECT_EQ(limiter.throttled_micros(), throttled_before);
+}
+
+TEST(RateLimiterTest, BucketCapsAtBurst) {
+  FakeClock clock;
+  RateLimiter limiter(100.0, 3.0, &clock);
+  clock.AdvanceMicros(60'000'000);  // huge idle: still only 3 tokens
+  for (int i = 0; i < 3; ++i) limiter.Acquire();
+  EXPECT_EQ(limiter.throttled_micros(), 0);
+  limiter.Acquire();
+  EXPECT_GT(limiter.throttled_micros(), 0);
+}
+
+TEST(SystemClockTest, MonotoneAndSleeps) {
+  SystemClock clock;
+  int64_t a = clock.NowMicros();
+  clock.AdvanceMicros(2000);
+  int64_t b = clock.NowMicros();
+  EXPECT_GE(b - a, 1500);
+}
+
+}  // namespace
+}  // namespace cats::collect

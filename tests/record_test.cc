@@ -1,0 +1,86 @@
+#include "collect/record.h"
+
+#include <gtest/gtest.h>
+
+namespace cats::collect {
+namespace {
+
+TEST(RecordTest, ShopRoundTrip) {
+  ShopRecord r;
+  r.shop_id = 42;
+  r.shop_url = "https://shop42.example";
+  r.shop_name = "某某店";
+  auto parsed = ParseShopRecord(ShopRecordToJson(r));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->shop_id, 42u);
+  EXPECT_EQ(parsed->shop_url, r.shop_url);
+  EXPECT_EQ(parsed->shop_name, r.shop_name);
+}
+
+TEST(RecordTest, ItemRoundTrip) {
+  ItemRecord r;
+  r.item_id = 545470505476ull;
+  r.item_name = "扫码枪";
+  r.price = 99.5;
+  r.sales_volume = 1234;
+  r.category = "computer & office";
+  auto parsed = ParseItemRecord(ItemRecordToJson(r));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->item_id, r.item_id);
+  EXPECT_DOUBLE_EQ(parsed->price, 99.5);
+  EXPECT_EQ(parsed->sales_volume, 1234);
+  EXPECT_EQ(parsed->category, r.category);
+}
+
+TEST(RecordTest, CommentRoundTrip) {
+  CommentRecord r;
+  r.item_id = 545470505476ull;
+  r.comment_id = 40805023517ull;
+  r.content = "这个商品很好";
+  r.nickname = "0***莉";
+  r.user_exp_value = 100;
+  r.client = "Android";
+  r.date = "2017-09-10 12:10:00";
+  auto parsed = ParseCommentRecord(CommentRecordToJson(r));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->comment_id, r.comment_id);
+  EXPECT_EQ(parsed->content, r.content);
+  EXPECT_EQ(parsed->user_exp_value, 100);
+  EXPECT_EQ(parsed->client, "Android");
+  EXPECT_EQ(parsed->date, r.date);
+}
+
+TEST(RecordTest, MissingFieldsRejected) {
+  auto obj = *JsonValue::Parse(R"({"shop_id":"1"})");
+  EXPECT_FALSE(ParseShopRecord(obj).ok());
+  auto item = *JsonValue::Parse(R"({"item_id":"1","item_name":"x"})");
+  EXPECT_FALSE(ParseItemRecord(item).ok());
+}
+
+TEST(RecordTest, NonNumericIdRejected) {
+  auto obj = *JsonValue::Parse(
+      R"({"shop_id":"abc","shop_url":"u","shop_name":"n"})");
+  EXPECT_FALSE(ParseShopRecord(obj).ok());
+  auto empty_id = *JsonValue::Parse(
+      R"({"shop_id":"","shop_url":"u","shop_name":"n"})");
+  EXPECT_FALSE(ParseShopRecord(empty_id).ok());
+}
+
+TEST(RecordTest, ParsePageWellFormed) {
+  auto page = ParsePage(R"({"page":2,"total_pages":7,"data":[{"a":1},{"b":2}]})");
+  ASSERT_TRUE(page.ok());
+  EXPECT_EQ(page->page, 2u);
+  EXPECT_EQ(page->total_pages, 7u);
+  EXPECT_EQ(page->data.size(), 2u);
+}
+
+TEST(RecordTest, ParsePageErrors) {
+  EXPECT_FALSE(ParsePage("not json").ok());
+  EXPECT_FALSE(ParsePage("[1,2]").ok());                       // not object
+  EXPECT_FALSE(ParsePage(R"({"page":0})").ok());               // no totals
+  EXPECT_FALSE(
+      ParsePage(R"({"page":0,"total_pages":1,"data":{}})").ok());  // data not array
+}
+
+}  // namespace
+}  // namespace cats::collect

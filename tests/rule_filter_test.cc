@@ -1,0 +1,90 @@
+#include "core/rule_filter.h"
+
+#include <gtest/gtest.h>
+
+namespace cats::core {
+namespace {
+
+collect::CollectedItem MakeItem(int64_t sales, size_t comments) {
+  collect::CollectedItem item;
+  item.item.item_id = 1;
+  item.item.sales_volume = sales;
+  for (size_t i = 0; i < comments; ++i) {
+    collect::CommentRecord c;
+    c.content = "x";
+    item.comments.push_back(c);
+  }
+  return item;
+}
+
+FeatureVector WithSignal(float positives, float ngrams) {
+  FeatureVector f{};
+  f[static_cast<size_t>(FeatureId::kAveragePositiveNumber)] = positives;
+  f[static_cast<size_t>(FeatureId::kAverageNgramNumber)] = ngrams;
+  return f;
+}
+
+TEST(RuleFilterTest, KeepsQualifyingItem) {
+  RuleFilter filter;
+  EXPECT_EQ(filter.Evaluate(MakeItem(10, 3), WithSignal(1.0f, 0.0f)),
+            FilterReason::kKept);
+}
+
+TEST(RuleFilterTest, LowSalesFiltered) {
+  RuleFilter filter;  // default min 5 (paper)
+  EXPECT_EQ(filter.Evaluate(MakeItem(4, 3), WithSignal(1.0f, 1.0f)),
+            FilterReason::kLowSales);
+  EXPECT_EQ(filter.Evaluate(MakeItem(5, 3), WithSignal(1.0f, 1.0f)),
+            FilterReason::kKept);
+}
+
+TEST(RuleFilterTest, NoPositiveSignalFiltered) {
+  RuleFilter filter;
+  EXPECT_EQ(filter.Evaluate(MakeItem(10, 3), WithSignal(0.0f, 0.0f)),
+            FilterReason::kNoPositiveSignal);
+  // Either positives or positive n-grams suffice.
+  EXPECT_EQ(filter.Evaluate(MakeItem(10, 3), WithSignal(0.0f, 0.5f)),
+            FilterReason::kKept);
+}
+
+TEST(RuleFilterTest, NoCommentsFiltered) {
+  RuleFilter filter;
+  EXPECT_EQ(filter.Evaluate(MakeItem(10, 0), WithSignal(1.0f, 1.0f)),
+            FilterReason::kNoComments);
+}
+
+TEST(RuleFilterTest, SignalRuleCanBeDisabled) {
+  RuleFilterOptions options;
+  options.require_positive_signal = false;
+  RuleFilter filter(options);
+  EXPECT_EQ(filter.Evaluate(MakeItem(10, 3), WithSignal(0.0f, 0.0f)),
+            FilterReason::kKept);
+}
+
+TEST(RuleFilterTest, CustomSalesThreshold) {
+  RuleFilterOptions options;
+  options.min_sales_volume = 100;
+  RuleFilter filter(options);
+  EXPECT_EQ(filter.Evaluate(MakeItem(99, 3), WithSignal(1.0f, 1.0f)),
+            FilterReason::kLowSales);
+}
+
+TEST(RuleFilterTest, FilterIndicesSelectsKeepers) {
+  RuleFilter filter;
+  std::vector<collect::CollectedItem> items{
+      MakeItem(10, 3),  // kept
+      MakeItem(2, 3),   // low sales
+      MakeItem(10, 3),  // no signal
+      MakeItem(10, 0),  // no comments
+      MakeItem(50, 1),  // kept
+  };
+  std::vector<FeatureVector> features{
+      WithSignal(1.0f, 0.0f), WithSignal(1.0f, 0.0f), WithSignal(0.0f, 0.0f),
+      WithSignal(1.0f, 0.0f), WithSignal(0.0f, 2.0f),
+  };
+  EXPECT_EQ(filter.FilterIndices(items, features),
+            (std::vector<size_t>{0, 4}));
+}
+
+}  // namespace
+}  // namespace cats::core

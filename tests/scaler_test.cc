@@ -1,0 +1,69 @@
+#include "ml/scaler.h"
+
+#include <gtest/gtest.h>
+
+#include "ml_test_util.h"
+#include "util/stats.h"
+
+namespace cats::ml {
+namespace {
+
+TEST(ScalerTest, FitEmptyFails) {
+  StandardScaler scaler;
+  Dataset empty({"x"});
+  EXPECT_FALSE(scaler.Fit(empty).ok());
+  EXPECT_FALSE(scaler.fitted());
+}
+
+TEST(ScalerTest, TransformedColumnsAreStandardized) {
+  Dataset data = MakeGaussianDataset(500, 3, 5.0, 13);
+  StandardScaler scaler;
+  ASSERT_TRUE(scaler.Fit(data).ok());
+  EXPECT_TRUE(scaler.fitted());
+  Dataset scaled = scaler.Transform(data);
+  for (size_t f = 0; f < 3; ++f) {
+    RunningStats stats;
+    for (double v : scaled.Column(f)) stats.Add(v);
+    EXPECT_NEAR(stats.mean(), 0.0, 1e-5) << f;
+    EXPECT_NEAR(stats.stddev(), 1.0, 1e-4) << f;
+  }
+}
+
+TEST(ScalerTest, ConstantFeatureSafe) {
+  Dataset data({"c", "v"});
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(
+        data.AddRow({5.0f, static_cast<float>(i)}, i % 2).ok());
+  }
+  StandardScaler scaler;
+  ASSERT_TRUE(scaler.Fit(data).ok());
+  Dataset scaled = scaler.Transform(data);
+  // No NaN/inf: constant column maps to 0.
+  for (size_t i = 0; i < scaled.num_rows(); ++i) {
+    EXPECT_EQ(scaled.Value(i, 0), 0.0f);
+  }
+}
+
+TEST(ScalerTest, TransformRowMatchesTransform) {
+  Dataset data = MakeGaussianDataset(50, 2, 2.0, 17);
+  StandardScaler scaler;
+  ASSERT_TRUE(scaler.Fit(data).ok());
+  Dataset scaled = scaler.Transform(data);
+  std::vector<float> row(data.Row(7), data.Row(7) + 2);
+  scaler.TransformRow(row.data());
+  EXPECT_FLOAT_EQ(row[0], scaled.Value(7, 0));
+  EXPECT_FLOAT_EQ(row[1], scaled.Value(7, 1));
+}
+
+TEST(ScalerTest, LabelsPreserved) {
+  Dataset data = MakeGaussianDataset(20, 2, 2.0, 19);
+  StandardScaler scaler;
+  ASSERT_TRUE(scaler.Fit(data).ok());
+  Dataset scaled = scaler.Transform(data);
+  for (size_t i = 0; i < data.num_rows(); ++i) {
+    EXPECT_EQ(scaled.Label(i), data.Label(i));
+  }
+}
+
+}  // namespace
+}  // namespace cats::ml

@@ -1,0 +1,140 @@
+#include "text/segmenter.h"
+
+#include <gtest/gtest.h>
+
+namespace cats::text {
+namespace {
+
+SegmentationDictionary MakeDict(std::initializer_list<const char*> words) {
+  SegmentationDictionary dict;
+  for (const char* w : words) dict.AddWord(w);
+  return dict;
+}
+
+TEST(DictionaryTest, TracksMaxWordLength) {
+  SegmentationDictionary dict;
+  EXPECT_EQ(dict.max_word_codepoints(), 0u);
+  dict.AddWord("好");
+  EXPECT_EQ(dict.max_word_codepoints(), 1u);
+  dict.AddWord("好评如潮");
+  EXPECT_EQ(dict.max_word_codepoints(), 4u);
+  dict.AddWord("中文");
+  EXPECT_EQ(dict.max_word_codepoints(), 4u);
+  EXPECT_EQ(dict.size(), 3u);
+}
+
+TEST(DictionaryTest, IgnoresEmptyAndDeduplicates) {
+  SegmentationDictionary dict;
+  dict.AddWord("");
+  dict.AddWord("好");
+  dict.AddWord("好");
+  EXPECT_EQ(dict.size(), 1u);
+}
+
+TEST(SegmenterTest, ForwardMaximumMatchingPrefersLongest) {
+  // "中国人" with dict {中, 中国, 中国人} -> one token "中国人".
+  SegmentationDictionary dict = MakeDict({"中", "中国", "中国人"});
+  Segmenter seg(&dict);
+  EXPECT_EQ(seg.Segment("中国人"),
+            (std::vector<std::string>{"中国人"}));
+}
+
+TEST(SegmenterTest, GreedyFmmSemantics) {
+  // FMM takes 中国 then 人民 — the canonical greedy behaviour.
+  SegmentationDictionary dict = MakeDict({"中国", "人民", "国人"});
+  Segmenter seg(&dict);
+  EXPECT_EQ(seg.Segment("中国人民"),
+            (std::vector<std::string>{"中国", "人民"}));
+}
+
+TEST(SegmenterTest, OovFallsBackToSingleChars) {
+  SegmentationDictionary dict = MakeDict({"好评"});
+  Segmenter seg(&dict);
+  EXPECT_EQ(seg.Segment("好评差评"),
+            (std::vector<std::string>{"好评", "差", "评"}));
+}
+
+TEST(SegmenterTest, OovDroppedWhenDisabled) {
+  SegmentationDictionary dict = MakeDict({"好评"});
+  SegmenterOptions options;
+  options.emit_oov_chars = false;
+  Segmenter seg(&dict, options);
+  EXPECT_EQ(seg.Segment("好评差"), (std::vector<std::string>{"好评"}));
+}
+
+TEST(SegmenterTest, PunctuationSkippedByDefault) {
+  SegmentationDictionary dict = MakeDict({"很好", "商品"});
+  Segmenter seg(&dict);
+  EXPECT_EQ(seg.Segment("商品，很好！"),
+            (std::vector<std::string>{"商品", "很好"}));
+}
+
+TEST(SegmenterTest, PunctuationEmittedWhenEnabled) {
+  SegmentationDictionary dict = MakeDict({"很好"});
+  SegmenterOptions options;
+  options.emit_punctuation = true;
+  Segmenter seg(&dict, options);
+  EXPECT_EQ(seg.Segment("很好！"),
+            (std::vector<std::string>{"很好", "！"}));
+}
+
+TEST(SegmenterTest, WhitespaceAlwaysSkipped) {
+  SegmentationDictionary dict = MakeDict({"ab", "cd"});
+  Segmenter seg(&dict);
+  EXPECT_EQ(seg.Segment("ab cd\t ab\ncd"),
+            (std::vector<std::string>{"ab", "cd", "ab", "cd"}));
+}
+
+TEST(SegmenterTest, EmptyInput) {
+  SegmentationDictionary dict = MakeDict({"x"});
+  Segmenter seg(&dict);
+  EXPECT_TRUE(seg.Segment("").empty());
+}
+
+TEST(SegmenterTest, EmptyDictionarySingleCharFallback) {
+  SegmentationDictionary dict;
+  Segmenter seg(&dict);
+  EXPECT_EQ(seg.Segment("中文"), (std::vector<std::string>{"中", "文"}));
+}
+
+TEST(SegmenterTest, MatchAtEndOfString) {
+  SegmentationDictionary dict = MakeDict({"结尾", "词"});
+  Segmenter seg(&dict);
+  EXPECT_EQ(seg.Segment("x结尾"), (std::vector<std::string>{"x", "结尾"}));
+}
+
+TEST(SegmenterTest, SegmentationIsLosslessOverDictionaryText) {
+  // Property: segmenting a concatenation of dictionary words and removing
+  // nothing reconstructs the input (no punctuation involved).
+  SegmentationDictionary dict = MakeDict({"好评", "商品", "很", "推荐"});
+  Segmenter seg(&dict);
+  std::string input = "好评商品很推荐好评";
+  std::string reconstructed;
+  for (const std::string& t : seg.Segment(input)) reconstructed += t;
+  EXPECT_EQ(reconstructed, input);
+}
+
+using SegmenterParamTest = ::testing::TestWithParam<const char*>;
+
+TEST_P(SegmenterParamTest, ConcatenationOfTokensPreservesNonSkippedBytes) {
+  // Property across inputs: every emitted token is a substring of the
+  // input and tokens appear in order.
+  SegmentationDictionary dict =
+      MakeDict({"好评", "差评", "商品", "不错", "很好", "推荐", "质量"});
+  Segmenter seg(&dict);
+  std::string input = GetParam();
+  size_t cursor = 0;
+  for (const std::string& token : seg.Segment(input)) {
+    size_t pos = input.find(token, cursor);
+    ASSERT_NE(pos, std::string::npos) << token;
+    cursor = pos + token.size();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Inputs, SegmenterParamTest,
+    ::testing::Values("好评商品不错", "质量很好，推荐！", "差评差评差评",
+                      "abc好评xyz", "，，，", "好评 很好\t推荐"));
+
+}  // namespace
+}  // namespace cats::text

@@ -1,0 +1,148 @@
+#include "core/semantic_analyzer.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "platform_test_util.h"
+
+namespace cats::core {
+namespace {
+
+TEST(SemanticAnalyzerTest, EmptyCorpusFails) {
+  SemanticAnalyzer analyzer;
+  auto r = analyzer.Build({}, text::SegmentationDictionary(), {"好"}, {"差"},
+                          {{"好", true}, {"差", false}});
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(SemanticAnalyzerTest, MissingSeedsFail) {
+  SemanticAnalyzer analyzer;
+  auto r = analyzer.Build({"好评"}, text::SegmentationDictionary(), {}, {"差"},
+                          {{"好", true}, {"差", false}});
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(SemanticAnalyzerTest, BuildsFullModelFromPlatformCorpus) {
+  // The shared TestSemanticModel is built through SemanticAnalyzer.
+  const SemanticModel& model = cats::TestSemanticModel();
+  EXPECT_GT(model.dictionary.size(), 1000u);
+  EXPECT_GE(model.positive.size(), 3u);
+  EXPECT_GE(model.negative.size(), 3u);
+  EXPECT_TRUE(model.sentiment.trained());
+}
+
+TEST(SemanticAnalyzerTest, ExpandedLexiconsMostlyCorrectPolarity) {
+  const SemanticModel& model = cats::TestSemanticModel();
+  const auto& lang = cats::TestLanguage();
+  size_t pos_correct = 0, pos_total = 0;
+  for (const std::string& w : model.positive.SortedWords()) {
+    ++pos_total;
+    if (lang.PolarityOf(w) == platform::Polarity::kPositive) ++pos_correct;
+  }
+  // word2vec expansion at unit-test corpus scale (~50k tokens) is noisy
+  // but must be far better than the ~8% base rate of positive vocabulary;
+  // bench-scale corpora reach much higher purity (see EXPERIMENTS.md).
+  EXPECT_GT(static_cast<double>(pos_correct) / pos_total, 0.25);
+
+  size_t neg_correct = 0, neg_total = 0;
+  for (const std::string& w : model.negative.SortedWords()) {
+    ++neg_total;
+    if (lang.PolarityOf(w) == platform::Polarity::kNegative) ++neg_correct;
+  }
+  EXPECT_GT(static_cast<double>(neg_correct) / neg_total, 0.25);
+}
+
+TEST(SemanticAnalyzerTest, DiscoversHomographs) {
+  // The Table-I phenomenon: codepoint-swapped spam aliases of positive
+  // seeds end up in the positive lexicon because they share contexts.
+  const SemanticModel& model = cats::TestSemanticModel();
+  const auto& lang = cats::TestLanguage();
+  size_t found = 0, total = 0;
+  for (const auto& w : lang.words()) {
+    if (!w.spam_homograph) continue;
+    ++total;
+    if (model.positive.Contains(w.text)) ++found;
+  }
+  ASSERT_GT(total, 0u);
+  EXPECT_GT(found, 0u) << "no homograph discovered by lexicon expansion";
+}
+
+TEST(SemanticAnalyzerTest, SentimentModelSeparatesPolarity) {
+  const SemanticModel& model = cats::TestSemanticModel();
+  const auto& lang = cats::TestLanguage();
+  std::vector<std::string> pos_doc, neg_doc;
+  Rng rng(5);
+  for (int i = 0; i < 6; ++i) {
+    pos_doc.push_back(lang.word(lang.SamplePositive(&rng)).text);
+    neg_doc.push_back(lang.word(lang.SampleNegative(&rng)).text);
+  }
+  EXPECT_GT(model.sentiment.Score(pos_doc), 0.6);
+  EXPECT_LT(model.sentiment.Score(neg_doc), 0.4);
+}
+
+TEST(SemanticAnalyzerTest, SegmentHelperUsesDictionary) {
+  const SemanticModel& model = cats::TestSemanticModel();
+  const auto& lang = cats::TestLanguage();
+  std::string text = lang.word(0).text + lang.word(1).text;
+  auto tokens = model.Segment(text);
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0], lang.word(0).text);
+}
+
+TEST(SemanticAnalyzerTest, SemanticModelPersistenceRoundTrip) {
+  auto dir = std::filesystem::temp_directory_path() /
+             ("cats_semmodel_test_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+
+  const SemanticModel& original = cats::TestSemanticModel();
+  ASSERT_TRUE(SaveSemanticModel(original, dir.string()).ok());
+  auto loaded = LoadSemanticModel(dir.string());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  EXPECT_EQ(loaded->dictionary.size(), original.dictionary.size());
+  EXPECT_EQ(loaded->positive.SortedWords(), original.positive.SortedWords());
+  EXPECT_EQ(loaded->negative.SortedWords(), original.negative.SortedWords());
+  // Sentiment scores identical on sampled documents.
+  const auto& lang = cats::TestLanguage();
+  Rng rng(3);
+  for (int i = 0; i < 20; ++i) {
+    std::vector<std::string> doc;
+    for (int k = 0; k < 8; ++k) {
+      doc.push_back(lang.word(lang.SampleAny(&rng)).text);
+    }
+    EXPECT_NEAR(loaded->sentiment.Score(doc), original.sentiment.Score(doc),
+                1e-12);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(SemanticAnalyzerTest, LoadFromMissingDirFails) {
+  EXPECT_FALSE(LoadSemanticModel("/nonexistent_dir_zzz").ok());
+}
+
+TEST(SemanticAnalyzerTest, MultithreadedWord2VecStillLearnsStructure) {
+  // Hogwild training is not bit-reproducible but must still produce a
+  // usable embedding (the paper's TensorFlow training is parallel too).
+  const auto& market = cats::TestMarketplace();
+  std::vector<std::string> corpus;
+  for (const platform::Comment& c : market.comments()) {
+    corpus.push_back(c.content);
+  }
+  core::SemanticAnalyzerOptions options;
+  options.word2vec.epochs = 3;
+  options.word2vec.dim = 32;
+  options.word2vec.num_threads = 4;
+  SemanticAnalyzer analyzer(options);
+  auto model = analyzer.Build(
+      corpus, cats::TestLanguage().BuildSegmentationDictionary(),
+      cats::TestLanguage().PositiveSeeds(3),
+      cats::TestLanguage().NegativeSeeds(3),
+      market.BuildSentimentCorpus(1000, 5));
+  ASSERT_TRUE(model.ok());
+  EXPECT_GE(model->positive.size(), 3u);
+  EXPECT_GE(model->negative.size(), 3u);
+}
+
+}  // namespace
+}  // namespace cats::core

@@ -1,0 +1,161 @@
+#include "nlp/sentiment.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+namespace cats::nlp {
+namespace {
+
+std::vector<SentimentExample> ToyCorpus() {
+  std::vector<SentimentExample> examples;
+  auto add = [&examples](std::vector<std::string> tokens, bool positive) {
+    examples.push_back(SentimentExample{std::move(tokens), positive});
+  };
+  for (int i = 0; i < 20; ++i) {
+    add({"good", "great", "item"}, true);
+    add({"nice", "good", "quality"}, true);
+    add({"bad", "terrible", "item"}, false);
+    add({"awful", "bad", "quality"}, false);
+  }
+  return examples;
+}
+
+TEST(SentimentTest, UntrainedReturnsPrior) {
+  SentimentModel model;
+  EXPECT_DOUBLE_EQ(model.Score({"anything"}), 0.5);
+  EXPECT_FALSE(model.trained());
+}
+
+TEST(SentimentTest, TrainRequiresBothClasses) {
+  SentimentModel model;
+  std::vector<SentimentExample> only_pos{{{"good"}, true}};
+  EXPECT_FALSE(model.Train(only_pos).ok());
+}
+
+TEST(SentimentTest, PolarityOrdering) {
+  SentimentModel model;
+  ASSERT_TRUE(model.Train(ToyCorpus()).ok());
+  double positive = model.Score({"good", "great"});
+  double negative = model.Score({"bad", "terrible"});
+  double mixed = model.Score({"good", "bad"});
+  EXPECT_GT(positive, 0.8);
+  EXPECT_LT(negative, 0.2);
+  EXPECT_GT(positive, mixed);
+  EXPECT_GT(mixed, negative);
+  EXPECT_NEAR(mixed, 0.5, 0.15);
+}
+
+TEST(SentimentTest, ScoreInUnitInterval) {
+  SentimentModel model;
+  ASSERT_TRUE(model.Train(ToyCorpus()).ok());
+  for (const auto& tokens :
+       std::vector<std::vector<std::string>>{{"good"},
+                                             {"bad"},
+                                             {"item"},
+                                             {"unknown_word"},
+                                             {"good", "good", "good"}}) {
+    double s = model.Score(tokens);
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+TEST(SentimentTest, EmptyTokensReturnsPrior) {
+  SentimentModel model;
+  ASSERT_TRUE(model.Train(ToyCorpus()).ok());
+  EXPECT_DOUBLE_EQ(model.Score({}), 0.5);
+}
+
+TEST(SentimentTest, UnknownWordsNearNeutral) {
+  SentimentModel model;
+  ASSERT_TRUE(model.Train(ToyCorpus()).ok());
+  EXPECT_NEAR(model.Score({"zzz", "qqq"}), 0.5, 0.1);
+}
+
+TEST(SentimentTest, NeutralWordNearZeroLogOdds) {
+  SentimentModel model;
+  ASSERT_TRUE(model.Train(ToyCorpus()).ok());
+  EXPECT_GT(model.WordLogOdds("good"), 0.5);
+  EXPECT_LT(model.WordLogOdds("bad"), -0.5);
+  EXPECT_NEAR(model.WordLogOdds("item"), 0.0, 0.2);
+}
+
+TEST(SentimentTest, LengthNormalizationKeepsLongDocsGraded) {
+  SentimentOptions raw_options;
+  raw_options.length_normalize = false;
+  SentimentModel raw(raw_options);
+  SentimentModel normalized;  // default normalizes
+  ASSERT_TRUE(raw.Train(ToyCorpus()).ok());
+  ASSERT_TRUE(normalized.Train(ToyCorpus()).ok());
+
+  // A long, mostly-positive document: the raw model saturates harder than
+  // the normalized one.
+  std::vector<std::string> long_doc;
+  for (int i = 0; i < 30; ++i) long_doc.push_back("good");
+  long_doc.push_back("bad");
+  double raw_score = raw.Score(long_doc);
+  double norm_score = normalized.Score(long_doc);
+  EXPECT_GT(raw_score, norm_score);
+  EXPECT_GT(norm_score, 0.5);
+}
+
+TEST(SentimentTest, ScoreRawSaturatesOnLongDocs) {
+  SentimentModel model;  // defaults length-normalize Score()
+  ASSERT_TRUE(model.Train(ToyCorpus()).ok());
+  std::vector<std::string> long_pos(40, "good");
+  std::vector<std::string> long_neg(40, "bad");
+  EXPECT_GT(model.ScoreRaw(long_pos), 0.999);
+  EXPECT_LT(model.ScoreRaw(long_neg), 0.001);
+  // The normalized score stays graded.
+  EXPECT_LT(model.Score(long_pos), model.ScoreRaw(long_pos) + 1e-12);
+  // Raw and normalized agree on the side of 0.5.
+  EXPECT_GT(model.Score(long_pos), 0.5);
+  EXPECT_LT(model.Score(long_neg), 0.5);
+}
+
+TEST(SentimentTest, ScoreRawEqualsScoreWhenNormalizationOff) {
+  SentimentOptions options;
+  options.length_normalize = false;
+  SentimentModel model(options);
+  ASSERT_TRUE(model.Train(ToyCorpus()).ok());
+  std::vector<std::string> doc{"good", "item", "bad", "good"};
+  EXPECT_DOUBLE_EQ(model.Score(doc), model.ScoreRaw(doc));
+}
+
+TEST(SentimentTest, PriorShiftsScores) {
+  SentimentOptions options;
+  options.prior_positive = 0.9;
+  SentimentModel model(options);
+  ASSERT_TRUE(model.Train(ToyCorpus()).ok());
+  EXPECT_GT(model.Score({}), 0.5);
+}
+
+TEST(SentimentTest, SaveLoadRoundTrip) {
+  std::string path =
+      (std::filesystem::temp_directory_path() / "cats_sent_test.model")
+          .string();
+  SentimentModel model;
+  ASSERT_TRUE(model.Train(ToyCorpus()).ok());
+  ASSERT_TRUE(model.Save(path).ok());
+
+  auto loaded = SentimentModel::Load(path);
+  ASSERT_TRUE(loaded.ok());
+  for (const auto& tokens : std::vector<std::vector<std::string>>{
+           {"good", "great"}, {"bad"}, {"item", "quality"}}) {
+    EXPECT_NEAR(loaded->Score(tokens), model.Score(tokens), 1e-9);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(SentimentTest, SaveUntrainedFails) {
+  SentimentModel model;
+  EXPECT_FALSE(model.Save("/tmp/should_not_exist.model").ok());
+}
+
+TEST(SentimentTest, LoadMissingFails) {
+  EXPECT_FALSE(SentimentModel::Load("/nonexistent/sent.model").ok());
+}
+
+}  // namespace
+}  // namespace cats::nlp

@@ -1,0 +1,131 @@
+#include "analysis/shop_aspect.h"
+
+#include <gtest/gtest.h>
+
+#include "platform_test_util.h"
+
+namespace cats::analysis {
+namespace {
+
+/// Builds a small store by hand: 2 shops, shop 0 with 3 items, shop 1
+/// with 2 items.
+collect::DataStore HandStore() {
+  collect::DataStore store;
+  for (uint64_t s = 0; s < 2; ++s) {
+    collect::ShopRecord shop;
+    shop.shop_id = s;
+    shop.shop_name = "shop" + std::to_string(s);
+    shop.shop_url = "u";
+    store.AddShop(std::move(shop));
+  }
+  auto add_item = [&store](uint64_t id, uint64_t shop) {
+    collect::ItemRecord item;
+    item.item_id = id;
+    item.shop_id = shop;
+    item.item_name = "i";
+    item.price = 1.0;
+    item.sales_volume = 10;
+    item.category = "food & grocery";
+    store.AddItem(std::move(item));
+  };
+  add_item(10, 0);
+  add_item(11, 0);
+  add_item(12, 0);
+  add_item(20, 1);
+  add_item(21, 1);
+  return store;
+}
+
+core::DetectionReport Report(std::initializer_list<uint64_t> flagged) {
+  core::DetectionReport report;
+  double score = 0.9;
+  for (uint64_t id : flagged) {
+    report.detections.push_back(core::Detection{id, score});
+    score -= 0.05;
+  }
+  return report;
+}
+
+TEST(ShopAspectTest, RollsUpFlagsByShop) {
+  collect::DataStore store = HandStore();
+  auto shops = AnalyzeShops(store, Report({10, 11, 20}));
+  ASSERT_EQ(shops.size(), 2u);
+  // Shop 0 has more flags -> first.
+  EXPECT_EQ(shops[0].shop_id, 0u);
+  EXPECT_EQ(shops[0].items, 3u);
+  EXPECT_EQ(shops[0].flagged, 2u);
+  EXPECT_NEAR(shops[0].flagged_fraction, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(shops[0].max_score, 0.9, 1e-12);
+  EXPECT_EQ(shops[1].shop_id, 1u);
+  EXPECT_EQ(shops[1].flagged, 1u);
+}
+
+TEST(ShopAspectTest, EmptyReportAllClean) {
+  collect::DataStore store = HandStore();
+  auto shops = AnalyzeShops(store, Report({}));
+  for (const ShopReport& shop : shops) {
+    EXPECT_EQ(shop.flagged, 0u);
+    EXPECT_EQ(shop.flagged_fraction, 0.0);
+  }
+  EXPECT_TRUE(SuspectedMerchants(shops, ShopAspectOptions{}).empty());
+}
+
+TEST(ShopAspectTest, ThresholdsSelectMerchants) {
+  collect::DataStore store = HandStore();
+  auto shops = AnalyzeShops(store, Report({10, 11, 20}));
+  ShopAspectOptions options;
+  options.min_flagged_items = 2;
+  options.min_flagged_fraction = 0.6;
+  auto merchants = SuspectedMerchants(shops, options);
+  // Shop 0: 2 flags (>=2). Shop 1: 1 flag, fraction 0.5 < 0.6 -> excluded.
+  ASSERT_EQ(merchants.size(), 1u);
+  EXPECT_EQ(merchants[0].shop_id, 0u);
+
+  options.min_flagged_fraction = 0.4;
+  merchants = SuspectedMerchants(shops, options);
+  EXPECT_EQ(merchants.size(), 2u);  // shop 1 now passes via fraction
+}
+
+TEST(ShopAspectTest, RecoversMaliciousShopsOnSimulatedPlatform) {
+  // End-to-end: detect on the shared fixture, roll up to shops, compare
+  // against the simulator's hidden malicious flags.
+  const auto& market = cats::TestMarketplace();
+  const auto& store = cats::TestStore();
+  core::Detector detector(&cats::TestSemanticModel());
+  ASSERT_TRUE(
+      detector.Train(store.items(), cats::StoreLabels(market, store)).ok());
+  auto report = detector.Detect(store.items());
+  ASSERT_TRUE(report.ok());
+
+  auto shops = AnalyzeShops(store, *report);
+  ShopAspectOptions options;
+  auto merchants = SuspectedMerchants(shops, options);
+  ASSERT_FALSE(merchants.empty());
+
+  size_t truly_malicious = 0;
+  for (const ShopReport& m : merchants) {
+    if (market.shops()[m.shop_id].malicious) ++truly_malicious;
+  }
+  double precision =
+      static_cast<double>(truly_malicious) / merchants.size();
+  EXPECT_GT(precision, 0.8);
+
+  // And most malicious shops are caught.
+  size_t total_malicious = 0;
+  for (const auto& shop : market.shops()) {
+    total_malicious += shop.malicious ? 1 : 0;
+  }
+  EXPECT_GT(static_cast<double>(truly_malicious) / total_malicious, 0.6);
+}
+
+TEST(ShopAspectTest, ItemsCountConsistent) {
+  const auto& store = cats::TestStore();
+  core::DetectionReport empty;
+  auto shops = AnalyzeShops(store, empty);
+  size_t total_items = 0;
+  for (const ShopReport& shop : shops) total_items += shop.items;
+  EXPECT_EQ(total_items, store.items().size());
+}
+
+}  // namespace
+}  // namespace cats::analysis

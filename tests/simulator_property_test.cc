@@ -1,0 +1,142 @@
+// Property sweeps over the marketplace simulator: structural invariants
+// that must hold for ANY configuration (varying fraud mix, spam volume,
+// campaign style), parameterized across a config family.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "platform_test_util.h"
+
+namespace cats::platform {
+namespace {
+
+struct SimCase {
+  const char* name;
+  size_t normal_items;
+  size_t fraud_items;
+  double spam_mean;
+  double stealth_prob;
+  uint64_t seed;
+};
+
+class SimulatorPropertyTest : public ::testing::TestWithParam<SimCase> {
+ protected:
+  static Marketplace Make(const SimCase& params) {
+    MarketplaceConfig config;
+    config.name = params.name;
+    config.num_normal_items = params.normal_items;
+    config.num_fraud_items = params.fraud_items;
+    config.campaign.mean_spam_comments_per_item = params.spam_mean;
+    config.campaign.stealth_campaign_prob = params.stealth_prob;
+    config.population.num_benign_users = 2000;
+    config.population.num_hired_users = 50;
+    config.seed = params.seed;
+    return Marketplace::Generate(config, &cats::TestLanguage());
+  }
+};
+
+TEST_P(SimulatorPropertyTest, FraudCountMatchesConfig) {
+  Marketplace m = Make(GetParam());
+  size_t fraud = 0;
+  for (const Item& item : m.items()) fraud += item.is_fraud ? 1 : 0;
+  EXPECT_EQ(fraud, GetParam().fraud_items);
+  EXPECT_EQ(m.NumFraudItems(), GetParam().fraud_items);
+}
+
+TEST_P(SimulatorPropertyTest, ReferentialIntegrity) {
+  Marketplace m = Make(GetParam());
+  for (const Comment& c : m.comments()) {
+    ASSERT_LT(c.item_id, m.items().size());
+    ASSERT_LT(c.user_id, m.users().size());
+  }
+  size_t indexed = 0;
+  for (const Item& item : m.items()) {
+    ASSERT_LT(item.shop_id, m.shops().size());
+    for (uint32_t ci : m.CommentIndicesOfItem(item.id)) {
+      ASSERT_LT(ci, m.comments().size());
+      EXPECT_EQ(m.comments()[ci].item_id, item.id);
+      ++indexed;
+    }
+  }
+  EXPECT_EQ(indexed, m.comments().size());
+}
+
+TEST_P(SimulatorPropertyTest, GroundTruthConsistent) {
+  Marketplace m = Make(GetParam());
+  // Campaign comments only on fraud items, from hired users; fraud items
+  // only in malicious shops; every fraud item promoted by some campaign.
+  std::unordered_set<uint64_t> promoted;
+  for (const Comment& c : m.comments()) {
+    if (c.from_campaign) {
+      EXPECT_TRUE(m.items()[c.item_id].is_fraud);
+      EXPECT_TRUE(m.users()[c.user_id].hired);
+      promoted.insert(c.item_id);
+    } else {
+      EXPECT_FALSE(m.users()[c.user_id].hired);
+    }
+  }
+  for (const Item& item : m.items()) {
+    if (item.is_fraud) {
+      EXPECT_TRUE(m.shops()[item.shop_id].malicious) << item.id;
+      EXPECT_TRUE(promoted.count(item.id)) << item.id;
+    }
+  }
+}
+
+TEST_P(SimulatorPropertyTest, SalesNeverBelowComments) {
+  Marketplace m = Make(GetParam());
+  for (const Item& item : m.items()) {
+    EXPECT_GE(item.sales_volume,
+              static_cast<int64_t>(m.CommentIndicesOfItem(item.id).size()));
+  }
+}
+
+TEST_P(SimulatorPropertyTest, IdsDenseAndUnique) {
+  Marketplace m = Make(GetParam());
+  for (size_t i = 0; i < m.items().size(); ++i) {
+    EXPECT_EQ(m.items()[i].id, i);
+  }
+  for (size_t i = 0; i < m.comments().size(); ++i) {
+    EXPECT_EQ(m.comments()[i].id, i);
+  }
+  for (size_t i = 0; i < m.shops().size(); ++i) {
+    EXPECT_EQ(m.shops()[i].id, i);
+  }
+}
+
+TEST_P(SimulatorPropertyTest, StealthFlagMatchesConfigExtremes) {
+  Marketplace m = Make(GetParam());
+  size_t stealth = 0;
+  for (const CampaignPlan& plan : m.campaigns()) stealth += plan.stealth;
+  if (GetParam().stealth_prob == 0.0) {
+    EXPECT_EQ(stealth, 0u);
+  } else if (GetParam().stealth_prob == 1.0) {
+    EXPECT_EQ(stealth, m.campaigns().size());
+  }
+}
+
+TEST_P(SimulatorPropertyTest, CrawlRecoversEverything) {
+  Marketplace m = Make(GetParam());
+  collect::DataStore store = cats::CrawlAll(m);
+  EXPECT_EQ(store.shops().size(), m.shops().size());
+  EXPECT_EQ(store.items().size(), m.items().size());
+  EXPECT_EQ(store.num_comments(), m.comments().size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, SimulatorPropertyTest,
+    ::testing::Values(
+        SimCase{"tiny", 50, 5, 8.0, 0.3, 101},
+        SimCase{"fraud_heavy", 60, 60, 12.0, 0.3, 102},
+        SimCase{"spam_light", 120, 15, 2.0, 0.3, 103},
+        SimCase{"all_stealth", 100, 20, 10.0, 1.0, 104},
+        SimCase{"no_stealth", 100, 20, 10.0, 0.0, 105},
+        SimCase{"single_fraud", 80, 1, 10.0, 0.5, 106}),
+    [](const ::testing::TestParamInfo<SimCase>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace cats::platform

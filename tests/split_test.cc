@@ -1,0 +1,95 @@
+#include "ml/split.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "ml_test_util.h"
+
+namespace cats::ml {
+namespace {
+
+TEST(StratifiedSplitTest, PartitionsAllRows) {
+  Dataset data = MakeGaussianDataset(50, 2, 3.0, 1);
+  Rng rng(2);
+  TrainTestIndices split = StratifiedSplit(data, 0.2, &rng);
+  EXPECT_EQ(split.train.size() + split.test.size(), data.num_rows());
+  std::set<size_t> all(split.train.begin(), split.train.end());
+  all.insert(split.test.begin(), split.test.end());
+  EXPECT_EQ(all.size(), data.num_rows());  // disjoint cover
+}
+
+TEST(StratifiedSplitTest, PreservesClassRatio) {
+  Dataset data = MakeGaussianDataset(100, 2, 3.0, 3);
+  Rng rng(4);
+  TrainTestIndices split = StratifiedSplit(data, 0.25, &rng);
+  size_t test_pos = 0;
+  for (size_t i : split.test) test_pos += data.Label(i);
+  // 50% positives overall -> test should hold 50% +- rounding.
+  EXPECT_NEAR(static_cast<double>(test_pos) / split.test.size(), 0.5, 0.02);
+  EXPECT_NEAR(static_cast<double>(split.test.size()) / data.num_rows(), 0.25,
+              0.02);
+}
+
+TEST(StratifiedKFoldTest, FoldsPartitionData) {
+  Dataset data = MakeGaussianDataset(40, 2, 3.0, 5);
+  Rng rng(6);
+  auto folds = StratifiedKFold(data, 5, &rng);
+  ASSERT_EQ(folds.size(), 5u);
+  std::vector<int> seen(data.num_rows(), 0);
+  for (const auto& fold : folds) {
+    EXPECT_EQ(fold.train.size() + fold.test.size(), data.num_rows());
+    for (size_t i : fold.test) ++seen[i];
+    // train and test disjoint within a fold.
+    std::set<size_t> train_set(fold.train.begin(), fold.train.end());
+    for (size_t i : fold.test) EXPECT_EQ(train_set.count(i), 0u);
+  }
+  // Every row appears in exactly one test fold.
+  for (int count : seen) EXPECT_EQ(count, 1);
+}
+
+TEST(StratifiedKFoldTest, FoldSizesBalanced) {
+  Dataset data = MakeGaussianDataset(51, 2, 3.0, 7);  // 102 rows
+  Rng rng(8);
+  auto folds = StratifiedKFold(data, 5, &rng);
+  size_t min_size = data.num_rows(), max_size = 0;
+  for (const auto& fold : folds) {
+    min_size = std::min(min_size, fold.test.size());
+    max_size = std::max(max_size, fold.test.size());
+  }
+  EXPECT_LE(max_size - min_size, 2u);
+}
+
+TEST(StratifiedKFoldTest, EachFoldStratified) {
+  Dataset data = MakeGaussianDataset(100, 2, 3.0, 9);
+  Rng rng(10);
+  auto folds = StratifiedKFold(data, 4, &rng);
+  for (const auto& fold : folds) {
+    size_t pos = 0;
+    for (size_t i : fold.test) pos += data.Label(i);
+    EXPECT_NEAR(static_cast<double>(pos) / fold.test.size(), 0.5, 0.05);
+  }
+}
+
+TEST(StratifiedKFoldTest, DifferentSeedsDifferentShuffles) {
+  Dataset data = MakeGaussianDataset(50, 2, 3.0, 11);
+  Rng rng_a(1), rng_b(2);
+  auto fa = StratifiedKFold(data, 5, &rng_a);
+  auto fb = StratifiedKFold(data, 5, &rng_b);
+  EXPECT_NE(fa[0].test, fb[0].test);
+}
+
+TEST(StratifiedKFoldTest, DeterministicForSeed) {
+  Dataset data = MakeGaussianDataset(50, 2, 3.0, 11);
+  Rng rng_a(42), rng_b(42);
+  auto fa = StratifiedKFold(data, 5, &rng_a);
+  auto fb = StratifiedKFold(data, 5, &rng_b);
+  for (size_t k = 0; k < 5; ++k) {
+    EXPECT_EQ(fa[k].test, fb[k].test);
+    EXPECT_EQ(fa[k].train, fb[k].train);
+  }
+}
+
+}  // namespace
+}  // namespace cats::ml

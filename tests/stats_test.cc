@@ -1,0 +1,117 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/random.h"
+
+namespace cats {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStatsTest, KnownValues) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatsTest, SingleValueVarianceZero) {
+  RunningStats s;
+  s.Add(3.5);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.mean(), 3.5);
+}
+
+TEST(RunningStatsTest, NumericallyStableLargeOffset) {
+  RunningStats s;
+  for (int i = 0; i < 1000; ++i) s.Add(1e9 + (i % 2));
+  EXPECT_NEAR(s.variance(), 0.25025, 1e-3);
+}
+
+TEST(QuantileTest, MedianAndExtremes) {
+  std::vector<double> v{5, 1, 3, 2, 4};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0), 5.0);
+}
+
+TEST(QuantileTest, InterpolatesType7) {
+  std::vector<double> v{1, 2, 3, 4};
+  // numpy.percentile([1,2,3,4], 50) == 2.5
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.25), 1.75);
+}
+
+TEST(QuantileTest, EmptyAndSingle) {
+  EXPECT_EQ(Quantile({}, 0.5), 0.0);
+  EXPECT_EQ(Quantile({7.0}, 0.9), 7.0);
+}
+
+TEST(MeanTest, Basic) {
+  EXPECT_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({1, 2, 3}), 2.0);
+}
+
+TEST(FractionBelowTest, StrictThreshold) {
+  std::vector<double> v{100, 500, 1000, 1999, 2000, 5000};
+  EXPECT_DOUBLE_EQ(FractionBelow(v, 2000), 4.0 / 6.0);
+  EXPECT_DOUBLE_EQ(FractionBelow(v, 100), 0.0);
+  EXPECT_DOUBLE_EQ(FractionBelow({}, 10), 0.0);
+}
+
+TEST(PearsonTest, PerfectCorrelations) {
+  std::vector<double> x{1, 2, 3, 4};
+  std::vector<double> y{2, 4, 6, 8};
+  EXPECT_NEAR(PearsonCorrelation(x, y), 1.0, 1e-12);
+  std::vector<double> z{8, 6, 4, 2};
+  EXPECT_NEAR(PearsonCorrelation(x, z), -1.0, 1e-12);
+}
+
+TEST(PearsonTest, DegenerateIsZero) {
+  EXPECT_EQ(PearsonCorrelation({1, 1, 1}, {2, 3, 4}), 0.0);
+  EXPECT_EQ(PearsonCorrelation({1}, {2}), 0.0);
+}
+
+TEST(KsTest, IdenticalSamplesZero) {
+  std::vector<double> a{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(KolmogorovSmirnovStatistic(a, a), 0.0);
+}
+
+TEST(KsTest, DisjointSamplesOne) {
+  EXPECT_DOUBLE_EQ(
+      KolmogorovSmirnovStatistic({1, 2, 3}, {10, 11, 12}), 1.0);
+}
+
+TEST(KsTest, KnownShiftedUniform) {
+  // Large same-distribution samples: KS should be small; shifted: large.
+  Rng rng(5);
+  std::vector<double> a, b, c;
+  for (int i = 0; i < 20000; ++i) {
+    a.push_back(rng.UniformDouble());
+    b.push_back(rng.UniformDouble());
+    c.push_back(rng.UniformDouble() + 0.5);
+  }
+  EXPECT_LT(KolmogorovSmirnovStatistic(a, b), 0.03);
+  EXPECT_NEAR(KolmogorovSmirnovStatistic(a, c), 0.5, 0.03);
+}
+
+TEST(KsTest, EmptyInputsZero) {
+  EXPECT_EQ(KolmogorovSmirnovStatistic({}, {1, 2}), 0.0);
+}
+
+}  // namespace
+}  // namespace cats

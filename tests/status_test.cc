@@ -1,0 +1,104 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+#include "util/result.h"
+
+namespace cats {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "Ok");
+}
+
+TEST(StatusTest, FactoryCarriesCodeAndMessage) {
+  Status st = Status::InvalidArgument("bad k");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(st.message(), "bad k");
+  EXPECT_EQ(st.ToString(), "InvalidArgument: bad k");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::IoError("x"));
+  EXPECT_EQ(Status::OK(), Status());
+}
+
+TEST(StatusTest, AllCodesHaveDistinctNames) {
+  const StatusCode codes[] = {
+      StatusCode::kOk,           StatusCode::kInvalidArgument,
+      StatusCode::kNotFound,     StatusCode::kAlreadyExists,
+      StatusCode::kOutOfRange,   StatusCode::kFailedPrecondition,
+      StatusCode::kIoError,      StatusCode::kParseError,
+      StatusCode::kInternal,     StatusCode::kUnavailable,
+  };
+  for (size_t i = 0; i < std::size(codes); ++i) {
+    for (size_t j = i + 1; j < std::size(codes); ++j) {
+      EXPECT_NE(StatusCodeToString(codes[i]), StatusCodeToString(codes[j]));
+    }
+  }
+}
+
+Status FailWhenNegative(int v) {
+  if (v < 0) return Status::OutOfRange("negative");
+  return Status::OK();
+}
+
+Status Chain(int v) {
+  CATS_RETURN_NOT_OK(FailWhenNegative(v));
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  EXPECT_TRUE(Chain(5).ok());
+  Status st = Chain(-1);
+  EXPECT_EQ(st.code(), StatusCode::kOutOfRange);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+Result<int> Half(int v) {
+  if (v % 2 != 0) return Status::InvalidArgument("odd");
+  return v / 2;
+}
+
+Result<int> Quarter(int v) {
+  CATS_ASSIGN_OR_RETURN(int h, Half(v));
+  return Half(h);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  Result<int> ok = Quarter(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 2);
+  Result<int> inner_fail = Quarter(6);  // 6/2=3 is odd
+  EXPECT_FALSE(inner_fail.ok());
+  EXPECT_EQ(inner_fail.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(3));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 3);
+}
+
+}  // namespace
+}  // namespace cats

@@ -1,0 +1,116 @@
+#include "collect/store.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+namespace cats::collect {
+namespace {
+
+ShopRecord Shop(uint64_t id) {
+  ShopRecord r;
+  r.shop_id = id;
+  r.shop_url = "u" + std::to_string(id);
+  r.shop_name = "s" + std::to_string(id);
+  return r;
+}
+
+ItemRecord Item(uint64_t id) {
+  ItemRecord r;
+  r.item_id = id;
+  r.item_name = "item" + std::to_string(id);
+  r.price = 1.0 + static_cast<double>(id);
+  r.sales_volume = static_cast<int64_t>(id * 10);
+  r.category = "food & grocery";
+  return r;
+}
+
+CommentRecord Comment(uint64_t id, uint64_t item_id) {
+  CommentRecord r;
+  r.item_id = item_id;
+  r.comment_id = id;
+  r.content = "内容" + std::to_string(id);
+  r.nickname = "0***莉";
+  r.user_exp_value = 100 + static_cast<int64_t>(id);
+  r.client = "Web";
+  r.date = "2017-12-25 08:00:00";
+  return r;
+}
+
+TEST(DataStoreTest, AddAndFind) {
+  DataStore store;
+  EXPECT_TRUE(store.AddShop(Shop(1)));
+  EXPECT_TRUE(store.AddItem(Item(10)));
+  EXPECT_TRUE(store.AddComment(Comment(100, 10)));
+  EXPECT_EQ(store.shops().size(), 1u);
+  EXPECT_EQ(store.items().size(), 1u);
+  EXPECT_EQ(store.num_comments(), 1u);
+  const CollectedItem* item = store.FindItem(10);
+  ASSERT_NE(item, nullptr);
+  EXPECT_EQ(item->comments.size(), 1u);
+  EXPECT_EQ(store.FindItem(999), nullptr);
+}
+
+TEST(DataStoreTest, DuplicatesDropped) {
+  DataStore store;
+  EXPECT_TRUE(store.AddShop(Shop(1)));
+  EXPECT_FALSE(store.AddShop(Shop(1)));
+  EXPECT_TRUE(store.AddItem(Item(10)));
+  EXPECT_FALSE(store.AddItem(Item(10)));
+  EXPECT_TRUE(store.AddComment(Comment(100, 10)));
+  EXPECT_FALSE(store.AddComment(Comment(100, 10)));
+  EXPECT_EQ(store.duplicates_dropped(), 3u);
+  EXPECT_EQ(store.items().size(), 1u);
+  EXPECT_EQ(store.num_comments(), 1u);
+}
+
+TEST(DataStoreTest, OrphanCommentDropped) {
+  DataStore store;
+  EXPECT_FALSE(store.AddComment(Comment(5, 999)));
+  EXPECT_EQ(store.num_comments(), 0u);
+  // The comment id must not be burned: adding the item then the comment
+  // succeeds.
+  EXPECT_TRUE(store.AddItem(Item(999)));
+  EXPECT_TRUE(store.AddComment(Comment(5, 999)));
+}
+
+TEST(DataStoreTest, JsonlRoundTrip) {
+  auto dir = std::filesystem::temp_directory_path() /
+             ("cats_store_test_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+
+  DataStore store;
+  store.AddShop(Shop(1));
+  store.AddShop(Shop(2));
+  store.AddItem(Item(10));
+  store.AddItem(Item(11));
+  store.AddComment(Comment(100, 10));
+  store.AddComment(Comment(101, 10));
+  store.AddComment(Comment(102, 11));
+  ASSERT_TRUE(store.SaveJsonl(dir.string()).ok());
+
+  auto loaded = DataStore::LoadJsonl(dir.string());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->shops().size(), 2u);
+  EXPECT_EQ(loaded->items().size(), 2u);
+  EXPECT_EQ(loaded->num_comments(), 3u);
+  const CollectedItem* item = loaded->FindItem(10);
+  ASSERT_NE(item, nullptr);
+  EXPECT_EQ(item->comments.size(), 2u);
+  EXPECT_EQ(item->comments[0].content, "内容100");
+  EXPECT_EQ(item->item.category, "food & grocery");
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DataStoreTest, LoadMissingDirFails) {
+  EXPECT_FALSE(DataStore::LoadJsonl("/nonexistent_dir_zzz").ok());
+}
+
+TEST(DataStoreTest, SaveToMissingDirFails) {
+  DataStore store;
+  EXPECT_EQ(store.SaveJsonl("/nonexistent_dir_zzz").code(),
+            StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace cats::collect

@@ -1,0 +1,71 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace cats {
+namespace {
+
+TEST(SplitTest, BasicAndEmptyFields) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+  EXPECT_EQ(Split("abc", ','), (std::vector<std::string>{"abc"}));
+}
+
+TEST(SplitAndTrimTest, DropsEmptyTrimsWhitespace) {
+  EXPECT_EQ(SplitAndTrim(" a , b ,, c ", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(SplitAndTrim("  ,  , ", ',').empty());
+}
+
+TEST(JoinTest, RoundTripWithSplit) {
+  std::vector<std::string> parts{"x", "y", "z"};
+  EXPECT_EQ(Join(parts, ","), "x,y,z");
+  EXPECT_EQ(Split(Join(parts, ","), ','), parts);
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ", "), "solo");
+}
+
+TEST(TrimTest, AllWhitespaceKinds) {
+  EXPECT_EQ(TrimWhitespace("  \t\r\n abc \n"), "abc");
+  EXPECT_EQ(TrimWhitespace(""), "");
+  EXPECT_EQ(TrimWhitespace("   "), "");
+  EXPECT_EQ(TrimWhitespace("inner space kept"), "inner space kept");
+}
+
+TEST(StartsEndsWithTest, Basic) {
+  EXPECT_TRUE(StartsWith("/shops/12/items", "/shops/"));
+  EXPECT_FALSE(StartsWith("/shop", "/shops"));
+  EXPECT_TRUE(EndsWith("comments.jsonl", ".jsonl"));
+  EXPECT_FALSE(EndsWith("x", "xy"));
+  EXPECT_TRUE(StartsWith("abc", ""));
+  EXPECT_TRUE(EndsWith("abc", ""));
+}
+
+TEST(StrFormatTest, FormatsLikePrintf) {
+  EXPECT_EQ(StrFormat("%d-%s-%.2f", 7, "ab", 1.5), "7-ab-1.50");
+  EXPECT_EQ(StrFormat("no args"), "no args");
+  // Long output beyond any small static buffer.
+  std::string long_out = StrFormat("%0512d", 1);
+  EXPECT_EQ(long_out.size(), 512u);
+}
+
+TEST(FormatWithCommasTest, GroupsThousands) {
+  EXPECT_EQ(FormatWithCommas(0), "0");
+  EXPECT_EQ(FormatWithCommas(999), "999");
+  EXPECT_EQ(FormatWithCommas(1000), "1,000");
+  EXPECT_EQ(FormatWithCommas(1461452), "1,461,452");
+  EXPECT_EQ(FormatWithCommas(72340999), "72,340,999");
+  EXPECT_EQ(FormatWithCommas(-1234567), "-1,234,567");
+  EXPECT_EQ(FormatWithCommas(27158720), "27,158,720");
+}
+
+TEST(AsciiToLowerTest, AsciiOnly) {
+  EXPECT_EQ(AsciiToLower("AbC123"), "abc123");
+  // UTF-8 multibyte content untouched.
+  EXPECT_EQ(AsciiToLower("好评ABC"), "好评abc");
+}
+
+}  // namespace
+}  // namespace cats

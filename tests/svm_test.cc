@@ -1,0 +1,95 @@
+#include "ml/svm.h"
+
+#include <gtest/gtest.h>
+
+#include "ml/metrics.h"
+#include "ml_test_util.h"
+
+namespace cats::ml {
+namespace {
+
+TEST(SvmTest, FitEmptyFails) {
+  LinearSvm svm;
+  Dataset empty({"x"});
+  EXPECT_FALSE(svm.Fit(empty).ok());
+}
+
+TEST(SvmTest, SeparableDataHighAccuracy) {
+  Dataset data = MakeGaussianDataset(300, 3, 5.0, 101);
+  LinearSvm svm;
+  ASSERT_TRUE(svm.Fit(data).ok());
+  EXPECT_GT(TrainAccuracy(svm, data), 0.97);
+}
+
+TEST(SvmTest, CannotSolveXor) {
+  // Sanity: a linear model must fail on XOR (near-random accuracy).
+  Dataset data = MakeXorDataset(800, 103);
+  LinearSvm svm;
+  ASSERT_TRUE(svm.Fit(data).ok());
+  double acc = TrainAccuracy(svm, data);
+  EXPECT_LT(acc, 0.65);
+}
+
+TEST(SvmTest, MarginSignMatchesPrediction) {
+  Dataset data = MakeGaussianDataset(100, 2, 4.0, 107);
+  LinearSvm svm;
+  ASSERT_TRUE(svm.Fit(data).ok());
+  for (size_t i = 0; i < data.num_rows(); ++i) {
+    double margin = svm.Margin(data.Row(i));
+    EXPECT_EQ(svm.Predict(data.Row(i)), margin >= 0.0 ? 1 : 0);
+  }
+}
+
+TEST(SvmTest, DecisionMarginTradesRecallForPrecision) {
+  // Overlapping classes: a conservative margin should raise precision and
+  // lower recall — the paper's SVM row (0.99 / 0.62) in miniature.
+  Dataset data = MakeGaussianDataset(800, 3, 1.2, 109);
+  SvmOptions neutral;
+  SvmOptions conservative;
+  conservative.decision_margin = 1.0;
+  LinearSvm a(neutral), b(conservative);
+  ASSERT_TRUE(a.Fit(data).ok());
+  ASSERT_TRUE(b.Fit(data).ok());
+
+  ClassificationMetrics ma = ComputeMetrics(data.labels(), a.PredictAll(data));
+  ClassificationMetrics mb = ComputeMetrics(data.labels(), b.PredictAll(data));
+  EXPECT_GT(mb.precision, ma.precision);
+  EXPECT_LT(mb.recall, ma.recall);
+}
+
+TEST(SvmTest, ProbaMonotoneInMargin) {
+  Dataset data = MakeGaussianDataset(100, 2, 3.0, 113);
+  LinearSvm svm;
+  ASSERT_TRUE(svm.Fit(data).ok());
+  double prev_p = -1.0;
+  // Walk a line through feature space: margins increase monotonically.
+  for (double t = -3.0; t <= 6.0; t += 0.5) {
+    float row[2] = {static_cast<float>(t), static_cast<float>(t)};
+    double p = svm.PredictProba(row);
+    EXPECT_GE(p, prev_p);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    prev_p = p;
+  }
+}
+
+TEST(SvmTest, CloneUntrained) {
+  LinearSvm svm;
+  auto clone = svm.CloneUntrained();
+  EXPECT_EQ(clone->name(), "SVM");
+  Dataset data = MakeGaussianDataset(100, 2, 4.0, 127);
+  ASSERT_TRUE(clone->Fit(data).ok());
+  EXPECT_GT(TrainAccuracy(*clone, data), 0.9);
+}
+
+TEST(SvmTest, WeightsNonTrivialAfterFit) {
+  Dataset data = MakeGaussianDataset(200, 4, 3.0, 131);
+  LinearSvm svm;
+  ASSERT_TRUE(svm.Fit(data).ok());
+  double norm = 0.0;
+  for (double w : svm.weights()) norm += w * w;
+  EXPECT_GT(norm, 0.0);
+}
+
+}  // namespace
+}  // namespace cats::ml

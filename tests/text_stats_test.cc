@@ -1,0 +1,69 @@
+#include "text/text_stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cats::text {
+namespace {
+
+TEST(TokenEntropyTest, EmptyAndSingle) {
+  EXPECT_EQ(TokenEntropy({}), 0.0);
+  EXPECT_EQ(TokenEntropy({"x"}), 0.0);
+  EXPECT_EQ(TokenEntropy({"x", "x", "x"}), 0.0);
+}
+
+TEST(TokenEntropyTest, UniformDistributionIsLogN) {
+  EXPECT_NEAR(TokenEntropy({"a", "b"}), 1.0, 1e-12);
+  EXPECT_NEAR(TokenEntropy({"a", "b", "c", "d"}), 2.0, 1e-12);
+}
+
+TEST(TokenEntropyTest, SkewedLessThanUniform) {
+  double skewed = TokenEntropy({"a", "a", "a", "b"});
+  EXPECT_LT(skewed, 1.0);
+  EXPECT_GT(skewed, 0.0);
+  // H(1/4) = 0.25*2 + 0.75*log2(4/3)
+  double expected = 0.25 * 2.0 + 0.75 * std::log2(4.0 / 3.0);
+  EXPECT_NEAR(skewed, expected, 1e-12);
+}
+
+TEST(TokenEntropyTest, BoundedByLogOfDistinctCount) {
+  std::vector<std::string> tokens{"a", "b", "c", "a", "b", "a"};
+  EXPECT_LE(TokenEntropy(tokens), std::log2(3.0) + 1e-12);
+}
+
+TEST(UniqueTokenRatioTest, Basics) {
+  EXPECT_EQ(UniqueTokenRatio({}), 0.0);
+  EXPECT_EQ(UniqueTokenRatio({"a"}), 1.0);
+  EXPECT_EQ(UniqueTokenRatio({"a", "b", "c"}), 1.0);
+  EXPECT_DOUBLE_EQ(UniqueTokenRatio({"a", "a", "b", "b"}), 0.5);
+  EXPECT_DOUBLE_EQ(UniqueTokenRatio({"a", "a", "a", "a"}), 0.25);
+}
+
+TEST(AnalyzeStructureTest, CountsCodepointsAndPunctuation) {
+  CommentStructure s = AnalyzeStructure("很好！质量不错，推荐。");
+  EXPECT_EQ(s.codepoint_length, 11u);
+  EXPECT_EQ(s.punctuation_count, 3u);
+  EXPECT_NEAR(s.punctuation_ratio, 3.0 / 11.0, 1e-12);
+}
+
+TEST(AnalyzeStructureTest, EmptyString) {
+  CommentStructure s = AnalyzeStructure("");
+  EXPECT_EQ(s.codepoint_length, 0u);
+  EXPECT_EQ(s.punctuation_count, 0u);
+  EXPECT_EQ(s.punctuation_ratio, 0.0);
+}
+
+TEST(AnalyzeStructureTest, AsciiText) {
+  CommentStructure s = AnalyzeStructure("hello, world!");
+  EXPECT_EQ(s.codepoint_length, 13u);
+  EXPECT_EQ(s.punctuation_count, 2u);
+}
+
+TEST(AnalyzeStructureTest, AllPunctuation) {
+  CommentStructure s = AnalyzeStructure("！！！");
+  EXPECT_EQ(s.punctuation_ratio, 1.0);
+}
+
+}  // namespace
+}  // namespace cats::text

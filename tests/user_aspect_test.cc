@@ -1,0 +1,115 @@
+#include "analysis/user_aspect.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/distributions.h"
+#include "platform_test_util.h"
+#include "util/stats.h"
+
+namespace cats::analysis {
+namespace {
+
+collect::CollectedItem ItemWithBuyers(
+    uint64_t id, std::initializer_list<std::pair<const char*, int64_t>>
+                     buyers_and_exp) {
+  collect::CollectedItem item;
+  item.item.item_id = id;
+  for (const auto& [nick, exp] : buyers_and_exp) {
+    collect::CommentRecord c;
+    c.item_id = id;
+    c.nickname = nick;
+    c.user_exp_value = exp;
+    item.comments.push_back(std::move(c));
+  }
+  return item;
+}
+
+TEST(UserAspectTest, UniqueBuyerIdentification) {
+  // Same (nickname, exp) = same user; same nickname different exp = two
+  // users — the paper's approximate identification.
+  std::vector<collect::CollectedItem> items{
+      ItemWithBuyers(1, {{"a***x", 100}, {"a***x", 100}, {"a***x", 500}}),
+  };
+  UserAspectReport report = AnalyzeUserAspect(items, 1000.0);
+  EXPECT_EQ(report.buyer_exp_values.size(), 2u);
+}
+
+TEST(UserAspectTest, ExpValueFractions) {
+  std::vector<collect::CollectedItem> items{
+      ItemWithBuyers(1, {{"u1", 100}, {"u2", 800}, {"u3", 1500}, {"u4", 9000}}),
+  };
+  UserAspectReport report = AnalyzeUserAspect(items, 1000.0);
+  EXPECT_DOUBLE_EQ(report.frac_at_min, 0.25);
+  EXPECT_DOUBLE_EQ(report.frac_below_1000, 0.5);
+  EXPECT_DOUBLE_EQ(report.frac_below_2000, 0.75);
+}
+
+TEST(UserAspectTest, AvgExpPerItemVsExpectation) {
+  std::vector<collect::CollectedItem> items{
+      ItemWithBuyers(1, {{"u1", 100}, {"u2", 300}}),    // avg 200 < 1000
+      ItemWithBuyers(2, {{"u3", 5000}, {"u4", 3000}}),  // avg 4000 > 1000
+  };
+  UserAspectReport report = AnalyzeUserAspect(items, 1000.0);
+  ASSERT_EQ(report.avg_exp_per_item.size(), 2u);
+  EXPECT_DOUBLE_EQ(report.avg_exp_per_item[0], 200.0);
+  EXPECT_DOUBLE_EQ(report.frac_items_below_expectation, 0.5);
+}
+
+TEST(UserAspectTest, RepeatPurchaseDetection) {
+  std::vector<collect::CollectedItem> items{
+      ItemWithBuyers(1, {{"u1", 100}, {"u1", 100}, {"u2", 200}}),
+  };
+  UserAspectReport report = AnalyzeUserAspect(items, 1000.0);
+  EXPECT_DOUBLE_EQ(report.frac_buyers_with_repeat, 0.5);  // u1 of {u1,u2}
+  EXPECT_EQ(report.max_purchases_by_one_user, 2u);
+}
+
+TEST(UserAspectTest, CopurchasePairsNeedTwoSharedItems) {
+  std::vector<collect::CollectedItem> items{
+      ItemWithBuyers(1, {{"u1", 100}, {"u2", 200}, {"u3", 300}}),
+      ItemWithBuyers(2, {{"u1", 100}, {"u2", 200}}),
+      ItemWithBuyers(3, {{"u3", 300}, {"u4", 400}}),
+  };
+  UserAspectReport report = AnalyzeUserAspect(items, 1000.0);
+  // Only (u1,u2) share >= 2 items.
+  EXPECT_EQ(report.copurchase_pairs, 1u);
+  EXPECT_EQ(report.copurchase_users, 2u);
+}
+
+TEST(UserAspectTest, EmptyInputSafe) {
+  UserAspectReport report = AnalyzeUserAspect({}, 1000.0);
+  EXPECT_EQ(report.buyer_exp_values.size(), 0u);
+  EXPECT_EQ(report.copurchase_pairs, 0u);
+  EXPECT_EQ(report.frac_at_min, 0.0);
+}
+
+TEST(UserAspectTest, PopulationExpectationIsUniqueUserMean) {
+  std::vector<collect::CollectedItem> items{
+      ItemWithBuyers(1, {{"u1", 100}, {"u1", 100}, {"u2", 300}}),
+  };
+  EXPECT_DOUBLE_EQ(PopulationExpectation(items), 200.0);
+  EXPECT_EQ(PopulationExpectation({}), 0.0);
+}
+
+TEST(UserAspectTest, SimulatedFraudBuyersLessReliable) {
+  // The paper's Fig 11 contrast on the simulated platform.
+  const auto& store = cats::TestStore();
+  LabeledSplit split = SplitByLabel(
+      store.items(), cats::StoreLabels(cats::TestMarketplace(), store));
+  double expectation = PopulationExpectation(store.items());
+  UserAspectReport fraud = AnalyzeUserAspect(split.fraud, expectation);
+  UserAspectReport normal = AnalyzeUserAspect(split.normal, expectation);
+
+  EXPECT_GT(fraud.frac_below_2000, normal.frac_below_2000);
+  EXPECT_GT(fraud.frac_at_min, normal.frac_at_min);
+  // Most fraud items' buyer average sits below the platform expectation
+  // (paper: 70%).
+  EXPECT_GT(fraud.frac_items_below_expectation, 0.5);
+  // Risky co-purchase structure concentrates in fraud items.
+  EXPECT_GT(fraud.copurchase_pairs, normal.copurchase_pairs);
+  // Repeat purchasing is a campaign signature.
+  EXPECT_GT(fraud.frac_buyers_with_repeat, normal.frac_buyers_with_repeat);
+}
+
+}  // namespace
+}  // namespace cats::analysis

@@ -1,0 +1,70 @@
+#include "text/utf8.h"
+
+#include <gtest/gtest.h>
+
+namespace cats::text {
+namespace {
+
+TEST(Utf8Test, EncodeDecodeAsciiTwoThreeFourByte) {
+  for (uint32_t cp : {0x41u, 0x7Fu, 0x80u, 0x7FFu, 0x800u, 0x4E2Du, 0xFFFDu,
+                      0x10000u, 0x1F600u}) {
+    std::string s = EncodeCodepoint(cp);
+    size_t pos = 0;
+    EXPECT_EQ(DecodeOne(s, &pos), cp);
+    EXPECT_EQ(pos, s.size());
+    EXPECT_EQ(s.size(), EncodedLength(cp));
+  }
+}
+
+TEST(Utf8Test, DecodeStringMixed) {
+  std::string s = "a中b文!";
+  std::vector<uint32_t> cps = DecodeString(s);
+  ASSERT_EQ(cps.size(), 5u);
+  EXPECT_EQ(cps[0], 'a');
+  EXPECT_EQ(cps[1], 0x4E2Du);
+  EXPECT_EQ(cps[2], 'b');
+  EXPECT_EQ(cps[3], 0x6587u);
+  EXPECT_EQ(cps[4], '!');
+}
+
+TEST(Utf8Test, RoundTripEncodeString) {
+  std::vector<uint32_t> cps{0x4E00, 'x', 0x9FFF, 0x3002, 0x1F914};
+  EXPECT_EQ(DecodeString(EncodeString(cps)), cps);
+}
+
+TEST(Utf8Test, CodepointCount) {
+  EXPECT_EQ(CodepointCount(""), 0u);
+  EXPECT_EQ(CodepointCount("abc"), 3u);
+  EXPECT_EQ(CodepointCount("好评"), 2u);
+  EXPECT_EQ(CodepointCount("a好b"), 3u);
+}
+
+TEST(Utf8Test, MalformedBytesYieldReplacementAndTerminate) {
+  // Lone continuation byte.
+  std::string bad1("\x80", 1);
+  std::vector<uint32_t> cps = DecodeString(bad1);
+  ASSERT_EQ(cps.size(), 1u);
+  EXPECT_EQ(cps[0], kReplacementChar);
+
+  // Truncated 3-byte sequence.
+  std::string bad2("\xE4\xB8", 2);
+  cps = DecodeString(bad2);
+  EXPECT_FALSE(cps.empty());
+  EXPECT_EQ(cps[0], kReplacementChar);
+
+  // Overlong encoding of '/' (0xC0 0xAF) must not decode to '/'.
+  std::string overlong("\xC0\xAF", 2);
+  cps = DecodeString(overlong);
+  for (uint32_t cp : cps) EXPECT_NE(cp, static_cast<uint32_t>('/'));
+}
+
+TEST(Utf8Test, IsCjk) {
+  EXPECT_TRUE(IsCjk(0x4E00));
+  EXPECT_TRUE(IsCjk(0x9FFF));
+  EXPECT_FALSE(IsCjk(0x4DFF));
+  EXPECT_FALSE(IsCjk('a'));
+  EXPECT_FALSE(IsCjk(0x3002));  // 。 is punctuation, not ideograph
+}
+
+}  // namespace
+}  // namespace cats::text

@@ -1,0 +1,82 @@
+#include "analysis/validation.h"
+
+#include <gtest/gtest.h>
+
+namespace cats::analysis {
+namespace {
+
+core::DetectionReport MakeReport(std::initializer_list<uint64_t> ids) {
+  core::DetectionReport report;
+  for (uint64_t id : ids) {
+    report.detections.push_back(core::Detection{id, 0.9});
+  }
+  return report;
+}
+
+TEST(ValidateBySamplingTest, EmptyReportZero) {
+  Rng rng(1);
+  auto v = ValidateBySampling(MakeReport({}), {}, 100, &rng);
+  EXPECT_EQ(v.sample_size, 0u);
+  EXPECT_EQ(v.precision, 0.0);
+}
+
+TEST(ValidateBySamplingTest, FullSampleExactPrecision) {
+  std::unordered_map<uint64_t, int> truth{{1, 1}, {2, 1}, {3, 0}, {4, 1}};
+  Rng rng(2);
+  auto v = ValidateBySampling(MakeReport({1, 2, 3, 4}), truth, 100, &rng);
+  EXPECT_EQ(v.sample_size, 4u);
+  EXPECT_EQ(v.confirmed, 3u);
+  EXPECT_DOUBLE_EQ(v.precision, 0.75);
+}
+
+TEST(ValidateBySamplingTest, UnknownItemsCountAsUnconfirmed) {
+  std::unordered_map<uint64_t, int> truth{{1, 1}};
+  Rng rng(3);
+  auto v = ValidateBySampling(MakeReport({1, 99}), truth, 10, &rng);
+  EXPECT_EQ(v.confirmed, 1u);
+}
+
+TEST(ValidateBySamplingTest, SubsampleApproximatesTruePrecision) {
+  core::DetectionReport report;
+  std::unordered_map<uint64_t, int> truth;
+  for (uint64_t id = 0; id < 10000; ++id) {
+    report.detections.push_back(core::Detection{id, 0.9});
+    truth[id] = id % 10 < 9 ? 1 : 0;  // 90% true
+  }
+  Rng rng(4);
+  auto v = ValidateBySampling(report, truth, 1000, &rng);
+  EXPECT_EQ(v.sample_size, 1000u);
+  EXPECT_NEAR(v.precision, 0.9, 0.04);
+}
+
+TEST(ValidateBySamplingTest, SampleWithoutReplacement) {
+  // Sampling exactly n from n must touch each detection once.
+  core::DetectionReport report = MakeReport({10, 20, 30});
+  std::unordered_map<uint64_t, int> truth{{10, 1}, {20, 1}, {30, 1}};
+  Rng rng(5);
+  auto v = ValidateBySampling(report, truth, 3, &rng);
+  EXPECT_EQ(v.confirmed, 3u);
+  EXPECT_DOUBLE_EQ(v.precision, 1.0);
+}
+
+TEST(EvaluateReportTest, ComputesFullMetrics) {
+  core::DetectionReport report = MakeReport({1, 3});
+  std::vector<uint64_t> ids{1, 2, 3, 4};
+  std::vector<int> labels{1, 1, 0, 0};
+  auto m = EvaluateReport(report, ids, labels);
+  // Flagged: 1 (tp), 3 (fp). Missed: 2 (fn). Correct negative: 4.
+  EXPECT_EQ(m.confusion.true_positive, 1u);
+  EXPECT_EQ(m.confusion.false_positive, 1u);
+  EXPECT_EQ(m.confusion.false_negative, 1u);
+  EXPECT_EQ(m.confusion.true_negative, 1u);
+  EXPECT_DOUBLE_EQ(m.precision, 0.5);
+  EXPECT_DOUBLE_EQ(m.recall, 0.5);
+}
+
+TEST(EvaluateReportTest, EmptyReportZeroRecall) {
+  auto m = EvaluateReport(MakeReport({}), {1, 2}, {1, 1});
+  EXPECT_EQ(m.recall, 0.0);
+}
+
+}  // namespace
+}  // namespace cats::analysis

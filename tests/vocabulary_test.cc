@@ -1,0 +1,79 @@
+#include "text/vocabulary.h"
+
+#include <gtest/gtest.h>
+
+namespace cats::text {
+namespace {
+
+TEST(VocabularyTest, AddAndLookup) {
+  Vocabulary vocab;
+  int32_t a = vocab.AddOccurrence("好评");
+  int32_t b = vocab.AddOccurrence("差评");
+  int32_t a2 = vocab.AddOccurrence("好评");
+  EXPECT_EQ(a, a2);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(vocab.size(), 2u);
+  EXPECT_EQ(vocab.total_tokens(), 3u);
+  EXPECT_EQ(vocab.Lookup("好评"), a);
+  EXPECT_EQ(vocab.Lookup("unknown"), kUnknownWordId);
+  EXPECT_EQ(vocab.CountOf(a), 2u);
+  EXPECT_EQ(vocab.CountOfWord("差评"), 1u);
+  EXPECT_EQ(vocab.CountOfWord("unknown"), 0u);
+}
+
+TEST(VocabularyTest, AddSentence) {
+  Vocabulary vocab;
+  vocab.AddSentence({"a", "b", "a"});
+  EXPECT_EQ(vocab.size(), 2u);
+  EXPECT_EQ(vocab.CountOfWord("a"), 2u);
+}
+
+TEST(VocabularyTest, PruneRemovesRareAndSortsByFrequency) {
+  Vocabulary vocab;
+  for (int i = 0; i < 5; ++i) vocab.AddOccurrence("five");
+  for (int i = 0; i < 3; ++i) vocab.AddOccurrence("three");
+  for (int i = 0; i < 8; ++i) vocab.AddOccurrence("eight");
+  vocab.AddOccurrence("once");
+
+  size_t removed = vocab.PruneAndSortByFrequency(2);
+  EXPECT_EQ(removed, 1u);
+  EXPECT_EQ(vocab.size(), 3u);
+  // Descending frequency order with dense ids.
+  EXPECT_EQ(vocab.WordOf(0), "eight");
+  EXPECT_EQ(vocab.WordOf(1), "five");
+  EXPECT_EQ(vocab.WordOf(2), "three");
+  EXPECT_EQ(vocab.Lookup("eight"), 0);
+  EXPECT_EQ(vocab.Lookup("once"), kUnknownWordId);
+  EXPECT_EQ(vocab.total_tokens(), 16u);
+}
+
+TEST(VocabularyTest, PruneWithMinCountOneKeepsAll) {
+  Vocabulary vocab;
+  vocab.AddSentence({"x", "y"});
+  EXPECT_EQ(vocab.PruneAndSortByFrequency(1), 0u);
+  EXPECT_EQ(vocab.size(), 2u);
+}
+
+TEST(VocabularyTest, EncodeSkipsUnknown) {
+  Vocabulary vocab;
+  vocab.AddSentence({"a", "b", "c"});
+  vocab.AddSentence({"a", "b"});
+  vocab.PruneAndSortByFrequency(2);  // drops "c"
+  std::vector<int32_t> ids = vocab.Encode({"a", "c", "b", "zz"});
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_EQ(vocab.WordOf(ids[0]), "a");
+  EXPECT_EQ(vocab.WordOf(ids[1]), "b");
+}
+
+TEST(VocabularyTest, StableTieOrderOnPrune) {
+  Vocabulary vocab;
+  vocab.AddOccurrence("first");
+  vocab.AddOccurrence("second");
+  vocab.PruneAndSortByFrequency(1);
+  // Equal counts: first-seen order preserved (stable sort).
+  EXPECT_EQ(vocab.WordOf(0), "first");
+  EXPECT_EQ(vocab.WordOf(1), "second");
+}
+
+}  // namespace
+}  // namespace cats::text

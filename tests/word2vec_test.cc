@@ -1,0 +1,124 @@
+#include "nlp/word2vec.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace cats::nlp {
+namespace {
+
+/// Two-topic corpus: words within a topic co-occur, across topics never.
+std::vector<std::vector<std::string>> TwoTopicCorpus(size_t sentences) {
+  std::vector<std::string> topic_a{"apple", "banana", "cherry", "grape"};
+  std::vector<std::string> topic_b{"bolt", "nut", "screw", "washer"};
+  Rng rng(101);
+  std::vector<std::vector<std::string>> corpus;
+  corpus.reserve(sentences);
+  for (size_t s = 0; s < sentences; ++s) {
+    const auto& topic = (s % 2 == 0) ? topic_a : topic_b;
+    std::vector<std::string> sentence;
+    for (size_t w = 0; w < 8; ++w) {
+      sentence.push_back(
+          topic[rng.UniformU32(static_cast<uint32_t>(topic.size()))]);
+    }
+    corpus.push_back(std::move(sentence));
+  }
+  return corpus;
+}
+
+Word2VecOptions SmallOptions() {
+  Word2VecOptions options;
+  options.dim = 16;
+  options.epochs = 10;
+  options.min_count = 1;
+  options.window = 3;
+  options.num_threads = 2;
+  options.subsample_t = 0;  // tiny corpus: keep everything
+  return options;
+}
+
+TEST(Word2VecTest, EmptyCorpusFails) {
+  Word2Vec w2v(SmallOptions());
+  auto r = w2v.Train({});
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Word2VecTest, AllWordsBelowMinCountFails) {
+  Word2VecOptions options = SmallOptions();
+  options.min_count = 100;
+  Word2Vec w2v(options);
+  auto r = w2v.Train({{"a", "b"}, {"c", "d"}});
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Word2VecTest, ProducesVectorForEveryKeptWord) {
+  Word2Vec w2v(SmallOptions());
+  auto store = w2v.Train(TwoTopicCorpus(200));
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ(store->size(), 8u);
+  EXPECT_EQ(store->dim(), 16u);
+  for (const char* w :
+       {"apple", "banana", "cherry", "grape", "bolt", "nut"}) {
+    EXPECT_TRUE(store->Contains(w)) << w;
+  }
+  EXPECT_GT(w2v.trained_pairs(), 0u);
+}
+
+TEST(Word2VecTest, TopicStructureEmergesInNeighbors) {
+  Word2Vec w2v(SmallOptions());
+  auto store = w2v.Train(TwoTopicCorpus(400));
+  ASSERT_TRUE(store.ok());
+
+  // Same-topic similarity must exceed cross-topic similarity.
+  float same = *store->Cosine("apple", "banana");
+  float cross = *store->Cosine("apple", "bolt");
+  EXPECT_GT(same, cross);
+
+  // All 3 nearest neighbors of a fruit are fruits.
+  auto nn = store->NearestNeighbors("apple", 3);
+  ASSERT_TRUE(nn.ok());
+  for (const Neighbor& n : *nn) {
+    EXPECT_TRUE(n.word == "banana" || n.word == "cherry" ||
+                n.word == "grape")
+        << n.word;
+  }
+}
+
+TEST(Word2VecTest, MinCountPrunesRareWords) {
+  Word2VecOptions options = SmallOptions();
+  options.min_count = 3;
+  Word2Vec w2v(options);
+  std::vector<std::vector<std::string>> corpus = TwoTopicCorpus(100);
+  corpus.push_back({"rare_word", "apple", "banana"});
+  auto store = w2v.Train(corpus);
+  ASSERT_TRUE(store.ok());
+  EXPECT_FALSE(store->Contains("rare_word"));
+}
+
+TEST(Word2VecTest, SingleThreadDeterministicForSeed) {
+  Word2VecOptions options = SmallOptions();
+  options.num_threads = 1;
+  auto corpus = TwoTopicCorpus(100);
+  Word2Vec a(options), b(options);
+  auto sa = a.Train(corpus);
+  auto sb = b.Train(corpus);
+  ASSERT_TRUE(sa.ok());
+  ASSERT_TRUE(sb.ok());
+  EXPECT_FLOAT_EQ(*sa->Cosine("apple", "banana"),
+                  *sb->Cosine("apple", "banana"));
+}
+
+TEST(Word2VecTest, VocabularySortedByFrequency) {
+  Word2Vec w2v(SmallOptions());
+  std::vector<std::vector<std::string>> corpus;
+  for (int i = 0; i < 10; ++i) corpus.push_back({"common", "common", "mid"});
+  corpus.push_back({"mid", "rare"});
+  auto store = w2v.Train(corpus);
+  ASSERT_TRUE(store.ok());
+  const auto& vocab = w2v.vocabulary();
+  EXPECT_EQ(vocab.WordOf(0), "common");
+  EXPECT_EQ(vocab.WordOf(1), "mid");
+}
+
+}  // namespace
+}  // namespace cats::nlp

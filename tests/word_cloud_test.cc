@@ -1,0 +1,95 @@
+#include "analysis/word_cloud.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/distributions.h"
+#include "platform_test_util.h"
+
+namespace cats::analysis {
+namespace {
+
+LabeledSplit Split() {
+  const auto& store = cats::TestStore();
+  return SplitByLabel(
+      store.items(),
+      cats::StoreLabels(cats::TestMarketplace(), store));
+}
+
+TEST(WordCloudTest, TopWordsSortedByCount) {
+  WordCloud cloud(&cats::TestSemanticModel());
+  auto top = cloud.TopWords(Split().fraud, 50);
+  ASSERT_GE(top.size(), 10u);
+  for (size_t i = 1; i < top.size(); ++i) {
+    EXPECT_GE(top[i - 1].count, top[i].count);
+  }
+}
+
+TEST(WordCloudTest, RequestedSizeRespected) {
+  WordCloud cloud(&cats::TestSemanticModel());
+  auto top = cloud.TopWords(Split().fraud, 7);
+  EXPECT_EQ(top.size(), 7u);
+}
+
+TEST(WordCloudTest, EmptyItemsEmptyCloud) {
+  WordCloud cloud(&cats::TestSemanticModel());
+  EXPECT_TRUE(cloud.TopWords({}, 50).empty());
+}
+
+TEST(WordCloudTest, FraudCloudMorePositiveThanNormal) {
+  // The paper's Figs 8/9 contrast: fraud items' top words are dominated by
+  // positive words; normal items' top words include negatives. Judged
+  // against the language's ground-truth polarity — the fixture-scale
+  // expanded lexicon is too noisy for a stable flag-based comparison
+  // (the bench-scale run checks the lexicon-flag version).
+  WordCloud cloud(&cats::TestSemanticModel());
+  LabeledSplit split = Split();
+  auto fraud_top = cloud.TopWords(split.fraud, 50);
+  auto normal_top = cloud.TopWords(split.normal, 50);
+  auto true_positive_fraction = [](const std::vector<WordFrequency>& top) {
+    size_t positive = 0;
+    for (const WordFrequency& wf : top) {
+      if (cats::TestLanguage().PolarityOf(wf.word) ==
+          platform::Polarity::kPositive) {
+        ++positive;
+      }
+    }
+    return static_cast<double>(positive) / top.size();
+  };
+  double fraud_positive = true_positive_fraction(fraud_top);
+  double normal_positive = true_positive_fraction(normal_top);
+  EXPECT_GT(fraud_positive, normal_positive);
+  EXPECT_GT(fraud_positive, 0.3);
+
+  bool normal_has_negative = false;
+  for (const WordFrequency& wf : normal_top) {
+    if (cats::TestLanguage().PolarityOf(wf.word) ==
+        platform::Polarity::kNegative) {
+      normal_has_negative = true;
+    }
+  }
+  EXPECT_TRUE(normal_has_negative);
+}
+
+TEST(WordCloudTest, FractionsConsistent) {
+  WordCloud cloud(&cats::TestSemanticModel());
+  auto top = cloud.TopWords(Split().fraud, 30);
+  double mass = WordCloud::TotalMassOfTop(top);
+  EXPECT_GT(mass, 0.0);
+  EXPECT_LE(mass, 1.0);
+  for (const WordFrequency& wf : top) {
+    EXPECT_GT(wf.count, 0u);
+    EXPECT_GT(wf.fraction, 0.0);
+    EXPECT_FALSE(wf.word.empty());
+  }
+}
+
+TEST(WordCloudTest, DeterministicTieBreaks) {
+  WordCloud cloud(&cats::TestSemanticModel());
+  auto a = cloud.TopWords(Split().fraud, 40);
+  auto b = cloud.TopWords(Split().fraud, 40);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].word, b[i].word);
+}
+
+}  // namespace
+}  // namespace cats::analysis
