@@ -46,9 +46,15 @@ int Usage() {
                "usage:\n"
                "  cats_cli gen <dir> [--preset d0|d1|eplatform|5k] "
                "[--scale S] [--seed N]\n"
-               "  cats_cli train <data-dir> <model-dir>\n"
+               "  cats_cli train <data-dir> <model-dir> [--metrics]\n"
                "  cats_cli detect <data-dir> <model-dir> [--threshold T]\n"
-               "  cats_cli analyze <data-dir>\n");
+               "                  [--metrics] [--metrics-json <path>]\n"
+               "  cats_cli analyze <data-dir>\n"
+               "\n"
+               "  --metrics            print the pipeline metrics table\n"
+               "                       (docs/METRICS.md) after the run\n"
+               "  --metrics-json PATH  also write the registry snapshot as "
+               "JSON\n");
   return 2;
 }
 
@@ -59,6 +65,14 @@ std::string FlagValue(int argc, char** argv, const char* flag,
     if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
   }
   return fallback;
+}
+
+/// True when the boolean "--flag" is present.
+bool HasFlag(int argc, char** argv, const char* flag) {
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
 }
 
 Status SaveLabels(const std::string& dir, const platform::Marketplace& market,
@@ -186,6 +200,10 @@ int CmdTrain(int argc, char** argv) {
               store->items().size(), corpus.size(), model_dir.c_str(),
               cats_system.semantic_model().positive.size(),
               cats_system.semantic_model().negative.size());
+  if (HasFlag(argc, argv, "--metrics")) {
+    std::printf("\npipeline metrics:\n%s",
+                core::Cats::DumpMetricsTable().c_str());
+  }
   return 0;
 }
 
@@ -241,6 +259,23 @@ int CmdDetect(int argc, char** argv) {
     }
     auto metrics = analysis::EvaluateReport(*report, ids, truth);
     std::printf("against labels.csv: %s\n", metrics.ToString().c_str());
+  }
+
+  if (HasFlag(argc, argv, "--metrics")) {
+    std::printf("\nstage trace:\n%s", report->trace.ToString().c_str());
+    std::printf("\npipeline metrics:\n%s",
+                core::Cats::DumpMetricsTable().c_str());
+  }
+  std::string metrics_json = FlagValue(argc, argv, "--metrics-json", "");
+  if (!metrics_json.empty()) {
+    Status st = WriteStringToFile(metrics_json,
+                                  core::Cats::DumpMetricsJson() + "\n");
+    if (!st.ok()) {
+      std::fprintf(stderr, "metrics-json write failed: %s\n",
+                   st.ToString().c_str());
+      return 1;
+    }
+    std::printf("metrics snapshot written to %s\n", metrics_json.c_str());
   }
   return 0;
 }

@@ -1,0 +1,50 @@
+#!/bin/sh
+# docs-check: every metric name declared in src/obs/metric_names.h must be
+# documented in docs/METRICS.md. Runs as the `docs_check` ctest so the
+# operator-facing metrics reference cannot drift from the code.
+#
+# Usage: check_metrics_docs.sh [repo_root]
+set -u
+
+root="${1:-$(dirname "$0")/..}"
+names_header="$root/src/obs/metric_names.h"
+docs="$root/docs/METRICS.md"
+
+if [ ! -f "$names_header" ]; then
+  echo "docs-check: missing $names_header" >&2
+  exit 1
+fi
+if [ ! -f "$docs" ]; then
+  echo "docs-check: missing $docs" >&2
+  exit 1
+fi
+
+# Metric names are the string literals assigned to the kFoo constants, e.g.
+#     inline constexpr std::string_view kGbdtRoundsTotal = "gbdt.rounds_total";
+# clang-format wraps long ones onto the next line, so flatten each
+# declaration (= statement up to ';') onto one line before matching.
+names=$(tr '\n' ' ' <"$names_header" \
+  | sed 's/;/;\n/g' \
+  | sed -n 's/.*std::string_view  *k[A-Za-z0-9]*  *=  *"\([^"]*\)".*/\1/p')
+
+if [ -z "$names" ]; then
+  echo "docs-check: no metric names parsed from $names_header" >&2
+  exit 1
+fi
+
+missing=0
+total=0
+for name in $names; do
+  total=$((total + 1))
+  if ! grep -q -F "\`$name\`" "$docs"; then
+    echo "docs-check: metric \"$name\" is registered in" \
+      "src/obs/metric_names.h but not documented in docs/METRICS.md" >&2
+    missing=$((missing + 1))
+  fi
+done
+
+if [ "$missing" -ne 0 ]; then
+  echo "docs-check: FAILED — $missing of $total metric name(s) undocumented" >&2
+  exit 1
+fi
+echo "docs-check: OK — all $total metric names documented in docs/METRICS.md"

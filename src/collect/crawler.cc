@@ -1,11 +1,36 @@
 #include "collect/crawler.h"
 
+#include <algorithm>
 #include <functional>
 
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+#include "obs/stage_trace.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
 namespace cats::collect {
+namespace {
+
+/// Mirrors one crawl's stats into the process-wide registry. Counters are
+/// cumulative across crawls; CrawlStats stays the per-run view.
+void RecordCrawlMetrics(const CrawlStats& stats) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  registry.GetCounter(obs::kCrawlerRequestsTotal)->Increment(stats.requests);
+  registry.GetCounter(obs::kCrawlerRetriesTotal)->Increment(stats.retries);
+  registry.GetCounter(obs::kCrawlerPagesFetchedTotal)
+      ->Increment(stats.pages_fetched);
+  registry.GetCounter(obs::kCrawlerShopsTotal)->Increment(stats.shops);
+  registry.GetCounter(obs::kCrawlerItemsTotal)->Increment(stats.items);
+  registry.GetCounter(obs::kCrawlerCommentsTotal)->Increment(stats.comments);
+  registry.GetCounter(obs::kCrawlerDuplicatesDroppedTotal)
+      ->Increment(stats.duplicates_dropped);
+  registry.GetCounter(obs::kCrawlerRateLimiterStallMicrosTotal)
+      ->Increment(static_cast<uint64_t>(
+          std::max<int64_t>(0, stats.throttled_micros)));
+}
+
+}  // namespace
 
 Result<std::string> Crawler::Fetch(const std::string& path) {
   for (size_t attempt = 0;; ++attempt) {
@@ -33,6 +58,7 @@ Status Crawler::FetchAllPages(
         std::string body,
         Fetch(StrFormat("%s?page=%zu", base_path.c_str(), page)));
     CATS_ASSIGN_OR_RETURN(Page parsed, ParsePage(body));
+    ++stats_.pages_fetched;
     total_pages = parsed.total_pages;
     for (const JsonValue& record : parsed.data) {
       CATS_RETURN_NOT_OK(consume(record));
@@ -44,6 +70,9 @@ Status Crawler::FetchAllPages(
 
 Status Crawler::Crawl(DataStore* store) {
   stats_ = CrawlStats{};
+  obs::ScopedTimer crawl_timer(obs::MetricsRegistry::Global()
+                                   .GetLatencyHistogram(
+                                       obs::kCrawlerCrawlLatencyMicros));
 
   // Step 1: all shop homepages.
   CATS_RETURN_NOT_OK(FetchAllPages("/shops", [&](const JsonValue& v) {
@@ -88,6 +117,7 @@ Status Crawler::Crawl(DataStore* store) {
   }
   stats_.duplicates_dropped = store->duplicates_dropped();
   stats_.throttled_micros = limiter_.throttled_micros();
+  RecordCrawlMetrics(stats_);
   return Status::OK();
 }
 

@@ -29,6 +29,7 @@ struct CrawlerOptions {
 struct CrawlStats {
   uint64_t requests = 0;
   uint64_t retries = 0;
+  uint64_t pages_fetched = 0;
   uint64_t shops = 0;
   uint64_t items = 0;
   uint64_t comments = 0;
@@ -40,6 +41,10 @@ struct CrawlStats {
 /// — all shop homepages, each shop's items, each item's comments — through
 /// a rate limiter, retrying transient failures, deduplicating records into
 /// a DataStore. Substitutes for the Scrapy deployment on three servers.
+///
+/// Observability: every Crawl mirrors its CrawlStats into the process-wide
+/// obs::MetricsRegistry under the `crawler.*` names (docs/METRICS.md) and
+/// records per-crawl wall time into `crawler.crawl_latency_micros`.
 class Crawler {
  public:
   Crawler(platform::MarketplaceApi* api, const CrawlerOptions& options,

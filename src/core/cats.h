@@ -9,6 +9,7 @@
 #include "collect/store.h"
 #include "core/detector.h"
 #include "core/semantic_analyzer.h"
+#include "obs/metrics.h"
 #include "util/result.h"
 
 namespace cats::core {
@@ -62,6 +63,20 @@ class Cats {
   /// negative_lexicon.txt, dictionary.txt. `dir` must exist.
   Status SaveModel(const std::string& dir) const;
   Status LoadModel(const std::string& dir);
+
+  /// Observability: every pipeline stage registers its metrics in the
+  /// process-wide obs::MetricsRegistry (names in docs/METRICS.md). These
+  /// helpers expose that registry through the facade so operators can
+  /// snapshot/dump without reaching into src/obs directly.
+  static obs::MetricsRegistry& metrics() {
+    return obs::MetricsRegistry::Global();
+  }
+  static obs::MetricsSnapshot MetricsSnapshot() {
+    return metrics().Snapshot();
+  }
+  /// JSON/table dumps of the current snapshot (see MetricsRegistry).
+  static std::string DumpMetricsJson() { return metrics().DumpJson(); }
+  static std::string DumpMetricsTable() { return metrics().DumpTable(); }
 
   bool has_semantic_model() const { return semantic_model_ != nullptr; }
   const SemanticModel& semantic_model() const { return *semantic_model_; }

@@ -3,7 +3,47 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+
 namespace cats::core {
+namespace {
+
+/// Handles for the detector metrics, resolved once per process.
+struct DetectorMetrics {
+  obs::Counter* items_scanned;
+  obs::Counter* items_rule_filtered;
+  obs::Counter* filtered_low_sales;
+  obs::Counter* filtered_no_signal;
+  obs::Counter* filtered_no_comments;
+  obs::Counter* items_classified;
+  obs::Counter* items_flagged;
+  obs::LatencyHistogram* score_histogram;
+  obs::LatencyHistogram* detect_latency;
+  obs::LatencyHistogram* train_latency;
+
+  static const DetectorMetrics& Get() {
+    static const DetectorMetrics* metrics = [] {
+      obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+      return new DetectorMetrics{
+          registry.GetCounter(obs::kDetectorItemsScannedTotal),
+          registry.GetCounter(obs::kDetectorItemsRuleFilteredTotal),
+          registry.GetCounter(obs::kDetectorFilteredLowSalesTotal),
+          registry.GetCounter(obs::kDetectorFilteredNoSignalTotal),
+          registry.GetCounter(obs::kDetectorFilteredNoCommentsTotal),
+          registry.GetCounter(obs::kDetectorItemsClassifiedTotal),
+          registry.GetCounter(obs::kDetectorItemsFlaggedTotal),
+          registry.GetHistogram(
+              obs::kDetectorScoreHistogram,
+              obs::LatencyHistogram::UniformBounds(0.0, 1.0, 20)),
+          registry.GetLatencyHistogram(obs::kDetectorDetectLatencyMicros),
+          registry.GetLatencyHistogram(obs::kDetectorTrainLatencyMicros)};
+    }();
+    return *metrics;
+  }
+};
+
+}  // namespace
 
 bool DetectionReport::Contains(uint64_t item_id) const {
   for (const Detection& d : detections) {
@@ -25,6 +65,7 @@ void Detector::SetClassifier(std::unique_ptr<ml::Classifier> classifier) {
 
 Status Detector::Train(const std::vector<collect::CollectedItem>& items,
                        const std::vector<int>& labels) {
+  obs::ScopedTimer train_timer(DetectorMetrics::Get().train_latency);
   CATS_ASSIGN_OR_RETURN(ml::Dataset dataset,
                         extractor_.BuildDataset(items, labels));
   CATS_RETURN_NOT_OK(classifier_->Fit(dataset));
@@ -120,30 +161,56 @@ Result<DetectionReport> Detector::Detect(
   if (!trained_) {
     return Status::FailedPrecondition("detector classifier is not trained");
   }
+  const DetectorMetrics& metrics = DetectorMetrics::Get();
   DetectionReport report;
   report.items_scanned = items.size();
 
-  std::vector<FeatureVector> features = extractor_.ExtractAll(items);
-  for (size_t i = 0; i < items.size(); ++i) {
-    switch (filter_.Evaluate(items[i], features[i])) {
-      case FilterReason::kLowSales:
-        ++report.items_filtered_low_sales;
-        continue;
-      case FilterReason::kNoPositiveSignal:
-        ++report.items_filtered_no_signal;
-        continue;
-      case FilterReason::kNoComments:
-        ++report.items_filtered_no_comments;
-        continue;
-      case FilterReason::kKept:
-        break;
+  // Every stage scope closes before `return report` so the RAII writes land
+  // while the trace still lives at its final address.
+  {
+    obs::StageTrace detect_stage(&report.trace, "detect",
+                                 metrics.detect_latency);
+    detect_stage.AddItems(items.size());
+
+    std::vector<FeatureVector> features;
+    {
+      obs::StageTrace extract_stage(&report.trace, "extract_features");
+      features = extractor_.ExtractAll(items);
+      extract_stage.AddItems(items.size());
     }
-    ++report.items_classified;
-    double score = classifier_->PredictProba(features[i].data());
-    if (score >= options_.decision_threshold) {
-      report.detections.push_back(Detection{items[i].item.item_id, score});
+
+    obs::StageTrace classify_stage(&report.trace, "rule_filter_and_classify");
+    for (size_t i = 0; i < items.size(); ++i) {
+      switch (filter_.Evaluate(items[i], features[i])) {
+        case FilterReason::kLowSales:
+          ++report.items_filtered_low_sales;
+          metrics.filtered_low_sales->Increment();
+          continue;
+        case FilterReason::kNoPositiveSignal:
+          ++report.items_filtered_no_signal;
+          metrics.filtered_no_signal->Increment();
+          continue;
+        case FilterReason::kNoComments:
+          ++report.items_filtered_no_comments;
+          metrics.filtered_no_comments->Increment();
+          continue;
+        case FilterReason::kKept:
+          break;
+      }
+      ++report.items_classified;
+      double score = classifier_->PredictProba(features[i].data());
+      metrics.score_histogram->Observe(score);
+      if (score >= options_.decision_threshold) {
+        report.detections.push_back(Detection{items[i].item.item_id, score});
+      }
     }
+    classify_stage.AddItems(report.items_classified);
   }
+  metrics.items_scanned->Increment(report.items_scanned);
+  metrics.items_rule_filtered->Increment(report.items_scanned -
+                                         report.items_classified);
+  metrics.items_classified->Increment(report.items_classified);
+  metrics.items_flagged->Increment(report.detections.size());
   return report;
 }
 

@@ -11,6 +11,7 @@
 #include "core/rule_filter.h"
 #include "ml/classifier.h"
 #include "ml/gbdt.h"
+#include "obs/stage_trace.h"
 #include "util/result.h"
 
 namespace cats::core {
@@ -29,6 +30,10 @@ struct DetectionReport {
   size_t items_filtered_no_signal = 0;
   size_t items_filtered_no_comments = 0;
   size_t items_classified = 0;
+  /// Per-stage wall time + item counts of this run (detect >
+  /// extract_features / rule_filter_and_classify). The same latencies also
+  /// land in the process-wide registry histograms (docs/METRICS.md).
+  obs::PipelineTrace trace;
 
   bool Contains(uint64_t item_id) const;
 };

@@ -3,10 +3,40 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+#include "obs/stage_trace.h"
 #include "text/text_stats.h"
 #include "util/thread_pool.h"
 
 namespace cats::core {
+namespace {
+
+/// Handles for the extractor metrics, resolved once per process.
+struct ExtractorMetrics {
+  obs::Counter* items;
+  obs::Counter* comments;
+  obs::Counter* sentiment_evals;
+  obs::LatencyHistogram* extract_latency;
+  obs::LatencyHistogram* chunk_latency;
+  obs::Gauge* last_items_per_second;
+
+  static const ExtractorMetrics& Get() {
+    static const ExtractorMetrics* metrics = [] {
+      obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+      return new ExtractorMetrics{
+          registry.GetCounter(obs::kExtractorItemsFeaturizedTotal),
+          registry.GetCounter(obs::kExtractorCommentsProcessedTotal),
+          registry.GetCounter(obs::kExtractorSentimentEvalsTotal),
+          registry.GetLatencyHistogram(obs::kExtractorExtractLatencyMicros),
+          registry.GetLatencyHistogram(obs::kExtractorChunkLatencyMicros),
+          registry.GetGauge(obs::kExtractorLastItemsPerSecond)};
+    }();
+    return *metrics;
+  }
+};
+
+}  // namespace
 
 FeatureVector FeatureExtractor::ExtractFromComments(
     const std::vector<std::string>& raw_comments) const {
@@ -103,13 +133,36 @@ std::vector<FeatureVector> FeatureExtractor::ExtractAll(
     const std::vector<collect::CollectedItem>& items) const {
   std::vector<FeatureVector> out(items.size());
   if (items.empty()) return out;
+  const ExtractorMetrics& metrics = ExtractorMetrics::Get();
+  obs::ScopedTimer extract_timer(metrics.extract_latency);
+
+  // One chunk runs entirely on one worker (see ThreadPool::ParallelFor), so
+  // counts accumulate in chunk-locals and publish with one atomic add each.
+  auto extract_chunk = [&](size_t begin, size_t end) {
+    obs::ScopedTimer chunk_timer(metrics.chunk_latency);
+    uint64_t comments = 0;
+    for (size_t i = begin; i < end; ++i) {
+      out[i] = Extract(items[i]);
+      comments += items[i].comments.size();
+    }
+    metrics.items->Increment(end - begin);
+    metrics.comments->Increment(comments);
+    // One sentiment model evaluation per comment (ExtractFromComments).
+    metrics.sentiment_evals->Increment(comments);
+  };
+
   if (options_.num_threads <= 1) {
-    for (size_t i = 0; i < items.size(); ++i) out[i] = Extract(items[i]);
-    return out;
+    extract_chunk(0, items.size());
+  } else {
+    ThreadPool pool(options_.num_threads);
+    pool.ParallelForChunks(items.size(), extract_chunk);
   }
-  ThreadPool pool(options_.num_threads);
-  pool.ParallelFor(items.size(),
-                   [&](size_t i) { out[i] = Extract(items[i]); });
+  double elapsed_seconds =
+      static_cast<double>(extract_timer.ElapsedMicros()) / 1e6;
+  if (elapsed_seconds > 0) {
+    metrics.last_items_per_second->Set(
+        static_cast<double>(items.size()) / elapsed_seconds);
+  }
   return out;
 }
 

@@ -25,6 +25,12 @@ struct FeatureExtractorOptions {
 /// sentiment) and structural (entropy, lengths, punctuation, unique-word
 /// ratio). Thread-safe once constructed; Extract* may be called
 /// concurrently.
+///
+/// Observability: ExtractAll reports items/comments/sentiment-eval counts
+/// and latency under the `extractor.*` metrics (docs/METRICS.md). Counts
+/// are accumulated per ParallelFor chunk (one chunk per worker thread) and
+/// published with one atomic add per chunk, so the per-comment hot loop
+/// never touches a shared cache line.
 class FeatureExtractor {
  public:
   FeatureExtractor(const SemanticModel* model,

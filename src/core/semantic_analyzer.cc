@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+#include "obs/stage_trace.h"
 #include "util/csv.h"
 #include "util/logging.h"
 #include "util/string_util.h"
@@ -71,6 +74,10 @@ Result<SemanticModel> SemanticAnalyzer::Build(
     return Status::InvalidArgument("semantic analyzer needs seed words");
   }
 
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  obs::ScopedTimer build_timer(
+      registry.GetLatencyHistogram(obs::kSemanticBuildLatencyMicros));
+
   SemanticModel model;
   model.dictionary = std::move(dictionary);
 
@@ -84,6 +91,10 @@ Result<SemanticModel> SemanticAnalyzer::Build(
     if (!tokens.empty()) sentences.push_back(std::move(tokens));
   }
 
+  registry.GetCounter(obs::kSemanticCommentsSegmentedTotal)
+      ->Increment(corpus.size());
+  registry.GetCounter(obs::kSemanticSentencesTrainedTotal)
+      ->Increment(sentences.size());
   CATS_LOG(Info) << "semantic analyzer: training word2vec on "
                  << sentences.size() << " sentences";
   nlp::Word2Vec w2v(options_.word2vec);
@@ -98,6 +109,10 @@ Result<SemanticModel> SemanticAnalyzer::Build(
       nlp::ExpandLexicon(embeddings, negative_seeds, options_.expansion));
   CATS_LOG(Info) << "semantic analyzer: |P|=" << model.positive.size()
                  << " |N|=" << model.negative.size();
+  registry.GetGauge(obs::kSemanticLexiconPositiveSize)
+      ->Set(static_cast<double>(model.positive.size()));
+  registry.GetGauge(obs::kSemanticLexiconNegativeSize)
+      ->Set(static_cast<double>(model.negative.size()));
 
   // Sentiment model on the labeled review corpus.
   std::vector<nlp::SentimentExample> examples;
@@ -108,6 +123,10 @@ Result<SemanticModel> SemanticAnalyzer::Build(
     ex.positive = positive;
     if (!ex.tokens.empty()) examples.push_back(std::move(ex));
   }
+  registry.GetCounter(obs::kSemanticCommentsSegmentedTotal)
+      ->Increment(sentiment_corpus.size());
+  registry.GetCounter(obs::kSemanticSentimentExamplesTotal)
+      ->Increment(examples.size());
   model.sentiment = nlp::SentimentModel(options_.sentiment);
   CATS_RETURN_NOT_OK(model.sentiment.Train(examples));
 

@@ -5,6 +5,9 @@
 #include <fstream>
 #include <numeric>
 
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+#include "obs/stage_trace.h"
 #include "util/random.h"
 #include "util/string_util.h"
 
@@ -54,7 +57,14 @@ Status Gbdt::Fit(const Dataset& train) {
   std::vector<size_t> all_features(d);
   std::iota(all_features.begin(), all_features.end(), 0);
 
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  obs::Counter* rounds_metric = registry.GetCounter(obs::kGbdtRoundsTotal);
+  obs::LatencyHistogram* round_latency =
+      registry.GetLatencyHistogram(obs::kGbdtRoundLatencyMicros);
+
   for (size_t round = 0; round < options_.num_rounds; ++round) {
+    obs::ScopedTimer round_timer(round_latency);
+    rounds_metric->Increment();
     // First-order grad and second-order hess of logistic loss.
     for (size_t i = 0; i < n; ++i) {
       double p = Sigmoid(margin[i]);
@@ -93,6 +103,9 @@ Status Gbdt::Fit(const Dataset& train) {
       loss -= train.Label(i) == 1 ? std::log(p) : std::log(1.0 - p);
     }
     loss_curve_.push_back(loss / static_cast<double>(n));
+  }
+  if (!loss_curve_.empty()) {
+    registry.GetGauge(obs::kGbdtLastTrainingLoss)->Set(loss_curve_.back());
   }
   return Status::OK();
 }

@@ -1,0 +1,96 @@
+#ifndef CATS_OBS_METRIC_NAMES_H_
+#define CATS_OBS_METRIC_NAMES_H_
+
+#include <string_view>
+
+namespace cats::obs {
+
+/// Canonical names of every metric the pipeline emits, in one place so the
+/// instrumented stages, the docs (docs/METRICS.md) and the docs-check script
+/// (scripts/check_metrics_docs.sh) cannot drift apart. Convention:
+/// `<stage>.<what>[_total|_micros]` — `_total` for monotonic counters,
+/// `_micros` for latency histograms in microseconds; bare names are gauges
+/// or value histograms.
+///
+/// Adding a metric: declare its name here, register it through
+/// MetricsRegistry, and document it in docs/METRICS.md (the docs-check
+/// ctest step fails the build otherwise).
+
+// --- collect::Crawler (paper §IV-A data collector) ---
+inline constexpr std::string_view kCrawlerRequestsTotal =
+    "crawler.requests_total";
+inline constexpr std::string_view kCrawlerRetriesTotal =
+    "crawler.retries_total";
+inline constexpr std::string_view kCrawlerPagesFetchedTotal =
+    "crawler.pages_fetched_total";
+inline constexpr std::string_view kCrawlerShopsTotal = "crawler.shops_total";
+inline constexpr std::string_view kCrawlerItemsTotal = "crawler.items_total";
+inline constexpr std::string_view kCrawlerCommentsTotal =
+    "crawler.comments_total";
+inline constexpr std::string_view kCrawlerDuplicatesDroppedTotal =
+    "crawler.duplicates_dropped_total";
+inline constexpr std::string_view kCrawlerRateLimiterStallMicrosTotal =
+    "crawler.rate_limiter_stall_micros_total";
+inline constexpr std::string_view kCrawlerCrawlLatencyMicros =
+    "crawler.crawl_latency_micros";
+
+// --- core::SemanticAnalyzer (paper §II-B semantic analyzer) ---
+inline constexpr std::string_view kSemanticCommentsSegmentedTotal =
+    "semantic.comments_segmented_total";
+inline constexpr std::string_view kSemanticSentencesTrainedTotal =
+    "semantic.sentences_trained_total";
+inline constexpr std::string_view kSemanticSentimentExamplesTotal =
+    "semantic.sentiment_examples_total";
+inline constexpr std::string_view kSemanticLexiconPositiveSize =
+    "semantic.lexicon_positive_size";
+inline constexpr std::string_view kSemanticLexiconNegativeSize =
+    "semantic.lexicon_negative_size";
+inline constexpr std::string_view kSemanticBuildLatencyMicros =
+    "semantic.build_latency_micros";
+
+// --- core::FeatureExtractor / ExtendedFeatures (paper §II-A features) ---
+inline constexpr std::string_view kExtractorItemsFeaturizedTotal =
+    "extractor.items_featurized_total";
+inline constexpr std::string_view kExtractorCommentsProcessedTotal =
+    "extractor.comments_processed_total";
+inline constexpr std::string_view kExtractorSentimentEvalsTotal =
+    "extractor.sentiment_evals_total";
+inline constexpr std::string_view kExtractorExtractLatencyMicros =
+    "extractor.extract_latency_micros";
+inline constexpr std::string_view kExtractorChunkLatencyMicros =
+    "extractor.chunk_latency_micros";
+inline constexpr std::string_view kExtractorLastItemsPerSecond =
+    "extractor.last_items_per_second";
+
+// --- core::Detector (paper §II-B two-stage detector) ---
+inline constexpr std::string_view kDetectorItemsScannedTotal =
+    "detector.items_scanned_total";
+inline constexpr std::string_view kDetectorItemsRuleFilteredTotal =
+    "detector.items_rule_filtered_total";
+inline constexpr std::string_view kDetectorFilteredLowSalesTotal =
+    "detector.items_filtered_low_sales_total";
+inline constexpr std::string_view kDetectorFilteredNoSignalTotal =
+    "detector.items_filtered_no_signal_total";
+inline constexpr std::string_view kDetectorFilteredNoCommentsTotal =
+    "detector.items_filtered_no_comments_total";
+inline constexpr std::string_view kDetectorItemsClassifiedTotal =
+    "detector.items_classified_total";
+inline constexpr std::string_view kDetectorItemsFlaggedTotal =
+    "detector.items_flagged_total";
+inline constexpr std::string_view kDetectorScoreHistogram =
+    "detector.score_histogram";
+inline constexpr std::string_view kDetectorDetectLatencyMicros =
+    "detector.detect_latency_micros";
+inline constexpr std::string_view kDetectorTrainLatencyMicros =
+    "detector.train_latency_micros";
+
+// --- ml::Gbdt (the detector's boosted-tree classifier) ---
+inline constexpr std::string_view kGbdtRoundsTotal = "gbdt.rounds_total";
+inline constexpr std::string_view kGbdtRoundLatencyMicros =
+    "gbdt.round_latency_micros";
+inline constexpr std::string_view kGbdtLastTrainingLoss =
+    "gbdt.last_training_loss";
+
+}  // namespace cats::obs
+
+#endif  // CATS_OBS_METRIC_NAMES_H_

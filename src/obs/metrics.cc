@@ -1,0 +1,242 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace cats::obs {
+
+// --- LatencyHistogram ---
+
+LatencyHistogram::LatencyHistogram(std::string name,
+                                   std::vector<double> bounds)
+    : name_(std::move(name)),
+      bounds_(std::move(bounds)),
+      counts_(new std::atomic<uint64_t>[bounds_.size() + 1]) {
+  std::sort(bounds_.begin(), bounds_.end());
+  for (size_t i = 0; i <= bounds_.size(); ++i) counts_[i].store(0);
+}
+
+void LatencyHistogram::Observe(double value) {
+  size_t i = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+  counts_[i].fetch_add(1, std::memory_order_relaxed);
+  total_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+double LatencyHistogram::sum() const {
+  return sum_.load(std::memory_order_relaxed);
+}
+
+std::vector<double> LatencyHistogram::DefaultLatencyBoundsMicros() {
+  return {100,    250,    500,    1000,    2500,    5000,    10000,
+          25000,  50000,  100000, 250000,  500000,  1000000, 2500000,
+          5000000, 10000000};
+}
+
+std::vector<double> LatencyHistogram::UniformBounds(double lo, double hi,
+                                                    size_t n) {
+  std::vector<double> bounds;
+  bounds.reserve(n);
+  double width = (hi - lo) / static_cast<double>(n);
+  for (size_t i = 1; i <= n; ++i) {
+    bounds.push_back(lo + width * static_cast<double>(i));
+  }
+  return bounds;
+}
+
+// --- snapshots ---
+
+double HistogramSnapshot::Mean() const {
+  return total_count > 0 ? sum / static_cast<double>(total_count) : 0.0;
+}
+
+double HistogramSnapshot::QuantileUpperBound(double q) const {
+  if (total_count == 0 || bounds.empty()) return 0.0;
+  double target = q * static_cast<double>(total_count);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    cumulative += counts[i];
+    if (static_cast<double>(cumulative) >= target && counts[i] > 0) {
+      return bounds[std::min(i, bounds.size() - 1)];
+    }
+  }
+  return bounds.back();
+}
+
+uint64_t MetricsSnapshot::CounterValue(std::string_view name) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+double MetricsSnapshot::GaugeValue(std::string_view name) const {
+  for (const auto& [n, v] : gauges) {
+    if (n == name) return v;
+  }
+  return 0.0;
+}
+
+const HistogramSnapshot* MetricsSnapshot::FindHistogram(
+    std::string_view name) const {
+  for (const HistogramSnapshot& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+JsonValue MetricsSnapshot::ToJson() const {
+  JsonValue counters_obj = JsonValue::Object();
+  for (const auto& [name, value] : counters) {
+    counters_obj.Set(name, JsonValue::Int(static_cast<int64_t>(value)));
+  }
+  JsonValue gauges_obj = JsonValue::Object();
+  for (const auto& [name, value] : gauges) {
+    gauges_obj.Set(name, JsonValue::Number(value));
+  }
+  JsonValue histograms_obj = JsonValue::Object();
+  for (const HistogramSnapshot& h : histograms) {
+    JsonValue entry = JsonValue::Object();
+    JsonValue bounds = JsonValue::Array();
+    for (double b : h.bounds) bounds.Append(JsonValue::Number(b));
+    JsonValue counts = JsonValue::Array();
+    for (uint64_t c : h.counts) {
+      counts.Append(JsonValue::Int(static_cast<int64_t>(c)));
+    }
+    entry.Set("bounds", std::move(bounds));
+    entry.Set("counts", std::move(counts));
+    entry.Set("count", JsonValue::Int(static_cast<int64_t>(h.total_count)));
+    entry.Set("sum", JsonValue::Number(h.sum));
+    histograms_obj.Set(h.name, std::move(entry));
+  }
+  JsonValue root = JsonValue::Object();
+  root.Set("counters", std::move(counters_obj));
+  root.Set("gauges", std::move(gauges_obj));
+  root.Set("histograms", std::move(histograms_obj));
+  return root;
+}
+
+std::string MetricsSnapshot::ToTable() const {
+  TablePrinter table({"metric", "type", "value", "details"});
+  for (const auto& [name, value] : counters) {
+    table.AddRow({name, "counter", StrFormat("%llu",
+                 static_cast<unsigned long long>(value)), ""});
+  }
+  for (const auto& [name, value] : gauges) {
+    table.AddRow({name, "gauge", StrFormat("%.4g", value), ""});
+  }
+  for (const HistogramSnapshot& h : histograms) {
+    table.AddRow(
+        {h.name, "histogram",
+         StrFormat("%llu", static_cast<unsigned long long>(h.total_count)),
+         StrFormat("mean=%.4g p50<=%.4g p95<=%.4g", h.Mean(),
+                   h.QuantileUpperBound(0.50), h.QuantileUpperBound(0.95))});
+  }
+  return table.ToString();
+}
+
+// --- MetricsRegistry ---
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_
+             .emplace(std::string(name),
+                      std::unique_ptr<Counter>(new Counter(std::string(name))))
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_
+             .emplace(std::string(name),
+                      std::unique_ptr<Gauge>(new Gauge(std::string(name))))
+             .first;
+  }
+  return it->second.get();
+}
+
+LatencyHistogram* MetricsRegistry::GetHistogram(std::string_view name,
+                                                std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::unique_ptr<LatencyHistogram>(new LatencyHistogram(
+                          std::string(name), std::move(bounds))))
+             .first;
+  }
+  return it->second.get();
+}
+
+LatencyHistogram* MetricsRegistry::GetLatencyHistogram(
+    std::string_view name) {
+  return GetHistogram(name, LatencyHistogram::DefaultLatencyBoundsMicros());
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snapshot;
+  snapshot.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters.emplace_back(name, counter->value());
+  }
+  snapshot.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges.emplace_back(name, gauge->value());
+  }
+  snapshot.histograms.reserve(histograms_.size());
+  for (const auto& [name, hist] : histograms_) {
+    HistogramSnapshot h;
+    h.name = name;
+    h.bounds = hist->bounds();
+    h.counts.reserve(hist->bounds().size() + 1);
+    for (size_t i = 0; i <= hist->bounds().size(); ++i) {
+      h.counts.push_back(hist->bucket_count(i));
+    }
+    h.total_count = hist->total_count();
+    h.sum = hist->sum();
+    snapshot.histograms.push_back(std::move(h));
+  }
+  return snapshot;
+}
+
+std::string MetricsRegistry::DumpJson() const {
+  return Snapshot().ToJson().Serialize();
+}
+
+std::string MetricsRegistry::DumpTable() const { return Snapshot().ToTable(); }
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->value_.store(0);
+  for (auto& [name, gauge] : gauges_) gauge->value_.store(0.0);
+  for (auto& [name, hist] : histograms_) {
+    for (size_t i = 0; i <= hist->bounds_.size(); ++i) {
+      hist->counts_[i].store(0);
+    }
+    hist->total_.store(0);
+    hist->sum_.store(0.0);
+  }
+}
+
+}  // namespace cats::obs

@@ -1,0 +1,169 @@
+#ifndef CATS_OBS_METRICS_H_
+#define CATS_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/json.h"
+
+namespace cats::obs {
+
+/// Monotonically increasing counter. The hot path is one relaxed atomic
+/// add — safe to hit from every ThreadPool worker concurrently; increments
+/// are never lost (tests/obs_metrics_test.cc proves exact summation).
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+  std::string name_;
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-value-wins instantaneous measurement (queue depth, throughput of
+/// the most recent batch, final training loss). Set/Add are lock-free.
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double delta) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+  std::string name_;
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram with lock-free observation: bucket i counts
+/// observations <= bounds[i] (first matching bound), plus one overflow
+/// bucket for values above the last bound. Bounds are fixed at registration
+/// so concurrent snapshots never see a resizing bucket array. Despite the
+/// name it is value-agnostic — the detector records classification scores
+/// through the same type (see kDetectorScoreHistogram).
+class LatencyHistogram {
+ public:
+  void Observe(double value);
+
+  /// Default exponential latency grid, 100us .. 10s, for *_micros metrics.
+  static std::vector<double> DefaultLatencyBoundsMicros();
+  /// `n` equal-width buckets spanning [lo, hi] (plus overflow above hi).
+  static std::vector<double> UniformBounds(double lo, double hi, size_t n);
+
+  const std::string& name() const { return name_; }
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Count in bucket i; i == bounds().size() is the overflow bucket.
+  uint64_t bucket_count(size_t i) const {
+    return counts_[i].load(std::memory_order_relaxed);
+  }
+  uint64_t total_count() const {
+    return total_.load(std::memory_order_relaxed);
+  }
+  double sum() const;
+
+ private:
+  friend class MetricsRegistry;
+  LatencyHistogram(std::string name, std::vector<double> bounds);
+
+  std::string name_;
+  std::vector<double> bounds_;  // ascending upper bounds
+  std::unique_ptr<std::atomic<uint64_t>[]> counts_;  // bounds_.size() + 1
+  std::atomic<uint64_t> total_{0};
+  // Kahan-free double sum via CAS; precise enough for mean reporting.
+  std::atomic<double> sum_{0.0};
+};
+
+/// Point-in-time copy of one histogram, for export and delta arithmetic.
+struct HistogramSnapshot {
+  std::string name;
+  std::vector<double> bounds;
+  std::vector<uint64_t> counts;  // bounds.size() + 1 (last = overflow)
+  uint64_t total_count = 0;
+  double sum = 0.0;
+
+  double Mean() const;
+  /// Upper bound of the bucket containing the q-quantile (q in [0, 1]);
+  /// returns the last finite bound for overflow-bucket hits.
+  double QuantileUpperBound(double q) const;
+};
+
+/// Point-in-time copy of the whole registry. Name-sorted for deterministic
+/// export; DumpJson/DumpTable below are rendered from this.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<HistogramSnapshot> histograms;
+
+  uint64_t CounterValue(std::string_view name) const;  // 0 when absent
+  double GaugeValue(std::string_view name) const;      // 0.0 when absent
+  const HistogramSnapshot* FindHistogram(std::string_view name) const;
+
+  JsonValue ToJson() const;
+  /// Aligned table via util/table_printer.h: one row per metric, histograms
+  /// summarized as count/mean/p50/p95.
+  std::string ToTable() const;
+};
+
+/// Process-wide home of every metric handle. Handle creation (GetCounter /
+/// GetGauge / GetHistogram) takes the registry mutex and is expected at
+/// construction time of the instrumented stage; the returned pointers are
+/// stable for the registry's lifetime and their mutation methods are
+/// lock-free, so the pipeline hot path never contends on the registry.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry the pipeline stages register into. Leaked on
+  /// purpose so handles stay valid through static destruction.
+  static MetricsRegistry& Global();
+
+  /// Returns the existing metric of that name or registers a new one.
+  /// Re-registering a histogram keeps the original bounds.
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  LatencyHistogram* GetHistogram(std::string_view name,
+                                 std::vector<double> bounds);
+  /// Histogram with DefaultLatencyBoundsMicros().
+  LatencyHistogram* GetLatencyHistogram(std::string_view name);
+
+  MetricsSnapshot Snapshot() const;
+  /// Snapshot().ToJson().Serialize() — parses back with util/json.h.
+  std::string DumpJson() const;
+  /// Snapshot().ToTable() — human-readable aligned table.
+  std::string DumpTable() const;
+
+  /// Zeroes every value but keeps registrations and handles valid. For
+  /// tests and benches that measure per-run deltas from a clean slate.
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;  // guards the maps, not the metric values
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>, std::less<>>
+      histograms_;
+};
+
+}  // namespace cats::obs
+
+#endif  // CATS_OBS_METRICS_H_

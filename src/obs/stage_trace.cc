@@ -1,0 +1,91 @@
+#include "obs/stage_trace.h"
+
+#include "util/string_util.h"
+
+namespace cats::obs {
+namespace {
+
+int64_t MicrosSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+JsonValue NodeToJson(const TraceNode& node) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("name", JsonValue::String(node.name));
+  obj.Set("wall_micros", JsonValue::Int(node.wall_micros));
+  obj.Set("items", JsonValue::Int(static_cast<int64_t>(node.items)));
+  JsonValue children = JsonValue::Array();
+  for (const TraceNode& child : node.children) {
+    children.Append(NodeToJson(child));
+  }
+  obj.Set("children", std::move(children));
+  return obj;
+}
+
+void NodeToString(const TraceNode& node, int depth, std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  *out += StrFormat("%s  %.3f ms", node.name.c_str(),
+                    static_cast<double>(node.wall_micros) / 1e3);
+  if (node.items > 0) {
+    *out += StrFormat("  (%llu items)",
+                      static_cast<unsigned long long>(node.items));
+  }
+  *out += '\n';
+  for (const TraceNode& child : node.children) {
+    NodeToString(child, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+const TraceNode* TraceNode::FindChild(std::string_view child_name) const {
+  for (const TraceNode& child : children) {
+    if (child.name == child_name) return &child;
+  }
+  return nullptr;
+}
+
+JsonValue PipelineTrace::ToJson() const { return NodeToJson(root_); }
+
+std::string PipelineTrace::ToString() const {
+  std::string out;
+  for (const TraceNode& stage : root_.children) {
+    NodeToString(stage, 0, &out);
+  }
+  return out;
+}
+
+StageTrace::StageTrace(PipelineTrace* trace, std::string name,
+                       LatencyHistogram* latency)
+    : trace_(trace),
+      latency_(latency),
+      start_(std::chrono::steady_clock::now()) {
+  TraceNode* parent = trace_->open_.back();
+  parent->children.push_back(TraceNode{std::move(name), 0, 0, {}});
+  node_ = &parent->children.back();
+  trace_->open_.push_back(node_);
+}
+
+StageTrace::~StageTrace() {
+  node_->wall_micros = MicrosSince(start_);
+  trace_->open_.pop_back();
+  if (latency_ != nullptr) {
+    latency_->Observe(static_cast<double>(node_->wall_micros));
+  }
+}
+
+void StageTrace::AddItems(uint64_t n) { node_->items += n; }
+
+int64_t StageTrace::ElapsedMicros() const { return MicrosSince(start_); }
+
+ScopedTimer::~ScopedTimer() {
+  if (latency_ != nullptr) {
+    latency_->Observe(static_cast<double>(MicrosSince(start_)));
+  }
+}
+
+int64_t ScopedTimer::ElapsedMicros() const { return MicrosSince(start_); }
+
+}  // namespace cats::obs

@@ -1,0 +1,120 @@
+#ifndef CATS_OBS_STAGE_TRACE_H_
+#define CATS_OBS_STAGE_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/json.h"
+
+namespace cats::obs {
+
+/// One timed stage in a pipeline run: wall time, how many items the stage
+/// handled, and the sub-stages that ran inside it.
+struct TraceNode {
+  std::string name;
+  int64_t wall_micros = 0;
+  uint64_t items = 0;
+  std::vector<TraceNode> children;
+
+  const TraceNode* FindChild(std::string_view child_name) const;
+};
+
+/// The stage tree of one pipeline run (root children = top-level stages).
+/// Built by StageTrace scopes; carried by value in results (e.g.
+/// core::DetectionReport::trace) so callers can attribute a run's wall time
+/// stage by stage. Single-threaded: open/close stages from one thread only
+/// (workers inside a stage report through Counter/LatencyHistogram handles
+/// instead — those are the thread-safe path).
+class PipelineTrace {
+ public:
+  PipelineTrace() { open_.push_back(&root_); }
+  PipelineTrace(const PipelineTrace& other) : root_(other.root_) {
+    open_.push_back(&root_);
+  }
+  PipelineTrace& operator=(const PipelineTrace& other) {
+    root_ = other.root_;
+    open_.assign(1, &root_);
+    return *this;
+  }
+  PipelineTrace(PipelineTrace&& other) noexcept
+      : root_(std::move(other.root_)) {
+    open_.push_back(&root_);
+    other.open_.assign(1, &other.root_);
+  }
+  PipelineTrace& operator=(PipelineTrace&& other) noexcept {
+    root_ = std::move(other.root_);
+    open_.assign(1, &root_);
+    other.open_.assign(1, &other.root_);
+    return *this;
+  }
+
+  const TraceNode& root() const { return root_; }
+
+  /// {"name": ..., "wall_micros": ..., "items": ..., "children": [...]}.
+  JsonValue ToJson() const;
+  /// Indented tree, one stage per line with millis and item counts.
+  std::string ToString() const;
+
+ private:
+  friend class StageTrace;
+  TraceNode root_{"pipeline", 0, 0, {}};
+  std::vector<TraceNode*> open_;  // ancestor chain; back() = open stage
+};
+
+/// RAII stage scope: opens a child under the trace's currently open stage,
+/// records wall time on destruction, optionally mirrors the latency into a
+/// registry histogram so per-run traces and cross-run histograms stay in
+/// sync from a single instrumentation point. Nest freely:
+///
+///   obs::PipelineTrace trace;
+///   {
+///     obs::StageTrace detect(&trace, "detect");
+///     { obs::StageTrace extract(&trace, "extract_features"); ... }
+///     { obs::StageTrace classify(&trace, "classify"); ... }
+///   }
+class StageTrace {
+ public:
+  StageTrace(PipelineTrace* trace, std::string name,
+             LatencyHistogram* latency = nullptr);
+  ~StageTrace();
+
+  StageTrace(const StageTrace&) = delete;
+  StageTrace& operator=(const StageTrace&) = delete;
+
+  /// Attributes `n` processed items to this stage.
+  void AddItems(uint64_t n);
+
+  /// Microseconds since the scope opened (the stage stays open).
+  int64_t ElapsedMicros() const;
+
+ private:
+  PipelineTrace* trace_;
+  TraceNode* node_;  // valid while this scope is open (LIFO nesting)
+  LatencyHistogram* latency_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Minimal RAII timer for code that only wants a histogram sample (no
+/// trace tree) — replaces the hand-rolled Stopwatch blocks in bench/.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(LatencyHistogram* latency)
+      : latency_(latency), start_(std::chrono::steady_clock::now()) {}
+  ~ScopedTimer();
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  int64_t ElapsedMicros() const;
+
+ private:
+  LatencyHistogram* latency_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace cats::obs
+
+#endif  // CATS_OBS_STAGE_TRACE_H_

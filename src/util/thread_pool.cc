@@ -38,6 +38,13 @@ void ThreadPool::Wait() {
 }
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  ParallelForChunks(n, [&fn](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) fn(i);
+  });
+}
+
+void ThreadPool::ParallelForChunks(
+    size_t n, const std::function<void(size_t, size_t)>& fn) {
   if (n == 0) return;
   size_t chunks = std::min(n, workers_.size());
   size_t base = n / chunks;
@@ -46,9 +53,7 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   for (size_t c = 0; c < chunks; ++c) {
     size_t len = base + (c < extra ? 1 : 0);
     size_t end = begin + len;
-    Submit([&fn, begin, end] {
-      for (size_t i = begin; i < end; ++i) fn(i);
-    });
+    Submit([&fn, begin, end] { fn(begin, end); });
     begin = end;
   }
   Wait();

@@ -12,10 +12,11 @@
 
 namespace cats {
 
-/// Fixed-size worker pool. Used by the parallel feature extractor and the
-/// Hogwild word2vec trainer. Tasks are plain std::function<void()>; callers
-/// wanting results should capture output slots (one per task) to avoid
-/// synchronization on the data plane.
+/// General-purpose fixed-size worker pool for any CPU-bound fan-out in the
+/// codebase. Tasks are plain std::function<void()>; callers wanting results
+/// should capture output slots (one per task) to avoid synchronization on
+/// the data plane. The pool makes no fairness or ordering guarantees beyond
+/// FIFO dequeue, and Wait() observes only tasks submitted before the call.
 class ThreadPool {
  public:
   /// Creates `num_threads` workers (>=1; 0 means hardware_concurrency).
@@ -36,9 +37,24 @@ class ThreadPool {
   size_t num_threads() const { return workers_.size(); }
 
   /// Runs `fn(i)` for i in [0, n) across the pool and waits for completion.
-  /// Work is pre-partitioned into contiguous chunks (one per worker) so there
-  /// is no per-index dispatch overhead.
+  /// Work is pre-partitioned into at most num_threads() contiguous chunks
+  /// (sizes differing by at most one) so there is no per-index dispatch
+  /// overhead. Consequences of the chunked partitioning:
+  ///   - each chunk runs entirely on one worker thread, so state accumulated
+  ///     across the indices of one chunk needs no synchronization;
+  ///   - per-thread/per-chunk metrics (e.g. obs::Counter batching, chunk
+  ///     latency samples) should be accumulated locally inside a chunk and
+  ///     flushed once at chunk end — use ParallelForChunks for that;
+  ///   - a skewed workload (one expensive index range) is NOT rebalanced:
+  ///     chunk wall times expose the skew rather than hiding it.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  /// The chunk-granular form of ParallelFor: runs `fn(begin, end)` once per
+  /// contiguous chunk, same partitioning. This is the hook for per-thread
+  /// accumulation — sum into locals over [begin, end), then publish with one
+  /// atomic add/observe per chunk instead of one per index.
+  void ParallelForChunks(
+      size_t n, const std::function<void(size_t, size_t)>& fn);
 
  private:
   void WorkerLoop();

@@ -7,6 +7,8 @@
 
 #include "analysis/validation.h"
 #include "core/cats.h"
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
 #include "platform_test_util.h"
 
 namespace cats {
@@ -63,10 +65,62 @@ TEST_F(EndToEndTest, CrossPlatformDetection) {
   ASSERT_TRUE(crawler.Crawl(&store).ok());
   ASSERT_EQ(store.items().size(), target.items().size());
 
-  // 3. Detect and validate against the target's hidden ground truth.
+  // 3. Detect and validate against the target's hidden ground truth. Take
+  //    a registry snapshot around the run so the pipeline's observability
+  //    invariants can be asserted on the deltas.
+  obs::MetricsSnapshot before = core::Cats::MetricsSnapshot();
   auto report = cats_system.Detect(store.items());
   ASSERT_TRUE(report.ok());
   ASSERT_GT(report->detections.size(), 0u);
+
+  // Conservation across stage 1 + stage 2: every scanned item was either
+  // rule-filtered or classified, and the registry agrees with the report.
+  obs::MetricsSnapshot after = core::Cats::MetricsSnapshot();
+  uint64_t scanned = after.CounterValue(obs::kDetectorItemsScannedTotal) -
+                     before.CounterValue(obs::kDetectorItemsScannedTotal);
+  uint64_t filtered =
+      after.CounterValue(obs::kDetectorItemsRuleFilteredTotal) -
+      before.CounterValue(obs::kDetectorItemsRuleFilteredTotal);
+  uint64_t classified =
+      after.CounterValue(obs::kDetectorItemsClassifiedTotal) -
+      before.CounterValue(obs::kDetectorItemsClassifiedTotal);
+  EXPECT_EQ(scanned, store.items().size());
+  EXPECT_EQ(scanned, filtered + classified);
+  EXPECT_EQ(classified, report->items_classified);
+
+  // Every classified item left a score sample; extraction covered the run.
+  const obs::HistogramSnapshot* scores =
+      after.FindHistogram(obs::kDetectorScoreHistogram);
+  ASSERT_NE(scores, nullptr);
+  uint64_t before_scores = 0;
+  if (const obs::HistogramSnapshot* h =
+          before.FindHistogram(obs::kDetectorScoreHistogram)) {
+    before_scores = h->total_count;
+  }
+  EXPECT_EQ(scores->total_count - before_scores, classified);
+  EXPECT_GT(scores->total_count, 0u);
+  EXPECT_GE(after.CounterValue(obs::kExtractorItemsFeaturizedTotal) -
+                before.CounterValue(obs::kExtractorItemsFeaturizedTotal),
+            scanned);
+
+  // The report carries a stage trace: detect > extract_features +
+  // rule_filter_and_classify, with item attribution.
+  const obs::TraceNode* detect_stage =
+      report->trace.root().FindChild("detect");
+  ASSERT_NE(detect_stage, nullptr);
+  EXPECT_EQ(detect_stage->items, store.items().size());
+  const obs::TraceNode* extract_stage =
+      detect_stage->FindChild("extract_features");
+  ASSERT_NE(extract_stage, nullptr);
+  EXPECT_EQ(extract_stage->items, store.items().size());
+  const obs::TraceNode* classify_stage =
+      detect_stage->FindChild("rule_filter_and_classify");
+  ASSERT_NE(classify_stage, nullptr);
+  EXPECT_EQ(classify_stage->items, report->items_classified);
+  EXPECT_GE(detect_stage->wall_micros, extract_stage->wall_micros);
+
+  // The facade's JSON dump parses back through util/json.h.
+  ASSERT_TRUE(JsonValue::Parse(core::Cats::DumpMetricsJson()).ok());
 
   std::vector<uint64_t> ids;
   std::vector<int> labels;

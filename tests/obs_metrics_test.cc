@@ -1,0 +1,206 @@
+// Unit tests for the observability substrate (src/obs): exact counter
+// summation under ThreadPool concurrency, stable histogram bucketing, and
+// JSON export that round-trips through util/json.h.
+
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/metric_names.h"
+#include "util/thread_pool.h"
+
+namespace cats::obs {
+namespace {
+
+TEST(CounterTest, IncrementsAccumulate) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("test.counter");
+  EXPECT_EQ(counter->value(), 0u);
+  counter->Increment();
+  counter->Increment(41);
+  EXPECT_EQ(counter->value(), 42u);
+}
+
+TEST(CounterTest, SameNameReturnsSameHandle) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.GetCounter("test.counter"),
+            registry.GetCounter("test.counter"));
+  EXPECT_NE(registry.GetCounter("test.counter"),
+            registry.GetCounter("test.other"));
+}
+
+TEST(CounterTest, ConcurrentIncrementsSumExactly) {
+  // Hammer one counter from every worker; relaxed atomic adds must still
+  // sum exactly (the invariant every pipeline count rests on).
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("test.concurrent");
+  constexpr size_t kTasks = 64;
+  constexpr size_t kIncrementsPerTask = 10000;
+  ThreadPool pool(8);
+  for (size_t t = 0; t < kTasks; ++t) {
+    pool.Submit([counter] {
+      for (size_t i = 0; i < kIncrementsPerTask; ++i) counter->Increment();
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter->value(), kTasks * kIncrementsPerTask);
+}
+
+TEST(CounterTest, ParallelForChunkAccumulationSumsExactly) {
+  // The pattern the feature extractor uses: chunk-local tallies published
+  // with one atomic add per chunk.
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("test.chunked");
+  constexpr size_t kN = 100001;
+  ThreadPool pool(4);
+  pool.ParallelForChunks(kN, [counter](size_t begin, size_t end) {
+    uint64_t local = 0;
+    for (size_t i = begin; i < end; ++i) ++local;
+    counter->Increment(local);
+  });
+  EXPECT_EQ(counter->value(), kN);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  MetricsRegistry registry;
+  Gauge* gauge = registry.GetGauge("test.gauge");
+  gauge->Set(1.5);
+  EXPECT_DOUBLE_EQ(gauge->value(), 1.5);
+  gauge->Add(-0.5);
+  EXPECT_DOUBLE_EQ(gauge->value(), 1.0);
+}
+
+TEST(LatencyHistogramTest, BucketBoundariesAreStable) {
+  MetricsRegistry registry;
+  LatencyHistogram* hist =
+      registry.GetHistogram("test.hist", {10.0, 20.0, 30.0});
+  // Bucket i counts values <= bounds[i]; above the last bound -> overflow.
+  hist->Observe(5.0);    // bucket 0
+  hist->Observe(10.0);   // bucket 0 (inclusive upper bound)
+  hist->Observe(10.5);   // bucket 1
+  hist->Observe(30.0);   // bucket 2
+  hist->Observe(1000.0); // overflow
+  EXPECT_EQ(hist->bucket_count(0), 2u);
+  EXPECT_EQ(hist->bucket_count(1), 1u);
+  EXPECT_EQ(hist->bucket_count(2), 1u);
+  EXPECT_EQ(hist->bucket_count(3), 1u);
+  EXPECT_EQ(hist->total_count(), 5u);
+  EXPECT_DOUBLE_EQ(hist->sum(), 5.0 + 10.0 + 10.5 + 30.0 + 1000.0);
+  // Re-registering under the same name keeps the original bounds.
+  LatencyHistogram* again = registry.GetHistogram("test.hist", {1.0});
+  EXPECT_EQ(again, hist);
+  EXPECT_EQ(again->bounds().size(), 3u);
+}
+
+TEST(LatencyHistogramTest, UniformBoundsSpanRange) {
+  std::vector<double> bounds = LatencyHistogram::UniformBounds(0.0, 1.0, 20);
+  ASSERT_EQ(bounds.size(), 20u);
+  EXPECT_NEAR(bounds.front(), 0.05, 1e-12);
+  EXPECT_NEAR(bounds.back(), 1.0, 1e-12);
+}
+
+TEST(LatencyHistogramTest, ConcurrentObservationsAllLand) {
+  MetricsRegistry registry;
+  LatencyHistogram* hist = registry.GetHistogram("test.conc", {0.5});
+  constexpr size_t kN = 50000;
+  ThreadPool pool(8);
+  pool.ParallelFor(kN, [hist](size_t i) {
+    hist->Observe(i % 2 == 0 ? 0.0 : 1.0);
+  });
+  EXPECT_EQ(hist->total_count(), kN);
+  EXPECT_EQ(hist->bucket_count(0) + hist->bucket_count(1), kN);
+}
+
+TEST(SnapshotTest, QuantileUpperBound) {
+  MetricsRegistry registry;
+  LatencyHistogram* hist =
+      registry.GetHistogram("test.q", {1.0, 2.0, 3.0, 4.0});
+  for (int i = 0; i < 90; ++i) hist->Observe(0.5);  // bucket 0
+  for (int i = 0; i < 10; ++i) hist->Observe(3.5);  // bucket 3
+  MetricsSnapshot snapshot = registry.Snapshot();
+  const HistogramSnapshot* h = snapshot.FindHistogram("test.q");
+  ASSERT_NE(h, nullptr);
+  EXPECT_DOUBLE_EQ(h->QuantileUpperBound(0.50), 1.0);
+  EXPECT_DOUBLE_EQ(h->QuantileUpperBound(0.95), 4.0);
+  EXPECT_NEAR(h->Mean(), (90 * 0.5 + 10 * 3.5) / 100.0, 1e-12);
+}
+
+TEST(SnapshotTest, LookupHelpers) {
+  MetricsRegistry registry;
+  registry.GetCounter("test.counter")->Increment(7);
+  registry.GetGauge("test.gauge")->Set(2.25);
+  MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.CounterValue("test.counter"), 7u);
+  EXPECT_DOUBLE_EQ(snapshot.GaugeValue("test.gauge"), 2.25);
+  EXPECT_EQ(snapshot.CounterValue("test.absent"), 0u);
+  EXPECT_EQ(snapshot.FindHistogram("test.absent"), nullptr);
+}
+
+TEST(SnapshotTest, DumpJsonRoundTripsThroughUtilJson) {
+  MetricsRegistry registry;
+  registry.GetCounter("stage.items_total")->Increment(123);
+  registry.GetGauge("stage.throughput")->Set(456.5);
+  LatencyHistogram* hist =
+      registry.GetHistogram("stage.latency_micros", {100.0, 1000.0});
+  hist->Observe(50.0);
+  hist->Observe(5000.0);
+
+  Result<JsonValue> parsed = JsonValue::Parse(registry.DumpJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const JsonValue* counters = parsed->Get("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_EQ(counters->Get("stage.items_total")->int_value(), 123);
+  const JsonValue* gauges = parsed->Get("gauges");
+  ASSERT_NE(gauges, nullptr);
+  EXPECT_DOUBLE_EQ(gauges->Get("stage.throughput")->number_value(), 456.5);
+  const JsonValue* hist_obj =
+      parsed->Get("histograms")->Get("stage.latency_micros");
+  ASSERT_NE(hist_obj, nullptr);
+  EXPECT_EQ(hist_obj->Get("count")->int_value(), 2);
+  ASSERT_EQ(hist_obj->Get("counts")->size(), 3u);  // 2 bounds + overflow
+  EXPECT_EQ(hist_obj->Get("counts")->at(0).int_value(), 1);
+  EXPECT_EQ(hist_obj->Get("counts")->at(2).int_value(), 1);
+}
+
+TEST(SnapshotTest, DumpTableListsEveryMetric) {
+  MetricsRegistry registry;
+  registry.GetCounter("aaa.counter")->Increment(5);
+  registry.GetGauge("bbb.gauge")->Set(1.0);
+  registry.GetHistogram("ccc.hist", {1.0})->Observe(0.5);
+  std::string table = registry.DumpTable();
+  EXPECT_NE(table.find("aaa.counter"), std::string::npos);
+  EXPECT_NE(table.find("bbb.gauge"), std::string::npos);
+  EXPECT_NE(table.find("ccc.hist"), std::string::npos);
+  EXPECT_NE(table.find("p95"), std::string::npos);
+}
+
+TEST(RegistryTest, ResetZeroesValuesButKeepsHandles) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("test.counter");
+  Gauge* gauge = registry.GetGauge("test.gauge");
+  LatencyHistogram* hist = registry.GetHistogram("test.hist", {1.0});
+  counter->Increment(9);
+  gauge->Set(3.0);
+  hist->Observe(0.5);
+  registry.Reset();
+  EXPECT_EQ(counter->value(), 0u);
+  EXPECT_DOUBLE_EQ(gauge->value(), 0.0);
+  EXPECT_EQ(hist->total_count(), 0u);
+  EXPECT_DOUBLE_EQ(hist->sum(), 0.0);
+  // Handles stay valid and identical after Reset.
+  EXPECT_EQ(registry.GetCounter("test.counter"), counter);
+  counter->Increment();
+  EXPECT_EQ(counter->value(), 1u);
+}
+
+TEST(RegistryTest, GlobalIsOneRegistry) {
+  Counter* a = MetricsRegistry::Global().GetCounter("test.global_identity");
+  Counter* b = MetricsRegistry::Global().GetCounter("test.global_identity");
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace cats::obs

@@ -1,0 +1,154 @@
+// Unit tests for the RAII stage tracer (src/obs/stage_trace.h): nested
+// scopes must produce the right parent/child tree, item attribution, and
+// JSON export.
+
+#include "obs/stage_trace.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "obs/metrics.h"
+
+namespace cats::obs {
+namespace {
+
+TEST(StageTraceTest, NestedScopesBuildParentChildTree) {
+  PipelineTrace trace;
+  {
+    StageTrace detect(&trace, "detect");
+    {
+      StageTrace extract(&trace, "extract");
+      extract.AddItems(100);
+    }
+    {
+      StageTrace classify(&trace, "classify");
+      {
+        StageTrace score(&trace, "score");
+        score.AddItems(60);
+      }
+      classify.AddItems(60);
+    }
+    detect.AddItems(100);
+  }
+
+  ASSERT_EQ(trace.root().children.size(), 1u);
+  const TraceNode* detect = trace.root().FindChild("detect");
+  ASSERT_NE(detect, nullptr);
+  EXPECT_EQ(detect->items, 100u);
+  ASSERT_EQ(detect->children.size(), 2u);
+
+  const TraceNode* extract = detect->FindChild("extract");
+  ASSERT_NE(extract, nullptr);
+  EXPECT_EQ(extract->items, 100u);
+  EXPECT_TRUE(extract->children.empty());
+
+  const TraceNode* classify = detect->FindChild("classify");
+  ASSERT_NE(classify, nullptr);
+  EXPECT_EQ(classify->items, 60u);
+  const TraceNode* score = classify->FindChild("score");
+  ASSERT_NE(score, nullptr);
+  EXPECT_EQ(score->items, 60u);
+
+  EXPECT_EQ(detect->FindChild("score"), nullptr);  // grandchild, not child
+}
+
+TEST(StageTraceTest, SequentialScopesBecomeSiblings) {
+  PipelineTrace trace;
+  { StageTrace a(&trace, "a"); }
+  { StageTrace b(&trace, "b"); }
+  { StageTrace c(&trace, "c"); }
+  ASSERT_EQ(trace.root().children.size(), 3u);
+  EXPECT_EQ(trace.root().children[0].name, "a");
+  EXPECT_EQ(trace.root().children[1].name, "b");
+  EXPECT_EQ(trace.root().children[2].name, "c");
+}
+
+TEST(StageTraceTest, WallTimeCoversNestedWork) {
+  PipelineTrace trace;
+  {
+    StageTrace outer(&trace, "outer");
+    {
+      StageTrace inner(&trace, "inner");
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
+  const TraceNode* outer = trace.root().FindChild("outer");
+  ASSERT_NE(outer, nullptr);
+  const TraceNode* inner = outer->FindChild("inner");
+  ASSERT_NE(inner, nullptr);
+  EXPECT_GE(inner->wall_micros, 2000);
+  EXPECT_GE(outer->wall_micros, inner->wall_micros);
+}
+
+TEST(StageTraceTest, MirrorsLatencyIntoHistogram) {
+  MetricsRegistry registry;
+  LatencyHistogram* hist =
+      registry.GetHistogram("test.stage_latency", {1e9});
+  PipelineTrace trace;
+  { StageTrace stage(&trace, "timed", hist); }
+  { StageTrace stage(&trace, "timed", hist); }
+  EXPECT_EQ(hist->total_count(), 2u);
+}
+
+TEST(StageTraceTest, CopyAndMoveKeepTheTree) {
+  PipelineTrace trace;
+  {
+    StageTrace stage(&trace, "stage");
+    stage.AddItems(7);
+  }
+  PipelineTrace copy = trace;
+  ASSERT_NE(copy.root().FindChild("stage"), nullptr);
+  EXPECT_EQ(copy.root().FindChild("stage")->items, 7u);
+
+  PipelineTrace moved = std::move(copy);
+  ASSERT_NE(moved.root().FindChild("stage"), nullptr);
+  EXPECT_EQ(moved.root().FindChild("stage")->items, 7u);
+  // A moved-to/copied trace accepts new stages at the root.
+  { StageTrace more(&moved, "more"); }
+  EXPECT_NE(moved.root().FindChild("more"), nullptr);
+}
+
+TEST(StageTraceTest, ToJsonMatchesTree) {
+  PipelineTrace trace;
+  {
+    StageTrace outer(&trace, "outer");
+    outer.AddItems(3);
+    { StageTrace inner(&trace, "inner"); }
+  }
+  JsonValue json = trace.ToJson();
+  EXPECT_EQ(json.Get("name")->string_value(), "pipeline");
+  const JsonValue* children = json.Get("children");
+  ASSERT_EQ(children->size(), 1u);
+  const JsonValue& outer = children->at(0);
+  EXPECT_EQ(outer.Get("name")->string_value(), "outer");
+  EXPECT_EQ(outer.Get("items")->int_value(), 3);
+  ASSERT_EQ(outer.Get("children")->size(), 1u);
+  EXPECT_EQ(outer.Get("children")->at(0).Get("name")->string_value(),
+            "inner");
+  // Serialized form parses back with util/json.h.
+  EXPECT_TRUE(JsonValue::Parse(json.Serialize()).ok());
+}
+
+TEST(StageTraceTest, ToStringIndentsStages) {
+  PipelineTrace trace;
+  {
+    StageTrace outer(&trace, "outer");
+    { StageTrace inner(&trace, "inner"); }
+  }
+  std::string rendered = trace.ToString();
+  EXPECT_NE(rendered.find("outer"), std::string::npos);
+  EXPECT_NE(rendered.find("\n  inner"), std::string::npos);
+}
+
+TEST(ScopedTimerTest, ObservesOnDestruction) {
+  MetricsRegistry registry;
+  LatencyHistogram* hist = registry.GetHistogram("test.timer", {1e9});
+  { ScopedTimer timer(hist); }
+  EXPECT_EQ(hist->total_count(), 1u);
+  ScopedTimer timer(nullptr);  // null histogram is a no-op, not a crash
+  EXPECT_GE(timer.ElapsedMicros(), 0);
+}
+
+}  // namespace
+}  // namespace cats::obs
