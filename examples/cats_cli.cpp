@@ -31,6 +31,7 @@
 #include "analysis/validation.h"
 #include "collect/crawler.h"
 #include "core/cats.h"
+#include "fault/fault_plan.h"
 #include "platform/api.h"
 #include "platform/presets.h"
 #include "util/csv.h"
@@ -46,11 +47,15 @@ int Usage() {
                "usage:\n"
                "  cats_cli gen <dir> [--preset d0|d1|eplatform|5k] "
                "[--scale S] [--seed N]\n"
+               "                 [--fault-profile none|mild|hostile]\n"
                "  cats_cli train <data-dir> <model-dir> [--metrics]\n"
                "  cats_cli detect <data-dir> <model-dir> [--threshold T]\n"
                "                  [--metrics] [--metrics-json <path>]\n"
                "  cats_cli analyze <data-dir>\n"
                "\n"
+               "  --fault-profile P    weather for the simulated crawl\n"
+               "                       (default mild; hostile = 429s, 5xx\n"
+               "                       bursts, corrupt bodies, stale pages)\n"
                "  --metrics            print the pipeline metrics table\n"
                "                       (docs/METRICS.md) after the run\n"
                "  --metrics-json PATH  also write the registry snapshot as "
@@ -125,14 +130,42 @@ int CmdGen(int argc, char** argv) {
   platform::Marketplace market =
       platform::Marketplace::Generate(config, &language);
 
-  platform::MarketplaceApi api(&market);
+  std::string profile_name =
+      FlagValue(argc, argv, "--fault-profile", "mild");
+  auto profile = fault::FaultProfile::FromName(profile_name);
+  if (!profile.ok()) {
+    std::fprintf(stderr, "%s\n", profile.status().ToString().c_str());
+    return 2;
+  }
   collect::FakeClock clock;
-  collect::Crawler crawler(&api, collect::CrawlerOptions{}, &clock);
+  platform::ApiOptions api_options;
+  api_options.faults = *profile;
+  api_options.seed = config.seed;
+  api_options.clock = &clock;  // slow-response faults advance virtual time
+  platform::MarketplaceApi api(&market, api_options);
+  collect::CrawlerOptions crawler_options;
+  if (profile_name == "hostile") {
+    crawler_options.max_retries = 12;  // ride out 5xx bursts
+  }
+  collect::Crawler crawler(&api, crawler_options, &clock);
   collect::DataStore store;
   Status st = crawler.Crawl(&store);
   if (!st.ok()) {
     std::fprintf(stderr, "crawl failed: %s\n", st.ToString().c_str());
     return 1;
+  }
+  if (profile_name != "none") {
+    const collect::CrawlStats& cs = crawler.stats();
+    std::printf("crawl weather (%s): %llu requests, %llu retries "
+                "(%llu rate-limited, %llu 5xx, %llu malformed), "
+                "%llu slow, %llu breaker opens\n",
+                profile_name.c_str(), (unsigned long long)cs.requests,
+                (unsigned long long)cs.retries,
+                (unsigned long long)cs.rate_limited,
+                (unsigned long long)cs.server_errors,
+                (unsigned long long)cs.malformed_bodies,
+                (unsigned long long)cs.slow_responses,
+                (unsigned long long)cs.breaker_opens);
   }
   st = store.SaveJsonl(dir);
   if (st.ok()) st = SaveLabels(dir, market, store);

@@ -1,0 +1,45 @@
+#!/bin/sh
+# sanitize-check: build the tree under ASan and UBSan (CATS_SANITIZE=...)
+# and run the crawler / fault-injection test battery — the code most exposed
+# to untrusted bytes and adversarial schedules. Registered as the
+# `sanitize_check` ctest with the `slow` label (excluded from tier-1; enable
+# with -DCATS_ENABLE_SLOW_TESTS=ON or run this script directly).
+#
+# Usage: check_sanitize.sh [repo_root]
+set -u
+
+root="${1:-$(dirname "$0")/..}"
+root="$(cd "$root" && pwd)" || exit 1
+
+# The tests that exercise the fault layer and everything hardened against it.
+test_filter="Backoff|CircuitBreaker|FaultPlan|FaultProfile|CorruptBody|RetryAfter|RateLimiter|FakeClock|Crawler|Chaos|Fuzz|Store"
+
+failed=0
+for sanitizer in address undefined; do
+  build_dir="$root/build-sanitize-$sanitizer"
+  echo "== sanitize-check: configuring $sanitizer -> $build_dir"
+  cmake -B "$build_dir" -S "$root" -DCATS_SANITIZE="$sanitizer" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null || { failed=1; continue; }
+
+  targets="fault_plan_test backoff_test circuit_breaker_test rate_limiter_test crawler_test chaos_crawl_test fuzz_test store_test"
+  echo "== sanitize-check: building $sanitizer test battery"
+  # shellcheck disable=SC2086
+  cmake --build "$build_dir" -j "$(nproc 2>/dev/null || echo 4)" \
+        --target $targets >/dev/null || { failed=1; continue; }
+
+  echo "== sanitize-check: running under $sanitizer"
+  if ! (cd "$build_dir" && \
+        ASAN_OPTIONS=detect_leaks=0 \
+        UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
+        ctest --output-on-failure -j "$(nproc 2>/dev/null || echo 4)" \
+              -R "$test_filter"); then
+    echo "sanitize-check: FAILED under $sanitizer" >&2
+    failed=1
+  fi
+done
+
+if [ "$failed" -ne 0 ]; then
+  echo "sanitize-check: FAILED" >&2
+  exit 1
+fi
+echo "sanitize-check: OK — crawler/fault battery clean under ASan and UBSan"

@@ -1,0 +1,22 @@
+#include "collect/backoff.h"
+
+#include <algorithm>
+
+namespace cats::collect {
+
+Backoff::Backoff(int64_t base_micros, int64_t cap_micros, uint64_t seed)
+    : base_(std::max<int64_t>(1, base_micros)),
+      cap_(std::max(std::max<int64_t>(1, base_micros), cap_micros)),
+      rng_(seed, 0xBAC0FF) {}
+
+int64_t Backoff::NextDelayMicros() {
+  if (prev_ <= 0) {
+    prev_ = base_;
+    return base_;
+  }
+  int64_t hi = prev_ > cap_ / 3 ? cap_ : prev_ * 3;
+  prev_ = rng_.UniformInt(base_, std::max(base_, hi));
+  return prev_;
+}
+
+}  // namespace cats::collect

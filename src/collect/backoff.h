@@ -1,0 +1,40 @@
+#ifndef CATS_COLLECT_BACKOFF_H_
+#define CATS_COLLECT_BACKOFF_H_
+
+#include <cstdint>
+
+#include "util/random.h"
+
+namespace cats::collect {
+
+/// Capped exponential backoff with decorrelated jitter (the AWS
+/// architecture-blog variant): the first delay is exactly `base`, and each
+/// subsequent delay is drawn uniformly from [base, min(cap, prev * 3)].
+/// Decorrelation keeps retrying crawl workers from synchronizing into
+/// thundering herds while still growing the expected delay exponentially.
+/// Seeded, so a given (seed, call sequence) produces an exact, testable
+/// delay sequence. Replaces the crawler's original linear backoff.
+class Backoff {
+ public:
+  Backoff(int64_t base_micros, int64_t cap_micros, uint64_t seed);
+
+  /// Delay before the next retry; advances the jitter stream.
+  int64_t NextDelayMicros();
+
+  /// Back to cold state: the next delay is `base` again. Called after a
+  /// success; the jitter stream is not rewound.
+  void Reset() { prev_ = 0; }
+
+  int64_t base_micros() const { return base_; }
+  int64_t cap_micros() const { return cap_; }
+
+ private:
+  int64_t base_;
+  int64_t cap_;
+  Rng rng_;
+  int64_t prev_ = 0;
+};
+
+}  // namespace cats::collect
+
+#endif  // CATS_COLLECT_BACKOFF_H_

@@ -1,0 +1,33 @@
+#include "collect/circuit_breaker.h"
+
+namespace cats::collect {
+
+CircuitBreaker::State CircuitBreaker::state() const {
+  if (!open_) return State::kClosed;
+  return clock_->NowMicros() >= open_until_micros_ ? State::kHalfOpen
+                                                   : State::kOpen;
+}
+
+void CircuitBreaker::Open() {
+  open_ = true;
+  open_until_micros_ = clock_->NowMicros() + pause_micros_;
+  consecutive_failures_ = 0;
+  ++opens_;
+}
+
+void CircuitBreaker::RecordSuccess() {
+  open_ = false;
+  consecutive_failures_ = 0;
+}
+
+void CircuitBreaker::RecordFailure() {
+  if (failure_threshold_ == 0) return;
+  if (state() == State::kHalfOpen) {
+    // The probe failed: reopen for a fresh pause.
+    Open();
+    return;
+  }
+  if (++consecutive_failures_ >= failure_threshold_) Open();
+}
+
+}  // namespace cats::collect

@@ -1,0 +1,57 @@
+#ifndef CATS_COLLECT_CIRCUIT_BREAKER_H_
+#define CATS_COLLECT_CIRCUIT_BREAKER_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "fault/clock.h"
+
+namespace cats::collect {
+
+/// Classic three-state circuit breaker guarding the crawl loop: after
+/// `failure_threshold` consecutive failures it opens and refuses requests
+/// for `pause_micros` of (virtual) time — the crawler sleeps out the pause
+/// instead of hammering a platform that is clearly down. After the pause
+/// it half-opens: one probe request is allowed; a success closes the
+/// breaker, another failure reopens it for a fresh pause.
+///
+/// failure_threshold == 0 disables the breaker (AllowRequest always true).
+class CircuitBreaker {
+ public:
+  enum class State : int { kClosed = 0, kHalfOpen = 1, kOpen = 2 };
+
+  CircuitBreaker(size_t failure_threshold, int64_t pause_micros,
+                 fault::VirtualClock* clock)
+      : failure_threshold_(failure_threshold),
+        pause_micros_(pause_micros),
+        clock_(clock) {}
+
+  /// False while open and the pause has not elapsed yet. Callers that get
+  /// false should sleep until open_until_micros() and ask again.
+  bool AllowRequest() const { return state() != State::kOpen; }
+
+  void RecordSuccess();
+  void RecordFailure();
+
+  /// Current state, evaluated lazily against the clock (an elapsed pause
+  /// turns kOpen into kHalfOpen without any mutation).
+  State state() const;
+  uint64_t opens() const { return opens_; }
+  int64_t open_until_micros() const { return open_until_micros_; }
+  size_t consecutive_failures() const { return consecutive_failures_; }
+
+ private:
+  void Open();
+
+  size_t failure_threshold_;
+  int64_t pause_micros_;
+  fault::VirtualClock* clock_;  // not owned
+  bool open_ = false;           // open or half-open (vs closed)
+  int64_t open_until_micros_ = 0;
+  size_t consecutive_failures_ = 0;
+  uint64_t opens_ = 0;
+};
+
+}  // namespace cats::collect
+
+#endif  // CATS_COLLECT_CIRCUIT_BREAKER_H_

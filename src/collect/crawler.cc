@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <functional>
+#include <optional>
 
+#include "fault/fault_plan.h"
 #include "obs/metric_names.h"
 #include "obs/metrics.h"
 #include "obs/stage_trace.h"
@@ -12,9 +14,18 @@
 namespace cats::collect {
 namespace {
 
+/// Stable handle for the per-wait backoff histogram (handle creation takes
+/// the registry mutex; do it once).
+obs::LatencyHistogram* BackoffHistogram() {
+  static obs::LatencyHistogram* hist =
+      obs::MetricsRegistry::Global().GetLatencyHistogram(
+          obs::kCrawlerBackoffMicros);
+  return hist;
+}
+
 /// Mirrors one crawl's stats into the process-wide registry. Counters are
 /// cumulative across crawls; CrawlStats stays the per-run view.
-void RecordCrawlMetrics(const CrawlStats& stats) {
+void RecordCrawlMetrics(const CrawlStats& stats, int breaker_state) {
   obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
   registry.GetCounter(obs::kCrawlerRequestsTotal)->Increment(stats.requests);
   registry.GetCounter(obs::kCrawlerRetriesTotal)->Increment(stats.retries);
@@ -28,97 +39,234 @@ void RecordCrawlMetrics(const CrawlStats& stats) {
   registry.GetCounter(obs::kCrawlerRateLimiterStallMicrosTotal)
       ->Increment(static_cast<uint64_t>(
           std::max<int64_t>(0, stats.throttled_micros)));
+  registry.GetCounter(obs::kCrawlerFaultsRateLimitedTotal)
+      ->Increment(stats.rate_limited);
+  registry.GetCounter(obs::kCrawlerFaultsServerErrorsTotal)
+      ->Increment(stats.server_errors);
+  registry.GetCounter(obs::kCrawlerFaultsMalformedBodiesTotal)
+      ->Increment(stats.malformed_bodies);
+  registry.GetCounter(obs::kCrawlerFaultsSlowResponsesTotal)
+      ->Increment(stats.slow_responses);
+  registry.GetCounter(obs::kCrawlerPaginationProbesTotal)
+      ->Increment(stats.pagination_probes);
+  registry.GetCounter(obs::kCrawlerBreakerOpensTotal)
+      ->Increment(stats.breaker_opens);
+  registry.GetCounter(obs::kCrawlerBreakerPausedMicrosTotal)
+      ->Increment(static_cast<uint64_t>(
+          std::max<int64_t>(0, stats.breaker_paused_micros)));
+  registry.GetGauge(obs::kCrawlerBreakerState)
+      ->Set(static_cast<double>(breaker_state));
 }
 
 }  // namespace
 
-Result<std::string> Crawler::Fetch(const std::string& path) {
+Crawler::Crawler(platform::MarketplaceApi* api, const CrawlerOptions& options,
+                 VirtualClock* clock)
+    : api_(api),
+      options_(options),
+      limiter_(options.requests_per_second, options.burst, clock),
+      clock_(clock),
+      backoff_(options.backoff_base_micros, options.backoff_cap_micros,
+               options.backoff_seed),
+      breaker_(options.breaker_failure_threshold,
+               options.breaker_pause_micros, clock),
+      current_rps_(options.requests_per_second) {}
+
+void Crawler::OnRateLimited() {
+  double floor = std::min(options_.min_requests_per_second,
+                          options_.requests_per_second);
+  double halved = std::max(floor, current_rps_ * 0.5);
+  if (halved < current_rps_) {
+    current_rps_ = halved;
+    limiter_.SetRate(current_rps_);
+  }
+  success_streak_ = 0;
+}
+
+void Crawler::OnPageSuccess() {
+  if (current_rps_ >= options_.requests_per_second) return;
+  if (++success_streak_ < 64) return;
+  current_rps_ = std::min(options_.requests_per_second, current_rps_ * 2.0);
+  limiter_.SetRate(current_rps_);
+  success_streak_ = 0;
+}
+
+Result<Page> Crawler::FetchPage(const std::string& base_path,
+                                size_t page_index) {
+  const std::string path =
+      StrFormat("%s?page=%zu", base_path.c_str(), page_index);
   for (size_t attempt = 0;; ++attempt) {
+    if (options_.breaker_failure_threshold > 0 && !breaker_.AllowRequest()) {
+      // Breaker open: sleep out the pause instead of hammering a platform
+      // that is clearly down, then probe (half-open).
+      int64_t pause = breaker_.open_until_micros() - clock_->NowMicros();
+      if (pause > 0) {
+        clock_->AdvanceMicros(pause);
+        stats_.breaker_paused_micros += pause;
+      }
+    }
     limiter_.Acquire();
     ++stats_.requests;
+    const int64_t issued_at = clock_->NowMicros();
     Result<std::string> response = api_->Get(path);
-    if (response.ok()) return response;
-    if (response.status().code() != StatusCode::kUnavailable ||
-        attempt >= options_.max_retries) {
+    if (clock_->NowMicros() - issued_at >=
+        options_.slow_response_threshold_micros) {
+      ++stats_.slow_responses;
+    }
+
+    std::optional<int64_t> retry_after;
+    Status failure;
+    if (response.ok()) {
+      Result<Page> parsed = ParsePage(*response);
+      if (parsed.ok() && parsed->page == page_index) {
+        breaker_.RecordSuccess();
+        backoff_.Reset();
+        OnPageSuccess();
+        return parsed;
+      }
+      // Truncated/garbled body, or a body for the wrong page: never accept
+      // — treat as transient and re-fetch.
+      ++stats_.malformed_bodies;
+      failure = Status::Unavailable(
+          parsed.ok() ? StrFormat("page echo mismatch (asked %zu, got %zu)",
+                                  page_index, parsed->page)
+                      : "malformed body: " + parsed.status().message());
+    } else if (response.status().code() == StatusCode::kUnavailable) {
+      retry_after = fault::ParseRetryAfterMicros(response.status().message());
+      if (retry_after.has_value()) {
+        ++stats_.rate_limited;
+        OnRateLimited();
+      } else {
+        ++stats_.server_errors;
+      }
+      failure = response.status();
+    } else {
+      // NotFound / InvalidArgument / OutOfRange are not transient.
+      // OutOfRange flows back to FetchAllPages as the end of pagination.
       return response.status();
     }
+
+    breaker_.RecordFailure();
+    if (attempt >= options_.max_retries) return failure;
+    if (options_.retry_budget > 0 &&
+        stats_.retries >= options_.retry_budget) {
+      return Status::Unavailable(
+          StrFormat("retry budget (%zu) exhausted; last failure: %s",
+                    options_.retry_budget, failure.message().c_str()));
+    }
     ++stats_.retries;
-    clock_->AdvanceMicros(options_.retry_backoff_micros *
-                          static_cast<int64_t>(attempt + 1));
+    int64_t wait = retry_after.has_value()
+                       ? std::max<int64_t>(0, *retry_after)
+                       : backoff_.NextDelayMicros();
+    clock_->AdvanceMicros(wait);
+    stats_.backoff_micros += wait;
+    BackoffHistogram()->Observe(static_cast<double>(wait));
   }
 }
 
 Status Crawler::FetchAllPages(
-    const std::string& base_path,
+    const std::string& base_path, PageCursor* cursor,
     const std::function<Status(const JsonValue&)>& consume) {
-  size_t page = 0;
-  size_t total_pages = 1;
+  if (cursor->complete) return Status::OK();
+  size_t page = cursor->next_page;
+  size_t total_pages = page + 1;
   while (page < total_pages) {
-    CATS_ASSIGN_OR_RETURN(
-        std::string body,
-        Fetch(StrFormat("%s?page=%zu", base_path.c_str(), page)));
-    CATS_ASSIGN_OR_RETURN(Page parsed, ParsePage(body));
+    Result<Page> parsed = FetchPage(base_path, page);
+    if (!parsed.ok()) {
+      if (parsed.status().code() == StatusCode::kOutOfRange) {
+        // total_pages was over-reported from a stale snapshot; the walk
+        // actually ended earlier. A clean end, not an error.
+        ++stats_.pagination_probes;
+        break;
+      }
+      return parsed.status();
+    }
     ++stats_.pages_fetched;
-    total_pages = parsed.total_pages;
-    for (const JsonValue& record : parsed.data) {
+    total_pages = parsed->total_pages;
+    for (const JsonValue& record : parsed->data) {
       CATS_RETURN_NOT_OK(consume(record));
     }
     ++page;
+    cursor->next_page = page;
   }
+  cursor->complete = true;
   return Status::OK();
 }
 
 Status Crawler::Crawl(DataStore* store) {
+  CrawlCheckpoint checkpoint;
+  return Crawl(store, &checkpoint);
+}
+
+Status Crawler::Crawl(DataStore* store, CrawlCheckpoint* checkpoint) {
   stats_ = CrawlStats{};
+  const uint64_t duplicates_before = store->duplicates_dropped();
+  const int64_t throttled_before = limiter_.throttled_micros();
+  const uint64_t breaker_opens_before = breaker_.opens();
   obs::ScopedTimer crawl_timer(obs::MetricsRegistry::Global()
                                    .GetLatencyHistogram(
                                        obs::kCrawlerCrawlLatencyMicros));
 
-  // Step 1: all shop homepages.
-  CATS_RETURN_NOT_OK(FetchAllPages("/shops", [&](const JsonValue& v) {
-    CATS_ASSIGN_OR_RETURN(ShopRecord shop, ParseShopRecord(v));
-    if (store->AddShop(std::move(shop))) ++stats_.shops;
-    return Status::OK();
-  }));
+  Status status = Status::OK();
+  if (!checkpoint->complete) {
+    // Step 1: all shop homepages.
+    status = FetchAllPages("/shops", &checkpoint->shops,
+                           [&](const JsonValue& v) {
+                             CATS_ASSIGN_OR_RETURN(ShopRecord shop,
+                                                   ParseShopRecord(v));
+                             if (store->AddShop(std::move(shop))) {
+                               ++stats_.shops;
+                             }
+                             return Status::OK();
+                           });
 
-  // Step 2 + 3: each shop's items, then each item's comments.
-  bool stop = false;
-  for (const ShopRecord& shop : store->shops()) {
-    if (stop) break;
-    std::vector<uint64_t> new_items;
-    CATS_RETURN_NOT_OK(FetchAllPages(
-        StrFormat("/shops/%llu/items",
-                  static_cast<unsigned long long>(shop.shop_id)),
-        [&](const JsonValue& v) {
-          CATS_ASSIGN_OR_RETURN(ItemRecord item, ParseItemRecord(v));
-          uint64_t id = item.item_id;
-          if (store->AddItem(std::move(item))) {
-            ++stats_.items;
-            new_items.push_back(id);
-          }
-          return Status::OK();
-        }));
-
-    for (uint64_t item_id : new_items) {
-      CATS_RETURN_NOT_OK(FetchAllPages(
-          StrFormat("/items/%llu/comments",
-                    static_cast<unsigned long long>(item_id)),
-          [&](const JsonValue& v) {
-            CATS_ASSIGN_OR_RETURN(CommentRecord comment,
-                                  ParseCommentRecord(v));
-            if (store->AddComment(std::move(comment))) ++stats_.comments;
+    // Step 2 + 3: each shop's items, then each of its items' comments.
+    bool stop = false;
+    for (size_t s = 0; status.ok() && !stop && s < store->shops().size();
+         ++s) {
+      const ShopRecord& shop = store->shops()[s];
+      PageCursor* items_cursor = &checkpoint->shop_items[shop.shop_id];
+      status = FetchAllPages(
+          StrFormat("/shops/%llu/items",
+                    static_cast<unsigned long long>(shop.shop_id)),
+          items_cursor, [&](const JsonValue& v) {
+            CATS_ASSIGN_OR_RETURN(ItemRecord item, ParseItemRecord(v));
+            if (store->AddItem(std::move(item))) ++stats_.items;
             return Status::OK();
-          }));
-      if (options_.max_items > 0 && stats_.items >= options_.max_items) {
-        stop = true;
-        break;
+          });
+      if (!status.ok()) break;
+
+      for (size_t item_index : store->ItemIndicesOfShop(shop.shop_id)) {
+        const uint64_t item_id = store->items()[item_index].item.item_id;
+        PageCursor* comments_cursor = &checkpoint->item_comments[item_id];
+        if (comments_cursor->complete) continue;
+        status = FetchAllPages(
+            StrFormat("/items/%llu/comments",
+                      static_cast<unsigned long long>(item_id)),
+            comments_cursor, [&](const JsonValue& v) {
+              CATS_ASSIGN_OR_RETURN(CommentRecord comment,
+                                    ParseCommentRecord(v));
+              if (store->AddComment(std::move(comment))) ++stats_.comments;
+              return Status::OK();
+            });
+        if (!status.ok()) break;
+        if (options_.max_items > 0 &&
+            store->items().size() >= options_.max_items) {
+          stop = true;
+          break;
+        }
       }
     }
+    if (status.ok()) checkpoint->complete = true;
   }
-  stats_.duplicates_dropped = store->duplicates_dropped();
-  stats_.throttled_micros = limiter_.throttled_micros();
-  RecordCrawlMetrics(stats_);
-  return Status::OK();
+
+  stats_.duplicates_dropped = store->duplicates_dropped() - duplicates_before;
+  stats_.throttled_micros = limiter_.throttled_micros() - throttled_before;
+  stats_.breaker_opens = breaker_.opens() - breaker_opens_before;
+  // Mirror stats even for aborted crawls: a failed crawl is precisely the
+  // one an operator needs to see.
+  RecordCrawlMetrics(stats_, static_cast<int>(breaker_.state()));
+  return status;
 }
 
 }  // namespace cats::collect

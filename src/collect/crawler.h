@@ -4,7 +4,10 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <unordered_map>
 
+#include "collect/backoff.h"
+#include "collect/circuit_breaker.h"
 #include "collect/rate_limiter.h"
 #include "collect/store.h"
 #include "platform/api.h"
@@ -16,16 +19,35 @@ struct CrawlerOptions {
   /// Requests per (virtual) second — the "minimize server impact" knob.
   double requests_per_second = 200.0;
   double burst = 20.0;
-  /// Transient-failure retries per request, with linear backoff.
+  /// Floor the adaptive throttle may back down to after 429s; the rate
+  /// halves per 429 and creeps back toward requests_per_second on
+  /// sustained success.
+  double min_requests_per_second = 25.0;
+  /// Retries per page fetch before the fetch fails.
   size_t max_retries = 5;
-  int64_t retry_backoff_micros = 50000;
+  /// Total retries allowed per crawl; 0 = unlimited. Exhausting the budget
+  /// aborts the crawl (resumable from its checkpoint).
+  size_t retry_budget = 0;
+  /// Exponential backoff with decorrelated jitter (collect/backoff.h):
+  /// first delay = base, then uniform in [base, min(cap, prev*3)]. An
+  /// injected Retry-After hint overrides the computed delay.
+  int64_t backoff_base_micros = 50'000;
+  int64_t backoff_cap_micros = 5'000'000;
+  uint64_t backoff_seed = 0xB0FF;
+  /// Circuit breaker: consecutive failed attempts before the crawl pauses
+  /// for breaker_pause_micros. 0 disables the breaker.
+  size_t breaker_failure_threshold = 8;
+  int64_t breaker_pause_micros = 2'000'000;
+  /// Responses slower than this (by the shared virtual clock) count into
+  /// CrawlStats::slow_responses.
+  int64_t slow_response_threshold_micros = 1'000'000;
   /// Stop early after this many items (0 = no cap); lets benches subsample
   /// the way the paper subsampled E-platform.
   size_t max_items = 0;
 };
 
 /// Crawl statistics for reporting (the paper quotes requests, duration and
-/// volumes for its one-week E-platform crawl).
+/// volumes for its one-week E-platform crawl). Reset per Crawl call.
 struct CrawlStats {
   uint64_t requests = 0;
   uint64_t retries = 0;
@@ -35,43 +57,94 @@ struct CrawlStats {
   uint64_t comments = 0;
   uint64_t duplicates_dropped = 0;
   int64_t throttled_micros = 0;
+  // Fault observations (what the crawler actually saw and survived).
+  uint64_t rate_limited = 0;       // 429 responses
+  uint64_t server_errors = 0;      // other kUnavailable responses
+  uint64_t malformed_bodies = 0;   // unparseable / wrong-page bodies refetched
+  uint64_t slow_responses = 0;     // responses over the slow threshold
+  uint64_t pagination_probes = 0;  // OutOfRange ends past stale total_pages
+  int64_t backoff_micros = 0;      // virtual time spent in retry backoff
+  uint64_t breaker_opens = 0;
+  int64_t breaker_paused_micros = 0;
+};
+
+/// Progress cursor for one paginated endpoint.
+struct PageCursor {
+  size_t next_page = 0;
+  bool complete = false;
+};
+
+/// Resumable crawl position: which page each endpoint walk is on. A crawl
+/// aborted mid-flight (retry budget exhausted, persistent outage) leaves
+/// the checkpoint pointing at the first incomplete page; passing the same
+/// checkpoint and store back into Crawl resumes there instead of
+/// re-fetching completed pages (the DataStore's dedup makes the one
+/// possibly partially-consumed page idempotent).
+struct CrawlCheckpoint {
+  PageCursor shops;
+  std::unordered_map<uint64_t, PageCursor> shop_items;     // by shop_id
+  std::unordered_map<uint64_t, PageCursor> item_comments;  // by item_id
+  bool complete = false;
 };
 
 /// The data collector (paper §IV-A): walks the platform's public endpoints
 /// — all shop homepages, each shop's items, each item's comments — through
-/// a rate limiter, retrying transient failures, deduplicating records into
-/// a DataStore. Substitutes for the Scrapy deployment on three servers.
+/// a rate limiter, deduplicating records into a DataStore. Substitutes for
+/// the Scrapy deployment on three servers.
+///
+/// Hardened against everything fault::FaultPlan injects: exponential
+/// backoff with decorrelated jitter (Retry-After hints honored), adaptive
+/// rate reduction after 429s, a per-crawl retry budget, a circuit breaker
+/// that pauses the crawl on consecutive failures, malformed-body detection
+/// (re-fetch, never accept), stale-pagination tolerance (OutOfRange ends a
+/// walk cleanly), and checkpoint/resume.
 ///
 /// Observability: every Crawl mirrors its CrawlStats into the process-wide
-/// obs::MetricsRegistry under the `crawler.*` names (docs/METRICS.md) and
-/// records per-crawl wall time into `crawler.crawl_latency_micros`.
+/// obs::MetricsRegistry under the `crawler.*` names (docs/METRICS.md),
+/// records per-crawl wall time into `crawler.crawl_latency_micros`, each
+/// backoff wait into `crawler.backoff_micros`, and the breaker state into
+/// the `crawler.breaker_state` gauge.
 class Crawler {
  public:
   Crawler(platform::MarketplaceApi* api, const CrawlerOptions& options,
-          VirtualClock* clock)
-      : api_(api),
-        options_(options),
-        limiter_(options.requests_per_second, options.burst, clock),
-        clock_(clock) {}
+          VirtualClock* clock);
 
-  /// Runs the full crawl into `store`.
+  /// Runs the full crawl into `store` from a fresh checkpoint.
   Status Crawl(DataStore* store);
 
+  /// Runs (or resumes) the crawl from `checkpoint`, which must belong to
+  /// the same store. On failure the checkpoint holds the resume position.
+  Status Crawl(DataStore* store, CrawlCheckpoint* checkpoint);
+
   const CrawlStats& stats() const { return stats_; }
+  const CircuitBreaker& breaker() const { return breaker_; }
+  double current_requests_per_second() const { return current_rps_; }
 
  private:
-  /// One GET with rate limiting and retry-on-Unavailable.
-  Result<std::string> Fetch(const std::string& path);
+  /// One page GET with rate limiting, breaker, retry-with-backoff on
+  /// transient failures, and body validation (parse + page echo check).
+  /// kOutOfRange is returned untouched — the caller treats it as the clean
+  /// end of a pagination walk.
+  Result<Page> FetchPage(const std::string& base_path, size_t page_index);
 
-  /// Fetches every page of `base_path` and feeds records to `consume`.
+  /// Fetches every remaining page of `base_path` per `cursor`, feeding
+  /// records to `consume` and advancing the cursor page by page.
   Status FetchAllPages(
-      const std::string& base_path,
+      const std::string& base_path, PageCursor* cursor,
       const std::function<Status(const JsonValue&)>& consume);
+
+  /// Adaptive throttle hooks.
+  void OnRateLimited();
+  void OnPageSuccess();
 
   platform::MarketplaceApi* api_;  // not owned
   CrawlerOptions options_;
   RateLimiter limiter_;
   VirtualClock* clock_;            // not owned
+  Backoff backoff_;
+  CircuitBreaker breaker_;
+  double current_rps_;
+  size_t success_streak_ = 0;
   CrawlStats stats_;
 };
 

@@ -1,33 +1,18 @@
 #include "collect/rate_limiter.h"
 
 #include <algorithm>
-#include <cassert>
-#include <chrono>
 #include <cmath>
-#include <thread>
 
 namespace cats::collect {
-
-int64_t SystemClock::NowMicros() const {
-  return std::chrono::duration_cast<std::chrono::microseconds>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
-
-void SystemClock::AdvanceMicros(int64_t micros) {
-  std::this_thread::sleep_for(std::chrono::microseconds(micros));
-}
 
 RateLimiter::RateLimiter(double permits_per_second, double burst,
                          VirtualClock* clock)
     : rate_(permits_per_second / 1e6),
-      burst_(burst),
-      tokens_(burst),
+      burst_(std::max(1.0, burst)),
+      tokens_(std::max(1.0, burst)),
       last_refill_(clock->NowMicros()),
-      clock_(clock) {
-  assert(permits_per_second > 0.0);
-  assert(burst >= 1.0);
-}
+      clock_(clock),
+      unlimited_(permits_per_second <= 0.0) {}
 
 void RateLimiter::Refill() {
   int64_t now = clock_->NowMicros();
@@ -36,7 +21,15 @@ void RateLimiter::Refill() {
   last_refill_ = now;
 }
 
+void RateLimiter::SetRate(double permits_per_second) {
+  Refill();  // settle accrued tokens at the old rate
+  unlimited_ = permits_per_second <= 0.0;
+  rate_ = permits_per_second / 1e6;
+}
+
 void RateLimiter::Acquire() {
+  ++acquired_;
+  if (unlimited_) return;
   Refill();
   if (tokens_ < 1.0) {
     int64_t wait =
@@ -46,7 +39,6 @@ void RateLimiter::Acquire() {
     Refill();
   }
   tokens_ -= 1.0;
-  ++acquired_;
 }
 
 }  // namespace cats::collect

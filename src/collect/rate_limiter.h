@@ -3,46 +3,40 @@
 
 #include <cstdint>
 
+#include "fault/clock.h"
+
 namespace cats::collect {
 
-/// Injectable time source so tests and benches run the crawler at full
-/// speed against a virtual clock while a real deployment would block.
-class VirtualClock {
- public:
-  virtual ~VirtualClock() = default;
-  /// Current time in microseconds.
-  virtual int64_t NowMicros() const = 0;
-  /// Advances (fake) or sleeps (real) for `micros`.
-  virtual void AdvanceMicros(int64_t micros) = 0;
-};
-
-/// Deterministic fake clock; AdvanceMicros is instantaneous.
-class FakeClock : public VirtualClock {
- public:
-  int64_t NowMicros() const override { return now_; }
-  void AdvanceMicros(int64_t micros) override { now_ += micros; }
-
- private:
-  int64_t now_ = 0;
-};
-
-/// Wall clock; AdvanceMicros really sleeps.
-class SystemClock : public VirtualClock {
- public:
-  int64_t NowMicros() const override;
-  void AdvanceMicros(int64_t micros) override;
-};
+/// The clock abstraction lives in the fault layer (fault/clock.h) so both
+/// the platform's fault injection and the collector schedule against the
+/// same virtual time; these aliases keep the historical collect:: names.
+using VirtualClock = fault::VirtualClock;
+using FakeClock = fault::FakeClock;
+using SystemClock = fault::SystemClock;
 
 /// Token-bucket rate limiter. The paper's collector "was designed to
 /// minimize server impact" (§VII); this is that mechanism. Acquire()
 /// blocks (via the clock) until a token is available.
+///
+/// Degenerate inputs are clamped rather than asserted: burst < 1 behaves
+/// as burst 1 (every request rate-paced), and permits_per_second <= 0
+/// disables throttling entirely (an unlimited limiter), so callers can
+/// wire user-supplied configs straight through.
 class RateLimiter {
  public:
-  /// `permits_per_second` > 0; `burst` tokens may accumulate.
   RateLimiter(double permits_per_second, double burst, VirtualClock* clock);
 
   /// Takes one token, advancing the clock if the bucket is empty.
   void Acquire();
+
+  /// Changes the refill rate mid-stream (adaptive throttling after 429s).
+  /// Tokens already accrued are settled at the old rate first, so
+  /// throttled_micros accounting stays exact across the change.
+  /// rps <= 0 switches the limiter to unlimited.
+  void SetRate(double permits_per_second);
+
+  /// Current refill rate in permits per second (0 when unlimited).
+  double rate_per_second() const { return unlimited_ ? 0.0 : rate_ * 1e6; }
 
   /// Total time spent throttled, in microseconds.
   int64_t throttled_micros() const { return throttled_micros_; }
@@ -56,6 +50,7 @@ class RateLimiter {
   double tokens_;
   int64_t last_refill_;
   VirtualClock* clock_;    // not owned
+  bool unlimited_ = false;
   int64_t throttled_micros_ = 0;
   uint64_t acquired_ = 0;
 };

@@ -21,6 +21,7 @@ bool DataStore::AddItem(ItemRecord record) {
   }
   CollectedItem ci;
   ci.item = std::move(record);
+  shop_item_index_[ci.item.shop_id].push_back(items_.size());
   items_.push_back(std::move(ci));
   return true;
 }
@@ -46,6 +47,13 @@ bool DataStore::AddComment(CommentRecord record) {
 const CollectedItem* DataStore::FindItem(uint64_t item_id) const {
   auto it = item_index_.find(item_id);
   return it == item_index_.end() ? nullptr : &items_[it->second];
+}
+
+const std::vector<size_t>& DataStore::ItemIndicesOfShop(
+    uint64_t shop_id) const {
+  static const std::vector<size_t> kEmpty;
+  auto it = shop_item_index_.find(shop_id);
+  return it == shop_item_index_.end() ? kEmpty : it->second;
 }
 
 Status DataStore::SaveJsonl(const std::string& dir) const {

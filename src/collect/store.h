@@ -40,6 +40,11 @@ class DataStore {
 
   const CollectedItem* FindItem(uint64_t item_id) const;
 
+  /// Indices into items() of the items collected from `shop_id`, in
+  /// insertion order. Lets a resumed crawl revisit a shop's items without
+  /// scanning the whole store. Empty vector for unknown shops.
+  const std::vector<size_t>& ItemIndicesOfShop(uint64_t shop_id) const;
+
   size_t num_comments() const { return num_comments_; }
   uint64_t duplicates_dropped() const { return duplicates_dropped_; }
 
@@ -52,6 +57,7 @@ class DataStore {
   std::vector<ShopRecord> shops_;
   std::vector<CollectedItem> items_;
   std::unordered_map<uint64_t, size_t> item_index_;
+  std::unordered_map<uint64_t, std::vector<size_t>> shop_item_index_;
   std::unordered_set<uint64_t> shop_ids_;
   std::unordered_set<uint64_t> comment_ids_;
   size_t num_comments_ = 0;

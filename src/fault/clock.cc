@@ -1,0 +1,18 @@
+#include "fault/clock.h"
+
+#include <chrono>
+#include <thread>
+
+namespace cats::fault {
+
+int64_t SystemClock::NowMicros() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void SystemClock::AdvanceMicros(int64_t micros) {
+  std::this_thread::sleep_for(std::chrono::microseconds(micros));
+}
+
+}  // namespace cats::fault

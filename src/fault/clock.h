@@ -1,0 +1,41 @@
+#ifndef CATS_FAULT_CLOCK_H_
+#define CATS_FAULT_CLOCK_H_
+
+#include <cstdint>
+
+namespace cats::fault {
+
+/// Injectable time source so tests and benches run the pipeline at full
+/// speed against a virtual clock while a real deployment would block.
+/// Lives in the fault layer because it is the substrate every timing
+/// fault (slow responses, backoff, breaker pauses) is scheduled against;
+/// `collect/rate_limiter.h` re-exports the names for its callers.
+class VirtualClock {
+ public:
+  virtual ~VirtualClock() = default;
+  /// Current time in microseconds.
+  virtual int64_t NowMicros() const = 0;
+  /// Advances (fake) or sleeps (real) for `micros`.
+  virtual void AdvanceMicros(int64_t micros) = 0;
+};
+
+/// Deterministic fake clock; AdvanceMicros is instantaneous.
+class FakeClock : public VirtualClock {
+ public:
+  int64_t NowMicros() const override { return now_; }
+  void AdvanceMicros(int64_t micros) override { now_ += micros; }
+
+ private:
+  int64_t now_ = 0;
+};
+
+/// Wall clock; AdvanceMicros really sleeps.
+class SystemClock : public VirtualClock {
+ public:
+  int64_t NowMicros() const override;
+  void AdvanceMicros(int64_t micros) override;
+};
+
+}  // namespace cats::fault
+
+#endif  // CATS_FAULT_CLOCK_H_

@@ -1,0 +1,168 @@
+#include "fault/fault_plan.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/string_util.h"
+
+namespace cats::fault {
+
+namespace {
+
+constexpr std::string_view kRateLimitPrefix =
+    "429 rate limited; retry_after_micros=";
+
+}  // namespace
+
+std::string_view FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kRateLimit: return "rate_limit";
+    case FaultKind::kServerError: return "server_error";
+    case FaultKind::kTruncatedBody: return "truncated_body";
+    case FaultKind::kGarbledBody: return "garbled_body";
+    case FaultKind::kSlowResponse: return "slow_response";
+    case FaultKind::kStaleTotalPages: return "stale_total_pages";
+    case FaultKind::kRepaginationShift: return "repagination_shift";
+    case FaultKind::kDuplicateRecord: return "duplicate_record";
+  }
+  return "unknown";
+}
+
+FaultProfile FaultProfile::None() {
+  FaultProfile p;
+  p.duplicate_record_prob = 0.0;
+  p.server_error_prob = 0.0;
+  return p;
+}
+
+FaultProfile FaultProfile::Mild() { return FaultProfile{}; }
+
+FaultProfile FaultProfile::Hostile() {
+  FaultProfile p;
+  p.duplicate_record_prob = 0.03;
+  p.server_error_prob = 0.03;
+  p.server_error_burst_max = 3;
+  p.rate_limit_prob = 0.02;
+  p.truncate_body_prob = 0.01;
+  p.garble_body_prob = 0.01;
+  p.slow_response_prob = 0.02;
+  p.stale_total_pages_prob = 0.05;
+  p.repagination_shift_prob = 0.05;
+  return p;
+}
+
+Result<FaultProfile> FaultProfile::FromName(std::string_view name) {
+  if (name == "none") return None();
+  if (name == "mild") return Mild();
+  if (name == "hostile") return Hostile();
+  return Status::InvalidArgument("unknown fault profile '" +
+                                 std::string(name) +
+                                 "' (expected none|mild|hostile)");
+}
+
+FaultDecision FaultPlan::NextRequest() {
+  FaultDecision d;
+  if (burst_remaining_ > 0) {
+    --burst_remaining_;
+    d.kind = FaultKind::kServerError;
+    ++injected_[static_cast<size_t>(d.kind)];
+    return d;
+  }
+  // One uniform draw against the cumulative probability ladder keeps the
+  // schedule a single-stream function of the seed.
+  double u = request_rng_.UniformDouble();
+  double acc = 0.0;
+  auto hit = [&](double p) {
+    acc += p;
+    return u < acc;
+  };
+  if (hit(profile_.server_error_prob)) {
+    d.kind = FaultKind::kServerError;
+    size_t burst = static_cast<size_t>(request_rng_.UniformInt(
+        1, static_cast<int64_t>(std::max<size_t>(1,
+                                    profile_.server_error_burst_max))));
+    burst_remaining_ = burst - 1;
+  } else if (hit(profile_.rate_limit_prob)) {
+    d.kind = FaultKind::kRateLimit;
+    d.retry_after_micros = request_rng_.UniformInt(
+        profile_.retry_after_min_micros,
+        std::max(profile_.retry_after_min_micros,
+                 profile_.retry_after_max_micros));
+  } else if (hit(profile_.truncate_body_prob)) {
+    d.kind = FaultKind::kTruncatedBody;
+    d.corruption_seed = request_rng_.NextU64();
+  } else if (hit(profile_.garble_body_prob)) {
+    d.kind = FaultKind::kGarbledBody;
+    d.corruption_seed = request_rng_.NextU64();
+  } else if (hit(profile_.slow_response_prob)) {
+    d.kind = FaultKind::kSlowResponse;
+    d.latency_micros = request_rng_.UniformInt(
+        profile_.slow_latency_min_micros,
+        std::max(profile_.slow_latency_min_micros,
+                 profile_.slow_latency_max_micros));
+  } else if (hit(profile_.stale_total_pages_prob)) {
+    d.kind = FaultKind::kStaleTotalPages;
+    d.stale_extra_pages = static_cast<size_t>(request_rng_.UniformInt(
+        1, static_cast<int64_t>(std::max<size_t>(1,
+                                    profile_.stale_extra_pages_max))));
+  } else if (hit(profile_.repagination_shift_prob)) {
+    d.kind = FaultKind::kRepaginationShift;
+    d.shift = static_cast<size_t>(request_rng_.UniformInt(
+        1, static_cast<int64_t>(std::max<size_t>(1,
+                                    profile_.repagination_shift_max))));
+  }
+  if (d.kind != FaultKind::kNone) ++injected_[static_cast<size_t>(d.kind)];
+  return d;
+}
+
+bool FaultPlan::NextRecordDuplicate() {
+  if (!record_rng_.Bernoulli(profile_.duplicate_record_prob)) return false;
+  ++injected_[static_cast<size_t>(FaultKind::kDuplicateRecord)];
+  return true;
+}
+
+uint64_t FaultPlan::total_request_faults() const {
+  uint64_t total = 0;
+  for (size_t k = 1; k < kNumFaultKinds; ++k) {
+    if (k == static_cast<size_t>(FaultKind::kDuplicateRecord)) continue;
+    total += injected_[k];
+  }
+  return total;
+}
+
+std::string CorruptBody(std::string body, const FaultDecision& decision) {
+  Rng rng(decision.corruption_seed, 0xC0DE);
+  // Keep a proper prefix: a prefix of a complete JSON document is never
+  // itself a complete document (pages are objects), so parsing must fail.
+  size_t cut = body.empty()
+                   ? 0
+                   : rng.UniformU32(static_cast<uint32_t>(body.size()));
+  body.resize(cut);
+  if (decision.kind == FaultKind::kGarbledBody) {
+    for (int i = 0; i < 8 && !body.empty(); ++i) {
+      size_t pos = rng.UniformU32(static_cast<uint32_t>(body.size()));
+      body[pos] = static_cast<char>(rng.UniformU32(256));
+    }
+    // Control-character junk: invalid as trailing garbage and invalid
+    // inside any JSON token, so the result can never parse.
+    body += "\x01\x02<garbled>";
+  }
+  return body;
+}
+
+std::string FormatRateLimited(int64_t retry_after_micros) {
+  return StrFormat("%s%lld", std::string(kRateLimitPrefix).c_str(),
+                   static_cast<long long>(retry_after_micros));
+}
+
+std::optional<int64_t> ParseRetryAfterMicros(std::string_view message) {
+  if (message.substr(0, kRateLimitPrefix.size()) != kRateLimitPrefix) {
+    return std::nullopt;
+  }
+  std::string digits(message.substr(kRateLimitPrefix.size()));
+  if (digits.empty()) return std::nullopt;
+  return static_cast<int64_t>(std::strtoll(digits.c_str(), nullptr, 10));
+}
+
+}  // namespace cats::fault

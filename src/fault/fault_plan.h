@@ -1,0 +1,139 @@
+#ifndef CATS_FAULT_FAULT_PLAN_H_
+#define CATS_FAULT_FAULT_PLAN_H_
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "util/random.h"
+#include "util/result.h"
+
+namespace cats::fault {
+
+/// Everything the simulated platform can do to a request. One request gets
+/// at most one fault (bursts excepted: a server-error burst pins the next
+/// few requests). The kinds mirror what the paper's one-week live crawl
+/// (§IV-A, three Scrapy servers) had to survive: throttling, 5xx bursts,
+/// truncated transfers, proxies garbling bodies, pagination drifting under
+/// concurrent writes.
+enum class FaultKind : int {
+  kNone = 0,
+  /// HTTP 429 with a Retry-After hint the crawler must honor.
+  kRateLimit,
+  /// HTTP 503, possibly as a burst of consecutive failures.
+  kServerError,
+  /// Response body cut off mid-JSON (connection dropped).
+  kTruncatedBody,
+  /// Response body corrupted into definitely-invalid JSON.
+  kGarbledBody,
+  /// Response served correctly but late (virtual-clock latency).
+  kSlowResponse,
+  /// `total_pages` over-reported from a stale snapshot; later pages 404
+  /// into OutOfRange and the crawler must treat that as a clean end.
+  kStaleTotalPages,
+  /// Page window shifted backward (records inserted upstream between
+  /// fetches): earlier records are re-served, producing duplicates.
+  kRepaginationShift,
+  /// A record duplicated inline within one page (repagination at record
+  /// granularity; the pre-fault-layer ApiOptions knob).
+  kDuplicateRecord,
+};
+inline constexpr size_t kNumFaultKinds =
+    static_cast<size_t>(FaultKind::kDuplicateRecord) + 1;
+
+std::string_view FaultKindName(FaultKind kind);
+
+/// Per-request decision drawn from a FaultPlan, with the parameters the
+/// API needs to act it out.
+struct FaultDecision {
+  FaultKind kind = FaultKind::kNone;
+  int64_t retry_after_micros = 0;   // kRateLimit
+  int64_t latency_micros = 0;       // kSlowResponse
+  uint64_t corruption_seed = 0;     // kTruncatedBody / kGarbledBody
+  size_t stale_extra_pages = 0;     // kStaleTotalPages
+  size_t shift = 0;                 // kRepaginationShift
+};
+
+/// Fault rates and shapes. Probabilities are per request (per record for
+/// `duplicate_record_prob`) and mutually exclusive: their sum must be <= 1.
+struct FaultProfile {
+  double duplicate_record_prob = 0.01;
+  double server_error_prob = 0.004;
+  size_t server_error_burst_max = 1;  // burst length drawn in [1, max]
+  double rate_limit_prob = 0.0;
+  int64_t retry_after_min_micros = 20'000;
+  int64_t retry_after_max_micros = 200'000;
+  double truncate_body_prob = 0.0;
+  double garble_body_prob = 0.0;
+  double slow_response_prob = 0.0;
+  int64_t slow_latency_min_micros = 1'200'000;
+  int64_t slow_latency_max_micros = 2'500'000;
+  double stale_total_pages_prob = 0.0;
+  size_t stale_extra_pages_max = 3;
+  double repagination_shift_prob = 0.0;
+  size_t repagination_shift_max = 2;
+
+  /// A perfectly healthy platform (fault-free reference crawls).
+  static FaultProfile None();
+  /// The default background noise: transient 503s plus duplicate records,
+  /// numerically identical to the pre-fault-layer ApiOptions defaults.
+  static FaultProfile Mild();
+  /// The full §IV-A weather: 429s, 5xx bursts, truncation, garbling, slow
+  /// responses, stale pagination, repagination shifts.
+  static FaultProfile Hostile();
+  /// "none" | "mild" | "hostile" (the cats_cli --fault-profile values).
+  static Result<FaultProfile> FromName(std::string_view name);
+};
+
+/// A seeded, schedule-driven source of per-request fault decisions. The
+/// schedule is a pure function of (profile, seed, request sequence): two
+/// plans with the same seed issue bit-identical decisions, which is what
+/// makes chaos tests deterministic. Counters record what was injected so
+/// tests can reconcile them against what the crawler observed.
+class FaultPlan {
+ public:
+  FaultPlan(const FaultProfile& profile, uint64_t seed)
+      : profile_(profile),
+        request_rng_(seed, 0xFA01),
+        record_rng_(seed, 0xFA02) {}
+
+  /// Draws the decision for the next request, advancing the schedule.
+  FaultDecision NextRequest();
+
+  /// Per-record duplicate decision (kDuplicateRecord), drawn from an
+  /// independent stream so record counts don't perturb request decisions.
+  bool NextRecordDuplicate();
+
+  const FaultProfile& profile() const { return profile_; }
+  uint64_t injected(FaultKind kind) const {
+    return injected_[static_cast<size_t>(kind)];
+  }
+  /// Total injected faults, excluding kNone and kDuplicateRecord.
+  uint64_t total_request_faults() const;
+
+ private:
+  FaultProfile profile_;
+  Rng request_rng_;
+  Rng record_rng_;
+  size_t burst_remaining_ = 0;
+  std::array<uint64_t, kNumFaultKinds> injected_{};
+};
+
+/// Applies a kTruncatedBody / kGarbledBody decision to a response body.
+/// The output is guaranteed unparseable when `body` was a complete JSON
+/// document: truncation keeps a proper prefix, garbling additionally flips
+/// bytes and appends control-character junk (trailing garbage is a parse
+/// error). That guarantee is what lets chaos tests assert exact
+/// completeness: a corrupted page can never be silently accepted.
+std::string CorruptBody(std::string body, const FaultDecision& decision);
+
+/// 429 responses carry their Retry-After hint in the Status message (the
+/// Status type has no header channel). Format/parse round-trip exactly.
+std::string FormatRateLimited(int64_t retry_after_micros);
+std::optional<int64_t> ParseRetryAfterMicros(std::string_view message);
+
+}  // namespace cats::fault
+
+#endif  // CATS_FAULT_FAULT_PLAN_H_

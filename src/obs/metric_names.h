@@ -33,6 +33,25 @@ inline constexpr std::string_view kCrawlerRateLimiterStallMicrosTotal =
     "crawler.rate_limiter_stall_micros_total";
 inline constexpr std::string_view kCrawlerCrawlLatencyMicros =
     "crawler.crawl_latency_micros";
+// Fault observations: injected adversity the crawler saw and survived.
+inline constexpr std::string_view kCrawlerFaultsRateLimitedTotal =
+    "crawler.faults.rate_limited_total";
+inline constexpr std::string_view kCrawlerFaultsServerErrorsTotal =
+    "crawler.faults.server_errors_total";
+inline constexpr std::string_view kCrawlerFaultsMalformedBodiesTotal =
+    "crawler.faults.malformed_bodies_total";
+inline constexpr std::string_view kCrawlerFaultsSlowResponsesTotal =
+    "crawler.faults.slow_responses_total";
+inline constexpr std::string_view kCrawlerPaginationProbesTotal =
+    "crawler.pagination_probes_total";
+inline constexpr std::string_view kCrawlerBackoffMicros =
+    "crawler.backoff_micros";
+inline constexpr std::string_view kCrawlerBreakerState =
+    "crawler.breaker_state";
+inline constexpr std::string_view kCrawlerBreakerOpensTotal =
+    "crawler.breaker_opens_total";
+inline constexpr std::string_view kCrawlerBreakerPausedMicrosTotal =
+    "crawler.breaker_paused_micros_total";
 
 // --- core::SemanticAnalyzer (paper §II-B semantic analyzer) ---
 inline constexpr std::string_view kSemanticCommentsSegmentedTotal =

@@ -25,7 +25,22 @@ PageRange Paginate(size_t total, size_t page, size_t page_size) {
   return r;
 }
 
-std::string WrapPage(size_t page, size_t total_pages, JsonValue data) {
+/// Applies the repagination-shift fault: the window's start slides
+/// backward (records inserted upstream between page fetches), re-serving
+/// the tail of the previous page. Only overlap, never gaps — the
+/// completeness invariant chaos tests assert depends on that.
+size_t ShiftedBegin(const PageRange& r, const fault::FaultDecision& f) {
+  if (f.kind != fault::FaultKind::kRepaginationShift || r.begin == 0) {
+    return r.begin;
+  }
+  return r.begin > f.shift ? r.begin - f.shift : 0;
+}
+
+std::string WrapPage(size_t page, size_t total_pages,
+                     const fault::FaultDecision& f, JsonValue data) {
+  if (f.kind == fault::FaultKind::kStaleTotalPages) {
+    total_pages += f.stale_extra_pages;
+  }
   JsonValue doc = JsonValue::Object();
   doc.Set("page", JsonValue::Int(static_cast<int64_t>(page)));
   doc.Set("total_pages", JsonValue::Int(static_cast<int64_t>(total_pages)));
@@ -51,9 +66,22 @@ bool ConsumeUint(std::string_view* s, uint64_t* dst) {
 
 Result<std::string> MarketplaceApi::Get(std::string_view path) {
   ++request_count_;
-  if (rng_.Bernoulli(options_.transient_failure_prob)) {
-    ++injected_failures_;
-    return Status::Unavailable("503 service unavailable (transient)");
+  fault::FaultDecision fault = plan_.NextRequest();
+  switch (fault.kind) {
+    case fault::FaultKind::kServerError:
+      ++injected_failures_;
+      return Status::Unavailable("503 service unavailable (injected)");
+    case fault::FaultKind::kRateLimit:
+      ++injected_failures_;
+      return Status::Unavailable(
+          fault::FormatRateLimited(fault.retry_after_micros));
+    case fault::FaultKind::kSlowResponse:
+      if (options_.clock != nullptr) {
+        options_.clock->AdvanceMicros(fault.latency_micros);
+      }
+      break;
+    default:
+      break;
   }
 
   // Split query string.
@@ -72,26 +100,38 @@ Result<std::string> MarketplaceApi::Get(std::string_view path) {
     }
   }
 
-  if (route == "/shops") return ServeShops(page);
-
-  if (StartsWith(route, "/shops/")) {
+  Result<std::string> body = Status::NotFound("no route for " +
+                                              std::string(path));
+  bool routed = false;
+  if (route == "/shops") {
+    body = ServeShops(page, fault);
+    routed = true;
+  } else if (StartsWith(route, "/shops/")) {
     std::string_view rest = route.substr(7);
     uint64_t shop_id = 0;
     if (ConsumeUint(&rest, &shop_id) && rest == "/items") {
-      return ServeItems(shop_id, page);
+      body = ServeItems(shop_id, page, fault);
+      routed = true;
     }
-  }
-  if (StartsWith(route, "/items/")) {
+  } else if (StartsWith(route, "/items/")) {
     std::string_view rest = route.substr(7);
     uint64_t item_id = 0;
     if (ConsumeUint(&rest, &item_id) && rest == "/comments") {
-      return ServeComments(item_id, page);
+      body = ServeComments(item_id, page, fault);
+      routed = true;
     }
   }
-  return Status::NotFound("no route for " + std::string(path));
+  if (!routed || !body.ok()) return body;
+  if (fault.kind == fault::FaultKind::kTruncatedBody ||
+      fault.kind == fault::FaultKind::kGarbledBody) {
+    ++corrupted_bodies_;
+    return fault::CorruptBody(std::move(body).value(), fault);
+  }
+  return body;
 }
 
-Result<std::string> MarketplaceApi::ServeShops(size_t page) {
+Result<std::string> MarketplaceApi::ServeShops(size_t page,
+                                               const fault::FaultDecision& f) {
   const auto& shops = marketplace_->shops();
   PageRange r = Paginate(shops.size(), page, options_.page_size);
   if (page >= r.total_pages) {
@@ -105,17 +145,20 @@ Result<std::string> MarketplaceApi::ServeShops(size_t page) {
     rec.Set("shop_name", JsonValue::String(s.name));
     data.Append(std::move(rec));
   };
-  for (size_t i = r.begin; i < r.end; ++i) {
+  size_t begin = ShiftedBegin(r, f);
+  injected_duplicates_ += r.begin - begin;
+  for (size_t i = begin; i < r.end; ++i) {
     append(shops[i]);
-    if (rng_.Bernoulli(options_.duplicate_record_prob)) {
+    if (plan_.NextRecordDuplicate()) {
       ++injected_duplicates_;
       append(shops[i]);
     }
   }
-  return WrapPage(page, r.total_pages, std::move(data));
+  return WrapPage(page, r.total_pages, f, std::move(data));
 }
 
-Result<std::string> MarketplaceApi::ServeItems(uint64_t shop_id, size_t page) {
+Result<std::string> MarketplaceApi::ServeItems(uint64_t shop_id, size_t page,
+                                               const fault::FaultDecision& f) {
   if (shop_id >= marketplace_->shops().size()) {
     return Status::NotFound(StrFormat("no shop %llu",
                                       static_cast<unsigned long long>(
@@ -138,19 +181,21 @@ Result<std::string> MarketplaceApi::ServeItems(uint64_t shop_id, size_t page) {
             JsonValue::String(std::string(ItemCategoryName(item.category))));
     data.Append(std::move(rec));
   };
-  for (size_t i = r.begin; i < r.end; ++i) {
+  size_t begin = ShiftedBegin(r, f);
+  injected_duplicates_ += r.begin - begin;
+  for (size_t i = begin; i < r.end; ++i) {
     const Item& item = marketplace_->items()[item_ids[i]];
     append(item);
-    if (rng_.Bernoulli(options_.duplicate_record_prob)) {
+    if (plan_.NextRecordDuplicate()) {
       ++injected_duplicates_;
       append(item);
     }
   }
-  return WrapPage(page, r.total_pages, std::move(data));
+  return WrapPage(page, r.total_pages, f, std::move(data));
 }
 
-Result<std::string> MarketplaceApi::ServeComments(uint64_t item_id,
-                                                  size_t page) {
+Result<std::string> MarketplaceApi::ServeComments(
+    uint64_t item_id, size_t page, const fault::FaultDecision& f) {
   if (item_id >= marketplace_->items().size()) {
     return Status::NotFound(StrFormat("no item %llu",
                                       static_cast<unsigned long long>(
@@ -158,7 +203,7 @@ Result<std::string> MarketplaceApi::ServeComments(uint64_t item_id,
   }
   const auto& comment_indices = marketplace_->CommentIndicesOfItem(item_id);
   PageRange r = Paginate(comment_indices.size(), page, options_.page_size);
-  if (page >= r.total_pages && !comment_indices.empty() && page > 0) {
+  if (page >= r.total_pages && page > 0) {
     return Status::OutOfRange(StrFormat("page %zu past end", page));
   }
   JsonValue data = JsonValue::Array();
@@ -176,15 +221,17 @@ Result<std::string> MarketplaceApi::ServeComments(uint64_t item_id,
     rec.Set("date", JsonValue::String(c.date));
     data.Append(std::move(rec));
   };
-  for (size_t i = r.begin; i < r.end; ++i) {
+  size_t begin = ShiftedBegin(r, f);
+  injected_duplicates_ += r.begin - begin;
+  for (size_t i = begin; i < r.end; ++i) {
     const Comment& c = marketplace_->comments()[comment_indices[i]];
     append(c);
-    if (rng_.Bernoulli(options_.duplicate_record_prob)) {
+    if (plan_.NextRecordDuplicate()) {
       ++injected_duplicates_;
       append(c);
     }
   }
-  return WrapPage(page, r.total_pages, std::move(data));
+  return WrapPage(page, r.total_pages, f, std::move(data));
 }
 
 }  // namespace cats::platform

@@ -5,20 +5,24 @@
 #include <string>
 #include <string_view>
 
+#include "fault/clock.h"
+#include "fault/fault_plan.h"
 #include "platform/marketplace.h"
-#include "util/random.h"
 #include "util/result.h"
 
 namespace cats::platform {
 
 struct ApiOptions {
   size_t page_size = 50;
-  /// Probability a page contains a duplicated record (real platforms
-  /// repaginate under writes; the collector's duplicate filter must cope).
-  double duplicate_record_prob = 0.01;
-  /// Probability a request transiently fails with 503 (the crawler retries).
-  double transient_failure_prob = 0.004;
+  /// Deterministic fault schedule the API draws from (fault/fault_plan.h).
+  /// Defaults to FaultProfile::Mild() — the background noise (transient
+  /// 503s, duplicated records) every crawl used to see; set to
+  /// FaultProfile::None() for clean-room crawls, Hostile() for chaos runs.
+  fault::FaultProfile faults = fault::FaultProfile::Mild();
   uint64_t seed = 99;
+  /// Clock slow-response faults advance; nullptr disables latency
+  /// injection (the other fault kinds don't need a clock).
+  fault::VirtualClock* clock = nullptr;
 };
 
 /// The public web surface of a marketplace: paginated JSON endpoints over
@@ -33,36 +37,53 @@ struct ApiOptions {
 ///                                     nickname, userExpValue,
 ///                                     client_information, date
 /// Responses: {"page":K,"total_pages":N,"data":[...]}.
+///
+/// Every request consults the seeded fault::FaultPlan, which can answer
+/// with 429s (Retry-After in the Status message), 5xx bursts, truncated or
+/// garbled bodies, slow responses, stale total_pages, repagination shifts,
+/// and duplicated records — the weather the paper's week-long live crawl
+/// ran in.
 class MarketplaceApi {
  public:
   MarketplaceApi(const Marketplace* marketplace, ApiOptions options)
       : marketplace_(marketplace),
         options_(options),
-        rng_(options.seed, 0xA71) {}
+        plan_(options.faults, options.seed) {}
 
   explicit MarketplaceApi(const Marketplace* marketplace)
       : MarketplaceApi(marketplace, ApiOptions{}) {}
 
-  /// Handles one GET. Returns the JSON body, or Unavailable on an injected
-  /// transient failure, or NotFound / InvalidArgument for bad routes.
+  /// Handles one GET. Returns the JSON body (possibly corrupted by a
+  /// content fault), or Unavailable on an injected 503/429, or NotFound /
+  /// InvalidArgument / OutOfRange for bad routes and past-the-end pages.
   Result<std::string> Get(std::string_view path);
 
   uint64_t request_count() const { return request_count_; }
+  /// Injected 503 + 429 responses.
   uint64_t injected_failures() const { return injected_failures_; }
+  /// Records served more than once (inline duplicates + repagination
+  /// overlap).
   uint64_t injected_duplicates() const { return injected_duplicates_; }
+  /// Bodies actually corrupted (a scheduled corruption does not manifest
+  /// when the request errors out first, e.g. a past-the-end page).
+  uint64_t corrupted_bodies() const { return corrupted_bodies_; }
   size_t page_size() const { return options_.page_size; }
+  const fault::FaultPlan& fault_plan() const { return plan_; }
 
  private:
-  Result<std::string> ServeShops(size_t page);
-  Result<std::string> ServeItems(uint64_t shop_id, size_t page);
-  Result<std::string> ServeComments(uint64_t item_id, size_t page);
+  Result<std::string> ServeShops(size_t page, const fault::FaultDecision& f);
+  Result<std::string> ServeItems(uint64_t shop_id, size_t page,
+                                 const fault::FaultDecision& f);
+  Result<std::string> ServeComments(uint64_t item_id, size_t page,
+                                    const fault::FaultDecision& f);
 
   const Marketplace* marketplace_;  // not owned
   ApiOptions options_;
-  Rng rng_;
+  fault::FaultPlan plan_;
   uint64_t request_count_ = 0;
   uint64_t injected_failures_ = 0;
   uint64_t injected_duplicates_ = 0;
+  uint64_t corrupted_bodies_ = 0;
 };
 
 }  // namespace cats::platform

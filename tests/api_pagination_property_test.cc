@@ -17,8 +17,7 @@ class ApiPaginationTest : public ::testing::TestWithParam<size_t> {
   MarketplaceApi MakeApi() {
     ApiOptions options;
     options.page_size = GetParam();
-    options.transient_failure_prob = 0.0;
-    options.duplicate_record_prob = 0.0;
+    options.faults = fault::FaultProfile::None();
     return MarketplaceApi(&cats::TestMarketplace(), options);
   }
 };

@@ -10,8 +10,7 @@ namespace {
 
 ApiOptions QuietOptions() {
   ApiOptions options;
-  options.transient_failure_prob = 0.0;
-  options.duplicate_record_prob = 0.0;
+  options.faults = fault::FaultProfile::None();
   options.page_size = 10;
   return options;
 }
@@ -125,7 +124,7 @@ TEST(ApiTest, UnknownRoutesRejected) {
 
 TEST(ApiTest, TransientFailuresInjected) {
   ApiOptions options = QuietOptions();
-  options.transient_failure_prob = 0.5;
+  options.faults.server_error_prob = 0.5;
   MarketplaceApi api(&TestMarketplace(), options);
   size_t failures = 0;
   for (int i = 0; i < 200; ++i) {
@@ -139,7 +138,7 @@ TEST(ApiTest, TransientFailuresInjected) {
 
 TEST(ApiTest, DuplicateRecordsInjected) {
   ApiOptions options = QuietOptions();
-  options.duplicate_record_prob = 1.0;  // duplicate everything
+  options.faults.duplicate_record_prob = 1.0;  // duplicate everything
   MarketplaceApi api(&TestMarketplace(), options);
   auto body = api.Get("/shops?page=0");
   ASSERT_TRUE(body.ok());

@@ -1,0 +1,87 @@
+#include "collect/backoff.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace cats::collect {
+namespace {
+
+constexpr int64_t kBase = 50'000;
+constexpr int64_t kCap = 5'000'000;
+
+TEST(BackoffTest, FirstDelayIsExactlyBase) {
+  Backoff backoff(kBase, kCap, 1);
+  EXPECT_EQ(backoff.NextDelayMicros(), kBase);
+}
+
+TEST(BackoffTest, DelaysStayWithinEnvelope) {
+  Backoff backoff(kBase, kCap, 2);
+  int64_t prev = backoff.NextDelayMicros();
+  for (int i = 0; i < 1000; ++i) {
+    int64_t hi = prev > kCap / 3 ? kCap : prev * 3;
+    int64_t d = backoff.NextDelayMicros();
+    EXPECT_GE(d, kBase);
+    EXPECT_LE(d, std::max(kBase, hi));
+    EXPECT_LE(d, kCap);
+    prev = d;
+  }
+}
+
+TEST(BackoffTest, SameSeedSameSequence) {
+  Backoff a(kBase, kCap, 77);
+  Backoff b(kBase, kCap, 77);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(a.NextDelayMicros(), b.NextDelayMicros());
+  }
+}
+
+TEST(BackoffTest, DifferentSeedsDiverge) {
+  Backoff a(kBase, kCap, 1);
+  Backoff b(kBase, kCap, 2);
+  a.NextDelayMicros();  // both cold starts return base
+  b.NextDelayMicros();
+  bool diverged = false;
+  for (int i = 0; i < 50 && !diverged; ++i) {
+    diverged = a.NextDelayMicros() != b.NextDelayMicros();
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(BackoffTest, GrowsTowardCapUnderSustainedFailure) {
+  // Expected delay grows exponentially: after enough draws the sequence
+  // must be able to reach the cap region.
+  Backoff backoff(kBase, kCap, 3);
+  int64_t max_seen = 0;
+  for (int i = 0; i < 200; ++i) {
+    max_seen = std::max(max_seen, backoff.NextDelayMicros());
+  }
+  EXPECT_GT(max_seen, kCap / 2);
+}
+
+TEST(BackoffTest, ResetReturnsToColdBase) {
+  Backoff backoff(kBase, kCap, 4);
+  backoff.NextDelayMicros();
+  backoff.NextDelayMicros();
+  backoff.Reset();
+  EXPECT_EQ(backoff.NextDelayMicros(), kBase);
+}
+
+TEST(BackoffTest, DegenerateParametersClamped) {
+  // base <= 0 clamps to 1; cap below base clamps up to base.
+  Backoff tiny(0, 0, 5);
+  EXPECT_EQ(tiny.base_micros(), 1);
+  EXPECT_EQ(tiny.cap_micros(), 1);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(tiny.NextDelayMicros(), 1);
+
+  Backoff inverted(1000, 10, 6);
+  EXPECT_EQ(inverted.cap_micros(), 1000);
+  for (int i = 0; i < 20; ++i) {
+    int64_t d = inverted.NextDelayMicros();
+    EXPECT_GE(d, 1000);
+    EXPECT_LE(d, 1000);
+  }
+}
+
+}  // namespace
+}  // namespace cats::collect

@@ -1,0 +1,254 @@
+// Deterministic chaos tests: crawl the shared marketplace under ~20 seeded
+// fault plans, up to the full hostile profile, and assert that the hardened
+// crawler (a) converges, (b) collects a store record-identical to a
+// fault-free crawl, and (c) keeps its accounting invariants exact.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "collect/crawler.h"
+#include "fault/fault_plan.h"
+#include "platform_test_util.h"
+
+namespace cats::collect {
+namespace {
+
+/// Two stores are record-identical: same shops, items, and comments in the
+/// same order with the same content.
+void ExpectStoresIdentical(const DataStore& got, const DataStore& want) {
+  ASSERT_EQ(got.shops().size(), want.shops().size());
+  for (size_t i = 0; i < want.shops().size(); ++i) {
+    EXPECT_EQ(got.shops()[i].shop_id, want.shops()[i].shop_id);
+    EXPECT_EQ(got.shops()[i].shop_name, want.shops()[i].shop_name);
+    EXPECT_EQ(got.shops()[i].shop_url, want.shops()[i].shop_url);
+  }
+  ASSERT_EQ(got.items().size(), want.items().size());
+  for (size_t i = 0; i < want.items().size(); ++i) {
+    const CollectedItem& a = got.items()[i];
+    const CollectedItem& b = want.items()[i];
+    EXPECT_EQ(a.item.item_id, b.item.item_id);
+    EXPECT_EQ(a.item.shop_id, b.item.shop_id);
+    EXPECT_EQ(a.item.item_name, b.item.item_name);
+    EXPECT_EQ(a.item.price, b.item.price);
+    EXPECT_EQ(a.item.sales_volume, b.item.sales_volume);
+    EXPECT_EQ(a.item.category, b.item.category);
+    ASSERT_EQ(a.comments.size(), b.comments.size()) << "item " << i;
+    for (size_t j = 0; j < b.comments.size(); ++j) {
+      EXPECT_EQ(a.comments[j].comment_id, b.comments[j].comment_id);
+      EXPECT_EQ(a.comments[j].content, b.comments[j].content);
+      EXPECT_EQ(a.comments[j].nickname, b.comments[j].nickname);
+      EXPECT_EQ(a.comments[j].user_exp_value, b.comments[j].user_exp_value);
+      EXPECT_EQ(a.comments[j].date, b.comments[j].date);
+    }
+  }
+  EXPECT_EQ(got.num_comments(), want.num_comments());
+}
+
+/// The crawler's books must balance against itself and against the API:
+/// every request is exactly one of {accepted page, pagination probe, retry
+/// trigger}, and every retry was triggered by exactly one observed fault.
+void ExpectAccountingExact(const Crawler& crawler,
+                           const platform::MarketplaceApi& api) {
+  const CrawlStats& s = crawler.stats();
+  EXPECT_EQ(s.requests, api.request_count());
+  EXPECT_EQ(s.requests, s.pages_fetched + s.pagination_probes + s.retries);
+  EXPECT_EQ(s.retries, s.rate_limited + s.server_errors + s.malformed_bodies);
+  // What the crawler observed is what the plan injected.
+  const fault::FaultPlan& plan = api.fault_plan();
+  EXPECT_EQ(s.rate_limited, plan.injected(fault::FaultKind::kRateLimit));
+  EXPECT_EQ(s.server_errors, plan.injected(fault::FaultKind::kServerError));
+  // Scheduled corruptions that hit an already-failing request (e.g. a
+  // pagination probe) never manifest, so compare against what the API
+  // actually corrupted.
+  EXPECT_EQ(s.malformed_bodies, api.corrupted_bodies());
+  EXPECT_LE(s.malformed_bodies,
+            plan.injected(fault::FaultKind::kTruncatedBody) +
+                plan.injected(fault::FaultKind::kGarbledBody));
+  EXPECT_EQ(s.slow_responses,
+            plan.injected(fault::FaultKind::kSlowResponse));
+  if (plan.injected(fault::FaultKind::kRateLimit) > 0) {
+    EXPECT_GT(s.backoff_micros, 0);
+  }
+}
+
+struct ChaosCase {
+  const char* name;
+  uint64_t seed;
+  fault::FaultProfile profile;
+};
+
+std::vector<ChaosCase> ChaosCases() {
+  std::vector<ChaosCase> cases;
+  // Single-fault plans: each fault kind alone, two seeds each.
+  struct Single {
+    const char* name;
+    void (*apply)(fault::FaultProfile*);
+  };
+  const Single singles[] = {
+      {"rate_limit", [](fault::FaultProfile* p) { p->rate_limit_prob = 0.05; }},
+      {"server_error_bursts",
+       [](fault::FaultProfile* p) {
+         p->server_error_prob = 0.03;
+         p->server_error_burst_max = 3;
+       }},
+      {"truncated", [](fault::FaultProfile* p) { p->truncate_body_prob = 0.04; }},
+      {"garbled", [](fault::FaultProfile* p) { p->garble_body_prob = 0.04; }},
+      {"slow", [](fault::FaultProfile* p) { p->slow_response_prob = 0.03; }},
+      {"stale_pages",
+       [](fault::FaultProfile* p) { p->stale_total_pages_prob = 0.10; }},
+      {"repagination",
+       [](fault::FaultProfile* p) { p->repagination_shift_prob = 0.10; }},
+      {"duplicates",
+       [](fault::FaultProfile* p) { p->duplicate_record_prob = 0.05; }},
+  };
+  for (const Single& single : singles) {
+    for (uint64_t seed : {101u, 202u}) {
+      fault::FaultProfile profile = fault::FaultProfile::None();
+      single.apply(&profile);
+      cases.push_back({single.name, seed, profile});
+    }
+  }
+  // Full hostile plans, several seeds.
+  for (uint64_t seed : {1u, 2u, 3u, 4u, 5u, 6u}) {
+    cases.push_back({"hostile", seed, fault::FaultProfile::Hostile()});
+  }
+  return cases;  // 8 * 2 + 6 = 22 plans
+}
+
+CrawlerOptions ChaosCrawlerOptions() {
+  CrawlerOptions options;
+  options.requests_per_second = 0.0;  // uncapped: chaos, not throughput
+  options.max_retries = 12;           // hostile bursts need headroom
+  options.backoff_cap_micros = 500'000;  // keep virtual waits small
+  options.breaker_failure_threshold = 5;
+  options.breaker_pause_micros = 200'000;
+  return options;
+}
+
+TEST(ChaosCrawlTest, ConvergesToFaultFreeStoreUnderEveryPlan) {
+  const platform::Marketplace& m = TestMarketplace();
+  const DataStore& reference = TestStore();  // fault-free crawl
+  for (const ChaosCase& chaos : ChaosCases()) {
+    SCOPED_TRACE(std::string(chaos.name) + "/seed=" +
+                 std::to_string(chaos.seed));
+    FakeClock clock;
+    platform::ApiOptions api_options;
+    api_options.faults = chaos.profile;
+    api_options.seed = chaos.seed;
+    api_options.clock = &clock;
+    platform::MarketplaceApi api(&m, api_options);
+    Crawler crawler(&api, ChaosCrawlerOptions(), &clock);
+    DataStore store;
+    Status st = crawler.Crawl(&store);
+    ASSERT_TRUE(st.ok()) << st.ToString();
+    ExpectStoresIdentical(store, reference);
+    ExpectAccountingExact(crawler, api);
+  }
+}
+
+TEST(ChaosCrawlTest, SameSeedReproducesIdenticalRun) {
+  const platform::Marketplace& m = TestMarketplace();
+  auto run = [&](uint64_t seed) {
+    FakeClock clock;
+    platform::ApiOptions api_options;
+    api_options.faults = fault::FaultProfile::Hostile();
+    api_options.seed = seed;
+    api_options.clock = &clock;
+    platform::MarketplaceApi api(&m, api_options);
+    Crawler crawler(&api, ChaosCrawlerOptions(), &clock);
+    DataStore store;
+    Status st = crawler.Crawl(&store);
+    CATS_CHECK(st.ok());
+    return std::make_tuple(crawler.stats().requests,
+                           crawler.stats().retries,
+                           crawler.stats().backoff_micros,
+                           clock.NowMicros());
+  };
+  EXPECT_EQ(run(31337), run(31337));
+  EXPECT_NE(run(31337), run(31338));
+}
+
+TEST(ChaosCrawlTest, DuplicatesDroppedMatchInjected) {
+  const platform::Marketplace& m = TestMarketplace();
+  FakeClock clock;
+  platform::ApiOptions api_options;
+  api_options.faults = fault::FaultProfile::None();
+  api_options.faults.duplicate_record_prob = 0.04;
+  api_options.faults.repagination_shift_prob = 0.08;
+  api_options.seed = 555;
+  platform::MarketplaceApi api(&m, api_options);
+  Crawler crawler(&api, ChaosCrawlerOptions(), &clock);
+  DataStore store;
+  ASSERT_TRUE(crawler.Crawl(&store).ok());
+  // Every record the API served twice was dropped exactly once.
+  EXPECT_EQ(store.duplicates_dropped(), api.injected_duplicates());
+  EXPECT_GT(store.duplicates_dropped(), 0u);
+  EXPECT_EQ(store.items().size(), m.items().size());
+}
+
+// A crawl aborted mid-flight by a tiny retry budget resumes from its
+// checkpoint: the finished store is identical, and the resumed run is
+// verifiably cheaper than a from-scratch crawl (completed pages are not
+// re-fetched).
+TEST(ChaosCrawlTest, CheckpointResumeSkipsCompletedPages) {
+  const platform::Marketplace& m = TestMarketplace();
+  const DataStore& reference = TestStore();
+
+  FakeClock clock;
+  platform::ApiOptions api_options;
+  api_options.faults = fault::FaultProfile::Hostile();
+  api_options.seed = 9001;
+  api_options.clock = &clock;
+  platform::MarketplaceApi api(&m, api_options);
+
+  CrawlerOptions options = ChaosCrawlerOptions();
+  options.retry_budget = 5;  // abort early under hostile weather
+  Crawler crawler(&api, options, &clock);
+
+  DataStore store;
+  CrawlCheckpoint checkpoint;
+  Status st = crawler.Crawl(&store, &checkpoint);
+  ASSERT_FALSE(st.ok());  // the budget must bite under Hostile()
+  ASSERT_FALSE(checkpoint.complete);
+  uint64_t requests_before_resume = api.request_count();
+  EXPECT_GT(requests_before_resume, 0u);
+  size_t pages_before_resume = crawler.stats().pages_fetched;
+  EXPECT_GT(pages_before_resume, 0u);
+
+  // Resume with a realistic budget until done (hostile weather can exhaust
+  // a small budget more than once).
+  CrawlerOptions resume_options = ChaosCrawlerOptions();
+  Crawler resumer(&api, resume_options, &clock);
+  st = resumer.Crawl(&store, &checkpoint);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_TRUE(checkpoint.complete);
+  ExpectStoresIdentical(store, reference);
+
+  // Completed pages were not re-fetched: the combined accepted-page count
+  // equals one fault-free crawl's pages (+1 tolerance for the aborted
+  // in-flight page, which is never counted twice).
+  uint64_t total_pages_fetched =
+      pages_before_resume + resumer.stats().pages_fetched;
+  // A fault-free crawl of this marketplace fetches a fixed number of pages;
+  // measure it directly.
+  platform::ApiOptions clean_options;
+  clean_options.faults = fault::FaultProfile::None();
+  platform::MarketplaceApi clean_api(&m, clean_options);
+  FakeClock clean_clock;
+  Crawler clean_crawler(&clean_api, CrawlerOptions{}, &clean_clock);
+  DataStore clean_store;
+  ASSERT_TRUE(clean_crawler.Crawl(&clean_store).ok());
+  uint64_t clean_pages = clean_crawler.stats().pages_fetched;
+  EXPECT_GE(total_pages_fetched, clean_pages);
+  // +1: the aborted walk's in-flight page is re-fetched on resume.
+  EXPECT_LE(total_pages_fetched, clean_pages + 1);
+
+  // And resuming a complete checkpoint is a no-op.
+  uint64_t requests_after = api.request_count();
+  ASSERT_TRUE(resumer.Crawl(&store, &checkpoint).ok());
+  EXPECT_EQ(api.request_count(), requests_after);
+}
+
+}  // namespace
+}  // namespace cats::collect

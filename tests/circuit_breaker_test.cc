@@ -1,0 +1,87 @@
+#include "collect/circuit_breaker.h"
+
+#include <gtest/gtest.h>
+
+#include "collect/rate_limiter.h"
+
+namespace cats::collect {
+namespace {
+
+TEST(CircuitBreakerTest, StartsClosed) {
+  FakeClock clock;
+  CircuitBreaker breaker(3, 1'000'000, &clock);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(breaker.AllowRequest());
+}
+
+TEST(CircuitBreakerTest, OpensAtThreshold) {
+  FakeClock clock;
+  CircuitBreaker breaker(3, 1'000'000, &clock);
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_FALSE(breaker.AllowRequest());
+  EXPECT_EQ(breaker.opens(), 1u);
+  EXPECT_EQ(breaker.open_until_micros(), clock.NowMicros() + 1'000'000);
+}
+
+TEST(CircuitBreakerTest, SuccessResetsConsecutiveCount) {
+  FakeClock clock;
+  CircuitBreaker breaker(3, 1'000'000, &clock);
+  for (int round = 0; round < 10; ++round) {
+    breaker.RecordFailure();
+    breaker.RecordFailure();
+    breaker.RecordSuccess();  // never 3 in a row
+  }
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(breaker.opens(), 0u);
+}
+
+TEST(CircuitBreakerTest, HalfOpensAfterPause) {
+  FakeClock clock;
+  CircuitBreaker breaker(1, 500'000, &clock);
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  clock.AdvanceMicros(499'999);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  clock.AdvanceMicros(1);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  EXPECT_TRUE(breaker.AllowRequest());
+}
+
+TEST(CircuitBreakerTest, HalfOpenProbeSuccessCloses) {
+  FakeClock clock;
+  CircuitBreaker breaker(1, 500'000, &clock);
+  breaker.RecordFailure();
+  clock.AdvanceMicros(500'000);
+  ASSERT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+}
+
+TEST(CircuitBreakerTest, HalfOpenProbeFailureReopens) {
+  FakeClock clock;
+  CircuitBreaker breaker(2, 500'000, &clock);
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  clock.AdvanceMicros(500'000);
+  ASSERT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  breaker.RecordFailure();  // a single probe failure suffices to reopen
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.opens(), 2u);
+  EXPECT_EQ(breaker.open_until_micros(), clock.NowMicros() + 500'000);
+}
+
+TEST(CircuitBreakerTest, ZeroThresholdDisables) {
+  FakeClock clock;
+  CircuitBreaker breaker(0, 500'000, &clock);
+  for (int i = 0; i < 100; ++i) breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(breaker.AllowRequest());
+  EXPECT_EQ(breaker.opens(), 0u);
+}
+
+}  // namespace
+}  // namespace cats::collect

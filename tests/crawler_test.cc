@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "collect/backoff.h"
+#include "fault/fault_plan.h"
 #include "platform_test_util.h"
 
 namespace cats::collect {
@@ -33,8 +35,8 @@ TEST(CrawlerTest, CollectedContentMatchesSource) {
 TEST(CrawlerTest, SurvivesTransientFailures) {
   const platform::Marketplace& m = TestMarketplace();
   platform::ApiOptions api_options;
-  api_options.transient_failure_prob = 0.10;
-  api_options.duplicate_record_prob = 0.0;
+  api_options.faults = fault::FaultProfile::None();
+  api_options.faults.server_error_prob = 0.10;
   platform::MarketplaceApi api(&m, api_options);
   FakeClock clock;
   Crawler crawler(&api, CrawlerOptions{}, &clock);
@@ -42,13 +44,14 @@ TEST(CrawlerTest, SurvivesTransientFailures) {
   ASSERT_TRUE(crawler.Crawl(&store).ok());
   EXPECT_EQ(store.items().size(), m.items().size());
   EXPECT_GT(crawler.stats().retries, 0u);
+  EXPECT_EQ(crawler.stats().server_errors, crawler.stats().retries);
 }
 
 TEST(CrawlerTest, DeduplicatesInjectedRecords) {
   const platform::Marketplace& m = TestMarketplace();
   platform::ApiOptions api_options;
-  api_options.transient_failure_prob = 0.0;
-  api_options.duplicate_record_prob = 0.05;
+  api_options.faults = fault::FaultProfile::None();
+  api_options.faults.duplicate_record_prob = 0.05;
   platform::MarketplaceApi api(&m, api_options);
   FakeClock clock;
   Crawler crawler(&api, CrawlerOptions{}, &clock);
@@ -63,7 +66,7 @@ TEST(CrawlerTest, DeduplicatesInjectedRecords) {
 TEST(CrawlerTest, RateLimiterThrottlesVirtualTime) {
   const platform::Marketplace& m = TestMarketplace();
   platform::ApiOptions api_options;
-  api_options.transient_failure_prob = 0.0;
+  api_options.faults = fault::FaultProfile::None();
   platform::MarketplaceApi api(&m, api_options);
   FakeClock clock;
   CrawlerOptions options;
@@ -82,7 +85,7 @@ TEST(CrawlerTest, RateLimiterThrottlesVirtualTime) {
 TEST(CrawlerTest, MaxItemsStopsEarly) {
   const platform::Marketplace& m = TestMarketplace();
   platform::ApiOptions api_options;
-  api_options.transient_failure_prob = 0.0;
+  api_options.faults = fault::FaultProfile::None();
   platform::MarketplaceApi api(&m, api_options);
   FakeClock clock;
   CrawlerOptions options;
@@ -97,11 +100,13 @@ TEST(CrawlerTest, MaxItemsStopsEarly) {
 TEST(CrawlerTest, PersistentFailureGivesUpAfterRetries) {
   const platform::Marketplace& m = TestMarketplace();
   platform::ApiOptions api_options;
-  api_options.transient_failure_prob = 1.0;  // always down
+  api_options.faults = fault::FaultProfile::None();
+  api_options.faults.server_error_prob = 1.0;  // always down
   platform::MarketplaceApi api(&m, api_options);
   FakeClock clock;
   CrawlerOptions options;
   options.max_retries = 3;
+  options.breaker_failure_threshold = 0;  // isolate the retry logic
   Crawler crawler(&api, options, &clock);
   DataStore store;
   Status st = crawler.Crawl(&store);
@@ -113,8 +118,7 @@ TEST(CrawlerTest, PersistentFailureGivesUpAfterRetries) {
 TEST(CrawlerTest, StatsCountsMatchStore) {
   const platform::Marketplace& m = TestMarketplace();
   platform::ApiOptions api_options;
-  api_options.transient_failure_prob = 0.0;
-  api_options.duplicate_record_prob = 0.0;
+  api_options.faults = fault::FaultProfile::None();
   platform::MarketplaceApi api(&m, api_options);
   FakeClock clock;
   Crawler crawler(&api, CrawlerOptions{}, &clock);
@@ -124,6 +128,145 @@ TEST(CrawlerTest, StatsCountsMatchStore) {
   EXPECT_EQ(crawler.stats().items, store.items().size());
   EXPECT_EQ(crawler.stats().comments, store.num_comments());
   EXPECT_EQ(crawler.stats().requests, api.request_count());
+}
+
+// The crawl's retry waits must be exactly the Backoff sequence: a replica
+// Backoff constructed with the same (base, cap, seed) predicts, delay for
+// delay, how far the crawler advances the FakeClock.
+TEST(CrawlerTest, BackoffSequenceIsExact) {
+  const platform::Marketplace& m = TestMarketplace();
+  platform::ApiOptions api_options;
+  api_options.faults = fault::FaultProfile::None();
+  api_options.faults.server_error_prob = 1.0;  // every request 503s
+  platform::MarketplaceApi api(&m, api_options);
+  FakeClock clock;
+  CrawlerOptions options;
+  options.requests_per_second = 0.0;  // unlimited: no limiter time
+  options.max_retries = 4;
+  options.breaker_failure_threshold = 0;  // no breaker pauses
+  Crawler crawler(&api, options, &clock);
+  DataStore store;
+  ASSERT_FALSE(crawler.Crawl(&store).ok());
+
+  Backoff replica(options.backoff_base_micros, options.backoff_cap_micros,
+                  options.backoff_seed);
+  int64_t expected = 0;
+  int64_t first = replica.NextDelayMicros();
+  EXPECT_EQ(first, options.backoff_base_micros);  // cold start = base exactly
+  expected += first;
+  for (size_t i = 1; i < options.max_retries; ++i) {
+    int64_t d = replica.NextDelayMicros();
+    EXPECT_GE(d, options.backoff_base_micros);
+    EXPECT_LE(d, options.backoff_cap_micros);
+    expected += d;
+  }
+  EXPECT_EQ(crawler.stats().retries, options.max_retries);
+  EXPECT_EQ(crawler.stats().backoff_micros, expected);
+  EXPECT_EQ(clock.NowMicros(), expected);  // nothing else advanced the clock
+}
+
+// A 429's Retry-After hint must override the computed backoff: with a fixed
+// retry_after window the crawler's waits are exactly that hint, not the
+// jittered exponential sequence.
+TEST(CrawlerTest, RetryAfterOverridesBackoff) {
+  const platform::Marketplace& m = TestMarketplace();
+  platform::ApiOptions api_options;
+  api_options.faults = fault::FaultProfile::None();
+  api_options.faults.rate_limit_prob = 1.0;  // every request 429s
+  api_options.faults.retry_after_min_micros = 77'000;
+  api_options.faults.retry_after_max_micros = 77'000;
+  platform::MarketplaceApi api(&m, api_options);
+  FakeClock clock;
+  CrawlerOptions options;
+  options.requests_per_second = 0.0;
+  options.max_retries = 3;
+  options.breaker_failure_threshold = 0;
+  Crawler crawler(&api, options, &clock);
+  DataStore store;
+  ASSERT_FALSE(crawler.Crawl(&store).ok());
+  EXPECT_EQ(crawler.stats().rate_limited, 4u);  // 1 attempt + 3 retries
+  EXPECT_EQ(crawler.stats().retries, 3u);
+  EXPECT_EQ(crawler.stats().backoff_micros, 3 * 77'000);
+  EXPECT_EQ(clock.NowMicros(), 3 * 77'000);
+}
+
+// 429 storms halve the adaptive request rate down to the configured floor.
+TEST(CrawlerTest, AdaptiveThrottleBacksOffAfter429s) {
+  const platform::Marketplace& m = TestMarketplace();
+  platform::ApiOptions api_options;
+  api_options.faults = fault::FaultProfile::None();
+  api_options.faults.rate_limit_prob = 1.0;
+  platform::MarketplaceApi api(&m, api_options);
+  FakeClock clock;
+  CrawlerOptions options;
+  options.requests_per_second = 200.0;
+  options.min_requests_per_second = 25.0;
+  options.max_retries = 10;
+  options.breaker_failure_threshold = 0;
+  Crawler crawler(&api, options, &clock);
+  DataStore store;
+  ASSERT_FALSE(crawler.Crawl(&store).ok());
+  EXPECT_EQ(crawler.current_requests_per_second(), 25.0);
+}
+
+// Enough consecutive failures open the circuit breaker; the crawl sleeps
+// out the pause (counted in breaker_paused_micros) instead of hammering.
+TEST(CrawlerTest, BreakerOpensOnConsecutiveFailures) {
+  const platform::Marketplace& m = TestMarketplace();
+  platform::ApiOptions api_options;
+  api_options.faults = fault::FaultProfile::None();
+  api_options.faults.server_error_prob = 1.0;
+  platform::MarketplaceApi api(&m, api_options);
+  FakeClock clock;
+  CrawlerOptions options;
+  options.requests_per_second = 0.0;
+  options.max_retries = 6;
+  options.breaker_failure_threshold = 3;
+  options.breaker_pause_micros = 1'000'000;
+  Crawler crawler(&api, options, &clock);
+  DataStore store;
+  ASSERT_FALSE(crawler.Crawl(&store).ok());
+  EXPECT_GT(crawler.stats().breaker_opens, 0u);
+  EXPECT_GT(crawler.stats().breaker_paused_micros, 0);
+  // The aborting attempt was a failed half-open probe, which reopens.
+  EXPECT_EQ(crawler.breaker().state(), CircuitBreaker::State::kOpen);
+}
+
+// Corrupted bodies are detected and re-fetched, never accepted: the store
+// still matches the platform exactly.
+TEST(CrawlerTest, MalformedBodiesRefetched) {
+  const platform::Marketplace& m = TestMarketplace();
+  platform::ApiOptions api_options;
+  api_options.faults = fault::FaultProfile::None();
+  api_options.faults.truncate_body_prob = 0.05;
+  api_options.faults.garble_body_prob = 0.05;
+  platform::MarketplaceApi api(&m, api_options);
+  FakeClock clock;
+  Crawler crawler(&api, CrawlerOptions{}, &clock);
+  DataStore store;
+  ASSERT_TRUE(crawler.Crawl(&store).ok());
+  EXPECT_GT(crawler.stats().malformed_bodies, 0u);
+  EXPECT_EQ(crawler.stats().malformed_bodies, api.corrupted_bodies());
+  EXPECT_EQ(store.shops().size(), m.shops().size());
+  EXPECT_EQ(store.items().size(), m.items().size());
+  EXPECT_EQ(store.num_comments(), m.comments().size());
+}
+
+// Stale total_pages over-reports end cleanly as pagination probes.
+TEST(CrawlerTest, StaleTotalPagesEndsWalksCleanly) {
+  const platform::Marketplace& m = TestMarketplace();
+  platform::ApiOptions api_options;
+  api_options.faults = fault::FaultProfile::None();
+  api_options.faults.stale_total_pages_prob = 0.5;
+  platform::MarketplaceApi api(&m, api_options);
+  FakeClock clock;
+  Crawler crawler(&api, CrawlerOptions{}, &clock);
+  DataStore store;
+  ASSERT_TRUE(crawler.Crawl(&store).ok());
+  EXPECT_GT(crawler.stats().pagination_probes, 0u);
+  EXPECT_EQ(store.shops().size(), m.shops().size());
+  EXPECT_EQ(store.items().size(), m.items().size());
+  EXPECT_EQ(store.num_comments(), m.comments().size());
 }
 
 }  // namespace

@@ -1,0 +1,145 @@
+#include "fault/fault_plan.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/json.h"
+
+namespace cats::fault {
+namespace {
+
+TEST(FaultProfileTest, FromNameRoundTrip) {
+  auto none = FaultProfile::FromName("none");
+  ASSERT_TRUE(none.ok());
+  EXPECT_EQ(none->server_error_prob, 0.0);
+  EXPECT_EQ(none->duplicate_record_prob, 0.0);
+
+  auto mild = FaultProfile::FromName("mild");
+  ASSERT_TRUE(mild.ok());
+  EXPECT_GT(mild->server_error_prob, 0.0);
+  EXPECT_EQ(mild->rate_limit_prob, 0.0);
+
+  auto hostile = FaultProfile::FromName("hostile");
+  ASSERT_TRUE(hostile.ok());
+  EXPECT_GT(hostile->rate_limit_prob, 0.0);
+  EXPECT_GT(hostile->truncate_body_prob, 0.0);
+  EXPECT_GT(hostile->stale_total_pages_prob, 0.0);
+
+  EXPECT_FALSE(FaultProfile::FromName("apocalyptic").ok());
+  EXPECT_FALSE(FaultProfile::FromName("").ok());
+}
+
+TEST(FaultPlanTest, SameSeedSameSchedule) {
+  FaultProfile profile = FaultProfile::Hostile();
+  FaultPlan a(profile, 1234);
+  FaultPlan b(profile, 1234);
+  for (int i = 0; i < 5000; ++i) {
+    FaultDecision da = a.NextRequest();
+    FaultDecision db = b.NextRequest();
+    EXPECT_EQ(da.kind, db.kind);
+    EXPECT_EQ(da.retry_after_micros, db.retry_after_micros);
+    EXPECT_EQ(da.latency_micros, db.latency_micros);
+    EXPECT_EQ(da.corruption_seed, db.corruption_seed);
+    EXPECT_EQ(da.stale_extra_pages, db.stale_extra_pages);
+    EXPECT_EQ(da.shift, db.shift);
+    EXPECT_EQ(a.NextRecordDuplicate(), b.NextRecordDuplicate());
+  }
+  for (size_t k = 0; k < kNumFaultKinds; ++k) {
+    EXPECT_EQ(a.injected(static_cast<FaultKind>(k)),
+              b.injected(static_cast<FaultKind>(k)));
+  }
+}
+
+TEST(FaultPlanTest, DifferentSeedsDifferentSchedules) {
+  FaultProfile profile = FaultProfile::Hostile();
+  FaultPlan a(profile, 1);
+  FaultPlan b(profile, 2);
+  int diverged = 0;
+  for (int i = 0; i < 2000; ++i) {
+    if (a.NextRequest().kind != b.NextRequest().kind) ++diverged;
+  }
+  EXPECT_GT(diverged, 0);
+}
+
+TEST(FaultPlanTest, NoneProfileNeverInjects) {
+  FaultPlan plan(FaultProfile::None(), 42);
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_EQ(plan.NextRequest().kind, FaultKind::kNone);
+    EXPECT_FALSE(plan.NextRecordDuplicate());
+  }
+  EXPECT_EQ(plan.total_request_faults(), 0u);
+}
+
+TEST(FaultPlanTest, HostileInjectsEveryKind) {
+  FaultPlan plan(FaultProfile::Hostile(), 7);
+  for (int i = 0; i < 50000; ++i) {
+    (void)plan.NextRequest();
+    (void)plan.NextRecordDuplicate();
+  }
+  for (size_t k = 1; k < kNumFaultKinds; ++k) {
+    EXPECT_GT(plan.injected(static_cast<FaultKind>(k)), 0u)
+        << FaultKindName(static_cast<FaultKind>(k));
+  }
+}
+
+TEST(FaultPlanTest, ServerErrorBurstsPinFollowingRequests) {
+  FaultProfile profile = FaultProfile::None();
+  profile.server_error_prob = 0.05;
+  profile.server_error_burst_max = 4;
+  FaultPlan plan(profile, 11);
+  // Scan for a burst longer than one: consecutive server errors must occur.
+  int longest_run = 0, run = 0;
+  for (int i = 0; i < 20000; ++i) {
+    if (plan.NextRequest().kind == FaultKind::kServerError) {
+      longest_run = std::max(longest_run, ++run);
+    } else {
+      run = 0;
+    }
+  }
+  EXPECT_GE(longest_run, 2);
+  EXPECT_LE(longest_run, 16);  // bursts are bounded, not runaway
+}
+
+TEST(FaultPlanTest, InjectionCountersMatchObservedDecisions) {
+  FaultPlan plan(FaultProfile::Hostile(), 99);
+  uint64_t observed = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (plan.NextRequest().kind != FaultKind::kNone) ++observed;
+  }
+  EXPECT_EQ(plan.total_request_faults(), observed);
+}
+
+TEST(CorruptBodyTest, NeverYieldsParseableJson) {
+  const std::string body =
+      R"({"page":2,"total_pages":7,"data":[{"k":"v"},{"k":"w"}]})";
+  ASSERT_TRUE(JsonValue::Parse(body).ok());
+  for (uint64_t seed = 0; seed < 3000; ++seed) {
+    for (FaultKind kind :
+         {FaultKind::kTruncatedBody, FaultKind::kGarbledBody}) {
+      FaultDecision d;
+      d.kind = kind;
+      d.corruption_seed = seed;
+      std::string corrupted = CorruptBody(body, d);
+      EXPECT_FALSE(JsonValue::Parse(corrupted).ok()) << corrupted;
+      // Corruption is itself deterministic per seed.
+      EXPECT_EQ(corrupted, CorruptBody(body, d));
+    }
+  }
+}
+
+TEST(RetryAfterTest, FormatParseRoundTrip) {
+  for (int64_t micros : {0LL, 1LL, 20'000LL, 200'000LL, 5'000'000LL}) {
+    std::string message = FormatRateLimited(micros);
+    auto parsed = ParseRetryAfterMicros(message);
+    ASSERT_TRUE(parsed.has_value()) << message;
+    EXPECT_EQ(*parsed, micros);
+  }
+  EXPECT_FALSE(ParseRetryAfterMicros("503 service unavailable").has_value());
+  EXPECT_FALSE(ParseRetryAfterMicros("").has_value());
+  EXPECT_FALSE(
+      ParseRetryAfterMicros("429 rate limited; retry_after_micros=").has_value());
+}
+
+}  // namespace
+}  // namespace cats::fault

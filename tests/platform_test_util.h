@@ -49,8 +49,7 @@ inline const platform::Marketplace& TestMarketplace() {
 /// Crawls a marketplace into a fresh DataStore (no failure injection).
 inline collect::DataStore CrawlAll(const platform::Marketplace& market) {
   platform::ApiOptions api_options;
-  api_options.transient_failure_prob = 0.0;
-  api_options.duplicate_record_prob = 0.0;
+  api_options.faults = fault::FaultProfile::None();
   platform::MarketplaceApi api(&market, api_options);
   collect::FakeClock clock;
   collect::Crawler crawler(&api, collect::CrawlerOptions{}, &clock);

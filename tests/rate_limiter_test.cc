@@ -59,6 +59,85 @@ TEST(RateLimiterTest, BucketCapsAtBurst) {
   EXPECT_GT(limiter.throttled_micros(), 0);
 }
 
+TEST(RateLimiterTest, ZeroBurstClampsToOne) {
+  FakeClock clock;
+  RateLimiter limiter(100.0, 0.0, &clock);  // degenerate burst
+  limiter.Acquire();                        // the single clamped token
+  EXPECT_EQ(limiter.throttled_micros(), 0);
+  limiter.Acquire();
+  // Exactly one token's worth of wait at 100/s.
+  EXPECT_EQ(limiter.throttled_micros(), 10'000);
+}
+
+TEST(RateLimiterTest, NegativeBurstClampsToOne) {
+  FakeClock clock;
+  RateLimiter limiter(100.0, -7.0, &clock);
+  limiter.Acquire();
+  limiter.Acquire();
+  EXPECT_EQ(limiter.throttled_micros(), 10'000);
+}
+
+TEST(RateLimiterTest, NonPositiveRateIsUnlimited) {
+  FakeClock clock;
+  RateLimiter limiter(0.0, 5.0, &clock);
+  for (int i = 0; i < 1000; ++i) limiter.Acquire();
+  EXPECT_EQ(limiter.throttled_micros(), 0);
+  EXPECT_EQ(clock.NowMicros(), 0);
+  EXPECT_EQ(limiter.rate_per_second(), 0.0);
+  EXPECT_EQ(limiter.acquired(), 1000u);
+}
+
+TEST(RateLimiterTest, SetRateMidStreamKeepsAccountingExact) {
+  FakeClock clock;
+  RateLimiter limiter(100.0, 1.0, &clock);
+  limiter.Acquire();  // burst token, free
+  limiter.Acquire();  // one token at 100/s
+  EXPECT_EQ(limiter.throttled_micros(), 10'000);
+  limiter.SetRate(50.0);  // a 429 storm halved the rate
+  limiter.Acquire();      // one token at 50/s
+  EXPECT_EQ(limiter.throttled_micros(), 10'000 + 20'000);
+  EXPECT_EQ(limiter.rate_per_second(), 50.0);
+}
+
+TEST(RateLimiterTest, SetRateSettlesAccruedTokensAtOldRate) {
+  FakeClock clock;
+  RateLimiter limiter(100.0, 1.0, &clock);
+  limiter.Acquire();           // bucket empty
+  clock.AdvanceMicros(5'000);  // accrues 0.5 token at the old 100/s
+  limiter.SetRate(50.0);
+  // The missing 0.5 token is paid at the new 50/s: exactly 10ms.
+  limiter.Acquire();
+  EXPECT_EQ(limiter.throttled_micros(), 10'000);
+}
+
+TEST(RateLimiterTest, SetRateToZeroSwitchesToUnlimited) {
+  FakeClock clock;
+  RateLimiter limiter(100.0, 1.0, &clock);
+  limiter.Acquire();
+  limiter.Acquire();
+  int64_t throttled = limiter.throttled_micros();
+  EXPECT_GT(throttled, 0);
+  limiter.SetRate(0.0);
+  for (int i = 0; i < 100; ++i) limiter.Acquire();
+  EXPECT_EQ(limiter.throttled_micros(), throttled);
+}
+
+// An injected slow response advances the shared clock between Acquires —
+// the limiter must credit that time as refill, to the exact microsecond.
+TEST(RateLimiterTest, SlowResponseLatencyCountsAsRefill) {
+  FakeClock clock;
+  RateLimiter limiter(100.0, 1.0, &clock);
+  limiter.Acquire();            // bucket empty
+  clock.AdvanceMicros(20'000);  // slow response: 2 tokens of time (caps at 1)
+  limiter.Acquire();            // fully refilled: free
+  EXPECT_EQ(limiter.throttled_micros(), 0);
+  limiter.Acquire();            // bucket empty again: full wait
+  EXPECT_EQ(limiter.throttled_micros(), 10'000);
+  clock.AdvanceMicros(4'000);   // slow-ish response: 0.4 token
+  limiter.Acquire();            // pays only the remaining 0.6 token
+  EXPECT_EQ(limiter.throttled_micros(), 10'000 + 6'000);
+}
+
 TEST(SystemClockTest, MonotoneAndSleeps) {
   SystemClock clock;
   int64_t a = clock.NowMicros();
