@@ -48,6 +48,7 @@ int Usage() {
                "  cats_cli gen <dir> [--preset d0|d1|eplatform|5k] "
                "[--scale S] [--seed N]\n"
                "                 [--fault-profile none|mild|hostile]\n"
+               "                 [--data-fault-profile none|mild|hostile]\n"
                "  cats_cli train <data-dir> <model-dir> [--metrics]\n"
                "  cats_cli detect <data-dir> <model-dir> [--threshold T]\n"
                "                  [--metrics] [--metrics-json <path>]\n"
@@ -56,6 +57,11 @@ int Usage() {
                "  --fault-profile P    weather for the simulated crawl\n"
                "                       (default mild; hostile = 429s, 5xx\n"
                "                       bursts, corrupt bodies, stale pages)\n"
+               "  --data-fault-profile P\n"
+               "                       record dirtiness (default none; mild =\n"
+               "                       missing fields; hostile adds absurd\n"
+               "                       prices, garbled / oversized comments,\n"
+               "                       colliding comment ids)\n"
                "  --metrics            print the pipeline metrics table\n"
                "                       (docs/METRICS.md) after the run\n"
                "  --metrics-json PATH  also write the registry snapshot as "
@@ -137,9 +143,17 @@ int CmdGen(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", profile.status().ToString().c_str());
     return 2;
   }
+  std::string data_profile_name =
+      FlagValue(argc, argv, "--data-fault-profile", "none");
+  auto data_profile = fault::DataFaultProfile::FromName(data_profile_name);
+  if (!data_profile.ok()) {
+    std::fprintf(stderr, "%s\n", data_profile.status().ToString().c_str());
+    return 2;
+  }
   collect::FakeClock clock;
   platform::ApiOptions api_options;
   api_options.faults = *profile;
+  api_options.data_faults = *data_profile;
   api_options.seed = config.seed;
   api_options.clock = &clock;  // slow-response faults advance virtual time
   platform::MarketplaceApi api(&market, api_options);
@@ -166,6 +180,13 @@ int CmdGen(int argc, char** argv) {
                 (unsigned long long)cs.malformed_bodies,
                 (unsigned long long)cs.slow_responses,
                 (unsigned long long)cs.breaker_opens);
+  }
+  if (data_profile_name != "none") {
+    std::printf("data weather (%s): %zu items served poisoned, %zu items "
+                "served degraded, %llu comment ids collided\n",
+                data_profile_name.c_str(), api.data_poisoned_items().size(),
+                api.data_degraded_items().size(),
+                (unsigned long long)api.data_duplicate_comment_ids());
   }
   st = store.SaveJsonl(dir);
   if (st.ok()) st = SaveLabels(dir, market, store);
@@ -267,11 +288,37 @@ int CmdDetect(int argc, char** argv) {
                  report.status().ToString().c_str());
     return 1;
   }
-  std::printf("scanned %zu items; filtered %zu; classified %zu; flagged "
-              "%zu (threshold %.2f)\n",
-              report->items_scanned,
-              report->items_scanned - report->items_classified,
-              report->items_classified, report->detections.size(), threshold);
+  std::printf("scanned %zu items; quarantined %zu; filtered %zu; classified "
+              "%zu (%zu degraded); flagged %zu (threshold %.2f)\n",
+              report->items_scanned, report->items_quarantined,
+              report->items_scanned - report->items_classified -
+                  report->items_quarantined,
+              report->items_classified, report->items_degraded,
+              report->detections.size(), threshold);
+  if (!report->quarantine.empty()) {
+    size_t shown = 0;
+    for (const core::QuarantineEntry& e : report->quarantine.entries) {
+      if (++shown > 10) break;
+      std::printf("  quarantined item %llu: %s\n",
+                  (unsigned long long)e.item_id,
+                  core::RecordIssuesToString(e.issues).c_str());
+    }
+    if (report->quarantine.size() > 10) {
+      std::printf("  ... and %zu more quarantined\n",
+                  report->quarantine.size() - 10);
+    }
+  }
+  if (!report->degraded_detections.empty()) {
+    std::printf("  %zu low-confidence flags from degraded records (review, "
+                "don't auto-enforce):\n",
+                report->degraded_detections.size());
+    for (size_t i = 0; i < report->degraded_detections.size() && i < 10;
+         ++i) {
+      std::printf("    item %llu  score %.3f (degraded)\n",
+                  (unsigned long long)report->degraded_detections[i].item_id,
+                  report->degraded_detections[i].score);
+    }
+  }
   for (size_t i = 0; i < report->detections.size() && i < 20; ++i) {
     std::printf("  fraud item %llu  score %.3f\n",
                 (unsigned long long)report->detections[i].item_id,

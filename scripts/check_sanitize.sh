@@ -12,7 +12,7 @@ root="${1:-$(dirname "$0")/..}"
 root="$(cd "$root" && pwd)" || exit 1
 
 # The tests that exercise the fault layer and everything hardened against it.
-test_filter="Backoff|CircuitBreaker|FaultPlan|FaultProfile|CorruptBody|RetryAfter|RateLimiter|FakeClock|Crawler|Chaos|Fuzz|Store"
+test_filter="Backoff|CircuitBreaker|FaultPlan|FaultProfile|CorruptBody|RetryAfter|RateLimiter|FakeClock|Crawler|Chaos|Fuzz|Store|DataFault|RecordValidator|Quarantine|Crc32|Manifest|AtomicWrite|ModelCorruption|CorruptFile"
 
 failed=0
 for sanitizer in address undefined; do
@@ -21,7 +21,7 @@ for sanitizer in address undefined; do
   cmake -B "$build_dir" -S "$root" -DCATS_SANITIZE="$sanitizer" \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null || { failed=1; continue; }
 
-  targets="fault_plan_test backoff_test circuit_breaker_test rate_limiter_test crawler_test chaos_crawl_test fuzz_test store_test"
+  targets="fault_plan_test backoff_test circuit_breaker_test rate_limiter_test crawler_test chaos_crawl_test fuzz_test store_test data_fault_plan_test record_validator_test model_persistence_test chaos_detect_test gbdt_test sentiment_test"
   echo "== sanitize-check: building $sanitizer test battery"
   # shellcheck disable=SC2086
   cmake --build "$build_dir" -j "$(nproc 2>/dev/null || echo 4)" \

@@ -1,12 +1,48 @@
 #include "core/cats.h"
 
 #include <algorithm>
+#include <filesystem>
 #include <fstream>
+#include <system_error>
 
+#include "core/model_manifest.h"
+#include "obs/metric_names.h"
 #include "util/csv.h"
 #include "util/string_util.h"
 
 namespace cats::core {
+namespace {
+
+/// Every file a model directory holds, in save order. The MANIFEST is
+/// written last (atomically), so its presence certifies the others.
+const std::vector<std::string>& ModelFiles() {
+  static const std::vector<std::string>* files = new std::vector<std::string>{
+      "gbdt.model",          "sentiment.model", "positive_lexicon.txt",
+      "negative_lexicon.txt", "dictionary.txt",  "imputation.stats"};
+  return *files;
+}
+
+/// Handles for the model-persistence metrics, resolved once per process.
+struct ModelMetrics {
+  obs::Counter* saves;
+  obs::Counter* save_failures;
+  obs::Counter* loads;
+  obs::Counter* load_failures;
+
+  static const ModelMetrics& Get() {
+    static const ModelMetrics* metrics = [] {
+      obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+      return new ModelMetrics{
+          registry.GetCounter(obs::kModelSavesTotal),
+          registry.GetCounter(obs::kModelSaveFailuresTotal),
+          registry.GetCounter(obs::kModelLoadsTotal),
+          registry.GetCounter(obs::kModelLoadFailuresTotal)};
+    }();
+    return *metrics;
+  }
+};
+
+}  // namespace
 
 Status Cats::BuildSemanticModel(
     const std::vector<std::string>& corpus,
@@ -46,17 +82,42 @@ Result<DetectionReport> Cats::Detect(
 }
 
 Status Cats::SaveModel(const std::string& dir) const {
-  if (!has_semantic_model()) {
-    return Status::FailedPrecondition("nothing to save");
-  }
-  CATS_RETURN_NOT_OK(detector_->SaveGbdt(dir + "/gbdt.model"));
-  return SaveSemanticModel(*semantic_model_, dir);
+  Status st = [&]() -> Status {
+    if (!has_semantic_model()) {
+      return Status::FailedPrecondition("nothing to save");
+    }
+    // Every file lands via temp + rename; the MANIFEST — checksums of the
+    // bytes just written — goes last, so a crash at any point leaves either
+    // a fully verified model or one LoadModel rejects loudly.
+    CATS_RETURN_NOT_OK(detector_->SaveGbdt(dir + "/gbdt.model"));
+    CATS_RETURN_NOT_OK(SaveSemanticModel(*semantic_model_, dir));
+    CATS_RETURN_NOT_OK(detector_->SaveImputation(dir + "/imputation.stats"));
+    CATS_ASSIGN_OR_RETURN(ModelManifest manifest,
+                          BuildManifest(dir, ModelFiles()));
+    return WriteManifest(dir, manifest);
+  }();
+  const ModelMetrics& metrics = ModelMetrics::Get();
+  (st.ok() ? metrics.saves : metrics.save_failures)->Increment();
+  return st;
 }
 
 Status Cats::LoadModel(const std::string& dir) {
-  CATS_ASSIGN_OR_RETURN(SemanticModel model, LoadSemanticModel(dir));
-  SetSemanticModel(std::move(model));
-  return detector_->LoadPretrainedGbdt(dir + "/gbdt.model");
+  Status st = [&]() -> Status {
+    std::error_code ec;
+    if (!std::filesystem::is_directory(dir, ec)) {
+      // One clear error naming the dir, not a cascade of per-file failures.
+      return Status::NotFound("model directory does not exist: " + dir);
+    }
+    CATS_ASSIGN_OR_RETURN(ModelManifest manifest, ReadManifest(dir));
+    CATS_RETURN_NOT_OK(VerifyManifest(dir, manifest));
+    CATS_ASSIGN_OR_RETURN(SemanticModel model, LoadSemanticModel(dir));
+    SetSemanticModel(std::move(model));
+    CATS_RETURN_NOT_OK(detector_->LoadPretrainedGbdt(dir + "/gbdt.model"));
+    return detector_->LoadImputation(dir + "/imputation.stats");
+  }();
+  const ModelMetrics& metrics = ModelMetrics::Get();
+  (st.ok() ? metrics.loads : metrics.load_failures)->Increment();
+  return st;
 }
 
 }  // namespace cats::core

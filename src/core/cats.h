@@ -58,9 +58,15 @@ class Cats {
   Result<DetectionReport> Detect(
       const std::vector<collect::CollectedItem>& items) const;
 
-  /// Persists / restores the deployable state (semantic model + Gbdt) under
-  /// `dir`: gbdt.model, sentiment.model, positive_lexicon.txt,
-  /// negative_lexicon.txt, dictionary.txt. `dir` must exist.
+  /// Persists / restores the deployable state (semantic model + Gbdt +
+  /// imputation marginals) under `dir`: gbdt.model, sentiment.model,
+  /// positive_lexicon.txt, negative_lexicon.txt, dictionary.txt,
+  /// imputation.stats, plus a MANIFEST with per-file CRC32s. `dir` must
+  /// exist. Every write is atomic (temp + rename) and the MANIFEST goes
+  /// last, so a crash mid-save never yields a loadable-but-wrong model;
+  /// LoadModel verifies every checksum before parsing anything and returns
+  /// typed errors (NotFound / Corruption / FailedPrecondition / ParseError)
+  /// for missing, truncated, bit-flipped or version-skewed model dirs.
   Status SaveModel(const std::string& dir) const;
   Status LoadModel(const std::string& dir);
 

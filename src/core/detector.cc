@@ -1,10 +1,15 @@
 #include "core/detector.h"
 
 #include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
 #include <utility>
 
 #include "obs/metric_names.h"
 #include "obs/metrics.h"
+#include "util/csv.h"
 
 namespace cats::core {
 namespace {
@@ -18,6 +23,15 @@ struct DetectorMetrics {
   obs::Counter* filtered_no_comments;
   obs::Counter* items_classified;
   obs::Counter* items_flagged;
+  obs::Counter* items_quarantined;
+  obs::Counter* items_degraded;
+  obs::Counter* quarantine_absurd_price;
+  obs::Counter* quarantine_corrupt_text;
+  obs::Counter* quarantine_oversized_comment;
+  obs::Counter* quarantine_duplicate_comment_ids;
+  obs::Counter* quarantine_mismatched_item_id;
+  obs::Counter* degraded_missing_comments;
+  obs::Counter* degraded_missing_orders;
   obs::LatencyHistogram* score_histogram;
   obs::LatencyHistogram* detect_latency;
   obs::LatencyHistogram* train_latency;
@@ -33,6 +47,16 @@ struct DetectorMetrics {
           registry.GetCounter(obs::kDetectorFilteredNoCommentsTotal),
           registry.GetCounter(obs::kDetectorItemsClassifiedTotal),
           registry.GetCounter(obs::kDetectorItemsFlaggedTotal),
+          registry.GetCounter(obs::kDetectorItemsQuarantinedTotal),
+          registry.GetCounter(obs::kDetectorItemsDegradedTotal),
+          registry.GetCounter(obs::kDetectorQuarantineAbsurdPriceTotal),
+          registry.GetCounter(obs::kDetectorQuarantineCorruptTextTotal),
+          registry.GetCounter(obs::kDetectorQuarantineOversizedCommentTotal),
+          registry.GetCounter(
+              obs::kDetectorQuarantineDuplicateCommentIdsTotal),
+          registry.GetCounter(obs::kDetectorQuarantineMismatchedItemIdTotal),
+          registry.GetCounter(obs::kDetectorDegradedMissingCommentsTotal),
+          registry.GetCounter(obs::kDetectorDegradedMissingOrdersTotal),
           registry.GetHistogram(
               obs::kDetectorScoreHistogram,
               obs::LatencyHistogram::UniformBounds(0.0, 1.0, 20)),
@@ -56,6 +80,7 @@ Detector::Detector(const SemanticModel* model, DetectorOptions options)
     : options_(options),
       extractor_(model),
       filter_(options.rules),
+      validator_(options.validation),
       classifier_(std::make_unique<ml::Gbdt>(options.gbdt)) {}
 
 void Detector::SetClassifier(std::unique_ptr<ml::Classifier> classifier) {
@@ -66,9 +91,42 @@ void Detector::SetClassifier(std::unique_ptr<ml::Classifier> classifier) {
 Status Detector::Train(const std::vector<collect::CollectedItem>& items,
                        const std::vector<int>& labels) {
   obs::ScopedTimer train_timer(DetectorMetrics::Get().train_latency);
-  CATS_ASSIGN_OR_RETURN(ml::Dataset dataset,
-                        extractor_.BuildDataset(items, labels));
+  if (items.size() != labels.size()) {
+    return Status::InvalidArgument("items/labels size mismatch");
+  }
+  std::vector<FeatureVector> features = extractor_.ExtractAll(items);
+
+  // Poison records never train the classifier; clean records additionally
+  // contribute to the imputation marginals degraded records are scored
+  // from. On a curated training set (no poison, no missing fields) the
+  // resulting dataset — and therefore the model — is identical to training
+  // without validation.
+  ml::Dataset dataset(FeatureExtractor::FeatureNames());
+  std::vector<float> row(kNumFeatures);
+  std::array<double, kNumFeatures> clean_sum{};
+  size_t clean_rows = 0;
+  for (size_t i = 0; i < items.size(); ++i) {
+    RecordValidation v;
+    if (options_.validate_records) v = validator_.Validate(items[i]);
+    if (v.verdict == RecordVerdict::kPoison) continue;
+    row.assign(features[i].begin(), features[i].end());
+    CATS_RETURN_NOT_OK(dataset.AddRow(row, labels[i]));
+    if (v.verdict == RecordVerdict::kClean) {
+      for (size_t k = 0; k < kNumFeatures; ++k) clean_sum[k] += features[i][k];
+      ++clean_rows;
+    }
+  }
+  if (dataset.num_rows() == 0) {
+    return Status::InvalidArgument(
+        "no trainable records (every item was poison)");
+  }
   CATS_RETURN_NOT_OK(classifier_->Fit(dataset));
+  if (clean_rows > 0) {
+    for (size_t k = 0; k < kNumFeatures; ++k) {
+      imputed_features_[k] =
+          static_cast<float>(clean_sum[k] / static_cast<double>(clean_rows));
+    }
+  }
   trained_ = true;
   return Status::OK();
 }
@@ -156,6 +214,48 @@ Status Detector::SaveGbdt(const std::string& path) const {
   return gbdt->Save(path);
 }
 
+Status Detector::SaveImputation(const std::string& path) const {
+  std::ostringstream out;
+  out << "cats-imputation-v1\n" << kNumFeatures << "\n";
+  char buf[32];
+  for (size_t k = 0; k < kNumFeatures; ++k) {
+    // %.9g round-trips any float exactly, so save -> load -> save is
+    // bit-identical (the MANIFEST round-trip test depends on that).
+    std::snprintf(buf, sizeof(buf), "%.9g", imputed_features_[k]);
+    out << buf << (k + 1 < kNumFeatures ? " " : "\n");
+  }
+  return WriteStringToFileAtomic(path, out.str());
+}
+
+Status Detector::LoadImputation(const std::string& path) {
+  CATS_ASSIGN_OR_RETURN(std::string content, ReadFileToString(path));
+  std::istringstream in(content);
+  std::string magic;
+  if (!(in >> magic) || magic != "cats-imputation-v1") {
+    return Status::ParseError("bad imputation stats header in " + path);
+  }
+  size_t count = 0;
+  if (!(in >> count) || count != kNumFeatures) {
+    return Status::ParseError("imputation stats feature count mismatch in " +
+                              path);
+  }
+  FeatureVector values{};
+  for (size_t k = 0; k < kNumFeatures; ++k) {
+    if (!(in >> values[k])) {
+      return Status::ParseError("truncated imputation stats in " + path);
+    }
+    if (!std::isfinite(values[k])) {
+      return Status::ParseError("non-finite imputation value in " + path);
+    }
+  }
+  std::string extra;
+  if (in >> extra) {
+    return Status::ParseError("trailing garbage in imputation stats: " + path);
+  }
+  imputed_features_ = values;
+  return Status::OK();
+}
+
 Result<DetectionReport> Detector::Detect(
     const std::vector<collect::CollectedItem>& items) const {
   if (!trained_) {
@@ -172,6 +272,38 @@ Result<DetectionReport> Detector::Detect(
                                  metrics.detect_latency);
     detect_stage.AddItems(items.size());
 
+    // Triage first: poison records are quarantined and never scored;
+    // degraded records bypass stage 1 (their missing fields are exactly
+    // what the rules key on) and are scored from imputed features.
+    std::vector<RecordValidation> validations(items.size());
+    if (options_.validate_records) {
+      obs::StageTrace validate_stage(&report.trace, "validate");
+      for (size_t i = 0; i < items.size(); ++i) {
+        validations[i] = validator_.Validate(items[i]);
+        if (validations[i].verdict != RecordVerdict::kPoison) continue;
+        report.quarantine.entries.push_back(
+            QuarantineEntry{items[i].item.item_id, validations[i].issues});
+        const RecordIssue issues = validations[i].issues;
+        if (HasIssue(issues, RecordIssue::kAbsurdPrice)) {
+          metrics.quarantine_absurd_price->Increment();
+        }
+        if (HasIssue(issues, RecordIssue::kCorruptCommentText)) {
+          metrics.quarantine_corrupt_text->Increment();
+        }
+        if (HasIssue(issues, RecordIssue::kOversizedComment)) {
+          metrics.quarantine_oversized_comment->Increment();
+        }
+        if (HasIssue(issues, RecordIssue::kDuplicateCommentIds)) {
+          metrics.quarantine_duplicate_comment_ids->Increment();
+        }
+        if (HasIssue(issues, RecordIssue::kMismatchedItemId)) {
+          metrics.quarantine_mismatched_item_id->Increment();
+        }
+      }
+      report.items_quarantined = report.quarantine.size();
+      validate_stage.AddItems(items.size());
+    }
+
     std::vector<FeatureVector> features;
     {
       obs::StageTrace extract_stage(&report.trace, "extract_features");
@@ -181,6 +313,32 @@ Result<DetectionReport> Detector::Detect(
 
     obs::StageTrace classify_stage(&report.trace, "rule_filter_and_classify");
     for (size_t i = 0; i < items.size(); ++i) {
+      if (validations[i].verdict == RecordVerdict::kPoison) continue;
+      if (validations[i].verdict == RecordVerdict::kDegraded) {
+        const RecordIssue issues = validations[i].issues;
+        // Commentless items have nothing to extract — substitute the
+        // training-set marginals; missing-orders items keep their own
+        // comment-derived features.
+        const FeatureVector& row =
+            HasIssue(issues, RecordIssue::kMissingComments)
+                ? imputed_features_
+                : features[i];
+        ++report.items_degraded;
+        ++report.items_classified;
+        if (HasIssue(issues, RecordIssue::kMissingComments)) {
+          metrics.degraded_missing_comments->Increment();
+        }
+        if (HasIssue(issues, RecordIssue::kMissingOrders)) {
+          metrics.degraded_missing_orders->Increment();
+        }
+        double score = classifier_->PredictProba(row.data());
+        metrics.score_histogram->Observe(score);
+        if (score >= options_.decision_threshold) {
+          report.degraded_detections.push_back(Detection{
+              items[i].item.item_id, score, ScoreConfidence::kDegraded});
+        }
+        continue;
+      }
       switch (filter_.Evaluate(items[i], features[i])) {
         case FilterReason::kLowSales:
           ++report.items_filtered_low_sales;
@@ -201,16 +359,21 @@ Result<DetectionReport> Detector::Detect(
       double score = classifier_->PredictProba(features[i].data());
       metrics.score_histogram->Observe(score);
       if (score >= options_.decision_threshold) {
-        report.detections.push_back(Detection{items[i].item.item_id, score});
+        report.detections.push_back(
+            Detection{items[i].item.item_id, score, ScoreConfidence::kFull});
       }
     }
     classify_stage.AddItems(report.items_classified);
   }
   metrics.items_scanned->Increment(report.items_scanned);
+  metrics.items_quarantined->Increment(report.items_quarantined);
+  metrics.items_degraded->Increment(report.items_degraded);
   metrics.items_rule_filtered->Increment(report.items_scanned -
-                                         report.items_classified);
+                                         report.items_classified -
+                                         report.items_quarantined);
   metrics.items_classified->Increment(report.items_classified);
-  metrics.items_flagged->Increment(report.detections.size());
+  metrics.items_flagged->Increment(report.detections.size() +
+                                   report.degraded_detections.size());
   return report;
 }
 

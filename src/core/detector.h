@@ -8,6 +8,7 @@
 
 #include "collect/store.h"
 #include "core/feature_extractor.h"
+#include "core/record_validator.h"
 #include "core/rule_filter.h"
 #include "ml/classifier.h"
 #include "ml/gbdt.h"
@@ -16,21 +17,39 @@
 
 namespace cats::core {
 
+/// How much evidence backed a detection's score.
+enum class ScoreConfidence : uint8_t {
+  kFull = 0,  // scored from the item's own comments
+  kDegraded,  // scored from imputed features (record was missing fields)
+};
+
 /// One flagged item in a detection report.
 struct Detection {
   uint64_t item_id = 0;
   double score = 0.0;  // classifier P(fraud)
+  ScoreConfidence confidence = ScoreConfidence::kFull;
 };
 
-/// Full output of a detector run.
+/// Full output of a detector run. Every scanned item lands in exactly one
+/// bucket: quarantined (poison), filtered by a stage-1 rule, or classified;
+/// degraded items are classified (from imputed features) and additionally
+/// counted in items_degraded.
 struct DetectionReport {
   std::vector<Detection> detections;           // flagged as fraud
+  /// Flagged items whose score rests on imputed features — reported apart
+  /// from `detections` because the evidence is weaker (confidence is
+  /// kDegraded); an operator reviews these, never auto-enforces.
+  std::vector<Detection> degraded_detections;
+  /// Poison records excluded from scoring, with typed reasons.
+  Quarantine quarantine;
   size_t items_scanned = 0;
+  size_t items_quarantined = 0;  // == quarantine.size()
+  size_t items_degraded = 0;     // scored with kDegraded confidence
   size_t items_filtered_low_sales = 0;
   size_t items_filtered_no_signal = 0;
   size_t items_filtered_no_comments = 0;
   size_t items_classified = 0;
-  /// Per-stage wall time + item counts of this run (detect >
+  /// Per-stage wall time + item counts of this run (detect > validate /
   /// extract_features / rule_filter_and_classify). The same latencies also
   /// land in the process-wide registry histograms (docs/METRICS.md).
   obs::PipelineTrace trace;
@@ -42,6 +61,11 @@ struct DetectorOptions {
   RuleFilterOptions rules;
   double decision_threshold = 0.60;
   ml::GbdtOptions gbdt;  // used when no custom classifier is injected
+  /// Thresholds for the clean/degraded/poison record triage.
+  RecordValidatorOptions validation;
+  /// When false, records are not validated: no quarantine, no imputation —
+  /// the pre-robustness pipeline, for strict paper-replication runs.
+  bool validate_records = true;
 };
 
 /// Stage 1 + stage 2 of CATS (paper §II-B): rule filter, then a binary
@@ -79,6 +103,12 @@ class Detector {
   /// Persists the current Gbdt (fails for injected non-Gbdt classifiers).
   Status SaveGbdt(const std::string& path) const;
 
+  /// Persists / restores the degraded-mode imputation vector (the training
+  /// set's per-feature means over clean records). Save is atomic; Load
+  /// rejects truncated files, non-finite values and trailing garbage.
+  Status SaveImputation(const std::string& path) const;
+  Status LoadImputation(const std::string& path);
+
   /// Runs both stages on unlabeled items.
   Result<DetectionReport> Detect(
       const std::vector<collect::CollectedItem>& items) const;
@@ -90,13 +120,24 @@ class Detector {
 
   const ml::Classifier& classifier() const { return *classifier_; }
   const FeatureExtractor& extractor() const { return extractor_; }
+  const RecordValidator& validator() const { return validator_; }
   bool trained() const { return trained_; }
+
+  /// Training-set marginals used to score degraded records. All-zero until
+  /// Train or LoadImputation ran (an all-zero vector is also what the
+  /// extractor emits for commentless items, so the fallback is consistent).
+  const FeatureVector& imputed_features() const { return imputed_features_; }
+  void set_imputed_features(const FeatureVector& features) {
+    imputed_features_ = features;
+  }
 
  private:
   DetectorOptions options_;
   FeatureExtractor extractor_;
   RuleFilter filter_;
+  RecordValidator validator_;
   std::unique_ptr<ml::Classifier> classifier_;
+  FeatureVector imputed_features_{};
   bool trained_ = false;
 };
 

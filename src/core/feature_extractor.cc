@@ -116,6 +116,12 @@ FeatureVector FeatureExtractor::ExtractFromComments(
   set(FeatureId::kAveragePunctuationRatio, sum_punct_ratio / n);
   set(FeatureId::kAverageNgramNumber, sum_ngram / n);
   set(FeatureId::kAverageNgramRatio, sum_ngram_ratio);
+  // NaN/inf guard: no comment — however pathological its bytes — may leak a
+  // non-finite feature into the classifier (GBDT threshold comparisons with
+  // NaN silently take the right branch, mis-scoring the item).
+  for (float& f : out) {
+    if (!std::isfinite(f)) f = 0.0f;
+  }
   return out;
 }
 

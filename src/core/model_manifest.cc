@@ -1,0 +1,133 @@
+#include "core/model_manifest.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <sstream>
+
+#include "util/crc32.h"
+#include "util/csv.h"
+#include "util/string_util.h"
+
+namespace cats::core {
+namespace {
+
+constexpr const char* kMagicPrefix = "cats-model-manifest-v";
+
+}  // namespace
+
+std::string ModelManifest::Serialize() const {
+  std::ostringstream out;
+  out << kMagicPrefix << version << "\n";
+  out << entries.size() << "\n";
+  char crc_hex[9];
+  for (const ManifestEntry& e : entries) {
+    std::snprintf(crc_hex, sizeof(crc_hex), "%08x", e.crc32);
+    out << crc_hex << " " << e.size << " " << e.file << "\n";
+  }
+  return out.str();
+}
+
+Result<ModelManifest> ModelManifest::Parse(const std::string& text) {
+  std::istringstream in(text);
+  std::string magic;
+  if (!(in >> magic) || magic.rfind(kMagicPrefix, 0) != 0) {
+    return Status::Corruption("bad model manifest header");
+  }
+  ModelManifest manifest;
+  const char* version_str = magic.c_str() + std::strlen(kMagicPrefix);
+  char* end = nullptr;
+  unsigned long version = std::strtoul(version_str, &end, 10);
+  if (end == version_str || *end != '\0' || version > 1'000'000) {
+    return Status::Corruption("bad model manifest version: " + magic);
+  }
+  manifest.version = static_cast<int>(version);
+  size_t count = 0;
+  if (!(in >> count) || count > 10'000) {
+    return Status::Corruption("bad model manifest entry count");
+  }
+  manifest.entries.resize(count);
+  for (ManifestEntry& e : manifest.entries) {
+    std::string crc_hex;
+    if (!(in >> crc_hex >> e.size >> e.file) || crc_hex.size() != 8) {
+      return Status::Corruption("truncated model manifest entry");
+    }
+    char* hex_end = nullptr;
+    e.crc32 =
+        static_cast<uint32_t>(std::strtoul(crc_hex.c_str(), &hex_end, 16));
+    if (hex_end != crc_hex.c_str() + crc_hex.size()) {
+      return Status::Corruption("bad manifest checksum: " + crc_hex);
+    }
+  }
+  std::string extra;
+  if (in >> extra) {
+    return Status::Corruption("trailing garbage in model manifest");
+  }
+  return manifest;
+}
+
+Result<ModelManifest> BuildManifest(const std::string& dir,
+                                    const std::vector<std::string>& files) {
+  ModelManifest manifest;
+  manifest.entries.reserve(files.size());
+  for (const std::string& file : files) {
+    CATS_ASSIGN_OR_RETURN(std::string content,
+                          ReadFileToString(dir + "/" + file));
+    ManifestEntry e;
+    e.file = file;
+    e.size = content.size();
+    e.crc32 = Crc32(content);
+    manifest.entries.push_back(std::move(e));
+  }
+  return manifest;
+}
+
+Status WriteManifest(const std::string& dir, const ModelManifest& manifest) {
+  return WriteStringToFileAtomic(dir + "/" + kManifestFileName,
+                                 manifest.Serialize());
+}
+
+Result<ModelManifest> ReadManifest(const std::string& dir) {
+  const std::string path = dir + "/" + kManifestFileName;
+  if (!std::filesystem::exists(path)) {
+    return Status::Corruption(
+        "model dir has no MANIFEST (partially written or pre-manifest): " +
+        dir);
+  }
+  CATS_ASSIGN_OR_RETURN(std::string content, ReadFileToString(path));
+  return ModelManifest::Parse(content);
+}
+
+Status VerifyManifest(const std::string& dir, const ModelManifest& manifest) {
+  if (manifest.version != kModelFormatVersion) {
+    return Status::FailedPrecondition(
+        StrFormat("unsupported model format version %d (supported: %d)",
+                  manifest.version, kModelFormatVersion));
+  }
+  for (const ManifestEntry& e : manifest.entries) {
+    const std::string path = dir + "/" + e.file;
+    if (!std::filesystem::exists(path)) {
+      return Status::NotFound("model file listed in MANIFEST is missing: " +
+                              path);
+    }
+    CATS_ASSIGN_OR_RETURN(std::string content, ReadFileToString(path));
+    if (content.size() != e.size) {
+      return Status::Corruption(StrFormat(
+          "model file %s is %zu bytes, MANIFEST records %" PRIu64
+          " (truncated or partially written)",
+          path.c_str(), content.size(), e.size));
+    }
+    uint32_t crc = Crc32(content);
+    if (crc != e.crc32) {
+      return Status::Corruption(
+          StrFormat("model file %s fails its checksum (crc32 %08x, MANIFEST "
+                    "records %08x)",
+                    path.c_str(), crc, e.crc32));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace cats::core

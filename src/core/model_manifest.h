@@ -1,0 +1,59 @@
+#ifndef CATS_CORE_MODEL_MANIFEST_H_
+#define CATS_CORE_MODEL_MANIFEST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace cats::core {
+
+/// Version of the on-disk model directory layout. Bump when the file set
+/// or any file's format changes incompatibly.
+inline constexpr int kModelFormatVersion = 1;
+inline constexpr const char* kManifestFileName = "MANIFEST";
+
+/// One file covered by the manifest.
+struct ManifestEntry {
+  std::string file;     // name relative to the model dir
+  uint64_t size = 0;    // exact byte count
+  uint32_t crc32 = 0;   // util/crc32.h checksum of the whole file
+};
+
+/// The integrity record of a model directory. SaveModel writes every model
+/// file first (each atomically), then the MANIFEST last — also atomically —
+/// so a crash at any point leaves either a fully valid model or one whose
+/// verification fails loudly; LoadModel refuses to parse anything until
+/// every listed file matches its recorded size and CRC.
+struct ModelManifest {
+  int version = kModelFormatVersion;
+  std::vector<ManifestEntry> entries;
+
+  /// Text form:
+  ///   cats-model-manifest-v<version>
+  ///   <entry count>
+  ///   <crc32 hex> <size> <file>
+  std::string Serialize() const;
+  static Result<ModelManifest> Parse(const std::string& text);
+};
+
+/// Reads and checksums `files` under `dir`, producing their manifest.
+Result<ModelManifest> BuildManifest(const std::string& dir,
+                                    const std::vector<std::string>& files);
+
+/// Writes / reads `dir`/MANIFEST. WriteManifest is atomic (temp + rename);
+/// ReadManifest returns Corruption for a missing or unparseable manifest —
+/// a model dir without one is partially written by definition.
+Status WriteManifest(const std::string& dir, const ModelManifest& manifest);
+Result<ModelManifest> ReadManifest(const std::string& dir);
+
+/// Checks every entry against the bytes on disk. Typed errors:
+///  - FailedPrecondition: manifest version unsupported
+///  - NotFound: a listed file is missing
+///  - Corruption: size or CRC mismatch (truncated / bit-flipped / partial)
+Status VerifyManifest(const std::string& dir, const ModelManifest& manifest);
+
+}  // namespace cats::core
+
+#endif  // CATS_CORE_MODEL_MANIFEST_H_

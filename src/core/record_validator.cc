@@ -1,0 +1,103 @@
+#include "core/record_validator.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "text/utf8.h"
+
+namespace cats::core {
+namespace {
+
+struct IssueName {
+  RecordIssue bit;
+  std::string_view name;
+};
+
+constexpr IssueName kIssueNames[] = {
+    {RecordIssue::kMissingComments, "missing_comments"},
+    {RecordIssue::kMissingOrders, "missing_orders"},
+    {RecordIssue::kAbsurdPrice, "absurd_price"},
+    {RecordIssue::kCorruptCommentText, "corrupt_comment_text"},
+    {RecordIssue::kOversizedComment, "oversized_comment"},
+    {RecordIssue::kDuplicateCommentIds, "duplicate_comment_ids"},
+    {RecordIssue::kMismatchedItemId, "mismatched_item_id"},
+};
+
+constexpr RecordIssue kPoisonMask =
+    RecordIssue::kAbsurdPrice | RecordIssue::kCorruptCommentText |
+    RecordIssue::kOversizedComment | RecordIssue::kDuplicateCommentIds |
+    RecordIssue::kMismatchedItemId;
+
+}  // namespace
+
+std::string RecordIssuesToString(RecordIssue issues) {
+  if (issues == RecordIssue::kNone) return "none";
+  std::string out;
+  for (const IssueName& entry : kIssueNames) {
+    if (!HasIssue(issues, entry.bit)) continue;
+    if (!out.empty()) out.push_back('|');
+    out += entry.name;
+  }
+  return out;
+}
+
+std::string_view RecordVerdictName(RecordVerdict verdict) {
+  switch (verdict) {
+    case RecordVerdict::kClean:
+      return "clean";
+    case RecordVerdict::kDegraded:
+      return "degraded";
+    case RecordVerdict::kPoison:
+      return "poison";
+  }
+  return "unknown";
+}
+
+bool Quarantine::Contains(uint64_t item_id) const {
+  for (const QuarantineEntry& e : entries) {
+    if (e.item_id == item_id) return true;
+  }
+  return false;
+}
+
+RecordValidation RecordValidator::Validate(
+    const collect::CollectedItem& item) const {
+  RecordValidation v;
+
+  if (!std::isfinite(item.item.price) || item.item.price < 0.0 ||
+      item.item.price > options_.max_price) {
+    v.issues |= RecordIssue::kAbsurdPrice;
+  }
+  if (item.item.sales_volume < 0) {
+    v.issues |= RecordIssue::kMissingOrders;
+  }
+  if (item.comments.empty()) {
+    v.issues |= RecordIssue::kMissingComments;
+  }
+
+  std::unordered_set<uint64_t> seen_ids;
+  seen_ids.reserve(item.comments.size());
+  for (const collect::CommentRecord& c : item.comments) {
+    if (!seen_ids.insert(c.comment_id).second) {
+      v.issues |= RecordIssue::kDuplicateCommentIds;
+    }
+    if (c.item_id != item.item.item_id) {
+      v.issues |= RecordIssue::kMismatchedItemId;
+    }
+    if (c.content.size() > options_.max_comment_bytes) {
+      v.issues |= RecordIssue::kOversizedComment;
+    } else if (!text::IsValidUtf8(c.content)) {
+      // Oversized bodies are already poison; skip the UTF-8 scan for them.
+      v.issues |= RecordIssue::kCorruptCommentText;
+    }
+  }
+
+  if ((v.issues & kPoisonMask) != RecordIssue::kNone) {
+    v.verdict = RecordVerdict::kPoison;
+  } else if (v.issues != RecordIssue::kNone) {
+    v.verdict = RecordVerdict::kDegraded;
+  }
+  return v;
+}
+
+}  // namespace cats::core

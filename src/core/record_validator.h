@@ -1,0 +1,105 @@
+#ifndef CATS_CORE_RECORD_VALIDATOR_H_
+#define CATS_CORE_RECORD_VALIDATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "collect/store.h"
+
+namespace cats::core {
+
+/// Issues a RecordValidator can find in one CollectedItem, as a bitmask so
+/// a single record can carry several. Degraded issues mean a field is
+/// missing but the rest of the record is trustworthy; poison issues mean
+/// the record's content cannot be trusted at all and must be quarantined.
+enum class RecordIssue : uint32_t {
+  kNone = 0,
+  // Degraded: the item can still be scored from imputed features.
+  kMissingComments = 1u << 0,  // no comments collected
+  kMissingOrders = 1u << 1,    // sales_volume < 0 (field-absent sentinel)
+  // Poison: the record is quarantined, never featurized or scored.
+  kAbsurdPrice = 1u << 2,        // non-finite, negative or implausibly huge
+  kCorruptCommentText = 1u << 3, // comment content is not valid UTF-8
+  kOversizedComment = 1u << 4,   // comment content past max_comment_bytes
+  kDuplicateCommentIds = 1u << 5,// two comments share a comment_id
+  kMismatchedItemId = 1u << 6,   // a comment claims a different item_id
+};
+
+constexpr RecordIssue operator|(RecordIssue a, RecordIssue b) {
+  return static_cast<RecordIssue>(static_cast<uint32_t>(a) |
+                                  static_cast<uint32_t>(b));
+}
+constexpr RecordIssue operator&(RecordIssue a, RecordIssue b) {
+  return static_cast<RecordIssue>(static_cast<uint32_t>(a) &
+                                  static_cast<uint32_t>(b));
+}
+inline RecordIssue& operator|=(RecordIssue& a, RecordIssue b) {
+  return a = a | b;
+}
+constexpr bool HasIssue(RecordIssue issues, RecordIssue bit) {
+  return (issues & bit) != RecordIssue::kNone;
+}
+
+/// "missing_comments|absurd_price"-style rendering for reports and logs.
+std::string RecordIssuesToString(RecordIssue issues);
+
+/// The three-way routing decision for one record.
+enum class RecordVerdict : uint8_t {
+  kClean = 0,    // full-confidence pipeline
+  kDegraded,     // scored from imputed features, confidence-flagged
+  kPoison,       // quarantined, excluded from scoring
+};
+
+std::string_view RecordVerdictName(RecordVerdict verdict);
+
+struct RecordValidatorOptions {
+  /// Prices above this are absurd (the simulator's catalog tops out around
+  /// 1e4; real listings at 1e8 are data errors, not products).
+  double max_price = 1e8;
+  /// Comment bodies larger than this are poison, not reviews.
+  size_t max_comment_bytes = 16 * 1024;
+};
+
+/// One quarantined record: which item, and why.
+struct QuarantineEntry {
+  uint64_t item_id = 0;
+  RecordIssue issues = RecordIssue::kNone;
+};
+
+/// The per-run poison ledger, surfaced in DetectionReport so operators can
+/// see exactly what was excluded and replay it after upstream fixes.
+struct Quarantine {
+  std::vector<QuarantineEntry> entries;
+
+  size_t size() const { return entries.size(); }
+  bool empty() const { return entries.empty(); }
+  bool Contains(uint64_t item_id) const;
+};
+
+/// Classification of one item's validation result.
+struct RecordValidation {
+  RecordVerdict verdict = RecordVerdict::kClean;
+  RecordIssue issues = RecordIssue::kNone;
+};
+
+/// Classifies CollectedItems as clean / degraded / poison before they reach
+/// feature extraction. Stateless and cheap: one pass over the comments.
+class RecordValidator {
+ public:
+  explicit RecordValidator(RecordValidatorOptions options)
+      : options_(options) {}
+  RecordValidator() : RecordValidator(RecordValidatorOptions{}) {}
+
+  RecordValidation Validate(const collect::CollectedItem& item) const;
+
+  const RecordValidatorOptions& options() const { return options_; }
+
+ private:
+  RecordValidatorOptions options_;
+};
+
+}  // namespace cats::core
+
+#endif  // CATS_CORE_RECORD_VALIDATOR_H_

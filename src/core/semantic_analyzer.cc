@@ -19,7 +19,9 @@ Status SaveWordList(const std::string& path,
     content += w;
     content.push_back('\n');
   }
-  return WriteStringToFile(path, content);
+  // Atomic (temp + rename), like every model-file write: a crash mid-save
+  // never leaves a truncated lexicon for LoadModel to half-parse.
+  return WriteStringToFileAtomic(path, content);
 }
 
 Result<std::vector<std::string>> LoadWordList(const std::string& path) {

@@ -1,0 +1,127 @@
+#include "fault/data_fault_plan.h"
+
+#include "util/random.h"
+
+namespace cats::fault {
+namespace {
+
+/// splitmix64 finalizer: spreads (seed, id) into an Rng seed so consecutive
+/// record ids draw independent decisions.
+uint64_t MixSeed(uint64_t seed, uint64_t id) {
+  uint64_t z = seed ^ (id + 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+// Distinct Rng streams per decision type so e.g. the price draw cannot
+// perturb the fault-kind draw.
+constexpr uint64_t kItemStream = 0xDA7A01;
+constexpr uint64_t kCommentStream = 0xDA7A02;
+constexpr uint64_t kValueStream = 0xDA7A03;
+
+}  // namespace
+
+std::string_view DataFaultKindName(DataFaultKind kind) {
+  switch (kind) {
+    case DataFaultKind::kNone:
+      return "none";
+    case DataFaultKind::kDropComments:
+      return "drop_comments";
+    case DataFaultKind::kDropOrders:
+      return "drop_orders";
+    case DataFaultKind::kAbsurdPrice:
+      return "absurd_price";
+    case DataFaultKind::kCorruptText:
+      return "corrupt_text";
+    case DataFaultKind::kOversizeText:
+      return "oversize_text";
+    case DataFaultKind::kDuplicateCommentId:
+      return "duplicate_comment_id";
+  }
+  return "unknown";
+}
+
+DataFaultProfile DataFaultProfile::None() { return DataFaultProfile{}; }
+
+DataFaultProfile DataFaultProfile::Mild() {
+  DataFaultProfile p;
+  p.drop_comments_prob = 0.01;
+  p.drop_orders_prob = 0.01;
+  return p;
+}
+
+DataFaultProfile DataFaultProfile::Hostile() {
+  DataFaultProfile p;
+  p.drop_comments_prob = 0.05;
+  p.drop_orders_prob = 0.05;
+  p.absurd_price_prob = 0.04;
+  p.corrupt_text_prob = 0.03;
+  p.oversize_text_prob = 0.01;
+  p.duplicate_comment_id_prob = 0.03;
+  return p;
+}
+
+Result<DataFaultProfile> DataFaultProfile::FromName(std::string_view name) {
+  if (name == "none") return None();
+  if (name == "mild") return Mild();
+  if (name == "hostile") return Hostile();
+  return Status::InvalidArgument("unknown data-fault profile: " +
+                                 std::string(name));
+}
+
+DataFaultKind DataFaultPlan::DecideItem(uint64_t item_id) const {
+  Rng rng(MixSeed(seed_, item_id), kItemStream);
+  double u = rng.UniformDouble();
+  if (u < profile_.drop_comments_prob) return DataFaultKind::kDropComments;
+  u -= profile_.drop_comments_prob;
+  if (u < profile_.drop_orders_prob) return DataFaultKind::kDropOrders;
+  u -= profile_.drop_orders_prob;
+  if (u < profile_.absurd_price_prob) return DataFaultKind::kAbsurdPrice;
+  return DataFaultKind::kNone;
+}
+
+DataFaultKind DataFaultPlan::DecideComment(uint64_t comment_id) const {
+  Rng rng(MixSeed(seed_, comment_id), kCommentStream);
+  double u = rng.UniformDouble();
+  if (u < profile_.corrupt_text_prob) return DataFaultKind::kCorruptText;
+  u -= profile_.corrupt_text_prob;
+  if (u < profile_.oversize_text_prob) return DataFaultKind::kOversizeText;
+  u -= profile_.oversize_text_prob;
+  if (u < profile_.duplicate_comment_id_prob) {
+    return DataFaultKind::kDuplicateCommentId;
+  }
+  return DataFaultKind::kNone;
+}
+
+double DataFaultPlan::AbsurdPrice(uint64_t item_id) const {
+  Rng rng(MixSeed(seed_, item_id), kValueStream);
+  // A listing-bot glitch: either a negative price or one many orders of
+  // magnitude past anything the marketplace sells.
+  if (rng.Bernoulli(0.25)) return -rng.UniformDouble(1.0, 1000.0);
+  return rng.UniformDouble(1e9, 1e12);
+}
+
+std::string DataFaultPlan::CorruptText(std::string text,
+                                       uint64_t comment_id) const {
+  Rng rng(MixSeed(seed_, comment_id), kValueStream);
+  if (!text.empty()) {
+    size_t pos = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(text.size()) - 1));
+    text[pos] = static_cast<char>(0xFE);  // never valid in UTF-8
+  }
+  text.push_back(static_cast<char>(0x80));  // stray continuation byte
+  return text;
+}
+
+std::string DataFaultPlan::OversizeText(std::string text,
+                                        uint64_t /*comment_id*/) const {
+  const size_t target = profile_.oversize_text_bytes + 1;
+  text.reserve(target);
+  while (text.size() < target) {
+    text.append("spamspamspamspam");
+  }
+  return text;
+}
+
+}  // namespace cats::fault

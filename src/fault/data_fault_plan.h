@@ -1,0 +1,104 @@
+#ifndef CATS_FAULT_DATA_FAULT_PLAN_H_
+#define CATS_FAULT_DATA_FAULT_PLAN_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/result.h"
+
+namespace cats::fault {
+
+/// What the simulated platform can do to the *content* of a record — the
+/// dirty-data counterpart of the transport faults in fault_plan.h. The
+/// paper's inputs (72.3M crawled comments, Listing 2 JSON) are public-domain
+/// data where fields go missing and text arrives garbled; these kinds let
+/// chaos tests emit exactly that and drive the detection pipeline's
+/// quarantine / degraded paths the way chaos_crawl drives the crawler.
+enum class DataFaultKind : int {
+  kNone = 0,
+  /// Item serves an empty comment list (degraded: features must be imputed).
+  kDropComments,
+  /// Item serves sales_volume = -1, the "field missing" sentinel (degraded).
+  kDropOrders,
+  /// Item price replaced with an absurd value (poison).
+  kAbsurdPrice,
+  /// Comment content corrupted into invalid UTF-8 (poison).
+  kCorruptText,
+  /// Comment content inflated past any plausible size (poison).
+  kOversizeText,
+  /// Comment id rewritten to collide with a sibling comment's id; the
+  /// store's dedup silently drops the later record (data loss, not poison —
+  /// the surviving item just has fewer comments).
+  kDuplicateCommentId,
+};
+inline constexpr size_t kNumDataFaultKinds =
+    static_cast<size_t>(DataFaultKind::kDuplicateCommentId) + 1;
+
+std::string_view DataFaultKindName(DataFaultKind kind);
+
+/// Per-kind rates. Item-level kinds (drop comments/orders, absurd price)
+/// are mutually exclusive per item; comment-level kinds (corrupt, oversize,
+/// duplicate id) are mutually exclusive per comment. Each group's sum must
+/// be <= 1.
+struct DataFaultProfile {
+  double drop_comments_prob = 0.0;
+  double drop_orders_prob = 0.0;
+  double absurd_price_prob = 0.0;
+  double corrupt_text_prob = 0.0;
+  double oversize_text_prob = 0.0;
+  double duplicate_comment_id_prob = 0.0;
+  /// Corrupted comment bodies are padded past this size (must exceed the
+  /// validator's max_comment_bytes for the fault to read as poison).
+  size_t oversize_text_bytes = 48 * 1024;
+
+  /// Perfectly clean records (the default everywhere).
+  static DataFaultProfile None();
+  /// Occasional missing fields only — the degraded path, no poison.
+  static DataFaultProfile Mild();
+  /// Every kind at once: missing fields, absurd prices, garbled and
+  /// oversized text, colliding comment ids.
+  static DataFaultProfile Hostile();
+  /// "none" | "mild" | "hostile" (the cats_cli --data-fault-profile values).
+  static Result<DataFaultProfile> FromName(std::string_view name);
+};
+
+/// A seeded source of per-record data-fault decisions. Unlike FaultPlan's
+/// request schedule, every decision is a pure function of (profile, seed,
+/// record id) — no sequence state — so a record re-served after a transport
+/// retry, a duplicate or a repagination shift is corrupted the exact same
+/// way every time, and chaos runs stay deterministic under any
+/// interleaving of transport and data faults.
+class DataFaultPlan {
+ public:
+  DataFaultPlan(const DataFaultProfile& profile, uint64_t seed)
+      : profile_(profile), seed_(seed) {}
+
+  /// Item-level decision: kNone, kDropComments, kDropOrders or kAbsurdPrice.
+  DataFaultKind DecideItem(uint64_t item_id) const;
+
+  /// Comment-level decision: kNone, kCorruptText, kOversizeText or
+  /// kDuplicateCommentId.
+  DataFaultKind DecideComment(uint64_t comment_id) const;
+
+  /// The absurd replacement price for an item (huge, occasionally negative).
+  double AbsurdPrice(uint64_t item_id) const;
+
+  /// Corrupts `text` into definitely-invalid UTF-8 (overwrites a byte with
+  /// 0xFE and appends a stray continuation byte — both unrepresentable in
+  /// well-formed UTF-8, and both >= 0x20 so the JSON layer round-trips them).
+  std::string CorruptText(std::string text, uint64_t comment_id) const;
+
+  /// Pads `text` past profile().oversize_text_bytes.
+  std::string OversizeText(std::string text, uint64_t comment_id) const;
+
+  const DataFaultProfile& profile() const { return profile_; }
+
+ private:
+  DataFaultProfile profile_;
+  uint64_t seed_;
+};
+
+}  // namespace cats::fault
+
+#endif  // CATS_FAULT_DATA_FAULT_PLAN_H_

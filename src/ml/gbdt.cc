@@ -4,6 +4,9 @@
 #include <cmath>
 #include <fstream>
 #include <numeric>
+#include <sstream>
+
+#include "util/csv.h"
 
 #include "obs/metric_names.h"
 #include "obs/metrics.h"
@@ -283,8 +286,7 @@ double Gbdt::PredictProba(const float* row) const {
 
 Status Gbdt::Save(const std::string& path) const {
   if (trees_.empty()) return Status::FailedPrecondition("model not trained");
-  std::ofstream out(path, std::ios::trunc);
-  if (!out.is_open()) return Status::IoError("cannot open: " + path);
+  std::ostringstream out;
   out << "cats-gbdt-v1\n";
   out << options_.learning_rate << " " << base_margin_ << " "
       << feature_names_.size() << " " << trees_.size() << "\n";
@@ -298,9 +300,9 @@ Status Gbdt::Save(const std::string& path) const {
           << node.right << " " << node.value << "\n";
     }
   }
-  out.flush();
-  if (!out.good()) return Status::IoError("write failed: " + path);
-  return Status::OK();
+  // Atomic (temp + rename): a crash mid-save leaves the previous model
+  // intact, never a truncated file that could half-parse.
+  return WriteStringToFileAtomic(path, out.str());
 }
 
 Result<Gbdt> Gbdt::Load(const std::string& path) {
@@ -310,31 +312,71 @@ Result<Gbdt> Gbdt::Load(const std::string& path) {
   if (!(in >> magic) || magic != "cats-gbdt-v1") {
     return Status::ParseError("bad gbdt model header in " + path);
   }
+  // A truncated or bit-flipped file must produce a descriptive error, never
+  // a model that walks out-of-bounds at predict time: counts are
+  // plausibility-bounded, node indices validated against the tree, and any
+  // bytes past the advertised structure are rejected.
+  constexpr size_t kMaxFeatures = 1u << 16;
+  constexpr size_t kMaxTrees = 1u << 20;
+  constexpr size_t kMaxNodes = 1u << 24;
   Gbdt model;
   size_t num_features = 0, num_trees = 0;
   if (!(in >> model.options_.learning_rate >> model.base_margin_ >>
         num_features >> num_trees)) {
-    return Status::ParseError("truncated gbdt header");
+    return Status::ParseError("truncated gbdt header in " + path);
+  }
+  if (!std::isfinite(model.options_.learning_rate) ||
+      !std::isfinite(model.base_margin_) || num_features == 0 ||
+      num_features > kMaxFeatures || num_trees == 0 ||
+      num_trees > kMaxTrees) {
+    return Status::ParseError("implausible gbdt header in " + path);
   }
   model.feature_names_.resize(num_features);
   for (std::string& name : model.feature_names_) {
-    if (!(in >> name)) return Status::ParseError("truncated feature names");
+    if (!(in >> name)) {
+      return Status::ParseError("truncated gbdt feature names in " + path);
+    }
   }
   model.split_counts_.resize(num_features);
   for (uint64_t& c : model.split_counts_) {
-    if (!(in >> c)) return Status::ParseError("truncated split counts");
+    if (!(in >> c)) {
+      return Status::ParseError("truncated gbdt split counts in " + path);
+    }
   }
   model.trees_.resize(num_trees);
   for (Tree& tree : model.trees_) {
     size_t nodes = 0;
-    if (!(in >> nodes)) return Status::ParseError("truncated tree header");
+    if (!(in >> nodes) || nodes == 0 || nodes > kMaxNodes) {
+      return Status::ParseError("bad gbdt tree header in " + path);
+    }
     tree.resize(nodes);
-    for (Node& node : tree) {
+    for (size_t id = 0; id < nodes; ++id) {
+      Node& node = tree[id];
       if (!(in >> node.feature >> node.threshold >> node.left >> node.right >>
             node.value)) {
-        return Status::ParseError("truncated tree nodes");
+        return Status::ParseError("truncated gbdt tree nodes in " + path);
+      }
+      if (!std::isfinite(node.threshold) || !std::isfinite(node.value)) {
+        return Status::ParseError("non-finite gbdt node in " + path);
+      }
+      if (node.feature >= 0) {
+        // Fit emits children strictly after their parent, so requiring
+        // id < left,right < nodes both bounds the indices and guarantees
+        // TreePredict terminates on any accepted file.
+        if (static_cast<size_t>(node.feature) >= num_features ||
+            node.left <= static_cast<int32_t>(id) ||
+            node.right <= static_cast<int32_t>(id) ||
+            static_cast<size_t>(node.left) >= nodes ||
+            static_cast<size_t>(node.right) >= nodes) {
+          return Status::ParseError("out-of-bounds gbdt node indices in " +
+                                    path);
+        }
       }
     }
+  }
+  std::string extra;
+  if (in >> extra) {
+    return Status::ParseError("trailing garbage after gbdt model in " + path);
   }
   return model;
 }

@@ -1,8 +1,11 @@
 #include "nlp/sentiment.h"
 
+#include <algorithm>
 #include <cmath>
 #include <fstream>
+#include <sstream>
 
+#include "util/csv.h"
 #include "util/string_util.h"
 
 namespace cats::nlp {
@@ -101,20 +104,26 @@ double SentimentModel::WordLogOdds(const std::string& word) const {
 
 Status SentimentModel::Save(const std::string& path) const {
   if (!trained_) return Status::FailedPrecondition("model not trained");
-  std::ofstream out(path, std::ios::trunc);
-  if (!out.is_open()) return Status::IoError("cannot open: " + path);
+  std::ostringstream out;
   out << "cats-sentiment-v1\n";
   out << options_.smoothing << " " << options_.prior_positive << " "
       << (options_.length_normalize ? 1 : 0) << "\n";
   out << total_positive_tokens_ << " " << total_negative_tokens_ << " "
       << word_stats_.size() << "\n";
-  for (const auto& [word, ws] : word_stats_) {
-    out << word << " " << ws.positive_count << " " << ws.negative_count
-        << "\n";
+  // Sorted by word, so saving is canonical: the same model always produces
+  // the same bytes regardless of hash-map iteration order, and a clean
+  // save -> load -> save round-trip is bit-identical.
+  std::vector<const std::pair<const std::string, WordStats>*> sorted;
+  sorted.reserve(word_stats_.size());
+  for (const auto& entry : word_stats_) sorted.push_back(&entry);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto* a, const auto* b) { return a->first < b->first; });
+  for (const auto* entry : sorted) {
+    out << entry->first << " " << entry->second.positive_count << " "
+        << entry->second.negative_count << "\n";
   }
-  out.flush();
-  if (!out.good()) return Status::IoError("write failed: " + path);
-  return Status::OK();
+  // Atomic (temp + rename): a crash mid-save never leaves a partial file.
+  return WriteStringToFileAtomic(path, out.str());
 }
 
 Result<SentimentModel> SentimentModel::Load(const std::string& path) {
@@ -124,26 +133,40 @@ Result<SentimentModel> SentimentModel::Load(const std::string& path) {
   if (!(in >> magic) || magic != "cats-sentiment-v1") {
     return Status::ParseError("bad sentiment model header in " + path);
   }
+  constexpr size_t kMaxVocab = 1u << 24;
   SentimentOptions options;
   int normalize = 1;
   size_t vocab = 0;
   SentimentModel model;
   if (!(in >> options.smoothing >> options.prior_positive >> normalize)) {
-    return Status::ParseError("truncated sentiment model options");
+    return Status::ParseError("truncated sentiment model options in " + path);
+  }
+  if (!std::isfinite(options.smoothing) || options.smoothing <= 0.0 ||
+      !std::isfinite(options.prior_positive) || options.prior_positive <= 0.0 ||
+      options.prior_positive >= 1.0) {
+    return Status::ParseError("implausible sentiment model options in " +
+                              path);
   }
   options.length_normalize = normalize != 0;
   model.options_ = options;
   if (!(in >> model.total_positive_tokens_ >> model.total_negative_tokens_ >>
-        vocab)) {
-    return Status::ParseError("truncated sentiment model counts");
+        vocab) ||
+      vocab > kMaxVocab) {
+    return Status::ParseError("truncated sentiment model counts in " + path);
   }
   for (size_t i = 0; i < vocab; ++i) {
     std::string word;
     WordStats ws;
     if (!(in >> word >> ws.positive_count >> ws.negative_count)) {
-      return Status::ParseError("truncated sentiment model vocabulary");
+      return Status::ParseError("truncated sentiment model vocabulary in " +
+                                path);
     }
     model.word_stats_.emplace(std::move(word), ws);
+  }
+  std::string extra;
+  if (in >> extra) {
+    return Status::ParseError("trailing garbage after sentiment model in " +
+                              path);
   }
   model.trained_ = true;
   return model;

@@ -102,6 +102,33 @@ inline constexpr std::string_view kDetectorDetectLatencyMicros =
     "detector.detect_latency_micros";
 inline constexpr std::string_view kDetectorTrainLatencyMicros =
     "detector.train_latency_micros";
+// Robustness: record validation verdicts (clean / degraded / poison).
+inline constexpr std::string_view kDetectorItemsQuarantinedTotal =
+    "detector.items_quarantined_total";
+inline constexpr std::string_view kDetectorItemsDegradedTotal =
+    "detector.items_degraded_total";
+inline constexpr std::string_view kDetectorQuarantineAbsurdPriceTotal =
+    "detector.quarantine.absurd_price_total";
+inline constexpr std::string_view kDetectorQuarantineCorruptTextTotal =
+    "detector.quarantine.corrupt_text_total";
+inline constexpr std::string_view kDetectorQuarantineOversizedCommentTotal =
+    "detector.quarantine.oversized_comment_total";
+inline constexpr std::string_view kDetectorQuarantineDuplicateCommentIdsTotal =
+    "detector.quarantine.duplicate_comment_ids_total";
+inline constexpr std::string_view kDetectorQuarantineMismatchedItemIdTotal =
+    "detector.quarantine.mismatched_item_id_total";
+inline constexpr std::string_view kDetectorDegradedMissingCommentsTotal =
+    "detector.degraded.missing_comments_total";
+inline constexpr std::string_view kDetectorDegradedMissingOrdersTotal =
+    "detector.degraded.missing_orders_total";
+
+// --- core::Cats model persistence (SaveModel / LoadModel) ---
+inline constexpr std::string_view kModelSavesTotal = "model.saves_total";
+inline constexpr std::string_view kModelSaveFailuresTotal =
+    "model.save_failures_total";
+inline constexpr std::string_view kModelLoadsTotal = "model.loads_total";
+inline constexpr std::string_view kModelLoadFailuresTotal =
+    "model.load_failures_total";
 
 // --- ml::Gbdt (the detector's boosted-tree classifier) ---
 inline constexpr std::string_view kGbdtRoundsTotal = "gbdt.rounds_total";

@@ -171,12 +171,32 @@ Result<std::string> MarketplaceApi::ServeItems(uint64_t shop_id, size_t page,
   }
   JsonValue data = JsonValue::Array();
   auto append = [&](const Item& item) {
+    // Data faults mutate record content; decisions are keyed on the item id
+    // alone, so a record re-served after a retry or repagination shift is
+    // mutated identically every time.
+    double price = item.price;
+    int64_t sales_volume = item.sales_volume;
+    switch (data_plan_.DecideItem(item.id)) {
+      case fault::DataFaultKind::kDropOrders:
+        sales_volume = -1;  // "field missing" sentinel
+        data_degraded_items_.insert(item.id);
+        break;
+      case fault::DataFaultKind::kAbsurdPrice:
+        price = data_plan_.AbsurdPrice(item.id);
+        data_poisoned_items_.insert(item.id);
+        break;
+      case fault::DataFaultKind::kDropComments:
+        data_degraded_items_.insert(item.id);
+        break;
+      default:
+        break;
+    }
     JsonValue rec = JsonValue::Object();
     rec.Set("item_id", JsonValue::String(std::to_string(item.id)));
     rec.Set("shop_id", JsonValue::String(std::to_string(item.shop_id)));
     rec.Set("item_name", JsonValue::String(item.name));
-    rec.Set("price", JsonValue::Number(item.price));
-    rec.Set("sales_volume", JsonValue::Int(item.sales_volume));
+    rec.Set("price", JsonValue::Number(price));
+    rec.Set("sales_volume", JsonValue::Int(sales_volume));
     rec.Set("category",
             JsonValue::String(std::string(ItemCategoryName(item.category))));
     data.Append(std::move(rec));
@@ -202,17 +222,50 @@ Result<std::string> MarketplaceApi::ServeComments(
                                           item_id)));
   }
   const auto& comment_indices = marketplace_->CommentIndicesOfItem(item_id);
-  PageRange r = Paginate(comment_indices.size(), page, options_.page_size);
+  size_t served_total = comment_indices.size();
+  // A drop-comments data fault serves a consistently empty comment list —
+  // the item looks legitimately review-less on every fetch and retry.
+  const bool drop_comments =
+      data_plan_.DecideItem(item_id) == fault::DataFaultKind::kDropComments;
+  if (drop_comments) {
+    served_total = 0;
+    data_degraded_items_.insert(item_id);
+  }
+  PageRange r = Paginate(served_total, page, options_.page_size);
   if (page >= r.total_pages && page > 0) {
     return Status::OutOfRange(StrFormat("page %zu past end", page));
   }
   JsonValue data = JsonValue::Array();
   auto append = [&](const Comment& c) {
+    std::string content = c.content;
+    uint64_t comment_id = c.id;
+    switch (data_plan_.DecideComment(c.id)) {
+      case fault::DataFaultKind::kCorruptText:
+        content = data_plan_.CorruptText(std::move(content), c.id);
+        data_poisoned_items_.insert(c.item_id);
+        break;
+      case fault::DataFaultKind::kOversizeText:
+        content = data_plan_.OversizeText(std::move(content), c.id);
+        data_poisoned_items_.insert(c.item_id);
+        break;
+      case fault::DataFaultKind::kDuplicateCommentId:
+        // Rewrite the id to collide with the item's first comment; the
+        // store dedups the later record away (silent data loss). The first
+        // comment itself is never rewritten, so the item keeps >= 1.
+        if (!comment_indices.empty() &&
+            marketplace_->comments()[comment_indices[0]].id != c.id) {
+          comment_id = marketplace_->comments()[comment_indices[0]].id;
+          ++data_duplicate_comment_ids_;
+        }
+        break;
+      default:
+        break;
+    }
     const User& user = marketplace_->users()[c.user_id];
     JsonValue rec = JsonValue::Object();
     rec.Set("item_id", JsonValue::String(std::to_string(c.item_id)));
-    rec.Set("comment_id", JsonValue::String(std::to_string(c.id)));
-    rec.Set("comment_content", JsonValue::String(c.content));
+    rec.Set("comment_id", JsonValue::String(std::to_string(comment_id)));
+    rec.Set("comment_content", JsonValue::String(content));
     rec.Set("nickname", JsonValue::String(user.nickname));
     // Listing 2 serializes userExpValue as a string.
     rec.Set("userExpValue", JsonValue::String(std::to_string(user.exp_value)));

@@ -4,8 +4,10 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <unordered_set>
 
 #include "fault/clock.h"
+#include "fault/data_fault_plan.h"
 #include "fault/fault_plan.h"
 #include "platform/marketplace.h"
 #include "util/result.h"
@@ -19,6 +21,10 @@ struct ApiOptions {
   /// 503s, duplicated records) every crawl used to see; set to
   /// FaultProfile::None() for clean-room crawls, Hostile() for chaos runs.
   fault::FaultProfile faults = fault::FaultProfile::Mild();
+  /// Content-level dirty data (fault/data_fault_plan.h): missing fields,
+  /// absurd prices, garbled / oversized comment text, colliding comment
+  /// ids. Defaults to none — records are clean unless a chaos run opts in.
+  fault::DataFaultProfile data_faults = fault::DataFaultProfile::None();
   uint64_t seed = 99;
   /// Clock slow-response faults advance; nullptr disables latency
   /// injection (the other fault kinds don't need a clock).
@@ -48,7 +54,8 @@ class MarketplaceApi {
   MarketplaceApi(const Marketplace* marketplace, ApiOptions options)
       : marketplace_(marketplace),
         options_(options),
-        plan_(options.faults, options.seed) {}
+        plan_(options.faults, options.seed),
+        data_plan_(options.data_faults, options.seed) {}
 
   explicit MarketplaceApi(const Marketplace* marketplace)
       : MarketplaceApi(marketplace, ApiOptions{}) {}
@@ -69,6 +76,24 @@ class MarketplaceApi {
   uint64_t corrupted_bodies() const { return corrupted_bodies_; }
   size_t page_size() const { return options_.page_size; }
   const fault::FaultPlan& fault_plan() const { return plan_; }
+  const fault::DataFaultPlan& data_fault_plan() const { return data_plan_; }
+
+  /// Ground truth for chaos tests: item ids actually served with poison
+  /// content (absurd price, corrupt / oversized comment text) and with
+  /// degraded content (dropped comments or orders). A scheduled data fault
+  /// that never manifests (e.g. corruption on a comment of an item whose
+  /// whole comment list was dropped) is not recorded.
+  const std::unordered_set<uint64_t>& data_poisoned_items() const {
+    return data_poisoned_items_;
+  }
+  const std::unordered_set<uint64_t>& data_degraded_items() const {
+    return data_degraded_items_;
+  }
+  /// Comment records served under a sibling's comment_id (the store's
+  /// dedup silently drops them — data loss, not poison).
+  uint64_t data_duplicate_comment_ids() const {
+    return data_duplicate_comment_ids_;
+  }
 
  private:
   Result<std::string> ServeShops(size_t page, const fault::FaultDecision& f);
@@ -80,10 +105,14 @@ class MarketplaceApi {
   const Marketplace* marketplace_;  // not owned
   ApiOptions options_;
   fault::FaultPlan plan_;
+  fault::DataFaultPlan data_plan_;
   uint64_t request_count_ = 0;
   uint64_t injected_failures_ = 0;
   uint64_t injected_duplicates_ = 0;
   uint64_t corrupted_bodies_ = 0;
+  std::unordered_set<uint64_t> data_poisoned_items_;
+  std::unordered_set<uint64_t> data_degraded_items_;
+  uint64_t data_duplicate_comment_ids_ = 0;
 };
 
 }  // namespace cats::platform

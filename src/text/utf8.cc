@@ -87,6 +87,43 @@ size_t CodepointCount(std::string_view s) {
   return n;
 }
 
+bool IsValidUtf8(std::string_view s) {
+  size_t i = 0;
+  while (i < s.size()) {
+    unsigned char b0 = static_cast<unsigned char>(s[i]);
+    size_t len;
+    uint32_t cp;
+    if (b0 < 0x80) {
+      ++i;
+      continue;
+    } else if ((b0 & 0xE0) == 0xC0) {
+      len = 2;
+      cp = b0 & 0x1Fu;
+    } else if ((b0 & 0xF0) == 0xE0) {
+      len = 3;
+      cp = b0 & 0x0Fu;
+    } else if ((b0 & 0xF8) == 0xF0) {
+      len = 4;
+      cp = b0 & 0x07u;
+    } else {
+      return false;  // stray continuation byte or 0xFE/0xFF
+    }
+    if (i + len > s.size()) return false;  // truncated sequence
+    for (size_t k = 1; k < len; ++k) {
+      unsigned char b = static_cast<unsigned char>(s[i + k]);
+      if ((b & 0xC0) != 0x80) return false;
+      cp = (cp << 6) | (b & 0x3Fu);
+    }
+    // Overlong encodings, UTF-16 surrogates, out-of-range codepoints.
+    static constexpr uint32_t kMinForLen[5] = {0, 0, 0x80, 0x800, 0x10000};
+    if (cp < kMinForLen[len]) return false;
+    if (cp >= 0xD800 && cp <= 0xDFFF) return false;
+    if (cp > 0x10FFFF) return false;
+    i += len;
+  }
+  return true;
+}
+
 size_t EncodedLength(uint32_t cp) {
   if (cp < 0x80) return 1;
   if (cp < 0x800) return 2;

@@ -32,6 +32,13 @@ std::string EncodeString(const std::vector<uint32_t>& cps);
 /// Number of codepoints in `s`.
 size_t CodepointCount(std::string_view s);
 
+/// Strict UTF-8 validation: rejects malformed sequences, overlong
+/// encodings, surrogates and codepoints past U+10FFFF. Unlike DecodeOne
+/// (which substitutes kReplacementChar and keeps going), this reports
+/// whether the bytes were well-formed at all — the record validator uses
+/// it to quarantine comment text that arrived garbled.
+bool IsValidUtf8(std::string_view s);
+
 /// Number of bytes the UTF-8 encoding of `cp` occupies (1-4).
 size_t EncodedLength(uint32_t cp);
 

@@ -1,0 +1,27 @@
+#ifndef CATS_UTIL_CRC32_H_
+#define CATS_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace cats {
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320, the zlib/PNG variant).
+/// Used by the model MANIFEST to detect truncated or bit-flipped model
+/// files before they are parsed; strong enough for storage-corruption
+/// detection, not a cryptographic integrity check.
+
+/// Incremental update: feed chunks with the running crc, starting from
+/// Crc32Init() and finishing with Crc32Finish().
+uint32_t Crc32Update(uint32_t crc, const void* data, size_t len);
+
+inline uint32_t Crc32Init() { return 0xFFFFFFFFu; }
+inline uint32_t Crc32Finish(uint32_t crc) { return crc ^ 0xFFFFFFFFu; }
+
+/// One-shot CRC-32 of a buffer. Crc32("123456789") == 0xCBF43926.
+uint32_t Crc32(std::string_view data);
+
+}  // namespace cats
+
+#endif  // CATS_UTIL_CRC32_H_

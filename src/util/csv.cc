@@ -1,8 +1,10 @@
 #include "util/csv.h"
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <system_error>
 
 #include "util/string_util.h"
 
@@ -98,6 +100,19 @@ Status WriteStringToFile(const std::string& path, const std::string& content) {
   out.write(content.data(), static_cast<std::streamsize>(content.size()));
   out.flush();
   if (!out.good()) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Status WriteStringToFileAtomic(const std::string& path,
+                               const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  CATS_RETURN_NOT_OK(WriteStringToFile(tmp, content));
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    return Status::IoError("rename failed: " + tmp + " -> " + path);
+  }
   return Status::OK();
 }
 

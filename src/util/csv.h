@@ -40,6 +40,12 @@ Result<std::string> ReadFileToString(const std::string& path);
 /// Writes a string to a file (truncating).
 Status WriteStringToFile(const std::string& path, const std::string& content);
 
+/// Crash-safe variant: writes to `path + ".tmp"`, flushes, then renames over
+/// `path`, so readers see either the old bytes or the new bytes — never a
+/// partial file. Single writer per path assumed (the temp name is fixed).
+Status WriteStringToFileAtomic(const std::string& path,
+                               const std::string& content);
+
 }  // namespace cats
 
 #endif  // CATS_UTIL_CSV_H_

@@ -24,6 +24,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Internal";
     case StatusCode::kUnavailable:
       return "Unavailable";
+    case StatusCode::kCorruption:
+      return "Corruption";
   }
   return "Unknown";
 }

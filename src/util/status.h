@@ -19,6 +19,10 @@ enum class StatusCode {
   kParseError,
   kInternal,
   kUnavailable,
+  /// Stored data failed an integrity check (checksum/size mismatch,
+  /// truncated or bit-flipped file) — distinct from kParseError so callers
+  /// can tell "bad bytes on disk" from "well-formed but unparseable".
+  kCorruption,
 };
 
 /// Returns a stable human-readable name for a StatusCode ("Ok", "IoError"...).
@@ -65,6 +69,9 @@ class Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,504 @@
+// Deterministic chaos tests for the detection pipeline's dirty-data
+// handling: crawl the shared marketplace under seeded data-fault plans
+// (missing fields, absurd prices, garbled / oversized comment text), run
+// detection, and assert that (a) nothing crashes, (b) the report accounts
+// for every scanned item exactly — clean + degraded + quarantined — and
+// (c) the quarantine matches, id for id, what the API actually poisoned.
+// Also the SaveModel/LoadModel corruption matrix: every way a model dir can
+// be damaged mid-flight is rejected with a typed error, while a clean
+// save -> load -> save round-trip is bit-identical.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "collect/crawler.h"
+#include "core/cats.h"
+#include "core/detector.h"
+#include "core/model_manifest.h"
+#include "core/record_validator.h"
+#include "fault/data_fault_plan.h"
+#include "platform_test_util.h"
+#include "util/csv.h"
+
+namespace cats::core {
+namespace {
+
+using collect::CollectedItem;
+using collect::DataStore;
+
+/// One detector trained on the clean store, shared across the battery
+/// (training is the expensive step; Detect is const).
+const Detector& TrainedDetector() {
+  static const Detector* detector = [] {
+    auto* d = new Detector(&cats::TestSemanticModel());
+    const auto& store = cats::TestStore();
+    CATS_CHECK(d->Train(store.items(),
+                        cats::StoreLabels(cats::TestMarketplace(), store))
+                   .ok());
+    return d;
+  }();
+  return *detector;
+}
+
+/// Crawls the shared marketplace through an API injecting `data_faults`
+/// (and optionally transport faults too). Returns the store; the API is
+/// passed in so callers can read its ground-truth poisoned/degraded sets.
+DataStore CrawlWithDataFaults(platform::MarketplaceApi* api) {
+  collect::FakeClock clock;
+  collect::CrawlerOptions options;
+  options.requests_per_second = 0.0;
+  options.max_retries = 12;
+  options.backoff_cap_micros = 500'000;
+  collect::Crawler crawler(api, options, &clock);
+  DataStore store;
+  Status st = crawler.Crawl(&store);
+  CATS_CHECK(st.ok());
+  return store;
+}
+
+std::set<uint64_t> QuarantinedIds(const DetectionReport& report) {
+  std::set<uint64_t> ids;
+  for (const QuarantineEntry& e : report.quarantine.entries) {
+    ids.insert(e.item_id);
+  }
+  return ids;
+}
+
+/// The report's books must balance: every scanned item lands in exactly one
+/// of {quarantined, rule-filtered, classified}, and the degraded are a
+/// subset of the classified.
+void ExpectAccountingExact(const DetectionReport& report, size_t num_items) {
+  EXPECT_EQ(report.items_scanned, num_items);
+  EXPECT_EQ(report.items_scanned,
+            report.items_quarantined + report.items_filtered_low_sales +
+                report.items_filtered_no_signal +
+                report.items_filtered_no_comments + report.items_classified);
+  EXPECT_EQ(report.items_quarantined, report.quarantine.size());
+  EXPECT_LE(report.items_degraded, report.items_classified);
+  EXPECT_LE(report.degraded_detections.size(), report.items_degraded);
+  for (const Detection& d : report.detections) {
+    EXPECT_EQ(d.confidence, ScoreConfidence::kFull);
+  }
+  for (const Detection& d : report.degraded_detections) {
+    EXPECT_EQ(d.confidence, ScoreConfidence::kDegraded);
+  }
+}
+
+/// The quarantine must match the API's ground truth exactly — same ids, no
+/// more, no less — and the degraded count must match what a validator run
+/// over the store finds.
+void ExpectTriageMatchesGroundTruth(const DetectionReport& report,
+                                    const DataStore& store,
+                                    const platform::MarketplaceApi& api) {
+  std::set<uint64_t> expected_poison(api.data_poisoned_items().begin(),
+                                     api.data_poisoned_items().end());
+  EXPECT_EQ(QuarantinedIds(report), expected_poison);
+
+  const RecordValidator& validator = TrainedDetector().validator();
+  size_t expected_degraded = 0;
+  for (const CollectedItem& ci : store.items()) {
+    if (validator.Validate(ci).verdict == RecordVerdict::kDegraded) {
+      ++expected_degraded;
+    }
+  }
+  EXPECT_EQ(report.items_degraded, expected_degraded);
+
+  // Every API-degraded item that was not also poisoned must have been
+  // triaged degraded (never silently treated as clean or dropped).
+  for (uint64_t id : api.data_degraded_items()) {
+    if (expected_poison.count(id)) continue;
+    for (const CollectedItem& ci : store.items()) {
+      if (ci.item.item_id != id) continue;
+      EXPECT_EQ(validator.Validate(ci).verdict, RecordVerdict::kDegraded)
+          << "item " << id;
+    }
+  }
+}
+
+struct DataChaosCase {
+  const char* name;
+  uint64_t seed;
+  fault::DataFaultProfile profile;
+};
+
+std::vector<DataChaosCase> DataChaosCases() {
+  std::vector<DataChaosCase> cases;
+  struct Single {
+    const char* name;
+    void (*apply)(fault::DataFaultProfile*);
+  };
+  const Single singles[] = {
+      {"drop_comments",
+       [](fault::DataFaultProfile* p) { p->drop_comments_prob = 0.08; }},
+      {"drop_orders",
+       [](fault::DataFaultProfile* p) { p->drop_orders_prob = 0.08; }},
+      {"absurd_price",
+       [](fault::DataFaultProfile* p) { p->absurd_price_prob = 0.05; }},
+      {"corrupt_text",
+       [](fault::DataFaultProfile* p) { p->corrupt_text_prob = 0.02; }},
+      {"oversize_text",
+       [](fault::DataFaultProfile* p) { p->oversize_text_prob = 0.01; }},
+      {"duplicate_comment_id",
+       [](fault::DataFaultProfile* p) {
+         p->duplicate_comment_id_prob = 0.05;
+       }},
+  };
+  for (const Single& single : singles) {
+    for (uint64_t seed : {11u, 22u}) {
+      fault::DataFaultProfile profile;
+      single.apply(&profile);
+      cases.push_back({single.name, seed, profile});
+    }
+  }
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    cases.push_back({"hostile", seed, fault::DataFaultProfile::Hostile()});
+  }
+  return cases;  // 6 * 2 + 3 = 15 plans
+}
+
+TEST(ChaosDetectTest, PipelineSurvivesEveryDataFaultPlan) {
+  const platform::Marketplace& m = cats::TestMarketplace();
+  for (const DataChaosCase& chaos : DataChaosCases()) {
+    SCOPED_TRACE(std::string(chaos.name) + "/seed=" +
+                 std::to_string(chaos.seed));
+    platform::ApiOptions api_options;
+    api_options.faults = fault::FaultProfile::None();
+    api_options.data_faults = chaos.profile;
+    api_options.seed = chaos.seed;
+    platform::MarketplaceApi api(&m, api_options);
+    DataStore store = CrawlWithDataFaults(&api);
+    EXPECT_EQ(store.items().size(), m.items().size());
+
+    auto report = TrainedDetector().Detect(store.items());
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    ExpectAccountingExact(*report, store.items().size());
+    ExpectTriageMatchesGroundTruth(*report, store, api);
+  }
+}
+
+TEST(ChaosDetectTest, SurvivesCombinedTransportAndDataHostility) {
+  // Transport chaos (503 bursts, truncation, duplicates) on top of dirty
+  // data: the crawler retries its way through, and because data-fault
+  // decisions are pure functions of record ids, re-served records carry
+  // identical corruption — the pipeline's books still balance exactly.
+  const platform::Marketplace& m = cats::TestMarketplace();
+  collect::FakeClock clock;
+  platform::ApiOptions api_options;
+  api_options.faults = fault::FaultProfile::Hostile();
+  api_options.data_faults = fault::DataFaultProfile::Hostile();
+  api_options.seed = 31337;
+  api_options.clock = &clock;
+  platform::MarketplaceApi api(&m, api_options);
+
+  collect::CrawlerOptions options;
+  options.requests_per_second = 0.0;
+  options.max_retries = 12;
+  options.backoff_cap_micros = 500'000;
+  collect::Crawler crawler(&api, options, &clock);
+  DataStore store;
+  ASSERT_TRUE(crawler.Crawl(&store).ok());
+  ASSERT_EQ(store.items().size(), m.items().size());
+
+  auto report = TrainedDetector().Detect(store.items());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_GT(report->items_quarantined, 0u);
+  EXPECT_GT(report->items_degraded, 0u);
+  ExpectAccountingExact(*report, store.items().size());
+  ExpectTriageMatchesGroundTruth(*report, store, api);
+}
+
+TEST(ChaosDetectTest, SameSeedReproducesIdenticalQuarantine) {
+  const platform::Marketplace& m = cats::TestMarketplace();
+  auto run = [&](uint64_t seed) {
+    platform::ApiOptions api_options;
+    api_options.faults = fault::FaultProfile::None();
+    api_options.data_faults = fault::DataFaultProfile::Hostile();
+    api_options.seed = seed;
+    platform::MarketplaceApi api(&m, api_options);
+    DataStore store = CrawlWithDataFaults(&api);
+    auto report = TrainedDetector().Detect(store.items());
+    CATS_CHECK(report.ok());
+    return std::move(report).value();
+  };
+  DetectionReport a = run(777);
+  DetectionReport b = run(777);
+  ASSERT_EQ(a.quarantine.size(), b.quarantine.size());
+  for (size_t i = 0; i < a.quarantine.entries.size(); ++i) {
+    EXPECT_EQ(a.quarantine.entries[i].item_id,
+              b.quarantine.entries[i].item_id);
+    EXPECT_EQ(a.quarantine.entries[i].issues,
+              b.quarantine.entries[i].issues);
+  }
+  EXPECT_EQ(a.items_degraded, b.items_degraded);
+  EXPECT_EQ(a.detections.size(), b.detections.size());
+  DetectionReport c = run(778);
+  EXPECT_NE(QuarantinedIds(a), QuarantinedIds(c));
+}
+
+TEST(ChaosDetectTest, DegradedItemsAreScoredNotDropped) {
+  // Hand-degrade known items from the clean store: strip the comments of
+  // one, mark another's orders missing. Both must be triaged degraded,
+  // classified (not dropped, not NaN), and any resulting flag must land in
+  // degraded_detections with kDegraded confidence.
+  std::vector<CollectedItem> items = cats::TestStore().items();
+  uint64_t stripped_id = 0, orderless_id = 0;
+  bool stripped = false, orderless = false;
+  for (CollectedItem& ci : items) {
+    if (!stripped && ci.comments.size() > 3) {
+      ci.comments.clear();
+      stripped_id = ci.item.item_id;
+      stripped = true;
+    } else if (!orderless && ci.item.sales_volume > 0) {
+      ci.item.sales_volume = -1;
+      orderless_id = ci.item.item_id;
+      orderless = true;
+    }
+  }
+  ASSERT_TRUE(stripped);
+  ASSERT_TRUE(orderless);
+
+  auto report = TrainedDetector().Detect(items);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ExpectAccountingExact(*report, items.size());
+  EXPECT_GE(report->items_degraded, 2u);
+  EXPECT_FALSE(report->quarantine.Contains(stripped_id));
+  EXPECT_FALSE(report->quarantine.Contains(orderless_id));
+  // Degraded flags never leak into the full-confidence detections.
+  for (const Detection& d : report->detections) {
+    EXPECT_NE(d.item_id, stripped_id);
+  }
+}
+
+TEST(ChaosDetectTest, HandBuiltPoisonIsQuarantinedWithTypedReasons) {
+  std::vector<CollectedItem> items;
+  auto make_item = [](uint64_t id) {
+    CollectedItem ci;
+    ci.item.item_id = id;
+    ci.item.price = 25.0;
+    ci.item.sales_volume = 50;
+    collect::CommentRecord c;
+    c.item_id = id;
+    c.comment_id = id * 100;
+    c.content = "好评很好商品";
+    ci.comments.push_back(c);
+    return ci;
+  };
+  CollectedItem clean = make_item(1);
+  CollectedItem absurd = make_item(2);
+  absurd.item.price = 5e11;
+  CollectedItem corrupt = make_item(3);
+  corrupt.comments[0].content = "\xFE\x80garbage";
+  CollectedItem oversized = make_item(4);
+  oversized.comments[0].content.assign(20 * 1024, 'a');
+  CollectedItem duplicated = make_item(5);
+  duplicated.comments.push_back(duplicated.comments[0]);
+  items = {clean, absurd, corrupt, oversized, duplicated};
+
+  auto report = TrainedDetector().Detect(items);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ExpectAccountingExact(*report, items.size());
+  EXPECT_EQ(report->items_quarantined, 4u);
+  EXPECT_FALSE(report->quarantine.Contains(1));
+  auto issues_of = [&](uint64_t id) {
+    for (const QuarantineEntry& e : report->quarantine.entries) {
+      if (e.item_id == id) return e.issues;
+    }
+    return RecordIssue::kNone;
+  };
+  EXPECT_TRUE(HasIssue(issues_of(2), RecordIssue::kAbsurdPrice));
+  EXPECT_TRUE(HasIssue(issues_of(3), RecordIssue::kCorruptCommentText));
+  EXPECT_TRUE(HasIssue(issues_of(4), RecordIssue::kOversizedComment));
+  EXPECT_TRUE(HasIssue(issues_of(5), RecordIssue::kDuplicateCommentIds));
+  // Poison never reaches the classifier's outputs.
+  for (const Detection& d : report->detections) {
+    EXPECT_EQ(d.item_id, 1u);
+  }
+  EXPECT_TRUE(report->degraded_detections.empty());
+}
+
+TEST(ChaosDetectTest, ValidationOffReplicatesLegacyPipeline) {
+  DetectorOptions options;
+  options.validate_records = false;
+  Detector detector(&cats::TestSemanticModel(), options);
+  const auto& store = cats::TestStore();
+  ASSERT_TRUE(detector
+                  .Train(store.items(),
+                         cats::StoreLabels(cats::TestMarketplace(), store))
+                  .ok());
+  auto report = detector.Detect(store.items());
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->items_quarantined, 0u);
+  EXPECT_EQ(report->items_degraded, 0u);
+  EXPECT_TRUE(report->quarantine.empty());
+  EXPECT_TRUE(report->degraded_detections.empty());
+  // The pre-robustness invariant.
+  EXPECT_EQ(report->items_scanned,
+            report->items_classified + report->items_filtered_low_sales +
+                report->items_filtered_no_signal +
+                report->items_filtered_no_comments);
+}
+
+// ---------------------------------------------------------------------------
+// Model-persistence corruption matrix.
+
+/// A fully trained Cats over the shared fixtures (semantic model reused
+/// from the disk cache, so only the Gbdt trains here).
+std::unique_ptr<Cats> TrainedCats() {
+  auto cats_system = std::make_unique<Cats>();
+  cats_system->SetSemanticModel(SemanticModel(cats::TestSemanticModel()));
+  const auto& store = cats::TestStore();
+  CATS_CHECK(cats_system
+                 ->TrainDetector(store.items(),
+                                 cats::StoreLabels(cats::TestMarketplace(),
+                                                   store))
+                 .ok());
+  return cats_system;
+}
+
+class ModelCorruptionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    base_ = (std::filesystem::temp_directory_path() /
+             ("cats_chaos_model_" + std::to_string(::getpid())))
+                .string();
+    std::filesystem::create_directories(base_ + "/saved");
+    auto cats_system = TrainedCats();
+    ASSERT_TRUE(cats_system->SaveModel(base_ + "/saved").ok());
+  }
+  void TearDown() override { std::filesystem::remove_all(base_); }
+
+  /// Fresh copy of the saved model dir to damage.
+  std::string DamageCopy(const std::string& name) {
+    std::string dir = base_ + "/" + name;
+    std::filesystem::copy(base_ + "/saved", dir);
+    return dir;
+  }
+
+  static Status LoadFrom(const std::string& dir) {
+    Cats cats_system;
+    return cats_system.LoadModel(dir);
+  }
+
+  std::string base_;
+};
+
+TEST_F(ModelCorruptionTest, CleanRoundTripIsBitIdentical) {
+  Cats restored;
+  ASSERT_TRUE(restored.LoadModel(base_ + "/saved").ok());
+  std::string resaved = base_ + "/resaved";
+  std::filesystem::create_directories(resaved);
+  ASSERT_TRUE(restored.SaveModel(resaved).ok());
+  for (const auto& entry :
+       std::filesystem::directory_iterator(base_ + "/saved")) {
+    std::string file = entry.path().filename().string();
+    auto a = ReadFileToString(entry.path().string());
+    auto b = ReadFileToString(resaved + "/" + file);
+    ASSERT_TRUE(a.ok() && b.ok()) << file;
+    EXPECT_EQ(*a, *b) << file << " differs after save -> load -> save";
+  }
+}
+
+TEST_F(ModelCorruptionTest, EveryTruncatedFileIsRejected) {
+  auto manifest = ReadManifest(base_ + "/saved");
+  ASSERT_TRUE(manifest.ok());
+  for (const ManifestEntry& entry : manifest->entries) {
+    std::string dir = DamageCopy("trunc_" + entry.file);
+    auto content = ReadFileToString(dir + "/" + entry.file);
+    ASSERT_TRUE(content.ok());
+    ASSERT_TRUE(WriteStringToFileAtomic(
+                    dir + "/" + entry.file,
+                    content->substr(0, content->size() / 2))
+                    .ok());
+    Status st = LoadFrom(dir);
+    ASSERT_FALSE(st.ok()) << entry.file;
+    EXPECT_EQ(st.code(), StatusCode::kCorruption) << entry.file;
+    EXPECT_NE(st.message().find(entry.file), std::string::npos);
+  }
+}
+
+TEST_F(ModelCorruptionTest, EveryBitFlippedFileIsRejected) {
+  auto manifest = ReadManifest(base_ + "/saved");
+  ASSERT_TRUE(manifest.ok());
+  for (const ManifestEntry& entry : manifest->entries) {
+    std::string dir = DamageCopy("flip_" + entry.file);
+    auto content = ReadFileToString(dir + "/" + entry.file);
+    ASSERT_TRUE(content.ok());
+    std::string flipped = *content;
+    flipped[flipped.size() / 2] ^= 0x01;  // same size: only the CRC sees it
+    ASSERT_TRUE(
+        WriteStringToFileAtomic(dir + "/" + entry.file, flipped).ok());
+    Status st = LoadFrom(dir);
+    ASSERT_FALSE(st.ok()) << entry.file;
+    EXPECT_EQ(st.code(), StatusCode::kCorruption) << entry.file;
+  }
+}
+
+TEST_F(ModelCorruptionTest, EveryDeletedFileIsRejected) {
+  auto manifest = ReadManifest(base_ + "/saved");
+  ASSERT_TRUE(manifest.ok());
+  for (const ManifestEntry& entry : manifest->entries) {
+    std::string dir = DamageCopy("del_" + entry.file);
+    std::filesystem::remove(dir + "/" + entry.file);
+    Status st = LoadFrom(dir);
+    ASSERT_FALSE(st.ok()) << entry.file;
+    EXPECT_EQ(st.code(), StatusCode::kNotFound) << entry.file;
+    EXPECT_NE(st.message().find(entry.file), std::string::npos);
+  }
+}
+
+TEST_F(ModelCorruptionTest, AppendedGarbageIsRejected) {
+  auto manifest = ReadManifest(base_ + "/saved");
+  ASSERT_TRUE(manifest.ok());
+  for (const ManifestEntry& entry : manifest->entries) {
+    std::string dir = DamageCopy("garbage_" + entry.file);
+    auto content = ReadFileToString(dir + "/" + entry.file);
+    ASSERT_TRUE(content.ok());
+    ASSERT_TRUE(WriteStringToFileAtomic(dir + "/" + entry.file,
+                                        *content + "\ntrailing junk 123\n")
+                    .ok());
+    Status st = LoadFrom(dir);
+    ASSERT_FALSE(st.ok()) << entry.file;
+    EXPECT_EQ(st.code(), StatusCode::kCorruption) << entry.file;
+  }
+}
+
+TEST_F(ModelCorruptionTest, MissingManifestIsRejected) {
+  // A model dir without a MANIFEST is by definition partially written
+  // (SaveModel writes it last) — never silently accepted.
+  std::string dir = DamageCopy("no_manifest");
+  std::filesystem::remove(dir + "/" + kManifestFileName);
+  Status st = LoadFrom(dir);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kCorruption);
+}
+
+TEST_F(ModelCorruptionTest, VersionSkewIsRejected) {
+  std::string dir = DamageCopy("version_skew");
+  auto content = ReadFileToString(dir + "/" + kManifestFileName);
+  ASSERT_TRUE(content.ok());
+  std::string bumped = *content;
+  size_t pos = bumped.find("cats-model-manifest-v1");
+  ASSERT_NE(pos, std::string::npos);
+  bumped.replace(pos, 22, "cats-model-manifest-v9");
+  ASSERT_TRUE(
+      WriteStringToFileAtomic(dir + "/" + kManifestFileName, bumped).ok());
+  Status st = LoadFrom(dir);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ModelCorruptionTest, MissingDirIsOneClearError) {
+  Status st = LoadFrom("/nonexistent_model_dir_zzz");
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kNotFound);
+  EXPECT_NE(st.message().find("/nonexistent_model_dir_zzz"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace cats::core

@@ -1,0 +1,175 @@
+#include "fault/data_fault_plan.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "text/utf8.h"
+#include "util/json.h"
+
+namespace cats::fault {
+namespace {
+
+TEST(DataFaultPlanTest, NoneProfileNeverFaults) {
+  DataFaultPlan plan(DataFaultProfile::None(), 1234);
+  for (uint64_t id = 0; id < 5000; ++id) {
+    EXPECT_EQ(plan.DecideItem(id), DataFaultKind::kNone);
+    EXPECT_EQ(plan.DecideComment(id), DataFaultKind::kNone);
+  }
+}
+
+TEST(DataFaultPlanTest, DecisionsArePureFunctionsOfId) {
+  // The same (profile, seed, id) always answers identically — a record
+  // re-served after a transport retry or duplicate is mutated the same way.
+  DataFaultPlan plan(DataFaultProfile::Hostile(), 42);
+  for (uint64_t id : {0ull, 1ull, 17ull, 999ull, 123456789ull}) {
+    DataFaultKind first = plan.DecideItem(id);
+    for (int i = 0; i < 5; ++i) EXPECT_EQ(plan.DecideItem(id), first);
+    DataFaultKind comment_first = plan.DecideComment(id);
+    for (int i = 0; i < 5; ++i) {
+      EXPECT_EQ(plan.DecideComment(id), comment_first);
+    }
+    EXPECT_EQ(plan.AbsurdPrice(id), plan.AbsurdPrice(id));
+  }
+  // An identically-configured plan answers identically.
+  DataFaultPlan twin(DataFaultProfile::Hostile(), 42);
+  for (uint64_t id = 0; id < 500; ++id) {
+    EXPECT_EQ(twin.DecideItem(id), plan.DecideItem(id));
+    EXPECT_EQ(twin.DecideComment(id), plan.DecideComment(id));
+  }
+}
+
+TEST(DataFaultPlanTest, SeedsDecorrelateDecisions) {
+  DataFaultPlan a(DataFaultProfile::Hostile(), 1);
+  DataFaultPlan b(DataFaultProfile::Hostile(), 2);
+  size_t differing = 0;
+  for (uint64_t id = 0; id < 2000; ++id) {
+    if (a.DecideItem(id) != b.DecideItem(id)) ++differing;
+  }
+  EXPECT_GT(differing, 0u);
+}
+
+TEST(DataFaultPlanTest, RatesApproximatelyMatchProfile) {
+  DataFaultProfile profile;
+  profile.drop_comments_prob = 0.10;
+  profile.absurd_price_prob = 0.05;
+  DataFaultPlan plan(profile, 7);
+  const uint64_t n = 20000;
+  uint64_t drops = 0, absurd = 0;
+  for (uint64_t id = 0; id < n; ++id) {
+    switch (plan.DecideItem(id)) {
+      case DataFaultKind::kDropComments:
+        ++drops;
+        break;
+      case DataFaultKind::kAbsurdPrice:
+        ++absurd;
+        break;
+      default:
+        break;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(drops) / n, 0.10, 0.01);
+  EXPECT_NEAR(static_cast<double>(absurd) / n, 0.05, 0.01);
+}
+
+TEST(DataFaultPlanTest, MildProfileIsDegradedOnly) {
+  // Mild injects missing fields but never poison content.
+  DataFaultPlan plan(DataFaultProfile::Mild(), 11);
+  for (uint64_t id = 0; id < 10000; ++id) {
+    DataFaultKind item_kind = plan.DecideItem(id);
+    EXPECT_TRUE(item_kind == DataFaultKind::kNone ||
+                item_kind == DataFaultKind::kDropComments ||
+                item_kind == DataFaultKind::kDropOrders);
+    EXPECT_EQ(plan.DecideComment(id), DataFaultKind::kNone);
+  }
+}
+
+TEST(DataFaultPlanTest, HostileProfileEmitsEveryKind) {
+  DataFaultPlan plan(DataFaultProfile::Hostile(), 5);
+  bool seen[kNumDataFaultKinds] = {};
+  for (uint64_t id = 0; id < 5000; ++id) {
+    seen[static_cast<size_t>(plan.DecideItem(id))] = true;
+    seen[static_cast<size_t>(plan.DecideComment(id))] = true;
+  }
+  for (size_t k = 0; k < kNumDataFaultKinds; ++k) {
+    EXPECT_TRUE(seen[k]) << DataFaultKindName(static_cast<DataFaultKind>(k));
+  }
+}
+
+TEST(DataFaultPlanTest, AbsurdPriceIsAbsurd) {
+  DataFaultPlan plan(DataFaultProfile::Hostile(), 9);
+  bool saw_negative = false, saw_huge = false;
+  for (uint64_t id = 0; id < 2000; ++id) {
+    double price = plan.AbsurdPrice(id);
+    EXPECT_TRUE(std::isfinite(price));
+    // Either negative or far past any real listing; never a plausible value.
+    EXPECT_TRUE(price < 0.0 || price >= 1e9) << price;
+    saw_negative |= price < 0.0;
+    saw_huge |= price >= 1e9;
+  }
+  EXPECT_TRUE(saw_negative);
+  EXPECT_TRUE(saw_huge);
+}
+
+TEST(DataFaultPlanTest, CorruptTextIsInvalidUtf8AndJsonSafe) {
+  DataFaultPlan plan(DataFaultProfile::Hostile(), 3);
+  for (uint64_t id = 0; id < 200; ++id) {
+    std::string corrupted = plan.CorruptText("好评很好商品质量", id);
+    EXPECT_FALSE(text::IsValidUtf8(corrupted)) << "id=" << id;
+    // The corruption must survive the JSON wire format: serialize as a
+    // string value, parse it back, get the same bytes.
+    std::string doc = JsonValue::String(corrupted).Serialize();
+    auto parsed = JsonValue::Parse(doc);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    EXPECT_EQ(parsed->string_value(), corrupted);
+  }
+  // Even an empty body comes back invalid (the stray continuation byte).
+  EXPECT_FALSE(text::IsValidUtf8(plan.CorruptText("", 1)));
+}
+
+TEST(DataFaultPlanTest, CorruptTextIsDeterministicPerId) {
+  DataFaultPlan plan(DataFaultProfile::Hostile(), 3);
+  EXPECT_EQ(plan.CorruptText("some comment body", 77),
+            plan.CorruptText("some comment body", 77));
+  // Different ids corrupt different positions (with long-enough text).
+  std::string long_text(200, 'x');
+  EXPECT_NE(plan.CorruptText(long_text, 1), plan.CorruptText(long_text, 2));
+}
+
+TEST(DataFaultPlanTest, OversizeTextExceedsConfiguredBytes) {
+  DataFaultProfile profile = DataFaultProfile::Hostile();
+  profile.oversize_text_bytes = 1000;
+  DataFaultPlan plan(profile, 4);
+  std::string inflated = plan.OversizeText("short", 5);
+  EXPECT_GT(inflated.size(), 1000u);
+  // The original body is preserved as a prefix (padding, not replacement).
+  EXPECT_EQ(inflated.substr(0, 5), "short");
+}
+
+TEST(DataFaultPlanTest, FromNameRoundTrips) {
+  auto none = DataFaultProfile::FromName("none");
+  ASSERT_TRUE(none.ok());
+  EXPECT_EQ(none->drop_comments_prob, 0.0);
+  auto mild = DataFaultProfile::FromName("mild");
+  ASSERT_TRUE(mild.ok());
+  EXPECT_GT(mild->drop_comments_prob, 0.0);
+  EXPECT_EQ(mild->absurd_price_prob, 0.0);
+  auto hostile = DataFaultProfile::FromName("hostile");
+  ASSERT_TRUE(hostile.ok());
+  EXPECT_GT(hostile->absurd_price_prob, 0.0);
+  EXPECT_GT(hostile->corrupt_text_prob, 0.0);
+  auto bad = DataFaultProfile::FromName("cranky");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("cranky"), std::string::npos);
+}
+
+TEST(DataFaultPlanTest, KindNamesAreStable) {
+  EXPECT_EQ(DataFaultKindName(DataFaultKind::kNone), "none");
+  EXPECT_EQ(DataFaultKindName(DataFaultKind::kDropComments), "drop_comments");
+  EXPECT_EQ(DataFaultKindName(DataFaultKind::kDuplicateCommentId),
+            "duplicate_comment_id");
+}
+
+}  // namespace
+}  // namespace cats::fault

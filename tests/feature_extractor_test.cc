@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "platform_test_util.h"
 #include "util/stats.h"
 
@@ -40,6 +42,52 @@ TEST(FeatureExtractorTest, EmptyCommentsAllZero) {
   FeatureExtractor extractor(&TinyModel());
   FeatureVector f = extractor.ExtractFromComments({});
   for (float v : f) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(FeatureExtractorTest, EmptyCommentItemIsFiniteAndDeterministic) {
+  FeatureExtractor extractor(&TinyModel());
+  collect::CollectedItem ci;
+  ci.item.item_id = 1;
+  ci.item.price = 9.99;
+  ci.item.sales_volume = 0;
+  FeatureVector f = extractor.Extract(ci);
+  for (float v : f) {
+    EXPECT_TRUE(std::isfinite(v));
+    EXPECT_EQ(v, 0.0f);
+  }
+  EXPECT_EQ(extractor.Extract(ci), f);
+}
+
+TEST(FeatureExtractorTest, MissingOrdersItemIsFiniteAndDeterministic) {
+  FeatureExtractor extractor(&TinyModel());
+  collect::CollectedItem ci;
+  ci.item.item_id = 2;
+  ci.item.price = 9.99;
+  ci.item.sales_volume = -1;  // the "field absent" sentinel
+  collect::CommentRecord c;
+  c.item_id = 2;
+  c.comment_id = 1;
+  c.content = "好评很好商品";
+  ci.comments.push_back(c);
+  FeatureVector f = extractor.Extract(ci);
+  for (float v : f) EXPECT_TRUE(std::isfinite(v));
+  EXPECT_EQ(extractor.Extract(ci), f);
+}
+
+TEST(FeatureExtractorTest, HostileCommentBodiesStayFinite) {
+  // Garbage the validator would quarantine must still never produce a
+  // NaN/inf feature — extraction happens before triage routing and a
+  // poison row must not taint adjacent math.
+  FeatureExtractor extractor(&TinyModel());
+  for (const std::string& content :
+       {std::string("\xFE\x80\xFF"), std::string(100000, 'x'),
+        std::string("好评\xFE很好"), std::string()}) {
+    FeatureVector f = extractor.ExtractFromComments({content});
+    for (float v : f) {
+      EXPECT_TRUE(std::isfinite(v)) << "content size " << content.size();
+    }
+    EXPECT_EQ(extractor.ExtractFromComments({content}), f);
+  }
 }
 
 TEST(FeatureExtractorTest, PositiveCountsByHand) {

@@ -7,6 +7,7 @@
 #include <numeric>
 
 #include "ml_test_util.h"
+#include "util/csv.h"
 
 namespace cats::ml {
 namespace {
@@ -178,6 +179,89 @@ TEST(GbdtTest, SaveUntrainedFails) {
 
 TEST(GbdtTest, LoadMissingFails) {
   EXPECT_FALSE(Gbdt::Load("/nonexistent/gbdt.model").ok());
+}
+
+class GbdtCorruptFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("cats_gbdt_corrupt_" + std::to_string(::getpid()) + ".model"))
+                .string();
+    Dataset data = MakeGaussianDataset(120, 3, 3.0, 17);
+    Gbdt model(FastOptions());
+    ASSERT_TRUE(model.Fit(data).ok());
+    ASSERT_TRUE(model.Save(path_).ok());
+    auto content = ReadFileToString(path_);
+    ASSERT_TRUE(content.ok());
+    clean_ = *content;
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+
+  /// Writes `content` over the fixture and expects Load to reject it with a
+  /// descriptive error naming the file.
+  void ExpectRejected(const std::string& content, const char* why) {
+    ASSERT_TRUE(WriteStringToFile(path_, content).ok());
+    auto loaded = Gbdt::Load(path_);
+    ASSERT_FALSE(loaded.ok()) << why;
+    EXPECT_NE(loaded.status().message().find(path_), std::string::npos)
+        << why << ": error must name the file: "
+        << loaded.status().ToString();
+  }
+
+  std::string path_;
+  std::string clean_;
+};
+
+TEST_F(GbdtCorruptFileTest, TruncationsAreRejected) {
+  // Any mid-structure cut must fail to parse, never half-load.
+  for (size_t keep : {clean_.size() / 4, clean_.size() / 2,
+                      3 * clean_.size() / 4}) {
+    ExpectRejected(clean_.substr(0, keep), "truncated");
+  }
+}
+
+TEST_F(GbdtCorruptFileTest, TrailingGarbageIsRejected) {
+  ExpectRejected(clean_ + "extra 1 2 3\n", "trailing garbage");
+}
+
+TEST_F(GbdtCorruptFileTest, FlippedMagicIsRejected) {
+  std::string flipped = clean_;
+  flipped[0] ^= 0x01;
+  ExpectRejected(flipped, "bit-flipped magic");
+}
+
+TEST_F(GbdtCorruptFileTest, OutOfBoundsNodeIndicesAreRejected) {
+  // A bit flip in a child index must never produce a model that walks
+  // out of bounds (or loops) at predict time.
+  ExpectRejected(
+      "cats-gbdt-v1\n0.3 0 2 1\nf0\nf1\n0 0\n2\n0 0.5 5 6 0.1\n-1 0 -1 -1 "
+      "0.2\n",
+      "child index past the tree");
+  // left <= id would make TreePredict revisit its own node forever.
+  ExpectRejected(
+      "cats-gbdt-v1\n0.3 0 2 1\nf0\nf1\n0 0\n2\n0 0.5 0 1 0.1\n-1 0 -1 -1 "
+      "0.2\n",
+      "self-referential child index");
+  // Split feature past num_features.
+  ExpectRejected(
+      "cats-gbdt-v1\n0.3 0 2 1\nf0\nf1\n0 0\n3\n7 0.5 1 2 0.1\n-1 0 -1 -1 "
+      "0.2\n-1 0 -1 -1 0.3\n",
+      "feature index past num_features");
+}
+
+TEST_F(GbdtCorruptFileTest, NonFiniteValuesAreRejected) {
+  ExpectRejected(
+      "cats-gbdt-v1\n0.3 0 2 1\nf0\nf1\n0 0\n1\n-1 0 -1 -1 nan\n",
+      "nan leaf value");
+  ExpectRejected(
+      "cats-gbdt-v1\ninf 0 2 1\nf0\nf1\n0 0\n1\n-1 0 -1 -1 0.1\n",
+      "inf learning rate");
+}
+
+TEST_F(GbdtCorruptFileTest, ImplausibleCountsAreRejected) {
+  // A flipped digit in a count must not drive a giant allocation.
+  ExpectRejected("cats-gbdt-v1\n0.3 0 99999999 1\n", "huge feature count");
+  ExpectRejected("cats-gbdt-v1\n0.3 0 2 0\nf0\nf1\n0 0\n", "zero trees");
 }
 
 TEST(GbdtTest, MinChildWeightLimitsSplits) {

@@ -1,0 +1,183 @@
+// Unit tests for the crash-safe persistence building blocks: CRC32, the
+// model MANIFEST, and atomic file writes. The full SaveModel/LoadModel
+// corruption matrix lives in chaos_detect_test.cc.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+#include "core/model_manifest.h"
+#include "util/crc32.h"
+#include "util/csv.h"
+
+namespace cats {
+namespace {
+
+TEST(Crc32Test, KnownVectors) {
+  // The IEEE 802.3 check value every CRC-32 implementation must produce.
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(Crc32(""), 0x00000000u);
+  EXPECT_EQ(Crc32("The quick brown fox jumps over the lazy dog"),
+            0x414FA339u);
+}
+
+TEST(Crc32Test, IncrementalMatchesOneShot) {
+  const std::string data = "incremental checksumming must compose";
+  uint32_t crc = Crc32Init();
+  for (char c : data) crc = Crc32Update(crc, &c, 1);
+  EXPECT_EQ(Crc32Finish(crc), Crc32(data));
+}
+
+TEST(Crc32Test, DetectsSingleBitFlip) {
+  std::string data(1024, 'm');
+  uint32_t clean = Crc32(data);
+  for (size_t pos : {size_t{0}, size_t{511}, size_t{1023}}) {
+    std::string flipped = data;
+    flipped[pos] ^= 0x01;
+    EXPECT_NE(Crc32(flipped), clean) << "bit flip at " << pos;
+  }
+}
+
+TEST(AtomicWriteTest, WritesContentAndLeavesNoTempFile) {
+  auto dir = std::filesystem::temp_directory_path() /
+             ("cats_atomic_test_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  std::string path = (dir / "out.txt").string();
+
+  ASSERT_TRUE(WriteStringToFileAtomic(path, "first version").ok());
+  auto content = ReadFileToString(path);
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(*content, "first version");
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+
+  // Overwrite is also atomic — the old file is replaced, never truncated
+  // in place.
+  ASSERT_TRUE(WriteStringToFileAtomic(path, "second version").ok());
+  content = ReadFileToString(path);
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(*content, "second version");
+  std::filesystem::remove_all(dir);
+}
+
+TEST(AtomicWriteTest, FailureOnBadDirectory) {
+  EXPECT_FALSE(
+      WriteStringToFileAtomic("/nonexistent_dir_zzz/file.txt", "x").ok());
+}
+
+class ManifestTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("cats_manifest_test_" + std::to_string(::getpid())))
+               .string();
+    std::filesystem::create_directories(dir_);
+    ASSERT_TRUE(WriteStringToFileAtomic(dir_ + "/a.model", "alpha bytes").ok());
+    ASSERT_TRUE(WriteStringToFileAtomic(dir_ + "/b.model", "beta bytes").ok());
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string dir_;
+};
+
+TEST_F(ManifestTest, BuildRecordsSizeAndCrc) {
+  auto manifest = core::BuildManifest(dir_, {"a.model", "b.model"});
+  ASSERT_TRUE(manifest.ok()) << manifest.status().ToString();
+  ASSERT_EQ(manifest->entries.size(), 2u);
+  EXPECT_EQ(manifest->entries[0].file, "a.model");
+  EXPECT_EQ(manifest->entries[0].size, 11u);
+  EXPECT_EQ(manifest->entries[0].crc32, Crc32("alpha bytes"));
+  EXPECT_EQ(manifest->version, core::kModelFormatVersion);
+}
+
+TEST_F(ManifestTest, BuildFailsOnMissingFile) {
+  EXPECT_FALSE(core::BuildManifest(dir_, {"a.model", "ghost.model"}).ok());
+}
+
+TEST_F(ManifestTest, SerializeParseRoundTrip) {
+  auto manifest = core::BuildManifest(dir_, {"a.model", "b.model"});
+  ASSERT_TRUE(manifest.ok());
+  std::string text = manifest->Serialize();
+  auto parsed = core::ModelManifest::Parse(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->version, manifest->version);
+  ASSERT_EQ(parsed->entries.size(), manifest->entries.size());
+  for (size_t i = 0; i < parsed->entries.size(); ++i) {
+    EXPECT_EQ(parsed->entries[i].file, manifest->entries[i].file);
+    EXPECT_EQ(parsed->entries[i].size, manifest->entries[i].size);
+    EXPECT_EQ(parsed->entries[i].crc32, manifest->entries[i].crc32);
+  }
+  // Serialization is canonical: parse -> serialize is byte-identical.
+  EXPECT_EQ(parsed->Serialize(), text);
+}
+
+TEST_F(ManifestTest, ParseRejectsMalformedText) {
+  auto good = core::BuildManifest(dir_, {"a.model"});
+  ASSERT_TRUE(good.ok());
+  std::string text = good->Serialize();
+  EXPECT_FALSE(core::ModelManifest::Parse("").ok());
+  EXPECT_FALSE(core::ModelManifest::Parse("not-a-manifest\n1\n").ok());
+  EXPECT_FALSE(core::ModelManifest::Parse(text + "garbage at the end").ok());
+  // Truncated: claims one entry, provides none.
+  EXPECT_FALSE(core::ModelManifest::Parse("cats-model-manifest-v1\n1\n").ok());
+}
+
+TEST_F(ManifestTest, WriteReadVerifyRoundTrip) {
+  auto manifest = core::BuildManifest(dir_, {"a.model", "b.model"});
+  ASSERT_TRUE(manifest.ok());
+  ASSERT_TRUE(core::WriteManifest(dir_, *manifest).ok());
+  auto read = core::ReadManifest(dir_);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_TRUE(core::VerifyManifest(dir_, *read).ok());
+}
+
+TEST_F(ManifestTest, MissingManifestIsCorruption) {
+  auto read = core::ReadManifest(dir_);
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(ManifestTest, VerifyFlagsTamperedFile) {
+  auto manifest = core::BuildManifest(dir_, {"a.model", "b.model"});
+  ASSERT_TRUE(manifest.ok());
+
+  // Same-size bit flip: only the CRC can catch it.
+  ASSERT_TRUE(WriteStringToFileAtomic(dir_ + "/a.model", "alphA bytes").ok());
+  Status st = core::VerifyManifest(dir_, *manifest);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kCorruption);
+  EXPECT_NE(st.message().find("a.model"), std::string::npos);
+
+  // Truncation: size check catches it first.
+  ASSERT_TRUE(WriteStringToFileAtomic(dir_ + "/a.model", "alpha").ok());
+  st = core::VerifyManifest(dir_, *manifest);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kCorruption);
+
+  // Deletion: typed NotFound naming the file.
+  std::filesystem::remove(dir_ + "/a.model");
+  st = core::VerifyManifest(dir_, *manifest);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kNotFound);
+  EXPECT_NE(st.message().find("a.model"), std::string::npos);
+}
+
+TEST_F(ManifestTest, VerifyFlagsVersionSkew) {
+  auto manifest = core::BuildManifest(dir_, {"a.model"});
+  ASSERT_TRUE(manifest.ok());
+  manifest->version = core::kModelFormatVersion + 1;
+  Status st = core::VerifyManifest(dir_, *manifest);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(StatusCorruptionTest, CorruptionIsItsOwnCode) {
+  Status st = Status::Corruption("checksum mismatch");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kCorruption);
+  EXPECT_NE(st.ToString().find("Corruption"), std::string::npos);
+  EXPECT_NE(st.ToString().find("checksum mismatch"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cats

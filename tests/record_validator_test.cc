@@ -1,0 +1,197 @@
+#include "core/record_validator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "collect/store.h"
+
+namespace cats::core {
+namespace {
+
+using collect::CollectedItem;
+using collect::CommentRecord;
+
+/// A perfectly healthy record: positive finite price, orders present, two
+/// well-formed comments with distinct ids on the right item.
+CollectedItem CleanItem() {
+  CollectedItem ci;
+  ci.item.item_id = 42;
+  ci.item.price = 19.99;
+  ci.item.sales_volume = 120;
+  CommentRecord a;
+  a.item_id = 42;
+  a.comment_id = 1;
+  a.content = "好评很好商品";
+  CommentRecord b;
+  b.item_id = 42;
+  b.comment_id = 2;
+  b.content = "quality ok";
+  ci.comments = {a, b};
+  return ci;
+}
+
+TEST(RecordValidatorTest, CleanItemIsClean) {
+  RecordValidator validator;
+  RecordValidation v = validator.Validate(CleanItem());
+  EXPECT_EQ(v.verdict, RecordVerdict::kClean);
+  EXPECT_EQ(v.issues, RecordIssue::kNone);
+}
+
+TEST(RecordValidatorTest, MissingCommentsIsDegraded) {
+  RecordValidator validator;
+  CollectedItem ci = CleanItem();
+  ci.comments.clear();
+  RecordValidation v = validator.Validate(ci);
+  EXPECT_EQ(v.verdict, RecordVerdict::kDegraded);
+  EXPECT_TRUE(HasIssue(v.issues, RecordIssue::kMissingComments));
+  EXPECT_FALSE(HasIssue(v.issues, RecordIssue::kMissingOrders));
+}
+
+TEST(RecordValidatorTest, NegativeSalesVolumeIsDegradedMissingOrders) {
+  RecordValidator validator;
+  CollectedItem ci = CleanItem();
+  ci.item.sales_volume = -1;  // the "field absent" sentinel
+  RecordValidation v = validator.Validate(ci);
+  EXPECT_EQ(v.verdict, RecordVerdict::kDegraded);
+  EXPECT_TRUE(HasIssue(v.issues, RecordIssue::kMissingOrders));
+}
+
+TEST(RecordValidatorTest, ZeroSalesVolumeIsNotMissing) {
+  // Zero orders is a legitimate (sad) value, not an absent field.
+  RecordValidator validator;
+  CollectedItem ci = CleanItem();
+  ci.item.sales_volume = 0;
+  EXPECT_EQ(validator.Validate(ci).verdict, RecordVerdict::kClean);
+}
+
+TEST(RecordValidatorTest, AbsurdPricesArePoison) {
+  RecordValidator validator;
+  for (double price : {-5.0, 1e9, std::numeric_limits<double>::infinity(),
+                       -std::numeric_limits<double>::infinity(),
+                       std::nan("")}) {
+    CollectedItem ci = CleanItem();
+    ci.item.price = price;
+    RecordValidation v = validator.Validate(ci);
+    EXPECT_EQ(v.verdict, RecordVerdict::kPoison) << "price=" << price;
+    EXPECT_TRUE(HasIssue(v.issues, RecordIssue::kAbsurdPrice));
+  }
+}
+
+TEST(RecordValidatorTest, FreeItemIsNotAbsurd) {
+  RecordValidator validator;
+  CollectedItem ci = CleanItem();
+  ci.item.price = 0.0;  // promotional freebies exist
+  EXPECT_EQ(validator.Validate(ci).verdict, RecordVerdict::kClean);
+}
+
+TEST(RecordValidatorTest, InvalidUtf8CommentIsPoison) {
+  RecordValidator validator;
+  CollectedItem ci = CleanItem();
+  ci.comments[1].content = std::string("ok\xFE") + "\x80";
+  RecordValidation v = validator.Validate(ci);
+  EXPECT_EQ(v.verdict, RecordVerdict::kPoison);
+  EXPECT_TRUE(HasIssue(v.issues, RecordIssue::kCorruptCommentText));
+}
+
+TEST(RecordValidatorTest, OversizedCommentIsPoison) {
+  RecordValidatorOptions options;
+  options.max_comment_bytes = 64;
+  RecordValidator validator(options);
+  CollectedItem ci = CleanItem();
+  ci.comments[0].content = std::string(65, 'a');
+  RecordValidation v = validator.Validate(ci);
+  EXPECT_EQ(v.verdict, RecordVerdict::kPoison);
+  EXPECT_TRUE(HasIssue(v.issues, RecordIssue::kOversizedComment));
+  // An oversized body is not additionally reported as corrupt text even if
+  // its bytes happen to be garbage — size is checked first.
+  ci.comments[0].content = std::string(65, '\xFE');
+  v = validator.Validate(ci);
+  EXPECT_TRUE(HasIssue(v.issues, RecordIssue::kOversizedComment));
+  EXPECT_FALSE(HasIssue(v.issues, RecordIssue::kCorruptCommentText));
+}
+
+TEST(RecordValidatorTest, DuplicateCommentIdsArePoison) {
+  RecordValidator validator;
+  CollectedItem ci = CleanItem();
+  ci.comments[1].comment_id = ci.comments[0].comment_id;
+  RecordValidation v = validator.Validate(ci);
+  EXPECT_EQ(v.verdict, RecordVerdict::kPoison);
+  EXPECT_TRUE(HasIssue(v.issues, RecordIssue::kDuplicateCommentIds));
+}
+
+TEST(RecordValidatorTest, MismatchedItemIdIsPoison) {
+  RecordValidator validator;
+  CollectedItem ci = CleanItem();
+  ci.comments[1].item_id = 43;  // claims a different item
+  RecordValidation v = validator.Validate(ci);
+  EXPECT_EQ(v.verdict, RecordVerdict::kPoison);
+  EXPECT_TRUE(HasIssue(v.issues, RecordIssue::kMismatchedItemId));
+}
+
+TEST(RecordValidatorTest, PoisonWinsOverDegraded) {
+  // A record with both a missing field and poison content must be
+  // quarantined, not imputed.
+  RecordValidator validator;
+  CollectedItem ci = CleanItem();
+  ci.item.sales_volume = -1;
+  ci.item.price = 1e12;
+  RecordValidation v = validator.Validate(ci);
+  EXPECT_EQ(v.verdict, RecordVerdict::kPoison);
+  EXPECT_TRUE(HasIssue(v.issues, RecordIssue::kMissingOrders));
+  EXPECT_TRUE(HasIssue(v.issues, RecordIssue::kAbsurdPrice));
+}
+
+TEST(RecordValidatorTest, MultipleIssuesAccumulate) {
+  RecordValidator validator;
+  CollectedItem ci = CleanItem();
+  ci.comments[0].content = "\xFF\xFF";
+  ci.comments[1].comment_id = ci.comments[0].comment_id;
+  RecordValidation v = validator.Validate(ci);
+  EXPECT_TRUE(HasIssue(v.issues, RecordIssue::kCorruptCommentText));
+  EXPECT_TRUE(HasIssue(v.issues, RecordIssue::kDuplicateCommentIds));
+}
+
+TEST(RecordValidatorTest, OptionsControlThresholds) {
+  RecordValidatorOptions options;
+  options.max_price = 50.0;
+  RecordValidator validator(options);
+  CollectedItem ci = CleanItem();
+  ci.item.price = 60.0;
+  EXPECT_EQ(validator.Validate(ci).verdict, RecordVerdict::kPoison);
+  ci.item.price = 50.0;
+  EXPECT_EQ(validator.Validate(ci).verdict, RecordVerdict::kClean);
+}
+
+TEST(RecordValidatorTest, IssuesToStringNamesEveryBit) {
+  EXPECT_EQ(RecordIssuesToString(RecordIssue::kNone), "none");
+  EXPECT_EQ(RecordIssuesToString(RecordIssue::kMissingComments),
+            "missing_comments");
+  std::string combo = RecordIssuesToString(RecordIssue::kAbsurdPrice |
+                                           RecordIssue::kDuplicateCommentIds);
+  EXPECT_NE(combo.find("absurd_price"), std::string::npos);
+  EXPECT_NE(combo.find("duplicate_comment_ids"), std::string::npos);
+  EXPECT_NE(combo.find('|'), std::string::npos);
+}
+
+TEST(RecordValidatorTest, VerdictNames) {
+  EXPECT_EQ(RecordVerdictName(RecordVerdict::kClean), "clean");
+  EXPECT_EQ(RecordVerdictName(RecordVerdict::kDegraded), "degraded");
+  EXPECT_EQ(RecordVerdictName(RecordVerdict::kPoison), "poison");
+}
+
+TEST(QuarantineTest, ContainsFindsEntries) {
+  Quarantine q;
+  EXPECT_TRUE(q.empty());
+  q.entries.push_back({7, RecordIssue::kAbsurdPrice});
+  q.entries.push_back({9, RecordIssue::kCorruptCommentText});
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_TRUE(q.Contains(7));
+  EXPECT_TRUE(q.Contains(9));
+  EXPECT_FALSE(q.Contains(8));
+}
+
+}  // namespace
+}  // namespace cats::core

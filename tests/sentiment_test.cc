@@ -4,6 +4,8 @@
 
 #include <filesystem>
 
+#include "util/csv.h"
+
 namespace cats::nlp {
 namespace {
 
@@ -146,6 +148,95 @@ TEST(SentimentTest, SaveLoadRoundTrip) {
     EXPECT_NEAR(loaded->Score(tokens), model.Score(tokens), 1e-9);
   }
   std::filesystem::remove(path);
+}
+
+class SentimentCorruptFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("cats_sent_corrupt_" + std::to_string(::getpid()) + ".model"))
+                .string();
+    SentimentModel model;
+    ASSERT_TRUE(model.Train(ToyCorpus()).ok());
+    ASSERT_TRUE(model.Save(path_).ok());
+    auto content = ReadFileToString(path_);
+    ASSERT_TRUE(content.ok());
+    clean_ = *content;
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+
+  void ExpectRejected(const std::string& content, const char* why) {
+    ASSERT_TRUE(WriteStringToFile(path_, content).ok());
+    auto loaded = SentimentModel::Load(path_);
+    ASSERT_FALSE(loaded.ok()) << why;
+    EXPECT_NE(loaded.status().message().find(path_), std::string::npos)
+        << why << ": error must name the file: "
+        << loaded.status().ToString();
+  }
+
+  std::string path_;
+  std::string clean_;
+};
+
+TEST_F(SentimentCorruptFileTest, TruncationsAreRejected) {
+  for (size_t keep : {clean_.size() / 4, clean_.size() / 2,
+                      3 * clean_.size() / 4}) {
+    ExpectRejected(clean_.substr(0, keep), "truncated");
+  }
+}
+
+TEST_F(SentimentCorruptFileTest, TrailingGarbageIsRejected) {
+  ExpectRejected(clean_ + "stray 1 2\n", "trailing garbage");
+}
+
+TEST_F(SentimentCorruptFileTest, FlippedMagicIsRejected) {
+  std::string flipped = clean_;
+  flipped[0] ^= 0x01;
+  ExpectRejected(flipped, "bit-flipped magic");
+}
+
+TEST_F(SentimentCorruptFileTest, ImplausibleOptionsAreRejected) {
+  ExpectRejected("cats-sentiment-v1\n0 0.5 1\n1 1 0\n", "zero smoothing");
+  ExpectRejected("cats-sentiment-v1\n1 1.5 1\n1 1 0\n", "prior past 1");
+  ExpectRejected("cats-sentiment-v1\nnan 0.5 1\n1 1 0\n", "nan smoothing");
+}
+
+TEST_F(SentimentCorruptFileTest, InflatedVocabCountIsRejected) {
+  // A flipped digit in the vocab count claims more words than the file
+  // holds — must read as truncation, not silently under-fill.
+  size_t header_end = clean_.find('\n', clean_.find('\n') + 1);
+  ASSERT_NE(header_end, std::string::npos);
+  size_t counts_end = clean_.find('\n', header_end + 1);
+  ASSERT_NE(counts_end, std::string::npos);
+  std::string counts_line =
+      clean_.substr(header_end + 1, counts_end - header_end - 1);
+  std::string inflated = clean_;
+  inflated.replace(header_end + 1, counts_line.size(), counts_line + "9");
+  ExpectRejected(inflated, "inflated vocab count");
+}
+
+TEST(SentimentTest, SavedBytesAreCanonical) {
+  // unordered_map iteration order is not stable across processes; the
+  // sorted save must produce identical bytes for identically trained
+  // models (the model MANIFEST's bit-identical round-trip rests on this).
+  std::string a = (std::filesystem::temp_directory_path() /
+                   ("cats_sent_canon_a_" + std::to_string(::getpid())))
+                      .string();
+  std::string b = (std::filesystem::temp_directory_path() /
+                   ("cats_sent_canon_b_" + std::to_string(::getpid())))
+                      .string();
+  SentimentModel first;
+  ASSERT_TRUE(first.Train(ToyCorpus()).ok());
+  ASSERT_TRUE(first.Save(a).ok());
+  auto loaded = SentimentModel::Load(a);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_TRUE(loaded->Save(b).ok());
+  auto bytes_a = ReadFileToString(a);
+  auto bytes_b = ReadFileToString(b);
+  ASSERT_TRUE(bytes_a.ok() && bytes_b.ok());
+  EXPECT_EQ(*bytes_a, *bytes_b);
+  std::filesystem::remove(a);
+  std::filesystem::remove(b);
 }
 
 TEST(SentimentTest, SaveUntrainedFails) {

@@ -22,6 +22,13 @@ TEST(StatusTest, FactoryCarriesCodeAndMessage) {
   EXPECT_EQ(st.ToString(), "InvalidArgument: bad k");
 }
 
+TEST(StatusTest, CorruptionFactory) {
+  Status st = Status::Corruption("crc mismatch in gbdt.model");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kCorruption);
+  EXPECT_EQ(st.ToString(), "Corruption: crc mismatch in gbdt.model");
+}
+
 TEST(StatusTest, EqualityComparesCodeAndMessage) {
   EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
   EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
@@ -36,6 +43,7 @@ TEST(StatusTest, AllCodesHaveDistinctNames) {
       StatusCode::kOutOfRange,   StatusCode::kFailedPrecondition,
       StatusCode::kIoError,      StatusCode::kParseError,
       StatusCode::kInternal,     StatusCode::kUnavailable,
+      StatusCode::kCorruption,
   };
   for (size_t i = 0; i < std::size(codes); ++i) {
     for (size_t j = i + 1; j < std::size(codes); ++j) {
