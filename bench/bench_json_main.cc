@@ -1,0 +1,37 @@
+// Custom main for the google-benchmark perf benches: accepts
+//   --json=PATH
+// in addition to the standard --benchmark_* flags and maps it onto the
+// library's own JSON file reporter, so CI and scripts/run_perf_baseline.sh
+// can write machine-readable results with one short flag:
+//   bench_perf_ml --json=BENCH_ml.json
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  args.reserve(static_cast<size_t>(argc) + 2);
+  std::string json_path;
+  for (int i = 0; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else {
+      args.push_back(std::move(arg));
+    }
+  }
+  if (!json_path.empty()) {
+    args.push_back("--benchmark_out=" + json_path);
+    args.push_back("--benchmark_out_format=json");
+  }
+  std::vector<char*> cargv;
+  cargv.reserve(args.size());
+  for (std::string& s : args) cargv.push_back(s.data());
+  int cargc = static_cast<int>(cargv.size());
+  benchmark::Initialize(&cargc, cargv.data());
+  if (benchmark::ReportUnrecognizedArguments(cargc, cargv.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -69,10 +69,52 @@ void BM_GbdtTrain(benchmark::State& state) {
 }
 BENCHMARK(BM_GbdtTrain)->Unit(benchmark::kMillisecond);
 
+void BM_GbdtTrainExact(benchmark::State& state) {
+  TrainBench(state, [] {
+    ml::GbdtOptions options;
+    options.split_method = ml::GbdtSplitMethod::kExact;
+    return ml::Gbdt(options);
+  });
+}
+BENCHMARK(BM_GbdtTrainExact)->Unit(benchmark::kMillisecond);
+
+// Histogram trainer at 1, 2 and 4 workers — the speedup acceptance
+// numbers (vs BM_GbdtTrainExact) come from here.
+void BM_GbdtTrainHist(benchmark::State& state) {
+  size_t threads = static_cast<size_t>(state.range(0));
+  TrainBench(state, [threads] {
+    ml::GbdtOptions options;
+    options.split_method = ml::GbdtSplitMethod::kHistogram;
+    options.num_threads = threads;
+    return ml::Gbdt(options);
+  });
+}
+BENCHMARK(BM_GbdtTrainHist)->Arg(1)->Arg(2)->Arg(4)->Unit(
+    benchmark::kMillisecond);
+
 void BM_GbdtPredict(benchmark::State& state) {
   PredictBench(state, [] { return ml::Gbdt(); });
 }
 BENCHMARK(BM_GbdtPredict);
+
+// Whole-dataset batched scoring (the detector's path), against which
+// BM_GbdtPredict is the per-row reference.
+void BM_GbdtPredictBatch(benchmark::State& state) {
+  ml::Gbdt model;
+  Status st = model.Fit(TrainData());
+  if (!st.ok()) {
+    state.SkipWithError(st.ToString().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    auto scores = model.PredictBatch(TrainData());
+    if (!scores.ok()) state.SkipWithError(scores.status().ToString().c_str());
+    benchmark::DoNotOptimize(scores);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(TrainData().num_rows()));
+}
+BENCHMARK(BM_GbdtPredictBatch)->Unit(benchmark::kMillisecond);
 
 void BM_DecisionTreeTrain(benchmark::State& state) {
   TrainBench(state, [] { return ml::DecisionTree(); });

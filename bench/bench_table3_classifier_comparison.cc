@@ -51,7 +51,7 @@ int main() {
   rows.push_back({std::make_unique<ml::DecisionTree>(), 0.86, 0.90});
   rows.push_back({std::make_unique<ml::GaussianNaiveBayes>(), 0.91, 0.65});
 
-  TablePrinter table({"Classifier", "Precision", "Recall", "F1",
+  TablePrinter table({"Classifier", "Precision", "Recall", "F1", "AUC",
                       "paper P", "paper R"});
   for (const Row& row : rows) {
     Stopwatch watch;
@@ -65,6 +65,7 @@ int main() {
     table.AddRow({result->model_name, StrFormat("%.2f", result->precision),
                   StrFormat("%.2f", result->recall),
                   StrFormat("%.2f", result->f1),
+                  StrFormat("%.4f", result->auc),
                   StrFormat("%.2f", row.paper_precision),
                   StrFormat("%.2f", row.paper_recall)});
     std::fprintf(stderr, "[bench] %s done in %.1fs\n",

@@ -1,9 +1,12 @@
 #!/bin/sh
-# sanitize-check: build the tree under ASan and UBSan (CATS_SANITIZE=...)
-# and run the crawler / fault-injection test battery — the code most exposed
-# to untrusted bytes and adversarial schedules. Registered as the
-# `sanitize_check` ctest with the `slow` label (excluded from tier-1; enable
-# with -DCATS_ENABLE_SLOW_TESTS=ON or run this script directly).
+# sanitize-check: build the tree under ASan, UBSan and TSan
+# (CATS_SANITIZE=...) and run the relevant test batteries. ASan/UBSan run
+# the crawler / fault-injection battery — the code most exposed to
+# untrusted bytes and adversarial schedules — plus the model parsers. TSan
+# runs the parallel training/scoring paths (histogram GBDT, batched
+# prediction, the pooled segmentation and embedding scans). Registered as
+# the `sanitize_check` ctest with the `slow` label (excluded from tier-1;
+# enable with -DCATS_ENABLE_SLOW_TESTS=ON or run this script directly).
 #
 # Usage: check_sanitize.sh [repo_root]
 set -u
@@ -12,16 +15,29 @@ root="${1:-$(dirname "$0")/..}"
 root="$(cd "$root" && pwd)" || exit 1
 
 # The tests that exercise the fault layer and everything hardened against it.
-test_filter="Backoff|CircuitBreaker|FaultPlan|FaultProfile|CorruptBody|RetryAfter|RateLimiter|FakeClock|Crawler|Chaos|Fuzz|Store|DataFault|RecordValidator|Quarantine|Crc32|Manifest|AtomicWrite|ModelCorruption|CorruptFile"
+memory_filter="Backoff|CircuitBreaker|FaultPlan|FaultProfile|CorruptBody|RetryAfter|RateLimiter|FakeClock|Crawler|Chaos|Fuzz|Store|DataFault|RecordValidator|Quarantine|Crc32|Manifest|AtomicWrite|ModelCorruption|CorruptFile|Gbdt|BinMapper"
+memory_targets="fault_plan_test backoff_test circuit_breaker_test rate_limiter_test crawler_test chaos_crawl_test fuzz_test store_test data_fault_plan_test record_validator_test model_persistence_test chaos_detect_test gbdt_test binning_test sentiment_test"
+
+# The tests that drive work through the thread pool. Word2vec's Hogwild
+# trainer races by design (see word2vec.cc) and is left out.
+thread_filter="ThreadPool|Gbdt|BinMapper|ParallelNearestNeighbors|ParallelExpansion|ParallelSegmentation|PredictBatch"
+thread_targets="thread_pool_test gbdt_test binning_test embedding_test lexicon_test semantic_analyzer_test"
 
 failed=0
-for sanitizer in address undefined; do
+for sanitizer in address undefined thread; do
   build_dir="$root/build-sanitize-$sanitizer"
+  if [ "$sanitizer" = "thread" ]; then
+    test_filter="$thread_filter"
+    targets="$thread_targets"
+  else
+    test_filter="$memory_filter"
+    targets="$memory_targets"
+  fi
+
   echo "== sanitize-check: configuring $sanitizer -> $build_dir"
   cmake -B "$build_dir" -S "$root" -DCATS_SANITIZE="$sanitizer" \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null || { failed=1; continue; }
 
-  targets="fault_plan_test backoff_test circuit_breaker_test rate_limiter_test crawler_test chaos_crawl_test fuzz_test store_test data_fault_plan_test record_validator_test model_persistence_test chaos_detect_test gbdt_test sentiment_test"
   echo "== sanitize-check: building $sanitizer test battery"
   # shellcheck disable=SC2086
   cmake --build "$build_dir" -j "$(nproc 2>/dev/null || echo 4)" \
@@ -31,6 +47,7 @@ for sanitizer in address undefined; do
   if ! (cd "$build_dir" && \
         ASAN_OPTIONS=detect_leaks=0 \
         UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
+        TSAN_OPTIONS=halt_on_error=1 \
         ctest --output-on-failure -j "$(nproc 2>/dev/null || echo 4)" \
               -R "$test_filter"); then
     echo "sanitize-check: FAILED under $sanitizer" >&2
@@ -42,4 +59,4 @@ if [ "$failed" -ne 0 ]; then
   echo "sanitize-check: FAILED" >&2
   exit 1
 fi
-echo "sanitize-check: OK — crawler/fault battery clean under ASan and UBSan"
+echo "sanitize-check: OK — fault battery clean under ASan/UBSan, parallel paths clean under TSan"

@@ -1,0 +1,29 @@
+#!/bin/sh
+# run-perf-baseline: build the perf benches and regenerate the committed
+# machine-readable baselines at the repo root:
+#   BENCH_ml.json       — bench/bench_perf_ml (trainers incl. the
+#                         exact-vs-histogram GBDT comparison and batched
+#                         prediction)
+#   BENCH_pipeline.json — bench/bench_perf_pipeline (extraction, crawl,
+#                         word2vec, sentiment)
+# Diffing these files across commits is how a perf regression (or the
+# claimed speedup of an optimization PR) is reviewed.
+#
+# Usage: run_perf_baseline.sh [repo_root] [build_dir]
+set -eu
+
+root="${1:-$(dirname "$0")/..}"
+root="$(cd "$root" && pwd)"
+build_dir="${2:-$root/build}"
+
+cmake -B "$build_dir" -S "$root" >/dev/null
+cmake --build "$build_dir" -j "$(nproc 2>/dev/null || echo 4)" \
+      --target bench_perf_ml bench_perf_pipeline >/dev/null
+
+echo "== perf-baseline: bench_perf_ml -> $root/BENCH_ml.json"
+"$build_dir/bench/bench_perf_ml" --json="$root/BENCH_ml.json"
+
+echo "== perf-baseline: bench_perf_pipeline -> $root/BENCH_pipeline.json"
+"$build_dir/bench/bench_perf_pipeline" --json="$root/BENCH_pipeline.json"
+
+echo "perf-baseline: OK"

@@ -312,6 +312,19 @@ Result<DetectionReport> Detector::Detect(
     }
 
     obs::StageTrace classify_stage(&report.trace, "rule_filter_and_classify");
+    // Two passes: triage + rule filtering first, collecting the rows that
+    // need scoring into one contiguous buffer, then a single
+    // PredictProbaBatch call so the classifier can fan the whole batch over
+    // its thread pool. Scores come back one slot per row, so detections are
+    // emitted in the same item order as the old per-row loop.
+    struct PendingScore {
+      size_t item_index;
+      bool degraded;
+    };
+    std::vector<PendingScore> pending;
+    std::vector<float> score_rows;
+    pending.reserve(items.size());
+    score_rows.reserve(items.size() * kNumFeatures);
     for (size_t i = 0; i < items.size(); ++i) {
       if (validations[i].verdict == RecordVerdict::kPoison) continue;
       if (validations[i].verdict == RecordVerdict::kDegraded) {
@@ -331,12 +344,8 @@ Result<DetectionReport> Detector::Detect(
         if (HasIssue(issues, RecordIssue::kMissingOrders)) {
           metrics.degraded_missing_orders->Increment();
         }
-        double score = classifier_->PredictProba(row.data());
-        metrics.score_histogram->Observe(score);
-        if (score >= options_.decision_threshold) {
-          report.degraded_detections.push_back(Detection{
-              items[i].item.item_id, score, ScoreConfidence::kDegraded});
-        }
+        pending.push_back(PendingScore{i, /*degraded=*/true});
+        score_rows.insert(score_rows.end(), row.begin(), row.end());
         continue;
       }
       switch (filter_.Evaluate(items[i], features[i])) {
@@ -356,11 +365,24 @@ Result<DetectionReport> Detector::Detect(
           break;
       }
       ++report.items_classified;
-      double score = classifier_->PredictProba(features[i].data());
+      pending.push_back(PendingScore{i, /*degraded=*/false});
+      score_rows.insert(score_rows.end(), features[i].begin(),
+                        features[i].end());
+    }
+
+    std::vector<double> scores = classifier_->PredictProbaBatch(
+        score_rows.data(), pending.size(), kNumFeatures);
+    for (size_t p = 0; p < pending.size(); ++p) {
+      double score = scores[p];
       metrics.score_histogram->Observe(score);
-      if (score >= options_.decision_threshold) {
+      if (score < options_.decision_threshold) continue;
+      uint64_t item_id = items[pending[p].item_index].item.item_id;
+      if (pending[p].degraded) {
+        report.degraded_detections.push_back(
+            Detection{item_id, score, ScoreConfidence::kDegraded});
+      } else {
         report.detections.push_back(
-            Detection{items[i].item.item_id, score, ScoreConfidence::kFull});
+            Detection{item_id, score, ScoreConfidence::kFull});
       }
     }
     classify_stage.AddItems(report.items_classified);
@@ -382,12 +404,11 @@ Result<std::vector<double>> Detector::ScoreFeatures(
   if (!trained_) {
     return Status::FailedPrecondition("detector classifier is not trained");
   }
-  std::vector<double> scores;
-  scores.reserve(features.size());
-  for (const FeatureVector& f : features) {
-    scores.push_back(classifier_->PredictProba(f.data()));
-  }
-  return scores;
+  if (features.empty()) return std::vector<double>{};
+  // FeatureVector is a fixed-size array, so the vector is one contiguous
+  // row-major block — score it as a single batch.
+  return classifier_->PredictProbaBatch(features.front().data(),
+                                        features.size(), kNumFeatures);
 }
 
 }  // namespace cats::core

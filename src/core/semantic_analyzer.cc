@@ -1,6 +1,8 @@
 #include "core/semantic_analyzer.h"
 
 #include <algorithm>
+#include <memory>
+#include <thread>
 
 #include "obs/metric_names.h"
 #include "obs/metrics.h"
@@ -8,6 +10,7 @@
 #include "util/csv.h"
 #include "util/logging.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace cats::core {
 namespace {
@@ -84,12 +87,32 @@ Result<SemanticModel> SemanticAnalyzer::Build(
   model.dictionary = std::move(dictionary);
 
   // Segment the corpus once; word2vec and — via labels — the sentiment
-  // model both consume token sequences.
+  // model both consume token sequences. Segmentation is embarrassingly
+  // parallel (Segmenter::Segment is const over a read-only dictionary), so
+  // both loops fan out over the pool into pre-sized per-comment slots and
+  // compact afterwards — output order is identical to the serial loop for
+  // any thread count.
   text::Segmenter segmenter(&model.dictionary);
+  size_t threads = options_.num_threads == 0
+                       ? std::max(1u, std::thread::hardware_concurrency())
+                       : options_.num_threads;
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
+
+  std::vector<std::vector<std::string>> segmented(corpus.size());
+  auto segment_corpus = [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      segmented[i] = segmenter.Segment(corpus[i]);
+    }
+  };
+  if (pool != nullptr && corpus.size() >= 2) {
+    pool->ParallelForChunks(corpus.size(), segment_corpus);
+  } else {
+    segment_corpus(0, corpus.size());
+  }
   std::vector<std::vector<std::string>> sentences;
   sentences.reserve(corpus.size());
-  for (const std::string& comment : corpus) {
-    std::vector<std::string> tokens = segmenter.Segment(comment);
+  for (std::vector<std::string>& tokens : segmented) {
     if (!tokens.empty()) sentences.push_back(std::move(tokens));
   }
 
@@ -116,14 +139,28 @@ Result<SemanticModel> SemanticAnalyzer::Build(
   registry.GetGauge(obs::kSemanticLexiconNegativeSize)
       ->Set(static_cast<double>(model.negative.size()));
 
-  // Sentiment model on the labeled review corpus.
+  // Sentiment model on the labeled review corpus — same pre-sized-slot
+  // fan-out as the word2vec corpus above.
+  std::vector<std::vector<std::string>> sentiment_tokens(
+      sentiment_corpus.size());
+  auto segment_sentiment = [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      sentiment_tokens[i] = segmenter.Segment(sentiment_corpus[i].first);
+    }
+  };
+  if (pool != nullptr && sentiment_corpus.size() >= 2) {
+    pool->ParallelForChunks(sentiment_corpus.size(), segment_sentiment);
+  } else {
+    segment_sentiment(0, sentiment_corpus.size());
+  }
   std::vector<nlp::SentimentExample> examples;
   examples.reserve(sentiment_corpus.size());
-  for (const auto& [text, positive] : sentiment_corpus) {
+  for (size_t i = 0; i < sentiment_corpus.size(); ++i) {
+    if (sentiment_tokens[i].empty()) continue;
     nlp::SentimentExample ex;
-    ex.tokens = segmenter.Segment(text);
-    ex.positive = positive;
-    if (!ex.tokens.empty()) examples.push_back(std::move(ex));
+    ex.tokens = std::move(sentiment_tokens[i]);
+    ex.positive = sentiment_corpus[i].second;
+    examples.push_back(std::move(ex));
   }
   registry.GetCounter(obs::kSemanticCommentsSegmentedTotal)
       ->Increment(sentiment_corpus.size());

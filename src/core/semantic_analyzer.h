@@ -41,6 +41,11 @@ struct SemanticAnalyzerOptions {
   nlp::LexiconExpansionOptions expansion;
   nlp::SentimentOptions sentiment;
   size_t num_seed_words = 5;
+  /// Workers for the corpus segmentation loops in Build (0 = hardware
+  /// concurrency, 1 = serial). Output order is preserved for any value:
+  /// each comment's tokens land in a pre-sized slot and empties are
+  /// compacted out afterwards.
+  size_t num_threads = 4;
 };
 
 /// The paper's semantic analyzer (§II-B): trains word2vec on a large

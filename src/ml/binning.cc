@@ -1,0 +1,134 @@
+#include "ml/binning.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <istream>
+#include <ostream>
+
+#include "util/thread_pool.h"
+
+namespace cats::ml {
+
+BinMapper BinMapper::Build(const Dataset& data, size_t max_bins) {
+  max_bins = std::clamp<size_t>(max_bins, 2, kMaxBins);
+  size_t n = data.num_rows();
+  size_t d = data.num_features();
+  BinMapper mapper;
+  mapper.bounds_.resize(d);
+  if (n == 0) return mapper;
+
+  std::vector<float> values(n);
+  for (size_t f = 0; f < d; ++f) {
+    for (size_t i = 0; i < n; ++i) values[i] = data.Value(i, f);
+    std::sort(values.begin(), values.end());
+
+    std::vector<float>& bounds = mapper.bounds_[f];
+    // Midpoints between adjacent distinct values are the exact-greedy
+    // candidate thresholds; keep them all when they fit, else thin to even
+    // row quantiles. push_if keeps the sequence strictly increasing even
+    // when float midpoints collapse onto a neighbor.
+    auto push_if = [&bounds](float b) {
+      if (bounds.empty() || b > bounds.back()) bounds.push_back(b);
+    };
+    size_t distinct = 1;
+    for (size_t i = 1; i < n; ++i) {
+      if (values[i] != values[i - 1]) ++distinct;
+    }
+    if (distinct <= max_bins) {
+      for (size_t i = 1; i < n; ++i) {
+        if (values[i] != values[i - 1]) {
+          push_if(0.5f * (values[i - 1] + values[i]));
+        }
+      }
+    } else {
+      for (size_t k = 1; k < max_bins; ++k) {
+        size_t pos = k * n / max_bins;
+        if (pos == 0 || values[pos] == values[pos - 1]) continue;
+        push_if(0.5f * (values[pos - 1] + values[pos]));
+      }
+    }
+    // The last bin must cover the feature's maximum so BinOf never runs
+    // past the table (midpoints are all strictly below the max).
+    push_if(values.back());
+    if (bounds.empty()) bounds.push_back(values.back());  // constant feature
+  }
+  return mapper;
+}
+
+uint8_t BinMapper::BinOf(size_t feature, float value) const {
+  const std::vector<float>& bounds = bounds_[feature];
+  size_t i = static_cast<size_t>(
+      std::lower_bound(bounds.begin(), bounds.end(), value) - bounds.begin());
+  if (i >= bounds.size()) i = bounds.size() - 1;
+  return static_cast<uint8_t>(i);
+}
+
+std::vector<uint8_t> BinMapper::BinRows(const Dataset& data,
+                                        ThreadPool* pool) const {
+  size_t n = data.num_rows();
+  size_t d = data.num_features();
+  std::vector<uint8_t> binned(n * d);
+  auto bin_range = [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      uint8_t* row = binned.data() + i * d;
+      for (size_t f = 0; f < d; ++f) row[f] = BinOf(f, data.Value(i, f));
+    }
+  };
+  if (pool != nullptr && n >= 2) {
+    pool->ParallelForChunks(n, bin_range);
+  } else {
+    bin_range(0, n);
+  }
+  return binned;
+}
+
+void BinMapper::AppendTo(std::ostream& out) const {
+  out << "bins " << bounds_.size() << "\n";
+  char buf[32];
+  for (const std::vector<float>& bounds : bounds_) {
+    out << bounds.size();
+    for (float b : bounds) {
+      // %.9g round-trips any float exactly, so save -> load -> save is
+      // bit-identical (the model round-trip tests depend on that).
+      std::snprintf(buf, sizeof(buf), "%.9g", b);
+      out << " " << buf;
+    }
+    out << "\n";
+  }
+}
+
+Result<BinMapper> BinMapper::ParseFrom(std::istream& in,
+                                       size_t expected_features) {
+  std::string tag;
+  size_t num_features = 0;
+  if (!(in >> tag >> num_features) || tag != "bins") {
+    return Status::ParseError("bad bin mapper header");
+  }
+  if (num_features != expected_features) {
+    return Status::ParseError("bin mapper feature count mismatch");
+  }
+  BinMapper mapper;
+  mapper.bounds_.resize(num_features);
+  for (std::vector<float>& bounds : mapper.bounds_) {
+    size_t count = 0;
+    if (!(in >> count) || count == 0 || count > kMaxBins) {
+      return Status::ParseError("implausible bin count");
+    }
+    bounds.resize(count);
+    for (size_t b = 0; b < count; ++b) {
+      if (!(in >> bounds[b])) {
+        return Status::ParseError("truncated bin boundaries");
+      }
+      if (!std::isfinite(bounds[b])) {
+        return Status::ParseError("non-finite bin boundary");
+      }
+      if (b > 0 && bounds[b] <= bounds[b - 1]) {
+        return Status::ParseError("non-increasing bin boundaries");
+      }
+    }
+  }
+  return mapper;
+}
+
+}  // namespace cats::ml

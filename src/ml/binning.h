@@ -1,0 +1,82 @@
+#ifndef CATS_ML_BINNING_H_
+#define CATS_ML_BINNING_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "ml/dataset.h"
+#include "util/result.h"
+
+namespace cats {
+class ThreadPool;
+}  // namespace cats
+
+namespace cats::ml {
+
+/// Per-feature quantile binning for histogram-based tree training
+/// (LightGBM-style). Build() chooses at most `max_bins` (<= 256, so a bin
+/// index fits a uint8_t) boundaries per feature from the training values:
+/// when a feature has few distinct values every distinct value gets its own
+/// bin and the boundaries are the midpoints between adjacent distinct
+/// values — exactly the candidate thresholds the exact-greedy scan
+/// considers — otherwise boundaries are placed at even row quantiles.
+///
+/// Bin semantics: value v belongs to the first bin b with
+/// v <= upper_bound(f, b); values above every boundary (e.g. unseen at
+/// inference time) land in the last bin. A tree split "bin <= b" is
+/// therefore equivalent to the float comparison "v <= upper_bound(f, b)",
+/// which is what Gbdt stores in its nodes so inference needs no mapper.
+class BinMapper {
+ public:
+  /// Hard cap: bin indices must fit uint8_t.
+  static constexpr size_t kMaxBins = 256;
+
+  BinMapper() = default;
+
+  /// Learns boundaries from every row of `data`. `max_bins` is clamped to
+  /// [2, kMaxBins].
+  static BinMapper Build(const Dataset& data, size_t max_bins);
+
+  bool empty() const { return bounds_.empty(); }
+  size_t num_features() const { return bounds_.size(); }
+  size_t num_bins(size_t feature) const { return bounds_[feature].size(); }
+
+  /// Bin of `value` for `feature` (see class comment for the semantics).
+  uint8_t BinOf(size_t feature, float value) const;
+
+  /// Upper boundary of bin `bin` — the split threshold for "bin <= b".
+  float UpperBound(size_t feature, size_t bin) const {
+    return bounds_[feature][bin];
+  }
+
+  /// Pre-bins the whole dataset into a row-major n x d uint8 matrix,
+  /// fanning row chunks out over `pool` when given (output slots are
+  /// per-row, so the result is identical for any thread count).
+  std::vector<uint8_t> BinRows(const Dataset& data, ThreadPool* pool) const;
+
+  /// Text serialization, appended to a model stream:
+  ///   bins <num_features>
+  ///   <num_bins> <b0> <b1> ... per feature
+  /// Boundaries are written with enough digits to round-trip exactly.
+  void AppendTo(std::ostream& out) const;
+
+  /// Parses the output of AppendTo. Rejects (ParseError) truncation,
+  /// non-finite or non-increasing boundaries, and counts outside
+  /// [1, kMaxBins]; `expected_features` must match the header count.
+  static Result<BinMapper> ParseFrom(std::istream& in,
+                                     size_t expected_features);
+
+  bool operator==(const BinMapper& other) const {
+    return bounds_ == other.bounds_;
+  }
+
+ private:
+  // bounds_[f]: ascending bin upper boundaries; the last entry covers the
+  // feature's maximum training value.
+  std::vector<std::vector<float>> bounds_;
+};
+
+}  // namespace cats::ml
+
+#endif  // CATS_ML_BINNING_H_

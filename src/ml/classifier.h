@@ -33,19 +33,34 @@ class Classifier {
   /// Fresh untrained copy with identical hyperparameters (for k-fold CV).
   virtual std::unique_ptr<Classifier> CloneUntrained() const = 0;
 
-  /// Scores every row of `data`.
-  std::vector<double> PredictProbaAll(const Dataset& data) const {
-    std::vector<double> out(data.num_rows());
-    for (size_t i = 0; i < data.num_rows(); ++i) {
-      out[i] = PredictProba(data.Row(i));
+  /// Scores `num_rows` rows laid out contiguously at `rows` with `stride`
+  /// floats between row starts. The base implementation is a serial loop;
+  /// models with a cheaper batch path (ml::Gbdt fans rows over a
+  /// ThreadPool) override it. Overrides must return exactly what the serial
+  /// loop would: callers rely on batch == per-row bit equality.
+  virtual std::vector<double> PredictProbaBatch(const float* rows,
+                                                size_t num_rows,
+                                                size_t stride) const {
+    std::vector<double> out(num_rows);
+    for (size_t i = 0; i < num_rows; ++i) {
+      out[i] = PredictProba(rows + i * stride);
     }
     return out;
   }
 
+  /// Scores every row of `data` (through the batch path, so the detector
+  /// and the cross-validation harness pick up parallel scoring for free).
+  std::vector<double> PredictProbaAll(const Dataset& data) const {
+    if (data.num_rows() == 0) return {};
+    return PredictProbaBatch(data.Row(0), data.num_rows(),
+                             data.num_features());
+  }
+
   std::vector<int> PredictAll(const Dataset& data) const {
-    std::vector<int> out(data.num_rows());
-    for (size_t i = 0; i < data.num_rows(); ++i) {
-      out[i] = Predict(data.Row(i));
+    std::vector<double> proba = PredictProbaAll(data);
+    std::vector<int> out(proba.size());
+    for (size_t i = 0; i < proba.size(); ++i) {
+      out[i] = proba[i] >= 0.5 ? 1 : 0;
     }
     return out;
   }

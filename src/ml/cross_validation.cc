@@ -23,19 +23,28 @@ Result<CrossValidationResult> CrossValidate(const Classifier& prototype,
     Dataset test = data.Select(split.test);
     std::unique_ptr<Classifier> model = prototype.CloneUntrained();
     CATS_RETURN_NOT_OK(model->Fit(train));
-    std::vector<int> predicted = model->PredictAll(test);
+    // One batched scoring pass feeds both the thresholded Table-III metrics
+    // and the threshold-free AUC (models with a parallel PredictProbaBatch,
+    // like the GBDT, score each fold through it).
+    std::vector<double> proba = model->PredictProbaAll(test);
+    std::vector<int> predicted(proba.size());
+    for (size_t i = 0; i < proba.size(); ++i) {
+      predicted[i] = proba[i] >= 0.5 ? 1 : 0;
+    }
     ClassificationMetrics m = ComputeMetrics(test.labels(), predicted);
     out.per_fold.push_back(m);
     out.precision += m.precision;
     out.recall += m.recall;
     out.f1 += m.f1;
     out.accuracy += m.accuracy;
+    out.auc += RocAuc(test.labels(), proba);
   }
   double k = static_cast<double>(folds);
   out.precision /= k;
   out.recall /= k;
   out.f1 /= k;
   out.accuracy /= k;
+  out.auc /= k;
   return out;
 }
 

@@ -20,6 +20,10 @@ struct CrossValidationResult {
   double recall = 0.0;
   double f1 = 0.0;
   double accuracy = 0.0;
+  /// Mean out-of-fold ROC AUC — threshold-free, so it is the stable metric
+  /// for comparing split finders (exact vs histogram) whose 0.5-threshold
+  /// precision/recall can wobble on near-boundary rows.
+  double auc = 0.0;
   // Per-fold metrics for variance analysis.
   std::vector<ClassificationMetrics> per_fold;
 };

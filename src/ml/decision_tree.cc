@@ -21,18 +21,43 @@ Status DecisionTree::Fit(const Dataset& train) {
   }
   nodes_.clear();
   depth_ = 0;
-  std::vector<size_t> indices(train.num_rows());
-  std::iota(indices.begin(), indices.end(), 0);
-  BuildNode(train, indices, 0);
+  size_t n = train.num_rows();
+  size_t d = train.num_features();
+  if (d == 0) {
+    // No features to split on: the tree is a single prior-probability leaf.
+    double pos = 0.0;
+    for (size_t i = 0; i < n; ++i) pos += train.Label(i);
+    nodes_.emplace_back();
+    nodes_[0].leaf_value = static_cast<float>(pos / static_cast<double>(n));
+    return Status::OK();
+  }
+  // Pre-sort row indices per feature once; BuildNode used to re-sort every
+  // feature at every node (O(n log n) per node per feature). Splits now
+  // partition these lists order-preservingly, so children stay sorted for
+  // free. Ties sort by row index, which keeps Fit deterministic.
+  std::vector<std::vector<uint32_t>> lists(d);
+  for (size_t f = 0; f < d; ++f) {
+    lists[f].resize(n);
+    std::iota(lists[f].begin(), lists[f].end(), 0);
+    std::sort(lists[f].begin(), lists[f].end(),
+              [&train, f](uint32_t a, uint32_t b) {
+                float va = train.Value(a, f);
+                float vb = train.Value(b, f);
+                return va < vb || (va == vb && a < b);
+              });
+  }
+  BuildNode(train, lists, 0);
   return Status::OK();
 }
 
 int32_t DecisionTree::BuildNode(const Dataset& data,
-                                std::vector<size_t>& indices, size_t depth) {
+                                std::vector<std::vector<uint32_t>>& lists,
+                                size_t depth) {
   depth_ = std::max(depth_, depth);
-  double total = static_cast<double>(indices.size());
+  const std::vector<uint32_t>& rows = lists.front();
+  double total = static_cast<double>(rows.size());
   double pos = 0.0;
-  for (size_t i : indices) pos += data.Label(i);
+  for (uint32_t i : rows) pos += data.Label(i);
 
   int32_t node_id = static_cast<int32_t>(nodes_.size());
   nodes_.emplace_back();
@@ -40,7 +65,7 @@ int32_t DecisionTree::BuildNode(const Dataset& data,
                                          : 0.5f;
 
   bool can_split = depth < options_.max_depth &&
-                   indices.size() >= options_.min_samples_split &&
+                   rows.size() >= options_.min_samples_split &&
                    pos > 0.0 && pos < total;
   if (!can_split) return node_id;
 
@@ -49,23 +74,22 @@ int32_t DecisionTree::BuildNode(const Dataset& data,
   int32_t best_feature = -1;
   float best_threshold = 0.0f;
 
-  // Exact greedy: per feature, sort this node's rows by value and scan
-  // boundaries between distinct values.
-  std::vector<std::pair<float, int>> sorted;
-  sorted.reserve(indices.size());
+  // Exact greedy over the pre-sorted lists: scan boundaries between
+  // distinct values. Equal-value runs contribute the same left-side sums
+  // regardless of intra-run order, so this finds exactly the splits the
+  // sort-per-node version did.
   for (size_t f = 0; f < data.num_features(); ++f) {
-    sorted.clear();
-    for (size_t i : indices) {
-      sorted.emplace_back(data.Value(i, f), data.Label(i));
+    const std::vector<uint32_t>& sorted = lists[f];
+    if (data.Value(sorted.front(), f) == data.Value(sorted.back(), f)) {
+      continue;
     }
-    std::sort(sorted.begin(), sorted.end());
-    if (sorted.front().first == sorted.back().first) continue;
-
     double left_pos = 0.0, left_n = 0.0;
     for (size_t k = 0; k + 1 < sorted.size(); ++k) {
-      left_pos += sorted[k].second;
+      float value = data.Value(sorted[k], f);
+      float next = data.Value(sorted[k + 1], f);
+      left_pos += data.Label(sorted[k]);
       left_n += 1.0;
-      if (sorted[k].first == sorted[k + 1].first) continue;
+      if (value == next) continue;
       double right_n = total - left_n;
       if (left_n < options_.min_samples_leaf ||
           right_n < options_.min_samples_leaf) {
@@ -80,30 +104,31 @@ int32_t DecisionTree::BuildNode(const Dataset& data,
         best_gain = gain;
         best_feature = static_cast<int32_t>(f);
         // Split at the midpoint of the boundary pair.
-        best_threshold = 0.5f * (sorted[k].first + sorted[k + 1].first);
+        best_threshold = 0.5f * (value + next);
       }
     }
   }
   if (best_feature < 0) return node_id;
 
-  std::vector<size_t> left_idx, right_idx;
-  left_idx.reserve(indices.size());
-  right_idx.reserve(indices.size());
-  for (size_t i : indices) {
-    if (data.Value(i, static_cast<size_t>(best_feature)) <= best_threshold) {
-      left_idx.push_back(i);
-    } else {
-      right_idx.push_back(i);
+  size_t bf = static_cast<size_t>(best_feature);
+  std::vector<std::vector<uint32_t>> left_lists(lists.size());
+  std::vector<std::vector<uint32_t>> right_lists(lists.size());
+  for (size_t f = 0; f < lists.size(); ++f) {
+    for (uint32_t i : lists[f]) {
+      (data.Value(i, bf) <= best_threshold ? left_lists[f] : right_lists[f])
+          .push_back(i);
     }
   }
-  if (left_idx.empty() || right_idx.empty()) return node_id;  // degenerate
+  if (left_lists.front().empty() || right_lists.front().empty()) {
+    return node_id;  // degenerate
+  }
 
   // Free this node's index memory before recursing.
-  indices.clear();
-  indices.shrink_to_fit();
+  lists.clear();
+  lists.shrink_to_fit();
 
-  int32_t left = BuildNode(data, left_idx, depth + 1);
-  int32_t right = BuildNode(data, right_idx, depth + 1);
+  int32_t left = BuildNode(data, left_lists, depth + 1);
+  int32_t right = BuildNode(data, right_lists, depth + 1);
   nodes_[node_id].feature = best_feature;
   nodes_[node_id].threshold = best_threshold;
   nodes_[node_id].left = left;

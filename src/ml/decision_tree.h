@@ -47,8 +47,11 @@ class DecisionTree : public Classifier {
     float leaf_value = 0.0f;     // P(positive) at a leaf
   };
 
-  int32_t BuildNode(const Dataset& data, std::vector<size_t>& indices,
-                    size_t depth);
+  // `lists[f]` holds this node's rows sorted by feature f — pre-sorted once
+  // in Fit and partitioned (order-preserving) on every split, so no node
+  // ever re-sorts.
+  int32_t BuildNode(const Dataset& data,
+                    std::vector<std::vector<uint32_t>>& lists, size_t depth);
 
   DecisionTreeOptions options_;
   std::vector<Node> nodes_;

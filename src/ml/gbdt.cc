@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <fstream>
+#include <memory>
 #include <numeric>
 #include <sstream>
+#include <thread>
 
 #include "util/csv.h"
 
@@ -13,6 +16,7 @@
 #include "obs/stage_trace.h"
 #include "util/random.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace cats::ml {
 namespace {
@@ -24,7 +28,36 @@ inline double SideScore(double g, double h, double lambda) {
   return g * g / (h + lambda);
 }
 
+/// Shortest decimal that round-trips the exact float — model files must
+/// re-load bit-identically (the determinism tests diff saved bytes).
+std::string FloatStr(float v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", static_cast<double>(v));
+  return buf;
+}
+
+std::string DoubleStr(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+/// Batches below this stay serial: the per-row cost is ~µs, so spinning up
+/// workers only pays for itself on real scoring batches.
+constexpr size_t kMinParallelPredictRows = 256;
+
 }  // namespace
+
+size_t Gbdt::ResolvedThreads() const {
+  // Capped at hardware concurrency: extra workers are pure scheduling
+  // overhead (the per-level tasks are uniform), and the cap cannot change
+  // results — work is assigned per feature into per-feature output slots,
+  // identical no matter which worker computes them.
+  size_t hw = std::max(1u, std::thread::hardware_concurrency());
+  size_t t = options_.num_threads;
+  if (t == 0 || t > hw) t = hw;
+  return t;
+}
 
 Status Gbdt::Fit(const Dataset& train) {
   size_t n = train.num_rows();
@@ -41,15 +74,46 @@ Status Gbdt::Fit(const Dataset& train) {
   split_counts_.assign(d, 0);
   base_margin_ = std::log(options_.base_score / (1.0 - options_.base_score));
 
-  // Pre-sort row indices per feature once; reused by every tree.
-  std::vector<std::vector<uint32_t>> sorted_rows(d);
-  for (size_t f = 0; f < d; ++f) {
-    sorted_rows[f].resize(n);
-    std::iota(sorted_rows[f].begin(), sorted_rows[f].end(), 0);
-    std::sort(sorted_rows[f].begin(), sorted_rows[f].end(),
-              [&train, f](uint32_t a, uint32_t b) {
-                return train.Value(a, f) < train.Value(b, f);
-              });
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  obs::Counter* rounds_metric = registry.GetCounter(obs::kGbdtRoundsTotal);
+  obs::LatencyHistogram* round_latency =
+      registry.GetLatencyHistogram(obs::kGbdtRoundLatencyMicros);
+
+  bool use_hist = options_.split_method == GbdtSplitMethod::kHistogram;
+  size_t threads = ResolvedThreads();
+  std::unique_ptr<ThreadPool> pool;
+  if (use_hist && threads > 1) pool = std::make_unique<ThreadPool>(threads);
+
+  // Per-method preprocessing, done once and reused by every tree: the exact
+  // path pre-sorts row indices per feature; the histogram path learns the
+  // quantile bin boundaries and pre-bins the whole dataset into uint8.
+  std::vector<std::vector<uint32_t>> sorted_rows;
+  std::vector<uint8_t> binned;
+  if (use_hist) {
+    obs::ScopedTimer bin_timer(
+        registry.GetLatencyHistogram(obs::kGbdtHistBinBuildLatencyMicros));
+    bin_mapper_ = BinMapper::Build(train, options_.max_bins);
+    binned = bin_mapper_.BinRows(train, pool.get());
+    // Transpose to feature-major [f * n + row]: every per-feature histogram
+    // task then scans its bin indices sequentially instead of striding
+    // through the row-major matrix, which is where the accumulation loop
+    // spends its cache misses.
+    std::vector<uint8_t> by_feature(binned.size());
+    for (size_t r = 0; r < n; ++r) {
+      for (size_t f = 0; f < d; ++f) by_feature[f * n + r] = binned[r * d + f];
+    }
+    binned = std::move(by_feature);
+  } else {
+    bin_mapper_ = BinMapper();
+    sorted_rows.resize(d);
+    for (size_t f = 0; f < d; ++f) {
+      sorted_rows[f].resize(n);
+      std::iota(sorted_rows[f].begin(), sorted_rows[f].end(), 0);
+      std::sort(sorted_rows[f].begin(), sorted_rows[f].end(),
+                [&train, f](uint32_t a, uint32_t b) {
+                  return train.Value(a, f) < train.Value(b, f);
+                });
+    }
   }
 
   std::vector<double> margin(n, base_margin_);
@@ -60,21 +124,18 @@ Status Gbdt::Fit(const Dataset& train) {
   std::vector<size_t> all_features(d);
   std::iota(all_features.begin(), all_features.end(), 0);
 
-  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
-  obs::Counter* rounds_metric = registry.GetCounter(obs::kGbdtRoundsTotal);
-  obs::LatencyHistogram* round_latency =
-      registry.GetLatencyHistogram(obs::kGbdtRoundLatencyMicros);
+  // First-order grad and second-order hess of logistic loss at the initial
+  // margin; after each round the fused update loop below refreshes them, so
+  // every margin is pushed through the sigmoid exactly once per round.
+  for (size_t i = 0; i < n; ++i) {
+    double p = Sigmoid(margin[i]);
+    grad[i] = p - static_cast<double>(train.Label(i));
+    hess[i] = std::max(p * (1.0 - p), 1e-16);
+  }
 
   for (size_t round = 0; round < options_.num_rounds; ++round) {
     obs::ScopedTimer round_timer(round_latency);
     rounds_metric->Increment();
-    // First-order grad and second-order hess of logistic loss.
-    for (size_t i = 0; i < n; ++i) {
-      double p = Sigmoid(margin[i]);
-      grad[i] = p - static_cast<double>(train.Label(i));
-      hess[i] = std::max(p * (1.0 - p), 1e-16);
-    }
-
     // Row subsampling.
     if (options_.subsample < 1.0f) {
       for (size_t i = 0; i < n; ++i) {
@@ -92,16 +153,25 @@ Status Gbdt::Fit(const Dataset& train) {
       std::sort(features.begin(), features.end());
     }
 
-    Tree tree = BuildTree(train, grad, hess, in_sample, features, sorted_rows);
+    Tree tree =
+        use_hist
+            ? BuildTreeHist(binned, grad, hess, in_sample, features,
+                            pool.get())
+            : BuildTree(train, grad, hess, in_sample, features, sorted_rows);
     // Update margins with the shrunken tree outputs.
     for (size_t i = 0; i < n; ++i) {
       margin[i] += options_.learning_rate * TreePredict(tree, train.Row(i));
     }
     trees_.push_back(std::move(tree));
 
+    // One sigmoid per row feeds both the round's loss and the next round's
+    // grad/hess. Kept separate from the margin loop above: mixing the
+    // branchy tree walk into this exp/log loop measurably slows both.
     double loss = 0.0;
     for (size_t i = 0; i < n; ++i) {
       double p = Sigmoid(margin[i]);
+      grad[i] = p - static_cast<double>(train.Label(i));
+      hess[i] = std::max(p * (1.0 - p), 1e-16);
       p = std::clamp(p, 1e-12, 1.0 - 1e-12);
       loss -= train.Label(i) == 1 ? std::log(p) : std::log(1.0 - p);
     }
@@ -263,6 +333,287 @@ Gbdt::Tree Gbdt::BuildTree(
   return tree;
 }
 
+Gbdt::Tree Gbdt::BuildTreeHist(const std::vector<uint8_t>& binned,
+                               const std::vector<double>& grad,
+                               const std::vector<double>& hess,
+                               const std::vector<char>& in_sample,
+                               const std::vector<size_t>& features,
+                               ThreadPool* pool) {
+  // Determinism contract (see docs/ARCHITECTURE.md): the result must be
+  // bit-identical for any thread count. Parallel work is therefore assigned
+  // per FEATURE, not per row chunk: each (node, feature) histogram is
+  // accumulated by exactly one task, always in ascending row order, into a
+  // slot nobody else touches; split candidates land in per-(node, feature)
+  // slots and are reduced serially in ascending feature order with a
+  // strict > comparison (lowest feature index, then lowest bin, wins ties).
+  size_t n = grad.size();
+  size_t nf = features.size();  // candidate features after colsample
+  double lambda = options_.lambda;
+  double gamma = options_.gamma;
+  double min_child = options_.min_child_weight;
+
+  Tree tree;
+  tree.emplace_back();  // root placeholder
+
+  // Sampled rows in ascending index order. Each level keeps the rows of a
+  // node contiguous; stable partition preserves ascending order inside each
+  // child, so per-histogram accumulation order is fixed once and for all.
+  std::vector<uint32_t> rows;
+  rows.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (in_sample[i]) rows.push_back(static_cast<uint32_t>(i));
+  }
+
+  enum class HistSource : uint8_t { kFromRows, kSubtract };
+  struct LevelNode {
+    int32_t id = 0;           // tree node index
+    size_t begin = 0;         // row range [begin, end) in `rows`
+    size_t end = 0;
+    double g = 0.0;
+    double h = 0.0;
+    HistSource source = HistSource::kFromRows;
+    int32_t parent_slot = -1;   // previous-level slot (kSubtract only)
+    int32_t sibling_slot = -1;  // current-level slot (kSubtract only)
+  };
+  struct SplitCand {
+    double gain = 0.0;  // initialized to gamma per node below
+    int32_t bin = -1;
+  };
+
+  std::vector<LevelNode> level(1);
+  level[0].id = 0;
+  level[0].begin = 0;
+  level[0].end = rows.size();
+  for (uint32_t r : rows) {
+    level[0].g += grad[r];
+    level[0].h += hess[r];
+  }
+
+  // Histograms: [slot][feature-pos][bin] -> (grad sum, hess sum). The
+  // previous level's buffer is retained so a child can be derived as
+  // parent - sibling instead of re-scanning its rows. The stride is sized
+  // to the widest candidate feature, not the max_bins ceiling, so features
+  // with few distinct values keep the hot histograms small and
+  // cache-resident.
+  size_t max_nb = 1;
+  for (size_t f : features) max_nb = std::max(max_nb, bin_mapper_.num_bins(f));
+  const size_t kHistStride = max_nb * 2;
+  std::vector<double> cur_hist;
+  std::vector<double> parent_hist;
+  std::vector<SplitCand> cands;
+
+  size_t hists_from_rows = 0;
+  size_t hists_subtracted = 0;
+
+  for (size_t depth = 0; depth < options_.max_depth && !level.empty();
+       ++depth) {
+    size_t num_slots = level.size();
+    // No wholesale zeroing here: each task zeroes exactly the from-rows
+    // slices it owns (subtraction slices are fully overwritten), so the
+    // clear is parallel and touches only the live [0, 2*nb) range. The
+    // buffer only ever grows — stale bytes from earlier levels/trees are
+    // never read, because every slice is zeroed or overwritten before use.
+    if (cur_hist.size() < num_slots * nf * kHistStride) {
+      cur_hist.resize(num_slots * nf * kHistStride);
+    }
+    cands.assign(num_slots * nf, SplitCand{});
+
+    // One task per candidate feature: build every node's histogram for that
+    // feature (from rows or by subtraction), then search its splits.
+    auto feature_task = [&](size_t fi) {
+      size_t f = features[fi];
+      size_t nb = bin_mapper_.num_bins(f);
+      for (size_t s = 0; s < num_slots; ++s) {
+        if (level[s].source != HistSource::kFromRows) continue;
+        double* hist = &cur_hist[(s * nf + fi) * kHistStride];
+        std::fill(hist, hist + 2 * nb, 0.0);
+        const uint8_t* bins_f = binned.data() + f * n;
+        for (size_t r = level[s].begin; r < level[s].end; ++r) {
+          uint32_t row = rows[r];
+          size_t b = bins_f[row];
+          hist[2 * b] += grad[row];
+          hist[2 * b + 1] += hess[row];
+        }
+      }
+      // Subtraction second: the sibling's histogram for this feature was
+      // just built above, inside this same task.
+      for (size_t s = 0; s < num_slots; ++s) {
+        if (level[s].source != HistSource::kSubtract) continue;
+        double* hist = &cur_hist[(s * nf + fi) * kHistStride];
+        const double* parent =
+            &parent_hist[(static_cast<size_t>(level[s].parent_slot) * nf + fi) *
+                         kHistStride];
+        const double* sibling =
+            &cur_hist[(static_cast<size_t>(level[s].sibling_slot) * nf + fi) *
+                      kHistStride];
+        for (size_t b = 0; b < 2 * nb; ++b) hist[b] = parent[b] - sibling[b];
+      }
+      // Split search over bins, ascending; strict > keeps the lowest bin on
+      // equal gain.
+      for (size_t s = 0; s < num_slots; ++s) {
+        const LevelNode& node = level[s];
+        const double* hist = &cur_hist[(s * nf + fi) * kHistStride];
+        SplitCand cand;
+        cand.gain = gamma;
+        double gl = 0.0, hl = 0.0;
+        double parent_score = SideScore(node.g, node.h, lambda);
+        for (size_t b = 0; b + 1 < nb; ++b) {
+          // An empty bin leaves (gl, hl) unchanged, so its candidate gain
+          // equals the previous bin's and the strict > below would reject
+          // it — skipping is exactly equivalent, and on deep nodes most
+          // bins are empty.
+          if (hist[2 * b] == 0.0 && hist[2 * b + 1] == 0.0) continue;
+          gl += hist[2 * b];
+          hl += hist[2 * b + 1];
+          double gr = node.g - gl;
+          double hr = node.h - hl;
+          if (hl < min_child || hr < min_child) continue;
+          double gain = 0.5 * (SideScore(gl, hl, lambda) +
+                               SideScore(gr, hr, lambda) - parent_score);
+          if (gain > cand.gain) {
+            cand.gain = gain;
+            cand.bin = static_cast<int32_t>(b);
+          }
+        }
+        cands[s * nf + fi] = cand;
+      }
+    };
+
+    if (pool != nullptr && nf >= 2) {
+      // Batch features into at most one task per worker (contiguous
+      // ranges): fewer submit/wake round-trips per level than one task per
+      // feature. Grouping cannot change the result — every feature's work
+      // is confined to its own slots no matter which task runs it.
+      size_t groups = std::min(ResolvedThreads(), nf);
+      for (size_t g = 0; g < groups; ++g) {
+        size_t lo = g * nf / groups;
+        size_t hi = (g + 1) * nf / groups;
+        pool->Submit([&feature_task, lo, hi] {
+          for (size_t fi = lo; fi < hi; ++fi) feature_task(fi);
+        });
+      }
+      pool->Wait();
+    } else {
+      for (size_t fi = 0; fi < nf; ++fi) feature_task(fi);
+    }
+    for (const LevelNode& node : level) {
+      (node.source == HistSource::kFromRows ? hists_from_rows
+                                            : hists_subtracted) += nf;
+    }
+
+    // Serial reduction across features, ascending index (features is
+    // sorted), strict > — ties go to the lowest feature index.
+    std::vector<LevelNode> next_level;
+    for (size_t s = 0; s < num_slots; ++s) {
+      LevelNode& node = level[s];
+      double best_gain = gamma;
+      int32_t best_fi = -1;
+      int32_t best_bin = -1;
+      for (size_t fi = 0; fi < nf; ++fi) {
+        const SplitCand& cand = cands[s * nf + fi];
+        if (cand.bin >= 0 && cand.gain > best_gain) {
+          best_gain = cand.gain;
+          best_fi = static_cast<int32_t>(fi);
+          best_bin = cand.bin;
+        }
+      }
+      if (best_fi < 0) {
+        tree[node.id].value = static_cast<float>(-node.g / (node.h + lambda));
+        continue;
+      }
+      size_t f = features[static_cast<size_t>(best_fi)];
+      // "bin <= b" == "value <= UpperBound(f, b)": trees store plain float
+      // thresholds, so inference never needs the mapper.
+      float threshold = bin_mapper_.UpperBound(f, static_cast<size_t>(best_bin));
+
+      int32_t left_id = static_cast<int32_t>(tree.size());
+      tree.emplace_back();
+      int32_t right_id = static_cast<int32_t>(tree.size());
+      tree.emplace_back();
+      tree[node.id].feature = static_cast<int32_t>(f);
+      tree[node.id].threshold = threshold;
+      tree[node.id].left = left_id;
+      tree[node.id].right = right_id;
+      ++split_counts_[f];
+
+      // Child G/H accumulated in ascending row order (same order the exact
+      // path uses), then a stable partition keeps each child's rows sorted.
+      const uint8_t* bins_f = binned.data() + f * n;
+      double gl_child = 0.0, hl_child = 0.0;
+      for (size_t r = node.begin; r < node.end; ++r) {
+        uint32_t row = rows[r];
+        if (bins_f[row] <= static_cast<uint8_t>(best_bin)) {
+          gl_child += grad[row];
+          hl_child += hess[row];
+        }
+      }
+      auto mid = std::stable_partition(
+          rows.begin() + static_cast<ptrdiff_t>(node.begin),
+          rows.begin() + static_cast<ptrdiff_t>(node.end),
+          [&](uint32_t row) {
+            return bins_f[row] <= static_cast<uint8_t>(best_bin);
+          });
+      size_t split_at =
+          static_cast<size_t>(mid - rows.begin());
+
+      LevelNode left;
+      left.id = left_id;
+      left.begin = node.begin;
+      left.end = split_at;
+      left.g = gl_child;
+      left.h = hl_child;
+      LevelNode right;
+      right.id = right_id;
+      right.begin = split_at;
+      right.end = node.end;
+      right.g = node.g - gl_child;
+      right.h = node.h - hl_child;
+
+      // Histogram-subtraction trick: only the smaller child re-scans its
+      // rows; the larger one is derived as parent - sibling.
+      size_t left_count = left.end - left.begin;
+      size_t right_count = right.end - right.begin;
+      int32_t left_slot = static_cast<int32_t>(next_level.size());
+      int32_t right_slot = left_slot + 1;
+      if (left_count <= right_count) {
+        left.source = HistSource::kFromRows;
+        right.source = HistSource::kSubtract;
+        right.parent_slot = static_cast<int32_t>(s);
+        right.sibling_slot = left_slot;
+      } else {
+        right.source = HistSource::kFromRows;
+        left.source = HistSource::kSubtract;
+        left.parent_slot = static_cast<int32_t>(s);
+        left.sibling_slot = right_slot;
+      }
+      next_level.push_back(left);
+      next_level.push_back(right);
+    }
+
+    if (next_level.empty()) break;
+    parent_hist.swap(cur_hist);
+    level = std::move(next_level);
+  }
+
+  // Any nodes still pending at max depth become leaves.
+  for (const LevelNode& node : level) {
+    if (tree[node.id].feature < 0) {
+      tree[node.id].value = static_cast<float>(-node.g / (node.h + lambda));
+    }
+  }
+
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  if (hists_from_rows > 0) {
+    registry.GetCounter(obs::kGbdtHistHistogramsBuiltTotal)
+        ->Increment(hists_from_rows);
+  }
+  if (hists_subtracted > 0) {
+    registry.GetCounter(obs::kGbdtHistSubtractionsTotal)
+        ->Increment(hists_subtracted);
+  }
+  return tree;
+}
+
 double Gbdt::TreePredict(const Tree& tree, const float* row) {
   int32_t id = 0;
   for (;;) {
@@ -284,21 +635,64 @@ double Gbdt::PredictProba(const float* row) const {
   return Sigmoid(PredictMargin(row));
 }
 
+std::vector<double> Gbdt::PredictProbaBatch(const float* rows, size_t num_rows,
+                                            size_t stride) const {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  registry.GetCounter(obs::kGbdtPredictBatchRowsTotal)->Increment(num_rows);
+  obs::ScopedTimer timer(
+      registry.GetLatencyHistogram(obs::kGbdtPredictBatchLatencyMicros));
+
+  std::vector<double> out(num_rows);
+  auto score_range = [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      out[i] = PredictProba(rows + i * stride);
+    }
+  };
+  size_t threads = ResolvedThreads();
+  if (threads > 1 && num_rows >= kMinParallelPredictRows) {
+    // One output slot per row: bit-identical to the serial loop for any
+    // thread count, no synchronization on the data plane.
+    ThreadPool pool(threads);
+    pool.ParallelForChunks(num_rows, score_range);
+  } else {
+    score_range(0, num_rows);
+  }
+  return out;
+}
+
+Result<std::vector<double>> Gbdt::PredictBatch(const Dataset& data) const {
+  if (trees_.empty()) return Status::FailedPrecondition("model not trained");
+  if (data.num_features() != feature_names_.size()) {
+    return Status::InvalidArgument("feature count mismatch in PredictBatch");
+  }
+  if (data.num_rows() == 0) return std::vector<double>{};
+  return PredictProbaBatch(data.Row(0), data.num_rows(), data.num_features());
+}
+
 Status Gbdt::Save(const std::string& path) const {
   if (trees_.empty()) return Status::FailedPrecondition("model not trained");
   std::ostringstream out;
-  out << "cats-gbdt-v1\n";
-  out << options_.learning_rate << " " << base_margin_ << " "
-      << feature_names_.size() << " " << trees_.size() << "\n";
+  out << "cats-gbdt-v2\n";
+  out << FloatStr(options_.learning_rate) << " " << DoubleStr(base_margin_)
+      << " " << feature_names_.size() << " " << trees_.size() << "\n";
   for (const std::string& name : feature_names_) out << name << "\n";
   for (uint64_t c : split_counts_) out << c << " ";
   out << "\n";
   for (const Tree& tree : trees_) {
     out << tree.size() << "\n";
     for (const Node& node : tree) {
-      out << node.feature << " " << node.threshold << " " << node.left << " "
-          << node.right << " " << node.value << "\n";
+      out << node.feature << " " << FloatStr(node.threshold) << " "
+          << node.left << " " << node.right << " " << FloatStr(node.value)
+          << "\n";
     }
+  }
+  // v2 carries the training-time quantization so a deployed artifact is a
+  // complete record of how the model was built; exact-greedy models have no
+  // mapper and say so explicitly.
+  if (bin_mapper_.empty()) {
+    out << "nobins\n";
+  } else {
+    bin_mapper_.AppendTo(out);
   }
   // Atomic (temp + rename): a crash mid-save leaves the previous model
   // intact, never a truncated file that could half-parse.
@@ -309,9 +703,10 @@ Result<Gbdt> Gbdt::Load(const std::string& path) {
   std::ifstream in(path);
   if (!in.is_open()) return Status::IoError("cannot open: " + path);
   std::string magic;
-  if (!(in >> magic) || magic != "cats-gbdt-v1") {
+  if (!(in >> magic) || (magic != "cats-gbdt-v1" && magic != "cats-gbdt-v2")) {
     return Status::ParseError("bad gbdt model header in " + path);
   }
+  bool has_bin_section = magic == "cats-gbdt-v2";
   // A truncated or bit-flipped file must produce a descriptive error, never
   // a model that walks out-of-bounds at predict time: counts are
   // plausibility-bounded, node indices validated against the tree, and any
@@ -372,6 +767,22 @@ Result<Gbdt> Gbdt::Load(const std::string& path) {
                                     path);
         }
       }
+    }
+  }
+  if (has_bin_section) {
+    std::istream::pos_type section_pos = in.tellg();
+    std::string tag;
+    if (!(in >> tag)) {
+      return Status::ParseError("missing gbdt bin section in " + path);
+    }
+    if (tag != "nobins") {
+      in.clear();
+      in.seekg(section_pos);
+      Result<BinMapper> mapper = BinMapper::ParseFrom(in, num_features);
+      if (!mapper.ok()) {
+        return Status::ParseError(mapper.status().message() + " in " + path);
+      }
+      model.bin_mapper_ = std::move(mapper).value();
     }
   }
   std::string extra;

@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <fstream>
+#include <limits>
+#include <numeric>
 #include <sstream>
 
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace cats::nlp {
 
@@ -61,29 +64,67 @@ Result<float> EmbeddingStore::Cosine(std::string_view a,
   return dot;
 }
 
-Result<std::vector<Neighbor>> EmbeddingStore::NearestNeighbors(
-    std::string_view word, size_t k) const {
+Result<size_t> EmbeddingStore::RowOf(std::string_view word) const {
   auto it = index_.find(std::string(word));
   if (it == index_.end()) {
     return Status::NotFound("unknown word: " + std::string(word));
   }
-  const float* query = RowPtr(it->second);
-  std::vector<Neighbor> all;
-  all.reserve(words_.size());
-  for (size_t row = 0; row < words_.size(); ++row) {
-    if (row == it->second) continue;
-    const float* r = RowPtr(row);
-    float dot = 0.0f;
-    for (size_t d = 0; d < dim_; ++d) dot += query[d] * r[d];
-    all.push_back(Neighbor{words_[row], dot});
+  return it->second;
+}
+
+Result<std::vector<Neighbor>> EmbeddingStore::NearestNeighbors(
+    std::string_view word, size_t k) const {
+  return NearestNeighbors(word, k, nullptr);
+}
+
+Result<std::vector<Neighbor>> EmbeddingStore::NearestNeighbors(
+    std::string_view word, size_t k, ThreadPool* pool) const {
+  auto it = index_.find(std::string(word));
+  if (it == index_.end()) {
+    return Status::NotFound("unknown word: " + std::string(word));
   }
-  size_t top = std::min(k, all.size());
-  std::partial_sort(all.begin(), all.begin() + top, all.end(),
-                    [](const Neighbor& a, const Neighbor& b) {
-                      return a.similarity > b.similarity;
+  size_t self = it->second;
+  const float* query = RowPtr(self);
+  size_t n = words_.size();
+
+  // Similarity scan into one slot per row — no string copies, no shared
+  // accumulator, safe to chunk over the pool.
+  std::vector<float> sims(n);
+  auto score_range = [&](size_t begin, size_t end) {
+    for (size_t row = begin; row < end; ++row) {
+      const float* r = RowPtr(row);
+      float dot = 0.0f;
+      for (size_t d = 0; d < dim_; ++d) dot += query[d] * r[d];
+      sims[row] = dot;
+    }
+  };
+  // Below a few hundred rows the scan is cheaper than waking the workers.
+  constexpr size_t kMinParallelRows = 512;
+  if (pool != nullptr && n >= kMinParallelRows) {
+    pool->ParallelForChunks(n, score_range);
+  } else {
+    score_range(0, n);
+  }
+  sims[self] = -std::numeric_limits<float>::infinity();  // exclude the query
+
+  // Rank by (similarity desc, row asc): the row tie-break makes the result
+  // independent of how the scan was chunked (and of partial_sort's
+  // instability on equal similarities).
+  size_t top = std::min(k, n - 1);
+  std::vector<uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::partial_sort(order.begin(),
+                    order.begin() + static_cast<ptrdiff_t>(top), order.end(),
+                    [&sims](uint32_t a, uint32_t b) {
+                      return sims[a] > sims[b] ||
+                             (sims[a] == sims[b] && a < b);
                     });
-  all.resize(top);
-  return all;
+  std::vector<Neighbor> result;
+  result.reserve(top);
+  for (size_t i = 0; i < top; ++i) {
+    result.push_back(Neighbor{words_[order[i]], sims[order[i]]});
+  }
+  return result;
 }
 
 Status EmbeddingStore::Save(const std::string& path) const {

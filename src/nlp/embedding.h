@@ -11,6 +11,10 @@
 #include "util/result.h"
 #include "util/status.h"
 
+namespace cats {
+class ThreadPool;
+}  // namespace cats
+
 namespace cats::nlp {
 
 /// A neighbor returned by k-NN search.
@@ -38,12 +42,27 @@ class EmbeddingStore {
   /// Normalized vector of `word`, or error if unknown.
   Result<std::vector<float>> Vector(std::string_view word) const;
 
+  /// Row index of `word`, or NotFound. Pair with RowData for copy-free
+  /// access on hot paths (Vector copies).
+  Result<size_t> RowOf(std::string_view word) const;
+
+  /// Borrowed pointer to the L2-normalized row (dim() floats); valid until
+  /// the next Add.
+  const float* RowData(size_t row) const { return RowPtr(row); }
+
   /// Cosine similarity of two stored words.
   Result<float> Cosine(std::string_view a, std::string_view b) const;
 
   /// The `k` nearest words to `word` by cosine (excluding `word` itself).
+  /// With a pool, the vocabulary similarity scan fans out over row chunks
+  /// into a per-row slot buffer; ranking is by (similarity desc, row asc),
+  /// so serial and parallel calls return identical results for any thread
+  /// count.
   Result<std::vector<Neighbor>> NearestNeighbors(std::string_view word,
                                                  size_t k) const;
+  Result<std::vector<Neighbor>> NearestNeighbors(std::string_view word,
+                                                 size_t k,
+                                                 ThreadPool* pool) const;
 
   const std::vector<std::string>& words() const { return words_; }
 

@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <deque>
+#include <memory>
+#include <thread>
+
+#include "util/thread_pool.h"
 
 namespace cats::nlp {
 
@@ -31,27 +35,43 @@ Result<Lexicon> ExpandLexicon(const EmbeddingStore& embeddings,
     return Status::InvalidArgument("lexicon expansion needs at least one seed");
   }
   Lexicon lexicon;
+  // The vocabulary similarity scans dominate the expansion; give the k-NN
+  // queries a pool. Everything else (the BFS, the centroid filter) stays
+  // serial, so the result is identical to the fully serial scan.
+  size_t threads = options.num_threads == 0
+                       ? std::max(1u, std::thread::hardware_concurrency())
+                       : options.num_threads;
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
+
   // frontier holds (word, depth); BFS over the neighbor graph.
   std::deque<std::pair<std::string, size_t>> frontier;
-  // Running (unnormalized) centroid of accepted in-vocabulary words.
+  // Running (unnormalized) centroid of accepted in-vocabulary words, with
+  // its squared norm cached on every update — the per-candidate cosine
+  // used to recompute it from scratch (same additions, same order, so the
+  // cached float is bit-identical to the inline recomputation).
   std::vector<float> centroid(embeddings.dim(), 0.0f);
   size_t centroid_members = 0;
+  float centroid_norm_sq = 0.0f;
   auto add_to_centroid = [&](const std::string& word) {
-    auto vec = embeddings.Vector(word);
-    if (!vec.ok()) return;
-    for (size_t d = 0; d < centroid.size(); ++d) centroid[d] += (*vec)[d];
+    auto row = embeddings.RowOf(word);
+    if (!row.ok()) return;
+    const float* vec = embeddings.RowData(*row);
+    for (size_t d = 0; d < centroid.size(); ++d) centroid[d] += vec[d];
     ++centroid_members;
+    centroid_norm_sq = 0.0f;
+    for (size_t d = 0; d < centroid.size(); ++d) {
+      centroid_norm_sq += centroid[d] * centroid[d];
+    }
   };
   auto centroid_cosine = [&](const std::string& word) -> float {
     if (centroid_members == 0) return 1.0f;
-    auto vec = embeddings.Vector(word);
-    if (!vec.ok()) return -1.0f;
-    float dot = 0.0f, norm = 0.0f;
-    for (size_t d = 0; d < centroid.size(); ++d) {
-      dot += centroid[d] * (*vec)[d];
-      norm += centroid[d] * centroid[d];
-    }
-    return norm > 0 ? dot / std::sqrt(norm) : 1.0f;
+    auto row = embeddings.RowOf(word);
+    if (!row.ok()) return -1.0f;
+    const float* vec = embeddings.RowData(*row);
+    float dot = 0.0f;
+    for (size_t d = 0; d < centroid.size(); ++d) dot += centroid[d] * vec[d];
+    return centroid_norm_sq > 0 ? dot / std::sqrt(centroid_norm_sq) : 1.0f;
   };
 
   for (const std::string& seed : seeds) {
@@ -66,7 +86,7 @@ Result<Lexicon> ExpandLexicon(const EmbeddingStore& embeddings,
     if (depth >= options.max_iterations) continue;
     if (!embeddings.Contains(word)) continue;  // seeds may be OOV
 
-    auto neighbors = embeddings.NearestNeighbors(word, options.k);
+    auto neighbors = embeddings.NearestNeighbors(word, options.k, pool.get());
     if (!neighbors.ok()) continue;
     for (const Neighbor& n : *neighbors) {
       if (n.similarity < options.min_similarity) break;  // sorted descending

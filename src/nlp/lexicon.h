@@ -49,6 +49,10 @@ struct LexiconExpansionOptions {
   /// polarity words; essential on small corpora.
   bool use_centroid_filter = true;
   float min_centroid_similarity = 0.35f;
+  /// Workers for the per-query vocabulary similarity scans (0 = hardware
+  /// concurrency, 1 = serial). The expansion result is identical for any
+  /// value — see EmbeddingStore::NearestNeighbors.
+  size_t num_threads = 4;
 };
 
 /// Expands a seed word list into a full lexicon by iteratively searching the

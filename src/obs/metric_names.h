@@ -136,6 +136,18 @@ inline constexpr std::string_view kGbdtRoundLatencyMicros =
     "gbdt.round_latency_micros";
 inline constexpr std::string_view kGbdtLastTrainingLoss =
     "gbdt.last_training_loss";
+// Histogram training path (GbdtSplitMethod::kHistogram).
+inline constexpr std::string_view kGbdtHistBinBuildLatencyMicros =
+    "gbdt.hist.bin_build_latency_micros";
+inline constexpr std::string_view kGbdtHistHistogramsBuiltTotal =
+    "gbdt.hist.histograms_built_total";
+inline constexpr std::string_view kGbdtHistSubtractionsTotal =
+    "gbdt.hist.subtractions_total";
+// Batched scoring (Gbdt::PredictProbaBatch / PredictBatch).
+inline constexpr std::string_view kGbdtPredictBatchRowsTotal =
+    "gbdt.predict.batch.rows_total";
+inline constexpr std::string_view kGbdtPredictBatchLatencyMicros =
+    "gbdt.predict.batch.latency_micros";
 
 }  // namespace cats::obs
 

@@ -1,0 +1,135 @@
+#include "ml/binning.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "ml_test_util.h"
+#include "util/thread_pool.h"
+
+namespace cats::ml {
+namespace {
+
+TEST(BinMapperTest, BoundariesStrictlyIncreasingAndCoverMax) {
+  Dataset data = MakeGaussianDataset(300, 4, 2.0, 11);
+  BinMapper mapper = BinMapper::Build(data, 64);
+  ASSERT_EQ(mapper.num_features(), 4u);
+  for (size_t f = 0; f < 4; ++f) {
+    size_t nb = mapper.num_bins(f);
+    ASSERT_GE(nb, 1u);
+    ASSERT_LE(nb, 64u);
+    float max_value = data.Value(0, f);
+    for (size_t i = 1; i < data.num_rows(); ++i) {
+      max_value = std::max(max_value, data.Value(i, f));
+    }
+    for (size_t b = 1; b < nb; ++b) {
+      EXPECT_LT(mapper.UpperBound(f, b - 1), mapper.UpperBound(f, b));
+    }
+    // The last boundary covers the feature's maximum training value.
+    EXPECT_EQ(mapper.UpperBound(f, nb - 1), max_value);
+  }
+}
+
+TEST(BinMapperTest, BinOfMatchesThresholdSemantics) {
+  // Contract: value v lands in the first bin b with v <= UpperBound(f, b),
+  // so a tree split "bin <= b" is the float comparison "v <= UpperBound".
+  Dataset data = MakeGaussianDataset(200, 3, 3.0, 13);
+  BinMapper mapper = BinMapper::Build(data, 32);
+  for (size_t i = 0; i < data.num_rows(); i += 3) {
+    for (size_t f = 0; f < 3; ++f) {
+      float v = data.Value(i, f);
+      size_t b = mapper.BinOf(f, v);
+      EXPECT_LE(v, mapper.UpperBound(f, b));
+      if (b > 0) EXPECT_GT(v, mapper.UpperBound(f, b - 1));
+    }
+  }
+  // Values above every boundary land in the last bin (unseen at inference).
+  size_t nb = mapper.num_bins(0);
+  EXPECT_EQ(mapper.BinOf(0, mapper.UpperBound(0, nb - 1) + 100.0f), nb - 1);
+}
+
+TEST(BinMapperTest, FewDistinctValuesGetExactMidpointBoundaries) {
+  // With distinct values <= max_bins every distinct value gets its own bin
+  // and the boundaries are the exact-greedy candidate midpoints.
+  Dataset data({"x"});
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(
+        data.AddRow({static_cast<float>(i % 4)}, i % 2).ok());  // 0,1,2,3
+  }
+  BinMapper mapper = BinMapper::Build(data, 256);
+  ASSERT_EQ(mapper.num_bins(0), 4u);
+  EXPECT_EQ(mapper.UpperBound(0, 0), 0.5f);
+  EXPECT_EQ(mapper.UpperBound(0, 1), 1.5f);
+  EXPECT_EQ(mapper.UpperBound(0, 2), 2.5f);
+  EXPECT_EQ(mapper.UpperBound(0, 3), 3.0f);  // the max value
+  EXPECT_EQ(mapper.BinOf(0, 0.0f), 0u);
+  EXPECT_EQ(mapper.BinOf(0, 1.0f), 1u);
+  EXPECT_EQ(mapper.BinOf(0, 3.0f), 3u);
+}
+
+TEST(BinMapperTest, ManyDistinctValuesAreThinnedToQuantiles) {
+  Dataset data({"x"});
+  Rng rng(17);
+  for (int i = 0; i < 4000; ++i) {
+    ASSERT_TRUE(
+        data.AddRow({static_cast<float>(rng.Normal(0.0, 1.0))}, i % 2).ok());
+  }
+  BinMapper mapper = BinMapper::Build(data, 64);
+  EXPECT_LE(mapper.num_bins(0), 64u);
+  EXPECT_GE(mapper.num_bins(0), 32u);  // a healthy spread, not collapsed
+}
+
+TEST(BinMapperTest, ConstantFeatureGetsSingleBin) {
+  Dataset data({"c", "x"});
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(data.AddRow({7.0f, static_cast<float>(i)}, i % 2).ok());
+  }
+  BinMapper mapper = BinMapper::Build(data, 32);
+  EXPECT_EQ(mapper.num_bins(0), 1u);
+  EXPECT_EQ(mapper.BinOf(0, 7.0f), 0u);
+  EXPECT_EQ(mapper.BinOf(0, -100.0f), 0u);
+}
+
+TEST(BinMapperTest, BinRowsParallelMatchesSerial) {
+  Dataset data = MakeGaussianDataset(500, 5, 2.0, 19);
+  BinMapper mapper = BinMapper::Build(data, 48);
+  std::vector<uint8_t> serial = mapper.BinRows(data, nullptr);
+  ThreadPool pool(3);
+  std::vector<uint8_t> parallel = mapper.BinRows(data, &pool);
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(BinMapperTest, SerializeRoundTripIsExact) {
+  Dataset data = MakeGaussianDataset(300, 3, 2.0, 23);
+  BinMapper mapper = BinMapper::Build(data, 200);
+  std::ostringstream out;
+  mapper.AppendTo(out);
+  std::istringstream in(out.str());
+  auto parsed = BinMapper::ParseFrom(in, 3);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(*parsed == mapper);
+  // Re-serialize: byte-identical (%.9g round-trips floats exactly).
+  std::ostringstream out2;
+  parsed->AppendTo(out2);
+  EXPECT_EQ(out.str(), out2.str());
+}
+
+TEST(BinMapperTest, ParseRejectsCorruption) {
+  auto expect_rejected = [](const std::string& content, size_t features,
+                            const char* why) {
+    std::istringstream in(content);
+    EXPECT_FALSE(BinMapper::ParseFrom(in, features).ok()) << why;
+  };
+  expect_rejected("bims 2\n1 0.5\n1 0.25\n", 2, "bad header tag");
+  expect_rejected("bins 3\n1 0.5\n1 0.25\n", 2, "feature count mismatch");
+  expect_rejected("bins 2\n0\n1 0.25\n", 2, "zero bin count");
+  expect_rejected("bins 2\n300 0.5\n1 0.25\n", 2, "bin count past uint8");
+  expect_rejected("bins 2\n2 0.5\n", 2, "truncated boundaries");
+  expect_rejected("bins 2\n1 nan\n1 0.25\n", 2, "non-finite boundary");
+  expect_rejected("bins 2\n2 0.5 0.25\n1 0.1\n", 2,
+                  "non-increasing boundaries");
+}
+
+}  // namespace
+}  // namespace cats::ml

@@ -32,6 +32,8 @@ TEST(CrossValidationTest, FiveFoldOnSeparableData) {
   EXPECT_GT(result->recall, 0.95);
   EXPECT_GT(result->f1, 0.95);
   EXPECT_GT(result->accuracy, 0.95);
+  EXPECT_GT(result->auc, 0.95);
+  EXPECT_LE(result->auc, 1.0);
 }
 
 TEST(CrossValidationTest, AveragesMatchPerFold) {

@@ -3,6 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+#include "util/thread_pool.h"
 
 namespace cats::nlp {
 namespace {
@@ -98,6 +103,33 @@ TEST(EmbeddingStoreTest, SaveLoadRoundTrip) {
 TEST(EmbeddingStoreTest, LoadMissingFileFails) {
   EXPECT_EQ(EmbeddingStore::Load("/nonexistent/emb.txt").status().code(),
             StatusCode::kIoError);
+}
+
+TEST(EmbeddingStoreTest, ParallelNearestNeighborsMatchesSerial) {
+  // A store big enough to cross the kMinParallelRows gate, with plenty of
+  // duplicate similarities so the deterministic tie-break is exercised.
+  EmbeddingStore store(8);
+  Rng rng(41);
+  std::vector<float> vec(8);
+  for (size_t i = 0; i < 900; ++i) {
+    for (float& v : vec) {
+      v = static_cast<float>(rng.Normal(0.0, 1.0));
+    }
+    store.Add("w" + std::to_string(i), vec);
+  }
+  ThreadPool pool(3);
+  for (const char* query : {"w0", "w250", "w899"}) {
+    auto serial = store.NearestNeighbors(query, 25);
+    auto parallel = store.NearestNeighbors(query, 25, &pool);
+    ASSERT_TRUE(serial.ok());
+    ASSERT_TRUE(parallel.ok());
+    ASSERT_EQ(serial->size(), parallel->size());
+    for (size_t i = 0; i < serial->size(); ++i) {
+      EXPECT_EQ((*serial)[i].word, (*parallel)[i].word) << query << " " << i;
+      EXPECT_EQ((*serial)[i].similarity, (*parallel)[i].similarity)
+          << query << " " << i;
+    }
+  }
 }
 
 }  // namespace

@@ -72,7 +72,12 @@ TEST(GbdtTest, SplitCountsSumAndFavorInformativeFeature) {
     float n2 = static_cast<float>(rng.Normal(0.0, 1.0));
     ASSERT_TRUE(data.AddRow({x, n1, n2}, label).ok());
   }
-  Gbdt model(FastOptions());
+  // Pinned to exact greedy: the assertion is about split-count importance
+  // semantics, and the histogram path's quantile thinning can shuffle a
+  // handful of late overfitting splits between the noise features.
+  GbdtOptions options = FastOptions();
+  options.split_method = GbdtSplitMethod::kExact;
+  Gbdt model(options);
   ASSERT_TRUE(model.Fit(data).ok());
   const auto& counts = model.feature_split_counts();
   ASSERT_EQ(counts.size(), 3u);
@@ -262,6 +267,204 @@ TEST_F(GbdtCorruptFileTest, ImplausibleCountsAreRejected) {
   // A flipped digit in a count must not drive a giant allocation.
   ExpectRejected("cats-gbdt-v1\n0.3 0 99999999 1\n", "huge feature count");
   ExpectRejected("cats-gbdt-v1\n0.3 0 2 0\nf0\nf1\n0 0\n", "zero trees");
+}
+
+// One quantized informative feature (snapped to a 0.5 grid, so it has few
+// distinct values and well-separated candidate gains) plus constant
+// padding features. With max_bins >= distinct values the histogram path
+// sees exactly the exact-greedy candidate thresholds, and with a single
+// splittable feature there are no cross-feature gain ties for
+// summation-order ulps to flip.
+Dataset MakeQuantizedDataset(size_t per_class, uint64_t seed) {
+  Dataset data({"signal", "pad1", "pad2"});
+  Rng rng(seed);
+  for (size_t i = 0; i < per_class; ++i) {
+    for (int label = 0; label < 2; ++label) {
+      double v = rng.Normal(label * 3.0, 1.0);
+      float q = 0.5f * std::round(static_cast<float>(v) * 2.0f);
+      (void)data.AddRow({q, 1.0f, -2.0f}, label);
+    }
+  }
+  return data;
+}
+
+GbdtOptions HistOptions(size_t threads) {
+  GbdtOptions options = FastOptions();
+  options.split_method = GbdtSplitMethod::kHistogram;
+  options.num_threads = threads;
+  return options;
+}
+
+TEST(GbdtTest, HistogramReproducesExactGreedyWhenBinsCoverValues) {
+  Dataset data = MakeQuantizedDataset(150, 101);
+  GbdtOptions exact = FastOptions();
+  exact.split_method = GbdtSplitMethod::kExact;
+  GbdtOptions hist = HistOptions(1);
+  hist.max_bins = 256;  // >= distinct values per feature
+  Gbdt a(exact), b(hist);
+  ASSERT_TRUE(a.Fit(data).ok());
+  ASSERT_TRUE(b.Fit(data).ok());
+  EXPECT_EQ(a.num_trees(), b.num_trees());
+  EXPECT_EQ(a.feature_split_counts(), b.feature_split_counts());
+  for (size_t i = 0; i < data.num_rows(); ++i) {
+    EXPECT_NEAR(a.PredictProba(data.Row(i)), b.PredictProba(data.Row(i)),
+                1e-12)
+        << i;
+  }
+}
+
+TEST(GbdtTest, HistogramLearnsOnContinuousData) {
+  // Thinned quantile bins (distinct >> max_bins) still learn the task.
+  Dataset data = MakeGaussianDataset(300, 4, 4.0, 103);
+  GbdtOptions options = HistOptions(2);
+  options.max_bins = 32;
+  Gbdt model(options);
+  ASSERT_TRUE(model.Fit(data).ok());
+  EXPECT_GT(TrainAccuracy(model, data), 0.98);
+  EXPECT_FALSE(model.bin_mapper().empty());
+}
+
+TEST(GbdtTest, HistogramBitDeterministicAcrossThreadCounts) {
+  Dataset data = MakeGaussianDataset(200, 4, 2.0, 107);
+  std::vector<std::string> saved;
+  for (size_t threads : {1u, 2u, 8u}) {
+    GbdtOptions options = HistOptions(threads);
+    options.subsample = 0.7f;  // exercise the shared rng path too
+    options.colsample = 0.8f;
+    Gbdt model(options);
+    ASSERT_TRUE(model.Fit(data).ok()) << threads;
+    std::string path = (std::filesystem::temp_directory_path() /
+                        ("cats_gbdt_det_" + std::to_string(::getpid()) + "_" +
+                         std::to_string(threads) + ".model"))
+                           .string();
+    ASSERT_TRUE(model.Save(path).ok());
+    auto content = ReadFileToString(path);
+    ASSERT_TRUE(content.ok());
+    saved.push_back(*content);
+    std::filesystem::remove(path);
+  }
+  // The serialized model (trees, thresholds, leaf values, bin boundaries)
+  // is byte-identical for any worker count.
+  EXPECT_EQ(saved[0], saved[1]);
+  EXPECT_EQ(saved[0], saved[2]);
+}
+
+TEST(GbdtTest, PredictBatchMatchesPerRow) {
+  Dataset data = MakeGaussianDataset(200, 3, 3.0, 109);  // 400 rows:
+  // enough to cross the batch-parallel threshold, so this exercises the
+  // pooled path against the serial per-row reference.
+  Gbdt model(HistOptions(4));
+  ASSERT_TRUE(model.Fit(data).ok());
+  auto batch = model.PredictBatch(data);
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(batch->size(), data.num_rows());
+  for (size_t i = 0; i < data.num_rows(); ++i) {
+    EXPECT_DOUBLE_EQ((*batch)[i], model.PredictProba(data.Row(i))) << i;
+  }
+  // The Classifier-level batch entry points agree too.
+  std::vector<double> all = model.PredictProbaAll(data);
+  EXPECT_EQ(all, *batch);
+}
+
+TEST(GbdtTest, PredictBatchValidatesInput) {
+  Gbdt untrained;
+  Dataset data = MakeGaussianDataset(10, 3, 3.0, 113);
+  EXPECT_FALSE(untrained.PredictBatch(data).ok());
+
+  Gbdt model(HistOptions(1));
+  ASSERT_TRUE(model.Fit(data).ok());
+  Dataset wrong = MakeGaussianDataset(10, 2, 3.0, 113);
+  EXPECT_FALSE(model.PredictBatch(wrong).ok());
+
+  Dataset empty({"f0", "f1", "f2"});
+  auto result = model.PredictBatch(empty);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->empty());
+}
+
+TEST(GbdtTest, SaveLoadRoundTripPersistsBinMapper) {
+  std::string path =
+      (std::filesystem::temp_directory_path() / "cats_gbdt_bins.model")
+          .string();
+  Dataset data = MakeGaussianDataset(150, 3, 3.0, 127);
+  Gbdt model(HistOptions(1));
+  ASSERT_TRUE(model.Fit(data).ok());
+  ASSERT_FALSE(model.bin_mapper().empty());
+  ASSERT_TRUE(model.Save(path).ok());
+
+  auto loaded = Gbdt::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(loaded->bin_mapper() == model.bin_mapper());
+  // Save -> Load -> Save is byte-identical (%.9g/%.17g round-trip).
+  auto first = ReadFileToString(path);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(loaded->Save(path).ok());
+  auto second = ReadFileToString(path);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(*first, *second);
+  std::filesystem::remove(path);
+}
+
+TEST(GbdtTest, ExactModelSavesWithoutBins) {
+  std::string path =
+      (std::filesystem::temp_directory_path() / "cats_gbdt_nobins.model")
+          .string();
+  Dataset data = MakeGaussianDataset(100, 2, 3.0, 131);
+  GbdtOptions options = FastOptions();
+  options.split_method = GbdtSplitMethod::kExact;
+  Gbdt model(options);
+  ASSERT_TRUE(model.Fit(data).ok());
+  EXPECT_TRUE(model.bin_mapper().empty());
+  ASSERT_TRUE(model.Save(path).ok());
+  auto content = ReadFileToString(path);
+  ASSERT_TRUE(content.ok());
+  EXPECT_NE(content->find("nobins"), std::string::npos);
+  auto loaded = Gbdt::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(loaded->bin_mapper().empty());
+  std::filesystem::remove(path);
+}
+
+TEST_F(GbdtCorruptFileTest, LegacyV1ModelStillLoads) {
+  // Pre-histogram artifacts carry no bin section and must keep loading.
+  ASSERT_TRUE(
+      WriteStringToFile(
+          path_,
+          "cats-gbdt-v1\n0.3 0 2 1\nf0\nf1\n0 0\n1\n-1 0 -1 -1 0.2\n")
+          .ok());
+  auto loaded = Gbdt::Load(path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(loaded->bin_mapper().empty());
+}
+
+TEST_F(GbdtCorruptFileTest, V2BinSectionVariants) {
+  const std::string base =
+      "cats-gbdt-v2\n0.3 0 2 1\nf0\nf1\n0 0\n1\n-1 0 -1 -1 0.2\n";
+  // Valid: explicit nobins marker.
+  ASSERT_TRUE(WriteStringToFile(path_, base + "nobins\n").ok());
+  ASSERT_TRUE(Gbdt::Load(path_).ok());
+  // Valid: a well-formed bins section round-trips.
+  ASSERT_TRUE(
+      WriteStringToFile(path_, base + "bins 2\n1 0.5\n1 0.25\n").ok());
+  auto loaded = Gbdt::Load(path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->bin_mapper().num_features(), 2u);
+  EXPECT_EQ(loaded->bin_mapper().num_bins(0), 1u);
+
+  // Corruptions: every malformed bin section is rejected with an error
+  // naming the file.
+  ExpectRejected(base, "bin section missing entirely");
+  ExpectRejected(base + "bogus\n", "unknown bin section tag");
+  ExpectRejected(base + "bins 3\n1 0.5\n1 0.25\n1 0.75\n",
+                 "bin feature count mismatch");
+  ExpectRejected(base + "bins 2\n300 0.5\n1 0.25\n",
+                 "bin count past uint8");
+  ExpectRejected(base + "bins 2\n2 0.5\n", "truncated bin boundaries");
+  ExpectRejected(base + "bins 2\n1 nan\n1 0.25\n", "non-finite boundary");
+  ExpectRejected(base + "bins 2\n2 0.5 0.25\n1 0.1\n",
+                 "non-increasing boundaries");
+  ExpectRejected(base + "bins 2\n1 0.5\n1 0.25\nextra\n",
+                 "trailing garbage after bins");
 }
 
 TEST(GbdtTest, MinChildWeightLimitsSplits) {

@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+
 namespace cats::nlp {
 namespace {
 
@@ -106,6 +111,40 @@ TEST(ExpandLexiconTest, IterativeBfsReachesTransitiveNeighbors) {
   // seed reaches a directly; a reaches b (cos(a,b)=cos(20°) > 0.9).
   EXPECT_TRUE(lex->Contains("a"));
   EXPECT_TRUE(lex->Contains("b"));
+}
+
+TEST(ExpandLexiconTest, ParallelExpansionMatchesSerial) {
+  // A vocabulary large enough that the k-NN scans take the pooled path;
+  // the expansion must be identical to the serial run word for word.
+  EmbeddingStore store(6);
+  Rng rng(43);
+  std::vector<float> vec(6);
+  auto add_cluster = [&](const std::string& prefix, float cx, size_t n) {
+    for (size_t i = 0; i < n; ++i) {
+      vec[0] = cx + static_cast<float>(rng.Normal(0.0, 0.15));
+      for (size_t d = 1; d < vec.size(); ++d) {
+        vec[d] = static_cast<float>(rng.Normal(0.0, 0.15));
+      }
+      store.Add(prefix + std::to_string(i), vec);
+    }
+  };
+  add_cluster("pos", 1.0f, 300);
+  add_cluster("other", -1.0f, 300);
+
+  LexiconExpansionOptions serial;
+  serial.k = 20;
+  serial.min_similarity = 0.8f;
+  serial.max_words = 120;
+  serial.num_threads = 1;
+  LexiconExpansionOptions parallel = serial;
+  parallel.num_threads = 4;
+
+  auto a = ExpandLexicon(store, {"pos0", "pos1"}, serial);
+  auto b = ExpandLexicon(store, {"pos0", "pos1"}, parallel);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_GT(a->size(), 2u);  // the expansion actually grew
+  EXPECT_EQ(a->SortedWords(), b->SortedWords());
 }
 
 TEST(ExpandLexiconTest, MaxIterationsLimitsDepth) {

@@ -144,5 +144,49 @@ TEST(SemanticAnalyzerTest, MultithreadedWord2VecStillLearnsStructure) {
   EXPECT_GE(model->negative.size(), 3u);
 }
 
+TEST(SemanticAnalyzerTest, ParallelSegmentationMatchesSerialBuild) {
+  // Build's segmentation fan-out preserves output order, so with word2vec
+  // itself pinned to one thread the whole model is identical for any
+  // analyzer worker count.
+  const auto& market = cats::TestMarketplace();
+  std::vector<std::string> corpus;
+  for (const platform::Comment& c : market.comments()) {
+    corpus.push_back(c.content);
+  }
+  core::SemanticAnalyzerOptions options;
+  options.word2vec.epochs = 2;
+  options.word2vec.dim = 16;
+  options.word2vec.num_threads = 1;  // Hogwild off: embedding deterministic
+  options.num_threads = 1;
+  SemanticAnalyzer serial(options);
+  options.num_threads = 4;
+  SemanticAnalyzer parallel(options);
+
+  auto sentiment_corpus = market.BuildSentimentCorpus(600, 7);
+  auto dictionary = cats::TestLanguage().BuildSegmentationDictionary();
+  auto a = serial.Build(corpus, dictionary,
+                        cats::TestLanguage().PositiveSeeds(3),
+                        cats::TestLanguage().NegativeSeeds(3),
+                        sentiment_corpus);
+  auto b = parallel.Build(corpus, dictionary,
+                          cats::TestLanguage().PositiveSeeds(3),
+                          cats::TestLanguage().NegativeSeeds(3),
+                          sentiment_corpus);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+
+  EXPECT_EQ(a->positive.SortedWords(), b->positive.SortedWords());
+  EXPECT_EQ(a->negative.SortedWords(), b->negative.SortedWords());
+  const auto& lang = cats::TestLanguage();
+  Rng rng(9);
+  for (int i = 0; i < 10; ++i) {
+    std::vector<std::string> doc;
+    for (int k = 0; k < 8; ++k) {
+      doc.push_back(lang.word(lang.SampleAny(&rng)).text);
+    }
+    EXPECT_NEAR(a->sentiment.Score(doc), b->sentiment.Score(doc), 1e-12);
+  }
+}
+
 }  // namespace
 }  // namespace cats::core
