@@ -32,6 +32,7 @@
 #include "collect/crawler.h"
 #include "core/cats.h"
 #include "fault/fault_plan.h"
+#include "pipeline/streaming_cats.h"
 #include "platform/api.h"
 #include "platform/presets.h"
 #include "util/csv.h"
@@ -51,7 +52,8 @@ int Usage() {
                "                 [--data-fault-profile none|mild|hostile]\n"
                "  cats_cli train <data-dir> <model-dir> [--metrics]\n"
                "  cats_cli detect <data-dir> <model-dir> [--threshold T]\n"
-               "                  [--metrics] [--metrics-json <path>]\n"
+               "                  [--streaming] [--metrics] "
+               "[--metrics-json <path>]\n"
                "  cats_cli analyze <data-dir>\n"
                "\n"
                "  --fault-profile P    weather for the simulated crawl\n"
@@ -62,6 +64,9 @@ int Usage() {
                "                       missing fields; hostile adds absurd\n"
                "                       prices, garbled / oversized comments,\n"
                "                       colliding comment ids)\n"
+               "  --streaming          run detection on the streaming plane\n"
+               "                       (concurrent stage workers over bounded\n"
+               "                       queues; same results as sequential)\n"
                "  --metrics            print the pipeline metrics table\n"
                "                       (docs/METRICS.md) after the run\n"
                "  --metrics-json PATH  also write the registry snapshot as "
@@ -282,11 +287,27 @@ int CmdDetect(int argc, char** argv) {
     std::fprintf(stderr, "model load failed: %s\n", st.ToString().c_str());
     return 1;
   }
-  auto report = cats_system.Detect(store->items());
+  const bool streaming_mode = HasFlag(argc, argv, "--streaming");
+  auto report = [&]() -> Result<core::DetectionReport> {
+    if (!streaming_mode) return cats_system.Detect(store->items());
+    // Streaming plane: same stages, run as concurrent workers over bounded
+    // queues (replay mode here — the items are already on disk). The
+    // report is result-identical to the sequential path.
+    pipeline::StreamingCats streaming(&cats_system.detector());
+    auto result = streaming.RunOnItems(store->items());
+    if (!result.ok()) return result.status();
+    return std::move(result->report);
+  }();
   if (!report.ok()) {
     std::fprintf(stderr, "detect failed: %s\n",
                  report.status().ToString().c_str());
     return 1;
+  }
+  if (streaming_mode) {
+    std::printf("streaming plane: %zu items streamed through %zu staging "
+                "workers\n",
+                store->items().size(),
+                pipeline::StreamingOptions{}.num_stage_workers);
   }
   std::printf("scanned %zu items; quarantined %zu; filtered %zu; classified "
               "%zu (%zu degraded); flagged %zu (threshold %.2f)\n",

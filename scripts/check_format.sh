@@ -1,0 +1,60 @@
+#!/bin/sh
+# format-check: every C++ file under src/ tests/ bench/ examples/ must be
+# clang-format clean against the repo's .clang-format. Runs as the
+# `format_check` ctest and as the CI format job.
+#
+# Exit codes: 0 clean, 1 violations (diff printed), 77 clang-format not
+# installed (ctest maps 77 to SKIPPED via SKIP_RETURN_CODE so local runs
+# without the tool don't fail tier-1).
+#
+# Usage: check_format.sh [repo_root]
+set -u
+
+root="${1:-$(dirname "$0")/..}"
+root="$(cd "$root" && pwd)"
+
+CLANG_FORMAT="${CLANG_FORMAT:-}"
+if [ -z "$CLANG_FORMAT" ]; then
+  for candidate in clang-format clang-format-20 clang-format-19 \
+                   clang-format-18 clang-format-17 clang-format-16 \
+                   clang-format-15 clang-format-14; do
+    if command -v "$candidate" >/dev/null 2>&1; then
+      CLANG_FORMAT="$candidate"
+      break
+    fi
+  done
+fi
+if [ -z "$CLANG_FORMAT" ]; then
+  echo "format-check: clang-format not found; skipping (install it or set" \
+       "CLANG_FORMAT=/path/to/clang-format)" >&2
+  exit 77
+fi
+
+files=$(find "$root/src" "$root/tests" "$root/bench" "$root/examples" \
+             -type f \( -name '*.cc' -o -name '*.h' -o -name '*.cpp' \) \
+        | LC_ALL=C sort)
+if [ -z "$files" ]; then
+  echo "format-check: no sources found under $root" >&2
+  exit 1
+fi
+
+status=0
+checked=0
+for f in $files; do
+  checked=$((checked + 1))
+  if ! "$CLANG_FORMAT" --style=file --dry-run -Werror "$f" \
+       >/dev/null 2>&1; then
+    if [ "$status" -eq 0 ]; then
+      echo "format-check: violations ($("$CLANG_FORMAT" --version)):" >&2
+    fi
+    status=1
+    echo "  needs formatting: ${f#"$root"/}" >&2
+  fi
+done
+
+if [ "$status" -ne 0 ]; then
+  echo "format-check: FAILED — run: $CLANG_FORMAT -i <files> (style from" \
+       ".clang-format)" >&2
+  exit 1
+fi
+echo "format-check: OK ($checked files clean, $("$CLANG_FORMAT" --version))"

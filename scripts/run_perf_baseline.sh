@@ -20,6 +20,17 @@ cmake -B "$build_dir" -S "$root" >/dev/null
 cmake --build "$build_dir" -j "$(nproc 2>/dev/null || echo 4)" \
       --target bench_perf_ml bench_perf_pipeline >/dev/null
 
+# The build step above swallows its output; never limp past a bench that
+# didn't actually get built (a silently missing binary would leave a stale
+# baseline committed as if it were regenerated).
+for bench in bench_perf_ml bench_perf_pipeline; do
+  if [ ! -x "$build_dir/bench/$bench" ]; then
+    echo "perf-baseline: FATAL: $build_dir/bench/$bench missing or not" \
+         "executable after build" >&2
+    exit 1
+  fi
+done
+
 echo "== perf-baseline: bench_perf_ml -> $root/BENCH_ml.json"
 "$build_dir/bench/bench_perf_ml" --json="$root/BENCH_ml.json"
 

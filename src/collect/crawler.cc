@@ -64,7 +64,8 @@ Crawler::Crawler(platform::MarketplaceApi* api, const CrawlerOptions& options,
                  VirtualClock* clock)
     : api_(api),
       options_(options),
-      limiter_(options.requests_per_second, options.burst, clock),
+      limiter_(options.requests_per_second, options.burst, clock,
+               options.pacing_chunk_micros),
       clock_(clock),
       backoff_(options.backoff_base_micros, options.backoff_cap_micros,
                options.backoff_seed),
@@ -200,6 +201,7 @@ Status Crawler::Crawl(DataStore* store) {
 
 Status Crawler::Crawl(DataStore* store, CrawlCheckpoint* checkpoint) {
   stats_ = CrawlStats{};
+  canceled_ = false;
   const uint64_t duplicates_before = store->duplicates_dropped();
   const int64_t throttled_before = limiter_.throttled_micros();
   const uint64_t breaker_opens_before = breaker_.opens();
@@ -250,6 +252,14 @@ Status Crawler::Crawl(DataStore* store, CrawlCheckpoint* checkpoint) {
               return Status::OK();
             });
         if (!status.ok()) break;
+        // Item fully collected (all comment pages in) — hand it to the
+        // streaming sink. A false return is a cancellation request: stop
+        // at this item boundary, leaving the checkpoint resumable.
+        if (item_sink_ && !item_sink_(store->items()[item_index])) {
+          canceled_ = true;
+          stop = true;
+          break;
+        }
         if (options_.max_items > 0 &&
             store->items().size() >= options_.max_items) {
           stop = true;
@@ -257,7 +267,7 @@ Status Crawler::Crawl(DataStore* store, CrawlCheckpoint* checkpoint) {
         }
       }
     }
-    if (status.ok()) checkpoint->complete = true;
+    if (status.ok() && !canceled_) checkpoint->complete = true;
   }
 
   stats_.duplicates_dropped = store->duplicates_dropped() - duplicates_before;

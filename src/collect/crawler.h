@@ -19,6 +19,12 @@ struct CrawlerOptions {
   /// Requests per (virtual) second — the "minimize server impact" knob.
   double requests_per_second = 200.0;
   double burst = 20.0;
+  /// Pacing-sleep coalescing granularity (see RateLimiter): 0 sleeps the
+  /// owed interval on every throttled request; a positive chunk lets
+  /// requests run on token credit until a full chunk of sleep is owed,
+  /// then sleeps once. Same average rate, far fewer timer wakeups — useful
+  /// when the crawl shares a core with compute (e.g. the streaming plane).
+  int64_t pacing_chunk_micros = 0;
   /// Floor the adaptive throttle may back down to after 429s; the rate
   /// halves per 429 and creeps back toward requests_per_second on
   /// sustained success.
@@ -106,6 +112,17 @@ struct CrawlCheckpoint {
 /// the `crawler.breaker_state` gauge.
 class Crawler {
  public:
+  /// Streaming hook: invoked from the crawl thread each time an item's
+  /// comment walk completes — the moment the item is fully collected and
+  /// ready for downstream analysis (pipeline::StreamingCats feeds its
+  /// ingest queue from this). The reference points into the store and is
+  /// only valid for the duration of the call (the store's item vector may
+  /// reallocate as the crawl continues) — copy, don't keep. Return false
+  /// to cancel the crawl: it stops cleanly at the item boundary with an OK
+  /// status and a resumable (incomplete) checkpoint. Items already
+  /// complete in a resumed checkpoint do not re-fire the sink.
+  using ItemSink = std::function<bool(const CollectedItem&)>;
+
   Crawler(platform::MarketplaceApi* api, const CrawlerOptions& options,
           VirtualClock* clock);
 
@@ -115,6 +132,13 @@ class Crawler {
   /// Runs (or resumes) the crawl from `checkpoint`, which must belong to
   /// the same store. On failure the checkpoint holds the resume position.
   Status Crawl(DataStore* store, CrawlCheckpoint* checkpoint);
+
+  /// Installs (or clears, with nullptr) the per-item streaming sink.
+  void set_item_sink(ItemSink sink) { item_sink_ = std::move(sink); }
+
+  /// True when the last Crawl call ended early because the sink asked to
+  /// stop (the checkpoint is left incomplete and resumable).
+  bool canceled() const { return canceled_; }
 
   const CrawlStats& stats() const { return stats_; }
   const CircuitBreaker& breaker() const { return breaker_; }
@@ -146,6 +170,8 @@ class Crawler {
   double current_rps_;
   size_t success_streak_ = 0;
   CrawlStats stats_;
+  ItemSink item_sink_;
+  bool canceled_ = false;
 };
 
 }  // namespace cats::collect

@@ -6,9 +6,10 @@
 namespace cats::collect {
 
 RateLimiter::RateLimiter(double permits_per_second, double burst,
-                         VirtualClock* clock)
+                         VirtualClock* clock, int64_t pacing_chunk_micros)
     : rate_(permits_per_second / 1e6),
       burst_(std::max(1.0, burst)),
+      pacing_chunk_micros_(std::max<int64_t>(0, pacing_chunk_micros)),
       tokens_(std::max(1.0, burst)),
       last_refill_(clock->NowMicros()),
       clock_(clock),
@@ -34,6 +35,14 @@ void RateLimiter::Acquire() {
   if (tokens_ < 1.0) {
     int64_t wait =
         static_cast<int64_t>(std::ceil((1.0 - tokens_) / rate_));
+    if (wait < pacing_chunk_micros_) {
+      // Owed sleep is shorter than the pacing chunk: run on credit instead
+      // of paying a sub-chunk sleep. The debt (negative tokens, bounded by
+      // chunk * rate) lengthens the next real sleep by exactly the credit
+      // taken, so the average rate is unchanged.
+      tokens_ -= 1.0;
+      return;
+    }
     clock_->AdvanceMicros(wait);
     throttled_micros_ += wait;
     Refill();

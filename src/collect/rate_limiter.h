@@ -24,7 +24,15 @@ using SystemClock = fault::SystemClock;
 /// wire user-supplied configs straight through.
 class RateLimiter {
  public:
-  RateLimiter(double permits_per_second, double burst, VirtualClock* clock);
+  /// pacing_chunk_micros coalesces pacing sleeps: a request whose owed wait
+  /// is shorter than the chunk runs immediately on token credit (tokens go
+  /// negative), and the debt makes the next real sleep proportionally
+  /// longer. The long-run rate is preserved exactly — only the sleep
+  /// granularity changes, from one short sleep per request to one
+  /// chunk-length sleep per chunk's worth of requests. 0 (the default)
+  /// keeps the classic per-request pacing.
+  RateLimiter(double permits_per_second, double burst, VirtualClock* clock,
+              int64_t pacing_chunk_micros = 0);
 
   /// Takes one token, advancing the clock if the bucket is empty.
   void Acquire();
@@ -41,12 +49,14 @@ class RateLimiter {
   /// Total time spent throttled, in microseconds.
   int64_t throttled_micros() const { return throttled_micros_; }
   uint64_t acquired() const { return acquired_; }
+  int64_t pacing_chunk_micros() const { return pacing_chunk_micros_; }
 
  private:
   void Refill();
 
   double rate_;            // tokens per microsecond
   double burst_;
+  int64_t pacing_chunk_micros_;
   double tokens_;
   int64_t last_refill_;
   VirtualClock* clock_;    // not owned

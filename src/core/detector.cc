@@ -4,6 +4,7 @@
 #include <array>
 #include <cmath>
 #include <cstdio>
+#include <optional>
 #include <sstream>
 #include <utility>
 
@@ -263,130 +264,157 @@ Result<DetectionReport> Detector::Detect(
   }
   const DetectorMetrics& metrics = DetectorMetrics::Get();
   DetectionReport report;
-  report.items_scanned = items.size();
 
   // Every stage scope closes before `return report` so the RAII writes land
-  // while the trace still lives at its final address.
+  // while the trace still lives at its final address. The whole input runs
+  // as one staged batch — the streaming plane runs the same two methods
+  // over micro-batches and merges.
   {
     obs::StageTrace detect_stage(&report.trace, "detect",
                                  metrics.detect_latency);
     detect_stage.AddItems(items.size());
-
-    // Triage first: poison records are quarantined and never scored;
-    // degraded records bypass stage 1 (their missing fields are exactly
-    // what the rules key on) and are scored from imputed features.
-    std::vector<RecordValidation> validations(items.size());
-    if (options_.validate_records) {
-      obs::StageTrace validate_stage(&report.trace, "validate");
-      for (size_t i = 0; i < items.size(); ++i) {
-        validations[i] = validator_.Validate(items[i]);
-        if (validations[i].verdict != RecordVerdict::kPoison) continue;
-        report.quarantine.entries.push_back(
-            QuarantineEntry{items[i].item.item_id, validations[i].issues});
-        const RecordIssue issues = validations[i].issues;
-        if (HasIssue(issues, RecordIssue::kAbsurdPrice)) {
-          metrics.quarantine_absurd_price->Increment();
-        }
-        if (HasIssue(issues, RecordIssue::kCorruptCommentText)) {
-          metrics.quarantine_corrupt_text->Increment();
-        }
-        if (HasIssue(issues, RecordIssue::kOversizedComment)) {
-          metrics.quarantine_oversized_comment->Increment();
-        }
-        if (HasIssue(issues, RecordIssue::kDuplicateCommentIds)) {
-          metrics.quarantine_duplicate_comment_ids->Increment();
-        }
-        if (HasIssue(issues, RecordIssue::kMismatchedItemId)) {
-          metrics.quarantine_mismatched_item_id->Increment();
-        }
-      }
-      report.items_quarantined = report.quarantine.size();
-      validate_stage.AddItems(items.size());
-    }
-
-    std::vector<FeatureVector> features;
-    {
-      obs::StageTrace extract_stage(&report.trace, "extract_features");
-      features = extractor_.ExtractAll(items);
-      extract_stage.AddItems(items.size());
-    }
-
+    StagedBatch staged = StageForScoring(items, &report.trace);
     obs::StageTrace classify_stage(&report.trace, "rule_filter_and_classify");
-    // Two passes: triage + rule filtering first, collecting the rows that
-    // need scoring into one contiguous buffer, then a single
-    // PredictProbaBatch call so the classifier can fan the whole batch over
-    // its thread pool. Scores come back one slot per row, so detections are
-    // emitted in the same item order as the old per-row loop.
-    struct PendingScore {
-      size_t item_index;
-      bool degraded;
-    };
-    std::vector<PendingScore> pending;
-    std::vector<float> score_rows;
-    pending.reserve(items.size());
-    score_rows.reserve(items.size() * kNumFeatures);
-    for (size_t i = 0; i < items.size(); ++i) {
-      if (validations[i].verdict == RecordVerdict::kPoison) continue;
-      if (validations[i].verdict == RecordVerdict::kDegraded) {
-        const RecordIssue issues = validations[i].issues;
-        // Commentless items have nothing to extract — substitute the
-        // training-set marginals; missing-orders items keep their own
-        // comment-derived features.
-        const FeatureVector& row =
-            HasIssue(issues, RecordIssue::kMissingComments)
-                ? imputed_features_
-                : features[i];
-        ++report.items_degraded;
-        ++report.items_classified;
-        if (HasIssue(issues, RecordIssue::kMissingComments)) {
-          metrics.degraded_missing_comments->Increment();
-        }
-        if (HasIssue(issues, RecordIssue::kMissingOrders)) {
-          metrics.degraded_missing_orders->Increment();
-        }
-        pending.push_back(PendingScore{i, /*degraded=*/true});
-        score_rows.insert(score_rows.end(), row.begin(), row.end());
-        continue;
-      }
-      switch (filter_.Evaluate(items[i], features[i])) {
-        case FilterReason::kLowSales:
-          ++report.items_filtered_low_sales;
-          metrics.filtered_low_sales->Increment();
-          continue;
-        case FilterReason::kNoPositiveSignal:
-          ++report.items_filtered_no_signal;
-          metrics.filtered_no_signal->Increment();
-          continue;
-        case FilterReason::kNoComments:
-          ++report.items_filtered_no_comments;
-          metrics.filtered_no_comments->Increment();
-          continue;
-        case FilterReason::kKept:
-          break;
-      }
-      ++report.items_classified;
-      pending.push_back(PendingScore{i, /*degraded=*/false});
-      score_rows.insert(score_rows.end(), features[i].begin(),
-                        features[i].end());
-    }
-
-    std::vector<double> scores = classifier_->PredictProbaBatch(
-        score_rows.data(), pending.size(), kNumFeatures);
-    for (size_t p = 0; p < pending.size(); ++p) {
-      double score = scores[p];
-      metrics.score_histogram->Observe(score);
-      if (score < options_.decision_threshold) continue;
-      uint64_t item_id = items[pending[p].item_index].item.item_id;
-      if (pending[p].degraded) {
-        report.degraded_detections.push_back(
-            Detection{item_id, score, ScoreConfidence::kDegraded});
-      } else {
-        report.detections.push_back(
-            Detection{item_id, score, ScoreConfidence::kFull});
-      }
-    }
+    ScoreStagedBatch(staged, &report);
     classify_stage.AddItems(report.items_classified);
   }
+  MirrorReportMetrics(report);
+  return report;
+}
+
+StagedBatch Detector::StageForScoring(
+    const std::vector<collect::CollectedItem>& items,
+    obs::PipelineTrace* trace, const FeatureExtractor* extractor) const {
+  const DetectorMetrics& metrics = DetectorMetrics::Get();
+  StagedBatch batch;
+  batch.items_scanned = items.size();
+
+  // Triage first: poison records are quarantined and never scored;
+  // degraded records bypass stage 1 (their missing fields are exactly
+  // what the rules key on) and are scored from imputed features.
+  std::vector<RecordValidation> validations(items.size());
+  if (options_.validate_records) {
+    std::optional<obs::StageTrace> validate_stage;
+    if (trace != nullptr) validate_stage.emplace(trace, "validate");
+    for (size_t i = 0; i < items.size(); ++i) {
+      validations[i] = validator_.Validate(items[i]);
+      if (validations[i].verdict != RecordVerdict::kPoison) continue;
+      batch.quarantined.push_back(
+          QuarantineEntry{items[i].item.item_id, validations[i].issues});
+      const RecordIssue issues = validations[i].issues;
+      if (HasIssue(issues, RecordIssue::kAbsurdPrice)) {
+        metrics.quarantine_absurd_price->Increment();
+      }
+      if (HasIssue(issues, RecordIssue::kCorruptCommentText)) {
+        metrics.quarantine_corrupt_text->Increment();
+      }
+      if (HasIssue(issues, RecordIssue::kOversizedComment)) {
+        metrics.quarantine_oversized_comment->Increment();
+      }
+      if (HasIssue(issues, RecordIssue::kDuplicateCommentIds)) {
+        metrics.quarantine_duplicate_comment_ids->Increment();
+      }
+      if (HasIssue(issues, RecordIssue::kMismatchedItemId)) {
+        metrics.quarantine_mismatched_item_id->Increment();
+      }
+    }
+    if (validate_stage.has_value()) validate_stage->AddItems(items.size());
+  }
+
+  std::vector<FeatureVector> features;
+  {
+    std::optional<obs::StageTrace> extract_stage;
+    if (trace != nullptr) extract_stage.emplace(trace, "extract_features");
+    features = (extractor != nullptr ? *extractor : extractor_)
+                   .ExtractAll(items);
+    if (extract_stage.has_value()) extract_stage->AddItems(items.size());
+  }
+
+  // Route every non-poison item: degraded ones straight to scoring (from
+  // imputed features when their comments are missing), the rest through
+  // the stage-1 rules. Survivors' rows land in one contiguous buffer so
+  // the scorer can classify the whole batch in a single
+  // PredictProbaBatch call.
+  batch.pending.reserve(items.size());
+  batch.rows.reserve(items.size() * kNumFeatures);
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (validations[i].verdict == RecordVerdict::kPoison) continue;
+    if (validations[i].verdict == RecordVerdict::kDegraded) {
+      const RecordIssue issues = validations[i].issues;
+      // Commentless items have nothing to extract — substitute the
+      // training-set marginals; missing-orders items keep their own
+      // comment-derived features.
+      const FeatureVector& row =
+          HasIssue(issues, RecordIssue::kMissingComments) ? imputed_features_
+                                                          : features[i];
+      ++batch.degraded;
+      if (HasIssue(issues, RecordIssue::kMissingComments)) {
+        metrics.degraded_missing_comments->Increment();
+      }
+      if (HasIssue(issues, RecordIssue::kMissingOrders)) {
+        metrics.degraded_missing_orders->Increment();
+      }
+      batch.pending.push_back(
+          StagedBatch::PendingRow{items[i].item.item_id, /*degraded=*/true});
+      batch.rows.insert(batch.rows.end(), row.begin(), row.end());
+      continue;
+    }
+    switch (filter_.Evaluate(items[i], features[i])) {
+      case FilterReason::kLowSales:
+        ++batch.filtered_low_sales;
+        metrics.filtered_low_sales->Increment();
+        continue;
+      case FilterReason::kNoPositiveSignal:
+        ++batch.filtered_no_signal;
+        metrics.filtered_no_signal->Increment();
+        continue;
+      case FilterReason::kNoComments:
+        ++batch.filtered_no_comments;
+        metrics.filtered_no_comments->Increment();
+        continue;
+      case FilterReason::kKept:
+        break;
+    }
+    batch.pending.push_back(
+        StagedBatch::PendingRow{items[i].item.item_id, /*degraded=*/false});
+    batch.rows.insert(batch.rows.end(), features[i].begin(),
+                      features[i].end());
+  }
+  return batch;
+}
+
+void Detector::ScoreStagedBatch(const StagedBatch& batch,
+                                DetectionReport* report) const {
+  const DetectorMetrics& metrics = DetectorMetrics::Get();
+  report->items_scanned += batch.items_scanned;
+  report->items_quarantined += batch.quarantined.size();
+  report->quarantine.entries.insert(report->quarantine.entries.end(),
+                                    batch.quarantined.begin(),
+                                    batch.quarantined.end());
+  report->items_filtered_low_sales += batch.filtered_low_sales;
+  report->items_filtered_no_signal += batch.filtered_no_signal;
+  report->items_filtered_no_comments += batch.filtered_no_comments;
+  report->items_classified += batch.pending.size();
+  report->items_degraded += batch.degraded;
+
+  std::vector<double> scores = classifier_->PredictProbaBatch(
+      batch.rows.data(), batch.pending.size(), kNumFeatures);
+  for (size_t p = 0; p < batch.pending.size(); ++p) {
+    double score = scores[p];
+    metrics.score_histogram->Observe(score);
+    if (score < options_.decision_threshold) continue;
+    if (batch.pending[p].degraded) {
+      report->degraded_detections.push_back(Detection{
+          batch.pending[p].item_id, score, ScoreConfidence::kDegraded});
+    } else {
+      report->detections.push_back(
+          Detection{batch.pending[p].item_id, score, ScoreConfidence::kFull});
+    }
+  }
+}
+
+void Detector::MirrorReportMetrics(const DetectionReport& report) {
+  const DetectorMetrics& metrics = DetectorMetrics::Get();
   metrics.items_scanned->Increment(report.items_scanned);
   metrics.items_quarantined->Increment(report.items_quarantined);
   metrics.items_degraded->Increment(report.items_degraded);
@@ -396,7 +424,6 @@ Result<DetectionReport> Detector::Detect(
   metrics.items_classified->Increment(report.items_classified);
   metrics.items_flagged->Increment(report.detections.size() +
                                    report.degraded_detections.size());
-  return report;
 }
 
 Result<std::vector<double>> Detector::ScoreFeatures(

@@ -68,6 +68,31 @@ struct DetectorOptions {
   bool validate_records = true;
 };
 
+/// Intermediate product of the pre-scoring stages (validate -> extract ->
+/// rule filter) over one slice of items. Self-contained and additive: the
+/// streaming plane (pipeline::StreamingCats) stages micro-batches on
+/// concurrent workers and merges them through ScoreStagedBatch in any
+/// order; the sequential Detect stages the whole input as one batch. Both
+/// paths therefore route every item through exactly the same code.
+struct StagedBatch {
+  /// One rule-filter survivor awaiting classification.
+  struct PendingRow {
+    uint64_t item_id = 0;
+    bool degraded = false;  // scored from imputed features
+  };
+
+  size_t items_scanned = 0;
+  std::vector<QuarantineEntry> quarantined;
+  size_t filtered_low_sales = 0;
+  size_t filtered_no_signal = 0;
+  size_t filtered_no_comments = 0;
+  size_t degraded = 0;  // == count of degraded PendingRows
+  std::vector<PendingRow> pending;
+  /// pending.size() rows of kNumFeatures floats, row-major, aligned with
+  /// `pending` — the contiguous buffer PredictProbaBatch consumes.
+  std::vector<float> rows;
+};
+
 /// Stage 1 + stage 2 of CATS (paper §II-B): rule filter, then a binary
 /// classifier over the 11 features. Defaults to the Gbdt (the paper's
 /// Xgboost choice); any ml::Classifier can be injected — "in practice, it
@@ -112,6 +137,32 @@ class Detector {
   /// Runs both stages on unlabeled items.
   Result<DetectionReport> Detect(
       const std::vector<collect::CollectedItem>& items) const;
+
+  /// The pre-scoring half of Detect over one batch: validate (quarantine
+  /// poison), extract features, apply the stage-1 rules, and collect the
+  /// survivors' feature rows for batch scoring. Thread-safe — the
+  /// streaming plane calls it from several workers concurrently. `trace`
+  /// (optional, single-threaded callers only) records "validate" and
+  /// "extract_features" child stages. `extractor` overrides the member
+  /// extractor — the streaming plane passes a serial one per worker so
+  /// parallelism comes from the workers, not nested pools.
+  StagedBatch StageForScoring(
+      const std::vector<collect::CollectedItem>& items,
+      obs::PipelineTrace* trace = nullptr,
+      const FeatureExtractor* extractor = nullptr) const;
+
+  /// The scoring half of Detect: classifies a staged batch's pending rows
+  /// in one PredictProbaBatch call and folds everything — counts,
+  /// quarantine, detections — into `report` additively. Call from one
+  /// thread at a time (the classifier's batch path owns a thread pool).
+  /// Precondition: trained().
+  void ScoreStagedBatch(const StagedBatch& batch,
+                        DetectionReport* report) const;
+
+  /// Mirrors a finished report's run-level totals into the process-wide
+  /// `detector.*` counters — the final step of Detect, exposed so the
+  /// streaming plane reports identical run metrics for its merged report.
+  static void MirrorReportMetrics(const DetectionReport& report);
 
   /// Classifier scores for pre-extracted features (no rule filter) —
   /// used by evaluation code that wants raw per-item probabilities.

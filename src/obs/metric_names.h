@@ -130,6 +130,42 @@ inline constexpr std::string_view kModelLoadsTotal = "model.loads_total";
 inline constexpr std::string_view kModelLoadFailuresTotal =
     "model.load_failures_total";
 
+// --- pipeline::StreamingCats (streaming execution plane) ---
+inline constexpr std::string_view kPipelineRunsTotal = "pipeline.runs_total";
+inline constexpr std::string_view kPipelineStopsTotal =
+    "pipeline.stops_total";
+inline constexpr std::string_view kPipelineItemsStreamedTotal =
+    "pipeline.items_streamed_total";
+inline constexpr std::string_view kPipelineBatchesStagedTotal =
+    "pipeline.batches_staged_total";
+inline constexpr std::string_view kPipelineBatchItems =
+    "pipeline.batch_items";
+inline constexpr std::string_view kPipelineRunLatencyMicros =
+    "pipeline.run_latency_micros";
+inline constexpr std::string_view kPipelineStageLatencyMicros =
+    "pipeline.stage_latency_micros";
+inline constexpr std::string_view kPipelineScoreLatencyMicros =
+    "pipeline.score_latency_micros";
+inline constexpr std::string_view kPipelineLastItemsPerSecond =
+    "pipeline.last_items_per_second";
+// Per-queue depth / throughput / stall signals (util::BoundedQueue).
+inline constexpr std::string_view kPipelineIngestDepth =
+    "pipeline.ingest.depth";
+inline constexpr std::string_view kPipelineIngestPushedTotal =
+    "pipeline.ingest.pushed_total";
+inline constexpr std::string_view kPipelineIngestPushStallMicrosTotal =
+    "pipeline.ingest.push_stall_micros_total";
+inline constexpr std::string_view kPipelineIngestPopStallMicrosTotal =
+    "pipeline.ingest.pop_stall_micros_total";
+inline constexpr std::string_view kPipelineStagedDepth =
+    "pipeline.staged.depth";
+inline constexpr std::string_view kPipelineStagedPushedTotal =
+    "pipeline.staged.pushed_total";
+inline constexpr std::string_view kPipelineStagedPushStallMicrosTotal =
+    "pipeline.staged.push_stall_micros_total";
+inline constexpr std::string_view kPipelineStagedPopStallMicrosTotal =
+    "pipeline.staged.pop_stall_micros_total";
+
 // --- ml::Gbdt (the detector's boosted-tree classifier) ---
 inline constexpr std::string_view kGbdtRoundsTotal = "gbdt.rounds_total";
 inline constexpr std::string_view kGbdtRoundLatencyMicros =

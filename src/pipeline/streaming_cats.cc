@@ -1,0 +1,248 @@
+#include "pipeline/streaming_cats.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+#include "util/bounded_queue.h"
+
+#if defined(__linux__)
+#include <sys/resource.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace cats::pipeline {
+namespace {
+
+/// Lowers the calling thread's scheduling priority by `nice_delta` (see
+/// StreamingOptions::compute_nice). No-op off Linux or when delta <= 0;
+/// best-effort (an EPERM just leaves default priority).
+void DeprioritizeComputeThread(int nice_delta) {
+#if defined(__linux__)
+  if (nice_delta > 0) {
+    setpriority(PRIO_PROCESS, static_cast<id_t>(syscall(SYS_gettid)),
+                nice_delta);
+  }
+#else
+  (void)nice_delta;
+#endif
+}
+
+/// Stable handles for every pipeline.* metric (handle creation takes the
+/// registry mutex; resolve them once per process).
+struct PipelineMetrics {
+  obs::Counter* runs_total;
+  obs::Counter* stops_total;
+  obs::Counter* items_streamed_total;
+  obs::Counter* batches_staged_total;
+  obs::LatencyHistogram* batch_items;
+  obs::LatencyHistogram* run_latency_micros;
+  obs::LatencyHistogram* stage_latency_micros;
+  obs::LatencyHistogram* score_latency_micros;
+  obs::Gauge* last_items_per_second;
+  util::BoundedQueueMetrics ingest;
+  util::BoundedQueueMetrics staged;
+
+  static const PipelineMetrics& Get() {
+    static const PipelineMetrics* metrics = [] {
+      obs::MetricsRegistry& r = obs::MetricsRegistry::Global();
+      auto* m = new PipelineMetrics{
+          r.GetCounter(obs::kPipelineRunsTotal),
+          r.GetCounter(obs::kPipelineStopsTotal),
+          r.GetCounter(obs::kPipelineItemsStreamedTotal),
+          r.GetCounter(obs::kPipelineBatchesStagedTotal),
+          r.GetLatencyHistogram(obs::kPipelineBatchItems),
+          r.GetLatencyHistogram(obs::kPipelineRunLatencyMicros),
+          r.GetLatencyHistogram(obs::kPipelineStageLatencyMicros),
+          r.GetLatencyHistogram(obs::kPipelineScoreLatencyMicros),
+          r.GetGauge(obs::kPipelineLastItemsPerSecond),
+          util::BoundedQueueMetrics{
+              r.GetGauge(obs::kPipelineIngestDepth),
+              r.GetCounter(obs::kPipelineIngestPushedTotal),
+              r.GetCounter(obs::kPipelineIngestPushStallMicrosTotal),
+              r.GetCounter(obs::kPipelineIngestPopStallMicrosTotal)},
+          util::BoundedQueueMetrics{
+              r.GetGauge(obs::kPipelineStagedDepth),
+              r.GetCounter(obs::kPipelineStagedPushedTotal),
+              r.GetCounter(obs::kPipelineStagedPushStallMicrosTotal),
+              r.GetCounter(obs::kPipelineStagedPopStallMicrosTotal)}};
+      return m;
+    }();
+    return *metrics;
+  }
+};
+
+int64_t ElapsedMicros(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - since)
+      .count();
+}
+
+/// Worker-interleaving makes arrival order nondeterministic; sorting by
+/// item_id restores a canonical report (ids are unique per store).
+void NormalizeReport(core::DetectionReport* report) {
+  auto by_id = [](const core::Detection& a, const core::Detection& b) {
+    return a.item_id < b.item_id;
+  };
+  std::sort(report->detections.begin(), report->detections.end(), by_id);
+  std::sort(report->degraded_detections.begin(),
+            report->degraded_detections.end(), by_id);
+  std::sort(report->quarantine.entries.begin(),
+            report->quarantine.entries.end(),
+            [](const core::QuarantineEntry& a, const core::QuarantineEntry& b) {
+              return a.item_id < b.item_id;
+            });
+}
+
+/// What the feed leg (crawl or replay) reports back to the pipeline body.
+struct FeedOutcome {
+  Status status = Status::OK();
+  collect::CrawlStats stats;
+  bool stopped = false;
+  size_t items_streamed = 0;
+};
+
+}  // namespace
+
+StreamingCats::StreamingCats(const core::Detector* detector,
+                             StreamingOptions options)
+    : detector_(detector), options_(options) {
+  if (options_.max_batch_items < 1) options_.max_batch_items = 1;
+  if (options_.num_stage_workers < 1) options_.num_stage_workers = 1;
+}
+
+template <typename FeedFn>
+Result<StreamingReport> StreamingCats::RunPipeline(FeedFn&& feed) {
+  if (!detector_->trained()) {
+    return Status::FailedPrecondition(
+        "StreamingCats: detector is not trained");
+  }
+  const PipelineMetrics& metrics = PipelineMetrics::Get();
+  const auto run_start = std::chrono::steady_clock::now();
+  stop_.store(false, std::memory_order_relaxed);
+
+  util::BoundedQueue<collect::CollectedItem> ingest(options_.ingest_capacity,
+                                                    metrics.ingest);
+  util::BoundedQueue<core::StagedBatch> staged(options_.staged_capacity,
+                                               metrics.staged);
+
+  // Staging workers: pop adaptive micro-batches from ingest, run the
+  // pre-scoring stages (validate -> extract -> rule filter), push the
+  // staged result downstream. Each worker owns a serial extractor sharing
+  // the detector's semantic model — parallelism comes from workers, not
+  // nested pools (this box may be single-core; the win is overlapping this
+  // compute with the crawl's I/O waits, not fanning it out).
+  std::vector<std::thread> workers;
+  workers.reserve(options_.num_stage_workers);
+  for (size_t w = 0; w < options_.num_stage_workers; ++w) {
+    workers.emplace_back([&] {
+      DeprioritizeComputeThread(options_.compute_nice);
+      core::FeatureExtractor serial_extractor(
+          &detector_->extractor().model(),
+          core::FeatureExtractorOptions{.num_threads = 1});
+      std::vector<collect::CollectedItem> batch;
+      while (ingest.PopBatch(&batch, options_.max_batch_items)) {
+        const auto stage_start = std::chrono::steady_clock::now();
+        core::StagedBatch result = detector_->StageForScoring(
+            batch, /*trace=*/nullptr, &serial_extractor);
+        metrics.stage_latency_micros->Observe(
+            static_cast<double>(ElapsedMicros(stage_start)));
+        metrics.batch_items->Observe(static_cast<double>(batch.size()));
+        metrics.batches_staged_total->Increment();
+        if (!staged.Push(std::move(result))) break;
+      }
+    });
+  }
+
+  // Single scorer: merges staged batches into one report as they complete.
+  // One thread because the classifier's batch path owns a thread pool and
+  // the merge must be serialized anyway.
+  core::DetectionReport report;
+  std::thread scorer([&] {
+    DeprioritizeComputeThread(options_.compute_nice);
+    while (std::optional<core::StagedBatch> batch = staged.Pop()) {
+      const auto score_start = std::chrono::steady_clock::now();
+      detector_->ScoreStagedBatch(*batch, &report);
+      metrics.score_latency_micros->Observe(
+          static_cast<double>(ElapsedMicros(score_start)));
+    }
+  });
+
+  // Feed on the calling thread; then drain stage by stage. Order matters:
+  // close ingest -> workers finish every accepted item -> join workers ->
+  // close staged -> scorer finishes every staged batch -> join scorer.
+  // Nothing accepted into a queue is ever dropped.
+  FeedOutcome fed = feed(&ingest);
+  ingest.Close();
+  for (std::thread& worker : workers) worker.join();
+  staged.Close();
+  scorer.join();
+
+  NormalizeReport(&report);
+  core::Detector::MirrorReportMetrics(report);
+
+  const int64_t run_micros = ElapsedMicros(run_start);
+  metrics.run_latency_micros->Observe(static_cast<double>(run_micros));
+  metrics.runs_total->Increment();
+  metrics.items_streamed_total->Increment(fed.items_streamed);
+  if (fed.stopped) metrics.stops_total->Increment();
+  if (run_micros > 0) {
+    metrics.last_items_per_second->Set(static_cast<double>(
+        fed.items_streamed / (static_cast<double>(run_micros) / 1e6)));
+  }
+
+  StreamingReport out;
+  out.report = std::move(report);
+  out.crawl_status = std::move(fed.status);
+  out.crawl_stats = fed.stats;
+  out.stopped = fed.stopped;
+  out.items_streamed = fed.items_streamed;
+  return out;
+}
+
+Result<StreamingReport> StreamingCats::Run(collect::Crawler* crawler,
+                                           collect::DataStore* store,
+                                           collect::CrawlCheckpoint* checkpoint) {
+  return RunPipeline(
+      [&](util::BoundedQueue<collect::CollectedItem>* ingest) {
+        FeedOutcome outcome;
+        crawler->set_item_sink([&](const collect::CollectedItem& item) {
+          // Copy: the store's item vector may reallocate as the crawl
+          // continues, and workers outlive the sink call. Push BEFORE
+          // checking the stop flag: the crawler has already marked this
+          // item's walk complete, so a resumed crawl will not re-offer it
+          // — refusing it here would lose it forever.
+          if (!ingest->Push(item)) return false;
+          ++outcome.items_streamed;
+          return !stop_.load(std::memory_order_relaxed);
+        });
+        outcome.status = crawler->Crawl(store, checkpoint);
+        crawler->set_item_sink(nullptr);
+        outcome.stats = crawler->stats();
+        outcome.stopped = crawler->canceled();
+        return outcome;
+      });
+}
+
+Result<StreamingReport> StreamingCats::RunOnItems(
+    const std::vector<collect::CollectedItem>& items) {
+  return RunPipeline(
+      [&](util::BoundedQueue<collect::CollectedItem>* ingest) {
+        FeedOutcome outcome;
+        for (const collect::CollectedItem& item : items) {
+          if (!ingest->Push(item)) break;
+          ++outcome.items_streamed;
+          if (stop_.load(std::memory_order_relaxed)) {
+            outcome.stopped = true;
+            break;
+          }
+        }
+        return outcome;
+      });
+}
+
+}  // namespace cats::pipeline

@@ -1,0 +1,132 @@
+#ifndef CATS_PIPELINE_STREAMING_CATS_H_
+#define CATS_PIPELINE_STREAMING_CATS_H_
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include "collect/crawler.h"
+#include "collect/store.h"
+#include "core/detector.h"
+#include "util/result.h"
+
+namespace cats::pipeline {
+
+/// Knobs of the streaming execution plane. Defaults target the repo's
+/// test/bench scales; a production deployment sizes queues against the
+/// crawl rate (see docs/ARCHITECTURE.md "Streaming plane" for the sizing
+/// contract).
+struct StreamingOptions {
+  /// Items buffered between the crawl thread and the staging workers.
+  /// When staging falls behind, the queue fills and the crawl thread
+  /// blocks in Push — backpressure reaches all the way to the collector,
+  /// exactly like a 429 storm slows it from the other side.
+  size_t ingest_capacity = 256;
+  /// Staged micro-batches buffered ahead of the single scorer thread.
+  size_t staged_capacity = 32;
+  /// Micro-batch ceiling: a staging worker pops at most this many items in
+  /// one wait (util::BoundedQueue::PopBatch), so batch size adapts between
+  /// 1 (crawl-bound) and the ceiling (stage-bound).
+  size_t max_batch_items = 64;
+  /// Concurrent staging workers (validate + extract + rule filter). Each
+  /// runs a serial feature extractor — parallelism comes from workers, not
+  /// nested pools.
+  size_t num_stage_workers = 2;
+  /// Nice delta applied to the compute threads (staging workers + scorer)
+  /// on platforms that support per-thread priorities (Linux). The ingest
+  /// thread faces the remote platform's rate window: every cycle compute
+  /// steals from it during a crawl burst stretches the crawl and leaves
+  /// the throttle/backoff sleeps with no backlog to score. Deprioritizing
+  /// compute keeps ingest ahead, so compute soaks the crawl's idle windows
+  /// instead of competing with its bursts. 0 disables; results are
+  /// unaffected either way (scheduling only).
+  int compute_nice = 10;
+};
+
+/// Outcome of one streaming run.
+struct StreamingReport {
+  /// Merged detection report, order-normalized: detections,
+  /// degraded_detections and quarantine entries are sorted by item_id so
+  /// the report is deterministic regardless of worker interleaving (and
+  /// directly comparable against a sorted sequential report).
+  core::DetectionReport report;
+  /// Outcome of the crawl leg. A non-OK status (e.g. retry budget
+  /// exhausted) does not void the report: everything ingested before the
+  /// abort was still staged, scored and merged, and the checkpoint resumes
+  /// the remainder.
+  Status crawl_status;
+  /// Stats of the crawl leg (when a crawler was involved).
+  collect::CrawlStats crawl_stats;
+  /// True when RequestStop() cut the run short (checkpoint resumable).
+  bool stopped = false;
+  /// Items that entered the ingest queue.
+  size_t items_streamed = 0;
+};
+
+/// The streaming execution plane: runs the paper's four stages — collector,
+/// semantic analysis + feature extraction (inside Detector staging), and
+/// stage-2 classification — as concurrent workers connected by bounded
+/// queues, so crawl I/O, analysis and scoring overlap instead of running as
+/// sequential batch phases:
+///
+///   crawl thread -> [ingest queue] -> staging workers -> [staged queue]
+///                                                      -> scorer thread
+///
+/// Result-identical to the sequential path: both run the exact same
+/// Detector::StageForScoring / ScoreStagedBatch code per item, so for the
+/// same collected items the merged report equals `Detector::Detect`'s
+/// (order-normalized; verified in tests/streaming_cats_test.cc).
+///
+/// Shutdown protocol: Close(ingest) -> workers drain and exit -> workers
+/// joined -> Close(staged) -> scorer drains and exits. Every item accepted
+/// into a queue is scored; nothing is lost between stages. RequestStop()
+/// (any thread) triggers the same drain after cancelling the crawl at the
+/// next item boundary, leaving the CrawlCheckpoint resumable.
+///
+/// Observability: `pipeline.*` metrics (docs/METRICS.md) — per-queue
+/// depth/throughput/stall, batch-size and stage-latency histograms, and a
+/// run-level items/s gauge.
+class StreamingCats {
+ public:
+  /// `detector` must be trained (or loaded) and outlive this object.
+  StreamingCats(const core::Detector* detector, StreamingOptions options);
+  explicit StreamingCats(const core::Detector* detector)
+      : StreamingCats(detector, StreamingOptions{}) {}
+
+  /// Crawls (or resumes) through `crawler` into `store`, scoring items as
+  /// their comment walks complete. The calling thread runs the crawl leg;
+  /// staging and scoring run on internal threads that are joined before
+  /// returning. The crawler's item sink is owned by this call and cleared
+  /// on exit.
+  Result<StreamingReport> Run(collect::Crawler* crawler,
+                              collect::DataStore* store,
+                              collect::CrawlCheckpoint* checkpoint);
+
+  /// Streams an already-collected item set through the same plane (replay
+  /// mode — `cats_cli detect --streaming`, benches). crawl_status is OK
+  /// and crawl_stats empty.
+  Result<StreamingReport> RunOnItems(
+      const std::vector<collect::CollectedItem>& items);
+
+  /// Requests a graceful shutdown of an in-flight Run from any thread:
+  /// the crawl cancels at the next item boundary, queues drain, and Run
+  /// returns a valid report covering everything ingested so far.
+  void RequestStop() { stop_.store(true, std::memory_order_relaxed); }
+
+  const StreamingOptions& options() const { return options_; }
+
+ private:
+  /// The shared pipeline body: `feed` pushes items into the ingest queue
+  /// (returning its leg's status) while workers stage and the scorer
+  /// merges; used by both Run and RunOnItems.
+  template <typename FeedFn>
+  Result<StreamingReport> RunPipeline(FeedFn&& feed);
+
+  const core::Detector* detector_;  // not owned
+  StreamingOptions options_;
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace cats::pipeline
+
+#endif  // CATS_PIPELINE_STREAMING_CATS_H_

@@ -1,0 +1,182 @@
+#ifndef CATS_UTIL_BOUNDED_QUEUE_H_
+#define CATS_UTIL_BOUNDED_QUEUE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace cats::util {
+
+/// Observability hooks for one BoundedQueue. All pointers are optional
+/// (nullptr disables that signal) and must outlive the queue; the gauge
+/// tracks instantaneous depth, the counters accumulate across the queue's
+/// lifetime. Stall time is real (steady-clock) time spent blocked — the
+/// backpressure signal an operator watches to find the slow stage.
+struct BoundedQueueMetrics {
+  obs::Gauge* depth = nullptr;
+  obs::Counter* pushed_total = nullptr;
+  obs::Counter* push_stall_micros_total = nullptr;
+  obs::Counter* pop_stall_micros_total = nullptr;
+};
+
+/// Fixed-capacity MPMC queue connecting pipeline stages, with blocking
+/// backpressure on both sides and poison-pill close semantics:
+///
+///   - Push blocks while the queue is full (backpressure propagates
+///     upstream: a slow scorer eventually stalls the crawl thread) and
+///     returns false once the queue is closed — the producer's signal to
+///     stop.
+///   - Pop/PopBatch block while the queue is empty and return items until
+///     the queue is closed AND drained, then return nullopt/false — every
+///     item pushed before Close is still delivered (drain-on-shutdown),
+///     so closing never loses accepted work.
+///   - Close is idempotent and safe from any thread (typically the
+///     producer, or a shutdown watchdog).
+///
+/// The queue never drops or reorders items (FIFO); with multiple
+/// consumers, items are delivered exactly once but completion order across
+/// consumers is unspecified — downstream must merge order-insensitively.
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity,
+                        BoundedQueueMetrics metrics = BoundedQueueMetrics{})
+      : capacity_(capacity < 1 ? 1 : capacity), metrics_(metrics) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Blocks until there is room (or the queue closes). Returns true if the
+  /// item was enqueued, false if the queue was closed (item dropped —
+  /// producers treat that as "stop producing").
+  bool Push(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (items_.size() >= capacity_ && !closed_) {
+      StallTimer stall(metrics_.push_stall_micros_total);
+      not_full_.wait(lock,
+                     [&] { return items_.size() < capacity_ || closed_; });
+    }
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    Published(lock);
+    return true;
+  }
+
+  /// Non-blocking push; false when full or closed.
+  bool TryPush(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (closed_ || items_.size() >= capacity_) return false;
+    items_.push_back(std::move(item));
+    Published(lock);
+    return true;
+  }
+
+  /// Blocks until an item is available; nullopt once closed and drained.
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    WaitForItemOrClose(lock);
+    if (items_.empty()) return std::nullopt;
+    return Take(lock);
+  }
+
+  /// Pops up to `max_items` in one wait: blocks for the first item, then
+  /// takes whatever else is already queued (never blocking again). This is
+  /// the micro-batching primitive — under backpressure batches fill up,
+  /// under light load they shrink toward single items, so batch size adapts
+  /// to wherever the bottleneck currently is. Returns false (empty `out`)
+  /// once closed and drained.
+  bool PopBatch(std::vector<T>* out, size_t max_items) {
+    out->clear();
+    std::unique_lock<std::mutex> lock(mu_);
+    WaitForItemOrClose(lock);
+    while (!items_.empty() && out->size() < max_items) {
+      out->push_back(Take(lock));
+    }
+    return !out->empty();
+  }
+
+  /// Closes the queue: producers get false from Push, consumers drain the
+  /// remaining items and then get nullopt. Idempotent.
+  void Close() {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  /// Accumulates blocked wall time into a stall counter (RAII).
+  class StallTimer {
+   public:
+    explicit StallTimer(obs::Counter* counter)
+        : counter_(counter),
+          start_(counter ? std::chrono::steady_clock::now()
+                         : std::chrono::steady_clock::time_point{}) {}
+    ~StallTimer() {
+      if (counter_ == nullptr) return;
+      auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
+                        std::chrono::steady_clock::now() - start_)
+                        .count();
+      if (micros > 0) counter_->Increment(static_cast<uint64_t>(micros));
+    }
+
+   private:
+    obs::Counter* counter_;
+    std::chrono::steady_clock::time_point start_;
+  };
+
+  void WaitForItemOrClose(std::unique_lock<std::mutex>& lock) {
+    if (items_.empty() && !closed_) {
+      StallTimer stall(metrics_.pop_stall_micros_total);
+      not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
+    }
+  }
+
+  // Both helpers run under mu_ (the lock parameter documents that).
+  void Published(const std::unique_lock<std::mutex>&) {
+    if (metrics_.pushed_total != nullptr) metrics_.pushed_total->Increment();
+    if (metrics_.depth != nullptr) {
+      metrics_.depth->Set(static_cast<double>(items_.size()));
+    }
+    not_empty_.notify_one();
+  }
+
+  T Take(const std::unique_lock<std::mutex>&) {
+    T item = std::move(items_.front());
+    items_.pop_front();
+    if (metrics_.depth != nullptr) {
+      metrics_.depth->Set(static_cast<double>(items_.size()));
+    }
+    not_full_.notify_one();
+    return item;
+  }
+
+  const size_t capacity_;
+  BoundedQueueMetrics metrics_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace cats::util
+
+#endif  // CATS_UTIL_BOUNDED_QUEUE_H_

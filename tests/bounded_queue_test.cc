@@ -1,0 +1,205 @@
+#include "util/bounded_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace cats::util {
+namespace {
+
+TEST(BoundedQueueTest, FifoSingleThread) {
+  BoundedQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(q.Push(i));
+  EXPECT_EQ(q.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    std::optional<int> v = q.Pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(BoundedQueueTest, CapacityClampedToOne) {
+  BoundedQueue<int> q(0);
+  EXPECT_EQ(q.capacity(), 1u);
+  EXPECT_TRUE(q.TryPush(1));
+  EXPECT_FALSE(q.TryPush(2));  // full
+}
+
+TEST(BoundedQueueTest, TryPushFailsWhenFullOrClosed) {
+  BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.TryPush(1));
+  EXPECT_TRUE(q.TryPush(2));
+  EXPECT_FALSE(q.TryPush(3));
+  q.Close();
+  EXPECT_FALSE(q.TryPush(4));
+}
+
+TEST(BoundedQueueTest, PushBlocksUntilRoomThenSucceeds) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.Push(1));
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(q.Push(2));  // blocks: queue is full
+    pushed.store(true);
+  });
+  // The producer must be stuck until a Pop makes room.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(pushed.load());
+  EXPECT_EQ(q.Pop().value(), 1);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_EQ(q.Pop().value(), 2);
+}
+
+TEST(BoundedQueueTest, PopBlocksUntilItemArrives) {
+  BoundedQueue<int> q(4);
+  std::optional<int> got;
+  std::thread consumer([&] { got = q.Pop(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_TRUE(q.Push(42));
+  consumer.join();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, 42);
+}
+
+TEST(BoundedQueueTest, CloseDrainsRemainingItemsThenEnds) {
+  BoundedQueue<int> q(8);
+  EXPECT_TRUE(q.Push(1));
+  EXPECT_TRUE(q.Push(2));
+  q.Close();
+  EXPECT_FALSE(q.Push(3));  // closed: rejected
+  // Drain-on-shutdown: both accepted items still come out, then nullopt.
+  EXPECT_EQ(q.Pop().value(), 1);
+  EXPECT_EQ(q.Pop().value(), 2);
+  EXPECT_FALSE(q.Pop().has_value());
+  EXPECT_FALSE(q.Pop().has_value());  // stays ended
+}
+
+TEST(BoundedQueueTest, CloseWakesBlockedProducerAndConsumer) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.Push(1));
+  std::atomic<int> results{0};
+  std::thread producer([&] {
+    if (!q.Push(2)) results.fetch_add(1);  // blocked on full, then closed
+  });
+  BoundedQueue<int> empty(1);
+  std::thread consumer([&] {
+    if (!empty.Pop().has_value()) results.fetch_add(1);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.Close();
+  empty.Close();
+  producer.join();
+  consumer.join();
+  EXPECT_EQ(results.load(), 2);
+}
+
+TEST(BoundedQueueTest, PopBatchTakesWhatIsQueuedWithoutBlockingAgain) {
+  BoundedQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(q.Push(i));
+  std::vector<int> batch;
+  // Ceiling below queued count: take exactly the ceiling.
+  EXPECT_TRUE(q.PopBatch(&batch, 3));
+  EXPECT_EQ(batch, (std::vector<int>{0, 1, 2}));
+  // Ceiling above queued count: take what is there, do not wait for more.
+  EXPECT_TRUE(q.PopBatch(&batch, 10));
+  EXPECT_EQ(batch, (std::vector<int>{3, 4}));
+}
+
+TEST(BoundedQueueTest, PopBatchEndsAfterCloseAndDrain) {
+  BoundedQueue<int> q(4);
+  ASSERT_TRUE(q.Push(7));
+  q.Close();
+  std::vector<int> batch;
+  EXPECT_TRUE(q.PopBatch(&batch, 4));
+  EXPECT_EQ(batch, std::vector<int>{7});
+  EXPECT_FALSE(q.PopBatch(&batch, 4));
+  EXPECT_TRUE(batch.empty());
+}
+
+TEST(BoundedQueueTest, MpmcDeliversEveryItemExactlyOnce) {
+  // 4 producers x 250 items through a tiny queue into 3 consumers: every
+  // item must come out exactly once despite constant backpressure.
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 250;
+  BoundedQueue<int> q(3);
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        EXPECT_TRUE(q.Push(p * kPerProducer + i));
+      }
+    });
+  }
+  std::mutex mu;
+  std::multiset<int> seen;
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 3; ++c) {
+    consumers.emplace_back([&] {
+      std::vector<int> batch;
+      while (q.PopBatch(&batch, 7)) {
+        std::lock_guard<std::mutex> lock(mu);
+        seen.insert(batch.begin(), batch.end());
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  q.Close();
+  for (std::thread& t : consumers) t.join();
+  ASSERT_EQ(seen.size(), static_cast<size_t>(kProducers * kPerProducer));
+  for (int v = 0; v < kProducers * kPerProducer; ++v) {
+    EXPECT_EQ(seen.count(v), 1u) << v;
+  }
+}
+
+TEST(BoundedQueueTest, MetricsTrackDepthThroughputAndStalls) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  obs::Gauge* depth = registry.GetGauge("test.bq.depth");
+  obs::Counter* pushed = registry.GetCounter("test.bq.pushed_total");
+  obs::Counter* push_stall =
+      registry.GetCounter("test.bq.push_stall_micros_total");
+  obs::Counter* pop_stall =
+      registry.GetCounter("test.bq.pop_stall_micros_total");
+  BoundedQueueMetrics metrics{depth, pushed, push_stall, pop_stall};
+  BoundedQueue<int> q(1, metrics);
+
+  ASSERT_TRUE(q.Push(1));
+  EXPECT_EQ(pushed->value(), 1u);
+  EXPECT_EQ(depth->value(), 1.0);
+
+  // Force a push stall (full queue) and a pop stall (empty queue); both
+  // counters must have accumulated real blocked time.
+  std::thread producer([&] { EXPECT_TRUE(q.Push(2)); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(q.Pop().value(), 1);
+  producer.join();
+  EXPECT_EQ(q.Pop().value(), 2);
+  EXPECT_EQ(depth->value(), 0.0);
+  EXPECT_EQ(pushed->value(), 2u);
+  EXPECT_GT(push_stall->value(), 0u);
+
+  std::thread consumer([&] { EXPECT_EQ(q.Pop().value(), 3); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ASSERT_TRUE(q.Push(3));
+  consumer.join();
+  EXPECT_GT(pop_stall->value(), 0u);
+}
+
+TEST(BoundedQueueTest, MoveOnlyPayload) {
+  BoundedQueue<std::unique_ptr<int>> q(2);
+  ASSERT_TRUE(q.Push(std::make_unique<int>(5)));
+  std::optional<std::unique_ptr<int>> v = q.Pop();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(**v, 5);
+}
+
+}  // namespace
+}  // namespace cats::util

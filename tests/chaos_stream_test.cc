@@ -1,0 +1,234 @@
+// Chaos battery for the streaming plane: run pipeline::StreamingCats
+// against an API injecting hostile transport faults (429 storms, 5xx
+// bursts, truncated bodies, stale pagination) AND hostile data faults
+// (dropped fields, absurd prices, garbled text) at once, through
+// deliberately tiny queues, and assert that (a) nothing deadlocks — a
+// watchdog aborts loudly instead of hanging the suite, (b) the books
+// balance exactly: every scanned item is quarantined, rule-filtered or
+// classified, (c) the quarantine matches the API's ground-truth poison set
+// id for id, and (d) the merged report equals the sequential Detect over
+// the same collected store — hostility changes throughput, never results.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <future>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "collect/crawler.h"
+#include "core/detector.h"
+#include "fault/data_fault_plan.h"
+#include "fault/fault_plan.h"
+#include "pipeline/streaming_cats.h"
+#include "platform_test_util.h"
+
+namespace cats::pipeline {
+namespace {
+
+using collect::CollectedItem;
+using core::DetectionReport;
+using core::Detector;
+
+const Detector& TrainedDetector() {
+  static const Detector* detector = [] {
+    auto* d = new Detector(&cats::TestSemanticModel());
+    const auto& store = cats::TestStore();
+    CATS_CHECK(d->Train(store.items(),
+                        cats::StoreLabels(cats::TestMarketplace(), store))
+                   .ok());
+    return d;
+  }();
+  return *detector;
+}
+
+/// Runs `fn` under a deadlock watchdog: if the pipeline wedges (a queue
+/// handshake bug would hang forever), abort the process with a diagnostic
+/// instead of eating the whole ctest timeout.
+template <typename Fn>
+auto RunWithWatchdog(Fn&& fn) {
+  auto future = std::async(std::launch::async, std::forward<Fn>(fn));
+  if (future.wait_for(std::chrono::seconds(120)) !=
+      std::future_status::ready) {
+    std::fprintf(stderr,
+                 "chaos_stream_test: pipeline deadlocked (no result within "
+                 "120s watchdog)\n");
+    std::fflush(stderr);
+    std::abort();
+  }
+  return future.get();
+}
+
+void ExpectAccountingExact(const DetectionReport& report, size_t num_items) {
+  EXPECT_EQ(report.items_scanned, num_items);
+  EXPECT_EQ(report.items_scanned,
+            report.items_quarantined + report.items_filtered_low_sales +
+                report.items_filtered_no_signal +
+                report.items_filtered_no_comments + report.items_classified);
+  EXPECT_EQ(report.items_quarantined, report.quarantine.size());
+  EXPECT_LE(report.items_degraded, report.items_classified);
+}
+
+std::set<uint64_t> QuarantinedIds(const DetectionReport& report) {
+  std::set<uint64_t> ids;
+  for (const core::QuarantineEntry& e : report.quarantine.entries) {
+    ids.insert(e.item_id);
+  }
+  return ids;
+}
+
+/// Sorted-by-id sequential ground truth over the same store.
+DetectionReport SequentialReport(const std::vector<CollectedItem>& items) {
+  auto report = TrainedDetector().Detect(items);
+  CATS_CHECK(report.ok());
+  auto by_id = [](const core::Detection& a, const core::Detection& b) {
+    return a.item_id < b.item_id;
+  };
+  std::sort(report->detections.begin(), report->detections.end(), by_id);
+  std::sort(report->degraded_detections.begin(),
+            report->degraded_detections.end(), by_id);
+  std::sort(report->quarantine.entries.begin(),
+            report->quarantine.entries.end(),
+            [](const core::QuarantineEntry& a, const core::QuarantineEntry& b) {
+              return a.item_id < b.item_id;
+            });
+  return std::move(report).value();
+}
+
+void ExpectSameResults(const DetectionReport& streaming,
+                       const DetectionReport& sequential) {
+  EXPECT_EQ(streaming.items_classified, sequential.items_classified);
+  EXPECT_EQ(streaming.items_degraded, sequential.items_degraded);
+  ASSERT_EQ(streaming.detections.size(), sequential.detections.size());
+  for (size_t i = 0; i < sequential.detections.size(); ++i) {
+    EXPECT_EQ(streaming.detections[i].item_id,
+              sequential.detections[i].item_id);
+    EXPECT_EQ(streaming.detections[i].score, sequential.detections[i].score);
+  }
+  EXPECT_EQ(QuarantinedIds(streaming), QuarantinedIds(sequential));
+}
+
+TEST(ChaosStreamTest, SurvivesHostileTransportAndDataFaults) {
+  const platform::Marketplace& market = cats::TestMarketplace();
+  collect::FakeClock clock;
+  platform::ApiOptions api_options;
+  api_options.faults = fault::FaultProfile::Hostile();
+  api_options.data_faults = fault::DataFaultProfile::Hostile();
+  api_options.seed = 31337;
+  api_options.clock = &clock;
+  platform::MarketplaceApi api(&market, api_options);
+
+  collect::CrawlerOptions options;
+  options.requests_per_second = 0.0;
+  options.max_retries = 12;
+  options.backoff_cap_micros = 500'000;
+  collect::Crawler crawler(&api, options, &clock);
+  collect::DataStore store;
+  collect::CrawlCheckpoint checkpoint;
+
+  StreamingCats streaming(&TrainedDetector());
+  auto result = RunWithWatchdog([&] {
+    return streaming.Run(&crawler, &store, &checkpoint);
+  });
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->crawl_status.ok())
+      << result->crawl_status.ToString();
+  EXPECT_TRUE(checkpoint.complete);
+  ASSERT_EQ(store.items().size(), market.items().size());
+  EXPECT_EQ(result->items_streamed, store.items().size());
+
+  // Exact accounting over the dirty store; hostility visibly exercised
+  // both triage paths.
+  ExpectAccountingExact(result->report, store.items().size());
+  EXPECT_GT(result->report.items_quarantined, 0u);
+  EXPECT_GT(result->report.items_degraded, 0u);
+
+  // Quarantine must match the API's ground-truth poison set exactly.
+  std::set<uint64_t> expected_poison(api.data_poisoned_items().begin(),
+                                     api.data_poisoned_items().end());
+  EXPECT_EQ(QuarantinedIds(result->report), expected_poison);
+
+  // And the whole report must equal the sequential run over the same data.
+  ExpectSameResults(result->report, SequentialReport(store.items()));
+}
+
+TEST(ChaosStreamTest, TinyQueuesUnderHostilityDrainCleanly) {
+  // Capacity-1 queues maximize backpressure and handshake traffic — the
+  // configuration most likely to expose a lost-wakeup or shutdown-order
+  // bug. Results must still be exact, and both queues must end drained.
+  const platform::Marketplace& market = cats::TestMarketplace();
+  collect::FakeClock clock;
+  platform::ApiOptions api_options;
+  api_options.faults = fault::FaultProfile::Hostile();
+  api_options.data_faults = fault::DataFaultProfile::Hostile();
+  api_options.seed = 4242;
+  api_options.clock = &clock;
+  platform::MarketplaceApi api(&market, api_options);
+
+  collect::CrawlerOptions options;
+  options.requests_per_second = 0.0;
+  options.max_retries = 12;
+  options.backoff_cap_micros = 500'000;
+  collect::Crawler crawler(&api, options, &clock);
+  collect::DataStore store;
+  collect::CrawlCheckpoint checkpoint;
+
+  StreamingCats streaming(&TrainedDetector(),
+                          StreamingOptions{.ingest_capacity = 1,
+                                           .staged_capacity = 1,
+                                           .max_batch_items = 1,
+                                           .num_stage_workers = 3});
+  auto result = RunWithWatchdog([&] {
+    return streaming.Run(&crawler, &store, &checkpoint);
+  });
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->crawl_status.ok());
+  EXPECT_EQ(result->items_streamed, store.items().size());
+  ExpectAccountingExact(result->report, store.items().size());
+  ExpectSameResults(result->report, SequentialReport(store.items()));
+}
+
+TEST(ChaosStreamTest, SameSeedSameChaosSameReport) {
+  // Streaming under chaos stays reproducible: same fault seed, same
+  // results, run to run — worker interleaving must not leak into output.
+  auto run = [](uint64_t seed) {
+    const platform::Marketplace& market = cats::TestMarketplace();
+    collect::FakeClock clock;
+    platform::ApiOptions api_options;
+    api_options.faults = fault::FaultProfile::Hostile();
+    api_options.data_faults = fault::DataFaultProfile::Hostile();
+    api_options.seed = seed;
+    api_options.clock = &clock;
+    platform::MarketplaceApi api(&market, api_options);
+    collect::CrawlerOptions options;
+    options.requests_per_second = 0.0;
+    options.max_retries = 12;
+    options.backoff_cap_micros = 500'000;
+    collect::Crawler crawler(&api, options, &clock);
+    collect::DataStore store;
+    collect::CrawlCheckpoint checkpoint;
+    StreamingCats streaming(&TrainedDetector());
+    auto result = RunWithWatchdog([&] {
+      return streaming.Run(&crawler, &store, &checkpoint);
+    });
+    CATS_CHECK(result.ok());
+    return std::move(result).value();
+  };
+  StreamingReport a = run(777);
+  StreamingReport b = run(777);
+  ASSERT_EQ(a.report.detections.size(), b.report.detections.size());
+  for (size_t i = 0; i < a.report.detections.size(); ++i) {
+    EXPECT_EQ(a.report.detections[i].item_id, b.report.detections[i].item_id);
+    EXPECT_EQ(a.report.detections[i].score, b.report.detections[i].score);
+  }
+  EXPECT_EQ(QuarantinedIds(a.report), QuarantinedIds(b.report));
+  StreamingReport c = run(778);
+  EXPECT_NE(QuarantinedIds(a.report), QuarantinedIds(c.report));
+}
+
+}  // namespace
+}  // namespace cats::pipeline

@@ -138,6 +138,57 @@ TEST(RateLimiterTest, SlowResponseLatencyCountsAsRefill) {
   EXPECT_EQ(limiter.throttled_micros(), 10'000 + 6'000);
 }
 
+// --- pacing-sleep coalescing -------------------------------------------
+
+TEST(RateLimiterTest, PacingChunkCoalescesSleepsIntoChunks) {
+  FakeClock clock;
+  // 1000/s (1ms per token), burst 1, 10ms chunks: requests owing <10ms of
+  // sleep run on credit; every ~10th request pays one >=10ms sleep.
+  RateLimiter limiter(1000.0, 1.0, &clock, 10'000);
+  int sleeps = 0;
+  for (int i = 0; i < 100; ++i) {
+    int64_t before = clock.NowMicros();
+    limiter.Acquire();
+    int64_t slept = clock.NowMicros() - before;
+    if (slept > 0) {
+      ++sleeps;
+      EXPECT_GE(slept, 10'000);  // never a sub-chunk sleep
+    }
+  }
+  EXPECT_GT(sleeps, 0);
+  EXPECT_LE(sleeps, 11);  // ~1 sleep per chunk's worth of requests, not 99
+}
+
+TEST(RateLimiterTest, PacingChunkPreservesAverageRate) {
+  FakeClock clock;
+  RateLimiter coalesced(1000.0, 1.0, &clock, 10'000);
+  for (int i = 0; i < 501; ++i) coalesced.Acquire();
+  // 500 post-burst tokens at 1000/s = ~500ms regardless of sleep shape.
+  EXPECT_NEAR(static_cast<double>(clock.NowMicros()), 500'000.0, 11'000.0);
+}
+
+TEST(RateLimiterTest, PacingChunkZeroKeepsPerRequestPacing) {
+  FakeClock clock;
+  RateLimiter limiter(1000.0, 1.0, &clock, 0);
+  limiter.Acquire();  // burst token
+  int64_t before = clock.NowMicros();
+  limiter.Acquire();
+  EXPECT_EQ(clock.NowMicros() - before, 1'000);  // classic: sleeps every time
+}
+
+TEST(RateLimiterTest, PacingChunkDebtIsBounded) {
+  FakeClock clock;
+  RateLimiter limiter(1000.0, 1.0, &clock, 10'000);
+  for (int i = 0; i < 1000; ++i) limiter.Acquire();
+  // Credit can never exceed one chunk's worth of tokens, so a long idle
+  // followed by more traffic still starts from at most `burst` tokens.
+  clock.AdvanceMicros(60'000'000);
+  int64_t before = clock.NowMicros();
+  for (int i = 0; i < 12; ++i) limiter.Acquire();
+  // 1 burst token + up to 10 on credit; the 12th forces a sleep.
+  EXPECT_GE(clock.NowMicros() - before, 10'000);
+}
+
 TEST(SystemClockTest, MonotoneAndSleeps) {
   SystemClock clock;
   int64_t a = clock.NowMicros();

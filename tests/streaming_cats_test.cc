@@ -1,0 +1,300 @@
+// The streaming plane's core contract: for the same collected items, the
+// concurrent pipeline (pipeline::StreamingCats) produces a report that is
+// result-identical — order-normalized — to the sequential Detector::Detect,
+// no matter how the items were micro-batched across workers. Plus the
+// operational behaviors batch mode cannot offer: graceful mid-crawl stop
+// with a resumable checkpoint, and resume runs whose union equals the full
+// sequential run.
+
+#include "pipeline/streaming_cats.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "collect/crawler.h"
+#include "core/detector.h"
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+#include "platform_test_util.h"
+
+namespace cats::pipeline {
+namespace {
+
+using collect::CollectedItem;
+using core::DetectionReport;
+using core::Detector;
+
+const Detector& TrainedDetector() {
+  static const Detector* detector = [] {
+    auto* d = new Detector(&cats::TestSemanticModel());
+    const auto& store = cats::TestStore();
+    CATS_CHECK(d->Train(store.items(),
+                        cats::StoreLabels(cats::TestMarketplace(), store))
+                   .ok());
+    return d;
+  }();
+  return *detector;
+}
+
+/// The sequential ground truth, order-normalized the same way the
+/// streaming plane normalizes (sorted by item_id).
+DetectionReport SequentialReport(const std::vector<CollectedItem>& items) {
+  auto report = TrainedDetector().Detect(items);
+  CATS_CHECK(report.ok());
+  auto by_id = [](const core::Detection& a, const core::Detection& b) {
+    return a.item_id < b.item_id;
+  };
+  std::sort(report->detections.begin(), report->detections.end(), by_id);
+  std::sort(report->degraded_detections.begin(),
+            report->degraded_detections.end(), by_id);
+  std::sort(report->quarantine.entries.begin(),
+            report->quarantine.entries.end(),
+            [](const core::QuarantineEntry& a, const core::QuarantineEntry& b) {
+              return a.item_id < b.item_id;
+            });
+  return std::move(report).value();
+}
+
+/// Field-for-field equality, including scores: both paths extract the same
+/// features and score through the same PredictProbaBatch, so the numbers
+/// are bit-identical, not merely close.
+void ExpectReportsIdentical(const DetectionReport& streaming,
+                            const DetectionReport& sequential) {
+  EXPECT_EQ(streaming.items_scanned, sequential.items_scanned);
+  EXPECT_EQ(streaming.items_quarantined, sequential.items_quarantined);
+  EXPECT_EQ(streaming.items_degraded, sequential.items_degraded);
+  EXPECT_EQ(streaming.items_filtered_low_sales,
+            sequential.items_filtered_low_sales);
+  EXPECT_EQ(streaming.items_filtered_no_signal,
+            sequential.items_filtered_no_signal);
+  EXPECT_EQ(streaming.items_filtered_no_comments,
+            sequential.items_filtered_no_comments);
+  EXPECT_EQ(streaming.items_classified, sequential.items_classified);
+
+  ASSERT_EQ(streaming.detections.size(), sequential.detections.size());
+  for (size_t i = 0; i < sequential.detections.size(); ++i) {
+    EXPECT_EQ(streaming.detections[i].item_id,
+              sequential.detections[i].item_id);
+    EXPECT_EQ(streaming.detections[i].score, sequential.detections[i].score);
+    EXPECT_EQ(streaming.detections[i].confidence,
+              sequential.detections[i].confidence);
+  }
+  ASSERT_EQ(streaming.degraded_detections.size(),
+            sequential.degraded_detections.size());
+  for (size_t i = 0; i < sequential.degraded_detections.size(); ++i) {
+    EXPECT_EQ(streaming.degraded_detections[i].item_id,
+              sequential.degraded_detections[i].item_id);
+    EXPECT_EQ(streaming.degraded_detections[i].score,
+              sequential.degraded_detections[i].score);
+  }
+  ASSERT_EQ(streaming.quarantine.size(), sequential.quarantine.size());
+  for (size_t i = 0; i < sequential.quarantine.entries.size(); ++i) {
+    EXPECT_EQ(streaming.quarantine.entries[i].item_id,
+              sequential.quarantine.entries[i].item_id);
+    EXPECT_EQ(streaming.quarantine.entries[i].issues,
+              sequential.quarantine.entries[i].issues);
+  }
+}
+
+TEST(StreamingCatsTest, UntrainedDetectorIsRejected) {
+  Detector untrained(&cats::TestSemanticModel());
+  StreamingCats streaming(&untrained);
+  EXPECT_FALSE(streaming.RunOnItems(cats::TestStore().items()).ok());
+}
+
+TEST(StreamingCatsTest, EmptyInputYieldsEmptyReport) {
+  StreamingCats streaming(&TrainedDetector());
+  auto result = streaming.RunOnItems({});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->items_streamed, 0u);
+  EXPECT_EQ(result->report.items_scanned, 0u);
+  EXPECT_TRUE(result->report.detections.empty());
+  EXPECT_FALSE(result->stopped);
+}
+
+TEST(StreamingCatsTest, ReplayIsResultIdenticalToSequentialDetect) {
+  const auto& items = cats::TestStore().items();
+  DetectionReport sequential = SequentialReport(items);
+
+  StreamingCats streaming(&TrainedDetector());
+  auto result = streaming.RunOnItems(items);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->items_streamed, items.size());
+  EXPECT_TRUE(result->crawl_status.ok());
+  ExpectReportsIdentical(result->report, sequential);
+  // The streaming run still found the fraud (sanity against both paths
+  // agreeing on an empty answer).
+  EXPECT_GT(result->report.detections.size(), 10u);
+}
+
+TEST(StreamingCatsTest, ResultIdenticalAcrossPipelineShapes) {
+  // Queue capacities, batch ceilings and worker counts change scheduling
+  // and batching radically; none of it may change the report.
+  const auto& items = cats::TestStore().items();
+  DetectionReport sequential = SequentialReport(items);
+
+  const StreamingOptions shapes[] = {
+      // Tight everything: constant backpressure, single-item batches.
+      {.ingest_capacity = 1,
+       .staged_capacity = 1,
+       .max_batch_items = 1,
+       .num_stage_workers = 1},
+      // Many workers fighting over a small queue.
+      {.ingest_capacity = 4,
+       .staged_capacity = 2,
+       .max_batch_items = 3,
+       .num_stage_workers = 4},
+      // Wide-open queues: batches grow toward the ceiling.
+      {.ingest_capacity = 1024,
+       .staged_capacity = 64,
+       .max_batch_items = 128,
+       .num_stage_workers = 2},
+  };
+  for (const StreamingOptions& options : shapes) {
+    SCOPED_TRACE(testing::Message()
+                 << "ingest=" << options.ingest_capacity
+                 << " staged=" << options.staged_capacity
+                 << " batch=" << options.max_batch_items
+                 << " workers=" << options.num_stage_workers);
+    StreamingCats streaming(&TrainedDetector(), options);
+    auto result = streaming.RunOnItems(items);
+    ASSERT_TRUE(result.ok());
+    ExpectReportsIdentical(result->report, sequential);
+  }
+}
+
+TEST(StreamingCatsTest, LiveCrawlIsResultIdenticalToSequentialDetect) {
+  // End-to-end: crawl the shared marketplace while detecting items as
+  // their comment walks complete. The merged streaming report must equal
+  // the sequential report over the final store.
+  const platform::Marketplace& market = cats::TestMarketplace();
+  platform::ApiOptions api_options;
+  api_options.faults = fault::FaultProfile::None();
+  platform::MarketplaceApi api(&market, api_options);
+  collect::FakeClock clock;
+  collect::Crawler crawler(&api, collect::CrawlerOptions{}, &clock);
+  collect::DataStore store;
+  collect::CrawlCheckpoint checkpoint;
+
+  StreamingCats streaming(&TrainedDetector());
+  auto result = streaming.Run(&crawler, &store, &checkpoint);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->crawl_status.ok());
+  EXPECT_TRUE(checkpoint.complete);
+  EXPECT_FALSE(result->stopped);
+  EXPECT_EQ(result->items_streamed, store.items().size());
+  EXPECT_EQ(result->crawl_stats.items, store.items().size());
+
+  ExpectReportsIdentical(result->report, SequentialReport(store.items()));
+}
+
+TEST(StreamingCatsTest, RequestStopThenResumeCoversEveryItemExactlyOnce) {
+  // Stop the service mid-crawl (deployment restart), then resume from the
+  // checkpoint: the two runs' reports must partition the full item set —
+  // counts add up and the combined detections equal the sequential run's.
+  const platform::Marketplace& market = cats::TestMarketplace();
+  platform::ApiOptions api_options;
+  api_options.faults = fault::FaultProfile::None();
+  platform::MarketplaceApi api(&market, api_options);
+  collect::FakeClock clock;
+  collect::Crawler crawler(&api, collect::CrawlerOptions{}, &clock);
+  collect::DataStore store;
+  collect::CrawlCheckpoint checkpoint;
+
+  StreamingCats streaming(&TrainedDetector());
+  // Deterministic trigger: watch the pipeline's own streamed-items counter
+  // and pull the plug after a handful of items. The sink checks the stop
+  // flag on every item, so the crawl cancels at an item boundary.
+  obs::Counter* streamed = obs::MetricsRegistry::Global().GetCounter(
+      obs::kPipelineIngestPushedTotal);
+  const uint64_t baseline = streamed->value();
+  std::atomic<bool> watcher_done{false};
+  std::thread watcher([&] {
+    while (streamed->value() < baseline + 5 && !watcher_done.load()) {
+      std::this_thread::yield();
+    }
+    streaming.RequestStop();
+  });
+  auto first = streaming.Run(&crawler, &store, &checkpoint);
+  watcher_done.store(true);
+  watcher.join();
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(first->crawl_status.ok());
+  EXPECT_GE(first->items_streamed, 5u);
+
+  DetectionReport full;
+  if (first->stopped) {
+    // The usual outcome: stopped mid-crawl, checkpoint resumable.
+    EXPECT_FALSE(checkpoint.complete);
+    EXPECT_LT(first->items_streamed, market.items().size());
+    auto second = streaming.Run(&crawler, &store, &checkpoint);
+    ASSERT_TRUE(second.ok());
+    ASSERT_TRUE(second->crawl_status.ok());
+    EXPECT_TRUE(checkpoint.complete);
+    EXPECT_FALSE(second->stopped);
+    EXPECT_EQ(first->items_streamed + second->items_streamed,
+              store.items().size())
+        << "resume must re-score nothing and skip nothing";
+
+    // Merge the two partial reports.
+    full = first->report;
+    const DetectionReport& rest = second->report;
+    full.items_scanned += rest.items_scanned;
+    full.items_quarantined += rest.items_quarantined;
+    full.items_degraded += rest.items_degraded;
+    full.items_filtered_low_sales += rest.items_filtered_low_sales;
+    full.items_filtered_no_signal += rest.items_filtered_no_signal;
+    full.items_filtered_no_comments += rest.items_filtered_no_comments;
+    full.items_classified += rest.items_classified;
+    full.detections.insert(full.detections.end(), rest.detections.begin(),
+                           rest.detections.end());
+    full.degraded_detections.insert(full.degraded_detections.end(),
+                                    rest.degraded_detections.begin(),
+                                    rest.degraded_detections.end());
+    full.quarantine.entries.insert(full.quarantine.entries.end(),
+                                   rest.quarantine.entries.begin(),
+                                   rest.quarantine.entries.end());
+    auto by_id = [](const core::Detection& a, const core::Detection& b) {
+      return a.item_id < b.item_id;
+    };
+    std::sort(full.detections.begin(), full.detections.end(), by_id);
+    std::sort(full.degraded_detections.begin(), full.degraded_detections.end(),
+              by_id);
+  } else {
+    // Rare scheduling where the crawl outran the watcher: the single run
+    // must then already cover everything.
+    EXPECT_TRUE(checkpoint.complete);
+    full = first->report;
+  }
+  ExpectReportsIdentical(full, SequentialReport(store.items()));
+}
+
+TEST(StreamingCatsTest, ExportsPipelineMetrics) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  obs::Counter* runs = registry.GetCounter(obs::kPipelineRunsTotal);
+  obs::Counter* streamed =
+      registry.GetCounter(obs::kPipelineItemsStreamedTotal);
+  obs::Counter* batches = registry.GetCounter(obs::kPipelineBatchesStagedTotal);
+  const uint64_t runs_before = runs->value();
+  const uint64_t streamed_before = streamed->value();
+  const uint64_t batches_before = batches->value();
+
+  const auto& items = cats::TestStore().items();
+  StreamingCats streaming(&TrainedDetector());
+  ASSERT_TRUE(streaming.RunOnItems(items).ok());
+
+  EXPECT_EQ(runs->value(), runs_before + 1);
+  EXPECT_EQ(streamed->value(), streamed_before + items.size());
+  EXPECT_GT(batches->value(), batches_before);
+  EXPECT_GT(registry.GetGauge(obs::kPipelineLastItemsPerSecond)->value(), 0.0);
+  // Queues ended drained.
+  EXPECT_EQ(registry.GetGauge(obs::kPipelineIngestDepth)->value(), 0.0);
+  EXPECT_EQ(registry.GetGauge(obs::kPipelineStagedDepth)->value(), 0.0);
+}
+
+}  // namespace
+}  // namespace cats::pipeline
