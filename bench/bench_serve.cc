@@ -1,0 +1,105 @@
+// bench_serve — the serving plane's latency/throughput curve.
+//
+// Trains a small model, saves it through the manifest path, then drives an
+// in-process ServeLoop open-loop at stepped QPS (serve/loadgen.h), with a
+// model hot-swap fired mid-run while traffic flows. Writes the curve as
+// JSON (default BENCH_serve.json, override with --json=PATH) — the
+// committed baseline scripts/run_perf_baseline.sh regenerates.
+//
+// The latency convention is coordinated-omission-free: each request's
+// latency is measured from its *scheduled* arrival, so queueing delay under
+// saturation shows up in p99 instead of being hidden by a slowed client.
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "platform/presets.h"
+#include "serve/loadgen.h"
+#include "serve/server.h"
+#include "util/csv.h"
+
+using namespace cats;
+
+int main(int argc, char** argv) {
+  std::string json_path = "BENCH_serve.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) json_path = argv[i] + 7;
+  }
+
+  bench::PrintBanner(
+      "serve",
+      "online scoring sustains stepped offered load with bounded-admission "
+      "overload behavior and a zero-downtime mid-run model hot-swap");
+
+  bench::BenchContext ctx;
+  bench::PlatformData d0 =
+      ctx.MakePlatform(platform::TaobaoD0Config(/*scale=*/0.03));
+
+  // A deployable model dir: the serving plane only loads through the
+  // manifest CRC path, so the bench exercises save -> load -> serve.
+  core::Cats cats_system;
+  cats_system.SetSemanticModel(ctx.semantic_model());
+  Status st = cats_system.TrainDetector(d0.store.items(), d0.TrueLabels());
+  const std::string model_dir =
+      (std::filesystem::temp_directory_path() / "cats_bench_serve_model")
+          .string();
+  std::filesystem::remove_all(model_dir);
+  std::filesystem::create_directories(model_dir);
+  if (st.ok()) st = cats_system.SaveModel(model_dir);
+  if (!st.ok()) {
+    std::fprintf(stderr, "model setup failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  std::vector<collect::CollectedItem> probe = d0.store.items();
+  if (probe.size() > 32) probe.resize(32);
+
+  serve::ServeLoop loop(serve::ServeOptions{});
+  st = loop.Start(model_dir, std::move(probe));
+  if (!st.ok()) {
+    std::fprintf(stderr, "serve start failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  serve::LoadgenOptions options;
+  options.qps_steps = {100.0, 200.0, 400.0, 800.0};
+  options.step_seconds = 1.5;
+  options.swap_model_dir = model_dir;  // hot-swap under live traffic
+  auto report = serve::RunLoadgen(&loop, d0.store.items(), options);
+  loop.Stop(serve::StopMode::kDrain);
+  if (!report.ok()) {
+    std::fprintf(stderr, "loadgen failed: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("%10s %12s %8s %10s %8s %10s %10s\n", "qps", "achieved", "ok",
+              "overload", "errors", "p50_us", "p99_us");
+  for (const serve::LoadgenStepResult& step : report->steps) {
+    std::printf("%10.0f %12.1f %8llu %10llu %8llu %10.0f %10.0f\n",
+                step.qps_target, step.qps_achieved,
+                (unsigned long long)step.ok,
+                (unsigned long long)step.overloaded,
+                (unsigned long long)step.errors, step.p50_micros,
+                step.p99_micros);
+  }
+  std::printf("hot swap under load: %s (generation %llu in %lld us)\n",
+              report->swap_ok ? "ok" : "FAILED",
+              (unsigned long long)report->swap_generation,
+              (long long)report->swap_latency_micros);
+  if (report->swap_attempted && !report->swap_ok) return 1;
+
+  st = WriteStringToFile(json_path,
+                         report->ToJson(loop.options()).Serialize() + "\n");
+  if (!st.ok()) {
+    std::fprintf(stderr, "json write failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("curve written to %s\n", json_path.c_str());
+  std::filesystem::remove_all(model_dir);
+  return 0;
+}

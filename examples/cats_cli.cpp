@@ -12,6 +12,12 @@
 //       precision/recall when labels.csv is present).
 //   cats_cli analyze <data-dir>
 //       Run the §V measurement study (user/order aspects) on the data.
+//   cats_cli serve <model-dir>
+//       Run the long-lived scoring server (docs/SERVING.md): framed TCP
+//       protocol, bounded admission, hot-swappable model.
+//   cats_cli loadgen <data-dir> <model-dir>
+//       Drive an in-process server open-loop at stepped QPS and write the
+//       latency/throughput curve as JSON.
 //
 // Example session:
 //   ./build/examples/cats_cli gen /tmp/taobao --preset d0 --scale 0.05
@@ -19,11 +25,17 @@
 //   ./build/examples/cats_cli gen /tmp/target --preset eplatform --scale 0.001
 //   ./build/examples/cats_cli detect /tmp/target /tmp/model
 //   ./build/examples/cats_cli analyze /tmp/target
+//   ./build/examples/cats_cli serve /tmp/model --probe-data /tmp/target
+//   ./build/examples/cats_cli loadgen /tmp/target /tmp/model --qps 100,200
 
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <string>
+#include <thread>
 #include <unordered_map>
 
 #include "analysis/order_aspect.h"
@@ -35,6 +47,9 @@
 #include "pipeline/streaming_cats.h"
 #include "platform/api.h"
 #include "platform/presets.h"
+#include "serve/loadgen.h"
+#include "serve/server.h"
+#include "serve/tcp_server.h"
 #include "util/csv.h"
 #include "util/logging.h"
 #include "util/string_util.h"
@@ -55,6 +70,14 @@ int Usage() {
                "                  [--streaming] [--metrics] "
                "[--metrics-json <path>]\n"
                "  cats_cli analyze <data-dir>\n"
+               "  cats_cli serve <model-dir> [--probe-data <dir>] [--port P]\n"
+               "                 [--workers N] [--queue-capacity C]\n"
+               "                 [--max-seconds S]\n"
+               "  cats_cli loadgen <data-dir> <model-dir> "
+               "[--qps Q1,Q2,...]\n"
+               "                   [--step-seconds S] [--swap-dir D]\n"
+               "                   [--out PATH] [--workers N] "
+               "[--queue-capacity C]\n"
                "\n"
                "  --fault-profile P    weather for the simulated crawl\n"
                "                       (default mild; hostile = 429s, 5xx\n"
@@ -70,7 +93,24 @@ int Usage() {
                "  --metrics            print the pipeline metrics table\n"
                "                       (docs/METRICS.md) after the run\n"
                "  --metrics-json PATH  also write the registry snapshot as "
-               "JSON\n");
+               "JSON\n"
+               "  --probe-data DIR     JSONL data dir whose items become the\n"
+               "                       held-out probe rows each swap\n"
+               "                       candidate must score sanely\n"
+               "  --port P             TCP port for serve (default 8471;\n"
+               "                       0 = kernel-assigned, printed)\n"
+               "  --workers N          scoring worker threads (default 2)\n"
+               "  --queue-capacity C   admission queue capacity (default "
+               "128)\n"
+               "  --max-seconds S      serve exits after S seconds (default\n"
+               "                       0 = run until SIGINT)\n"
+               "  --qps Q1,Q2,...      loadgen offered-load steps in req/s\n"
+               "                       (default 100,200,400,800)\n"
+               "  --step-seconds S     seconds per loadgen step (default 2)\n"
+               "  --swap-dir D         model dir hot-swapped in mid-run\n"
+               "                       (default: the serving model dir)\n"
+               "  --out PATH           loadgen JSON output (default\n"
+               "                       BENCH_serve.json)\n");
   return 2;
 }
 
@@ -429,6 +469,155 @@ int CmdAnalyze(int argc, char** argv) {
   return 0;
 }
 
+std::atomic<bool> g_interrupted{false};
+void HandleSigint(int) { g_interrupted.store(true); }
+
+/// Probe rows for swap validation: a bounded slice of a data dir.
+Result<std::vector<collect::CollectedItem>> LoadProbeItems(
+    const std::string& data_dir, size_t max_items) {
+  CATS_ASSIGN_OR_RETURN(collect::DataStore store,
+                        collect::DataStore::LoadJsonl(data_dir));
+  std::vector<collect::CollectedItem> probe = store.items();
+  if (probe.size() > max_items) probe.resize(max_items);
+  return probe;
+}
+
+serve::ServeOptions ServeOptionsFromFlags(int argc, char** argv) {
+  serve::ServeOptions options;
+  options.num_workers = static_cast<size_t>(
+      std::atoi(FlagValue(argc, argv, "--workers", "2").c_str()));
+  options.queue_capacity = static_cast<size_t>(
+      std::atoi(FlagValue(argc, argv, "--queue-capacity", "128").c_str()));
+  return options;
+}
+
+int CmdServe(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  std::string model_dir = argv[2];
+  std::string probe_dir = FlagValue(argc, argv, "--probe-data", "");
+  int port = std::atoi(FlagValue(argc, argv, "--port", "8471").c_str());
+  double max_seconds =
+      std::atof(FlagValue(argc, argv, "--max-seconds", "0").c_str());
+
+  std::vector<collect::CollectedItem> probe_items;
+  if (!probe_dir.empty()) {
+    auto probe = LoadProbeItems(probe_dir, 64);
+    if (!probe.ok()) {
+      std::fprintf(stderr, "probe data load failed: %s\n",
+                   probe.status().ToString().c_str());
+      return 1;
+    }
+    probe_items = std::move(probe).value();
+  }
+
+  const size_t num_probe_items = probe_items.size();
+  serve::ServeLoop loop(ServeOptionsFromFlags(argc, argv));
+  Status st = loop.Start(model_dir, std::move(probe_items));
+  if (!st.ok()) {
+    std::fprintf(stderr, "serve start failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  serve::TcpServerOptions tcp_options;
+  tcp_options.port = static_cast<uint16_t>(port);
+  serve::TcpServer tcp(&loop, tcp_options);
+  st = tcp.Start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "tcp start failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("serving model %s (generation %llu) on 127.0.0.1:%u — "
+              "%zu workers, queue capacity %zu, %zu probe rows\n",
+              model_dir.c_str(), (unsigned long long)loop.model_generation(),
+              tcp.port(), loop.options().num_workers,
+              loop.options().queue_capacity, num_probe_items);
+  std::signal(SIGINT, HandleSigint);
+  std::signal(SIGTERM, HandleSigint);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration_cast<
+                            std::chrono::steady_clock::duration>(
+                            std::chrono::duration<double>(
+                                max_seconds > 0 ? max_seconds : 1e9));
+  while (!g_interrupted.load() &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  tcp.Stop();
+  loop.Stop(serve::StopMode::kDrain);
+  const serve::ServeStats& stats = loop.stats();
+  std::printf("server stopped: %llu received, %llu ok, %llu errors, "
+              "%llu overloaded, %llu shed\n",
+              (unsigned long long)stats.received.load(),
+              (unsigned long long)stats.ok.load(),
+              (unsigned long long)stats.errors.load(),
+              (unsigned long long)stats.overload_rejected.load(),
+              (unsigned long long)stats.shed.load());
+  return 0;
+}
+
+int CmdLoadgen(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  std::string data_dir = argv[2];
+  std::string model_dir = argv[3];
+  std::string out_path = FlagValue(argc, argv, "--out", "BENCH_serve.json");
+
+  auto store = collect::DataStore::LoadJsonl(data_dir);
+  if (!store.ok()) {
+    std::fprintf(stderr, "load failed: %s\n",
+                 store.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<collect::CollectedItem> probe = store->items();
+  if (probe.size() > 32) probe.resize(32);
+
+  serve::ServeLoop loop(ServeOptionsFromFlags(argc, argv));
+  Status st = loop.Start(model_dir, std::move(probe));
+  if (!st.ok()) {
+    std::fprintf(stderr, "serve start failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  serve::LoadgenOptions options;
+  options.swap_model_dir = FlagValue(argc, argv, "--swap-dir", model_dir);
+  options.step_seconds =
+      std::atof(FlagValue(argc, argv, "--step-seconds", "2").c_str());
+  std::string qps_csv = FlagValue(argc, argv, "--qps", "100,200,400,800");
+  options.qps_steps.clear();
+  for (const std::string& field : SplitAndTrim(qps_csv, ',')) {
+    options.qps_steps.push_back(std::atof(field.c_str()));
+  }
+
+  auto report = serve::RunLoadgen(&loop, store->items(), options);
+  loop.Stop(serve::StopMode::kDrain);
+  if (!report.ok()) {
+    std::fprintf(stderr, "loadgen failed: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+  for (const serve::LoadgenStepResult& step : report->steps) {
+    std::printf("qps %7.1f -> achieved %7.1f  ok %llu  overloaded %llu  "
+                "errors %llu  p50 %.0fus  p99 %.0fus\n",
+                step.qps_target, step.qps_achieved,
+                (unsigned long long)step.ok,
+                (unsigned long long)step.overloaded,
+                (unsigned long long)step.errors, step.p50_micros,
+                step.p99_micros);
+  }
+  if (report->swap_attempted) {
+    std::printf("mid-run hot swap: %s (generation %llu, %lld us)\n",
+                report->swap_ok ? "ok" : "FAILED",
+                (unsigned long long)report->swap_generation,
+                (long long)report->swap_latency_micros);
+  }
+  st = WriteStringToFile(out_path,
+                         report->ToJson(loop.options()).Serialize() + "\n");
+  if (!st.ok()) {
+    std::fprintf(stderr, "write failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("latency/throughput curve written to %s\n", out_path.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -439,5 +628,7 @@ int main(int argc, char** argv) {
   if (command == "train") return CmdTrain(argc, argv);
   if (command == "detect") return CmdDetect(argc, argv);
   if (command == "analyze") return CmdAnalyze(argc, argv);
+  if (command == "serve") return CmdServe(argc, argv);
+  if (command == "loadgen") return CmdLoadgen(argc, argv);
   return Usage();
 }

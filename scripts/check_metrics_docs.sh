@@ -1,7 +1,9 @@
 #!/bin/sh
 # docs-check: every metric name declared in src/obs/metric_names.h must be
-# documented in docs/METRICS.md. Runs as the `docs_check` ctest so the
-# operator-facing metrics reference cannot drift from the code.
+# documented in docs/METRICS.md, and no source file may register a metric
+# by raw string literal (bypassing metric_names.h would also bypass this
+# check). Runs as the `docs_check` ctest so the operator-facing metrics
+# reference cannot drift from the code.
 #
 # Usage: check_metrics_docs.sh [repo_root]
 set -u
@@ -47,4 +49,18 @@ if [ "$missing" -ne 0 ]; then
   echo "docs-check: FAILED — $missing of $total metric name(s) undocumented" >&2
   exit 1
 fi
-echo "docs-check: OK — all $total metric names documented in docs/METRICS.md"
+
+# Second pass: registry lookups in src/ must go through the named constants.
+# A raw literal like GetCounter("my.counter") would dodge the check above,
+# so it is an error everywhere outside metric_names.h itself.
+raw=$(grep -rn 'Get\(Counter\|Gauge\|Histogram\|LatencyHistogram\)([^)]*"' \
+        "$root/src" --include='*.cc' --include='*.h' \
+  | grep -v 'metric_names\.h')
+if [ -n "$raw" ]; then
+  echo "docs-check: FAILED — metric registered by raw string literal" \
+    "(use a constant from src/obs/metric_names.h):" >&2
+  echo "$raw" >&2
+  exit 1
+fi
+echo "docs-check: OK — all $total metric names documented in docs/METRICS.md," \
+  "no raw-literal registrations in src/"

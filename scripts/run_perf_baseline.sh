@@ -6,6 +6,9 @@
 #                         prediction)
 #   BENCH_pipeline.json — bench/bench_perf_pipeline (extraction, crawl,
 #                         word2vec, sentiment)
+#   BENCH_serve.json    — bench/bench_serve (the serving plane's open-loop
+#                         latency/throughput curve per QPS step, with a
+#                         mid-run model hot-swap under load)
 # Diffing these files across commits is how a perf regression (or the
 # claimed speedup of an optimization PR) is reviewed.
 #
@@ -18,12 +21,12 @@ build_dir="${2:-$root/build}"
 
 cmake -B "$build_dir" -S "$root" >/dev/null
 cmake --build "$build_dir" -j "$(nproc 2>/dev/null || echo 4)" \
-      --target bench_perf_ml bench_perf_pipeline >/dev/null
+      --target bench_perf_ml bench_perf_pipeline bench_serve >/dev/null
 
 # The build step above swallows its output; never limp past a bench that
 # didn't actually get built (a silently missing binary would leave a stale
 # baseline committed as if it were regenerated).
-for bench in bench_perf_ml bench_perf_pipeline; do
+for bench in bench_perf_ml bench_perf_pipeline bench_serve; do
   if [ ! -x "$build_dir/bench/$bench" ]; then
     echo "perf-baseline: FATAL: $build_dir/bench/$bench missing or not" \
          "executable after build" >&2
@@ -36,5 +39,8 @@ echo "== perf-baseline: bench_perf_ml -> $root/BENCH_ml.json"
 
 echo "== perf-baseline: bench_perf_pipeline -> $root/BENCH_pipeline.json"
 "$build_dir/bench/bench_perf_pipeline" --json="$root/BENCH_pipeline.json"
+
+echo "== perf-baseline: bench_serve -> $root/BENCH_serve.json"
+"$build_dir/bench/bench_serve" --json="$root/BENCH_serve.json"
 
 echo "perf-baseline: OK"

@@ -166,6 +166,64 @@ inline constexpr std::string_view kPipelineStagedPushStallMicrosTotal =
 inline constexpr std::string_view kPipelineStagedPopStallMicrosTotal =
     "pipeline.staged.pop_stall_micros_total";
 
+// --- serve::ServeLoop / TcpServer (online scoring server) ---
+// Request accounting. Invariants (asserted by tests/serve_chaos_test.cc):
+// received == accepted + overload_rejected + rejected, and once the loop
+// stopped, accepted == ok + error + shed.
+inline constexpr std::string_view kServeRequestsReceivedTotal =
+    "serve.requests_received_total";
+inline constexpr std::string_view kServeRequestsAcceptedTotal =
+    "serve.requests_accepted_total";
+inline constexpr std::string_view kServeRequestsOverloadRejectedTotal =
+    "serve.requests_overload_rejected_total";
+inline constexpr std::string_view kServeRequestsRejectedTotal =
+    "serve.requests_rejected_total";
+inline constexpr std::string_view kServeRequestsOkTotal =
+    "serve.requests_ok_total";
+inline constexpr std::string_view kServeRequestsErrorTotal =
+    "serve.requests_error_total";
+inline constexpr std::string_view kServeRequestsShedTotal =
+    "serve.requests_shed_total";
+inline constexpr std::string_view kServeRequestLatencyMicros =
+    "serve.request_latency_micros";
+inline constexpr std::string_view kServeScoreBatchLatencyMicros =
+    "serve.score_batch_latency_micros";
+inline constexpr std::string_view kServeBatchRequests =
+    "serve.batch_requests";
+// SLO gauges: bucket upper bounds of the request-latency quantiles,
+// refreshed after every completed request.
+inline constexpr std::string_view kServeSloP50Micros = "serve.slo.p50_micros";
+inline constexpr std::string_view kServeSloP99Micros = "serve.slo.p99_micros";
+// Admission queue signals (util::BoundedQueue).
+inline constexpr std::string_view kServeAdmissionDepth =
+    "serve.admission.depth";
+inline constexpr std::string_view kServeAdmissionPushedTotal =
+    "serve.admission.pushed_total";
+inline constexpr std::string_view kServeAdmissionPushStallMicrosTotal =
+    "serve.admission.push_stall_micros_total";
+inline constexpr std::string_view kServeAdmissionPopStallMicrosTotal =
+    "serve.admission.pop_stall_micros_total";
+inline constexpr std::string_view kServeItemCacheSize =
+    "serve.item_cache_size";
+// Model hot-swap (serve::ModelGateway).
+inline constexpr std::string_view kServeModelGeneration =
+    "serve.model.generation";
+inline constexpr std::string_view kServeModelSwapsTotal =
+    "serve.model.swaps_total";
+inline constexpr std::string_view kServeModelSwapFailuresTotal =
+    "serve.model.swap_failures_total";
+inline constexpr std::string_view kServeModelSwapLatencyMicros =
+    "serve.model.swap_latency_micros";
+// TCP transport (serve::TcpServer).
+inline constexpr std::string_view kServeTcpConnectionsOpenedTotal =
+    "serve.tcp.connections_opened_total";
+inline constexpr std::string_view kServeTcpConnectionsActive =
+    "serve.tcp.connections_active";
+inline constexpr std::string_view kServeTcpFramesReadTotal =
+    "serve.tcp.frames_read_total";
+inline constexpr std::string_view kServeTcpFrameErrorsTotal =
+    "serve.tcp.frame_errors_total";
+
 // --- ml::Gbdt (the detector's boosted-tree classifier) ---
 inline constexpr std::string_view kGbdtRoundsTotal = "gbdt.rounds_total";
 inline constexpr std::string_view kGbdtRoundLatencyMicros =

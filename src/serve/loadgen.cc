@@ -1,0 +1,186 @@
+#include "serve/loadgen.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+namespace cats::serve {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double QuantileOf(std::vector<double>* sorted_micros, double q) {
+  if (sorted_micros->empty()) return 0.0;
+  const size_t rank = static_cast<size_t>(
+      q * static_cast<double>(sorted_micros->size() - 1));
+  return (*sorted_micros)[rank];
+}
+
+}  // namespace
+
+JsonValue LoadgenReport::ToJson(const ServeOptions& serve_options) const {
+  JsonValue v = JsonValue::Object();
+  v.Set("bench", JsonValue::String("serve_loadgen"));
+  v.Set("workers",
+        JsonValue::Int(static_cast<int64_t>(serve_options.num_workers)));
+  v.Set("queue_capacity",
+        JsonValue::Int(static_cast<int64_t>(serve_options.queue_capacity)));
+  JsonValue steps_json = JsonValue::Array();
+  for (const LoadgenStepResult& step : steps) {
+    JsonValue s = JsonValue::Object();
+    s.Set("qps_target", JsonValue::Number(step.qps_target));
+    s.Set("qps_achieved", JsonValue::Number(step.qps_achieved));
+    s.Set("requests", JsonValue::Int(static_cast<int64_t>(step.requests)));
+    s.Set("ok", JsonValue::Int(static_cast<int64_t>(step.ok)));
+    s.Set("overloaded",
+          JsonValue::Int(static_cast<int64_t>(step.overloaded)));
+    s.Set("errors", JsonValue::Int(static_cast<int64_t>(step.errors)));
+    s.Set("p50_micros", JsonValue::Number(step.p50_micros));
+    s.Set("p99_micros", JsonValue::Number(step.p99_micros));
+    s.Set("mean_micros", JsonValue::Number(step.mean_micros));
+    steps_json.Append(std::move(s));
+  }
+  v.Set("steps", std::move(steps_json));
+  if (swap_attempted) {
+    JsonValue swap = JsonValue::Object();
+    swap.Set("ok", JsonValue::Bool(swap_ok));
+    swap.Set("generation",
+             JsonValue::Int(static_cast<int64_t>(swap_generation)));
+    swap.Set("latency_micros", JsonValue::Int(swap_latency_micros));
+    v.Set("swap", std::move(swap));
+  }
+  return v;
+}
+
+Result<LoadgenReport> RunLoadgen(
+    ServeLoop* loop, const std::vector<collect::CollectedItem>& items,
+    const LoadgenOptions& options) {
+  if (items.empty()) {
+    return Status::InvalidArgument("loadgen needs at least one item");
+  }
+  if (options.qps_steps.empty()) {
+    return Status::InvalidArgument("loadgen needs at least one QPS step");
+  }
+  for (double qps : options.qps_steps) {
+    if (!(qps > 0.0)) {
+      return Status::InvalidArgument("QPS steps must be positive");
+    }
+  }
+
+  LoadgenReport report;
+  const size_t swap_before_step =
+      options.swap_model_dir.empty() ? options.qps_steps.size()
+                                     : options.qps_steps.size() / 2;
+  uint32_t next_request_id = 1;
+  size_t next_item = 0;
+
+  for (size_t step_index = 0; step_index < options.qps_steps.size();
+       ++step_index) {
+    if (step_index == swap_before_step) {
+      // Hot-swap between steps, while the previous steps' traffic pattern
+      // resumes immediately after — the acceptance bar is that the swap
+      // itself completes and zero in-flight requests fail because of it.
+      report.swap_attempted = true;
+      const Message response =
+          loop->Call(MakeSwapModelRequest(next_request_id++,
+                                          options.swap_model_dir));
+      if (response.type == MessageType::kOk) {
+        report.swap_ok = true;
+        if (auto gen = response.payload.GetInt("model_generation"); gen.ok()) {
+          report.swap_generation = static_cast<uint64_t>(*gen);
+        }
+        if (auto lat = response.payload.GetInt("latency_micros"); lat.ok()) {
+          report.swap_latency_micros = *lat;
+        }
+      }
+    }
+
+    const double qps = options.qps_steps[step_index];
+    const auto interval = std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double>(1.0 / qps));
+    const uint64_t total = std::max<uint64_t>(
+        1, static_cast<uint64_t>(qps * options.step_seconds));
+
+    // Completion state shared with the response callbacks.
+    struct StepState {
+      std::mutex mu;
+      std::condition_variable cv;
+      uint64_t completed = 0;
+      uint64_t ok = 0;
+      uint64_t overloaded = 0;
+      uint64_t errors = 0;
+      std::vector<double> latencies_micros;
+    };
+    auto state = std::make_shared<StepState>();
+    state->latencies_micros.reserve(total);
+
+    const Clock::time_point step_start = Clock::now();
+    for (uint64_t i = 0; i < total; ++i) {
+      const Clock::time_point scheduled = step_start + interval * i;
+      std::this_thread::sleep_until(scheduled);  // open-loop pacing
+      Message request = MakeScoreItemRequest(next_request_id++,
+                                             items[next_item]);
+      next_item = (next_item + 1) % items.size();
+      loop->Submit(std::move(request), [state, scheduled](Message response) {
+        const double micros =
+            static_cast<double>(
+                std::chrono::duration_cast<std::chrono::microseconds>(
+                    Clock::now() - scheduled)
+                    .count());
+        std::lock_guard<std::mutex> lock(state->mu);
+        switch (response.type) {
+          case MessageType::kOk:
+            state->ok += 1;
+            state->latencies_micros.push_back(micros);
+            break;
+          case MessageType::kOverloaded:
+            state->overloaded += 1;
+            break;
+          default:
+            state->errors += 1;
+            break;
+        }
+        state->completed += 1;
+        state->cv.notify_one();
+      });
+    }
+
+    // Close out the step: every submitted request completes (ok, typed
+    // overload, or error) before the next step starts, so steps don't
+    // bleed into each other's percentiles.
+    {
+      std::unique_lock<std::mutex> lock(state->mu);
+      state->cv.wait(lock, [&] { return state->completed == total; });
+    }
+    const double elapsed_seconds =
+        std::chrono::duration<double>(Clock::now() - step_start).count();
+
+    LoadgenStepResult result;
+    result.qps_target = qps;
+    result.requests = total;
+    result.ok = state->ok;
+    result.overloaded = state->overloaded;
+    result.errors = state->errors;
+    result.qps_achieved =
+        elapsed_seconds > 0.0 ? static_cast<double>(state->ok) / elapsed_seconds
+                              : 0.0;
+    std::vector<double>& lat = state->latencies_micros;
+    std::sort(lat.begin(), lat.end());
+    result.p50_micros = QuantileOf(&lat, 0.50);
+    result.p99_micros = QuantileOf(&lat, 0.99);
+    if (!lat.empty()) {
+      double sum = 0.0;
+      for (double v : lat) sum += v;
+      result.mean_micros = sum / static_cast<double>(lat.size());
+    }
+    report.steps.push_back(result);
+  }
+  return report;
+}
+
+}  // namespace cats::serve

@@ -1,0 +1,65 @@
+#ifndef CATS_SERVE_LOADGEN_H_
+#define CATS_SERVE_LOADGEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "collect/store.h"
+#include "serve/server.h"
+#include "util/json.h"
+#include "util/result.h"
+
+namespace cats::serve {
+
+struct LoadgenOptions {
+  /// Offered-load steps, requests/second each. The run walks them in
+  /// order, holding each for `step_seconds`.
+  std::vector<double> qps_steps = {100.0, 200.0, 400.0, 800.0};
+  double step_seconds = 2.0;
+  /// When non-empty, a swap_model request to this directory fires at the
+  /// boundary before the middle step — the hot-swap is measured under
+  /// load, and the run asserts it completes with zero failed requests.
+  std::string swap_model_dir;
+};
+
+/// Per-step measurement. Latency is measured from each request's
+/// *scheduled* arrival time, not its submit time — the open-loop
+/// (coordinated-omission-free) convention: when the server stalls, the
+/// backlog's wait shows up in the percentiles instead of being hidden by
+/// a slowed-down client.
+struct LoadgenStepResult {
+  double qps_target = 0.0;
+  double qps_achieved = 0.0;  // completed ok / elapsed
+  uint64_t requests = 0;
+  uint64_t ok = 0;
+  uint64_t overloaded = 0;
+  uint64_t errors = 0;
+  double p50_micros = 0.0;
+  double p99_micros = 0.0;
+  double mean_micros = 0.0;
+};
+
+struct LoadgenReport {
+  std::vector<LoadgenStepResult> steps;
+  /// Present when swap_model_dir was set.
+  bool swap_attempted = false;
+  bool swap_ok = false;
+  uint64_t swap_generation = 0;
+  int64_t swap_latency_micros = 0;
+
+  JsonValue ToJson(const ServeOptions& serve_options) const;
+};
+
+/// Replays `items` against a running ServeLoop open-loop: requests are
+/// scheduled on the steady clock at 1/qps intervals and submitted
+/// asynchronously the moment they are due, whether or not earlier ones
+/// completed. Items cycle round-robin; every request is a full
+/// score_item. Blocks until the last step's responses arrived.
+Result<LoadgenReport> RunLoadgen(ServeLoop* loop,
+                                 const std::vector<collect::CollectedItem>& items,
+                                 const LoadgenOptions& options);
+
+}  // namespace cats::serve
+
+#endif  // CATS_SERVE_LOADGEN_H_

@@ -1,0 +1,131 @@
+#include "serve/model_gateway.h"
+
+#include <chrono>
+#include <cmath>
+#include <utility>
+
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+
+namespace cats::serve {
+namespace {
+
+/// Handles for the swap metrics, resolved once per process.
+struct SwapMetrics {
+  obs::Gauge* generation;
+  obs::Counter* swaps;
+  obs::Counter* swap_failures;
+  obs::LatencyHistogram* swap_latency;
+
+  static const SwapMetrics& Get() {
+    static const SwapMetrics* metrics = [] {
+      obs::MetricsRegistry& r = obs::MetricsRegistry::Global();
+      return new SwapMetrics{r.GetGauge(obs::kServeModelGeneration),
+                             r.GetCounter(obs::kServeModelSwapsTotal),
+                             r.GetCounter(obs::kServeModelSwapFailuresTotal),
+                             r.GetLatencyHistogram(
+                                 obs::kServeModelSwapLatencyMicros)};
+    }();
+    return *metrics;
+  }
+};
+
+}  // namespace
+
+Status ModelGateway::LoadInitial(const std::string& model_dir) {
+  std::lock_guard<std::mutex> swap_lock(swap_mu_);
+  CATS_ASSIGN_OR_RETURN(std::unique_ptr<core::Cats> cats,
+                        LoadAndProbe(model_dir));
+  auto snapshot = std::make_shared<ModelSnapshot>();
+  snapshot->cats = std::move(cats);
+  snapshot->model_dir = model_dir;
+  snapshot->generation = next_generation_++;
+  const double generation = static_cast<double>(snapshot->generation);
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    snapshot_ = std::move(snapshot);
+  }
+  SwapMetrics::Get().generation->Set(generation);
+  return Status::OK();
+}
+
+std::shared_ptr<const ModelSnapshot> ModelGateway::Acquire() const {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  return snapshot_;
+}
+
+Result<SwapOutcome> ModelGateway::Swap(const std::string& model_dir) {
+  const SwapMetrics& metrics = SwapMetrics::Get();
+  const auto start = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> swap_lock(swap_mu_);
+  auto loaded = LoadAndProbe(model_dir);
+  if (!loaded.ok()) {
+    metrics.swap_failures->Increment();
+    return loaded.status();
+  }
+  auto snapshot = std::make_shared<ModelSnapshot>();
+  snapshot->cats = std::move(loaded).value();
+  snapshot->model_dir = model_dir;
+  snapshot->generation = next_generation_++;
+
+  SwapOutcome outcome;
+  outcome.generation = snapshot->generation;
+  outcome.probe_items_scored = probe_items_.size();
+  {
+    // Commit: one pointer exchange under the snapshot mutex. In-flight
+    // requests hold their own shared_ptr and finish on the old model.
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    snapshot_ = std::move(snapshot);
+  }
+  outcome.latency_micros =
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  metrics.generation->Set(static_cast<double>(outcome.generation));
+  metrics.swaps->Increment();
+  metrics.swap_latency->Observe(static_cast<double>(outcome.latency_micros));
+  return outcome;
+}
+
+uint64_t ModelGateway::generation() const {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  return snapshot_ == nullptr ? 0 : snapshot_->generation;
+}
+
+Result<std::unique_ptr<core::Cats>> ModelGateway::LoadAndProbe(
+    const std::string& model_dir) const {
+  // Loading: the ModelManifest CRC path — a candidate with a missing,
+  // truncated or bit-flipped file is rejected here with a typed error.
+  auto cats = std::make_unique<core::Cats>();
+  CATS_RETURN_NOT_OK(cats->LoadModel(model_dir));
+
+  // Probing: the candidate must score the held-out rows sanely before it
+  // may serve traffic. This catches models that load (checksums intact)
+  // but are semantically broken for this deployment.
+  if (!probe_items_.empty()) {
+    auto report = cats->Detect(probe_items_);
+    if (!report.ok()) {
+      return Status::FailedPrecondition(
+          "candidate model failed probe scoring: " +
+          report.status().ToString());
+    }
+    if (report->items_scanned != probe_items_.size() ||
+        report->items_scanned !=
+            report->items_quarantined + report->items_filtered_low_sales +
+                report->items_filtered_no_signal +
+                report->items_filtered_no_comments +
+                report->items_classified) {
+      return Status::FailedPrecondition(
+          "candidate model broke probe accounting");
+    }
+    for (const core::Detection& d : report->detections) {
+      if (!std::isfinite(d.score) || d.score < 0.0 || d.score > 1.0) {
+        return Status::FailedPrecondition(
+            "candidate model produced a non-probability probe score");
+      }
+    }
+  }
+  return cats;
+}
+
+}  // namespace cats::serve

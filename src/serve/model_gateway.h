@@ -1,0 +1,96 @@
+#ifndef CATS_SERVE_MODEL_GATEWAY_H_
+#define CATS_SERVE_MODEL_GATEWAY_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "collect/store.h"
+#include "core/cats.h"
+#include "util/result.h"
+
+namespace cats::serve {
+
+/// An immutable, reference-counted deployment of one model: the loaded
+/// core::Cats (semantic model + trained detector) plus its provenance.
+/// Requests Acquire() a snapshot and keep scoring on it even while a swap
+/// installs a successor — the old snapshot dies only when its last
+/// in-flight request releases it.
+struct ModelSnapshot {
+  std::unique_ptr<core::Cats> cats;
+  std::string model_dir;
+  /// Monotonic deployment counter: 1 for the model the server booted with,
+  /// +1 per committed swap. Echoed in score/health responses so a client
+  /// can tell which deployment scored it.
+  uint64_t generation = 0;
+
+  const core::Detector& detector() const { return cats->detector(); }
+};
+
+/// Outcome of one committed swap.
+struct SwapOutcome {
+  uint64_t generation = 0;       // generation now serving
+  int64_t latency_micros = 0;    // wall time of load + probe + commit
+  size_t probe_items_scored = 0;  // held-out rows the candidate had to pass
+};
+
+/// The hot-swap state machine (docs/SERVING.md "Model hot-swap"):
+///
+///   serving(G) --Swap(dir)--> loading --> probing --> commit: serving(G+1)
+///                   |             |           |
+///                   |   load fails (CRC /     | probe fails (non-finite
+///                   |   parse / version)      | scores, broken accounting)
+///                   +------- reject: still serving(G), typed error -------+
+///
+/// Load goes through core::Cats::LoadModel — the crash-safe ModelManifest
+/// path, so a truncated or bit-flipped candidate is rejected by checksum
+/// before a byte of it is parsed. Probing scores the held-out probe items
+/// with the candidate and rejects deployments that cannot reproduce sane
+/// output (scores outside [0,1] or broken item accounting). Commit is an
+/// atomic shared_ptr exchange: new requests see generation G+1, in-flight
+/// requests finish on G. Swaps serialize; concurrent Swap calls queue on
+/// the swap mutex and each lands a distinct generation (double-swap
+/// ordering is last-writer-wins, covered in tests/serve_hot_swap_test.cc).
+class ModelGateway {
+ public:
+  /// `probe_items` are the held-out rows every candidate must score sanely
+  /// before it may serve; empty disables probing (load checks still apply).
+  explicit ModelGateway(std::vector<collect::CollectedItem> probe_items)
+      : probe_items_(std::move(probe_items)) {}
+
+  /// Loads the boot model (generation 1). Fails without touching state, so
+  /// a server never starts on a corrupt model.
+  Status LoadInitial(const std::string& model_dir);
+
+  /// The current snapshot (never null after LoadInitial succeeded). The
+  /// returned pointer keeps the whole deployment alive for as long as the
+  /// caller holds it.
+  std::shared_ptr<const ModelSnapshot> Acquire() const;
+
+  /// Runs the load -> probe -> commit machine above. On any failure the
+  /// previous snapshot keeps serving and the typed error says which stage
+  /// rejected the candidate (NotFound / Corruption / ParseError /
+  /// FailedPrecondition from the manifest path, FailedPrecondition from
+  /// the probe).
+  Result<SwapOutcome> Swap(const std::string& model_dir);
+
+  uint64_t generation() const;
+  size_t probe_items() const { return probe_items_.size(); }
+
+ private:
+  /// Loads + probes a candidate into a ready-to-commit snapshot.
+  Result<std::unique_ptr<core::Cats>> LoadAndProbe(
+      const std::string& model_dir) const;
+
+  std::vector<collect::CollectedItem> probe_items_;
+  mutable std::mutex snapshot_mu_;  // guards the pointer, not the snapshot
+  std::shared_ptr<const ModelSnapshot> snapshot_;
+  std::mutex swap_mu_;  // serializes Swap calls (ordering, not safety)
+  uint64_t next_generation_ = 1;
+};
+
+}  // namespace cats::serve
+
+#endif  // CATS_SERVE_MODEL_GATEWAY_H_

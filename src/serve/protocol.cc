@@ -1,0 +1,205 @@
+#include "serve/protocol.h"
+
+#include <cstring>
+
+#include "util/string_util.h"
+
+namespace cats::serve {
+namespace {
+
+void PutU16Le(std::string* out, uint16_t v) {
+  out->push_back(static_cast<char>(v & 0xff));
+  out->push_back(static_cast<char>((v >> 8) & 0xff));
+}
+
+void PutU32Le(std::string* out, uint32_t v) {
+  out->push_back(static_cast<char>(v & 0xff));
+  out->push_back(static_cast<char>((v >> 8) & 0xff));
+  out->push_back(static_cast<char>((v >> 16) & 0xff));
+  out->push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+uint16_t GetU16Le(const char* p) {
+  return static_cast<uint16_t>(static_cast<unsigned char>(p[0]) |
+                               (static_cast<unsigned char>(p[1]) << 8));
+}
+
+uint32_t GetU32Le(const char* p) {
+  return static_cast<uint32_t>(static_cast<unsigned char>(p[0])) |
+         (static_cast<uint32_t>(static_cast<unsigned char>(p[1])) << 8) |
+         (static_cast<uint32_t>(static_cast<unsigned char>(p[2])) << 16) |
+         (static_cast<uint32_t>(static_cast<unsigned char>(p[3])) << 24);
+}
+
+}  // namespace
+
+bool IsRequestType(MessageType type) {
+  switch (type) {
+    case MessageType::kScoreItem:
+    case MessageType::kScoreCommentDelta:
+    case MessageType::kHealth:
+    case MessageType::kMetrics:
+    case MessageType::kSwapModel:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsResponseType(MessageType type) {
+  switch (type) {
+    case MessageType::kOk:
+    case MessageType::kError:
+    case MessageType::kOverloaded:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string_view MessageTypeName(MessageType type) {
+  switch (type) {
+    case MessageType::kScoreItem:
+      return "score_item";
+    case MessageType::kScoreCommentDelta:
+      return "score_comment_delta";
+    case MessageType::kHealth:
+      return "health";
+    case MessageType::kMetrics:
+      return "metrics";
+    case MessageType::kSwapModel:
+      return "swap_model";
+    case MessageType::kOk:
+      return "ok";
+    case MessageType::kError:
+      return "error";
+    case MessageType::kOverloaded:
+      return "overloaded";
+  }
+  return "unknown";
+}
+
+std::string EncodeFrame(const Message& message) {
+  std::string payload = message.payload.Serialize();
+  std::string out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  out.append(kFrameMagic, sizeof(kFrameMagic));
+  out.push_back(static_cast<char>(kProtocolVersion));
+  out.push_back(static_cast<char>(message.type));
+  PutU16Le(&out, 0);  // flags: reserved
+  PutU32Le(&out, message.request_id);
+  PutU32Le(&out, static_cast<uint32_t>(payload.size()));
+  out.append(payload);
+  return out;
+}
+
+void FrameReader::Feed(std::string_view bytes) {
+  buffer_.append(bytes.data(), bytes.size());
+}
+
+Result<Message> FrameReader::Next() {
+  if (buffer_.size() < kFrameHeaderBytes) {
+    return Status::NotFound("incomplete frame header");
+  }
+  const char* p = buffer_.data();
+  if (std::memcmp(p, kFrameMagic, sizeof(kFrameMagic)) != 0) {
+    return Status::ParseError("bad frame magic (not a CATS stream)");
+  }
+  const uint8_t version = static_cast<uint8_t>(p[4]);
+  if (version != kProtocolVersion) {
+    return Status::FailedPrecondition(
+        StrFormat("unsupported protocol version %u (speak %u)", version,
+                  kProtocolVersion));
+  }
+  const uint8_t opcode = static_cast<uint8_t>(p[5]);
+  const MessageType type = static_cast<MessageType>(opcode);
+  if (!IsRequestType(type) && !IsResponseType(type)) {
+    return Status::ParseError(StrFormat("unknown message type 0x%02x", opcode));
+  }
+  if (GetU16Le(p + 6) != 0) {
+    return Status::ParseError("nonzero reserved flags");
+  }
+  const uint32_t request_id = GetU32Le(p + 8);
+  const uint32_t payload_len = GetU32Le(p + 12);
+  if (payload_len > kMaxPayloadBytes) {
+    return Status::OutOfRange(
+        StrFormat("payload of %u bytes exceeds the %u-byte frame limit",
+                  payload_len, kMaxPayloadBytes));
+  }
+  if (buffer_.size() < kFrameHeaderBytes + payload_len) {
+    return Status::NotFound("incomplete frame payload");
+  }
+  std::string_view payload_bytes(buffer_.data() + kFrameHeaderBytes,
+                                 payload_len);
+  auto payload = JsonValue::Parse(payload_bytes);
+  if (!payload.ok()) {
+    return Status::ParseError("frame payload is not valid JSON: " +
+                              payload.status().message());
+  }
+  Message message;
+  message.type = type;
+  message.request_id = request_id;
+  message.payload = std::move(payload).value();
+  buffer_.erase(0, kFrameHeaderBytes + payload_len);
+  return message;
+}
+
+std::vector<FrameField> FrameLayout() {
+  return {
+      {"magic", 0, 4},      {"version", 4, 1},     {"type", 5, 1},
+      {"flags", 6, 2},      {"request_id", 8, 4},  {"payload_len", 12, 4},
+  };
+}
+
+Message OkResponse(uint32_t request_id, JsonValue payload) {
+  Message m;
+  m.type = MessageType::kOk;
+  m.request_id = request_id;
+  m.payload = std::move(payload);
+  return m;
+}
+
+Message ErrorResponse(uint32_t request_id, const Status& status) {
+  Message m;
+  m.type = MessageType::kError;
+  m.request_id = request_id;
+  m.payload = JsonValue::Object();
+  m.payload.Set("code", JsonValue::String(
+                            std::string(StatusCodeToString(status.code()))));
+  m.payload.Set("message", JsonValue::String(status.message()));
+  return m;
+}
+
+Message OverloadedResponse(uint32_t request_id, uint32_t retry_after_millis) {
+  Message m;
+  m.type = MessageType::kOverloaded;
+  m.request_id = request_id;
+  m.payload = JsonValue::Object();
+  m.payload.Set("retry_after_millis",
+                JsonValue::Int(static_cast<int64_t>(retry_after_millis)));
+  return m;
+}
+
+Status StatusFromErrorPayload(const JsonValue& payload) {
+  std::string code = "Internal";
+  std::string message;
+  if (const JsonValue* c = payload.Get("code"); c != nullptr && c->is_string()) {
+    code = c->string_value();
+  }
+  if (const JsonValue* m = payload.Get("message");
+      m != nullptr && m->is_string()) {
+    message = m->string_value();
+  }
+  if (code == "InvalidArgument") return Status::InvalidArgument(message);
+  if (code == "NotFound") return Status::NotFound(message);
+  if (code == "AlreadyExists") return Status::AlreadyExists(message);
+  if (code == "OutOfRange") return Status::OutOfRange(message);
+  if (code == "FailedPrecondition") return Status::FailedPrecondition(message);
+  if (code == "IoError") return Status::IoError(message);
+  if (code == "ParseError") return Status::ParseError(message);
+  if (code == "Unavailable") return Status::Unavailable(message);
+  if (code == "Corruption") return Status::Corruption(message);
+  return Status::Internal(message);
+}
+
+}  // namespace cats::serve

@@ -1,0 +1,113 @@
+#ifndef CATS_SERVE_PROTOCOL_H_
+#define CATS_SERVE_PROTOCOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/json.h"
+#include "util/result.h"
+
+namespace cats::serve {
+
+/// The serving plane's wire format: length-prefixed frames, fixed 16-byte
+/// header followed by a UTF-8 JSON payload. docs/SERVING.md documents the
+/// layout byte-for-byte and tests/serve_protocol_test.cc parses the doc's
+/// frame table back against FrameLayout(), so the document cannot drift
+/// from this header.
+///
+///   offset  size  field
+///   0       4     magic        'C' 'A' 'T' 'S'
+///   4       1     version      kProtocolVersion
+///   5       1     type         MessageType opcode
+///   6       2     flags        reserved, must be zero
+///   8       4     request_id   uint32 LE, echoed in the response
+///   12      4     payload_len  uint32 LE, bytes of JSON after the header
+///   16      N     payload      UTF-8 JSON document
+///
+/// All multi-byte integers are little-endian. A response carries the
+/// request_id of the request it answers, so clients may pipeline.
+inline constexpr uint8_t kProtocolVersion = 1;
+inline constexpr size_t kFrameHeaderBytes = 16;
+inline constexpr char kFrameMagic[4] = {'C', 'A', 'T', 'S'};
+/// Upper bound on payload_len: a decoder refuses anything larger before
+/// allocating, so a garbage length prefix cannot balloon memory.
+inline constexpr uint32_t kMaxPayloadBytes = 16u * 1024 * 1024;
+
+/// Request and response opcodes (the header's `type` byte). Requests have
+/// the high bit clear, responses have it set.
+enum class MessageType : uint8_t {
+  // Requests.
+  kScoreItem = 0x01,          // score one item with its comments
+  kScoreCommentDelta = 0x02,  // append comments to a known item, rescore
+  kHealth = 0x03,             // liveness + model generation + queue state
+  kMetrics = 0x04,            // obs registry snapshot as JSON
+  kSwapModel = 0x05,          // load-validate-swap a candidate model dir
+  // Responses.
+  kOk = 0x81,          // request-specific result payload
+  kError = 0x82,       // typed failure: {"code","message"}
+  kOverloaded = 0x83,  // admission refused: {"retry_after_millis"}
+};
+
+bool IsRequestType(MessageType type);
+bool IsResponseType(MessageType type);
+std::string_view MessageTypeName(MessageType type);
+
+/// One decoded message.
+struct Message {
+  MessageType type = MessageType::kHealth;
+  uint32_t request_id = 0;
+  JsonValue payload;
+};
+
+/// Serializes one message into its wire frame (header + JSON payload).
+std::string EncodeFrame(const Message& message);
+
+/// Incremental frame decoder: feed arbitrary byte chunks, pop complete
+/// messages. Typed errors (never exceptions) on bad magic, version skew,
+/// nonzero flags, unknown opcodes, oversized or unparseable payloads; a
+/// framing error is fatal for the stream (resynchronization is impossible
+/// once the length prefix is untrusted), so the connection must close.
+class FrameReader {
+ public:
+  /// Appends raw bytes from the wire.
+  void Feed(std::string_view bytes);
+
+  /// Extracts the next complete message, if any. Returns:
+  ///  - ok with a message when one is complete,
+  ///  - NotFound when more bytes are needed (not an error),
+  ///  - ParseError / FailedPrecondition / OutOfRange on framing errors
+  ///    (bad magic / version or flags skew / oversized payload).
+  Result<Message> Next();
+
+  /// Bytes buffered but not yet consumed.
+  size_t buffered_bytes() const { return buffer_.size(); }
+
+ private:
+  std::string buffer_;
+};
+
+/// One header field of the frame layout, for the doc-parity test.
+struct FrameField {
+  std::string_view name;
+  size_t offset = 0;
+  size_t size = 0;
+};
+
+/// The header layout as data: name/offset/size of every field, in wire
+/// order. tests/serve_protocol_test.cc checks docs/SERVING.md against this.
+std::vector<FrameField> FrameLayout();
+
+/// Builders for the typed responses every handler shares.
+Message OkResponse(uint32_t request_id, JsonValue payload);
+Message ErrorResponse(uint32_t request_id, const Status& status);
+Message OverloadedResponse(uint32_t request_id, uint32_t retry_after_millis);
+
+/// Maps an error response payload back to a Status (client side).
+Status StatusFromErrorPayload(const JsonValue& payload);
+
+}  // namespace cats::serve
+
+#endif  // CATS_SERVE_PROTOCOL_H_

@@ -1,0 +1,569 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "collect/record.h"
+#include "core/detector.h"
+#include "core/feature_extractor.h"
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+#include "util/string_util.h"
+
+namespace cats::serve {
+namespace {
+
+/// Stable handles for every serve.* metric except the swap family (owned
+/// by model_gateway.cc) and the TCP family (owned by tcp_server.cc).
+struct ServeMetrics {
+  obs::Counter* received;
+  obs::Counter* accepted;
+  obs::Counter* overload_rejected;
+  obs::Counter* rejected;
+  obs::Counter* ok;
+  obs::Counter* errors;
+  obs::Counter* shed;
+  obs::LatencyHistogram* request_latency;
+  obs::LatencyHistogram* score_batch_latency;
+  obs::LatencyHistogram* batch_requests;
+  obs::Gauge* slo_p50;
+  obs::Gauge* slo_p99;
+  obs::Gauge* item_cache_size;
+  util::BoundedQueueMetrics admission;
+
+  static const ServeMetrics& Get() {
+    static const ServeMetrics* metrics = [] {
+      obs::MetricsRegistry& r = obs::MetricsRegistry::Global();
+      return new ServeMetrics{
+          r.GetCounter(obs::kServeRequestsReceivedTotal),
+          r.GetCounter(obs::kServeRequestsAcceptedTotal),
+          r.GetCounter(obs::kServeRequestsOverloadRejectedTotal),
+          r.GetCounter(obs::kServeRequestsRejectedTotal),
+          r.GetCounter(obs::kServeRequestsOkTotal),
+          r.GetCounter(obs::kServeRequestsErrorTotal),
+          r.GetCounter(obs::kServeRequestsShedTotal),
+          r.GetLatencyHistogram(obs::kServeRequestLatencyMicros),
+          r.GetLatencyHistogram(obs::kServeScoreBatchLatencyMicros),
+          r.GetHistogram(obs::kServeBatchRequests,
+                         obs::LatencyHistogram::UniformBounds(1.0, 64.0, 16)),
+          r.GetGauge(obs::kServeSloP50Micros),
+          r.GetGauge(obs::kServeSloP99Micros),
+          r.GetGauge(obs::kServeItemCacheSize),
+          util::BoundedQueueMetrics{
+              r.GetGauge(obs::kServeAdmissionDepth),
+              r.GetCounter(obs::kServeAdmissionPushedTotal),
+              r.GetCounter(obs::kServeAdmissionPushStallMicrosTotal),
+              r.GetCounter(obs::kServeAdmissionPopStallMicrosTotal)}};
+    }();
+    return *metrics;
+  }
+};
+
+/// Upper bound of the bucket holding the q-quantile of a live histogram.
+/// Reads the atomic bucket counters without a snapshot — each counter is
+/// individually consistent, which is all a gauge refresh needs.
+double LiveQuantileUpperBound(const obs::LatencyHistogram& hist, double q) {
+  const uint64_t total = hist.total_count();
+  if (total == 0) return 0.0;
+  const auto& bounds = hist.bounds();
+  const uint64_t rank =
+      static_cast<uint64_t>(q * static_cast<double>(total - 1)) + 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < bounds.size(); ++i) {
+    seen += hist.bucket_count(i);
+    if (seen >= rank) return bounds[i];
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
+int64_t ElapsedMicros(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - since)
+      .count();
+}
+
+/// Per-item disposition derived from a one-item StagedBatch.
+std::string_view DispositionOf(const core::StagedBatch& staged) {
+  if (!staged.quarantined.empty()) return "quarantined";
+  if (!staged.pending.empty()) return "classified";
+  if (staged.filtered_low_sales > 0) return "filtered_low_sales";
+  if (staged.filtered_no_signal > 0) return "filtered_no_signal";
+  return "filtered_no_comments";
+}
+
+}  // namespace
+
+ServeLoop::ServeLoop(ServeOptions options) : options_(options) {
+  if (options_.num_workers < 1) options_.num_workers = 1;
+  if (options_.max_batch_requests < 1) options_.max_batch_requests = 1;
+}
+
+ServeLoop::~ServeLoop() { Stop(StopMode::kDrain); }
+
+Status ServeLoop::Start(const std::string& model_dir,
+                        std::vector<collect::CollectedItem> probe_items) {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("serve loop is already running");
+  }
+  auto gateway = std::make_unique<ModelGateway>(std::move(probe_items));
+  CATS_RETURN_NOT_OK(gateway->LoadInitial(model_dir));
+  gateway_ = std::move(gateway);
+
+  shedding_.store(false, std::memory_order_release);
+  admission_ = std::make_unique<util::BoundedQueue<PendingRequest>>(
+      options_.queue_capacity, ServeMetrics::Get().admission);
+  running_.store(true, std::memory_order_release);
+  workers_.reserve(options_.num_workers);
+  for (size_t w = 0; w < options_.num_workers; ++w) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  return Status::OK();
+}
+
+void ServeLoop::Stop(StopMode mode) {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  if (!running_.load(std::memory_order_acquire)) return;
+  running_.store(false, std::memory_order_release);
+  if (mode == StopMode::kShed) {
+    shedding_.store(true, std::memory_order_release);
+  }
+  admission_->Close();
+  for (std::thread& worker : workers_) worker.join();
+  workers_.clear();
+}
+
+void ServeLoop::Submit(Message request, std::function<void(Message)> done) {
+  const ServeMetrics& metrics = ServeMetrics::Get();
+  stats_.received.fetch_add(1, std::memory_order_relaxed);
+  metrics.received->Increment();
+  const uint32_t id = request.request_id;
+  if (!IsRequestType(request.type)) {
+    stats_.rejected.fetch_add(1, std::memory_order_relaxed);
+    metrics.rejected->Increment();
+    done(ErrorResponse(
+        id, Status::InvalidArgument(
+                StrFormat("not a request opcode: 0x%02x",
+                          static_cast<unsigned>(request.type)))));
+    return;
+  }
+  if (!running_.load(std::memory_order_acquire)) {
+    stats_.rejected.fetch_add(1, std::memory_order_relaxed);
+    metrics.rejected->Increment();
+    done(ErrorResponse(id,
+                       Status::Unavailable("serve loop is not running")));
+    return;
+  }
+  PendingRequest pending;
+  pending.request = std::move(request);
+  pending.done = done;  // copy: TryPush consumes its argument even on failure
+  pending.accepted_at = std::chrono::steady_clock::now();
+  if (!admission_->TryPush(std::move(pending))) {
+    // Admission control: a full queue (or a concurrent shutdown closing it)
+    // answers immediately with a typed retry hint instead of queueing
+    // unboundedly — the client backs off, and the p99 of accepted requests
+    // stays bounded by queue_capacity / service rate.
+    stats_.overload_rejected.fetch_add(1, std::memory_order_relaxed);
+    metrics.overload_rejected->Increment();
+    done(OverloadedResponse(id, options_.retry_after_millis));
+    return;
+  }
+  stats_.accepted.fetch_add(1, std::memory_order_relaxed);
+  metrics.accepted->Increment();
+}
+
+Message ServeLoop::Call(Message request) {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool ready = false;
+  Message response;
+  Submit(std::move(request), [&](Message m) {
+    std::lock_guard<std::mutex> lock(mu);
+    response = std::move(m);
+    ready = true;
+    cv.notify_one();
+  });
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return ready; });
+  return response;
+}
+
+void ServeLoop::WorkerLoop() {
+  std::vector<PendingRequest> batch;
+  while (admission_->PopBatch(&batch, options_.max_batch_requests)) {
+    if (shedding_.load(std::memory_order_acquire)) {
+      const ServeMetrics& metrics = ServeMetrics::Get();
+      for (PendingRequest& pending : batch) {
+        stats_.shed.fetch_add(1, std::memory_order_relaxed);
+        metrics.shed->Increment();
+        pending.done(ErrorResponse(
+            pending.request.request_id,
+            Status::Unavailable("server shutting down, request shed")));
+      }
+      continue;
+    }
+    ProcessBatch(&batch);
+  }
+}
+
+void ServeLoop::ProcessBatch(std::vector<PendingRequest>* batch) {
+  const ServeMetrics& metrics = ServeMetrics::Get();
+  metrics.batch_requests->Observe(static_cast<double>(batch->size()));
+
+  // One model snapshot per batch: every request in it scores on the same
+  // generation, and a concurrent swap cannot pull the model out from under
+  // us — the shared_ptr keeps the old deployment alive until we are done.
+  std::shared_ptr<const ModelSnapshot> snapshot = gateway_->Acquire();
+  const core::Detector& detector = snapshot->detector();
+  // Serial per-batch extractor: parallelism comes from the worker pool,
+  // not nested thread pools (same design as the streaming plane).
+  core::FeatureExtractor extractor(&detector.extractor().model(),
+                                   core::FeatureExtractorOptions{
+                                       .num_threads = 1});
+
+  // First pass: control requests answered inline, score requests staged.
+  // Staging (validate -> extract -> rules) is the expensive half and runs
+  // concurrently across workers; StageForScoring is thread-safe.
+  struct ScoreJob {
+    size_t request_index;
+    core::StagedBatch staged;  // staged over exactly one item
+    uint64_t item_id = 0;
+  };
+  std::vector<ScoreJob> jobs;
+  std::vector<core::FeatureVector> rows;
+  jobs.reserve(batch->size());
+  for (size_t i = 0; i < batch->size(); ++i) {
+    PendingRequest& pending = (*batch)[i];
+    switch (pending.request.type) {
+      case MessageType::kHealth:
+        Finish(&pending, HandleHealth(pending));
+        continue;
+      case MessageType::kMetrics:
+        Finish(&pending, HandleMetrics(pending));
+        continue;
+      case MessageType::kSwapModel:
+        Finish(&pending, HandleSwap(pending));
+        continue;
+      case MessageType::kScoreItem:
+      case MessageType::kScoreCommentDelta:
+        break;
+      default:
+        Finish(&pending,
+               ErrorResponse(pending.request.request_id,
+                             Status::InvalidArgument("not a request type")));
+        continue;
+    }
+    auto item = ResolveItem(pending.request);
+    if (!item.ok()) {
+      Finish(&pending,
+             ErrorResponse(pending.request.request_id, item.status()));
+      continue;
+    }
+    ScoreJob job;
+    job.request_index = i;
+    job.item_id = item->item.item_id;
+    job.staged = detector.StageForScoring({*item}, /*trace=*/nullptr,
+                                          &extractor);
+    if (!job.staged.pending.empty()) {
+      core::FeatureVector row;
+      std::copy_n(job.staged.rows.begin(), row.size(), row.begin());
+      rows.push_back(row);
+    }
+    jobs.push_back(std::move(job));
+  }
+  if (jobs.empty()) return;
+
+  // Second pass: one batched classifier call for every pending row in the
+  // batch. The classifier's batch path owns a thread pool, so scoring is
+  // serialized across workers; staging above is not.
+  std::vector<double> scores;
+  {
+    const auto score_start = std::chrono::steady_clock::now();
+    std::lock_guard<std::mutex> lock(score_mu_);
+    auto scored = detector.ScoreFeatures(rows);
+    if (!scored.ok()) {
+      for (ScoreJob& job : jobs) {
+        PendingRequest& pending = (*batch)[job.request_index];
+        Finish(&pending, ErrorResponse(pending.request.request_id,
+                                       scored.status()));
+      }
+      return;
+    }
+    scores = std::move(scored).value();
+    metrics.score_batch_latency->Observe(
+        static_cast<double>(ElapsedMicros(score_start)));
+  }
+
+  // Third pass: per-request responses, plus the detector.* run mirror so
+  // the process-wide pipeline counters stay coherent with served traffic.
+  core::DetectionReport mirror;
+  size_t next_score = 0;
+  const double threshold = detector.decision_threshold();
+  for (ScoreJob& job : jobs) {
+    PendingRequest& pending = (*batch)[job.request_index];
+    const core::StagedBatch& staged = job.staged;
+    mirror.items_scanned += staged.items_scanned;
+    mirror.items_quarantined += staged.quarantined.size();
+    mirror.items_classified += staged.pending.size();
+    mirror.items_degraded += staged.degraded;
+
+    JsonValue payload = JsonValue::Object();
+    payload.Set("item_id", JsonValue::Int(static_cast<int64_t>(job.item_id)));
+    payload.Set("model_generation",
+                JsonValue::Int(static_cast<int64_t>(snapshot->generation)));
+    payload.Set("disposition",
+                JsonValue::String(std::string(DispositionOf(staged))));
+    if (!staged.quarantined.empty()) {
+      payload.Set("issues",
+                  JsonValue::String(core::RecordIssuesToString(
+                      staged.quarantined.front().issues)));
+      payload.Set("flagged", JsonValue::Bool(false));
+    } else if (!staged.pending.empty()) {
+      const double score = scores[next_score++];
+      const bool degraded = staged.pending.front().degraded;
+      const bool flagged = score >= threshold;
+      payload.Set("score", JsonValue::Number(score));
+      payload.Set("flagged", JsonValue::Bool(flagged));
+      payload.Set("confidence",
+                  JsonValue::String(degraded ? "degraded" : "full"));
+      if (flagged) {
+        auto& sink = degraded ? mirror.degraded_detections : mirror.detections;
+        sink.push_back(core::Detection{
+            job.item_id, score,
+            degraded ? core::ScoreConfidence::kDegraded
+                     : core::ScoreConfidence::kFull});
+      }
+    } else {
+      payload.Set("flagged", JsonValue::Bool(false));
+    }
+    Finish(&pending, OkResponse(pending.request.request_id,
+                                std::move(payload)));
+  }
+  core::Detector::MirrorReportMetrics(mirror);
+}
+
+void ServeLoop::Finish(PendingRequest* pending, Message response) {
+  const ServeMetrics& metrics = ServeMetrics::Get();
+  if (response.type == MessageType::kOk) {
+    stats_.ok.fetch_add(1, std::memory_order_relaxed);
+    metrics.ok->Increment();
+  } else {
+    stats_.errors.fetch_add(1, std::memory_order_relaxed);
+    metrics.errors->Increment();
+  }
+  metrics.request_latency->Observe(
+      static_cast<double>(ElapsedMicros(pending->accepted_at)));
+  metrics.slo_p50->Set(LiveQuantileUpperBound(*metrics.request_latency, 0.50));
+  metrics.slo_p99->Set(LiveQuantileUpperBound(*metrics.request_latency, 0.99));
+  pending->done(std::move(response));
+}
+
+Message ServeLoop::HandleHealth(const PendingRequest& pending) {
+  std::shared_ptr<const ModelSnapshot> snapshot = gateway_->Acquire();
+  JsonValue payload = JsonValue::Object();
+  payload.Set("status", JsonValue::String(
+                            running_.load(std::memory_order_acquire)
+                                ? "serving"
+                                : "stopping"));
+  payload.Set("model_generation",
+              JsonValue::Int(static_cast<int64_t>(snapshot->generation)));
+  payload.Set("model_dir", JsonValue::String(snapshot->model_dir));
+  payload.Set("queue_depth",
+              JsonValue::Int(static_cast<int64_t>(admission_->size())));
+  payload.Set("queue_capacity",
+              JsonValue::Int(static_cast<int64_t>(options_.queue_capacity)));
+  payload.Set("workers",
+              JsonValue::Int(static_cast<int64_t>(options_.num_workers)));
+  payload.Set("probe_items",
+              JsonValue::Int(static_cast<int64_t>(gateway_->probe_items())));
+  payload.Set("requests_received",
+              JsonValue::Int(static_cast<int64_t>(
+                  stats_.received.load(std::memory_order_relaxed))));
+  return OkResponse(pending.request.request_id, std::move(payload));
+}
+
+Message ServeLoop::HandleMetrics(const PendingRequest& pending) {
+  return OkResponse(pending.request.request_id,
+                    obs::MetricsRegistry::Global().Snapshot().ToJson());
+}
+
+Message ServeLoop::HandleSwap(const PendingRequest& pending) {
+  auto dir = pending.request.payload.GetString("model_dir");
+  if (!dir.ok()) {
+    return ErrorResponse(pending.request.request_id,
+                         Status::InvalidArgument(
+                             "swap_model payload needs a model_dir string"));
+  }
+  auto outcome = gateway_->Swap(*dir);
+  if (!outcome.ok()) {
+    return ErrorResponse(pending.request.request_id, outcome.status());
+  }
+  JsonValue payload = JsonValue::Object();
+  payload.Set("model_generation",
+              JsonValue::Int(static_cast<int64_t>(outcome->generation)));
+  payload.Set("latency_micros", JsonValue::Int(outcome->latency_micros));
+  payload.Set("probe_items_scored",
+              JsonValue::Int(
+                  static_cast<int64_t>(outcome->probe_items_scored)));
+  return OkResponse(pending.request.request_id, std::move(payload));
+}
+
+Result<collect::CollectedItem> ServeLoop::ResolveItem(
+    const Message& request) {
+  const ServeMetrics& metrics = ServeMetrics::Get();
+  if (request.type == MessageType::kScoreItem) {
+    const JsonValue* item_json = request.payload.Get("item");
+    if (item_json == nullptr) {
+      return Status::InvalidArgument(
+          "score_item payload needs an \"item\" object");
+    }
+    CATS_ASSIGN_OR_RETURN(collect::ItemRecord item,
+                          collect::ParseItemRecord(*item_json));
+    collect::CollectedItem collected;
+    collected.item = std::move(item);
+    if (const JsonValue* comments = request.payload.Get("comments");
+        comments != nullptr && comments->is_array()) {
+      collected.comments.reserve(comments->size());
+      for (size_t i = 0; i < comments->size(); ++i) {
+        CATS_ASSIGN_OR_RETURN(collect::CommentRecord comment,
+                              collect::ParseCommentRecord(comments->at(i)));
+        collected.comments.push_back(std::move(comment));
+      }
+    }
+    // Remember the item for later score_comment_delta calls (FIFO-bounded).
+    {
+      std::lock_guard<std::mutex> lock(cache_mu_);
+      auto [it, inserted] =
+          item_cache_.insert_or_assign(collected.item.item_id, collected);
+      (void)it;
+      if (inserted) {
+        item_cache_fifo_.push_back(collected.item.item_id);
+        while (item_cache_.size() > options_.item_cache_capacity &&
+               !item_cache_fifo_.empty()) {
+          item_cache_.erase(item_cache_fifo_.front());
+          item_cache_fifo_.pop_front();
+        }
+      }
+      metrics.item_cache_size->Set(static_cast<double>(item_cache_.size()));
+    }
+    return collected;
+  }
+
+  // score_comment_delta: append new comments to the cached item, rescore
+  // the whole item. Duplicate comment_ids in the delta are dropped, same
+  // as the crawler's store-side dedup.
+  CATS_ASSIGN_OR_RETURN(int64_t item_id, request.payload.GetInt("item_id"));
+  const JsonValue* comments = request.payload.Get("comments");
+  if (comments == nullptr || !comments->is_array()) {
+    return Status::InvalidArgument(
+        "score_comment_delta payload needs a \"comments\" array");
+  }
+  std::vector<collect::CommentRecord> delta;
+  delta.reserve(comments->size());
+  for (size_t i = 0; i < comments->size(); ++i) {
+    CATS_ASSIGN_OR_RETURN(collect::CommentRecord comment,
+                          collect::ParseCommentRecord(comments->at(i)));
+    delta.push_back(std::move(comment));
+  }
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  auto it = item_cache_.find(static_cast<uint64_t>(item_id));
+  if (it == item_cache_.end()) {
+    return Status::NotFound(StrFormat(
+        "item %lld is not cached; send a full score_item first",
+        static_cast<long long>(item_id)));
+  }
+  collect::CollectedItem& cached = it->second;
+  for (collect::CommentRecord& comment : delta) {
+    const bool duplicate =
+        std::any_of(cached.comments.begin(), cached.comments.end(),
+                    [&](const collect::CommentRecord& existing) {
+                      return existing.comment_id == comment.comment_id;
+                    });
+    if (!duplicate) cached.comments.push_back(std::move(comment));
+  }
+  return cached;
+}
+
+JsonValue CollectedItemToJson(const collect::CollectedItem& item) {
+  JsonValue v = JsonValue::Object();
+  v.Set("item", collect::ItemRecordToJson(item.item));
+  JsonValue comments = JsonValue::Array();
+  for (const collect::CommentRecord& c : item.comments) {
+    comments.Append(collect::CommentRecordToJson(c));
+  }
+  v.Set("comments", std::move(comments));
+  return v;
+}
+
+Result<collect::CollectedItem> CollectedItemFromJson(const JsonValue& v) {
+  const JsonValue* item_json = v.Get("item");
+  if (item_json == nullptr) {
+    return Status::InvalidArgument("missing \"item\" object");
+  }
+  CATS_ASSIGN_OR_RETURN(collect::ItemRecord item,
+                        collect::ParseItemRecord(*item_json));
+  collect::CollectedItem collected;
+  collected.item = std::move(item);
+  if (const JsonValue* comments = v.Get("comments");
+      comments != nullptr && comments->is_array()) {
+    for (size_t i = 0; i < comments->size(); ++i) {
+      CATS_ASSIGN_OR_RETURN(collect::CommentRecord comment,
+                            collect::ParseCommentRecord(comments->at(i)));
+      collected.comments.push_back(std::move(comment));
+    }
+  }
+  return collected;
+}
+
+Message MakeScoreItemRequest(uint32_t request_id,
+                             const collect::CollectedItem& item) {
+  Message m;
+  m.type = MessageType::kScoreItem;
+  m.request_id = request_id;
+  m.payload = CollectedItemToJson(item);
+  return m;
+}
+
+Message MakeScoreCommentDeltaRequest(
+    uint32_t request_id, uint64_t item_id,
+    const std::vector<collect::CommentRecord>& comments) {
+  Message m;
+  m.type = MessageType::kScoreCommentDelta;
+  m.request_id = request_id;
+  m.payload = JsonValue::Object();
+  m.payload.Set("item_id", JsonValue::Int(static_cast<int64_t>(item_id)));
+  JsonValue array = JsonValue::Array();
+  for (const collect::CommentRecord& c : comments) {
+    array.Append(collect::CommentRecordToJson(c));
+  }
+  m.payload.Set("comments", std::move(array));
+  return m;
+}
+
+Message MakeHealthRequest(uint32_t request_id) {
+  Message m;
+  m.type = MessageType::kHealth;
+  m.request_id = request_id;
+  m.payload = JsonValue::Object();
+  return m;
+}
+
+Message MakeMetricsRequest(uint32_t request_id) {
+  Message m;
+  m.type = MessageType::kMetrics;
+  m.request_id = request_id;
+  m.payload = JsonValue::Object();
+  return m;
+}
+
+Message MakeSwapModelRequest(uint32_t request_id,
+                             const std::string& model_dir) {
+  Message m;
+  m.type = MessageType::kSwapModel;
+  m.request_id = request_id;
+  m.payload = JsonValue::Object();
+  m.payload.Set("model_dir", JsonValue::String(model_dir));
+  return m;
+}
+
+}  // namespace cats::serve

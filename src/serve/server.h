@@ -1,0 +1,181 @@
+#ifndef CATS_SERVE_SERVER_H_
+#define CATS_SERVE_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "collect/store.h"
+#include "serve/model_gateway.h"
+#include "serve/protocol.h"
+#include "util/bounded_queue.h"
+#include "util/result.h"
+
+namespace cats::serve {
+
+/// Knobs of the scoring server. Defaults suit the repo's test scale; a
+/// deployment sizes `queue_capacity` against its latency SLO — the queue
+/// is the only place a request may wait, so capacity bounds worst-case
+/// queueing delay at capacity / throughput.
+struct ServeOptions {
+  /// Admission queue capacity. A request arriving to a full queue is NOT
+  /// queued: it gets an immediate kOverloaded response with a retry hint.
+  /// Bounded admission is what keeps p99 flat when offered load exceeds
+  /// capacity — the server sheds instead of building an unbounded backlog.
+  size_t queue_capacity = 128;
+  /// Scoring workers popping the admission queue.
+  size_t num_workers = 2;
+  /// Requests a worker pops in one adaptive micro-batch
+  /// (util::BoundedQueue::PopBatch): under load the whole batch's feature
+  /// rows are classified in a single batched predict call.
+  size_t max_batch_requests = 16;
+  /// Retry hint carried by kOverloaded responses.
+  uint32_t retry_after_millis = 25;
+  /// Items remembered for score_comment_delta, FIFO-evicted beyond this.
+  size_t item_cache_capacity = 4096;
+};
+
+/// Exact per-instance request accounting, all relaxed atomics. Invariants
+/// (asserted by tests/serve_chaos_test.cc):
+///   received == accepted + overload_rejected + rejected
+///   accepted == ok + errors + shed        (after Stop returned)
+struct ServeStats {
+  std::atomic<uint64_t> received{0};
+  std::atomic<uint64_t> accepted{0};
+  std::atomic<uint64_t> overload_rejected{0};
+  /// Refused before the queue with a typed error (loop not running, or a
+  /// non-request opcode submitted).
+  std::atomic<uint64_t> rejected{0};
+  std::atomic<uint64_t> ok{0};
+  std::atomic<uint64_t> errors{0};
+  std::atomic<uint64_t> shed{0};
+};
+
+/// How Stop treats requests still sitting in the admission queue.
+enum class StopMode {
+  kDrain,  // workers score everything already accepted, then exit
+  kShed,   // queued requests get a typed Unavailable reply, unscored
+};
+
+/// The long-lived fraud-scoring loop: bounded admission queue -> worker
+/// pool -> reply callbacks, scoring through a hot-swappable ModelGateway
+/// snapshot. Transport-agnostic: TcpServer (serve/tcp_server.h) feeds it
+/// decoded frames, tests and the load generator feed it directly — same
+/// admission, same workers, same accounting either way.
+///
+///   Submit(msg, done) --TryPush--> [admission BoundedQueue] --PopBatch-->
+///       worker: stage each item (validate/extract/rules, thread-safe) ->
+///       one batched classifier call -> done(response)   [x num_workers]
+///
+/// Request handling per MessageType is documented in docs/SERVING.md
+/// (request/response payloads, overload semantics, the swap state
+/// machine). Scoring is result-identical to Detector::Detect over the
+/// same items: staging runs the exact same StageForScoring code per item
+/// and the classifier scores the staged rows.
+class ServeLoop {
+ public:
+  explicit ServeLoop(ServeOptions options);
+  ~ServeLoop();
+
+  ServeLoop(const ServeLoop&) = delete;
+  ServeLoop& operator=(const ServeLoop&) = delete;
+
+  /// Loads the boot model (rejecting corrupt candidates via the manifest
+  /// CRC path), installs `probe_items` as the held-out validation rows for
+  /// every later swap, and starts the workers.
+  Status Start(const std::string& model_dir,
+               std::vector<collect::CollectedItem> probe_items);
+
+  /// Stops the loop: closes admission, then drains or sheds the backlog
+  /// (see StopMode) and joins the workers. Idempotent.
+  void Stop(StopMode mode = StopMode::kDrain);
+
+  /// Submits one request. `done` is invoked exactly once — inline when
+  /// admission refuses (kOverloaded) or the server is stopped
+  /// (kError/Unavailable), from a worker thread otherwise. `done` must be
+  /// callable from any thread and must not block on the serve loop.
+  void Submit(Message request, std::function<void(Message)> done);
+
+  /// Synchronous convenience wrapper around Submit for tests, the CLI and
+  /// the TCP handler: blocks until the response is ready.
+  Message Call(Message request);
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  const ServeStats& stats() const { return stats_; }
+  const ServeOptions& options() const { return options_; }
+  uint64_t model_generation() const {
+    return gateway_ == nullptr ? 0 : gateway_->generation();
+  }
+
+ private:
+  struct PendingRequest {
+    Message request;
+    std::function<void(Message)> done;
+    std::chrono::steady_clock::time_point accepted_at;
+  };
+
+  void WorkerLoop();
+  void ProcessBatch(std::vector<PendingRequest>* batch);
+
+  /// Completes one request: counts it, observes its latency, updates the
+  /// SLO gauges, invokes done.
+  void Finish(PendingRequest* pending, Message response);
+
+  /// Handlers for the non-scoring request types.
+  Message HandleHealth(const PendingRequest& pending);
+  Message HandleMetrics(const PendingRequest& pending);
+  Message HandleSwap(const PendingRequest& pending);
+
+  /// Resolves the request's CollectedItem: from the payload (score_item,
+  /// also caching it) or cache + delta (score_comment_delta).
+  Result<collect::CollectedItem> ResolveItem(const Message& request);
+
+  ServeOptions options_;
+  std::unique_ptr<ModelGateway> gateway_;
+  ServeStats stats_;
+
+  std::unique_ptr<util::BoundedQueue<PendingRequest>> admission_;
+  std::vector<std::thread> workers_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> shedding_{false};
+  std::mutex lifecycle_mu_;  // serializes Start/Stop
+
+  /// Scoring-side serialization: the classifier's batch path owns a thread
+  /// pool, so only one worker classifies at a time (staging — the
+  /// expensive half — still runs fully parallel across workers).
+  std::mutex score_mu_;
+
+  /// score_comment_delta state: item_id -> last-known CollectedItem.
+  std::mutex cache_mu_;
+  std::unordered_map<uint64_t, collect::CollectedItem> item_cache_;
+  std::deque<uint64_t> item_cache_fifo_;
+};
+
+/// Item payload codecs shared by the server, clients and the loadgen:
+///   {"item": {...items.jsonl record...}, "comments": [{...comments.jsonl
+///   record...}, ...]}
+JsonValue CollectedItemToJson(const collect::CollectedItem& item);
+Result<collect::CollectedItem> CollectedItemFromJson(const JsonValue& v);
+
+/// Builds the canonical request messages (client side).
+Message MakeScoreItemRequest(uint32_t request_id,
+                             const collect::CollectedItem& item);
+Message MakeScoreCommentDeltaRequest(
+    uint32_t request_id, uint64_t item_id,
+    const std::vector<collect::CommentRecord>& comments);
+Message MakeHealthRequest(uint32_t request_id);
+Message MakeMetricsRequest(uint32_t request_id);
+Message MakeSwapModelRequest(uint32_t request_id,
+                             const std::string& model_dir);
+
+}  // namespace cats::serve
+
+#endif  // CATS_SERVE_SERVER_H_

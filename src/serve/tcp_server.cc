@@ -1,0 +1,283 @@
+#include "serve/tcp_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+#include "util/string_util.h"
+
+namespace cats::serve {
+namespace {
+
+struct TcpMetrics {
+  obs::Counter* connections_opened;
+  obs::Gauge* connections_active;
+  obs::Counter* frames_read;
+  obs::Counter* frame_errors;
+
+  static const TcpMetrics& Get() {
+    static const TcpMetrics* metrics = [] {
+      obs::MetricsRegistry& r = obs::MetricsRegistry::Global();
+      return new TcpMetrics{
+          r.GetCounter(obs::kServeTcpConnectionsOpenedTotal),
+          r.GetGauge(obs::kServeTcpConnectionsActive),
+          r.GetCounter(obs::kServeTcpFramesReadTotal),
+          r.GetCounter(obs::kServeTcpFrameErrorsTotal)};
+    }();
+    return *metrics;
+  }
+};
+
+/// Writes the whole buffer, retrying short writes. MSG_NOSIGNAL so a peer
+/// that hung up yields EPIPE instead of killing the process.
+Status WriteAll(int fd, const std::string& bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(StrFormat("send failed: %s", strerror(errno)));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+TcpServer::TcpServer(ServeLoop* loop, TcpServerOptions options)
+    : loop_(loop), options_(options) {}
+
+TcpServer::~TcpServer() { Stop(); }
+
+Status TcpServer::Start() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError(StrFormat("socket failed: %s", strerror(errno)));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options_.port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const Status status =
+        Status::IoError(StrFormat("bind to 127.0.0.1:%u failed: %s",
+                                  options_.port, strerror(errno)));
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, 64) < 0) {
+    const Status status =
+        Status::IoError(StrFormat("listen failed: %s", strerror(errno)));
+    ::close(fd);
+    return status;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) <
+      0) {
+    const Status status = Status::IoError(
+        StrFormat("getsockname failed: %s", strerror(errno)));
+    ::close(fd);
+    return status;
+  }
+  port_ = ntohs(bound.sin_port);
+  listen_fd_.store(fd, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void TcpServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  // Closing the listener kicks accept() out with an error.
+  const int listen_fd = listen_fd_.exchange(-1, std::memory_order_acq_rel);
+  if (listen_fd >= 0) {
+    ::shutdown(listen_fd, SHUT_RDWR);
+    ::close(listen_fd);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    // shutdown() unblocks any recv() without racing the fd number reuse a
+    // close() here could cause; the connection thread closes its own fd.
+    for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+    threads.swap(conn_threads_);
+  }
+  for (std::thread& t : threads) t.join();
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  conn_fds_.clear();
+}
+
+void TcpServer::AcceptLoop() {
+  const TcpMetrics& metrics = TcpMetrics::Get();
+  while (running_.load(std::memory_order_acquire)) {
+    const int listen_fd = listen_fd_.load(std::memory_order_acquire);
+    if (listen_fd < 0) break;
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener closed (Stop) or fatally broken
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    metrics.connections_opened->Increment();
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    if (!running_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      break;
+    }
+    conn_fds_.push_back(fd);
+    metrics.connections_active->Set(static_cast<double>(conn_fds_.size()));
+    conn_threads_.emplace_back([this, fd] { ConnectionLoop(fd); });
+  }
+}
+
+void TcpServer::ConnectionLoop(int fd) {
+  const TcpMetrics& metrics = TcpMetrics::Get();
+  FrameReader reader;
+  // Shared write endpoint: serializes response frames (workers complete
+  // out of order and each frame must hit the wire contiguously) and pins
+  // the fd's lifetime — a late response after the connection closed finds
+  // closed=true instead of writing into a recycled fd number.
+  struct WriteEnd {
+    std::mutex mu;
+    int fd;
+    bool closed = false;
+  };
+  auto write_end = std::make_shared<WriteEnd>();
+  write_end->fd = fd;
+  char buf[16 * 1024];
+  bool fatal = false;
+  while (!fatal) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // peer hung up, or Stop() shut the socket down
+    reader.Feed(std::string_view(buf, static_cast<size_t>(n)));
+    while (true) {
+      auto message = reader.Next();
+      if (!message.ok()) {
+        if (message.status().code() == StatusCode::kNotFound) break;
+        // Framing error: the stream position is unrecoverable. Count it
+        // and drop the connection; the client reconnects with a clean
+        // stream.
+        metrics.frame_errors->Increment();
+        fatal = true;
+        break;
+      }
+      metrics.frames_read->Increment();
+      loop_->Submit(std::move(message).value(),
+                    [write_end](Message response) {
+                      const std::string frame = EncodeFrame(response);
+                      std::lock_guard<std::mutex> lock(write_end->mu);
+                      if (write_end->closed) return;
+                      (void)WriteAll(write_end->fd, frame);
+                    });
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(write_end->mu);
+    write_end->closed = true;
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  conn_fds_.erase(std::remove(conn_fds_.begin(), conn_fds_.end(), fd),
+                  conn_fds_.end());
+  metrics.connections_active->Set(static_cast<double>(conn_fds_.size()));
+}
+
+FrameClient::~FrameClient() { Close(); }
+
+Status FrameClient::Connect(const std::string& host, uint16_t port) {
+  Close();
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError(StrFormat("socket failed: %s", strerror(errno)));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("not an IPv4 address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const Status status = Status::IoError(StrFormat(
+        "connect to %s:%u failed: %s", host.c_str(), port, strerror(errno)));
+    ::close(fd);
+    return status;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  fd_ = fd;
+  return Status::OK();
+}
+
+void FrameClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  reader_ = FrameReader();
+  pending_.clear();
+}
+
+Status FrameClient::SendRaw(const std::string& bytes) {
+  if (fd_ < 0) return Status::FailedPrecondition("client is not connected");
+  return WriteAll(fd_, bytes);
+}
+
+Result<Message> FrameClient::ReadMessage() {
+  if (fd_ < 0) return Status::FailedPrecondition("client is not connected");
+  char buf[16 * 1024];
+  while (true) {
+    auto message = reader_.Next();
+    if (message.ok()) return message;
+    if (message.status().code() != StatusCode::kNotFound) {
+      return message.status();  // framing error — stream unusable
+    }
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0) {
+      return Status::IoError(StrFormat("recv failed: %s", strerror(errno)));
+    }
+    if (n == 0) {
+      return Status::Unavailable("server closed the connection");
+    }
+    reader_.Feed(std::string_view(buf, static_cast<size_t>(n)));
+  }
+}
+
+Result<Message> FrameClient::Call(const Message& request) {
+  CATS_RETURN_NOT_OK(SendRaw(EncodeFrame(request)));
+  // Drain buffered responses first (pipelined calls may interleave).
+  for (size_t i = 0; i < pending_.size(); ++i) {
+    if (pending_[i].request_id == request.request_id) {
+      Message found = std::move(pending_[i]);
+      pending_.erase(pending_.begin() + static_cast<ptrdiff_t>(i));
+      return found;
+    }
+  }
+  while (true) {
+    CATS_ASSIGN_OR_RETURN(Message message, ReadMessage());
+    if (message.request_id == request.request_id) return message;
+    pending_.push_back(std::move(message));
+  }
+}
+
+}  // namespace cats::serve

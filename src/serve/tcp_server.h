@@ -1,0 +1,101 @@
+#ifndef CATS_SERVE_TCP_SERVER_H_
+#define CATS_SERVE_TCP_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "util/result.h"
+
+namespace cats::serve {
+
+struct TcpServerOptions {
+  /// Port to listen on; 0 asks the kernel for an ephemeral port (tests) —
+  /// read the actual one back via port().
+  uint16_t port = 0;
+};
+
+/// The socket skin over ServeLoop: accepts loopback TCP connections,
+/// decodes length-prefixed frames (serve/protocol.h) and submits them to
+/// the loop. Responses are written back on the same connection, each under
+/// a per-connection write mutex; because every frame carries the client's
+/// request_id, a client may pipeline requests and match responses out of
+/// order. A framing error (bad magic, unknown opcode, oversized payload)
+/// is unrecoverable for that byte stream, so the connection is closed
+/// after counting serve.tcp.frame_errors_total.
+///
+/// One OS thread per connection — deliberate: admission control lives in
+/// ServeLoop's bounded queue, so connection threads only parse and wait,
+/// and the repo's workloads are a handful of loadgen connections, not C10k.
+class TcpServer {
+ public:
+  /// `loop` must outlive the server and must already be Start()ed.
+  TcpServer(ServeLoop* loop, TcpServerOptions options);
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  /// Binds 127.0.0.1:port, starts the accept loop.
+  Status Start();
+
+  /// Closes the listener and every open connection, joins all threads.
+  /// Idempotent.
+  void Stop();
+
+  /// The port actually bound (resolves port 0 to the kernel's choice).
+  uint16_t port() const { return port_; }
+
+ private:
+  void AcceptLoop();
+  void ConnectionLoop(int fd);
+
+  ServeLoop* loop_;
+  TcpServerOptions options_;
+  std::atomic<int> listen_fd_{-1};
+  uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::thread accept_thread_;
+  std::mutex conn_mu_;  // guards conn_fds_ and conn_threads_
+  std::vector<int> conn_fds_;
+  std::vector<std::thread> conn_threads_;
+};
+
+/// Minimal blocking client for tests, the CLI and the load generator:
+/// connects, sends one frame per Call, reads frames until the response
+/// with the matching request_id arrives.
+class FrameClient {
+ public:
+  FrameClient() = default;
+  ~FrameClient();
+
+  FrameClient(const FrameClient&) = delete;
+  FrameClient& operator=(const FrameClient&) = delete;
+
+  Status Connect(const std::string& host, uint16_t port);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// Sends `request` and blocks for the response carrying the same
+  /// request_id (responses to other in-flight ids are buffered).
+  Result<Message> Call(const Message& request);
+
+  /// Raw frame I/O for protocol-level tests.
+  Status SendRaw(const std::string& bytes);
+  Result<Message> ReadMessage();
+
+ private:
+  int fd_ = -1;
+  FrameReader reader_;
+  std::vector<Message> pending_;  // responses read for other request_ids
+};
+
+}  // namespace cats::serve
+
+#endif  // CATS_SERVE_TCP_SERVER_H_

@@ -1,0 +1,228 @@
+// Chaos battery for the serving plane: crawl a store through hostile
+// transport AND data faults, then push every dirty item through a ServeLoop
+// squeezed down to a capacity-1 admission queue from several client threads
+// at once, retrying typed overloads, with control requests interleaved.
+// Under a deadlock watchdog the books must balance exactly — every Submit
+// answered exactly once, ServeStats invariants hold to the unit — and the
+// served quarantine must equal the API's ground-truth poison set id for id.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <future>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "collect/crawler.h"
+#include "fault/data_fault_plan.h"
+#include "fault/fault_plan.h"
+#include "platform_test_util.h"
+#include "serve/server.h"
+#include "serve_test_util.h"
+
+namespace cats::serve {
+namespace {
+
+using collect::CollectedItem;
+
+/// Aborts loudly if the serving loop wedges instead of hanging the suite.
+template <typename Fn>
+auto RunWithWatchdog(Fn&& fn) {
+  auto future = std::async(std::launch::async, std::forward<Fn>(fn));
+  if (future.wait_for(std::chrono::seconds(120)) !=
+      std::future_status::ready) {
+    std::fprintf(stderr,
+                 "serve_chaos_test: serving loop deadlocked (no result "
+                 "within 120s watchdog)\n");
+    std::fflush(stderr);
+    std::abort();
+  }
+  return future.get();
+}
+
+/// A store crawled through hostile transport + data faults: dropped fields,
+/// absurd prices, garbled text — the dirtiest input the repo can produce.
+struct HostileStore {
+  collect::DataStore store;
+  std::set<uint64_t> poisoned;
+};
+
+HostileStore CrawlHostileStore(uint64_t seed) {
+  const platform::Marketplace& market = TestMarketplace();
+  collect::FakeClock clock;
+  platform::ApiOptions api_options;
+  api_options.faults = fault::FaultProfile::Hostile();
+  api_options.data_faults = fault::DataFaultProfile::Hostile();
+  api_options.seed = seed;
+  api_options.clock = &clock;
+  platform::MarketplaceApi api(&market, api_options);
+
+  collect::CrawlerOptions options;
+  options.requests_per_second = 0.0;
+  options.max_retries = 12;
+  options.backoff_cap_micros = 500'000;
+  collect::Crawler crawler(&api, options, &clock);
+
+  HostileStore hostile;
+  CATS_CHECK(crawler.Crawl(&hostile.store).ok());
+  hostile.poisoned.insert(api.data_poisoned_items().begin(),
+                          api.data_poisoned_items().end());
+  return hostile;
+}
+
+TEST(ServeChaosTest, DirtyStoreThroughCapacityOneQueueBalancesExactly) {
+  HostileStore hostile = CrawlHostileStore(31337);
+  const std::vector<CollectedItem>& items = hostile.store.items();
+  ASSERT_FALSE(items.empty());
+
+  ServeOptions options;
+  options.queue_capacity = 1;  // maximum admission pressure
+  options.num_workers = 3;
+  options.max_batch_requests = 1;
+  ServeLoop loop(options);
+  ASSERT_TRUE(loop.Start(TestModelDir(), TestProbeItems()).ok());
+
+  // Shared tally, written only under `mu` from response callbacks.
+  std::mutex mu;
+  std::map<uint64_t, std::string> dispositions;
+  std::atomic<uint64_t> score_ok{0};
+  std::atomic<uint64_t> score_errors{0};
+  std::atomic<uint64_t> overloads_retried{0};
+  std::atomic<uint64_t> control_ok{0};
+
+  const int kClients = 4;
+  std::vector<std::thread> clients;
+  std::atomic<uint32_t> next_id{1};
+  std::atomic<size_t> next_item{0};
+  auto run_clients = [&] {
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        for (size_t i = next_item.fetch_add(1); i < items.size();
+             i = next_item.fetch_add(1)) {
+          const CollectedItem& item = items[i];
+          // Retry typed overloads until the capacity-1 queue admits us —
+          // exactly what a well-behaved client of this protocol does.
+          for (;;) {
+            Message response =
+                loop.Call(MakeScoreItemRequest(next_id.fetch_add(1), item));
+            if (response.type == MessageType::kOverloaded) {
+              overloads_retried.fetch_add(1);
+              std::this_thread::sleep_for(std::chrono::microseconds(200));
+              continue;
+            }
+            if (response.type == MessageType::kOk) {
+              score_ok.fetch_add(1);
+              std::lock_guard<std::mutex> lock(mu);
+              dispositions[item.item.item_id] =
+                  *response.payload.GetString("disposition");
+            } else {
+              score_errors.fetch_add(1);
+            }
+            break;
+          }
+          // Interleave control traffic through the same hot queue.
+          if (i % 7 == static_cast<size_t>(c % 7)) {
+            for (;;) {
+              Message health =
+                  loop.Call(MakeHealthRequest(next_id.fetch_add(1)));
+              if (health.type == MessageType::kOverloaded) {
+                overloads_retried.fetch_add(1);
+                std::this_thread::sleep_for(std::chrono::microseconds(200));
+                continue;
+              }
+              if (health.type == MessageType::kOk) control_ok.fetch_add(1);
+              break;
+            }
+          }
+        }
+      });
+    }
+    for (std::thread& t : clients) t.join();
+    return true;
+  };
+  ASSERT_TRUE(RunWithWatchdog(run_clients));
+  loop.Stop(StopMode::kDrain);
+
+  // Hostility changes pacing, never results: every item scored OK.
+  EXPECT_EQ(score_errors.load(), 0u);
+  EXPECT_EQ(score_ok.load(), items.size());
+  EXPECT_GT(control_ok.load(), 0u);
+
+  // The books balance to the unit across every admission outcome.
+  const ServeStats& stats = loop.stats();
+  EXPECT_EQ(stats.received.load(), stats.accepted.load() +
+                                       stats.overload_rejected.load() +
+                                       stats.rejected.load());
+  EXPECT_EQ(stats.accepted.load(),
+            stats.ok.load() + stats.errors.load() + stats.shed.load());
+  EXPECT_EQ(stats.overload_rejected.load(), overloads_retried.load());
+  EXPECT_EQ(stats.rejected.load(), 0u);
+  EXPECT_EQ(stats.shed.load(), 0u);
+  EXPECT_EQ(stats.ok.load(), score_ok.load() + control_ok.load());
+
+  // Data poisoning is caught at the door: the served quarantine equals the
+  // API's ground-truth poison set exactly, id for id.
+  std::set<uint64_t> served_quarantined;
+  for (const auto& [item_id, disposition] : dispositions) {
+    if (disposition == "quarantined") served_quarantined.insert(item_id);
+  }
+  EXPECT_EQ(served_quarantined, hostile.poisoned);
+}
+
+TEST(ServeChaosTest, SameDirtyStoreServedTwiceGivesIdenticalDispositions) {
+  // Serving is deterministic per item even when admission interleaving is
+  // not: two passes over the same dirty store agree disposition for
+  // disposition and score for score.
+  HostileStore hostile = CrawlHostileStore(4242);
+  const std::vector<CollectedItem>& items = hostile.store.items();
+  ASSERT_FALSE(items.empty());
+
+  ServeOptions options;
+  options.queue_capacity = 2;
+  options.num_workers = 2;
+  ServeLoop loop(options);
+  ASSERT_TRUE(loop.Start(TestModelDir(), TestProbeItems()).ok());
+
+  auto serve_pass = [&](uint32_t id_base) {
+    std::map<uint64_t, std::pair<std::string, double>> results;
+    uint32_t id = id_base;
+    for (const CollectedItem& item : items) {
+      for (;;) {
+        Message response = loop.Call(MakeScoreItemRequest(id++, item));
+        if (response.type == MessageType::kOverloaded) continue;
+        CATS_CHECK(response.type == MessageType::kOk);
+        double score = 0.0;
+        if (response.payload.Has("score")) {
+          score = *response.payload.GetDouble("score");
+        }
+        results[item.item.item_id] = {
+            *response.payload.GetString("disposition"), score};
+        break;
+      }
+    }
+    return results;
+  };
+  auto first = RunWithWatchdog([&] { return serve_pass(1); });
+  auto second = RunWithWatchdog([&] { return serve_pass(1000000); });
+  loop.Stop();
+
+  ASSERT_EQ(first.size(), second.size());
+  for (const auto& [item_id, outcome] : first) {
+    auto it = second.find(item_id);
+    ASSERT_NE(it, second.end()) << "item " << item_id;
+    EXPECT_EQ(it->second.first, outcome.first) << "item " << item_id;
+    EXPECT_DOUBLE_EQ(it->second.second, outcome.second)
+        << "item " << item_id;
+  }
+}
+
+}  // namespace
+}  // namespace cats::serve

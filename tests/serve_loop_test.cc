@@ -1,0 +1,287 @@
+// ServeLoop behavior: served scores are result-identical to the offline
+// Detect path over the same items, comment deltas rescore the merged item,
+// control requests answer inline, admission control returns the typed
+// overload response instead of queueing unboundedly, and the request
+// accounting balances exactly across every outcome.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/cats.h"
+#include "serve/server.h"
+#include "serve_test_util.h"
+
+namespace cats::serve {
+namespace {
+
+using collect::CollectedItem;
+
+/// One started loop per fixture, default options.
+class ServeLoopTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    loop_ = std::make_unique<ServeLoop>(ServeOptions{});
+    ASSERT_TRUE(loop_->Start(TestModelDir(), TestProbeItems()).ok());
+  }
+
+  std::unique_ptr<ServeLoop> loop_;
+  uint32_t next_id_ = 1;
+};
+
+TEST_F(ServeLoopTest, ScoresMatchOfflineDetectOverSameItems) {
+  const auto& items = TestStore().items();
+
+  // Ground truth: the same model loaded the same way, run offline.
+  core::Cats offline;
+  ASSERT_TRUE(offline.LoadModel(TestModelDir()).ok());
+  auto report = offline.Detect(items);
+  ASSERT_TRUE(report.ok());
+  std::map<uint64_t, double> expected_flagged;
+  for (const core::Detection& d : report->detections) {
+    expected_flagged[d.item_id] = d.score;
+  }
+  for (const core::Detection& d : report->degraded_detections) {
+    expected_flagged[d.item_id] = d.score;
+  }
+  std::set<uint64_t> expected_quarantined;
+  for (const core::QuarantineEntry& e : report->quarantine.entries) {
+    expected_quarantined.insert(e.item_id);
+  }
+
+  std::map<uint64_t, double> served_flagged;
+  std::set<uint64_t> served_quarantined;
+  size_t classified = 0;
+  for (const CollectedItem& item : items) {
+    Message response =
+        loop_->Call(MakeScoreItemRequest(next_id_++, item));
+    ASSERT_EQ(response.type, MessageType::kOk)
+        << StatusFromErrorPayload(response.payload).ToString();
+    auto disposition = response.payload.GetString("disposition");
+    ASSERT_TRUE(disposition.ok());
+    auto generation = response.payload.GetInt("model_generation");
+    ASSERT_TRUE(generation.ok());
+    EXPECT_EQ(*generation, 1);
+    if (*disposition == "quarantined") {
+      served_quarantined.insert(item.item.item_id);
+      EXPECT_TRUE(response.payload.Has("issues"));
+    } else if (*disposition == "classified") {
+      ++classified;
+      auto score = response.payload.GetDouble("score");
+      ASSERT_TRUE(score.ok());
+      EXPECT_GE(*score, 0.0);
+      EXPECT_LE(*score, 1.0);
+      auto flagged = response.payload.Get("flagged");
+      ASSERT_NE(flagged, nullptr);
+      if (flagged->bool_value()) {
+        served_flagged[item.item.item_id] = *score;
+      }
+    }
+  }
+
+  EXPECT_EQ(classified, report->items_classified);
+  EXPECT_EQ(served_quarantined, expected_quarantined);
+  ASSERT_EQ(served_flagged.size(), expected_flagged.size());
+  for (const auto& [item_id, score] : expected_flagged) {
+    auto it = served_flagged.find(item_id);
+    ASSERT_NE(it, served_flagged.end()) << "item " << item_id;
+    EXPECT_DOUBLE_EQ(it->second, score) << "item " << item_id;
+  }
+}
+
+TEST_F(ServeLoopTest, CommentDeltaRescoresTheMergedItem) {
+  // Pick an item with comments so it classifies.
+  const CollectedItem* base = nullptr;
+  for (const CollectedItem& item : TestStore().items()) {
+    if (item.comments.size() >= 4) {
+      base = &item;
+      break;
+    }
+  }
+  ASSERT_NE(base, nullptr);
+
+  // Serve the item with half its comments, then deliver the rest as a
+  // delta; the delta's score must equal a fresh full score of the whole.
+  CollectedItem half = *base;
+  half.comments.resize(base->comments.size() / 2);
+  std::vector<collect::CommentRecord> rest(
+      base->comments.begin() +
+          static_cast<ptrdiff_t>(half.comments.size()),
+      base->comments.end());
+
+  Message first = loop_->Call(MakeScoreItemRequest(next_id_++, half));
+  ASSERT_EQ(first.type, MessageType::kOk);
+  Message delta = loop_->Call(MakeScoreCommentDeltaRequest(
+      next_id_++, base->item.item_id, rest));
+  ASSERT_EQ(delta.type, MessageType::kOk);
+  Message full = loop_->Call(MakeScoreItemRequest(next_id_++, *base));
+  ASSERT_EQ(full.type, MessageType::kOk);
+
+  auto delta_disposition = delta.payload.GetString("disposition");
+  auto full_disposition = full.payload.GetString("disposition");
+  ASSERT_TRUE(delta_disposition.ok());
+  ASSERT_TRUE(full_disposition.ok());
+  EXPECT_EQ(*delta_disposition, *full_disposition);
+  if (*full_disposition == "classified") {
+    auto delta_score = delta.payload.GetDouble("score");
+    auto full_score = full.payload.GetDouble("score");
+    ASSERT_TRUE(delta_score.ok());
+    ASSERT_TRUE(full_score.ok());
+    EXPECT_DOUBLE_EQ(*delta_score, *full_score);
+  }
+
+  // Redelivering the same delta is a no-op (comment_id dedup): the score
+  // must not move.
+  Message redelivered = loop_->Call(MakeScoreCommentDeltaRequest(
+      next_id_++, base->item.item_id, rest));
+  ASSERT_EQ(redelivered.type, MessageType::kOk);
+  if (*full_disposition == "classified") {
+    EXPECT_DOUBLE_EQ(*redelivered.payload.GetDouble("score"),
+                     *full.payload.GetDouble("score"));
+  }
+}
+
+TEST_F(ServeLoopTest, CommentDeltaForUnknownItemIsTypedNotFound) {
+  Message response = loop_->Call(
+      MakeScoreCommentDeltaRequest(next_id_++, 999999999, {}));
+  ASSERT_EQ(response.type, MessageType::kError);
+  EXPECT_EQ(StatusFromErrorPayload(response.payload).code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(ServeLoopTest, HealthReportsModelAndQueueState) {
+  Message response = loop_->Call(MakeHealthRequest(next_id_++));
+  ASSERT_EQ(response.type, MessageType::kOk);
+  EXPECT_EQ(*response.payload.GetString("status"), "serving");
+  EXPECT_EQ(*response.payload.GetInt("model_generation"), 1);
+  EXPECT_EQ(*response.payload.GetString("model_dir"), TestModelDir());
+  EXPECT_EQ(*response.payload.GetInt("queue_capacity"),
+            static_cast<int64_t>(loop_->options().queue_capacity));
+  EXPECT_EQ(*response.payload.GetInt("probe_items"),
+            static_cast<int64_t>(TestProbeItems().size()));
+}
+
+TEST_F(ServeLoopTest, MetricsReturnsRegistrySnapshot) {
+  // Score once so serve.* counters exist and move.
+  Message scored = loop_->Call(
+      MakeScoreItemRequest(next_id_++, TestStore().items().front()));
+  ASSERT_EQ(scored.type, MessageType::kOk);
+  Message response = loop_->Call(MakeMetricsRequest(next_id_++));
+  ASSERT_EQ(response.type, MessageType::kOk);
+  const JsonValue* counters = response.payload.Get("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_TRUE(counters->Has("serve.requests_received_total"));
+  const JsonValue* gauges = response.payload.Get("gauges");
+  ASSERT_NE(gauges, nullptr);
+  EXPECT_TRUE(gauges->Has("serve.slo.p50_micros"));
+  EXPECT_TRUE(gauges->Has("serve.slo.p99_micros"));
+}
+
+TEST_F(ServeLoopTest, RejectsNonRequestOpcodesBeforeTheQueue) {
+  Message bogus;
+  bogus.type = MessageType::kOk;  // a response opcode is not submittable
+  bogus.request_id = next_id_++;
+  Message response = loop_->Call(std::move(bogus));
+  ASSERT_EQ(response.type, MessageType::kError);
+  EXPECT_EQ(StatusFromErrorPayload(response.payload).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_GE(loop_->stats().rejected.load(), 1u);
+}
+
+TEST(ServeLoopOverloadTest, FullQueueGetsTypedOverloadResponse) {
+  ServeOptions options;
+  options.queue_capacity = 1;
+  options.num_workers = 1;
+  options.retry_after_millis = 31;
+  ServeLoop loop(options);
+  ASSERT_TRUE(loop.Start(TestModelDir(), TestProbeItems()).ok());
+
+  // Occupy the single worker with a swap (load + probe takes milliseconds),
+  // then flood the capacity-1 queue; an overload response must surface.
+  loop.Submit(MakeSwapModelRequest(1, TestModelDir()), [](Message) {});
+  bool saw_overload = false;
+  uint32_t retry_hint = 0;
+  const auto& items = TestStore().items();
+  for (uint32_t i = 0; i < 10000 && !saw_overload; ++i) {
+    loop.Submit(MakeScoreItemRequest(2 + i, items[i % items.size()]),
+                [&](Message response) {
+                  if (response.type == MessageType::kOverloaded) {
+                    saw_overload = true;  // inline callback, same thread
+                    retry_hint = static_cast<uint32_t>(
+                        *response.payload.GetInt("retry_after_millis"));
+                  }
+                });
+  }
+  EXPECT_TRUE(saw_overload);
+  EXPECT_EQ(retry_hint, 31u);
+  EXPECT_GE(loop.stats().overload_rejected.load(), 1u);
+
+  loop.Stop(StopMode::kDrain);
+  const ServeStats& stats = loop.stats();
+  EXPECT_EQ(stats.received.load(), stats.accepted.load() +
+                                       stats.overload_rejected.load() +
+                                       stats.rejected.load());
+  EXPECT_EQ(stats.accepted.load(),
+            stats.ok.load() + stats.errors.load() + stats.shed.load());
+}
+
+TEST(ServeLoopShutdownTest, StopShedAnswersBacklogWithUnavailable) {
+  ServeOptions options;
+  options.num_workers = 1;
+  ServeLoop loop(options);
+  ASSERT_TRUE(loop.Start(TestModelDir(), TestProbeItems()).ok());
+
+  // A swap occupies the worker while score requests pile up behind it. It
+  // may itself still be queued at Stop time, in which case it too is shed.
+  std::atomic<uint64_t> swap_shed{0};
+  loop.Submit(MakeSwapModelRequest(1, TestModelDir()),
+              [&](Message response) {
+                if (response.type == MessageType::kError) {
+                  swap_shed.fetch_add(1);
+                }
+              });
+  std::atomic<uint64_t> unavailable{0};
+  std::atomic<uint64_t> responses{0};
+  const auto& items = TestStore().items();
+  const uint32_t submitted = 64;
+  for (uint32_t i = 0; i < submitted; ++i) {
+    loop.Submit(MakeScoreItemRequest(2 + i, items[i % items.size()]),
+                [&](Message response) {
+                  responses.fetch_add(1);
+                  if (response.type == MessageType::kError &&
+                      StatusFromErrorPayload(response.payload).code() ==
+                          StatusCode::kUnavailable) {
+                    unavailable.fetch_add(1);
+                  }
+                });
+  }
+  loop.Stop(StopMode::kShed);
+
+  // Every submitted request got exactly one answer, and everything that
+  // was still queued at Stop time was shed with the typed Unavailable.
+  const ServeStats& stats = loop.stats();
+  EXPECT_EQ(stats.received.load(), submitted + 1u);
+  EXPECT_EQ(stats.received.load(), stats.accepted.load() +
+                                       stats.overload_rejected.load() +
+                                       stats.rejected.load());
+  EXPECT_EQ(stats.accepted.load(),
+            stats.ok.load() + stats.errors.load() + stats.shed.load());
+  EXPECT_EQ(stats.shed.load(), unavailable.load() + swap_shed.load());
+  // Every submitted request (all but the callback-less swap) answered
+  // exactly once — ok, typed shed, or typed overload, never silence.
+  EXPECT_EQ(responses.load(), submitted);
+
+  // After Stop, submissions are refused inline with a typed error.
+  Message late = loop.Call(MakeHealthRequest(99999));
+  ASSERT_EQ(late.type, MessageType::kError);
+  EXPECT_EQ(StatusFromErrorPayload(late.payload).code(),
+            StatusCode::kUnavailable);
+}
+
+}  // namespace
+}  // namespace cats::serve

@@ -1,0 +1,242 @@
+// The serving wire format: frame round-trips through arbitrary chunking,
+// typed rejection of every malformed-header class, and — because the
+// protocol is a documented public surface — byte-for-byte parity between
+// src/serve/protocol.h and the frame table committed in docs/SERVING.md.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.h"
+
+namespace cats::serve {
+namespace {
+
+Message SampleRequest() {
+  Message m;
+  m.type = MessageType::kScoreItem;
+  m.request_id = 0xdeadbeef;
+  m.payload = JsonValue::Object();
+  m.payload.Set("item_id", JsonValue::Int(42));
+  return m;
+}
+
+TEST(ServeProtocolTest, RoundTripsEveryMessageType) {
+  for (MessageType type :
+       {MessageType::kScoreItem, MessageType::kScoreCommentDelta,
+        MessageType::kHealth, MessageType::kMetrics, MessageType::kSwapModel,
+        MessageType::kOk, MessageType::kError, MessageType::kOverloaded}) {
+    Message in;
+    in.type = type;
+    in.request_id = 7;
+    in.payload = JsonValue::Object();
+    in.payload.Set("k", JsonValue::String("v"));
+
+    FrameReader reader;
+    reader.Feed(EncodeFrame(in));
+    auto out = reader.Next();
+    ASSERT_TRUE(out.ok()) << MessageTypeName(type);
+    EXPECT_EQ(out->type, type);
+    EXPECT_EQ(out->request_id, 7u);
+    ASSERT_NE(out->payload.Get("k"), nullptr);
+    EXPECT_EQ(out->payload.Get("k")->string_value(), "v");
+    EXPECT_EQ(reader.buffered_bytes(), 0u);
+  }
+}
+
+TEST(ServeProtocolTest, DecodesByteAtATime) {
+  const std::string frame = EncodeFrame(SampleRequest());
+  FrameReader reader;
+  for (size_t i = 0; i + 1 < frame.size(); ++i) {
+    reader.Feed(std::string_view(&frame[i], 1));
+    auto message = reader.Next();
+    ASSERT_FALSE(message.ok());
+    EXPECT_EQ(message.status().code(), StatusCode::kNotFound)
+        << "byte " << i << ": needing more bytes is NotFound, not an error";
+  }
+  reader.Feed(std::string_view(&frame[frame.size() - 1], 1));
+  auto message = reader.Next();
+  ASSERT_TRUE(message.ok());
+  EXPECT_EQ(message->request_id, 0xdeadbeefu);
+}
+
+TEST(ServeProtocolTest, DecodesPipelinedFramesFromOneBuffer) {
+  Message a = SampleRequest();
+  a.request_id = 1;
+  Message b = SampleRequest();
+  b.request_id = 2;
+  FrameReader reader;
+  reader.Feed(EncodeFrame(a) + EncodeFrame(b));
+  auto first = reader.Next();
+  auto second = reader.Next();
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->request_id, 1u);
+  EXPECT_EQ(second->request_id, 2u);
+  EXPECT_EQ(reader.Next().status().code(), StatusCode::kNotFound);
+}
+
+TEST(ServeProtocolTest, RejectsBadMagic) {
+  std::string frame = EncodeFrame(SampleRequest());
+  frame[0] = 'X';
+  FrameReader reader;
+  reader.Feed(frame);
+  EXPECT_EQ(reader.Next().status().code(), StatusCode::kParseError);
+}
+
+TEST(ServeProtocolTest, RejectsVersionSkew) {
+  std::string frame = EncodeFrame(SampleRequest());
+  frame[4] = static_cast<char>(kProtocolVersion + 1);
+  FrameReader reader;
+  reader.Feed(frame);
+  EXPECT_EQ(reader.Next().status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ServeProtocolTest, RejectsUnknownOpcode) {
+  std::string frame = EncodeFrame(SampleRequest());
+  frame[5] = 0x7f;
+  FrameReader reader;
+  reader.Feed(frame);
+  EXPECT_EQ(reader.Next().status().code(), StatusCode::kParseError);
+}
+
+TEST(ServeProtocolTest, RejectsNonzeroReservedFlags) {
+  std::string frame = EncodeFrame(SampleRequest());
+  frame[6] = 0x01;
+  FrameReader reader;
+  reader.Feed(frame);
+  EXPECT_EQ(reader.Next().status().code(), StatusCode::kParseError);
+}
+
+TEST(ServeProtocolTest, RejectsOversizedPayloadBeforeBuffering) {
+  std::string frame = EncodeFrame(SampleRequest());
+  // payload_len = 0xffffffff: must be refused from the header alone, long
+  // before 4 GiB of payload could arrive.
+  frame[12] = frame[13] = frame[14] = frame[15] = static_cast<char>(0xff);
+  FrameReader reader;
+  reader.Feed(frame);
+  EXPECT_EQ(reader.Next().status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(ServeProtocolTest, RejectsGarbageJsonPayload) {
+  Message m = SampleRequest();
+  std::string frame = EncodeFrame(m);
+  // Corrupt the first payload byte; length and header stay consistent.
+  frame[kFrameHeaderBytes] = '!';
+  FrameReader reader;
+  reader.Feed(frame);
+  EXPECT_EQ(reader.Next().status().code(), StatusCode::kParseError);
+}
+
+TEST(ServeProtocolTest, ErrorResponseRoundTripsStatus) {
+  const Status original = Status::Corruption("crc mismatch in gbdt.model");
+  Message m = ErrorResponse(9, original);
+  EXPECT_EQ(m.type, MessageType::kError);
+  Status restored = StatusFromErrorPayload(m.payload);
+  EXPECT_EQ(restored.code(), StatusCode::kCorruption);
+  EXPECT_EQ(restored.message(), original.message());
+}
+
+TEST(ServeProtocolTest, OverloadedResponseCarriesRetryHint) {
+  Message m = OverloadedResponse(3, 25);
+  EXPECT_EQ(m.type, MessageType::kOverloaded);
+  auto hint = m.payload.GetInt("retry_after_millis");
+  ASSERT_TRUE(hint.ok());
+  EXPECT_EQ(*hint, 25);
+}
+
+// ---------------------------------------------------------------------------
+// Doc parity: docs/SERVING.md's frame table IS the wire format. Parse the
+// markdown table rows ("| offset | size | field | ... |") back into
+// FrameField entries and require an exact match against FrameLayout() —
+// the doc cannot drift from the implementation without failing here.
+
+struct DocField {
+  size_t offset = 0;
+  size_t size = 0;
+  std::string name;
+};
+
+std::vector<DocField> ParseDocFrameTable(const std::string& markdown) {
+  std::vector<DocField> fields;
+  std::istringstream lines(markdown);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty() || line[0] != '|') continue;
+    // Tokenize "| a | b | c |" into cells.
+    std::vector<std::string> cells;
+    size_t start = 1;
+    while (start < line.size()) {
+      size_t end = line.find('|', start);
+      if (end == std::string::npos) break;
+      std::string cell = line.substr(start, end - start);
+      // Trim.
+      const char* ws = " \t";
+      size_t a = cell.find_first_not_of(ws);
+      size_t b = cell.find_last_not_of(ws);
+      cells.push_back(a == std::string::npos
+                          ? std::string()
+                          : cell.substr(a, b - a + 1));
+      start = end + 1;
+    }
+    if (cells.size() < 3) continue;
+    // Data rows start with a numeric offset; header and |---| rows don't.
+    if (cells[0].empty() ||
+        cells[0].find_first_not_of("0123456789") != std::string::npos) {
+      continue;
+    }
+    // The payload row's size is symbolic ("N"); it is not a header field.
+    if (cells[1].find_first_not_of("0123456789") != std::string::npos) {
+      continue;
+    }
+    DocField field;
+    field.offset = static_cast<size_t>(std::stoul(cells[0]));
+    field.size = static_cast<size_t>(std::stoul(cells[1]));
+    field.name = cells[2].substr(0, cells[2].find(' '));
+    fields.push_back(field);
+  }
+  return fields;
+}
+
+TEST(ServeProtocolTest, FrameTableInServingDocMatchesImplementation) {
+  const std::string doc_path =
+      std::string(CATS_TEST_REPO_ROOT) + "/docs/SERVING.md";
+  std::ifstream in(doc_path);
+  ASSERT_TRUE(in.good()) << "cannot open " << doc_path;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string markdown = buffer.str();
+
+  std::vector<DocField> documented = ParseDocFrameTable(markdown);
+  std::vector<FrameField> implemented = FrameLayout();
+  ASSERT_EQ(documented.size(), implemented.size())
+      << "docs/SERVING.md documents a different number of header fields "
+         "than protocol.h implements";
+  for (size_t i = 0; i < implemented.size(); ++i) {
+    EXPECT_EQ(documented[i].name, implemented[i].name) << "field " << i;
+    EXPECT_EQ(documented[i].offset, implemented[i].offset)
+        << "offset of " << implemented[i].name;
+    EXPECT_EQ(documented[i].size, implemented[i].size)
+        << "size of " << implemented[i].name;
+  }
+
+  // The scalar facts of the format must appear too.
+  EXPECT_NE(markdown.find("16-byte header"), std::string::npos);
+  EXPECT_NE(markdown.find("little-endian"), std::string::npos);
+  EXPECT_NE(markdown.find("'C' 'A' 'T' 'S'"), std::string::npos);
+}
+
+TEST(ServeProtocolTest, FrameLayoutCoversTheHeaderExactly) {
+  size_t covered = 0;
+  for (const FrameField& field : FrameLayout()) {
+    EXPECT_EQ(field.offset, covered) << field.name;
+    covered += field.size;
+  }
+  EXPECT_EQ(covered, kFrameHeaderBytes);
+}
+
+}  // namespace
+}  // namespace cats::serve

@@ -1,0 +1,48 @@
+#ifndef CATS_TESTS_SERVE_TEST_UTIL_H_
+#define CATS_TESTS_SERVE_TEST_UTIL_H_
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/cats.h"
+#include "platform_test_util.h"
+
+namespace cats {
+
+/// A deployable model dir trained on the shared test store, built once per
+/// process (SaveModel goes through the manifest CRC path the serving plane
+/// loads with). Unlike the semantic-model cache this is rebuilt per run —
+/// training the Gbdt on the small store is cheap.
+inline const std::string& TestModelDir() {
+  static const std::string* dir = [] {
+    core::Cats cats_system;
+    cats_system.SetSemanticModel(TestSemanticModel());
+    const collect::DataStore& store = TestStore();
+    CATS_CHECK(cats_system
+                   .TrainDetector(store.items(),
+                                  StoreLabels(TestMarketplace(), store))
+                   .ok());
+    auto path = std::filesystem::temp_directory_path() /
+                ("cats_serve_test_model_" +
+                 std::to_string(static_cast<unsigned long>(::getpid())));
+    std::filesystem::remove_all(path);
+    std::filesystem::create_directories(path);
+    CATS_CHECK(cats_system.SaveModel(path.string()).ok());
+    return new std::string(path.string());
+  }();
+  return *dir;
+}
+
+/// Held-out probe rows for swap validation: a slice of the shared store.
+inline std::vector<collect::CollectedItem> TestProbeItems(size_t n = 16) {
+  std::vector<collect::CollectedItem> probe = TestStore().items();
+  if (probe.size() > n) probe.resize(n);
+  return probe;
+}
+
+}  // namespace cats
+
+#endif  // CATS_TESTS_SERVE_TEST_UTIL_H_
