@@ -67,6 +67,24 @@ BENCHMARK(BM_FeatureExtraction)
     ->Arg(8)
     ->Unit(benchmark::kMillisecond);
 
+/// The legacy string path (use_token_ids=false), kept benchmarked while the
+/// toggle exists: the ratio BM_FeatureExtractionStringPath/1 over
+/// BM_FeatureExtraction/1 is the token-id hot path's headline win.
+void BM_FeatureExtractionStringPath(benchmark::State& state) {
+  core::FeatureExtractorOptions options;
+  options.num_threads = 1;
+  options.use_token_ids = false;
+  core::FeatureExtractor extractor(&Context().semantic_model(), options);
+  const auto& items = Platform().store.items();
+  CounterDelta featurized(obs::kExtractorItemsFeaturizedTotal);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(extractor.ExtractAll(items));
+  }
+  state.SetItemsProcessed(featurized.value());
+  state.SetLabel("legacy string segmentation + hashing path");
+}
+BENCHMARK(BM_FeatureExtractionStringPath)->Unit(benchmark::kMillisecond);
+
 void BM_CrawlAndParse(benchmark::State& state) {
   const auto& market = *Platform().market;
   CounterDelta comments(obs::kCrawlerCommentsTotal);

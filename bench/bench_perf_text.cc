@@ -12,8 +12,10 @@
 #include "obs/metrics.h"
 #include "platform/comment_generator.h"
 #include "platform/presets.h"
+#include "text/id_segmenter.h"
 #include "text/segmenter.h"
 #include "text/text_stats.h"
+#include "text/token_ids.h"
 #include "text/utf8.h"
 #include "util/json.h"
 #include "util/random.h"
@@ -90,6 +92,25 @@ void BM_FmmSegment(benchmark::State& state) {
   state.SetBytesProcessed(bytes.Delta());
 }
 BENCHMARK(BM_FmmSegment);
+
+void BM_TrieSegmentIds(benchmark::State& state) {
+  // The token-id hot path: double-array-trie longest match into a reused
+  // TokenArena — compare against BM_FmmSegment (hash probes + per-token
+  // string allocation) for the segmentation speedup in isolation.
+  text::IdSegmenter segmenter(Dictionary());
+  text::TokenArena arena;
+  const auto& comments = Comments();
+  RegistryBytes bytes("bench.trie_segment_bytes_total");
+  size_t i = 0;
+  for (auto _ : state) {
+    const std::string& c = comments[i++ % comments.size()];
+    arena.Reset();
+    benchmark::DoNotOptimize(segmenter.SegmentToIds(c, &arena));
+    bytes.Add(c.size());
+  }
+  state.SetBytesProcessed(bytes.Delta());
+}
+BENCHMARK(BM_TrieSegmentIds);
 
 void BM_TokenEntropy(benchmark::State& state) {
   text::Segmenter segmenter(&Dictionary());

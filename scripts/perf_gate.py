@@ -1,0 +1,211 @@
+#!/usr/bin/env python3
+"""Perf gate: compare two google-benchmark --json outputs and fail on
+regressions.
+
+Usage:
+  perf_gate.py BASELINE.json CURRENT.json [--threshold 0.15]
+               [--report-only] [--label NAME]
+  perf_gate.py --self-test
+
+Semantics:
+  - Benchmarks are matched by "name". real_time is normalized by
+    "time_unit" (ns/us/ms/s) so baselines regenerated with a different
+    unit still compare correctly.
+  - A benchmark whose current real_time exceeds baseline * (1 + threshold)
+    is a REGRESSION; any regression fails the gate (exit 1).
+  - A baseline benchmark missing from the current run also fails — a
+    silently dropped bench must never pass as "no regression".
+  - Benchmarks only present in the current run are reported as NEW and do
+    not fail the gate (they have nothing to regress against).
+  - --report-only prints the same per-bench delta table but always exits 0
+    (used by run_perf_baseline.sh to show what a regeneration changed).
+
+The CI perf lane regenerates benches and runs this against the committed
+BENCH_*.json files (see .github/workflows/ci.yml); the `perf_gate` ctest
+runs --self-test so the gate's own failure semantics are pinned.
+"""
+
+import argparse
+import json
+import sys
+
+_NS_PER_UNIT = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_benchmarks(path):
+    """Returns {name: real_time_ns} for one --json output file."""
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    out = {}
+    for bench in doc.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev of repetitions): gate on
+        # the primary iteration rows only.
+        if bench.get("run_type") == "aggregate":
+            continue
+        name = bench["name"]
+        unit = bench.get("time_unit", "ns")
+        if unit not in _NS_PER_UNIT:
+            raise ValueError(f"{path}: benchmark {name}: unknown time_unit "
+                             f"{unit!r}")
+        out[name] = float(bench["real_time"]) * _NS_PER_UNIT[unit]
+    return out
+
+
+def format_ns(ns):
+    for unit, scale in (("s", 1e9), ("ms", 1e6), ("us", 1e3)):
+        if ns >= scale:
+            return f"{ns / scale:.2f}{unit}"
+    return f"{ns:.0f}ns"
+
+
+def compare(baseline, current, threshold):
+    """Returns (rows, failures). rows: (name, base_ns, cur_ns, delta, verdict)
+    where delta is the fractional change (None for missing/new)."""
+    rows = []
+    failures = []
+    for name in sorted(baseline):
+        base_ns = baseline[name]
+        if name not in current:
+            rows.append((name, base_ns, None, None, "MISSING"))
+            failures.append(f"{name}: present in baseline but missing from "
+                            "current run")
+            continue
+        cur_ns = current[name]
+        delta = (cur_ns - base_ns) / base_ns if base_ns > 0 else 0.0
+        if delta > threshold:
+            verdict = "REGRESSION"
+            failures.append(f"{name}: {format_ns(base_ns)} -> "
+                            f"{format_ns(cur_ns)} "
+                            f"(+{delta * 100.0:.1f}% > "
+                            f"+{threshold * 100.0:.1f}% allowed)")
+        elif delta < -threshold:
+            verdict = "IMPROVED"
+        else:
+            verdict = "ok"
+        rows.append((name, base_ns, cur_ns, delta, verdict))
+    for name in sorted(set(current) - set(baseline)):
+        rows.append((name, None, current[name], None, "NEW"))
+    return rows, failures
+
+
+def print_table(rows, label):
+    header = f"perf-gate{f' [{label}]' if label else ''}"
+    name_width = max([len(r[0]) for r in rows] + [9])
+    print(header)
+    print(f"  {'benchmark'.ljust(name_width)}  {'baseline':>10}  "
+          f"{'current':>10}  {'delta':>8}  verdict")
+    for name, base_ns, cur_ns, delta, verdict in rows:
+        base = format_ns(base_ns) if base_ns is not None else "-"
+        cur = format_ns(cur_ns) if cur_ns is not None else "-"
+        d = f"{delta * 100.0:+.1f}%" if delta is not None else "-"
+        print(f"  {name.ljust(name_width)}  {base:>10}  {cur:>10}  "
+              f"{d:>8}  {verdict}")
+
+
+def run_gate(argv):
+    parser = argparse.ArgumentParser(prog="perf_gate.py")
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="allowed fractional real_time increase "
+                             "(default 0.15 = 15%%)")
+    parser.add_argument("--report-only", action="store_true",
+                        help="print the delta table but always exit 0")
+    parser.add_argument("--label", default="",
+                        help="tag printed with the table (e.g. 'pipeline')")
+    args = parser.parse_args(argv)
+
+    baseline = load_benchmarks(args.baseline)
+    current = load_benchmarks(args.current)
+    if not baseline:
+        print(f"perf-gate: FATAL: no benchmarks in baseline "
+              f"{args.baseline}", file=sys.stderr)
+        return 1
+    rows, failures = compare(baseline, current, args.threshold)
+    print_table(rows, args.label)
+    if failures and not args.report_only:
+        print(f"perf-gate: FAIL ({len(failures)} problem(s), threshold "
+              f"+{args.threshold * 100.0:.1f}%):", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    if failures:
+        print(f"perf-gate: {len(failures)} problem(s) ignored "
+              "(--report-only)")
+    else:
+        print("perf-gate: OK")
+    return 0
+
+
+def self_test():
+    """Pins the gate's own semantics with synthetic bench files: a 20%
+    slowdown must fail, a 10% slowdown must pass at the default threshold,
+    a missing bench must fail, and --report-only must always pass."""
+    import tempfile
+    import os
+
+    def bench_doc(entries):
+        return {"benchmarks": [
+            {"name": name, "real_time": rt, "time_unit": unit,
+             "run_type": "iteration"}
+            for name, rt, unit in entries]}
+
+    cases_run = []
+
+    def expect(case, argv, expected_exit):
+        code = run_gate(argv)
+        cases_run.append(case)
+        if code != expected_exit:
+            print(f"perf-gate self-test: FAIL: {case}: exit {code}, "
+                  f"expected {expected_exit}", file=sys.stderr)
+            return False
+        return True
+
+    with tempfile.TemporaryDirectory() as tmp:
+        def write(name, doc):
+            path = os.path.join(tmp, name)
+            with open(path, "w", encoding="utf-8") as f:
+                json.dump(doc, f)
+            return path
+
+        base = write("base.json", bench_doc([
+            ("BM_A/1", 100.0, "ms"),
+            ("BM_B", 500.0, "us"),
+        ]))
+        # 20% slowdown on BM_A (and unit change on BM_B proving
+        # normalization: 0.45ms == 450us, a 10% improvement).
+        slow20 = write("slow20.json", bench_doc([
+            ("BM_A/1", 120.0, "ms"),
+            ("BM_B", 0.45, "ms"),
+        ]))
+        slow10 = write("slow10.json", bench_doc([
+            ("BM_A/1", 110.0, "ms"),
+            ("BM_B", 500.0, "us"),
+        ]))
+        missing = write("missing.json", bench_doc([
+            ("BM_A/1", 100.0, "ms"),
+        ]))
+
+        ok = True
+        ok &= expect("20% slowdown fails", [base, slow20], 1)
+        ok &= expect("10% slowdown passes", [base, slow10], 0)
+        ok &= expect("missing bench fails", [base, missing], 1)
+        ok &= expect("report-only never fails",
+                     [base, slow20, "--report-only"], 0)
+        ok &= expect("tighter threshold catches 10%",
+                     [base, slow10, "--threshold", "0.05"], 1)
+
+    if not ok:
+        return 1
+    print(f"perf-gate self-test: OK ({len(cases_run)} cases)")
+    return 0
+
+
+def main():
+    if "--self-test" in sys.argv[1:]:
+        return self_test()
+    return run_gate(sys.argv[1:])
+
+
+if __name__ == "__main__":
+    sys.exit(main())

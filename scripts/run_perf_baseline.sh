@@ -34,6 +34,16 @@ for bench in bench_perf_ml bench_perf_pipeline bench_serve; do
   fi
 done
 
+# Snapshot the committed baselines so the regeneration can be diffed
+# against them (scripts/perf_gate.py --report-only prints the per-bench
+# delta table; it never fails — this script REGENERATES baselines, the CI
+# perf lane is what gates).
+snapshot_dir="$build_dir/perf_baseline_prev"
+mkdir -p "$snapshot_dir"
+for f in BENCH_ml.json BENCH_pipeline.json BENCH_serve.json; do
+  [ -f "$root/$f" ] && cp "$root/$f" "$snapshot_dir/$f"
+done
+
 echo "== perf-baseline: bench_perf_ml -> $root/BENCH_ml.json"
 "$build_dir/bench/bench_perf_ml" --json="$root/BENCH_ml.json"
 
@@ -42,5 +52,19 @@ echo "== perf-baseline: bench_perf_pipeline -> $root/BENCH_pipeline.json"
 
 echo "== perf-baseline: bench_serve -> $root/BENCH_serve.json"
 "$build_dir/bench/bench_serve" --json="$root/BENCH_serve.json"
+
+if command -v python3 >/dev/null 2>&1; then
+  echo "== perf-baseline: delta vs previously committed baselines"
+  # BENCH_serve.json is loadgen's own latency-curve schema, not
+  # google-benchmark JSON — perf_gate.py can't diff it, so no delta table.
+  for name in ml pipeline; do
+    prev="$snapshot_dir/BENCH_$name.json"
+    [ -f "$prev" ] || continue
+    python3 "$root/scripts/perf_gate.py" "$prev" "$root/BENCH_$name.json" \
+            --report-only --label "$name"
+  done
+else
+  echo "perf-baseline: python3 not found, skipping delta tables" >&2
+fi
 
 echo "perf-baseline: OK"

@@ -61,6 +61,9 @@ Status Cats::BuildSemanticModel(
 
 void Cats::SetSemanticModel(SemanticModel model) {
   semantic_model_ = std::make_unique<SemanticModel>(std::move(model));
+  // Hand-assembled models (tests, tools) arrive uncompiled; compile here so
+  // every detector behind the facade gets the token-id hot path.
+  if (semantic_model_->token_index == nullptr) semantic_model_->Compile();
   detector_ = std::make_unique<Detector>(semantic_model_.get(),
                                          options_.detector);
 }

@@ -79,7 +79,7 @@ bool DetectionReport::Contains(uint64_t item_id) const {
 
 Detector::Detector(const SemanticModel* model, DetectorOptions options)
     : options_(options),
-      extractor_(model),
+      extractor_(model, options.extractor),
       filter_(options.rules),
       validator_(options.validation),
       classifier_(std::make_unique<ml::Gbdt>(options.gbdt)) {}

@@ -61,6 +61,9 @@ struct DetectorOptions {
   RuleFilterOptions rules;
   double decision_threshold = 0.60;
   ml::GbdtOptions gbdt;  // used when no custom classifier is injected
+  /// Extractor knobs, including the token-id/string hot-path toggle
+  /// (FeatureExtractorOptions::use_token_ids) the equivalence tests flip.
+  FeatureExtractorOptions extractor;
   /// Thresholds for the clean/degraded/poison record triage.
   RecordValidatorOptions validation;
   /// When false, records are not validated: no quarantine, no imputation —

@@ -1,12 +1,14 @@
 #include "core/feature_extractor.h"
 
 #include <cmath>
+#include <algorithm>
 #include <unordered_set>
 
 #include "obs/metric_names.h"
 #include "obs/metrics.h"
 #include "obs/stage_trace.h"
 #include "text/text_stats.h"
+#include "text/token_ids.h"
 #include "util/thread_pool.h"
 
 namespace cats::core {
@@ -36,17 +38,32 @@ struct ExtractorMetrics {
   }
 };
 
-}  // namespace
+/// Handles for the id-path segmentation metrics. Accumulated item-locally
+/// and published with one atomic add per item.
+struct SegmenterMetrics {
+  obs::Counter* comments;
+  obs::Counter* tokens;
+  obs::Counter* oov_tokens;
+  obs::Counter* irregular_tokens;
 
-FeatureVector FeatureExtractor::ExtractFromComments(
-    const std::vector<std::string>& raw_comments) const {
-  FeatureVector out{};
-  size_t num_comments = raw_comments.size();
-  if (num_comments == 0) return out;
+  static const SegmenterMetrics& Get() {
+    static const SegmenterMetrics* metrics = [] {
+      obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+      return new SegmenterMetrics{
+          registry.GetCounter(obs::kSegmenterCommentsTotal),
+          registry.GetCounter(obs::kSegmenterTokensTotal),
+          registry.GetCounter(obs::kSegmenterOovTokensTotal),
+          registry.GetCounter(obs::kSegmenterIrregularTokensTotal)};
+    }();
+    return *metrics;
+  }
+};
 
-  text::Segmenter segmenter(&model_->dictionary);
-
-  double sum_positive = 0.0;         // sum_j |C_j ∩ P|
+/// Per-comment accumulators shared by both token paths. The id path adds
+/// the same doubles in the same order as the string path, so the finalized
+/// features are bit-identical — Finalize is the single tail both use.
+struct CommentSums {
+  double sum_positive = 0.0;  // sum_j |C_j ∩ P|
   double sum_abs_pos_minus_neg = 0.0;
   double sum_sentiment = 0.0;
   double sum_entropy = 0.0;
@@ -56,6 +73,73 @@ FeatureVector FeatureExtractor::ExtractFromComments(
   double sum_ngram = 0.0;
   double sum_ngram_ratio = 0.0;
   size_t total_tokens = 0;
+};
+
+FeatureVector Finalize(const CommentSums& sums, size_t num_comments,
+                       size_t unique_tokens) {
+  FeatureVector out{};
+  double n = static_cast<double>(num_comments);
+  auto set = [&out](FeatureId id, double v) {
+    out[static_cast<size_t>(id)] = static_cast<float>(v);
+  };
+  set(FeatureId::kAveragePositiveNumber, sums.sum_positive / n);
+  set(FeatureId::kAveragePositiveNegativeNumber,
+      sums.sum_abs_pos_minus_neg / n);
+  set(FeatureId::kUniqueWordRatio,
+      sums.total_tokens > 0 ? static_cast<double>(unique_tokens) /
+                                  static_cast<double>(sums.total_tokens)
+                            : 0.0);
+  set(FeatureId::kAverageSentiment, sums.sum_sentiment / n);
+  set(FeatureId::kAverageCommentEntropy, sums.sum_entropy / n);
+  set(FeatureId::kAverageCommentLength, sums.sum_length_words / n);
+  set(FeatureId::kSumCommentLength, sums.sum_length_words);
+  set(FeatureId::kSumPunctuationNumber, sums.sum_punct);
+  set(FeatureId::kAveragePunctuationRatio, sums.sum_punct_ratio / n);
+  set(FeatureId::kAverageNgramNumber, sums.sum_ngram / n);
+  set(FeatureId::kAverageNgramRatio, sums.sum_ngram_ratio);
+  // NaN/inf guard: no comment — however pathological its bytes — may leak a
+  // non-finite feature into the classifier (GBDT threshold comparisons with
+  // NaN silently take the right branch, mis-scoring the item).
+  for (float& f : out) {
+    if (!std::isfinite(f)) f = 0.0f;
+  }
+  return out;
+}
+
+/// Per-thread reusable buffers of the id path: the token arena plus the
+/// per-item span/structure columns and the unique-id set. Everything is
+/// grow-only and cleared per item, so steady-state extraction allocates
+/// nothing.
+struct IdScratch {
+  text::TokenArena arena;
+  std::vector<text::TokenSpan> spans;
+  std::vector<text::CommentStructure> structures;
+  std::vector<uint32_t> unique_ids;
+
+  static IdScratch& Local() {
+    thread_local IdScratch scratch;
+    return scratch;
+  }
+};
+
+}  // namespace
+
+FeatureVector FeatureExtractor::ExtractFromComments(
+    const std::vector<std::string>& raw_comments) const {
+  if (raw_comments.empty()) return FeatureVector{};
+  const TokenIndex* index = model_->token_index.get();
+  if (options_.use_token_ids && index != nullptr) {
+    return ExtractFromCommentsIds(raw_comments, *index);
+  }
+  return ExtractFromCommentsStrings(raw_comments);
+}
+
+FeatureVector FeatureExtractor::ExtractFromCommentsStrings(
+    const std::vector<std::string>& raw_comments) const {
+  size_t num_comments = raw_comments.size();
+  text::Segmenter segmenter(&model_->dictionary);
+
+  CommentSums sums;
   std::unordered_set<std::string> unique_tokens;
 
   for (const std::string& raw : raw_comments) {
@@ -64,8 +148,8 @@ FeatureVector FeatureExtractor::ExtractFromComments(
     // Word-level: positive / negative occurrence counts.
     double pos = static_cast<double>(model_->positive.CountIn(tokens));
     double neg = static_cast<double>(model_->negative.CountIn(tokens));
-    sum_positive += pos;
-    sum_abs_pos_minus_neg += std::fabs(pos - neg);
+    sums.sum_positive += pos;
+    sums.sum_abs_pos_minus_neg += std::fabs(pos - neg);
 
     // Word-level: positive 2-grams. G contains every bigram with at least
     // one positive word (paper §II-A2).
@@ -76,53 +160,120 @@ FeatureVector FeatureExtractor::ExtractFromComments(
         ++ngrams;
       }
     }
-    sum_ngram += static_cast<double>(ngrams);
+    sums.sum_ngram += static_cast<double>(ngrams);
     if (tokens.size() >= 2) {
       // Paper formula: delta-count / (|C_i| * (|C_j| - 1)).
-      sum_ngram_ratio += static_cast<double>(ngrams) /
-                         (static_cast<double>(num_comments) *
-                          static_cast<double>(tokens.size() - 1));
+      sums.sum_ngram_ratio += static_cast<double>(ngrams) /
+                              (static_cast<double>(num_comments) *
+                               static_cast<double>(tokens.size() - 1));
     }
 
     // Semantic.
-    sum_sentiment += model_->sentiment.Score(tokens);
+    sums.sum_sentiment += model_->sentiment.Score(tokens);
 
     // Structural.
-    sum_entropy += text::TokenEntropy(tokens);
-    sum_length_words += static_cast<double>(tokens.size());
+    sums.sum_entropy += text::TokenEntropy(tokens);
+    sums.sum_length_words += static_cast<double>(tokens.size());
     text::CommentStructure structure = text::AnalyzeStructure(raw);
-    sum_punct += static_cast<double>(structure.punctuation_count);
-    sum_punct_ratio += structure.punctuation_ratio;
+    sums.sum_punct += static_cast<double>(structure.punctuation_count);
+    sums.sum_punct_ratio += structure.punctuation_ratio;
 
-    total_tokens += tokens.size();
+    sums.total_tokens += tokens.size();
     for (std::string& t : tokens) unique_tokens.insert(std::move(t));
   }
+  return Finalize(sums, num_comments, unique_tokens.size());
+}
 
-  double n = static_cast<double>(num_comments);
-  auto set = [&out](FeatureId id, double v) {
-    out[static_cast<size_t>(id)] = static_cast<float>(v);
-  };
-  set(FeatureId::kAveragePositiveNumber, sum_positive / n);
-  set(FeatureId::kAveragePositiveNegativeNumber, sum_abs_pos_minus_neg / n);
-  set(FeatureId::kUniqueWordRatio,
-      total_tokens > 0 ? static_cast<double>(unique_tokens.size()) /
-                             static_cast<double>(total_tokens)
-                       : 0.0);
-  set(FeatureId::kAverageSentiment, sum_sentiment / n);
-  set(FeatureId::kAverageCommentEntropy, sum_entropy / n);
-  set(FeatureId::kAverageCommentLength, sum_length_words / n);
-  set(FeatureId::kSumCommentLength, sum_length_words);
-  set(FeatureId::kSumPunctuationNumber, sum_punct);
-  set(FeatureId::kAveragePunctuationRatio, sum_punct_ratio / n);
-  set(FeatureId::kAverageNgramNumber, sum_ngram / n);
-  set(FeatureId::kAverageNgramRatio, sum_ngram_ratio);
-  // NaN/inf guard: no comment — however pathological its bytes — may leak a
-  // non-finite feature into the classifier (GBDT threshold comparisons with
-  // NaN silently take the right branch, mis-scoring the item).
-  for (float& f : out) {
-    if (!std::isfinite(f)) f = 0.0f;
+FeatureVector FeatureExtractor::ExtractFromCommentsIds(
+    const std::vector<std::string>& raw_comments,
+    const TokenIndex& index) const {
+  size_t num_comments = raw_comments.size();
+  const text::IdSegmenter& segmenter = index.segmenter();
+  IdScratch& scratch = IdScratch::Local();
+  text::TokenArena& arena = scratch.arena;
+  arena.Reset();
+  scratch.spans.clear();
+  scratch.structures.clear();
+  scratch.unique_ids.clear();
+  scratch.spans.reserve(num_comments);
+  scratch.structures.resize(num_comments);
+
+  // Pass 1 — columnar segmentation: every comment's ids land in the arena's
+  // flat column; the pre-decode also yields the structural stats, replacing
+  // the string path's second AnalyzeStructure scan over the raw bytes.
+  for (size_t c = 0; c < num_comments; ++c) {
+    size_t begin = arena.BeginComment();
+    segmenter.SegmentToIds(raw_comments[c], &arena, &scratch.structures[c]);
+    scratch.spans.push_back(arena.EndComment(begin));
   }
-  return out;
+
+  // Pass 2 — per-comment accumulation over contiguous id spans, mirroring
+  // the string path's arithmetic operation-for-operation (same doubles,
+  // same order => bit-identical features).
+  const nlp::LexiconIdSet& positive = index.positive();
+  const nlp::LexiconIdSet& negative = index.negative();
+  const nlp::SentimentIdTable& sentiment = index.sentiment();
+  CommentSums sums;
+  for (size_t c = 0; c < num_comments; ++c) {
+    std::span<const uint32_t> ids = arena.SpanOf(scratch.spans[c]);
+
+    double pos = static_cast<double>(positive.CountIn(ids, arena));
+    double neg = static_cast<double>(negative.CountIn(ids, arena));
+    sums.sum_positive += pos;
+    sums.sum_abs_pos_minus_neg += std::fabs(pos - neg);
+
+    size_t ngrams = 0;
+    for (size_t t = 0; t + 1 < ids.size(); ++t) {
+      if (positive.ContainsId(ids[t], arena) ||
+          positive.ContainsId(ids[t + 1], arena)) {
+        ++ngrams;
+      }
+    }
+    sums.sum_ngram += static_cast<double>(ngrams);
+    if (ids.size() >= 2) {
+      sums.sum_ngram_ratio += static_cast<double>(ngrams) /
+                              (static_cast<double>(num_comments) *
+                               static_cast<double>(ids.size() - 1));
+    }
+
+    sums.sum_sentiment += sentiment.ScoreIds(ids, arena);
+
+    sums.sum_entropy += text::TokenEntropyIds(ids);
+    sums.sum_length_words += static_cast<double>(ids.size());
+    const text::CommentStructure& structure = scratch.structures[c];
+    sums.sum_punct += static_cast<double>(structure.punctuation_count);
+    sums.sum_punct_ratio += structure.punctuation_ratio;
+
+    sums.total_tokens += ids.size();
+  }
+
+  // Distinct-token count over the whole item: sort+unique on the flat id
+  // column beats a per-token hash insert, and the count — the only thing
+  // Finalize consumes — is order-independent. Ids biject with token byte
+  // strings within one arena, so this equals the string path's
+  // unique_tokens.size().
+  scratch.unique_ids.assign(arena.ids().begin(), arena.ids().end());
+  std::sort(scratch.unique_ids.begin(), scratch.unique_ids.end());
+  size_t num_unique =
+      static_cast<size_t>(std::unique(scratch.unique_ids.begin(),
+                                      scratch.unique_ids.end()) -
+                          scratch.unique_ids.begin());
+
+  const SegmenterMetrics& metrics = SegmenterMetrics::Get();
+  uint64_t oov = 0, irregular = 0;
+  for (uint32_t id : arena.ids()) {
+    if (text::IsCodepointId(id)) {
+      ++oov;
+    } else if (text::IsIrregularId(id)) {
+      ++irregular;
+    }
+  }
+  metrics.comments->Increment(num_comments);
+  metrics.tokens->Increment(arena.ids().size());
+  metrics.oov_tokens->Increment(oov);
+  metrics.irregular_tokens->Increment(irregular);
+
+  return Finalize(sums, num_comments, num_unique);
 }
 
 FeatureVector FeatureExtractor::Extract(

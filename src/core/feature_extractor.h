@@ -18,6 +18,14 @@ using FeatureVector = std::array<float, kNumFeatures>;
 
 struct FeatureExtractorOptions {
   size_t num_threads = 4;  // the paper's extractor is parallelized
+  /// Route comment featurization through the token-id hot path (trie
+  /// segmentation into a per-thread arena, id-span accumulation — see
+  /// ARCHITECTURE.md "Text hot path") when the model carries a compiled
+  /// TokenIndex. The legacy std::string path remains behind `false` for
+  /// one PR so equivalence stays provable: both paths produce bit-identical
+  /// features (pinned by tests/segmenter_diff_test.cc and
+  /// tests/id_path_identity_test.cc).
+  bool use_token_ids = true;
 };
 
 /// Computes Table II's features from an item's raw comments (paper §II-A):
@@ -64,8 +72,15 @@ class FeatureExtractor {
   static std::vector<std::string> FeatureNames();
 
   const SemanticModel& model() const { return *model_; }
+  const FeatureExtractorOptions& options() const { return options_; }
 
  private:
+  FeatureVector ExtractFromCommentsStrings(
+      const std::vector<std::string>& raw_comments) const;
+  FeatureVector ExtractFromCommentsIds(
+      const std::vector<std::string>& raw_comments,
+      const TokenIndex& index) const;
+
   const SemanticModel* model_;  // not owned
   FeatureExtractorOptions options_;
 };

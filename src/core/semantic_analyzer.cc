@@ -63,6 +63,7 @@ Result<SemanticModel> LoadSemanticModel(const std::string& dir) {
   model.negative = nlp::Lexicon(std::move(neg));
   CATS_ASSIGN_OR_RETURN(model.sentiment,
                         nlp::SentimentModel::Load(dir + "/sentiment.model"));
+  model.Compile();
   return model;
 }
 
@@ -168,6 +169,7 @@ Result<SemanticModel> SemanticAnalyzer::Build(
       ->Increment(examples.size());
   model.sentiment = nlp::SentimentModel(options_.sentiment);
   CATS_RETURN_NOT_OK(model.sentiment.Train(examples));
+  model.Compile();
 
   embeddings_ = std::make_unique<nlp::EmbeddingStore>(std::move(embeddings));
   return model;

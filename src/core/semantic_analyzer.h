@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "core/token_index.h"
 #include "nlp/lexicon.h"
 #include "nlp/sentiment.h"
 #include "nlp/word2vec.h"
@@ -23,6 +24,19 @@ struct SemanticModel {
   nlp::Lexicon positive;   // P, Table I
   nlp::Lexicon negative;   // N, Table I
   nlp::SentimentModel sentiment;
+
+  /// The compiled token-id view (trie segmenter + id-keyed lexicons +
+  /// sentiment table). Null until Compile() runs; the feature extractor
+  /// falls back to the legacy string path when absent. Shared so copies of
+  /// the model reuse the same immutable index.
+  std::shared_ptr<const TokenIndex> token_index;
+
+  /// (Re)builds token_index from the current parts. Build, LoadSemanticModel
+  /// and Cats::SetSemanticModel call this; call it again after mutating the
+  /// dictionary/lexicons/sentiment by hand.
+  void Compile() {
+    token_index = TokenIndex::Build(dictionary, positive, negative, sentiment);
+  }
 
   std::vector<std::string> Segment(std::string_view comment) const {
     text::Segmenter segmenter(&dictionary);

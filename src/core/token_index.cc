@@ -1,0 +1,32 @@
+#include "core/token_index.h"
+
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+#include "obs/stage_trace.h"
+
+namespace cats::core {
+
+std::shared_ptr<const TokenIndex> TokenIndex::Build(
+    const text::SegmentationDictionary& dictionary,
+    const nlp::Lexicon& positive, const nlp::Lexicon& negative,
+    const nlp::SentimentModel& sentiment) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  auto index = std::shared_ptr<TokenIndex>(new TokenIndex());
+  {
+    obs::ScopedTimer timer(
+        registry.GetLatencyHistogram(obs::kTextTrieBuildLatencyMicros));
+    index->segmenter_ = text::IdSegmenter(dictionary);
+    const std::vector<std::string>& dict_words =
+        index->segmenter_.dict_words();
+    index->positive_ = nlp::LexiconIdSet(positive, dict_words);
+    index->negative_ = nlp::LexiconIdSet(negative, dict_words);
+    index->sentiment_ = nlp::SentimentIdTable(sentiment, dict_words);
+  }
+  registry.GetGauge(obs::kTextTrieNodes)
+      ->Set(static_cast<double>(index->segmenter_.trie().num_slots()));
+  registry.GetGauge(obs::kTextTrieWords)
+      ->Set(static_cast<double>(index->segmenter_.trie().num_words()));
+  return index;
+}
+
+}  // namespace cats::core

@@ -1,0 +1,49 @@
+#ifndef CATS_CORE_TOKEN_INDEX_H_
+#define CATS_CORE_TOKEN_INDEX_H_
+
+#include <memory>
+#include <vector>
+
+#include "nlp/lexicon.h"
+#include "nlp/sentiment.h"
+#include "text/id_segmenter.h"
+#include "text/segmenter.h"
+
+namespace cats::core {
+
+/// The compiled token-id view of a SemanticModel: the double-array-trie
+/// segmenter plus id-keyed projections of the P/N lexicons and the
+/// sentiment vocabulary, all sharing one dict-id space (the sorted
+/// dictionary word list). Built once per semantic model (SemanticModel::
+/// Compile), immutable and thread-safe afterwards; the feature extractor's
+/// id hot path runs entirely against this index with zero string hashing.
+///
+/// Self-contained by design: it copies what it needs from the model parts,
+/// so a SemanticModel can be moved or copied freely without invalidating a
+/// previously compiled index (shared_ptr semantics).
+class TokenIndex {
+ public:
+  /// Compiles the index. Registers the `text.trie.*` gauges/latency and
+  /// returns a shared handle.
+  static std::shared_ptr<const TokenIndex> Build(
+      const text::SegmentationDictionary& dictionary,
+      const nlp::Lexicon& positive, const nlp::Lexicon& negative,
+      const nlp::SentimentModel& sentiment);
+
+  const text::IdSegmenter& segmenter() const { return segmenter_; }
+  const nlp::LexiconIdSet& positive() const { return positive_; }
+  const nlp::LexiconIdSet& negative() const { return negative_; }
+  const nlp::SentimentIdTable& sentiment() const { return sentiment_; }
+
+ private:
+  TokenIndex() = default;
+
+  text::IdSegmenter segmenter_;
+  nlp::LexiconIdSet positive_;
+  nlp::LexiconIdSet negative_;
+  nlp::SentimentIdTable sentiment_;
+};
+
+}  // namespace cats::core
+
+#endif  // CATS_CORE_TOKEN_INDEX_H_

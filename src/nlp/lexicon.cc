@@ -6,6 +6,7 @@
 #include <memory>
 #include <thread>
 
+#include "text/utf8.h"
 #include "util/thread_pool.h"
 
 namespace cats::nlp {
@@ -26,6 +27,29 @@ std::vector<std::string> Lexicon::SortedWords() const {
   std::vector<std::string> out(words_.begin(), words_.end());
   std::sort(out.begin(), out.end());
   return out;
+}
+
+LexiconIdSet::LexiconIdSet(const Lexicon& lexicon,
+                           const std::vector<std::string>& dict_words) {
+  dict_member_.resize(dict_words.size(), 0);
+  for (size_t i = 0; i < dict_words.size(); ++i) {
+    if (lexicon.Contains(dict_words[i])) dict_member_[i] = 1;
+  }
+  for (const std::string& word : lexicon.words()) {
+    if (text::IsValidUtf8(word)) {
+      if (text::CodepointCount(word) == 1) {
+        size_t pos = 0;
+        uint32_t cp = text::DecodeOne(word, &pos);
+        size_t slot = cp >> 6;
+        if (slot >= codepoint_bits_.size()) {
+          codepoint_bits_.resize(slot + 1, 0);
+        }
+        codepoint_bits_[slot] |= uint64_t{1} << (cp & 63);
+      }
+    } else {
+      irregular_.insert(word);
+    }
+  }
 }
 
 Result<Lexicon> ExpandLexicon(const EmbeddingStore& embeddings,

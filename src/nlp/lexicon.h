@@ -2,12 +2,15 @@
 #define CATS_NLP_LEXICON_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <span>
 #include <string>
 #include <string_view>
 #include <unordered_set>
 #include <vector>
 
 #include "nlp/embedding.h"
+#include "text/token_ids.h"
 #include "util/result.h"
 
 namespace cats::nlp {
@@ -35,6 +38,55 @@ class Lexicon {
 
  private:
   std::unordered_set<std::string> words_;
+};
+
+/// Token-id view of a Lexicon for the id hot path: membership of a token id
+/// is a flat-array / bitmap probe instead of a string hash. Built once per
+/// semantic model (core::TokenIndex) against the segmenter's sorted word
+/// list; read-only and thread-safe afterwards.
+///
+/// A segmenter token is a dictionary word, a single codepoint, or a
+/// malformed byte slice — so membership decomposes into a per-dict-id byte
+/// vector, a codepoint bitmap, and the (rare, usually empty) set of lexicon
+/// members that are themselves invalid UTF-8. Lexicon words reachable by
+/// none of these (valid multi-codepoint non-dictionary strings) can never
+/// equal a token in either path and need no representation.
+class LexiconIdSet {
+ public:
+  LexiconIdSet() = default;
+  /// `dict_words` is the segmenter's sorted word list (dict id -> word).
+  LexiconIdSet(const Lexicon& lexicon,
+               const std::vector<std::string>& dict_words);
+
+  /// == lexicon.Contains(token bytes of `id`).
+  bool ContainsId(uint32_t id, const text::TokenArena& arena) const {
+    if (text::IsDictId(id)) return dict_member_[id] != 0;
+    if (text::IsCodepointId(id)) return ContainsCodepoint(
+        text::CodepointOfId(id));
+    if (irregular_.empty()) return false;
+    return irregular_.count(std::string(arena.IrregularBytes(id))) > 0;
+  }
+
+  /// == lexicon.CountIn(tokens) over the span's tokens.
+  size_t CountIn(std::span<const uint32_t> ids,
+                 const text::TokenArena& arena) const {
+    size_t n = 0;
+    for (uint32_t id : ids) {
+      if (ContainsId(id, arena)) ++n;
+    }
+    return n;
+  }
+
+ private:
+  bool ContainsCodepoint(uint32_t cp) const {
+    size_t word = cp >> 6;
+    return word < codepoint_bits_.size() &&
+           (codepoint_bits_[word] >> (cp & 63) & 1u) != 0;
+  }
+
+  std::vector<uint8_t> dict_member_;     // indexed by dict id
+  std::vector<uint64_t> codepoint_bits_; // bitmap over codepoints
+  std::unordered_set<std::string> irregular_;
 };
 
 /// Controls the iterative k-NN expansion.

@@ -5,6 +5,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "text/utf8.h"
 #include "util/csv.h"
 #include "util/string_util.h"
 
@@ -170,6 +171,85 @@ Result<SentimentModel> SentimentModel::Load(const std::string& path) {
   }
   model.trained_ = true;
   return model;
+}
+
+SentimentIdTable::SentimentIdTable(const SentimentModel& model,
+                                   const std::vector<std::string>& dict_words) {
+  const SentimentOptions& options = model.options();
+  trained_ = model.trained();
+  length_normalize_ = options.length_normalize;
+  log_prior_positive_ = std::log(options.prior_positive);
+  log_prior_negative_ = std::log(1.0 - options.prior_positive);
+  if (!trained_) return;
+
+  // Exactly ScoreImpl's arithmetic, hoisted out of the per-token loop: the
+  // same smoothing addition, division and log over the same doubles, so
+  // every precomputed contribution is the bit the string path would sum.
+  const auto& stats = model.word_stats();
+  double v = static_cast<double>(stats.size()) + 1.0;
+  double denom_pos = static_cast<double>(model.total_positive_tokens()) +
+                     options.smoothing * v;
+  double denom_neg = static_cast<double>(model.total_negative_tokens()) +
+                     options.smoothing * v;
+  auto log_likelihood = [&](const SentimentModel::WordStats& ws) {
+    double cp = options.smoothing + static_cast<double>(ws.positive_count);
+    double cn = options.smoothing + static_cast<double>(ws.negative_count);
+    return LogLikelihood{std::log(cp / denom_pos), std::log(cn / denom_neg)};
+  };
+  unknown_ = log_likelihood(SentimentModel::WordStats{});
+
+  dict_.reserve(dict_words.size());
+  for (const std::string& word : dict_words) {
+    auto it = stats.find(word);
+    dict_.push_back(it == stats.end() ? unknown_ : log_likelihood(it->second));
+  }
+  // Vocabulary words reachable as non-dict tokens: single codepoints (OOV /
+  // punctuation emissions) and malformed byte strings (irregular tokens).
+  // Anything else in the vocabulary can only ever be matched as a
+  // dictionary word, which the flat array above already covers.
+  for (const auto& [word, ws] : stats) {
+    if (text::IsValidUtf8(word)) {
+      if (text::CodepointCount(word) == 1) {
+        size_t pos = 0;
+        codepoints_.emplace(text::DecodeOne(word, &pos), log_likelihood(ws));
+      }
+    } else {
+      irregular_.emplace(word, log_likelihood(ws));
+    }
+  }
+}
+
+SentimentIdTable::LogLikelihood SentimentIdTable::LookupId(
+    uint32_t id, const text::TokenArena& arena) const {
+  if (text::IsDictId(id)) return dict_[id];
+  if (text::IsCodepointId(id)) {
+    auto it = codepoints_.find(text::CodepointOfId(id));
+    return it == codepoints_.end() ? unknown_ : it->second;
+  }
+  if (irregular_.empty()) return unknown_;
+  auto it = irregular_.find(std::string(arena.IrregularBytes(id)));
+  return it == irregular_.end() ? unknown_ : it->second;
+}
+
+double SentimentIdTable::ScoreIds(std::span<const uint32_t> ids,
+                                  const text::TokenArena& arena) const {
+  if (ids.empty() || !trained_) {
+    double odds = log_prior_positive_ - log_prior_negative_;
+    return 1.0 / (1.0 + std::exp(-odds));
+  }
+  double ll_pos = 0.0, ll_neg = 0.0;
+  for (uint32_t id : ids) {
+    LogLikelihood ll = LookupId(id, arena);
+    ll_pos += ll.positive;
+    ll_neg += ll.negative;
+  }
+  if (length_normalize_) {
+    double n = static_cast<double>(ids.size());
+    ll_pos /= n;
+    ll_neg /= n;
+  }
+  double odds = (ll_pos + log_prior_positive_) - (ll_neg + log_prior_negative_);
+  return 1.0 / (1.0 + std::exp(-odds));
 }
 
 }  // namespace cats::nlp

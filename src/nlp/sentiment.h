@@ -2,10 +2,13 @@
 #define CATS_NLP_SENTIMENT_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "text/token_ids.h"
 #include "util/result.h"
 #include "util/status.h"
 
@@ -57,20 +60,67 @@ class SentimentModel {
   Status Save(const std::string& path) const;
   static Result<SentimentModel> Load(const std::string& path);
 
- private:
-  double ScoreImpl(const std::vector<std::string>& tokens,
-                   bool length_normalize) const;
-
   struct WordStats {
     uint64_t positive_count = 0;
     uint64_t negative_count = 0;
   };
+
+  /// Read access for SentimentIdTable, which precomputes per-token
+  /// log-likelihoods so the id hot path skips the per-token string hash.
+  const SentimentOptions& options() const { return options_; }
+  const std::unordered_map<std::string, WordStats>& word_stats() const {
+    return word_stats_;
+  }
+  uint64_t total_positive_tokens() const { return total_positive_tokens_; }
+  uint64_t total_negative_tokens() const { return total_negative_tokens_; }
+
+ private:
+  double ScoreImpl(const std::vector<std::string>& tokens,
+                   bool length_normalize) const;
 
   SentimentOptions options_;
   bool trained_ = false;
   std::unordered_map<std::string, WordStats> word_stats_;
   uint64_t total_positive_tokens_ = 0;
   uint64_t total_negative_tokens_ = 0;
+};
+
+/// Token-id view of a SentimentModel: per-token log-likelihood contributions
+/// precomputed per dictionary id (flat array) / single codepoint (map) /
+/// irregular byte string (map), so ScoreIds sums doubles straight off the
+/// id span with no string construction or vocabulary hash lookups.
+///
+/// Bit-identity contract: for any id span that is token-for-token bijective
+/// with a string token sequence (the segmenter invariant, text/token_ids.h),
+/// ScoreIds returns exactly SentimentModel::Score's double — same
+/// precomputed per-token values, summed in the same order, finished by the
+/// same normalization and sigmoid expressions.
+class SentimentIdTable {
+ public:
+  SentimentIdTable() = default;
+  /// `dict_words` is the segmenter's sorted word list (dict id -> word).
+  SentimentIdTable(const SentimentModel& model,
+                   const std::vector<std::string>& dict_words);
+
+  /// == model.Score(tokens) for the tokens the span represents.
+  double ScoreIds(std::span<const uint32_t> ids,
+                  const text::TokenArena& arena) const;
+
+ private:
+  struct LogLikelihood {
+    double positive = 0.0;
+    double negative = 0.0;
+  };
+  LogLikelihood LookupId(uint32_t id, const text::TokenArena& arena) const;
+
+  bool trained_ = false;
+  bool length_normalize_ = true;
+  double log_prior_positive_ = 0.0;
+  double log_prior_negative_ = 0.0;
+  LogLikelihood unknown_{};                      // word not in the vocabulary
+  std::vector<LogLikelihood> dict_;              // indexed by dict id
+  std::unordered_map<uint32_t, LogLikelihood> codepoints_;
+  std::unordered_map<std::string, LogLikelihood> irregular_;
 };
 
 }  // namespace cats::nlp

@@ -67,6 +67,23 @@ inline constexpr std::string_view kSemanticLexiconNegativeSize =
 inline constexpr std::string_view kSemanticBuildLatencyMicros =
     "semantic.build_latency_micros";
 
+// --- core::TokenIndex / text::IdSegmenter (token-id hot path) ---
+// Trie shape gauges are set when a semantic model compiles its TokenIndex;
+// segmenter.* counters accumulate per item inside the id-path extractor
+// (one atomic add per item, never per token).
+inline constexpr std::string_view kTextTrieNodes = "text.trie.nodes";
+inline constexpr std::string_view kTextTrieWords = "text.trie.words";
+inline constexpr std::string_view kTextTrieBuildLatencyMicros =
+    "text.trie.build_latency_micros";
+inline constexpr std::string_view kSegmenterCommentsTotal =
+    "segmenter.comments_total";
+inline constexpr std::string_view kSegmenterTokensTotal =
+    "segmenter.tokens_total";
+inline constexpr std::string_view kSegmenterOovTokensTotal =
+    "segmenter.oov_tokens_total";
+inline constexpr std::string_view kSegmenterIrregularTokensTotal =
+    "segmenter.irregular_tokens_total";
+
 // --- core::FeatureExtractor / ExtendedFeatures (paper §II-A features) ---
 inline constexpr std::string_view kExtractorItemsFeaturizedTotal =
     "extractor.items_featurized_total";

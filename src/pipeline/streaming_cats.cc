@@ -141,9 +141,13 @@ Result<StreamingReport> StreamingCats::RunPipeline(FeedFn&& feed) {
   for (size_t w = 0; w < options_.num_stage_workers; ++w) {
     workers.emplace_back([&] {
       DeprioritizeComputeThread(options_.compute_nice);
+      // Inherit the detector's extractor options (notably the token-id
+      // hot-path toggle) — only the nested pool is disabled.
+      core::FeatureExtractorOptions serial_options =
+          detector_->extractor().options();
+      serial_options.num_threads = 1;
       core::FeatureExtractor serial_extractor(
-          &detector_->extractor().model(),
-          core::FeatureExtractorOptions{.num_threads = 1});
+          &detector_->extractor().model(), serial_options);
       std::vector<collect::CollectedItem> batch;
       while (ingest.PopBatch(&batch, options_.max_batch_items)) {
         const auto stage_start = std::chrono::steady_clock::now();

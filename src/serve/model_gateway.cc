@@ -96,7 +96,7 @@ Result<std::unique_ptr<core::Cats>> ModelGateway::LoadAndProbe(
     const std::string& model_dir) const {
   // Loading: the ModelManifest CRC path — a candidate with a missing,
   // truncated or bit-flipped file is rejected here with a typed error.
-  auto cats = std::make_unique<core::Cats>();
+  auto cats = std::make_unique<core::Cats>(cats_options_);
   CATS_RETURN_NOT_OK(cats->LoadModel(model_dir));
 
   // Probing: the candidate must score the held-out rows sanely before it

@@ -57,8 +57,12 @@ class ModelGateway {
  public:
   /// `probe_items` are the held-out rows every candidate must score sanely
   /// before it may serve; empty disables probing (load checks still apply).
-  explicit ModelGateway(std::vector<collect::CollectedItem> probe_items)
-      : probe_items_(std::move(probe_items)) {}
+  /// `cats_options` configures every core::Cats this gateway loads (boot
+  /// model and swap candidates alike) — detector/extractor knobs, including
+  /// the token-id hot-path toggle the serve identity tests flip.
+  explicit ModelGateway(std::vector<collect::CollectedItem> probe_items,
+                        core::CatsOptions cats_options = {})
+      : probe_items_(std::move(probe_items)), cats_options_(cats_options) {}
 
   /// Loads the boot model (generation 1). Fails without touching state, so
   /// a server never starts on a corrupt model.
@@ -85,6 +89,7 @@ class ModelGateway {
       const std::string& model_dir) const;
 
   std::vector<collect::CollectedItem> probe_items_;
+  core::CatsOptions cats_options_;
   mutable std::mutex snapshot_mu_;  // guards the pointer, not the snapshot
   std::shared_ptr<const ModelSnapshot> snapshot_;
   std::mutex swap_mu_;  // serializes Swap calls (ordering, not safety)

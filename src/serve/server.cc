@@ -106,7 +106,8 @@ Status ServeLoop::Start(const std::string& model_dir,
   if (running_.load(std::memory_order_acquire)) {
     return Status::FailedPrecondition("serve loop is already running");
   }
-  auto gateway = std::make_unique<ModelGateway>(std::move(probe_items));
+  auto gateway =
+      std::make_unique<ModelGateway>(std::move(probe_items), options_.cats);
   CATS_RETURN_NOT_OK(gateway->LoadInitial(model_dir));
   gateway_ = std::move(gateway);
 

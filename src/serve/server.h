@@ -41,6 +41,10 @@ struct ServeOptions {
   uint32_t retry_after_millis = 25;
   /// Items remembered for score_comment_delta, FIFO-evicted beyond this.
   size_t item_cache_capacity = 4096;
+  /// Options for every core::Cats the model gateway loads (boot model and
+  /// swap candidates) — detector/extractor knobs, including the token-id
+  /// hot-path toggle (see FeatureExtractorOptions::use_token_ids).
+  core::CatsOptions cats;
 };
 
 /// Exact per-instance request accounting, all relaxed atomics. Invariants

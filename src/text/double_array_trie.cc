@@ -1,0 +1,97 @@
+#include "text/double_array_trie.h"
+
+#include "util/logging.h"
+
+namespace cats::text {
+
+void DoubleArrayTrie::EnsureSize(size_t n) {
+  if (n <= check_.size()) return;
+  base_.resize(n, 0);
+  check_.resize(n, -1);
+  value_.resize(n, kNoValue);
+}
+
+int32_t DoubleArrayTrie::FindBase(const std::vector<uint8_t>& codes) {
+  // First-fit: the smallest base >= 1 whose child slots are all free.
+  // search_start_ skips the densely packed prefix; it only ever advances,
+  // so the scan is amortized linear over the build.
+  while (static_cast<size_t>(search_start_) < check_.size() &&
+         check_[static_cast<size_t>(search_start_)] != -1) {
+    ++search_start_;
+  }
+  for (int32_t b = search_start_;; ++b) {
+    EnsureSize(static_cast<size_t>(b) + 256 + 1);
+    bool fits = true;
+    for (uint8_t code : codes) {
+      if (check_[static_cast<size_t>(b) + code] != -1) {
+        fits = false;
+        break;
+      }
+    }
+    if (fits) return b;
+  }
+}
+
+void DoubleArrayTrie::BuildRange(const std::vector<std::string>& words,
+                                 int32_t node, size_t begin, size_t end,
+                                 size_t depth) {
+  if (words[begin].size() == depth) {
+    value_[static_cast<size_t>(node)] = static_cast<int32_t>(begin);
+    ++begin;
+    if (begin == end) return;
+  }
+  // The range is sorted, so children group into contiguous sub-ranges by
+  // their byte at `depth`.
+  struct Child {
+    uint8_t code;
+    size_t begin;
+    size_t end;
+  };
+  std::vector<Child> children;
+  std::vector<uint8_t> codes;
+  size_t i = begin;
+  while (i < end) {
+    uint8_t code = static_cast<uint8_t>(words[i][depth]);
+    size_t j = i + 1;
+    while (j < end && static_cast<uint8_t>(words[j][depth]) == code) ++j;
+    children.push_back(Child{code, i, j});
+    codes.push_back(code);
+    i = j;
+  }
+  int32_t b = FindBase(codes);
+  base_[static_cast<size_t>(node)] = b;
+  // Claim every sibling slot before recursing so a descendant's base search
+  // cannot steal a slot this node still needs.
+  for (const Child& child : children) {
+    check_[static_cast<size_t>(b) + child.code] = node;
+  }
+  for (const Child& child : children) {
+    BuildRange(words, b + static_cast<int32_t>(child.code), child.begin,
+               child.end, depth + 1);
+  }
+}
+
+DoubleArrayTrie DoubleArrayTrie::Build(const std::vector<std::string>& words) {
+  for (size_t i = 0; i < words.size(); ++i) {
+    CATS_CHECK(!words[i].empty());
+    if (i > 0) CATS_CHECK(words[i - 1] < words[i]);
+  }
+  DoubleArrayTrie trie;
+  trie.EnsureSize(257);
+  trie.check_[0] = 0;  // root is never a free slot
+  trie.num_words_ = words.size();
+  if (!words.empty()) trie.BuildRange(words, kRoot, 0, words.size(), 0);
+  return trie;
+}
+
+int32_t DoubleArrayTrie::Find(std::string_view word) const {
+  if (check_.empty()) return kNoValue;
+  int32_t node = kRoot;
+  for (char c : word) {
+    node = Step(node, static_cast<uint8_t>(c));
+    if (node < 0) return kNoValue;
+  }
+  return ValueAt(node);
+}
+
+}  // namespace cats::text

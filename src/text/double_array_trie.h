@@ -1,0 +1,69 @@
+#ifndef CATS_TEXT_DOUBLE_ARRAY_TRIE_H_
+#define CATS_TEXT_DOUBLE_ARRAY_TRIE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cats::text {
+
+/// Byte-level double-array trie (Aoe 1989) over a sorted word list. Built
+/// once per dictionary, read-only and thread-safe afterwards. A transition
+/// is two array reads and a compare — no hashing, no pointer chasing — which
+/// is what makes the segmenter's longest-match walk cheap enough to run
+/// per input byte.
+///
+/// Layout: node s transitions on byte c to t = base_[s] + c iff
+/// check_[t] == s. value_[s] is the word id terminating at s (the index of
+/// the word in the sorted build list) or -1. The root is node 0 and bases
+/// are >= 1, so slot 0 is never a child.
+class DoubleArrayTrie {
+ public:
+  DoubleArrayTrie() = default;
+
+  static constexpr int32_t kRoot = 0;
+  static constexpr int32_t kNoValue = -1;
+
+  /// Builds from `words`, which must be sorted ascending, unique and
+  /// non-empty. Word i gets value i.
+  static DoubleArrayTrie Build(const std::vector<std::string>& words);
+
+  /// Follows the byte transition from `node`; -1 when there is none.
+  int32_t Step(int32_t node, uint8_t byte) const {
+    int32_t t = base_[static_cast<size_t>(node)] + static_cast<int32_t>(byte);
+    return static_cast<size_t>(t) < check_.size() &&
+                   check_[static_cast<size_t>(t)] == node
+               ? t
+               : -1;
+  }
+
+  /// Word id ending exactly at `node`, or kNoValue.
+  int32_t ValueAt(int32_t node) const {
+    return value_[static_cast<size_t>(node)];
+  }
+
+  /// Exact lookup (diagnostics / tests): the word's id or kNoValue.
+  int32_t Find(std::string_view word) const;
+
+  size_t num_words() const { return num_words_; }
+  /// Allocated slot count (array length), for the `text.trie.nodes` gauge.
+  size_t num_slots() const { return check_.size(); }
+
+ private:
+  void EnsureSize(size_t n);
+  int32_t FindBase(const std::vector<uint8_t>& codes);
+  void BuildRange(const std::vector<std::string>& words, int32_t node,
+                  size_t begin, size_t end, size_t depth);
+
+  std::vector<int32_t> base_;
+  std::vector<int32_t> check_;  // -1 = free slot
+  std::vector<int32_t> value_;
+  size_t num_words_ = 0;
+  int32_t search_start_ = 1;  // first-fit base search resumes here
+};
+
+}  // namespace cats::text
+
+#endif  // CATS_TEXT_DOUBLE_ARRAY_TRIE_H_

@@ -1,0 +1,141 @@
+#include "text/id_segmenter.h"
+
+#include <algorithm>
+
+#include "text/punctuation.h"
+#include "text/utf8.h"
+
+namespace cats::text {
+namespace {
+
+constexpr std::string_view kCanonicalReplacement = "\xEF\xBF\xBD";
+
+/// Id of a single-codepoint token slice. A post-surrogate-fix DecodeOne
+/// returns a non-U+FFFD codepoint only for strictly valid sequences, whose
+/// bytes ARE the canonical encoding — so the codepoint id alone
+/// reconstructs them. A U+FFFD result is canonical only when the slice is
+/// literally the U+FFFD encoding; every other such slice is malformed and
+/// must be interned so its exact bytes survive.
+uint32_t SingleCodepointId(std::string_view slice, uint32_t cp,
+                           TokenArena* arena) {
+  if (cp != kReplacementChar) return IdOfCodepoint(cp);
+  if (slice == kCanonicalReplacement) return IdOfCodepoint(cp);
+  return arena->InternIrregular(slice);
+}
+
+}  // namespace
+
+IdSegmenter::IdSegmenter(const SegmentationDictionary& dictionary,
+                         SegmenterOptions options)
+    : options_(options), max_word_codepoints_(dictionary.max_word_codepoints()) {
+  dict_words_.assign(dictionary.words().begin(), dictionary.words().end());
+  std::sort(dict_words_.begin(), dict_words_.end());
+  trie_ = DoubleArrayTrie::Build(dict_words_);
+}
+
+std::span<const uint32_t> IdSegmenter::SegmentToIds(
+    std::string_view sentence, TokenArena* arena,
+    CommentStructure* structure) const {
+  size_t begin = arena->BeginComment();
+  std::vector<size_t>& offsets = arena->offset_scratch();
+  std::vector<uint32_t>& cps = arena->codepoint_scratch();
+  offsets.clear();
+  cps.clear();
+
+  // Pre-decode once: byte offsets + codepoints. The same decode feeds the
+  // structural stats, replacing AnalyzeStructure's second pass.
+  size_t punctuation_count = 0;
+  {
+    size_t pos = 0;
+    while (pos < sentence.size()) {
+      offsets.push_back(pos);
+      uint32_t cp = DecodeOne(sentence, &pos);
+      cps.push_back(cp);
+      if (IsPunctuation(cp)) ++punctuation_count;
+    }
+    offsets.push_back(sentence.size());  // sentinel: end of text
+  }
+  size_t n = cps.size();
+  if (structure != nullptr) {
+    structure->codepoint_length = n;
+    structure->punctuation_count = punctuation_count;
+    structure->punctuation_ratio =
+        n > 0 ? static_cast<double>(punctuation_count) /
+                    static_cast<double>(n)
+              : 0.0;
+  }
+
+  size_t window = std::max<size_t>(1, max_word_codepoints_);
+  size_t i = 0;
+  while (i < n) {
+    uint32_t cp = cps[i];
+    if (cp == ' ' || cp == '\t' || cp == '\n' || cp == '\r' || cp == 0x3000) {
+      ++i;
+      continue;
+    }
+    auto slice_at = [&](size_t k) {
+      return sentence.substr(offsets[k], offsets[k + 1] - offsets[k]);
+    };
+    if (IsPunctuation(cp)) {
+      if (options_.emit_punctuation) {
+        arena->PushId(SingleCodepointId(slice_at(i), cp, arena));
+      }
+      ++i;
+      continue;
+    }
+
+    // Forward maximum matching via one trie walk: extend byte-by-byte,
+    // remembering the longest prefix that is a word AND ends on an input
+    // codepoint boundary.
+    size_t best_len = 0;
+    int32_t best_value = DoubleArrayTrie::kNoValue;
+    int32_t node = DoubleArrayTrie::kRoot;
+    size_t max_len = std::min(window, n - i);
+    for (size_t len = 1; len <= max_len; ++len) {
+      bool dead = false;
+      for (size_t b = offsets[i + len - 1]; b < offsets[i + len]; ++b) {
+        node = trie_.Step(node, static_cast<uint8_t>(sentence[b]));
+        if (node < 0) {
+          dead = true;
+          break;
+        }
+      }
+      if (dead) break;
+      int32_t value = trie_.ValueAt(node);
+      if (value != DoubleArrayTrie::kNoValue) {
+        best_len = len;
+        best_value = value;
+      }
+    }
+    if (best_len > 0) {
+      arena->PushId(static_cast<uint32_t>(best_value));
+      i += best_len;
+    } else {
+      if (options_.emit_oov_chars) {
+        arena->PushId(SingleCodepointId(slice_at(i), cp, arena));
+      }
+      ++i;
+    }
+  }
+  return arena->SpanFrom(begin);
+}
+
+void IdSegmenter::AppendTokenText(uint32_t id, const TokenArena& arena,
+                                  std::string* out) const {
+  if (IsDictId(id)) {
+    out->append(dict_words_[id]);
+  } else if (IsCodepointId(id)) {
+    AppendCodepoint(CodepointOfId(id), out);
+  } else {
+    out->append(arena.IrregularBytes(id));
+  }
+}
+
+std::string IdSegmenter::TokenText(uint32_t id,
+                                   const TokenArena& arena) const {
+  std::string out;
+  AppendTokenText(id, arena, &out);
+  return out;
+}
+
+}  // namespace cats::text

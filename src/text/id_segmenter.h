@@ -1,0 +1,71 @@
+#ifndef CATS_TEXT_ID_SEGMENTER_H_
+#define CATS_TEXT_ID_SEGMENTER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "text/double_array_trie.h"
+#include "text/segmenter.h"
+#include "text/text_stats.h"
+#include "text/token_ids.h"
+
+namespace cats::text {
+
+/// Trie-backed twin of `Segmenter` emitting interned token ids instead of
+/// strings. For every input and every SegmenterOptions combination the
+/// emitted id sequence maps token-for-token onto Segmenter::Segment's
+/// output (TokenText reconstructs the exact bytes) — pinned by
+/// tests/segmenter_diff_test.cc and the fuzz battery.
+///
+/// Equivalence argument, in brief: the legacy FMM probes dictionary
+/// membership of the window-capped prefixes in descending codepoint length
+/// and takes the first hit. The trie walk advances byte-by-byte through the
+/// same prefixes in ascending length and records the LAST node that both
+/// carries a word value and ends on an input codepoint boundary; since a
+/// prefix chain dies in the trie exactly when no dictionary word extends
+/// it, the recorded match is the same longest match. Whitespace skipping,
+/// punctuation handling and OOV fallback replicate the legacy control flow
+/// verbatim.
+class IdSegmenter {
+ public:
+  IdSegmenter() = default;
+  IdSegmenter(const SegmentationDictionary& dictionary,
+              SegmenterOptions options);
+  explicit IdSegmenter(const SegmentationDictionary& dictionary)
+      : IdSegmenter(dictionary, SegmenterOptions{}) {}
+
+  /// Segments one comment into the arena, returning the span of ids pushed
+  /// (valid until the arena's next Reset). When `structure` is non-null it
+  /// is filled with the same stats AnalyzeStructure(sentence) computes —
+  /// the codepoints are already decoded here, so the extractor saves a
+  /// whole second pass over the raw bytes.
+  std::span<const uint32_t> SegmentToIds(std::string_view sentence,
+                                         TokenArena* arena,
+                                         CommentStructure* structure =
+                                             nullptr) const;
+
+  /// Reconstructs a token's exact bytes (dict word / canonical codepoint
+  /// encoding / arena-owned irregular slice).
+  void AppendTokenText(uint32_t id, const TokenArena& arena,
+                       std::string* out) const;
+  std::string TokenText(uint32_t id, const TokenArena& arena) const;
+
+  /// The dictionary words in sorted order; dict id i is dict_words()[i].
+  const std::vector<std::string>& dict_words() const { return dict_words_; }
+  const DoubleArrayTrie& trie() const { return trie_; }
+  const SegmenterOptions& options() const { return options_; }
+
+ private:
+  std::vector<std::string> dict_words_;  // sorted ascending
+  DoubleArrayTrie trie_;
+  SegmenterOptions options_;
+  size_t max_word_codepoints_ = 0;
+};
+
+}  // namespace cats::text
+
+#endif  // CATS_TEXT_ID_SEGMENTER_H_

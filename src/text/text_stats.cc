@@ -7,18 +7,53 @@
 #include "text/utf8.h"
 
 namespace cats::text {
+namespace {
 
-double TokenEntropy(const std::vector<std::string>& tokens) {
-  if (tokens.empty()) return 0.0;
-  std::unordered_map<std::string, size_t> freq;
-  for (const std::string& t : tokens) ++freq[t];
-  double n = static_cast<double>(tokens.size());
+/// Entropy over counts accumulated in first-occurrence order. Both token
+/// representations (strings and interned ids) funnel through this so the
+/// two hot paths sum the same doubles in the same order — a bit-identical
+/// pair, not merely an approximately equal one.
+double EntropyOfCounts(const std::vector<size_t>& counts, size_t total) {
+  double n = static_cast<double>(total);
   double h = 0.0;
-  for (const auto& [token, count] : freq) {
+  for (size_t count : counts) {
     double p = static_cast<double>(count) / n;
     h -= p * std::log2(p);
   }
   return h;
+}
+
+}  // namespace
+
+double TokenEntropy(const std::vector<std::string>& tokens) {
+  if (tokens.empty()) return 0.0;
+  // Deterministic (first-occurrence) summation order, NOT hash-map order:
+  // the id path must reproduce these doubles bit-for-bit.
+  std::unordered_map<std::string_view, size_t> index;
+  std::vector<size_t> counts;
+  for (const std::string& t : tokens) {
+    auto [it, inserted] = index.try_emplace(std::string_view(t), counts.size());
+    if (inserted) counts.push_back(0);
+    ++counts[it->second];
+  }
+  return EntropyOfCounts(counts, tokens.size());
+}
+
+double TokenEntropyIds(std::span<const uint32_t> ids) {
+  if (ids.empty()) return 0.0;
+  // Hot path: one call per comment. The map/vector are thread-local so the
+  // steady state reuses their buckets/capacity instead of reallocating per
+  // comment; clear() preserves both in libstdc++ and libc++.
+  thread_local std::unordered_map<uint32_t, size_t> index;
+  thread_local std::vector<size_t> counts;
+  index.clear();
+  counts.clear();
+  for (uint32_t id : ids) {
+    auto [it, inserted] = index.try_emplace(id, counts.size());
+    if (inserted) counts.push_back(0);
+    ++counts[it->second];
+  }
+  return EntropyOfCounts(counts, ids.size());
 }
 
 double UniqueTokenRatio(const std::vector<std::string>& tokens) {

@@ -2,6 +2,8 @@
 #define CATS_TEXT_TEXT_STATS_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -11,8 +13,15 @@ namespace cats::text {
 /// Shannon entropy (bits) of the token frequency distribution of one
 /// comment: -sum_t p(t) log2 p(t) where p(t) is the token's frequency within
 /// the comment. This is the paper's measure of how "chaotically" a comment
-/// is organized (Fig 3, averageCommentEntropy).
+/// is organized (Fig 3, averageCommentEntropy). Summation runs in
+/// first-occurrence order, so the result is deterministic and bit-identical
+/// to TokenEntropyIds over the same token sequence.
 double TokenEntropy(const std::vector<std::string>& tokens);
+
+/// Id-path twin of TokenEntropy: identical doubles for an id sequence that
+/// is token-for-token bijective with a string sequence (see
+/// text/token_ids.h).
+double TokenEntropyIds(std::span<const uint32_t> ids);
 
 /// Number of distinct tokens / total tokens; 0 for an empty sequence.
 /// Feeds uniqueWordRatio (Fig 5).

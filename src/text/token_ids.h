@@ -1,0 +1,134 @@
+#ifndef CATS_TEXT_TOKEN_IDS_H_
+#define CATS_TEXT_TOKEN_IDS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace cats::text {
+
+/// Token-id space of the hot path. Every token the segmenter can emit maps
+/// to exactly one uint32 id, and within one item the mapping id <-> token
+/// bytes is a bijection — the invariant the differential battery pins:
+///
+///   [0, kDictIdLimit)            dictionary words. The id is the index of
+///                                the word in the segmenter's
+///                                lexicographically sorted word list, so
+///                                ids are stable for a given dictionary.
+///   [kCodepointIdBase, +0x110000) single-codepoint tokens (OOV characters
+///                                and, when enabled, punctuation). The id
+///                                encodes the codepoint itself; the token
+///                                bytes are its canonical UTF-8 encoding.
+///   [kIrregularIdBase, ...)      irregular tokens: single-codepoint slices
+///                                whose bytes are NOT canonical UTF-8 (they
+///                                decode to U+FFFD but are not the U+FFFD
+///                                encoding — truncated or overlong
+///                                sequences, stray continuation bytes,
+///                                surrogates). Interned per item in the
+///                                TokenArena, which owns the bytes.
+inline constexpr uint32_t kDictIdLimit = 0x40000000u;
+inline constexpr uint32_t kCodepointIdBase = 0x40000000u;
+inline constexpr uint32_t kIrregularIdBase = 0x80000000u;
+
+inline constexpr bool IsDictId(uint32_t id) { return id < kDictIdLimit; }
+inline constexpr bool IsCodepointId(uint32_t id) {
+  return id >= kCodepointIdBase && id < kCodepointIdBase + 0x110000u;
+}
+inline constexpr bool IsIrregularId(uint32_t id) {
+  return id >= kIrregularIdBase;
+}
+inline constexpr uint32_t IdOfCodepoint(uint32_t cp) {
+  return kCodepointIdBase + cp;
+}
+inline constexpr uint32_t CodepointOfId(uint32_t id) {
+  return id - kCodepointIdBase;
+}
+
+/// One comment's tokens inside a TokenArena: a [offset, offset+length)
+/// window into the arena's flat id column.
+struct TokenSpan {
+  uint32_t offset = 0;
+  uint32_t length = 0;
+};
+
+/// Columnar per-item token storage for the id hot path. One arena holds
+/// ALL comments of one item as a single flat uint32 column plus per-comment
+/// spans, so the accumulation loops in the feature extractor walk
+/// contiguous memory with zero hashing and zero per-comment allocation
+/// (buffers are grow-only and reused across items via Reset()).
+///
+/// Lifetime rules (see ARCHITECTURE.md "Text hot path"):
+///   - Dict and codepoint ids are global (valid across arenas).
+///   - Irregular ids are arena-local: they index this arena's intern table
+///     and die at the next Reset(). Never let an irregular id outlive the
+///     item that produced it.
+///   - Spans index the flat column; the column only grows between Reset()
+///     calls, so a TokenSpan stays valid for the whole item.
+class TokenArena {
+ public:
+  TokenArena() = default;
+
+  /// Forgets the previous item. Keeps capacity.
+  void Reset() {
+    ids_.clear();
+    irregular_bytes_.clear();
+    irregular_index_.clear();
+  }
+
+  void PushId(uint32_t id) { ids_.push_back(id); }
+
+  /// Marks the start of a comment; pair with EndComment.
+  size_t BeginComment() const { return ids_.size(); }
+  TokenSpan EndComment(size_t begin) const {
+    return TokenSpan{static_cast<uint32_t>(begin),
+                     static_cast<uint32_t>(ids_.size() - begin)};
+  }
+
+  std::span<const uint32_t> SpanOf(TokenSpan span) const {
+    return std::span<const uint32_t>(ids_).subspan(span.offset, span.length);
+  }
+  /// The tail of the column starting at `begin` (ids pushed since then).
+  std::span<const uint32_t> SpanFrom(size_t begin) const {
+    return std::span<const uint32_t>(ids_).subspan(begin);
+  }
+
+  /// Interns a malformed (non-canonical UTF-8) token slice, returning its
+  /// arena-local id. The same bytes always get the same id within an item.
+  uint32_t InternIrregular(std::string_view bytes) {
+    auto it = irregular_index_.find(std::string(bytes));
+    if (it != irregular_index_.end()) return it->second;
+    uint32_t id =
+        kIrregularIdBase + static_cast<uint32_t>(irregular_bytes_.size());
+    irregular_bytes_.emplace_back(bytes);
+    irregular_index_.emplace(irregular_bytes_.back(), id);
+    return id;
+  }
+
+  std::string_view IrregularBytes(uint32_t id) const {
+    return irregular_bytes_[id - kIrregularIdBase];
+  }
+
+  const std::vector<uint32_t>& ids() const { return ids_; }
+  size_t num_irregular() const { return irregular_bytes_.size(); }
+
+  /// Grow-only scratch buffers for the segmenter's per-comment pre-decode
+  /// (byte offsets + codepoints). Owned here so the segmenter stays
+  /// stateless and thread-safe while the hot loop never allocates.
+  std::vector<size_t>& offset_scratch() { return offset_scratch_; }
+  std::vector<uint32_t>& codepoint_scratch() { return codepoint_scratch_; }
+
+ private:
+  std::vector<uint32_t> ids_;
+  std::vector<std::string> irregular_bytes_;  // index = id - kIrregularIdBase
+  std::unordered_map<std::string, uint32_t> irregular_index_;
+  std::vector<size_t> offset_scratch_;
+  std::vector<uint32_t> codepoint_scratch_;
+};
+
+}  // namespace cats::text
+
+#endif  // CATS_TEXT_TOKEN_IDS_H_

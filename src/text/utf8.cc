@@ -28,6 +28,12 @@ std::string EncodeCodepoint(uint32_t cp) {
 
 uint32_t DecodeOne(std::string_view s, size_t* pos) {
   size_t i = *pos;
+  if (i >= s.size()) {
+    // Defensive: a caller iterating past the end must still make progress,
+    // so this can never spin — and must never read out of bounds.
+    *pos = i + 1;
+    return kReplacementChar;
+  }
   unsigned char c0 = static_cast<unsigned char>(s[i]);
   if (c0 < 0x80) {
     *pos = i + 1;
@@ -48,7 +54,11 @@ uint32_t DecodeOne(std::string_view s, size_t* pos) {
                   (static_cast<unsigned char>(s[i + 1]) & 0x3F) << 6 |
                   (static_cast<unsigned char>(s[i + 2]) & 0x3F);
     *pos = i + 3;
-    return cp >= 0x800 ? cp : kReplacementChar;
+    // Reject overlong encodings AND raw UTF-16 surrogates — IsValidUtf8
+    // refuses surrogates, so decoding them to themselves here would let a
+    // "malformed" byte sequence masquerade as a valid codepoint.
+    return cp >= 0x800 && (cp < 0xD800 || cp > 0xDFFF) ? cp
+                                                       : kReplacementChar;
   }
   if ((c0 & 0xF8) == 0xF0 && cont(i + 1) && cont(i + 2) && cont(i + 3)) {
     uint32_t cp = (c0 & 0x07) << 18 |

@@ -20,7 +20,10 @@ std::string EncodeCodepoint(uint32_t cp);
 
 /// Decodes one codepoint at byte offset `*pos`, advancing `*pos` past it.
 /// Malformed bytes consume one byte and decode to kReplacementChar, so
-/// iteration always terminates.
+/// iteration always terminates; overlong encodings and raw UTF-16
+/// surrogates consume their full sequence but also decode to
+/// kReplacementChar (matching IsValidUtf8's notion of well-formedness).
+/// A `*pos` at or past the end reads nothing and returns kReplacementChar.
 uint32_t DecodeOne(std::string_view s, size_t* pos);
 
 /// Decodes a whole string into codepoints.

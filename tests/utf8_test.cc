@@ -58,6 +58,120 @@ TEST(Utf8Test, MalformedBytesYieldReplacementAndTerminate) {
   for (uint32_t cp : cps) EXPECT_NE(cp, static_cast<uint32_t>('/'));
 }
 
+TEST(Utf8Test, DecodeOnePastEndIsTotalAndAdvances) {
+  // Regression: DecodeOne with *pos at or past the end used to read
+  // s[i] out of bounds. It must return U+FFFD and still advance so a
+  // caller's loop can never spin.
+  std::string s = "ab";
+  size_t pos = 2;
+  EXPECT_EQ(DecodeOne(s, &pos), kReplacementChar);
+  EXPECT_EQ(pos, 3u);
+  pos = 100;
+  EXPECT_EQ(DecodeOne(s, &pos), kReplacementChar);
+  EXPECT_EQ(pos, 101u);
+  pos = 0;
+  EXPECT_EQ(DecodeOne("", &pos), kReplacementChar);
+  EXPECT_EQ(pos, 1u);
+}
+
+TEST(Utf8Test, TruncatedSequencesConsumeByteByByte) {
+  // Every proper prefix of every multi-byte class, cut off by the buffer
+  // end: the decoder must emit U+FFFD per remaining byte, never read past
+  // the end, and IsValidUtf8 must reject the prefix.
+  for (uint32_t cp : {0x80u, 0x7FFu, 0x800u, 0x4E2Du, 0xFFFFu, 0x10000u,
+                      0x10FFFFu}) {
+    std::string full = EncodeCodepoint(cp);
+    for (size_t cut = 1; cut < full.size(); ++cut) {
+      std::string truncated = full.substr(0, cut);
+      SCOPED_TRACE("cp=" + std::to_string(cp) + " cut=" +
+                   std::to_string(cut));
+      size_t pos = 0;
+      EXPECT_EQ(DecodeOne(truncated, &pos), kReplacementChar);
+      EXPECT_EQ(pos, 1u);  // the lead byte is consumed alone
+      std::vector<uint32_t> cps = DecodeString(truncated);
+      EXPECT_EQ(cps.size(), truncated.size());
+      for (uint32_t c : cps) EXPECT_EQ(c, kReplacementChar);
+      EXPECT_FALSE(IsValidUtf8(truncated));
+      // Truncation mid-string (followed by ASCII, not the buffer end)
+      // must resynchronize on the ASCII byte.
+      std::string resync = truncated + "a";
+      std::vector<uint32_t> r = DecodeString(resync);
+      ASSERT_FALSE(r.empty());
+      EXPECT_EQ(r.back(), static_cast<uint32_t>('a'));
+      EXPECT_EQ(r.size(), truncated.size() + 1);
+    }
+  }
+}
+
+TEST(Utf8Test, RawSurrogatesRejectedButConsumeFullSequence) {
+  // Regression: the 3-byte branch used to decode raw UTF-16 surrogates
+  // (ED A0 80 .. ED BF BF) to themselves, disagreeing with IsValidUtf8.
+  for (uint32_t cp = 0xD800; cp <= 0xDFFF; cp += 0xFF) {
+    std::string raw = EncodeCodepoint(cp);  // 3-byte pattern of cp
+    ASSERT_EQ(raw.size(), 3u);
+    size_t pos = 0;
+    EXPECT_EQ(DecodeOne(raw, &pos), kReplacementChar) << cp;
+    EXPECT_EQ(pos, 3u);  // full sequence consumed, not re-sliced
+    EXPECT_FALSE(IsValidUtf8(raw));
+  }
+  // The neighbors on both sides of the surrogate gap stay valid.
+  for (uint32_t cp : {0xD7FFu, 0xE000u}) {
+    std::string ok = EncodeCodepoint(cp);
+    size_t pos = 0;
+    EXPECT_EQ(DecodeOne(ok, &pos), cp);
+    EXPECT_TRUE(IsValidUtf8(ok));
+  }
+}
+
+TEST(Utf8Test, OverlongEncodingsRejectedAtEveryLength) {
+  struct Overlong {
+    const char* bytes;
+    size_t len;
+  };
+  const Overlong cases[] = {
+      {"\xC0\x80", 2},          // 2-byte overlong NUL
+      {"\xC0\xAF", 2},          // 2-byte overlong '/'
+      {"\xC1\xBF", 2},          // 2-byte overlong 0x7F
+      {"\xE0\x9F\xBF", 3},      // 3-byte overlong 0x7FF
+      {"\xE0\x80\x80", 3},      // 3-byte overlong NUL
+      {"\xF0\x8F\xBF\xBF", 4},  // 4-byte overlong 0xFFFF
+      {"\xF0\x80\x80\x80", 4},  // 4-byte overlong NUL
+  };
+  for (const Overlong& c : cases) {
+    std::string s(c.bytes, c.len);
+    SCOPED_TRACE(s);
+    size_t pos = 0;
+    EXPECT_EQ(DecodeOne(s, &pos), kReplacementChar);
+    EXPECT_EQ(pos, c.len);  // whole sequence consumed
+    EXPECT_FALSE(IsValidUtf8(s));
+  }
+}
+
+TEST(Utf8Test, CodepointsPastMaxRejected) {
+  for (const char* bytes : {"\xF4\x90\x80\x80",    // 0x110000
+                            "\xF7\xBF\xBF\xBF"}) {  // 0x1FFFFF
+    std::string s(bytes, 4);
+    size_t pos = 0;
+    EXPECT_EQ(DecodeOne(s, &pos), kReplacementChar);
+    EXPECT_EQ(pos, 4u);
+    EXPECT_FALSE(IsValidUtf8(s));
+  }
+  std::string max = EncodeCodepoint(0x10FFFF);
+  size_t pos = 0;
+  EXPECT_EQ(DecodeOne(max, &pos), 0x10FFFFu);
+  EXPECT_TRUE(IsValidUtf8(max));
+}
+
+TEST(Utf8Test, StrayContinuationAndInvalidLeadBytes) {
+  for (unsigned char b : {0x80u, 0xBFu, 0xF8u, 0xFEu, 0xFFu}) {
+    std::string s(1, static_cast<char>(b));
+    size_t pos = 0;
+    EXPECT_EQ(DecodeOne(s, &pos), kReplacementChar) << int(b);
+    EXPECT_EQ(pos, 1u);
+    EXPECT_FALSE(IsValidUtf8(s));
+  }
+}
+
 TEST(Utf8Test, IsCjk) {
   EXPECT_TRUE(IsCjk(0x4E00));
   EXPECT_TRUE(IsCjk(0x9FFF));
