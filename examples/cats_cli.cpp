@@ -65,6 +65,7 @@ int Usage() {
                "[--scale S] [--seed N]\n"
                "                 [--fault-profile none|mild|hostile]\n"
                "                 [--data-fault-profile none|mild|hostile]\n"
+               "                 [--adversary-profile none|mild|hostile]\n"
                "  cats_cli train <data-dir> <model-dir> [--metrics]\n"
                "  cats_cli detect <data-dir> <model-dir> [--threshold T]\n"
                "                  [--streaming] [--metrics] "
@@ -87,6 +88,13 @@ int Usage() {
                "                       missing fields; hostile adds absurd\n"
                "                       prices, garbled / oversized comments,\n"
                "                       colliding comment ids)\n"
+               "  --adversary-profile P\n"
+               "                       adaptive spam campaigns (default none;\n"
+               "                       mild = slight template drift + filler\n"
+               "                       padding; hostile ramps template\n"
+               "                       mutation, homograph rotation, heavy\n"
+               "                       sentiment damping and aged sockpuppet\n"
+               "                       accounts over the window)\n"
                "  --streaming          run detection on the streaming plane\n"
                "                       (concurrent stage workers over bounded\n"
                "                       queues; same results as sequential)\n"
@@ -175,6 +183,15 @@ int CmdGen(int argc, char** argv) {
     return 2;
   }
   if (seed != 0) config.seed = seed;
+
+  std::string adversary_name =
+      FlagValue(argc, argv, "--adversary-profile", "none");
+  auto adversary = fault::AdversaryProfile::FromName(adversary_name);
+  if (!adversary.ok()) {
+    std::fprintf(stderr, "%s\n", adversary.status().ToString().c_str());
+    return 2;
+  }
+  config.adversary = *adversary;
 
   std::filesystem::create_directories(dir);
   platform::SyntheticLanguage language(platform::DefaultLanguageOptions());

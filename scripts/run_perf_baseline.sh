@@ -9,6 +9,9 @@
 #   BENCH_serve.json    — bench/bench_serve (the serving plane's open-loop
 #                         latency/throughput curve per QPS step, with a
 #                         mid-run model hot-swap under load)
+#   BENCH_drift.json    — bench/bench_drift (drift-detector hot path,
+#                         warm-start retrain, and the arms-race
+#                         adversary-strength-vs-AUC counters)
 # Diffing these files across commits is how a perf regression (or the
 # claimed speedup of an optimization PR) is reviewed.
 #
@@ -21,12 +24,12 @@ build_dir="${2:-$root/build}"
 
 cmake -B "$build_dir" -S "$root" >/dev/null
 cmake --build "$build_dir" -j "$(nproc 2>/dev/null || echo 4)" \
-      --target bench_perf_ml bench_perf_pipeline bench_serve >/dev/null
+      --target bench_perf_ml bench_perf_pipeline bench_serve bench_drift >/dev/null
 
 # The build step above swallows its output; never limp past a bench that
 # didn't actually get built (a silently missing binary would leave a stale
 # baseline committed as if it were regenerated).
-for bench in bench_perf_ml bench_perf_pipeline bench_serve; do
+for bench in bench_perf_ml bench_perf_pipeline bench_serve bench_drift; do
   if [ ! -x "$build_dir/bench/$bench" ]; then
     echo "perf-baseline: FATAL: $build_dir/bench/$bench missing or not" \
          "executable after build" >&2
@@ -40,7 +43,7 @@ done
 # perf lane is what gates).
 snapshot_dir="$build_dir/perf_baseline_prev"
 mkdir -p "$snapshot_dir"
-for f in BENCH_ml.json BENCH_pipeline.json BENCH_serve.json; do
+for f in BENCH_ml.json BENCH_pipeline.json BENCH_serve.json BENCH_drift.json; do
   [ -f "$root/$f" ] && cp "$root/$f" "$snapshot_dir/$f"
 done
 
@@ -53,11 +56,14 @@ echo "== perf-baseline: bench_perf_pipeline -> $root/BENCH_pipeline.json"
 echo "== perf-baseline: bench_serve -> $root/BENCH_serve.json"
 "$build_dir/bench/bench_serve" --json="$root/BENCH_serve.json"
 
+echo "== perf-baseline: bench_drift -> $root/BENCH_drift.json"
+"$build_dir/bench/bench_drift" --json="$root/BENCH_drift.json"
+
 if command -v python3 >/dev/null 2>&1; then
   echo "== perf-baseline: delta vs previously committed baselines"
   # BENCH_serve.json is loadgen's own latency-curve schema, not
   # google-benchmark JSON — perf_gate.py can't diff it, so no delta table.
-  for name in ml pipeline; do
+  for name in ml pipeline drift; do
     prev="$snapshot_dir/BENCH_$name.json"
     [ -f "$prev" ] || continue
     python3 "$root/scripts/perf_gate.py" "$prev" "$root/BENCH_$name.json" \

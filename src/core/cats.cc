@@ -76,6 +76,15 @@ Status Cats::TrainDetector(const std::vector<collect::CollectedItem>& items,
   return detector_->Train(items, labels);
 }
 
+Status Cats::WarmStartDetector(const std::vector<collect::CollectedItem>& items,
+                               const std::vector<int>& labels,
+                               size_t extra_rounds) {
+  if (!has_semantic_model()) {
+    return Status::FailedPrecondition("build the semantic model first");
+  }
+  return detector_->WarmStartTrain(items, labels, extra_rounds);
+}
+
 Result<DetectionReport> Cats::Detect(
     const std::vector<collect::CollectedItem>& items) const {
   if (!has_semantic_model()) {

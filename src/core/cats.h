@@ -54,6 +54,13 @@ class Cats {
   Status TrainDetector(const std::vector<collect::CollectedItem>& items,
                        const std::vector<int>& labels);
 
+  /// Warm-start continuation on a recent labeled window: appends
+  /// `extra_rounds` boosting rounds to the already-trained (or loaded)
+  /// Gbdt — the drift-recovery retrain (Detector::WarmStartTrain).
+  Status WarmStartDetector(const std::vector<collect::CollectedItem>& items,
+                           const std::vector<int>& labels,
+                           size_t extra_rounds);
+
   /// Runs detection on unlabeled collected items.
   Result<DetectionReport> Detect(
       const std::vector<collect::CollectedItem>& items) const;

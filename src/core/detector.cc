@@ -89,9 +89,10 @@ void Detector::SetClassifier(std::unique_ptr<ml::Classifier> classifier) {
   trained_ = false;
 }
 
-Status Detector::Train(const std::vector<collect::CollectedItem>& items,
-                       const std::vector<int>& labels) {
-  obs::ScopedTimer train_timer(DetectorMetrics::Get().train_latency);
+Status Detector::StageTrainingSet(
+    const std::vector<collect::CollectedItem>& items,
+    const std::vector<int>& labels, ml::Dataset* dataset,
+    std::array<double, kNumFeatures>* clean_sum, size_t* clean_rows) const {
   if (items.size() != labels.size()) {
     return Status::InvalidArgument("items/labels size mismatch");
   }
@@ -102,33 +103,74 @@ Status Detector::Train(const std::vector<collect::CollectedItem>& items,
   // from. On a curated training set (no poison, no missing fields) the
   // resulting dataset — and therefore the model — is identical to training
   // without validation.
-  ml::Dataset dataset(FeatureExtractor::FeatureNames());
   std::vector<float> row(kNumFeatures);
-  std::array<double, kNumFeatures> clean_sum{};
-  size_t clean_rows = 0;
+  clean_sum->fill(0.0);
+  *clean_rows = 0;
   for (size_t i = 0; i < items.size(); ++i) {
     RecordValidation v;
     if (options_.validate_records) v = validator_.Validate(items[i]);
     if (v.verdict == RecordVerdict::kPoison) continue;
     row.assign(features[i].begin(), features[i].end());
-    CATS_RETURN_NOT_OK(dataset.AddRow(row, labels[i]));
+    CATS_RETURN_NOT_OK(dataset->AddRow(row, labels[i]));
     if (v.verdict == RecordVerdict::kClean) {
-      for (size_t k = 0; k < kNumFeatures; ++k) clean_sum[k] += features[i][k];
-      ++clean_rows;
+      for (size_t k = 0; k < kNumFeatures; ++k) {
+        (*clean_sum)[k] += features[i][k];
+      }
+      ++*clean_rows;
     }
   }
-  if (dataset.num_rows() == 0) {
+  if (dataset->num_rows() == 0) {
     return Status::InvalidArgument(
         "no trainable records (every item was poison)");
   }
-  CATS_RETURN_NOT_OK(classifier_->Fit(dataset));
-  if (clean_rows > 0) {
-    for (size_t k = 0; k < kNumFeatures; ++k) {
-      imputed_features_[k] =
-          static_cast<float>(clean_sum[k] / static_cast<double>(clean_rows));
-    }
+  return Status::OK();
+}
+
+void Detector::RefreshImputation(
+    const std::array<double, kNumFeatures>& clean_sum, size_t clean_rows) {
+  if (clean_rows == 0) return;
+  for (size_t k = 0; k < kNumFeatures; ++k) {
+    imputed_features_[k] =
+        static_cast<float>(clean_sum[k] / static_cast<double>(clean_rows));
   }
+}
+
+Status Detector::Train(const std::vector<collect::CollectedItem>& items,
+                       const std::vector<int>& labels) {
+  obs::ScopedTimer train_timer(DetectorMetrics::Get().train_latency);
+  ml::Dataset dataset(FeatureExtractor::FeatureNames());
+  std::array<double, kNumFeatures> clean_sum{};
+  size_t clean_rows = 0;
+  CATS_RETURN_NOT_OK(
+      StageTrainingSet(items, labels, &dataset, &clean_sum, &clean_rows));
+  CATS_RETURN_NOT_OK(classifier_->Fit(dataset));
+  RefreshImputation(clean_sum, clean_rows);
   trained_ = true;
+  return Status::OK();
+}
+
+Status Detector::WarmStartTrain(
+    const std::vector<collect::CollectedItem>& items,
+    const std::vector<int>& labels, size_t extra_rounds) {
+  obs::ScopedTimer train_timer(DetectorMetrics::Get().train_latency);
+  if (!trained_) {
+    return Status::FailedPrecondition(
+        "train or load a model before warm-starting");
+  }
+  auto* gbdt = dynamic_cast<ml::Gbdt*>(classifier_.get());
+  if (gbdt == nullptr) {
+    return Status::FailedPrecondition(
+        "current classifier is not a Gbdt; cannot warm-start");
+  }
+  ml::Dataset dataset(FeatureExtractor::FeatureNames());
+  std::array<double, kNumFeatures> clean_sum{};
+  size_t clean_rows = 0;
+  CATS_RETURN_NOT_OK(
+      StageTrainingSet(items, labels, &dataset, &clean_sum, &clean_rows));
+  CATS_RETURN_NOT_OK(gbdt->WarmStart(dataset, extra_rounds));
+  // The imputation marginals follow the recent window — that's the
+  // distribution degraded records will be scored against from now on.
+  RefreshImputation(clean_sum, clean_rows);
   return Status::OK();
 }
 

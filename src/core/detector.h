@@ -1,6 +1,7 @@
 #ifndef CATS_CORE_DETECTOR_H_
 #define CATS_CORE_DETECTOR_H_
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -113,6 +114,15 @@ class Detector {
   Status Train(const std::vector<collect::CollectedItem>& items,
                const std::vector<int>& labels);
 
+  /// Warm-start continuation for drift recovery: appends `extra_rounds`
+  /// boosting rounds to the current Gbdt, fit on a *recent* labeled window
+  /// instead of the original training set (Gbdt::WarmStart). Uses the same
+  /// triage as Train (poison skipped, clean rows refresh the imputation
+  /// marginals to the new window's means). Requires a trained or loaded
+  /// Gbdt classifier.
+  Status WarmStartTrain(const std::vector<collect::CollectedItem>& items,
+                        const std::vector<int>& labels, size_t extra_rounds);
+
   /// Picks the detection threshold on a labeled validation set: the lowest
   /// score threshold whose validation precision reaches `target_precision`
   /// (maximizing recall at that precision — the deployed operating point a
@@ -186,6 +196,16 @@ class Detector {
   }
 
  private:
+  /// Shared triage + dataset assembly behind Train and WarmStartTrain:
+  /// extracts features, drops poison records into no-man's-land, fills
+  /// `dataset`, and accumulates clean-row feature sums for imputation.
+  Status StageTrainingSet(const std::vector<collect::CollectedItem>& items,
+                          const std::vector<int>& labels, ml::Dataset* dataset,
+                          std::array<double, kNumFeatures>* clean_sum,
+                          size_t* clean_rows) const;
+  void RefreshImputation(const std::array<double, kNumFeatures>& clean_sum,
+                         size_t clean_rows);
+
   DetectorOptions options_;
   FeatureExtractor extractor_;
   RuleFilter filter_;

@@ -1,0 +1,197 @@
+#include "drift/drift_detector.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ml/dataset.h"
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+
+namespace cats::drift {
+namespace {
+
+struct DriftMetrics {
+  obs::Gauge* psi;
+  obs::Gauge* page_hinkley;
+  obs::Gauge* status;
+  obs::Counter* observations;
+  obs::Counter* reference_resets;
+  obs::Counter* warnings;
+  obs::Counter* drifted;
+
+  static const DriftMetrics& Get() {
+    static const DriftMetrics* m = [] {
+      auto& reg = obs::MetricsRegistry::Global();
+      auto* out = new DriftMetrics{};
+      out->psi = reg.GetGauge(obs::kDriftPsi);
+      out->page_hinkley = reg.GetGauge(obs::kDriftPageHinkley);
+      out->status = reg.GetGauge(obs::kDriftStatus);
+      out->observations = reg.GetCounter(obs::kDriftObservationsTotal);
+      out->reference_resets = reg.GetCounter(obs::kDriftReferenceResetsTotal);
+      out->warnings = reg.GetCounter(obs::kDriftWarningsTotal);
+      out->drifted = reg.GetCounter(obs::kDriftDriftedTotal);
+      return out;
+    }();
+    return *m;
+  }
+};
+
+/// Floor for histogram fractions so PSI's log terms stay finite when a bin
+/// empties out on one side.
+constexpr double kPsiEpsilon = 1e-4;
+
+}  // namespace
+
+std::string_view DriftStatusName(DriftStatus status) {
+  switch (status) {
+    case DriftStatus::kStable:
+      return "stable";
+    case DriftStatus::kWarning:
+      return "warning";
+    case DriftStatus::kDrifted:
+      return "drifted";
+  }
+  return "unknown";
+}
+
+DriftDetector::DriftDetector(const DriftDetectorOptions& options)
+    : options_(options) {
+  options_.window_size = std::max<size_t>(options_.window_size, 8);
+  options_.min_observations =
+      std::clamp<size_t>(options_.min_observations, 8, options_.window_size);
+  options_.num_bins = std::clamp<size_t>(options_.num_bins, 2, 64);
+  window_bins_.assign(options_.window_size, 0);
+  counts_.assign(options_.num_bins, 0);
+}
+
+void DriftDetector::SetReference(const std::vector<double>& scores) {
+  std::lock_guard<std::mutex> lock(mu_);
+  has_reference_ = false;
+  window_pos_ = 0;
+  window_count_ = 0;
+  std::fill(counts_.begin(), counts_.end(), 0u);
+  ph_up_ = ph_up_min_ = ph_down_ = ph_down_min_ = 0.0;
+  psi_ = 0.0;
+  ph_stat_ = 0.0;
+  observations_ = 0;  // per-reference; the registry counter stays cumulative
+  status_.store(static_cast<int>(DriftStatus::kStable),
+                std::memory_order_release);
+  const auto& metrics = DriftMetrics::Get();
+  metrics.psi->Set(0.0);
+  metrics.page_hinkley->Set(0.0);
+  metrics.status->Set(0.0);
+  metrics.reference_resets->Increment();
+  if (scores.empty()) return;
+
+  // Quantile bin edges over the score column, learned with the same
+  // BinMapper the histogram GBDT trains on. One feature, scores as rows.
+  ml::Dataset ref(std::vector<std::string>{"score"});
+  for (double s : scores) {
+    (void)ref.AddRow({static_cast<float>(s)}, 0);
+  }
+  bin_mapper_ = ml::BinMapper::Build(ref, options_.num_bins);
+  size_t bins = bin_mapper_.num_bins(0);
+  ref_fraction_.assign(options_.num_bins, 0.0);
+  double mean = 0.0;
+  for (double s : scores) {
+    size_t b = bin_mapper_.BinOf(0, static_cast<float>(s));
+    ref_fraction_[std::min<size_t>(b, options_.num_bins - 1)] += 1.0;
+    mean += s;
+  }
+  for (double& f : ref_fraction_) {
+    f /= static_cast<double>(scores.size());
+  }
+  ref_mean_ = mean / static_cast<double>(scores.size());
+  // A degenerate reference (all scores identical -> one bin) still arms the
+  // Page-Hinkley test; PSI just sees a single full bin.
+  (void)bins;
+  has_reference_ = true;
+}
+
+bool DriftDetector::has_reference() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return has_reference_;
+}
+
+double DriftDetector::psi() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return psi_;
+}
+
+double DriftDetector::page_hinkley() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ph_stat_;
+}
+
+uint64_t DriftDetector::observations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return observations_;
+}
+
+void DriftDetector::Observe(double score) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!has_reference_) return;
+  ++observations_;
+  DriftMetrics::Get().observations->Increment();
+
+  uint8_t bin = static_cast<uint8_t>(std::min<size_t>(
+      bin_mapper_.BinOf(0, static_cast<float>(score)), options_.num_bins - 1));
+  if (window_count_ == options_.window_size) {
+    --counts_[window_bins_[window_pos_]];
+  } else {
+    ++window_count_;
+  }
+  window_bins_[window_pos_] = bin;
+  window_pos_ = (window_pos_ + 1) % options_.window_size;
+  ++counts_[bin];
+
+  // Two-sided Page-Hinkley on the deviation from the reference mean.
+  double dev = score - ref_mean_;
+  ph_up_ += dev - options_.ph_delta;
+  ph_up_min_ = std::min(ph_up_min_, ph_up_);
+  ph_down_ += -dev - options_.ph_delta;
+  ph_down_min_ = std::min(ph_down_min_, ph_down_);
+
+  RecomputeLocked();
+}
+
+void DriftDetector::ObserveBatch(const std::vector<double>& scores) {
+  for (double s : scores) Observe(s);
+}
+
+void DriftDetector::RecomputeLocked() {
+  if (window_count_ < options_.min_observations) return;
+
+  double psi = 0.0;
+  for (size_t b = 0; b < options_.num_bins; ++b) {
+    double p = std::max(
+        static_cast<double>(counts_[b]) / static_cast<double>(window_count_),
+        kPsiEpsilon);
+    double q = std::max(ref_fraction_[b], kPsiEpsilon);
+    psi += (p - q) * std::log(p / q);
+  }
+  psi_ = psi;
+  ph_stat_ = std::max(ph_up_ - ph_up_min_, ph_down_ - ph_down_min_);
+
+  DriftStatus status = DriftStatus::kStable;
+  if (psi_ >= options_.psi_drifted || ph_stat_ >= options_.ph_drifted) {
+    status = DriftStatus::kDrifted;
+  } else if (psi_ >= options_.psi_warning || ph_stat_ >= options_.ph_warning) {
+    status = DriftStatus::kWarning;
+  }
+
+  const auto& metrics = DriftMetrics::Get();
+  metrics.psi->Set(psi_);
+  metrics.page_hinkley->Set(ph_stat_);
+  metrics.status->Set(static_cast<double>(status));
+  DriftStatus prev = static_cast<DriftStatus>(
+      status_.exchange(static_cast<int>(status), std::memory_order_acq_rel));
+  if (status > prev) {
+    if (prev < DriftStatus::kWarning && status >= DriftStatus::kWarning) {
+      metrics.warnings->Increment();
+    }
+    if (status == DriftStatus::kDrifted) metrics.drifted->Increment();
+  }
+}
+
+}  // namespace cats::drift

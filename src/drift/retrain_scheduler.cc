@@ -1,0 +1,109 @@
+#include "drift/retrain_scheduler.h"
+
+#include <utility>
+
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+
+namespace cats::drift {
+namespace {
+
+struct RetrainMetrics {
+  obs::Counter* attempts;
+  obs::Counter* successes;
+  obs::Counter* rejections;
+  obs::Gauge* window_examples;
+
+  static const RetrainMetrics& Get() {
+    static const RetrainMetrics* m = [] {
+      auto& reg = obs::MetricsRegistry::Global();
+      auto* out = new RetrainMetrics{};
+      out->attempts = reg.GetCounter(obs::kDriftRetrainAttemptsTotal);
+      out->successes = reg.GetCounter(obs::kDriftRetrainSuccessTotal);
+      out->rejections = reg.GetCounter(obs::kDriftRetrainRejectedTotal);
+      out->window_examples = reg.GetGauge(obs::kDriftRetrainWindowExamples);
+      return out;
+    }();
+    return *m;
+  }
+};
+
+}  // namespace
+
+RetrainScheduler::RetrainScheduler(const RetrainSchedulerOptions& options,
+                                   fault::VirtualClock* clock,
+                                   RetrainFn retrain)
+    : options_(options), clock_(clock), retrain_(std::move(retrain)) {}
+
+void RetrainScheduler::AddLabeled(collect::CollectedItem item, int label) {
+  std::lock_guard<std::mutex> lock(mu_);
+  items_.push_back(std::move(item));
+  labels_.push_back(label);
+  while (items_.size() > options_.window_capacity) {
+    items_.pop_front();
+    labels_.pop_front();
+  }
+}
+
+RetrainScheduler::TickOutcome RetrainScheduler::Tick(DriftStatus status) {
+  TickOutcome outcome;
+  DriftStatus trigger = options_.retrain_on_warning ? DriftStatus::kWarning
+                                                    : DriftStatus::kDrifted;
+  if (status < trigger) return outcome;
+
+  std::vector<collect::CollectedItem> items;
+  std::vector<int> labels;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (items_.size() < options_.min_examples) return outcome;
+    int64_t now = clock_->NowMicros();
+    if (has_attempted_ &&
+        now - last_attempt_micros_ < options_.cooldown_micros) {
+      return outcome;
+    }
+    has_attempted_ = true;
+    last_attempt_micros_ = now;
+    ++attempts_;
+    items.assign(items_.begin(), items_.end());
+    labels.assign(labels_.begin(), labels_.end());
+  }
+  const auto& metrics = RetrainMetrics::Get();
+  metrics.attempts->Increment();
+  metrics.window_examples->Set(static_cast<double>(items.size()));
+
+  outcome.attempted = true;
+  outcome.status = retrain_(items, labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (outcome.status.ok()) {
+    ++successes_;
+    metrics.successes->Increment();
+  } else {
+    // The candidate was rejected (fit failure or probe regression in the
+    // swap path); the previous model keeps serving.
+    ++rejections_;
+    metrics.rejections->Increment();
+  }
+  return outcome;
+}
+
+size_t RetrainScheduler::window_size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return items_.size();
+}
+
+uint64_t RetrainScheduler::attempts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return attempts_;
+}
+
+uint64_t RetrainScheduler::successes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return successes_;
+}
+
+uint64_t RetrainScheduler::rejections() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rejections_;
+}
+
+}  // namespace cats::drift

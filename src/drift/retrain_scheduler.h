@@ -1,0 +1,93 @@
+#ifndef CATS_DRIFT_RETRAIN_SCHEDULER_H_
+#define CATS_DRIFT_RETRAIN_SCHEDULER_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "collect/store.h"
+#include "drift/drift_detector.h"
+#include "fault/clock.h"
+#include "util/result.h"
+
+namespace cats::drift {
+
+struct RetrainSchedulerOptions {
+  /// Most-recent labeled examples retained (FIFO). Warm-start retraining
+  /// fits on this window, so it tracks the *current* fraud mix instead of
+  /// re-digesting the whole history.
+  size_t window_capacity = 4096;
+  /// Don't bother retraining on fewer examples than this.
+  size_t min_examples = 64;
+  /// Minimum spacing between retrain attempts — a drifted detector keeps
+  /// reporting kDrifted until the model is actually swapped, and one
+  /// retrain per tick would thrash.
+  int64_t cooldown_micros = 60 * 1000 * 1000;
+  /// Fire on kWarning too, not just kDrifted.
+  bool retrain_on_warning = false;
+};
+
+/// Drives the self-healing half of the drift loop: accumulates a sliding
+/// window of labeled (item, label) examples, and when the drift detector
+/// reports trouble, fires the injected retrain callback (warm-start fit +
+/// candidate save + ModelGateway swap, wired up by the caller). A rejected
+/// candidate (callback error) leaves the old model serving and raises
+/// `drift.retrain.rejected_total`; the cooldown still applies so a
+/// persistently failing retrain can't spin.
+///
+/// Time comes from an injected fault::VirtualClock, so scheduler tests run
+/// on FakeClock with zero sleeps. Thread-safe.
+class RetrainScheduler {
+ public:
+  /// The retrain callback: fit/validate/deploy on the labeled window.
+  /// Returning an error rejects the candidate.
+  using RetrainFn = std::function<Status(
+      const std::vector<collect::CollectedItem>& items,
+      const std::vector<int>& labels)>;
+
+  /// `clock` is borrowed and must outlive the scheduler.
+  RetrainScheduler(const RetrainSchedulerOptions& options,
+                   fault::VirtualClock* clock, RetrainFn retrain);
+
+  /// Adds one labeled example to the window (evicting the oldest past
+  /// capacity). In production labels arrive late (chargebacks, manual
+  /// review); here the caller decides what ground truth to feed.
+  void AddLabeled(collect::CollectedItem item, int label);
+
+  struct TickOutcome {
+    bool attempted = false;
+    Status status;  // meaningful when attempted
+  };
+
+  /// Reacts to the detector's current verdict: possibly fires one retrain.
+  /// Returns what happened so callers (and tests) don't have to scrape
+  /// metrics.
+  TickOutcome Tick(DriftStatus status);
+
+  size_t window_size() const;
+  uint64_t attempts() const;
+  uint64_t successes() const;
+  uint64_t rejections() const;
+
+  const RetrainSchedulerOptions& options() const { return options_; }
+
+ private:
+  RetrainSchedulerOptions options_;
+  fault::VirtualClock* clock_;  // not owned
+  RetrainFn retrain_;
+
+  mutable std::mutex mu_;
+  std::deque<collect::CollectedItem> items_;
+  std::deque<int> labels_;
+  bool has_attempted_ = false;
+  int64_t last_attempt_micros_ = 0;
+  uint64_t attempts_ = 0;
+  uint64_t successes_ = 0;
+  uint64_t rejections_ = 0;
+};
+
+}  // namespace cats::drift
+
+#endif  // CATS_DRIFT_RETRAIN_SCHEDULER_H_

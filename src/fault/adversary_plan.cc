@@ -1,0 +1,93 @@
+#include "fault/adversary_plan.h"
+
+#include <algorithm>
+
+#include "util/random.h"
+
+namespace cats::fault {
+namespace {
+
+/// splitmix64 finalizer: spreads (seed, id) into an Rng seed so consecutive
+/// shop/user ids draw independent decisions.
+uint64_t MixSeed(uint64_t seed, uint64_t id) {
+  uint64_t z = seed ^ (id + 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+// Distinct Rng streams per decision type (same discipline as
+// data_fault_plan.cc's 0xDA7A* family) so the campaign-spread draw cannot
+// perturb the account-aging draw.
+constexpr uint64_t kCampaignStream = 0xADB001;
+constexpr uint64_t kAgingStream = 0xADB002;
+constexpr uint64_t kAgedValueStream = 0xADB003;
+
+}  // namespace
+
+AdversaryProfile AdversaryProfile::None() { return AdversaryProfile{}; }
+
+AdversaryProfile AdversaryProfile::Mild() {
+  AdversaryProfile p;
+  p.template_mutation_boost = 0.10;
+  p.filler_words_mean = 6.0;
+  p.positive_damp = 0.15;
+  p.account_aging_prob = 0.20;
+  return p;
+}
+
+AdversaryProfile AdversaryProfile::Hostile() {
+  AdversaryProfile p;
+  p.template_mutation_boost = 0.50;
+  p.homograph_rotation_prob = 0.95;
+  p.filler_words_mean = 0.0;  // padding backfires — see the header doc
+  p.positive_damp = 0.80;
+  p.duplicate_damp = 0.90;
+  p.account_aging_prob = 0.80;
+  p.ramp_days = 60;
+  return p;
+}
+
+Result<AdversaryProfile> AdversaryProfile::FromName(std::string_view name) {
+  if (name == "none") return None();
+  if (name == "mild") return Mild();
+  if (name == "hostile") return Hostile();
+  return Status::InvalidArgument("unknown adversary profile: " +
+                                 std::string(name));
+}
+
+double AdversaryPlan::StrengthAtDay(uint32_t day) const {
+  if (profile_.ramp_days == 0) return 1.0;
+  return std::min(1.0, static_cast<double>(day) /
+                           static_cast<double>(profile_.ramp_days));
+}
+
+CampaignAdaptation AdversaryPlan::AdaptCampaign(uint64_t shop_id,
+                                                uint32_t start_day) const {
+  CampaignAdaptation adapt;
+  if (!active()) return adapt;
+  Rng rng(MixSeed(seed_, shop_id), kCampaignStream);
+  // Per-shop competence spread: +/-20% around the ramp.
+  double strength = StrengthAtDay(start_day) * rng.UniformDouble(0.8, 1.2);
+  strength = std::clamp(strength, 0.0, 1.0);
+  adapt.extra_jitter = profile_.template_mutation_boost * strength;
+  adapt.homograph_to_neutral = profile_.homograph_rotation_prob * strength;
+  adapt.filler_words_mean = profile_.filler_words_mean * strength;
+  adapt.positive_scale = 1.0 - profile_.positive_damp * strength;
+  adapt.duplicate_scale = 1.0 - profile_.duplicate_damp * strength;
+  return adapt;
+}
+
+bool AdversaryPlan::ShouldAgeAccount(uint64_t user_id) const {
+  if (profile_.account_aging_prob <= 0.0) return false;
+  Rng rng(MixSeed(seed_, user_id), kAgingStream);
+  return rng.Bernoulli(profile_.account_aging_prob);
+}
+
+double AdversaryPlan::AgedExpValue(uint64_t user_id, double log_mu,
+                                   double log_sigma) const {
+  Rng rng(MixSeed(seed_, user_id), kAgedValueStream);
+  return rng.LogNormal(log_mu, log_sigma);
+}
+
+}  // namespace cats::fault

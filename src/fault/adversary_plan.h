@@ -1,0 +1,123 @@
+#ifndef CATS_FAULT_ADVERSARY_PLAN_H_
+#define CATS_FAULT_ADVERSARY_PLAN_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/result.h"
+
+namespace cats::fault {
+
+/// What one adapted campaign does differently from the baseline spam
+/// playbook. All fields are *final* per-campaign knobs (already scaled by
+/// the adaptation ramp); the platform layer applies them when instantiating
+/// spam templates. The zero/one defaults are a strict no-op: generators must
+/// draw exactly the same random sequence for a default-constructed
+/// CampaignAdaptation as for the pre-adversary code path, so `none` runs
+/// stay byte-identical.
+struct CampaignAdaptation {
+  /// Extra per-token template jitter (added to SpamCommentOptions::jitter),
+  /// i.e. template mutation: adapted campaigns churn their copy so
+  /// duplicate-text features decay.
+  double extra_jitter = 0.0;
+  /// Probability a template's homograph slot is rotated to a neutral alias
+  /// instead — burning the lexicon's homograph signal.
+  double homograph_to_neutral = 0.0;
+  /// Mean count of neutral filler words padded onto each spam comment
+  /// (Poisson), diluting positive-word density and entropy features.
+  double filler_words_mean = 0.0;
+  /// Multiplier on the positive-word probability (< 1 damps the sentiment
+  /// signal the detector keys on). Multiplicative so 1.0 is draw-identical.
+  double positive_scale = 1.0;
+  /// Multiplier on the duplication-burst probability.
+  double duplicate_scale = 1.0;
+
+  bool active() const {
+    return extra_jitter > 0.0 || homograph_to_neutral > 0.0 ||
+           filler_words_mean > 0.0 || positive_scale != 1.0 ||
+           duplicate_scale != 1.0;
+  }
+};
+
+/// Full-strength knobs of an adaptive adversary. The plan below ramps these
+/// in over simulated time: campaigns that start late in the window are more
+/// adapted than early ones, which is what makes a model trained on the early
+/// window *drift* rather than just underperform uniformly.
+struct AdversaryProfile {
+  /// CampaignAdaptation values at strength 1.0 (see that struct).
+  double template_mutation_boost = 0.0;
+  double homograph_rotation_prob = 0.0;
+  double filler_words_mean = 0.0;
+  /// Fraction *removed* from the positive-word probability at full strength
+  /// (positive_scale = 1 - positive_damp * strength).
+  double positive_damp = 0.0;
+  /// Fraction removed from the duplication-burst probability.
+  double duplicate_damp = 0.0;
+  /// Probability a hired account is "aged": its userExpValue re-drawn from
+  /// the benign distribution so it slips the rule filter's cheap-account
+  /// signal. Decided once per user, not per campaign.
+  double account_aging_prob = 0.0;
+  /// Days until the adaptation ramp reaches full strength.
+  uint32_t ramp_days = 90;
+
+  bool active() const {
+    return template_mutation_boost > 0.0 || homograph_rotation_prob > 0.0 ||
+           filler_words_mean > 0.0 || positive_damp > 0.0 ||
+           duplicate_damp > 0.0 || account_aging_prob > 0.0;
+  }
+
+  /// Baseline static fraud mix (the default everywhere).
+  static AdversaryProfile None();
+  /// A slow, partial adaptation: some template churn and filler padding.
+  static AdversaryProfile Mild();
+  /// The full playbook: heavy template mutation, near-total homograph
+  /// rotation, strongly damped sentiment/duplication and aged sockpuppets.
+  /// Deliberately no filler padding — padded spam drifts *away* from benign
+  /// length/entropy statistics and gets easier to catch, so a competent
+  /// adversary drops it (the mild profile keeps it as a half-measure).
+  static AdversaryProfile Hostile();
+  /// "none" | "mild" | "hostile" (the cats_cli --adversary-profile values).
+  static Result<AdversaryProfile> FromName(std::string_view name);
+};
+
+/// A seeded source of per-campaign and per-account adversary decisions, the
+/// model-plane sibling of FaultPlan (transport) and DataFaultPlan (records).
+/// Like DataFaultPlan, every decision is a pure function of (profile, seed,
+/// id) — no sequence state — so campaigns replanned under a different shop
+/// iteration order adapt identically, and an adversarial run is
+/// bit-reproducible from (config seed, profile name) alone.
+class AdversaryPlan {
+ public:
+  AdversaryPlan(const AdversaryProfile& profile, uint64_t seed)
+      : profile_(profile), seed_(seed) {}
+
+  bool active() const { return profile_.active(); }
+
+  /// Adaptation strength in [0, 1] at simulated day `day`: a linear ramp
+  /// reaching 1 at profile().ramp_days.
+  double StrengthAtDay(uint32_t day) const;
+
+  /// Concrete knobs for the campaign of `shop_id` starting on `start_day`.
+  /// Strength follows the ramp with a small per-shop spread (crews differ
+  /// in competence).
+  CampaignAdaptation AdaptCampaign(uint64_t shop_id, uint32_t start_day) const;
+
+  /// Whether the hired account `user_id` has been aged to look established.
+  bool ShouldAgeAccount(uint64_t user_id) const;
+
+  /// The aged account's replacement userExpValue ~ exp(Normal(mu, sigma)),
+  /// i.e. a draw from the benign distribution; the caller clips to the
+  /// platform's legal range.
+  double AgedExpValue(uint64_t user_id, double log_mu, double log_sigma) const;
+
+  const AdversaryProfile& profile() const { return profile_; }
+
+ private:
+  AdversaryProfile profile_;
+  uint64_t seed_;
+};
+
+}  // namespace cats::fault
+
+#endif  // CATS_FAULT_ADVERSARY_PLAN_H_

@@ -73,7 +73,39 @@ Status Gbdt::Fit(const Dataset& train) {
   feature_names_ = train.feature_names();
   split_counts_.assign(d, 0);
   base_margin_ = std::log(options_.base_score / (1.0 - options_.base_score));
+  return BoostRounds(train, options_.num_rounds, /*warm=*/false);
+}
 
+Status Gbdt::WarmStart(const Dataset& train, size_t extra_rounds) {
+  if (trees_.empty()) {
+    return Status::FailedPrecondition(
+        "no ensemble to warm-start; Fit or Load a model first");
+  }
+  if (extra_rounds == 0) {
+    return Status::InvalidArgument("warm-start needs extra_rounds > 0");
+  }
+  if (train.num_rows() == 0) {
+    return Status::InvalidArgument("cannot warm-start gbdt on empty dataset");
+  }
+  if (train.num_features() != feature_names_.size()) {
+    return Status::InvalidArgument(
+        "warm-start dataset has " + std::to_string(train.num_features()) +
+        " features, model expects " + std::to_string(feature_names_.size()));
+  }
+  // A v1 model file restores names but not split counts; make sure the
+  // accumulator exists before the new trees add to it.
+  if (split_counts_.size() != train.num_features()) {
+    split_counts_.assign(train.num_features(), 0);
+  }
+  obs::MetricsRegistry::Global()
+      .GetCounter(obs::kGbdtWarmStartsTotal)
+      ->Increment();
+  return BoostRounds(train, extra_rounds, /*warm=*/true);
+}
+
+Status Gbdt::BoostRounds(const Dataset& train, size_t rounds, bool warm) {
+  size_t n = train.num_rows();
+  size_t d = train.num_features();
   obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
   obs::Counter* rounds_metric = registry.GetCounter(obs::kGbdtRoundsTotal);
   obs::LatencyHistogram* round_latency =
@@ -117,9 +149,17 @@ Status Gbdt::Fit(const Dataset& train) {
   }
 
   std::vector<double> margin(n, base_margin_);
+  if (warm) {
+    // Resume from the loaded ensemble's predictions: the new trees fit the
+    // old model's residuals on the fresh window.
+    for (size_t i = 0; i < n; ++i) margin[i] = PredictMargin(train.Row(i));
+  }
   std::vector<double> grad(n), hess(n);
   std::vector<char> in_sample(n, 1);
-  Rng rng(options_.seed);
+  // Offsetting by the ensemble size gives each warm-start continuation a
+  // fresh subsample stream; cold fits add 0, keeping models bit-identical
+  // to the pre-warm-start implementation.
+  Rng rng(options_.seed + trees_.size());
 
   std::vector<size_t> all_features(d);
   std::iota(all_features.begin(), all_features.end(), 0);
@@ -133,7 +173,7 @@ Status Gbdt::Fit(const Dataset& train) {
     hess[i] = std::max(p * (1.0 - p), 1e-16);
   }
 
-  for (size_t round = 0; round < options_.num_rounds; ++round) {
+  for (size_t round = 0; round < rounds; ++round) {
     obs::ScopedTimer round_timer(round_latency);
     rounds_metric->Increment();
     // Row subsampling.

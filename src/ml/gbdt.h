@@ -76,6 +76,19 @@ class Gbdt : public Classifier {
   Gbdt() : Gbdt(GbdtOptions{}) {}
 
   Status Fit(const Dataset& train) override;
+
+  /// Continues boosting from the current ensemble: `extra_rounds` new trees
+  /// fit against the residuals of the existing model on `train` (typically
+  /// a recent window, not the original training set). This is the
+  /// drift-recovery path — a warm start adapts in a fraction of a full
+  /// refit's rounds because the old trees already carry the stable
+  /// structure. The dataset's feature count must match the ensemble;
+  /// quantile bins are re-learned from `train` (safe: trees store plain
+  /// float thresholds, so old trees are unaffected). Split counts keep
+  /// accumulating and the loss curve is appended to. Requires a trained or
+  /// loaded model.
+  Status WarmStart(const Dataset& train, size_t extra_rounds);
+
   double PredictProba(const float* row) const override;
   std::string name() const override { return "Xgboost"; }
   std::unique_ptr<Classifier> CloneUntrained() const override {
@@ -151,6 +164,12 @@ class Gbdt : public Classifier {
                      const std::vector<size_t>& features, ThreadPool* pool);
 
   static double TreePredict(const Tree& tree, const float* row);
+
+  /// The shared boosting loop behind Fit and WarmStart: preprocesses
+  /// `train` for the configured split method, seeds per-row margins (from
+  /// base_margin_ cold, from the existing ensemble warm) and appends
+  /// `rounds` trees.
+  Status BoostRounds(const Dataset& train, size_t rounds, bool warm);
 
   /// options_.num_threads with 0 resolved to hardware concurrency.
   size_t ResolvedThreads() const;

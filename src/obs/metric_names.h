@@ -240,6 +240,12 @@ inline constexpr std::string_view kServeTcpFramesReadTotal =
     "serve.tcp.frames_read_total";
 inline constexpr std::string_view kServeTcpFrameErrorsTotal =
     "serve.tcp.frame_errors_total";
+// Slow-client guard: connections closed for blowing the per-connection
+// recv/send deadline, and connections refused at the max-connection cap.
+inline constexpr std::string_view kServeTcpTimeoutsTotal =
+    "serve.tcp.timeouts_total";
+inline constexpr std::string_view kServeTcpConnRejectedTotal =
+    "serve.tcp.conn_rejected_total";
 
 // --- ml::Gbdt (the detector's boosted-tree classifier) ---
 inline constexpr std::string_view kGbdtRoundsTotal = "gbdt.rounds_total";
@@ -259,6 +265,47 @@ inline constexpr std::string_view kGbdtPredictBatchRowsTotal =
     "gbdt.predict.batch.rows_total";
 inline constexpr std::string_view kGbdtPredictBatchLatencyMicros =
     "gbdt.predict.batch.latency_micros";
+// Warm-start continuation (Gbdt::WarmStart): boosting resumed on top of a
+// loaded ensemble instead of a from-scratch Fit.
+inline constexpr std::string_view kGbdtWarmStartsTotal =
+    "gbdt.warm_starts_total";
+
+// --- platform adaptive adversary (fault::AdversaryPlan) ---
+// Emitted by the simulator while generating an adversarial marketplace, so
+// chaos/arms-race runs can report how much adaptation was actually injected.
+inline constexpr std::string_view kAdversaryCampaignsAdaptedTotal =
+    "adversary.campaigns_adapted_total";
+inline constexpr std::string_view kAdversaryAccountsAgedTotal =
+    "adversary.accounts_aged_total";
+inline constexpr std::string_view kAdversaryLastStrength =
+    "adversary.last_strength";
+
+// --- drift::DriftDetector / RetrainScheduler (model-plane robustness) ---
+// Score-distribution shift over a sliding window vs. the deploy-time
+// reference: PSI over binned score histograms plus a two-sided Page-Hinkley
+// mean-shift statistic. `drift.status` encodes the typed DriftStatus
+// (0 = stable, 1 = warning, 2 = drifted).
+inline constexpr std::string_view kDriftPsi = "drift.psi";
+inline constexpr std::string_view kDriftPageHinkley = "drift.page_hinkley";
+inline constexpr std::string_view kDriftStatus = "drift.status";
+inline constexpr std::string_view kDriftObservationsTotal =
+    "drift.observations_total";
+inline constexpr std::string_view kDriftReferenceResetsTotal =
+    "drift.reference_resets_total";
+inline constexpr std::string_view kDriftWarningsTotal =
+    "drift.warnings_total";
+inline constexpr std::string_view kDriftDriftedTotal = "drift.drifted_total";
+// Self-healing retrain loop: attempts fired by the scheduler, candidates
+// that passed the probe and were swapped in, candidates rejected (the old
+// model keeps serving), and the labeled-window size at the last attempt.
+inline constexpr std::string_view kDriftRetrainAttemptsTotal =
+    "drift.retrain.attempts_total";
+inline constexpr std::string_view kDriftRetrainSuccessTotal =
+    "drift.retrain.success_total";
+inline constexpr std::string_view kDriftRetrainRejectedTotal =
+    "drift.retrain.rejected_total";
+inline constexpr std::string_view kDriftRetrainWindowExamples =
+    "drift.retrain.window_examples";
 
 }  // namespace cats::obs
 

@@ -5,14 +5,15 @@
 
 namespace cats::platform {
 
-CampaignPlan CampaignEngine::Plan(uint64_t shop_id,
-                                  std::vector<uint64_t> item_ids,
-                                  uint32_t start_day, Rng* rng) const {
+CampaignPlan CampaignEngine::Plan(
+    uint64_t shop_id, std::vector<uint64_t> item_ids, uint32_t start_day,
+    Rng* rng, const fault::CampaignAdaptation& adaptation) const {
   CampaignPlan plan;
   plan.shop_id = shop_id;
   plan.item_ids = std::move(item_ids);
   plan.start_day = start_day;
   plan.stealth = rng->Bernoulli(options_.stealth_campaign_prob);
+  plan.adaptation = adaptation;
 
   // Recruit a crew from the shared workforce, weighted by activity so the
   // most active accounts join many campaigns.
@@ -31,7 +32,7 @@ CampaignPlan CampaignEngine::Plan(uint64_t shop_id,
   plan.templates.reserve(num_templates);
   for (size_t t = 0; t < num_templates; ++t) {
     plan.templates.push_back(
-        generator_->GenerateSpamTemplate(rng, plan.stealth));
+        generator_->GenerateSpamTemplate(rng, plan.stealth, plan.adaptation));
   }
   return plan;
 }
@@ -71,7 +72,8 @@ std::vector<Comment> CampaignEngine::EmitSpamComments(const CampaignPlan& plan,
       c.user_id = user;
       const auto& tmpl = plan.templates[rng->UniformU32(
           static_cast<uint32_t>(plan.templates.size()))];
-      c.content = generator_->GenerateSpamFromTemplate(tmpl, rng, plan.stealth);
+      c.content = generator_->GenerateSpamFromTemplate(tmpl, rng, plan.stealth,
+                                                       plan.adaptation);
       c.client = SampleClient(rng);
       c.from_campaign = true;
       out.push_back(std::move(c));

@@ -43,6 +43,9 @@ struct CampaignPlan {
   std::vector<std::vector<uint32_t>> templates;
   uint32_t start_day = 0;
   bool stealth = false;
+  /// Adversarial knobs (default-inactive: baseline behavior, identical
+  /// random sequence). Set by AdversaryPlan::AdaptCampaign for adapted runs.
+  fault::CampaignAdaptation adaptation;
 };
 
 /// Plans campaigns and emits their fraudulent orders/comments.
@@ -53,9 +56,16 @@ class CampaignEngine {
                  const Population* population)
       : options_(options), generator_(generator), population_(population) {}
 
-  /// Assembles a campaign for `shop_id` targeting `item_ids`.
+  /// Assembles a campaign for `shop_id` targeting `item_ids`. `adaptation`
+  /// carries the adversary's per-campaign knobs (default: baseline fraud).
   CampaignPlan Plan(uint64_t shop_id, std::vector<uint64_t> item_ids,
-                    uint32_t start_day, Rng* rng) const;
+                    uint32_t start_day, Rng* rng,
+                    const fault::CampaignAdaptation& adaptation) const;
+  CampaignPlan Plan(uint64_t shop_id, std::vector<uint64_t> item_ids,
+                    uint32_t start_day, Rng* rng) const {
+    return Plan(shop_id, std::move(item_ids), start_day, rng,
+                fault::CampaignAdaptation{});
+  }
 
   /// Emits the spam comments for one target item of the plan. Comment ids
   /// and dates are assigned by the caller (the marketplace owns the id

@@ -83,11 +83,12 @@ std::string CommentGenerator::GenerateBenign(double quality, Rng* rng) const {
 }
 
 std::vector<uint32_t> CommentGenerator::GenerateSpamTemplate(
-    Rng* rng, bool stealth) const {
+    Rng* rng, bool stealth, const fault::CampaignAdaptation& adapt) const {
   double mean = stealth ? spam_.stealth_mean_length_words
                         : spam_.mean_length_words;
   double positive =
-      stealth ? spam_.stealth_positive_prob : spam_.positive_prob;
+      (stealth ? spam_.stealth_positive_prob : spam_.positive_prob) *
+      adapt.positive_scale;
   double p = 1.0 / mean;
   size_t length = static_cast<size_t>(rng->Geometric(p));
   size_t min_len = stealth ? 4 : spam_.min_length_words;
@@ -101,7 +102,15 @@ std::vector<uint32_t> CommentGenerator::GenerateSpamTemplate(
         (prev_positive && rng->Bernoulli(spam_.polarity_chain_prob));
     if (emit_positive) {
       if (rng->Bernoulli(spam_.homograph_within_positive)) {
-        ids.push_back(language_->SampleHomograph(rng));
+        // Adapted campaigns rotate burned homograph aliases to neutral
+        // words. The extra draw is gated on the knob so inactive
+        // adaptations stay byte-identical to the baseline sequence.
+        if (adapt.homograph_to_neutral > 0.0 &&
+            rng->Bernoulli(adapt.homograph_to_neutral)) {
+          ids.push_back(language_->SampleNeutral(rng));
+        } else {
+          ids.push_back(language_->SampleHomograph(rng));
+        }
       } else {
         ids.push_back(language_->SamplePositive(rng));
       }
@@ -114,17 +123,21 @@ std::vector<uint32_t> CommentGenerator::GenerateSpamTemplate(
 }
 
 std::string CommentGenerator::GenerateSpamFromTemplate(
-    const std::vector<uint32_t>& tmpl, Rng* rng, bool stealth) const {
+    const std::vector<uint32_t>& tmpl, Rng* rng, bool stealth,
+    const fault::CampaignAdaptation& adapt) const {
   double positive =
-      stealth ? spam_.stealth_positive_prob : spam_.positive_prob;
-  double duplicate = stealth ? spam_.stealth_duplicate_burst_prob
-                             : spam_.duplicate_burst_prob;
+      (stealth ? spam_.stealth_positive_prob : spam_.positive_prob) *
+      adapt.positive_scale;
+  double duplicate = (stealth ? spam_.stealth_duplicate_burst_prob
+                              : spam_.duplicate_burst_prob) *
+                     adapt.duplicate_scale;
   double punctuation =
       stealth ? spam_.stealth_punctuation_prob : spam_.punctuation_prob;
+  double jitter = spam_.jitter_prob + adapt.extra_jitter;
   std::vector<uint32_t> ids;
   ids.reserve(tmpl.size() + 8);
   for (uint32_t id : tmpl) {
-    if (rng->Bernoulli(spam_.jitter_prob)) {
+    if (rng->Bernoulli(jitter)) {
       if (rng->Bernoulli(0.5)) continue;  // drop
       // Replace with a fresh positive or neutral word.
       id = rng->Bernoulli(positive) ? language_->SamplePositive(rng)
@@ -138,6 +151,14 @@ std::string CommentGenerator::GenerateSpamFromTemplate(
     }
   }
   if (ids.empty()) ids.push_back(language_->SamplePositive(rng));
+  // Neutral filler padding: adapted spam buries its pitch in mundane text
+  // to dilute the positive-density and entropy features.
+  if (adapt.filler_words_mean > 0.0) {
+    int64_t filler = rng->Poisson(adapt.filler_words_mean);
+    for (int64_t k = 0; k < filler; ++k) {
+      ids.push_back(language_->SampleNeutral(rng));
+    }
+  }
   return Render(ids, punctuation, rng);
 }
 

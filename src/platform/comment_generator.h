@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/adversary_plan.h"
 #include "platform/language_model.h"
 #include "util/random.h"
 
@@ -81,16 +82,30 @@ class CommentGenerator {
   std::string GenerateBenign(double quality, Rng* rng) const;
 
   /// A promotion template: the token-id skeleton shared by one campaign's
-  /// hired comments. Stealth templates imitate organic writing.
-  std::vector<uint32_t> GenerateSpamTemplate(Rng* rng, bool stealth) const;
+  /// hired comments. Stealth templates imitate organic writing; an active
+  /// `adapt` (adversarial campaigns) damps the positive-word density and
+  /// rotates homograph slots to neutral aliases. A default-constructed
+  /// adaptation draws the exact same random sequence as the plain overload.
+  std::vector<uint32_t> GenerateSpamTemplate(
+      Rng* rng, bool stealth, const fault::CampaignAdaptation& adapt) const;
+  std::vector<uint32_t> GenerateSpamTemplate(Rng* rng, bool stealth) const {
+    return GenerateSpamTemplate(rng, stealth, fault::CampaignAdaptation{});
+  }
   std::vector<uint32_t> GenerateSpamTemplate(Rng* rng) const {
     return GenerateSpamTemplate(rng, /*stealth=*/false);
   }
 
   /// Instantiates a template with jitter, duplication bursts and
-  /// punctuation into final comment text.
+  /// punctuation into final comment text. An active `adapt` mutates the
+  /// template harder, damps duplication bursts and pads neutral filler.
+  std::string GenerateSpamFromTemplate(
+      const std::vector<uint32_t>& tmpl, Rng* rng, bool stealth,
+      const fault::CampaignAdaptation& adapt) const;
   std::string GenerateSpamFromTemplate(const std::vector<uint32_t>& tmpl,
-                                       Rng* rng, bool stealth) const;
+                                       Rng* rng, bool stealth) const {
+    return GenerateSpamFromTemplate(tmpl, rng, stealth,
+                                    fault::CampaignAdaptation{});
+  }
   std::string GenerateSpamFromTemplate(const std::vector<uint32_t>& tmpl,
                                        Rng* rng) const {
     return GenerateSpamFromTemplate(tmpl, rng, /*stealth=*/false);

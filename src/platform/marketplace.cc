@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
 #include "util/string_util.h"
 
 namespace cats::platform {
@@ -10,6 +12,25 @@ namespace {
 
 /// Days per month for the simulated window starting 2017-09-01.
 constexpr uint32_t kWindowDays = 120;
+
+struct AdversaryMetrics {
+  obs::Counter* campaigns_adapted;
+  obs::Counter* accounts_aged;
+  obs::Gauge* last_strength;
+
+  static const AdversaryMetrics& Get() {
+    static const AdversaryMetrics* m = [] {
+      auto& reg = obs::MetricsRegistry::Global();
+      auto* out = new AdversaryMetrics{};
+      out->campaigns_adapted =
+          reg.GetCounter(obs::kAdversaryCampaignsAdaptedTotal);
+      out->accounts_aged = reg.GetCounter(obs::kAdversaryAccountsAgedTotal);
+      out->last_strength = reg.GetGauge(obs::kAdversaryLastStrength);
+      return out;
+    }();
+    return *m;
+  }
+};
 
 }  // namespace
 
@@ -27,6 +48,7 @@ Marketplace::Marketplace(const MarketplaceConfig& config,
       generator_(language, config.benign_comments, config.spam_comments),
       population_(config.population, &rng),
       engine_(config.campaign, &generator_, &population_),
+      adversary_plan_(config.adversary, config.seed),
       rng_(rng) {
   GenerateShopsAndItems(&rng_);
   GenerateOrganicComments(&rng_);
@@ -184,7 +206,40 @@ void Marketplace::RunCampaigns(Rng* rng) {
     if (targets.empty()) continue;
     uint32_t start_day =
         rng->UniformU32(kWindowDays - engine_.options().burst_days);
-    CampaignPlan plan = engine_.Plan(shop.id, targets, start_day, rng);
+    fault::CampaignAdaptation adaptation;
+    if (adversary_plan_.active()) {
+      // Campaigns later in the window are more adapted (the ramp is what
+      // turns a static fraud mix into concept drift). All adversary
+      // decisions draw from the plan's own hash-seeded streams, never from
+      // the shared generation rng, so `none` runs stay byte-identical.
+      adaptation = adversary_plan_.AdaptCampaign(shop.id, start_day);
+      const auto& metrics = AdversaryMetrics::Get();
+      if (adaptation.active()) {
+        metrics.campaigns_adapted->Increment();
+        metrics.last_strength->Set(adversary_plan_.StrengthAtDay(start_day));
+      }
+    }
+    CampaignPlan plan = engine_.Plan(shop.id, targets, start_day, rng,
+                                     adaptation);
+    if (adversary_plan_.active()) {
+      // Sockpuppet aging: crew accounts re-drawn into the benign
+      // userExpValue range slip the rule filter's cheap-account signal.
+      // Decisions are per-user pure hashes, so an account shared by many
+      // campaigns ages exactly once and to the same value.
+      for (uint64_t user_id : plan.crew) {
+        if (!adversary_plan_.ShouldAgeAccount(user_id)) continue;
+        double aged = adversary_plan_.AgedExpValue(
+            user_id, config_.population.benign_log_mu,
+            config_.population.benign_log_sigma);
+        aged = std::clamp(aged, static_cast<double>(kMinUserExpValue),
+                          static_cast<double>(kMaxUserExpValue));
+        int64_t value = static_cast<int64_t>(aged);
+        if (population_.user(user_id).exp_value != value) {
+          population_.SetUserExpValue(user_id, value);
+          AdversaryMetrics::Get().accounts_aged->Increment();
+        }
+      }
+    }
     for (uint64_t item_id : plan.item_ids) {
       std::vector<Comment> spam = engine_.EmitSpamComments(plan, item_id, rng);
       for (Comment& c : spam) {

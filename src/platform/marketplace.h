@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/adversary_plan.h"
 #include "platform/campaign.h"
 #include "platform/comment_generator.h"
 #include "platform/entities.h"
@@ -46,6 +47,11 @@ struct MarketplaceConfig {
   CampaignOptions campaign;
   BenignCommentOptions benign_comments;
   SpamCommentOptions spam_comments;
+  /// Adaptive-adversary profile (fault::AdversaryProfile). The default
+  /// (`none`) is inactive and generation stays byte-identical to the
+  /// pre-adversary simulator; `mild`/`hostile` ramp campaign adaptation in
+  /// over the simulated window (see fault/adversary_plan.h).
+  fault::AdversaryProfile adversary;
   uint64_t seed = 20170901;
 };
 
@@ -110,6 +116,7 @@ class Marketplace {
   CommentGenerator generator_;
   Population population_;
   CampaignEngine engine_;
+  fault::AdversaryPlan adversary_plan_;
   Rng rng_;
 
   std::vector<Shop> shops_;

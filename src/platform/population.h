@@ -56,6 +56,14 @@ class Population {
   /// All hired user ids (for campaign crew assembly).
   std::vector<uint64_t> hired_ids() const;
 
+  /// Rewrites one account's exp_value (adversarial sockpuppet aging: a
+  /// hired account dressed up with a benign-looking reputation). Safe for
+  /// hired ids: the low-reputation sampling order (benign_by_exp_) indexes
+  /// benign users only, so it never goes stale.
+  void SetUserExpValue(uint64_t id, int64_t value) {
+    users_[id].exp_value = value;
+  }
+
  private:
   std::vector<User> users_;
   size_t num_benign_ = 0;

@@ -1,6 +1,7 @@
 #include "serve/server.h"
 
 #include <algorithm>
+#include <cstddef>
 #include <utility>
 
 #include "collect/record.h"
@@ -93,7 +94,8 @@ std::string_view DispositionOf(const core::StagedBatch& staged) {
 
 }  // namespace
 
-ServeLoop::ServeLoop(ServeOptions options) : options_(options) {
+ServeLoop::ServeLoop(ServeOptions options)
+    : options_(options), drift_(options_.drift) {
   if (options_.num_workers < 1) options_.num_workers = 1;
   if (options_.max_batch_requests < 1) options_.max_batch_requests = 1;
 }
@@ -106,10 +108,14 @@ Status ServeLoop::Start(const std::string& model_dir,
   if (running_.load(std::memory_order_acquire)) {
     return Status::FailedPrecondition("serve loop is already running");
   }
+  // Keep a copy before the gateway consumes the originals: the drift
+  // reference is rebuilt from these on every successful swap.
+  if (options_.enable_drift_detection) reference_items_ = probe_items;
   auto gateway =
       std::make_unique<ModelGateway>(std::move(probe_items), options_.cats);
   CATS_RETURN_NOT_OK(gateway->LoadInitial(model_dir));
   gateway_ = std::move(gateway);
+  ResetDriftReference();
 
   shedding_.store(false, std::memory_order_release);
   admission_ = std::make_unique<util::BoundedQueue<PendingRequest>>(
@@ -158,7 +164,7 @@ void ServeLoop::Submit(Message request, std::function<void(Message)> done) {
   PendingRequest pending;
   pending.request = std::move(request);
   pending.done = done;  // copy: TryPush consumes its argument even on failure
-  pending.accepted_at = std::chrono::steady_clock::now();
+  pending.accepted_micros = NowMicros();
   if (!admission_->TryPush(std::move(pending))) {
     // Admission control: a full queue (or a concurrent shutdown closing it)
     // answers immediately with a typed retry hint instead of queueing
@@ -294,6 +300,11 @@ void ServeLoop::ProcessBatch(std::vector<PendingRequest>* batch) {
     metrics.score_batch_latency->Observe(
         static_cast<double>(ElapsedMicros(score_start)));
   }
+  // Every served score feeds the drift window — the detector is the early
+  // warning that the model under this traffic has gone stale.
+  if (options_.enable_drift_detection && drift_.has_reference()) {
+    drift_.ObserveBatch(scores);
+  }
 
   // Third pass: per-request responses, plus the detector.* run mirror so
   // the process-wide pipeline counters stay coherent with served traffic.
@@ -353,7 +364,7 @@ void ServeLoop::Finish(PendingRequest* pending, Message response) {
     metrics.errors->Increment();
   }
   metrics.request_latency->Observe(
-      static_cast<double>(ElapsedMicros(pending->accepted_at)));
+      static_cast<double>(NowMicros() - pending->accepted_micros));
   metrics.slo_p50->Set(LiveQuantileUpperBound(*metrics.request_latency, 0.50));
   metrics.slo_p99->Set(LiveQuantileUpperBound(*metrics.request_latency, 0.99));
   pending->done(std::move(response));
@@ -377,6 +388,11 @@ Message ServeLoop::HandleHealth(const PendingRequest& pending) {
               JsonValue::Int(static_cast<int64_t>(options_.num_workers)));
   payload.Set("probe_items",
               JsonValue::Int(static_cast<int64_t>(gateway_->probe_items())));
+  payload.Set("drift",
+              JsonValue::String(std::string(
+                  options_.enable_drift_detection
+                      ? drift::DriftStatusName(drift_.status())
+                      : "disabled")));
   payload.Set("requests_received",
               JsonValue::Int(static_cast<int64_t>(
                   stats_.received.load(std::memory_order_relaxed))));
@@ -399,6 +415,9 @@ Message ServeLoop::HandleSwap(const PendingRequest& pending) {
   if (!outcome.ok()) {
     return ErrorResponse(pending.request.request_id, outcome.status());
   }
+  // The swapped-in model scores differently by design; re-anchor drift on
+  // its own probe-score distribution instead of flagging the swap itself.
+  ResetDriftReference();
   JsonValue payload = JsonValue::Object();
   payload.Set("model_generation",
               JsonValue::Int(static_cast<int64_t>(outcome->generation)));
@@ -407,6 +426,34 @@ Message ServeLoop::HandleSwap(const PendingRequest& pending) {
               JsonValue::Int(
                   static_cast<int64_t>(outcome->probe_items_scored)));
   return OkResponse(pending.request.request_id, std::move(payload));
+}
+
+int64_t ServeLoop::NowMicros() const {
+  if (options_.clock != nullptr) return options_.clock->NowMicros();
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void ServeLoop::ResetDriftReference() {
+  if (!options_.enable_drift_detection || reference_items_.empty()) return;
+  std::shared_ptr<const ModelSnapshot> snapshot = gateway_->Acquire();
+  const core::Detector& detector = snapshot->detector();
+  core::StagedBatch staged = detector.StageForScoring(reference_items_);
+  std::vector<core::FeatureVector> rows;
+  rows.reserve(staged.pending.size());
+  for (size_t i = 0; i < staged.pending.size(); ++i) {
+    core::FeatureVector row;
+    std::copy_n(staged.rows.begin() +
+                    static_cast<std::ptrdiff_t>(i * row.size()),
+                row.size(), row.begin());
+    rows.push_back(row);
+  }
+  if (rows.empty()) return;
+  std::lock_guard<std::mutex> lock(score_mu_);
+  auto scored = detector.ScoreFeatures(rows);
+  if (!scored.ok()) return;  // old reference keeps standing
+  drift_.SetReference(*scored);
 }
 
 Result<collect::CollectedItem> ServeLoop::ResolveItem(

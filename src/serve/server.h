@@ -14,6 +14,8 @@
 #include <vector>
 
 #include "collect/store.h"
+#include "drift/drift_detector.h"
+#include "fault/clock.h"
 #include "serve/model_gateway.h"
 #include "serve/protocol.h"
 #include "util/bounded_queue.h"
@@ -45,6 +47,15 @@ struct ServeOptions {
   /// swap candidates) — detector/extractor knobs, including the token-id
   /// hot-path toggle (see FeatureExtractorOptions::use_token_ids).
   core::CatsOptions cats;
+  /// Online score-drift monitoring (drift/drift_detector.h). The reference
+  /// distribution is the boot model's scores over the probe items, reset on
+  /// every successful swap; each scored request feeds the sliding window.
+  drift::DriftDetectorOptions drift;
+  /// Disable to skip drift bookkeeping entirely (health reports "disabled").
+  bool enable_drift_detection = true;
+  /// Injectable time source for request latency accounting. nullptr means
+  /// wall clock; tests inject a fault::FakeClock for deterministic timing.
+  fault::VirtualClock* clock = nullptr;
 };
 
 /// Exact per-instance request accounting, all relaxed atomics. Invariants
@@ -119,11 +130,16 @@ class ServeLoop {
     return gateway_ == nullptr ? 0 : gateway_->generation();
   }
 
+  /// Live drift verdict over served scores (kStable until the window fills
+  /// past min_observations). Always kStable when detection is disabled.
+  drift::DriftStatus drift_status() const { return drift_.status(); }
+  const drift::DriftDetector& drift_detector() const { return drift_; }
+
  private:
   struct PendingRequest {
     Message request;
     std::function<void(Message)> done;
-    std::chrono::steady_clock::time_point accepted_at;
+    int64_t accepted_micros = 0;  // on the injected clock
   };
 
   void WorkerLoop();
@@ -142,9 +158,22 @@ class ServeLoop {
   /// also caching it) or cache + delta (score_comment_delta).
   Result<collect::CollectedItem> ResolveItem(const Message& request);
 
+  /// Current time on the injected clock (wall clock when none was given).
+  int64_t NowMicros() const;
+
+  /// Rebuilds the drift reference: scores `reference_items_` on the current
+  /// model snapshot and installs the result as the expected distribution.
+  /// Called at Start and after every successful swap — drift is measured
+  /// against the model that is actually serving.
+  void ResetDriftReference();
+
   ServeOptions options_;
   std::unique_ptr<ModelGateway> gateway_;
   ServeStats stats_;
+  drift::DriftDetector drift_;
+  /// Copy of the probe items kept for drift-reference rescoring (the
+  /// originals move into the gateway at Start).
+  std::vector<collect::CollectedItem> reference_items_;
 
   std::unique_ptr<util::BoundedQueue<PendingRequest>> admission_;
   std::vector<std::thread> workers_;

@@ -4,6 +4,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -23,6 +24,8 @@ struct TcpMetrics {
   obs::Gauge* connections_active;
   obs::Counter* frames_read;
   obs::Counter* frame_errors;
+  obs::Counter* timeouts;
+  obs::Counter* conn_rejected;
 
   static const TcpMetrics& Get() {
     static const TcpMetrics* metrics = [] {
@@ -31,11 +34,20 @@ struct TcpMetrics {
           r.GetCounter(obs::kServeTcpConnectionsOpenedTotal),
           r.GetGauge(obs::kServeTcpConnectionsActive),
           r.GetCounter(obs::kServeTcpFramesReadTotal),
-          r.GetCounter(obs::kServeTcpFrameErrorsTotal)};
+          r.GetCounter(obs::kServeTcpFrameErrorsTotal),
+          r.GetCounter(obs::kServeTcpTimeoutsTotal),
+          r.GetCounter(obs::kServeTcpConnRejectedTotal)};
     }();
     return *metrics;
   }
 };
+
+timeval MillisToTimeval(uint32_t millis) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(millis / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((millis % 1000) * 1000);
+  return tv;
+}
 
 /// Writes the whole buffer, retrying short writes. MSG_NOSIGNAL so a peer
 /// that hung up yields EPIPE instead of killing the process.
@@ -46,6 +58,11 @@ Status WriteAll(int fd, const std::string& bytes) {
                              MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // SO_SNDTIMEO expired: the peer stopped reading. A typed status so
+        // the server side can count it as a slow-client timeout.
+        return Status::Unavailable("send timed out (peer not reading)");
+      }
       return Status::IoError(StrFormat("send failed: %s", strerror(errno)));
     }
     sent += static_cast<size_t>(n);
@@ -135,12 +152,29 @@ void TcpServer::AcceptLoop() {
     }
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    metrics.connections_opened->Increment();
+    if (options_.recv_timeout_millis > 0) {
+      const timeval tv = MillisToTimeval(options_.recv_timeout_millis);
+      ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    }
+    if (options_.send_timeout_millis > 0) {
+      const timeval tv = MillisToTimeval(options_.send_timeout_millis);
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+    }
     std::lock_guard<std::mutex> lock(conn_mu_);
     if (!running_.load(std::memory_order_acquire)) {
       ::close(fd);
       break;
     }
+    if (options_.max_connections > 0 &&
+        conn_fds_.size() >= options_.max_connections) {
+      // Connection cap: one thread per connection, so accepting past the
+      // cap is a thread bomb. Close immediately; the client sees a reset
+      // and backs off, same contract as queue-full admission.
+      metrics.conn_rejected->Increment();
+      ::close(fd);
+      continue;
+    }
+    metrics.connections_opened->Increment();
     conn_fds_.push_back(fd);
     metrics.connections_active->Set(static_cast<double>(conn_fds_.size()));
     conn_threads_.emplace_back([this, fd] { ConnectionLoop(fd); });
@@ -166,6 +200,12 @@ void TcpServer::ConnectionLoop(int fd) {
   while (!fatal) {
     const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
     if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // SO_RCVTIMEO expired with no bytes: slow or stalled client. Drop
+      // the connection to reclaim the thread; a healthy client reconnects.
+      metrics.timeouts->Increment();
+      break;
+    }
     if (n <= 0) break;  // peer hung up, or Stop() shut the socket down
     reader.Feed(std::string_view(buf, static_cast<size_t>(n)));
     while (true) {
@@ -185,7 +225,14 @@ void TcpServer::ConnectionLoop(int fd) {
                       const std::string frame = EncodeFrame(response);
                       std::lock_guard<std::mutex> lock(write_end->mu);
                       if (write_end->closed) return;
-                      (void)WriteAll(write_end->fd, frame);
+                      const Status st = WriteAll(write_end->fd, frame);
+                      if (st.code() == StatusCode::kUnavailable) {
+                        // Send timed out mid-frame: the stream is torn.
+                        // Shut the socket down so the reader thread exits
+                        // and the connection is dismantled.
+                        TcpMetrics::Get().timeouts->Increment();
+                        ::shutdown(write_end->fd, SHUT_RDWR);
+                      }
                     });
     }
   }

@@ -19,6 +19,20 @@ struct TcpServerOptions {
   /// Port to listen on; 0 asks the kernel for an ephemeral port (tests) —
   /// read the actual one back via port().
   uint16_t port = 0;
+  /// Slow-client guard, read side: a connection that sends no bytes for
+  /// this long is closed and its thread reclaimed (counted in
+  /// serve.tcp.timeouts_total). 0 disables the timeout. With one OS thread
+  /// per connection, an idle-forever client would otherwise pin a thread
+  /// indefinitely.
+  uint32_t recv_timeout_millis = 30'000;
+  /// Slow-client guard, write side: a send() that cannot make progress for
+  /// this long (client stopped reading, full socket buffer) fails the
+  /// write and tears the connection down. 0 disables the timeout.
+  uint32_t send_timeout_millis = 30'000;
+  /// Cap on concurrent connections; accepts beyond it are closed
+  /// immediately (counted in serve.tcp.conn_rejected_total) so a
+  /// connection flood cannot spawn unbounded threads. 0 disables the cap.
+  size_t max_connections = 64;
 };
 
 /// The socket skin over ServeLoop: accepts loopback TCP connections,

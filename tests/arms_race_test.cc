@@ -1,0 +1,275 @@
+// The adversarial-drift loop, end to end (the "arms race"):
+//
+//   1. a model trained on baseline traffic serves scores;
+//   2. an adaptive adversary (fault::AdversaryPlan, hostile profile) ramps
+//      in: template mutation, homograph rotation, filler padding, damped
+//      sentiment and aged sockpuppet accounts — the frozen model's AUC
+//      visibly degrades;
+//   3. the serve loop's drift detector trips kDrifted from the score
+//      stream alone, before the traffic window ends;
+//   4. the retrain scheduler fires a warm-start continuation on a recent
+//      labeled window, the candidate hot-swaps in with zero dropped
+//      requests, and AUC recovers.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/cats.h"
+#include "drift/drift_detector.h"
+#include "drift/retrain_scheduler.h"
+#include "fault/clock.h"
+#include "ml/metrics.h"
+#include "serve/server.h"
+#include "serve_test_util.h"
+
+namespace cats {
+namespace {
+
+/// Per-item fraud scores over `items`, aligned with the input order.
+/// Rule-filtered and quarantined items score 0.0 (predicted clean) so AUC
+/// judges the whole pipeline, not just the classifier.
+std::vector<double> ScoreAll(const core::Cats& cats_system,
+                             const std::vector<collect::CollectedItem>& items) {
+  const core::Detector& detector = cats_system.detector();
+  core::StagedBatch staged = detector.StageForScoring(items);
+  std::vector<core::FeatureVector> rows;
+  rows.reserve(staged.pending.size());
+  for (size_t i = 0; i < staged.pending.size(); ++i) {
+    core::FeatureVector row;
+    std::copy_n(staged.rows.begin() +
+                    static_cast<std::ptrdiff_t>(i * row.size()),
+                row.size(), row.begin());
+    rows.push_back(row);
+  }
+  std::unordered_map<uint64_t, double> by_id;
+  if (!rows.empty()) {
+    auto scored = detector.ScoreFeatures(rows);
+    CATS_CHECK(scored.ok());
+    for (size_t i = 0; i < staged.pending.size(); ++i) {
+      by_id[staged.pending[i].item_id] = (*scored)[i];
+    }
+  }
+  std::vector<double> scores(items.size(), 0.0);
+  for (size_t i = 0; i < items.size(); ++i) {
+    auto it = by_id.find(items[i].item.item_id);
+    if (it != by_id.end()) scores[i] = it->second;
+  }
+  return scores;
+}
+
+/// A hostile-adversary marketplace, generated and crawled once per process.
+/// Seeded differently from the training market (4242) so the frozen model
+/// faces genuinely unseen traffic — with the training seed, memorized
+/// structure leaks in and masks the adversary's damage.
+const platform::Marketplace& HostileMarketplace() {
+  static const platform::Marketplace* market = [] {
+    platform::MarketplaceConfig config = SmallMarketConfig();
+    config.seed = 90211;
+    config.adversary = fault::AdversaryProfile::Hostile();
+    return new platform::Marketplace(
+        platform::Marketplace::Generate(config, &TestLanguage()));
+  }();
+  return *market;
+}
+
+const collect::DataStore& HostileStore() {
+  static const collect::DataStore* store =
+      new collect::DataStore(CrawlAll(HostileMarketplace()));
+  return *store;
+}
+
+/// Baseline traffic the frozen model has NOT trained on: same generator,
+/// no adversary, different seed.
+const platform::Marketplace& BaselineEvalMarketplace() {
+  static const platform::Marketplace* market = [] {
+    platform::MarketplaceConfig config = SmallMarketConfig();
+    config.seed = 90210;
+    return new platform::Marketplace(
+        platform::Marketplace::Generate(config, &TestLanguage()));
+  }();
+  return *market;
+}
+
+const collect::DataStore& BaselineEvalStore() {
+  static const collect::DataStore* store =
+      new collect::DataStore(CrawlAll(BaselineEvalMarketplace()));
+  return *store;
+}
+
+/// Even-index hostile items form the labeled retrain window, odd-index
+/// items the held-out evaluation set.
+void SplitHostile(std::vector<collect::CollectedItem>* train_items,
+                  std::vector<int>* train_labels,
+                  std::vector<collect::CollectedItem>* eval_items,
+                  std::vector<int>* eval_labels) {
+  const collect::DataStore& store = HostileStore();
+  const std::vector<int> labels =
+      StoreLabels(HostileMarketplace(), store);
+  for (size_t i = 0; i < store.items().size(); ++i) {
+    if (i % 2 == 0) {
+      train_items->push_back(store.items()[i]);
+      train_labels->push_back(labels[i]);
+    } else {
+      eval_items->push_back(store.items()[i]);
+      eval_labels->push_back(labels[i]);
+    }
+  }
+}
+
+TEST(ArmsRaceTest, FrozenModelDegradesUnderHostileAdversary) {
+  core::Cats frozen;
+  ASSERT_TRUE(frozen.LoadModel(TestModelDir()).ok());
+
+  const std::vector<collect::CollectedItem>& base_items =
+      BaselineEvalStore().items();
+  const std::vector<int> base_labels =
+      StoreLabels(BaselineEvalMarketplace(), BaselineEvalStore());
+  const double auc_pre =
+      ml::RocAuc(base_labels, ScoreAll(frozen, base_items));
+
+  std::vector<collect::CollectedItem> train_items, eval_items;
+  std::vector<int> train_labels, eval_labels;
+  SplitHostile(&train_items, &train_labels, &eval_items, &eval_labels);
+  const double auc_drift =
+      ml::RocAuc(eval_labels, ScoreAll(frozen, eval_items));
+
+  std::printf("arms-race: auc_pre=%.4f auc_drift=%.4f drop=%.4f\n", auc_pre,
+              auc_drift, auc_pre - auc_drift);
+  // The adversary visibly hurts a frozen model: the drift is real.
+  EXPECT_GE(auc_pre - auc_drift, 0.05)
+      << "auc_pre=" << auc_pre << " auc_drift=" << auc_drift;
+}
+
+TEST(ArmsRaceTest, DriftDetectRetrainSwapRecovers) {
+  // --- Deploy the baseline model behind the serve loop. --------------------
+  serve::ServeOptions options;
+  options.queue_capacity = 512;
+  options.num_workers = 2;
+  options.drift.window_size = 256;
+  options.drift.min_observations = 64;
+  options.drift.num_bins = 8;
+  fault::FakeClock clock;
+  options.clock = &clock;
+  serve::ServeLoop loop(options);
+  ASSERT_TRUE(loop.Start(TestModelDir(), TestProbeItems(128)).ok());
+  ASSERT_EQ(loop.drift_status(), drift::DriftStatus::kStable);
+
+  std::vector<collect::CollectedItem> train_items, eval_items;
+  std::vector<int> train_labels, eval_labels;
+  SplitHostile(&train_items, &train_labels, &eval_items, &eval_labels);
+
+  // --- Phase 1: hostile traffic arrives; the detector must trip from the
+  // score stream alone, before the traffic window runs out. -----------------
+  uint32_t next_id = 1;
+  size_t drift_fired_at = 0;
+  const std::vector<collect::CollectedItem>& hostile_all =
+      HostileStore().items();
+  for (size_t i = 0; i < hostile_all.size(); ++i) {
+    serve::Message response = loop.Call(
+        serve::MakeScoreItemRequest(next_id++, hostile_all[i]));
+    ASSERT_EQ(response.type, serve::MessageType::kOk)
+        << "request " << i << " failed";
+    if (drift_fired_at == 0 &&
+        loop.drift_status() == drift::DriftStatus::kDrifted) {
+      drift_fired_at = i + 1;
+    }
+  }
+  ASSERT_GT(drift_fired_at, 0u) << "drift never fired";
+  EXPECT_LT(drift_fired_at, hostile_all.size())
+      << "drift fired only at the very end of the window";
+  serve::Message health = loop.Call(serve::MakeHealthRequest(next_id++));
+  ASSERT_EQ(health.type, serve::MessageType::kOk);
+  EXPECT_EQ(*health.payload.GetString("drift"), "drifted");
+
+  // --- Phase 2: the scheduler reacts — warm-start on the recent labeled
+  // window, save a candidate, hot-swap it in. -------------------------------
+  const std::string candidate_dir =
+      (std::filesystem::temp_directory_path() /
+       ("cats_arms_race_candidate_" +
+        std::to_string(static_cast<unsigned long>(::getpid()))))
+          .string();
+  std::filesystem::remove_all(candidate_dir);
+  std::filesystem::create_directories(candidate_dir);
+
+  drift::RetrainSchedulerOptions scheduler_options;
+  scheduler_options.min_examples = 32;
+  drift::RetrainScheduler scheduler(
+      scheduler_options, &clock,
+      [&](const std::vector<collect::CollectedItem>& window_items,
+          const std::vector<int>& window_labels) -> Status {
+        core::Cats candidate;
+        CATS_RETURN_NOT_OK(candidate.LoadModel(TestModelDir()));
+        CATS_RETURN_NOT_OK(candidate.WarmStartDetector(
+            window_items, window_labels, /*extra_rounds=*/120));
+        CATS_RETURN_NOT_OK(candidate.SaveModel(candidate_dir));
+        serve::Message swapped = loop.Call(
+            serve::MakeSwapModelRequest(next_id++, candidate_dir));
+        if (swapped.type != serve::MessageType::kOk) {
+          return Status::Internal("hot swap rejected the candidate");
+        }
+        return Status::OK();
+      });
+  for (size_t i = 0; i < train_items.size(); ++i) {
+    scheduler.AddLabeled(train_items[i], train_labels[i]);
+  }
+  auto outcome = scheduler.Tick(loop.drift_status());
+  ASSERT_TRUE(outcome.attempted);
+  ASSERT_TRUE(outcome.status.ok()) << outcome.status.ToString();
+  EXPECT_EQ(scheduler.successes(), 1u);
+  EXPECT_EQ(loop.model_generation(), 2u);
+
+  // The swap re-anchored the drift reference on the new model.
+  EXPECT_EQ(loop.drift_status(), drift::DriftStatus::kStable);
+  health = loop.Call(serve::MakeHealthRequest(next_id++));
+  ASSERT_EQ(health.type, serve::MessageType::kOk);
+  EXPECT_EQ(*health.payload.GetString("drift"), "stable");
+
+  // --- Phase 3: the retrained model recovers on held-out hostile traffic. --
+  core::Cats frozen, retrained;
+  ASSERT_TRUE(frozen.LoadModel(TestModelDir()).ok());
+  ASSERT_TRUE(retrained.LoadModel(candidate_dir).ok());
+  const std::vector<collect::CollectedItem>& base_items =
+      BaselineEvalStore().items();
+  const std::vector<int> base_labels =
+      StoreLabels(BaselineEvalMarketplace(), BaselineEvalStore());
+  const double auc_pre =
+      ml::RocAuc(base_labels, ScoreAll(frozen, base_items));
+  const double auc_drift =
+      ml::RocAuc(eval_labels, ScoreAll(frozen, eval_items));
+  const double auc_post =
+      ml::RocAuc(eval_labels, ScoreAll(retrained, eval_items));
+  std::printf(
+      "arms-race: auc_pre=%.4f auc_drift=%.4f auc_post=%.4f "
+      "drift_fired_at=%zu/%zu\n",
+      auc_pre, auc_drift, auc_post, drift_fired_at, hostile_all.size());
+  EXPECT_GE(auc_pre - auc_drift, 0.05)
+      << "auc_pre=" << auc_pre << " auc_drift=" << auc_drift;
+  EXPECT_GE(auc_post, auc_pre - 0.02)
+      << "auc_pre=" << auc_pre << " auc_post=" << auc_post;
+
+  // --- Exact accounting: the whole arms race dropped nothing. --------------
+  loop.Stop();
+  const serve::ServeStats& stats = loop.stats();
+  EXPECT_EQ(stats.received.load(),
+            stats.accepted.load() + stats.overload_rejected.load() +
+                stats.rejected.load());
+  EXPECT_EQ(stats.accepted.load(),
+            stats.ok.load() + stats.errors.load() + stats.shed.load());
+  EXPECT_EQ(stats.overload_rejected.load(), 0u);
+  EXPECT_EQ(stats.rejected.load(), 0u);
+  EXPECT_EQ(stats.errors.load(), 0u);
+  EXPECT_EQ(stats.shed.load(), 0u);
+
+  std::filesystem::remove_all(candidate_dir);
+}
+
+}  // namespace
+}  // namespace cats

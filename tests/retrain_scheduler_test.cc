@@ -1,0 +1,165 @@
+#include "drift/retrain_scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fault/clock.h"
+
+namespace cats {
+namespace {
+
+using drift::DriftStatus;
+using drift::RetrainScheduler;
+using drift::RetrainSchedulerOptions;
+
+collect::CollectedItem LabeledItem(uint64_t id) {
+  collect::CollectedItem item;
+  item.item.item_id = id;
+  return item;
+}
+
+RetrainSchedulerOptions SmallOptions() {
+  RetrainSchedulerOptions options;
+  options.window_capacity = 32;
+  options.min_examples = 8;
+  options.cooldown_micros = 1000;
+  return options;
+}
+
+TEST(RetrainSchedulerTest, StableAndWarningDoNotFire) {
+  fault::FakeClock clock;
+  int calls = 0;
+  RetrainScheduler scheduler(SmallOptions(), &clock,
+                             [&](const auto&, const auto&) {
+                               ++calls;
+                               return Status::OK();
+                             });
+  for (int i = 0; i < 16; ++i) scheduler.AddLabeled(LabeledItem(i), i % 2);
+  EXPECT_FALSE(scheduler.Tick(DriftStatus::kStable).attempted);
+  EXPECT_FALSE(scheduler.Tick(DriftStatus::kWarning).attempted);
+  EXPECT_EQ(calls, 0);
+  EXPECT_EQ(scheduler.attempts(), 0u);
+}
+
+TEST(RetrainSchedulerTest, DriftedFiresWithWindowCopy) {
+  fault::FakeClock clock;
+  std::vector<collect::CollectedItem> seen_items;
+  std::vector<int> seen_labels;
+  RetrainScheduler scheduler(
+      SmallOptions(), &clock,
+      [&](const std::vector<collect::CollectedItem>& items,
+          const std::vector<int>& labels) {
+        seen_items = items;
+        seen_labels = labels;
+        return Status::OK();
+      });
+  for (int i = 0; i < 10; ++i) scheduler.AddLabeled(LabeledItem(i), i % 2);
+  auto outcome = scheduler.Tick(DriftStatus::kDrifted);
+  EXPECT_TRUE(outcome.attempted);
+  EXPECT_TRUE(outcome.status.ok());
+  EXPECT_EQ(scheduler.attempts(), 1u);
+  EXPECT_EQ(scheduler.successes(), 1u);
+  EXPECT_EQ(scheduler.rejections(), 0u);
+  ASSERT_EQ(seen_items.size(), 10u);
+  ASSERT_EQ(seen_labels.size(), 10u);
+  EXPECT_EQ(seen_items.front().item.item_id, 0u);
+  EXPECT_EQ(seen_items.back().item.item_id, 9u);
+}
+
+TEST(RetrainSchedulerTest, NeedsMinExamples) {
+  fault::FakeClock clock;
+  int calls = 0;
+  RetrainScheduler scheduler(SmallOptions(), &clock,
+                             [&](const auto&, const auto&) {
+                               ++calls;
+                               return Status::OK();
+                             });
+  for (int i = 0; i < 7; ++i) scheduler.AddLabeled(LabeledItem(i), 0);
+  EXPECT_FALSE(scheduler.Tick(DriftStatus::kDrifted).attempted);
+  EXPECT_EQ(calls, 0);
+  scheduler.AddLabeled(LabeledItem(7), 1);  // reaches min_examples == 8
+  EXPECT_TRUE(scheduler.Tick(DriftStatus::kDrifted).attempted);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RetrainSchedulerTest, CooldownSpacesAttempts) {
+  fault::FakeClock clock;
+  int calls = 0;
+  RetrainSchedulerOptions options = SmallOptions();
+  RetrainScheduler scheduler(options, &clock,
+                             [&](const auto&, const auto&) {
+                               ++calls;
+                               return Status::OK();
+                             });
+  for (int i = 0; i < 16; ++i) scheduler.AddLabeled(LabeledItem(i), i % 2);
+  EXPECT_TRUE(scheduler.Tick(DriftStatus::kDrifted).attempted);
+  // Still drifted one instant later: cooldown suppresses the thrash.
+  EXPECT_FALSE(scheduler.Tick(DriftStatus::kDrifted).attempted);
+  clock.AdvanceMicros(options.cooldown_micros - 1);
+  EXPECT_FALSE(scheduler.Tick(DriftStatus::kDrifted).attempted);
+  clock.AdvanceMicros(1);
+  EXPECT_TRUE(scheduler.Tick(DriftStatus::kDrifted).attempted);
+  EXPECT_EQ(calls, 2);
+  EXPECT_EQ(scheduler.attempts(), 2u);
+}
+
+TEST(RetrainSchedulerTest, RejectedCandidateCountsAndCoolsDown) {
+  fault::FakeClock clock;
+  RetrainSchedulerOptions options = SmallOptions();
+  RetrainScheduler scheduler(
+      options, &clock, [&](const auto&, const auto&) {
+        return Status::FailedPrecondition("candidate failed the probe");
+      });
+  for (int i = 0; i < 16; ++i) scheduler.AddLabeled(LabeledItem(i), i % 2);
+  auto outcome = scheduler.Tick(DriftStatus::kDrifted);
+  EXPECT_TRUE(outcome.attempted);
+  EXPECT_FALSE(outcome.status.ok());
+  EXPECT_EQ(scheduler.rejections(), 1u);
+  EXPECT_EQ(scheduler.successes(), 0u);
+  // A failing retrain must not spin: the cooldown still applies.
+  EXPECT_FALSE(scheduler.Tick(DriftStatus::kDrifted).attempted);
+  clock.AdvanceMicros(options.cooldown_micros);
+  EXPECT_TRUE(scheduler.Tick(DriftStatus::kDrifted).attempted);
+  EXPECT_EQ(scheduler.rejections(), 2u);
+}
+
+TEST(RetrainSchedulerTest, WarningTriggerIsOptIn) {
+  fault::FakeClock clock;
+  int calls = 0;
+  RetrainSchedulerOptions options = SmallOptions();
+  options.retrain_on_warning = true;
+  RetrainScheduler scheduler(options, &clock,
+                             [&](const auto&, const auto&) {
+                               ++calls;
+                               return Status::OK();
+                             });
+  for (int i = 0; i < 16; ++i) scheduler.AddLabeled(LabeledItem(i), i % 2);
+  EXPECT_FALSE(scheduler.Tick(DriftStatus::kStable).attempted);
+  EXPECT_TRUE(scheduler.Tick(DriftStatus::kWarning).attempted);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RetrainSchedulerTest, WindowEvictsOldestFirst) {
+  fault::FakeClock clock;
+  std::vector<collect::CollectedItem> seen_items;
+  RetrainSchedulerOptions options = SmallOptions();
+  options.window_capacity = 8;
+  RetrainScheduler scheduler(
+      options, &clock,
+      [&](const std::vector<collect::CollectedItem>& items,
+          const std::vector<int>&) {
+        seen_items = items;
+        return Status::OK();
+      });
+  for (int i = 0; i < 20; ++i) scheduler.AddLabeled(LabeledItem(i), i % 2);
+  EXPECT_EQ(scheduler.window_size(), 8u);
+  ASSERT_TRUE(scheduler.Tick(DriftStatus::kDrifted).attempted);
+  ASSERT_EQ(seen_items.size(), 8u);
+  // The retained window is the most recent ids 12..19, oldest first.
+  EXPECT_EQ(seen_items.front().item.item_id, 12u);
+  EXPECT_EQ(seen_items.back().item.item_id, 19u);
+}
+
+}  // namespace
+}  // namespace cats

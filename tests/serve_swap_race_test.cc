@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "serve/model_gateway.h"
+#include "serve/server.h"
+#include "serve_test_util.h"
+
+namespace cats {
+namespace {
+
+// Two writers hammer ModelGateway::Swap concurrently while readers score on
+// acquired snapshots. The gateway's contract: swaps serialize, every
+// committed swap lands a distinct monotonically increasing generation, and
+// no in-flight reader ever observes a broken deployment.
+TEST(SwapRaceTest, ConcurrentSwapsLandDistinctGenerations) {
+  serve::ModelGateway gateway(TestProbeItems());
+  ASSERT_TRUE(gateway.LoadInitial(TestModelDir()).ok());
+  ASSERT_EQ(gateway.generation(), 1u);
+
+  constexpr int kSwapsPerThread = 8;
+  std::vector<uint64_t> generations[2];
+  std::atomic<int> failures{0};
+  std::atomic<bool> stop_readers{false};
+
+  // Readers: continuously acquire and touch the snapshot. A swap must never
+  // yield a null or half-built deployment.
+  std::thread reader([&] {
+    while (!stop_readers.load(std::memory_order_acquire)) {
+      auto snapshot = gateway.Acquire();
+      if (snapshot == nullptr || !snapshot->detector().trained() ||
+          snapshot->generation == 0) {
+        failures.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+
+  std::vector<std::thread> swappers;
+  for (int t = 0; t < 2; ++t) {
+    swappers.emplace_back([&, t] {
+      for (int i = 0; i < kSwapsPerThread; ++i) {
+        auto outcome = gateway.Swap(TestModelDir());
+        if (!outcome.ok()) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        generations[t].push_back(outcome->generation);
+      }
+    });
+  }
+  for (std::thread& t : swappers) t.join();
+  stop_readers.store(true, std::memory_order_release);
+  reader.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  // Each thread saw strictly increasing generations...
+  for (int t = 0; t < 2; ++t) {
+    ASSERT_EQ(generations[t].size(),
+              static_cast<size_t>(kSwapsPerThread));
+    EXPECT_TRUE(std::is_sorted(generations[t].begin(),
+                               generations[t].end()));
+  }
+  // ...and across both threads every committed swap won a distinct slot:
+  // exactly generations 2 .. 2*kSwapsPerThread + 1, no gaps, no ties.
+  std::set<uint64_t> all(generations[0].begin(), generations[0].end());
+  all.insert(generations[1].begin(), generations[1].end());
+  ASSERT_EQ(all.size(), static_cast<size_t>(2 * kSwapsPerThread));
+  EXPECT_EQ(*all.begin(), 2u);
+  EXPECT_EQ(*all.rbegin(),
+            static_cast<uint64_t>(2 * kSwapsPerThread + 1));
+  EXPECT_EQ(gateway.generation(),
+            static_cast<uint64_t>(2 * kSwapsPerThread + 1));
+}
+
+// The same race through the full serve loop: swap requests and score
+// requests interleave on the worker pool. Every request must complete
+// successfully — a swap mid-batch may never fail or drop an in-flight
+// score — and the loop's accounting must balance exactly.
+TEST(SwapRaceTest, SwapUnderTrafficLosesNoRequests) {
+  serve::ServeOptions options;
+  options.queue_capacity = 256;
+  options.num_workers = 3;
+  serve::ServeLoop loop(options);
+  ASSERT_TRUE(loop.Start(TestModelDir(), TestProbeItems()).ok());
+
+  const std::vector<collect::CollectedItem> items = TestStore().items();
+  ASSERT_FALSE(items.empty());
+
+  constexpr int kScoresPerThread = 60;
+  constexpr int kSwapsPerThread = 4;
+  std::atomic<int> bad_responses{0};
+
+  std::vector<std::thread> threads;
+  // Two swap threads, two score threads.
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kSwapsPerThread; ++i) {
+        serve::Message response = loop.Call(serve::MakeSwapModelRequest(
+            static_cast<uint32_t>(9000 + t * 100 + i), TestModelDir()));
+        if (response.type != serve::MessageType::kOk) {
+          bad_responses.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  std::vector<uint64_t> seen_generations[2];
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kScoresPerThread; ++i) {
+        const auto& item = items[(t * kScoresPerThread + i) % items.size()];
+        serve::Message response = loop.Call(serve::MakeScoreItemRequest(
+            static_cast<uint32_t>(t * 1000 + i), item));
+        if (response.type != serve::MessageType::kOk) {
+          bad_responses.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        auto generation = response.payload.GetInt("model_generation");
+        if (generation.ok()) {
+          seen_generations[t].push_back(
+              static_cast<uint64_t>(*generation));
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  loop.Stop();
+
+  EXPECT_EQ(bad_responses.load(), 0);
+  // A sequential caller can never see the generation move backwards.
+  for (int t = 0; t < 2; ++t) {
+    EXPECT_TRUE(std::is_sorted(seen_generations[t].begin(),
+                               seen_generations[t].end()));
+  }
+  EXPECT_EQ(loop.model_generation(),
+            static_cast<uint64_t>(2 * kSwapsPerThread + 1));
+
+  // Exact accounting: nothing rejected, nothing shed, nothing errored.
+  const serve::ServeStats& stats = loop.stats();
+  const uint64_t expected =
+      2 * kScoresPerThread + 2 * kSwapsPerThread;
+  EXPECT_EQ(stats.received.load(), expected);
+  EXPECT_EQ(stats.accepted.load(), expected);
+  EXPECT_EQ(stats.overload_rejected.load(), 0u);
+  EXPECT_EQ(stats.rejected.load(), 0u);
+  EXPECT_EQ(stats.ok.load(), expected);
+  EXPECT_EQ(stats.errors.load(), 0u);
+  EXPECT_EQ(stats.shed.load(), 0u);
+}
+
+}  // namespace
+}  // namespace cats

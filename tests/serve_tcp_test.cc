@@ -8,7 +8,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "obs/metric_names.h"
@@ -118,6 +120,93 @@ TEST_F(ServeTcpTest, GarbageFrameClosesOnlyThatConnection) {
   auto health = good.Call(MakeHealthRequest(1));
   ASSERT_TRUE(health.ok());
   EXPECT_EQ(health->type, MessageType::kOk);
+}
+
+// A client that connects and then sends nothing must not pin its
+// connection thread forever: the recv deadline fires, the connection is
+// closed and counted, and the server keeps serving fresh connections.
+TEST(ServeTcpGuardTest, SlowClientConnectionTimesOut) {
+  ServeLoop loop{ServeOptions{}};
+  ASSERT_TRUE(loop.Start(TestModelDir(), TestProbeItems()).ok());
+  TcpServerOptions options;
+  options.recv_timeout_millis = 100;
+  TcpServer server(&loop, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  const uint64_t timeouts_before = obs::MetricsRegistry::Global()
+                                       .GetCounter(obs::kServeTcpTimeoutsTotal)
+                                       ->value();
+  FrameClient stalled;
+  ASSERT_TRUE(stalled.Connect("127.0.0.1", server.port()).ok());
+  // Send nothing. The server's SO_RCVTIMEO expires and closes the stream;
+  // the blocked read observes the shutdown instead of hanging.
+  auto response = stalled.ReadMessage();
+  EXPECT_FALSE(response.ok());
+  EXPECT_GT(obs::MetricsRegistry::Global()
+                .GetCounter(obs::kServeTcpTimeoutsTotal)
+                ->value(),
+            timeouts_before);
+
+  // The guard reclaims the thread without wounding the server.
+  FrameClient healthy;
+  ASSERT_TRUE(healthy.Connect("127.0.0.1", server.port()).ok());
+  auto health = healthy.Call(MakeHealthRequest(1));
+  ASSERT_TRUE(health.ok());
+  EXPECT_EQ(health->type, MessageType::kOk);
+
+  server.Stop();
+  loop.Stop();
+}
+
+// Connections past the max_connections cap are closed at accept instead of
+// spawning an unbounded thread herd, and the slot frees once an admitted
+// connection hangs up.
+TEST(ServeTcpGuardTest, ConnectionCapRejectsExtras) {
+  ServeLoop loop{ServeOptions{}};
+  ASSERT_TRUE(loop.Start(TestModelDir(), TestProbeItems()).ok());
+  TcpServerOptions options;
+  options.max_connections = 1;
+  TcpServer server(&loop, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  const uint64_t rejected_before =
+      obs::MetricsRegistry::Global()
+          .GetCounter(obs::kServeTcpConnRejectedTotal)
+          ->value();
+  {
+    FrameClient admitted;
+    ASSERT_TRUE(admitted.Connect("127.0.0.1", server.port()).ok());
+    auto health = admitted.Call(MakeHealthRequest(1));
+    ASSERT_TRUE(health.ok());
+    EXPECT_EQ(health->type, MessageType::kOk);
+
+    // The cap is full: the next connection is accepted at the TCP level
+    // (listen backlog) but closed immediately by the guard.
+    FrameClient excess;
+    ASSERT_TRUE(excess.Connect("127.0.0.1", server.port()).ok());
+    auto refused = excess.Call(MakeHealthRequest(2));
+    EXPECT_FALSE(refused.ok());
+    EXPECT_GT(obs::MetricsRegistry::Global()
+                  .GetCounter(obs::kServeTcpConnRejectedTotal)
+                  ->value(),
+              rejected_before);
+  }
+  // `admitted` hung up; its slot frees as soon as the connection thread
+  // unwinds. A retry loop absorbs that teardown race.
+  bool served = false;
+  for (int attempt = 0; attempt < 50 && !served; ++attempt) {
+    FrameClient next;
+    if (!next.Connect("127.0.0.1", server.port()).ok()) break;
+    auto health = next.Call(MakeHealthRequest(3));
+    served = health.ok() && health->type == MessageType::kOk;
+    if (!served) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  EXPECT_TRUE(served) << "cap slot never freed after the client hung up";
+
+  server.Stop();
+  loop.Stop();
 }
 
 TEST_F(ServeTcpTest, StopUnblocksAndRefusesNewConnections) {
