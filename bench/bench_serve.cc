@@ -1,39 +1,129 @@
-// bench_serve — the serving plane's latency/throughput curve.
+// bench_serve — the serving plane's latency/throughput curve, over TCP.
 //
-// Trains a small model, saves it through the manifest path, then drives an
-// in-process ServeLoop open-loop at stepped QPS (serve/loadgen.h), with a
-// model hot-swap fired mid-run while traffic flows. Writes the curve as
-// JSON (default BENCH_serve.json, override with --json=PATH) — the
-// committed baseline scripts/run_perf_baseline.sh regenerates.
+// Trains a small model, saves it through the manifest path, starts a
+// ServeLoop behind a TcpServer, then drives it open-loop at stepped QPS
+// over many concurrent loopback connections (serve/loadgen.h), with a
+// model hot-swap fired mid-run while traffic flows. Two curves are
+// measured in the same process for an apples-to-apples A/B:
+//
+//   - transport=reactor: the epoll event-loop transport (the default),
+//     at --connections concurrent connections and an extended QPS ladder;
+//   - transport=thread_per_connection: the legacy blocking transport, at
+//     the same connection count, as the comparison baseline.
+//
+// Writes both curves as JSON (default BENCH_serve.json, override with
+// --json=PATH) — the committed baseline scripts/run_perf_baseline.sh
+// regenerates, and scripts/perf_gate.py gates p99 at the highest QPS step
+// the reactor curve sustains cleanly.
 //
 // The latency convention is coordinated-omission-free: each request's
 // latency is measured from its *scheduled* arrival, so queueing delay under
 // saturation shows up in p99 instead of being hidden by a slowed client.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench_common.h"
 #include "platform/presets.h"
 #include "serve/loadgen.h"
 #include "serve/server.h"
+#include "serve/tcp_server.h"
 #include "util/csv.h"
 
 using namespace cats;
 
+namespace {
+
+const char* TransportName(serve::TcpTransport transport) {
+  return transport == serve::TcpTransport::kReactor ? "reactor"
+                                                    : "thread_per_connection";
+}
+
+/// Runs one full loadgen curve against a fresh TcpServer on the given
+/// transport. Returns the report JSON annotated with the transport config,
+/// or exits on failure (a bench with a dead transport has no baseline to
+/// write).
+JsonValue RunCurve(serve::ServeLoop* loop,
+                   const std::vector<collect::CollectedItem>& items,
+                   const serve::LoadgenOptions& loadgen_options,
+                   serve::TcpTransport transport, size_t num_shards) {
+  serve::TcpServerOptions server_options;
+  server_options.transport = transport;
+  server_options.num_shards = num_shards;
+  server_options.max_connections = loadgen_options.connections + 8;
+  serve::TcpServer server(loop, server_options);
+  Status st = server.Start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "tcp server start (%s) failed: %s\n",
+                 TransportName(transport), st.ToString().c_str());
+    std::exit(1);
+  }
+
+  std::printf("-- transport=%s connections=%zu shards=%zu\n",
+              TransportName(transport), loadgen_options.connections,
+              num_shards);
+  auto report = serve::RunLoadgenTcp("127.0.0.1", server.port(), items,
+                                     loadgen_options);
+  server.Stop();
+  if (!report.ok()) {
+    std::fprintf(stderr, "loadgen (%s) failed: %s\n",
+                 TransportName(transport),
+                 report.status().ToString().c_str());
+    std::exit(1);
+  }
+
+  std::printf("%10s %12s %8s %10s %8s %10s %10s %10s\n", "qps", "achieved",
+              "ok", "overload", "errors", "p50_us", "p99_us", "inflight");
+  for (const serve::LoadgenStepResult& step : report->steps) {
+    std::printf("%10.0f %12.1f %8llu %10llu %8llu %10.0f %10.0f %10llu\n",
+                step.qps_target, step.qps_achieved,
+                (unsigned long long)step.ok,
+                (unsigned long long)step.overloaded,
+                (unsigned long long)step.errors, step.p50_micros,
+                step.p99_micros, (unsigned long long)step.max_inflight);
+  }
+  if (report->swap_attempted) {
+    std::printf("hot swap under load: %s (generation %llu in %lld us)\n",
+                report->swap_ok ? "ok" : "FAILED",
+                (unsigned long long)report->swap_generation,
+                (long long)report->swap_latency_micros);
+    if (!report->swap_ok) std::exit(1);
+  }
+
+  JsonValue curve = report->ToJson(loop->options());
+  curve.Set("transport", JsonValue::String(TransportName(transport)));
+  curve.Set("connections",
+            JsonValue::Int(static_cast<int64_t>(loadgen_options.connections)));
+  curve.Set("shards", JsonValue::Int(static_cast<int64_t>(num_shards)));
+  return curve;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   std::string json_path = "BENCH_serve.json";
+  size_t connections = 64;
+  size_t shards = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--json=", 7) == 0) json_path = argv[i] + 7;
+    if (std::strncmp(argv[i], "--connections=", 14) == 0) {
+      connections = static_cast<size_t>(std::atol(argv[i] + 14));
+    }
+    if (std::strncmp(argv[i], "--shards=", 9) == 0) {
+      shards = static_cast<size_t>(std::atol(argv[i] + 9));
+    }
   }
 
   bench::PrintBanner(
       "serve",
-      "online scoring sustains stepped offered load with bounded-admission "
-      "overload behavior and a zero-downtime mid-run model hot-swap");
+      "online scoring over TCP sustains stepped offered load across many "
+      "concurrent connections, epoll reactor vs thread-per-connection A/B, "
+      "with a zero-downtime mid-run model hot-swap");
 
   bench::BenchContext ctx;
   bench::PlatformData d0 =
@@ -65,41 +155,45 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  serve::LoadgenOptions options;
-  options.qps_steps = {100.0, 200.0, 400.0, 800.0};
-  options.step_seconds = 1.5;
-  options.swap_model_dir = model_dir;  // hot-swap under live traffic
-  auto report = serve::RunLoadgen(&loop, d0.store.items(), options);
+  // Reactor curve: the full ladder, swap mid-run.
+  serve::LoadgenOptions reactor_options;
+  reactor_options.qps_steps = {100.0, 200.0, 400.0, 800.0, 1600.0};
+  reactor_options.step_seconds = 1.5;
+  reactor_options.swap_model_dir = model_dir;  // hot-swap under live traffic
+  reactor_options.connections = connections;
+  JsonValue reactor_curve =
+      RunCurve(&loop, d0.store.items(), reactor_options,
+               serve::TcpTransport::kReactor, shards);
+
+  // Legacy curve: same connection count, same ladder minus the top step
+  // (thread-per-connection at high QPS on a small box mostly measures
+  // scheduler thrash; the A/B point is the shared ladder).
+  serve::LoadgenOptions legacy_options = reactor_options;
+  legacy_options.qps_steps = {100.0, 200.0, 400.0, 800.0};
+  legacy_options.swap_model_dir.clear();
+  JsonValue legacy_curve =
+      RunCurve(&loop, d0.store.items(), legacy_options,
+               serve::TcpTransport::kThreadPerConnection, 0);
+
   loop.Stop(serve::StopMode::kDrain);
-  if (!report.ok()) {
-    std::fprintf(stderr, "loadgen failed: %s\n",
-                 report.status().ToString().c_str());
-    return 1;
-  }
 
-  std::printf("%10s %12s %8s %10s %8s %10s %10s\n", "qps", "achieved", "ok",
-              "overload", "errors", "p50_us", "p99_us");
-  for (const serve::LoadgenStepResult& step : report->steps) {
-    std::printf("%10.0f %12.1f %8llu %10llu %8llu %10.0f %10.0f\n",
-                step.qps_target, step.qps_achieved,
-                (unsigned long long)step.ok,
-                (unsigned long long)step.overloaded,
-                (unsigned long long)step.errors, step.p50_micros,
-                step.p99_micros);
-  }
-  std::printf("hot swap under load: %s (generation %llu in %lld us)\n",
-              report->swap_ok ? "ok" : "FAILED",
-              (unsigned long long)report->swap_generation,
-              (long long)report->swap_latency_micros);
-  if (report->swap_attempted && !report->swap_ok) return 1;
+  JsonValue out = JsonValue::Object();
+  out.Set("bench", JsonValue::String("serve_loadgen"));
+  out.Set("workers",
+          JsonValue::Int(static_cast<int64_t>(loop.options().num_workers)));
+  out.Set("queue_capacity",
+          JsonValue::Int(static_cast<int64_t>(loop.options().queue_capacity)));
+  JsonValue curves = JsonValue::Array();
+  curves.Append(std::move(reactor_curve));
+  curves.Append(std::move(legacy_curve));
+  out.Set("curves", std::move(curves));
 
-  st = WriteStringToFile(json_path,
-                         report->ToJson(loop.options()).Serialize() + "\n");
+  st = WriteStringToFile(json_path, out.Serialize() + "\n");
   if (!st.ok()) {
     std::fprintf(stderr, "json write failed: %s\n", st.ToString().c_str());
     return 1;
   }
-  std::printf("curve written to %s\n", json_path.c_str());
+  std::printf("curves written to %s\n", json_path.c_str());
   std::filesystem::remove_all(model_dir);
   return 0;
 }

@@ -14,10 +14,12 @@
 //       Run the §V measurement study (user/order aspects) on the data.
 //   cats_cli serve <model-dir>
 //       Run the long-lived scoring server (docs/SERVING.md): framed TCP
-//       protocol, bounded admission, hot-swappable model.
+//       protocol over the epoll reactor (or --transport threads), bounded
+//       admission, hot-swappable model.
 //   cats_cli loadgen <data-dir> <model-dir>
-//       Drive an in-process server open-loop at stepped QPS and write the
-//       latency/throughput curve as JSON.
+//       Drive a server open-loop at stepped QPS — in-process by default,
+//       over N loopback TCP connections with --connections N — and write
+//       the latency/throughput curve as JSON.
 //
 // Example session:
 //   ./build/examples/cats_cli gen /tmp/taobao --preset d0 --scale 0.05
@@ -28,6 +30,7 @@
 //   ./build/examples/cats_cli serve /tmp/model --probe-data /tmp/target
 //   ./build/examples/cats_cli loadgen /tmp/target /tmp/model --qps 100,200
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <csignal>
@@ -73,12 +76,16 @@ int Usage() {
                "  cats_cli analyze <data-dir>\n"
                "  cats_cli serve <model-dir> [--probe-data <dir>] [--port P]\n"
                "                 [--workers N] [--queue-capacity C]\n"
-               "                 [--max-seconds S]\n"
+               "                 [--max-seconds S] [--transport T] "
+               "[--shards N]\n"
+               "                 [--max-connections C]\n"
                "  cats_cli loadgen <data-dir> <model-dir> "
                "[--qps Q1,Q2,...]\n"
                "                   [--step-seconds S] [--swap-dir D]\n"
                "                   [--out PATH] [--workers N] "
                "[--queue-capacity C]\n"
+               "                   [--connections N] [--transport T] "
+               "[--shards N]\n"
                "\n"
                "  --fault-profile P    weather for the simulated crawl\n"
                "                       (default mild; hostile = 429s, 5xx\n"
@@ -112,6 +119,15 @@ int Usage() {
                "128)\n"
                "  --max-seconds S      serve exits after S seconds (default\n"
                "                       0 = run until SIGINT)\n"
+               "  --transport T        TCP engine: 'reactor' (epoll event\n"
+               "                       loops, the default) or 'threads'\n"
+               "                       (legacy thread-per-connection)\n"
+               "  --shards N           reactor event-loop shards (default 1)\n"
+               "  --max-connections C  concurrent-connection cap (default "
+               "64)\n"
+               "  --connections N      loadgen: drive over N loopback TCP\n"
+               "                       connections instead of in-process\n"
+               "                       (default 0 = in-process submit)\n"
                "  --qps Q1,Q2,...      loadgen offered-load steps in req/s\n"
                "                       (default 100,200,400,800)\n"
                "  --step-seconds S     seconds per loadgen step (default 2)\n"
@@ -508,6 +524,28 @@ serve::ServeOptions ServeOptionsFromFlags(int argc, char** argv) {
   return options;
 }
 
+/// Shared --transport/--shards parsing for serve and loadgen: both drive a
+/// TcpServer and both want the same A/B switch the bench uses.
+Result<serve::TcpServerOptions> TcpOptionsFromFlags(int argc, char** argv) {
+  serve::TcpServerOptions options;
+  const std::string transport =
+      FlagValue(argc, argv, "--transport", "reactor");
+  if (transport == "reactor") {
+    options.transport = serve::TcpTransport::kReactor;
+  } else if (transport == "threads") {
+    options.transport = serve::TcpTransport::kThreadPerConnection;
+  } else {
+    return Status::InvalidArgument(
+        "--transport must be 'reactor' or 'threads', got '" + transport +
+        "'");
+  }
+  options.num_shards = static_cast<size_t>(
+      std::atoi(FlagValue(argc, argv, "--shards", "1").c_str()));
+  options.max_connections = static_cast<size_t>(std::atoi(
+      FlagValue(argc, argv, "--max-connections", "64").c_str()));
+  return options;
+}
+
 int CmdServe(int argc, char** argv) {
   if (argc < 3) return Usage();
   std::string model_dir = argv[2];
@@ -534,19 +572,28 @@ int CmdServe(int argc, char** argv) {
     std::fprintf(stderr, "serve start failed: %s\n", st.ToString().c_str());
     return 1;
   }
-  serve::TcpServerOptions tcp_options;
-  tcp_options.port = static_cast<uint16_t>(port);
-  serve::TcpServer tcp(&loop, tcp_options);
+  auto tcp_options = TcpOptionsFromFlags(argc, argv);
+  if (!tcp_options.ok()) {
+    std::fprintf(stderr, "%s\n", tcp_options.status().ToString().c_str());
+    return 1;
+  }
+  tcp_options->port = static_cast<uint16_t>(port);
+  serve::TcpServer tcp(&loop, *tcp_options);
   st = tcp.Start();
   if (!st.ok()) {
     std::fprintf(stderr, "tcp start failed: %s\n", st.ToString().c_str());
     return 1;
   }
   std::printf("serving model %s (generation %llu) on 127.0.0.1:%u — "
-              "%zu workers, queue capacity %zu, %zu probe rows\n",
+              "%s transport, %zu workers, queue capacity %zu, "
+              "%zu probe rows\n",
               model_dir.c_str(), (unsigned long long)loop.model_generation(),
-              tcp.port(), loop.options().num_workers,
-              loop.options().queue_capacity, num_probe_items);
+              tcp.port(),
+              tcp_options->transport == serve::TcpTransport::kReactor
+                  ? "reactor"
+                  : "thread-per-connection",
+              loop.options().num_workers, loop.options().queue_capacity,
+              num_probe_items);
   std::signal(SIGINT, HandleSigint);
   std::signal(SIGTERM, HandleSigint);
   const auto deadline = std::chrono::steady_clock::now() +
@@ -602,8 +649,33 @@ int CmdLoadgen(int argc, char** argv) {
   for (const std::string& field : SplitAndTrim(qps_csv, ',')) {
     options.qps_steps.push_back(std::atof(field.c_str()));
   }
+  const size_t connections = static_cast<size_t>(
+      std::atoi(FlagValue(argc, argv, "--connections", "0").c_str()));
 
-  auto report = serve::RunLoadgen(&loop, store->items(), options);
+  Result<serve::LoadgenReport> report = Status::Internal("unset");
+  if (connections > 0) {
+    // Over-the-wire mode: stand up a TcpServer in this process and drive
+    // it across N loopback connections — the same path bench_serve takes.
+    auto tcp_options = TcpOptionsFromFlags(argc, argv);
+    if (!tcp_options.ok()) {
+      std::fprintf(stderr, "%s\n", tcp_options.status().ToString().c_str());
+      return 1;
+    }
+    tcp_options->max_connections =
+        std::max(tcp_options->max_connections, connections + 8);
+    options.connections = connections;
+    serve::TcpServer tcp(&loop, *tcp_options);
+    st = tcp.Start();
+    if (!st.ok()) {
+      std::fprintf(stderr, "tcp start failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    report = serve::RunLoadgenTcp("127.0.0.1", tcp.port(), store->items(),
+                                  options);
+    tcp.Stop();
+  } else {
+    report = serve::RunLoadgen(&loop, store->items(), options);
+  }
   loop.Stop(serve::StopMode::kDrain);
   if (!report.ok()) {
     std::fprintf(stderr, "loadgen failed: %s\n",
@@ -612,12 +684,12 @@ int CmdLoadgen(int argc, char** argv) {
   }
   for (const serve::LoadgenStepResult& step : report->steps) {
     std::printf("qps %7.1f -> achieved %7.1f  ok %llu  overloaded %llu  "
-                "errors %llu  p50 %.0fus  p99 %.0fus\n",
+                "errors %llu  p50 %.0fus  p99 %.0fus  max-inflight %llu\n",
                 step.qps_target, step.qps_achieved,
                 (unsigned long long)step.ok,
                 (unsigned long long)step.overloaded,
                 (unsigned long long)step.errors, step.p50_micros,
-                step.p99_micros);
+                step.p99_micros, (unsigned long long)step.max_inflight);
   }
   if (report->swap_attempted) {
     std::printf("mid-run hot swap: %s (generation %llu, %lld us)\n",

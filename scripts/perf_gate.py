@@ -5,9 +5,11 @@ regressions.
 Usage:
   perf_gate.py BASELINE.json CURRENT.json [--threshold 0.15]
                [--report-only] [--label NAME]
+  perf_gate.py --serve BASELINE.json CURRENT.json [--threshold 0.15]
+               [--report-only] [--label NAME]
   perf_gate.py --self-test
 
-Semantics:
+Semantics (google-benchmark mode, the default):
   - Benchmarks are matched by "name". real_time is normalized by
     "time_unit" (ns/us/ms/s) so baselines regenerated with a different
     unit still compare correctly.
@@ -19,6 +21,19 @@ Semantics:
     not fail the gate (they have nothing to regress against).
   - --report-only prints the same per-bench delta table but always exits 0
     (used by run_perf_baseline.sh to show what a regeneration changed).
+
+Semantics (--serve mode, for bench_serve's loadgen schema):
+  - Each file is a serve_loadgen document: either the current shape with a
+    top-level "curves" array (one entry per transport; the reactor curve is
+    gated) or the legacy shape with top-level "steps" (treated as the one
+    and only curve).
+  - A QPS step is SUSTAINED when it finished with zero errors and achieved
+    at least 95% of its offered load. The gate compares the highest
+    sustained step: current must sustain at least the baseline's highest
+    sustained QPS, and its p99 at that step must not exceed the baseline's
+    p99 there by more than the threshold.
+  - A baseline curve whose mid-run model swap succeeded must keep
+    succeeding.
 
 The CI perf lane regenerates benches and runs this against the committed
 BENCH_*.json files (see .github/workflows/ci.yml); the `perf_gate` ctest
@@ -102,6 +117,122 @@ def print_table(rows, label):
               f"{d:>8}  {verdict}")
 
 
+def load_serve_curve(path):
+    """Returns (steps, swap_ok) for one serve_loadgen JSON file.
+
+    Handles both schemas: the current one with a top-level "curves" array
+    (the reactor curve is the gated one) and the legacy single-curve shape
+    with top-level "steps"."""
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    if doc.get("bench") != "serve_loadgen":
+        raise ValueError(f"{path}: not a serve_loadgen document")
+    curve = None
+    if "curves" in doc:
+        for candidate in doc["curves"]:
+            if candidate.get("transport") == "reactor":
+                curve = candidate
+                break
+        if curve is None and doc["curves"]:
+            curve = doc["curves"][0]
+    elif "steps" in doc:
+        curve = doc
+    if curve is None or not curve.get("steps"):
+        raise ValueError(f"{path}: no loadgen steps found")
+    swap = curve.get("swap", {})
+    return curve["steps"], bool(swap.get("ok", False))
+
+
+def highest_sustained(steps):
+    """The highest step that finished cleanly: zero errors and >= 95% of
+    the offered load achieved. Returns None when no step qualifies."""
+    best = None
+    for step in steps:
+        if step.get("errors", 0) != 0:
+            continue
+        if step.get("qps_achieved", 0.0) < 0.95 * step.get("qps_target", 0.0):
+            continue
+        if best is None or step["qps_target"] > best["qps_target"]:
+            best = step
+    return best
+
+
+def run_serve_gate(args):
+    base_steps, base_swap_ok = load_serve_curve(args.baseline)
+    cur_steps, cur_swap_ok = load_serve_curve(args.current)
+
+    base_best = highest_sustained(base_steps)
+    cur_best = highest_sustained(cur_steps)
+    failures = []
+    if base_best is None:
+        print(f"perf-gate: FATAL: baseline {args.baseline} sustains no "
+              "step cleanly", file=sys.stderr)
+        return 1
+
+    label = f" [{args.label}]" if args.label else ""
+    print(f"perf-gate{label} (serve)")
+    print(f"  {'qps_target':>10}  {'base p99':>10}  {'cur p99':>10}  "
+          f"{'delta':>8}  note")
+    cur_by_target = {s["qps_target"]: s for s in cur_steps}
+    for step in sorted(base_steps, key=lambda s: s["qps_target"]):
+        target = step["qps_target"]
+        cur = cur_by_target.get(target)
+        base_p99 = step["p99_micros"] * 1e3
+        cur_p99 = cur["p99_micros"] * 1e3 if cur else None
+        delta = ((cur_p99 - base_p99) / base_p99
+                 if cur and base_p99 > 0 else None)
+        note = ""
+        if base_best and target == base_best["qps_target"]:
+            note = "<- gated step"
+        print(f"  {target:>10.0f}  {format_ns(base_p99):>10}  "
+              f"{format_ns(cur_p99) if cur_p99 is not None else '-':>10}  "
+              f"{f'{delta * 100.0:+.1f}%' if delta is not None else '-':>8}"
+              f"  {note}")
+
+    if cur_best is None:
+        failures.append("current run sustains no QPS step cleanly "
+                        "(errors or missed offered load everywhere)")
+    else:
+        print(f"  sustained: baseline {base_best['qps_target']:.0f} qps, "
+              f"current {cur_best['qps_target']:.0f} qps")
+        if cur_best["qps_target"] < base_best["qps_target"]:
+            failures.append(
+                f"sustained QPS dropped: baseline holds "
+                f"{base_best['qps_target']:.0f} qps cleanly, current only "
+                f"{cur_best['qps_target']:.0f}")
+        else:
+            gated = cur_by_target.get(base_best["qps_target"])
+            if gated is None:
+                failures.append(
+                    f"current run has no {base_best['qps_target']:.0f} qps "
+                    "step to gate against")
+            else:
+                allowed = base_best["p99_micros"] * (1.0 + args.threshold)
+                if gated["p99_micros"] > allowed:
+                    failures.append(
+                        f"p99 at {base_best['qps_target']:.0f} qps "
+                        f"regressed: {base_best['p99_micros']:.0f}us -> "
+                        f"{gated['p99_micros']:.0f}us "
+                        f"(allowed {allowed:.0f}us at "
+                        f"+{args.threshold * 100.0:.1f}%)")
+    if base_swap_ok and not cur_swap_ok:
+        failures.append("mid-run model swap succeeded in baseline but not "
+                        "in current run")
+
+    if failures and not args.report_only:
+        print(f"perf-gate: FAIL ({len(failures)} problem(s)):",
+              file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    if failures:
+        print(f"perf-gate: {len(failures)} problem(s) ignored "
+              "(--report-only)")
+    else:
+        print("perf-gate: OK")
+    return 0
+
+
 def run_gate(argv):
     parser = argparse.ArgumentParser(prog="perf_gate.py")
     parser.add_argument("baseline")
@@ -113,7 +244,13 @@ def run_gate(argv):
                         help="print the delta table but always exit 0")
     parser.add_argument("--label", default="",
                         help="tag printed with the table (e.g. 'pipeline')")
+    parser.add_argument("--serve", action="store_true",
+                        help="gate bench_serve loadgen JSON instead of "
+                             "google-benchmark JSON")
     args = parser.parse_args(argv)
+
+    if args.serve:
+        return run_serve_gate(args)
 
     baseline = load_benchmarks(args.baseline)
     current = load_benchmarks(args.current)
@@ -140,7 +277,10 @@ def run_gate(argv):
 def self_test():
     """Pins the gate's own semantics with synthetic bench files: a 20%
     slowdown must fail, a 10% slowdown must pass at the default threshold,
-    a missing bench must fail, and --report-only must always pass."""
+    a missing bench must fail, and --report-only must always pass. Serve
+    mode: losing a sustained QPS step fails, p99 regression at the gated
+    step fails, a clean faster run passes, and the legacy single-curve
+    schema is still readable as a baseline."""
     import tempfile
     import os
 
@@ -186,6 +326,42 @@ def self_test():
             ("BM_A/1", 100.0, "ms"),
         ]))
 
+        def serve_step(target, p99, errors=0, achieved=None):
+            return {"qps_target": target, "qps_achieved":
+                    achieved if achieved is not None else target,
+                    "requests": int(target), "ok": int(target),
+                    "overloaded": 0, "errors": errors,
+                    "p50_micros": p99 / 4.0, "p99_micros": p99,
+                    "mean_micros": p99 / 3.0, "max_inflight": 4}
+
+        def serve_doc(steps, swap_ok=True, curves_schema=True):
+            curve = {"steps": steps,
+                     "swap": {"ok": swap_ok, "generation": 2,
+                              "latency_micros": 1000}}
+            if not curves_schema:
+                return {"bench": "serve_loadgen", **curve}
+            curve["transport"] = "reactor"
+            curve["connections"] = 64
+            return {"bench": "serve_loadgen", "curves": [curve]}
+
+        serve_base = write("serve_base.json", serve_doc([
+            serve_step(100, 2000.0), serve_step(200, 4000.0),
+            serve_step(400, 8000.0)]))
+        # 400-qps step now errors out: the sustained ceiling drops to 200.
+        serve_dropped = write("serve_dropped.json", serve_doc([
+            serve_step(100, 2000.0), serve_step(200, 4000.0),
+            serve_step(400, 8000.0, errors=3)]))
+        # Same ceiling but p99 at the gated (400 qps) step doubles.
+        serve_slower = write("serve_slower.json", serve_doc([
+            serve_step(100, 2000.0), serve_step(200, 4000.0),
+            serve_step(400, 16000.0)]))
+        serve_faster = write("serve_faster.json", serve_doc([
+            serve_step(100, 1000.0), serve_step(200, 2000.0),
+            serve_step(400, 4000.0), serve_step(800, 6000.0)]))
+        serve_legacy = write("serve_legacy.json", serve_doc([
+            serve_step(100, 2000.0), serve_step(200, 4000.0)],
+            curves_schema=False))
+
         ok = True
         ok &= expect("20% slowdown fails", [base, slow20], 1)
         ok &= expect("10% slowdown passes", [base, slow10], 0)
@@ -194,6 +370,19 @@ def self_test():
                      [base, slow20, "--report-only"], 0)
         ok &= expect("tighter threshold catches 10%",
                      [base, slow10, "--threshold", "0.05"], 1)
+        ok &= expect("serve: identical run passes",
+                     ["--serve", serve_base, serve_base], 0)
+        ok &= expect("serve: dropped sustained step fails",
+                     ["--serve", serve_base, serve_dropped], 1)
+        ok &= expect("serve: p99 regression at gated step fails",
+                     ["--serve", serve_base, serve_slower], 1)
+        ok &= expect("serve: faster run with extra step passes",
+                     ["--serve", serve_base, serve_faster], 0)
+        ok &= expect("serve: legacy single-curve baseline readable",
+                     ["--serve", serve_legacy, serve_faster], 0)
+        ok &= expect("serve: report-only never fails",
+                     ["--serve", serve_base, serve_dropped,
+                      "--report-only"], 0)
 
     if not ok:
         return 1

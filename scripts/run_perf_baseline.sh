@@ -7,8 +7,10 @@
 #   BENCH_pipeline.json — bench/bench_perf_pipeline (extraction, crawl,
 #                         word2vec, sentiment)
 #   BENCH_serve.json    — bench/bench_serve (the serving plane's open-loop
-#                         latency/throughput curve per QPS step, with a
-#                         mid-run model hot-swap under load)
+#                         latency/throughput curves per QPS step over many
+#                         concurrent TCP connections, epoll reactor vs
+#                         thread-per-connection A/B, with a mid-run model
+#                         hot-swap under load)
 #   BENCH_drift.json    — bench/bench_drift (drift-detector hot path,
 #                         warm-start retrain, and the arms-race
 #                         adversary-strength-vs-AUC counters)
@@ -61,14 +63,20 @@ echo "== perf-baseline: bench_drift -> $root/BENCH_drift.json"
 
 if command -v python3 >/dev/null 2>&1; then
   echo "== perf-baseline: delta vs previously committed baselines"
-  # BENCH_serve.json is loadgen's own latency-curve schema, not
-  # google-benchmark JSON — perf_gate.py can't diff it, so no delta table.
   for name in ml pipeline drift; do
     prev="$snapshot_dir/BENCH_$name.json"
     [ -f "$prev" ] || continue
     python3 "$root/scripts/perf_gate.py" "$prev" "$root/BENCH_$name.json" \
             --report-only --label "$name"
   done
+  # BENCH_serve.json is loadgen's latency-curve schema, not
+  # google-benchmark JSON — perf_gate's --serve mode gates p99 at the
+  # highest QPS step the reactor curve sustains cleanly.
+  if [ -f "$snapshot_dir/BENCH_serve.json" ]; then
+    python3 "$root/scripts/perf_gate.py" --serve \
+            "$snapshot_dir/BENCH_serve.json" "$root/BENCH_serve.json" \
+            --report-only --label serve
+  fi
 else
   echo "perf-baseline: python3 not found, skipping delta tables" >&2
 fi

@@ -246,6 +246,18 @@ inline constexpr std::string_view kServeTcpTimeoutsTotal =
     "serve.tcp.timeouts_total";
 inline constexpr std::string_view kServeTcpConnRejectedTotal =
     "serve.tcp.conn_rejected_total";
+// Epoll reactor transport (serve::EpollReactor, the default
+// TcpTransport::kReactor): event-loop wakeups across all shards, vectored
+// response flushes that could not write everything they offered (the
+// write-side backpressure signal), and the per-connection buffer
+// high-water mark (read residue + pending responses, worst connection
+// seen since start).
+inline constexpr std::string_view kServeTcpLoopWakeupsTotal =
+    "serve.tcp.loop_wakeups_total";
+inline constexpr std::string_view kServeTcpWritevPartialsTotal =
+    "serve.tcp.writev_partials_total";
+inline constexpr std::string_view kServeTcpBufferHighWaterBytes =
+    "serve.tcp.buffer_high_water_bytes";
 
 // --- ml::Gbdt (the detector's boosted-tree classifier) ---
 inline constexpr std::string_view kGbdtRoundsTotal = "gbdt.rounds_total";

@@ -1,13 +1,23 @@
 #include "serve/loadgen.h"
 
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <cmath>
 #include <condition_variable>
+#include <cstring>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
 #include <utility>
+
+#include "serve/tcp_server.h"
+#include "util/string_util.h"
 
 namespace cats::serve {
 namespace {
@@ -19,6 +29,20 @@ double QuantileOf(std::vector<double>* sorted_micros, double q) {
   const size_t rank = static_cast<size_t>(
       q * static_cast<double>(sorted_micros->size() - 1));
   return (*sorted_micros)[rank];
+}
+
+void FinalizeStep(LoadgenStepResult* result, std::vector<double>* latencies,
+                  double elapsed_seconds, uint64_t ok) {
+  result->qps_achieved =
+      elapsed_seconds > 0.0 ? static_cast<double>(ok) / elapsed_seconds : 0.0;
+  std::sort(latencies->begin(), latencies->end());
+  result->p50_micros = QuantileOf(latencies, 0.50);
+  result->p99_micros = QuantileOf(latencies, 0.99);
+  if (!latencies->empty()) {
+    double sum = 0.0;
+    for (double v : *latencies) sum += v;
+    result->mean_micros = sum / static_cast<double>(latencies->size());
+  }
 }
 
 }  // namespace
@@ -43,6 +67,8 @@ JsonValue LoadgenReport::ToJson(const ServeOptions& serve_options) const {
     s.Set("p50_micros", JsonValue::Number(step.p50_micros));
     s.Set("p99_micros", JsonValue::Number(step.p99_micros));
     s.Set("mean_micros", JsonValue::Number(step.mean_micros));
+    s.Set("max_inflight",
+          JsonValue::Int(static_cast<int64_t>(step.max_inflight)));
     steps_json.Append(std::move(s));
   }
   v.Set("steps", std::move(steps_json));
@@ -110,10 +136,12 @@ Result<LoadgenReport> RunLoadgen(
     struct StepState {
       std::mutex mu;
       std::condition_variable cv;
+      uint64_t submitted = 0;
       uint64_t completed = 0;
       uint64_t ok = 0;
       uint64_t overloaded = 0;
       uint64_t errors = 0;
+      uint64_t max_inflight = 0;
       std::vector<double> latencies_micros;
     };
     auto state = std::make_shared<StepState>();
@@ -126,6 +154,12 @@ Result<LoadgenReport> RunLoadgen(
       Message request = MakeScoreItemRequest(next_request_id++,
                                              items[next_item]);
       next_item = (next_item + 1) % items.size();
+      {
+        std::lock_guard<std::mutex> lock(state->mu);
+        state->submitted += 1;
+        state->max_inflight =
+            std::max(state->max_inflight, state->submitted - state->completed);
+      }
       loop->Submit(std::move(request), [state, scheduled](Message response) {
         const double micros =
             static_cast<double>(
@@ -166,20 +200,317 @@ Result<LoadgenReport> RunLoadgen(
     result.ok = state->ok;
     result.overloaded = state->overloaded;
     result.errors = state->errors;
-    result.qps_achieved =
-        elapsed_seconds > 0.0 ? static_cast<double>(state->ok) / elapsed_seconds
-                              : 0.0;
-    std::vector<double>& lat = state->latencies_micros;
-    std::sort(lat.begin(), lat.end());
-    result.p50_micros = QuantileOf(&lat, 0.50);
-    result.p99_micros = QuantileOf(&lat, 0.99);
-    if (!lat.empty()) {
-      double sum = 0.0;
-      for (double v : lat) sum += v;
-      result.mean_micros = sum / static_cast<double>(lat.size());
+    result.max_inflight = state->max_inflight;
+    FinalizeStep(&result, &state->latencies_micros, elapsed_seconds,
+                 state->ok);
+    report.steps.push_back(result);
+  }
+  return report;
+}
+
+namespace {
+
+/// Everything the pacer thread and the epoll reader thread share during a
+/// TCP run. Requests are matched to responses by request_id; latency runs
+/// from the request's *scheduled* arrival (open-loop convention).
+struct TcpRunState {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::unordered_map<uint32_t, Clock::time_point> pending;  // id -> scheduled
+  uint64_t completed = 0;
+  uint64_t ok = 0;
+  uint64_t overloaded = 0;
+  uint64_t errors = 0;
+  uint64_t max_inflight = 0;
+  std::vector<double> latencies_micros;
+  bool failed = false;
+  std::string failure;
+
+  void ResetStep(uint64_t expected) {
+    std::lock_guard<std::mutex> lock(mu);
+    completed = 0;
+    ok = 0;
+    overloaded = 0;
+    errors = 0;
+    max_inflight = 0;
+    latencies_micros.clear();
+    latencies_micros.reserve(expected);
+  }
+
+  void Fail(std::string message) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (!failed) {
+      failed = true;
+      failure = std::move(message);
+    }
+    cv.notify_all();
+  }
+};
+
+/// Blocking full-buffer send; the request path tolerates short writes.
+Status SendAll(int fd, const char* data, size_t size) {
+  size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0) {
+      return Status::IoError(StrFormat("send failed: %s", strerror(errno)));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<LoadgenReport> RunLoadgenTcp(
+    const std::string& host, uint16_t port,
+    const std::vector<collect::CollectedItem>& items,
+    const LoadgenOptions& options) {
+  if (items.empty()) {
+    return Status::InvalidArgument("loadgen needs at least one item");
+  }
+  if (options.qps_steps.empty()) {
+    return Status::InvalidArgument("loadgen needs at least one QPS step");
+  }
+  for (double qps : options.qps_steps) {
+    if (!(qps > 0.0)) {
+      return Status::InvalidArgument("QPS steps must be positive");
+    }
+  }
+  if (options.connections == 0) {
+    return Status::InvalidArgument("TCP loadgen needs at least 1 connection");
+  }
+
+  // One frame per distinct item, encoded once; per request the 4 bytes of
+  // request_id (header offset 8) are patched into a copy. Encoding cost
+  // stays out of the pacing loop.
+  std::vector<std::string> item_frames;
+  item_frames.reserve(items.size());
+  for (const collect::CollectedItem& item : items) {
+    item_frames.push_back(EncodeFrame(MakeScoreItemRequest(0, item)));
+  }
+
+  // The traffic connections. FrameClient gives us connect + TCP_NODELAY;
+  // reads happen centrally on the epoll thread below, so only the raw fd
+  // and a per-connection FrameReader are used afterwards.
+  struct Conn {
+    int fd = -1;
+    FrameReader reader;
+  };
+  std::vector<int> fds;
+  std::vector<FrameClient> clients(options.connections);
+  std::vector<Conn> conns(options.connections);
+  const int epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd < 0) {
+    return Status::IoError(
+        StrFormat("epoll_create1 failed: %s", strerror(errno)));
+  }
+  auto cleanup = [&] {
+    ::close(epoll_fd);
+    for (FrameClient& c : clients) c.Close();
+  };
+  for (size_t i = 0; i < options.connections; ++i) {
+    Status status = clients[i].Connect(host, port);
+    if (!status.ok()) {
+      cleanup();
+      return Status::IoError(StrFormat(
+          "loadgen connection %zu/%zu: %s", i + 1, options.connections,
+          status.message().c_str()));
+    }
+    conns[i].fd = clients[i].raw_fd();
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = static_cast<uint64_t>(i);
+    if (::epoll_ctl(epoll_fd, EPOLL_CTL_ADD, conns[i].fd, &ev) < 0) {
+      const Status st = Status::IoError(
+          StrFormat("epoll_ctl(ADD) failed: %s", strerror(errno)));
+      cleanup();
+      return st;
+    }
+  }
+
+  auto state = std::make_shared<TcpRunState>();
+  std::atomic<bool> stop{false};
+
+  // Reader: one thread, epoll over every connection. Sockets stay
+  // blocking — one recv per readiness event never blocks, and
+  // level-triggered epoll re-arms while bytes remain.
+  std::thread reader([&] {
+    epoll_event events[64];
+    char buf[64 * 1024];
+    while (!stop.load(std::memory_order_acquire)) {
+      const int n = ::epoll_wait(epoll_fd, events, 64, 50);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        state->Fail(StrFormat("epoll_wait failed: %s", strerror(errno)));
+        return;
+      }
+      for (int e = 0; e < n; ++e) {
+        Conn& conn = conns[events[e].data.u64];
+        const ssize_t got = ::recv(conn.fd, buf, sizeof(buf), 0);
+        if (got < 0 && errno == EINTR) continue;
+        if (got <= 0) {
+          state->Fail("server closed a loadgen connection mid-run");
+          return;
+        }
+        conn.reader.Feed(std::string_view(buf, static_cast<size_t>(got)));
+        while (true) {
+          auto message = conn.reader.Next();
+          if (!message.ok()) {
+            if (message.status().code() == StatusCode::kNotFound) break;
+            state->Fail("framing error on a loadgen connection: " +
+                        message.status().message());
+            return;
+          }
+          const Message& response = message.value();
+          const Clock::time_point now = Clock::now();
+          std::lock_guard<std::mutex> lock(state->mu);
+          auto it = state->pending.find(response.request_id);
+          if (it == state->pending.end()) continue;  // not ours (unexpected)
+          const double micros = static_cast<double>(
+              std::chrono::duration_cast<std::chrono::microseconds>(
+                  now - it->second)
+                  .count());
+          state->pending.erase(it);
+          switch (response.type) {
+            case MessageType::kOk:
+              state->ok += 1;
+              state->latencies_micros.push_back(micros);
+              break;
+            case MessageType::kOverloaded:
+              state->overloaded += 1;
+              break;
+            default:
+              state->errors += 1;
+              break;
+          }
+          state->completed += 1;
+          state->cv.notify_one();
+        }
+      }
+    }
+  });
+  auto join_and_cleanup = [&] {
+    stop.store(true, std::memory_order_release);
+    reader.join();
+    cleanup();
+  };
+
+  LoadgenReport report;
+  const size_t swap_before_step =
+      options.swap_model_dir.empty() ? options.qps_steps.size()
+                                     : options.qps_steps.size() / 2;
+  uint32_t next_request_id = 1;
+  size_t next_item = 0;
+  size_t next_conn = 0;
+
+  for (size_t step_index = 0; step_index < options.qps_steps.size();
+       ++step_index) {
+    if (step_index == swap_before_step) {
+      // Hot-swap between steps, over its own connection so its response
+      // never interleaves with the traffic the reader thread is matching.
+      report.swap_attempted = true;
+      FrameClient swap_client;
+      Status status = swap_client.Connect(host, port);
+      if (status.ok()) {
+        const Clock::time_point swap_start = Clock::now();
+        auto response = swap_client.Call(MakeSwapModelRequest(
+            0x7fffffffu, options.swap_model_dir));
+        if (response.ok() && response.value().type == MessageType::kOk) {
+          report.swap_ok = true;
+          const JsonValue& payload = response.value().payload;
+          if (auto gen = payload.GetInt("model_generation"); gen.ok()) {
+            report.swap_generation = static_cast<uint64_t>(*gen);
+          }
+          if (auto lat = payload.GetInt("latency_micros"); lat.ok()) {
+            report.swap_latency_micros = *lat;
+          } else {
+            report.swap_latency_micros =
+                std::chrono::duration_cast<std::chrono::microseconds>(
+                    Clock::now() - swap_start)
+                    .count();
+          }
+        }
+      }
+    }
+
+    const double qps = options.qps_steps[step_index];
+    const auto interval = std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double>(1.0 / qps));
+    const uint64_t total = std::max<uint64_t>(
+        1, static_cast<uint64_t>(qps * options.step_seconds));
+    state->ResetStep(total);
+
+    const Clock::time_point step_start = Clock::now();
+    for (uint64_t i = 0; i < total; ++i) {
+      const Clock::time_point scheduled = step_start + interval * i;
+      std::this_thread::sleep_until(scheduled);  // open-loop pacing
+      const uint32_t request_id = next_request_id++;
+      std::string frame = item_frames[next_item];
+      next_item = (next_item + 1) % items.size();
+      frame[8] = static_cast<char>(request_id & 0xff);
+      frame[9] = static_cast<char>((request_id >> 8) & 0xff);
+      frame[10] = static_cast<char>((request_id >> 16) & 0xff);
+      frame[11] = static_cast<char>((request_id >> 24) & 0xff);
+      {
+        std::lock_guard<std::mutex> lock(state->mu);
+        if (state->failed) break;
+        state->pending.emplace(request_id, scheduled);
+        state->max_inflight =
+            std::max(state->max_inflight,
+                     static_cast<uint64_t>(state->pending.size()));
+      }
+      const int fd = conns[next_conn].fd;
+      next_conn = (next_conn + 1) % conns.size();
+      Status status = SendAll(fd, frame.data(), frame.size());
+      if (!status.ok()) {
+        state->Fail("loadgen send: " + status.message());
+        break;
+      }
+    }
+
+    // Close out the step: every request got a response (or the run
+    // failed) before the next step starts. The deadline is generous — a
+    // healthy server answers in milliseconds; only a hang trips it.
+    {
+      std::unique_lock<std::mutex> lock(state->mu);
+      const bool done = state->cv.wait_for(
+          lock, std::chrono::seconds(120),
+          [&] { return state->failed || state->completed == total; });
+      if (state->failed) {
+        const std::string failure = state->failure;
+        lock.unlock();
+        join_and_cleanup();
+        return Status::IoError("TCP loadgen failed: " + failure);
+      }
+      if (!done) {
+        lock.unlock();
+        join_and_cleanup();
+        return Status::IoError(StrFormat(
+            "TCP loadgen step %zu timed out waiting for responses",
+            step_index));
+      }
+    }
+    const double elapsed_seconds =
+        std::chrono::duration<double>(Clock::now() - step_start).count();
+
+    LoadgenStepResult result;
+    result.qps_target = qps;
+    result.requests = total;
+    {
+      std::lock_guard<std::mutex> lock(state->mu);
+      result.ok = state->ok;
+      result.overloaded = state->overloaded;
+      result.errors = state->errors;
+      result.max_inflight = state->max_inflight;
+      FinalizeStep(&result, &state->latencies_micros, elapsed_seconds,
+                   state->ok);
     }
     report.steps.push_back(result);
   }
+
+  join_and_cleanup();
   return report;
 }
 

@@ -21,6 +21,10 @@ struct LoadgenOptions {
   /// boundary before the middle step — the hot-swap is measured under
   /// load, and the run asserts it completes with zero failed requests.
   std::string swap_model_dir;
+  /// RunLoadgenTcp only: how many loopback connections carry the traffic.
+  /// Requests round-robin across them, pipelined — many can be in flight
+  /// on one connection at once.
+  size_t connections = 64;
 };
 
 /// Per-step measurement. Latency is measured from each request's
@@ -38,6 +42,10 @@ struct LoadgenStepResult {
   double p50_micros = 0.0;
   double p99_micros = 0.0;
   double mean_micros = 0.0;
+  /// High-water mark of requests in flight (submitted, response not yet
+  /// seen) during the step — the open-loop backlog gauge. A step whose
+  /// max_inflight keeps climbing is past the knee of the latency curve.
+  uint64_t max_inflight = 0;
 };
 
 struct LoadgenReport {
@@ -59,6 +67,18 @@ struct LoadgenReport {
 Result<LoadgenReport> RunLoadgen(ServeLoop* loop,
                                  const std::vector<collect::CollectedItem>& items,
                                  const LoadgenOptions& options);
+
+/// Same open-loop schedule, but over the wire: `options.connections`
+/// loopback TCP connections to a frame server at host:port, requests
+/// round-robin across them and pipelined (a connection does not wait for
+/// its previous response before carrying the next request). A client-side
+/// epoll reader matches responses to requests by request_id and measures
+/// latency from each request's scheduled arrival. The swap, when
+/// configured, goes over its own dedicated connection between steps.
+Result<LoadgenReport> RunLoadgenTcp(
+    const std::string& host, uint16_t port,
+    const std::vector<collect::CollectedItem>& items,
+    const LoadgenOptions& options);
 
 }  // namespace cats::serve
 

@@ -65,13 +65,29 @@ struct Message {
 /// Serializes one message into its wire frame (header + JSON payload).
 std::string EncodeFrame(const Message& message);
 
+/// Writes just the 16-byte header into `out`. Transports that already hold
+/// the serialized payload use this to emit header + payload as two iovecs
+/// (writev) instead of concatenating them into a fresh string per response.
+void EncodeFrameHeader(MessageType type, uint32_t request_id,
+                       uint32_t payload_len, char out[kFrameHeaderBytes]);
+
 /// Incremental frame decoder: feed arbitrary byte chunks, pop complete
 /// messages. Typed errors (never exceptions) on bad magic, version skew,
 /// nonzero flags, unknown opcodes, oversized or unparseable payloads; a
 /// framing error is fatal for the stream (resynchronization is impossible
 /// once the length prefix is untrusted), so the connection must close.
+///
+/// Decoding is zero-copy over the feed buffer: each frame's header and
+/// payload are read as views into the buffer, and consumed bytes are
+/// reclaimed by *amortized* compaction — the consumed prefix is only
+/// memmoved out once it exceeds kCompactThresholdBytes (or the buffer
+/// empties, which is free). A pipelined burst of N frames therefore costs
+/// O(bytes) total instead of the O(N * bytes) a per-frame erase would.
 class FrameReader {
  public:
+  /// Consumed-prefix size beyond which Next() compacts the buffer.
+  static constexpr size_t kCompactThresholdBytes = 64 * 1024;
+
   /// Appends raw bytes from the wire.
   void Feed(std::string_view bytes);
 
@@ -83,10 +99,17 @@ class FrameReader {
   Result<Message> Next();
 
   /// Bytes buffered but not yet consumed.
-  size_t buffered_bytes() const { return buffer_.size(); }
+  size_t buffered_bytes() const { return buffer_.size() - read_pos_; }
+
+  /// Times the consumed prefix was actually memmoved out (regression
+  /// observability: decoding an N-frame burst must compact
+  /// O(bytes / kCompactThresholdBytes) times, not O(N)).
+  uint64_t compactions() const { return compactions_; }
 
  private:
   std::string buffer_;
+  size_t read_pos_ = 0;  // start of the first unconsumed byte
+  uint64_t compactions_ = 0;
 };
 
 /// One header field of the frame layout, for the doc-parity test.

@@ -1,0 +1,591 @@
+#include "serve/reactor.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+#include "serve/tcp_server.h"
+#include "util/string_util.h"
+
+namespace cats::serve {
+namespace {
+
+struct ReactorMetrics {
+  obs::Counter* connections_opened;
+  obs::Gauge* connections_active;
+  obs::Counter* frames_read;
+  obs::Counter* frame_errors;
+  obs::Counter* timeouts;
+  obs::Counter* conn_rejected;
+  obs::Counter* loop_wakeups;
+  obs::Counter* writev_partials;
+  obs::Gauge* buffer_high_water;
+
+  static const ReactorMetrics& Get() {
+    static const ReactorMetrics* metrics = [] {
+      obs::MetricsRegistry& r = obs::MetricsRegistry::Global();
+      return new ReactorMetrics{
+          r.GetCounter(obs::kServeTcpConnectionsOpenedTotal),
+          r.GetGauge(obs::kServeTcpConnectionsActive),
+          r.GetCounter(obs::kServeTcpFramesReadTotal),
+          r.GetCounter(obs::kServeTcpFrameErrorsTotal),
+          r.GetCounter(obs::kServeTcpTimeoutsTotal),
+          r.GetCounter(obs::kServeTcpConnRejectedTotal),
+          r.GetCounter(obs::kServeTcpLoopWakeupsTotal),
+          r.GetCounter(obs::kServeTcpWritevPartialsTotal),
+          r.GetGauge(obs::kServeTcpBufferHighWaterBytes)};
+    }();
+    return *metrics;
+  }
+};
+
+int64_t SteadyMillis() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Status SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::IoError(StrFormat("fcntl(O_NONBLOCK) failed: %s",
+                                     strerror(errno)));
+  }
+  return Status::OK();
+}
+
+/// Most response frames the flush offers in one writev call: 2 iovecs per
+/// frame (header + payload), comfortably under any IOV_MAX.
+constexpr size_t kMaxFramesPerWritev = 64;
+
+}  // namespace
+
+EpollReactor::EpollReactor(ServeLoop* loop, const TcpServerOptions& options)
+    : loop_(loop),
+      configured_port_(options.port),
+      recv_timeout_millis_(options.recv_timeout_millis),
+      send_timeout_millis_(options.send_timeout_millis),
+      max_connections_(options.max_connections),
+      drain_deadline_millis_(options.drain_deadline_millis),
+      num_shards_(options.num_shards == 0 ? 1 : options.num_shards) {}
+
+EpollReactor::~EpollReactor() { Stop(); }
+
+Status EpollReactor::Start() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError(StrFormat("socket failed: %s", strerror(errno)));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(configured_port_);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const Status status =
+        Status::IoError(StrFormat("bind to 127.0.0.1:%u failed: %s",
+                                  configured_port_, strerror(errno)));
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, 256) < 0) {
+    const Status status =
+        Status::IoError(StrFormat("listen failed: %s", strerror(errno)));
+    ::close(fd);
+    return status;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) <
+      0) {
+    const Status status = Status::IoError(
+        StrFormat("getsockname failed: %s", strerror(errno)));
+    ::close(fd);
+    return status;
+  }
+  port_ = ntohs(bound.sin_port);
+
+  shards_.clear();
+  for (size_t s = 0; s < num_shards_; ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+    shard->event_fd = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+    if (shard->epoll_fd < 0 || shard->event_fd < 0) {
+      const Status status = Status::IoError(
+          StrFormat("epoll/eventfd setup failed: %s", strerror(errno)));
+      if (shard->epoll_fd >= 0) ::close(shard->epoll_fd);
+      if (shard->event_fd >= 0) ::close(shard->event_fd);
+      for (auto& prior : shards_) {
+        ::close(prior->epoll_fd);
+        ::close(prior->event_fd);
+      }
+      shards_.clear();
+      ::close(fd);
+      return status;
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = shard->event_fd;
+    ::epoll_ctl(shard->epoll_fd, EPOLL_CTL_ADD, shard->event_fd, &ev);
+    shard->mailbox = std::make_shared<Mailbox>();
+    shard->mailbox->event_fd = shard->event_fd;
+    shards_.push_back(std::move(shard));
+  }
+
+  listen_fd_.store(fd, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  for (auto& shard : shards_) {
+    Shard* raw = shard.get();
+    shard->thread = std::thread([this, raw] { ShardLoop(raw); });
+  }
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void EpollReactor::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  // Phase 1: stop accepting. Closing the listener kicks accept() out.
+  const int listen_fd = listen_fd_.exchange(-1, std::memory_order_acq_rel);
+  if (listen_fd >= 0) {
+    ::shutdown(listen_fd, SHUT_RDWR);
+    ::close(listen_fd);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // Phase 2: shards stop reading, flush what they owe (bounded by the
+  // drain deadline), then close. The shard loop owns the actual work; the
+  // mailbox flag flips it into drain mode.
+  for (auto& shard : shards_) {
+    {
+      std::lock_guard<std::mutex> lock(shard->mailbox->mu);
+      shard->mailbox->draining = true;
+    }
+    const uint64_t one = 1;
+    [[maybe_unused]] ssize_t n =
+        ::write(shard->event_fd, &one, sizeof(one));
+  }
+  for (auto& shard : shards_) {
+    if (shard->thread.joinable()) shard->thread.join();
+  }
+  shards_.clear();
+}
+
+void EpollReactor::AcceptLoop() {
+  const ReactorMetrics& metrics = ReactorMetrics::Get();
+  size_t next_shard = 0;
+  while (running_.load(std::memory_order_acquire)) {
+    const int listen_fd = listen_fd_.load(std::memory_order_acquire);
+    if (listen_fd < 0) break;
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener closed (Stop) or fatally broken
+    }
+    if (max_connections_ > 0 &&
+        active_connections_.load(std::memory_order_acquire) >=
+            max_connections_) {
+      // Connection cap, same contract as the thread-per-connection
+      // transport: close immediately, the client sees a reset and backs
+      // off. The reactor could hold far more sockets than the legacy
+      // transport could hold threads, but the cap's semantics stay
+      // byte-compatible.
+      metrics.conn_rejected->Increment();
+      ::close(fd);
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    if (!SetNonBlocking(fd).ok()) {
+      ::close(fd);
+      continue;
+    }
+    metrics.connections_opened->Increment();
+    const size_t count =
+        active_connections_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    metrics.connections_active->Set(static_cast<double>(count));
+    // Round-robin handoff: the shard adopts the fd on its own thread.
+    Shard* shard = shards_[next_shard].get();
+    next_shard = (next_shard + 1) % shards_.size();
+    bool delivered = false;
+    {
+      std::lock_guard<std::mutex> lock(shard->mailbox->mu);
+      if (!shard->mailbox->stop) {
+        shard->mailbox->accepts.push_back(fd);
+        delivered = true;
+      }
+    }
+    if (!delivered) {
+      ::close(fd);
+      const size_t after =
+          active_connections_.fetch_sub(1, std::memory_order_acq_rel) - 1;
+      metrics.connections_active->Set(static_cast<double>(after));
+      continue;
+    }
+    const uint64_t wake = 1;
+    [[maybe_unused]] ssize_t n =
+        ::write(shard->event_fd, &wake, sizeof(wake));
+  }
+}
+
+bool EpollReactor::ReadAndDispatch(Shard* shard,
+                                   const std::shared_ptr<Connection>& conn) {
+  const ReactorMetrics& metrics = ReactorMetrics::Get();
+  char buf[64 * 1024];
+  bool read_any = false;
+  while (true) {
+    const ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n <= 0) return false;  // peer hung up or socket error
+    read_any = true;
+    conn->reader.Feed(std::string_view(buf, static_cast<size_t>(n)));
+    while (true) {
+      auto message = conn->reader.Next();
+      if (!message.ok()) {
+        if (message.status().code() == StatusCode::kNotFound) break;
+        // Framing error: the stream position is unrecoverable — count it
+        // and drop only this connection.
+        metrics.frame_errors->Increment();
+        return false;
+      }
+      metrics.frames_read->Increment();
+      conn->inflight.fetch_add(1, std::memory_order_acq_rel);
+      // The response completes on a ServeLoop worker (or inline, for
+      // overload/rejection): encode into the outbox and hand the
+      // connection back to its shard through the mailbox. The shared_ptrs
+      // keep both ends alive however late the response lands.
+      std::shared_ptr<Connection> conn_ref = conn;
+      std::shared_ptr<Mailbox> mailbox = shard->mailbox;
+      loop_->Submit(
+          std::move(message).value(),
+          [conn_ref, mailbox](Message response) {
+            std::string payload = response.payload.Serialize();
+            bool enqueued = false;
+            {
+              std::lock_guard<std::mutex> lock(conn_ref->out_mu);
+              if (!conn_ref->closed) {
+                OutFrame frame;
+                EncodeFrameHeader(response.type, response.request_id,
+                                  static_cast<uint32_t>(payload.size()),
+                                  frame.header);
+                frame.payload = std::move(payload);
+                conn_ref->outbox_bytes +=
+                    kFrameHeaderBytes + frame.payload.size();
+                conn_ref->outbox.push_back(std::move(frame));
+                enqueued = true;
+              }
+            }
+            conn_ref->inflight.fetch_sub(1, std::memory_order_acq_rel);
+            if (!enqueued) return;
+            std::lock_guard<std::mutex> lock(mailbox->mu);
+            if (mailbox->event_fd < 0) return;
+            mailbox->flush.push_back(conn_ref);
+            const uint64_t wake = 1;
+            [[maybe_unused]] ssize_t w =
+                ::write(mailbox->event_fd, &wake, sizeof(wake));
+          });
+    }
+    UpdateHighWater(conn->reader.buffered_bytes());
+  }
+  if (read_any) conn->last_read_millis = SteadyMillis();
+  return true;
+}
+
+bool EpollReactor::FlushOutbox(Shard* shard,
+                               const std::shared_ptr<Connection>& conn) {
+  const ReactorMetrics& metrics = ReactorMetrics::Get();
+  std::unique_lock<std::mutex> lock(conn->out_mu);
+  while (!conn->outbox.empty()) {
+    // Vectored flush: up to kMaxFramesPerWritev frames go out in one
+    // writev, each as header+payload iovecs — no concatenation copies.
+    iovec iov[2 * kMaxFramesPerWritev];
+    int iov_count = 0;
+    size_t offered = 0;
+    for (const OutFrame& frame :
+         conn->outbox) {
+      if (iov_count >= static_cast<int>(2 * kMaxFramesPerWritev) - 1) break;
+      size_t skip = frame.sent;
+      if (skip < kFrameHeaderBytes) {
+        iov[iov_count].iov_base =
+            const_cast<char*>(frame.header) + skip;
+        iov[iov_count].iov_len = kFrameHeaderBytes - skip;
+        offered += iov[iov_count].iov_len;
+        ++iov_count;
+        skip = 0;
+      } else {
+        skip -= kFrameHeaderBytes;
+      }
+      if (skip < frame.payload.size()) {
+        iov[iov_count].iov_base =
+            const_cast<char*>(frame.payload.data()) + skip;
+        iov[iov_count].iov_len = frame.payload.size() - skip;
+        offered += iov[iov_count].iov_len;
+        ++iov_count;
+      }
+    }
+    if (iov_count == 0) {
+      // Fully-sent frames at the head (shouldn't persist, but be safe).
+      conn->outbox.pop_front();
+      continue;
+    }
+    const ssize_t n = ::writev(conn->fd, iov, iov_count);
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // Socket buffer full: the peer is not reading fast enough. Arm
+      // EPOLLOUT and start (or continue) the send-deadline clock.
+      metrics.writev_partials->Increment();
+      if (conn->write_stalled_since_millis < 0) {
+        conn->write_stalled_since_millis = SteadyMillis();
+      }
+      if (!conn->want_write) {
+        conn->want_write = true;
+        epoll_event ev{};
+        ev.events = EPOLLIN | EPOLLOUT;
+        ev.data.fd = conn->fd;
+        ::epoll_ctl(shard->epoll_fd, EPOLL_CTL_MOD, conn->fd, &ev);
+      }
+      UpdateHighWater(conn->outbox_bytes + conn->reader.buffered_bytes());
+      return true;
+    }
+    if (n < 0) return false;  // peer vanished mid-flush
+    size_t advanced = static_cast<size_t>(n);
+    conn->outbox_bytes -= advanced;
+    while (advanced > 0 && !conn->outbox.empty()) {
+      OutFrame& head = conn->outbox.front();
+      const size_t total = kFrameHeaderBytes + head.payload.size();
+      const size_t take = std::min(advanced, total - head.sent);
+      head.sent += take;
+      advanced -= take;
+      if (head.sent == total) conn->outbox.pop_front();
+    }
+    if (static_cast<size_t>(n) < offered) {
+      // Short write without EAGAIN: count it and loop — the next writev
+      // resumes mid-frame via the `sent` offsets.
+      metrics.writev_partials->Increment();
+    }
+  }
+  // Outbox drained: disarm EPOLLOUT and clear the send-deadline clock.
+  conn->write_stalled_since_millis = -1;
+  if (conn->want_write) {
+    conn->want_write = false;
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = conn->fd;
+    ::epoll_ctl(shard->epoll_fd, EPOLL_CTL_MOD, conn->fd, &ev);
+  }
+  return true;
+}
+
+void EpollReactor::CloseConnection(Shard* shard,
+                                   const std::shared_ptr<Connection>& conn) {
+  {
+    std::lock_guard<std::mutex> lock(conn->out_mu);
+    if (conn->closed) return;
+    conn->closed = true;
+    ::epoll_ctl(shard->epoll_fd, EPOLL_CTL_DEL, conn->fd, nullptr);
+    ::shutdown(conn->fd, SHUT_RDWR);
+    ::close(conn->fd);
+  }
+  shard->conns.erase(conn->fd);
+  const ReactorMetrics& metrics = ReactorMetrics::Get();
+  const size_t after =
+      active_connections_.fetch_sub(1, std::memory_order_acq_rel) - 1;
+  metrics.connections_active->Set(static_cast<double>(after));
+}
+
+int EpollReactor::SweepDeadlines(Shard* shard, int64_t now_millis) {
+  const ReactorMetrics& metrics = ReactorMetrics::Get();
+  int64_t next_deadline_in = 500;  // idle tick upper bound
+  std::vector<std::shared_ptr<Connection>> evict;
+  for (auto& [fd, conn] : shard->conns) {
+    if (recv_timeout_millis_ > 0) {
+      const int64_t due =
+          conn->last_read_millis + recv_timeout_millis_ - now_millis;
+      if (due <= 0) {
+        evict.push_back(conn);
+        continue;
+      }
+      next_deadline_in = std::min(next_deadline_in, due);
+    }
+    if (send_timeout_millis_ > 0 && conn->write_stalled_since_millis >= 0) {
+      const int64_t due = conn->write_stalled_since_millis +
+                          send_timeout_millis_ - now_millis;
+      if (due <= 0) {
+        evict.push_back(conn);
+        continue;
+      }
+      next_deadline_in = std::min(next_deadline_in, due);
+    }
+  }
+  for (const auto& conn : evict) {
+    // Slow-client guard, poll-timer edition: no bytes in (or no write
+    // progress out) within the deadline evicts the connection.
+    metrics.timeouts->Increment();
+    CloseConnection(shard, conn);
+  }
+  return static_cast<int>(std::max<int64_t>(1, next_deadline_in));
+}
+
+void EpollReactor::UpdateHighWater(size_t bytes) {
+  size_t seen = buffer_high_water_.load(std::memory_order_relaxed);
+  while (bytes > seen &&
+         !buffer_high_water_.compare_exchange_weak(
+             seen, bytes, std::memory_order_relaxed)) {
+  }
+  if (bytes > seen) {
+    ReactorMetrics::Get().buffer_high_water->Set(static_cast<double>(bytes));
+  }
+}
+
+void EpollReactor::ShardLoop(Shard* shard) {
+  const ReactorMetrics& metrics = ReactorMetrics::Get();
+  constexpr int kMaxEvents = 64;
+  epoll_event events[kMaxEvents];
+  bool draining = false;
+  int64_t drain_deadline_millis = 0;
+  int timeout_millis = 500;
+
+  while (true) {
+    const int n =
+        ::epoll_wait(shard->epoll_fd, events, kMaxEvents,
+                     draining ? 10 : timeout_millis);
+    metrics.loop_wakeups->Increment();
+    if (n < 0 && errno != EINTR) break;
+
+    // Drain the mailbox: adopted connections, flush requests, drain flag.
+    std::vector<int> accepts;
+    std::vector<std::shared_ptr<Connection>> flush;
+    {
+      std::lock_guard<std::mutex> lock(shard->mailbox->mu);
+      accepts.swap(shard->mailbox->accepts);
+      flush.swap(shard->mailbox->flush);
+      if (shard->mailbox->draining && !draining) {
+        draining = true;
+        drain_deadline_millis = SteadyMillis() + drain_deadline_millis_;
+      }
+    }
+    uint64_t drained;
+    while (::read(shard->event_fd, &drained, sizeof(drained)) > 0) {
+    }
+
+    for (int fd : accepts) {
+      if (draining) {
+        ::close(fd);
+        const size_t after =
+            active_connections_.fetch_sub(1, std::memory_order_acq_rel) - 1;
+        metrics.connections_active->Set(static_cast<double>(after));
+        continue;
+      }
+      auto conn = std::make_shared<Connection>();
+      conn->fd = fd;
+      conn->last_read_millis = SteadyMillis();
+      epoll_event ev{};
+      ev.events = EPOLLIN;
+      ev.data.fd = fd;
+      if (::epoll_ctl(shard->epoll_fd, EPOLL_CTL_ADD, fd, &ev) < 0) {
+        ::close(fd);
+        const size_t after =
+            active_connections_.fetch_sub(1, std::memory_order_acq_rel) - 1;
+        metrics.connections_active->Set(static_cast<double>(after));
+        continue;
+      }
+      shard->conns.emplace(fd, std::move(conn));
+    }
+
+    // Socket readiness.
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == shard->event_fd) continue;
+      auto it = shard->conns.find(fd);
+      if (it == shard->conns.end()) continue;
+      std::shared_ptr<Connection> conn = it->second;
+      bool alive = true;
+      if (events[i].events & (EPOLLERR | EPOLLHUP)) {
+        // Peer reset/hangup. Flush whatever the socket still accepts
+        // (half-close keeps the send side open on EPOLLHUP-less FINs),
+        // then close.
+        alive = false;
+      }
+      if (alive && (events[i].events & EPOLLIN) && !draining) {
+        alive = ReadAndDispatch(shard, conn);
+      }
+      if (alive && (events[i].events & EPOLLOUT)) {
+        alive = FlushOutbox(shard, conn);
+      }
+      if (!alive) CloseConnection(shard, conn);
+    }
+
+    // Responses queued by workers since the last pass.
+    for (const auto& conn : flush) {
+      bool still_open;
+      {
+        std::lock_guard<std::mutex> lock(conn->out_mu);
+        still_open = !conn->closed;
+      }
+      if (!still_open) continue;
+      if (!FlushOutbox(shard, conn)) CloseConnection(shard, conn);
+    }
+
+    const int64_t now = SteadyMillis();
+    if (!draining) {
+      timeout_millis = SweepDeadlines(shard, now);
+      continue;
+    }
+
+    // Drain phase: no new reads are dispatched above; finish once every
+    // adopted connection has no in-flight request and an empty outbox, or
+    // the deadline passes — whichever is first.
+    bool settled = true;
+    for (auto& [fd, conn] : shard->conns) {
+      if (conn->inflight.load(std::memory_order_acquire) > 0) {
+        settled = false;
+        break;
+      }
+      std::lock_guard<std::mutex> lock(conn->out_mu);
+      if (!conn->outbox.empty()) {
+        settled = false;
+        break;
+      }
+    }
+    if (settled || now >= drain_deadline_millis) break;
+  }
+
+  // Teardown: close every socket this shard still owns and seal the
+  // mailbox so late responses drop instead of waking a dead loop.
+  std::vector<std::shared_ptr<Connection>> remaining;
+  remaining.reserve(shard->conns.size());
+  for (auto& [fd, conn] : shard->conns) remaining.push_back(conn);
+  for (const auto& conn : remaining) CloseConnection(shard, conn);
+  {
+    std::lock_guard<std::mutex> lock(shard->mailbox->mu);
+    shard->mailbox->event_fd = -1;
+    shard->mailbox->stop = true;
+    for (int fd : shard->mailbox->accepts) {
+      ::close(fd);
+      const size_t after =
+          active_connections_.fetch_sub(1, std::memory_order_acq_rel) - 1;
+      metrics.connections_active->Set(static_cast<double>(after));
+    }
+    shard->mailbox->accepts.clear();
+    shard->mailbox->flush.clear();
+  }
+  ::close(shard->epoll_fd);
+  ::close(shard->event_fd);
+}
+
+}  // namespace cats::serve

@@ -1,0 +1,148 @@
+#ifndef CATS_SERVE_REACTOR_H_
+#define CATS_SERVE_REACTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "util/result.h"
+
+namespace cats::serve {
+
+struct TcpServerOptions;  // serve/tcp_server.h
+
+/// The epoll-driven transport behind TcpServer's default
+/// TcpTransport::kReactor: one blocking acceptor thread distributes
+/// connections round-robin across N event-loop shards; each shard owns its
+/// connections' non-blocking sockets, a grow-only read buffer decoded
+/// zero-copy by FrameReader, and a per-connection response outbox flushed
+/// with vectored writev (header + payload iovecs, no per-response string
+/// concatenation). Scoring responses complete asynchronously on ServeLoop
+/// worker threads and are handed back to the owning shard through its
+/// eventfd mailbox — sockets are only ever read and written by their
+/// shard's thread, so no per-connection locks sit on the I/O path.
+///
+/// Slow-client deadlines are poll-timer based (the epoll_wait timeout
+/// doubles as the deadline sweep tick): a connection that delivers no
+/// bytes for recv_timeout_millis, or whose pending responses cannot make
+/// write progress for send_timeout_millis, is evicted and counted in
+/// serve.tcp.timeouts_total — same semantics as the legacy per-socket
+/// SO_RCVTIMEO/SO_SNDTIMEO guard, without a thread to reclaim.
+///
+/// Shutdown is a two-phase drain: Stop() first closes the listener (no new
+/// connections), then shards stop reading but keep flushing — responses
+/// for every request already submitted to the ServeLoop are written out,
+/// up to drain_deadline_millis — and only then are the sockets closed.
+class EpollReactor {
+ public:
+  /// `loop` must outlive the reactor and must already be Start()ed.
+  EpollReactor(ServeLoop* loop, const TcpServerOptions& options);
+  ~EpollReactor();
+
+  EpollReactor(const EpollReactor&) = delete;
+  EpollReactor& operator=(const EpollReactor&) = delete;
+
+  /// Binds 127.0.0.1:port, starts the acceptor and the shard loops.
+  Status Start();
+
+  /// Two-phase drain shutdown (see class comment). Idempotent.
+  void Stop();
+
+  /// The port actually bound (resolves port 0 to the kernel's choice).
+  uint16_t port() const { return port_; }
+
+ private:
+  /// One response frame waiting on a connection's outbox: the 16-byte
+  /// header and the serialized JSON payload stay separate so the flush can
+  /// writev them without concatenating; `sent` counts bytes of
+  /// header+payload already on the wire (partial-write resume point).
+  struct OutFrame {
+    char header[kFrameHeaderBytes];
+    std::string payload;
+    size_t sent = 0;
+  };
+
+  struct Shard;
+
+  /// Shared per-connection state. The shard thread owns the socket and the
+  /// read side outright; only the outbox (fed by ServeLoop worker
+  /// callbacks) needs a mutex.
+  struct Connection {
+    int fd = -1;
+    size_t shard_index = 0;
+    FrameReader reader;
+    std::mutex out_mu;  // guards outbox, outbox_bytes, closed
+    std::deque<OutFrame> outbox;
+    size_t outbox_bytes = 0;
+    bool closed = false;       // fd released; late responses are dropped
+    bool want_write = false;   // EPOLLOUT armed after a short/EAGAIN write
+    /// Requests submitted to the ServeLoop whose response has not yet been
+    /// queued on the outbox — what the drain phase waits for.
+    std::atomic<uint32_t> inflight{0};
+    int64_t last_read_millis = 0;              // recv-deadline bookkeeping
+    int64_t write_stalled_since_millis = -1;   // send-deadline bookkeeping
+  };
+
+  /// The cross-thread door into a shard. Outlives the shard thread (held
+  /// by shared_ptr from response callbacks), so a response completing
+  /// after Stop() finds event_fd == -1 and drops instead of waking a dead
+  /// loop.
+  struct Mailbox {
+    std::mutex mu;
+    std::vector<int> accepts;                             // fds to adopt
+    std::vector<std::shared_ptr<Connection>> flush;       // conns with output
+    int event_fd = -1;
+    bool draining = false;
+    bool stop = false;
+  };
+
+  struct Shard {
+    int epoll_fd = -1;
+    int event_fd = -1;
+    std::thread thread;
+    std::shared_ptr<Mailbox> mailbox;
+    std::unordered_map<int, std::shared_ptr<Connection>> conns;
+  };
+
+  void AcceptLoop();
+  void ShardLoop(Shard* shard);
+  /// Drains the socket until EAGAIN, dispatching every complete frame into
+  /// the ServeLoop. Returns false when the connection must close (peer
+  /// hangup or fatal framing error).
+  bool ReadAndDispatch(Shard* shard, const std::shared_ptr<Connection>& conn);
+  /// Flushes the outbox with vectored writes. Returns false on a dead
+  /// socket. Arms/disarms EPOLLOUT as the outbox fills and empties.
+  bool FlushOutbox(Shard* shard, const std::shared_ptr<Connection>& conn);
+  void CloseConnection(Shard* shard, const std::shared_ptr<Connection>& conn);
+  /// Sweeps recv/send deadlines; returns the millis until the next one.
+  int SweepDeadlines(Shard* shard, int64_t now_millis);
+  void UpdateHighWater(size_t bytes);
+
+  ServeLoop* loop_;
+  uint16_t configured_port_ = 0;
+  uint32_t recv_timeout_millis_ = 0;
+  uint32_t send_timeout_millis_ = 0;
+  size_t max_connections_ = 0;
+  uint32_t drain_deadline_millis_ = 0;
+  size_t num_shards_ = 1;
+
+  uint16_t port_ = 0;
+  std::atomic<int> listen_fd_{-1};
+  std::atomic<bool> running_{false};
+  std::atomic<size_t> active_connections_{0};
+  std::atomic<size_t> buffer_high_water_{0};
+  std::thread accept_thread_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace cats::serve
+
+#endif  // CATS_SERVE_REACTOR_H_

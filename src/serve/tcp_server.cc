@@ -14,6 +14,7 @@
 
 #include "obs/metric_names.h"
 #include "obs/metrics.h"
+#include "serve/reactor.h"
 #include "util/string_util.h"
 
 namespace cats::serve {
@@ -77,7 +78,18 @@ TcpServer::TcpServer(ServeLoop* loop, TcpServerOptions options)
 
 TcpServer::~TcpServer() { Stop(); }
 
+uint16_t TcpServer::port() const {
+  if (reactor_ != nullptr) return reactor_->port();
+  return port_;
+}
+
 Status TcpServer::Start() {
+  if (options_.transport == TcpTransport::kReactor) {
+    reactor_ = std::make_unique<EpollReactor>(loop_, options_);
+    Status status = reactor_->Start();
+    if (!status.ok()) reactor_.reset();
+    return status;
+  }
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
     return Status::IoError(StrFormat("socket failed: %s", strerror(errno)));
@@ -119,6 +131,10 @@ Status TcpServer::Start() {
 }
 
 void TcpServer::Stop() {
+  if (reactor_ != nullptr) {
+    reactor_->Stop();
+    return;
+  }
   if (!running_.exchange(false, std::memory_order_acq_rel)) return;
   // Closing the listener kicks accept() out with an error.
   const int listen_fd = listen_fd_.exchange(-1, std::memory_order_acq_rel);

@@ -15,6 +15,23 @@
 
 namespace cats::serve {
 
+class EpollReactor;
+
+/// Which I/O engine carries the frames. Both speak the identical wire
+/// protocol with identical typed-error, slow-client and connection-cap
+/// semantics; keeping the legacy engine selectable lets one process A/B the
+/// two in the same run (bench/bench_serve.cc does exactly that).
+enum class TcpTransport {
+  /// Epoll reactor (serve/reactor.h): an acceptor distributes connections
+  /// across num_shards event loops; sockets are non-blocking, responses go
+  /// out via vectored writev. The default — sustains hundreds of
+  /// connections without hundreds of threads.
+  kReactor,
+  /// One blocking OS thread per connection. Simple and debuggable, but a
+  /// thread bomb past a few dozen connections; kept as the A/B baseline.
+  kThreadPerConnection,
+};
+
 struct TcpServerOptions {
   /// Port to listen on; 0 asks the kernel for an ephemeral port (tests) —
   /// read the actual one back via port().
@@ -33,6 +50,17 @@ struct TcpServerOptions {
   /// immediately (counted in serve.tcp.conn_rejected_total) so a
   /// connection flood cannot spawn unbounded threads. 0 disables the cap.
   size_t max_connections = 64;
+  /// I/O engine. kReactor unless a caller explicitly asks for the legacy
+  /// thread-per-connection path (A/B benchmarking, debugging).
+  TcpTransport transport = TcpTransport::kReactor;
+  /// Reactor only: number of event-loop shards. 0 means 1. One shard is
+  /// right for single-core hosts; add shards only when epoll dispatch
+  /// itself saturates a core.
+  size_t num_shards = 1;
+  /// Reactor only: Stop() drains — stops accepting and reading, keeps
+  /// flushing responses for requests already admitted — for at most this
+  /// long before closing sockets.
+  uint32_t drain_deadline_millis = 1'000;
 };
 
 /// The socket skin over ServeLoop: accepts loopback TCP connections,
@@ -44,9 +72,11 @@ struct TcpServerOptions {
 /// is unrecoverable for that byte stream, so the connection is closed
 /// after counting serve.tcp.frame_errors_total.
 ///
-/// One OS thread per connection — deliberate: admission control lives in
-/// ServeLoop's bounded queue, so connection threads only parse and wait,
-/// and the repo's workloads are a handful of loadgen connections, not C10k.
+/// TcpServer is a facade over two interchangeable I/O engines (see
+/// TcpTransport): the default epoll reactor, and the legacy
+/// thread-per-connection loop kept for A/B comparison. Admission control
+/// lives in ServeLoop's bounded queue either way — the transport only
+/// moves bytes.
 class TcpServer {
  public:
   /// `loop` must outlive the server and must already be Start()ed.
@@ -64,7 +94,7 @@ class TcpServer {
   void Stop();
 
   /// The port actually bound (resolves port 0 to the kernel's choice).
-  uint16_t port() const { return port_; }
+  uint16_t port() const;
 
  private:
   void AcceptLoop();
@@ -72,6 +102,7 @@ class TcpServer {
 
   ServeLoop* loop_;
   TcpServerOptions options_;
+  std::unique_ptr<EpollReactor> reactor_;  // set iff transport == kReactor
   std::atomic<int> listen_fd_{-1};
   uint16_t port_ = 0;
   std::atomic<bool> running_{false};
@@ -103,6 +134,10 @@ class FrameClient {
   /// Raw frame I/O for protocol-level tests.
   Status SendRaw(const std::string& bytes);
   Result<Message> ReadMessage();
+
+  /// The underlying socket, for callers that take over the read side
+  /// (the TCP load generator multiplexes many clients onto one epoll).
+  int raw_fd() const { return fd_; }
 
  private:
   int fd_ = -1;

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -77,6 +78,73 @@ TEST(ServeProtocolTest, DecodesPipelinedFramesFromOneBuffer) {
   EXPECT_EQ(first->request_id, 1u);
   EXPECT_EQ(second->request_id, 2u);
   EXPECT_EQ(reader.Next().status().code(), StatusCode::kNotFound);
+}
+
+// Compaction is amortized, not per-frame: a pipelined blob of 10k frames
+// decodes with O(bytes / kCompactThresholdBytes) buffer moves, never O(N).
+// A per-frame erase would turn this decode quadratic — the regression this
+// test pins down.
+TEST(ServeProtocolTest, TenThousandPipelinedFramesCompactAmortized) {
+  constexpr uint32_t kFrames = 10'000;
+  std::string blob;
+  for (uint32_t i = 0; i < kFrames; ++i) {
+    Message m = SampleRequest();
+    m.request_id = i;
+    blob += EncodeFrame(m);
+  }
+
+  FrameReader reader;
+  reader.Feed(blob);
+  for (uint32_t i = 0; i < kFrames; ++i) {
+    auto message = reader.Next();
+    ASSERT_TRUE(message.ok()) << "frame " << i;
+    EXPECT_EQ(message->request_id, i);
+  }
+  EXPECT_EQ(reader.Next().status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(reader.buffered_bytes(), 0u);
+
+  // The whole blob may cost at most one compaction per threshold's worth
+  // of consumed bytes (plus the final free clear, which is not counted).
+  const uint64_t max_compactions =
+      blob.size() / FrameReader::kCompactThresholdBytes + 1;
+  EXPECT_LE(reader.compactions(), max_compactions)
+      << "compaction ran per-frame instead of amortized";
+}
+
+// The same blob trickled in irregular chunks: decoded messages and the
+// compaction bound are identical to the single-Feed case.
+TEST(ServeProtocolTest, ChunkedPipelinedBlobKeepsAmortizedCompaction) {
+  constexpr uint32_t kFrames = 2'000;
+  std::string blob;
+  for (uint32_t i = 0; i < kFrames; ++i) {
+    Message m = SampleRequest();
+    m.request_id = i;
+    blob += EncodeFrame(m);
+  }
+
+  FrameReader reader;
+  uint32_t decoded = 0;
+  size_t offset = 0;
+  size_t chunk = 1;
+  while (offset < blob.size()) {
+    const size_t take = std::min(chunk, blob.size() - offset);
+    reader.Feed(std::string_view(blob.data() + offset, take));
+    offset += take;
+    chunk = chunk * 3 + 1;  // irregular, growing chunk sizes
+    while (true) {
+      auto message = reader.Next();
+      if (!message.ok()) {
+        ASSERT_EQ(message.status().code(), StatusCode::kNotFound);
+        break;
+      }
+      EXPECT_EQ(message->request_id, decoded);
+      ++decoded;
+    }
+  }
+  EXPECT_EQ(decoded, kFrames);
+  EXPECT_EQ(reader.buffered_bytes(), 0u);
+  EXPECT_LE(reader.compactions(),
+            blob.size() / FrameReader::kCompactThresholdBytes + 1);
 }
 
 TEST(ServeProtocolTest, RejectsBadMagic) {

@@ -1,0 +1,357 @@
+// The epoll reactor transport under hostile I/O: byte-at-a-time trickled
+// frames, mid-frame disconnects, a client that never reads (write-side
+// backpressure and send-deadline eviction), slow-client recv-deadline
+// eviction, a 256-connection pipelining soak, the legacy
+// thread-per-connection transport behind the same facade, and the
+// two-phase drain shutdown with exact serve.tcp.* accounting.
+
+#include <gtest/gtest.h>
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "serve/tcp_server.h"
+#include "serve_test_util.h"
+
+namespace cats::serve {
+namespace {
+
+uint64_t CounterValue(std::string_view name) {
+  return obs::MetricsRegistry::Global().GetCounter(name)->value();
+}
+
+/// Runs `fn` under a deadlock watchdog: if the reactor wedges (a lost
+/// eventfd wakeup would hang forever), abort with a diagnostic instead of
+/// eating the whole ctest timeout.
+template <typename Fn>
+auto RunWithWatchdog(Fn&& fn) {
+  auto future = std::async(std::launch::async, std::forward<Fn>(fn));
+  if (future.wait_for(std::chrono::seconds(120)) !=
+      std::future_status::ready) {
+    std::fprintf(stderr,
+                 "serve_reactor_test: transport deadlocked (no result "
+                 "within 120s watchdog)\n");
+    std::fflush(stderr);
+    std::abort();
+  }
+  return future.get();
+}
+
+class ServeReactorTest : public ::testing::Test {
+ protected:
+  void StartServer(TcpServerOptions options,
+                   ServeOptions serve_options = ServeOptions{}) {
+    options.transport = TcpTransport::kReactor;
+    loop_ = std::make_unique<ServeLoop>(serve_options);
+    ASSERT_TRUE(loop_->Start(TestModelDir(), TestProbeItems()).ok());
+    server_ = std::make_unique<TcpServer>(loop_.get(), options);
+    ASSERT_TRUE(server_->Start().ok());
+    ASSERT_NE(server_->port(), 0) << "ephemeral port was not resolved";
+  }
+
+  void TearDown() override {
+    if (server_ != nullptr) server_->Stop();
+    if (loop_ != nullptr) loop_->Stop();
+  }
+
+  std::unique_ptr<ServeLoop> loop_;
+  std::unique_ptr<TcpServer> server_;
+};
+
+// A frame delivered one byte per send() must decode exactly once: the
+// reader accumulates partial headers and partial payloads across arbitrary
+// read boundaries.
+TEST_F(ServeReactorTest, OneByteTrickledFrameDecodesOnce) {
+  StartServer(TcpServerOptions{});
+  FrameClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+
+  const std::string frame = EncodeFrame(MakeHealthRequest(42));
+  for (char byte : frame) {
+    ASSERT_TRUE(client.SendRaw(std::string(1, byte)).ok());
+    // A tiny stagger so the bytes arrive as separate readiness events at
+    // least some of the time (TCP_NODELAY keeps them unmerged in practice).
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  auto response = client.ReadMessage();
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->type, MessageType::kOk);
+  EXPECT_EQ(response->request_id, 42u);
+}
+
+// A client that dies mid-frame (header promises more payload than ever
+// arrives) must not wound the server or leak the connection slot.
+TEST_F(ServeReactorTest, MidFrameDisconnectClosesCleanly) {
+  StartServer(TcpServerOptions{});
+  obs::Gauge* active = obs::MetricsRegistry::Global().GetGauge(
+      obs::kServeTcpConnectionsActive);
+  {
+    FrameClient doomed;
+    ASSERT_TRUE(doomed.Connect("127.0.0.1", server_->port()).ok());
+    std::string frame = EncodeFrame(MakeHealthRequest(7));
+    frame.resize(frame.size() / 2);  // half a frame, then hang up
+    ASSERT_TRUE(doomed.SendRaw(frame).ok());
+  }
+  // The reactor reaps the connection on the hangup readiness event.
+  for (int i = 0; i < 200 && active->value() > 0.0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(active->value(), 0.0) << "connection slot leaked";
+
+  FrameClient healthy;
+  ASSERT_TRUE(healthy.Connect("127.0.0.1", server_->port()).ok());
+  auto health = healthy.Call(MakeHealthRequest(1));
+  ASSERT_TRUE(health.ok());
+  EXPECT_EQ(health->type, MessageType::kOk);
+}
+
+// Write-side backpressure: a client with a tiny receive buffer floods
+// requests and never reads. The server's responses back up in the
+// per-connection outbox (never blocking the event loop — a second
+// connection keeps serving throughout), and the send deadline eventually
+// evicts the stalled connection.
+TEST_F(ServeReactorTest, BackpressuredClientIsEvictedOthersKeepServing) {
+  TcpServerOptions options;
+  options.send_timeout_millis = 300;
+  // A queue deep enough that the flood below is *accepted* — the point is
+  // to back up full-size responses on the write side, not to exercise
+  // admission shedding (whose replies are tiny).
+  ServeOptions serve_options;
+  serve_options.queue_capacity = 8192;
+  StartServer(options, serve_options);
+
+  const uint64_t timeouts_before = CounterValue(obs::kServeTcpTimeoutsTotal);
+
+  // Size the flood from a real metrics response: enough of them to
+  // overwhelm the client's shrunken receive window plus every in-kernel
+  // buffer, guaranteeing the server hits EAGAIN and outbox territory.
+  size_t response_bytes = 0;
+  {
+    FrameClient probe;
+    ASSERT_TRUE(probe.Connect("127.0.0.1", server_->port()).ok());
+    auto metrics_response = probe.Call(MakeMetricsRequest(1));
+    ASSERT_TRUE(metrics_response.ok());
+    response_bytes = metrics_response->payload.Serialize().size();
+  }
+  ASSERT_GT(response_bytes, 0u);
+  const int flood = static_cast<int>(
+      std::max<size_t>(200, (4u << 20) / response_bytes));
+
+  // Raw socket so SO_RCVBUF shrinks before connect (the window the peer
+  // advertises is fixed at handshake time).
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  const int tiny = 2048;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &tiny, sizeof(tiny));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(server_->port());
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+
+  const std::string frame = EncodeFrame(MakeMetricsRequest(1));
+  for (int i = 0; i < flood; ++i) {
+    size_t sent = 0;
+    while (sent < frame.size()) {
+      const ssize_t n = ::send(fd, frame.data() + sent, frame.size() - sent,
+                               MSG_NOSIGNAL);
+      if (n <= 0) break;
+      sent += static_cast<size_t>(n);
+    }
+    // Light pacing keeps the flood inside the (deepened) admission queue.
+    if (i % 64 == 0) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // While that connection is wedged, a well-behaved one is unaffected.
+  FrameClient healthy;
+  ASSERT_TRUE(healthy.Connect("127.0.0.1", server_->port()).ok());
+  auto health = RunWithWatchdog([&] { return healthy.Call(MakeHealthRequest(9)); });
+  ASSERT_TRUE(health.ok()) << health.status().ToString();
+  EXPECT_EQ(health->type, MessageType::kOk);
+
+  // The send deadline fires on the stalled connection and evicts it.
+  bool evicted = false;
+  for (int i = 0; i < 400 && !evicted; ++i) {
+    evicted = CounterValue(obs::kServeTcpTimeoutsTotal) > timeouts_before;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_TRUE(evicted) << "send deadline never evicted the stalled client";
+  EXPECT_GT(CounterValue(obs::kServeTcpWritevPartialsTotal), 0u);
+  ::close(fd);
+}
+
+// Recv-deadline eviction on the reactor with more than one shard: an idle
+// connection is swept by the poll timer, counted, and the server keeps
+// serving.
+TEST_F(ServeReactorTest, SlowClientEvictedAcrossShards) {
+  TcpServerOptions options;
+  options.recv_timeout_millis = 100;
+  options.num_shards = 2;
+  StartServer(options);
+
+  const uint64_t timeouts_before = CounterValue(obs::kServeTcpTimeoutsTotal);
+  FrameClient stalled;
+  ASSERT_TRUE(stalled.Connect("127.0.0.1", server_->port()).ok());
+  auto response = RunWithWatchdog([&] { return stalled.ReadMessage(); });
+  EXPECT_FALSE(response.ok());
+  EXPECT_GT(CounterValue(obs::kServeTcpTimeoutsTotal), timeouts_before);
+
+  FrameClient healthy;
+  ASSERT_TRUE(healthy.Connect("127.0.0.1", server_->port()).ok());
+  auto health = healthy.Call(MakeHealthRequest(1));
+  ASSERT_TRUE(health.ok());
+  EXPECT_EQ(health->type, MessageType::kOk);
+}
+
+// The headline scale test: 256 concurrent connections, each pipelining a
+// burst of requests before reading anything. Every request_id must come
+// back exactly once, on the connection that sent it.
+TEST_F(ServeReactorTest, PipeliningSoakAcross256Connections) {
+  constexpr size_t kConnections = 256;
+  constexpr uint32_t kPerConnection = 8;
+  TcpServerOptions options;
+  options.max_connections = kConnections + 8;
+  // Deep queue: the soak asserts every burst request is answered kOk, so
+  // the whole 256 x 8 burst must fit in admission.
+  ServeOptions serve_options;
+  serve_options.queue_capacity = kConnections * kPerConnection + 64;
+  StartServer(options, serve_options);
+
+  const bool all_matched = RunWithWatchdog([&] {
+    std::vector<std::unique_ptr<FrameClient>> clients;
+    clients.reserve(kConnections);
+    for (size_t c = 0; c < kConnections; ++c) {
+      auto client = std::make_unique<FrameClient>();
+      if (!client->Connect("127.0.0.1", server_->port()).ok()) return false;
+      clients.push_back(std::move(client));
+    }
+    // Burst phase: every connection fires its whole pipeline first.
+    for (size_t c = 0; c < kConnections; ++c) {
+      for (uint32_t i = 0; i < kPerConnection; ++i) {
+        const uint32_t id = static_cast<uint32_t>(c) * 1000 + i;
+        if (!clients[c]->SendRaw(EncodeFrame(MakeHealthRequest(id))).ok()) {
+          return false;
+        }
+      }
+    }
+    // Collect phase: each connection sees exactly its own ids.
+    for (size_t c = 0; c < kConnections; ++c) {
+      std::vector<uint32_t> answered;
+      for (uint32_t i = 0; i < kPerConnection; ++i) {
+        auto response = clients[c]->ReadMessage();
+        if (!response.ok() || response->type != MessageType::kOk) {
+          return false;
+        }
+        answered.push_back(response->request_id);
+      }
+      std::sort(answered.begin(), answered.end());
+      for (uint32_t i = 0; i < kPerConnection; ++i) {
+        if (answered[i] != static_cast<uint32_t>(c) * 1000 + i) return false;
+      }
+    }
+    return true;
+  });
+  EXPECT_TRUE(all_matched);
+}
+
+// The same facade must still run the legacy thread-per-connection engine
+// when asked — that is what the bench A/Bs against.
+TEST_F(ServeReactorTest, LegacyTransportStillRoundTrips) {
+  TcpServerOptions options;
+  options.transport = TcpTransport::kThreadPerConnection;
+  loop_ = std::make_unique<ServeLoop>(ServeOptions{});
+  ASSERT_TRUE(loop_->Start(TestModelDir(), TestProbeItems()).ok());
+  server_ = std::make_unique<TcpServer>(loop_.get(), options);
+  ASSERT_TRUE(server_->Start().ok());
+
+  FrameClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+  auto response = client.Call(MakeHealthRequest(3));
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->type, MessageType::kOk);
+  EXPECT_EQ(response->request_id, 3u);
+}
+
+// Two-phase drain: requests already admitted when Stop() begins still get
+// their responses flushed before the socket closes, and the serve.tcp.*
+// counters account for every frame exactly.
+TEST_F(ServeReactorTest, StopDrainsPendingResponsesExactly) {
+  TcpServerOptions options;
+  options.drain_deadline_millis = 5'000;
+  StartServer(options);
+
+  const uint64_t frames_before = CounterValue(obs::kServeTcpFramesReadTotal);
+  const uint64_t received_before =
+      loop_->stats().received.load(std::memory_order_relaxed);
+
+  constexpr uint32_t kRequests = 24;
+  FrameClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+  for (uint32_t i = 1; i <= kRequests; ++i) {
+    ASSERT_TRUE(client.SendRaw(EncodeFrame(MakeHealthRequest(i))).ok());
+  }
+  // Wait until the loop has *admitted* every frame — from here on, drain
+  // semantics (not reads) are what deliver the responses.
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t received =
+        loop_->stats().received.load(std::memory_order_relaxed);
+    if (received - received_before >= kRequests) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_GE(loop_->stats().received.load(std::memory_order_relaxed) -
+                received_before,
+            kRequests);
+
+  RunWithWatchdog([&] {
+    server_->Stop();
+    return true;
+  });
+
+  // Exact read-side accounting: the transport decoded each frame once.
+  EXPECT_EQ(CounterValue(obs::kServeTcpFramesReadTotal) - frames_before,
+            kRequests);
+
+  // Every admitted request's response was flushed before close: all
+  // kRequests ids arrive, then EOF.
+  std::vector<uint32_t> answered;
+  for (uint32_t i = 0; i < kRequests; ++i) {
+    auto response = client.ReadMessage();
+    ASSERT_TRUE(response.ok())
+        << "drain lost a response after " << answered.size() << " of "
+        << kRequests << ": " << response.status().ToString();
+    EXPECT_EQ(response->type, MessageType::kOk);
+    answered.push_back(response->request_id);
+  }
+  auto eof = client.ReadMessage();
+  EXPECT_FALSE(eof.ok()) << "connection should be closed after the drain";
+  std::sort(answered.begin(), answered.end());
+  for (uint32_t i = 1; i <= kRequests; ++i) {
+    EXPECT_EQ(answered[i - 1], i);
+  }
+
+  // And the gauge is back to zero: no connection slot survived the drain.
+  EXPECT_EQ(obs::MetricsRegistry::Global()
+                .GetGauge(obs::kServeTcpConnectionsActive)
+                ->value(),
+            0.0);
+}
+
+}  // namespace
+}  // namespace cats::serve
