@@ -20,6 +20,11 @@
 //       Drive a server open-loop at stepped QPS — in-process by default,
 //       over N loopback TCP connections with --connections N — and write
 //       the latency/throughput curve as JSON.
+//   cats_cli transfer-eval [--platforms a,b,c] [--scale S] [--seed N]
+//       Crawl N heterogeneous built-in platforms (federated shards), train
+//       one detector per platform, score every platform with every
+//       detector, print the in-platform vs cross-platform AUC matrix and
+//       write it as BENCH_federation.json.
 //
 // Example session:
 //   ./build/examples/cats_cli gen /tmp/taobao --preset d0 --scale 0.05
@@ -47,6 +52,7 @@
 #include "collect/crawler.h"
 #include "core/cats.h"
 #include "fault/fault_plan.h"
+#include "federate/transfer_eval.h"
 #include "pipeline/streaming_cats.h"
 #include "platform/api.h"
 #include "platform/presets.h"
@@ -86,7 +92,13 @@ int Usage() {
                "[--queue-capacity C]\n"
                "                   [--connections N] [--transport T] "
                "[--shards N]\n"
+               "  cats_cli transfer-eval [--platforms P1,P2,...] "
+               "[--scale S]\n"
+               "                         [--seed N] [--out PATH]\n"
                "\n"
+               "  --platforms P1,...   built-in platforms for the federated\n"
+               "                       transfer evaluation (default: all —\n"
+               "                       taobao,jademall,bazaar)\n"
                "  --fault-profile P    weather for the simulated crawl\n"
                "                       (default mild; hostile = 429s, 5xx\n"
                "                       bursts, corrupt bodies, stale pages)\n"
@@ -707,6 +719,61 @@ int CmdLoadgen(int argc, char** argv) {
   return 0;
 }
 
+int CmdTransferEval(int argc, char** argv) {
+  federate::TransferEvalOptions options;
+  std::string platforms_csv = FlagValue(argc, argv, "--platforms", "");
+  if (!platforms_csv.empty()) {
+    options.platforms = SplitAndTrim(platforms_csv, ',');
+  }
+  options.scale =
+      std::atof(FlagValue(argc, argv, "--scale", "0.02").c_str());
+  options.seed = std::strtoull(FlagValue(argc, argv, "--seed", "0").c_str(),
+                               nullptr, 10);
+  std::string out_path =
+      FlagValue(argc, argv, "--out", "BENCH_federation.json");
+
+  auto report = federate::RunTransferEval(options);
+  if (!report.ok()) {
+    std::fprintf(stderr, "transfer-eval failed: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+  for (const federate::ShardReport& shard : report->federation.shards) {
+    std::printf("platform %-10s crawl: %zu shops, %zu items, %zu comments "
+                "(%llu requests, %llu retries)\n",
+                shard.platform_id.c_str(), shard.store.shops().size(),
+                shard.store.items().size(), shard.store.num_comments(),
+                (unsigned long long)shard.stats.requests,
+                (unsigned long long)shard.stats.retries);
+  }
+  const size_t n = report->platforms.size();
+  std::printf("\nAUC matrix (rows = train platform, cols = eval "
+              "platform):\n%12s", "");
+  for (const std::string& p : report->platforms) {
+    std::printf(" %10s", p.c_str());
+  }
+  std::printf("\n");
+  for (size_t t = 0; t < n; ++t) {
+    std::printf("%12s", report->platforms[t].c_str());
+    for (size_t e = 0; e < n; ++e) {
+      std::printf(" %10.4f", report->AucAt(t, e));
+    }
+    std::printf("\n");
+  }
+  std::printf("\nmin in-platform AUC %.4f; min cross-platform AUC %.4f; "
+              "max transfer degradation %.4f\n",
+              report->MinInPlatformAuc(), report->MinCrossAuc(),
+              report->MaxDegradation());
+  Status st =
+      WriteStringToFile(out_path, report->ToJson().Serialize() + "\n");
+  if (!st.ok()) {
+    std::fprintf(stderr, "write failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("transfer matrix written to %s\n", out_path.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -719,5 +786,6 @@ int main(int argc, char** argv) {
   if (command == "analyze") return CmdAnalyze(argc, argv);
   if (command == "serve") return CmdServe(argc, argv);
   if (command == "loadgen") return CmdLoadgen(argc, argv);
+  if (command == "transfer-eval") return CmdTransferEval(argc, argv);
   return Usage();
 }

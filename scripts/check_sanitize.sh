@@ -5,9 +5,10 @@
 # untrusted bytes and adversarial schedules — plus the model parsers. TSan
 # runs the parallel training/scoring paths (histogram GBDT, batched
 # prediction, the pooled segmentation and embedding scans, the
-# drift-detector / concurrent-swap machinery, and the epoll reactor
+# drift-detector / concurrent-swap machinery, the epoll reactor
 # transport — shard event loops racing ServeLoop worker callbacks over
-# per-connection outboxes). Registered as
+# per-connection outboxes — and the federation plane's thread-per-shard
+# crawl plus the loadgen's per-step accounting). Registered as
 # the `sanitize_check` ctest with the `slow` label (excluded from tier-1;
 # enable with -DCATS_ENABLE_SLOW_TESTS=ON or run this script directly).
 #
@@ -17,15 +18,22 @@ set -u
 root="${1:-$(dirname "$0")/..}"
 root="$(cd "$root" && pwd)" || exit 1
 
-# The tests that exercise the fault layer and everything hardened against it.
-memory_filter="Backoff|CircuitBreaker|FaultPlan|FaultProfile|CorruptBody|RetryAfter|RateLimiter|FakeClock|Crawler|Chaos|Fuzz|Store|DataFault|RecordValidator|Quarantine|Crc32|Manifest|AtomicWrite|ModelCorruption|CorruptFile|Gbdt|BinMapper|DoubleArrayTrie|SegmenterDiff|IdPathIdentity|Utf8|Adversary|Drift|Retrain|ArmsRace|ServeProtocol|ServeReactor"
-memory_targets="fault_plan_test backoff_test circuit_breaker_test rate_limiter_test crawler_test chaos_crawl_test fuzz_test store_test data_fault_plan_test record_validator_test model_persistence_test chaos_detect_test gbdt_test binning_test sentiment_test double_array_trie_test segmenter_diff_test id_path_identity_test utf8_test adversary_plan_test drift_detector_test retrain_scheduler_test arms_race_test serve_protocol_test serve_reactor_test"
+# The tests that exercise the fault layer and everything hardened against
+# it. The platform-profile / federation battery rides here too: the schema
+# normalizer parses attacker-shaped bytes (three wire dialects plus the
+# corrupt-body fault), and ChaosFederation drives every dialect through
+# hostile weather.
+memory_filter="Backoff|CircuitBreaker|FaultPlan|FaultProfile|CorruptBody|RetryAfter|RateLimiter|FakeClock|Crawler|Chaos|Fuzz|Store|DataFault|RecordValidator|Quarantine|Crc32|Manifest|AtomicWrite|ModelCorruption|CorruptFile|Gbdt|BinMapper|DoubleArrayTrie|SegmenterDiff|IdPathIdentity|Utf8|Adversary|Drift|Retrain|ArmsRace|ServeProtocol|ServeReactor|PlatformProfile|Federation"
+memory_targets="fault_plan_test backoff_test circuit_breaker_test rate_limiter_test crawler_test chaos_crawl_test fuzz_test store_test data_fault_plan_test record_validator_test model_persistence_test chaos_detect_test gbdt_test binning_test sentiment_test double_array_trie_test segmenter_diff_test id_path_identity_test utf8_test adversary_plan_test drift_detector_test retrain_scheduler_test arms_race_test serve_protocol_test serve_reactor_test platform_profile_test federation_test federation_property_test chaos_federation_test"
 
 # The tests that drive work through the thread pool or the serving plane's
 # worker/swap machinery. Word2vec's Hogwild trainer races by design (see
-# word2vec.cc) and is left out.
-thread_filter="ThreadPool|Gbdt|BinMapper|ParallelNearestNeighbors|ParallelExpansion|ParallelSegmentation|PredictBatch|ServeLoop|ServeHotSwap|ServeChaos|IdPathIdentity|DriftDetector|SwapRace|ServeTcp|ServeReactor"
-thread_targets="thread_pool_test gbdt_test binning_test embedding_test lexicon_test semantic_analyzer_test serve_loop_test serve_hot_swap_test serve_chaos_test id_path_identity_test drift_detector_test serve_swap_race_test serve_tcp_test serve_reactor_test"
+# word2vec.cc) and is left out — the federation tests stay TSan-clean
+# because RunTransferEval pins word2vec to one thread; what TSan checks
+# there is the thread-per-shard federated crawl and the loadgen's
+# multi-connection TCP close loop.
+thread_filter="ThreadPool|Gbdt|BinMapper|ParallelNearestNeighbors|ParallelExpansion|ParallelSegmentation|PredictBatch|ServeLoop|ServeHotSwap|ServeChaos|IdPathIdentity|DriftDetector|SwapRace|ServeTcp|ServeReactor|Federation|Loadgen"
+thread_targets="thread_pool_test gbdt_test binning_test embedding_test lexicon_test semantic_analyzer_test serve_loop_test serve_hot_swap_test serve_chaos_test id_path_identity_test drift_detector_test serve_swap_race_test serve_tcp_test serve_reactor_test federation_test federation_property_test chaos_federation_test loadgen_test"
 
 failed=0
 for sanitizer in address undefined thread; do

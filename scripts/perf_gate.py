@@ -7,6 +7,8 @@ Usage:
                [--report-only] [--label NAME]
   perf_gate.py --serve BASELINE.json CURRENT.json [--threshold 0.15]
                [--report-only] [--label NAME]
+  perf_gate.py --federation BASELINE.json CURRENT.json [--threshold 0.05]
+               [--report-only] [--label NAME]
   perf_gate.py --self-test
 
 Semantics (google-benchmark mode, the default):
@@ -34,6 +36,20 @@ Semantics (--serve mode, for bench_serve's loadgen schema):
     p99 there by more than the threshold.
   - A baseline curve whose mid-run model swap succeeded must keep
     succeeding.
+
+Semantics (--federation mode, for cats_cli transfer-eval's schema):
+  - Each file is a federation_transfer document: an N x N "matrix" of
+    {train, eval, auc} cells from training a detector on one platform and
+    scoring another. Cells are matched by the (train, eval) platform pair.
+  - A cell whose current AUC falls more than `threshold` BELOW its
+    baseline AUC (absolute drop, default 0.05) is a REGRESSION; any
+    regression fails the gate. AUC is a quality score, not a time — the
+    threshold is an absolute delta, not a ratio, and improvements never
+    fail.
+  - A baseline (train, eval) pair missing from the current run fails — a
+    platform silently dropped from the transfer matrix must never pass.
+  - Pairs only present in the current run are NEW and do not fail (adding
+    a platform to the federation grows the matrix).
 
 The CI perf lane regenerates benches and runs this against the committed
 BENCH_*.json files (see .github/workflows/ci.yml); the `perf_gate` ctest
@@ -233,13 +249,78 @@ def run_serve_gate(args):
     return 0
 
 
+def load_transfer_matrix(path):
+    """Returns {(train, eval): auc} for one cats_cli transfer-eval file."""
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    if doc.get("bench") != "federation_transfer":
+        raise ValueError(f"{path}: not a federation_transfer document")
+    cells = {}
+    for cell in doc.get("matrix", []):
+        cells[(cell["train"], cell["eval"])] = float(cell["auc"])
+    if not cells:
+        raise ValueError(f"{path}: empty transfer matrix")
+    return cells
+
+
+def run_federation_gate(args):
+    baseline = load_transfer_matrix(args.baseline)
+    current = load_transfer_matrix(args.current)
+
+    label = f" [{args.label}]" if args.label else ""
+    print(f"perf-gate{label} (federation transfer)")
+    print(f"  {'train->eval':<24}  {'base auc':>8}  {'cur auc':>8}  "
+          f"{'delta':>8}  verdict")
+    failures = []
+    for pair in sorted(baseline):
+        name = f"{pair[0]}->{pair[1]}"
+        base_auc = baseline[pair]
+        if pair not in current:
+            print(f"  {name:<24}  {base_auc:>8.4f}  {'-':>8}  {'-':>8}  "
+                  "MISSING")
+            failures.append(f"{name}: present in baseline but missing "
+                            "from current transfer matrix")
+            continue
+        cur_auc = current[pair]
+        delta = cur_auc - base_auc
+        if delta < -args.threshold:
+            verdict = "REGRESSION"
+            failures.append(
+                f"{name}: AUC {base_auc:.4f} -> {cur_auc:.4f} "
+                f"({delta:+.4f} < -{args.threshold:.4f} allowed)")
+        elif delta > args.threshold:
+            verdict = "IMPROVED"
+        else:
+            verdict = "ok"
+        print(f"  {name:<24}  {base_auc:>8.4f}  {cur_auc:>8.4f}  "
+              f"{delta:>+8.4f}  {verdict}")
+    for pair in sorted(set(current) - set(baseline)):
+        print(f"  {pair[0] + '->' + pair[1]:<24}  {'-':>8}  "
+              f"{current[pair]:>8.4f}  {'-':>8}  NEW")
+
+    if failures and not args.report_only:
+        print(f"perf-gate: FAIL ({len(failures)} problem(s), allowed AUC "
+              f"drop {args.threshold:.4f}):", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    if failures:
+        print(f"perf-gate: {len(failures)} problem(s) ignored "
+              "(--report-only)")
+    else:
+        print("perf-gate: OK")
+    return 0
+
+
 def run_gate(argv):
     parser = argparse.ArgumentParser(prog="perf_gate.py")
     parser.add_argument("baseline")
     parser.add_argument("current")
-    parser.add_argument("--threshold", type=float, default=0.15,
+    parser.add_argument("--threshold", type=float, default=None,
                         help="allowed fractional real_time increase "
-                             "(default 0.15 = 15%%)")
+                             "(default 0.15 = 15%%); in --federation "
+                             "mode, allowed absolute AUC drop "
+                             "(default 0.05)")
     parser.add_argument("--report-only", action="store_true",
                         help="print the delta table but always exit 0")
     parser.add_argument("--label", default="",
@@ -247,10 +328,21 @@ def run_gate(argv):
     parser.add_argument("--serve", action="store_true",
                         help="gate bench_serve loadgen JSON instead of "
                              "google-benchmark JSON")
+    parser.add_argument("--federation", action="store_true",
+                        help="gate cats_cli transfer-eval JSON (absolute "
+                             "AUC-drop threshold, default 0.05)")
     args = parser.parse_args(argv)
 
+    if args.serve and args.federation:
+        parser.error("--serve and --federation are mutually exclusive")
+    if args.threshold is None:
+        # 0.15 is a fractional slowdown; an AUC only has 1.0 of headroom
+        # total, so the federation default is an absolute 0.05 drop.
+        args.threshold = 0.05 if args.federation else 0.15
     if args.serve:
         return run_serve_gate(args)
+    if args.federation:
+        return run_federation_gate(args)
 
     baseline = load_benchmarks(args.baseline)
     current = load_benchmarks(args.current)
@@ -280,7 +372,9 @@ def self_test():
     a missing bench must fail, and --report-only must always pass. Serve
     mode: losing a sustained QPS step fails, p99 regression at the gated
     step fails, a clean faster run passes, and the legacy single-curve
-    schema is still readable as a baseline."""
+    schema is still readable as a baseline. Federation mode: an AUC drop
+    beyond the threshold fails, a small wobble passes, a dropped
+    (train, eval) pair fails, and a new platform's cells never fail."""
     import tempfile
     import os
 
@@ -362,6 +456,34 @@ def self_test():
             serve_step(100, 2000.0), serve_step(200, 4000.0)],
             curves_schema=False))
 
+        def fed_doc(cells):
+            return {"bench": "federation_transfer",
+                    "platforms": sorted({c[0] for c in cells}),
+                    "matrix": [{"train": t, "eval": e, "auc": auc,
+                                "items": 100} for t, e, auc in cells]}
+
+        fed_base = write("fed_base.json", fed_doc([
+            ("taobao", "taobao", 0.99), ("taobao", "bazaar", 0.90),
+            ("bazaar", "taobao", 0.88), ("bazaar", "bazaar", 0.98)]))
+        # taobao->bazaar transfer collapses by 0.10 (> 0.05 allowed).
+        fed_drop = write("fed_drop.json", fed_doc([
+            ("taobao", "taobao", 0.99), ("taobao", "bazaar", 0.80),
+            ("bazaar", "taobao", 0.88), ("bazaar", "bazaar", 0.98)]))
+        # Every cell wobbles within the allowed 0.05.
+        fed_wobble = write("fed_wobble.json", fed_doc([
+            ("taobao", "taobao", 0.97), ("taobao", "bazaar", 0.92),
+            ("bazaar", "taobao", 0.86), ("bazaar", "bazaar", 0.99)]))
+        # bazaar vanished from the matrix entirely.
+        fed_missing = write("fed_missing.json", fed_doc([
+            ("taobao", "taobao", 0.99)]))
+        # A third platform joined the federation: new cells, old intact.
+        fed_grown = write("fed_grown.json", fed_doc([
+            ("taobao", "taobao", 0.99), ("taobao", "bazaar", 0.90),
+            ("bazaar", "taobao", 0.88), ("bazaar", "bazaar", 0.98),
+            ("jademall", "jademall", 0.97), ("jademall", "taobao", 0.85),
+            ("taobao", "jademall", 0.87), ("bazaar", "jademall", 0.84),
+            ("jademall", "bazaar", 0.83)]))
+
         ok = True
         ok &= expect("20% slowdown fails", [base, slow20], 1)
         ok &= expect("10% slowdown passes", [base, slow10], 0)
@@ -382,6 +504,22 @@ def self_test():
                      ["--serve", serve_legacy, serve_faster], 0)
         ok &= expect("serve: report-only never fails",
                      ["--serve", serve_base, serve_dropped,
+                      "--report-only"], 0)
+        ok &= expect("federation: identical matrix passes",
+                     ["--federation", fed_base, fed_base], 0)
+        ok &= expect("federation: 0.10 AUC drop fails",
+                     ["--federation", fed_base, fed_drop], 1)
+        ok &= expect("federation: within-threshold wobble passes",
+                     ["--federation", fed_base, fed_wobble], 0)
+        ok &= expect("federation: dropped platform pair fails",
+                     ["--federation", fed_base, fed_missing], 1)
+        ok &= expect("federation: new platform's cells pass",
+                     ["--federation", fed_base, fed_grown], 0)
+        ok &= expect("federation: looser threshold tolerates the drop",
+                     ["--federation", fed_base, fed_drop,
+                      "--threshold", "0.2"], 0)
+        ok &= expect("federation: report-only never fails",
+                     ["--federation", fed_base, fed_missing,
                       "--report-only"], 0)
 
     if not ok:

@@ -14,6 +14,12 @@
 #   BENCH_drift.json    — bench/bench_drift (drift-detector hot path,
 #                         warm-start retrain, and the arms-race
 #                         adversary-strength-vs-AUC counters)
+#   BENCH_federation.json — examples/cats_cli transfer-eval (the N x N
+#                         cross-platform transfer-AUC matrix: train a
+#                         detector on each built-in platform, score every
+#                         other; single-threaded word2vec makes the
+#                         output deterministic, so this file only changes
+#                         when detection quality actually moves)
 # Diffing these files across commits is how a perf regression (or the
 # claimed speedup of an optimization PR) is reviewed.
 #
@@ -26,7 +32,8 @@ build_dir="${2:-$root/build}"
 
 cmake -B "$build_dir" -S "$root" >/dev/null
 cmake --build "$build_dir" -j "$(nproc 2>/dev/null || echo 4)" \
-      --target bench_perf_ml bench_perf_pipeline bench_serve bench_drift >/dev/null
+      --target bench_perf_ml bench_perf_pipeline bench_serve bench_drift \
+               cats_cli >/dev/null
 
 # The build step above swallows its output; never limp past a bench that
 # didn't actually get built (a silently missing binary would leave a stale
@@ -38,6 +45,11 @@ for bench in bench_perf_ml bench_perf_pipeline bench_serve bench_drift; do
     exit 1
   fi
 done
+if [ ! -x "$build_dir/examples/cats_cli" ]; then
+  echo "perf-baseline: FATAL: $build_dir/examples/cats_cli missing or not" \
+       "executable after build" >&2
+  exit 1
+fi
 
 # Snapshot the committed baselines so the regeneration can be diffed
 # against them (scripts/perf_gate.py --report-only prints the per-bench
@@ -45,7 +57,8 @@ done
 # perf lane is what gates).
 snapshot_dir="$build_dir/perf_baseline_prev"
 mkdir -p "$snapshot_dir"
-for f in BENCH_ml.json BENCH_pipeline.json BENCH_serve.json BENCH_drift.json; do
+for f in BENCH_ml.json BENCH_pipeline.json BENCH_serve.json \
+         BENCH_drift.json BENCH_federation.json; do
   [ -f "$root/$f" ] && cp "$root/$f" "$snapshot_dir/$f"
 done
 
@@ -60,6 +73,10 @@ echo "== perf-baseline: bench_serve -> $root/BENCH_serve.json"
 
 echo "== perf-baseline: bench_drift -> $root/BENCH_drift.json"
 "$build_dir/bench/bench_drift" --json="$root/BENCH_drift.json"
+
+echo "== perf-baseline: cats_cli transfer-eval -> $root/BENCH_federation.json"
+"$build_dir/examples/cats_cli" transfer-eval \
+    --out "$root/BENCH_federation.json"
 
 if command -v python3 >/dev/null 2>&1; then
   echo "== perf-baseline: delta vs previously committed baselines"
@@ -76,6 +93,14 @@ if command -v python3 >/dev/null 2>&1; then
     python3 "$root/scripts/perf_gate.py" --serve \
             "$snapshot_dir/BENCH_serve.json" "$root/BENCH_serve.json" \
             --report-only --label serve
+  fi
+  # BENCH_federation.json is transfer-eval's AUC-matrix schema; the
+  # --federation mode compares per-cell AUC with an absolute-drop bound.
+  if [ -f "$snapshot_dir/BENCH_federation.json" ]; then
+    python3 "$root/scripts/perf_gate.py" --federation \
+            "$snapshot_dir/BENCH_federation.json" \
+            "$root/BENCH_federation.json" \
+            --report-only --label federation
   fi
 else
   echo "perf-baseline: python3 not found, skipping delta tables" >&2

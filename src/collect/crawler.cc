@@ -63,6 +63,7 @@ void RecordCrawlMetrics(const CrawlStats& stats, int breaker_state) {
 Crawler::Crawler(platform::MarketplaceApi* api, const CrawlerOptions& options,
                  VirtualClock* clock)
     : api_(api),
+      normalizer_(&api->profile()),
       options_(options),
       limiter_(options.requests_per_second, options.burst, clock,
                options.pacing_chunk_micros),
@@ -95,7 +96,8 @@ void Crawler::OnPageSuccess() {
 Result<Page> Crawler::FetchPage(const std::string& base_path,
                                 size_t page_index) {
   const std::string path =
-      StrFormat("%s?page=%zu", base_path.c_str(), page_index);
+      base_path +
+      api_->profile().PageQuery(page_index, api_->page_size());
   for (size_t attempt = 0;; ++attempt) {
     if (options_.breaker_failure_threshold > 0 && !breaker_.AllowRequest()) {
       // Breaker open: sleep out the pause instead of hammering a platform
@@ -118,7 +120,8 @@ Result<Page> Crawler::FetchPage(const std::string& base_path,
     std::optional<int64_t> retry_after;
     Status failure;
     if (response.ok()) {
-      Result<Page> parsed = ParsePage(*response);
+      Result<Page> parsed =
+          normalizer_.ParsePage(*response, api_->page_size());
       if (parsed.ok() && parsed->page == page_index) {
         breaker_.RecordSuccess();
         backoff_.Reset();
@@ -170,25 +173,25 @@ Status Crawler::FetchAllPages(
     const std::function<Status(const JsonValue&)>& consume) {
   if (cursor->complete) return Status::OK();
   size_t page = cursor->next_page;
-  size_t total_pages = page + 1;
-  while (page < total_pages) {
+  for (;;) {
     Result<Page> parsed = FetchPage(base_path, page);
     if (!parsed.ok()) {
       if (parsed.status().code() == StatusCode::kOutOfRange) {
-        // total_pages was over-reported from a stale snapshot; the walk
-        // actually ended earlier. A clean end, not an error.
+        // The platform over-reported what remains (stale total_pages, or a
+        // stale next_cursor pointing past the end); the walk actually ended
+        // earlier. A clean end, not an error.
         ++stats_.pagination_probes;
         break;
       }
       return parsed.status();
     }
     ++stats_.pages_fetched;
-    total_pages = parsed->total_pages;
     for (const JsonValue& record : parsed->data) {
       CATS_RETURN_NOT_OK(consume(record));
     }
     ++page;
     cursor->next_page = page;
+    if (!parsed->has_more) break;
   }
   cursor->complete = true;
   return Status::OK();
@@ -209,13 +212,14 @@ Status Crawler::Crawl(DataStore* store, CrawlCheckpoint* checkpoint) {
                                    .GetLatencyHistogram(
                                        obs::kCrawlerCrawlLatencyMicros));
 
+  const platform::PlatformProfile& profile = api_->profile();
   Status status = Status::OK();
   if (!checkpoint->complete) {
     // Step 1: all shop homepages.
-    status = FetchAllPages("/shops", &checkpoint->shops,
+    status = FetchAllPages(profile.ShopsRoute(), &checkpoint->shops,
                            [&](const JsonValue& v) {
-                             CATS_ASSIGN_OR_RETURN(ShopRecord shop,
-                                                   ParseShopRecord(v));
+                             CATS_ASSIGN_OR_RETURN(
+                                 ShopRecord shop, normalizer_.NormalizeShop(v));
                              if (store->AddShop(std::move(shop))) {
                                ++stats_.shops;
                              }
@@ -229,10 +233,10 @@ Status Crawler::Crawl(DataStore* store, CrawlCheckpoint* checkpoint) {
       const ShopRecord& shop = store->shops()[s];
       PageCursor* items_cursor = &checkpoint->shop_items[shop.shop_id];
       status = FetchAllPages(
-          StrFormat("/shops/%llu/items",
-                    static_cast<unsigned long long>(shop.shop_id)),
-          items_cursor, [&](const JsonValue& v) {
-            CATS_ASSIGN_OR_RETURN(ItemRecord item, ParseItemRecord(v));
+          profile.ItemsRoute(shop.shop_id), items_cursor,
+          [&](const JsonValue& v) {
+            CATS_ASSIGN_OR_RETURN(ItemRecord item,
+                                  normalizer_.NormalizeItem(v));
             if (store->AddItem(std::move(item))) ++stats_.items;
             return Status::OK();
           });
@@ -243,11 +247,10 @@ Status Crawler::Crawl(DataStore* store, CrawlCheckpoint* checkpoint) {
         PageCursor* comments_cursor = &checkpoint->item_comments[item_id];
         if (comments_cursor->complete) continue;
         status = FetchAllPages(
-            StrFormat("/items/%llu/comments",
-                      static_cast<unsigned long long>(item_id)),
-            comments_cursor, [&](const JsonValue& v) {
+            profile.CommentsRoute(item_id), comments_cursor,
+            [&](const JsonValue& v) {
               CATS_ASSIGN_OR_RETURN(CommentRecord comment,
-                                    ParseCommentRecord(v));
+                                    normalizer_.NormalizeComment(v));
               if (store->AddComment(std::move(comment))) ++stats_.comments;
               return Status::OK();
             });

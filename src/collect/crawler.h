@@ -8,6 +8,7 @@
 
 #include "collect/backoff.h"
 #include "collect/circuit_breaker.h"
+#include "collect/normalizer.h"
 #include "collect/rate_limiter.h"
 #include "collect/store.h"
 #include "platform/api.h"
@@ -96,7 +97,11 @@ struct CrawlCheckpoint {
 /// The data collector (paper §IV-A): walks the platform's public endpoints
 /// — all shop homepages, each shop's items, each item's comments — through
 /// a rate limiter, deduplicating records into a DataStore. Substitutes for
-/// the Scrapy deployment on three servers.
+/// the Scrapy deployment on three servers. Routes, query strings and
+/// response envelopes follow the platform's PlatformProfile (taken from
+/// the API), so the same crawler walks page-numbered, offset/limit and
+/// cursor-token platforms; records are normalized into canonical form by
+/// the SchemaNormalizer before they reach the store.
 ///
 /// Hardened against everything fault::FaultPlan injects: exponential
 /// backoff with decorrelated jitter (Retry-After hints honored), adaptive
@@ -162,6 +167,9 @@ class Crawler {
   void OnPageSuccess();
 
   platform::MarketplaceApi* api_;  // not owned
+  /// Maps the platform's wire dialect (api_->profile()) to the canonical
+  /// records the store and detection plane consume.
+  SchemaNormalizer normalizer_;
   CrawlerOptions options_;
   RateLimiter limiter_;
   VirtualClock* clock_;            // not owned

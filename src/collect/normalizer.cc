@@ -1,0 +1,158 @@
+#include "collect/normalizer.h"
+
+#include "util/string_util.h"
+
+namespace cats::collect {
+namespace {
+
+Result<const JsonValue*> Field(const JsonValue& v, const std::string& key) {
+  const JsonValue* f = v.Get(key);
+  if (f == nullptr) return Status::NotFound("missing key '" + key + "'");
+  return f;
+}
+
+Result<uint64_t> FieldId(const platform::PlatformProfile& p,
+                         const JsonValue& v, const std::string& key,
+                         const std::string& prefix) {
+  CATS_ASSIGN_OR_RETURN(const JsonValue* f, Field(v, key));
+  Result<uint64_t> id = p.DecodeId(*f, prefix);
+  if (!id.ok()) {
+    return Status::ParseError("key '" + key +
+                              "': " + id.status().message());
+  }
+  return id;
+}
+
+}  // namespace
+
+Result<ShopRecord> SchemaNormalizer::NormalizeShop(const JsonValue& v) const {
+  const platform::PlatformProfile& p = *profile_;
+  ShopRecord r;
+  CATS_ASSIGN_OR_RETURN(r.shop_id,
+                        FieldId(p, v, p.shop.id, p.shop_id_prefix));
+  CATS_ASSIGN_OR_RETURN(r.shop_url, v.GetString(p.shop.url));
+  CATS_ASSIGN_OR_RETURN(r.shop_name, v.GetString(p.shop.name));
+  return r;
+}
+
+Result<ItemRecord> SchemaNormalizer::NormalizeItem(const JsonValue& v) const {
+  const platform::PlatformProfile& p = *profile_;
+  ItemRecord r;
+  CATS_ASSIGN_OR_RETURN(r.item_id,
+                        FieldId(p, v, p.item.id, p.item_id_prefix));
+  CATS_ASSIGN_OR_RETURN(r.shop_id,
+                        FieldId(p, v, p.item.shop_id, p.shop_id_prefix));
+  CATS_ASSIGN_OR_RETURN(r.item_name, v.GetString(p.item.name));
+  CATS_ASSIGN_OR_RETURN(r.price, v.GetDouble(p.item.price));
+  CATS_ASSIGN_OR_RETURN(r.sales_volume, v.GetInt(p.item.sales));
+  CATS_ASSIGN_OR_RETURN(r.category, v.GetString(p.item.category));
+  return r;
+}
+
+Result<CommentRecord> SchemaNormalizer::NormalizeComment(
+    const JsonValue& v) const {
+  const platform::PlatformProfile& p = *profile_;
+  CommentRecord r;
+  CATS_ASSIGN_OR_RETURN(r.item_id,
+                        FieldId(p, v, p.comment.item_id, p.item_id_prefix));
+  CATS_ASSIGN_OR_RETURN(r.comment_id,
+                        FieldId(p, v, p.comment.id, p.comment_id_prefix));
+  CATS_ASSIGN_OR_RETURN(r.content, v.GetString(p.comment.content));
+  CATS_ASSIGN_OR_RETURN(r.nickname, v.GetString(p.comment.nickname));
+  {
+    CATS_ASSIGN_OR_RETURN(const JsonValue* rep,
+                          Field(v, p.comment.reputation));
+    CATS_ASSIGN_OR_RETURN(r.user_exp_value, p.DecodeReputation(*rep));
+  }
+  {
+    CATS_ASSIGN_OR_RETURN(std::string client, v.GetString(p.comment.client));
+    r.client = p.DecodeClient(client);
+  }
+  {
+    CATS_ASSIGN_OR_RETURN(const JsonValue* date, Field(v, p.comment.date));
+    CATS_ASSIGN_OR_RETURN(r.date, p.DecodeDate(*date));
+  }
+  return r;
+}
+
+Result<Page> SchemaNormalizer::ParsePage(const std::string& body,
+                                         size_t page_size) const {
+  const platform::PlatformProfile& p = *profile_;
+  CATS_ASSIGN_OR_RETURN(JsonValue doc, JsonValue::Parse(body));
+  if (!doc.is_object()) {
+    return Status::ParseError("page body is not an object");
+  }
+  const JsonValue* env = &doc;
+  if (!p.envelope.wrapper.empty()) {
+    env = doc.GetPath(p.envelope.wrapper);
+    if (env == nullptr || !env->is_object()) {
+      return Status::ParseError("page body missing envelope wrapper '" +
+                                p.envelope.wrapper + "'");
+    }
+  }
+
+  Page page;
+  switch (p.pagination) {
+    case platform::PaginationStyle::kPageNumber: {
+      CATS_ASSIGN_OR_RETURN(int64_t pg, env->GetInt(p.envelope.key_page));
+      CATS_ASSIGN_OR_RETURN(int64_t tp,
+                            env->GetInt(p.envelope.key_total_pages));
+      page.page = static_cast<size_t>(pg);
+      page.total_pages = static_cast<size_t>(tp);
+      page.has_more = page.page + 1 < page.total_pages;
+      break;
+    }
+    case platform::PaginationStyle::kOffsetLimit: {
+      CATS_ASSIGN_OR_RETURN(int64_t off, env->GetInt(p.envelope.key_offset));
+      CATS_ASSIGN_OR_RETURN(int64_t total,
+                            env->GetInt(p.envelope.key_total));
+      if (off < 0 || total < 0 || page_size == 0 ||
+          off % static_cast<int64_t>(page_size) != 0) {
+        return Status::ParseError(
+            StrFormat("bad offset window offset=%lld total=%lld",
+                      static_cast<long long>(off),
+                      static_cast<long long>(total)));
+      }
+      page.page = static_cast<size_t>(off) / page_size;
+      page.total_pages =
+          (static_cast<size_t>(total) + page_size - 1) / page_size;
+      page.has_more = page.page + 1 < page.total_pages;
+      break;
+    }
+    case platform::PaginationStyle::kCursorToken: {
+      CATS_ASSIGN_OR_RETURN(std::string echo,
+                            env->GetString(p.envelope.key_cursor));
+      CATS_ASSIGN_OR_RETURN(std::string next,
+                            env->GetString(p.envelope.key_next_cursor));
+      if (echo.empty()) {
+        page.page = 0;
+      } else {
+        if (!StartsWith(echo, p.cursor_prefix)) {
+          return Status::ParseError("bad cursor echo: " + echo);
+        }
+        uint64_t idx = 0;
+        for (size_t i = p.cursor_prefix.size(); i < echo.size(); ++i) {
+          char c = echo[i];
+          if (c < '0' || c > '9') {
+            return Status::ParseError("bad cursor echo: " + echo);
+          }
+          idx = idx * 10 + static_cast<uint64_t>(c - '0');
+        }
+        page.page = static_cast<size_t>(idx);
+      }
+      page.has_more = !next.empty();
+      page.total_pages = page.page + (page.has_more ? 2 : 1);
+      break;
+    }
+  }
+
+  const JsonValue* data = env->Get(p.envelope.key_data);
+  if (data == nullptr || !data->is_array()) {
+    return Status::ParseError("page body has no data array");
+  }
+  page.data.reserve(data->size());
+  for (size_t i = 0; i < data->size(); ++i) page.data.push_back(data->at(i));
+  return page;
+}
+
+}  // namespace cats::collect

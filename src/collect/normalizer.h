@@ -1,0 +1,40 @@
+#ifndef CATS_COLLECT_NORMALIZER_H_
+#define CATS_COLLECT_NORMALIZER_H_
+
+#include <string>
+
+#include "collect/record.h"
+#include "platform/profile.h"
+#include "util/result.h"
+
+namespace cats::collect {
+
+/// The federation's normalization stage: maps one platform's wire dialect
+/// (field names, envelope shape, id / reputation / client / date
+/// encodings — platform/profile.h) into the canonical Record structs and
+/// the canonical Page view the crawler and detection plane consume. With
+/// the canonical profile this is exactly the historical parser, so a
+/// single-platform crawl is unchanged byte for byte.
+class SchemaNormalizer {
+ public:
+  explicit SchemaNormalizer(const platform::PlatformProfile* profile)
+      : profile_(profile) {}
+
+  Result<ShopRecord> NormalizeShop(const JsonValue& v) const;
+  Result<ItemRecord> NormalizeItem(const JsonValue& v) const;
+  Result<CommentRecord> NormalizeComment(const JsonValue& v) const;
+
+  /// Parses one paginated response body (unwrapping any envelope wrapper)
+  /// into the canonical Page view: a page index, the records, and whether
+  /// the walk has more pages. `page_size` is needed for offset arithmetic.
+  Result<Page> ParsePage(const std::string& body, size_t page_size) const;
+
+  const platform::PlatformProfile& profile() const { return *profile_; }
+
+ private:
+  const platform::PlatformProfile* profile_;  // not owned
+};
+
+}  // namespace cats::collect
+
+#endif  // CATS_COLLECT_NORMALIZER_H_

@@ -91,6 +91,7 @@ Result<Page> ParsePage(const std::string& body) {
   CATS_ASSIGN_OR_RETURN(int64_t tp, doc.GetInt("total_pages"));
   page.page = static_cast<size_t>(p);
   page.total_pages = static_cast<size_t>(tp);
+  page.has_more = page.page + 1 < page.total_pages;
   const JsonValue* data = doc.Get("data");
   if (data == nullptr || !data->is_array()) {
     return Status::ParseError("page body has no data array");

@@ -49,13 +49,23 @@ JsonValue ShopRecordToJson(const ShopRecord& r);
 JsonValue ItemRecordToJson(const ItemRecord& r);
 JsonValue CommentRecordToJson(const CommentRecord& r);
 
-/// A paginated API response: {"page":K,"total_pages":N,"data":[...]}.
+/// A paginated API response, normalized to a canonical view regardless of
+/// the platform's pagination dialect (page-number, offset/limit or cursor
+/// chain — see collect/normalizer.h). Canonically
+/// {"page":K,"total_pages":N,"data":[...]}.
 struct Page {
   size_t page = 0;
+  /// Meaningful for counted styles; cursor-token platforms never report a
+  /// total and get a synthetic lower bound. The crawler's continuation
+  /// decision is `has_more`, not this.
   size_t total_pages = 0;
+  /// Whether the walk has at least one more page after this one.
+  bool has_more = false;
   std::vector<JsonValue> data;
 };
 
+/// Canonical-dialect page parser (SchemaNormalizer generalizes this to any
+/// platform profile).
 Result<Page> ParsePage(const std::string& body);
 
 }  // namespace cats::collect

@@ -1,0 +1,155 @@
+#include "federate/federation.h"
+
+#include <thread>
+#include <utility>
+
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+#include "obs/stage_trace.h"
+#include "platform/api.h"
+
+namespace cats::federate {
+namespace {
+
+/// Runs one shard end to end: generate the platform, stand up its API with
+/// the shard's weather, crawl through the shard's own crawler, and bank
+/// the ground truth the accounting and training stages need. Fully
+/// self-contained (no shared mutable state), so shards run concurrently.
+ShardReport RunShard(const ShardConfig& config,
+                     const platform::SyntheticLanguage& language) {
+  ShardReport report;
+  report.platform_id = config.spec.profile.platform_id;
+
+  platform::Marketplace market =
+      platform::Marketplace::Generate(config.spec.market, &language);
+
+  fault::FakeClock clock;
+  platform::ApiOptions api_options;
+  api_options.page_size = config.page_size;
+  api_options.profile = config.spec.profile;
+  api_options.faults = config.spec.default_weather;
+  api_options.data_faults = config.data_faults;
+  api_options.seed = config.spec.api_seed;
+  api_options.clock = &clock;
+  platform::MarketplaceApi api(&market, api_options);
+
+  collect::Crawler crawler(&api, config.crawler, &clock);
+  report.status = crawler.Crawl(&report.store, &report.checkpoint);
+  report.stats = crawler.stats();
+
+  report.truth_shops = market.shops().size();
+  report.truth_items = market.items().size();
+  report.truth_fraud_items = market.NumFraudItems();
+  report.labels.reserve(market.items().size());
+  for (const collect::CollectedItem& ci : report.store.items()) {
+    report.labels[ci.item.item_id] =
+        market.IsFraudItem(ci.item.item_id) ? 1 : 0;
+  }
+  report.sentiment_corpus =
+      market.BuildSentimentCorpus(2000, config.spec.market.seed ^ 0x5E17);
+  report.poisoned_items = api.data_poisoned_items().size();
+  report.degraded_items = api.data_degraded_items().size();
+  report.duplicate_comment_ids = api.data_duplicate_comment_ids();
+  return report;
+}
+
+void MirrorShardMetrics(const ShardReport& report) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  registry.GetCounter(obs::kFederationShardsTotal)->Increment();
+  if (!report.ok()) {
+    registry.GetCounter(obs::kFederationShardFailuresTotal)->Increment();
+  }
+  const std::string& id = report.platform_id;
+  registry.GetCounter(obs::WithPlatform(obs::kFederationShardItemsTotal, id))
+      ->Increment(report.stats.items);
+  registry
+      .GetCounter(obs::WithPlatform(obs::kFederationShardCommentsTotal, id))
+      ->Increment(report.stats.comments);
+  registry
+      .GetCounter(obs::WithPlatform(obs::kFederationShardRequestsTotal, id))
+      ->Increment(report.stats.requests);
+  registry
+      .GetCounter(obs::WithPlatform(obs::kFederationShardRetriesTotal, id))
+      ->Increment(report.stats.retries);
+  registry
+      .GetCounter(obs::WithPlatform(obs::kFederationShardDuplicatesTotal, id))
+      ->Increment(report.stats.duplicates_dropped);
+}
+
+}  // namespace
+
+FederationReport CrawlFederation(const std::vector<ShardConfig>& shards,
+                                 const platform::SyntheticLanguage& language,
+                                 bool parallel) {
+  obs::ScopedTimer timer(obs::MetricsRegistry::Global().GetLatencyHistogram(
+      obs::kFederationCrawlLatencyMicros));
+  FederationReport report;
+  report.shards.resize(shards.size());
+  if (parallel && shards.size() > 1) {
+    std::vector<std::thread> workers;
+    workers.reserve(shards.size());
+    for (size_t i = 0; i < shards.size(); ++i) {
+      workers.emplace_back([&, i] {
+        report.shards[i] = RunShard(shards[i], language);
+      });
+    }
+    for (std::thread& w : workers) w.join();
+  } else {
+    for (size_t i = 0; i < shards.size(); ++i) {
+      report.shards[i] = RunShard(shards[i], language);
+    }
+  }
+  for (const ShardReport& shard : report.shards) MirrorShardMetrics(shard);
+  return report;
+}
+
+Result<std::vector<ShardConfig>> BuiltinShards(
+    const std::vector<std::string>& platforms, double scale, uint64_t seed) {
+  std::vector<ShardConfig> shards;
+  shards.reserve(platforms.size());
+  for (size_t i = 0; i < platforms.size(); ++i) {
+    CATS_ASSIGN_OR_RETURN(platform::PlatformSpec spec,
+                          platform::BuiltinPlatform(platforms[i], scale));
+    ShardConfig shard;
+    shard.spec = std::move(spec);
+    if (seed != 0) {
+      // Reseed deterministically per shard; keep markets distinct even
+      // when the same platform appears twice.
+      shard.spec.market.seed = seed + 0x9E3779B97F4A7C15ull * (i + 1);
+    }
+    shards.push_back(std::move(shard));
+  }
+  return shards;
+}
+
+MergedFederation MergeShards(const FederationReport& report) {
+  MergedFederation merged;
+  size_t total_items = 0;
+  for (const ShardReport& shard : report.shards) {
+    total_items += shard.store.items().size();
+  }
+  merged.items.reserve(total_items);
+  merged.labels.reserve(total_items);
+  merged.shard_of.reserve(total_items);
+  for (size_t s = 0; s < report.shards.size(); ++s) {
+    const ShardReport& shard = report.shards[s];
+    const uint64_t offset = (s + 1) * kFederationIdStride;
+    for (const collect::CollectedItem& ci : shard.store.items()) {
+      collect::CollectedItem copy = ci;
+      copy.item.item_id += offset;
+      copy.item.shop_id += offset;
+      for (collect::CommentRecord& c : copy.comments) {
+        c.item_id += offset;
+        c.comment_id += offset;
+      }
+      auto label = shard.labels.find(ci.item.item_id);
+      merged.labels.push_back(
+          label != shard.labels.end() ? label->second : 0);
+      merged.shard_of.push_back(s);
+      merged.items.push_back(std::move(copy));
+    }
+  }
+  return merged;
+}
+
+}  // namespace cats::federate

@@ -1,0 +1,104 @@
+#ifndef CATS_FEDERATE_FEDERATION_H_
+#define CATS_FEDERATE_FEDERATION_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "collect/crawler.h"
+#include "collect/store.h"
+#include "fault/data_fault_plan.h"
+#include "platform/profile.h"
+#include "util/status.h"
+
+namespace cats::federate {
+
+/// One crawler shard of the federation: a platform (wire profile + market
+/// shape + its characteristic weather) plus the shard's own crawl tuning.
+/// Each shard runs an independent Crawler — own fault plan, own backoff and
+/// breaker state, own checkpoint — against its own MarketplaceApi.
+struct ShardConfig {
+  platform::PlatformSpec spec;
+  collect::CrawlerOptions crawler;
+  size_t page_size = 50;
+  /// Per-shard record dirtiness, on top of the spec's transport weather.
+  fault::DataFaultProfile data_faults = fault::DataFaultProfile::None();
+};
+
+/// What one shard's crawl produced: the normalized store, the crawl stats
+/// and checkpoint, and the ground truth needed for exact per-platform
+/// accounting (what the simulated platform actually holds vs. what the
+/// crawl banked) and for training/evaluation labels.
+struct ShardReport {
+  std::string platform_id;
+  Status status = Status::OK();
+  collect::DataStore store;
+  collect::CrawlStats stats;
+  collect::CrawlCheckpoint checkpoint;
+  /// Ground truth from the simulated marketplace.
+  size_t truth_shops = 0;
+  size_t truth_items = 0;
+  size_t truth_fraud_items = 0;
+  std::unordered_map<uint64_t, int> labels;  // item_id -> fraud label
+  /// Sentiment training docs generated from this platform's own review
+  /// culture (platform-local labeled corpus for the semantic analyzer).
+  std::vector<std::pair<std::string, bool>> sentiment_corpus;
+  /// Data-fault accounting from the API (what was served dirty).
+  size_t poisoned_items = 0;
+  size_t degraded_items = 0;
+  uint64_t duplicate_comment_ids = 0;
+
+  bool ok() const { return status.ok(); }
+};
+
+struct FederationReport {
+  std::vector<ShardReport> shards;
+  bool all_ok() const {
+    for (const ShardReport& s : shards) {
+      if (!s.ok()) return false;
+    }
+    return true;
+  }
+};
+
+/// Crawls every shard — concurrently when `parallel` (each shard is fully
+/// self-contained: own API, clock, fault plan, crawler) — normalizing each
+/// platform's wire dialect into canonical records. All platforms share
+/// `language` (the paper's cross-platform premise: one language, many
+/// marketplaces), which must outlive the call; Marketplace generation from
+/// a shared language is read-only on it and thread-safe.
+///
+/// Mirrors per-shard volumes into the process registry under the
+/// `federation.shard.*` names with a `{platform=<id>}` dimension.
+FederationReport CrawlFederation(const std::vector<ShardConfig>& shards,
+                                 const platform::SyntheticLanguage& language,
+                                 bool parallel = true);
+
+/// Builds the N shard configs for the named built-in platforms at `scale`
+/// (platform/profile.h BuiltinPlatform). `seed` != 0 reseeds each market
+/// deterministically per shard so two federations can differ end to end.
+Result<std::vector<ShardConfig>> BuiltinShards(
+    const std::vector<std::string>& platforms, double scale,
+    uint64_t seed = 0);
+
+/// Id-namespacing stride for merged stores: shard i's entity ids map to
+/// id + (i+1) * kFederationIdStride, so records from different platforms
+/// can never collide in the single detection plane. 2^40 leaves room for
+/// both the simulator's dense ids and the id-prefix encodings.
+inline constexpr uint64_t kFederationIdStride = 1ull << 40;
+
+/// The federation's single detection plane input: every shard's items
+/// merged into one vector with namespaced ids, plus aligned labels and the
+/// owning shard index per item.
+struct MergedFederation {
+  std::vector<collect::CollectedItem> items;
+  std::vector<int> labels;         // aligned with items
+  std::vector<size_t> shard_of;    // aligned with items
+};
+
+MergedFederation MergeShards(const FederationReport& report);
+
+}  // namespace cats::federate
+
+#endif  // CATS_FEDERATE_FEDERATION_H_

@@ -1,0 +1,175 @@
+#include "federate/transfer_eval.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "ml/metrics.h"
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+#include "platform/language_model.h"
+#include "platform/presets.h"
+
+namespace cats::federate {
+
+double TransferReport::MinInPlatformAuc() const {
+  double min_auc = 1.0;
+  const size_t n = platforms.size();
+  for (size_t i = 0; i < n; ++i) min_auc = std::min(min_auc, AucAt(i, i));
+  return min_auc;
+}
+
+double TransferReport::MinCrossAuc() const {
+  double min_auc = 1.0;
+  const size_t n = platforms.size();
+  for (size_t t = 0; t < n; ++t) {
+    for (size_t e = 0; e < n; ++e) {
+      if (t != e) min_auc = std::min(min_auc, AucAt(t, e));
+    }
+  }
+  return min_auc;
+}
+
+double TransferReport::MaxDegradation() const {
+  double max_drop = 0.0;
+  const size_t n = platforms.size();
+  for (size_t t = 0; t < n; ++t) {
+    for (size_t e = 0; e < n; ++e) {
+      if (t != e) max_drop = std::max(max_drop, AucAt(e, e) - AucAt(t, e));
+    }
+  }
+  return max_drop;
+}
+
+JsonValue TransferReport::ToJson() const {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("bench", JsonValue::String("federation_transfer"));
+  JsonValue names = JsonValue::Array();
+  for (const std::string& p : platforms) names.Append(JsonValue::String(p));
+  doc.Set("platforms", std::move(names));
+  JsonValue matrix = JsonValue::Array();
+  for (const TransferCell& cell : cells) {
+    JsonValue row = JsonValue::Object();
+    row.Set("train", JsonValue::String(cell.train_platform));
+    row.Set("eval", JsonValue::String(cell.eval_platform));
+    row.Set("auc", JsonValue::Number(cell.auc));
+    row.Set("items", JsonValue::Int(static_cast<int64_t>(cell.items)));
+    matrix.Append(std::move(row));
+  }
+  doc.Set("matrix", std::move(matrix));
+  JsonValue shards = JsonValue::Array();
+  for (const ShardReport& shard : federation.shards) {
+    JsonValue row = JsonValue::Object();
+    row.Set("platform", JsonValue::String(shard.platform_id));
+    row.Set("items",
+            JsonValue::Int(static_cast<int64_t>(shard.store.items().size())));
+    row.Set("comments",
+            JsonValue::Int(static_cast<int64_t>(shard.store.num_comments())));
+    row.Set("requests",
+            JsonValue::Int(static_cast<int64_t>(shard.stats.requests)));
+    shards.Append(std::move(row));
+  }
+  doc.Set("shards", std::move(shards));
+  JsonValue summary = JsonValue::Object();
+  summary.Set("min_in_platform_auc", JsonValue::Number(MinInPlatformAuc()));
+  summary.Set("min_cross_platform_auc", JsonValue::Number(MinCrossAuc()));
+  summary.Set("max_transfer_degradation",
+              JsonValue::Number(MaxDegradation()));
+  doc.Set("summary", std::move(summary));
+  return doc;
+}
+
+Result<TransferReport> RunTransferEval(const TransferEvalOptions& options) {
+  TransferReport report;
+  report.platforms = options.platforms.empty()
+                         ? platform::BuiltinPlatformNames()
+                         : options.platforms;
+  const size_t n = report.platforms.size();
+  if (n == 0) {
+    return Status::InvalidArgument("transfer-eval needs >= 1 platform");
+  }
+
+  platform::SyntheticLanguage language(platform::DefaultLanguageOptions());
+  CATS_ASSIGN_OR_RETURN(
+      std::vector<ShardConfig> shards,
+      BuiltinShards(report.platforms, options.scale, options.seed));
+  report.federation =
+      CrawlFederation(shards, language, options.parallel_crawl);
+  for (const ShardReport& shard : report.federation.shards) {
+    if (!shard.ok()) {
+      return Status::Internal("shard '" + shard.platform_id +
+                              "' crawl failed: " +
+                              shard.status.message());
+    }
+    if (shard.store.items().empty()) {
+      return Status::Internal("shard '" + shard.platform_id +
+                              "' crawled no items");
+    }
+  }
+
+  // Train one full pipeline per platform: semantic model from that
+  // platform's own crawled comments (vocabulary / culture skew included),
+  // detector on that platform's ground-truth labels. Word2vec is pinned to
+  // one thread: Hogwild's benign races would make the committed benchmark
+  // non-reproducible.
+  core::CatsOptions cats_options = options.cats;
+  cats_options.semantic.word2vec.num_threads = 1;
+  std::vector<std::unique_ptr<core::Cats>> detectors;
+  detectors.reserve(n);
+  for (size_t t = 0; t < n; ++t) {
+    const ShardReport& shard = report.federation.shards[t];
+    std::vector<std::string> corpus;
+    corpus.reserve(shard.store.num_comments());
+    std::vector<int> labels;
+    labels.reserve(shard.store.items().size());
+    for (const collect::CollectedItem& ci : shard.store.items()) {
+      auto it = shard.labels.find(ci.item.item_id);
+      labels.push_back(it != shard.labels.end() ? it->second : 0);
+      for (const collect::CommentRecord& c : ci.comments) {
+        corpus.push_back(c.content);
+      }
+    }
+    auto cats_system = std::make_unique<core::Cats>(cats_options);
+    CATS_RETURN_NOT_OK(cats_system->BuildSemanticModel(
+        corpus, language.BuildSegmentationDictionary(),
+        language.PositiveSeeds(options.seed_words),
+        language.NegativeSeeds(options.seed_words),
+        shard.sentiment_corpus));
+    CATS_RETURN_NOT_OK(
+        cats_system->TrainDetector(shard.store.items(), labels));
+    detectors.push_back(std::move(cats_system));
+  }
+
+  // Score every platform with every detector. Feature extraction depends
+  // on the *training* platform's semantic model, so each cell extracts
+  // through its own detector's extractor.
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  report.cells.resize(n * n);
+  double min_auc = 1.0;
+  for (size_t t = 0; t < n; ++t) {
+    for (size_t e = 0; e < n; ++e) {
+      const ShardReport& eval_shard = report.federation.shards[e];
+      std::vector<core::FeatureVector> features =
+          detectors[t]->detector().extractor().ExtractAll(
+              eval_shard.store.items());
+      CATS_ASSIGN_OR_RETURN(std::vector<double> scores,
+                            detectors[t]->detector().ScoreFeatures(features));
+      std::vector<int> truth;
+      truth.reserve(eval_shard.store.items().size());
+      for (const collect::CollectedItem& ci : eval_shard.store.items()) {
+        auto it = eval_shard.labels.find(ci.item.item_id);
+        truth.push_back(it != eval_shard.labels.end() ? it->second : 0);
+      }
+      TransferCell& cell = report.cells[t * n + e];
+      cell.train_platform = report.platforms[t];
+      cell.eval_platform = report.platforms[e];
+      cell.items = eval_shard.store.items().size();
+      cell.auc = ml::RocAuc(truth, scores);
+      min_auc = std::min(min_auc, cell.auc);
+      registry.GetCounter(obs::kFederationTransferEvalsTotal)->Increment();
+    }
+  }
+  registry.GetGauge(obs::kFederationTransferAucMin)->Set(min_auc);
+  return report;
+}
+
+}  // namespace cats::federate

@@ -1,0 +1,75 @@
+#ifndef CATS_FEDERATE_TRANSFER_EVAL_H_
+#define CATS_FEDERATE_TRANSFER_EVAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/cats.h"
+#include "federate/federation.h"
+#include "util/json.h"
+#include "util/result.h"
+
+namespace cats::federate {
+
+/// Configuration for the cross-platform transfer evaluation: crawl N
+/// platforms, train one detector per platform, score every platform with
+/// every detector, and report the N x N AUC matrix. The paper's central
+/// claim (§VII) is that the pipeline transfers across platforms; this is
+/// the regression harness for it.
+struct TransferEvalOptions {
+  /// Built-in platform names (platform/profile.h); empty = all built-ins.
+  std::vector<std::string> platforms;
+  double scale = 0.02;
+  /// 0 keeps each preset's own market seed; otherwise reseeds per shard.
+  uint64_t seed = 0;
+  /// Seed words per polarity for the lexicon expansion.
+  size_t seed_words = 4;
+  /// Pipeline options for the per-platform training runs. Word2vec is
+  /// forced single-threaded regardless (Hogwild is non-deterministic;
+  /// the committed BENCH_federation.json must reproduce bit for bit).
+  core::CatsOptions cats;
+  bool parallel_crawl = true;
+};
+
+/// One cell of the transfer matrix: the detector trained on
+/// `train_platform` scored on `eval_platform`'s crawl.
+struct TransferCell {
+  std::string train_platform;
+  std::string eval_platform;
+  double auc = 0.0;
+  size_t items = 0;  // evaluated items (the eval platform's crawl volume)
+};
+
+struct TransferReport {
+  std::vector<std::string> platforms;
+  /// N x N cells, row-major: cells[train * N + eval].
+  std::vector<TransferCell> cells;
+  /// Per-shard crawl accounting (items/comments banked per platform).
+  FederationReport federation;
+
+  double AucAt(size_t train_index, size_t eval_index) const {
+    return cells[train_index * platforms.size() + eval_index].auc;
+  }
+  /// Worst diagonal cell (train == eval).
+  double MinInPlatformAuc() const;
+  /// Worst off-diagonal cell (train != eval).
+  double MinCrossAuc() const;
+  /// Worst transfer penalty: max over train != eval of
+  /// (in-platform AUC of the eval platform) - (transfer AUC). Negative
+  /// means transfer beat the local detector everywhere.
+  double MaxDegradation() const;
+
+  /// The BENCH_federation.json document (scripts/perf_gate.py
+  /// --federation consumes this shape).
+  JsonValue ToJson() const;
+};
+
+/// Runs the full evaluation. Deterministic for fixed options: the crawl is
+/// virtual-clock driven, the markets are seeded, and word2vec runs
+/// single-threaded.
+Result<TransferReport> RunTransferEval(const TransferEvalOptions& options);
+
+}  // namespace cats::federate
+
+#endif  // CATS_FEDERATE_TRANSFER_EVAL_H_

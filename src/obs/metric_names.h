@@ -1,6 +1,7 @@
 #ifndef CATS_OBS_METRIC_NAMES_H_
 #define CATS_OBS_METRIC_NAMES_H_
 
+#include <string>
 #include <string_view>
 
 namespace cats::obs {
@@ -318,6 +319,44 @@ inline constexpr std::string_view kDriftRetrainRejectedTotal =
     "drift.retrain.rejected_total";
 inline constexpr std::string_view kDriftRetrainWindowExamples =
     "drift.retrain.window_examples";
+
+// --- federate::CrawlFederation / RunTransferEval (federation plane) ---
+// Per-shard counters carry a `{platform=<id>}` dimension via WithPlatform;
+// the bare names below are what docs/METRICS.md documents.
+inline constexpr std::string_view kFederationShardsTotal =
+    "federation.shards_total";
+inline constexpr std::string_view kFederationShardFailuresTotal =
+    "federation.shard_failures_total";
+inline constexpr std::string_view kFederationCrawlLatencyMicros =
+    "federation.crawl_latency_micros";
+inline constexpr std::string_view kFederationShardItemsTotal =
+    "federation.shard.items_total";
+inline constexpr std::string_view kFederationShardCommentsTotal =
+    "federation.shard.comments_total";
+inline constexpr std::string_view kFederationShardRequestsTotal =
+    "federation.shard.requests_total";
+inline constexpr std::string_view kFederationShardRetriesTotal =
+    "federation.shard.retries_total";
+inline constexpr std::string_view kFederationShardDuplicatesTotal =
+    "federation.shard.duplicates_dropped_total";
+inline constexpr std::string_view kFederationTransferEvalsTotal =
+    "federation.transfer_evals_total";
+inline constexpr std::string_view kFederationTransferAucMin =
+    "federation.transfer.auc_min";
+
+/// Appends the per-platform dimension to a base metric name:
+/// `crawler.items_total` -> `crawler.items_total{platform=bazaar}`.
+/// The registry treats each dimensioned name as its own series; dashboards
+/// strip the brace suffix to aggregate. Keep the base name a constant from
+/// this header so the docs check still sees every metric family.
+inline std::string WithPlatform(std::string_view base,
+                                std::string_view platform_id) {
+  std::string name(base);
+  name += "{platform=";
+  name += platform_id;
+  name += "}";
+  return name;
+}
 
 }  // namespace cats::obs
 

@@ -36,16 +36,45 @@ size_t ShiftedBegin(const PageRange& r, const fault::FaultDecision& f) {
   return r.begin > f.shift ? r.begin - f.shift : 0;
 }
 
-std::string WrapPage(size_t page, size_t total_pages,
-                     const fault::FaultDecision& f, JsonValue data) {
+/// Builds the page envelope in the profile's pagination dialect, applying
+/// the stale-total fault: page-number and offset styles over-report the
+/// total, the cursor style emits a next_cursor pointing past the real end —
+/// either way the crawler's next probe answers OutOfRange.
+std::string WrapPage(const PlatformProfile& p, size_t page, size_t total_pages,
+                     size_t page_size, const fault::FaultDecision& f,
+                     JsonValue data) {
   if (f.kind == fault::FaultKind::kStaleTotalPages) {
     total_pages += f.stale_extra_pages;
   }
-  JsonValue doc = JsonValue::Object();
-  doc.Set("page", JsonValue::Int(static_cast<int64_t>(page)));
-  doc.Set("total_pages", JsonValue::Int(static_cast<int64_t>(total_pages)));
-  doc.Set("data", std::move(data));
-  return doc.Serialize();
+  JsonValue inner = JsonValue::Object();
+  switch (p.pagination) {
+    case PaginationStyle::kPageNumber:
+      inner.Set(p.envelope.key_page, JsonValue::Int(static_cast<int64_t>(page)));
+      inner.Set(p.envelope.key_total_pages,
+                JsonValue::Int(static_cast<int64_t>(total_pages)));
+      break;
+    case PaginationStyle::kOffsetLimit:
+      inner.Set(p.envelope.key_offset,
+                JsonValue::Int(static_cast<int64_t>(page * page_size)));
+      inner.Set(p.envelope.key_total,
+                JsonValue::Int(static_cast<int64_t>(total_pages * page_size)));
+      break;
+    case PaginationStyle::kCursorToken:
+      inner.Set(p.envelope.key_cursor, JsonValue::String(p.CursorForPage(page)));
+      inner.Set(p.envelope.key_next_cursor,
+                JsonValue::String(page + 1 < total_pages
+                                      ? p.CursorForPage(page + 1)
+                                      : std::string()));
+      break;
+  }
+  inner.Set(p.envelope.key_data, std::move(data));
+  if (p.envelope.wrapper.empty()) return inner.Serialize();
+  JsonValue outer = JsonValue::Object();
+  if (!p.envelope.status_key.empty()) {
+    outer.Set(p.envelope.status_key, JsonValue::Int(p.envelope.status_value));
+  }
+  outer.Set(p.envelope.wrapper, std::move(inner));
+  return outer.Serialize();
 }
 
 /// Parses "<prefix><number><suffix>" routes; dst receives the number.
@@ -60,6 +89,74 @@ bool ConsumeUint(std::string_view* s, uint64_t* dst) {
   *dst = v;
   s->remove_prefix(i);
   return true;
+}
+
+/// Consumes a path id in the profile's wire style (plain digits, or
+/// prefix + digits for kPrefixedString).
+bool ConsumePathId(const PlatformProfile& p, const std::string& prefix,
+                   std::string_view* s, uint64_t* dst) {
+  if (p.id_style == IdWireStyle::kPrefixedString) {
+    if (s->substr(0, prefix.size()) != prefix) return false;
+    s->remove_prefix(prefix.size());
+  }
+  return ConsumeUint(s, dst);
+}
+
+/// Resolves the query string to a page index per the profile's pagination
+/// style. The canonical dialect keeps its historical leniency (strtoull on
+/// the value); structural violations are InvalidArgument.
+Result<size_t> ParsePageQuery(const PlatformProfile& p, std::string_view query,
+                              size_t page_size) {
+  const Status unsupported =
+      Status::InvalidArgument("unsupported query: " + std::string(query));
+  switch (p.pagination) {
+    case PaginationStyle::kPageNumber: {
+      const std::string want = p.query_page + "=";
+      if (!StartsWith(query, want)) return unsupported;
+      return static_cast<size_t>(std::strtoull(
+          std::string(query.substr(want.size())).c_str(), nullptr, 10));
+    }
+    case PaginationStyle::kOffsetLimit: {
+      const std::string off_key = p.query_offset + "=";
+      if (!StartsWith(query, off_key)) return unsupported;
+      query.remove_prefix(off_key.size());
+      size_t amp = query.find('&');
+      if (amp == std::string_view::npos) return unsupported;
+      uint64_t offset = std::strtoull(
+          std::string(query.substr(0, amp)).c_str(), nullptr, 10);
+      std::string_view rest = query.substr(amp + 1);
+      const std::string lim_key = p.query_limit + "=";
+      if (!StartsWith(rest, lim_key)) return unsupported;
+      uint64_t limit = std::strtoull(
+          std::string(rest.substr(lim_key.size())).c_str(), nullptr, 10);
+      if (limit != page_size || offset % page_size != 0) {
+        return Status::InvalidArgument(
+            StrFormat("unsupported window offset=%llu limit=%llu",
+                      static_cast<unsigned long long>(offset),
+                      static_cast<unsigned long long>(limit)));
+      }
+      return static_cast<size_t>(offset / page_size);
+    }
+    case PaginationStyle::kCursorToken: {
+      const std::string cur_key = p.query_cursor + "=";
+      if (!StartsWith(query, cur_key)) return unsupported;
+      std::string_view token = query.substr(cur_key.size());
+      if (token.empty()) return size_t{0};
+      if (!StartsWith(token, p.cursor_prefix)) {
+        return Status::InvalidArgument("bad cursor token: " +
+                                       std::string(token));
+      }
+      token.remove_prefix(p.cursor_prefix.size());
+      uint64_t page = 0;
+      std::string_view digits = token;
+      if (!ConsumeUint(&digits, &page) || !digits.empty()) {
+        return Status::InvalidArgument("bad cursor token: " +
+                                       std::string(token));
+      }
+      return static_cast<size_t>(page);
+    }
+  }
+  return unsupported;
 }
 
 }  // namespace
@@ -84,39 +181,44 @@ Result<std::string> MarketplaceApi::Get(std::string_view path) {
       break;
   }
 
-  // Split query string.
+  // Split query string and resolve it to a page index in the profile's
+  // pagination dialect.
+  const PlatformProfile& prof = options_.profile;
   size_t page = 0;
   std::string_view route = path;
   size_t qpos = path.find('?');
   if (qpos != std::string_view::npos) {
     route = path.substr(0, qpos);
-    std::string_view query = path.substr(qpos + 1);
-    if (StartsWith(query, "page=")) {
-      page = static_cast<size_t>(
-          std::strtoull(std::string(query.substr(5)).c_str(), nullptr, 10));
-    } else {
-      return Status::InvalidArgument("unsupported query: " +
-                                     std::string(query));
-    }
+    Result<size_t> parsed_page =
+        ParsePageQuery(prof, path.substr(qpos + 1), options_.page_size);
+    if (!parsed_page.ok()) return parsed_page.status();
+    page = *parsed_page;
   }
 
   Result<std::string> body = Status::NotFound("no route for " +
                                               std::string(path));
   bool routed = false;
-  if (route == "/shops") {
+  const std::string shops_route = "/" + prof.shops_segment;
+  const std::string shops_prefix = shops_route + "/";
+  const std::string items_prefix = "/" + prof.items_segment + "/";
+  const std::string items_suffix = "/" + prof.items_segment;
+  const std::string comments_suffix = "/" + prof.comments_segment;
+  if (route == shops_route) {
     body = ServeShops(page, fault);
     routed = true;
-  } else if (StartsWith(route, "/shops/")) {
-    std::string_view rest = route.substr(7);
+  } else if (StartsWith(route, shops_prefix)) {
+    std::string_view rest = route.substr(shops_prefix.size());
     uint64_t shop_id = 0;
-    if (ConsumeUint(&rest, &shop_id) && rest == "/items") {
+    if (ConsumePathId(prof, prof.shop_id_prefix, &rest, &shop_id) &&
+        rest == items_suffix) {
       body = ServeItems(shop_id, page, fault);
       routed = true;
     }
-  } else if (StartsWith(route, "/items/")) {
-    std::string_view rest = route.substr(7);
+  } else if (StartsWith(route, items_prefix)) {
+    std::string_view rest = route.substr(items_prefix.size());
     uint64_t item_id = 0;
-    if (ConsumeUint(&rest, &item_id) && rest == "/comments") {
+    if (ConsumePathId(prof, prof.item_id_prefix, &rest, &item_id) &&
+        rest == comments_suffix) {
       body = ServeComments(item_id, page, fault);
       routed = true;
     }
@@ -137,12 +239,13 @@ Result<std::string> MarketplaceApi::ServeShops(size_t page,
   if (page >= r.total_pages) {
     return Status::OutOfRange(StrFormat("page %zu past end", page));
   }
+  const PlatformProfile& prof = options_.profile;
   JsonValue data = JsonValue::Array();
-  auto append = [&data](const Shop& s) {
+  auto append = [&](const Shop& s) {
     JsonValue rec = JsonValue::Object();
-    rec.Set("shop_id", JsonValue::String(std::to_string(s.id)));
-    rec.Set("shop_url", JsonValue::String(s.url));
-    rec.Set("shop_name", JsonValue::String(s.name));
+    rec.Set(prof.shop.id, prof.EncodeId(s.id, prof.shop_id_prefix));
+    rec.Set(prof.shop.url, JsonValue::String(s.url));
+    rec.Set(prof.shop.name, JsonValue::String(s.name));
     data.Append(std::move(rec));
   };
   size_t begin = ShiftedBegin(r, f);
@@ -154,7 +257,8 @@ Result<std::string> MarketplaceApi::ServeShops(size_t page,
       append(shops[i]);
     }
   }
-  return WrapPage(page, r.total_pages, f, std::move(data));
+  return WrapPage(prof, page, r.total_pages, options_.page_size, f,
+                  std::move(data));
 }
 
 Result<std::string> MarketplaceApi::ServeItems(uint64_t shop_id, size_t page,
@@ -191,13 +295,15 @@ Result<std::string> MarketplaceApi::ServeItems(uint64_t shop_id, size_t page,
       default:
         break;
     }
+    const PlatformProfile& prof = options_.profile;
     JsonValue rec = JsonValue::Object();
-    rec.Set("item_id", JsonValue::String(std::to_string(item.id)));
-    rec.Set("shop_id", JsonValue::String(std::to_string(item.shop_id)));
-    rec.Set("item_name", JsonValue::String(item.name));
-    rec.Set("price", JsonValue::Number(price));
-    rec.Set("sales_volume", JsonValue::Int(sales_volume));
-    rec.Set("category",
+    rec.Set(prof.item.id, prof.EncodeId(item.id, prof.item_id_prefix));
+    rec.Set(prof.item.shop_id,
+            prof.EncodeId(item.shop_id, prof.shop_id_prefix));
+    rec.Set(prof.item.name, JsonValue::String(item.name));
+    rec.Set(prof.item.price, JsonValue::Number(price));
+    rec.Set(prof.item.sales, JsonValue::Int(sales_volume));
+    rec.Set(prof.item.category,
             JsonValue::String(std::string(ItemCategoryName(item.category))));
     data.Append(std::move(rec));
   };
@@ -211,7 +317,8 @@ Result<std::string> MarketplaceApi::ServeItems(uint64_t shop_id, size_t page,
       append(item);
     }
   }
-  return WrapPage(page, r.total_pages, f, std::move(data));
+  return WrapPage(options_.profile, page, r.total_pages, options_.page_size,
+                  f, std::move(data));
 }
 
 Result<std::string> MarketplaceApi::ServeComments(
@@ -262,16 +369,21 @@ Result<std::string> MarketplaceApi::ServeComments(
         break;
     }
     const User& user = marketplace_->users()[c.user_id];
+    const PlatformProfile& prof = options_.profile;
     JsonValue rec = JsonValue::Object();
-    rec.Set("item_id", JsonValue::String(std::to_string(c.item_id)));
-    rec.Set("comment_id", JsonValue::String(std::to_string(comment_id)));
-    rec.Set("comment_content", JsonValue::String(content));
-    rec.Set("nickname", JsonValue::String(user.nickname));
-    // Listing 2 serializes userExpValue as a string.
-    rec.Set("userExpValue", JsonValue::String(std::to_string(user.exp_value)));
-    rec.Set("client_information",
-            JsonValue::String(std::string(ClientTypeName(c.client))));
-    rec.Set("date", JsonValue::String(c.date));
+    rec.Set(prof.comment.item_id,
+            prof.EncodeId(c.item_id, prof.item_id_prefix));
+    rec.Set(prof.comment.id,
+            prof.EncodeId(comment_id, prof.comment_id_prefix));
+    rec.Set(prof.comment.content, JsonValue::String(content));
+    rec.Set(prof.comment.nickname, JsonValue::String(user.nickname));
+    // Canonically a string (Listing 2); other platforms run their own
+    // scales — jademall multiplies points, bazaar buckets into levels.
+    rec.Set(prof.comment.reputation, prof.EncodeReputation(user.exp_value));
+    rec.Set(prof.comment.client,
+            JsonValue::String(
+                prof.EncodeClient(ClientTypeName(c.client))));
+    rec.Set(prof.comment.date, prof.EncodeDate(c.date));
     data.Append(std::move(rec));
   };
   size_t begin = ShiftedBegin(r, f);
@@ -284,7 +396,8 @@ Result<std::string> MarketplaceApi::ServeComments(
       append(c);
     }
   }
-  return WrapPage(page, r.total_pages, f, std::move(data));
+  return WrapPage(options_.profile, page, r.total_pages, options_.page_size,
+                  f, std::move(data));
 }
 
 }  // namespace cats::platform

@@ -10,12 +10,18 @@
 #include "fault/data_fault_plan.h"
 #include "fault/fault_plan.h"
 #include "platform/marketplace.h"
+#include "platform/profile.h"
 #include "util/result.h"
 
 namespace cats::platform {
 
 struct ApiOptions {
   size_t page_size = 50;
+  /// The platform's wire identity (platform/profile.h): route names,
+  /// pagination convention, envelope shape, field names and value
+  /// encodings. The default is the canonical (paper Listing 2) wire,
+  /// byte-identical to the pre-profile MarketplaceApi.
+  PlatformProfile profile;
   /// Deterministic fault schedule the API draws from (fault/fault_plan.h).
   /// Defaults to FaultProfile::Mild() — the background noise (transient
   /// 503s, duplicated records) every crawl used to see; set to
@@ -35,14 +41,17 @@ struct ApiOptions {
 /// exactly the public-domain data the paper's crawler scrapes (§IV-A).
 /// Ground-truth fields (is_fraud, hired, from_campaign) are never serialized.
 ///
-/// Routes:
+/// Canonical routes (ApiOptions::profile renames every segment, field and
+/// encoding per platform — see platform/profile.h):
 ///   /shops?page=K                  -> shop_id, shop_url, shop_name
 ///   /shops/<id>/items?page=K      -> item_id, item_name, price,
 ///                                     sales_volume, category
 ///   /items/<id>/comments?page=K   -> item_id, comment_id, comment_content,
 ///                                     nickname, userExpValue,
 ///                                     client_information, date
-/// Responses: {"page":K,"total_pages":N,"data":[...]}.
+/// Canonical responses: {"page":K,"total_pages":N,"data":[...]}; other
+/// profiles paginate by offset/limit or cursor token and may nest the
+/// envelope under a wrapper key.
 ///
 /// Every request consults the seeded fault::FaultPlan, which can answer
 /// with 429s (Retry-After in the Status message), 5xx bursts, truncated or
@@ -75,6 +84,7 @@ class MarketplaceApi {
   /// when the request errors out first, e.g. a past-the-end page).
   uint64_t corrupted_bodies() const { return corrupted_bodies_; }
   size_t page_size() const { return options_.page_size; }
+  const PlatformProfile& profile() const { return options_.profile; }
   const fault::FaultPlan& fault_plan() const { return plan_; }
   const fault::DataFaultPlan& data_fault_plan() const { return data_plan_; }
 

@@ -1,0 +1,435 @@
+#include "platform/profile.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "platform/presets.h"
+#include "util/string_util.h"
+
+namespace cats::platform {
+namespace {
+
+/// Canonical client labels, indexed like ClientType (entities.h).
+constexpr std::array<std::string_view, 4> kCanonicalClients = {
+    "Web", "Android", "iPhone", "WeChat"};
+
+/// Proleptic-Gregorian day count from civil date (Howard Hinnant's
+/// days_from_civil) — the epoch conversion for DateWire::kEpochSeconds.
+int64_t DaysFromCivil(int64_t y, unsigned m, unsigned d) {
+  y -= m <= 2;
+  const int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + static_cast<int64_t>(doe) - 719468;
+}
+
+void CivilFromDays(int64_t z, int64_t* y, unsigned* m, unsigned* d) {
+  z += 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int64_t yy = static_cast<int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  *d = doy - (153 * mp + 2) / 5 + 1;
+  *m = mp < 10 ? mp + 3 : mp - 9;
+  *y = yy + (*m <= 2);
+}
+
+struct CivilTime {
+  int64_t year = 2017;
+  unsigned month = 9, day = 1, hour = 0, minute = 0, second = 0;
+};
+
+bool ParseIso(const std::string& iso, CivilTime* t) {
+  long long y = 0;
+  unsigned mo = 0, dd = 0, hh = 0, mi = 0, ss = 0;
+  if (std::sscanf(iso.c_str(), "%lld-%u-%u %u:%u:%u", &y, &mo, &dd, &hh, &mi,
+                  &ss) != 6) {
+    return false;
+  }
+  if (mo < 1 || mo > 12 || dd < 1 || dd > 31 || hh > 23 || mi > 59 ||
+      ss > 59) {
+    return false;
+  }
+  t->year = y;
+  t->month = mo;
+  t->day = dd;
+  t->hour = hh;
+  t->minute = mi;
+  t->second = ss;
+  return true;
+}
+
+std::string FormatIso(const CivilTime& t, char date_sep) {
+  return StrFormat("%04lld%c%02u%c%02u %02u:%02u:%02u",
+                   static_cast<long long>(t.year), date_sep, t.month, date_sep,
+                   t.day, t.hour, t.minute, t.second);
+}
+
+}  // namespace
+
+const PlatformProfile& PlatformProfile::Canonical() {
+  static const PlatformProfile* canonical = new PlatformProfile();
+  return *canonical;
+}
+
+std::string PlatformProfile::PathId(uint64_t id,
+                                    const std::string& prefix) const {
+  if (id_style == IdWireStyle::kPrefixedString) {
+    return prefix + std::to_string(id);
+  }
+  return std::to_string(id);
+}
+
+std::string PlatformProfile::ItemsRoute(uint64_t shop_id) const {
+  return "/" + shops_segment + "/" + PathId(shop_id, shop_id_prefix) + "/" +
+         items_segment;
+}
+
+std::string PlatformProfile::CommentsRoute(uint64_t item_id) const {
+  return "/" + items_segment + "/" + PathId(item_id, item_id_prefix) + "/" +
+         comments_segment;
+}
+
+std::string PlatformProfile::CursorForPage(size_t page) const {
+  if (page == 0) return "";
+  return cursor_prefix + std::to_string(page);
+}
+
+std::string PlatformProfile::PageQuery(size_t page, size_t page_size) const {
+  switch (pagination) {
+    case PaginationStyle::kPageNumber:
+      return "?" + query_page + "=" + std::to_string(page);
+    case PaginationStyle::kOffsetLimit:
+      return "?" + query_offset + "=" + std::to_string(page * page_size) +
+             "&" + query_limit + "=" + std::to_string(page_size);
+    case PaginationStyle::kCursorToken:
+      return "?" + query_cursor + "=" + CursorForPage(page);
+  }
+  return "";
+}
+
+JsonValue PlatformProfile::EncodeId(uint64_t id,
+                                    const std::string& prefix) const {
+  switch (id_style) {
+    case IdWireStyle::kDecimalString:
+      return JsonValue::String(std::to_string(id));
+    case IdWireStyle::kNumber:
+      return JsonValue::Int(static_cast<int64_t>(id));
+    case IdWireStyle::kPrefixedString:
+      return JsonValue::String(prefix + std::to_string(id));
+  }
+  return JsonValue::Null();
+}
+
+Result<uint64_t> PlatformProfile::DecodeId(const JsonValue& wire,
+                                           const std::string& prefix) const {
+  if (id_style == IdWireStyle::kNumber) {
+    if (!wire.is_number()) return Status::ParseError("id is not a number");
+    int64_t v = wire.int_value();
+    if (v < 0) return Status::ParseError("id is negative");
+    return static_cast<uint64_t>(v);
+  }
+  if (!wire.is_string()) return Status::ParseError("id is not a string");
+  std::string_view s = wire.string_value();
+  if (id_style == IdWireStyle::kPrefixedString) {
+    if (s.substr(0, prefix.size()) != prefix) {
+      return Status::ParseError("id missing prefix '" + prefix + "'");
+    }
+    s.remove_prefix(prefix.size());
+  }
+  if (s.empty()) return Status::ParseError("id is empty");
+  uint64_t id = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') {
+      return Status::ParseError("id is not numeric: " + std::string(s));
+    }
+    id = id * 10 + static_cast<uint64_t>(c - '0');
+  }
+  return id;
+}
+
+JsonValue PlatformProfile::EncodeReputation(int64_t exp_value) const {
+  switch (reputation_wire) {
+    case ReputationWire::kRawString:
+      return JsonValue::String(std::to_string(exp_value));
+    case ReputationWire::kScaledNumber:
+      return JsonValue::Int(exp_value * reputation_scale);
+    case ReputationWire::kLevelNumber: {
+      // Member level L covers exp in [100 * 2^(L-1), 100 * 2^L).
+      int64_t level = 0;
+      int64_t bucket = exp_value / 100;
+      while (bucket > 0) {
+        bucket >>= 1;
+        ++level;
+      }
+      return JsonValue::Int(level);
+    }
+  }
+  return JsonValue::Null();
+}
+
+Result<int64_t> PlatformProfile::DecodeReputation(
+    const JsonValue& wire) const {
+  switch (reputation_wire) {
+    case ReputationWire::kRawString: {
+      if (!wire.is_string()) {
+        return Status::ParseError("reputation is not a string");
+      }
+      return static_cast<int64_t>(
+          std::strtoll(wire.string_value().c_str(), nullptr, 10));
+    }
+    case ReputationWire::kScaledNumber: {
+      if (!wire.is_number()) {
+        return Status::ParseError("reputation is not a number");
+      }
+      return wire.int_value() / (reputation_scale == 0 ? 1 : reputation_scale);
+    }
+    case ReputationWire::kLevelNumber: {
+      if (!wire.is_number()) {
+        return Status::ParseError("reputation level is not a number");
+      }
+      int64_t level = wire.int_value();
+      if (level <= 1) return 100;
+      if (level > 48) level = 48;  // keep the shift in range
+      return 100 * (int64_t{1} << (level - 1));
+    }
+  }
+  return Status::ParseError("unknown reputation wire");
+}
+
+std::string PlatformProfile::EncodeClient(std::string_view canonical) const {
+  for (size_t i = 0; i < kCanonicalClients.size(); ++i) {
+    if (canonical == kCanonicalClients[i]) return client_names[i];
+  }
+  return std::string(canonical);
+}
+
+std::string PlatformProfile::DecodeClient(std::string_view wire) const {
+  for (size_t i = 0; i < client_names.size(); ++i) {
+    if (wire == client_names[i]) return std::string(kCanonicalClients[i]);
+  }
+  return std::string(wire);
+}
+
+JsonValue PlatformProfile::EncodeDate(const std::string& iso_date) const {
+  switch (date_wire) {
+    case DateWire::kIsoLocal:
+      return JsonValue::String(iso_date);
+    case DateWire::kSlashLocal: {
+      CivilTime t;
+      if (!ParseIso(iso_date, &t)) return JsonValue::String(iso_date);
+      return JsonValue::String(FormatIso(t, '/'));
+    }
+    case DateWire::kEpochSeconds: {
+      CivilTime t;
+      if (!ParseIso(iso_date, &t)) return JsonValue::Int(0);
+      int64_t days = DaysFromCivil(t.year, t.month, t.day);
+      return JsonValue::Int(days * 86400 + t.hour * 3600 + t.minute * 60 +
+                            t.second);
+    }
+  }
+  return JsonValue::String(iso_date);
+}
+
+Result<std::string> PlatformProfile::DecodeDate(const JsonValue& wire) const {
+  switch (date_wire) {
+    case DateWire::kIsoLocal: {
+      if (!wire.is_string()) return Status::ParseError("date is not a string");
+      return wire.string_value();
+    }
+    case DateWire::kSlashLocal: {
+      if (!wire.is_string()) return Status::ParseError("date is not a string");
+      std::string iso = wire.string_value();
+      for (char& c : iso) {
+        if (c == '/') c = '-';
+      }
+      CivilTime t;
+      if (!ParseIso(iso, &t)) {
+        return Status::ParseError("malformed slash date: " +
+                                  wire.string_value());
+      }
+      return FormatIso(t, '-');
+    }
+    case DateWire::kEpochSeconds: {
+      if (!wire.is_number()) {
+        return Status::ParseError("epoch date is not a number");
+      }
+      int64_t epoch = wire.int_value();
+      int64_t days = epoch / 86400;
+      int64_t rem = epoch % 86400;
+      if (rem < 0) {
+        rem += 86400;
+        --days;
+      }
+      CivilTime t;
+      CivilFromDays(days, &t.year, &t.month, &t.day);
+      t.hour = static_cast<unsigned>(rem / 3600);
+      t.minute = static_cast<unsigned>((rem % 3600) / 60);
+      t.second = static_cast<unsigned>(rem % 60);
+      return FormatIso(t, '-');
+    }
+  }
+  return Status::ParseError("unknown date wire");
+}
+
+bool PlatformProfile::StructurallyDistinctFrom(
+    const PlatformProfile& other) const {
+  return pagination != other.pagination || id_style != other.id_style ||
+         reputation_wire != other.reputation_wire ||
+         date_wire != other.date_wire ||
+         envelope.wrapper != other.envelope.wrapper ||
+         envelope.key_data != other.envelope.key_data ||
+         shops_segment != other.shops_segment ||
+         items_segment != other.items_segment ||
+         comments_segment != other.comments_segment ||
+         shop.id != other.shop.id || item.id != other.item.id ||
+         comment.id != other.comment.id ||
+         comment.content != other.comment.content ||
+         client_names != other.client_names;
+}
+
+namespace {
+
+PlatformSpec TaobaoSpec(double scale) {
+  PlatformSpec spec;
+  spec.profile = PlatformProfile::Canonical();
+  spec.market = TaobaoD0Config(scale);
+  spec.market.name = "taobao";
+  spec.default_weather = fault::FaultProfile::Mild();
+  spec.api_seed = 99;
+  return spec;
+}
+
+PlatformSpec JademallSpec(double scale) {
+  PlatformSpec spec;
+  PlatformProfile& p = spec.profile;
+  p.platform_id = "jademall";
+  p.pagination = PaginationStyle::kOffsetLimit;
+  p.shops_segment = "sellers";
+  p.items_segment = "products";
+  p.comments_segment = "reviews";
+  p.envelope.wrapper = "result";
+  p.envelope.status_key = "code";
+  p.envelope.status_value = 0;
+  p.envelope.key_data = "records";
+  p.envelope.key_offset = "offset";
+  p.envelope.key_total = "total";
+  p.shop = {"sellerId", "homepage", "displayName"};
+  p.item = {"productId", "sellerId", "title",
+            "priceYuan", "monthlySales", "categoryName"};
+  p.comment = {"productId", "reviewId",  "body",      "buyerNick",
+               "repPoints", "channel", "reviewTime"};
+  p.id_style = IdWireStyle::kNumber;
+  p.reputation_wire = ReputationWire::kScaledNumber;
+  p.reputation_scale = 3;
+  p.client_names = {"web_h5", "android_app", "ios_app", "wechat_mini"};
+  p.date_wire = DateWire::kSlashLocal;
+
+  // Chatty review culture, web-leaning traffic, smaller but pushier crews.
+  MarketplaceConfig& m = spec.market;
+  m = TaobaoD0Config(scale);
+  m.name = "jademall";
+  m.seed = 0x1ADE;
+  m.mean_organic_comments_normal = 13.0;
+  m.benign_client_probs[0] = 0.32;
+  m.benign_client_probs[1] = 0.28;
+  m.benign_client_probs[2] = 0.22;
+  m.benign_client_probs[3] = 0.18;
+  m.benign_comments.mean_length_words = 12.0;
+  m.benign_comments.punctuation_prob = 0.10;
+  m.benign_comments.enthusiast_prob = 0.09;
+  m.campaign.crew_size = 18;
+  m.campaign.mean_spam_comments_per_item = 9.0;
+  m.campaign.stealth_campaign_prob = 0.18;
+  m.campaign.client_probs[0] = 0.45;
+  m.campaign.client_probs[1] = 0.30;
+  m.campaign.client_probs[2] = 0.15;
+  m.campaign.client_probs[3] = 0.10;
+  m.spam_comments.mean_length_words = 28.0;
+
+  // Aggressive rate limiting is jademall's defining transport regime.
+  fault::FaultProfile w = fault::FaultProfile::Mild();
+  w.rate_limit_prob = 0.05;
+  w.retry_after_min_micros = 50'000;
+  w.retry_after_max_micros = 400'000;
+  spec.default_weather = w;
+  spec.api_seed = 7601;
+  return spec;
+}
+
+PlatformSpec BazaarSpec(double scale) {
+  PlatformSpec spec;
+  PlatformProfile& p = spec.profile;
+  p.platform_id = "bazaar";
+  p.pagination = PaginationStyle::kCursorToken;
+  p.shops_segment = "vendors";
+  p.items_segment = "goods";
+  p.comments_segment = "feedback";
+  p.cursor_prefix = "tok-";
+  p.envelope.key_data = "listings";
+  p.envelope.key_cursor = "cursor";
+  p.envelope.key_next_cursor = "next_cursor";
+  p.shop = {"vendor_ref", "vendor_link", "vendor_label"};
+  p.item = {"goods_ref", "vendor_ref",  "goods_title",
+            "amount",    "units_moved", "kind"};
+  p.comment = {"goods_ref",    "feedback_ref", "text",     "handle",
+               "member_level", "client_app",   "posted_at"};
+  p.id_style = IdWireStyle::kPrefixedString;
+  p.shop_id_prefix = "V";
+  p.item_id_prefix = "G";
+  p.comment_id_prefix = "F";
+  p.reputation_wire = ReputationWire::kLevelNumber;
+  p.client_names = {"Desktop", "AndroidApp", "iOSApp", "WeChatMP"};
+  p.date_wire = DateWire::kEpochSeconds;
+
+  // Terse review culture, wechat-heavy buyers, stealth-heavy campaigns.
+  MarketplaceConfig& m = spec.market;
+  m = TaobaoD0Config(scale);
+  m.name = "bazaar";
+  m.seed = 0xBA2A;
+  m.mean_organic_comments_normal = 9.0;
+  m.mean_organic_comments_fraud = 2.0;
+  m.benign_client_probs[0] = 0.08;
+  m.benign_client_probs[1] = 0.35;
+  m.benign_client_probs[2] = 0.22;
+  m.benign_client_probs[3] = 0.35;
+  m.benign_comments.mean_length_words = 6.0;
+  m.benign_comments.short_comment_prob = 0.25;
+  m.benign_comments.enthusiast_prob = 0.02;
+  m.campaign.crew_size = 40;
+  m.campaign.mean_spam_comments_per_item = 14.0;
+  m.campaign.stealth_campaign_prob = 0.50;
+  m.spam_comments.mean_length_words = 24.0;
+  m.spam_comments.min_length_words = 8;
+
+  // Flaky fronting proxies: truncation, garbling, stale snapshots.
+  fault::FaultProfile w = fault::FaultProfile::Mild();
+  w.truncate_body_prob = 0.01;
+  w.garble_body_prob = 0.01;
+  w.slow_response_prob = 0.005;
+  w.stale_total_pages_prob = 0.01;
+  w.repagination_shift_prob = 0.01;
+  spec.default_weather = w;
+  spec.api_seed = 4133;
+  return spec;
+}
+
+}  // namespace
+
+Result<PlatformSpec> BuiltinPlatform(std::string_view name, double scale) {
+  if (name == "taobao") return TaobaoSpec(scale);
+  if (name == "jademall") return JademallSpec(scale);
+  if (name == "bazaar") return BazaarSpec(scale);
+  return Status::InvalidArgument("unknown platform preset: " +
+                                 std::string(name) +
+                                 " (builtins: taobao, jademall, bazaar)");
+}
+
+std::vector<std::string> BuiltinPlatformNames() {
+  return {"taobao", "jademall", "bazaar"};
+}
+
+}  // namespace cats::platform

@@ -1,0 +1,202 @@
+#ifndef CATS_PLATFORM_PROFILE_H_
+#define CATS_PLATFORM_PROFILE_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fault/fault_plan.h"
+#include "platform/marketplace.h"
+#include "util/json.h"
+#include "util/result.h"
+
+namespace cats::platform {
+
+/// How a platform paginates its list endpoints. The crawler never hardcodes
+/// one convention: it asks the profile how to build the next request and how
+/// to decide whether a walk has more pages.
+enum class PaginationStyle {
+  /// `?page=K` with a `{page, total_pages}` envelope (the canonical wire).
+  kPageNumber,
+  /// `?offset=O&limit=L` with `{offset, total}` record counts.
+  kOffsetLimit,
+  /// `?cursor=TOK` with a `{cursor, next_cursor}` token chain; the walk ends
+  /// when `next_cursor` comes back empty. No total is ever reported.
+  kCursorToken,
+};
+
+/// How entity ids appear on the wire.
+enum class IdWireStyle {
+  kDecimalString,   // "1374"  (canonical, Listing 2)
+  kNumber,          // 1374    (JSON integer; needs JsonValue's exact kInt)
+  kPrefixedString,  // "G1374" (typed opaque-looking references)
+};
+
+/// How the commenter's reputation is encoded. Canonical is the paper's
+/// stringly `userExpValue`; other platforms run their own scales.
+enum class ReputationWire {
+  kRawString,     // "27158720"
+  kScaledNumber,  // exp * scale as a JSON integer (lossless, own unit)
+  kLevelNumber,   // member level L with exp ~ 100 * 2^(L-1) (lossy buckets)
+};
+
+/// How comment timestamps are encoded.
+enum class DateWire {
+  kIsoLocal,      // "2017-09-14 13:22:05" (canonical)
+  kSlashLocal,    // "2017/09/14 13:22:05"
+  kEpochSeconds,  // 1505395325 as a JSON integer
+};
+
+/// Envelope field names (and optional nesting) of a paginated response.
+struct EnvelopeSchema {
+  /// Non-empty: the whole payload is nested under this key, i.e.
+  /// `{"<status_key>":<status_value>,"<wrapper>":{...}}`.
+  std::string wrapper;
+  std::string status_key;  // only emitted when wrapper is non-empty
+  int64_t status_value = 0;
+  std::string key_data = "data";
+  std::string key_page = "page";                // kPageNumber
+  std::string key_total_pages = "total_pages";  // kPageNumber
+  std::string key_offset = "offset";            // kOffsetLimit
+  std::string key_total = "total";              // kOffsetLimit
+  std::string key_cursor = "cursor";            // kCursorToken (echo)
+  std::string key_next_cursor = "next_cursor";  // kCursorToken
+};
+
+/// Per-record-type wire field names.
+struct ShopSchema {
+  std::string id = "shop_id";
+  std::string url = "shop_url";
+  std::string name = "shop_name";
+};
+struct ItemSchema {
+  std::string id = "item_id";
+  std::string shop_id = "shop_id";
+  std::string name = "item_name";
+  std::string price = "price";
+  std::string sales = "sales_volume";
+  std::string category = "category";
+};
+struct CommentSchema {
+  std::string item_id = "item_id";
+  std::string id = "comment_id";
+  std::string content = "comment_content";
+  std::string nickname = "nickname";
+  std::string reputation = "userExpValue";
+  std::string client = "client_information";
+  std::string date = "date";
+};
+
+/// Everything that makes one marketplace's public web surface *itself*:
+/// route names, pagination convention, envelope shape, record field names,
+/// id/reputation/client/date encodings. A default-constructed profile is
+/// the canonical (paper Listing 2) wire, byte-identical to what
+/// MarketplaceApi served before profiles existed; the other built-ins
+/// (profile.cc) differ structurally, not just by seed.
+///
+/// The profile is consulted by both sides: MarketplaceApi serializes
+/// through it, and collect::SchemaNormalizer parses wire records back into
+/// the canonical collect::Record structs through the same profile — so one
+/// detection plane consumes every platform.
+struct PlatformProfile {
+  std::string platform_id = "taobao";
+  PaginationStyle pagination = PaginationStyle::kPageNumber;
+
+  /// Route segments: `/<shops>`, `/<shops>/<id>/<items>`,
+  /// `/<items>/<id>/<comments>`.
+  std::string shops_segment = "shops";
+  std::string items_segment = "items";
+  std::string comments_segment = "comments";
+
+  /// Query parameter names per pagination style.
+  std::string query_page = "page";
+  std::string query_offset = "offset";
+  std::string query_limit = "limit";
+  std::string query_cursor = "cursor";
+  /// Cursor tokens are `<cursor_prefix><page>`; opaque to the crawler,
+  /// which only ever echoes what the server handed it.
+  std::string cursor_prefix = "pg-";
+
+  EnvelopeSchema envelope;
+  ShopSchema shop;
+  ItemSchema item;
+  CommentSchema comment;
+
+  IdWireStyle id_style = IdWireStyle::kDecimalString;
+  std::string shop_id_prefix = "S";     // kPrefixedString only
+  std::string item_id_prefix = "G";
+  std::string comment_id_prefix = "F";
+
+  ReputationWire reputation_wire = ReputationWire::kRawString;
+  int64_t reputation_scale = 1;  // kScaledNumber multiplier
+
+  /// Platform-local client labels, indexed like ClientType
+  /// (web, android, iphone, wechat). Canonical matches ClientTypeName.
+  std::array<std::string, 4> client_names = {"Web", "Android", "iPhone",
+                                             "WeChat"};
+
+  DateWire date_wire = DateWire::kIsoLocal;
+
+  /// The canonical profile (a default-constructed PlatformProfile).
+  static const PlatformProfile& Canonical();
+
+  // --- Path / query building (crawler side). ---
+  std::string ShopsRoute() const { return "/" + shops_segment; }
+  std::string ItemsRoute(uint64_t shop_id) const;
+  std::string CommentsRoute(uint64_t item_id) const;
+  /// The id as it appears inside a route path.
+  std::string PathId(uint64_t id, const std::string& prefix) const;
+  /// Cursor token for a page index ("" for page 0, the walk's start).
+  std::string CursorForPage(size_t page) const;
+  /// Full query suffix ("?page=3") for a page index.
+  std::string PageQuery(size_t page, size_t page_size) const;
+
+  // --- Wire encode (server side) / decode (normalizer side). ---
+  JsonValue EncodeId(uint64_t id, const std::string& prefix) const;
+  Result<uint64_t> DecodeId(const JsonValue& wire,
+                            const std::string& prefix) const;
+  JsonValue EncodeReputation(int64_t exp_value) const;
+  Result<int64_t> DecodeReputation(const JsonValue& wire) const;
+  /// Canonical client label ("Web"...) -> platform label, and back. Decode
+  /// passes unknown labels through unchanged (lenient, like the canonical
+  /// parser).
+  std::string EncodeClient(std::string_view canonical) const;
+  std::string DecodeClient(std::string_view wire) const;
+  /// Canonical "YYYY-MM-DD HH:MM:SS" -> wire value, and back.
+  JsonValue EncodeDate(const std::string& iso_date) const;
+  Result<std::string> DecodeDate(const JsonValue& wire) const;
+
+  /// True when the two profiles disagree on at least one structural axis
+  /// (pagination, envelope nesting, id style, a route or field name...) —
+  /// the "not just a different seed" guarantee tests assert on built-ins.
+  bool StructurallyDistinctFrom(const PlatformProfile& other) const;
+};
+
+/// One platform, fully specified: wire profile + workload shape (campaign
+/// mix, comment culture, client mix) + its characteristic transport
+/// weather (rate-limit regime). The federation plane crawls a vector of
+/// these.
+struct PlatformSpec {
+  PlatformProfile profile;
+  MarketplaceConfig market;
+  fault::FaultProfile default_weather = fault::FaultProfile::Mild();
+  uint64_t api_seed = 99;
+};
+
+/// Built-in heterogeneous platforms at a given scale:
+///   "taobao"   — the canonical wire (page numbers, string ids, Listing 2
+///                field names), app-heavy organic traffic, mild weather.
+///   "jademall" — offset/limit pagination, nested `{"code":0,"result":..}`
+///                envelope, numeric ids, scaled `repPoints` reputation,
+///                chatty review culture, aggressive 429 rate limiting.
+///   "bazaar"   — cursor-token pagination, prefixed string refs, member
+///                levels, epoch timestamps, terse reviews, stealth-heavy
+///                campaigns, flaky proxies (truncation/garbling).
+Result<PlatformSpec> BuiltinPlatform(std::string_view name, double scale);
+std::vector<std::string> BuiltinPlatformNames();
+
+}  // namespace cats::platform
+
+#endif  // CATS_PLATFORM_PROFILE_H_

@@ -228,6 +228,10 @@ struct TcpRunState {
 
   void ResetStep(uint64_t expected) {
     std::lock_guard<std::mutex> lock(mu);
+    // The previous step drained (completed == total) before this runs, so
+    // pending is empty in normal operation; clear defensively so a
+    // straggler id can never inflate the next step's max_inflight.
+    pending.clear();
     completed = 0;
     ok = 0;
     overloaded = 0;

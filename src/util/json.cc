@@ -1,6 +1,7 @@
 #include "util/json.h"
 
 #include <cctype>
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -20,6 +21,13 @@ JsonValue JsonValue::Number(double d) {
   JsonValue v;
   v.type_ = Type::kNumber;
   v.number_ = d;
+  return v;
+}
+
+JsonValue JsonValue::Int(int64_t i) {
+  JsonValue v;
+  v.type_ = Type::kInt;
+  v.int_ = i;
   return v;
 }
 
@@ -47,6 +55,20 @@ const JsonValue* JsonValue::Get(std::string_view key) const {
     if (k == key) return &v;
   }
   return nullptr;
+}
+
+const JsonValue* JsonValue::GetPath(std::string_view dotted_path) const {
+  const JsonValue* node = this;
+  while (!dotted_path.empty()) {
+    if (!node->is_object()) return nullptr;
+    size_t dot = dotted_path.find('.');
+    std::string_view hop = dotted_path.substr(0, dot);
+    node = node->Get(hop);
+    if (node == nullptr) return nullptr;
+    if (dot == std::string_view::npos) break;
+    dotted_path.remove_prefix(dot + 1);
+  }
+  return node;
 }
 
 void JsonValue::Set(std::string key, JsonValue v) {
@@ -149,6 +171,8 @@ std::string JsonValue::Serialize() const {
       }
       return StrFormat("%.17g", number_);
     }
+    case Type::kInt:
+      return std::to_string(int_);
     case Type::kString:
       return "\"" + JsonEscape(string_) + "\"";
     case Type::kArray: {
@@ -266,6 +290,21 @@ class Parser {
       return Status::ParseError(
           StrFormat("malformed number '%s' at offset %zu", token.c_str(),
                     start));
+    }
+    // Integer literals within double's exact range become kInt so numeric
+    // ids survive re-serialization bit-for-bit; the 2^53 bound keeps the
+    // serialized form identical to the historical all-double behavior.
+    if (token.find('.') == std::string::npos &&
+        token.find('e') == std::string::npos &&
+        token.find('E') == std::string::npos &&
+        std::fabs(d) < 9.007199254740992e15) {
+      errno = 0;
+      char* iend = nullptr;
+      long long i = std::strtoll(token.c_str(), &iend, 10);
+      if (errno == 0 && iend != nullptr && *iend == '\0') {
+        *out = JsonValue::Int(static_cast<int64_t>(i));
+        return Status::OK();
+      }
     }
     *out = JsonValue::Number(d);
     return Status::OK();

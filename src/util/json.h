@@ -19,13 +19,16 @@ namespace cats {
 /// this — no third-party JSON dependency.
 class JsonValue {
  public:
-  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  /// kInt holds an exact int64 so numeric platform ids survive a
+  /// parse/serialize round trip without double rounding; kNumber remains
+  /// the general floating-point case. is_number() covers both.
+  enum class Type { kNull, kBool, kNumber, kInt, kString, kArray, kObject };
 
   JsonValue() : type_(Type::kNull) {}
   static JsonValue Null() { return JsonValue(); }
   static JsonValue Bool(bool b);
   static JsonValue Number(double d);
-  static JsonValue Int(int64_t i) { return Number(static_cast<double>(i)); }
+  static JsonValue Int(int64_t i);
   static JsonValue String(std::string s);
   static JsonValue Array();
   static JsonValue Object();
@@ -33,14 +36,21 @@ class JsonValue {
   Type type() const { return type_; }
   bool is_null() const { return type_ == Type::kNull; }
   bool is_bool() const { return type_ == Type::kBool; }
-  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_number() const {
+    return type_ == Type::kNumber || type_ == Type::kInt;
+  }
+  bool is_int() const { return type_ == Type::kInt; }
   bool is_string() const { return type_ == Type::kString; }
   bool is_array() const { return type_ == Type::kArray; }
   bool is_object() const { return type_ == Type::kObject; }
 
   bool bool_value() const { return bool_; }
-  double number_value() const { return number_; }
-  int64_t int_value() const { return static_cast<int64_t>(number_); }
+  double number_value() const {
+    return type_ == Type::kInt ? static_cast<double>(int_) : number_;
+  }
+  int64_t int_value() const {
+    return type_ == Type::kInt ? int_ : static_cast<int64_t>(number_);
+  }
   const std::string& string_value() const { return string_; }
 
   /// Array access.
@@ -50,6 +60,11 @@ class JsonValue {
 
   /// Object access. Get() returns nullptr when the key is absent.
   const JsonValue* Get(std::string_view key) const;
+  /// Dotted-path lookup through nested objects ("result.records" walks
+  /// Get("result")->Get("records")). Returns nullptr if any hop is missing
+  /// or a non-terminal hop is not an object. Platform envelopes that wrap
+  /// their payload in a nested object are unwrapped with this.
+  const JsonValue* GetPath(std::string_view dotted_path) const;
   void Set(std::string key, JsonValue v);
   bool Has(std::string_view key) const { return Get(key) != nullptr; }
   const std::vector<std::pair<std::string, JsonValue>>& members() const {
@@ -71,6 +86,7 @@ class JsonValue {
   Type type_;
   bool bool_ = false;
   double number_ = 0.0;
+  int64_t int_ = 0;
   std::string string_;
   std::vector<JsonValue> array_;
   // Insertion-ordered for deterministic serialization.

@@ -1,0 +1,104 @@
+// Chaos coverage for the federation plane: every shard gets its platform's
+// own hostile fault profile, and the federated crawl must still converge
+// to exactly the fault-free store per platform — same shops, same items,
+// same comments, byte for byte.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "federate/federation.h"
+#include "platform_test_util.h"
+
+namespace cats {
+namespace {
+
+std::string SaveStoreToString(const collect::DataStore& store,
+                              const std::string& tag) {
+  auto dir = std::filesystem::temp_directory_path() /
+             ("cats_chaosfed_" + tag + "_" +
+              std::to_string(static_cast<unsigned long>(::getpid())));
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  CATS_CHECK(store.SaveJsonl(dir.string()).ok());
+  std::ostringstream out;
+  for (const char* file : {"shops.jsonl", "items.jsonl", "comments.jsonl"}) {
+    std::ifstream in(dir / file, std::ios::binary);
+    CATS_CHECK(in.good());
+    out << in.rdbuf();
+  }
+  std::filesystem::remove_all(dir);
+  return out.str();
+}
+
+TEST(ChaosFederationTest, HostileShardsConvergeToFaultFreeStores) {
+  auto shards = federate::BuiltinShards(platform::BuiltinPlatformNames(),
+                                        0.002);
+  ASSERT_TRUE(shards.ok());
+
+  std::vector<federate::ShardConfig> clean = *shards;
+  std::vector<federate::ShardConfig> hostile = *shards;
+  for (federate::ShardConfig& shard : clean) {
+    shard.spec.default_weather = fault::FaultProfile::None();
+  }
+  for (federate::ShardConfig& shard : hostile) {
+    shard.spec.default_weather = fault::FaultProfile::Hostile();
+    shard.crawler.max_retries = 12;  // ride out 5xx bursts
+  }
+
+  federate::FederationReport clean_report =
+      federate::CrawlFederation(clean, TestLanguage(), /*parallel=*/true);
+  federate::FederationReport hostile_report =
+      federate::CrawlFederation(hostile, TestLanguage(), /*parallel=*/true);
+  ASSERT_TRUE(clean_report.all_ok());
+  ASSERT_TRUE(hostile_report.all_ok());
+
+  uint64_t faults_seen = 0;
+  for (size_t i = 0; i < hostile_report.shards.size(); ++i) {
+    const federate::ShardReport& h = hostile_report.shards[i];
+    const federate::ShardReport& c = clean_report.shards[i];
+    SCOPED_TRACE(h.platform_id);
+    // Exact per-platform accounting under hostile weather: nothing lost,
+    // nothing invented — bit-for-bit the fault-free crawl.
+    EXPECT_EQ(h.store.shops().size(), h.truth_shops);
+    EXPECT_EQ(h.store.items().size(), h.truth_items);
+    EXPECT_EQ(SaveStoreToString(h.store, "h" + std::to_string(i)),
+              SaveStoreToString(c.store, "c" + std::to_string(i)));
+    // The weather was real: the shard had to retry / probe to get there.
+    faults_seen += h.stats.rate_limited + h.stats.server_errors +
+                   h.stats.malformed_bodies + h.stats.pagination_probes;
+    EXPECT_GE(h.stats.requests, c.stats.requests);
+  }
+  EXPECT_GT(faults_seen, 0u);
+}
+
+TEST(ChaosFederationTest, PerShardWeatherIsIndependent) {
+  // One calm shard and one hostile shard in the same federation: the
+  // hostile shard's faults must not leak into the calm shard's stats.
+  auto shards =
+      federate::BuiltinShards({"taobao", "bazaar"}, 0.002);
+  ASSERT_TRUE(shards.ok());
+  (*shards)[0].spec.default_weather = fault::FaultProfile::None();
+  (*shards)[1].spec.default_weather = fault::FaultProfile::Hostile();
+  (*shards)[1].crawler.max_retries = 12;
+
+  federate::FederationReport report =
+      federate::CrawlFederation(*shards, TestLanguage(), /*parallel=*/true);
+  ASSERT_TRUE(report.all_ok());
+  const collect::CrawlStats& calm = report.shards[0].stats;
+  const collect::CrawlStats& stormy = report.shards[1].stats;
+  EXPECT_EQ(calm.rate_limited + calm.server_errors + calm.malformed_bodies,
+            0u);
+  EXPECT_GT(stormy.rate_limited + stormy.server_errors +
+                stormy.malformed_bodies + stormy.pagination_probes,
+            0u);
+  EXPECT_EQ(report.shards[0].store.items().size(),
+            report.shards[0].truth_items);
+  EXPECT_EQ(report.shards[1].store.items().size(),
+            report.shards[1].truth_items);
+}
+
+}  // namespace
+}  // namespace cats

@@ -1,0 +1,141 @@
+// Federation smoke (ctest label `federation_smoke`): three structurally
+// heterogeneous platforms crawled by federated shards, normalized into one
+// detection plane, and pushed through the full transfer evaluation — the
+// mini version of what `cats_cli transfer-eval` commits as
+// BENCH_federation.json.
+
+#include "federate/federation.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "federate/transfer_eval.h"
+#include "platform_test_util.h"
+
+namespace cats {
+namespace {
+
+using federate::CrawlFederation;
+using federate::FederationReport;
+using federate::MergedFederation;
+using federate::MergeShards;
+using federate::ShardConfig;
+
+FederationReport CrawlBuiltins(double scale) {
+  auto shards = federate::BuiltinShards(platform::BuiltinPlatformNames(),
+                                        scale);
+  CATS_CHECK(shards.ok());
+  return CrawlFederation(*shards, TestLanguage(), /*parallel=*/true);
+}
+
+TEST(FederationTest, ThreeShardCrawlBanksEveryPlatformExactly) {
+  FederationReport report = CrawlBuiltins(0.002);
+  ASSERT_EQ(report.shards.size(), 3u);
+  ASSERT_TRUE(report.all_ok());
+  for (const federate::ShardReport& shard : report.shards) {
+    SCOPED_TRACE(shard.platform_id);
+    // Exact per-platform accounting: transport faults (429s, 5xx bursts,
+    // truncated bodies, stale pagination) delay the crawl but never lose
+    // records — every public shop and item on the platform is banked.
+    EXPECT_EQ(shard.store.shops().size(), shard.truth_shops);
+    EXPECT_EQ(shard.store.items().size(), shard.truth_items);
+    EXPECT_GT(shard.store.num_comments(), 0u);
+    EXPECT_TRUE(shard.checkpoint.complete);
+    // Labels cover the whole crawl and contain both classes.
+    size_t fraud = 0;
+    for (const collect::CollectedItem& ci : shard.store.items()) {
+      auto it = shard.labels.find(ci.item.item_id);
+      ASSERT_NE(it, shard.labels.end());
+      fraud += it->second;
+    }
+    EXPECT_EQ(fraud, shard.truth_fraud_items);
+    EXPECT_GT(fraud, 0u);
+    EXPECT_LT(fraud, shard.store.items().size());
+  }
+}
+
+TEST(FederationTest, ParallelAndSequentialCrawlsAgree) {
+  auto shards = federate::BuiltinShards(platform::BuiltinPlatformNames(),
+                                        0.002);
+  ASSERT_TRUE(shards.ok());
+  FederationReport parallel =
+      CrawlFederation(*shards, TestLanguage(), /*parallel=*/true);
+  FederationReport sequential =
+      CrawlFederation(*shards, TestLanguage(), /*parallel=*/false);
+  ASSERT_TRUE(parallel.all_ok());
+  ASSERT_TRUE(sequential.all_ok());
+  for (size_t i = 0; i < parallel.shards.size(); ++i) {
+    EXPECT_EQ(parallel.shards[i].store.items().size(),
+              sequential.shards[i].store.items().size());
+    EXPECT_EQ(parallel.shards[i].store.num_comments(),
+              sequential.shards[i].store.num_comments());
+    EXPECT_EQ(parallel.shards[i].stats.requests,
+              sequential.shards[i].stats.requests);
+  }
+}
+
+TEST(FederationTest, MergeNamespacesIdsAcrossPlatforms) {
+  FederationReport report = CrawlBuiltins(0.002);
+  ASSERT_TRUE(report.all_ok());
+  MergedFederation merged = MergeShards(report);
+  size_t expected = 0;
+  for (const federate::ShardReport& s : report.shards) {
+    expected += s.store.items().size();
+  }
+  ASSERT_EQ(merged.items.size(), expected);
+  ASSERT_EQ(merged.labels.size(), expected);
+  ASSERT_EQ(merged.shard_of.size(), expected);
+
+  std::set<uint64_t> item_ids, comment_ids;
+  for (size_t i = 0; i < merged.items.size(); ++i) {
+    const collect::CollectedItem& ci = merged.items[i];
+    // Ids are unique across the whole federation, and the namespace
+    // stride recovers the owning shard.
+    EXPECT_TRUE(item_ids.insert(ci.item.item_id).second);
+    EXPECT_EQ(ci.item.item_id / federate::kFederationIdStride,
+              merged.shard_of[i] + 1);
+    for (const collect::CommentRecord& c : ci.comments) {
+      EXPECT_TRUE(comment_ids.insert(c.comment_id).second);
+      EXPECT_EQ(c.item_id, ci.item.item_id);
+    }
+  }
+}
+
+TEST(FederationTest, TransferEvalProducesFullAucMatrix) {
+  federate::TransferEvalOptions options;
+  options.scale = 0.002;
+  auto report = federate::RunTransferEval(options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  const size_t n = report->platforms.size();
+  ASSERT_EQ(n, 3u);
+  ASSERT_EQ(report->cells.size(), n * n);
+  for (const federate::TransferCell& cell : report->cells) {
+    SCOPED_TRACE(cell.train_platform + " -> " + cell.eval_platform);
+    EXPECT_GE(cell.auc, 0.0);
+    EXPECT_LE(cell.auc, 1.0);
+    EXPECT_GT(cell.items, 0u);
+  }
+  // In-platform detection is strong; transfer stays far above chance (the
+  // paper's §VII premise — the semantic features carry across platforms).
+  EXPECT_GT(report->MinInPlatformAuc(), 0.9);
+  EXPECT_GT(report->MinCrossAuc(), 0.6);
+  EXPECT_LT(report->MaxDegradation(), 0.4);
+
+  // The benchmark document has the shape perf_gate.py --federation gates.
+  JsonValue doc = report->ToJson();
+  auto bench = doc.GetString("bench");
+  ASSERT_TRUE(bench.ok());
+  EXPECT_EQ(*bench, "federation_transfer");
+  const JsonValue* matrix = doc.Get("matrix");
+  ASSERT_NE(matrix, nullptr);
+  EXPECT_EQ(matrix->size(), n * n);
+  const JsonValue* summary = doc.Get("summary");
+  ASSERT_NE(summary, nullptr);
+  EXPECT_TRUE(summary->Get("min_in_platform_auc") != nullptr);
+  EXPECT_TRUE(summary->Get("min_cross_platform_auc") != nullptr);
+  EXPECT_TRUE(summary->Get("max_transfer_degradation") != nullptr);
+}
+
+}  // namespace
+}  // namespace cats

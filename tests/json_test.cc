@@ -128,6 +128,31 @@ TEST(JsonTypedGettersTest, ReportMissingAndWrongType) {
   EXPECT_DOUBLE_EQ(*obj.GetDouble("n"), 5.0);
 }
 
+TEST(JsonIntTest, IntegerLiteralsAreExactInt64) {
+  // Integer tokens parse into the exact-int representation (no double
+  // round trip) and serialize back without a decimal point.
+  auto v = *JsonValue::Parse(R"({"id":9007199254740991,"neg":-42})");
+  EXPECT_TRUE(v.Get("id")->is_int());
+  EXPECT_EQ(v.Get("id")->int_value(), 9007199254740991ll);
+  EXPECT_EQ(v.Get("neg")->int_value(), -42);
+  EXPECT_EQ(v.Serialize(), R"({"id":9007199254740991,"neg":-42})");
+  // Doubles still behave as doubles; Int() constructs exact ints.
+  EXPECT_FALSE(JsonValue::Parse("1.5")->is_int());
+  EXPECT_TRUE(JsonValue::Int(7).is_number());
+  EXPECT_EQ(JsonValue::Int(7).Serialize(), "7");
+}
+
+TEST(JsonGetPathTest, WalksNestedObjects) {
+  auto v = *JsonValue::Parse(R"({"a":{"b":{"c":3}},"x":1})");
+  ASSERT_NE(v.GetPath("a.b"), nullptr);
+  ASSERT_NE(v.GetPath("a.b.c"), nullptr);
+  EXPECT_EQ(v.GetPath("a.b.c")->int_value(), 3);
+  EXPECT_EQ(v.GetPath("x")->int_value(), 1);
+  EXPECT_EQ(v.GetPath("a.z"), nullptr);
+  EXPECT_EQ(v.GetPath("a.b.c.d"), nullptr);  // non-object hop
+  EXPECT_EQ(v.GetPath(""), &v);              // empty path = identity
+}
+
 TEST(JsonParseTest, ListingTwoRecord) {
   // The comment record of the paper's Listing 2.
   const char* body = R"({

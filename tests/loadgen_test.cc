@@ -1,0 +1,67 @@
+// Loadgen per-step isolation: the max-inflight high-water mark (and the
+// pending-request map behind it) must reset at every step boundary, so a
+// high-QPS step can never inflate the gauge a later low-QPS step reports.
+
+#include "serve/loadgen.h"
+
+#include <gtest/gtest.h>
+
+#include "serve/tcp_server.h"
+#include "serve_test_util.h"
+
+namespace cats {
+namespace {
+
+serve::LoadgenOptions StepDownOptions() {
+  serve::LoadgenOptions options;
+  // A fast step (many requests in flight) followed by a one-request step:
+  // if the per-step state leaked, step 2 would report step 1's mark.
+  options.qps_steps = {400.0, 2.0};
+  options.step_seconds = 0.5;
+  options.swap_model_dir.clear();  // no mid-run swap
+  return options;
+}
+
+void CheckStepIsolation(const serve::LoadgenReport& report) {
+  ASSERT_EQ(report.steps.size(), 2u);
+  EXPECT_EQ(report.steps[0].requests, 200u);
+  EXPECT_EQ(report.steps[1].requests, 1u);
+  // The regression: a single-request step's high-water mark is exactly 1,
+  // whatever the previous step peaked at.
+  EXPECT_EQ(report.steps[1].max_inflight, 1u);
+  EXPECT_GE(report.steps[0].max_inflight, 1u);
+  for (const serve::LoadgenStepResult& step : report.steps) {
+    EXPECT_EQ(step.ok + step.overloaded + step.errors, step.requests);
+  }
+}
+
+TEST(LoadgenTest, MaxInflightResetsPerStepInProcess) {
+  serve::ServeLoop loop(serve::ServeOptions{});
+  ASSERT_TRUE(loop.Start(TestModelDir(), TestProbeItems()).ok());
+  auto report =
+      serve::RunLoadgen(&loop, TestProbeItems(), StepDownOptions());
+  loop.Stop(serve::StopMode::kDrain);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  CheckStepIsolation(*report);
+}
+
+TEST(LoadgenTest, MaxInflightResetsPerStepOverTcp) {
+  serve::ServeLoop loop(serve::ServeOptions{});
+  ASSERT_TRUE(loop.Start(TestModelDir(), TestProbeItems()).ok());
+  serve::TcpServerOptions tcp_options;
+  tcp_options.port = 0;  // kernel-assigned
+  serve::TcpServer tcp(&loop, tcp_options);
+  ASSERT_TRUE(tcp.Start().ok());
+
+  serve::LoadgenOptions options = StepDownOptions();
+  options.connections = 4;
+  auto report = serve::RunLoadgenTcp("127.0.0.1", tcp.port(),
+                                     TestProbeItems(), options);
+  tcp.Stop();
+  loop.Stop(serve::StopMode::kDrain);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  CheckStepIsolation(*report);
+}
+
+}  // namespace
+}  // namespace cats

@@ -1,0 +1,201 @@
+// Wire-heterogeneity tests for platform/profile.h: the built-in platforms
+// must differ structurally (not just by seed), every encoding must round
+// trip through the normalizer, and the canonical profile must stay
+// byte-identical to the historical (pre-profile) wire.
+
+#include "platform/profile.h"
+
+#include <gtest/gtest.h>
+
+#include "collect/normalizer.h"
+#include "collect/record.h"
+#include "platform/api.h"
+#include "platform_test_util.h"
+
+namespace cats {
+namespace {
+
+using platform::BuiltinPlatform;
+using platform::BuiltinPlatformNames;
+using platform::PaginationStyle;
+using platform::PlatformProfile;
+using platform::PlatformSpec;
+
+std::vector<PlatformSpec> AllBuiltins() {
+  std::vector<PlatformSpec> specs;
+  for (const std::string& name : BuiltinPlatformNames()) {
+    auto spec = BuiltinPlatform(name, 0.002);
+    CATS_CHECK(spec.ok());
+    specs.push_back(*std::move(spec));
+  }
+  return specs;
+}
+
+TEST(PlatformProfileTest, BuiltinsArePairwiseStructurallyDistinct) {
+  std::vector<PlatformSpec> specs = AllBuiltins();
+  ASSERT_GE(specs.size(), 3u);
+  for (size_t a = 0; a < specs.size(); ++a) {
+    for (size_t b = a + 1; b < specs.size(); ++b) {
+      EXPECT_TRUE(specs[a].profile.StructurallyDistinctFrom(specs[b].profile))
+          << specs[a].profile.platform_id << " vs "
+          << specs[b].profile.platform_id;
+    }
+  }
+  // All three pagination styles are represented.
+  bool page = false, offset = false, cursor = false;
+  for (const PlatformSpec& spec : specs) {
+    page |= spec.profile.pagination == PaginationStyle::kPageNumber;
+    offset |= spec.profile.pagination == PaginationStyle::kOffsetLimit;
+    cursor |= spec.profile.pagination == PaginationStyle::kCursorToken;
+  }
+  EXPECT_TRUE(page);
+  EXPECT_TRUE(offset);
+  EXPECT_TRUE(cursor);
+}
+
+TEST(PlatformProfileTest, CanonicalProfileIsNotDistinctFromDefault) {
+  EXPECT_FALSE(PlatformProfile::Canonical().StructurallyDistinctFrom(
+      PlatformProfile{}));
+}
+
+TEST(PlatformProfileTest, CanonicalWireIsByteIdenticalToHistoricalParser) {
+  // A default-options API must serve bodies the pre-profile ParsePage /
+  // ParseXRecord functions accept unchanged — the byte-identity contract
+  // every pre-federation test and JSONL store depends on.
+  platform::ApiOptions options;
+  options.faults = fault::FaultProfile::None();
+  platform::MarketplaceApi api(&TestMarketplace(), options);
+  auto body = api.Get("/shops?page=0");
+  ASSERT_TRUE(body.ok());
+  auto page = collect::ParsePage(*body);
+  ASSERT_TRUE(page.ok());
+  ASSERT_FALSE(page->data.empty());
+  auto shop = collect::ParseShopRecord(page->data[0]);
+  ASSERT_TRUE(shop.ok());
+
+  // And the profile-driven normalizer agrees with the historical parser
+  // record for record.
+  collect::SchemaNormalizer normalizer(&PlatformProfile::Canonical());
+  auto norm_page = normalizer.ParsePage(*body, options.page_size);
+  ASSERT_TRUE(norm_page.ok());
+  EXPECT_EQ(norm_page->page, page->page);
+  EXPECT_EQ(norm_page->total_pages, page->total_pages);
+  EXPECT_EQ(norm_page->has_more, page->has_more);
+  auto norm_shop = normalizer.NormalizeShop(norm_page->data[0]);
+  ASSERT_TRUE(norm_shop.ok());
+  EXPECT_EQ(norm_shop->shop_id, shop->shop_id);
+  EXPECT_EQ(norm_shop->shop_url, shop->shop_url);
+  EXPECT_EQ(norm_shop->shop_name, shop->shop_name);
+}
+
+TEST(PlatformProfileTest, PageQueryPerStyle) {
+  PlatformProfile p;  // canonical
+  EXPECT_EQ(p.PageQuery(3, 50), "?page=3");
+
+  PlatformProfile offset = p;
+  offset.pagination = PaginationStyle::kOffsetLimit;
+  EXPECT_EQ(offset.PageQuery(3, 50), "?offset=150&limit=50");
+
+  PlatformProfile cursor = p;
+  cursor.pagination = PaginationStyle::kCursorToken;
+  EXPECT_EQ(cursor.PageQuery(0, 50), "?cursor=");
+  EXPECT_EQ(cursor.PageQuery(3, 50), "?cursor=pg-3");
+}
+
+TEST(PlatformProfileTest, EncodingsRoundTripOnEveryBuiltin) {
+  for (const PlatformSpec& spec : AllBuiltins()) {
+    const PlatformProfile& p = spec.profile;
+    SCOPED_TRACE(p.platform_id);
+    // Ids.
+    for (uint64_t id : {0ull, 7ull, 123456789ull}) {
+      auto back = p.DecodeId(p.EncodeId(id, p.item_id_prefix),
+                             p.item_id_prefix);
+      ASSERT_TRUE(back.ok());
+      EXPECT_EQ(*back, id);
+    }
+    // Reputation: lossless styles exact; level buckets monotone.
+    for (int64_t exp : {int64_t{100}, int64_t{3200}, int64_t{27158720}}) {
+      auto back = p.DecodeReputation(p.EncodeReputation(exp));
+      ASSERT_TRUE(back.ok());
+      if (p.reputation_wire == platform::ReputationWire::kLevelNumber) {
+        EXPECT_GT(*back, 0);
+        EXPECT_LE(*back, exp);
+      } else {
+        EXPECT_EQ(*back, exp);
+      }
+    }
+    // Clients: every canonical label maps there and back.
+    for (const char* label : {"Web", "Android", "iPhone", "WeChat"}) {
+      EXPECT_EQ(p.DecodeClient(p.EncodeClient(label)), label);
+    }
+    // Dates.
+    const std::string iso = "2017-09-14 13:22:05";
+    auto date = p.DecodeDate(p.EncodeDate(iso));
+    ASSERT_TRUE(date.ok());
+    EXPECT_EQ(*date, iso);
+  }
+}
+
+TEST(PlatformProfileTest, NormalizerParsesEveryPaginationDialect) {
+  collect::SchemaNormalizer canonical(&PlatformProfile::Canonical());
+  auto page = canonical.ParsePage(
+      R"({"page":2,"total_pages":4,"data":[{"x":1}]})", 50);
+  ASSERT_TRUE(page.ok());
+  EXPECT_EQ(page->page, 2u);
+  EXPECT_TRUE(page->has_more);
+
+  PlatformProfile offset_profile;
+  offset_profile.pagination = PaginationStyle::kOffsetLimit;
+  collect::SchemaNormalizer offset(&offset_profile);
+  page = offset.ParsePage(R"({"offset":100,"total":151,"data":[]})", 50);
+  ASSERT_TRUE(page.ok());
+  EXPECT_EQ(page->page, 2u);
+  EXPECT_EQ(page->total_pages, 4u);
+  EXPECT_TRUE(page->has_more);
+  EXPECT_FALSE(
+      offset.ParsePage(R"({"offset":101,"total":151,"data":[]})", 50).ok());
+
+  PlatformProfile cursor_profile;
+  cursor_profile.pagination = PaginationStyle::kCursorToken;
+  collect::SchemaNormalizer cursor(&cursor_profile);
+  page = cursor.ParsePage(
+      R"({"cursor":"pg-2","next_cursor":"pg-3","data":[]})", 50);
+  ASSERT_TRUE(page.ok());
+  EXPECT_EQ(page->page, 2u);
+  EXPECT_TRUE(page->has_more);
+  page = cursor.ParsePage(R"({"cursor":"pg-5","next_cursor":"","data":[]})",
+                          50);
+  ASSERT_TRUE(page.ok());
+  EXPECT_FALSE(page->has_more);
+  EXPECT_FALSE(
+      cursor
+          .ParsePage(R"({"cursor":"tok!bad","next_cursor":"","data":[]})", 50)
+          .ok());
+}
+
+TEST(PlatformProfileTest, WrapperEnvelopeIsUnwrapped) {
+  PlatformProfile p;
+  p.envelope.wrapper = "result";
+  p.envelope.status_key = "code";
+  p.envelope.key_data = "records";
+  collect::SchemaNormalizer normalizer(&p);
+  auto page = normalizer.ParsePage(
+      R"({"code":0,"result":{"page":0,"total_pages":1,"records":[{"a":1}]}})",
+      50);
+  ASSERT_TRUE(page.ok());
+  EXPECT_EQ(page->data.size(), 1u);
+  // Missing wrapper is a parse error, not a silent empty page.
+  EXPECT_FALSE(
+      normalizer.ParsePage(R"({"page":0,"total_pages":1,"records":[]})", 50)
+          .ok());
+}
+
+TEST(PlatformProfileTest, BuiltinLookupRejectsUnknownNames) {
+  EXPECT_FALSE(BuiltinPlatform("myspace", 1.0).ok());
+  for (const std::string& name : BuiltinPlatformNames()) {
+    EXPECT_TRUE(BuiltinPlatform(name, 0.01).ok()) << name;
+  }
+}
+
+}  // namespace
+}  // namespace cats
